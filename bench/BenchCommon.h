@@ -1,0 +1,122 @@
+//===- BenchCommon.h - Shared harness for the paper's experiments -*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One configuration-driven runner used by every table/figure binary:
+/// compile a workload, optionally apply method resolution + inlining,
+/// copy propagation and RLE under a chosen alias analysis, execute on the
+/// VM with the cache/timing simulator attached, and report counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_BENCH_BENCHCOMMON_H
+#define TBAA_BENCH_BENCHCOMMON_H
+
+#include "core/AliasCensus.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "exec/VM.h"
+#include "ir/Pipeline.h"
+#include "opt/CopyProp.h"
+#include "opt/Devirt.h"
+#include "opt/Inline.h"
+#include "opt/RLE.h"
+#include "sim/CacheSim.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tbaa::bench {
+
+struct RunConfig {
+  bool ApplyRLE = false;
+  AliasLevel Level = AliasLevel::SMFieldTypeRefs;
+  bool OpenWorld = false;
+  bool DevirtAndInline = false;
+  bool CopyProp = false;
+};
+
+struct RunOutcome {
+  int64_t Checksum = 0;
+  unsigned SourceLines = 0;
+  ExecStats Stats;
+  uint64_t Cycles = 0;
+  RLEStats RLE;
+  unsigned Resolved = 0;
+  unsigned Inlined = 0;
+};
+
+/// Compiles (exits on error -- workloads are pinned by tests) and applies
+/// the configured pipeline. Leaves the compilation for callers that need
+/// the transformed IR (limit studies).
+inline Compilation prepare(const WorkloadInfo &W, const RunConfig &Config,
+                           RunOutcome &Out) {
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(W.Source, Diags);
+  if (!C.ok()) {
+    std::fprintf(stderr, "workload %s failed to compile:\n%s\n", W.Name,
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  Out.SourceLines = C.ast().SourceLines;
+  TBAAContext Ctx(C.ast(), C.types(), {.OpenWorld = Config.OpenWorld});
+  if (Config.DevirtAndInline) {
+    Out.Resolved = resolveMethodCalls(C.IR, Ctx);
+    Out.Inlined = inlineCalls(C.IR);
+  }
+  if (Config.CopyProp)
+    propagateCopies(C.IR);
+  if (Config.ApplyRLE) {
+    auto Oracle = makeAliasOracle(Ctx, Config.Level);
+    Out.RLE = runRLE(C.IR, *Oracle);
+  }
+  return C;
+}
+
+/// Executes the prepared program with the timing simulator attached.
+inline void execute(Compilation &C, RunOutcome &Out,
+                    ExecMonitor *Extra = nullptr) {
+  TimingSimulator Timing;
+  VM Machine(C.IR);
+  Machine.setOpLimit(2'000'000'000);
+  Machine.addMonitor(&Timing);
+  if (Extra)
+    Machine.addMonitor(Extra);
+  if (!Machine.runInit()) {
+    std::fprintf(stderr, "init trapped: %s\n",
+                 Machine.trapMessage().c_str());
+    std::exit(1);
+  }
+  auto R = Machine.callFunction("Main");
+  if (!R) {
+    std::fprintf(stderr, "Main trapped: %s\n",
+                 Machine.trapMessage().c_str());
+    std::exit(1);
+  }
+  Out.Checksum = *R;
+  Out.Stats = Machine.stats();
+  Out.Cycles = Timing.cycles(Machine.stats());
+}
+
+inline RunOutcome run(const WorkloadInfo &W, const RunConfig &Config,
+                      ExecMonitor *Extra = nullptr) {
+  RunOutcome Out;
+  Compilation C = prepare(W, Config, Out);
+  execute(C, Out, Extra);
+  return Out;
+}
+
+inline double percentOf(uint64_t Part, uint64_t Whole) {
+  return Whole ? 100.0 * static_cast<double>(Part) /
+                     static_cast<double>(Whole)
+               : 0.0;
+}
+
+} // namespace tbaa::bench
+
+#endif // TBAA_BENCH_BENCHCOMMON_H

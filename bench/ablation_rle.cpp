@@ -1,0 +1,104 @@
+//===- ablation_rle.cpp - Breakup & Conditional ablations -----------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// The two Figure 10 categories the paper attributes to its own optimizer
+// rather than to TBAA come with fixes the paper names but does not build:
+// copy propagation (for "Breakup") and partial redundancy elimination
+// (for "Conditional", their stated future work). Both are implemented
+// here, so this ablation measures how much of the remaining dynamic
+// redundancy each one recovers on top of plain RLE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "limit/LimitAnalysis.h"
+
+using namespace tbaa;
+using namespace tbaa::bench;
+
+namespace {
+
+struct AblationOutcome {
+  uint64_t Cycles = 0;
+  uint64_t HeapLoads = 0;
+  uint64_t Redundant = 0;
+  int64_t Checksum = 0;
+};
+
+AblationOutcome measure(const WorkloadInfo &W, bool CopyProp, bool PRE) {
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(W.Source, Diags);
+  if (!C.ok()) {
+    std::fprintf(stderr, "%s failed to compile\n", W.Name);
+    std::exit(1);
+  }
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  runRLE(C.IR, *Oracle);
+  if (CopyProp) {
+    // After RLE: rewrites can then only unify the survivors, and the
+    // second CSE pass locks in the extra eliminations monotonically.
+    propagateCopies(C.IR);
+    runRLE(C.IR, *Oracle);
+  }
+  if (PRE)
+    runLoadPRE(C.IR, *Oracle);
+
+  RedundantLoadMonitor Monitor;
+  TimingSimulator Timing;
+  VM Machine(C.IR);
+  Machine.setOpLimit(2'000'000'000);
+  Machine.addMonitor(&Monitor);
+  Machine.addMonitor(&Timing);
+  if (!Machine.runInit()) {
+    std::fprintf(stderr, "%s trapped\n", W.Name);
+    std::exit(1);
+  }
+  auto R = Machine.callFunction("Main");
+  if (!R) {
+    std::fprintf(stderr, "%s trapped: %s\n", W.Name,
+                 Machine.trapMessage().c_str());
+    std::exit(1);
+  }
+  AblationOutcome Out;
+  Out.Cycles = Timing.cycles(Machine.stats());
+  Out.HeapLoads = Machine.stats().HeapLoads;
+  Out.Redundant = Monitor.redundantLoads();
+  Out.Checksum = *R;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: copy propagation (Breakup) and load PRE "
+              "(Conditional) on top of RLE\n");
+  std::printf("(remaining dynamic redundant loads; lower is better)\n\n");
+  std::printf("%-14s %12s %12s %12s %12s\n", "Program", "RLE", "+CopyProp",
+              "+PRE", "+Both");
+  for (const WorkloadInfo &W : allWorkloads()) {
+    if (W.Interactive)
+      continue; // the paper has no dynamic data for dom/postcard
+    AblationOutcome Plain = measure(W, false, false);
+    AblationOutcome CP = measure(W, true, false);
+    AblationOutcome PRE = measure(W, false, true);
+    AblationOutcome Both = measure(W, true, true);
+    if (CP.Checksum != Plain.Checksum || PRE.Checksum != Plain.Checksum ||
+        Both.Checksum != Plain.Checksum) {
+      std::fprintf(stderr, "%s: an ablation changed the checksum!\n",
+                   W.Name);
+      return 1;
+    }
+    std::printf("%-14s %12llu %12llu %12llu %12llu\n", W.Name,
+                static_cast<unsigned long long>(Plain.Redundant),
+                static_cast<unsigned long long>(CP.Redundant),
+                static_cast<unsigned long long>(PRE.Redundant),
+                static_cast<unsigned long long>(Both.Redundant));
+  }
+  std::printf("\nReading: the paper predicted PRE would \"catch\" the "
+              "Conditional category\nand copy propagation the Breakup "
+              "category; the deltas above quantify both\npredictions on "
+              "this suite.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+//===- bench_scaling.cpp - Section 2.5: O(n) analysis complexity ----------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Validates the Section 2.5 complexity claim with google-benchmark: the
+// cost of building TBAA (one linear pass merging type sets at pointer
+// assignments) scales linearly in program size, while the alias-pair
+// census -- a client -- is O(e^2) in the number of memory references.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AliasCensus.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "ir/Pipeline.h"
+#include "workloads/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tbaa;
+
+namespace {
+
+/// Compiles a generated program of the requested size once per size.
+const Compilation &compiled(unsigned Budget) {
+  static std::map<unsigned, Compilation> Cache;
+  auto It = Cache.find(Budget);
+  if (It == Cache.end()) {
+    GeneratorOptions Opts;
+    Opts.Seed = 42;
+    Opts.StatementBudget = Budget;
+    Opts.NumProcs = 1 + Budget / 60;
+    DiagnosticEngine Diags;
+    Compilation C = compileSource(generateProgram(Opts), Diags);
+    if (!C.ok()) {
+      std::fprintf(stderr, "generator produced a bad program:\n%s\n",
+                   Diags.str().c_str());
+      std::exit(1);
+    }
+    It = Cache.emplace(Budget, std::move(C)).first;
+  }
+  return It->second;
+}
+
+void BM_TBAAConstruction(benchmark::State &State) {
+  const Compilation &C = compiled(static_cast<unsigned>(State.range(0)));
+  size_t Instrs = 0;
+  for (const IRFunction &F : C.IR.Functions)
+    Instrs += F.instrCount();
+  for (auto _ : State) {
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    benchmark::DoNotOptimize(Ctx.mergeCount());
+  }
+  State.SetComplexityN(static_cast<int64_t>(Instrs));
+  State.counters["instrs"] = static_cast<double>(Instrs);
+}
+
+void BM_AliasQuery(benchmark::State &State) {
+  const Compilation &C = compiled(240);
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  // Gather two paths to query.
+  std::vector<MemPath> Paths;
+  for (const IRFunction &F : C.IR.Functions)
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.isMemAccess())
+          Paths.push_back(I.Path);
+  size_t I = 0;
+  for (auto _ : State) {
+    const MemPath &A = Paths[I % Paths.size()];
+    const MemPath &B = Paths[(I * 7 + 3) % Paths.size()];
+    benchmark::DoNotOptimize(Oracle->mayAlias(A, B));
+    ++I;
+  }
+}
+
+void BM_CensusQuadratic(benchmark::State &State) {
+  const Compilation &C = compiled(static_cast<unsigned>(State.range(0)));
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  uint64_t Refs = 0;
+  for (auto _ : State) {
+    CensusResult R = countAliasPairs(C.IR, *Oracle);
+    Refs = R.References;
+    benchmark::DoNotOptimize(R.GlobalPairs);
+  }
+  State.SetComplexityN(static_cast<int64_t>(Refs));
+}
+
+} // namespace
+
+BENCHMARK(BM_TBAAConstruction)
+    ->Arg(60)
+    ->Arg(120)
+    ->Arg(240)
+    ->Arg(480)
+    ->Arg(960)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_AliasQuery);
+BENCHMARK(BM_CensusQuadratic)
+    ->Arg(60)
+    ->Arg(120)
+    ->Arg(240)
+    ->Arg(480)
+    ->Complexity(benchmark::oNSquared);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+//===- fig10_classification.cpp - Figure 10: sources of redundancy --------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Regenerates Figure 10 ("Source of Redundant Loads after Optimizations"):
+// the remaining dynamic redundant loads after TBAA+RLE, classified as
+//
+//   Encapsulated  - implicit in the representation (dope vectors, method
+//                   descriptors); the paper's dominant category
+//   Conditional   - partially redundant (PRE would catch them)
+//   Breakup       - split access paths (missing copy propagation)
+//   AliasFailure  - a perfect alias oracle would still let RLE remove
+//                   them (the paper found none)
+//   Rest          - everything else
+//
+// Fractions are of the ORIGINAL program's heap references, matching the
+// figure's y axis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "limit/LimitAnalysis.h"
+
+using namespace tbaa;
+using namespace tbaa::bench;
+
+int main() {
+  std::printf("Figure 10: Source of Redundant Loads after Optimizations\n");
+  std::printf("(fraction of original heap references)\n\n");
+  std::printf("%-14s %8s %8s %8s %8s %8s %8s\n", "Program", "Encap",
+              "AliasF", "Cond", "Breakup", "Rest", "Total");
+  double TotalAlias = 0, TotalRedundant = 0;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    if (W.Interactive)
+      continue; // the paper has no dynamic data for dom/postcard
+    // Original heap-reference count for normalization.
+    RunOutcome Base = run(W, RunConfig{});
+    double OrigHeap = static_cast<double>(Base.Stats.HeapLoads);
+
+    // Optimized program with classification monitors.
+    RunConfig Config;
+    Config.ApplyRLE = true;
+    Config.Level = AliasLevel::SMFieldTypeRefs;
+    RunOutcome Opt;
+    Compilation C = prepare(W, Config, Opt);
+
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    auto TBAAOracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+    auto Perfect = makeAliasOracle(Ctx, AliasLevel::Perfect);
+    std::vector<uint32_t> Conditional =
+        findPartiallyRedundantLoads(C.IR, *TBAAOracle);
+    std::vector<uint32_t> AliasFail = findRemovableLoads(C.IR, *Perfect);
+
+    RedundantLoadMonitor Monitor;
+    Monitor.configureClassifier(Conditional, AliasFail);
+    execute(C, Opt, &Monitor);
+
+    const RedundancyBreakdown &B = Monitor.breakdown();
+    auto Frac = [&](uint64_t N) {
+      return static_cast<double>(N) / OrigHeap;
+    };
+    std::printf("%-14s %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f\n", W.Name,
+                Frac(B.Encapsulated), Frac(B.AliasFailure),
+                Frac(B.Conditional), Frac(B.Breakup), Frac(B.Rest),
+                Frac(B.total()));
+    TotalAlias += static_cast<double>(B.AliasFailure);
+    TotalRedundant += static_cast<double>(B.total());
+  }
+  std::printf("\nAlias failures across the suite: %.0f of %.0f remaining "
+              "redundant loads (%.1f%%)\n",
+              TotalAlias, TotalRedundant,
+              TotalRedundant ? 100.0 * TotalAlias / TotalRedundant : 0.0);
+  std::printf("Paper's shape: Encapsulation (dope vectors) dominates; "
+              "zero confirmed alias failures; a more precise analysis "
+              "could recover at most ~2.5%% more on average.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- fig9_limit.cpp - Figure 9: TBAA versus the upper bound -------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Regenerates Figure 9 ("Comparing TBAA to an Upper Bound"): the fraction
+// of the original program's heap references that are dynamically
+// redundant ("two consecutive loads of the same address load the same
+// value in the same procedure activation"), before and after TBAA+RLE.
+// Both fractions are relative to the ORIGINAL number of heap references,
+// as in the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "limit/LimitAnalysis.h"
+
+using namespace tbaa;
+using namespace tbaa::bench;
+
+int main() {
+  std::printf("Figure 9: Comparing TBAA to an Upper Bound\n");
+  std::printf("(fraction of original heap references that are redundant "
+              "loads)\n\n");
+  std::printf("%-14s %22s %22s %10s\n", "Program", "Redundant originally",
+              "Redundant after opts", "Removed");
+  for (const WorkloadInfo &W : allWorkloads()) {
+    if (W.Interactive)
+      continue; // the paper has no dynamic data for dom/postcard
+    RedundantLoadMonitor Before;
+    RunOutcome Base;
+    {
+      Compilation C = prepare(W, RunConfig{}, Base);
+      execute(C, Base, &Before);
+    }
+    RedundantLoadMonitor After;
+    RunConfig Config;
+    Config.ApplyRLE = true;
+    Config.Level = AliasLevel::SMFieldTypeRefs;
+    RunOutcome Opt;
+    {
+      Compilation C = prepare(W, Config, Opt);
+      execute(C, Opt, &After);
+    }
+    double OrigHeap = static_cast<double>(Before.heapLoads());
+    double FracBefore =
+        static_cast<double>(Before.redundantLoads()) / OrigHeap;
+    double FracAfter =
+        static_cast<double>(After.redundantLoads()) / OrigHeap;
+    double Removed =
+        Before.redundantLoads()
+            ? 100.0 *
+                  (1.0 - static_cast<double>(After.redundantLoads()) /
+                             static_cast<double>(Before.redundantLoads()))
+            : 0.0;
+    std::printf("%-14s %22.3f %22.3f %9.0f%%\n", W.Name, FracBefore,
+                FracAfter, Removed);
+  }
+  std::printf("\nPaper's shape: 0.05-0.56 originally; optimization removes"
+              " 37-87%% of redundant loads; most programs end below "
+              "0.05.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- table5_alias_pairs.cpp - Table 5: static alias pairs ---------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Regenerates Table 5 ("Alias Pairs"): for each benchmark, the number of
+// heap memory references and the local (same-procedure) and global
+// (program-wide) may-alias pairs under TypeDecl, FieldTypeDecl and
+// SMFieldTypeRefs. The paper's headline: TypeDecl is very imprecise;
+// FieldTypeDecl removes most pairs; SMFieldTypeRefs adds a little on a
+// couple of programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace tbaa;
+using namespace tbaa::bench;
+
+int main() {
+  std::printf("Table 5: Alias Pairs\n\n");
+  std::printf("%-14s %6s | %9s %9s | %9s %9s | %9s %9s\n", "", "",
+              "TypeDecl", "", "FieldTD", "", "SMFieldTR", "");
+  std::printf("%-14s %6s | %9s %9s | %9s %9s | %9s %9s\n", "Program",
+              "Refs", "L Alias", "G Alias", "L Alias", "G Alias",
+              "L Alias", "G Alias");
+
+  double AvgLocal[3] = {0, 0, 0}, AvgGlobal[3] = {0, 0, 0};
+  unsigned N = 0;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    DiagnosticEngine Diags;
+    Compilation C = compileSource(W.Source, Diags);
+    if (!C.ok()) {
+      std::fprintf(stderr, "%s failed to compile\n", W.Name);
+      return 1;
+    }
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    const AliasLevel Levels[3] = {AliasLevel::TypeDecl,
+                                  AliasLevel::FieldTypeDecl,
+                                  AliasLevel::SMFieldTypeRefs};
+    CensusResult R[3];
+    for (int L = 0; L != 3; ++L) {
+      auto Oracle = makeAliasOracle(Ctx, Levels[L]);
+      R[L] = countAliasPairs(C.IR, *Oracle);
+      AvgLocal[L] += R[L].localPerReference();
+      AvgGlobal[L] += R[L].globalPerReference();
+    }
+    ++N;
+    std::printf("%-14s %6llu | %9llu %9llu | %9llu %9llu | %9llu %9llu\n",
+                W.Name, static_cast<unsigned long long>(R[0].References),
+                static_cast<unsigned long long>(R[0].LocalPairs),
+                static_cast<unsigned long long>(R[0].GlobalPairs),
+                static_cast<unsigned long long>(R[1].LocalPairs),
+                static_cast<unsigned long long>(R[1].GlobalPairs),
+                static_cast<unsigned long long>(R[2].LocalPairs),
+                static_cast<unsigned long long>(R[2].GlobalPairs));
+  }
+  std::printf("\nAverage other references each heap reference may alias "
+              "(2*pairs/refs):\n");
+  std::printf("  local : TypeDecl %.1f, FieldTypeDecl %.1f, "
+              "SMFieldTypeRefs %.1f\n",
+              AvgLocal[0] / N, AvgLocal[1] / N, AvgLocal[2] / N);
+  std::printf("  global: TypeDecl %.1f, FieldTypeDecl %.1f, "
+              "SMFieldTypeRefs %.1f\n",
+              AvgGlobal[0] / N, AvgGlobal[1] / N, AvgGlobal[2] / N);
+  std::printf("\nPaper's shape: local 4.7 / 3.4 / 3.4, global 54.1 / 12.7 "
+              "/ 12.7 per reference; interprocedural aliasing far worse "
+              "than intraprocedural.\n");
+  return 0;
+}

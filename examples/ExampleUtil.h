@@ -1,0 +1,51 @@
+//===- ExampleUtil.h - Shared helpers for the example programs --*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_EXAMPLES_EXAMPLEUTIL_H
+#define TBAA_EXAMPLES_EXAMPLEUTIL_H
+
+#include "ir/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace tbaa::examples {
+
+/// Loads M3L source from a benchmark name ("slisp") or a file path.
+inline std::string loadSource(const std::string &NameOrPath) {
+  if (const WorkloadInfo *W = findWorkload(NameOrPath))
+    return W->Source;
+  std::ifstream In(NameOrPath);
+  if (In) {
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    return SS.str();
+  }
+  std::fprintf(stderr,
+               "unknown workload or unreadable file '%s'; known workloads:",
+               NameOrPath.c_str());
+  for (const WorkloadInfo &W : allWorkloads())
+    std::fprintf(stderr, " %s", W.Name);
+  std::fprintf(stderr, "\n");
+  return {};
+}
+
+inline Compilation compileOrExit(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(Source, Diags);
+  if (!C.ok()) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+    std::exit(1);
+  }
+  return C;
+}
+
+} // namespace tbaa::examples
+
+#endif // TBAA_EXAMPLES_EXAMPLEUTIL_H

@@ -1,0 +1,81 @@
+//===- alias_explorer.cpp - Inspect a program's alias structure -----------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Compiles an M3L program (a bundled benchmark by name, or a .m3l file)
+// and reports its static alias structure under the three analyses: the
+// Table 5 census, the per-procedure breakdown, and sample may-alias pairs
+// that FieldTypeDecl admits but SMFieldTypeRefs refutes.
+//
+// Usage:   alias_explorer [workload-or-file]     (default: slisp)
+//
+//===----------------------------------------------------------------------===//
+
+#include "ExampleUtil.h"
+#include "core/AliasCensus.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace tbaa;
+using namespace tbaa::examples;
+
+int main(int argc, char **argv) {
+  std::string Source = loadSource(argc > 1 ? argv[1] : "slisp");
+  if (Source.empty())
+    return 1;
+  Compilation C = compileOrExit(Source);
+
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto TD = makeAliasOracle(Ctx, AliasLevel::TypeDecl);
+  auto FTD = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+  auto SMF = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+
+  std::printf("Alias census (Table 5 metric)\n");
+  std::printf("%-18s %10s %10s\n", "analysis", "local", "global");
+  for (const auto *Oracle : {TD.get(), FTD.get(), SMF.get()}) {
+    CensusResult R = countAliasPairs(C.IR, *Oracle);
+    std::printf("%-18s %10llu %10llu   (%llu references)\n", Oracle->name(),
+                static_cast<unsigned long long>(R.LocalPairs),
+                static_cast<unsigned long long>(R.GlobalPairs),
+                static_cast<unsigned long long>(R.References));
+  }
+
+  // Show a few pairs the merge step disambiguates.
+  std::printf("\nPairs admitted by FieldTypeDecl but refuted by "
+              "SMFieldTypeRefs:\n");
+  struct Ref {
+    const IRFunction *F;
+    MemPath Path;
+  };
+  std::vector<Ref> Refs;
+  for (const IRFunction &F : C.IR.Functions)
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.isMemAccess())
+          Refs.push_back({&F, I.Path});
+  unsigned Shown = 0;
+  for (size_t I = 0; I != Refs.size() && Shown < 8; ++I) {
+    for (size_t J = I + 1; J != Refs.size() && Shown < 8; ++J) {
+      AbsLoc A = AbsLoc::fromPath(Refs[I].Path);
+      AbsLoc B = AbsLoc::fromPath(Refs[J].Path);
+      if (FTD->mayAliasAbs(A, B) && !SMF->mayAliasAbs(A, B)) {
+        std::printf("  %s:%s  ~/~  %s:%s\n", Refs[I].F->Name.c_str(),
+                    pathToString(*Refs[I].F, C.IR, Refs[I].Path).c_str(),
+                    Refs[J].F->Name.c_str(),
+                    pathToString(*Refs[J].F, C.IR, Refs[J].Path).c_str());
+        ++Shown;
+      }
+    }
+  }
+  if (Shown == 0)
+    std::printf("  (none: every subtype of this program is assigned into "
+                "its supertype,\n   so selective merging coincides with "
+                "FieldTypeDecl -- the paper's usual case)\n");
+
+  std::printf("\nType merge count (Step 2 of Figure 2): %u\n",
+              Ctx.mergeCount());
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- limit_study.cpp - The Section 3.5 methodology on one program -------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Runs the ATOM-style limit analysis on a program before and after
+// TBAA+RLE: every executed heap load is recorded with its address and
+// value; a load is redundant when the previous load of that address
+// produced the same value in the same activation. Remaining redundancy is
+// classified into the paper's Figure 10 categories.
+//
+// Usage:   limit_study [workload-or-file]        (default: k-tree)
+//
+//===----------------------------------------------------------------------===//
+
+#include "ExampleUtil.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "exec/VM.h"
+#include "limit/LimitAnalysis.h"
+#include "opt/RLE.h"
+
+#include <cstdio>
+
+using namespace tbaa;
+using namespace tbaa::examples;
+
+namespace {
+
+void runWith(Compilation &C, RedundantLoadMonitor &Monitor) {
+  VM Machine(C.IR);
+  Machine.setOpLimit(2'000'000'000);
+  Machine.addMonitor(&Monitor);
+  if (!Machine.runInit() || !Machine.callFunction("Main")) {
+    std::fprintf(stderr, "run trapped: %s\n",
+                 Machine.trapMessage().c_str());
+    std::exit(1);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "k-tree";
+  std::string Source = loadSource(Name);
+  if (Source.empty())
+    return 1;
+
+  // Original program.
+  Compilation Base = compileOrExit(Source);
+  RedundantLoadMonitor Before;
+  runWith(Base, Before);
+
+  // TBAA + RLE, with the classifier configured from static analyses of
+  // the optimized IR (partial redundancy under TBAA; residue a perfect
+  // oracle could still remove).
+  Compilation Opt = compileOrExit(Source);
+  TBAAContext Ctx(Opt.ast(), Opt.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  RLEStats RS = runRLE(Opt.IR, *Oracle);
+  auto Perfect = makeAliasOracle(Ctx, AliasLevel::Perfect);
+  RedundantLoadMonitor After;
+  After.configureClassifier(findPartiallyRedundantLoads(Opt.IR, *Oracle),
+                            findRemovableLoads(Opt.IR, *Perfect));
+  runWith(Opt, After);
+
+  std::printf("program: %s\n", Name.c_str());
+  std::printf("RLE removed %u loads statically (%u hoisted, %u "
+              "replaced)\n\n",
+              RS.total(), RS.Hoisted, RS.Replaced);
+  std::printf("dynamic heap loads:      %12llu -> %llu\n",
+              static_cast<unsigned long long>(Before.heapLoads()),
+              static_cast<unsigned long long>(After.heapLoads()));
+  std::printf("dynamic redundant loads: %12llu -> %llu  (%.1f%% "
+              "eliminated)\n\n",
+              static_cast<unsigned long long>(Before.redundantLoads()),
+              static_cast<unsigned long long>(After.redundantLoads()),
+              Before.redundantLoads()
+                  ? 100.0 * (1.0 - static_cast<double>(
+                                       After.redundantLoads()) /
+                                       static_cast<double>(
+                                           Before.redundantLoads()))
+                  : 0.0);
+  const RedundancyBreakdown &B = After.breakdown();
+  std::printf("classification of what remains (Figure 10):\n");
+  auto Row = [&](const char *Label, uint64_t N) {
+    std::printf("  %-14s %12llu  (%.2f%% of remaining)\n", Label,
+                static_cast<unsigned long long>(N),
+                B.total() ? 100.0 * static_cast<double>(N) /
+                                static_cast<double>(B.total())
+                          : 0.0);
+  };
+  Row("Encapsulated", B.Encapsulated);
+  Row("AliasFailure", B.AliasFailure);
+  Row("Conditional", B.Conditional);
+  Row("Breakup", B.Breakup);
+  Row("Rest", B.Rest);
+  std::printf("\nThe paper's reading: Encapsulated loads are dope-vector "
+              "accesses implicit\nin the representation; AliasFailure is "
+              "what a better alias analysis could\nrecover -- they found "
+              "none, and very few appear here.\n");
+  return 0;
+}

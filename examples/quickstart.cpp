@@ -1,0 +1,101 @@
+//===- quickstart.cpp - The paper's worked example, end to end ------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Walks the Section 2 examples with the public API: compile an M3L
+// program, build the TBAA facts, print the TypeRefsTable of Figure 3 /
+// Table 3, and answer may-alias queries under all three analyses.
+//
+// Build and run:   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "ir/Pipeline.h"
+
+#include <cstdio>
+
+using namespace tbaa;
+
+int main() {
+  // The paper's Figure 1 type hierarchy and Figure 3 assignments.
+  const char *Source = R"(
+MODULE Example;
+TYPE
+  T  = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+  S2 = T OBJECT b: INTEGER; END;
+  S3 = T OBJECT c: INTEGER; END;
+VAR
+  s1: S1 := NEW(S1);
+  s2: S2 := NEW(S2);
+  s3: S3 := NEW(S3);
+  t: T;
+BEGIN
+  t := s1; (* Statement 1 *)
+  t := s2; (* Statement 2 *)
+END Example.
+)";
+
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(Source, Diags);
+  if (!C.ok()) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  const TypeTable &Types = C.types();
+
+  // Build the shared TBAA facts (closed world).
+  TBAAContext Ctx(C.ast(), Types, {});
+
+  std::printf("== Subtypes (Section 2.2) ==\n");
+  for (const char *Name : {"T", "S1", "S2", "S3"}) {
+    TypeId Id = Types.lookupNamed(Name);
+    std::printf("  Subtypes(%s) = {", Name);
+    bool First = true;
+    for (TypeId S : Types.subtypes(Id)) {
+      std::printf("%s%s", First ? "" : ", ", Types.typeName(S).c_str());
+      First = false;
+    }
+    std::printf("}\n");
+  }
+
+  std::printf("\n== TypeDecl compatibility (Figure 1) ==\n");
+  auto Compat = [&](const char *A, const char *B) {
+    bool R = Ctx.typeDeclCompat(Types.lookupNamed(A), Types.lookupNamed(B));
+    std::printf("  TypeDecl: %s ~ %s ? %s\n", A, B, R ? "may-alias"
+                                                      : "no-alias");
+  };
+  Compat("T", "S1");
+  Compat("T", "S2");
+  Compat("S1", "S2"); // incompatible siblings
+
+  std::printf("\n== TypeRefsTable after selective merging (Table 3) ==\n");
+  for (const char *Name : {"T", "S1", "S2", "S3"}) {
+    TypeId Id = Types.lookupNamed(Name);
+    std::printf("  TypeRefsTable(%s) = {", Name);
+    bool First = true;
+    for (TypeId S : Ctx.typeRefs(Id)) {
+      std::printf("%s%s", First ? "" : ", ", Types.typeName(S).c_str());
+      First = false;
+    }
+    std::printf("}\n");
+  }
+
+  std::printf("\n== SMTypeRefs queries ==\n");
+  auto SMCompat = [&](const char *A, const char *B) {
+    bool R = Ctx.typeRefsCompat(Types.lookupNamed(A), Types.lookupNamed(B));
+    std::printf("  SMTypeRefs: %s ~ %s ? %s\n", A, B,
+                R ? "may-alias" : "no-alias");
+  };
+  SMCompat("T", "S1"); // merged by statement 1
+  SMCompat("T", "S2"); // merged by statement 2
+  SMCompat("T", "S3"); // never assigned: TypeDecl says yes, SMTypeRefs no
+  SMCompat("S1", "S2");
+
+  std::printf("\nNote how an AP of type T may reference S1 and S2 but not "
+              "S3,\nwhile TypeDecl had to assume all three -- the paper's "
+              "asymmetry\nfrom Step 3 of Figure 2.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- CallGraph.cpp ------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tbaa;
+
+CallGraph::CallGraph(const IRModule &M, const TypeTable &Types)
+    : M(M), Types(Types) {
+  Callees.resize(M.Functions.size());
+  for (const IRFunction &F : M.Functions) {
+    std::vector<FuncId> &Out = Callees[F.Id];
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs) {
+        if (I.Op == Opcode::Call) {
+          Out.push_back(I.Callee);
+        } else if (I.Op == Opcode::CallMethod) {
+          std::vector<FuncId> Targets =
+              methodTargets(I.ReceiverType, I.MethodSlot);
+          Out.insert(Out.end(), Targets.begin(), Targets.end());
+        }
+      }
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+
+  // Transitive reachability per node (small graphs; simple DFS each).
+  Recursive.assign(M.Functions.size(), false);
+  for (FuncId F = 0; F != M.Functions.size(); ++F) {
+    std::vector<bool> Seen(M.Functions.size(), false);
+    std::vector<FuncId> Work = Callees[F];
+    while (!Work.empty()) {
+      FuncId C = Work.back();
+      Work.pop_back();
+      if (C == F) {
+        Recursive[F] = true;
+        break;
+      }
+      if (Seen[C])
+        continue;
+      Seen[C] = true;
+      Work.insert(Work.end(), Callees[C].begin(), Callees[C].end());
+    }
+  }
+}
+
+std::vector<FuncId> CallGraph::methodTargets(TypeId ReceiverType,
+                                             uint32_t Slot) const {
+  std::vector<FuncId> Targets;
+  for (TypeId S : Types.subtypes(ReceiverType)) {
+    const Type &T = Types.get(S);
+    if (T.Kind != TypeKind::Object || Slot >= T.DispatchTable.size())
+      continue;
+    ProcId Impl = T.DispatchTable[Slot];
+    if (Impl != InvalidProcId)
+      Targets.push_back(Impl);
+  }
+  std::sort(Targets.begin(), Targets.end());
+  Targets.erase(std::unique(Targets.begin(), Targets.end()), Targets.end());
+  return Targets;
+}
+
+std::vector<FuncId> CallGraph::calleesOf(const Instr &Call) const {
+  if (Call.Op == Opcode::Call)
+    return {Call.Callee};
+  assert(Call.Op == Opcode::CallMethod && "not a call site");
+  return methodTargets(Call.ReceiverType, Call.MethodSlot);
+}

@@ -1,0 +1,56 @@
+//===- CallGraph.h - Whole-program call graph -------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph over the IR. Method calls edge to every implementation a
+/// compatible dynamic receiver could dispatch to (class-hierarchy
+/// resolution over Subtypes of the static receiver type). Used by the
+/// mod-ref analysis (Section 3.4.1: "RLE is preceded by a mod-ref
+/// analysis which summarizes the access paths that are referenced and
+/// modified by each call") and by method resolution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_ANALYSIS_CALLGRAPH_H
+#define TBAA_ANALYSIS_CALLGRAPH_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace tbaa {
+
+class CallGraph {
+public:
+  CallGraph(const IRModule &M, const TypeTable &Types);
+
+  /// Every procedure a method call with this static receiver type and
+  /// slot may dispatch to (deduplicated, unimplemented slots skipped).
+  std::vector<FuncId> methodTargets(TypeId ReceiverType,
+                                    uint32_t Slot) const;
+
+  /// All possible callees of one call site.
+  std::vector<FuncId> calleesOf(const Instr &Call) const;
+
+  /// Union of callees over all call sites in \p F.
+  const std::vector<FuncId> &callees(FuncId F) const {
+    return Callees[F];
+  }
+
+  /// Whether \p F can (transitively) reach itself -- used to refuse
+  /// inlining recursive procedures.
+  bool isRecursive(FuncId F) const { return Recursive[F]; }
+
+private:
+  const IRModule &M;
+  const TypeTable &Types;
+  std::vector<std::vector<FuncId>> Callees;
+  std::vector<bool> Recursive;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,122 @@
+//===- ModRef.cpp ---------------------------------------------------------===//
+
+#include "analysis/ModRef.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tbaa;
+
+void ModRefAnalysis::addMod(ModSummary &S, const AbsLoc &L) {
+  if (std::find(S.Mods.begin(), S.Mods.end(), L) == S.Mods.end())
+    S.Mods.push_back(L);
+}
+
+void ModRefAnalysis::addRef(ModSummary &S, const AbsLoc &L) {
+  if (std::find(S.Refs.begin(), S.Refs.end(), L) == S.Refs.end())
+    S.Refs.push_back(L);
+}
+
+ModRefAnalysis::ModRefAnalysis(const IRModule &M, const CallGraph &CG)
+    : M(M) {
+  size_t N = M.Functions.size();
+  Summaries.resize(N);
+  for (ModSummary &S : Summaries)
+    S.GlobalsMod = DynBitset(M.Globals.size());
+
+  // Direct effects.
+  for (const IRFunction &F : M.Functions) {
+    ModSummary &S = Summaries[F.Id];
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs) {
+        switch (I.Op) {
+        case Opcode::StoreMem:
+          addMod(S, AbsLoc::fromPath(I.Path));
+          break;
+        case Opcode::LoadMem:
+          addRef(S, AbsLoc::fromPath(I.Path));
+          break;
+        case Opcode::StoreVar:
+          if (I.Var.K == VarRef::Kind::Global)
+            S.GlobalsMod.set(I.Var.Index);
+          break;
+        default:
+          break;
+        }
+      }
+  }
+
+  // Transitive closure over the call graph (fixpoint; handles recursion).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (FuncId F = 0; F != N; ++F) {
+      ModSummary &S = Summaries[F];
+      for (FuncId C : CG.callees(F)) {
+        const ModSummary &CS = Summaries[C];
+        size_t ModsBefore = S.Mods.size(), RefsBefore = S.Refs.size();
+        for (const AbsLoc &L : CS.Mods)
+          addMod(S, L);
+        for (const AbsLoc &L : CS.Refs)
+          addRef(S, L);
+        size_t GlobBefore = S.GlobalsMod.count();
+        S.GlobalsMod |= CS.GlobalsMod;
+        if (S.Mods.size() != ModsBefore || S.Refs.size() != RefsBefore ||
+            S.GlobalsMod.count() != GlobBefore)
+          Changed = true;
+      }
+    }
+  }
+}
+
+/// The abstract location "variable V viewed through an escaped address":
+/// a Deref of the variable's type.
+static AbsLoc varAsDerefTarget(const IRModule &M, const IRFunction &F,
+                               VarRef V) {
+  AbsLoc L;
+  L.Sel = SelKind::Deref;
+  L.BaseType = M.varInfo(F, V).Type;
+  L.ValueType = L.BaseType;
+  return L;
+}
+
+bool ModRefAnalysis::callMayWriteVar(const IRFunction &Caller,
+                                     const Instr &CallSite, VarRef V,
+                                     const AliasOracle &Oracle,
+                                     const CallGraph &CG) const {
+  const IRVar &Info = M.varInfo(Caller, V);
+  for (FuncId Target : CG.calleesOf(CallSite)) {
+    const ModSummary &S = Summaries[Target];
+    if (V.K == VarRef::Kind::Global && S.GlobalsMod.test(V.Index))
+      return true;
+    if (!Info.AddressTaken)
+      continue;
+    AbsLoc VarLoc = varAsDerefTarget(M, Caller, V);
+    for (const AbsLoc &L : S.Mods)
+      if (L.Sel == SelKind::Deref && Oracle.mayAliasAbs(L, VarLoc))
+        return true;
+  }
+  return false;
+}
+
+bool ModRefAnalysis::callMayKillPath(const IRFunction &Caller,
+                                     const Instr &CallSite, const MemPath &P,
+                                     const AliasOracle &Oracle,
+                                     const CallGraph &CG) const {
+  AbsLoc PathLoc = AbsLoc::fromPath(P);
+  for (FuncId Target : CG.calleesOf(CallSite)) {
+    const ModSummary &S = Summaries[Target];
+    // The callee may overwrite the named heap location itself.
+    for (const AbsLoc &L : S.Mods)
+      if (Oracle.mayAliasAbs(L, PathLoc))
+        return true;
+  }
+  // The callee may redirect the path by writing its root or index
+  // variable (globals directly, locals through escaped addresses).
+  if (callMayWriteVar(Caller, CallSite, P.Root, Oracle, CG))
+    return true;
+  if (P.Sel == SelKind::Index && P.Index.K == Operand::Kind::Var &&
+      callMayWriteVar(Caller, CallSite, P.Index.Var, Oracle, CG))
+    return true;
+  return false;
+}

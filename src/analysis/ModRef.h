@@ -1,0 +1,72 @@
+//===- ModRef.h - Interprocedural mod/ref summaries -------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.4.1: "To enable RLE across calls, RLE is preceded by a
+/// mod-ref analysis which summarizes the access paths that are referenced
+/// and modified by each call." Summaries are sets of root-abstracted
+/// access paths (AbsLoc) plus the set of globals written, closed
+/// transitively over the call graph.
+///
+/// The kill test is oracle-parameterized: whether a callee's store to
+/// some abstract location can invalidate an available access path is an
+/// alias question, so each TBAA variant induces its own mod-ref
+/// precision, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_ANALYSIS_MODREF_H
+#define TBAA_ANALYSIS_MODREF_H
+
+#include "analysis/CallGraph.h"
+#include "core/AliasOracle.h"
+#include "support/DynBitset.h"
+
+#include <vector>
+
+namespace tbaa {
+
+/// What one procedure (including everything it may call) can modify.
+struct ModSummary {
+  /// Heap and through-address stores, root-abstracted.
+  std::vector<AbsLoc> Mods;
+  /// Globals written directly (StoreVar to a global).
+  DynBitset GlobalsMod;
+  /// Heap and through-address loads (for completeness/clients that need
+  /// ref information).
+  std::vector<AbsLoc> Refs;
+};
+
+class ModRefAnalysis {
+public:
+  ModRefAnalysis(const IRModule &M, const CallGraph &CG);
+
+  const ModSummary &summary(FuncId F) const { return Summaries[F]; }
+
+  /// May executing \p CallSite invalidate the value named by \p P (a path
+  /// in the caller)? Checks heap overlap via \p Oracle, global-root
+  /// writes, and root/index variable mutation through escaped addresses.
+  bool callMayKillPath(const IRFunction &Caller, const Instr &CallSite,
+                       const MemPath &P, const AliasOracle &Oracle,
+                       const CallGraph &CG) const;
+
+  /// May the callee set write through some address that aliases variable
+  /// \p V of the caller (only possible when V's address was taken)?
+  bool callMayWriteVar(const IRFunction &Caller, const Instr &CallSite,
+                       VarRef V, const AliasOracle &Oracle,
+                       const CallGraph &CG) const;
+
+private:
+  void addMod(ModSummary &S, const AbsLoc &L);
+  void addRef(ModSummary &S, const AbsLoc &L);
+
+  const IRModule &M;
+  std::vector<ModSummary> Summaries;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_ANALYSIS_MODREF_H

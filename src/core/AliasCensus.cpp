@@ -1,0 +1,38 @@
+//===- AliasCensus.cpp ----------------------------------------------------===//
+
+#include "core/AliasCensus.h"
+
+using namespace tbaa;
+
+CensusResult tbaa::countAliasPairs(const IRModule &M,
+                                   const AliasOracle &Oracle) {
+  struct Ref {
+    FuncId Func;
+    MemPath Path;
+    AbsLoc Abs;
+  };
+  std::vector<Ref> Refs;
+  for (const IRFunction &F : M.Functions)
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs) {
+        if (!I.isMemAccess())
+          continue;
+        Refs.push_back({F.Id, I.Path, AbsLoc::fromPath(I.Path)});
+      }
+
+  CensusResult R;
+  R.References = Refs.size();
+  for (size_t I = 0; I != Refs.size(); ++I) {
+    for (size_t J = I + 1; J != Refs.size(); ++J) {
+      if (Refs[I].Func == Refs[J].Func) {
+        if (Oracle.mayAlias(Refs[I].Path, Refs[J].Path)) {
+          ++R.LocalPairs;
+          ++R.GlobalPairs;
+        }
+      } else if (Oracle.mayAliasAbs(Refs[I].Abs, Refs[J].Abs)) {
+        ++R.GlobalPairs;
+      }
+    }
+  }
+  return R;
+}

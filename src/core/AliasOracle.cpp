@@ -1,0 +1,150 @@
+//===- AliasOracle.cpp ----------------------------------------------------===//
+
+#include "core/AliasOracle.h"
+
+#include <cassert>
+
+using namespace tbaa;
+
+AliasOracle::~AliasOracle() = default;
+
+const char *tbaa::aliasLevelName(AliasLevel Level) {
+  switch (Level) {
+  case AliasLevel::TypeDecl:
+    return "TypeDecl";
+  case AliasLevel::FieldTypeDecl:
+    return "FieldTypeDecl";
+  case AliasLevel::SMTypeRefs:
+    return "SMTypeRefs";
+  case AliasLevel::SMFieldTypeRefs:
+    return "SMFieldTypeRefs";
+  case AliasLevel::Perfect:
+    return "Perfect";
+  }
+  return "?";
+}
+
+namespace {
+
+/// TypeDecl / FieldTypeDecl / SMTypeRefs / SMFieldTypeRefs.
+class TBAAOracle : public AliasOracle {
+public:
+  TBAAOracle(const TBAAContext &Ctx, AliasLevel Level)
+      : Ctx(Ctx), Level(Level) {
+    assert(Level != AliasLevel::Perfect && "use PerfectOracle");
+  }
+
+  bool mayAlias(const MemPath &A, const MemPath &B) const override {
+    if (A == B)
+      return true; // Case 1 of Table 2: identical APs always alias.
+    return mayAliasAbs(AbsLoc::fromPath(A), AbsLoc::fromPath(B));
+  }
+
+  bool mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const override {
+    bool UseFields = Level == AliasLevel::FieldTypeDecl ||
+                     Level == AliasLevel::SMFieldTypeRefs;
+    if (!UseFields) {
+      // TypeDecl (Section 2.2): only the declared type of the whole AP
+      // matters -- two references may alias iff a location of one type
+      // may be a location of the other.
+      return compat(A.ValueType, B.ValueType);
+    }
+    return fieldCases(A, B);
+  }
+
+  AliasLevel level() const override { return Level; }
+
+private:
+  bool useTypeRefs() const {
+    return Level == AliasLevel::SMTypeRefs ||
+           Level == AliasLevel::SMFieldTypeRefs;
+  }
+  bool compat(TypeId X, TypeId Y) const {
+    return useTypeRefs() ? Ctx.typeRefsCompat(X, Y)
+                         : Ctx.typeDeclCompat(X, Y);
+  }
+
+  /// Table 2, symmetric dispatch on the selector kinds.
+  bool fieldCases(const AbsLoc &A, const AbsLoc &B) const {
+    // Normalize so Sel order is Field <= Deref <= Index <= Len.
+    if (static_cast<int>(A.Sel) > static_cast<int>(B.Sel))
+      return fieldCases(B, A);
+
+    switch (A.Sel) {
+    case SelKind::Field:
+      switch (B.Sel) {
+      case SelKind::Field:
+        // Case 2: p.f and q.g alias iff f = g and p, q may reference the
+        // same object (TypeDecl on the bases).
+        return A.Field == B.Field && compat(A.BaseType, B.BaseType);
+      case SelKind::Deref:
+        // Case 3: a dereference reaches a field only if some compatible
+        // field address was taken and the types agree.
+        return Ctx.addressTakenField(A.Field, A.BaseType, A.ValueType,
+                                     useTypeRefs()) &&
+               compat(A.ValueType, B.ValueType);
+      case SelKind::Index:
+        return false; // Case 5: qualify never aliases subscript.
+      case SelKind::Len:
+        return false; // The dope word is not a source-visible field.
+      }
+      return false;
+    case SelKind::Deref:
+      switch (B.Sel) {
+      case SelKind::Deref:
+        // Case 7 via TypeDecl: both are arbitrary locations of their
+        // target types.
+        return compat(A.ValueType, B.ValueType);
+      case SelKind::Index:
+        // Case 4: mirror of case 3 for array elements.
+        return Ctx.addressTakenElem(B.BaseType, B.ValueType, useTypeRefs()) &&
+               compat(A.ValueType, B.ValueType);
+      case SelKind::Len:
+        return false; // Cannot take the address of NUMBER(a).
+      default:
+        return false;
+      }
+    case SelKind::Index:
+      switch (B.Sel) {
+      case SelKind::Index:
+        // Case 6: two subscripts alias iff the arrays may be the same
+        // (subscript values are ignored).
+        return compat(A.BaseType, B.BaseType);
+      case SelKind::Len:
+        return false; // Elements never overlap the dope word.
+      default:
+        return false;
+      }
+    case SelKind::Len:
+      // Two dope reads alias iff the arrays may be the same.
+      return B.Sel == SelKind::Len && compat(A.BaseType, B.BaseType);
+    }
+    return false;
+  }
+
+  const TBAAContext &Ctx;
+  AliasLevel Level;
+};
+
+/// Lexical identity: the optimistic bound of Section 3.5. Never used to
+/// transform code that then runs; only to bound what RLE could gain from
+/// a more precise analysis.
+class PerfectOracle : public AliasOracle {
+public:
+  bool mayAlias(const MemPath &A, const MemPath &B) const override {
+    return A == B;
+  }
+  bool mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const override {
+    return A == B;
+  }
+  AliasLevel level() const override { return AliasLevel::Perfect; }
+};
+
+} // namespace
+
+std::unique_ptr<AliasOracle> tbaa::makeAliasOracle(const TBAAContext &Ctx,
+                                                   AliasLevel Level) {
+  if (Level == AliasLevel::Perfect)
+    return std::make_unique<PerfectOracle>();
+  return std::make_unique<TBAAOracle>(Ctx, Level);
+}

@@ -1,0 +1,90 @@
+//===- AliasOracle.h - The three TBAA alias relations -----------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The may-alias query interface every client (alias-pair census, mod-ref,
+/// redundant load elimination, method resolution) is written against, and
+/// its implementations:
+///
+///  * TypeDecl (Section 2.2): two APs may alias iff their declared types
+///    are subtype-compatible.
+///  * FieldTypeDecl (Section 2.3, Table 2): the seven-case analysis over
+///    Qualify/Dereference/Subscript with AddressTaken.
+///  * SMTypeRefs / SMFieldTypeRefs (Section 2.4, Figure 2): the previous
+///    two with TypeRefsTable compatibility from selective type merging.
+///  * Perfect: lexical identity only -- the optimistic oracle used to
+///    bound what any alias analysis could give RLE (Section 3.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_CORE_ALIASORACLE_H
+#define TBAA_CORE_ALIASORACLE_H
+
+#include "core/TBAAContext.h"
+#include "ir/IR.h"
+
+#include <memory>
+
+namespace tbaa {
+
+/// Which analysis answers queries.
+enum class AliasLevel : uint8_t {
+  TypeDecl,
+  FieldTypeDecl,
+  SMTypeRefs,
+  SMFieldTypeRefs,
+  Perfect,
+};
+
+const char *aliasLevelName(AliasLevel Level);
+
+/// An access path with its root abstracted away: what interprocedural
+/// clients (mod-ref kill sets, the global alias census) compare.
+struct AbsLoc {
+  SelKind Sel = SelKind::Field;
+  FieldId Field = InvalidFieldId;
+  TypeId BaseType = InvalidTypeId;  ///< Deref: the target type.
+  TypeId ValueType = InvalidTypeId;
+
+  static AbsLoc fromPath(const MemPath &P) {
+    AbsLoc L;
+    L.Sel = P.Sel;
+    L.Field = P.Field;
+    L.BaseType = P.BaseType;
+    L.ValueType = P.ValueType;
+    return L;
+  }
+  friend bool operator==(const AbsLoc &A, const AbsLoc &B) {
+    return A.Sel == B.Sel && A.Field == B.Field && A.BaseType == B.BaseType &&
+           A.ValueType == B.ValueType;
+  }
+};
+
+/// May-alias oracle. Implementations must be conservative: answering
+/// false promises the two references never touch the same location.
+class AliasOracle {
+public:
+  virtual ~AliasOracle();
+
+  /// May two lexical access paths (same procedure) overlap?
+  virtual bool mayAlias(const MemPath &A, const MemPath &B) const = 0;
+
+  /// May two root-abstracted locations (possibly in different procedures)
+  /// overlap? Used for mod-ref kills and the interprocedural census.
+  virtual bool mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const = 0;
+
+  virtual AliasLevel level() const = 0;
+  const char *name() const { return aliasLevelName(level()); }
+};
+
+/// Builds an oracle of the given level over shared TBAA facts. The
+/// Perfect level ignores \p Ctx (pass any context).
+std::unique_ptr<AliasOracle> makeAliasOracle(const TBAAContext &Ctx,
+                                             AliasLevel Level);
+
+} // namespace tbaa
+
+#endif // TBAA_CORE_ALIASORACLE_H

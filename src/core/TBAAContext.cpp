@@ -1,0 +1,385 @@
+//===- TBAAContext.cpp ----------------------------------------------------===//
+
+#include "core/TBAAContext.h"
+
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tbaa;
+
+TBAAContext::TBAAContext(const ModuleAST &M, const TypeTable &Types,
+                         TBAAOptions Opts)
+    : Types(Types), Opts(Opts), NumTypes(Types.size()) {
+  assert(Types.isFinalized() && "TBAA requires a finalized type table");
+
+  // --- Subtypes(T) bitsets over canonical ids ---
+  SubtypeBits.assign(NumTypes, DynBitset(NumTypes));
+  for (TypeId Id = 0; Id != NumTypes; ++Id) {
+    if (Types.canonical(Id) != Id)
+      continue;
+    for (TypeId S : Types.subtypes(Id))
+      SubtypeBits[Id].set(Types.canonical(S));
+  }
+
+  // --- Step 1 of Figure 2: every type alone in its group ---
+  UnionFind Groups(NumTypes);
+  UF = &Groups;
+
+  // --- Step 2: one linear pass over the program, merging at pointer
+  // assignments (explicit and implicit) ---
+  for (const auto &[Sym, Init] : M.GlobalInits) {
+    recordAssignment(Sym->Type, Init->ExprType);
+    collectFromExpr(*Init);
+  }
+  for (const auto &P : M.Procs) {
+    CurReturnType = P->ReturnType;
+    for (const auto &Param : P->Params)
+      if (Param->ByRef)
+        ByRefFormalTypes.push_back(Types.canonical(Param->Type));
+    for (const auto &[Sym, Init] : P->LocalInits) {
+      recordAssignment(Sym->Type, Init->ExprType);
+      collectFromExpr(*Init);
+    }
+    collectFromStmtList(P->Body);
+  }
+  // Implicit receiver assignments: any object of type T whose dispatch
+  // table binds procedure Impl may flow into Impl's receiver formal.
+  for (TypeId Id = 0; Id != NumTypes; ++Id) {
+    const Type &T = Types.get(Id);
+    if (T.Kind != TypeKind::Object || Types.canonical(Id) != Id)
+      continue;
+    for (ProcId Impl : T.DispatchTable) {
+      if (Impl == InvalidProcId)
+        continue;
+      const ProcDecl &P = *M.Procs[Impl];
+      assert(!P.Params.empty() && "method impl without receiver");
+      recordAssignment(P.Params[0]->Type, Id);
+    }
+  }
+  // Method byref formal types (identical to their impls' formals, but the
+  // signature is the source of truth for the open world clause).
+  for (TypeId Id = 0; Id != NumTypes; ++Id) {
+    const Type &T = Types.get(Id);
+    if (T.Kind != TypeKind::Object)
+      continue;
+    for (const MethodInfo &MI : T.Methods)
+      for (const ParamInfo &PI : MI.Params)
+        if (PI.ByRef)
+          ByRefFormalTypes.push_back(Types.canonical(PI.Type));
+  }
+  std::sort(ByRefFormalTypes.begin(), ByRefFormalTypes.end());
+  ByRefFormalTypes.erase(
+      std::unique(ByRefFormalTypes.begin(), ByRefFormalTypes.end()),
+      ByRefFormalTypes.end());
+
+  // --- Section 4: unavailable code may assign between any two
+  // subtype-related types it can reconstruct (no BRANDED component) ---
+  if (Opts.OpenWorld) {
+    for (TypeId Id = 0; Id != NumTypes; ++Id) {
+      const Type &T = Types.get(Id);
+      if (T.Kind != TypeKind::Object || Types.canonical(Id) != Id)
+        continue;
+      if (!Types.isAccessibleToUnavailableCode(Id))
+        continue;
+      for (TypeId Cur = T.Super; Cur != InvalidTypeId;
+           Cur = Types.get(Cur).Super)
+        if (Types.isAccessibleToUnavailableCode(Cur))
+          uniteGroups(Id, Cur);
+    }
+  }
+
+  // --- Step 3: TypeRefsTable(t) = Group(t) ∩ Subtypes(t) ---
+  GroupOf.assign(NumTypes, 0);
+  for (TypeId Id = 0; Id != NumTypes; ++Id)
+    GroupOf[Id] = Groups.find(Types.canonical(Id));
+  TypeRefsBits.assign(NumTypes, DynBitset(NumTypes));
+  for (TypeId Id = 0; Id != NumTypes; ++Id) {
+    if (Types.canonical(Id) != Id)
+      continue;
+    DynBitset &Bits = TypeRefsBits[Id];
+    if (Types.isReferenceLike(Id)) {
+      for (TypeId Other = 0; Other != NumTypes; ++Other)
+        if (Types.canonical(Other) == Other && GroupOf[Other] == GroupOf[Id])
+          Bits.set(Other);
+      Bits &= SubtypeBits[Id];
+    } else {
+      // Non-pointer types refer only to themselves.
+      Bits.set(Id);
+    }
+  }
+  UF = nullptr;
+}
+
+void TBAAContext::uniteGroups(TypeId A, TypeId B) {
+  assert(UF && "uniteGroups outside construction");
+  TypeId CA = Types.canonical(A), CB = Types.canonical(B);
+  if (UF->find(CA) == UF->find(CB))
+    return;
+  UF->unite(CA, CB);
+  ++Merges;
+}
+
+void TBAAContext::recordAssignment(TypeId Lhs, TypeId Rhs) {
+  TypeId L = Types.canonical(Lhs), R = Types.canonical(Rhs);
+  if (L == R)
+    return;
+  if (!Types.isReferenceLike(L) || !Types.isReferenceLike(R))
+    return;
+  if (Types.get(L).Kind == TypeKind::Nil || Types.get(R).Kind == TypeKind::Nil)
+    return;
+  uniteGroups(L, R);
+}
+
+void TBAAContext::recordAddressTaken(const Expr &Designator) {
+  switch (Designator.Kind) {
+  case ExprKind::Field: {
+    const auto &F = static_cast<const FieldExpr &>(Designator);
+    FieldFacts.push_back({F.Field, Types.canonical(F.Base->ExprType)});
+    return;
+  }
+  case ExprKind::Index: {
+    const auto &I = static_cast<const IndexExpr &>(Designator);
+    ElemFacts.push_back(Types.canonical(I.Base->ExprType));
+    return;
+  }
+  case ExprKind::Name:
+  case ExprKind::Deref:
+    // Taking a variable's address creates no heap-field fact; taking p^'s
+    // address is the identity on p's value.
+    return;
+  default:
+    assert(false && "address of a non-designator");
+    return;
+  }
+}
+
+void TBAAContext::collectFromExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::NilLit:
+  case ExprKind::Name:
+    return;
+  case ExprKind::Field:
+    collectFromExpr(*static_cast<const FieldExpr &>(E).Base);
+    return;
+  case ExprKind::Deref:
+    collectFromExpr(*static_cast<const DerefExpr &>(E).Base);
+    return;
+  case ExprKind::Index: {
+    const auto &I = static_cast<const IndexExpr &>(E);
+    collectFromExpr(*I.Base);
+    collectFromExpr(*I.Idx);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto &C = static_cast<const CallExpr &>(E);
+    for (size_t K = 0; K != C.Args.size(); ++K) {
+      const VarSymbol &Formal = *C.Callee->Params[K];
+      if (Formal.ByRef)
+        recordAddressTaken(*C.Args[K]);
+      else
+        recordAssignment(Formal.Type, C.Args[K]->ExprType);
+      collectFromExpr(*C.Args[K]);
+    }
+    return;
+  }
+  case ExprKind::MethodCall: {
+    const auto &C = static_cast<const MethodCallExpr &>(E);
+    collectFromExpr(*C.Base);
+    const MethodInfo *MI = Types.findMethod(C.ReceiverType, C.MethodName);
+    assert(MI && "method vanished after Sema");
+    for (size_t K = 0; K != C.Args.size(); ++K) {
+      if (MI->Params[K].ByRef)
+        recordAddressTaken(*C.Args[K]);
+      else
+        recordAssignment(MI->Params[K].Type, C.Args[K]->ExprType);
+      collectFromExpr(*C.Args[K]);
+    }
+    return;
+  }
+  case ExprKind::New: {
+    const auto &N = static_cast<const NewExpr &>(E);
+    if (N.SizeArg)
+      collectFromExpr(*N.SizeArg);
+    return;
+  }
+  case ExprKind::Narrow: {
+    // A checked downcast lets Type(e)'s referents flow into TargetType-
+    // typed access paths: an implicit assignment for Step 2 of Figure 2.
+    const auto &N = static_cast<const NarrowExpr &>(E);
+    recordAssignment(N.TargetType, N.Sub->ExprType);
+    collectFromExpr(*N.Sub);
+    return;
+  }
+  case ExprKind::IsType:
+    collectFromExpr(*static_cast<const IsTypeExpr &>(E).Sub);
+    return;
+  case ExprKind::NumberOf:
+    collectFromExpr(*static_cast<const NumberOfExpr &>(E).Arg);
+    return;
+  case ExprKind::Unary:
+    collectFromExpr(*static_cast<const UnaryExpr &>(E).Sub);
+    return;
+  case ExprKind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(E);
+    collectFromExpr(*B.Lhs);
+    collectFromExpr(*B.Rhs);
+    return;
+  }
+  }
+}
+
+void TBAAContext::collectFromStmtList(const StmtList &Stmts) {
+  for (const StmtPtr &S : Stmts)
+    collectFromStmt(*S);
+}
+
+void TBAAContext::collectFromStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Assign: {
+    const auto &A = static_cast<const AssignStmt &>(S);
+    recordAssignment(A.Lhs->ExprType, A.Rhs->ExprType);
+    collectFromExpr(*A.Lhs);
+    collectFromExpr(*A.Rhs);
+    return;
+  }
+  case StmtKind::Call:
+    collectFromExpr(*static_cast<const CallStmt &>(S).Call);
+    return;
+  case StmtKind::If: {
+    const auto &I = static_cast<const IfStmt &>(S);
+    for (const auto &[Cond, Body] : I.Arms) {
+      collectFromExpr(*Cond);
+      collectFromStmtList(Body);
+    }
+    collectFromStmtList(I.ElseBody);
+    return;
+  }
+  case StmtKind::While: {
+    const auto &W = static_cast<const WhileStmt &>(S);
+    collectFromExpr(*W.Cond);
+    collectFromStmtList(W.Body);
+    return;
+  }
+  case StmtKind::Repeat: {
+    const auto &R = static_cast<const RepeatStmt &>(S);
+    collectFromStmtList(R.Body);
+    collectFromExpr(*R.Cond);
+    return;
+  }
+  case StmtKind::For: {
+    const auto &F = static_cast<const ForStmt &>(S);
+    collectFromExpr(*F.From);
+    collectFromExpr(*F.To);
+    collectFromStmtList(F.Body);
+    return;
+  }
+  case StmtKind::Loop:
+    collectFromStmtList(static_cast<const LoopStmt &>(S).Body);
+    return;
+  case StmtKind::Exit:
+    return;
+  case StmtKind::Return: {
+    const auto &R = static_cast<const ReturnStmt &>(S);
+    if (R.Value) {
+      recordAssignment(CurReturnType, R.Value->ExprType);
+      collectFromExpr(*R.Value);
+    }
+    return;
+  }
+  case StmtKind::With: {
+    const auto &W = static_cast<const WithStmt &>(S);
+    if (W.IsAlias)
+      recordAddressTaken(*W.Bound);
+    else
+      recordAssignment(W.Binding->Type, W.Bound->ExprType);
+    collectFromExpr(*W.Bound);
+    collectFromStmtList(W.Body);
+    return;
+  }
+  case StmtKind::IncDec: {
+    // Integer-only read-modify-write: no pointer assignment to merge.
+    const auto &I = static_cast<const IncDecStmt &>(S);
+    collectFromExpr(*I.Target);
+    if (I.Amount)
+      collectFromExpr(*I.Amount);
+    return;
+  }
+  case StmtKind::Eval:
+    collectFromExpr(*static_cast<const EvalStmt &>(S).Value);
+    return;
+  case StmtKind::TypeCase: {
+    const auto &T = static_cast<const TypeCaseStmt &>(S);
+    collectFromExpr(*T.Subject);
+    for (const TypeCaseArm &Arm : T.Arms) {
+      // Like NARROW: the subject flows into arm-typed access paths.
+      recordAssignment(Arm.Target, T.Subject->ExprType);
+      collectFromStmtList(Arm.Body);
+    }
+    collectFromStmtList(T.ElseBody);
+    return;
+  }
+  }
+}
+
+const DynBitset &TBAAContext::subtypeSet(TypeId T) const {
+  return SubtypeBits[Types.canonical(T)];
+}
+
+const DynBitset &TBAAContext::typeRefsSet(TypeId T) const {
+  return TypeRefsBits[Types.canonical(T)];
+}
+
+bool TBAAContext::typeDeclCompat(TypeId A, TypeId B) const {
+  return subtypeSet(A).intersects(subtypeSet(B));
+}
+
+bool TBAAContext::typeRefsCompat(TypeId A, TypeId B) const {
+  return typeRefsSet(A).intersects(typeRefsSet(B));
+}
+
+std::vector<TypeId> TBAAContext::typeRefs(TypeId T) const {
+  return typeRefsSet(T).elements();
+}
+
+bool TBAAContext::addressTakenField(FieldId F, TypeId BaseType,
+                                    TypeId FieldValueType,
+                                    bool UseTypeRefs) const {
+  for (const FieldFact &Fact : FieldFacts) {
+    if (Fact.Field != F)
+      continue;
+    bool Compat = UseTypeRefs ? typeRefsCompat(Fact.BaseType, BaseType)
+                              : typeDeclCompat(Fact.BaseType, BaseType);
+    if (Compat)
+      return true;
+  }
+  if (Opts.OpenWorld) {
+    // Unavailable code may have passed some compatible p.f by reference:
+    // M3L requires VAR actual and formal types to be identical.
+    TypeId V = Types.canonical(FieldValueType);
+    if (std::binary_search(ByRefFormalTypes.begin(), ByRefFormalTypes.end(),
+                           V))
+      return true;
+  }
+  return false;
+}
+
+bool TBAAContext::addressTakenElem(TypeId ArrayType, TypeId ElemType,
+                                   bool UseTypeRefs) const {
+  for (TypeId Fact : ElemFacts) {
+    bool Compat = UseTypeRefs ? typeRefsCompat(Fact, ArrayType)
+                              : typeDeclCompat(Fact, ArrayType);
+    if (Compat)
+      return true;
+  }
+  if (Opts.OpenWorld) {
+    TypeId V = Types.canonical(ElemType);
+    if (std::binary_search(ByRefFormalTypes.begin(), ByRefFormalTypes.end(),
+                           V))
+      return true;
+  }
+  return false;
+}

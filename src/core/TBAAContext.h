@@ -1,0 +1,114 @@
+//===- TBAAContext.h - Facts behind type-based alias analysis ---*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program facts all three TBAA variants share (Section 2 of the
+/// paper):
+///
+///  * Subtypes(T) as bitsets -- TypeDecl's compatibility test is
+///    Subtypes(Type(p)) ∩ Subtypes(Type(q)) ≠ ∅.
+///  * AddressTaken facts -- which fields / array element types ever have
+///    their address taken (VAR actuals and aliasing WITH, the only two
+///    address-taking constructs of Modula-3/M3L). Section 4 widens this
+///    with the pass-by-reference-formal clause for the open world.
+///  * The Group partition of pointer types from selective type merging
+///    (Figure 2) and the resulting TypeRefsTable. Section 4 widens the
+///    merge with every subtype-related pair of types unavailable code can
+///    reconstruct (everything not involving BRANDED types).
+///
+/// Building the context is one linear pass over the program plus a union
+/// per pointer assignment -- the paper's O(n) bound (Section 2.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_CORE_TBAACONTEXT_H
+#define TBAA_CORE_TBAACONTEXT_H
+
+#include "lang/AST.h"
+#include "lang/Types.h"
+#include "support/DynBitset.h"
+#include "support/UnionFind.h"
+
+#include <vector>
+
+namespace tbaa {
+
+struct TBAAOptions {
+  /// Section 4: assume unavailable code may take addresses via VAR
+  /// formals and may merge any subtype-related pair of unbranded types.
+  bool OpenWorld = false;
+};
+
+class TBAAContext {
+public:
+  TBAAContext(const ModuleAST &M, const TypeTable &Types, TBAAOptions Opts);
+
+  const TypeTable &types() const { return Types; }
+  const TBAAOptions &options() const { return Opts; }
+
+  /// TypeDecl compatibility: Subtypes(A) ∩ Subtypes(B) ≠ ∅.
+  bool typeDeclCompat(TypeId A, TypeId B) const;
+
+  /// SMTypeRefs compatibility: TypeRefsTable(A) ∩ TypeRefsTable(B) ≠ ∅.
+  bool typeRefsCompat(TypeId A, TypeId B) const;
+
+  /// TypeRefsTable(T): the types an AP declared of type T may reference.
+  std::vector<TypeId> typeRefs(TypeId T) const;
+
+  /// AddressTaken for a qualified expression p.f: some compatible object's
+  /// field f had its address taken. \p UseTypeRefs selects SMTypeRefs
+  /// compatibility for the fact-applicability test. \p FieldValueType is
+  /// Type(p.f), consulted by the open-world formal-type clause.
+  bool addressTakenField(FieldId F, TypeId BaseType, TypeId FieldValueType,
+                         bool UseTypeRefs) const;
+
+  /// AddressTaken for a subscripted expression a[i] over array type
+  /// \p ArrayType with elements of \p ElemType.
+  bool addressTakenElem(TypeId ArrayType, TypeId ElemType,
+                        bool UseTypeRefs) const;
+
+  /// Number of pointer-assignment merges performed (tests, reporting).
+  unsigned mergeCount() const { return Merges; }
+
+private:
+  void collectFromStmtList(const StmtList &Stmts);
+  void collectFromStmt(const Stmt &S);
+  void collectFromExpr(const Expr &E);
+  void recordAssignment(TypeId Lhs, TypeId Rhs);
+  void recordAddressTaken(const Expr &Designator);
+  void uniteGroups(TypeId A, TypeId B);
+  const DynBitset &subtypeSet(TypeId T) const;
+  const DynBitset &typeRefsSet(TypeId T) const;
+
+  const TypeTable &Types;
+  TBAAOptions Opts;
+  size_t NumTypes;
+  /// Live only during construction (Step 2's merging state).
+  UnionFind *UF = nullptr;
+  TypeId CurReturnType = InvalidTypeId;
+
+  // Subtypes(T) per canonical id.
+  std::vector<DynBitset> SubtypeBits;
+  // Group membership after selective merging, then filtered per type into
+  // TypeRefsTable (Step 3 of Figure 2).
+  std::vector<uint32_t> GroupOf; ///< canonical type -> group root
+  std::vector<DynBitset> TypeRefsBits;
+  unsigned Merges = 0;
+
+  // AddressTaken facts.
+  struct FieldFact {
+    FieldId Field;
+    TypeId BaseType; ///< canonical static type of the prefix
+  };
+  std::vector<FieldFact> FieldFacts;
+  std::vector<TypeId> ElemFacts; ///< canonical array types
+  /// Open world: canonical types of every pass-by-reference formal.
+  std::vector<TypeId> ByRefFormalTypes;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_CORE_TBAACONTEXT_H

@@ -1,0 +1,55 @@
+//===- Monitor.h - VM instrumentation interface -----------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observation interface over the executing VM: the stand-in for the
+/// paper's ATOM binary instrumentation (Section 3.5, "we instrument every
+/// load in an executable, recording its address and value"). The cache/
+/// timing simulator and the limit analysis are both monitors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_EXEC_MONITOR_H
+#define TBAA_EXEC_MONITOR_H
+
+#include <cstdint>
+
+namespace tbaa {
+
+/// One executed load.
+struct LoadEvent {
+  uint64_t Addr;       ///< Byte address of the loaded word.
+  uint64_t ValueBits;  ///< Hash-encoded loaded value (equality-faithful).
+  uint64_t Activation; ///< Procedure activation the load executed in.
+  uint32_t StaticId;   ///< Static id of the executing instruction.
+  bool IsHeap;         ///< Heap load vs stack/global ("other") load.
+  /// Not a source-level access path: dope-vector reads folded into a
+  /// subscript access, and method-dispatch table reads.
+  bool Implicit;
+};
+
+/// One executed store.
+struct StoreEvent {
+  uint64_t Addr;
+  uint64_t Activation;
+  uint32_t StaticId;
+  bool IsHeap;
+};
+
+/// Callbacks fired by the VM for every memory access. Keep them cheap;
+/// they run inline with interpretation.
+class ExecMonitor {
+public:
+  virtual ~ExecMonitor();
+  virtual void onLoad(const LoadEvent &E) = 0;
+  virtual void onStore(const StoreEvent &E) = 0;
+  /// Fired when a procedure activation ends (its stack addresses die).
+  virtual void onActivationEnd(uint64_t Activation) { (void)Activation; }
+};
+
+} // namespace tbaa
+
+#endif // TBAA_EXEC_MONITOR_H

@@ -1,0 +1,694 @@
+//===- VM.cpp -------------------------------------------------------------===//
+
+#include "exec/VM.h"
+
+#include <cassert>
+
+using namespace tbaa;
+
+ExecMonitor::~ExecMonitor() = default;
+
+namespace {
+constexpr uint64_t GlobalBase = 0x10000000;
+// The interpreter recurses one C++ frame per M3L activation; keep the
+// guard comfortably inside an 8MB host stack.
+constexpr unsigned MaxCallDepth = 8000;
+constexpr uint32_t LenSlot = ~0u; ///< Location::Slot value naming the dope.
+} // namespace
+
+struct VM::HeapObject {
+  TypeId Type = InvalidTypeId;
+  uint64_t Base = 0; ///< Byte address of the header word.
+  bool IsArray = false;
+  int64_t Len = 0;    ///< Arrays: element count.
+  int64_t Lo = 0;     ///< Fixed arrays: lower bound.
+  std::vector<Value> Slots;
+};
+
+struct VM::Frame {
+  const IRFunction *Func = nullptr;
+  uint32_t Index = 0; ///< Position in FrameStack.
+  uint64_t Activation = 0;
+  uint64_t Base = 0; ///< Byte address of slot 0.
+  std::vector<Value> Slots;
+  std::vector<Value> Temps;
+};
+
+VM::VM(const IRModule &M) : M(M), Types(*M.Types) {
+  Globals.reserve(M.Globals.size());
+  for (const IRVar &G : M.Globals)
+    Globals.push_back(defaultValue(G.Type));
+}
+
+VM::~VM() = default;
+
+Value VM::defaultValue(TypeId T) const {
+  const Type &Ty = Types.get(T);
+  switch (Ty.Kind) {
+  case TypeKind::Integer:
+    return Value::makeInt(0);
+  case TypeKind::Boolean:
+    return Value::makeBool(false);
+  default:
+    return Value::makeNil();
+  }
+}
+
+uint64_t VM::encodeValue(const Value &V) {
+  uint64_t Tag = static_cast<uint64_t>(V.K);
+  uint64_t Payload;
+  switch (V.K) {
+  case Value::Kind::Int:
+  case Value::Kind::Bool:
+    Payload = static_cast<uint64_t>(V.I);
+    break;
+  case Value::Kind::Ref:
+    Payload = V.Obj;
+    break;
+  case Value::Kind::Addr:
+    Payload = (static_cast<uint64_t>(V.A.R) << 62) ^
+              (static_cast<uint64_t>(V.A.Id) << 32) ^ V.A.Slot;
+    break;
+  default:
+    Payload = 0;
+    break;
+  }
+  // Mix the tag in; exact equality of Values implies equal bits, and
+  // unequal Values collide with negligible probability.
+  return Payload * 0x9E3779B97F4A7C15ull + Tag;
+}
+
+void VM::trap(std::string Msg, SourceLoc Loc) {
+  if (Trapped)
+    return;
+  Trapped = true;
+  TrapMsg = std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col) +
+            ": runtime error: " + std::move(Msg);
+}
+
+uint64_t VM::addrOf(const Value::Location &L) const {
+  switch (L.R) {
+  case Value::Location::Region::Global:
+    return GlobalBase + 8ull * L.Slot;
+  case Value::Location::Region::Stack:
+    return FrameStack[L.Id]->Base + 8ull * L.Slot;
+  case Value::Location::Region::Heap: {
+    const HeapObject &O = Heap[L.Id];
+    if (L.Slot == LenSlot)
+      return O.Base; // the dope/header word
+    return O.Base + 8ull * (1 + L.Slot);
+  }
+  }
+  return 0;
+}
+
+Value *VM::slotPtr(const Value::Location &L) {
+  switch (L.R) {
+  case Value::Location::Region::Global:
+    return &Globals[L.Slot];
+  case Value::Location::Region::Stack:
+    return &FrameStack[L.Id]->Slots[L.Slot];
+  case Value::Location::Region::Heap:
+    assert(L.Slot != LenSlot && "length slot has no Value storage");
+    return &Heap[L.Id].Slots[L.Slot];
+  }
+  return nullptr;
+}
+
+void VM::fireLoad(const Value::Location &L, const Value &V, uint32_t StaticId,
+                  bool Implicit, uint64_t Activation) {
+  bool IsHeap = isHeapLoc(L);
+  ++Stats.Ops;
+  if (IsHeap)
+    ++Stats.HeapLoads;
+  else
+    ++Stats.OtherLoads;
+  if (Monitors.empty())
+    return;
+  LoadEvent E;
+  E.Addr = addrOf(L);
+  E.ValueBits = encodeValue(V);
+  E.Activation = Activation;
+  E.StaticId = StaticId;
+  E.IsHeap = IsHeap;
+  E.Implicit = Implicit;
+  for (ExecMonitor *Mon : Monitors)
+    Mon->onLoad(E);
+}
+
+void VM::fireStore(const Value::Location &L, uint32_t StaticId,
+                   uint64_t Activation) {
+  bool IsHeap = isHeapLoc(L);
+  ++Stats.Ops;
+  if (IsHeap)
+    ++Stats.HeapStores;
+  else
+    ++Stats.OtherStores;
+  if (Monitors.empty())
+    return;
+  StoreEvent E;
+  E.Addr = addrOf(L);
+  E.Activation = Activation;
+  E.StaticId = StaticId;
+  E.IsHeap = IsHeap;
+  for (ExecMonitor *Mon : Monitors)
+    Mon->onStore(E);
+}
+
+Value VM::readVar(Frame &F, VarRef V, uint32_t StaticId) {
+  Value::Location L;
+  if (V.K == VarRef::Kind::Global) {
+    L.R = Value::Location::Region::Global;
+    L.Slot = V.Index;
+  } else {
+    // Register-like cells cost one op and produce no memory traffic.
+    if (F.Func->Frame[V.Index].IsRegister) {
+      ++Stats.Ops;
+      return F.Slots[V.Index];
+    }
+    L.R = Value::Location::Region::Stack;
+    L.Id = F.Index;
+    L.Slot = V.Index;
+  }
+  Value Val = *slotPtr(L);
+  fireLoad(L, Val, StaticId, /*Implicit=*/false, F.Activation);
+  return Val;
+}
+
+void VM::writeVar(Frame &F, VarRef V, const Value &Val, uint32_t StaticId) {
+  Value::Location L;
+  if (V.K == VarRef::Kind::Global) {
+    L.R = Value::Location::Region::Global;
+    L.Slot = V.Index;
+  } else {
+    if (F.Func->Frame[V.Index].IsRegister) {
+      ++Stats.Ops;
+      F.Slots[V.Index] = Val;
+      return;
+    }
+    L.R = Value::Location::Region::Stack;
+    L.Id = F.Index;
+    L.Slot = V.Index;
+  }
+  *slotPtr(L) = Val;
+  fireStore(L, StaticId, F.Activation);
+}
+
+Value VM::evalOperand(Frame &F, const Operand &O) {
+  switch (O.K) {
+  case Operand::Kind::Temp:
+    return F.Temps[O.Temp];
+  case Operand::Kind::ImmInt:
+    return Value::makeInt(O.Imm);
+  case Operand::Kind::ImmBool:
+    return Value::makeBool(O.Imm != 0);
+  case Operand::Kind::Nil:
+    return Value::makeNil();
+  case Operand::Kind::None:
+  case Operand::Kind::Var:
+    assert(false && "operand kind not valid here");
+    return Value();
+  }
+  return Value();
+}
+
+uint32_t VM::allocate(TypeId T, int64_t Len, bool &Ok) {
+  Ok = true;
+  const Type &Ty = Types.get(T);
+  HeapObject O;
+  O.Type = T;
+  size_t NumSlots = 0;
+  switch (Ty.Kind) {
+  case TypeKind::Object:
+    NumSlots = Ty.AllFields.size();
+    break;
+  case TypeKind::Record:
+    NumSlots = Ty.AllFields.size();
+    break;
+  case TypeKind::Ref:
+    NumSlots = 1;
+    break;
+  case TypeKind::Array:
+    O.IsArray = true;
+    if (Ty.IsOpen) {
+      O.Len = Len;
+    } else {
+      O.Len = Ty.Hi - Ty.Lo + 1;
+      O.Lo = Ty.Lo;
+    }
+    if (O.Len < 0) {
+      Ok = false;
+      return 0;
+    }
+    NumSlots = static_cast<size_t>(O.Len);
+    break;
+  default:
+    Ok = false;
+    return 0;
+  }
+  O.Base = HeapBump;
+  HeapBump += 8ull * (1 + NumSlots);
+  HeapBump = (HeapBump + 15) & ~15ull; // 16-byte alignment
+  O.Slots.reserve(NumSlots);
+  Value Def;
+  if (Ty.Kind == TypeKind::Array)
+    Def = defaultValue(Ty.Elem);
+  else if (Ty.Kind == TypeKind::Ref)
+    Def = defaultValue(Ty.Target);
+  for (size_t I = 0; I != NumSlots; ++I) {
+    if (Ty.Kind == TypeKind::Object || Ty.Kind == TypeKind::Record)
+      Def = defaultValue(Ty.AllFields[I].Type);
+    O.Slots.push_back(Def);
+  }
+  ++Stats.Allocations;
+  Stats.AllocatedWords += NumSlots + 1;
+  Stats.Ops += 1 + NumSlots / 8; // allocation + zeroing cost
+  Heap.push_back(std::move(O));
+  return static_cast<uint32_t>(Heap.size() - 1);
+}
+
+bool VM::resolvePath(Frame &F, const MemPath &P, uint32_t StaticId,
+                     Value::Location &Loc) {
+  Value Root = readVar(F, P.Root, StaticId);
+  switch (P.Sel) {
+  case SelKind::Field: {
+    if (Root.K != Value::Kind::Ref) {
+      trap("field access through NIL", SourceLoc{0, 0});
+      return false;
+    }
+    Loc = {Value::Location::Region::Heap, Root.Obj, P.FieldSlot};
+    return true;
+  }
+  case SelKind::Len: {
+    if (Root.K != Value::Kind::Ref) {
+      trap("NUMBER of NIL array", SourceLoc{0, 0});
+      return false;
+    }
+    Loc = {Value::Location::Region::Heap, Root.Obj, LenSlot};
+    return true;
+  }
+  case SelKind::Index: {
+    if (Root.K != Value::Kind::Ref) {
+      trap("subscript of NIL array", SourceLoc{0, 0});
+      return false;
+    }
+    HeapObject &O = Heap[Root.Obj];
+    assert(O.IsArray && "subscript of non-array object");
+    int64_t Idx;
+    if (P.Index.K == Operand::Kind::ImmInt) {
+      Idx = P.Index.Imm;
+    } else {
+      Value IV = readVar(F, P.Index.Var, StaticId);
+      assert(IV.K == Value::Kind::Int && "non-integer subscript");
+      Idx = IV.I;
+    }
+    const Type &AT = Types.get(P.BaseType);
+    if (AT.IsOpen) {
+      // Bounds check against the dope word: an implicit heap load -- the
+      // "Encapsulation" loads of Section 3.5.
+      Value LenVal = Value::makeInt(O.Len);
+      Value::Location LenLoc = {Value::Location::Region::Heap, Root.Obj,
+                                LenSlot};
+      fireLoad(LenLoc, LenVal, StaticId, /*Implicit=*/true, F.Activation);
+      ++Stats.Ops; // the compare
+      if (Idx < 0 || Idx >= O.Len) {
+        trap("subscript out of range", SourceLoc{0, 0});
+        return false;
+      }
+      Loc = {Value::Location::Region::Heap, Root.Obj,
+             static_cast<uint32_t>(Idx)};
+    } else {
+      ++Stats.Ops; // static bounds compare
+      if (Idx < O.Lo || Idx >= O.Lo + O.Len) {
+        trap("subscript out of range", SourceLoc{0, 0});
+        return false;
+      }
+      Loc = {Value::Location::Region::Heap, Root.Obj,
+             static_cast<uint32_t>(Idx - O.Lo)};
+    }
+    return true;
+  }
+  case SelKind::Deref: {
+    if (Root.K == Value::Kind::Nil) {
+      trap("dereference of NIL", SourceLoc{0, 0});
+      return false;
+    }
+    assert(Root.K == Value::Kind::Addr && "dereference of non-address");
+    Loc = Root.A;
+    return true;
+  }
+  }
+  return false;
+}
+
+static bool valuesEqual(const Value &A, const Value &B) {
+  if (A.K == Value::Kind::Nil || B.K == Value::Kind::Nil)
+    return A.K == B.K;
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Value::Kind::Int:
+  case Value::Kind::Bool:
+    return A.I == B.I;
+  case Value::Kind::Ref:
+    return A.Obj == B.Obj;
+  case Value::Kind::Addr:
+    return A.A.R == B.A.R && A.A.Id == B.A.Id && A.A.Slot == B.A.Slot;
+  default:
+    return false;
+  }
+}
+
+/// Modula-3 DIV/MOD use floor semantics.
+static int64_t floorDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+static int64_t floorMod(int64_t A, int64_t B) { return A - floorDiv(A, B) * B; }
+
+bool VM::execInstr(Frame &F, const Instr &I, bool &Returned, Value *RetVal,
+                   BlockId &NextBlock) {
+  ++Stats.Ops;
+  switch (I.Op) {
+  case Opcode::LoadVar:
+    F.Temps[I.Result] = readVar(F, I.Var, I.StaticId);
+    return true;
+  case Opcode::StoreVar:
+    writeVar(F, I.Var, evalOperand(F, I.A), I.StaticId);
+    return true;
+  case Opcode::LoadMem: {
+    Value::Location Loc;
+    if (!resolvePath(F, I.Path, I.StaticId, Loc))
+      return false;
+    Value V;
+    if (Loc.R == Value::Location::Region::Heap && Loc.Slot == LenSlot)
+      V = Value::makeInt(Heap[Loc.Id].Len);
+    else
+      V = *slotPtr(Loc);
+    fireLoad(Loc, V, I.StaticId, I.Implicit, F.Activation);
+    F.Temps[I.Result] = V;
+    return true;
+  }
+  case Opcode::StoreMem: {
+    Value V = evalOperand(F, I.A);
+    Value::Location Loc;
+    if (!resolvePath(F, I.Path, I.StaticId, Loc))
+      return false;
+    assert(!(Loc.R == Value::Location::Region::Heap && Loc.Slot == LenSlot) &&
+           "stores to the dope word are impossible");
+    *slotPtr(Loc) = V;
+    fireStore(Loc, I.StaticId, F.Activation);
+    return true;
+  }
+  case Opcode::MkRef: {
+    Value::Location Loc;
+    if (I.HasPath) {
+      if (!resolvePath(F, I.Path, I.StaticId, Loc))
+        return false;
+    } else if (I.Var.K == VarRef::Kind::Global) {
+      Loc = {Value::Location::Region::Global, 0, I.Var.Index};
+    } else {
+      Loc = {Value::Location::Region::Stack, F.Index, I.Var.Index};
+    }
+    F.Temps[I.Result] = Value::makeAddr(Loc);
+    return true;
+  }
+  case Opcode::ConstOp:
+  case Opcode::Mov:
+    F.Temps[I.Result] = evalOperand(F, I.A);
+    return true;
+  case Opcode::UnOp: {
+    Value A = evalOperand(F, I.A);
+    if (I.UOp == UnaryOp::Neg)
+      F.Temps[I.Result] = Value::makeInt(-A.I);
+    else
+      F.Temps[I.Result] = Value::makeBool(A.I == 0);
+    return true;
+  }
+  case Opcode::BinOp: {
+    Value A = evalOperand(F, I.A);
+    Value B = evalOperand(F, I.B);
+    Value R;
+    switch (I.BOp) {
+    case BinaryOp::Add:
+      R = Value::makeInt(A.I + B.I);
+      break;
+    case BinaryOp::Sub:
+      R = Value::makeInt(A.I - B.I);
+      break;
+    case BinaryOp::Mul:
+      R = Value::makeInt(A.I * B.I);
+      break;
+    case BinaryOp::Div:
+      if (B.I == 0) {
+        trap("DIV by zero", I.Loc);
+        return false;
+      }
+      R = Value::makeInt(floorDiv(A.I, B.I));
+      break;
+    case BinaryOp::Mod:
+      if (B.I == 0) {
+        trap("MOD by zero", I.Loc);
+        return false;
+      }
+      R = Value::makeInt(floorMod(A.I, B.I));
+      break;
+    case BinaryOp::Eq:
+      R = Value::makeBool(valuesEqual(A, B));
+      break;
+    case BinaryOp::Ne:
+      R = Value::makeBool(!valuesEqual(A, B));
+      break;
+    case BinaryOp::Lt:
+      R = Value::makeBool(A.I < B.I);
+      break;
+    case BinaryOp::Le:
+      R = Value::makeBool(A.I <= B.I);
+      break;
+    case BinaryOp::Gt:
+      R = Value::makeBool(A.I > B.I);
+      break;
+    case BinaryOp::Ge:
+      R = Value::makeBool(A.I >= B.I);
+      break;
+    case BinaryOp::And:
+      R = Value::makeBool(A.I != 0 && B.I != 0);
+      break;
+    case BinaryOp::Or:
+      R = Value::makeBool(A.I != 0 || B.I != 0);
+      break;
+    }
+    F.Temps[I.Result] = R;
+    return true;
+  }
+  case Opcode::NewOp: {
+    int64_t Len = 0;
+    if (!I.A.isNone()) {
+      Value L = evalOperand(F, I.A);
+      Len = L.I;
+    }
+    bool Ok = true;
+    uint32_t Obj = allocate(I.AllocType, Len, Ok);
+    if (!Ok) {
+      trap("bad allocation", I.Loc);
+      return false;
+    }
+    // REF cells yield the address of their single slot so that ^ works
+    // uniformly on NEW(REF T) results and VAR-parameter addresses.
+    if (Types.get(I.AllocType).Kind == TypeKind::Ref)
+      F.Temps[I.Result] =
+          Value::makeAddr({Value::Location::Region::Heap, Obj, 0});
+    else
+      F.Temps[I.Result] = Value::makeRef(Obj);
+    return true;
+  }
+  case Opcode::NarrowOp:
+  case Opcode::IsTypeOp: {
+    Value A = evalOperand(F, I.A);
+    bool IsSub = false;
+    if (A.K == Value::Kind::Ref) {
+      const HeapObject &O = Heap[A.Obj];
+      // Reading the type descriptor is an implicit header load, like
+      // dynamic dispatch.
+      Value TypeWord = Value::makeInt(static_cast<int64_t>(O.Type));
+      Value::Location HdrLoc = {Value::Location::Region::Heap, A.Obj,
+                                LenSlot};
+      fireLoad(HdrLoc, TypeWord, I.StaticId, /*Implicit=*/true,
+               F.Activation);
+      IsSub = Types.isSubtype(O.Type, I.AllocType);
+    }
+    if (I.Op == Opcode::IsTypeOp) {
+      F.Temps[I.Result] = Value::makeBool(IsSub);
+      return true;
+    }
+    // NARROW: NIL narrows to NIL; otherwise the dynamic type must fit.
+    if (A.K == Value::Kind::Nil || IsSub) {
+      F.Temps[I.Result] = A;
+      return true;
+    }
+    trap("NARROW type mismatch", I.Loc);
+    return false;
+  }
+  case Opcode::Call: {
+    ++Stats.Ops; // call overhead
+    ++Stats.Calls;
+    std::vector<Value> Args;
+    Args.reserve(I.Args.size());
+    for (const Operand &O : I.Args)
+      Args.push_back(evalOperand(F, O));
+    Value Result;
+    if (!execFunction(I.Callee, Args, &Result))
+      return false;
+    if (I.Result != NoTemp)
+      F.Temps[I.Result] = Result;
+    return true;
+  }
+  case Opcode::CallMethod: {
+    ++Stats.Calls;
+    std::vector<Value> Args;
+    Args.reserve(I.Args.size());
+    for (const Operand &O : I.Args)
+      Args.push_back(evalOperand(F, O));
+    if (Args[0].K != Value::Kind::Ref) {
+      trap("method call on NIL", I.Loc);
+      return false;
+    }
+    const HeapObject &O = Heap[Args[0].Obj];
+    const Type &Ty = Types.get(O.Type);
+    assert(Ty.Kind == TypeKind::Object && "method call on non-object");
+    assert(I.MethodSlot < Ty.DispatchTable.size() && "bad method slot");
+    // Dynamic dispatch reads the object's type descriptor: one implicit
+    // heap load (the header word) plus table-walk overhead. Method
+    // resolution (Section 3.7) eliminates exactly this.
+    Value TypeWord = Value::makeInt(static_cast<int64_t>(O.Type));
+    Value::Location HdrLoc = {Value::Location::Region::Heap, Args[0].Obj,
+                              LenSlot};
+    fireLoad(HdrLoc, TypeWord, I.StaticId, /*Implicit=*/true, F.Activation);
+    // Descriptor indirection plus the pipeline cost of an indirect jump
+    // (the early Alphas predicted indirect branches poorly); method
+    // resolution (Section 3.7) eliminates exactly this.
+    Stats.Ops += 6;
+    ProcId Target = Ty.DispatchTable[I.MethodSlot];
+    if (Target == InvalidProcId) {
+      trap("call of unimplemented method", I.Loc);
+      return false;
+    }
+    Value Result;
+    if (!execFunction(Target, Args, &Result))
+      return false;
+    if (I.Result != NoTemp)
+      F.Temps[I.Result] = Result;
+    return true;
+  }
+  case Opcode::Ret:
+    Returned = true;
+    if (!I.A.isNone() && RetVal)
+      *RetVal = evalOperand(F, I.A);
+    return true;
+  case Opcode::Jmp:
+    NextBlock = I.T1;
+    return true;
+  case Opcode::Br: {
+    Value C = evalOperand(F, I.A);
+    assert(C.K == Value::Kind::Bool && "branch on non-boolean");
+    NextBlock = C.I ? I.T1 : I.T2;
+    return true;
+  }
+  case Opcode::TrapInst:
+    trap("function procedure fell off the end without RETURN", I.Loc);
+    return false;
+  }
+  return false;
+}
+
+bool VM::execFunction(FuncId Id, const std::vector<Value> &Args,
+                      Value *Result) {
+  if (Trapped)
+    return false;
+  if (++CallDepth > MaxCallDepth) {
+    trap("call stack overflow", SourceLoc{0, 0});
+    --CallDepth;
+    return false;
+  }
+  const IRFunction &Func = M.Functions[Id];
+  assert(Args.size() == Func.NumParams && "arity mismatch at call");
+
+  Frame F;
+  F.Func = &Func;
+  F.Index = static_cast<uint32_t>(FrameStack.size());
+  F.Activation = NextActivation++;
+  StackTop -= 8ull * (Func.Frame.size() + 2);
+  F.Base = StackTop;
+  F.Slots.reserve(Func.Frame.size());
+  for (size_t I = 0; I != Func.Frame.size(); ++I) {
+    if (I < Args.size())
+      F.Slots.push_back(Args[I]);
+    else
+      F.Slots.push_back(defaultValue(Func.Frame[I].Type));
+  }
+  F.Temps.assign(Func.NumTemps, Value());
+  FrameStack.push_back(&F);
+
+  bool Ok = true;
+  bool Returned = false;
+  BlockId Cur = 0;
+  while (!Returned) {
+    const BasicBlock &B = Func.Blocks[Cur];
+    BlockId Next = InvalidBlock;
+    for (const Instr &I : B.Instrs) {
+      if (OpLimit && Stats.Ops > OpLimit) {
+        trap("operation budget exceeded", I.Loc);
+        Ok = false;
+        break;
+      }
+      if (!execInstr(F, I, Returned, Result, Next)) {
+        Ok = false;
+        break;
+      }
+      if (Returned)
+        break;
+    }
+    if (!Ok || Returned)
+      break;
+    assert(Next != InvalidBlock && "block fell through without terminator");
+    Cur = Next;
+  }
+
+  for (ExecMonitor *Mon : Monitors)
+    Mon->onActivationEnd(F.Activation);
+  FrameStack.pop_back();
+  StackTop += 8ull * (Func.Frame.size() + 2);
+  --CallDepth;
+  return Ok && !Trapped;
+}
+
+bool VM::runInit() {
+  if (M.GlobalInitFunc != ~0u) {
+    if (!execFunction(M.GlobalInitFunc, {}, nullptr))
+      return false;
+  }
+  if (M.InitFunc != ~0u) {
+    if (!execFunction(M.InitFunc, {}, nullptr))
+      return false;
+  }
+  return true;
+}
+
+std::optional<int64_t> VM::callFunction(const std::string &Name,
+                                        const std::vector<int64_t> &Args) {
+  const IRFunction *F = M.findFunction(Name);
+  if (!F || Trapped)
+    return std::nullopt;
+  std::vector<Value> ArgVals;
+  ArgVals.reserve(Args.size());
+  for (int64_t A : Args)
+    ArgVals.push_back(Value::makeInt(A));
+  Value Result;
+  if (!execFunction(F->Id, ArgVals, &Result))
+    return std::nullopt;
+  if (Result.K == Value::Kind::Int || Result.K == Value::Kind::Bool)
+    return Result.I;
+  return std::nullopt;
+}

@@ -1,0 +1,174 @@
+//===- VM.h - Direct IR interpreter with accounting -------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the access-path IR directly, standing in for the paper's
+/// compiled Alpha binaries. It counts executed micro-operations and
+/// classifies every memory access as a heap load or an "other" (stack/
+/// global) load -- the Table 4 metrics -- and streams load/store events to
+/// attached monitors (cache simulator, limit analysis, soundness checks).
+///
+/// Memory model: globals, a downward stack of frames, and a bump-allocated
+/// heap. Every slot is one 8-byte word with a concrete byte address, so
+/// cache behaviour and load redundancy are well defined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_EXEC_VM_H
+#define TBAA_EXEC_VM_H
+
+#include "exec/Monitor.h"
+#include "ir/IR.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+/// Aggregate execution counters (the Table 4 numbers).
+struct ExecStats {
+  uint64_t Ops = 0;        ///< Executed micro-operations ("instructions").
+  uint64_t HeapLoads = 0;  ///< Loads from heap objects.
+  uint64_t OtherLoads = 0; ///< Loads from stack slots and globals.
+  uint64_t HeapStores = 0;
+  uint64_t OtherStores = 0;
+  uint64_t Calls = 0;
+  uint64_t Allocations = 0;
+  uint64_t AllocatedWords = 0;
+
+  double heapLoadPercent() const {
+    return Ops ? 100.0 * static_cast<double>(HeapLoads) /
+                     static_cast<double>(Ops)
+               : 0.0;
+  }
+  double otherLoadPercent() const {
+    return Ops ? 100.0 * static_cast<double>(OtherLoads) /
+                     static_cast<double>(Ops)
+               : 0.0;
+  }
+};
+
+/// A runtime value.
+struct Value {
+  enum class Kind : uint8_t { Invalid, Int, Bool, Nil, Ref, Addr };
+  /// Address of a storage slot (MkRef results and REF cell contents).
+  struct Location {
+    enum class Region : uint8_t { Global, Stack, Heap };
+    Region R = Region::Global;
+    uint32_t Id = 0;   ///< Heap: object id. Stack: frame index. Global: 0.
+    uint32_t Slot = 0;
+  };
+
+  Kind K = Kind::Invalid;
+  int64_t I = 0; ///< Int payload / Bool payload.
+  uint32_t Obj = 0; ///< Ref payload: heap object id.
+  Location A;       ///< Addr payload.
+
+  static Value makeInt(int64_t V) {
+    Value R;
+    R.K = Kind::Int;
+    R.I = V;
+    return R;
+  }
+  static Value makeBool(bool V) {
+    Value R;
+    R.K = Kind::Bool;
+    R.I = V;
+    return R;
+  }
+  static Value makeNil() {
+    Value R;
+    R.K = Kind::Nil;
+    return R;
+  }
+  static Value makeRef(uint32_t Obj) {
+    Value R;
+    R.K = Kind::Ref;
+    R.Obj = Obj;
+    return R;
+  }
+  static Value makeAddr(Location L) {
+    Value R;
+    R.K = Kind::Addr;
+    R.A = L;
+    return R;
+  }
+};
+
+/// Executes one IRModule. Construct, optionally attach monitors, call
+/// runInit() once, then call entry points via callFunction().
+class VM {
+public:
+  explicit VM(const IRModule &M);
+  ~VM();
+
+  void addMonitor(ExecMonitor *Mon) { Monitors.push_back(Mon); }
+
+  /// Aborts execution once this many micro-ops have run (guards tests
+  /// against runaway programs). 0 disables the limit.
+  void setOpLimit(uint64_t Limit) { OpLimit = Limit; }
+
+  /// Runs $globals and the module body. False on trap.
+  bool runInit();
+
+  /// Calls a nullary or integer-parameter function by name. Returns the
+  /// integer result, std::nullopt on trap / void return / unknown name.
+  std::optional<int64_t> callFunction(const std::string &Name,
+                                      const std::vector<int64_t> &Args = {});
+
+  const ExecStats &stats() const { return Stats; }
+  bool trapped() const { return Trapped; }
+  const std::string &trapMessage() const { return TrapMsg; }
+
+private:
+  struct Frame;
+  struct HeapObject;
+
+  bool execFunction(FuncId Id, const std::vector<Value> &Args, Value *Result);
+  bool execInstr(Frame &F, const Instr &I, bool &Returned, Value *RetVal,
+                 BlockId &NextBlock);
+  Value evalOperand(Frame &F, const Operand &O);
+  /// Reads a variable slot, firing accounting and monitor events.
+  Value readVar(Frame &F, VarRef V, uint32_t StaticId);
+  void writeVar(Frame &F, VarRef V, const Value &Val, uint32_t StaticId);
+  /// Resolves a path to a concrete location; false on trap.
+  bool resolvePath(Frame &F, const MemPath &P, uint32_t StaticId,
+                   Value::Location &Loc);
+  Value *slotPtr(const Value::Location &L);
+  uint64_t addrOf(const Value::Location &L) const;
+  bool isHeapLoc(const Value::Location &L) const {
+    return L.R == Value::Location::Region::Heap;
+  }
+  void trap(std::string Msg, SourceLoc Loc);
+  uint32_t allocate(TypeId T, int64_t Len, bool &Ok);
+  Value defaultValue(TypeId T) const;
+  static uint64_t encodeValue(const Value &V);
+
+  void fireLoad(const Value::Location &L, const Value &V, uint32_t StaticId,
+                bool Implicit, uint64_t Activation);
+  void fireStore(const Value::Location &L, uint32_t StaticId,
+                 uint64_t Activation);
+
+  const IRModule &M;
+  const TypeTable &Types;
+  std::vector<Value> Globals;
+  std::vector<HeapObject> Heap;
+  std::vector<Frame *> FrameStack;
+  std::vector<ExecMonitor *> Monitors;
+  ExecStats Stats;
+  uint64_t OpLimit = 0;
+  uint64_t NextActivation = 1;
+  uint64_t HeapBump = 0x20000000;
+  uint64_t StackTop = 0x30000000;
+  bool Trapped = false;
+  std::string TrapMsg;
+  unsigned CallDepth = 0;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_EXEC_VM_H

@@ -1,0 +1,86 @@
+//===- Dominators.cpp -----------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tbaa;
+
+DominatorTree::DominatorTree(const IRFunction &F) {
+  size_t N = F.Blocks.size();
+  IDom.assign(N, InvalidBlock);
+  Reachable.assign(N, false);
+  RPONumber.assign(N, 0);
+
+  // Postorder DFS from the entry.
+  std::vector<BlockId> Post;
+  Post.reserve(N);
+  std::vector<uint8_t> State(N, 0);
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.emplace_back(0, 0);
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    std::vector<BlockId> Succs = F.Blocks[B].successors();
+    if (NextSucc < Succs.size()) {
+      BlockId S = Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    Post.push_back(B);
+    Stack.pop_back();
+  }
+  RPO.assign(Post.rbegin(), Post.rend());
+  for (size_t I = 0; I != RPO.size(); ++I) {
+    RPONumber[RPO[I]] = static_cast<uint32_t>(I);
+    Reachable[RPO[I]] = true;
+  }
+
+  auto Preds = F.predecessors();
+  auto Intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RPONumber[A] > RPONumber[B])
+        A = IDom[A];
+      while (RPONumber[B] > RPONumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  IDom[0] = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : RPO) {
+      if (B == 0)
+        continue;
+      BlockId NewIdom = InvalidBlock;
+      for (BlockId P : Preds[B]) {
+        if (!Reachable[P] || IDom[P] == InvalidBlock)
+          continue;
+        NewIdom = NewIdom == InvalidBlock ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != InvalidBlock && IDom[B] != NewIdom) {
+        IDom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  IDom[0] = InvalidBlock; // Entry has no immediate dominator.
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  if (!Reachable[A] || !Reachable[B])
+    return false;
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == 0 || IDom[B] == InvalidBlock)
+      return false;
+    B = IDom[B];
+  }
+}

@@ -1,0 +1,49 @@
+//===- Dominators.h - Dominator tree over the CFG ---------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator computation (Cooper-Harvey-Kennedy iterative algorithm) used
+/// by natural-loop detection and by RLE's loop-invariant load motion
+/// safety check ("executed on every iteration").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_IR_DOMINATORS_H
+#define TBAA_IR_DOMINATORS_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace tbaa {
+
+/// Immediate-dominator tree for one function's CFG. Unreachable blocks
+/// have no dominator and report dominates() == false for everything.
+class DominatorTree {
+public:
+  explicit DominatorTree(const IRFunction &F);
+
+  /// Immediate dominator of \p B; InvalidBlock for entry and unreachable
+  /// blocks.
+  BlockId idom(BlockId B) const { return IDom[B]; }
+  bool isReachable(BlockId B) const { return Reachable[B]; }
+
+  /// Whether \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// Blocks in reverse postorder of the CFG (reachable blocks only).
+  const std::vector<BlockId> &reversePostOrder() const { return RPO; }
+
+private:
+  std::vector<BlockId> IDom;
+  std::vector<bool> Reachable;
+  std::vector<BlockId> RPO;
+  std::vector<uint32_t> RPONumber;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_IR_DOMINATORS_H

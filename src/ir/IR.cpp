@@ -1,0 +1,349 @@
+//===- IR.cpp -------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace tbaa;
+
+std::vector<BlockId> BasicBlock::successors() const {
+  assert(!Instrs.empty() && "block without terminator");
+  const Instr &T = Instrs.back();
+  switch (T.Op) {
+  case Opcode::Jmp:
+    return {T.T1};
+  case Opcode::Br:
+    return {T.T1, T.T2};
+  default:
+    return {};
+  }
+}
+
+VarRef IRFunction::addShadowVar(TypeId Type, const std::string &Hint) {
+  IRVar V;
+  V.Name = "$" + Hint + std::to_string(Frame.size());
+  V.Type = Type;
+  V.Synthetic = true;
+  Frame.push_back(std::move(V));
+  return {VarRef::Kind::Frame, static_cast<uint32_t>(Frame.size() - 1)};
+}
+
+std::vector<std::vector<BlockId>> IRFunction::predecessors() const {
+  std::vector<std::vector<BlockId>> Preds(Blocks.size());
+  for (const BasicBlock &B : Blocks)
+    for (BlockId S : B.successors())
+      Preds[S].push_back(B.Id);
+  return Preds;
+}
+
+size_t IRFunction::instrCount() const {
+  size_t N = 0;
+  for (const BasicBlock &B : Blocks)
+    N += B.Instrs.size();
+  return N;
+}
+
+IRFunction *IRModule::findFunction(const std::string &Name) {
+  for (IRFunction &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const IRFunction *IRModule::findFunction(const std::string &Name) const {
+  for (const IRFunction &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+uint32_t IRModule::assignStaticIds() {
+  uint32_t Next = 0;
+  for (IRFunction &F : Functions)
+    for (BasicBlock &B : F.Blocks)
+      for (Instr &I : B.Instrs)
+        I.StaticId = Next++;
+  return Next;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static std::string varToString(const IRFunction &F, const IRModule &M,
+                               VarRef V) {
+  const IRVar &Info = M.varInfo(F, V);
+  return Info.Name.empty() ? (V.K == VarRef::Kind::Global
+                                  ? "g" + std::to_string(V.Index)
+                                  : "v" + std::to_string(V.Index))
+                           : Info.Name;
+}
+
+static std::string operandToString(const IRFunction &F, const IRModule &M,
+                                   const Operand &O) {
+  switch (O.K) {
+  case Operand::Kind::None:
+    return "<none>";
+  case Operand::Kind::Temp:
+    return "t" + std::to_string(O.Temp);
+  case Operand::Kind::ImmInt:
+    return std::to_string(O.Imm);
+  case Operand::Kind::ImmBool:
+    return O.Imm ? "TRUE" : "FALSE";
+  case Operand::Kind::Nil:
+    return "NIL";
+  case Operand::Kind::Var:
+    return varToString(F, M, O.Var);
+  }
+  return "?";
+}
+
+std::string tbaa::pathToString(const IRFunction &F, const IRModule &M,
+                               const MemPath &P) {
+  std::string Root = varToString(F, M, P.Root);
+  switch (P.Sel) {
+  case SelKind::Field: {
+    std::string FieldName = "f" + std::to_string(P.Field);
+    if (M.Types) {
+      for (const FieldInfo &FI : M.Types->get(P.BaseType).AllFields)
+        if (FI.Id == P.Field)
+          FieldName = FI.Name;
+    }
+    return Root + "." + FieldName;
+  }
+  case SelKind::Deref:
+    return Root + "^";
+  case SelKind::Index:
+    return Root + "[" + operandToString(F, M, P.Index) + "]";
+  case SelKind::Len:
+    return "NUMBER(" + Root + ")";
+  }
+  return Root;
+}
+
+static const char *binOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "DIV";
+  case BinaryOp::Mod:
+    return "MOD";
+  case BinaryOp::Eq:
+    return "=";
+  case BinaryOp::Ne:
+    return "#";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "AND";
+  case BinaryOp::Or:
+    return "OR";
+  }
+  return "?";
+}
+
+static void printInstr(std::ostringstream &OS, const IRModule &M,
+                       const IRFunction &F, const Instr &I) {
+  auto Opnd = [&](const Operand &O) { return operandToString(F, M, O); };
+  auto Res = [&]() { return "t" + std::to_string(I.Result) + " := "; };
+  switch (I.Op) {
+  case Opcode::LoadVar:
+    OS << Res() << varToString(F, M, I.Var);
+    break;
+  case Opcode::StoreVar:
+    OS << varToString(F, M, I.Var) << " := " << Opnd(I.A);
+    break;
+  case Opcode::LoadMem:
+    OS << Res() << pathToString(F, M, I.Path);
+    break;
+  case Opcode::StoreMem:
+    OS << pathToString(F, M, I.Path) << " := " << Opnd(I.A);
+    break;
+  case Opcode::MkRef:
+    OS << Res() << "ADR("
+       << (I.HasPath ? pathToString(F, M, I.Path) : varToString(F, M, I.Var))
+       << ")";
+    break;
+  case Opcode::ConstOp:
+  case Opcode::Mov:
+    OS << Res() << Opnd(I.A);
+    break;
+  case Opcode::UnOp:
+    OS << Res() << (I.UOp == UnaryOp::Neg ? "-" : "NOT ") << Opnd(I.A);
+    break;
+  case Opcode::BinOp:
+    OS << Res() << Opnd(I.A) << ' ' << binOpName(I.BOp) << ' ' << Opnd(I.B);
+    break;
+  case Opcode::NewOp:
+    OS << Res() << "NEW "
+       << (M.Types ? M.Types->typeName(I.AllocType)
+                   : std::to_string(I.AllocType));
+    if (!I.A.isNone())
+      OS << "[" << Opnd(I.A) << "]";
+    break;
+  case Opcode::NarrowOp:
+  case Opcode::IsTypeOp:
+    OS << Res() << (I.Op == Opcode::NarrowOp ? "NARROW(" : "ISTYPE(")
+       << Opnd(I.A) << ", "
+       << (M.Types ? M.Types->typeName(I.AllocType)
+                   : std::to_string(I.AllocType))
+       << ")";
+    break;
+  case Opcode::Call: {
+    if (I.Result != NoTemp)
+      OS << Res();
+    OS << M.Functions[I.Callee].Name << "(";
+    for (size_t K = 0; K != I.Args.size(); ++K)
+      OS << (K ? ", " : "") << Opnd(I.Args[K]);
+    OS << ")";
+    break;
+  }
+  case Opcode::CallMethod: {
+    if (I.Result != NoTemp)
+      OS << Res();
+    OS << Opnd(I.Args[0]) << ".m" << I.MethodSlot << "(";
+    for (size_t K = 1; K != I.Args.size(); ++K)
+      OS << (K > 1 ? ", " : "") << Opnd(I.Args[K]);
+    OS << ")";
+    break;
+  }
+  case Opcode::Ret:
+    OS << "ret";
+    if (!I.A.isNone())
+      OS << ' ' << Opnd(I.A);
+    break;
+  case Opcode::Jmp:
+    OS << "jmp B" << I.T1;
+    break;
+  case Opcode::Br:
+    OS << "br " << Opnd(I.A) << ", B" << I.T1 << ", B" << I.T2;
+    break;
+  case Opcode::TrapInst:
+    OS << "trap";
+    break;
+  }
+}
+
+std::string IRModule::dump(const IRFunction &F) const {
+  std::ostringstream OS;
+  OS << "func " << F.Name << " (" << F.NumParams << " params, "
+     << F.Frame.size() << " vars, " << F.NumTemps << " temps)\n";
+  for (const BasicBlock &B : F.Blocks) {
+    OS << "B" << B.Id << ":\n";
+    for (const Instr &I : B.Instrs) {
+      OS << "  ";
+      printInstr(OS, *this, F, I);
+      OS << '\n';
+    }
+  }
+  return OS.str();
+}
+
+std::string IRModule::dump() const {
+  std::ostringstream OS;
+  for (const IRFunction &F : Functions)
+    OS << dump(F) << '\n';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Verification
+//===----------------------------------------------------------------------===//
+
+std::string IRModule::verify() const {
+  std::ostringstream Err;
+  auto CheckOperand = [&](const IRFunction &F, const Operand &O,
+                          bool AllowVar, const char *Where) {
+    switch (O.K) {
+    case Operand::Kind::Temp:
+      if (O.Temp >= F.NumTemps)
+        Err << F.Name << ": temp out of range in " << Where << "\n";
+      break;
+    case Operand::Kind::Var:
+      if (!AllowVar)
+        Err << F.Name << ": Var operand outside path index in " << Where
+            << "\n";
+      [[fallthrough]];
+    case Operand::Kind::None:
+    case Operand::Kind::ImmInt:
+    case Operand::Kind::ImmBool:
+    case Operand::Kind::Nil:
+      break;
+    }
+    if (O.K == Operand::Kind::Var) {
+      if (O.Var.K == VarRef::Kind::Global) {
+        if (O.Var.Index >= Globals.size())
+          Err << F.Name << ": global out of range in " << Where << "\n";
+      } else if (O.Var.Index >= F.Frame.size()) {
+        Err << F.Name << ": frame var out of range in " << Where << "\n";
+      }
+    }
+  };
+  auto CheckVarRef = [&](const IRFunction &F, VarRef V, const char *Where) {
+    if (V.K == VarRef::Kind::Global) {
+      if (V.Index >= Globals.size())
+        Err << F.Name << ": global out of range in " << Where << "\n";
+    } else if (V.Index >= F.Frame.size()) {
+      Err << F.Name << ": frame var out of range in " << Where << "\n";
+    }
+  };
+
+  for (const IRFunction &F : Functions) {
+    if (F.Blocks.empty()) {
+      Err << F.Name << ": no blocks\n";
+      continue;
+    }
+    for (const BasicBlock &B : F.Blocks) {
+      if (B.Instrs.empty()) {
+        Err << F.Name << ": empty block B" << B.Id << "\n";
+        continue;
+      }
+      for (size_t K = 0; K != B.Instrs.size(); ++K) {
+        const Instr &I = B.Instrs[K];
+        bool Last = K + 1 == B.Instrs.size();
+        if (I.isTerminator() != Last)
+          Err << F.Name << ": terminator misplaced in B" << B.Id << "\n";
+        CheckOperand(F, I.A, false, "A");
+        CheckOperand(F, I.B, false, "B");
+        for (const Operand &O : I.Args)
+          CheckOperand(F, O, false, "arg");
+        if (I.Op == Opcode::LoadVar || I.Op == Opcode::StoreVar ||
+            (I.Op == Opcode::MkRef && !I.HasPath))
+          CheckVarRef(F, I.Var, "var");
+        if (I.HasPath || I.isMemAccess()) {
+          CheckVarRef(F, I.Path.Root, "path root");
+          if (I.Path.Sel == SelKind::Index &&
+              I.Path.Index.K != Operand::Kind::Var &&
+              I.Path.Index.K != Operand::Kind::ImmInt)
+            Err << F.Name << ": path index must be Var or ImmInt\n";
+          if (I.Path.Index.K == Operand::Kind::Var)
+            CheckVarRef(F, I.Path.Index.Var, "path index");
+        }
+        if (I.Op == Opcode::Jmp || I.Op == Opcode::Br) {
+          if (I.T1 >= F.Blocks.size() ||
+              (I.Op == Opcode::Br && I.T2 >= F.Blocks.size()))
+            Err << F.Name << ": branch target out of range in B" << B.Id
+                << "\n";
+        }
+        if (I.Op == Opcode::Call && I.Callee >= Functions.size())
+          Err << F.Name << ": callee out of range\n";
+      }
+    }
+    for (size_t BI = 0; BI != F.Blocks.size(); ++BI)
+      if (F.Blocks[BI].Id != BI)
+        Err << F.Name << ": block id mismatch at " << BI << "\n";
+  }
+  return Err.str();
+}

@@ -1,0 +1,299 @@
+//===- IR.h - Access-path register IR ---------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program optimizer IR. It mirrors the paper's high-level AST
+/// representation in the one property that matters for the evaluation:
+/// memory instructions carry *lexical access paths*. Every LoadMem /
+/// StoreMem names a root variable plus exactly one selector (Qualify /
+/// Dereference / Subscript of Table 1, plus Len for open-array dope
+/// reads); longer source paths are decomposed through compiler-introduced
+/// shadow locals. Redundant load elimination keys on these lexical paths,
+/// which deliberately reproduces the paper's "Breakup" limitation (its
+/// optimizer lacked copy propagation), and our optional copy-propagation
+/// pass quantifies it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_IR_IR_H
+#define TBAA_IR_IR_H
+
+#include "lang/AST.h"
+#include "lang/Types.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+using TempId = uint32_t;
+using BlockId = uint32_t;
+using FuncId = uint32_t;
+constexpr TempId NoTemp = ~0u;
+constexpr BlockId InvalidBlock = ~0u;
+constexpr uint32_t InvalidStaticId = ~0u;
+
+//===----------------------------------------------------------------------===//
+// Variables and operands
+//===----------------------------------------------------------------------===//
+
+/// A storage slot: module global or current-frame local/param.
+struct VarRef {
+  enum class Kind : uint8_t { Global, Frame } K = Kind::Frame;
+  uint32_t Index = 0;
+
+  friend bool operator==(const VarRef &A, const VarRef &B) {
+    return A.K == B.K && A.Index == B.Index;
+  }
+};
+
+/// A variable of the IR (global, formal, declared local or shadow local).
+struct IRVar {
+  std::string Name;
+  TypeId Type = InvalidTypeId;
+  /// VAR formal: the slot holds an address; source accesses dereference.
+  bool ByRef = false;
+  /// Some MkRef took this variable's own address (it was passed VAR).
+  bool AddressTaken = false;
+  /// Introduced by lowering (shadow base/index locals), not in the source.
+  bool Synthetic = false;
+  /// Compiler value cell the back end would keep in a machine register
+  /// (RLE's CSE cells): accesses cost one op and no memory traffic.
+  bool IsRegister = false;
+};
+
+/// Instruction operand. Var operands are only legal as MemPath indices
+/// (keeping access paths lexical); everywhere else operands are temps or
+/// immediates.
+struct Operand {
+  enum class Kind : uint8_t { None, Temp, ImmInt, ImmBool, Nil, Var };
+  Kind K = Kind::None;
+  TempId Temp = NoTemp;
+  int64_t Imm = 0;
+  VarRef Var;
+
+  static Operand none() { return {}; }
+  static Operand temp(TempId T) {
+    Operand O;
+    O.K = Kind::Temp;
+    O.Temp = T;
+    return O;
+  }
+  static Operand immInt(int64_t V) {
+    Operand O;
+    O.K = Kind::ImmInt;
+    O.Imm = V;
+    return O;
+  }
+  static Operand immBool(bool V) {
+    Operand O;
+    O.K = Kind::ImmBool;
+    O.Imm = V;
+    return O;
+  }
+  static Operand nil() {
+    Operand O;
+    O.K = Kind::Nil;
+    return O;
+  }
+  static Operand var(VarRef V) {
+    Operand O;
+    O.K = Kind::Var;
+    O.Var = V;
+    return O;
+  }
+  bool isNone() const { return K == Kind::None; }
+  bool isTemp() const { return K == Kind::Temp; }
+
+  friend bool operator==(const Operand &A, const Operand &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case Kind::None:
+    case Kind::Nil:
+      return true;
+    case Kind::Temp:
+      return A.Temp == B.Temp;
+    case Kind::ImmInt:
+    case Kind::ImmBool:
+      return A.Imm == B.Imm;
+    case Kind::Var:
+      return A.Var == B.Var;
+    }
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Access paths
+//===----------------------------------------------------------------------===//
+
+/// The selector applied to the root: the memory-reference kinds of
+/// Table 1 plus Len (open-array length, the dope vector).
+enum class SelKind : uint8_t { Field, Deref, Index, Len };
+
+/// A lexical access path: one root variable and one selector.
+struct MemPath {
+  VarRef Root;
+  SelKind Sel = SelKind::Field;
+  FieldId Field = InvalidFieldId; ///< Field selector.
+  uint32_t FieldSlot = 0;         ///< Heap slot of the field.
+  Operand Index;                  ///< Index selector: Var or ImmInt only.
+  /// Static type of the base reference (object/record for Field, array
+  /// for Index/Len). For Deref: the *target* type (Type(p^)).
+  TypeId BaseType = InvalidTypeId;
+  /// Static type of the accessed value.
+  TypeId ValueType = InvalidTypeId;
+
+  /// Lexical identity: same root, same selector, same field/index.
+  friend bool operator==(const MemPath &A, const MemPath &B) {
+    if (!(A.Root == B.Root) || A.Sel != B.Sel)
+      return false;
+    switch (A.Sel) {
+    case SelKind::Field:
+      return A.Field == B.Field;
+    case SelKind::Index:
+      return A.Index == B.Index;
+    case SelKind::Deref:
+    case SelKind::Len:
+      return true;
+    }
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+enum class Opcode : uint8_t {
+  LoadVar,    ///< Result := Var            (stack/global read)
+  StoreVar,   ///< Var := A
+  LoadMem,    ///< Result := *Path          (heap read; root read implied)
+  StoreMem,   ///< *Path := A
+  MkRef,      ///< Result := ADR(Var) or ADR(*Path)  (VAR actuals)
+  ConstOp,    ///< Result := A (immediate)
+  Mov,        ///< Result := A
+  UnOp,       ///< Result := op A
+  BinOp,      ///< Result := A op B
+  NewOp,      ///< Result := NEW AllocType [length A]
+  NarrowOp,   ///< Result := NARROW(A, AllocType); traps on type mismatch
+  IsTypeOp,   ///< Result := ISTYPE(A, AllocType)
+  Call,       ///< [Result :=] Callee(Args)
+  CallMethod, ///< [Result :=] Args[0].slot(Args[1..]); dynamic dispatch
+  Ret,        ///< return [A]
+  Jmp,        ///< goto T1
+  Br,         ///< if A then T1 else T2
+  TrapInst,   ///< runtime error (missing return)
+};
+
+/// One IR instruction (fat struct; fields used per opcode).
+struct Instr {
+  Opcode Op;
+  TempId Result = NoTemp;
+  Operand A, B;
+  VarRef Var;          ///< LoadVar/StoreVar/MkRef(var form).
+  bool HasPath = false;
+  MemPath Path;        ///< LoadMem/StoreMem/MkRef(path form).
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+  TypeId AllocType = InvalidTypeId; ///< NewOp.
+  FuncId Callee = 0;                ///< Call.
+  uint32_t MethodSlot = 0;          ///< CallMethod.
+  TypeId ReceiverType = InvalidTypeId; ///< CallMethod: static receiver type.
+  std::vector<Operand> Args;        ///< Call/CallMethod.
+  BlockId T1 = InvalidBlock, T2 = InvalidBlock; ///< Jmp/Br targets.
+  /// Program-unique id, assigned by IRModule::assignStaticIds(). Stable
+  /// across VM runs; used by the limit analysis to attribute dynamic
+  /// events to instructions.
+  uint32_t StaticId = InvalidStaticId;
+  SourceLoc Loc;
+  /// True on loads the optimizer must not touch because the source never
+  /// wrote them (none today; dope reads are folded into LoadMem/index).
+  bool Implicit = false;
+
+  bool isTerminator() const {
+    return Op == Opcode::Ret || Op == Opcode::Jmp || Op == Opcode::Br ||
+           Op == Opcode::TrapInst;
+  }
+  /// Memory-reference instructions that carry an access path.
+  bool isMemAccess() const {
+    return Op == Opcode::LoadMem || Op == Opcode::StoreMem;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Blocks, functions, module
+//===----------------------------------------------------------------------===//
+
+struct BasicBlock {
+  BlockId Id = InvalidBlock;
+  std::vector<Instr> Instrs;
+
+  const Instr &terminator() const { return Instrs.back(); }
+  /// Successor block ids (0, 1 or 2 of them).
+  std::vector<BlockId> successors() const;
+};
+
+struct IRFunction {
+  std::string Name;
+  FuncId Id = 0;
+  /// Frame layout: params first (NumParams of them), then locals.
+  std::vector<IRVar> Frame;
+  uint32_t NumParams = 0;
+  TypeId ReturnType = InvalidTypeId;
+  uint32_t NumTemps = 0;
+  std::vector<BasicBlock> Blocks; ///< Blocks[0] is the entry.
+  bool IsMethodImpl = false;
+  bool Synthetic = false; ///< $globals and similar.
+
+  TempId newTemp() { return NumTemps++; }
+  /// Adds a synthetic local and returns its VarRef.
+  VarRef addShadowVar(TypeId Type, const std::string &Hint);
+  /// Predecessor lists, recomputed on demand.
+  std::vector<std::vector<BlockId>> predecessors() const;
+  size_t instrCount() const;
+};
+
+/// A lowered whole program.
+struct IRModule {
+  const TypeTable *Types = nullptr;
+  std::vector<IRVar> Globals;
+  std::vector<IRFunction> Functions;
+  /// Runs global initializers; always present, index == Functions.size()-1
+  /// unless empty program. Invoked before InitFunc.
+  FuncId GlobalInitFunc = ~0u;
+  /// The module body ($init) if the source had one.
+  FuncId InitFunc = ~0u;
+
+  const IRVar &varInfo(const IRFunction &F, VarRef V) const {
+    return V.K == VarRef::Kind::Global ? Globals[V.Index] : F.Frame[V.Index];
+  }
+
+  IRFunction *findFunction(const std::string &Name);
+  const IRFunction *findFunction(const std::string &Name) const;
+
+  /// Numbers every instruction program-wide; returns the total count.
+  /// Re-run after any transformation that adds or removes instructions.
+  uint32_t assignStaticIds();
+
+  /// Renders the module as text (tests and debugging).
+  std::string dump() const;
+  std::string dump(const IRFunction &F) const;
+
+  /// Structural sanity checks (operand kinds, terminator placement,
+  /// branch targets, slot ranges). Returns error string or empty.
+  std::string verify() const;
+};
+
+/// Renders one access path like "g7.f3" / "x^" / "a[i]" (tests, debugging).
+std::string pathToString(const IRFunction &F, const IRModule &M,
+                         const MemPath &P);
+
+} // namespace tbaa
+
+#endif // TBAA_IR_IR_H

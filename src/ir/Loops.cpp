@@ -1,0 +1,114 @@
+//===- Loops.cpp ----------------------------------------------------------===//
+
+#include "ir/Loops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace tbaa;
+
+bool Loop::contains(BlockId B) const {
+  return std::find(Blocks.begin(), Blocks.end(), B) != Blocks.end();
+}
+
+LoopInfo::LoopInfo(const IRFunction &F, const DominatorTree &DT) {
+  auto Preds = F.predecessors();
+
+  // Collect back edges (Latch -> Header where Header dominates Latch) and
+  // group them per header.
+  std::map<BlockId, std::vector<BlockId>> HeaderLatches;
+  for (const BasicBlock &B : F.Blocks) {
+    if (!DT.isReachable(B.Id))
+      continue;
+    for (BlockId S : B.successors())
+      if (DT.dominates(S, B.Id))
+        HeaderLatches[S].push_back(B.Id);
+  }
+
+  for (auto &[Header, Latches] : HeaderLatches) {
+    Loop L;
+    L.Header = Header;
+    L.Latches = Latches;
+    // Body: header plus everything that reaches a latch without passing
+    // through the header.
+    std::set<BlockId> Body;
+    Body.insert(Header);
+    std::vector<BlockId> Work = Latches;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      if (!Body.insert(B).second)
+        continue;
+      for (BlockId P : Preds[B])
+        if (DT.isReachable(P) && !Body.count(P))
+          Work.push_back(P);
+    }
+    L.Blocks.assign(Body.begin(), Body.end());
+    for (BlockId B : L.Blocks)
+      for (BlockId S : F.Blocks[B].successors())
+        if (!Body.count(S)) {
+          L.ExitingBlocks.push_back(B);
+          break;
+        }
+    Loops.push_back(std::move(L));
+  }
+
+  // Nesting depth: number of loops containing this loop's header strictly.
+  for (Loop &L : Loops) {
+    uint32_t Depth = 0;
+    for (const Loop &Other : Loops)
+      if (Other.contains(L.Header))
+        ++Depth;
+    L.Depth = Depth;
+  }
+
+  // Innermost first: containment implies strictly smaller body.
+  std::sort(Loops.begin(), Loops.end(), [](const Loop &A, const Loop &B) {
+    return A.Blocks.size() < B.Blocks.size();
+  });
+}
+
+LoopInfo tbaa::ensurePreheaders(IRFunction &F) {
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  std::map<BlockId, BlockId> HeaderToPreheader;
+
+  for (const Loop &L : LI.loops()) {
+    assert(L.Header != 0 && "entry block cannot be a loop header");
+    BlockId P = static_cast<BlockId>(F.Blocks.size());
+    BasicBlock PB;
+    PB.Id = P;
+    Instr J;
+    J.Op = Opcode::Jmp;
+    J.T1 = L.Header;
+    PB.Instrs.push_back(std::move(J));
+    F.Blocks.push_back(std::move(PB));
+    HeaderToPreheader[L.Header] = P;
+
+    // Redirect every entry edge (predecessor outside the loop) to P.
+    std::set<BlockId> Latches(L.Latches.begin(), L.Latches.end());
+    for (BasicBlock &B : F.Blocks) {
+      if (B.Id == P || Latches.count(B.Id))
+        continue;
+      Instr &T = B.Instrs.back();
+      if (T.Op == Opcode::Jmp || T.Op == Opcode::Br) {
+        if (T.T1 == L.Header)
+          T.T1 = P;
+        if (T.Op == Opcode::Br && T.T2 == L.Header)
+          T.T2 = P;
+      }
+    }
+  }
+
+  // Recompute with the preheaders in place and attach them.
+  DominatorTree DT2(F);
+  LoopInfo LI2(F, DT2);
+  for (Loop &L : LI2.loops()) {
+    auto It = HeaderToPreheader.find(L.Header);
+    if (It != HeaderToPreheader.end())
+      L.Preheader = It->second;
+  }
+  return LI2;
+}

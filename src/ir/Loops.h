@@ -1,0 +1,64 @@
+//===- Loops.h - Natural loop detection -------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection from back edges of the dominator tree, plus
+/// preheader insertion. RLE's loop-invariant code motion (Figure 6 of the
+/// paper) hoists loads into preheaders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_IR_LOOPS_H
+#define TBAA_IR_LOOPS_H
+
+#include "ir/Dominators.h"
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace tbaa {
+
+/// One natural loop: header plus body blocks (loops sharing a header are
+/// merged).
+struct Loop {
+  BlockId Header = InvalidBlock;
+  std::vector<BlockId> Blocks;   ///< Includes the header.
+  std::vector<BlockId> Latches;  ///< Body blocks with an edge to the header.
+  /// Blocks inside the loop with a successor outside (their outside
+  /// successors are the exit targets).
+  std::vector<BlockId> ExitingBlocks;
+  /// Preheader (outside block whose single purpose is to jump to the
+  /// header); InvalidBlock until ensurePreheaders() runs.
+  BlockId Preheader = InvalidBlock;
+  /// Nesting depth (1 = outermost).
+  uint32_t Depth = 1;
+
+  bool contains(BlockId B) const;
+};
+
+/// Loops of one function, innermost-first.
+class LoopInfo {
+public:
+  LoopInfo(const IRFunction &F, const DominatorTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+  std::vector<Loop> &loops() { return Loops; }
+
+private:
+  std::vector<Loop> Loops;
+};
+
+/// Gives every loop of \p F a dedicated preheader block, rewriting entry
+/// edges. Invalidates any DominatorTree/LoopInfo computed earlier; returns
+/// the fresh LoopInfo (with Preheader fields set). Loops whose header is
+/// the function entry cannot occur (entry has no predecessors on entry
+/// edges... the entry block is never a loop header because lowering always
+/// starts functions with a dedicated entry block).
+LoopInfo ensurePreheaders(IRFunction &F);
+
+} // namespace tbaa
+
+#endif // TBAA_IR_LOOPS_H

@@ -1,0 +1,1069 @@
+//===- Lower.cpp ----------------------------------------------------------===//
+
+#include "ir/Lower.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace tbaa;
+
+namespace {
+
+/// The location a WITH binding aliases: either a variable or a frozen
+/// access path.
+struct AliasTarget {
+  bool IsPath = false;
+  VarRef Var;
+  MemPath Path;
+};
+
+class FunctionLowerer {
+public:
+  FunctionLowerer(IRModule &M, IRFunction &F, const TypeTable &Types,
+                  const ModuleAST &Mod,
+                  const std::unordered_map<const VarSymbol *, VarRef> &Globals)
+      : M(M), F(F), Types(Types), Mod(Mod), GlobalMap(Globals) {}
+
+  void lowerBody(const ProcDecl &P);
+  /// Lowers a bare statement list into F (used for $globals).
+  void lowerInits(
+      const std::vector<std::pair<VarSymbol *, ExprPtr>> &Inits);
+
+private:
+  // --- Emission helpers ---
+  BlockId newBlock() {
+    BasicBlock B;
+    B.Id = static_cast<BlockId>(F.Blocks.size());
+    F.Blocks.push_back(std::move(B));
+    return F.Blocks.back().Id;
+  }
+  Instr &emit(Instr I) {
+    assert(!Terminated && "emitting into a terminated block");
+    F.Blocks[Cur].Instrs.push_back(std::move(I));
+    if (F.Blocks[Cur].Instrs.back().isTerminator())
+      Terminated = true;
+    return F.Blocks[Cur].Instrs.back();
+  }
+  void startBlock(BlockId B) {
+    Cur = B;
+    Terminated = false;
+  }
+  void jumpTo(BlockId B) {
+    if (Terminated) {
+      startBlock(newBlock()); // unreachable continuation
+    }
+    Instr I;
+    I.Op = Opcode::Jmp;
+    I.T1 = B;
+    emit(std::move(I));
+  }
+  void branch(Operand Cond, BlockId T, BlockId E, SourceLoc Loc) {
+    Instr I;
+    I.Op = Opcode::Br;
+    I.A = Cond;
+    I.T1 = T;
+    I.T2 = E;
+    I.Loc = Loc;
+    emit(std::move(I));
+  }
+  TempId emitMov(Operand O, SourceLoc Loc) {
+    TempId T = F.newTemp();
+    Instr I;
+    I.Op = Opcode::Mov;
+    I.Result = T;
+    I.A = O;
+    I.Loc = Loc;
+    emit(std::move(I));
+    return T;
+  }
+  VarRef freeze(Operand O, TypeId Type, SourceLoc Loc, const char *Hint) {
+    VarRef V = F.addShadowVar(Types.canonical(Type), Hint);
+    Instr I;
+    I.Op = Opcode::StoreVar;
+    I.Var = V;
+    I.A = O;
+    I.Loc = Loc;
+    emit(std::move(I));
+    return V;
+  }
+
+  VarRef varRefOf(const VarSymbol *Sym) const {
+    if (Sym->Scope == VarScope::Global) {
+      auto It = GlobalMap.find(Sym);
+      assert(It != GlobalMap.end() && "unmapped global");
+      return It->second;
+    }
+    auto It = LocalMap.find(Sym);
+    assert(It != LocalMap.end() && "unmapped local");
+    return It->second;
+  }
+
+  // --- Expression lowering ---
+  Operand lowerExpr(const Expr &E);
+  Operand lowerShortCircuit(const BinaryExpr &B);
+  TempId lowerLoad(const Expr &Designator);
+  void lowerStore(const Expr &Designator, Operand Value);
+  /// Materializes the base reference of a selector into a root variable.
+  VarRef baseToVar(const Expr &Base);
+  /// Builds the path for a Field/Index/Deref designator (not Name).
+  MemPath pathFor(const Expr &Designator);
+  Operand indexOperand(const Expr &Idx);
+  Operand lowerVarActual(const Expr &Arg);
+  Operand lowerCallLike(const Expr &E);
+
+  // --- Statement lowering ---
+  void lowerStmtList(const StmtList &Stmts);
+  void lowerStmt(const Stmt &S);
+
+  IRModule &M;
+  IRFunction &F;
+  const TypeTable &Types;
+  const ModuleAST &Mod;
+  const std::unordered_map<const VarSymbol *, VarRef> &GlobalMap;
+  std::unordered_map<const VarSymbol *, VarRef> LocalMap;
+  std::unordered_map<const VarSymbol *, AliasTarget> AliasMap;
+  std::vector<BlockId> ExitTargets;
+  BlockId Cur = 0;
+  bool Terminated = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+VarRef FunctionLowerer::baseToVar(const Expr &Base) {
+  if (const auto *N = dynCast<NameExpr>(&Base)) {
+    const VarSymbol *Sym = N->Sym;
+    auto AliasIt = AliasMap.find(Sym);
+    if (AliasIt != AliasMap.end()) {
+      const AliasTarget &A = AliasIt->second;
+      if (!A.IsPath)
+        return A.Var;
+      // Load the aliased location's value into a shadow root.
+      TempId T = F.newTemp();
+      Instr I;
+      I.Op = Opcode::LoadMem;
+      I.Result = T;
+      I.Path = A.Path;
+      I.Loc = N->Loc;
+      emit(std::move(I));
+      return freeze(Operand::temp(T), A.Path.ValueType, N->Loc, "b");
+    }
+    VarRef V = varRefOf(Sym);
+    if (!Sym->ByRef)
+      return V;
+    // VAR formal: dereference into a shadow root.
+    TempId T = F.newTemp();
+    Instr I;
+    I.Op = Opcode::LoadMem;
+    I.Result = T;
+    I.Path.Root = V;
+    I.Path.Sel = SelKind::Deref;
+    I.Path.BaseType = Types.canonical(Sym->Type);
+    I.Path.ValueType = Types.canonical(Sym->Type);
+    I.Loc = N->Loc;
+    emit(std::move(I));
+    return freeze(Operand::temp(T), Sym->Type, N->Loc, "b");
+  }
+  // Any other base expression: evaluate and freeze.
+  Operand O = lowerExpr(Base);
+  return freeze(O, Base.ExprType, Base.Loc, "b");
+}
+
+Operand FunctionLowerer::indexOperand(const Expr &Idx) {
+  if (const auto *L = dynCast<IntLitExpr>(&Idx))
+    return Operand::immInt(L->Value);
+  if (const auto *N = dynCast<NameExpr>(&Idx)) {
+    if (N->IsConst)
+      return Operand::immInt(N->ConstValue);
+    const VarSymbol *Sym = N->Sym;
+    if (!Sym->ByRef && !AliasMap.count(Sym))
+      return Operand::var(varRefOf(Sym));
+    auto AliasIt = AliasMap.find(Sym);
+    if (AliasIt != AliasMap.end() && !AliasIt->second.IsPath)
+      return Operand::var(AliasIt->second.Var);
+  }
+  Operand O = lowerExpr(Idx);
+  if (O.K == Operand::Kind::ImmInt)
+    return O;
+  VarRef Shadow = freeze(O, Types.integerType(), Idx.Loc, "i");
+  return Operand::var(Shadow);
+}
+
+MemPath FunctionLowerer::pathFor(const Expr &Designator) {
+  MemPath P;
+  switch (Designator.Kind) {
+  case ExprKind::Field: {
+    const auto &FE = static_cast<const FieldExpr &>(Designator);
+    P.Root = baseToVar(*FE.Base);
+    P.Sel = SelKind::Field;
+    P.Field = FE.Field;
+    P.FieldSlot = FE.Slot;
+    P.BaseType = Types.canonical(FE.Base->ExprType);
+    P.ValueType = Types.canonical(FE.ExprType);
+    return P;
+  }
+  case ExprKind::Index: {
+    const auto &IE = static_cast<const IndexExpr &>(Designator);
+    P.Root = baseToVar(*IE.Base);
+    P.Sel = SelKind::Index;
+    P.Index = indexOperand(*IE.Idx);
+    P.BaseType = Types.canonical(IE.Base->ExprType);
+    P.ValueType = Types.canonical(IE.ExprType);
+    return P;
+  }
+  case ExprKind::Deref: {
+    const auto &DE = static_cast<const DerefExpr &>(Designator);
+    P.Root = baseToVar(*DE.Base);
+    P.Sel = SelKind::Deref;
+    P.BaseType = Types.canonical(DE.ExprType);
+    P.ValueType = Types.canonical(DE.ExprType);
+    return P;
+  }
+  case ExprKind::NumberOf: {
+    const auto &NE = static_cast<const NumberOfExpr &>(Designator);
+    P.Root = baseToVar(*NE.Arg);
+    P.Sel = SelKind::Len;
+    P.BaseType = Types.canonical(NE.Arg->ExprType);
+    P.ValueType = Types.integerType();
+    return P;
+  }
+  default:
+    assert(false && "pathFor on a non-path expression");
+    return P;
+  }
+}
+
+TempId FunctionLowerer::lowerLoad(const Expr &Designator) {
+  if (const auto *N = dynCast<NameExpr>(&Designator)) {
+    const VarSymbol *Sym = N->Sym;
+    auto AliasIt = AliasMap.find(Sym);
+    if (AliasIt != AliasMap.end()) {
+      const AliasTarget &A = AliasIt->second;
+      if (A.IsPath) {
+        TempId T = F.newTemp();
+        Instr I;
+        I.Op = Opcode::LoadMem;
+        I.Result = T;
+        I.Path = A.Path;
+        I.Loc = N->Loc;
+        emit(std::move(I));
+        return T;
+      }
+      TempId T = F.newTemp();
+      Instr I;
+      I.Op = Opcode::LoadVar;
+      I.Result = T;
+      I.Var = A.Var;
+      I.Loc = N->Loc;
+      emit(std::move(I));
+      return T;
+    }
+    VarRef V = varRefOf(Sym);
+    TempId T = F.newTemp();
+    Instr I;
+    I.Loc = N->Loc;
+    I.Result = T;
+    if (Sym->ByRef) {
+      I.Op = Opcode::LoadMem;
+      I.Path.Root = V;
+      I.Path.Sel = SelKind::Deref;
+      I.Path.BaseType = Types.canonical(Sym->Type);
+      I.Path.ValueType = Types.canonical(Sym->Type);
+    } else {
+      I.Op = Opcode::LoadVar;
+      I.Var = V;
+    }
+    emit(std::move(I));
+    return T;
+  }
+  MemPath P = pathFor(Designator);
+  TempId T = F.newTemp();
+  Instr I;
+  I.Op = Opcode::LoadMem;
+  I.Result = T;
+  I.Path = P;
+  I.Loc = Designator.Loc;
+  emit(std::move(I));
+  return T;
+}
+
+void FunctionLowerer::lowerStore(const Expr &Designator, Operand Value) {
+  if (const auto *N = dynCast<NameExpr>(&Designator)) {
+    const VarSymbol *Sym = N->Sym;
+    auto AliasIt = AliasMap.find(Sym);
+    Instr I;
+    I.Loc = N->Loc;
+    I.A = Value;
+    if (AliasIt != AliasMap.end()) {
+      const AliasTarget &A = AliasIt->second;
+      if (A.IsPath) {
+        I.Op = Opcode::StoreMem;
+        I.Path = A.Path;
+      } else {
+        I.Op = Opcode::StoreVar;
+        I.Var = A.Var;
+      }
+      emit(std::move(I));
+      return;
+    }
+    VarRef V = varRefOf(Sym);
+    if (Sym->ByRef) {
+      I.Op = Opcode::StoreMem;
+      I.Path.Root = V;
+      I.Path.Sel = SelKind::Deref;
+      I.Path.BaseType = Types.canonical(Sym->Type);
+      I.Path.ValueType = Types.canonical(Sym->Type);
+    } else {
+      I.Op = Opcode::StoreVar;
+      I.Var = V;
+    }
+    emit(std::move(I));
+    return;
+  }
+  MemPath P = pathFor(Designator);
+  Instr I;
+  I.Op = Opcode::StoreMem;
+  I.Path = P;
+  I.A = Value;
+  I.Loc = Designator.Loc;
+  emit(std::move(I));
+}
+
+Operand FunctionLowerer::lowerVarActual(const Expr &Arg) {
+  assert(isDesignator(&Arg) && "VAR actual must be a designator");
+  if (const auto *N = dynCast<NameExpr>(&Arg)) {
+    const VarSymbol *Sym = N->Sym;
+    auto AliasIt = AliasMap.find(Sym);
+    Instr I;
+    I.Loc = N->Loc;
+    if (AliasIt != AliasMap.end()) {
+      const AliasTarget &A = AliasIt->second;
+      if (A.IsPath) {
+        I.Op = Opcode::MkRef;
+        I.HasPath = true;
+        I.Path = A.Path;
+      } else {
+        I.Op = Opcode::MkRef;
+        I.Var = A.Var;
+        IRVar &Info = A.Var.K == VarRef::Kind::Global
+                          ? M.Globals[A.Var.Index]
+                          : F.Frame[A.Var.Index];
+        Info.AddressTaken = true;
+      }
+      I.Result = F.newTemp();
+      TempId T = I.Result;
+      emit(std::move(I));
+      return Operand::temp(T);
+    }
+    if (Sym->ByRef) {
+      // Forwarding a VAR formal: pass the address it already holds.
+      TempId T = F.newTemp();
+      Instr L;
+      L.Op = Opcode::LoadVar;
+      L.Result = T;
+      L.Var = varRefOf(Sym);
+      L.Loc = N->Loc;
+      emit(std::move(L));
+      return Operand::temp(T);
+    }
+    VarRef V = varRefOf(Sym);
+    IRVar &Info =
+        V.K == VarRef::Kind::Global ? M.Globals[V.Index] : F.Frame[V.Index];
+    Info.AddressTaken = true;
+    I.Op = Opcode::MkRef;
+    I.Var = V;
+    I.Result = F.newTemp();
+    TempId T = I.Result;
+    emit(std::move(I));
+    return Operand::temp(T);
+  }
+  MemPath P = pathFor(Arg);
+  Instr I;
+  I.Op = Opcode::MkRef;
+  I.HasPath = true;
+  I.Path = P;
+  I.Result = F.newTemp();
+  I.Loc = Arg.Loc;
+  TempId T = I.Result;
+  emit(std::move(I));
+  return Operand::temp(T);
+}
+
+Operand FunctionLowerer::lowerCallLike(const Expr &E) {
+  Instr I;
+  I.Loc = E.Loc;
+  if (const auto *C = dynCast<CallExpr>(&E)) {
+    const ProcDecl *Callee = C->Callee;
+    I.Op = Opcode::Call;
+    I.Callee = Callee->Id;
+    for (size_t K = 0; K != C->Args.size(); ++K) {
+      if (Callee->Params[K]->ByRef)
+        I.Args.push_back(lowerVarActual(*C->Args[K]));
+      else
+        I.Args.push_back(lowerExpr(*C->Args[K]));
+    }
+    if (Callee->ReturnType != Types.voidType())
+      I.Result = F.newTemp();
+    TempId T = I.Result;
+    emit(std::move(I));
+    return T == NoTemp ? Operand::none() : Operand::temp(T);
+  }
+  const auto &MC = static_cast<const MethodCallExpr &>(E);
+  const MethodInfo *MI = Types.findMethod(MC.ReceiverType, MC.MethodName);
+  assert(MI && "method vanished after Sema");
+  I.Op = Opcode::CallMethod;
+  I.MethodSlot = MC.MethodSlot;
+  I.ReceiverType = Types.canonical(MC.ReceiverType);
+  I.Args.push_back(lowerExpr(*MC.Base));
+  for (size_t K = 0; K != MC.Args.size(); ++K) {
+    if (MI->Params[K].ByRef)
+      I.Args.push_back(lowerVarActual(*MC.Args[K]));
+    else
+      I.Args.push_back(lowerExpr(*MC.Args[K]));
+  }
+  if (MI->ReturnType != Types.voidType())
+    I.Result = F.newTemp();
+  TempId T = I.Result;
+  emit(std::move(I));
+  return T == NoTemp ? Operand::none() : Operand::temp(T);
+}
+
+Operand FunctionLowerer::lowerShortCircuit(const BinaryExpr &B) {
+  // r := lhs; if (And ? r : !r) { r := rhs }
+  TempId R = F.newTemp();
+  Operand L = lowerExpr(*B.Lhs);
+  Instr M1;
+  M1.Op = Opcode::Mov;
+  M1.Result = R;
+  M1.A = L;
+  M1.Loc = B.Loc;
+  emit(std::move(M1));
+  BlockId RhsB = newBlock(), JoinB = newBlock();
+  if (B.Op == BinaryOp::And)
+    branch(Operand::temp(R), RhsB, JoinB, B.Loc);
+  else
+    branch(Operand::temp(R), JoinB, RhsB, B.Loc);
+  startBlock(RhsB);
+  Operand Rv = lowerExpr(*B.Rhs);
+  Instr M2;
+  M2.Op = Opcode::Mov;
+  M2.Result = R;
+  M2.A = Rv;
+  M2.Loc = B.Loc;
+  emit(std::move(M2));
+  jumpTo(JoinB);
+  startBlock(JoinB);
+  return Operand::temp(R);
+}
+
+Operand FunctionLowerer::lowerExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return Operand::immInt(static_cast<const IntLitExpr &>(E).Value);
+  case ExprKind::BoolLit:
+    return Operand::immBool(static_cast<const BoolLitExpr &>(E).Value);
+  case ExprKind::NilLit:
+    return Operand::nil();
+  case ExprKind::Name: {
+    const auto *N = dynCast<NameExpr>(&E);
+    if (N->IsConst) {
+      if (Types.get(E.ExprType).Kind == TypeKind::Boolean)
+        return Operand::immBool(N->ConstValue != 0);
+      return Operand::immInt(N->ConstValue);
+    }
+    return Operand::temp(lowerLoad(E));
+  }
+  case ExprKind::Field:
+  case ExprKind::Deref:
+  case ExprKind::Index:
+    return Operand::temp(lowerLoad(E));
+  case ExprKind::NumberOf: {
+    const auto &NE = static_cast<const NumberOfExpr &>(E);
+    const Type &AT = Types.get(NE.Arg->ExprType);
+    assert(AT.Kind == TypeKind::Array && "NUMBER of non-array");
+    if (!AT.IsOpen)
+      return Operand::immInt(AT.Hi - AT.Lo + 1);
+    MemPath P = pathFor(E);
+    TempId T = F.newTemp();
+    Instr I;
+    I.Op = Opcode::LoadMem;
+    I.Result = T;
+    I.Path = P;
+    I.Loc = E.Loc;
+    emit(std::move(I));
+    return Operand::temp(T);
+  }
+  case ExprKind::Call:
+  case ExprKind::MethodCall:
+    return lowerCallLike(E);
+  case ExprKind::New: {
+    const auto &NE = static_cast<const NewExpr &>(E);
+    Instr I;
+    I.Op = Opcode::NewOp;
+    I.AllocType = Types.canonical(NE.AllocType);
+    I.Result = F.newTemp();
+    I.Loc = E.Loc;
+    if (NE.SizeArg)
+      I.A = lowerExpr(*NE.SizeArg);
+    TempId T = I.Result;
+    emit(std::move(I));
+    return Operand::temp(T);
+  }
+  case ExprKind::Narrow:
+  case ExprKind::IsType: {
+    bool IsNarrow = E.Kind == ExprKind::Narrow;
+    const Expr &Sub = IsNarrow ? *static_cast<const NarrowExpr &>(E).Sub
+                               : *static_cast<const IsTypeExpr &>(E).Sub;
+    TypeId Target = IsNarrow
+                        ? static_cast<const NarrowExpr &>(E).TargetType
+                        : static_cast<const IsTypeExpr &>(E).TargetType;
+    Operand SubOp = lowerExpr(Sub);
+    Instr I;
+    I.Op = IsNarrow ? Opcode::NarrowOp : Opcode::IsTypeOp;
+    I.A = SubOp;
+    I.AllocType = Types.canonical(Target);
+    I.Result = F.newTemp();
+    I.Loc = E.Loc;
+    TempId T = I.Result;
+    emit(std::move(I));
+    return Operand::temp(T);
+  }
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    Operand S = lowerExpr(*U.Sub);
+    Instr I;
+    I.Op = Opcode::UnOp;
+    I.UOp = U.Op;
+    I.A = S;
+    I.Result = F.newTemp();
+    I.Loc = E.Loc;
+    TempId T = I.Result;
+    emit(std::move(I));
+    return Operand::temp(T);
+  }
+  case ExprKind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(E);
+    if (B.Op == BinaryOp::And || B.Op == BinaryOp::Or)
+      return lowerShortCircuit(B);
+    Operand L = lowerExpr(*B.Lhs);
+    Operand R = lowerExpr(*B.Rhs);
+    Instr I;
+    I.Op = Opcode::BinOp;
+    I.BOp = B.Op;
+    I.A = L;
+    I.B = R;
+    I.Result = F.newTemp();
+    I.Loc = E.Loc;
+    TempId T = I.Result;
+    emit(std::move(I));
+    return Operand::temp(T);
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return Operand::none();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FunctionLowerer::lowerStmtList(const StmtList &Stmts) {
+  for (const StmtPtr &S : Stmts) {
+    if (Terminated)
+      startBlock(newBlock()); // unreachable code after RETURN/EXIT
+    lowerStmt(*S);
+  }
+}
+
+void FunctionLowerer::lowerStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Assign: {
+    const auto &A = static_cast<const AssignStmt &>(S);
+    Operand V = lowerExpr(*A.Rhs);
+    lowerStore(*A.Lhs, V);
+    return;
+  }
+  case StmtKind::Call: {
+    const auto &C = static_cast<const CallStmt &>(S);
+    lowerCallLike(*C.Call);
+    return;
+  }
+  case StmtKind::If: {
+    const auto &I = static_cast<const IfStmt &>(S);
+    BlockId Join = newBlock();
+    for (const auto &[Cond, Body] : I.Arms) {
+      Operand C = lowerExpr(*Cond);
+      BlockId Then = newBlock(), Next = newBlock();
+      branch(C, Then, Next, Cond->Loc);
+      startBlock(Then);
+      lowerStmtList(Body);
+      if (!Terminated)
+        jumpTo(Join);
+      startBlock(Next);
+    }
+    lowerStmtList(I.ElseBody);
+    if (!Terminated)
+      jumpTo(Join);
+    startBlock(Join);
+    return;
+  }
+  case StmtKind::While: {
+    // Rotated (guarded do-while) form: the guard runs once up front and
+    // again at the bottom, so the body header dominates the loop's exits
+    // and RLE's loop-invariant motion applies (Figure 6 of the paper).
+    const auto &W = static_cast<const WhileStmt &>(S);
+    BlockId Body = newBlock(), Exit = newBlock();
+    Operand Guard = lowerExpr(*W.Cond);
+    branch(Guard, Body, Exit, W.Loc);
+    startBlock(Body);
+    ExitTargets.push_back(Exit);
+    lowerStmtList(W.Body);
+    ExitTargets.pop_back();
+    if (!Terminated) {
+      Operand Again = lowerExpr(*W.Cond);
+      branch(Again, Body, Exit, W.Loc);
+    }
+    startBlock(Exit);
+    return;
+  }
+  case StmtKind::Repeat: {
+    const auto &R = static_cast<const RepeatStmt &>(S);
+    BlockId Body = newBlock(), Exit = newBlock();
+    jumpTo(Body);
+    startBlock(Body);
+    ExitTargets.push_back(Exit);
+    lowerStmtList(R.Body);
+    ExitTargets.pop_back();
+    if (!Terminated) {
+      Operand C = lowerExpr(*R.Cond);
+      branch(C, Exit, Body, R.Loc);
+    }
+    startBlock(Exit);
+    return;
+  }
+  case StmtKind::For: {
+    const auto &FS = static_cast<const ForStmt &>(S);
+    VarRef IndexVar = varRefOf(FS.Var);
+    Operand From = lowerExpr(*FS.From);
+    Instr Init;
+    Init.Op = Opcode::StoreVar;
+    Init.Var = IndexVar;
+    Init.A = From;
+    Init.Loc = FS.Loc;
+    emit(std::move(Init));
+    Operand To = lowerExpr(*FS.To);
+    VarRef Limit = freeze(To, Types.integerType(), FS.Loc, "lim");
+
+    // Rotated form, as for WHILE: guard, body, bump-and-test bottom.
+    BlockId Body = newBlock(), Exit = newBlock();
+    auto EmitGuard = [&](BlockId Then, BlockId Else) {
+      TempId IVal = F.newTemp(), LVal = F.newTemp(), Cmp = F.newTemp();
+      Instr LI;
+      LI.Op = Opcode::LoadVar;
+      LI.Result = IVal;
+      LI.Var = IndexVar;
+      LI.Loc = FS.Loc;
+      emit(std::move(LI));
+      Instr LL;
+      LL.Op = Opcode::LoadVar;
+      LL.Result = LVal;
+      LL.Var = Limit;
+      LL.Loc = FS.Loc;
+      emit(std::move(LL));
+      Instr CI;
+      CI.Op = Opcode::BinOp;
+      CI.BOp = FS.Step > 0 ? BinaryOp::Le : BinaryOp::Ge;
+      CI.Result = Cmp;
+      CI.A = Operand::temp(IVal);
+      CI.B = Operand::temp(LVal);
+      CI.Loc = FS.Loc;
+      emit(std::move(CI));
+      branch(Operand::temp(Cmp), Then, Else, FS.Loc);
+    };
+    EmitGuard(Body, Exit);
+
+    startBlock(Body);
+    ExitTargets.push_back(Exit);
+    lowerStmtList(FS.Body);
+    ExitTargets.pop_back();
+    if (!Terminated) {
+      TempId IV2 = F.newTemp(), Sum = F.newTemp();
+      Instr L2;
+      L2.Op = Opcode::LoadVar;
+      L2.Result = IV2;
+      L2.Var = IndexVar;
+      L2.Loc = FS.Loc;
+      emit(std::move(L2));
+      Instr Add;
+      Add.Op = Opcode::BinOp;
+      Add.BOp = BinaryOp::Add;
+      Add.Result = Sum;
+      Add.A = Operand::temp(IV2);
+      Add.B = Operand::immInt(FS.Step);
+      Add.Loc = FS.Loc;
+      emit(std::move(Add));
+      Instr St;
+      St.Op = Opcode::StoreVar;
+      St.Var = IndexVar;
+      St.A = Operand::temp(Sum);
+      St.Loc = FS.Loc;
+      emit(std::move(St));
+      EmitGuard(Body, Exit);
+    }
+    startBlock(Exit);
+    return;
+  }
+  case StmtKind::Loop: {
+    const auto &L = static_cast<const LoopStmt &>(S);
+    BlockId Body = newBlock(), Exit = newBlock();
+    jumpTo(Body);
+    startBlock(Body);
+    ExitTargets.push_back(Exit);
+    lowerStmtList(L.Body);
+    ExitTargets.pop_back();
+    if (!Terminated)
+      jumpTo(Body);
+    startBlock(Exit);
+    return;
+  }
+  case StmtKind::Exit: {
+    assert(!ExitTargets.empty() && "EXIT outside loop survived Sema");
+    jumpTo(ExitTargets.back());
+    return;
+  }
+  case StmtKind::Return: {
+    const auto &R = static_cast<const ReturnStmt &>(S);
+    Instr I;
+    I.Op = Opcode::Ret;
+    I.Loc = R.Loc;
+    if (R.Value)
+      I.A = lowerExpr(*R.Value);
+    emit(std::move(I));
+    return;
+  }
+  case StmtKind::IncDec: {
+    const auto &I = static_cast<const IncDecStmt &>(S);
+    Operand Amount =
+        I.Amount ? lowerExpr(*I.Amount) : Operand::immInt(1);
+    BinaryOp Op = I.IsIncrement ? BinaryOp::Add : BinaryOp::Sub;
+    auto Modify = [&](TempId Old) {
+      TempId Result = F.newTemp();
+      Instr B;
+      B.Op = Opcode::BinOp;
+      B.BOp = Op;
+      B.Result = Result;
+      B.A = Operand::temp(Old);
+      B.B = Amount;
+      B.Loc = I.Loc;
+      emit(std::move(B));
+      return Result;
+    };
+    if (const auto *N = dynCast<NameExpr>(I.Target.get())) {
+      auto AliasIt = AliasMap.find(N->Sym);
+      bool PlainVar =
+          !N->Sym->ByRef &&
+          (AliasIt == AliasMap.end() || !AliasIt->second.IsPath);
+      if (PlainVar) {
+        VarRef V = AliasIt == AliasMap.end() ? varRefOf(N->Sym)
+                                             : AliasIt->second.Var;
+        TempId Old = F.newTemp();
+        Instr L;
+        L.Op = Opcode::LoadVar;
+        L.Result = Old;
+        L.Var = V;
+        L.Loc = I.Loc;
+        emit(std::move(L));
+        Instr St;
+        St.Op = Opcode::StoreVar;
+        St.Var = V;
+        St.A = Operand::temp(Modify(Old));
+        St.Loc = I.Loc;
+        emit(std::move(St));
+        return;
+      }
+      // VAR formal or aliased location: one path, evaluated once.
+      MemPath P;
+      if (AliasIt != AliasMap.end()) {
+        P = AliasIt->second.Path;
+      } else {
+        P.Root = varRefOf(N->Sym);
+        P.Sel = SelKind::Deref;
+        P.BaseType = Types.canonical(N->Sym->Type);
+        P.ValueType = Types.canonical(N->Sym->Type);
+      }
+      TempId Old = F.newTemp();
+      Instr L;
+      L.Op = Opcode::LoadMem;
+      L.Result = Old;
+      L.Path = P;
+      L.Loc = I.Loc;
+      emit(std::move(L));
+      Instr St;
+      St.Op = Opcode::StoreMem;
+      St.Path = P;
+      St.A = Operand::temp(Modify(Old));
+      St.Loc = I.Loc;
+      emit(std::move(St));
+      return;
+    }
+    // Field/index/deref designator: evaluate the base once.
+    MemPath P = pathFor(*I.Target);
+    TempId Old = F.newTemp();
+    Instr L;
+    L.Op = Opcode::LoadMem;
+    L.Result = Old;
+    L.Path = P;
+    L.Loc = I.Loc;
+    emit(std::move(L));
+    Instr St;
+    St.Op = Opcode::StoreMem;
+    St.Path = P;
+    St.A = Operand::temp(Modify(Old));
+    St.Loc = I.Loc;
+    emit(std::move(St));
+    return;
+  }
+  case StmtKind::Eval: {
+    const auto &E = static_cast<const EvalStmt &>(S);
+    lowerExpr(*E.Value);
+    return;
+  }
+  case StmtKind::TypeCase: {
+    const auto &T = static_cast<const TypeCaseStmt &>(S);
+    Operand Subject = lowerExpr(*T.Subject);
+    // Materialize once so every arm tests the same value.
+    TempId SubjTemp;
+    if (Subject.isTemp()) {
+      SubjTemp = Subject.Temp;
+    } else {
+      SubjTemp = emitMov(Subject, T.Loc);
+    }
+    BlockId Join = newBlock();
+    for (const TypeCaseArm &Arm : T.Arms) {
+      TempId Test = F.newTemp();
+      Instr I;
+      I.Op = Opcode::IsTypeOp;
+      I.A = Operand::temp(SubjTemp);
+      I.AllocType = Types.canonical(Arm.Target);
+      I.Result = Test;
+      I.Loc = Arm.Loc;
+      emit(std::move(I));
+      BlockId Body = newBlock(), Next = newBlock();
+      branch(Operand::temp(Test), Body, Next, Arm.Loc);
+      startBlock(Body);
+      if (Arm.Binding) {
+        Instr St;
+        St.Op = Opcode::StoreVar;
+        St.Var = varRefOf(Arm.Binding);
+        St.A = Operand::temp(SubjTemp);
+        St.Loc = Arm.Loc;
+        emit(std::move(St));
+      }
+      lowerStmtList(Arm.Body);
+      if (!Terminated)
+        jumpTo(Join);
+      startBlock(Next);
+    }
+    if (T.HasElse) {
+      lowerStmtList(T.ElseBody);
+      if (!Terminated)
+        jumpTo(Join);
+    } else {
+      // Modula-3: an unmatched TYPECASE is a checked runtime error.
+      Instr Trap;
+      Trap.Op = Opcode::TrapInst;
+      Trap.Loc = T.Loc;
+      emit(std::move(Trap));
+    }
+    startBlock(Join);
+    return;
+  }
+  case StmtKind::With: {
+    const auto &W = static_cast<const WithStmt &>(S);
+    if (!W.IsAlias) {
+      Operand V = lowerExpr(*W.Bound);
+      VarRef BVar = varRefOf(W.Binding);
+      Instr I;
+      I.Op = Opcode::StoreVar;
+      I.Var = BVar;
+      I.A = V;
+      I.Loc = W.Loc;
+      emit(std::move(I));
+      lowerStmtList(W.Body);
+      return;
+    }
+    // Aliasing WITH: freeze the location at binding time.
+    AliasTarget Target;
+    if (const auto *N = dynCast<NameExpr>(W.Bound.get())) {
+      auto AliasIt = AliasMap.find(N->Sym);
+      if (AliasIt != AliasMap.end()) {
+        Target = AliasIt->second; // alias of an alias
+      } else if (N->Sym->ByRef) {
+        Target.IsPath = true;
+        Target.Path.Root = varRefOf(N->Sym);
+        Target.Path.Sel = SelKind::Deref;
+        Target.Path.BaseType = Types.canonical(N->Sym->Type);
+        Target.Path.ValueType = Types.canonical(N->Sym->Type);
+      } else {
+        Target.IsPath = false;
+        Target.Var = varRefOf(N->Sym);
+      }
+    } else {
+      MemPath P = pathFor(*W.Bound);
+      // Freeze a variable index so later writes to it do not move the
+      // alias.
+      if (P.Sel == SelKind::Index && P.Index.K == Operand::Kind::Var) {
+        TempId T = F.newTemp();
+        Instr LI;
+        LI.Op = Opcode::LoadVar;
+        LI.Result = T;
+        LI.Var = P.Index.Var;
+        LI.Loc = W.Loc;
+        emit(std::move(LI));
+        P.Index = Operand::var(
+            freeze(Operand::temp(T), Types.integerType(), W.Loc, "wi"));
+      }
+      // Note: pathFor already froze non-Name roots. A Name root must be
+      // frozen too, so reassigning it does not move the alias.
+      if (!M.varInfo(F, P.Root).Synthetic) {
+        TempId T = F.newTemp();
+        Instr LI;
+        LI.Op = Opcode::LoadVar;
+        LI.Result = T;
+        LI.Var = P.Root;
+        LI.Loc = W.Loc;
+        emit(std::move(LI));
+        TypeId RootTy = M.varInfo(F, P.Root).Type;
+        P.Root = freeze(Operand::temp(T), RootTy, W.Loc, "wb");
+      }
+      Target.IsPath = true;
+      Target.Path = P;
+    }
+    AliasMap[W.Binding] = Target;
+    lowerStmtList(W.Body);
+    AliasMap.erase(W.Binding);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Function and module lowering
+//===----------------------------------------------------------------------===//
+
+void FunctionLowerer::lowerBody(const ProcDecl &P) {
+  // Map params and locals to frame slots (order: params, then locals).
+  uint32_t Next = 0;
+  for (const auto &Param : P.Params) {
+    LocalMap[Param.get()] = {VarRef::Kind::Frame, Next};
+    ++Next;
+  }
+  for (const auto &Local : P.Locals) {
+    LocalMap[Local.get()] = {VarRef::Kind::Frame, Next};
+    ++Next;
+  }
+
+  startBlock(newBlock());
+  for (const auto &[Sym, Init] : P.LocalInits) {
+    Operand V = lowerExpr(*Init);
+    Instr I;
+    I.Op = Opcode::StoreVar;
+    I.Var = varRefOf(Sym);
+    I.A = V;
+    I.Loc = Sym->Loc;
+    emit(std::move(I));
+  }
+  lowerStmtList(P.Body);
+  if (!Terminated) {
+    Instr I;
+    if (P.ReturnType == Types.voidType()) {
+      I.Op = Opcode::Ret;
+    } else {
+      I.Op = Opcode::TrapInst; // fell off the end of a function procedure
+    }
+    I.Loc = P.Loc;
+    emit(std::move(I));
+  }
+}
+
+void FunctionLowerer::lowerInits(
+    const std::vector<std::pair<VarSymbol *, ExprPtr>> &Inits) {
+  startBlock(newBlock());
+  for (const auto &[Sym, Init] : Inits) {
+    Operand V = lowerExpr(*Init);
+    Instr I;
+    I.Op = Opcode::StoreVar;
+    I.Var = varRefOf(Sym);
+    I.A = V;
+    I.Loc = Sym->Loc;
+    emit(std::move(I));
+  }
+  Instr R;
+  R.Op = Opcode::Ret;
+  emit(std::move(R));
+}
+
+IRModule tbaa::lowerModule(const ModuleAST &Mod, const TypeTable &Types) {
+  IRModule M;
+  M.Types = &Types;
+
+  std::unordered_map<const VarSymbol *, VarRef> GlobalMap;
+  for (const auto &G : Mod.Globals) {
+    IRVar V;
+    V.Name = G->Name;
+    V.Type = Types.canonical(G->Type);
+    GlobalMap[G.get()] = {VarRef::Kind::Global,
+                          static_cast<uint32_t>(M.Globals.size())};
+    M.Globals.push_back(std::move(V));
+  }
+
+  // Create function shells first so ProcIds map to function indices.
+  for (const auto &P : Mod.Procs) {
+    IRFunction F;
+    F.Name = P->Name;
+    F.Id = static_cast<FuncId>(M.Functions.size());
+    F.ReturnType = Types.canonical(P->ReturnType);
+    F.NumParams = static_cast<uint32_t>(P->Params.size());
+    F.IsMethodImpl = P->IsMethodImpl;
+    for (const auto &Param : P->Params) {
+      IRVar V;
+      V.Name = Param->Name;
+      V.Type = Types.canonical(Param->Type);
+      V.ByRef = Param->ByRef;
+      F.Frame.push_back(std::move(V));
+    }
+    for (const auto &Local : P->Locals) {
+      IRVar V;
+      V.Name = Local->Name;
+      V.Type = Types.canonical(Local->Type);
+      F.Frame.push_back(std::move(V));
+    }
+    M.Functions.push_back(std::move(F));
+  }
+
+  for (size_t I = 0; I != Mod.Procs.size(); ++I) {
+    FunctionLowerer L(M, M.Functions[I], Types, Mod, GlobalMap);
+    L.lowerBody(*Mod.Procs[I]);
+    if (Mod.InitProc == Mod.Procs[I].get())
+      M.InitFunc = static_cast<FuncId>(I);
+  }
+
+  // $globals: runs global initializers before anything else.
+  {
+    IRFunction F;
+    F.Name = "$globals";
+    F.Id = static_cast<FuncId>(M.Functions.size());
+    F.ReturnType = Types.voidType();
+    F.Synthetic = true;
+    M.Functions.push_back(std::move(F));
+    M.GlobalInitFunc = M.Functions.back().Id;
+    FunctionLowerer L(M, M.Functions.back(), Types, Mod, GlobalMap);
+    L.lowerInits(Mod.GlobalInits);
+  }
+
+  M.assignStaticIds();
+  return M;
+}

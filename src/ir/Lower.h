@@ -1,0 +1,38 @@
+//===- Lower.h - AST to IR lowering -----------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a checked M3L module into the access-path IR. Key invariants:
+///
+///  * Memory instructions carry lexical access paths (root variable + one
+///    selector). Chained source paths like a.b^.c decompose through
+///    synthetic shadow locals, as the paper's optimizer broke up
+///    expressions (Section 3.5, "Breakup").
+///  * Subscript index operands are always a variable or an integer
+///    constant (complex index expressions are materialized into shadow
+///    locals), keeping subscripted paths CSE-able.
+///  * WITH over a designator freezes the location (root reference and
+///    index are copied into shadow locals at binding time), realizing
+///    Modula-3's aliasing WITH.
+///  * VAR actuals lower to MkRef address computations; VAR formals hold
+///    addresses and their accesses lower to Deref paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_IR_LOWER_H
+#define TBAA_IR_LOWER_H
+
+#include "ir/IR.h"
+#include "lang/AST.h"
+
+namespace tbaa {
+
+/// Lowers a checked module. All TypeIds stored in the IR are canonical.
+IRModule lowerModule(const ModuleAST &M, const TypeTable &Types);
+
+} // namespace tbaa
+
+#endif // TBAA_IR_LOWER_H

@@ -1,0 +1,18 @@
+//===- Pipeline.cpp -------------------------------------------------------===//
+
+#include "ir/Pipeline.h"
+
+#include "ir/Lower.h"
+
+using namespace tbaa;
+
+Compilation tbaa::compileSource(const std::string &Source,
+                                DiagnosticEngine &Diags) {
+  Compilation C;
+  C.Prog = std::make_unique<Program>();
+  *C.Prog = parseAndCheck(Source, Diags);
+  if (!C.Prog->Module)
+    return C;
+  C.IR = lowerModule(*C.Prog->Module, C.Prog->Types);
+  return C;
+}

@@ -1,0 +1,41 @@
+//===- Pipeline.h - Source-to-IR convenience driver -------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call front end for tests, examples and benchmarks: M3L source text
+/// in, checked AST plus lowered IR out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_IR_PIPELINE_H
+#define TBAA_IR_PIPELINE_H
+
+#include "ir/IR.h"
+#include "lang/Parser.h"
+
+#include <memory>
+#include <string>
+
+namespace tbaa {
+
+/// A compiled program: the AST/type table (heap-allocated so the IR's
+/// TypeTable pointer stays valid across moves) and the lowered IR.
+struct Compilation {
+  std::unique_ptr<Program> Prog;
+  IRModule IR;
+
+  bool ok() const { return Prog && Prog->Module != nullptr; }
+  const TypeTable &types() const { return Prog->Types; }
+  const ModuleAST &ast() const { return *Prog->Module; }
+};
+
+/// Lex + parse + finalize types + check + lower. On failure, returned
+/// Compilation.ok() is false and \p Diags carries the errors.
+Compilation compileSource(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace tbaa
+
+#endif // TBAA_IR_PIPELINE_H

@@ -1,0 +1,17 @@
+//===- AST.cpp ------------------------------------------------------------===//
+
+#include "lang/AST.h"
+
+using namespace tbaa;
+
+bool tbaa::isDesignator(const Expr *E) {
+  switch (E->Kind) {
+  case ExprKind::Name:
+  case ExprKind::Field:
+  case ExprKind::Deref:
+  case ExprKind::Index:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,488 @@
+//===- AST.h - M3L abstract syntax ------------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed AST for M3L. The parser produces it with types already resolved
+/// to TypeIds (the parser owns type-expression resolution); Sema resolves
+/// names, checks types, and annotates expression types, after which the
+/// AST is the input to IR lowering and to the analyses' source-level walks
+/// (address-taken collection, assignment collection for SMTypeRefs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_LANG_AST_H
+#define TBAA_LANG_AST_H
+
+#include "lang/Types.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+//===----------------------------------------------------------------------===//
+// Symbols
+//===----------------------------------------------------------------------===//
+
+/// Where a variable lives.
+enum class VarScope : uint8_t {
+  Global,
+  Local,
+  Param,
+};
+
+/// A declared variable: global, local, formal parameter, FOR index or WITH
+/// binding. Owned by the module (globals) or a procedure (everything else).
+struct VarSymbol {
+  std::string Name;
+  TypeId Type = InvalidTypeId;
+  VarScope Scope = VarScope::Local;
+  bool ByRef = false; ///< VAR formal: holds an address, accesses deref.
+  /// FOR indices and value WITH bindings may not be assigned.
+  bool ReadOnly = false;
+  /// Slot within its region (globals array or frame), assigned by Sema.
+  uint32_t Slot = 0;
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  BoolLit,
+  NilLit,
+  Name,
+  Field,  // base.f      ("Qualify" in Table 1)
+  Deref,  // base^       ("Dereference")
+  Index,  // base[i]     ("Subscript")
+  Call,   // P(args)
+  MethodCall, // base.m(args)
+  New,    // NEW(T) / NEW(T, n)
+  Narrow, // NARROW(e, T): checked downcast (traps when not a T)
+  IsType, // ISTYPE(e, T): dynamic type test
+  NumberOf, // NUMBER(a): open-array length (a dope-vector access)
+  Unary,
+  Binary,
+};
+
+enum class UnaryOp : uint8_t { Neg, Not };
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And, // short-circuit
+  Or,  // short-circuit
+};
+
+struct ProcDecl;
+
+/// Base of all expressions. ExprType is filled in by Sema.
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+  TypeId ExprType = InvalidTypeId;
+
+  explicit Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  virtual ~Expr() = default;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  int64_t Value;
+  IntLitExpr(SourceLoc Loc, int64_t Value)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::IntLit; }
+};
+
+struct BoolLitExpr : Expr {
+  bool Value;
+  BoolLitExpr(SourceLoc Loc, bool Value)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::BoolLit; }
+};
+
+struct NilLitExpr : Expr {
+  explicit NilLitExpr(SourceLoc Loc) : Expr(ExprKind::NilLit, Loc) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::NilLit; }
+};
+
+struct NameExpr : Expr {
+  std::string Name;
+  VarSymbol *Sym = nullptr; ///< Resolved by Sema (null for constants).
+  /// Set by Sema when the name denotes a CONST: the folded value.
+  bool IsConst = false;
+  int64_t ConstValue = 0;
+  NameExpr(SourceLoc Loc, std::string Name)
+      : Expr(ExprKind::Name, Loc), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Name; }
+};
+
+struct FieldExpr : Expr {
+  ExprPtr Base;
+  std::string FieldName;
+  // Resolved by Sema:
+  FieldId Field = InvalidFieldId;
+  uint32_t Slot = 0;
+  FieldExpr(SourceLoc Loc, ExprPtr Base, std::string FieldName)
+      : Expr(ExprKind::Field, Loc), Base(std::move(Base)),
+        FieldName(std::move(FieldName)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Field; }
+};
+
+struct DerefExpr : Expr {
+  ExprPtr Base;
+  DerefExpr(SourceLoc Loc, ExprPtr Base)
+      : Expr(ExprKind::Deref, Loc), Base(std::move(Base)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Deref; }
+};
+
+struct IndexExpr : Expr {
+  ExprPtr Base;
+  ExprPtr Idx;
+  IndexExpr(SourceLoc Loc, ExprPtr Base, ExprPtr Idx)
+      : Expr(ExprKind::Index, Loc), Base(std::move(Base)),
+        Idx(std::move(Idx)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Index; }
+};
+
+struct CallExpr : Expr {
+  std::string CalleeName;
+  std::vector<ExprPtr> Args;
+  ProcDecl *Callee = nullptr; ///< Resolved by Sema.
+  CallExpr(SourceLoc Loc, std::string CalleeName, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call, Loc), CalleeName(std::move(CalleeName)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Call; }
+};
+
+struct MethodCallExpr : Expr {
+  ExprPtr Base;
+  std::string MethodName;
+  std::vector<ExprPtr> Args;
+  // Resolved by Sema:
+  uint32_t MethodSlot = 0;
+  /// The static type of the receiver (an object type).
+  TypeId ReceiverType = InvalidTypeId;
+  MethodCallExpr(SourceLoc Loc, ExprPtr Base, std::string MethodName,
+                 std::vector<ExprPtr> Args)
+      : Expr(ExprKind::MethodCall, Loc), Base(std::move(Base)),
+        MethodName(std::move(MethodName)), Args(std::move(Args)) {}
+  static bool classof(const Expr *E) {
+    return E->Kind == ExprKind::MethodCall;
+  }
+};
+
+struct NewExpr : Expr {
+  TypeId AllocType = InvalidTypeId;
+  ExprPtr SizeArg; ///< Open arrays: NEW(T, n). Null otherwise.
+  NewExpr(SourceLoc Loc, TypeId AllocType, ExprPtr SizeArg)
+      : Expr(ExprKind::New, Loc), AllocType(AllocType),
+        SizeArg(std::move(SizeArg)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::New; }
+};
+
+/// NARROW(e, T): yields e as a T, trapping when the referent's dynamic
+/// type is not a subtype of T (Modula-3's checked downcast). For the
+/// selective-merging analysis this is an implicit assignment: values of
+/// Type(e)'s group become reachable through T-typed access paths.
+struct NarrowExpr : Expr {
+  ExprPtr Sub;
+  TypeId TargetType = InvalidTypeId;
+  NarrowExpr(SourceLoc Loc, ExprPtr Sub, TypeId TargetType)
+      : Expr(ExprKind::Narrow, Loc), Sub(std::move(Sub)),
+        TargetType(TargetType) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Narrow; }
+};
+
+/// ISTYPE(e, T): TRUE iff e references an object whose dynamic type is a
+/// subtype of T (FALSE for NIL).
+struct IsTypeExpr : Expr {
+  ExprPtr Sub;
+  TypeId TargetType = InvalidTypeId;
+  IsTypeExpr(SourceLoc Loc, ExprPtr Sub, TypeId TargetType)
+      : Expr(ExprKind::IsType, Loc), Sub(std::move(Sub)),
+        TargetType(TargetType) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::IsType; }
+};
+
+struct NumberOfExpr : Expr {
+  ExprPtr Arg;
+  NumberOfExpr(SourceLoc Loc, ExprPtr Arg)
+      : Expr(ExprKind::NumberOf, Loc), Arg(std::move(Arg)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::NumberOf; }
+};
+
+struct UnaryExpr : Expr {
+  UnaryOp Op;
+  ExprPtr Sub;
+  UnaryExpr(SourceLoc Loc, UnaryOp Op, ExprPtr Sub)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Sub(std::move(Sub)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Unary; }
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp Op;
+  ExprPtr Lhs, Rhs;
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Binary; }
+};
+
+/// LLVM-style dyn_cast helpers keyed on Expr::Kind.
+template <typename T> T *dynCast(Expr *E) {
+  return E && T::classof(E) ? static_cast<T *>(E) : nullptr;
+}
+template <typename T> const T *dynCast(const Expr *E) {
+  return E && T::classof(E) ? static_cast<const T *>(E) : nullptr;
+}
+
+/// True for expressions that denote a mutable location (assignable /
+/// passable by VAR): names, field accesses, dereferences, subscripts.
+bool isDesignator(const Expr *E);
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Assign,
+  Call,
+  If,
+  While,
+  Repeat,
+  For,
+  Loop,
+  Exit,
+  Return,
+  With,
+  IncDec,
+  Eval,
+  TypeCase,
+};
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+  explicit Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  virtual ~Stmt() = default;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+struct AssignStmt : Stmt {
+  ExprPtr Lhs, Rhs;
+  AssignStmt(SourceLoc Loc, ExprPtr Lhs, ExprPtr Rhs)
+      : Stmt(StmtKind::Assign, Loc), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Assign; }
+};
+
+struct CallStmt : Stmt {
+  ExprPtr Call; ///< A CallExpr or MethodCallExpr; result discarded.
+  CallStmt(SourceLoc Loc, ExprPtr Call)
+      : Stmt(StmtKind::Call, Loc), Call(std::move(Call)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Call; }
+};
+
+struct IfStmt : Stmt {
+  /// IF/ELSIF arms in order.
+  std::vector<std::pair<ExprPtr, StmtList>> Arms;
+  StmtList ElseBody;
+  explicit IfStmt(SourceLoc Loc) : Stmt(StmtKind::If, Loc) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::If; }
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  StmtList Body;
+  explicit WhileStmt(SourceLoc Loc) : Stmt(StmtKind::While, Loc) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::While; }
+};
+
+struct RepeatStmt : Stmt {
+  StmtList Body;
+  ExprPtr Cond; ///< UNTIL condition.
+  explicit RepeatStmt(SourceLoc Loc) : Stmt(StmtKind::Repeat, Loc) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Repeat; }
+};
+
+struct ForStmt : Stmt {
+  std::string VarName;
+  VarSymbol *Var = nullptr; ///< Implicitly declared index; set by Sema.
+  ExprPtr From, To;
+  int64_t Step = 1; ///< BY literal (may be negative).
+  StmtList Body;
+  explicit ForStmt(SourceLoc Loc) : Stmt(StmtKind::For, Loc) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::For; }
+};
+
+struct LoopStmt : Stmt {
+  StmtList Body;
+  explicit LoopStmt(SourceLoc Loc) : Stmt(StmtKind::Loop, Loc) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Loop; }
+};
+
+struct ExitStmt : Stmt {
+  explicit ExitStmt(SourceLoc Loc) : Stmt(StmtKind::Exit, Loc) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Exit; }
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; ///< Null for plain RETURN.
+  ReturnStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Return; }
+};
+
+/// WITH w = expr DO body END. When the bound expression is a designator,
+/// Modula-3 semantics make w an alias for that location -- one of the two
+/// address-taking constructs TBAA's AddressTaken tracks (Section 2.3).
+struct WithStmt : Stmt {
+  std::string Name;
+  VarSymbol *Binding = nullptr; ///< Declared by Sema.
+  ExprPtr Bound;
+  StmtList Body;
+  /// True when Bound is a designator: w aliases the location.
+  bool IsAlias = false;
+  explicit WithStmt(SourceLoc Loc) : Stmt(StmtKind::With, Loc) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::With; }
+};
+
+/// INC(d) / INC(d, n) / DEC(d) / DEC(d, n): the designator is evaluated
+/// once (Modula-3 semantics), then read-modify-written.
+struct IncDecStmt : Stmt {
+  ExprPtr Target;
+  ExprPtr Amount; ///< Null means 1.
+  bool IsIncrement;
+  IncDecStmt(SourceLoc Loc, ExprPtr Target, ExprPtr Amount, bool IsIncrement)
+      : Stmt(StmtKind::IncDec, Loc), Target(std::move(Target)),
+        Amount(std::move(Amount)), IsIncrement(IsIncrement) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::IncDec; }
+};
+
+/// One arm of a TYPECASE.
+struct TypeCaseArm {
+  TypeId Target = InvalidTypeId;
+  std::string BindName;          ///< Empty when the arm binds nothing.
+  VarSymbol *Binding = nullptr;  ///< Declared by Sema when BindName set.
+  SourceLoc Loc;
+  StmtList Body;
+};
+
+/// TYPECASE e OF T1 (v) => S | T2 => S ELSE S END. Arms test the dynamic
+/// type in order; a missing ELSE traps when nothing matches (Modula-3
+/// semantics). Each arm is an implicit assignment of the subject into the
+/// arm type for selective merging, like NARROW.
+struct TypeCaseStmt : Stmt {
+  ExprPtr Subject;
+  std::vector<TypeCaseArm> Arms;
+  StmtList ElseBody;
+  bool HasElse = false;
+  explicit TypeCaseStmt(SourceLoc Loc) : Stmt(StmtKind::TypeCase, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->Kind == StmtKind::TypeCase;
+  }
+};
+
+/// EVAL e: evaluate and discard (Modula-3's way to call a function
+/// procedure for effect).
+struct EvalStmt : Stmt {
+  ExprPtr Value;
+  EvalStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(StmtKind::Eval, Loc), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Eval; }
+};
+
+template <typename T> T *dynCast(Stmt *S) {
+  return S && T::classof(S) ? static_cast<T *>(S) : nullptr;
+}
+template <typename T> const T *dynCast(const Stmt *S) {
+  return S && T::classof(S) ? static_cast<const T *>(S) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ProcDecl {
+  std::string Name;
+  SourceLoc Loc;
+  ProcId Id = InvalidProcId;
+  /// Formals in order. For methods, slot 0 is the implicit receiver "self".
+  std::vector<std::unique_ptr<VarSymbol>> Params;
+  /// Declared locals, FOR indices and WITH bindings (appended by Sema).
+  std::vector<std::unique_ptr<VarSymbol>> Locals;
+  /// Initializers of the VAR section, lowered as leading assignments.
+  std::vector<std::pair<VarSymbol *, ExprPtr>> LocalInits;
+  TypeId ReturnType = InvalidTypeId; ///< VoidTy for proper procedures.
+  StmtList Body;
+  /// True when this procedure implements some object method (receiver is
+  /// Params[0]); used by devirtualization bookkeeping.
+  bool IsMethodImpl = false;
+
+  uint32_t numFrameSlots() const {
+    return static_cast<uint32_t>(Params.size() + Locals.size());
+  }
+};
+
+/// A module-level CONST declaration; Sema folds it to a value.
+struct ConstDecl {
+  std::string Name;
+  SourceLoc Loc;
+  ExprPtr Value;
+  // Folded by Sema:
+  TypeId Type = InvalidTypeId;
+  int64_t Folded = 0;
+};
+
+/// A whole M3L compilation unit plus its type table.
+struct ModuleAST {
+  std::string Name;
+  std::vector<ConstDecl> Consts;
+  std::vector<std::unique_ptr<VarSymbol>> Globals;
+  /// Global initializers, executed before the main body.
+  std::vector<std::pair<VarSymbol *, ExprPtr>> GlobalInits;
+  std::vector<std::unique_ptr<ProcDecl>> Procs;
+  StmtList MainBody;
+  /// Synthesized by Sema when MainBody is nonempty: a parameterless
+  /// procedure holding the module initialization body (so FOR/WITH at
+  /// module level have a frame). Also an element of Procs.
+  ProcDecl *InitProc = nullptr;
+  unsigned SourceLines = 0; ///< Non-blank, non-comment lines (Table 4).
+
+  ProcDecl *findProc(const std::string &Name) const {
+    for (const auto &P : Procs)
+      if (P->Name == Name)
+        return P.get();
+    return nullptr;
+  }
+};
+
+/// A parsed program: the module plus the type table it references.
+struct Program {
+  TypeTable Types;
+  std::unique_ptr<ModuleAST> Module;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_LANG_AST_H

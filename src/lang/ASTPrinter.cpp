@@ -1,0 +1,247 @@
+//===- ASTPrinter.cpp -----------------------------------------------------===//
+
+#include "lang/ASTPrinter.h"
+
+#include <sstream>
+
+using namespace tbaa;
+
+namespace {
+
+class Printer {
+public:
+  explicit Printer(const TypeTable &Types) : Types(Types) {}
+
+  std::string expr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return std::to_string(static_cast<const IntLitExpr &>(E).Value);
+    case ExprKind::BoolLit:
+      return static_cast<const BoolLitExpr &>(E).Value ? "TRUE" : "FALSE";
+    case ExprKind::NilLit:
+      return "NIL";
+    case ExprKind::Name: {
+      const auto &N = static_cast<const NameExpr &>(E);
+      if (N.IsConst)
+        return N.Name + "{=" + std::to_string(N.ConstValue) + "}";
+      return N.Name;
+    }
+    case ExprKind::Field: {
+      const auto &F = static_cast<const FieldExpr &>(E);
+      return expr(*F.Base) + "." + F.FieldName + "{f" +
+             std::to_string(F.Field) + "}";
+    }
+    case ExprKind::Deref:
+      return expr(*static_cast<const DerefExpr &>(E).Base) + "^";
+    case ExprKind::Index: {
+      const auto &I = static_cast<const IndexExpr &>(E);
+      return expr(*I.Base) + "[" + expr(*I.Idx) + "]";
+    }
+    case ExprKind::Call: {
+      const auto &C = static_cast<const CallExpr &>(E);
+      std::string S = C.CalleeName + "(";
+      for (size_t K = 0; K != C.Args.size(); ++K)
+        S += (K ? ", " : "") + expr(*C.Args[K]);
+      return S + ")";
+    }
+    case ExprKind::MethodCall: {
+      const auto &C = static_cast<const MethodCallExpr &>(E);
+      std::string S =
+          expr(*C.Base) + "." + C.MethodName + "{m" +
+          std::to_string(C.MethodSlot) + "}(";
+      for (size_t K = 0; K != C.Args.size(); ++K)
+        S += (K ? ", " : "") + expr(*C.Args[K]);
+      return S + ")";
+    }
+    case ExprKind::New: {
+      const auto &N = static_cast<const NewExpr &>(E);
+      std::string S = "NEW(" + Types.typeName(N.AllocType);
+      if (N.SizeArg)
+        S += ", " + expr(*N.SizeArg);
+      return S + ")";
+    }
+    case ExprKind::Narrow: {
+      const auto &N = static_cast<const NarrowExpr &>(E);
+      return "NARROW(" + expr(*N.Sub) + ", " +
+             Types.typeName(N.TargetType) + ")";
+    }
+    case ExprKind::IsType: {
+      const auto &N = static_cast<const IsTypeExpr &>(E);
+      return "ISTYPE(" + expr(*N.Sub) + ", " +
+             Types.typeName(N.TargetType) + ")";
+    }
+    case ExprKind::NumberOf:
+      return "NUMBER(" + expr(*static_cast<const NumberOfExpr &>(E).Arg) +
+             ")";
+    case ExprKind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      return std::string(U.Op == UnaryOp::Neg ? "-" : "NOT ") + "(" +
+             expr(*U.Sub) + ")";
+    }
+    case ExprKind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      static const char *Names[] = {"+",  "-", "*",  "DIV", "MOD", "=",  "#",
+                                    "<",  "<=", ">", ">=",  "AND", "OR"};
+      return "(" + expr(*B.Lhs) + " " +
+             Names[static_cast<unsigned>(B.Op)] + " " + expr(*B.Rhs) + ")";
+    }
+    }
+    return "?";
+  }
+
+  void stmtList(const StmtList &Stmts) {
+    ++Indent;
+    for (const StmtPtr &S : Stmts)
+      stmt(*S);
+    --Indent;
+  }
+
+  void line(const std::string &S) {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+    OS << S << "\n";
+  }
+
+  void stmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Assign: {
+      const auto &A = static_cast<const AssignStmt &>(S);
+      line(expr(*A.Lhs) + " := " + expr(*A.Rhs));
+      return;
+    }
+    case StmtKind::Call:
+      line(expr(*static_cast<const CallStmt &>(S).Call));
+      return;
+    case StmtKind::If: {
+      const auto &I = static_cast<const IfStmt &>(S);
+      bool First = true;
+      for (const auto &[Cond, Body] : I.Arms) {
+        line(std::string(First ? "IF " : "ELSIF ") + expr(*Cond));
+        First = false;
+        stmtList(Body);
+      }
+      if (!I.ElseBody.empty()) {
+        line("ELSE");
+        stmtList(I.ElseBody);
+      }
+      line("END");
+      return;
+    }
+    case StmtKind::While: {
+      const auto &W = static_cast<const WhileStmt &>(S);
+      line("WHILE " + expr(*W.Cond));
+      stmtList(W.Body);
+      line("END");
+      return;
+    }
+    case StmtKind::Repeat: {
+      const auto &R = static_cast<const RepeatStmt &>(S);
+      line("REPEAT");
+      stmtList(R.Body);
+      line("UNTIL " + expr(*R.Cond));
+      return;
+    }
+    case StmtKind::For: {
+      const auto &F = static_cast<const ForStmt &>(S);
+      line("FOR " + F.VarName + " := " + expr(*F.From) + " TO " +
+           expr(*F.To) +
+           (F.Step != 1 ? " BY " + std::to_string(F.Step) : ""));
+      stmtList(F.Body);
+      line("END");
+      return;
+    }
+    case StmtKind::Loop:
+      line("LOOP");
+      stmtList(static_cast<const LoopStmt &>(S).Body);
+      line("END");
+      return;
+    case StmtKind::Exit:
+      line("EXIT");
+      return;
+    case StmtKind::Return: {
+      const auto &R = static_cast<const ReturnStmt &>(S);
+      line(R.Value ? "RETURN " + expr(*R.Value) : "RETURN");
+      return;
+    }
+    case StmtKind::With: {
+      const auto &W = static_cast<const WithStmt &>(S);
+      line("WITH " + W.Name + " = " + expr(*W.Bound) +
+           (W.IsAlias ? " (alias)" : " (value)"));
+      stmtList(W.Body);
+      line("END");
+      return;
+    }
+    case StmtKind::IncDec: {
+      const auto &I = static_cast<const IncDecStmt &>(S);
+      line(std::string(I.IsIncrement ? "INC(" : "DEC(") +
+           expr(*I.Target) +
+           (I.Amount ? ", " + expr(*I.Amount) : "") + ")");
+      return;
+    }
+    case StmtKind::Eval:
+      line("EVAL " + expr(*static_cast<const EvalStmt &>(S).Value));
+      return;
+    case StmtKind::TypeCase: {
+      const auto &T = static_cast<const TypeCaseStmt &>(S);
+      line("TYPECASE " + expr(*T.Subject));
+      for (const TypeCaseArm &Arm : T.Arms) {
+        line("| " + Types.typeName(Arm.Target) +
+             (Arm.BindName.empty() ? "" : " (" + Arm.BindName + ")") +
+             " =>");
+        stmtList(Arm.Body);
+      }
+      if (T.HasElse) {
+        line("ELSE");
+        stmtList(T.ElseBody);
+      }
+      line("END");
+      return;
+    }
+    }
+  }
+
+  std::string module(const ModuleAST &M) {
+    OS << "MODULE " << M.Name << "\n";
+    for (const ConstDecl &D : M.Consts)
+      OS << "  CONST " << D.Name << " = " << D.Folded << " : "
+         << Types.typeName(D.Type) << "\n";
+    for (const auto &G : M.Globals)
+      OS << "  VAR " << G->Name << " : " << Types.typeName(G->Type)
+         << "\n";
+    for (const auto &P : M.Procs) {
+      OS << "  PROCEDURE " << P->Name << " (";
+      for (size_t I = 0; I != P->Params.size(); ++I) {
+        if (I)
+          OS << "; ";
+        if (P->Params[I]->ByRef)
+          OS << "VAR ";
+        OS << P->Params[I]->Name << ": "
+           << Types.typeName(P->Params[I]->Type);
+      }
+      OS << ")";
+      if (P->ReturnType != Types.voidType())
+        OS << ": " << Types.typeName(P->ReturnType);
+      OS << "\n";
+      Indent = 1;
+      stmtList(P->Body);
+    }
+    return OS.str();
+  }
+
+private:
+  const TypeTable &Types;
+  std::ostringstream OS;
+  unsigned Indent = 0;
+};
+
+} // namespace
+
+std::string tbaa::printModule(const ModuleAST &M, const TypeTable &Types) {
+  Printer P(Types);
+  return P.module(M);
+}
+
+std::string tbaa::printExpr(const Expr &E, const TypeTable &Types) {
+  Printer P(Types);
+  return P.expr(E);
+}

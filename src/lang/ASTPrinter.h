@@ -1,0 +1,33 @@
+//===- ASTPrinter.h - Render checked ASTs as text ---------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a checked module as an indented tree with resolved types --
+/// what `m3lc dump-ast` prints and what the structural parser tests
+/// assert against. Types are shown by name; designators carry their
+/// resolved field ids so the "distinct fields have distinct names"
+/// assumption (Section 2.1) is visible in dumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_LANG_ASTPRINTER_H
+#define TBAA_LANG_ASTPRINTER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace tbaa {
+
+/// Renders the whole module.
+std::string printModule(const ModuleAST &M, const TypeTable &Types);
+
+/// Renders one expression on a single line (tests, diagnostics).
+std::string printExpr(const Expr &E, const TypeTable &Types);
+
+} // namespace tbaa
+
+#endif // TBAA_LANG_ASTPRINTER_H

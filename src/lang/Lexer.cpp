@@ -1,0 +1,466 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace tbaa;
+
+const char *tbaa::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Invalid:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::TextLiteral:
+    return "text literal";
+  case TokenKind::KwModule:
+    return "'MODULE'";
+  case TokenKind::KwType:
+    return "'TYPE'";
+  case TokenKind::KwVar:
+    return "'VAR'";
+  case TokenKind::KwProcedure:
+    return "'PROCEDURE'";
+  case TokenKind::KwBegin:
+    return "'BEGIN'";
+  case TokenKind::KwEnd:
+    return "'END'";
+  case TokenKind::KwIf:
+    return "'IF'";
+  case TokenKind::KwThen:
+    return "'THEN'";
+  case TokenKind::KwElsif:
+    return "'ELSIF'";
+  case TokenKind::KwElse:
+    return "'ELSE'";
+  case TokenKind::KwWhile:
+    return "'WHILE'";
+  case TokenKind::KwDo:
+    return "'DO'";
+  case TokenKind::KwRepeat:
+    return "'REPEAT'";
+  case TokenKind::KwUntil:
+    return "'UNTIL'";
+  case TokenKind::KwFor:
+    return "'FOR'";
+  case TokenKind::KwTo:
+    return "'TO'";
+  case TokenKind::KwBy:
+    return "'BY'";
+  case TokenKind::KwLoop:
+    return "'LOOP'";
+  case TokenKind::KwExit:
+    return "'EXIT'";
+  case TokenKind::KwReturn:
+    return "'RETURN'";
+  case TokenKind::KwWith:
+    return "'WITH'";
+  case TokenKind::KwObject:
+    return "'OBJECT'";
+  case TokenKind::KwRecord:
+    return "'RECORD'";
+  case TokenKind::KwArray:
+    return "'ARRAY'";
+  case TokenKind::KwOf:
+    return "'OF'";
+  case TokenKind::KwRef:
+    return "'REF'";
+  case TokenKind::KwMethods:
+    return "'METHODS'";
+  case TokenKind::KwOverrides:
+    return "'OVERRIDES'";
+  case TokenKind::KwBranded:
+    return "'BRANDED'";
+  case TokenKind::KwNew:
+    return "'NEW'";
+  case TokenKind::KwNarrow:
+    return "'NARROW'";
+  case TokenKind::KwIstype:
+    return "'ISTYPE'";
+  case TokenKind::KwTypecase:
+    return "'TYPECASE'";
+  case TokenKind::KwNumber:
+    return "'NUMBER'";
+  case TokenKind::KwTrue:
+    return "'TRUE'";
+  case TokenKind::KwFalse:
+    return "'FALSE'";
+  case TokenKind::KwNil:
+    return "'NIL'";
+  case TokenKind::KwConst:
+    return "'CONST'";
+  case TokenKind::KwInc:
+    return "'INC'";
+  case TokenKind::KwDec:
+    return "'DEC'";
+  case TokenKind::KwEval:
+    return "'EVAL'";
+  case TokenKind::KwNot:
+    return "'NOT'";
+  case TokenKind::KwAnd:
+    return "'AND'";
+  case TokenKind::KwOr:
+    return "'OR'";
+  case TokenKind::KwDiv:
+    return "'DIV'";
+  case TokenKind::KwMod:
+    return "'MOD'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Arrow:
+    return "'=>'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::NotEqual:
+    return "'#'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  }
+  return "token";
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordMap() {
+  static const std::unordered_map<std::string, TokenKind> Map = {
+      {"MODULE", TokenKind::KwModule},
+      {"TYPE", TokenKind::KwType},
+      {"VAR", TokenKind::KwVar},
+      {"PROCEDURE", TokenKind::KwProcedure},
+      {"BEGIN", TokenKind::KwBegin},
+      {"END", TokenKind::KwEnd},
+      {"IF", TokenKind::KwIf},
+      {"THEN", TokenKind::KwThen},
+      {"ELSIF", TokenKind::KwElsif},
+      {"ELSE", TokenKind::KwElse},
+      {"WHILE", TokenKind::KwWhile},
+      {"DO", TokenKind::KwDo},
+      {"REPEAT", TokenKind::KwRepeat},
+      {"UNTIL", TokenKind::KwUntil},
+      {"FOR", TokenKind::KwFor},
+      {"TO", TokenKind::KwTo},
+      {"BY", TokenKind::KwBy},
+      {"LOOP", TokenKind::KwLoop},
+      {"EXIT", TokenKind::KwExit},
+      {"RETURN", TokenKind::KwReturn},
+      {"WITH", TokenKind::KwWith},
+      {"OBJECT", TokenKind::KwObject},
+      {"RECORD", TokenKind::KwRecord},
+      {"ARRAY", TokenKind::KwArray},
+      {"OF", TokenKind::KwOf},
+      {"REF", TokenKind::KwRef},
+      {"METHODS", TokenKind::KwMethods},
+      {"OVERRIDES", TokenKind::KwOverrides},
+      {"BRANDED", TokenKind::KwBranded},
+      {"NEW", TokenKind::KwNew},
+      {"NARROW", TokenKind::KwNarrow},
+      {"ISTYPE", TokenKind::KwIstype},
+      {"TYPECASE", TokenKind::KwTypecase},
+      {"NUMBER", TokenKind::KwNumber},
+      {"TRUE", TokenKind::KwTrue},
+      {"FALSE", TokenKind::KwFalse},
+      {"NIL", TokenKind::KwNil},
+      {"CONST", TokenKind::KwConst},
+      {"INC", TokenKind::KwInc},
+      {"DEC", TokenKind::KwDec},
+      {"EVAL", TokenKind::KwEval},
+      {"NOT", TokenKind::KwNot},
+      {"AND", TokenKind::KwAnd},
+      {"OR", TokenKind::KwOr},
+      {"DIV", TokenKind::KwDiv},
+      {"MOD", TokenKind::KwMod},
+  };
+  return Map;
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Src(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+}
+
+char Lexer::bump() {
+  assert(!atEnd() && "bump past end of input");
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      bump();
+      continue;
+    }
+    if (C == '(' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      bump();
+      bump();
+      unsigned Depth = 1;
+      while (Depth != 0) {
+        if (atEnd()) {
+          Diags.error(Start, "unterminated comment");
+          return;
+        }
+        if (peek() == '(' && peek(1) == '*') {
+          bump();
+          bump();
+          ++Depth;
+        } else if (peek() == '*' && peek(1) == ')') {
+          bump();
+          bump();
+          --Depth;
+        } else {
+          bump();
+        }
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  if (Kind != TokenKind::Eof) {
+    if (LinesWithCode.size() <= Loc.Line)
+      LinesWithCode.resize(Loc.Line + 1, false);
+    LinesWithCode[Loc.Line] = true;
+  }
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+unsigned Lexer::codeLineCount() const {
+  unsigned N = 0;
+  for (bool B : LinesWithCode)
+    if (B)
+      ++N;
+  return N;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  SourceLoc Start = loc();
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text.push_back(bump());
+  auto It = keywordMap().find(Text);
+  if (It != keywordMap().end())
+    return makeToken(It->second, Start, std::move(Text));
+  return makeToken(TokenKind::Identifier, Start, std::move(Text));
+}
+
+Token Lexer::lexNumber() {
+  SourceLoc Start = loc();
+  std::string Text;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    Text.push_back(bump());
+  Token T = makeToken(TokenKind::IntLiteral, Start, Text);
+  T.IntValue = 0;
+  for (char C : Text) {
+    T.IntValue = T.IntValue * 10 + (C - '0');
+    if (T.IntValue < 0) {
+      Diags.error(Start, "integer literal overflows 64 bits");
+      break;
+    }
+  }
+  return T;
+}
+
+Token Lexer::lexCharLiteral() {
+  SourceLoc Start = loc();
+  bump(); // opening quote
+  int64_t Value = 0;
+  if (atEnd()) {
+    Diags.error(Start, "unterminated character literal");
+    return makeToken(TokenKind::Invalid, Start);
+  }
+  char C = bump();
+  if (C == '\\') {
+    if (atEnd()) {
+      Diags.error(Start, "unterminated character literal");
+      return makeToken(TokenKind::Invalid, Start);
+    }
+    char E = bump();
+    switch (E) {
+    case 'n':
+      Value = '\n';
+      break;
+    case 't':
+      Value = '\t';
+      break;
+    case '\\':
+      Value = '\\';
+      break;
+    case '\'':
+      Value = '\'';
+      break;
+    case '0':
+      Value = 0;
+      break;
+    default:
+      Diags.error(Start, std::string("unknown escape '\\") + E + "'");
+      Value = E;
+      break;
+    }
+  } else {
+    Value = static_cast<unsigned char>(C);
+  }
+  if (atEnd() || peek() != '\'') {
+    Diags.error(Start, "expected closing ' in character literal");
+  } else {
+    bump();
+  }
+  Token T = makeToken(TokenKind::IntLiteral, Start);
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::lexTextLiteral() {
+  SourceLoc Start = loc();
+  bump(); // opening quote
+  std::string Text;
+  while (!atEnd() && peek() != '"' && peek() != '\n')
+    Text.push_back(bump());
+  if (atEnd() || peek() != '"')
+    Diags.error(Start, "unterminated text literal");
+  else
+    bump();
+  return makeToken(TokenKind::TextLiteral, Start, std::move(Text));
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Start = loc();
+  if (atEnd())
+    return makeToken(TokenKind::Eof, Start);
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '\'')
+    return lexCharLiteral();
+  if (C == '"')
+    return lexTextLiteral();
+
+  bump();
+  switch (C) {
+  case ';':
+    return makeToken(TokenKind::Semi, Start);
+  case '|':
+    return makeToken(TokenKind::Pipe, Start);
+  case ',':
+    return makeToken(TokenKind::Comma, Start);
+  case '^':
+    return makeToken(TokenKind::Caret, Start);
+  case '[':
+    return makeToken(TokenKind::LBracket, Start);
+  case ']':
+    return makeToken(TokenKind::RBracket, Start);
+  case '(':
+    return makeToken(TokenKind::LParen, Start);
+  case ')':
+    return makeToken(TokenKind::RParen, Start);
+  case '=':
+    if (peek() == '>') {
+      bump();
+      return makeToken(TokenKind::Arrow, Start);
+    }
+    return makeToken(TokenKind::Equal, Start);
+  case '#':
+    return makeToken(TokenKind::NotEqual, Start);
+  case '+':
+    return makeToken(TokenKind::Plus, Start);
+  case '-':
+    return makeToken(TokenKind::Minus, Start);
+  case '*':
+    return makeToken(TokenKind::Star, Start);
+  case ':':
+    if (peek() == '=') {
+      bump();
+      return makeToken(TokenKind::Assign, Start);
+    }
+    return makeToken(TokenKind::Colon, Start);
+  case '.':
+    if (peek() == '.') {
+      bump();
+      return makeToken(TokenKind::DotDot, Start);
+    }
+    return makeToken(TokenKind::Dot, Start);
+  case '<':
+    if (peek() == '=') {
+      bump();
+      return makeToken(TokenKind::LessEq, Start);
+    }
+    return makeToken(TokenKind::Less, Start);
+  case '>':
+    if (peek() == '=') {
+      bump();
+      return makeToken(TokenKind::GreaterEq, Start);
+    }
+    return makeToken(TokenKind::Greater, Start);
+  default:
+    Diags.error(Start, std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Invalid, Start);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,65 @@
+//===- Lexer.h - M3L lexer --------------------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for M3L. Supports nested (* ... *) comments,
+/// decimal integer literals, character literals ('a', with \n \t \\ \'
+/// escapes) that denote their code point, and "text" literals for brands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_LANG_LEXER_H
+#define TBAA_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+/// Lexes one in-memory M3L source buffer.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token. After end of input, repeatedly
+  /// returns an Eof token.
+  Token next();
+
+  /// Lexes the whole buffer; the last element is always Eof.
+  std::vector<Token> lexAll();
+
+  /// Number of non-blank, non-comment-only source lines seen so far.
+  /// Matches the "Lines" metric of Table 4 ("non-comment, non-blank lines
+  /// of code") once the whole buffer has been lexed.
+  unsigned codeLineCount() const;
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char bump();
+  bool atEnd() const { return Pos >= Src.size(); }
+  void skipTrivia();
+  SourceLoc loc() const { return {Line, Col}; }
+  Token makeToken(TokenKind Kind, SourceLoc Loc, std::string Text = {});
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexTextLiteral();
+
+  std::string Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  /// Lines on which at least one token started.
+  std::vector<bool> LinesWithCode;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_LANG_LEXER_H

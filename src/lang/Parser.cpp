@@ -1,0 +1,1024 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "lang/Sema.h"
+
+#include <cassert>
+
+using namespace tbaa;
+
+Parser::Parser(std::vector<Token> Tokens, TypeTable &Types,
+               DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Types(Types), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // Eof
+  return Tokens[I];
+}
+
+Token Parser::advance() {
+  Token T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!cur().is(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(cur().Loc, std::string("expected ") + tokenKindName(Kind) +
+                             " " + Context + ", found " +
+                             tokenKindName(cur().Kind));
+  return false;
+}
+
+void Parser::skipToSemi() {
+  while (!cur().is(TokenKind::Eof) && !cur().is(TokenKind::Semi))
+    advance();
+  accept(TokenKind::Semi);
+}
+
+//===----------------------------------------------------------------------===//
+// Module structure
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ModuleAST> Parser::parseModule() {
+  auto M = std::make_unique<ModuleAST>();
+  if (!expect(TokenKind::KwModule, "at start of module"))
+    return nullptr;
+  if (!cur().is(TokenKind::Identifier)) {
+    Diags.error(cur().Loc, "expected module name");
+    return nullptr;
+  }
+  M->Name = advance().Text;
+  if (!expect(TokenKind::Semi, "after module name"))
+    return nullptr;
+
+  for (;;) {
+    if (cur().is(TokenKind::KwType)) {
+      if (!parseTypeSection())
+        return nullptr;
+    } else if (cur().is(TokenKind::KwConst)) {
+      advance();
+      while (cur().is(TokenKind::Identifier)) {
+        ConstDecl D;
+        D.Name = cur().Text;
+        D.Loc = advance().Loc;
+        if (!expect(TokenKind::Equal, "after constant name"))
+          return nullptr;
+        D.Value = parseExpr();
+        if (!D.Value || !expect(TokenKind::Semi, "after constant"))
+          return nullptr;
+        M->Consts.push_back(std::move(D));
+      }
+    } else if (cur().is(TokenKind::KwVar)) {
+      advance();
+      if (!parseVarSection(M->Globals, M->GlobalInits, VarScope::Global))
+        return nullptr;
+    } else if (cur().is(TokenKind::KwProcedure)) {
+      if (!parseProcedure(*M))
+        return nullptr;
+    } else {
+      break;
+    }
+  }
+
+  if (accept(TokenKind::KwBegin)) {
+    bool SawEnd = false;
+    if (!parseStmtList(M->MainBody, SawEnd))
+      return nullptr;
+  }
+  if (!expect(TokenKind::KwEnd, "at end of module"))
+    return nullptr;
+  if (cur().is(TokenKind::Identifier)) {
+    if (cur().Text != M->Name)
+      Diags.error(cur().Loc, "module trailer name '" + cur().Text +
+                                 "' does not match '" + M->Name + "'");
+    advance();
+  }
+  expect(TokenKind::Dot, "after module trailer");
+  if (!cur().is(TokenKind::Eof))
+    Diags.error(cur().Loc, "text after end of module");
+  return Diags.hasErrors() ? nullptr : std::move(M);
+}
+
+bool Parser::parseTypeSection() {
+  expect(TokenKind::KwType, "at start of TYPE section");
+  while (cur().is(TokenKind::Identifier)) {
+    Token NameTok = advance();
+    if (!expect(TokenKind::Equal, "after type name"))
+      return false;
+    // Plain alias "TYPE A = B;" binds A to B's id; everything else defines
+    // (or patches the Forward entry of) A.
+    if (cur().is(TokenKind::Identifier) &&
+        !peek(1).is(TokenKind::KwObject) && !peek(1).is(TokenKind::KwBranded)) {
+      TypeId Existing = Types.lookupNamed(NameTok.Text);
+      if (Existing != InvalidTypeId &&
+          Types.get(Existing).Kind == TypeKind::Forward) {
+        Diags.error(NameTok.Loc,
+                    "type '" + NameTok.Text +
+                        "' was forward-referenced and cannot be an alias");
+        return false;
+      }
+      TypeId Target = Types.getOrCreateNamed(advance().Text, NameTok.Loc);
+      Types.bindName(NameTok.Text, Target);
+    } else {
+      TypeId Id = parseTypeExpr(NameTok.Text);
+      if (Id == InvalidTypeId)
+        return false;
+    }
+    if (!expect(TokenKind::Semi, "after type declaration"))
+      return false;
+  }
+  return true;
+}
+
+TypeId Parser::parseTypeExpr(const std::string &NameForDefinition) {
+  SourceLoc Loc = cur().Loc;
+  // REF T
+  if (accept(TokenKind::KwRef)) {
+    TypeId Target = parseTypeExpr();
+    if (Target == InvalidTypeId)
+      return InvalidTypeId;
+    return Types.defineRef(NameForDefinition, Loc, Target);
+  }
+  // ARRAY [lo..hi] OF T  |  ARRAY OF T
+  if (accept(TokenKind::KwArray)) {
+    bool IsOpen = true;
+    int64_t Lo = 0, Hi = -1;
+    if (accept(TokenKind::LBracket)) {
+      IsOpen = false;
+      bool Neg = accept(TokenKind::Minus);
+      if (!cur().is(TokenKind::IntLiteral)) {
+        Diags.error(cur().Loc, "expected array lower bound");
+        return InvalidTypeId;
+      }
+      Lo = advance().IntValue * (Neg ? -1 : 1);
+      if (!expect(TokenKind::DotDot, "in array bounds"))
+        return InvalidTypeId;
+      Neg = accept(TokenKind::Minus);
+      if (!cur().is(TokenKind::IntLiteral)) {
+        Diags.error(cur().Loc, "expected array upper bound");
+        return InvalidTypeId;
+      }
+      Hi = advance().IntValue * (Neg ? -1 : 1);
+      if (!expect(TokenKind::RBracket, "after array bounds"))
+        return InvalidTypeId;
+      if (Hi < Lo) {
+        Diags.error(Loc, "array upper bound below lower bound");
+        return InvalidTypeId;
+      }
+    }
+    if (!expect(TokenKind::KwOf, "in array type"))
+      return InvalidTypeId;
+    TypeId Elem = parseTypeExpr();
+    if (Elem == InvalidTypeId)
+      return InvalidTypeId;
+    return Types.defineArray(NameForDefinition, Loc, Elem, IsOpen, Lo, Hi);
+  }
+  // [BRANDED [text]] OBJECT ... | BRANDED [text] RECORD ...
+  if (cur().is(TokenKind::KwBranded) || cur().is(TokenKind::KwObject) ||
+      cur().is(TokenKind::KwRecord)) {
+    std::optional<std::string> Brand;
+    if (accept(TokenKind::KwBranded)) {
+      if (cur().is(TokenKind::TextLiteral))
+        Brand = advance().Text;
+      else
+        Brand = NameForDefinition.empty() ? ("<anon@" +
+                                             std::to_string(Loc.Line) + ":" +
+                                             std::to_string(Loc.Col) + ">")
+                                          : NameForDefinition;
+    }
+    if (accept(TokenKind::KwObject))
+      return parseObjectBody(NameForDefinition, Loc, InvalidTypeId, Brand);
+    if (!expect(TokenKind::KwRecord, "after BRANDED"))
+      return InvalidTypeId;
+    std::vector<FieldInfo> Fields;
+    if (!parseFields(Fields, TokenKind::KwEnd, TokenKind::KwEnd,
+                     TokenKind::KwEnd))
+      return InvalidTypeId;
+    if (!expect(TokenKind::KwEnd, "at end of record"))
+      return InvalidTypeId;
+    return Types.defineRecord(NameForDefinition, Loc, Brand,
+                              std::move(Fields));
+  }
+  // Named type, possibly "Super [BRANDED] OBJECT ... END".
+  if (cur().is(TokenKind::Identifier)) {
+    Token NameTok = advance();
+    TypeId Named = Types.getOrCreateNamed(NameTok.Text, NameTok.Loc);
+    if (cur().is(TokenKind::KwObject) || cur().is(TokenKind::KwBranded)) {
+      std::optional<std::string> Brand;
+      if (accept(TokenKind::KwBranded)) {
+        if (cur().is(TokenKind::TextLiteral))
+          Brand = advance().Text;
+        else
+          Brand = NameForDefinition;
+      }
+      if (!expect(TokenKind::KwObject, "after supertype name"))
+        return InvalidTypeId;
+      return parseObjectBody(NameForDefinition, Loc, Named, Brand);
+    }
+    return Named;
+  }
+  Diags.error(cur().Loc, std::string("expected a type, found ") +
+                             tokenKindName(cur().Kind));
+  return InvalidTypeId;
+}
+
+bool Parser::parseFields(std::vector<FieldInfo> &Fields, TokenKind EndKind1,
+                         TokenKind EndKind2, TokenKind EndKind3) {
+  while (cur().is(TokenKind::Identifier)) {
+    std::vector<Token> Names;
+    Names.push_back(advance());
+    while (accept(TokenKind::Comma)) {
+      if (!cur().is(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected field name");
+        return false;
+      }
+      Names.push_back(advance());
+    }
+    if (!expect(TokenKind::Colon, "after field name"))
+      return false;
+    TypeId FT = parseTypeExpr();
+    if (FT == InvalidTypeId)
+      return false;
+    for (const Token &N : Names) {
+      FieldInfo F;
+      F.Name = N.Text;
+      F.Type = FT;
+      F.Id = Types.nextFieldId();
+      Fields.push_back(std::move(F));
+    }
+    if (!expect(TokenKind::Semi, "after field declaration"))
+      return false;
+  }
+  if (!cur().is(EndKind1) && !cur().is(EndKind2) && !cur().is(EndKind3)) {
+    Diags.error(cur().Loc, std::string("unexpected ") +
+                               tokenKindName(cur().Kind) +
+                               " in field list");
+    return false;
+  }
+  return true;
+}
+
+bool Parser::parseSignatureParams(std::vector<ParamInfo> &Params) {
+  if (!expect(TokenKind::LParen, "in signature"))
+    return false;
+  if (accept(TokenKind::RParen))
+    return true;
+  for (;;) {
+    bool ByRef = accept(TokenKind::KwVar);
+    std::vector<Token> Names;
+    if (!cur().is(TokenKind::Identifier)) {
+      Diags.error(cur().Loc, "expected parameter name");
+      return false;
+    }
+    Names.push_back(advance());
+    while (accept(TokenKind::Comma)) {
+      if (!cur().is(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected parameter name");
+        return false;
+      }
+      Names.push_back(advance());
+    }
+    if (!expect(TokenKind::Colon, "after parameter name"))
+      return false;
+    TypeId PT = parseTypeExpr();
+    if (PT == InvalidTypeId)
+      return false;
+    for (const Token &N : Names) {
+      ParamInfo P;
+      P.Name = N.Text;
+      P.Type = PT;
+      P.ByRef = ByRef;
+      Params.push_back(std::move(P));
+    }
+    if (accept(TokenKind::RParen))
+      return true;
+    if (!expect(TokenKind::Semi, "between parameter groups"))
+      return false;
+  }
+}
+
+TypeId Parser::parseObjectBody(const std::string &Name, SourceLoc Loc,
+                               TypeId Super,
+                               std::optional<std::string> Brand) {
+  std::vector<FieldInfo> Fields;
+  if (!parseFields(Fields, TokenKind::KwMethods, TokenKind::KwOverrides,
+                   TokenKind::KwEnd))
+    return InvalidTypeId;
+  std::vector<MethodInfo> Methods;
+  if (accept(TokenKind::KwMethods)) {
+    while (cur().is(TokenKind::Identifier)) {
+      MethodInfo M;
+      M.Name = advance().Text;
+      if (!parseSignatureParams(M.Params))
+        return InvalidTypeId;
+      if (accept(TokenKind::Colon)) {
+        M.ReturnType = parseTypeExpr();
+        if (M.ReturnType == InvalidTypeId)
+          return InvalidTypeId;
+      } else {
+        M.ReturnType = Types.voidType();
+      }
+      if (accept(TokenKind::Assign)) {
+        if (!cur().is(TokenKind::Identifier)) {
+          Diags.error(cur().Loc, "expected procedure name after ':='");
+          return InvalidTypeId;
+        }
+        M.ImplName = advance().Text;
+      }
+      Methods.push_back(std::move(M));
+      if (!expect(TokenKind::Semi, "after method declaration"))
+        return InvalidTypeId;
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> Overrides;
+  if (accept(TokenKind::KwOverrides)) {
+    while (cur().is(TokenKind::Identifier)) {
+      std::string MName = advance().Text;
+      if (!expect(TokenKind::Assign, "in OVERRIDES entry"))
+        return InvalidTypeId;
+      if (!cur().is(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected procedure name in OVERRIDES entry");
+        return InvalidTypeId;
+      }
+      Overrides.emplace_back(MName, advance().Text);
+      if (!expect(TokenKind::Semi, "after OVERRIDES entry"))
+        return InvalidTypeId;
+    }
+  }
+  if (!expect(TokenKind::KwEnd, "at end of object type"))
+    return InvalidTypeId;
+  return Types.defineObject(Name, Loc, Super, std::move(Brand),
+                            std::move(Fields), std::move(Methods),
+                            std::move(Overrides));
+}
+
+bool Parser::parseVarSection(
+    std::vector<std::unique_ptr<VarSymbol>> &Vars,
+    std::vector<std::pair<VarSymbol *, ExprPtr>> &Inits, VarScope Scope) {
+  while (cur().is(TokenKind::Identifier)) {
+    std::vector<Token> Names;
+    Names.push_back(advance());
+    while (accept(TokenKind::Comma)) {
+      if (!cur().is(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected variable name");
+        return false;
+      }
+      Names.push_back(advance());
+    }
+    if (!expect(TokenKind::Colon, "after variable name"))
+      return false;
+    TypeId VT = parseTypeExpr();
+    if (VT == InvalidTypeId)
+      return false;
+    ExprPtr Init;
+    if (accept(TokenKind::Assign)) {
+      Init = parseExpr();
+      if (!Init)
+        return false;
+    }
+    for (size_t I = 0; I != Names.size(); ++I) {
+      auto Sym = std::make_unique<VarSymbol>();
+      Sym->Name = Names[I].Text;
+      Sym->Type = VT;
+      Sym->Scope = Scope;
+      Sym->Loc = Names[I].Loc;
+      if (Init) {
+        if (Names.size() != 1) {
+          Diags.error(Names[I].Loc,
+                      "initializer not allowed on a multi-name declaration");
+          return false;
+        }
+        Inits.emplace_back(Sym.get(), std::move(Init));
+      }
+      Vars.push_back(std::move(Sym));
+    }
+    if (!expect(TokenKind::Semi, "after variable declaration"))
+      return false;
+  }
+  return true;
+}
+
+bool Parser::parseProcedure(ModuleAST &M) {
+  expect(TokenKind::KwProcedure, "at start of procedure");
+  auto P = std::make_unique<ProcDecl>();
+  P->Loc = cur().Loc;
+  if (!cur().is(TokenKind::Identifier)) {
+    Diags.error(cur().Loc, "expected procedure name");
+    return false;
+  }
+  P->Name = advance().Text;
+
+  std::vector<ParamInfo> Sig;
+  if (!parseSignatureParams(Sig))
+    return false;
+  for (const ParamInfo &PI : Sig) {
+    auto Sym = std::make_unique<VarSymbol>();
+    Sym->Name = PI.Name;
+    Sym->Type = PI.Type;
+    Sym->Scope = VarScope::Param;
+    Sym->ByRef = PI.ByRef;
+    Sym->Loc = P->Loc;
+    P->Params.push_back(std::move(Sym));
+  }
+  if (accept(TokenKind::Colon)) {
+    P->ReturnType = parseTypeExpr();
+    if (P->ReturnType == InvalidTypeId)
+      return false;
+  } else {
+    P->ReturnType = Types.voidType();
+  }
+  if (!expect(TokenKind::Equal, "after procedure signature"))
+    return false;
+  if (accept(TokenKind::KwVar)) {
+    if (!parseVarSection(P->Locals, P->LocalInits, VarScope::Local))
+      return false;
+  }
+  if (!expect(TokenKind::KwBegin, "at start of procedure body"))
+    return false;
+  bool SawEnd = false;
+  if (!parseStmtList(P->Body, SawEnd))
+    return false;
+  if (!expect(TokenKind::KwEnd, "at end of procedure"))
+    return false;
+  if (cur().is(TokenKind::Identifier)) {
+    if (cur().Text != P->Name)
+      Diags.error(cur().Loc, "procedure trailer name '" + cur().Text +
+                                 "' does not match '" + P->Name + "'");
+    advance();
+  }
+  if (!expect(TokenKind::Semi, "after procedure"))
+    return false;
+  M.Procs.push_back(std::move(P));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+static bool startsStmt(const Token &T) {
+  switch (T.Kind) {
+  case TokenKind::Identifier:
+  case TokenKind::KwIf:
+  case TokenKind::KwWhile:
+  case TokenKind::KwRepeat:
+  case TokenKind::KwFor:
+  case TokenKind::KwLoop:
+  case TokenKind::KwExit:
+  case TokenKind::KwReturn:
+  case TokenKind::KwWith:
+  case TokenKind::KwInc:
+  case TokenKind::KwDec:
+  case TokenKind::KwEval:
+  case TokenKind::KwTypecase:
+  case TokenKind::KwNarrow:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::parseStmtList(StmtList &Stmts, bool &SawTerminator) {
+  SawTerminator = false;
+  while (startsStmt(cur())) {
+    StmtPtr S = parseStmt();
+    if (!S)
+      return false;
+    Stmts.push_back(std::move(S));
+    if (!expect(TokenKind::Semi, "after statement"))
+      return false;
+  }
+  return true;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::KwIf: {
+    advance();
+    auto S = std::make_unique<IfStmt>(Loc);
+    for (;;) {
+      ExprPtr Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::KwThen, "in IF"))
+        return nullptr;
+      StmtList Body;
+      bool Dummy;
+      if (!parseStmtList(Body, Dummy))
+        return nullptr;
+      S->Arms.emplace_back(std::move(Cond), std::move(Body));
+      if (accept(TokenKind::KwElsif))
+        continue;
+      break;
+    }
+    if (accept(TokenKind::KwElse)) {
+      bool Dummy;
+      if (!parseStmtList(S->ElseBody, Dummy))
+        return nullptr;
+    }
+    if (!expect(TokenKind::KwEnd, "at end of IF"))
+      return nullptr;
+    return S;
+  }
+  case TokenKind::KwWhile: {
+    advance();
+    auto S = std::make_unique<WhileStmt>(Loc);
+    S->Cond = parseExpr();
+    if (!S->Cond || !expect(TokenKind::KwDo, "in WHILE"))
+      return nullptr;
+    bool Dummy;
+    if (!parseStmtList(S->Body, Dummy))
+      return nullptr;
+    if (!expect(TokenKind::KwEnd, "at end of WHILE"))
+      return nullptr;
+    return S;
+  }
+  case TokenKind::KwRepeat: {
+    advance();
+    auto S = std::make_unique<RepeatStmt>(Loc);
+    bool Dummy;
+    if (!parseStmtList(S->Body, Dummy))
+      return nullptr;
+    if (!expect(TokenKind::KwUntil, "at end of REPEAT"))
+      return nullptr;
+    S->Cond = parseExpr();
+    if (!S->Cond)
+      return nullptr;
+    return S;
+  }
+  case TokenKind::KwFor: {
+    advance();
+    auto S = std::make_unique<ForStmt>(Loc);
+    if (!cur().is(TokenKind::Identifier)) {
+      Diags.error(cur().Loc, "expected FOR index name");
+      return nullptr;
+    }
+    S->VarName = advance().Text;
+    if (!expect(TokenKind::Assign, "in FOR"))
+      return nullptr;
+    S->From = parseExpr();
+    if (!S->From || !expect(TokenKind::KwTo, "in FOR"))
+      return nullptr;
+    S->To = parseExpr();
+    if (!S->To)
+      return nullptr;
+    if (accept(TokenKind::KwBy)) {
+      bool Neg = accept(TokenKind::Minus);
+      if (!cur().is(TokenKind::IntLiteral)) {
+        Diags.error(cur().Loc, "expected integer literal after BY");
+        return nullptr;
+      }
+      S->Step = advance().IntValue * (Neg ? -1 : 1);
+      if (S->Step == 0) {
+        Diags.error(Loc, "FOR step must be nonzero");
+        return nullptr;
+      }
+    }
+    if (!expect(TokenKind::KwDo, "in FOR"))
+      return nullptr;
+    bool Dummy;
+    if (!parseStmtList(S->Body, Dummy))
+      return nullptr;
+    if (!expect(TokenKind::KwEnd, "at end of FOR"))
+      return nullptr;
+    return S;
+  }
+  case TokenKind::KwLoop: {
+    advance();
+    auto S = std::make_unique<LoopStmt>(Loc);
+    bool Dummy;
+    if (!parseStmtList(S->Body, Dummy))
+      return nullptr;
+    if (!expect(TokenKind::KwEnd, "at end of LOOP"))
+      return nullptr;
+    return S;
+  }
+  case TokenKind::KwExit:
+    advance();
+    return std::make_unique<ExitStmt>(Loc);
+  case TokenKind::KwInc:
+  case TokenKind::KwDec: {
+    bool IsInc = cur().is(TokenKind::KwInc);
+    advance();
+    if (!expect(TokenKind::LParen, "after INC/DEC"))
+      return nullptr;
+    ExprPtr Target = parsePostfix();
+    if (!Target)
+      return nullptr;
+    ExprPtr Amount;
+    if (accept(TokenKind::Comma)) {
+      Amount = parseExpr();
+      if (!Amount)
+        return nullptr;
+    }
+    if (!expect(TokenKind::RParen, "after INC/DEC arguments"))
+      return nullptr;
+    return std::make_unique<IncDecStmt>(Loc, std::move(Target),
+                                        std::move(Amount), IsInc);
+  }
+  case TokenKind::KwEval: {
+    advance();
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return nullptr;
+    return std::make_unique<EvalStmt>(Loc, std::move(Value));
+  }
+  case TokenKind::KwTypecase: {
+    advance();
+    auto S = std::make_unique<TypeCaseStmt>(Loc);
+    S->Subject = parseExpr();
+    if (!S->Subject || !expect(TokenKind::KwOf, "in TYPECASE"))
+      return nullptr;
+    for (;;) {
+      TypeCaseArm Arm;
+      Arm.Loc = cur().Loc;
+      if (!cur().is(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected a type name in TYPECASE arm");
+        return nullptr;
+      }
+      Token NameTok = advance();
+      Arm.Target = Types.getOrCreateNamed(NameTok.Text, NameTok.Loc);
+      if (accept(TokenKind::LParen)) {
+        if (!cur().is(TokenKind::Identifier)) {
+          Diags.error(cur().Loc, "expected a binding name");
+          return nullptr;
+        }
+        Arm.BindName = advance().Text;
+        if (!expect(TokenKind::RParen, "after TYPECASE binding"))
+          return nullptr;
+      }
+      if (!expect(TokenKind::Arrow, "in TYPECASE arm"))
+        return nullptr;
+      bool Dummy;
+      if (!parseStmtList(Arm.Body, Dummy))
+        return nullptr;
+      S->Arms.push_back(std::move(Arm));
+      if (accept(TokenKind::Pipe))
+        continue;
+      if (accept(TokenKind::KwElse)) {
+        S->HasElse = true;
+        if (!parseStmtList(S->ElseBody, Dummy))
+          return nullptr;
+      }
+      break;
+    }
+    if (!expect(TokenKind::KwEnd, "at end of TYPECASE"))
+      return nullptr;
+    return S;
+  }
+  case TokenKind::KwReturn: {
+    advance();
+    ExprPtr Value;
+    if (!cur().is(TokenKind::Semi)) {
+      Value = parseExpr();
+      if (!Value)
+        return nullptr;
+    }
+    return std::make_unique<ReturnStmt>(Loc, std::move(Value));
+  }
+  case TokenKind::KwWith: {
+    advance();
+    auto S = std::make_unique<WithStmt>(Loc);
+    if (!cur().is(TokenKind::Identifier)) {
+      Diags.error(cur().Loc, "expected WITH binding name");
+      return nullptr;
+    }
+    S->Name = advance().Text;
+    if (!expect(TokenKind::Equal, "in WITH"))
+      return nullptr;
+    S->Bound = parseExpr();
+    if (!S->Bound || !expect(TokenKind::KwDo, "in WITH"))
+      return nullptr;
+    bool Dummy;
+    if (!parseStmtList(S->Body, Dummy))
+      return nullptr;
+    if (!expect(TokenKind::KwEnd, "at end of WITH"))
+      return nullptr;
+    return S;
+  }
+  case TokenKind::Identifier:
+  case TokenKind::KwNarrow: {
+    // Assignment or call statement (designators may begin with NARROW).
+    ExprPtr E = parsePostfix();
+    if (!E)
+      return nullptr;
+    if (accept(TokenKind::Assign)) {
+      ExprPtr Rhs = parseExpr();
+      if (!Rhs)
+        return nullptr;
+      return std::make_unique<AssignStmt>(Loc, std::move(E), std::move(Rhs));
+    }
+    if (E->Kind != ExprKind::Call && E->Kind != ExprKind::MethodCall) {
+      Diags.error(Loc, "expression statement must be a call");
+      return nullptr;
+    }
+    return std::make_unique<CallStmt>(Loc, std::move(E));
+  }
+  default:
+    Diags.error(Loc, std::string("expected a statement, found ") +
+                         tokenKindName(cur().Kind));
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr L = parseAnd();
+  while (L && cur().is(TokenKind::KwOr)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseAnd();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<BinaryExpr>(Loc, BinaryOp::Or, std::move(L),
+                                     std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr L = parseNot();
+  while (L && cur().is(TokenKind::KwAnd)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseNot();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<BinaryExpr>(Loc, BinaryOp::And, std::move(L),
+                                     std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseNot() {
+  if (cur().is(TokenKind::KwNot)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Sub = parseNot();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Not, std::move(Sub));
+  }
+  return parseRel();
+}
+
+ExprPtr Parser::parseRel() {
+  ExprPtr L = parseAdd();
+  if (!L)
+    return nullptr;
+  BinaryOp Op;
+  switch (cur().Kind) {
+  case TokenKind::Equal:
+    Op = BinaryOp::Eq;
+    break;
+  case TokenKind::NotEqual:
+    Op = BinaryOp::Ne;
+    break;
+  case TokenKind::Less:
+    Op = BinaryOp::Lt;
+    break;
+  case TokenKind::LessEq:
+    Op = BinaryOp::Le;
+    break;
+  case TokenKind::Greater:
+    Op = BinaryOp::Gt;
+    break;
+  case TokenKind::GreaterEq:
+    Op = BinaryOp::Ge;
+    break;
+  default:
+    return L;
+  }
+  SourceLoc Loc = advance().Loc;
+  ExprPtr R = parseAdd();
+  if (!R)
+    return nullptr;
+  return std::make_unique<BinaryExpr>(Loc, Op, std::move(L), std::move(R));
+}
+
+ExprPtr Parser::parseAdd() {
+  ExprPtr L = parseMul();
+  while (L && (cur().is(TokenKind::Plus) || cur().is(TokenKind::Minus))) {
+    BinaryOp Op = cur().is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseMul();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<BinaryExpr>(Loc, Op, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseMul() {
+  ExprPtr L = parseUnary();
+  while (L && (cur().is(TokenKind::Star) || cur().is(TokenKind::KwDiv) ||
+               cur().is(TokenKind::KwMod))) {
+    BinaryOp Op = cur().is(TokenKind::Star)
+                      ? BinaryOp::Mul
+                      : (cur().is(TokenKind::KwDiv) ? BinaryOp::Div
+                                                    : BinaryOp::Mod);
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseUnary();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<BinaryExpr>(Loc, Op, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (cur().is(TokenKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Neg, std::move(Sub));
+  }
+  return parsePostfix();
+}
+
+bool Parser::parseArgs(std::vector<ExprPtr> &Args) {
+  expect(TokenKind::LParen, "in call");
+  if (accept(TokenKind::RParen))
+    return true;
+  for (;;) {
+    ExprPtr A = parseExpr();
+    if (!A)
+      return false;
+    Args.push_back(std::move(A));
+    if (accept(TokenKind::RParen))
+      return true;
+    if (!expect(TokenKind::Comma, "between arguments"))
+      return false;
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (E) {
+    SourceLoc Loc = cur().Loc;
+    if (accept(TokenKind::Dot)) {
+      if (!cur().is(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected field or method name after '.'");
+        return nullptr;
+      }
+      std::string Name = advance().Text;
+      if (cur().is(TokenKind::LParen)) {
+        std::vector<ExprPtr> Args;
+        if (!parseArgs(Args))
+          return nullptr;
+        E = std::make_unique<MethodCallExpr>(Loc, std::move(E),
+                                             std::move(Name), std::move(Args));
+      } else {
+        E = std::make_unique<FieldExpr>(Loc, std::move(E), std::move(Name));
+      }
+      continue;
+    }
+    if (accept(TokenKind::Caret)) {
+      E = std::make_unique<DerefExpr>(Loc, std::move(E));
+      continue;
+    }
+    if (cur().is(TokenKind::LBracket)) {
+      advance();
+      ExprPtr Idx = parseExpr();
+      if (!Idx || !expect(TokenKind::RBracket, "after subscript"))
+        return nullptr;
+      E = std::make_unique<IndexExpr>(Loc, std::move(E), std::move(Idx));
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = advance();
+    return std::make_unique<IntLitExpr>(Loc, T.IntValue);
+  }
+  case TokenKind::KwTrue:
+    advance();
+    return std::make_unique<BoolLitExpr>(Loc, true);
+  case TokenKind::KwFalse:
+    advance();
+    return std::make_unique<BoolLitExpr>(Loc, false);
+  case TokenKind::KwNil:
+    advance();
+    return std::make_unique<NilLitExpr>(Loc);
+  case TokenKind::LParen: {
+    advance();
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokenKind::RParen, "after parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  case TokenKind::KwNew: {
+    advance();
+    if (!expect(TokenKind::LParen, "after NEW"))
+      return nullptr;
+    if (!cur().is(TokenKind::Identifier)) {
+      Diags.error(cur().Loc, "expected a named type in NEW");
+      return nullptr;
+    }
+    Token NameTok = advance();
+    TypeId Alloc = Types.getOrCreateNamed(NameTok.Text, NameTok.Loc);
+    ExprPtr Size;
+    if (accept(TokenKind::Comma)) {
+      Size = parseExpr();
+      if (!Size)
+        return nullptr;
+    }
+    if (!expect(TokenKind::RParen, "after NEW arguments"))
+      return nullptr;
+    return std::make_unique<NewExpr>(Loc, Alloc, std::move(Size));
+  }
+  case TokenKind::KwNumber: {
+    advance();
+    if (!expect(TokenKind::LParen, "after NUMBER"))
+      return nullptr;
+    ExprPtr Arg = parseExpr();
+    if (!Arg || !expect(TokenKind::RParen, "after NUMBER argument"))
+      return nullptr;
+    return std::make_unique<NumberOfExpr>(Loc, std::move(Arg));
+  }
+  case TokenKind::KwNarrow:
+  case TokenKind::KwIstype: {
+    bool IsNarrow = cur().is(TokenKind::KwNarrow);
+    advance();
+    if (!expect(TokenKind::LParen, "after NARROW/ISTYPE"))
+      return nullptr;
+    ExprPtr Sub = parseExpr();
+    if (!Sub || !expect(TokenKind::Comma, "before the target type"))
+      return nullptr;
+    if (!cur().is(TokenKind::Identifier)) {
+      Diags.error(cur().Loc, "expected a named type in NARROW/ISTYPE");
+      return nullptr;
+    }
+    Token NameTok = advance();
+    TypeId Target = Types.getOrCreateNamed(NameTok.Text, NameTok.Loc);
+    if (!expect(TokenKind::RParen, "after NARROW/ISTYPE"))
+      return nullptr;
+    if (IsNarrow)
+      return std::make_unique<NarrowExpr>(Loc, std::move(Sub), Target);
+    return std::make_unique<IsTypeExpr>(Loc, std::move(Sub), Target);
+  }
+  case TokenKind::Identifier: {
+    Token NameTok = advance();
+    if (cur().is(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!parseArgs(Args))
+        return nullptr;
+      return std::make_unique<CallExpr>(Loc, NameTok.Text, std::move(Args));
+    }
+    return std::make_unique<NameExpr>(Loc, NameTok.Text);
+  }
+  default:
+    Diags.error(Loc, std::string("expected an expression, found ") +
+                         tokenKindName(cur().Kind));
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline convenience
+//===----------------------------------------------------------------------===//
+
+Program tbaa::parseAndCheck(const std::string &Source,
+                            DiagnosticEngine &Diags) {
+  Program P;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return P;
+  Parser Parse(std::move(Tokens), P.Types, Diags);
+  std::unique_ptr<ModuleAST> M = Parse.parseModule();
+  if (!M || Diags.hasErrors())
+    return P;
+  M->SourceLines = Lex.codeLineCount();
+  if (!P.Types.finalize(Diags))
+    return P;
+  if (!checkModule(*M, P.Types, Diags))
+    return P;
+  P.Module = std::move(M);
+  return P;
+}

@@ -1,0 +1,87 @@
+//===- Parser.h - M3L recursive-descent parser ------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for M3L. Type expressions are resolved into
+/// the TypeTable during parsing (forward references create Forward entries
+/// patched when the declaration arrives); everything else becomes AST that
+/// Sema resolves and checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_LANG_PARSER_H
+#define TBAA_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace tbaa {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, TypeTable &Types, DiagnosticEngine &Diags);
+
+  /// Parses a whole module. Returns null after reporting on syntax errors.
+  std::unique_ptr<ModuleAST> parseModule();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &cur() const { return peek(0); }
+  Token advance();
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToSemi();
+
+  // Declarations.
+  bool parseTypeSection();
+  bool parseVarSection(std::vector<std::unique_ptr<VarSymbol>> &Vars,
+                       std::vector<std::pair<VarSymbol *, ExprPtr>> &Inits,
+                       VarScope Scope);
+  bool parseProcedure(ModuleAST &M);
+  bool parseParams(std::vector<std::unique_ptr<VarSymbol>> &Params);
+  bool parseSignatureParams(std::vector<ParamInfo> &Params);
+
+  // Types.
+  TypeId parseTypeExpr(const std::string &NameForDefinition = "");
+  TypeId parseObjectBody(const std::string &Name, SourceLoc Loc, TypeId Super,
+                         std::optional<std::string> Brand);
+  bool parseFields(std::vector<FieldInfo> &Fields, TokenKind EndKind1,
+                   TokenKind EndKind2, TokenKind EndKind3);
+
+  // Statements.
+  bool parseStmtList(StmtList &Stmts, bool &SawTerminator);
+  StmtPtr parseStmt();
+
+  // Expressions.
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseNot();
+  ExprPtr parseRel();
+  ExprPtr parseAdd();
+  ExprPtr parseMul();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  bool parseArgs(std::vector<ExprPtr> &Args);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  TypeTable &Types;
+  DiagnosticEngine &Diags;
+};
+
+/// Convenience front end: lex + parse + finalize types + run Sema.
+/// Returns a Program whose Module is null if any stage failed (see Diags).
+Program parseAndCheck(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace tbaa
+
+#endif // TBAA_LANG_PARSER_H

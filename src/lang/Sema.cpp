@@ -1,0 +1,956 @@
+//===- Sema.cpp -----------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace tbaa;
+
+namespace {
+
+class SemaChecker {
+public:
+  SemaChecker(ModuleAST &M, TypeTable &Types, DiagnosticEngine &Diags)
+      : M(M), Types(Types), Diags(Diags) {}
+
+  bool run();
+
+private:
+  // Scope management.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  VarSymbol *lookupVar(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+  void declareVar(VarSymbol *Sym) { Scopes.back()[Sym->Name] = Sym; }
+
+  bool bindDispatchTables();
+  bool checkProc(ProcDecl &P);
+  bool checkStmtList(StmtList &Stmts);
+  bool checkStmt(Stmt &S);
+  bool checkExpr(Expr &E);
+  bool checkCallArgs(const std::vector<ParamInfo> &Formals,
+                     std::vector<ExprPtr> &Args, SourceLoc Loc,
+                     const std::string &What);
+  bool requireBoolean(Expr &E, const char *Context);
+  bool requireInteger(Expr &E, const char *Context);
+
+  /// Declares a fresh local in the current procedure and current scope.
+  VarSymbol *addLocal(std::string Name, TypeId Type, SourceLoc Loc,
+                      bool ReadOnly);
+
+  /// Folds a module-level constant expression. False (with diagnostics)
+  /// when the expression is not compile-time constant.
+  bool foldConst(const Expr &E, int64_t &Value, TypeId &Type);
+
+  std::unordered_map<std::string, const ConstDecl *> Consts;
+
+  ModuleAST &M;
+  TypeTable &Types;
+  DiagnosticEngine &Diags;
+  std::vector<std::unordered_map<std::string, VarSymbol *>> Scopes;
+  ProcDecl *CurProc = nullptr;
+  unsigned LoopDepth = 0;
+};
+
+} // namespace
+
+bool SemaChecker::run() {
+  // Synthesize the module-init procedure before anything else so it is
+  // checked like any other procedure.
+  if (!M.MainBody.empty()) {
+    auto Init = std::make_unique<ProcDecl>();
+    Init->Name = "$init";
+    Init->ReturnType = Types.voidType();
+    Init->Body = std::move(M.MainBody);
+    M.MainBody.clear();
+    M.InitProc = Init.get();
+    M.Procs.push_back(std::move(Init));
+  }
+
+  // Fold module constants first; they may reference earlier constants.
+  for (ConstDecl &D : M.Consts) {
+    if (Consts.count(D.Name)) {
+      Diags.error(D.Loc, "duplicate constant '" + D.Name + "'");
+      return false;
+    }
+    if (!foldConst(*D.Value, D.Folded, D.Type))
+      return false;
+    Consts.emplace(D.Name, &D);
+  }
+
+  // Assign ids and detect duplicate procedure names.
+  std::unordered_map<std::string, ProcDecl *> ProcNames;
+  for (size_t I = 0; I != M.Procs.size(); ++I) {
+    ProcDecl *P = M.Procs[I].get();
+    P->Id = static_cast<ProcId>(I);
+    if (!ProcNames.emplace(P->Name, P).second)
+      Diags.error(P->Loc, "duplicate procedure '" + P->Name + "'");
+  }
+
+  // Global slots and the global scope.
+  pushScope();
+  uint32_t Slot = 0;
+  for (auto &G : M.Globals) {
+    if (lookupVar(G->Name))
+      Diags.error(G->Loc, "duplicate global '" + G->Name + "'");
+    G->Slot = Slot++;
+    declareVar(G.get());
+  }
+  if (Diags.hasErrors())
+    return false;
+
+  if (!bindDispatchTables())
+    return false;
+
+  // Global initializers are checked in the global scope.
+  for (auto &[Sym, Init] : M.GlobalInits) {
+    if (!checkExpr(*Init))
+      return false;
+    if (!Types.isAssignable(Sym->Type, Init->ExprType)) {
+      Diags.error(Init->Loc, "initializer type " +
+                                 Types.typeName(Init->ExprType) +
+                                 " not assignable to '" + Sym->Name + "' of " +
+                                 Types.typeName(Sym->Type));
+      return false;
+    }
+  }
+
+  for (auto &P : M.Procs)
+    if (!checkProc(*P))
+      return false;
+  popScope();
+  return !Diags.hasErrors();
+}
+
+bool SemaChecker::bindDispatchTables() {
+  // Order object types by depth so supertype tables are complete before
+  // subtypes copy them.
+  std::vector<TypeId> Objects;
+  for (TypeId Id = 0; Id != Types.size(); ++Id)
+    if (Types.isObject(Id))
+      Objects.push_back(Id);
+  std::sort(Objects.begin(), Objects.end(), [&](TypeId A, TypeId B) {
+    return Types.get(A).Depth < Types.get(B).Depth;
+  });
+
+  auto FindImpl = [&](const std::string &ImplName, const MethodInfo &MI,
+                      TypeId Owner) -> ProcId {
+    ProcDecl *P = M.findProc(ImplName);
+    if (!P) {
+      Diags.error(Types.get(Owner).Loc,
+                  "method '" + MI.Name + "' of '" + Types.typeName(Owner) +
+                      "' names unknown procedure '" + ImplName + "'");
+      return InvalidProcId;
+    }
+    if (P->Params.size() != MI.Params.size() + 1) {
+      Diags.error(P->Loc, "procedure '" + ImplName + "' has wrong arity for "
+                          "method '" + MI.Name + "' of '" +
+                          Types.typeName(Owner) + "'");
+      return InvalidProcId;
+    }
+    // The receiver formal must be a supertype of the binding type so every
+    // dynamic receiver is acceptable.
+    if (!Types.isSubtype(Owner, P->Params[0]->Type)) {
+      Diags.error(P->Loc, "receiver of '" + ImplName +
+                              "' is not a supertype of '" +
+                              Types.typeName(Owner) + "'");
+      return InvalidProcId;
+    }
+    for (size_t I = 0; I != MI.Params.size(); ++I) {
+      if (P->Params[I + 1]->Type != MI.Params[I].Type ||
+          P->Params[I + 1]->ByRef != MI.Params[I].ByRef) {
+        Diags.error(P->Loc, "parameter " + std::to_string(I + 1) + " of '" +
+                                ImplName + "' does not match method '" +
+                                MI.Name + "'");
+        return InvalidProcId;
+      }
+    }
+    if (P->ReturnType != MI.ReturnType) {
+      Diags.error(P->Loc, "return type of '" + ImplName +
+                              "' does not match method '" + MI.Name + "'");
+      return InvalidProcId;
+    }
+    P->IsMethodImpl = true;
+    return P->Id;
+  };
+
+  for (TypeId Id : Objects) {
+    Type &T = Types.get(Id);
+    // Start from the supertype's (already bound) table.
+    T.DispatchTable.assign(T.AllMethods.size(), InvalidProcId);
+    if (T.Super != InvalidTypeId) {
+      const Type &S = Types.get(T.Super);
+      std::copy(S.DispatchTable.begin(), S.DispatchTable.end(),
+                T.DispatchTable.begin());
+    }
+    for (const MethodInfo &MI : T.Methods) {
+      if (MI.ImplName.empty())
+        continue;
+      ProcId Impl = FindImpl(MI.ImplName, MI, Id);
+      if (Impl == InvalidProcId)
+        return false;
+      T.DispatchTable[MI.Slot] = Impl;
+    }
+    for (const auto &[MName, ImplName] : T.Overrides) {
+      const MethodInfo *MI = Types.findMethod(Id, MName);
+      if (!MI) {
+        Diags.error(T.Loc, "OVERRIDES names unknown method '" + MName +
+                               "' in '" + Types.typeName(Id) + "'");
+        return false;
+      }
+      ProcId Impl = FindImpl(ImplName, *MI, Id);
+      if (Impl == InvalidProcId)
+        return false;
+      T.DispatchTable[MI->Slot] = Impl;
+    }
+  }
+  return true;
+}
+
+VarSymbol *SemaChecker::addLocal(std::string Name, TypeId Type, SourceLoc Loc,
+                                 bool ReadOnly) {
+  assert(CurProc && "locals require an enclosing procedure");
+  auto Sym = std::make_unique<VarSymbol>();
+  Sym->Name = std::move(Name);
+  Sym->Type = Type;
+  Sym->Scope = VarScope::Local;
+  Sym->ReadOnly = ReadOnly;
+  Sym->Loc = Loc;
+  VarSymbol *Raw = Sym.get();
+  CurProc->Locals.push_back(std::move(Sym));
+  declareVar(Raw);
+  return Raw;
+}
+
+bool SemaChecker::checkProc(ProcDecl &P) {
+  CurProc = &P;
+  LoopDepth = 0;
+  pushScope();
+  uint32_t Slot = 0;
+  for (auto &Param : P.Params) {
+    Param->Slot = Slot++;
+    if (lookupVar(Param->Name) && Scopes.back().count(Param->Name))
+      Diags.error(Param->Loc, "duplicate parameter '" + Param->Name + "'");
+    declareVar(Param.get());
+  }
+  // Declared locals (before Sema appends FOR/WITH bindings).
+  for (auto &Local : P.Locals) {
+    if (Scopes.back().count(Local->Name))
+      Diags.error(Local->Loc, "duplicate local '" + Local->Name + "'");
+    declareVar(Local.get());
+  }
+  for (auto &[Sym, Init] : P.LocalInits) {
+    if (!checkExpr(*Init))
+      return false;
+    if (!Types.isAssignable(Sym->Type, Init->ExprType)) {
+      Diags.error(Init->Loc, "initializer type " +
+                                 Types.typeName(Init->ExprType) +
+                                 " not assignable to '" + Sym->Name + "'");
+      return false;
+    }
+  }
+  bool Ok = checkStmtList(P.Body);
+  popScope();
+  // Assign frame slots for every local (including ones Sema added).
+  Slot = static_cast<uint32_t>(P.Params.size());
+  for (auto &Local : P.Locals)
+    Local->Slot = Slot++;
+  CurProc = nullptr;
+  return Ok;
+}
+
+bool SemaChecker::checkStmtList(StmtList &Stmts) {
+  for (StmtPtr &S : Stmts)
+    if (!checkStmt(*S))
+      return false;
+  return true;
+}
+
+bool SemaChecker::requireBoolean(Expr &E, const char *Context) {
+  if (E.ExprType == Types.booleanType())
+    return true;
+  Diags.error(E.Loc, std::string(Context) + " must be BOOLEAN, got " +
+                         Types.typeName(E.ExprType));
+  return false;
+}
+
+bool SemaChecker::requireInteger(Expr &E, const char *Context) {
+  if (E.ExprType == Types.integerType())
+    return true;
+  Diags.error(E.Loc, std::string(Context) + " must be INTEGER, got " +
+                         Types.typeName(E.ExprType));
+  return false;
+}
+
+bool SemaChecker::checkStmt(Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Assign: {
+    auto &A = static_cast<AssignStmt &>(S);
+    if (!checkExpr(*A.Lhs) || !checkExpr(*A.Rhs))
+      return false;
+    if (!isDesignator(A.Lhs.get())) {
+      Diags.error(A.Loc, "left side of ':=' is not a designator");
+      return false;
+    }
+    if (auto *N = dynCast<NameExpr>(A.Lhs.get());
+        N && (N->IsConst || N->Sym->ReadOnly)) {
+      Diags.error(A.Loc, "'" + N->Name + "' is read-only here");
+      return false;
+    }
+    if (!Types.isAssignable(A.Lhs->ExprType, A.Rhs->ExprType)) {
+      Diags.error(A.Loc, "cannot assign " + Types.typeName(A.Rhs->ExprType) +
+                             " to " + Types.typeName(A.Lhs->ExprType));
+      return false;
+    }
+    return true;
+  }
+  case StmtKind::Call: {
+    auto &C = static_cast<CallStmt &>(S);
+    return checkExpr(*C.Call);
+  }
+  case StmtKind::If: {
+    auto &I = static_cast<IfStmt &>(S);
+    for (auto &[Cond, Body] : I.Arms) {
+      if (!checkExpr(*Cond) || !requireBoolean(*Cond, "IF condition"))
+        return false;
+      pushScope();
+      bool Ok = checkStmtList(Body);
+      popScope();
+      if (!Ok)
+        return false;
+    }
+    pushScope();
+    bool Ok = checkStmtList(I.ElseBody);
+    popScope();
+    return Ok;
+  }
+  case StmtKind::While: {
+    auto &W = static_cast<WhileStmt &>(S);
+    if (!checkExpr(*W.Cond) || !requireBoolean(*W.Cond, "WHILE condition"))
+      return false;
+    pushScope();
+    ++LoopDepth;
+    bool Ok = checkStmtList(W.Body);
+    --LoopDepth;
+    popScope();
+    return Ok;
+  }
+  case StmtKind::Repeat: {
+    auto &R = static_cast<RepeatStmt &>(S);
+    pushScope();
+    ++LoopDepth;
+    bool Ok = checkStmtList(R.Body);
+    --LoopDepth;
+    popScope();
+    if (!Ok)
+      return false;
+    return checkExpr(*R.Cond) && requireBoolean(*R.Cond, "UNTIL condition");
+  }
+  case StmtKind::For: {
+    auto &F = static_cast<ForStmt &>(S);
+    if (!checkExpr(*F.From) || !requireInteger(*F.From, "FOR start"))
+      return false;
+    if (!checkExpr(*F.To) || !requireInteger(*F.To, "FOR bound"))
+      return false;
+    pushScope();
+    F.Var = addLocal(F.VarName, Types.integerType(), F.Loc,
+                     /*ReadOnly=*/true);
+    ++LoopDepth;
+    bool Ok = checkStmtList(F.Body);
+    --LoopDepth;
+    popScope();
+    return Ok;
+  }
+  case StmtKind::Loop: {
+    auto &L = static_cast<LoopStmt &>(S);
+    pushScope();
+    ++LoopDepth;
+    bool Ok = checkStmtList(L.Body);
+    --LoopDepth;
+    popScope();
+    return Ok;
+  }
+  case StmtKind::Exit:
+    if (LoopDepth == 0) {
+      Diags.error(S.Loc, "EXIT outside of a loop");
+      return false;
+    }
+    return true;
+  case StmtKind::Return: {
+    auto &R = static_cast<ReturnStmt &>(S);
+    assert(CurProc && "RETURN outside procedure");
+    if (R.Value) {
+      if (!checkExpr(*R.Value))
+        return false;
+      if (CurProc->ReturnType == Types.voidType()) {
+        Diags.error(R.Loc, "RETURN with a value in a proper procedure");
+        return false;
+      }
+      if (!Types.isAssignable(CurProc->ReturnType, R.Value->ExprType)) {
+        Diags.error(R.Loc, "RETURN type " +
+                               Types.typeName(R.Value->ExprType) +
+                               " does not match " +
+                               Types.typeName(CurProc->ReturnType));
+        return false;
+      }
+      return true;
+    }
+    if (CurProc->ReturnType != Types.voidType()) {
+      Diags.error(R.Loc, "RETURN without a value in a function procedure");
+      return false;
+    }
+    return true;
+  }
+  case StmtKind::IncDec: {
+    auto &I = static_cast<IncDecStmt &>(S);
+    if (!checkExpr(*I.Target))
+      return false;
+    if (!isDesignator(I.Target.get())) {
+      Diags.error(I.Loc, "INC/DEC target is not a designator");
+      return false;
+    }
+    if (auto *N = dynCast<NameExpr>(I.Target.get());
+        N && (N->IsConst || N->Sym->ReadOnly)) {
+      Diags.error(I.Loc, "'" + N->Name + "' is read-only here");
+      return false;
+    }
+    if (!requireInteger(*I.Target, "INC/DEC target"))
+      return false;
+    if (I.Amount) {
+      if (!checkExpr(*I.Amount) ||
+          !requireInteger(*I.Amount, "INC/DEC amount"))
+        return false;
+    }
+    return true;
+  }
+  case StmtKind::Eval: {
+    auto &E = static_cast<EvalStmt &>(S);
+    return checkExpr(*E.Value);
+  }
+  case StmtKind::TypeCase: {
+    auto &T = static_cast<TypeCaseStmt &>(S);
+    if (!checkExpr(*T.Subject))
+      return false;
+    if (!Types.isObject(T.Subject->ExprType)) {
+      Diags.error(T.Loc, "TYPECASE subject must be an object, got " +
+                             Types.typeName(T.Subject->ExprType));
+      return false;
+    }
+    for (TypeCaseArm &Arm : T.Arms) {
+      if (!Types.isObject(Arm.Target)) {
+        Diags.error(Arm.Loc, "TYPECASE arm type " +
+                                 Types.typeName(Arm.Target) +
+                                 " is not an object type");
+        return false;
+      }
+      if (!Types.isSubtype(Arm.Target, T.Subject->ExprType)) {
+        Diags.error(Arm.Loc, "TYPECASE arm type " +
+                                 Types.typeName(Arm.Target) +
+                                 " is not a subtype of " +
+                                 Types.typeName(T.Subject->ExprType));
+        return false;
+      }
+      pushScope();
+      if (!Arm.BindName.empty())
+        Arm.Binding = addLocal(Arm.BindName, Arm.Target, Arm.Loc,
+                               /*ReadOnly=*/true);
+      bool Ok = checkStmtList(Arm.Body);
+      popScope();
+      if (!Ok)
+        return false;
+    }
+    pushScope();
+    bool Ok = checkStmtList(T.ElseBody);
+    popScope();
+    return Ok;
+  }
+  case StmtKind::With: {
+    auto &W = static_cast<WithStmt &>(S);
+    if (!checkExpr(*W.Bound))
+      return false;
+    W.IsAlias = isDesignator(W.Bound.get());
+    // A constant name is not a location; bind by value.
+    if (auto *N = dynCast<NameExpr>(W.Bound.get()); N && N->IsConst)
+      W.IsAlias = false;
+    pushScope();
+    W.Binding = addLocal(W.Name, W.Bound->ExprType, W.Loc,
+                         /*ReadOnly=*/!W.IsAlias);
+    bool Ok = checkStmtList(W.Body);
+    popScope();
+    return Ok;
+  }
+  }
+  return false;
+}
+
+bool SemaChecker::checkCallArgs(const std::vector<ParamInfo> &Formals,
+                                std::vector<ExprPtr> &Args, SourceLoc Loc,
+                                const std::string &What) {
+  if (Formals.size() != Args.size()) {
+    Diags.error(Loc, What + " expects " + std::to_string(Formals.size()) +
+                         " argument(s), got " + std::to_string(Args.size()));
+    return false;
+  }
+  for (size_t I = 0; I != Formals.size(); ++I) {
+    if (!checkExpr(*Args[I]))
+      return false;
+    const ParamInfo &F = Formals[I];
+    if (F.ByRef) {
+      // Modula-3 requires VAR actuals to be designators of the identical
+      // type -- the property the open-world AddressTaken rule exploits.
+      if (!isDesignator(Args[I].get())) {
+        Diags.error(Args[I]->Loc, "VAR actual must be a designator");
+        return false;
+      }
+      if (auto *N = dynCast<NameExpr>(Args[I].get());
+          N && (N->IsConst || N->Sym->ReadOnly)) {
+        Diags.error(Args[I]->Loc, "read-only '" + N->Name +
+                                      "' cannot be passed as VAR");
+        return false;
+      }
+      if (Args[I]->ExprType != F.Type) {
+        Diags.error(Args[I]->Loc,
+                    "VAR actual type " + Types.typeName(Args[I]->ExprType) +
+                        " must be identical to formal type " +
+                        Types.typeName(F.Type));
+        return false;
+      }
+    } else if (!Types.isAssignable(F.Type, Args[I]->ExprType)) {
+      Diags.error(Args[I]->Loc, "argument type " +
+                                    Types.typeName(Args[I]->ExprType) +
+                                    " not assignable to formal of type " +
+                                    Types.typeName(F.Type));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SemaChecker::checkExpr(Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    E.ExprType = Types.integerType();
+    return true;
+  case ExprKind::BoolLit:
+    E.ExprType = Types.booleanType();
+    return true;
+  case ExprKind::NilLit:
+    E.ExprType = Types.nilType();
+    return true;
+  case ExprKind::Name: {
+    auto &N = static_cast<NameExpr &>(E);
+    N.Sym = lookupVar(N.Name);
+    if (!N.Sym) {
+      // Variables shadow constants; unresolved names may be constants.
+      auto It = Consts.find(N.Name);
+      if (It != Consts.end()) {
+        N.IsConst = true;
+        N.ConstValue = It->second->Folded;
+        E.ExprType = It->second->Type;
+        return true;
+      }
+      Diags.error(N.Loc, "unknown variable '" + N.Name + "'");
+      return false;
+    }
+    // VAR formals auto-dereference: the source-level type is the declared
+    // type (lowering inserts the dereference).
+    E.ExprType = N.Sym->Type;
+    return true;
+  }
+  case ExprKind::Field: {
+    auto &F = static_cast<FieldExpr &>(E);
+    if (!checkExpr(*F.Base))
+      return false;
+    TypeId BT = F.Base->ExprType;
+    const Type &T = Types.get(BT);
+    if (T.Kind != TypeKind::Object && T.Kind != TypeKind::Record) {
+      Diags.error(F.Loc, "field access on non-object type " +
+                             Types.typeName(BT));
+      return false;
+    }
+    const FieldInfo *FI = Types.findField(BT, F.FieldName);
+    if (!FI) {
+      Diags.error(F.Loc, Types.typeName(BT) + " has no field '" +
+                             F.FieldName + "'");
+      return false;
+    }
+    F.Field = FI->Id;
+    F.Slot = FI->Slot;
+    E.ExprType = FI->Type;
+    return true;
+  }
+  case ExprKind::Deref: {
+    auto &D = static_cast<DerefExpr &>(E);
+    if (!checkExpr(*D.Base))
+      return false;
+    const Type &T = Types.get(D.Base->ExprType);
+    if (T.Kind != TypeKind::Ref) {
+      Diags.error(D.Loc, "dereference of non-REF type " +
+                             Types.typeName(D.Base->ExprType));
+      return false;
+    }
+    E.ExprType = T.Target;
+    return true;
+  }
+  case ExprKind::Index: {
+    auto &X = static_cast<IndexExpr &>(E);
+    if (!checkExpr(*X.Base) || !checkExpr(*X.Idx))
+      return false;
+    const Type &T = Types.get(X.Base->ExprType);
+    if (T.Kind != TypeKind::Array) {
+      Diags.error(X.Loc, "subscript of non-array type " +
+                             Types.typeName(X.Base->ExprType));
+      return false;
+    }
+    if (!requireInteger(*X.Idx, "subscript"))
+      return false;
+    E.ExprType = T.Elem;
+    return true;
+  }
+  case ExprKind::Call: {
+    auto &C = static_cast<CallExpr &>(E);
+    C.Callee = M.findProc(C.CalleeName);
+    if (!C.Callee) {
+      Diags.error(C.Loc, "unknown procedure '" + C.CalleeName + "'");
+      return false;
+    }
+    std::vector<ParamInfo> Formals;
+    for (const auto &P : C.Callee->Params) {
+      ParamInfo PI;
+      PI.Name = P->Name;
+      PI.Type = P->Type;
+      PI.ByRef = P->ByRef;
+      Formals.push_back(std::move(PI));
+    }
+    if (!checkCallArgs(Formals, C.Args, C.Loc, "'" + C.CalleeName + "'"))
+      return false;
+    E.ExprType = C.Callee->ReturnType;
+    return true;
+  }
+  case ExprKind::MethodCall: {
+    auto &C = static_cast<MethodCallExpr &>(E);
+    if (!checkExpr(*C.Base))
+      return false;
+    TypeId BT = C.Base->ExprType;
+    if (!Types.isObject(BT)) {
+      Diags.error(C.Loc, "method call on non-object type " +
+                             Types.typeName(BT));
+      return false;
+    }
+    const MethodInfo *MI = Types.findMethod(BT, C.MethodName);
+    if (!MI) {
+      Diags.error(C.Loc, Types.typeName(BT) + " has no method '" +
+                             C.MethodName + "'");
+      return false;
+    }
+    if (!checkCallArgs(MI->Params, C.Args, C.Loc,
+                       "method '" + C.MethodName + "'"))
+      return false;
+    C.MethodSlot = MI->Slot;
+    C.ReceiverType = BT;
+    E.ExprType = MI->ReturnType;
+    return true;
+  }
+  case ExprKind::New: {
+    auto &N = static_cast<NewExpr &>(E);
+    const Type &T = Types.get(N.AllocType);
+    switch (T.Kind) {
+    case TypeKind::Object:
+    case TypeKind::Record:
+    case TypeKind::Ref:
+      if (N.SizeArg) {
+        Diags.error(N.Loc, "NEW of " + Types.typeName(N.AllocType) +
+                               " takes no size argument");
+        return false;
+      }
+      break;
+    case TypeKind::Array:
+      if (T.IsOpen) {
+        if (!N.SizeArg) {
+          Diags.error(N.Loc, "NEW of an open array requires a length");
+          return false;
+        }
+        if (!checkExpr(*N.SizeArg) ||
+            !requireInteger(*N.SizeArg, "array length"))
+          return false;
+      } else if (N.SizeArg) {
+        Diags.error(N.Loc, "NEW of a fixed array takes no size argument");
+        return false;
+      }
+      break;
+    default:
+      Diags.error(N.Loc, "cannot NEW " + Types.typeName(N.AllocType));
+      return false;
+    }
+    E.ExprType = N.AllocType;
+    return true;
+  }
+  case ExprKind::Narrow: {
+    auto &N = static_cast<NarrowExpr &>(E);
+    if (!checkExpr(*N.Sub))
+      return false;
+    if (!Types.isObject(N.Sub->ExprType) &&
+        Types.get(N.Sub->ExprType).Kind != TypeKind::Nil) {
+      Diags.error(N.Loc, "NARROW of non-object type " +
+                             Types.typeName(N.Sub->ExprType));
+      return false;
+    }
+    if (!Types.isObject(N.TargetType)) {
+      Diags.error(N.Loc, "NARROW target " + Types.typeName(N.TargetType) +
+                             " is not an object type");
+      return false;
+    }
+    if (!Types.isSubtype(N.TargetType, N.Sub->ExprType) &&
+        Types.get(N.Sub->ExprType).Kind != TypeKind::Nil) {
+      Diags.error(N.Loc, "NARROW target " + Types.typeName(N.TargetType) +
+                             " is not a subtype of " +
+                             Types.typeName(N.Sub->ExprType));
+      return false;
+    }
+    E.ExprType = N.TargetType;
+    return true;
+  }
+  case ExprKind::IsType: {
+    auto &N = static_cast<IsTypeExpr &>(E);
+    if (!checkExpr(*N.Sub))
+      return false;
+    if (!Types.isObject(N.Sub->ExprType) &&
+        Types.get(N.Sub->ExprType).Kind != TypeKind::Nil) {
+      Diags.error(N.Loc, "ISTYPE of non-object type " +
+                             Types.typeName(N.Sub->ExprType));
+      return false;
+    }
+    if (!Types.isObject(N.TargetType)) {
+      Diags.error(N.Loc, "ISTYPE target " + Types.typeName(N.TargetType) +
+                             " is not an object type");
+      return false;
+    }
+    E.ExprType = Types.booleanType();
+    return true;
+  }
+  case ExprKind::NumberOf: {
+    auto &N = static_cast<NumberOfExpr &>(E);
+    if (!checkExpr(*N.Arg))
+      return false;
+    if (!Types.isArray(N.Arg->ExprType)) {
+      Diags.error(N.Loc, "NUMBER of non-array type " +
+                             Types.typeName(N.Arg->ExprType));
+      return false;
+    }
+    E.ExprType = Types.integerType();
+    return true;
+  }
+  case ExprKind::Unary: {
+    auto &U = static_cast<UnaryExpr &>(E);
+    if (!checkExpr(*U.Sub))
+      return false;
+    if (U.Op == UnaryOp::Neg) {
+      if (!requireInteger(*U.Sub, "operand of unary '-'"))
+        return false;
+      E.ExprType = Types.integerType();
+    } else {
+      if (!requireBoolean(*U.Sub, "operand of NOT"))
+        return false;
+      E.ExprType = Types.booleanType();
+    }
+    return true;
+  }
+  case ExprKind::Binary: {
+    auto &B = static_cast<BinaryExpr &>(E);
+    if (!checkExpr(*B.Lhs) || !checkExpr(*B.Rhs))
+      return false;
+    TypeId L = B.Lhs->ExprType, R = B.Rhs->ExprType;
+    switch (B.Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      if (!requireInteger(*B.Lhs, "arithmetic operand") ||
+          !requireInteger(*B.Rhs, "arithmetic operand"))
+        return false;
+      E.ExprType = Types.integerType();
+      return true;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      if (!requireInteger(*B.Lhs, "comparison operand") ||
+          !requireInteger(*B.Rhs, "comparison operand"))
+        return false;
+      E.ExprType = Types.booleanType();
+      return true;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      bool Ok = (L == R) ||
+                (Types.isReferenceLike(L) && Types.isReferenceLike(R) &&
+                 (Types.isAssignable(L, R) || Types.isAssignable(R, L)));
+      if (!Ok) {
+        Diags.error(B.Loc, "cannot compare " + Types.typeName(L) + " with " +
+                               Types.typeName(R));
+        return false;
+      }
+      E.ExprType = Types.booleanType();
+      return true;
+    }
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      if (!requireBoolean(*B.Lhs, "boolean operand") ||
+          !requireBoolean(*B.Rhs, "boolean operand"))
+        return false;
+      E.ExprType = Types.booleanType();
+      return true;
+    }
+    return false;
+  }
+  }
+  return false;
+}
+
+bool SemaChecker::foldConst(const Expr &E, int64_t &Value, TypeId &Type) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Value = static_cast<const IntLitExpr &>(E).Value;
+    Type = Types.integerType();
+    return true;
+  case ExprKind::BoolLit:
+    Value = static_cast<const BoolLitExpr &>(E).Value;
+    Type = Types.booleanType();
+    return true;
+  case ExprKind::Name: {
+    const auto &N = static_cast<const NameExpr &>(E);
+    auto It = Consts.find(N.Name);
+    if (It == Consts.end()) {
+      Diags.error(N.Loc, "'" + N.Name + "' is not a constant");
+      return false;
+    }
+    Value = It->second->Folded;
+    Type = It->second->Type;
+    return true;
+  }
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    int64_t Sub;
+    TypeId SubTy;
+    if (!foldConst(*U.Sub, Sub, SubTy))
+      return false;
+    if (U.Op == UnaryOp::Neg) {
+      if (SubTy != Types.integerType()) {
+        Diags.error(U.Loc, "unary '-' on a non-integer constant");
+        return false;
+      }
+      Value = -Sub;
+      Type = Types.integerType();
+    } else {
+      if (SubTy != Types.booleanType()) {
+        Diags.error(U.Loc, "NOT on a non-boolean constant");
+        return false;
+      }
+      Value = Sub == 0;
+      Type = Types.booleanType();
+    }
+    return true;
+  }
+  case ExprKind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(E);
+    int64_t L, R;
+    TypeId LT, RT;
+    if (!foldConst(*B.Lhs, L, LT) || !foldConst(*B.Rhs, R, RT))
+      return false;
+    bool Ints = LT == Types.integerType() && RT == Types.integerType();
+    bool Bools = LT == Types.booleanType() && RT == Types.booleanType();
+    auto FloorDiv = [](int64_t A, int64_t D) {
+      int64_t Q = A / D;
+      if ((A % D != 0) && ((A < 0) != (D < 0)))
+        --Q;
+      return Q;
+    };
+    switch (B.Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      if (!Ints) {
+        Diags.error(B.Loc, "arithmetic on non-integer constants");
+        return false;
+      }
+      if ((B.Op == BinaryOp::Div || B.Op == BinaryOp::Mod) && R == 0) {
+        Diags.error(B.Loc, "constant division by zero");
+        return false;
+      }
+      Type = Types.integerType();
+      switch (B.Op) {
+      case BinaryOp::Add:
+        Value = L + R;
+        break;
+      case BinaryOp::Sub:
+        Value = L - R;
+        break;
+      case BinaryOp::Mul:
+        Value = L * R;
+        break;
+      case BinaryOp::Div:
+        Value = FloorDiv(L, R);
+        break;
+      default:
+        Value = L - FloorDiv(L, R) * R;
+        break;
+      }
+      return true;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      if (!Ints) {
+        Diags.error(B.Loc, "comparison of non-integer constants");
+        return false;
+      }
+      Type = Types.booleanType();
+      Value = B.Op == BinaryOp::Lt   ? L < R
+              : B.Op == BinaryOp::Le ? L <= R
+              : B.Op == BinaryOp::Gt ? L > R
+                                     : L >= R;
+      return true;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      if (!Ints && !Bools) {
+        Diags.error(B.Loc, "'='/'#' on non-scalar constants");
+        return false;
+      }
+      Type = Types.booleanType();
+      Value = (B.Op == BinaryOp::Eq) == (L == R);
+      return true;
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      if (!Bools) {
+        Diags.error(B.Loc, "AND/OR on non-boolean constants");
+        return false;
+      }
+      Type = Types.booleanType();
+      Value = B.Op == BinaryOp::And ? (L != 0 && R != 0)
+                                    : (L != 0 || R != 0);
+      return true;
+    }
+    return false;
+  }
+  default:
+    Diags.error(E.Loc, "expression is not compile-time constant");
+    return false;
+  }
+}
+
+bool tbaa::checkModule(ModuleAST &M, TypeTable &Types,
+                       DiagnosticEngine &Diags) {
+  assert(Types.isFinalized() && "Sema requires a finalized type table");
+  SemaChecker Checker(M, Types, Diags);
+  return Checker.run();
+}

@@ -1,0 +1,31 @@
+//===- Sema.h - M3L semantic checker ----------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking for M3L. Sema enforces exactly the
+/// type-safety guarantees TBAA relies on (Section 2 of the paper): no
+/// arbitrary casts, assignments only between compatible types (identity,
+/// NIL, or object subtype into supertype), VAR actuals with types
+/// identical to the formal, and field/method access checked against the
+/// declared type. It also binds method implementations into per-type
+/// dispatch tables and synthesizes the module-init procedure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_LANG_SEMA_H
+#define TBAA_LANG_SEMA_H
+
+#include "lang/AST.h"
+
+namespace tbaa {
+
+/// Checks a parsed module in place. Returns false (with diagnostics) on
+/// any error. Requires Types.finalize() to have succeeded.
+bool checkModule(ModuleAST &M, TypeTable &Types, DiagnosticEngine &Diags);
+
+} // namespace tbaa
+
+#endif // TBAA_LANG_SEMA_H

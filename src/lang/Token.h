@@ -1,0 +1,125 @@
+//===- Token.h - M3L token definitions --------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for M3L, the Modula-3-like language the paper's analyses are
+/// evaluated on. M3L keeps the Modula-3 surface the paper depends on:
+/// OBJECT types with single inheritance and METHODS/OVERRIDES, BRANDED
+/// types, RECORDs, fixed and open ARRAYs, REF types, VAR (by-reference)
+/// parameters and the WITH statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_LANG_TOKEN_H
+#define TBAA_LANG_TOKEN_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tbaa {
+
+enum class TokenKind : uint8_t {
+  // Sentinels.
+  Eof,
+  Invalid,
+
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,  // 123 or 'c' (character literals denote their code point)
+  TextLiteral, // "brand" (only used for BRANDED brands)
+
+  // Keywords.
+  KwModule,
+  KwType,
+  KwVar,
+  KwProcedure,
+  KwBegin,
+  KwEnd,
+  KwIf,
+  KwThen,
+  KwElsif,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwRepeat,
+  KwUntil,
+  KwFor,
+  KwTo,
+  KwBy,
+  KwLoop,
+  KwExit,
+  KwReturn,
+  KwWith,
+  KwObject,
+  KwRecord,
+  KwArray,
+  KwOf,
+  KwRef,
+  KwMethods,
+  KwOverrides,
+  KwBranded,
+  KwNew,
+  KwNarrow,
+  KwIstype,
+  KwTypecase,
+  KwNumber,
+  KwTrue,
+  KwFalse,
+  KwNil,
+  KwConst,
+  KwInc,
+  KwDec,
+  KwEval,
+  KwNot,
+  KwAnd,
+  KwOr,
+  KwDiv,
+  KwMod,
+
+  // Punctuation and operators.
+  Semi,      // ;
+  Colon,     // :
+  Comma,     // ,
+  Dot,       // .
+  DotDot,    // ..
+  Caret,     // ^
+  LBracket,  // [
+  RBracket,  // ]
+  LParen,    // (
+  RParen,    // )
+  Arrow,     // =>
+  Pipe,      // |
+  Assign,    // :=
+  Equal,     // =
+  NotEqual,  // #
+  Less,      // <
+  LessEq,    // <=
+  Greater,   // >
+  GreaterEq, // >=
+  Plus,      // +
+  Minus,     // -
+  Star,      // *
+};
+
+/// Returns a human-readable spelling for diagnostics ("':='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text carries the identifier or literal spelling;
+/// IntValue the decoded value of an IntLiteral.
+struct Token {
+  TokenKind Kind = TokenKind::Invalid;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace tbaa
+
+#endif // TBAA_LANG_TOKEN_H

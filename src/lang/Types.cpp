@@ -1,0 +1,473 @@
+//===- Types.cpp ----------------------------------------------------------===//
+
+#include "lang/Types.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tbaa;
+
+TypeTable::TypeTable() {
+  auto AddBuiltin = [&](TypeKind Kind, const char *Name) {
+    Type T;
+    T.Kind = Kind;
+    T.Name = Name;
+    TypeId Id = static_cast<TypeId>(Types.size());
+    Types.push_back(std::move(T));
+    if (Name[0] != '\0')
+      NamedTypes.emplace(Name, Id);
+    return Id;
+  };
+  IntegerTy = AddBuiltin(TypeKind::Integer, "INTEGER");
+  BooleanTy = AddBuiltin(TypeKind::Boolean, "BOOLEAN");
+  NilTy = AddBuiltin(TypeKind::Nil, "");
+  VoidTy = AddBuiltin(TypeKind::Void, "");
+  RootTy = AddBuiltin(TypeKind::Object, "ROOT");
+  // ROOT is a valid, empty object with no supertype.
+  Types[RootTy].Super = InvalidTypeId;
+}
+
+TypeId TypeTable::getOrCreateNamed(const std::string &Name, SourceLoc Loc) {
+  auto It = NamedTypes.find(Name);
+  if (It != NamedTypes.end())
+    return It->second;
+  Type T;
+  T.Kind = TypeKind::Forward;
+  T.Name = Name;
+  T.Loc = Loc;
+  TypeId Id = static_cast<TypeId>(Types.size());
+  Types.push_back(std::move(T));
+  NamedTypes.emplace(Name, Id);
+  return Id;
+}
+
+TypeId TypeTable::lookupNamed(const std::string &Name) const {
+  auto It = NamedTypes.find(Name);
+  return It == NamedTypes.end() ? InvalidTypeId : It->second;
+}
+
+void TypeTable::bindName(const std::string &Name, TypeId Id) {
+  NamedTypes[Name] = Id;
+}
+
+/// Returns the id to define: the existing Forward entry for \p Name if one
+/// exists, otherwise a fresh entry (bound to \p Name when non-empty).
+static TypeId
+entryForDefinition(std::vector<Type> &Types,
+                   std::unordered_map<std::string, TypeId> &NamedTypes,
+                   const std::string &Name) {
+  if (!Name.empty()) {
+    auto It = NamedTypes.find(Name);
+    if (It != NamedTypes.end())
+      return It->second;
+  }
+  TypeId Id = static_cast<TypeId>(Types.size());
+  Types.emplace_back();
+  if (!Name.empty())
+    NamedTypes.emplace(Name, Id);
+  return Id;
+}
+
+TypeId TypeTable::defineObject(
+    const std::string &Name, SourceLoc Loc, TypeId Super,
+    std::optional<std::string> Brand, std::vector<FieldInfo> Fields,
+    std::vector<MethodInfo> Methods,
+    std::vector<std::pair<std::string, std::string>> Ovr) {
+  TypeId Id = entryForDefinition(Types, NamedTypes, Name);
+  Type &T = Types[Id];
+  T.Kind = TypeKind::Object;
+  T.Name = Name;
+  T.Loc = Loc;
+  T.Super = Super == InvalidTypeId ? RootTy : Super;
+  T.Brand = std::move(Brand);
+  T.Fields = std::move(Fields);
+  T.Methods = std::move(Methods);
+  T.Overrides = std::move(Ovr);
+  return Id;
+}
+
+TypeId TypeTable::defineRecord(const std::string &Name, SourceLoc Loc,
+                               std::optional<std::string> Brand,
+                               std::vector<FieldInfo> Fields) {
+  TypeId Id = entryForDefinition(Types, NamedTypes, Name);
+  Type &T = Types[Id];
+  T.Kind = TypeKind::Record;
+  T.Name = Name;
+  T.Loc = Loc;
+  T.Brand = std::move(Brand);
+  T.Fields = std::move(Fields);
+  return Id;
+}
+
+TypeId TypeTable::defineArray(const std::string &Name, SourceLoc Loc,
+                              TypeId Elem, bool IsOpen, int64_t Lo,
+                              int64_t Hi) {
+  TypeId Id = entryForDefinition(Types, NamedTypes, Name);
+  Type &T = Types[Id];
+  T.Kind = TypeKind::Array;
+  T.Name = Name;
+  T.Loc = Loc;
+  T.Elem = Elem;
+  T.IsOpen = IsOpen;
+  T.Lo = Lo;
+  T.Hi = Hi;
+  return Id;
+}
+
+TypeId TypeTable::defineRef(const std::string &Name, SourceLoc Loc,
+                            TypeId Target) {
+  // Anonymous REF types are canonicalized per target so that REF INTEGER
+  // written twice is one type.
+  if (Name.empty()) {
+    auto It = RefCache.find(Target);
+    if (It != RefCache.end())
+      return It->second;
+  }
+  TypeId Id = entryForDefinition(Types, NamedTypes, Name);
+  Type &T = Types[Id];
+  T.Kind = TypeKind::Ref;
+  T.Name = Name;
+  T.Loc = Loc;
+  T.Target = Target;
+  if (Name.empty())
+    RefCache.emplace(Target, Id);
+  return Id;
+}
+
+bool TypeTable::isReferenceLike(TypeId Id) const {
+  switch (get(Id).Kind) {
+  case TypeKind::Object:
+  case TypeKind::Record:
+  case TypeKind::Array:
+  case TypeKind::Ref:
+  case TypeKind::Nil:
+    return true;
+  case TypeKind::Forward:
+  case TypeKind::Integer:
+  case TypeKind::Boolean:
+  case TypeKind::Void:
+    return false;
+  }
+  return false;
+}
+
+bool TypeTable::isSubtype(TypeId Sub, TypeId Super) const {
+  // Compare modulo structural equivalence once canonical ids exist.
+  auto Same = [&](TypeId A, TypeId B) {
+    if (A == B)
+      return true;
+    return Finalized && Canon[A] == Canon[B];
+  };
+  if (Same(Sub, Super))
+    return true;
+  if (!isObject(Sub) || !isObject(Super))
+    return false;
+  for (TypeId Cur = get(Sub).Super; Cur != InvalidTypeId;
+       Cur = get(Cur).Super) {
+    if (Same(Cur, Super))
+      return true;
+  }
+  return false;
+}
+
+const std::vector<TypeId> &TypeTable::subtypes(TypeId Id) const {
+  assert(Finalized && "subtypes() requires a finalized table");
+  assert(Id < SubtypeSets.size());
+  return SubtypeSets[Canon[Id]];
+}
+
+bool TypeTable::isAssignable(TypeId Lhs, TypeId Rhs) const {
+  if (Lhs == Rhs)
+    return true;
+  if (get(Rhs).Kind == TypeKind::Nil && isReferenceLike(Lhs))
+    return true;
+  if (Finalized ? Canon[Lhs] == Canon[Rhs] : structurallyEqual(Lhs, Rhs))
+    return true;
+  return isSubtype(Rhs, Lhs);
+}
+
+bool TypeTable::structurallyEqual(TypeId A, TypeId B) const {
+  std::vector<std::pair<TypeId, TypeId>> Assumed;
+  return structurallyEqualRec(A, B, Assumed);
+}
+
+bool TypeTable::structurallyEqualRec(
+    TypeId A, TypeId B, std::vector<std::pair<TypeId, TypeId>> &Assumed) const {
+  if (A == B)
+    return true;
+  const Type &TA = get(A), &TB = get(B);
+  if (TA.Kind != TB.Kind)
+    return false;
+  // BRANDED types observe name equivalence: only identical ids are equal.
+  if (TA.isBranded() || TB.isBranded())
+    return false;
+  // Coinductive: assume the pair equal while comparing components.
+  for (auto &P : Assumed)
+    if ((P.first == A && P.second == B) || (P.first == B && P.second == A))
+      return true;
+  Assumed.emplace_back(A, B);
+
+  switch (TA.Kind) {
+  case TypeKind::Integer:
+  case TypeKind::Boolean:
+  case TypeKind::Nil:
+  case TypeKind::Void:
+    return true;
+  case TypeKind::Forward:
+    return false;
+  case TypeKind::Ref:
+    return structurallyEqualRec(TA.Target, TB.Target, Assumed);
+  case TypeKind::Array:
+    if (TA.IsOpen != TB.IsOpen)
+      return false;
+    if (!TA.IsOpen && (TA.Lo != TB.Lo || TA.Hi != TB.Hi))
+      return false;
+    return structurallyEqualRec(TA.Elem, TB.Elem, Assumed);
+  case TypeKind::Record:
+  case TypeKind::Object: {
+    if (TA.Fields.size() != TB.Fields.size())
+      return false;
+    for (size_t I = 0; I != TA.Fields.size(); ++I) {
+      if (TA.Fields[I].Name != TB.Fields[I].Name)
+        return false;
+      if (!structurallyEqualRec(TA.Fields[I].Type, TB.Fields[I].Type, Assumed))
+        return false;
+    }
+    if (TA.Kind == TypeKind::Record)
+      return true;
+    if (TA.Methods.size() != TB.Methods.size())
+      return false;
+    for (size_t I = 0; I != TA.Methods.size(); ++I) {
+      const MethodInfo &MA = TA.Methods[I], &MB = TB.Methods[I];
+      if (MA.Name != MB.Name || MA.Params.size() != MB.Params.size())
+        return false;
+      // Default implementations participate in identity so that merged
+      // types share one dispatch table.
+      if (MA.ImplName != MB.ImplName)
+        return false;
+      if (!structurallyEqualRec(MA.ReturnType, MB.ReturnType, Assumed))
+        return false;
+      for (size_t J = 0; J != MA.Params.size(); ++J) {
+        if (MA.Params[J].ByRef != MB.Params[J].ByRef)
+          return false;
+        if (!structurallyEqualRec(MA.Params[J].Type, MB.Params[J].Type,
+                                  Assumed))
+          return false;
+      }
+    }
+    if (TA.Overrides != TB.Overrides)
+      return false;
+    // Supertypes must match structurally as well.
+    if ((TA.Super == InvalidTypeId) != (TB.Super == InvalidTypeId))
+      return false;
+    if (TA.Super == InvalidTypeId)
+      return true;
+    return structurallyEqualRec(TA.Super, TB.Super, Assumed);
+  }
+  }
+  return false;
+}
+
+bool TypeTable::isAccessibleToUnavailableCode(TypeId Id) const {
+  assert(Id < Types.size());
+  if (AccessibleCache.size() != Types.size()) {
+    auto &Cache = const_cast<TypeTable *>(this)->AccessibleCache;
+    Cache.assign(Types.size(), -1);
+  }
+  auto &Cache = const_cast<TypeTable *>(this)->AccessibleCache;
+  if (Cache[Id] != -1)
+    return Cache[Id] == 1;
+  // Assume accessible on cycles; a brand anywhere flips the result.
+  Cache[Id] = 1;
+  const Type &T = get(Id);
+  bool Ok = !T.isBranded();
+  if (Ok) {
+    switch (T.Kind) {
+    case TypeKind::Ref:
+      Ok = isAccessibleToUnavailableCode(T.Target);
+      break;
+    case TypeKind::Array:
+      Ok = isAccessibleToUnavailableCode(T.Elem);
+      break;
+    case TypeKind::Record:
+    case TypeKind::Object:
+      for (const FieldInfo &F : T.Fields)
+        if (!isAccessibleToUnavailableCode(F.Type)) {
+          Ok = false;
+          break;
+        }
+      if (Ok && T.Kind == TypeKind::Object && T.Super != InvalidTypeId)
+        Ok = isAccessibleToUnavailableCode(T.Super);
+      break;
+    default:
+      break;
+    }
+  }
+  Cache[Id] = Ok ? 1 : 0;
+  return Ok;
+}
+
+const FieldInfo *TypeTable::findField(TypeId Id, const std::string &Name) const {
+  const Type &T = get(Id);
+  if (T.Kind == TypeKind::Record) {
+    for (const FieldInfo &F : T.Fields)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+  if (T.Kind != TypeKind::Object)
+    return nullptr;
+  assert(Finalized && "object field lookup requires finalized layouts");
+  for (const FieldInfo &F : T.AllFields)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const MethodInfo *TypeTable::findMethod(TypeId Id,
+                                        const std::string &Name) const {
+  const Type &T = get(Id);
+  if (T.Kind != TypeKind::Object)
+    return nullptr;
+  assert(Finalized && "method lookup requires finalized layouts");
+  for (const MethodInfo &M : T.AllMethods)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+bool TypeTable::finalizeObject(TypeId Id, DiagnosticEngine &Diags,
+                               std::vector<uint8_t> &State) {
+  // State: 0 = unvisited, 1 = in progress (cycle!), 2 = done.
+  if (State[Id] == 2)
+    return true;
+  if (State[Id] == 1) {
+    Diags.error(get(Id).Loc, "cyclic supertype chain through '" +
+                                 typeName(Id) + "'");
+    return false;
+  }
+  State[Id] = 1;
+  Type &T = get(Id);
+  uint32_t FieldBase = 0, MethodBase = 0;
+  if (T.Super != InvalidTypeId) {
+    if (!isObject(T.Super)) {
+      Diags.error(T.Loc, "supertype of '" + typeName(Id) +
+                             "' is not an object type");
+      return false;
+    }
+    if (!finalizeObject(T.Super, Diags, State))
+      return false;
+    const Type &S = get(T.Super);
+    T.AllFields = S.AllFields;
+    T.AllMethods = S.AllMethods;
+    T.DispatchTable = S.DispatchTable;
+    T.Depth = S.Depth + 1;
+    FieldBase = static_cast<uint32_t>(T.AllFields.size());
+    MethodBase = static_cast<uint32_t>(T.AllMethods.size());
+  }
+  for (FieldInfo &F : T.Fields) {
+    for (const FieldInfo &Prev : T.AllFields)
+      if (Prev.Name == F.Name)
+        Diags.error(T.Loc, "field '" + F.Name + "' of '" + typeName(Id) +
+                               "' shadows an inherited field");
+    F.Slot = FieldBase++;
+    T.AllFields.push_back(F);
+  }
+  for (MethodInfo &M : T.Methods) {
+    for (const MethodInfo &Prev : T.AllMethods)
+      if (Prev.Name == M.Name)
+        Diags.error(T.Loc, "method '" + M.Name + "' of '" + typeName(Id) +
+                               "' redeclares an inherited method (use "
+                               "OVERRIDES)");
+    M.Slot = MethodBase++;
+    T.AllMethods.push_back(M);
+    T.DispatchTable.push_back(InvalidProcId); // Bound by Sema.
+  }
+  State[Id] = 2;
+  return !Diags.hasErrors();
+}
+
+bool TypeTable::finalize(DiagnosticEngine &Diags) {
+  assert(!Finalized && "finalize() called twice");
+  for (TypeId Id = 0; Id != Types.size(); ++Id) {
+    const Type &T = Types[Id];
+    if (T.Kind == TypeKind::Forward) {
+      Diags.error(T.Loc, "type '" + T.Name + "' is declared but never defined");
+      return false;
+    }
+  }
+  // Record field slots (records have no inheritance).
+  for (Type &T : Types) {
+    if (T.Kind != TypeKind::Record)
+      continue;
+    uint32_t Slot = 0;
+    for (FieldInfo &F : T.Fields)
+      F.Slot = Slot++;
+    T.AllFields = T.Fields;
+  }
+  // Object layouts, with supertype-cycle detection.
+  std::vector<uint8_t> State(Types.size(), 0);
+  for (TypeId Id = 0; Id != Types.size(); ++Id)
+    if (Types[Id].Kind == TypeKind::Object)
+      if (!finalizeObject(Id, Diags, State))
+        return false;
+  if (Diags.hasErrors())
+    return false;
+
+  // Structural-equivalence canonicalization: the first structurally equal
+  // type becomes the class representative.
+  Canon.resize(Types.size());
+  for (TypeId Id = 0; Id != Types.size(); ++Id) {
+    Canon[Id] = Id;
+    for (TypeId Prev = 0; Prev != Id; ++Prev) {
+      if (Canon[Prev] != Prev)
+        continue;
+      if (structurallyEqual(Prev, Id)) {
+        Canon[Id] = Prev;
+        break;
+      }
+    }
+  }
+
+  // Subtype sets over canonical ids: Subtypes(T) = {T} ∪ {object subtypes}.
+  SubtypeSets.assign(Types.size(), {});
+  Finalized = true; // isSubtype below may now consult Canon.
+  for (TypeId Id = 0; Id != Types.size(); ++Id) {
+    if (Canon[Id] != Id)
+      continue;
+    SubtypeSets[Id].push_back(Id);
+    for (TypeId Other = 0; Other != Types.size(); ++Other) {
+      if (Canon[Other] != Other || Other == Id)
+        continue;
+      if (Types[Other].Kind == TypeKind::Object && isSubtype(Other, Id))
+        SubtypeSets[Id].push_back(Other);
+    }
+  }
+  return true;
+}
+
+std::string TypeTable::typeName(TypeId Id) const {
+  if (Id == InvalidTypeId)
+    return "<invalid>";
+  const Type &T = get(Id);
+  if (!T.Name.empty())
+    return T.Name;
+  switch (T.Kind) {
+  case TypeKind::Nil:
+    return "NIL";
+  case TypeKind::Void:
+    return "<void>";
+  case TypeKind::Ref:
+    return "REF " + typeName(T.Target);
+  case TypeKind::Array:
+    return T.IsOpen ? "ARRAY OF " + typeName(T.Elem)
+                    : "ARRAY [" + std::to_string(T.Lo) + ".." +
+                          std::to_string(T.Hi) + "] OF " + typeName(T.Elem);
+  case TypeKind::Record:
+    return "<anonymous record>";
+  case TypeKind::Object:
+    return "<anonymous object>";
+  default:
+    return "<type>";
+  }
+}

@@ -1,0 +1,245 @@
+//===- Types.h - M3L type system --------------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The M3L type table. Type-based alias analysis is entirely driven by the
+/// properties represented here: the subtype relation over OBJECT types
+/// (Section 2.2 of the paper), distinct field identities (Section 2.3),
+/// which types are "pointer types" for selective merging (Section 2.4),
+/// and which types are BRANDED and therefore name-equivalent -- the only
+/// types unavailable code cannot reconstruct under the open-world
+/// assumption (Section 4).
+///
+/// M3L gives reference semantics to all composite types (objects, records
+/// and arrays live on the heap); REF T provides scalar reference cells and
+/// models pass-by-reference formals internally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_LANG_TYPES_H
+#define TBAA_LANG_TYPES_H
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tbaa {
+
+/// Dense index of a type in the TypeTable.
+using TypeId = uint32_t;
+/// Program-wide identity of a field declaration. Distinct declarations get
+/// distinct ids, which realizes the paper's "distinct object fields have
+/// different names" assumption.
+using FieldId = uint32_t;
+/// Index of a procedure in the module's procedure list.
+using ProcId = uint32_t;
+
+constexpr TypeId InvalidTypeId = ~0u;
+constexpr FieldId InvalidFieldId = ~0u;
+constexpr ProcId InvalidProcId = ~0u;
+
+enum class TypeKind : uint8_t {
+  Forward, ///< Named but not yet defined (resolved before sema completes).
+  Integer,
+  Boolean,
+  Nil,  ///< The type of NIL.
+  Void, ///< Procedure "returns nothing".
+  Object,
+  Record,
+  Array,
+  Ref, ///< REF T: a reference cell holding one T.
+};
+
+/// One field of an OBJECT or RECORD.
+struct FieldInfo {
+  std::string Name;
+  TypeId Type = InvalidTypeId;
+  FieldId Id = InvalidFieldId;
+  /// Heap slot (objects: includes inherited fields; assigned by finalize()).
+  uint32_t Slot = 0;
+};
+
+/// One formal parameter of a procedure or method signature.
+struct ParamInfo {
+  std::string Name;
+  TypeId Type = InvalidTypeId;
+  bool ByRef = false; ///< Declared VAR: pass-by-reference.
+};
+
+/// One method of an OBJECT type (declaration site, not overrides).
+struct MethodInfo {
+  std::string Name;
+  std::vector<ParamInfo> Params; ///< Excluding the implicit receiver.
+  TypeId ReturnType = InvalidTypeId;
+  std::string ImplName; ///< Procedure named after ":=", may be empty.
+  /// Dispatch-table slot, shared with overriding definitions.
+  uint32_t Slot = 0;
+};
+
+/// One entry of the type table.
+struct Type {
+  TypeKind Kind = TypeKind::Forward;
+  std::string Name; ///< Non-empty for named types.
+  SourceLoc Loc;
+
+  // Object / Record.
+  std::vector<FieldInfo> Fields; ///< Own fields only.
+  std::optional<std::string> Brand;
+
+  // Object.
+  TypeId Super = InvalidTypeId; ///< Objects: supertype (ROOT-rooted chain).
+  std::vector<MethodInfo> Methods;
+  /// OVERRIDES entries: method name -> implementing procedure name.
+  std::vector<std::pair<std::string, std::string>> Overrides;
+
+  // Array.
+  TypeId Elem = InvalidTypeId;
+  bool IsOpen = false;
+  int64_t Lo = 0, Hi = -1;
+
+  // Ref.
+  TypeId Target = InvalidTypeId;
+
+  // Computed by TypeTable::finalize().
+  std::vector<FieldInfo> AllFields; ///< Objects: inherited-first layout.
+  std::vector<MethodInfo> AllMethods;
+  /// Dispatch table: AllMethods slot -> implementing procedure.
+  std::vector<ProcId> DispatchTable;
+  uint32_t Depth = 0; ///< Objects: distance from ROOT.
+
+  bool isBranded() const { return Brand.has_value(); }
+};
+
+/// Owns every type of a program and answers the structural queries TBAA
+/// needs. Create builtin-initialized via the constructor; the parser adds
+/// named and anonymous types; finalize() computes layouts, dispatch-table
+/// shapes and validates the hierarchy.
+class TypeTable {
+public:
+  TypeTable();
+
+  // Builtins (stable ids).
+  TypeId integerType() const { return IntegerTy; }
+  TypeId booleanType() const { return BooleanTy; }
+  TypeId nilType() const { return NilTy; }
+  TypeId voidType() const { return VoidTy; }
+  /// The implicit root OBJECT type every object inherits from.
+  TypeId rootType() const { return RootTy; }
+
+  size_t size() const { return Types.size(); }
+  const Type &get(TypeId Id) const { return Types.at(Id); }
+  Type &get(TypeId Id) { return Types.at(Id); }
+
+  /// Returns the TypeId bound to \p Name, creating a Forward entry if the
+  /// name has not been declared yet (forward references in TYPE sections).
+  TypeId getOrCreateNamed(const std::string &Name, SourceLoc Loc);
+  /// Returns the id bound to \p Name or InvalidTypeId.
+  TypeId lookupNamed(const std::string &Name) const;
+  /// Binds \p Name to an existing type (TYPE A = B aliasing).
+  void bindName(const std::string &Name, TypeId Id);
+
+  /// Creates (or redefines a Forward entry as) an OBJECT type.
+  TypeId defineObject(const std::string &Name, SourceLoc Loc, TypeId Super,
+                      std::optional<std::string> Brand,
+                      std::vector<FieldInfo> Fields,
+                      std::vector<MethodInfo> Methods,
+                      std::vector<std::pair<std::string, std::string>> Ovr);
+  /// Creates (or redefines a Forward entry as) a RECORD type.
+  TypeId defineRecord(const std::string &Name, SourceLoc Loc,
+                      std::optional<std::string> Brand,
+                      std::vector<FieldInfo> Fields);
+  /// Creates an ARRAY type. Open arrays carry a runtime length (the "dope
+  /// vector" of Section 3.5); fixed arrays have static bounds [Lo..Hi].
+  TypeId defineArray(const std::string &Name, SourceLoc Loc, TypeId Elem,
+                     bool IsOpen, int64_t Lo, int64_t Hi);
+  /// Creates a REF type (canonicalized per target).
+  TypeId defineRef(const std::string &Name, SourceLoc Loc, TypeId Target);
+
+  /// Allocates a fresh program-wide field identity.
+  FieldId nextFieldId() { return FieldCounter++; }
+
+  /// Validates the table (no Forward left, acyclic supertype chains),
+  /// computes object layouts (AllFields/AllMethods, slots) and dispatch
+  /// table shapes. Returns false and reports via \p Diags on error.
+  bool finalize(DiagnosticEngine &Diags);
+  bool isFinalized() const { return Finalized; }
+
+  // --- Queries used by the analyses (valid after finalize) ---
+
+  bool isObject(TypeId Id) const { return get(Id).Kind == TypeKind::Object; }
+  bool isArray(TypeId Id) const { return get(Id).Kind == TypeKind::Array; }
+  /// True for types whose values are references into the heap (or address
+  /// space): objects, records, arrays, REF cells and NIL. These are the
+  /// "pointer types" Step 1 of SMTypeRefs puts into Group.
+  bool isReferenceLike(TypeId Id) const;
+
+  /// True iff \p Sub is \p Super or a (transitive) object subtype of it.
+  bool isSubtype(TypeId Sub, TypeId Super) const;
+
+  /// Subtypes(T) of the paper: T plus all its object subtypes. For
+  /// non-object types this is {T}.
+  const std::vector<TypeId> &subtypes(TypeId Id) const;
+
+  /// Whether an assignment "LhsType := expression of RhsType" is legal:
+  /// identical (structurally equivalent) types, NIL into any
+  /// reference-like type, or an object subtype into its supertype.
+  bool isAssignable(TypeId Lhs, TypeId Rhs) const;
+
+  /// The canonical representative of \p Id's structural-equivalence class
+  /// (Modula-3 semantics: structurally equal unbranded types are one
+  /// type). Valid after finalize(); all analyses work on canonical ids.
+  TypeId canonical(TypeId Id) const {
+    assert(Finalized && Id < Canon.size());
+    return Canon[Id];
+  }
+
+  /// Coinductive structural equivalence (Modula-3 style). BRANDED types
+  /// are name-equivalent: they only equal themselves.
+  bool structurallyEqual(TypeId A, TypeId B) const;
+
+  /// Whether unavailable code could get its hands on values of this type
+  /// by reconstructing it structurally (Section 4): true iff no BRANDED
+  /// type occurs in the type's structure.
+  bool isAccessibleToUnavailableCode(TypeId Id) const;
+
+  /// Field lookup on objects (searching the supertype chain) and records.
+  /// Returns nullptr if absent. Valid after finalize.
+  const FieldInfo *findField(TypeId Id, const std::string &Name) const;
+  /// Method lookup on objects (searching the supertype chain).
+  const MethodInfo *findMethod(TypeId Id, const std::string &Name) const;
+
+  /// Renders a type name for diagnostics and dumps.
+  std::string typeName(TypeId Id) const;
+
+private:
+  bool finalizeObject(TypeId Id, DiagnosticEngine &Diags,
+                      std::vector<uint8_t> &State);
+  bool structurallyEqualRec(
+      TypeId A, TypeId B,
+      std::vector<std::pair<TypeId, TypeId>> &Assumed) const;
+
+  std::vector<Type> Types;
+  std::unordered_map<std::string, TypeId> NamedTypes;
+  std::unordered_map<TypeId, TypeId> RefCache; ///< target -> REF type
+  FieldId FieldCounter = 0;
+  bool Finalized = false;
+
+  TypeId IntegerTy, BooleanTy, NilTy, VoidTy, RootTy;
+
+  // Computed by finalize().
+  mutable std::vector<std::vector<TypeId>> SubtypeSets;
+  std::vector<TypeId> Canon;
+  std::vector<int8_t> AccessibleCache; ///< -1 unknown, 0 no, 1 yes.
+};
+
+} // namespace tbaa
+
+#endif // TBAA_LANG_TYPES_H

@@ -1,0 +1,73 @@
+//===- AliasSoundness.cpp -------------------------------------------------===//
+
+#include "limit/AliasSoundness.h"
+
+#include <sstream>
+
+using namespace tbaa;
+
+AliasWitnessMonitor::AliasWitnessMonitor(const IRModule &M) : M(M) {
+  for (const IRFunction &F : M.Functions)
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.isMemAccess())
+          Refs.emplace(I.StaticId, RefInfo{F.Id, I.Path});
+}
+
+void AliasWitnessMonitor::record(uint64_t Addr, uint32_t StaticId) {
+  if (!Refs.count(StaticId))
+    return;
+  Touched[Addr].insert(StaticId);
+}
+
+void AliasWitnessMonitor::onLoad(const LoadEvent &E) {
+  if (E.IsHeap && !E.Implicit)
+    record(E.Addr, E.StaticId);
+}
+
+void AliasWitnessMonitor::onStore(const StoreEvent &E) {
+  if (E.IsHeap)
+    record(E.Addr, E.StaticId);
+}
+
+size_t AliasWitnessMonitor::witnessedPairCount() const {
+  size_t N = 0;
+  for (const auto &[Addr, Ids] : Touched)
+    if (Ids.size() > 1)
+      N += Ids.size() * (Ids.size() - 1) / 2;
+  return N;
+}
+
+std::string AliasWitnessMonitor::verify(const AliasOracle &Oracle,
+                                        unsigned MaxReports) const {
+  std::ostringstream Err;
+  unsigned Reported = 0;
+  for (const auto &[Addr, Ids] : Touched) {
+    if (Ids.size() < 2)
+      continue;
+    for (auto It1 = Ids.begin(); It1 != Ids.end(); ++It1) {
+      for (auto It2 = std::next(It1); It2 != Ids.end(); ++It2) {
+        const RefInfo &A = Refs.at(*It1);
+        const RefInfo &B = Refs.at(*It2);
+        bool Admitted =
+            A.Func == B.Func
+                ? Oracle.mayAlias(A.Path, B.Path)
+                : Oracle.mayAliasAbs(AbsLoc::fromPath(A.Path),
+                                     AbsLoc::fromPath(B.Path));
+        if (Admitted)
+          continue;
+        if (Reported++ < MaxReports) {
+          const IRFunction &FA = M.Functions[A.Func];
+          const IRFunction &FB = M.Functions[B.Func];
+          Err << Oracle.name() << " denies a dynamically proven alias: "
+              << FA.Name << ":" << pathToString(FA, M, A.Path) << " vs "
+              << FB.Name << ":" << pathToString(FB, M, B.Path)
+              << " at address 0x" << std::hex << Addr << std::dec << "\n";
+        }
+      }
+    }
+  }
+  if (Reported > MaxReports)
+    Err << "... and " << (Reported - MaxReports) << " more violations\n";
+  return Err.str();
+}

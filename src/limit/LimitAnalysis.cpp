@@ -1,0 +1,48 @@
+//===- LimitAnalysis.cpp --------------------------------------------------===//
+
+#include "limit/LimitAnalysis.h"
+
+using namespace tbaa;
+
+void RedundantLoadMonitor::configureClassifier(
+    const std::vector<uint32_t> &Conditional,
+    const std::vector<uint32_t> &PerfectRemovable) {
+  ConditionalIds.insert(Conditional.begin(), Conditional.end());
+  PerfectIds.insert(PerfectRemovable.begin(), PerfectRemovable.end());
+  Classify = true;
+}
+
+void RedundantLoadMonitor::onLoad(const LoadEvent &E) {
+  if (!E.IsHeap)
+    return;
+  ++HeapLoads;
+  LastLoad &L = Last[E.Addr];
+  bool IsRedundant = L.StaticId != InvalidStaticId &&
+                     L.Activation == E.Activation && L.Value == E.ValueBits;
+  if (IsRedundant) {
+    ++Redundant;
+    ++RedundantByInstr[E.StaticId];
+    if (Classify) {
+      if (E.Implicit)
+        ++Breakdown.Encapsulated;
+      else if (PerfectIds.count(E.StaticId))
+        ++Breakdown.AliasFailure;
+      else if (ConditionalIds.count(E.StaticId))
+        ++Breakdown.Conditional;
+      else if (L.StaticId != E.StaticId)
+        ++Breakdown.Breakup;
+      else
+        ++Breakdown.Rest;
+    }
+  }
+  L.Value = E.ValueBits;
+  L.Activation = E.Activation;
+  L.StaticId = E.StaticId;
+}
+
+void RedundantLoadMonitor::onStore(const StoreEvent &E) {
+  // The paper's definition is purely load-based: a load is redundant when
+  // the previous load of the address produced the same value, stores or
+  // not. Nothing to do, but keeping the hook documents the decision.
+  (void)E;
+}

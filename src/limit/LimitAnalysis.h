@@ -1,0 +1,104 @@
+//===- LimitAnalysis.h - Dynamic redundant-load limit study -----*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.5's upper-bound methodology. "A redundant load is when two
+/// consecutive loads of the same address load the same value in the same
+/// procedure activation. We instrument every load in an executable,
+/// recording its address and value" (their ATOM tool; our VM monitor).
+///
+/// Run once on the original program (black bars of Figure 9) and once on
+/// the TBAA+RLE program (white bars). Remaining redundant loads are
+/// classified into the paper's five sources (Figure 10):
+///
+///   Encapsulated  - implicit in the representation (open-array dope
+///                   vector reads, method-dispatch descriptor reads)
+///   AliasFailure  - a perfect alias oracle would have let RLE remove the
+///                   load (the paper measured zero of these)
+///   Conditional   - only partially redundant; PRE territory
+///   Breakup       - the equal value was last produced by a *different*
+///                   lexical access path (missing copy propagation)
+///   Rest          - everything else (loop-carried, cross-call, ...)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_LIMIT_LIMITANALYSIS_H
+#define TBAA_LIMIT_LIMITANALYSIS_H
+
+#include "core/AliasOracle.h"
+#include "exec/Monitor.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tbaa {
+
+/// Classification of the remaining dynamic redundancy (Figure 10).
+struct RedundancyBreakdown {
+  uint64_t Encapsulated = 0;
+  uint64_t AliasFailure = 0;
+  uint64_t Conditional = 0;
+  uint64_t Breakup = 0;
+  uint64_t Rest = 0;
+
+  uint64_t total() const {
+    return Encapsulated + AliasFailure + Conditional + Breakup + Rest;
+  }
+};
+
+/// Attach to a VM run to measure dynamic load redundancy.
+class RedundantLoadMonitor : public ExecMonitor {
+public:
+  RedundantLoadMonitor() = default;
+
+  /// Enables Figure 10 classification: \p Conditional are static ids of
+  /// partially-redundant loads (findPartiallyRedundantLoads); \p
+  /// PerfectRemovable the loads a perfect-oracle RLE would still remove
+  /// (findRemovableLoads with the Perfect level).
+  void configureClassifier(const std::vector<uint32_t> &Conditional,
+                           const std::vector<uint32_t> &PerfectRemovable);
+
+  void onLoad(const LoadEvent &E) override;
+  void onStore(const StoreEvent &E) override;
+
+  uint64_t heapLoads() const { return HeapLoads; }
+  uint64_t redundantLoads() const { return Redundant; }
+  /// Fraction of heap loads that were redundant (Figure 9's y axis, when
+  /// divided by the *original* program's heap references by the caller).
+  double redundantFraction() const {
+    return HeapLoads ? static_cast<double>(Redundant) /
+                           static_cast<double>(HeapLoads)
+                     : 0.0;
+  }
+  const RedundancyBreakdown &breakdown() const { return Breakdown; }
+
+  /// Dynamic redundancy count per static load instruction (diagnosis).
+  const std::unordered_map<uint32_t, uint64_t> &redundantByInstr() const {
+    return RedundantByInstr;
+  }
+
+private:
+  struct LastLoad {
+    uint64_t Value = 0;
+    uint64_t Activation = 0;
+    uint32_t StaticId = InvalidStaticId;
+  };
+
+  std::unordered_map<uint64_t, LastLoad> Last; ///< heap address -> record
+  std::unordered_set<uint32_t> ConditionalIds;
+  std::unordered_set<uint32_t> PerfectIds;
+  bool Classify = false;
+  uint64_t HeapLoads = 0, Redundant = 0;
+  RedundancyBreakdown Breakdown;
+  std::unordered_map<uint32_t, uint64_t> RedundantByInstr;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_LIMIT_LIMITANALYSIS_H

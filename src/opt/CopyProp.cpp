@@ -1,0 +1,196 @@
+//===- CopyProp.cpp -------------------------------------------------------===//
+
+#include "opt/CopyProp.h"
+
+#include <unordered_map>
+
+using namespace tbaa;
+
+namespace {
+
+uint64_t varKey(VarRef V) {
+  return (static_cast<uint64_t>(V.K == VarRef::Kind::Global) << 32) | V.Index;
+}
+
+class BlockCopyProp {
+public:
+  BlockCopyProp(const IRModule &M, IRFunction &F) : M(M), F(F) {}
+
+  unsigned run() {
+    unsigned Rewritten = 0;
+    for (BasicBlock &B : F.Blocks) {
+      Version.clear();
+      TempSrc.clear();
+      CopyOf.clear();
+      TempMem.clear();
+      Holder.clear();
+      MemEpoch = 0;
+      for (Instr &I : B.Instrs)
+        Rewritten += visit(I);
+    }
+    return Rewritten;
+  }
+
+private:
+  struct Copy {
+    VarRef Target;
+    uint32_t TargetVersion;
+    uint32_t SelfVersion; ///< Version of the copy variable at creation.
+  };
+
+  size_t pathIndex(const MemPath &P) {
+    for (size_t I = 0; I != Paths.size(); ++I)
+      if (Paths[I] == P)
+        return I;
+    Paths.push_back(P);
+    return Paths.size() - 1;
+  }
+
+  uint32_t version(VarRef V) {
+    auto It = Version.find(varKey(V));
+    return It == Version.end() ? 0 : It->second;
+  }
+  void bump(VarRef V) { ++Version[varKey(V)]; }
+
+  /// Invalidate variables a callee or through-address store may write.
+  void clobberEscaped() {
+    for (uint32_t G = 0; G != M.Globals.size(); ++G)
+      bump({VarRef::Kind::Global, G});
+    for (uint32_t L = 0; L != F.Frame.size(); ++L)
+      if (F.Frame[L].AddressTaken)
+        bump({VarRef::Kind::Frame, L});
+  }
+
+  /// Follow valid copies to the oldest equal variable.
+  VarRef resolve(VarRef V, bool &Changed) {
+    for (unsigned Guard = 0; Guard != 8; ++Guard) {
+      auto It = CopyOf.find(varKey(V));
+      if (It == CopyOf.end())
+        return V;
+      const Copy &C = It->second;
+      if (version(V) != C.SelfVersion ||
+          version(C.Target) != C.TargetVersion)
+        return V;
+      V = C.Target;
+      Changed = true;
+    }
+    return V;
+  }
+
+  unsigned rewritePath(MemPath &P) {
+    unsigned N = 0;
+    bool Changed = false;
+    P.Root = resolve(P.Root, Changed);
+    if (Changed)
+      ++N;
+    if (P.Sel == SelKind::Index && P.Index.K == Operand::Kind::Var) {
+      Changed = false;
+      P.Index.Var = resolve(P.Index.Var, Changed);
+      if (Changed)
+        ++N;
+    }
+    return N;
+  }
+
+  unsigned visit(Instr &I) {
+    unsigned N = 0;
+    switch (I.Op) {
+    case Opcode::LoadVar: {
+      bool Changed = false;
+      VarRef Src = resolve(I.Var, Changed);
+      TempSrc[I.Result] = {Src, version(Src)};
+      return 0;
+    }
+    case Opcode::StoreVar: {
+      CopyOf.erase(varKey(I.Var));
+      bump(I.Var);
+      if (I.A.isTemp()) {
+        auto It = TempSrc.find(I.A.Temp);
+        if (It != TempSrc.end() && version(It->second.Target) ==
+                                       It->second.TargetVersion &&
+            !(It->second.Target == I.Var)) {
+          CopyOf[varKey(I.Var)] = {It->second.Target,
+                                   It->second.TargetVersion,
+                                   version(I.Var)};
+          return 0;
+        }
+        // The temp may carry a memory value: if some variable already
+        // holds the same (unclobbered) load, this store makes a copy of
+        // it. This is what re-unifies shadow roots of broken-up paths.
+        auto MIt = TempMem.find(I.A.Temp);
+        if (MIt != TempMem.end() && MIt->second.Epoch == MemEpoch) {
+          auto HIt = Holder.find(MIt->second.Path);
+          if (HIt != Holder.end() && HIt->second.Epoch == MemEpoch &&
+              version(HIt->second.Var) == HIt->second.VarVersion &&
+              !(HIt->second.Var == I.Var)) {
+            CopyOf[varKey(I.Var)] = {HIt->second.Var,
+                                     HIt->second.VarVersion,
+                                     version(I.Var)};
+          } else {
+            Holder[MIt->second.Path] = {I.Var, version(I.Var), MemEpoch};
+          }
+        }
+      }
+      return 0;
+    }
+    case Opcode::LoadMem: {
+      N = rewritePath(I.Path);
+      TempMem[I.Result] = {pathIndex(I.Path), MemEpoch};
+      return N;
+    }
+    case Opcode::StoreMem:
+      N = rewritePath(I.Path);
+      ++MemEpoch; // conservative: any store may change any load's value
+      if (I.Path.Sel == SelKind::Deref)
+        clobberEscaped();
+      return N;
+    case Opcode::MkRef:
+      if (I.HasPath)
+        return rewritePath(I.Path);
+      return 0;
+    case Opcode::Call:
+    case Opcode::CallMethod:
+      ++MemEpoch;
+      clobberEscaped();
+      return 0;
+    default:
+      return 0;
+    }
+  }
+
+  const IRModule &M;
+  IRFunction &F;
+  std::unordered_map<uint64_t, uint32_t> Version;
+  struct TempInfo {
+    VarRef Target;
+    uint32_t TargetVersion;
+  };
+  std::unordered_map<TempId, TempInfo> TempSrc;
+  std::unordered_map<uint64_t, Copy> CopyOf;
+  // Memory-value tracking (block-local, epoch-invalidated).
+  struct MemInfo {
+    size_t Path;
+    uint32_t Epoch;
+  };
+  struct HolderInfo {
+    VarRef Var;
+    uint32_t VarVersion;
+    uint32_t Epoch;
+  };
+  std::vector<MemPath> Paths;
+  std::unordered_map<TempId, MemInfo> TempMem;
+  std::unordered_map<size_t, HolderInfo> Holder;
+  uint32_t MemEpoch = 0;
+};
+
+} // namespace
+
+unsigned tbaa::propagateCopies(IRModule &M) {
+  unsigned Rewritten = 0;
+  for (IRFunction &F : M.Functions) {
+    BlockCopyProp Pass(M, F);
+    Rewritten += Pass.run();
+  }
+  M.assignStaticIds();
+  return Rewritten;
+}

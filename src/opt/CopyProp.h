@@ -1,0 +1,33 @@
+//===- CopyProp.h - Shadow-root copy propagation ----------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass the paper's optimizer lacked: Section 3.5 attributes part of
+/// the remaining dynamic redundancy to "Breakup -- a redundant expression
+/// consisted of multiple smaller expressions and our optimizer does not
+/// do copy propagation." Lowering decomposes chained access paths through
+/// shadow locals, so two occurrences of a.b.c root their final loads at
+/// different shadows and stay lexically distinct. This block-local pass
+/// rewrites path roots (and subscript index variables) through known
+/// variable copies, re-unifying such paths before RLE. Running RLE with
+/// and without it is the Breakup ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_OPT_COPYPROP_H
+#define TBAA_OPT_COPYPROP_H
+
+#include "ir/IR.h"
+
+namespace tbaa {
+
+/// Rewrites path roots/indices through block-local variable copies.
+/// Returns the number of operands rewritten. Rebuilds static ids.
+unsigned propagateCopies(IRModule &M);
+
+} // namespace tbaa
+
+#endif // TBAA_OPT_COPYPROP_H

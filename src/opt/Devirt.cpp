@@ -1,0 +1,51 @@
+//===- Devirt.cpp ---------------------------------------------------------===//
+
+#include "opt/Devirt.h"
+
+using namespace tbaa;
+
+unsigned tbaa::resolveMethodCalls(IRModule &M, const TBAAContext &Ctx) {
+  const TypeTable &Types = *M.Types;
+  unsigned Resolved = 0;
+  for (IRFunction &F : M.Functions) {
+    for (BasicBlock &B : F.Blocks) {
+      for (Instr &I : B.Instrs) {
+        if (I.Op != Opcode::CallMethod)
+          continue;
+        // Receiver dynamic types: what an expression of the static type
+        // may reference under selective type merging.
+        ProcId Target = InvalidProcId;
+        bool Unique = true;
+        bool AnyCandidate = false;
+        for (TypeId S : Ctx.typeRefs(I.ReceiverType)) {
+          const Type &T = Types.get(S);
+          if (T.Kind != TypeKind::Object)
+            continue;
+          AnyCandidate = true;
+          ProcId Impl = I.MethodSlot < T.DispatchTable.size()
+                            ? T.DispatchTable[I.MethodSlot]
+                            : InvalidProcId;
+          if (Impl == InvalidProcId) {
+            // A candidate type without an implementation would trap at
+            // dispatch; keep the dynamic call so behaviour is unchanged.
+            Unique = false;
+            break;
+          }
+          if (Target == InvalidProcId)
+            Target = Impl;
+          else if (Target != Impl)
+            Unique = false;
+          if (!Unique)
+            break;
+        }
+        if (!Unique || !AnyCandidate || Target == InvalidProcId)
+          continue;
+        I.Op = Opcode::Call;
+        I.Callee = Target;
+        ++Resolved;
+      }
+    }
+  }
+  M.assignStaticIds();
+  return Resolved;
+}

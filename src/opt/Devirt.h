@@ -1,0 +1,29 @@
+//===- Devirt.h - TBAA-driven method invocation resolution ------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.7: "Method resolution uses TBAA (and other analyses) to help
+/// resolve method invocations." A method call devirtualizes when every
+/// type the receiver may reference (the TypeRefsTable of the static
+/// receiver type, i.e. SMTypeRefs) dispatches the slot to one procedure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_OPT_DEVIRT_H
+#define TBAA_OPT_DEVIRT_H
+
+#include "core/TBAAContext.h"
+#include "ir/IR.h"
+
+namespace tbaa {
+
+/// Rewrites uniquely-resolvable CallMethod instructions into direct
+/// calls. Returns the number of call sites resolved.
+unsigned resolveMethodCalls(IRModule &M, const TBAAContext &Ctx);
+
+} // namespace tbaa
+
+#endif // TBAA_OPT_DEVIRT_H

@@ -1,0 +1,172 @@
+//===- Inline.cpp ---------------------------------------------------------===//
+
+#include "opt/Inline.h"
+
+#include <cassert>
+
+using namespace tbaa;
+
+namespace {
+
+/// Expands one call site. The callee's blocks are appended to the caller
+/// with temps, frame slots and block ids shifted; the call instruction
+/// becomes parameter stores plus a jump, and returns become result moves
+/// plus jumps to the continuation block.
+void expandCall(IRFunction &Caller, const IRFunction &Callee,
+                const TypeTable &Types, BlockId CallBlock, size_t CallIndex) {
+  uint32_t TempBase = Caller.NumTemps;
+  uint32_t VarBase = static_cast<uint32_t>(Caller.Frame.size());
+  BlockId BlockBase = static_cast<BlockId>(Caller.Blocks.size());
+  BlockId ContId = BlockBase + static_cast<BlockId>(Callee.Blocks.size());
+
+  Caller.NumTemps += Callee.NumTemps;
+  for (const IRVar &V : Callee.Frame) {
+    IRVar Copy = V;
+    Copy.Name = "$in_" + Callee.Name + "_" + V.Name;
+    Copy.Synthetic = true;
+    // With the frame gone, a back end keeps non-escaping inlined slots in
+    // registers; only address-taken ones still need memory.
+    Copy.IsRegister = !V.AddressTaken;
+    Caller.Frame.push_back(std::move(Copy));
+  }
+
+  // Take the call instruction and the block tail.
+  Instr Call = std::move(Caller.Blocks[CallBlock].Instrs[CallIndex]);
+  assert(Call.Op == Opcode::Call && "inlining a non-direct call");
+  std::vector<Instr> Tail(
+      std::make_move_iterator(Caller.Blocks[CallBlock].Instrs.begin() +
+                              static_cast<std::ptrdiff_t>(CallIndex + 1)),
+      std::make_move_iterator(Caller.Blocks[CallBlock].Instrs.end()));
+  Caller.Blocks[CallBlock].Instrs.resize(CallIndex);
+
+  // Parameter stores then jump into the cloned entry.
+  for (size_t A = 0; A != Call.Args.size(); ++A) {
+    Instr S;
+    S.Op = Opcode::StoreVar;
+    S.Var = {VarRef::Kind::Frame, VarBase + static_cast<uint32_t>(A)};
+    S.A = Call.Args[A];
+    S.Loc = Call.Loc;
+    Caller.Blocks[CallBlock].Instrs.push_back(std::move(S));
+  }
+  // Re-establish the callee's default-initialized locals: a fresh frame
+  // zeroed them per activation, but inlined slots persist across loop
+  // iterations of the caller.
+  for (size_t L = Call.Args.size(); L != Callee.Frame.size(); ++L) {
+    Instr S;
+    S.Op = Opcode::StoreVar;
+    S.Var = {VarRef::Kind::Frame, VarBase + static_cast<uint32_t>(L)};
+    const Type &T = Types.get(Callee.Frame[L].Type);
+    if (T.Kind == TypeKind::Integer)
+      S.A = Operand::immInt(0);
+    else if (T.Kind == TypeKind::Boolean)
+      S.A = Operand::immBool(false);
+    else
+      S.A = Operand::nil();
+    S.Loc = Call.Loc;
+    Caller.Blocks[CallBlock].Instrs.push_back(std::move(S));
+  }
+  {
+    Instr J;
+    J.Op = Opcode::Jmp;
+    J.T1 = BlockBase;
+    J.Loc = Call.Loc;
+    Caller.Blocks[CallBlock].Instrs.push_back(std::move(J));
+  }
+
+  auto RemapOperand = [&](Operand &O) {
+    if (O.K == Operand::Kind::Temp)
+      O.Temp += TempBase;
+    else if (O.K == Operand::Kind::Var && O.Var.K == VarRef::Kind::Frame)
+      O.Var.Index += VarBase;
+  };
+  auto RemapVar = [&](VarRef &V) {
+    if (V.K == VarRef::Kind::Frame)
+      V.Index += VarBase;
+  };
+
+  // Clone callee blocks.
+  for (const BasicBlock &B : Callee.Blocks) {
+    BasicBlock NB;
+    NB.Id = BlockBase + B.Id;
+    for (const Instr &Orig : B.Instrs) {
+      Instr I = Orig;
+      if (I.Result != NoTemp)
+        I.Result += TempBase;
+      RemapOperand(I.A);
+      RemapOperand(I.B);
+      for (Operand &O : I.Args)
+        RemapOperand(O);
+      if (I.Op == Opcode::LoadVar || I.Op == Opcode::StoreVar ||
+          (I.Op == Opcode::MkRef && !I.HasPath))
+        RemapVar(I.Var);
+      if (I.HasPath || I.isMemAccess()) {
+        RemapVar(I.Path.Root);
+        RemapOperand(I.Path.Index);
+      }
+      if (I.Op == Opcode::Jmp || I.Op == Opcode::Br) {
+        I.T1 += BlockBase;
+        if (I.Op == Opcode::Br)
+          I.T2 += BlockBase;
+      }
+      if (I.Op == Opcode::Ret) {
+        if (!I.A.isNone() && Call.Result != NoTemp) {
+          Instr Mov;
+          Mov.Op = Opcode::Mov;
+          Mov.Result = Call.Result;
+          Mov.A = I.A;
+          Mov.Loc = I.Loc;
+          NB.Instrs.push_back(std::move(Mov));
+        }
+        Instr J;
+        J.Op = Opcode::Jmp;
+        J.T1 = ContId;
+        J.Loc = I.Loc;
+        NB.Instrs.push_back(std::move(J));
+        continue;
+      }
+      NB.Instrs.push_back(std::move(I));
+    }
+    Caller.Blocks.push_back(std::move(NB));
+  }
+
+  // Continuation block with the old tail.
+  BasicBlock Cont;
+  Cont.Id = ContId;
+  Cont.Instrs = std::move(Tail);
+  Caller.Blocks.push_back(std::move(Cont));
+}
+
+} // namespace
+
+unsigned tbaa::inlineCalls(IRModule &M, InlineOptions Opts) {
+  CallGraph CG(M, *M.Types);
+  unsigned Expanded = 0;
+  for (IRFunction &F : M.Functions) {
+    bool Changed = true;
+    while (Changed && F.instrCount() < Opts.MaxCallerInstrs) {
+      Changed = false;
+      for (BlockId B = 0; B != F.Blocks.size() && !Changed; ++B) {
+        std::vector<Instr> &Instrs = F.Blocks[B].Instrs;
+        for (size_t K = 0; K != Instrs.size(); ++K) {
+          const Instr &I = Instrs[K];
+          if (I.Op != Opcode::Call)
+            continue;
+          const IRFunction &Callee = M.Functions[I.Callee];
+          if (Callee.Id == F.Id || CG.isRecursive(Callee.Id))
+            continue;
+          if (Callee.instrCount() > Opts.MaxCalleeInstrs)
+            continue;
+          expandCall(F, Callee, *M.Types, B, K);
+          ++Expanded;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+  M.assignStaticIds();
+  std::string Err = M.verify();
+  assert(Err.empty() && "inlining broke the IR");
+  (void)Err;
+  return Expanded;
+}

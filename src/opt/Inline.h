@@ -1,0 +1,37 @@
+//===- Inline.h - Procedure inlining ----------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inlining half of Section 3.7's "Minv + Inlining" configuration.
+/// Direct calls to small, non-recursive procedures are expanded in place
+/// (run resolveMethodCalls first so devirtualized method calls inline
+/// too). Exposes redundancies across former call boundaries -- mostly
+/// conditional ones, as the paper observes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_OPT_INLINE_H
+#define TBAA_OPT_INLINE_H
+
+#include "analysis/CallGraph.h"
+#include "ir/IR.h"
+
+namespace tbaa {
+
+struct InlineOptions {
+  /// Callees above this instruction count are not inlined.
+  unsigned MaxCalleeInstrs = 40;
+  /// Stop growing a caller past this instruction count.
+  unsigned MaxCallerInstrs = 4000;
+};
+
+/// Inlines eligible direct calls. Returns the number of call sites
+/// expanded. Rebuilds static ids.
+unsigned inlineCalls(IRModule &M, InlineOptions Opts = {});
+
+} // namespace tbaa
+
+#endif // TBAA_OPT_INLINE_H

@@ -1,0 +1,832 @@
+//===- RLE.cpp ------------------------------------------------------------===//
+
+#include "opt/RLE.h"
+
+#include "ir/Dominators.h"
+#include "ir/Loops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <tuple>
+
+using namespace tbaa;
+
+namespace {
+
+/// Shared kill rules: when does an instruction invalidate the value named
+/// by an access path? Both LICM and CSE ask exactly this.
+class KillModel {
+public:
+  KillModel(const IRModule &M, const IRFunction &F, const AliasOracle &Oracle,
+            const ModRefAnalysis &MR, const CallGraph &CG)
+      : M(M), F(F), Oracle(Oracle), MR(MR), CG(CG) {}
+
+  /// Whether executing \p I may change the value an execution of path
+  /// \p P would produce.
+  bool kills(const Instr &I, const MemPath &P) const {
+    switch (I.Op) {
+    case Opcode::StoreVar:
+      return storeVarKills(I.Var, P);
+    case Opcode::StoreMem:
+      return storeMemKills(I, P);
+    case Opcode::Call:
+    case Opcode::CallMethod:
+      return MR.callMayKillPath(F, I, P, Oracle, CG);
+    default:
+      return false;
+    }
+  }
+
+private:
+  bool storeVarKills(VarRef V, const MemPath &P) const {
+    if (P.Root == V)
+      return true;
+    if (P.Sel == SelKind::Index && P.Index.K == Operand::Kind::Var &&
+        P.Index.Var == V)
+      return true;
+    return false;
+  }
+
+  /// StoreMem writes one heap (or through-address) location; it kills P
+  /// when the locations may overlap, or when a through-address write may
+  /// change P's root or index variable.
+  bool storeMemKills(const Instr &I, const MemPath &P) const {
+    if (Oracle.mayAlias(I.Path, P))
+      return true;
+    if (I.Path.Sel != SelKind::Deref)
+      return false;
+    AbsLoc StoreLoc = AbsLoc::fromPath(I.Path);
+    auto MayWriteVar = [&](VarRef V) {
+      if (!M.varInfo(F, V).AddressTaken)
+        return false;
+      AbsLoc VarLoc;
+      VarLoc.Sel = SelKind::Deref;
+      VarLoc.BaseType = M.varInfo(F, V).Type;
+      VarLoc.ValueType = VarLoc.BaseType;
+      return Oracle.mayAliasAbs(StoreLoc, VarLoc);
+    };
+    if (MayWriteVar(P.Root))
+      return true;
+    if (P.Sel == SelKind::Index && P.Index.K == Operand::Kind::Var &&
+        MayWriteVar(P.Index.Var))
+      return true;
+    return false;
+  }
+
+  const IRModule &M;
+  const IRFunction &F;
+  const AliasOracle &Oracle;
+  const ModRefAnalysis &MR;
+  const CallGraph &CG;
+};
+
+//===----------------------------------------------------------------------===//
+// Loop-invariant load motion
+//===----------------------------------------------------------------------===//
+
+class LoadHoister {
+public:
+  LoadHoister(IRModule &M, IRFunction &F, const KillModel &Kills)
+      : M(M), F(F), Kills(Kills) {}
+
+  unsigned run() {
+    LoopInfo LI = ensurePreheaders(F);
+    if (LI.loops().empty())
+      return 0;
+    DominatorTree DT(F);
+
+    // Count StoreVar sites per frame var: a synthetic shadow with exactly
+    // one store can migrate with its defining load.
+    std::vector<unsigned> StoreCount(F.Frame.size(), 0);
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.Op == Opcode::StoreVar && I.Var.K == VarRef::Kind::Frame)
+          ++StoreCount[I.Var.Index];
+
+    unsigned Hoisted = 0;
+    for (const Loop &L : LI.loops()) {
+      if (L.Preheader == InvalidBlock)
+        continue;
+      bool Changed = true;
+      while (Changed) {
+        Changed = false;
+        // Temps defined by instructions currently inside the loop.
+        std::set<TempId> LoopTemps;
+        for (BlockId BId : L.Blocks)
+          for (const Instr &I : F.Blocks[BId].Instrs)
+            if (I.Result != NoTemp)
+              LoopTemps.insert(I.Result);
+
+        for (BlockId BId : L.Blocks) {
+          if (!dominatesAllExits(DT, L, BId))
+            continue;
+          BasicBlock &B = F.Blocks[BId];
+          for (size_t K = 0; K != B.Instrs.size(); ++K) {
+            const Instr &I = B.Instrs[K];
+            bool Move = false;
+            if (I.Op == Opcode::LoadMem && !I.Implicit) {
+              Move = pathInvariant(L, I.Path) &&
+                     indexTempFree(I.Path, LoopTemps);
+            } else if (I.Op == Opcode::StoreVar &&
+                       I.Var.K == VarRef::Kind::Frame &&
+                       F.Frame[I.Var.Index].Synthetic &&
+                       StoreCount[I.Var.Index] == 1 &&
+                       I.A.isTemp() && !LoopTemps.count(I.A.Temp)) {
+              // The shadow's defining value is already outside the loop;
+              // let the shadow follow it so chained paths can hoist too.
+              Move = true;
+            }
+            if (!Move)
+              continue;
+            hoistInstr(B, K, L.Preheader);
+            ++Hoisted;
+            Changed = true;
+            --K; // the vector shifted
+          }
+        }
+      }
+    }
+    return Hoisted;
+  }
+
+private:
+  bool dominatesAllExits(const DominatorTree &DT, const Loop &L,
+                         BlockId B) const {
+    // "Executed on every iteration" and trap-faithful: the block must lie
+    // on every path that leaves the loop.
+    for (BlockId E : L.ExitingBlocks)
+      if (!DT.dominates(B, E))
+        return false;
+    return !L.ExitingBlocks.empty() || !L.Blocks.empty();
+  }
+
+  bool indexTempFree(const MemPath &P, const std::set<TempId> &LoopTemps) {
+    (void)P;
+    (void)LoopTemps;
+    return true; // path operands are vars/consts by construction
+  }
+
+  /// Nothing inside the loop may disturb the path.
+  bool pathInvariant(const Loop &L, const MemPath &P) const {
+    for (BlockId BId : L.Blocks)
+      for (const Instr &I : F.Blocks[BId].Instrs)
+        if (Kills.kills(I, P))
+          return false;
+    return true;
+  }
+
+  void hoistInstr(BasicBlock &From, size_t Index, BlockId PreheaderId) {
+    Instr I = std::move(From.Instrs[Index]);
+    From.Instrs.erase(From.Instrs.begin() +
+                      static_cast<std::ptrdiff_t>(Index));
+    BasicBlock &Pre = F.Blocks[PreheaderId];
+    assert(!Pre.Instrs.empty() && Pre.Instrs.back().isTerminator());
+    Pre.Instrs.insert(Pre.Instrs.end() - 1, std::move(I));
+  }
+
+  IRModule &M;
+  IRFunction &F;
+  const KillModel &Kills;
+};
+
+//===----------------------------------------------------------------------===//
+// Available-load CSE
+//===----------------------------------------------------------------------===//
+
+class LoadCSE {
+public:
+  LoadCSE(IRModule &M, IRFunction &F, const KillModel &Kills,
+          bool MayMode = false)
+      : M(M), F(F), Kills(Kills), MayMode(MayMode) {}
+
+  /// Computes availability; in must-mode also rewrites redundant loads.
+  /// Returns the number of replaced loads (0 in may-mode).
+  unsigned run(std::vector<uint32_t> *PartiallyRedundant = nullptr) {
+    collectUniverse();
+    if (Universe.empty())
+      return 0;
+    solve();
+    if (MayMode) {
+      assert(PartiallyRedundant && "may-mode needs an output list");
+      reportMayRedundant(*PartiallyRedundant);
+      return 0;
+    }
+    markReplacements();
+    return rewrite();
+  }
+
+  /// Analysis only: static ids of loads the must-analysis would replace.
+  std::vector<uint32_t> removableLoads() {
+    std::vector<uint32_t> Result;
+    collectUniverse();
+    if (Universe.empty())
+      return Result;
+    solve();
+    markReplacements();
+    for (const BasicBlock &B : F.Blocks)
+      for (size_t K = 0; K != B.Instrs.size(); ++K)
+        if (Replaceable[B.Id][K])
+          Result.push_back(B.Instrs[K].StaticId);
+    return Result;
+  }
+
+private:
+  void collectUniverse() {
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.isMemAccess())
+          pathId(I.Path);
+  }
+
+  size_t pathId(const MemPath &P) {
+    for (size_t I = 0; I != Universe.size(); ++I)
+      if (Universe[I] == P)
+        return I;
+    Universe.push_back(P);
+    return Universe.size() - 1;
+  }
+
+  DynBitset transfer(const BasicBlock &B, DynBitset State,
+                     std::vector<uint8_t> *ReplaceableOut = nullptr) {
+    for (size_t K = 0; K != B.Instrs.size(); ++K) {
+      const Instr &I = B.Instrs[K];
+      // Kills first.
+      if (I.Op == Opcode::StoreVar || I.Op == Opcode::StoreMem ||
+          I.Op == Opcode::Call || I.Op == Opcode::CallMethod) {
+        for (size_t P = 0; P != Universe.size(); ++P)
+          if (State.test(P) && Kills.kills(I, Universe[P]))
+            State.reset(P);
+      }
+      // Gens after.
+      if (I.Op == Opcode::LoadMem && !I.Implicit) {
+        size_t P = pathIdConst(I.Path);
+        if (ReplaceableOut && State.test(P))
+          (*ReplaceableOut)[K] = 1;
+        State.set(P);
+      } else if (I.Op == Opcode::StoreMem) {
+        State.set(pathIdConst(I.Path));
+      }
+    }
+    return State;
+  }
+
+  size_t pathIdConst(const MemPath &P) const {
+    for (size_t I = 0; I != Universe.size(); ++I)
+      if (Universe[I] == P)
+        return I;
+    assert(false && "path missing from universe");
+    return 0;
+  }
+
+  void solve() {
+    size_t N = F.Blocks.size();
+    auto Preds = F.predecessors();
+    In.assign(N, DynBitset(Universe.size()));
+    Out.assign(N, DynBitset(Universe.size()));
+    // Must-analysis: optimistic top everywhere but the entry.
+    for (size_t B = 1; B != N; ++B)
+      for (size_t P = 0; P != Universe.size(); ++P)
+        if (!MayMode)
+          Out[B].set(P);
+    Out[0] = transfer(F.Blocks[0], In[0]);
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = 1; B != N; ++B) {
+        DynBitset NewIn(Universe.size());
+        if (!MayMode) {
+          bool First = true;
+          for (BlockId P : Preds[B]) {
+            if (First) {
+              NewIn = Out[P];
+              First = false;
+            } else {
+              NewIn &= Out[P];
+            }
+          }
+          // Blocks with no predecessors (unreachable) keep empty IN.
+        } else {
+          for (BlockId P : Preds[B])
+            NewIn |= Out[P];
+        }
+        DynBitset NewOut = transfer(F.Blocks[B], NewIn);
+        if (!equal(NewIn, In[B]) || !equal(NewOut, Out[B])) {
+          In[B] = std::move(NewIn);
+          Out[B] = std::move(NewOut);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  static bool equal(const DynBitset &A, const DynBitset &B) {
+    assert(A.size() == B.size());
+    for (size_t I = 0; I != A.size(); ++I)
+      if (A.test(I) != B.test(I))
+        return false;
+    return true;
+  }
+
+  void markReplacements() {
+    Replaceable.resize(F.Blocks.size());
+    NeedCell.assign(Universe.size(), false);
+    for (const BasicBlock &B : F.Blocks) {
+      Replaceable[B.Id].assign(B.Instrs.size(), 0);
+      transfer(B, In[B.Id], &Replaceable[B.Id]);
+      for (size_t K = 0; K != B.Instrs.size(); ++K)
+        if (Replaceable[B.Id][K])
+          NeedCell[pathIdConst(B.Instrs[K].Path)] = true;
+    }
+  }
+
+  unsigned rewrite() {
+    // Cells for paths that are reused somewhere. They model the registers
+    // the paper's back end would allocate: register-like, no memory cost.
+    std::vector<VarRef> Cell(Universe.size());
+    for (size_t P = 0; P != Universe.size(); ++P)
+      if (NeedCell[P]) {
+        Cell[P] = F.addShadowVar(Universe[P].ValueType, "cse");
+        F.Frame[Cell[P].Index].IsRegister = true;
+      }
+
+    unsigned Replaced = 0;
+    for (BasicBlock &B : F.Blocks) {
+      std::vector<Instr> NewInstrs;
+      NewInstrs.reserve(B.Instrs.size());
+      for (size_t K = 0; K != B.Instrs.size(); ++K) {
+        Instr &I = B.Instrs[K];
+        bool IsLoad = I.Op == Opcode::LoadMem && !I.Implicit;
+        bool IsStore = I.Op == Opcode::StoreMem;
+        size_t P = (IsLoad || IsStore) ? pathIdConst(I.Path) : 0;
+        if (IsLoad && Replaceable[B.Id][K]) {
+          // The value is in the path's cell on every incoming path.
+          Instr R;
+          R.Op = Opcode::LoadVar;
+          R.Result = I.Result;
+          R.Var = Cell[P];
+          R.Loc = I.Loc;
+          NewInstrs.push_back(std::move(R));
+          ++Replaced;
+          continue;
+        }
+        bool Spill = (IsLoad || IsStore) && NeedCell[P];
+        Operand CellValue =
+            IsLoad ? Operand::temp(I.Result) : I.A; // store forwards value
+        SourceLoc Loc = I.Loc;
+        NewInstrs.push_back(std::move(I));
+        if (Spill) {
+          Instr S;
+          S.Op = Opcode::StoreVar;
+          S.Var = Cell[P];
+          S.A = CellValue;
+          S.Loc = Loc;
+          NewInstrs.push_back(std::move(S));
+        }
+      }
+      B.Instrs = std::move(NewInstrs);
+    }
+    return Replaced;
+  }
+
+  void reportMayRedundant(std::vector<uint32_t> &Result) {
+    // May-available but the load is still present: RLE (a must analysis)
+    // could not remove it, but PRE could -- "Conditional" of Figure 10.
+    for (const BasicBlock &B : F.Blocks) {
+      DynBitset State = In[B.Id];
+      for (const Instr &I : B.Instrs) {
+        if (I.Op == Opcode::StoreVar || I.Op == Opcode::StoreMem ||
+            I.Op == Opcode::Call || I.Op == Opcode::CallMethod) {
+          for (size_t P = 0; P != Universe.size(); ++P)
+            if (State.test(P) && Kills.kills(I, Universe[P]))
+              State.reset(P);
+        }
+        if (I.Op == Opcode::LoadMem && !I.Implicit) {
+          size_t P = pathIdConst(I.Path);
+          if (State.test(P))
+            Result.push_back(I.StaticId);
+          State.set(P);
+        } else if (I.Op == Opcode::StoreMem) {
+          State.set(pathIdConst(I.Path));
+        }
+      }
+    }
+  }
+
+  IRModule &M;
+  IRFunction &F;
+  const KillModel &Kills;
+  bool MayMode;
+  std::vector<MemPath> Universe;
+  std::vector<DynBitset> In, Out;
+  std::vector<std::vector<uint8_t>> Replaceable;
+  std::vector<bool> NeedCell;
+};
+
+//===----------------------------------------------------------------------===//
+// Repeated type-test elision
+//===----------------------------------------------------------------------===//
+
+/// Block-local value numbering of NARROW/ISTYPE: two tests of the same
+/// value against the same type are identical (heap objects never change
+/// type), so the second becomes a register move and its implicit
+/// descriptor read disappears. Values are numbered through LoadVar, Mov
+/// and NarrowOp provenance so distinct temps reading the same unmodified
+/// variable unify.
+unsigned elideRepeatedTypeTests(IRFunction &F) {
+  unsigned Elided = 0;
+  for (BasicBlock &B : F.Blocks) {
+    // A value number is either a temp id or a (var, version) read.
+    struct ValueNum {
+      bool FromVar = false;
+      TempId Temp = NoTemp;
+      VarRef Var;
+      uint32_t Version = 0;
+      bool equals(const ValueNum &O) const {
+        if (FromVar != O.FromVar)
+          return false;
+        return FromVar ? (Var == O.Var && Version == O.Version)
+                       : Temp == O.Temp;
+      }
+    };
+    std::map<uint64_t, uint32_t> VarVersion; // key: kind<<32|index
+    auto VarKey = [](VarRef V) {
+      return (static_cast<uint64_t>(V.K == VarRef::Kind::Global) << 32) |
+             V.Index;
+    };
+    std::map<TempId, ValueNum> TempVN;
+    auto NumberOf = [&](TempId T) {
+      auto It = TempVN.find(T);
+      if (It != TempVN.end())
+        return It->second;
+      ValueNum N;
+      N.Temp = T;
+      return N;
+    };
+    struct SeenTest {
+      Opcode Op;
+      ValueNum Source;
+      TypeId Type;
+      TempId Result;
+    };
+    std::vector<SeenTest> Seen;
+
+    for (Instr &I : B.Instrs) {
+      switch (I.Op) {
+      case Opcode::LoadVar: {
+        ValueNum N;
+        N.FromVar = true;
+        N.Var = I.Var;
+        N.Version = VarVersion[VarKey(I.Var)];
+        TempVN[I.Result] = N;
+        break;
+      }
+      case Opcode::Mov:
+        if (I.A.isTemp())
+          TempVN[I.Result] = NumberOf(I.A.Temp);
+        break;
+      case Opcode::StoreVar:
+        ++VarVersion[VarKey(I.Var)];
+        break;
+      case Opcode::StoreMem:
+        // Stores through addresses may write escaped variables.
+        if (I.Path.Sel == SelKind::Deref) {
+          for (auto &[Key, Ver] : VarVersion)
+            ++Ver;
+        }
+        break;
+      case Opcode::Call:
+      case Opcode::CallMethod:
+        // Callees may write globals and escaped locals; be conservative.
+        for (auto &[Key, Ver] : VarVersion)
+          ++Ver;
+        break;
+      case Opcode::NarrowOp:
+      case Opcode::IsTypeOp: {
+        if (!I.A.isTemp())
+          break;
+        ValueNum Source = NumberOf(I.A.Temp);
+        bool Reused = false;
+        for (const SeenTest &S : Seen) {
+          if (S.Op == I.Op && S.Source.equals(Source) && S.Type == I.AllocType) {
+            Instr Mov;
+            Mov.Op = Opcode::Mov;
+            Mov.Result = I.Result;
+            Mov.A = Operand::temp(S.Result);
+            Mov.Loc = I.Loc;
+            I = std::move(Mov);
+            ++Elided;
+            Reused = true;
+            break;
+          }
+        }
+        if (!Reused) {
+          // NARROW returns its operand: same value number.
+          if (I.Op == Opcode::NarrowOp)
+            TempVN[I.Result] = Source;
+          Seen.push_back({I.Op, Source, I.AllocType, I.Result});
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+  return Elided;
+}
+
+//===----------------------------------------------------------------------===//
+// Partial redundancy elimination of loads
+//===----------------------------------------------------------------------===//
+
+class LoadPRE {
+public:
+  LoadPRE(IRModule &M, IRFunction &F, const KillModel &Kills)
+      : M(M), F(F), Kills(Kills) {}
+
+  /// Splits deficient edges and inserts loads; returns how many.
+  unsigned run() {
+    collectUniverse();
+    if (Universe.empty())
+      return 0;
+    solveAvailability();
+    solveAnticipation();
+    return insert();
+  }
+
+private:
+  void collectUniverse() {
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.Op == Opcode::LoadMem && !I.Implicit)
+          pathId(I.Path);
+  }
+
+  size_t pathId(const MemPath &P) {
+    for (size_t I = 0; I != Universe.size(); ++I)
+      if (Universe[I] == P)
+        return I;
+    Universe.push_back(P);
+    return Universe.size() - 1;
+  }
+  size_t pathIdConst(const MemPath &P) const {
+    for (size_t I = 0; I != Universe.size(); ++I)
+      if (Universe[I] == P)
+        return I;
+    return ~size_t(0);
+  }
+
+  void applyKills(const Instr &I, DynBitset &State) const {
+    if (I.Op == Opcode::StoreVar || I.Op == Opcode::StoreMem ||
+        I.Op == Opcode::Call || I.Op == Opcode::CallMethod) {
+      for (size_t P = 0; P != Universe.size(); ++P)
+        if (State.test(P) && Kills.kills(I, Universe[P]))
+          State.reset(P);
+    }
+  }
+
+  DynBitset availTransfer(const BasicBlock &B, DynBitset State) const {
+    for (const Instr &I : B.Instrs) {
+      applyKills(I, State);
+      if (I.Op == Opcode::LoadMem && !I.Implicit) {
+        size_t P = pathIdConst(I.Path);
+        if (P != ~size_t(0))
+          State.set(P);
+      } else if (I.Op == Opcode::StoreMem) {
+        size_t P = pathIdConst(I.Path);
+        if (P != ~size_t(0))
+          State.set(P);
+      }
+    }
+    return State;
+  }
+
+  /// Backward: P anticipated before an instruction if loaded on every
+  /// path onward before anything kills it.
+  DynBitset antTransfer(const BasicBlock &B, DynBitset State) const {
+    for (auto It = B.Instrs.rbegin(); It != B.Instrs.rend(); ++It) {
+      const Instr &I = *It;
+      // A kill ends anticipation (walking backward: remove first).
+      if (I.Op == Opcode::StoreVar || I.Op == Opcode::StoreMem ||
+          I.Op == Opcode::Call || I.Op == Opcode::CallMethod) {
+        for (size_t P = 0; P != Universe.size(); ++P)
+          if (State.test(P) && Kills.kills(I, Universe[P]))
+            State.reset(P);
+      }
+      if (I.Op == Opcode::LoadMem && !I.Implicit) {
+        size_t P = pathIdConst(I.Path);
+        if (P != ~size_t(0))
+          State.set(P);
+      }
+    }
+    return State;
+  }
+
+  void solveAvailability() {
+    size_t N = F.Blocks.size();
+    auto Preds = F.predecessors();
+    AvailIn.assign(N, DynBitset(Universe.size()));
+    AvailOut.assign(N, DynBitset(Universe.size()));
+    for (size_t B = 1; B != N; ++B)
+      for (size_t P = 0; P != Universe.size(); ++P)
+        AvailOut[B].set(P);
+    AvailOut[0] = availTransfer(F.Blocks[0], AvailIn[0]);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = 1; B != N; ++B) {
+        DynBitset NewIn(Universe.size());
+        bool First = true;
+        for (BlockId P : Preds[B]) {
+          if (First) {
+            NewIn = AvailOut[P];
+            First = false;
+          } else {
+            NewIn &= AvailOut[P];
+          }
+        }
+        DynBitset NewOut = availTransfer(F.Blocks[B], NewIn);
+        if (!sameBits(NewIn, AvailIn[B]) || !sameBits(NewOut, AvailOut[B])) {
+          AvailIn[B] = std::move(NewIn);
+          AvailOut[B] = std::move(NewOut);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  void solveAnticipation() {
+    size_t N = F.Blocks.size();
+    AntIn.assign(N, DynBitset(Universe.size()));
+    AntOut.assign(N, DynBitset(Universe.size()));
+    // Optimistic top for the must (intersection) backward analysis;
+    // blocks ending in Ret/Trap have empty ANTOUT.
+    for (size_t B = 0; B != N; ++B)
+      if (!F.Blocks[B].successors().empty())
+        for (size_t P = 0; P != Universe.size(); ++P)
+          AntOut[B].set(P);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t BI = N; BI-- > 0;) {
+        const BasicBlock &B = F.Blocks[BI];
+        DynBitset NewOut(Universe.size());
+        std::vector<BlockId> Succs = B.successors();
+        bool First = true;
+        for (BlockId S : Succs) {
+          if (First) {
+            NewOut = AntIn[S];
+            First = false;
+          } else {
+            NewOut &= AntIn[S];
+          }
+        }
+        DynBitset NewIn = antTransfer(B, NewOut);
+        if (!sameBits(NewIn, AntIn[BI]) || !sameBits(NewOut, AntOut[BI])) {
+          AntIn[BI] = std::move(NewIn);
+          AntOut[BI] = std::move(NewOut);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  static bool sameBits(const DynBitset &A, const DynBitset &B) {
+    for (size_t I = 0; I != A.size(); ++I)
+      if (A.test(I) != B.test(I))
+        return false;
+    return true;
+  }
+
+  unsigned insert() {
+    // Collect deficient edges on the ORIGINAL CFG, then split.
+    struct EdgeInsert {
+      BlockId From, To;
+      std::vector<size_t> Paths;
+    };
+    std::vector<EdgeInsert> Work;
+    size_t N = F.Blocks.size();
+    for (BlockId U = 0; U != N; ++U) {
+      for (BlockId V : F.Blocks[U].successors()) {
+        std::vector<size_t> Needed;
+        for (size_t P = 0; P != Universe.size(); ++P)
+          if (AntIn[V].test(P) && !AvailOut[U].test(P))
+            Needed.push_back(P);
+        if (!Needed.empty())
+          Work.push_back({U, V, std::move(Needed)});
+      }
+    }
+    unsigned Inserted = 0;
+    for (const EdgeInsert &E : Work) {
+      BlockId W = static_cast<BlockId>(F.Blocks.size());
+      BasicBlock WB;
+      WB.Id = W;
+      for (size_t P : E.Paths) {
+        Instr L;
+        L.Op = Opcode::LoadMem;
+        L.Result = F.newTemp();
+        L.Path = Universe[P];
+        WB.Instrs.push_back(std::move(L));
+        ++Inserted;
+      }
+      Instr J;
+      J.Op = Opcode::Jmp;
+      J.T1 = E.To;
+      WB.Instrs.push_back(std::move(J));
+      F.Blocks.push_back(std::move(WB));
+      Instr &T = F.Blocks[E.From].Instrs.back();
+      // Redirect exactly this edge (both arms if they coincide).
+      if (T.Op == Opcode::Jmp) {
+        if (T.T1 == E.To)
+          T.T1 = W;
+      } else if (T.Op == Opcode::Br) {
+        if (T.T1 == E.To)
+          T.T1 = W;
+        if (T.T2 == E.To)
+          T.T2 = W;
+      }
+    }
+    return Inserted;
+  }
+
+  IRModule &M;
+  IRFunction &F;
+  const KillModel &Kills;
+  std::vector<MemPath> Universe;
+  std::vector<DynBitset> AvailIn, AvailOut, AntIn, AntOut;
+};
+
+} // namespace
+
+PREStats tbaa::runLoadPRE(IRModule &M, const AliasOracle &Oracle) {
+  CallGraph CG(M, *M.Types);
+  ModRefAnalysis MR(M, CG);
+  PREStats Stats;
+  for (IRFunction &F : M.Functions) {
+    KillModel Kills(M, F, Oracle, MR, CG);
+    LoadPRE PRE(M, F, Kills);
+    Stats.Inserted += PRE.run();
+    // The insertions turn partial redundancy into full redundancy; the
+    // availability CSE removes the original loads.
+    LoadCSE CSE(M, F, Kills);
+    Stats.Replaced += CSE.run();
+  }
+  M.assignStaticIds();
+  std::string Err = M.verify();
+  assert(Err.empty() && "PRE broke the IR");
+  (void)Err;
+  return Stats;
+}
+
+RLEStats tbaa::runRLE(IRModule &M, const AliasOracle &Oracle) {
+  CallGraph CG(M, *M.Types);
+  ModRefAnalysis MR(M, CG);
+  RLEStats Stats;
+  for (IRFunction &F : M.Functions) {
+    Stats.TypeTestsElided += elideRepeatedTypeTests(F);
+    KillModel Kills(M, F, Oracle, MR, CG);
+    LoadHoister Hoister(M, F, Kills);
+    Stats.Hoisted += Hoister.run();
+    LoadCSE CSE(M, F, Kills);
+    Stats.Replaced += CSE.run();
+  }
+  M.assignStaticIds();
+  std::string Err = M.verify();
+  assert(Err.empty() && "RLE broke the IR");
+  (void)Err;
+  return Stats;
+}
+
+std::vector<uint32_t> tbaa::findRemovableLoads(const IRModule &M,
+                                               const AliasOracle &Oracle) {
+  CallGraph CG(M, *M.Types);
+  ModRefAnalysis MR(M, CG);
+  std::vector<uint32_t> Result;
+  for (const IRFunction &F : M.Functions) {
+    KillModel Kills(M, F, Oracle, MR, CG);
+    LoadCSE CSE(const_cast<IRModule &>(M), const_cast<IRFunction &>(F),
+                Kills);
+    std::vector<uint32_t> Part = CSE.removableLoads();
+    Result.insert(Result.end(), Part.begin(), Part.end());
+  }
+  return Result;
+}
+
+std::vector<uint32_t>
+tbaa::findPartiallyRedundantLoads(const IRModule &M,
+                                  const AliasOracle &Oracle) {
+  CallGraph CG(M, *M.Types);
+  ModRefAnalysis MR(M, CG);
+  std::vector<uint32_t> Result;
+  for (const IRFunction &F : M.Functions) {
+    KillModel Kills(M, F, Oracle, MR, CG);
+    // May-mode never mutates; reuse the machinery on a const module.
+    LoadCSE CSE(const_cast<IRModule &>(M), const_cast<IRFunction &>(F), Kills,
+                /*MayMode=*/true);
+    CSE.run(&Result);
+  }
+  return Result;
+}

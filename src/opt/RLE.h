@@ -1,0 +1,87 @@
+//===- RLE.h - Redundant load elimination -----------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's client optimization (Section 3.4.1): loop-invariant load
+/// motion (Figure 6) plus common-subexpression elimination of memory
+/// references (Figure 7), parameterized by an alias oracle and preceded
+/// by the interprocedural mod-ref analysis.
+///
+///  * Hoisting moves a load into the loop preheader when its access path
+///    is invariant (nothing in the loop may write the named location or
+///    the root/index variables) and the load is executed on every trip
+///    through the loop (its block dominates every exiting block -- the
+///    condition that keeps hoisting trap-faithful).
+///  * CSE replaces a load whose path is available on every incoming path
+///    by a register (stack cell) reference; stores forward their value.
+///
+/// RLE is lexical over access paths; like the paper's optimizer it does
+/// no copy propagation, so value-equal paths spelled through different
+/// shadow roots stay redundant at run time ("Breakup" in Figure 10). Run
+/// propagateCopies() first to quantify that design choice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_OPT_RLE_H
+#define TBAA_OPT_RLE_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "core/AliasOracle.h"
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace tbaa {
+
+struct RLEStats {
+  unsigned Hoisted = 0;  ///< Loads moved to loop preheaders.
+  unsigned Replaced = 0; ///< Loads replaced by register references.
+  /// Repeated NARROW/ISTYPE tests of the same value elided (an object's
+  /// dynamic type never changes, so this needs no alias information and
+  /// is not part of the Table 6 load counts).
+  unsigned TypeTestsElided = 0;
+
+  unsigned total() const { return Hoisted + Replaced; }
+};
+
+/// Runs RLE over every function of \p M under \p Oracle. Rebuilds static
+/// instruction ids before returning.
+RLEStats runRLE(IRModule &M, const AliasOracle &Oracle);
+
+/// Static ids of loads that are partially (may on some path, not on all)
+/// redundant in the current IR -- the loads partial redundancy
+/// elimination would catch (the "Conditional" category of Figure 10).
+/// Run after runRLE on the IR that will execute.
+std::vector<uint32_t> findPartiallyRedundantLoads(const IRModule &M,
+                                                  const AliasOracle &Oracle);
+
+/// Static ids of loads RLE under \p Oracle would remove from the current
+/// IR, without transforming it. Running this with the Perfect oracle on
+/// TBAA-optimized IR bounds what a more precise alias analysis could
+/// still give RLE (the "alias failure" probe of Section 3.5).
+std::vector<uint32_t> findRemovableLoads(const IRModule &M,
+                                         const AliasOracle &Oracle);
+
+struct PREStats {
+  unsigned Inserted = 0; ///< Loads placed on deficient edges.
+  unsigned Replaced = 0; ///< Loads the follow-up CSE then removed.
+};
+
+/// Partial redundancy elimination of memory loads -- the paper's stated
+/// future work ("We plan to implement and evaluate partial redundancy
+/// elimination of memory expressions"): a load of path P is inserted on
+/// every edge (U,V) where P is anticipated at V (loaded on every path
+/// onward before being killed) but not available out of U; the now fully
+/// redundant original loads are then removed by the availability CSE.
+/// Anticipation keeps the insertion trap-faithful and non-speculative:
+/// an inserted load only runs where the original program was about to
+/// load the same path anyway. Run after runRLE.
+PREStats runLoadPRE(IRModule &M, const AliasOracle &Oracle);
+
+} // namespace tbaa
+
+#endif // TBAA_OPT_RLE_H

@@ -1,0 +1,40 @@
+//===- CacheSim.cpp -------------------------------------------------------===//
+
+#include "sim/CacheSim.h"
+
+#include <cassert>
+
+using namespace tbaa;
+
+DirectMappedCache::DirectMappedCache(CacheConfig Config) : Config(Config) {
+  assert(Config.LineBytes && Config.SizeBytes % Config.LineBytes == 0 &&
+         "cache size must be a multiple of the line size");
+  NumLines = Config.SizeBytes / Config.LineBytes;
+  Tags.assign(NumLines, 0);
+}
+
+bool DirectMappedCache::access(uint64_t Addr) {
+  uint64_t Line = Addr / Config.LineBytes;
+  uint32_t Index = static_cast<uint32_t>(Line % NumLines);
+  uint64_t Tag = Line + 1;
+  if (Tags[Index] == Tag) {
+    ++Hits;
+    return true;
+  }
+  Tags[Index] = Tag;
+  ++Misses;
+  return false;
+}
+
+TimingSimulator::TimingSimulator(TimingConfig Config)
+    : Config(Config), Cache(Config.Cache) {}
+
+void TimingSimulator::onLoad(const LoadEvent &E) {
+  ExtraCycles +=
+      Cache.access(E.Addr) ? Config.LoadHitCycles : Config.LoadMissCycles;
+}
+
+void TimingSimulator::onStore(const StoreEvent &E) {
+  if (!Cache.access(E.Addr))
+    ExtraCycles += Config.StoreMissCycles;
+}

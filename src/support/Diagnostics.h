@@ -1,0 +1,66 @@
+//===- Diagnostics.h - Error reporting for the M3L pipeline -----*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic sink shared by the lexer, parser and
+/// semantic checker. The pipeline never throws; stages report through a
+/// DiagnosticEngine and callers test hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_DIAGNOSTICS_H
+#define TBAA_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+/// A 1-based line/column position in an M3L source buffer.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// A single reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one source buffer.
+///
+/// All front-end stages share one engine so errors appear in source order
+/// per stage. Errors are sticky: once an error is reported, hasErrors()
+/// stays true.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic as "line:col: kind: message\n".
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,96 @@
+//===- DynBitset.h - Small dense bitset -------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-universe dense bitset. TBAA's type-compatibility tests are
+/// intersections of Subtypes/TypeRefs sets (Sections 2.2 and 2.4), and the
+/// paper's complexity argument counts "bit-vector steps" -- this is that
+/// bit vector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_DYNBITSET_H
+#define TBAA_SUPPORT_DYNBITSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace tbaa {
+
+class DynBitset {
+public:
+  DynBitset() = default;
+  explicit DynBitset(size_t Size) : NumBits(Size), Words((Size + 63) / 64) {}
+
+  size_t size() const { return NumBits; }
+
+  void set(size_t I) {
+    assert(I < NumBits);
+    Words[I / 64] |= (1ull << (I % 64));
+  }
+  void reset(size_t I) {
+    assert(I < NumBits);
+    Words[I / 64] &= ~(1ull << (I % 64));
+  }
+  bool test(size_t I) const {
+    assert(I < NumBits);
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  /// Whether the two sets share any element.
+  bool intersects(const DynBitset &Other) const {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    for (size_t W = 0; W != Words.size(); ++W)
+      if (Words[W] & Other.Words[W])
+        return true;
+    return false;
+  }
+
+  DynBitset &operator|=(const DynBitset &Other) {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    for (size_t W = 0; W != Words.size(); ++W)
+      Words[W] |= Other.Words[W];
+    return *this;
+  }
+  DynBitset &operator&=(const DynBitset &Other) {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    for (size_t W = 0; W != Words.size(); ++W)
+      Words[W] &= Other.Words[W];
+    return *this;
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  /// Elements as indices, ascending.
+  std::vector<uint32_t> elements() const {
+    std::vector<uint32_t> R;
+    for (size_t I = 0; I != NumBits; ++I)
+      if (test(I))
+        R.push_back(static_cast<uint32_t>(I));
+    return R;
+  }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SUPPORT_DYNBITSET_H

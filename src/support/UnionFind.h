@@ -1,0 +1,80 @@
+//===- UnionFind.h - Disjoint-set forest ------------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disjoint-set forest with union by rank and path compression. Used by
+/// SMTypeRefs (Figure 2 of the paper) to maintain the Group partition of
+/// pointer types, and by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_UNIONFIND_H
+#define TBAA_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace tbaa {
+
+/// Disjoint-set forest over the dense integer universe [0, size).
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(size_t Size) { grow(Size); }
+
+  /// Extends the universe to \p Size elements, each new element alone in
+  /// its own set.
+  void grow(size_t Size) {
+    size_t Old = Parent.size();
+    if (Size <= Old)
+      return;
+    Parent.resize(Size);
+    Rank.resize(Size, 0);
+    std::iota(Parent.begin() + Old, Parent.end(), static_cast<uint32_t>(Old));
+  }
+
+  size_t size() const { return Parent.size(); }
+
+  /// Returns the canonical representative of \p X's set.
+  uint32_t find(uint32_t X) const {
+    assert(X < Parent.size() && "element out of range");
+    uint32_t Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    // Path compression.
+    while (Parent[X] != Root) {
+      uint32_t Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the sets of \p A and \p B; returns the surviving root.
+  uint32_t unite(uint32_t A, uint32_t B) {
+    uint32_t RA = find(A), RB = find(B);
+    if (RA == RB)
+      return RA;
+    if (Rank[RA] < Rank[RB])
+      std::swap(RA, RB);
+    Parent[RB] = RA;
+    if (Rank[RA] == Rank[RB])
+      ++Rank[RA];
+    return RA;
+  }
+
+  bool connected(uint32_t A, uint32_t B) const { return find(A) == find(B); }
+
+private:
+  mutable std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SUPPORT_UNIONFIND_H

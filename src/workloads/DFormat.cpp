@@ -1,0 +1,242 @@
+//===- DFormat.cpp - "dformat": justifying paragraph formatter ------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "dformat": a second formatter, this one
+// paragraph-aware with full right-justification. Uses RECORD spans, fixed
+// arrays, WITH aliases and a VAR-parameter gap distributor, so the
+// AddressTaken machinery (Table 2 cases 3/4) is live on this workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::DFormat = R"M3L(
+MODULE DFormat;
+
+TYPE
+  CharBuf = ARRAY OF INTEGER;
+  GapBuf = ARRAY [0..19] OF INTEGER;
+  Span = RECORD
+    start, len: INTEGER;
+  END;
+  SpanBuf = ARRAY OF Span;
+  Line = OBJECT
+    text: CharBuf;
+    used: INTEGER;
+    next: Line;
+  END;
+  Para = OBJECT
+    firstLine, lastLine: Line;
+    lineCount: INTEGER;
+    next: Para;
+  END;
+
+VAR
+  seed: INTEGER := 98765;
+  input: CharBuf;
+  inputLen: INTEGER;
+  width: INTEGER := 64;
+  paras: Para;
+  lastPara: Para;
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 69069 + 1) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+(* 0 terminates a paragraph, 32 separates words. *)
+PROCEDURE BuildInput (n: INTEGER) =
+VAR i, w, len: INTEGER;
+BEGIN
+  input := NEW(CharBuf, n);
+  i := 0;
+  WHILE i < n DO
+    len := 1 + NextRand(11);
+    w := 0;
+    WHILE w < len AND i < n DO
+      input[i] := 97 + NextRand(26);
+      i := i + 1;
+      w := w + 1;
+    END;
+    IF i < n THEN
+      IF NextRand(14) = 0 THEN
+        input[i] := 0;
+      ELSE
+        input[i] := 32;
+      END;
+      i := i + 1;
+    END;
+  END;
+  inputLen := n;
+END BuildInput;
+
+PROCEDURE NewPara (): Para =
+VAR p: Para;
+BEGIN
+  p := NEW(Para);
+  p.firstLine := NIL;
+  p.lastLine := NIL;
+  p.lineCount := 0;
+  p.next := NIL;
+  IF paras = NIL THEN
+    paras := p;
+  ELSE
+    lastPara.next := p;
+  END;
+  lastPara := p;
+  RETURN p;
+END NewPara;
+
+PROCEDURE EmitLine (p: Para; words: SpanBuf; count, slack: INTEGER;
+                    justify: BOOLEAN) =
+VAR l: Line; pos: INTEGER; gaps: GapBuf;
+BEGIN
+  l := NEW(Line);
+  l.text := NEW(CharBuf, width);
+  l.used := 0;
+  l.next := NIL;
+  IF count > 1 THEN
+    Distribute(slack, count - 1, gaps);
+  ELSE
+    gaps := NEW(GapBuf);
+  END;
+  pos := 0;
+  FOR w := 0 TO count - 1 DO
+    WITH sp = words[w] DO
+      FOR k := 0 TO sp.len - 1 DO
+        l.text[pos] := input[sp.start + k];
+        pos := pos + 1;
+      END;
+    END;
+    IF w < count - 1 THEN
+      l.text[pos] := 32;
+      pos := pos + 1;
+      IF justify AND w < 20 THEN
+        FOR g := 1 TO gaps[w] DO
+          l.text[pos] := 32;
+          pos := pos + 1;
+        END;
+      END;
+    END;
+  END;
+  l.used := pos;
+  IF p.firstLine = NIL THEN
+    p.firstLine := l;
+  ELSE
+    p.lastLine.next := l;
+  END;
+  p.lastLine := l;
+  p.lineCount := p.lineCount + 1;
+END EmitLine;
+
+(* Spreads slack spaces over the first `gaps` entries of `out`. *)
+PROCEDURE Distribute (slack, gapCount: INTEGER; VAR out: GapBuf) =
+VAR base, extra: INTEGER;
+BEGIN
+  out := NEW(GapBuf);
+  IF gapCount <= 0 THEN
+    RETURN;
+  END;
+  base := slack DIV gapCount;
+  extra := slack MOD gapCount;
+  FOR g := 0 TO gapCount - 1 DO
+    IF g < 20 THEN
+      out[g] := base;
+      IF g < extra THEN
+        out[g] := out[g] + 1;
+      END;
+    END;
+  END;
+END Distribute;
+
+PROCEDURE FormatPara (start, limit: INTEGER): INTEGER =
+VAR
+  p: Para;
+  words: SpanBuf;
+  count, lineLen, i, s: INTEGER;
+BEGIN
+  p := NewPara();
+  words := NEW(SpanBuf, 20);
+  FOR w := 0 TO 19 DO
+    words[w] := NEW(Span);
+  END;
+  count := 0;
+  lineLen := 0;
+  i := start;
+  WHILE i < limit DO
+    WHILE i < limit AND input[i] = 32 DO
+      i := i + 1;
+    END;
+    s := i;
+    WHILE i < limit AND input[i] # 32 DO
+      i := i + 1;
+    END;
+    IF i > s THEN
+      IF count = 20 OR (count > 0 AND lineLen + (i - s) + 1 > width) THEN
+        EmitLine(p, words, count, width - lineLen, TRUE);
+        count := 0;
+        lineLen := 0;
+      END;
+      words[count].start := s;
+      words[count].len := i - s;
+      IF count > 0 THEN
+        lineLen := lineLen + 1;
+      END;
+      lineLen := lineLen + (i - s);
+      count := count + 1;
+    END;
+  END;
+  IF count > 0 THEN
+    EmitLine(p, words, count, 0, FALSE); (* last line ragged *)
+  END;
+  RETURN p.lineCount;
+END FormatPara;
+
+PROCEDURE FormatAll (): INTEGER =
+VAR i, start, total: INTEGER;
+BEGIN
+  total := 0;
+  i := 0;
+  start := 0;
+  WHILE i < inputLen DO
+    IF input[i] = 0 THEN
+      total := total + FormatPara(start, i);
+      start := i + 1;
+    END;
+    i := i + 1;
+  END;
+  total := total + FormatPara(start, inputLen);
+  RETURN total;
+END FormatAll;
+
+PROCEDURE Checksum (): INTEGER =
+VAR p: Para; l: Line; s: INTEGER;
+BEGIN
+  s := 0;
+  p := paras;
+  WHILE p # NIL DO
+    l := p.firstLine;
+    WHILE l # NIL DO
+      FOR k := 0 TO l.used - 1 DO
+        s := (s * 33 + l.text[k]) MOD 1000000007;
+      END;
+      l := l.next;
+    END;
+    s := (s + p.lineCount) MOD 1000000007;
+    p := p.next;
+  END;
+  RETURN s;
+END Checksum;
+
+PROCEDURE Main (): INTEGER =
+VAR lines: INTEGER;
+BEGIN
+  BuildInput(8000);
+  lines := FormatAll();
+  RETURN (Checksum() + lines * 7) MOD 1000000007;
+END Main;
+
+END DFormat.
+)M3L";

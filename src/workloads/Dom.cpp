@@ -1,0 +1,193 @@
+//===- Dom.cpp - "dom": distributed-object messaging substrate ------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "dom" (Nayeri et al.: "System for building
+// distributed applications"): objects register with a broker under
+// interface ids, messages route through proxy chains with per-interface
+// dispatch, and delivery queues drain in rounds. The paper reports only
+// static data for dom (it was interactive); we mirror that: the program
+// runs (for tests), but the dynamic benches skip it like the paper does.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::Dom = R"M3L(
+MODULE Dom;
+
+TYPE
+  Msg = OBJECT
+    kind: INTEGER;
+    payload: INTEGER;
+    hops: INTEGER;
+    next: Msg; (* intrusive queue link *)
+  END;
+  Endpoint = OBJECT
+    id: INTEGER;
+    received: INTEGER;
+    acc: INTEGER;
+    METHODS
+      deliver (m: Msg) := DeliverPlain;
+  END;
+  Logger = Endpoint OBJECT
+    logCount: INTEGER;
+  OVERRIDES
+    deliver := DeliverLogged;
+  END;
+  Proxy = Endpoint OBJECT
+    target: Endpoint;
+  OVERRIDES
+    deliver := DeliverForward;
+  END;
+  EndpointBuf = ARRAY OF Endpoint;
+  Broker = OBJECT
+    table: EndpointBuf;
+    count: INTEGER;
+    qHead, qTail: Msg;
+    delivered: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER := 600613;
+  broker: Broker;
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+PROCEDURE DeliverPlain (self: Endpoint; m: Msg) =
+BEGIN
+  self.received := self.received + 1;
+  self.acc := (self.acc * 31 + m.payload) MOD 1000000007;
+END DeliverPlain;
+
+PROCEDURE DeliverLogged (self: Endpoint; m: Msg) =
+BEGIN
+  DeliverPlain(self, m);
+  LogHit(self);
+END DeliverLogged;
+
+VAR logTotal: INTEGER;
+PROCEDURE LogHit (self: Endpoint) =
+BEGIN
+  logTotal := logTotal + 1;
+END LogHit;
+
+PROCEDURE DeliverForward (self: Endpoint; m: Msg) =
+BEGIN
+  m.hops := m.hops + 1;
+  IF m.hops < 8 THEN
+    ForwardTo(self, m);
+  END;
+END DeliverForward;
+
+(* Forwarding goes through a projection table, as M3L has no downcasts. *)
+VAR proxyTargets: EndpointBuf;
+PROCEDURE ForwardTo (self: Endpoint; m: Msg) =
+BEGIN
+  IF proxyTargets[self.id] # NIL THEN
+    proxyTargets[self.id].deliver(m);
+  END;
+END ForwardTo;
+
+PROCEDURE NewBroker (cap: INTEGER): Broker =
+VAR b: Broker;
+BEGIN
+  b := NEW(Broker);
+  b.table := NEW(EndpointBuf, cap);
+  b.count := 0;
+  b.qHead := NIL;
+  b.qTail := NIL;
+  b.delivered := 0;
+  RETURN b;
+END NewBroker;
+
+PROCEDURE Register (b: Broker; e: Endpoint) =
+BEGIN
+  e.id := b.count;
+  b.table[b.count] := e;
+  b.count := b.count + 1;
+END Register;
+
+PROCEDURE Enqueue (b: Broker; kind, payload: INTEGER) =
+VAR m: Msg;
+BEGIN
+  m := NEW(Msg);
+  m.kind := kind;
+  m.payload := payload;
+  m.hops := 0;
+  m.next := NIL;
+  IF b.qHead = NIL THEN
+    b.qHead := m;
+  ELSE
+    b.qTail.next := m;
+  END;
+  b.qTail := m;
+END Enqueue;
+
+PROCEDURE Drain (b: Broker): INTEGER =
+VAR m: Msg; slot: INTEGER;
+BEGIN
+  WHILE b.qHead # NIL DO
+    m := b.qHead;
+    b.qHead := m.next;
+    IF b.qHead = NIL THEN
+      b.qTail := NIL;
+    END;
+    slot := m.kind MOD b.count;
+    b.table[slot].deliver(m);
+    b.delivered := b.delivered + 1;
+  END;
+  RETURN b.delivered;
+END Drain;
+
+PROCEDURE Checksum (b: Broker): INTEGER =
+VAR s: INTEGER; e: Endpoint;
+BEGIN
+  s := 0;
+  FOR i := 0 TO b.count - 1 DO
+    e := b.table[i];
+    s := (s + e.received * 13 + e.acc) MOD 1000000007;
+  END;
+  RETURN s;
+END Checksum;
+
+PROCEDURE Main (): INTEGER =
+VAR ep: Endpoint; lg: Logger; px: Proxy; rounds: INTEGER;
+BEGIN
+  broker := NewBroker(64);
+  proxyTargets := NEW(EndpointBuf, 64);
+  FOR k := 0 TO 15 DO
+    IF k MOD 4 = 3 THEN
+      lg := NEW(Logger);
+      Register(broker, lg);
+    ELSIF k MOD 4 = 2 THEN
+      px := NEW(Proxy);
+      Register(broker, px);
+    ELSE
+      ep := NEW(Endpoint);
+      Register(broker, ep);
+    END;
+  END;
+  (* Wire each proxy to the endpoint after it (mod count). *)
+  FOR k := 0 TO broker.count - 1 DO
+    proxyTargets[k] := broker.table[(k + 1) MOD broker.count];
+  END;
+  rounds := 0;
+  WHILE rounds < 40 DO
+    FOR n := 1 TO 50 DO
+      Enqueue(broker, NextRand(1000), NextRand(100000));
+    END;
+    rounds := rounds + 1;
+    IF Drain(broker) < 0 THEN
+      RETURN -1;
+    END;
+  END;
+  RETURN (Checksum(broker) + logTotal * 7) MOD 1000000007;
+END Main;
+
+END Dom.
+)M3L";

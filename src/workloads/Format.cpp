@@ -1,0 +1,204 @@
+//===- Format.cpp - "format": greedy text formatter -----------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "format" benchmark (Liskov & Guttag's text
+// formatter): pseudo-random words are wrapped greedily into fixed-width
+// lines held in a linked list of heap buffers. Exercises open arrays
+// (dope-vector loads), linked objects, and invariant field loads in
+// inner loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::Format = R"M3L(
+MODULE Format;
+
+TYPE
+  CharBuf = ARRAY OF INTEGER;
+  Line = OBJECT
+    chars: CharBuf;
+    len: INTEGER;
+    next: Line;
+  END;
+  Doc = OBJECT
+    first, last: Line;
+    lineCount: INTEGER;
+    width: INTEGER;
+  END;
+  (* Titles subtype Line but are never assigned into Line variables, so
+     selective type merging (SMFieldTypeRefs) can separate Title.len from
+     Line.len while FieldTypeDecl cannot. *)
+  Title = Line OBJECT
+    level: INTEGER;
+    nextTitle: Title;
+  END;
+
+VAR
+  seed: INTEGER := 12345;
+  input: CharBuf;
+  inputLen: INTEGER;
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+PROCEDURE BuildInput (n: INTEGER) =
+VAR i, w, len: INTEGER;
+BEGIN
+  input := NEW(CharBuf, n);
+  i := 0;
+  WHILE i < n DO
+    len := 2 + NextRand(9);
+    w := 0;
+    WHILE w < len AND i < n DO
+      input[i] := 97 + NextRand(26);
+      i := i + 1;
+      w := w + 1;
+    END;
+    IF i < n THEN
+      input[i] := 32;
+      i := i + 1;
+    END;
+  END;
+  inputLen := n;
+END BuildInput;
+
+PROCEDURE NewDoc (width: INTEGER): Doc =
+VAR d: Doc;
+BEGIN
+  d := NEW(Doc);
+  d.width := width;
+  d.first := NIL;
+  d.last := NIL;
+  d.lineCount := 0;
+  RETURN d;
+END NewDoc;
+
+PROCEDURE AddLine (d: Doc): Line =
+VAR l: Line;
+BEGIN
+  l := NEW(Line);
+  l.chars := NEW(CharBuf, d.width);
+  l.len := 0;
+  l.next := NIL;
+  IF d.first = NIL THEN
+    d.first := l;
+  ELSE
+    d.last.next := l;
+  END;
+  d.last := l;
+  d.lineCount := d.lineCount + 1;
+  RETURN l;
+END AddLine;
+
+PROCEDURE AppendWord (d: Doc; start, len: INTEGER) =
+VAR l: Line; i: INTEGER;
+BEGIN
+  l := d.last;
+  IF l = NIL THEN
+    l := AddLine(d);
+  END;
+  IF l.len + len + 1 > d.width THEN
+    l := AddLine(d);
+  END;
+  IF l.len > 0 THEN
+    l.chars[l.len] := 32;
+    l.len := l.len + 1;
+  END;
+  i := 0;
+  WHILE i < len DO
+    l.chars[l.len] := input[start + i];
+    l.len := l.len + 1;
+    i := i + 1;
+  END;
+END AppendWord;
+
+PROCEDURE FormatDoc (d: Doc) =
+VAR i, start, len: INTEGER;
+BEGIN
+  i := 0;
+  WHILE i < inputLen DO
+    WHILE i < inputLen AND input[i] = 32 DO
+      i := i + 1;
+    END;
+    start := i;
+    WHILE i < inputLen AND input[i] # 32 DO
+      i := i + 1;
+    END;
+    len := i - start;
+    IF len > 0 THEN
+      AppendWord(d, start, len);
+    END;
+  END;
+END FormatDoc;
+
+PROCEDURE Checksum (d: Doc): INTEGER =
+VAR l: Line; s: INTEGER;
+BEGIN
+  s := 0;
+  l := d.first;
+  WHILE l # NIL DO
+    FOR k := 0 TO l.len - 1 DO
+      s := (s * 31 + l.chars[k]) MOD 1000000007;
+    END;
+    s := (s + l.len) MOD 1000000007;
+    l := l.next;
+  END;
+  RETURN (s + d.lineCount * 1000) MOD 1000000007;
+END Checksum;
+
+VAR titles: Title;
+
+PROCEDURE BuildTitles (count: INTEGER) =
+VAR t: Title;
+BEGIN
+  titles := NIL;
+  FOR n := 1 TO count DO
+    t := NEW(Title);
+    t.chars := NEW(CharBuf, 16);
+    t.len := 4 + NextRand(12);
+    t.level := 1 + n MOD 3;
+    FOR k := 0 TO t.len - 1 DO
+      t.chars[k] := 65 + NextRand(26);
+    END;
+    t.nextTitle := titles;
+    titles := t;
+  END;
+END BuildTitles;
+
+PROCEDURE TitleChecksum (): INTEGER =
+VAR t: Title; s: INTEGER;
+BEGIN
+  s := 0;
+  t := titles;
+  WHILE t # NIL DO
+    FOR k := 0 TO t.len - 1 DO
+      s := (s * 37 + t.chars[k] + t.level) MOD 1000000007;
+    END;
+    t := t.nextTitle;
+  END;
+  RETURN s;
+END TitleChecksum;
+
+PROCEDURE Main (): INTEGER =
+VAR d: Doc; total: INTEGER;
+BEGIN
+  total := 0;
+  BuildInput(9000);
+  BuildTitles(40);
+  total := TitleChecksum();
+  d := NewDoc(60);
+  FormatDoc(d);
+  total := (total + Checksum(d)) MOD 1000000007;
+  d := NewDoc(38);
+  FormatDoc(d);
+  total := (total + Checksum(d)) MOD 1000000007;
+  RETURN total;
+END Main;
+
+END Format.
+)M3L";

@@ -1,0 +1,322 @@
+//===- Generator.cpp ------------------------------------------------------===//
+
+#include "workloads/Generator.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace tbaa;
+
+namespace {
+
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(const GeneratorOptions &Opts) : Opts(Opts) {
+    State = Opts.Seed * 6364136223846793005ull + 1442695040888963407ull;
+  }
+
+  std::string run();
+
+private:
+  uint64_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 17;
+  }
+  unsigned pick(unsigned N) { return static_cast<unsigned>(next() % N); }
+
+  void stmt(unsigned Depth);
+  std::string intExpr(unsigned Depth);
+  std::string intDesignator();
+  std::string objVar() {
+    static const char *Objs[] = {"o0", "o1", "o2", "o3"};
+    return Objs[pick(4)];
+  }
+  void line(const std::string &S) {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+    OS << S << "\n";
+  }
+
+  const GeneratorOptions &Opts;
+  uint64_t State;
+  std::ostringstream OS;
+  unsigned Indent = 1;
+  unsigned Budget = 0;
+  unsigned LocalCounter = 0;
+  unsigned RepeatCounter = 0;
+  unsigned ProcIndex = 0;
+};
+
+std::string ProgramGenerator::intDesignator() {
+  switch (pick(8)) {
+  case 0:
+    return "i0";
+  case 1:
+    return "i1";
+  case 2:
+    return objVar() + ".f0";
+  case 3:
+    return objVar() + ".f1";
+  case 4:
+    return "o1.g0";
+  case 5:
+    return "r0.a";
+  case 6:
+    return "a0[" + intExpr(0) + " MOD 16]";
+  default:
+    return "fx[" + intExpr(0) + " MOD 16]";
+  }
+}
+
+std::string ProgramGenerator::intExpr(unsigned Depth) {
+  if (Depth == 0 || pick(3) == 0) {
+    switch (pick(7)) {
+    case 0:
+      return std::to_string(pick(100));
+    case 1:
+      return "i0";
+    case 2:
+      return "i1";
+    case 3:
+      return objVar() + ".f0";
+    case 4:
+      return "r0.b";
+    case 5:
+      return "a1[" + std::to_string(pick(16)) + "]";
+    default:
+      return "NUMBER(a0)";
+    }
+  }
+  std::string L = intExpr(Depth - 1), R = intExpr(Depth - 1);
+  switch (pick(4)) {
+  case 0:
+    return "(" + L + " + " + R + ")";
+  case 1:
+    return "(" + L + " - " + R + ")";
+  case 2:
+    return "(" + L + " * " + R + ") MOD 10007";
+  default:
+    return "(" + L + " DIV " + std::to_string(2 + pick(9)) + ")";
+  }
+}
+
+void ProgramGenerator::stmt(unsigned Depth) {
+  if (Budget == 0)
+    return;
+  --Budget;
+  switch (pick(Depth > 0 ? 14 : 8)) {
+  case 0:
+  case 1:
+    line(intDesignator() + " := " + intExpr(2) + ";");
+    return;
+  case 2:
+    line("a0[" + intExpr(1) + " MOD 16] := " + intExpr(1) + ";");
+    return;
+  case 3: {
+    // Reference shuffles keep every global non-NIL.
+    switch (pick(4)) {
+    case 0:
+      line("o0.nxt := o1;");
+      return;
+    case 1:
+      line("o0 := NEW(T0);");
+      return;
+    case 2:
+      line("o3 := NEW(T1);"); // implicit subtype assignment (merge)
+      return;
+    default:
+      line("o2.nxt := o2;");
+      return;
+    }
+  }
+  case 4:
+    line("i1 := Helper(" + objVar() + ", i0);");
+    return;
+  case 5:
+    line("Bump(" + intDesignator() + ");");
+    return;
+  case 6:
+    line("WITH w = " + objVar() + ".f1 DO");
+    ++Indent;
+    line("w := w + " + intExpr(1) + ";");
+    --Indent;
+    line("END;");
+    return;
+  case 7:
+    line("i0 := (" + intExpr(2) + ") MOD 4096;");
+    return;
+  case 8: {
+    line("IF " + intExpr(1) + " < " + intExpr(1) + " THEN");
+    ++Indent;
+    stmt(Depth - 1);
+    stmt(Depth - 1);
+    --Indent;
+    if (pick(2)) {
+      line("ELSE");
+      ++Indent;
+      stmt(Depth - 1);
+      --Indent;
+    }
+    line("END;");
+    return;
+  }
+  case 9: {
+    std::string V = "k" + std::to_string(LocalCounter++);
+    line("FOR " + V + " := 0 TO " + std::to_string(2 + pick(6)) + " DO");
+    ++Indent;
+    stmt(Depth - 1);
+    stmt(Depth - 1);
+    --Indent;
+    line("END;");
+    return;
+  }
+  case 10: {
+    line("i2 := " + std::to_string(1 + pick(5)) + ";");
+    line("WHILE i2 > 0 DO");
+    ++Indent;
+    stmt(Depth - 1);
+    line("i2 := i2 - 1;");
+    --Indent;
+    line("END;");
+    return;
+  }
+  case 12: {
+    // Guarded downcast: nxt fields hold T0/T1/T2 instances; the ISTYPE
+    // guard keeps the NARROW trap-free.
+    line("IF ISTYPE(" + objVar() + ".nxt, T1) THEN");
+    ++Indent;
+    line("i1 := (NARROW(o0.nxt, T1).f0 + " + intExpr(1) + ") MOD 4096;");
+    --Indent;
+    line("END;");
+    return;
+  }
+  case 13: {
+    std::string V = "tc" + std::to_string(LocalCounter++);
+    // The subject must be T0-typed so both arms are subtypes.
+    line(std::string("TYPECASE ") + (pick(2) ? "o0" : "o3") + " OF");
+    line("  T1 (" + V + ") =>");
+    ++Indent;
+    line("  " + V + ".g0 := " + intExpr(1) + ";");
+    --Indent;
+    line("| T2 =>");
+    ++Indent;
+    line("  i0 := (i0 + 1) MOD 4096;");
+    --Indent;
+    line("ELSE");
+    ++Indent;
+    line("  " + intDesignator() + " := " + intExpr(1) + ";");
+    --Indent;
+    line("END;");
+    return;
+  }
+  default: {
+    // Each REPEAT gets a private bounded counter from the r-pool so that
+    // nested repeats cannot livelock each other.
+    if (RepeatCounter >= 10) {
+      line(intDesignator() + " := " + intExpr(1) + ";");
+      return;
+    }
+    std::string R = "rp" + std::to_string(RepeatCounter++);
+    line(R + " := 0;");
+    line("REPEAT");
+    ++Indent;
+    stmt(Depth - 1);
+    line(R + " := " + R + " + 1;");
+    --Indent;
+    line("UNTIL " + R + " >= " + std::to_string(2 + pick(5)) + ";");
+    return;
+  }
+  }
+}
+
+std::string ProgramGenerator::run() {
+  OS << "MODULE Gen;\n\n";
+  OS << "TYPE\n";
+  OS << "  Buf = ARRAY OF INTEGER;\n";
+  OS << "  Fix = ARRAY [0..15] OF INTEGER;\n";
+  OS << "  T0 = OBJECT f0, f1: INTEGER; nxt: T0; END;\n";
+  OS << "  T1 = T0 OBJECT g0: INTEGER; END;\n";
+  OS << "  T2 = T0 OBJECT h0: INTEGER; END;\n";
+  OS << "  R0 = RECORD a, b: INTEGER; END;\n\n";
+  OS << "VAR\n";
+  OS << "  o0, o3: T0;\n";
+  OS << "  o1: T1;\n";
+  OS << "  o2: T2;\n";
+  OS << "  r0: R0;\n";
+  OS << "  a0, a1: Buf;\n";
+  OS << "  fx: Fix;\n";
+  OS << "  i0, i1, i2, i3: INTEGER;\n\n";
+
+  OS << "PROCEDURE Init () =\n";
+  OS << "BEGIN\n";
+  OS << "  o0 := NEW(T0);\n";
+  OS << "  o1 := NEW(T1);\n";
+  OS << "  o2 := NEW(T2);\n";
+  OS << "  o3 := NEW(T1);\n";
+  OS << "  o0.nxt := o1;\n";
+  OS << "  o1.nxt := o2;\n";
+  OS << "  o2.nxt := o0;\n";
+  OS << "  r0 := NEW(R0);\n";
+  OS << "  a0 := NEW(Buf, 16);\n";
+  OS << "  a1 := NEW(Buf, 16);\n";
+  OS << "  fx := NEW(Fix);\n";
+  OS << "  FOR k := 0 TO 15 DO\n";
+  OS << "    a0[k] := k * 3;\n";
+  OS << "    a1[k] := k * 5 + 1;\n";
+  OS << "    fx[k] := k;\n";
+  OS << "  END;\n";
+  OS << "  i0 := 7;\n";
+  OS << "  i1 := 11;\n";
+  OS << "END Init;\n\n";
+
+  OS << "PROCEDURE Helper (p: T0; base: INTEGER): INTEGER =\n";
+  OS << "BEGIN\n";
+  OS << "  RETURN (p.f0 + p.f1 + base) MOD 100003;\n";
+  OS << "END Helper;\n\n";
+
+  OS << "PROCEDURE Bump (VAR x: INTEGER) =\n";
+  OS << "BEGIN\n";
+  OS << "  x := (x + 1) MOD 100003;\n";
+  OS << "END Bump;\n\n";
+
+  unsigned PerProc = Opts.StatementBudget / (Opts.NumProcs ? Opts.NumProcs : 1);
+  for (unsigned P = 0; P != Opts.NumProcs; ++P) {
+    ProcIndex = P;
+    LocalCounter = 0;
+    RepeatCounter = 0;
+    OS << "PROCEDURE Gen" << P << " (): INTEGER =\n";
+    OS << "VAR rp0, rp1, rp2, rp3, rp4, rp5, rp6, rp7, rp8, rp9: INTEGER;\n";
+    OS << "BEGIN\n";
+    Budget = PerProc;
+    Indent = 1;
+    while (Budget > 0)
+      stmt(2);
+    OS << "  RETURN (i0 + i1 + o0.f0 + o1.g0 + r0.a + a0[3]) MOD "
+          "1000000007;\n";
+    OS << "END Gen" << P << ";\n\n";
+  }
+
+  OS << "PROCEDURE Main (): INTEGER =\n";
+  OS << "VAR sum: INTEGER;\n";
+  OS << "BEGIN\n";
+  OS << "  Init();\n";
+  OS << "  sum := 0;\n";
+  OS << "  FOR round := 1 TO 3 DO\n";
+  for (unsigned P = 0; P != Opts.NumProcs; ++P)
+    OS << "    sum := (sum + Gen" << P << "()) MOD 1000000007;\n";
+  OS << "  END;\n";
+  OS << "  FOR k := 0 TO 15 DO\n";
+  OS << "    sum := (sum * 31 + a0[k] + fx[k]) MOD 1000000007;\n";
+  OS << "  END;\n";
+  OS << "  RETURN sum;\n";
+  OS << "END Main;\n\n";
+  OS << "END Gen.\n";
+  return OS.str();
+}
+
+} // namespace
+
+std::string tbaa::generateProgram(const GeneratorOptions &Opts) {
+  ProgramGenerator G(Opts);
+  return G.run();
+}

@@ -1,0 +1,45 @@
+//===- Generator.h - Random well-typed M3L programs -------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of well-typed, trap-free M3L programs over a
+/// fixed type shelf (an object hierarchy, records, open and fixed
+/// arrays). Used by
+///
+///  * property tests: RLE at every alias level must preserve the
+///    checksum of arbitrary programs, and dynamically observed aliases
+///    must be admitted by every oracle;
+///  * the Section 2.5 scaling benchmark: TBAA construction time must be
+///    linear in program size.
+///
+/// Safety by construction: every reference global is allocated in Init
+/// and only ever reassigned to freshly allocated or other non-NIL
+/// values; all subscripts are reduced MOD the array length (floor MOD,
+/// so always in range); DIV/MOD only by nonzero constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_WORKLOADS_GENERATOR_H
+#define TBAA_WORKLOADS_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace tbaa {
+
+struct GeneratorOptions {
+  uint64_t Seed = 1;
+  /// Roughly the number of generated statements across all procedures.
+  unsigned StatementBudget = 120;
+  unsigned NumProcs = 4;
+};
+
+/// Returns the source text of a generated module with PROCEDURE Main.
+std::string generateProgram(const GeneratorOptions &Opts);
+
+} // namespace tbaa
+
+#endif // TBAA_WORKLOADS_GENERATOR_H

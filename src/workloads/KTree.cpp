@@ -1,0 +1,183 @@
+//===- KTree.cpp - "k-tree": sequences managed by k-ary trees -------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "k-tree" (Bates: "Manages sequences using
+// trees"): an immutable-shape k-ary tree holds a sequence; leaves carry
+// K-element open arrays, internal nodes carry child pointers plus
+// subtree counts. Index walks repeatedly load kids[i].count -- prime
+// material for FieldTypeDecl-grade CSE -- and the leaf arrays make the
+// dope-vector (Encapsulation) loads of Figure 10 dominant here, as the
+// paper observed for its array-heavy programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::KTree = R"M3L(
+MODULE KTree;
+
+TYPE
+  IntBuf = ARRAY OF INTEGER;
+  Node = OBJECT
+    isLeaf: BOOLEAN;
+    count: INTEGER;  (* elements in this subtree *)
+    used: INTEGER;   (* occupied elems/kids slots *)
+    elems: IntBuf;
+    kids: NodeBuf;
+  END;
+  NodeBuf = ARRAY OF Node;
+
+VAR
+  seed: INTEGER := 777001;
+  arity: INTEGER := 8;
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+PROCEDURE NewLeaf (): Node =
+VAR n: Node;
+BEGIN
+  n := NEW(Node);
+  n.isLeaf := TRUE;
+  n.count := 0;
+  n.used := 0;
+  n.elems := NEW(IntBuf, arity);
+  n.kids := NIL;
+  RETURN n;
+END NewLeaf;
+
+PROCEDURE NewInternal (): Node =
+VAR n: Node;
+BEGIN
+  n := NEW(Node);
+  n.isLeaf := FALSE;
+  n.count := 0;
+  n.used := 0;
+  n.elems := NIL;
+  n.kids := NEW(NodeBuf, arity);
+  RETURN n;
+END NewInternal;
+
+(* Builds the sequence 0..n-1 of pseudo-random values bottom-up. *)
+PROCEDURE BuildSeq (n: INTEGER): Node =
+VAR
+  level, upper: NodeBuf;
+  levelCount, upperCount, produced: INTEGER;
+  leaf, parent: Node;
+BEGIN
+  level := NEW(NodeBuf, (n DIV arity) + 2);
+  levelCount := 0;
+  produced := 0;
+  WHILE produced < n DO
+    leaf := NewLeaf();
+    WHILE leaf.used < arity AND produced < n DO
+      leaf.elems[leaf.used] := NextRand(100000);
+      leaf.used := leaf.used + 1;
+      produced := produced + 1;
+    END;
+    leaf.count := leaf.used;
+    level[levelCount] := leaf;
+    levelCount := levelCount + 1;
+  END;
+  WHILE levelCount > 1 DO
+    upper := NEW(NodeBuf, (levelCount DIV arity) + 2);
+    upperCount := 0;
+    FOR i := 0 TO levelCount - 1 DO
+      IF i MOD arity = 0 THEN
+        parent := NewInternal();
+        upper[upperCount] := parent;
+        upperCount := upperCount + 1;
+      END;
+      parent := upper[upperCount - 1];
+      parent.kids[parent.used] := level[i];
+      parent.used := parent.used + 1;
+      parent.count := parent.count + level[i].count;
+    END;
+    level := upper;
+    levelCount := upperCount;
+  END;
+  RETURN level[0];
+END BuildSeq;
+
+PROCEDURE Get (root: Node; idx: INTEGER): INTEGER =
+VAR n: Node; i, c: INTEGER;
+BEGIN
+  n := root;
+  WHILE NOT n.isLeaf DO
+    i := 0;
+    LOOP
+      c := n.kids[i].count;
+      IF idx < c THEN
+        EXIT;
+      END;
+      idx := idx - c;
+      i := i + 1;
+    END;
+    n := n.kids[i];
+  END;
+  RETURN n.elems[idx];
+END Get;
+
+PROCEDURE Update (root: Node; idx, value: INTEGER) =
+VAR n: Node; i, c: INTEGER;
+BEGIN
+  n := root;
+  WHILE NOT n.isLeaf DO
+    i := 0;
+    LOOP
+      c := n.kids[i].count;
+      IF idx < c THEN
+        EXIT;
+      END;
+      idx := idx - c;
+      i := i + 1;
+    END;
+    n := n.kids[i];
+  END;
+  n.elems[idx] := value;
+END Update;
+
+(* In-order sum without indices: recursive scan. *)
+PROCEDURE SumTree (n: Node): INTEGER =
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  IF n.isLeaf THEN
+    FOR k := 0 TO n.used - 1 DO
+      s := (s + n.elems[k]) MOD 1000000007;
+    END;
+    RETURN s;
+  END;
+  FOR k := 0 TO n.used - 1 DO
+    s := (s + SumTree(n.kids[k])) MOD 1000000007;
+  END;
+  RETURN s;
+END SumTree;
+
+PROCEDURE Main (): INTEGER =
+VAR root: Node; n, sum, idx: INTEGER;
+BEGIN
+  n := 6000;
+  root := BuildSeq(n);
+  sum := SumTree(root);
+  (* Random point lookups. *)
+  FOR q := 1 TO 12000 DO
+    idx := NextRand(n);
+    sum := (sum + Get(root, idx) * (q MOD 97)) MOD 1000000007;
+  END;
+  (* Point updates followed by verification reads. *)
+  FOR q := 1 TO 3000 DO
+    idx := NextRand(n);
+    Update(root, idx, q * 17 MOD 100000);
+    sum := (sum + Get(root, idx)) MOD 1000000007;
+  END;
+  sum := (sum + SumTree(root)) MOD 1000000007;
+  RETURN sum;
+END Main;
+
+END KTree.
+)M3L";

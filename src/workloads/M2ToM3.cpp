@@ -1,0 +1,190 @@
+//===- M2ToM3.cpp - "m2tom3": language converter ---------------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "m2tom3" ("Converts Modula-2 code to
+// Modula-3"): a synthetic Modula-2-ish token stream is rewritten --
+// keywords remapped through a translation table, identifiers interned in
+// a chained hash table, multi-token constructs peephole-rewritten --
+// into an output stream. The hash chains and the intern table give the
+// workload its pointer traffic; the token buffers give it array traffic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::M2ToM3 = R"M3L(
+MODULE M2ToM3;
+
+TYPE
+  IntBuf = ARRAY OF INTEGER;
+  KwMap = ARRAY [0..31] OF INTEGER;
+  Sym = OBJECT
+    key: INTEGER;
+    id: INTEGER;
+    uses: INTEGER;
+    next: Sym;
+  END;
+  SymBuf = ARRAY OF Sym;
+  Table = OBJECT
+    buckets: SymBuf;
+    size: INTEGER;
+    nextId: INTEGER;
+  END;
+
+(* Token kinds: 1..15 keywords, 21 ident(payload), 22 number(payload),
+   23 punct(payload). Keyword 7 = POINTER, 8 = TO, 9 = REF, 10 = BITSET,
+   11 = CARDINAL. *)
+
+VAR
+  seed: INTEGER := 246810;
+  input: IntBuf;
+  inputLen: INTEGER;
+  output: IntBuf;
+  outputLen: INTEGER;
+  kwMap: KwMap;
+  interns: Table;
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+PROCEDURE NewTable (buckets: INTEGER): Table =
+VAR t: Table;
+BEGIN
+  t := NEW(Table);
+  t.buckets := NEW(SymBuf, buckets);
+  t.size := buckets;
+  t.nextId := 1;
+  RETURN t;
+END NewTable;
+
+PROCEDURE Intern (t: Table; key: INTEGER): INTEGER =
+VAR h: INTEGER; s: Sym;
+BEGIN
+  h := key MOD t.size;
+  s := t.buckets[h];
+  WHILE s # NIL DO
+    IF s.key = key THEN
+      s.uses := s.uses + 1;
+      RETURN s.id;
+    END;
+    s := s.next;
+  END;
+  s := NEW(Sym);
+  s.key := key;
+  s.id := t.nextId;
+  s.uses := 1;
+  s.next := t.buckets[h];
+  t.buckets[h] := s;
+  t.nextId := t.nextId + 1;
+  RETURN s.id;
+END Intern;
+
+PROCEDURE BuildInput (pairs: INTEGER) =
+VAR i, kind: INTEGER;
+BEGIN
+  input := NEW(IntBuf, pairs * 2);
+  i := 0;
+  WHILE i < pairs * 2 DO
+    kind := NextRand(10);
+    IF kind < 4 THEN
+      input[i] := 1 + NextRand(15); (* keyword *)
+      input[i + 1] := 0;
+    ELSIF kind < 7 THEN
+      input[i] := 21; (* identifier *)
+      input[i + 1] := NextRand(900);
+    ELSIF kind < 9 THEN
+      input[i] := 22; (* number *)
+      input[i + 1] := NextRand(10000);
+    ELSE
+      input[i] := 23; (* punct *)
+      input[i + 1] := 33 + NextRand(30);
+    END;
+    i := i + 2;
+  END;
+  inputLen := pairs * 2;
+END BuildInput;
+
+PROCEDURE InitMap () =
+BEGIN
+  kwMap := NEW(KwMap);
+  FOR k := 0 TO 31 DO
+    kwMap[k] := k;
+  END;
+  kwMap[10] := 12; (* BITSET -> SET *)
+  kwMap[11] := 13; (* CARDINAL -> INTEGER-with-range *)
+  kwMap[14] := 15;
+END InitMap;
+
+PROCEDURE EmitTok (kind, payload: INTEGER) =
+BEGIN
+  output[outputLen] := kind;
+  output[outputLen + 1] := payload;
+  outputLen := outputLen + 2;
+END EmitTok;
+
+PROCEDURE Convert () =
+VAR i, kind, payload: INTEGER;
+BEGIN
+  i := 0;
+  WHILE i < inputLen DO
+    kind := input[i];
+    payload := input[i + 1];
+    IF kind >= 1 AND kind <= 15 THEN
+      (* POINTER TO -> REF (two tokens become one) *)
+      IF kind = 7 AND i + 3 < inputLen AND input[i + 2] = 8 THEN
+        EmitTok(9, 0);
+        i := i + 4;
+      ELSE
+        EmitTok(kwMap[kind], 0);
+        i := i + 2;
+      END;
+    ELSIF kind = 21 THEN
+      EmitTok(21, Intern(interns, payload));
+      i := i + 2;
+    ELSIF kind = 22 THEN
+      (* Number literals normalize to decimal-times-two (synthetic). *)
+      EmitTok(22, payload * 2 MOD 65536);
+      i := i + 2;
+    ELSE
+      EmitTok(kind, payload);
+      i := i + 2;
+    END;
+  END;
+END Convert;
+
+PROCEDURE TableChecksum (t: Table): INTEGER =
+VAR s: Sym; sum: INTEGER;
+BEGIN
+  sum := 0;
+  FOR b := 0 TO t.size - 1 DO
+    s := t.buckets[b];
+    WHILE s # NIL DO
+      sum := (sum + s.key * 3 + s.id * 7 + s.uses * 11) MOD 1000000007;
+      s := s.next;
+    END;
+  END;
+  RETURN sum;
+END TableChecksum;
+
+PROCEDURE Main (): INTEGER =
+VAR sum: INTEGER;
+BEGIN
+  InitMap();
+  interns := NewTable(64);
+  BuildInput(30000);
+  output := NEW(IntBuf, inputLen + 4);
+  outputLen := 0;
+  Convert();
+  sum := 0;
+  FOR k := 0 TO outputLen - 1 DO
+    sum := (sum * 17 + output[k]) MOD 1000000007;
+  END;
+  RETURN (sum + TableChecksum(interns) + outputLen) MOD 1000000007;
+END Main;
+
+END M2ToM3.
+)M3L";

@@ -1,0 +1,289 @@
+//===- M3CG.cpp - "m3cg": code generator ----------------------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "m3cg" ("M3 v. 3.5.1 code generator"):
+// random expression trees are compiled to a three-address IR held in
+// Instr record objects, a peephole pass folds constants and removes
+// redundant moves, and the result is encoded into a flat byte-ish
+// buffer. This is the suite's largest program and the closest to the
+// analyses' home turf: compiler data structures about compilers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::M3CG = R"M3L(
+MODULE M3CG;
+
+TYPE
+  IntBuf = ARRAY OF INTEGER;
+  BoolBuf = ARRAY OF BOOLEAN;
+  Tree = OBJECT
+    tag: INTEGER;  (* 0 const, 1 temp-var, 2 binop *)
+    value: INTEGER;
+    op: INTEGER;   (* 0 add, 1 sub, 2 mul *)
+    left, right: Tree;
+  END;
+  Instr = RECORD
+    op: INTEGER;   (* 0..2 binops, 3 loadimm, 4 loadvar, 5 mov *)
+    dest, a, b: INTEGER;
+    live: BOOLEAN;
+  END;
+  Code = OBJECT
+    instrs: InstrBuf;
+    count: INTEGER;
+    nextReg: INTEGER;
+  END;
+  InstrBuf = ARRAY OF Instr;
+
+VAR
+  seed: INTEGER := 13579;
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+PROCEDURE GenTree (depth: INTEGER): Tree =
+VAR t: Tree;
+BEGIN
+  t := NEW(Tree);
+  IF depth <= 0 OR NextRand(4) = 0 THEN
+    IF NextRand(3) = 0 THEN
+      t.tag := 1;
+      t.value := NextRand(8); (* variable index *)
+    ELSE
+      t.tag := 0;
+      t.value := NextRand(100);
+    END;
+    RETURN t;
+  END;
+  t.tag := 2;
+  t.op := NextRand(3);
+  t.left := GenTree(depth - 1);
+  t.right := GenTree(depth - 1);
+  RETURN t;
+END GenTree;
+
+PROCEDURE NewCode (cap: INTEGER): Code =
+VAR c: Code;
+BEGIN
+  c := NEW(Code);
+  c.instrs := NEW(InstrBuf, cap);
+  FOR i := 0 TO cap - 1 DO
+    c.instrs[i] := NEW(Instr);
+  END;
+  c.count := 0;
+  c.nextReg := 8; (* regs 0..7 hold the variables *)
+  RETURN c;
+END NewCode;
+
+PROCEDURE Emit (c: Code; op, dest, a, b: INTEGER) =
+BEGIN
+  WITH ins = c.instrs[c.count] DO
+    ins.op := op;
+    ins.dest := dest;
+    ins.a := a;
+    ins.b := b;
+    ins.live := TRUE;
+  END;
+  c.count := c.count + 1;
+END Emit;
+
+(* Compiles the tree; returns the register holding the result. *)
+PROCEDURE Compile (c: Code; t: Tree): INTEGER =
+VAR r, ra, rb: INTEGER;
+BEGIN
+  IF t.tag = 0 THEN
+    r := c.nextReg;
+    c.nextReg := c.nextReg + 1;
+    Emit(c, 3, r, t.value, 0);
+    RETURN r;
+  END;
+  IF t.tag = 1 THEN
+    r := c.nextReg;
+    c.nextReg := c.nextReg + 1;
+    Emit(c, 4, r, t.value, 0);
+    RETURN r;
+  END;
+  ra := Compile(c, t.left);
+  rb := Compile(c, t.right);
+  r := c.nextReg;
+  c.nextReg := c.nextReg + 1;
+  Emit(c, t.op, r, ra, rb);
+  RETURN r;
+END Compile;
+
+(* Peephole 1: constant folding. Registers defined by loadimm are
+   tracked; binops over two known constants fold into loadimm. *)
+PROCEDURE FoldConstants (c: Code; regCap: INTEGER): INTEGER =
+VAR
+  known: BoolBuf;
+  value: IntBuf;
+  folded, v: INTEGER;
+BEGIN
+  known := NEW(BoolBuf, regCap);
+  value := NEW(IntBuf, regCap);
+  folded := 0;
+  FOR i := 0 TO c.count - 1 DO
+    WITH ins = c.instrs[i] DO
+      IF ins.op = 3 THEN
+        known[ins.dest] := TRUE;
+        value[ins.dest] := ins.a;
+      ELSIF ins.op <= 2 THEN
+        IF known[ins.a] AND known[ins.b] THEN
+          IF ins.op = 0 THEN
+            v := (value[ins.a] + value[ins.b]) MOD 65536;
+          ELSIF ins.op = 1 THEN
+            v := (value[ins.a] - value[ins.b]) MOD 65536;
+          ELSE
+            v := (value[ins.a] * value[ins.b]) MOD 65536;
+          END;
+          ins.op := 3;
+          ins.a := v;
+          ins.b := 0;
+          known[ins.dest] := TRUE;
+          value[ins.dest] := v;
+          folded := folded + 1;
+        ELSE
+          known[ins.dest] := FALSE;
+        END;
+      ELSE
+        known[ins.dest] := FALSE;
+      END;
+    END;
+  END;
+  RETURN folded;
+END FoldConstants;
+
+(* Peephole 2: dead instruction elimination by liveness back-scan. *)
+PROCEDURE KillDead (c: Code; resultReg, regCap: INTEGER): INTEGER =
+VAR needed: BoolBuf; killed: INTEGER;
+BEGIN
+  needed := NEW(BoolBuf, regCap);
+  needed[resultReg] := TRUE;
+  killed := 0;
+  FOR i := c.count - 1 TO 0 BY -1 DO
+    WITH ins = c.instrs[i] DO
+      IF needed[ins.dest] THEN
+        needed[ins.dest] := FALSE;
+        IF ins.op <= 2 THEN
+          needed[ins.a] := TRUE;
+          needed[ins.b] := TRUE;
+        ELSIF ins.op = 5 THEN
+          needed[ins.a] := TRUE;
+        END;
+      ELSE
+        ins.live := FALSE;
+        killed := killed + 1;
+      END;
+    END;
+  END;
+  RETURN killed;
+END KillDead;
+
+(* Encodes live instructions into a flat stream. *)
+PROCEDURE Encode (c: Code; out: IntBuf): INTEGER =
+VAR pos: INTEGER;
+BEGIN
+  pos := 0;
+  FOR i := 0 TO c.count - 1 DO
+    WITH ins = c.instrs[i] DO
+      IF ins.live THEN
+        out[pos] := ins.op * 16777216 + ins.dest;
+        out[pos + 1] := ins.a * 65536 + ins.b;
+        pos := pos + 2;
+      END;
+    END;
+  END;
+  RETURN pos;
+END Encode;
+
+(* Reference evaluator over the tree for cross-checking codegen. *)
+PROCEDURE EvalTree (t: Tree; vars: IntBuf): INTEGER =
+VAR l, r: INTEGER;
+BEGIN
+  IF t.tag = 0 THEN
+    RETURN t.value;
+  END;
+  IF t.tag = 1 THEN
+    RETURN vars[t.value];
+  END;
+  l := EvalTree(t.left, vars);
+  r := EvalTree(t.right, vars);
+  IF t.op = 0 THEN
+    RETURN (l + r) MOD 65536;
+  ELSIF t.op = 1 THEN
+    RETURN (l - r) MOD 65536;
+  END;
+  RETURN (l * r) MOD 65536;
+END EvalTree;
+
+(* Executes the generated code on a register file. *)
+PROCEDURE RunCode (c: Code; vars: IntBuf; regCap: INTEGER;
+                   resultReg: INTEGER): INTEGER =
+VAR regs: IntBuf;
+BEGIN
+  regs := NEW(IntBuf, regCap);
+  FOR v := 0 TO 7 DO
+    regs[v] := vars[v];
+  END;
+  FOR i := 0 TO c.count - 1 DO
+    WITH ins = c.instrs[i] DO
+      IF ins.live THEN
+        IF ins.op = 0 THEN
+          regs[ins.dest] := (regs[ins.a] + regs[ins.b]) MOD 65536;
+        ELSIF ins.op = 1 THEN
+          regs[ins.dest] := (regs[ins.a] - regs[ins.b]) MOD 65536;
+        ELSIF ins.op = 2 THEN
+          regs[ins.dest] := (regs[ins.a] * regs[ins.b]) MOD 65536;
+        ELSIF ins.op = 3 THEN
+          regs[ins.dest] := ins.a;
+        ELSIF ins.op = 4 THEN
+          regs[ins.dest] := vars[ins.a];
+        ELSE
+          regs[ins.dest] := regs[ins.a];
+        END;
+      END;
+    END;
+  END;
+  RETURN regs[resultReg];
+END RunCode;
+
+PROCEDURE Main (): INTEGER =
+VAR
+  t: Tree;
+  c: Code;
+  vars, out: IntBuf;
+  sum, res, want, got, folded, killed, len: INTEGER;
+BEGIN
+  vars := NEW(IntBuf, 8);
+  FOR v := 0 TO 7 DO
+    vars[v] := v * 13 + 1;
+  END;
+  out := NEW(IntBuf, 8000);
+  sum := 0;
+  FOR round := 1 TO 40 DO
+    t := GenTree(7);
+    c := NewCode(3000);
+    res := Compile(c, t);
+    want := EvalTree(t, vars);
+    folded := FoldConstants(c, c.nextReg);
+    killed := KillDead(c, res, c.nextReg);
+    got := RunCode(c, vars, c.nextReg, res);
+    IF got # want THEN
+      RETURN -round; (* codegen bug marker *)
+    END;
+    len := Encode(c, out);
+    FOR k := 0 TO len - 1 DO
+      sum := (sum * 131 + out[k]) MOD 1000000007;
+    END;
+    sum := (sum + folded * 7 + killed * 3 + got) MOD 1000000007;
+  END;
+  RETURN sum;
+END Main;
+
+END M3CG.
+)M3L";

@@ -1,0 +1,204 @@
+//===- Postcard.cpp - "postcard": mail-reader data model ------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "postcard" ("Graphical mail reader"): folders
+// of messages with headers, a filter pipeline that files incoming mail,
+// and summary views regenerated per folder. Like "dom", the paper only
+// reports static data for this interactive program, and the dynamic
+// benches here skip it the same way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::Postcard = R"M3L(
+MODULE Postcard;
+
+TYPE
+  CharBuf = ARRAY OF INTEGER;
+  Message = OBJECT
+    sender: INTEGER;   (* interned address id *)
+    subjHash: INTEGER;
+    size: INTEGER;
+    flags: INTEGER;    (* bit 1 read, bit 2 flagged *)
+    next: Message;
+  END;
+  Folder = OBJECT
+    name: INTEGER;
+    head, tail: Message;
+    count: INTEGER;
+    unread: INTEGER;
+    nextFolder: Folder;
+  END;
+  Rule = OBJECT
+    senderLo, senderHi: INTEGER;
+    dest: Folder;
+    hits: INTEGER;
+    nextRule: Rule;
+  END;
+  Mailbox = OBJECT
+    folders: Folder;
+    rules: Rule;
+    inbox: Folder;
+    total: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER := 90210;
+  box: Mailbox;
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 69069 + 1) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+PROCEDURE NewFolder (b: Mailbox; name: INTEGER): Folder =
+VAR f: Folder;
+BEGIN
+  f := NEW(Folder);
+  f.name := name;
+  f.head := NIL;
+  f.tail := NIL;
+  f.count := 0;
+  f.unread := 0;
+  f.nextFolder := b.folders;
+  b.folders := f;
+  RETURN f;
+END NewFolder;
+
+PROCEDURE AddRule (b: Mailbox; lo, hi: INTEGER; dest: Folder) =
+VAR r: Rule;
+BEGIN
+  r := NEW(Rule);
+  r.senderLo := lo;
+  r.senderHi := hi;
+  r.dest := dest;
+  r.hits := 0;
+  r.nextRule := b.rules;
+  b.rules := r;
+END AddRule;
+
+PROCEDURE File (f: Folder; m: Message) =
+BEGIN
+  m.next := NIL;
+  IF f.head = NIL THEN
+    f.head := m;
+  ELSE
+    f.tail.next := m;
+  END;
+  f.tail := m;
+  f.count := f.count + 1;
+  IF m.flags MOD 2 = 0 THEN
+    f.unread := f.unread + 1;
+  END;
+END File;
+
+(* Runs the filter pipeline; unmatched mail lands in the inbox. *)
+PROCEDURE Incoming (b: Mailbox; m: Message) =
+VAR r: Rule;
+BEGIN
+  b.total := b.total + 1;
+  r := b.rules;
+  WHILE r # NIL DO
+    IF m.sender >= r.senderLo AND m.sender <= r.senderHi THEN
+      r.hits := r.hits + 1;
+      File(r.dest, m);
+      RETURN;
+    END;
+    r := r.nextRule;
+  END;
+  File(b.inbox, m);
+END Incoming;
+
+PROCEDURE MarkRead (f: Folder; senderKey: INTEGER): INTEGER =
+VAR m: Message; marked: INTEGER;
+BEGIN
+  marked := 0;
+  m := f.head;
+  WHILE m # NIL DO
+    IF m.sender MOD 17 = senderKey AND m.flags MOD 2 = 0 THEN
+      m.flags := m.flags + 1;
+      f.unread := f.unread - 1;
+      marked := marked + 1;
+    END;
+    m := m.next;
+  END;
+  RETURN marked;
+END MarkRead;
+
+(* Regenerates a folder summary into a character buffer (the view). *)
+PROCEDURE Summarize (f: Folder; out: CharBuf): INTEGER =
+VAR m: Message; pos: INTEGER;
+BEGIN
+  pos := 0;
+  m := f.head;
+  WHILE m # NIL AND pos + 4 < NUMBER(out) DO
+    out[pos] := m.sender MOD 256;
+    out[pos + 1] := m.subjHash MOD 256;
+    out[pos + 2] := m.size MOD 256;
+    out[pos + 3] := m.flags;
+    pos := pos + 4;
+    m := m.next;
+  END;
+  RETURN pos;
+END Summarize;
+
+PROCEDURE FolderChecksum (f: Folder; view: CharBuf): INTEGER =
+VAR s, used: INTEGER;
+BEGIN
+  used := Summarize(f, view);
+  s := 0;
+  FOR k := 0 TO used - 1 DO
+    s := (s * 131 + view[k]) MOD 1000000007;
+  END;
+  RETURN (s + f.count * 17 + f.unread) MOD 1000000007;
+END FolderChecksum;
+
+PROCEDURE Main (): INTEGER =
+VAR
+  work, personal, spam: Folder;
+  m: Message;
+  view: CharBuf;
+  f: Folder;
+  sum, dummy: INTEGER;
+BEGIN
+  box := NEW(Mailbox);
+  box.folders := NIL;
+  box.rules := NIL;
+  box.total := 0;
+  box.inbox := NewFolder(box, 1);
+  work := NewFolder(box, 2);
+  personal := NewFolder(box, 3);
+  spam := NewFolder(box, 4);
+  AddRule(box, 0, 199, work);
+  AddRule(box, 200, 349, personal);
+  AddRule(box, 900, 999, spam);
+
+  FOR n := 1 TO 2500 DO
+    m := NEW(Message);
+    m.sender := NextRand(1000);
+    m.subjHash := NextRand(100000);
+    m.size := 40 + NextRand(4000);
+    m.flags := NextRand(2) * 2; (* maybe flagged, all unread *)
+    m.next := NIL;
+    Incoming(box, m);
+  END;
+
+  dummy := MarkRead(box.inbox, 3);
+  dummy := dummy + MarkRead(work, 5);
+  dummy := dummy + MarkRead(personal, 7);
+
+  view := NEW(CharBuf, 4096);
+  sum := dummy;
+  f := box.folders;
+  WHILE f # NIL DO
+    sum := (sum + FolderChecksum(f, view)) MOD 1000000007;
+    f := f.nextFolder;
+  END;
+  RETURN (sum + box.total) MOD 1000000007;
+END Main;
+
+END Postcard.
+)M3L";

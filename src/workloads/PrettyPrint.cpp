@@ -1,0 +1,227 @@
+//===- PrettyPrint.cpp - "pp": precedence-aware pretty printer ------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "pp" ("Pretty printer for Modula-3
+// programs"): expression trees are rendered into character buffers with
+// minimal parenthesization and line breaking. Rendering dispatches
+// through per-kind emit methods whose bodies NARROW the receiver to reach
+// subclass payload -- idiomatic Modula-3, and a steady source of implicit
+// type-descriptor reads alongside the dope vectors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::PrettyPrint = R"M3L(
+MODULE PP;
+
+TYPE
+  CharBuf = ARRAY OF INTEGER;
+  Out = OBJECT
+    text: CharBuf;
+    pos: INTEGER;
+    lineStart: INTEGER;
+    width: INTEGER;
+    breaks: INTEGER;
+    METHODS
+      put (ch: INTEGER) := Put;
+  END;
+  Expr = OBJECT
+    prec: INTEGER;
+    METHODS
+      emit (o: Out; outerPrec: INTEGER) := EmitAbstract;
+  END;
+  NumExpr = Expr OBJECT
+    value: INTEGER;
+  OVERRIDES
+    emit := EmitNum;
+  END;
+  NameExpr = Expr OBJECT
+    letter: INTEGER;
+  OVERRIDES
+    emit := EmitName;
+  END;
+  BinExpr = Expr OBJECT
+    op: INTEGER; (* 43 +, 45 -, 42 * *)
+    left, right: Expr;
+  OVERRIDES
+    emit := EmitBin;
+  END;
+
+VAR
+  seed: INTEGER := 5150;
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 69069 + 1) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+PROCEDURE Put (self: Out; ch: INTEGER) =
+BEGIN
+  IF self.pos - self.lineStart >= self.width THEN
+    self.text[self.pos] := 10; (* newline *)
+    INC(self.pos);
+    self.lineStart := self.pos;
+    INC(self.breaks);
+  END;
+  self.text[self.pos] := ch;
+  INC(self.pos);
+END Put;
+
+PROCEDURE EmitAbstract (self: Expr; o: Out; outerPrec: INTEGER) =
+BEGIN
+  o.put(63); (* '?' *)
+END EmitAbstract;
+
+PROCEDURE EmitNum (self: Expr; o: Out; outerPrec: INTEGER) =
+VAR v, digits, d, tmp: INTEGER;
+BEGIN
+  v := NARROW(self, NumExpr).value;
+  IF v = 0 THEN
+    o.put(48);
+    RETURN;
+  END;
+  digits := 0;
+  tmp := v;
+  WHILE tmp > 0 DO
+    INC(digits);
+    tmp := tmp DIV 10;
+  END;
+  WHILE digits > 0 DO
+    d := v;
+    FOR k := 2 TO digits DO
+      d := d DIV 10;
+    END;
+    o.put(48 + d MOD 10);
+    DEC(digits);
+  END;
+END EmitNum;
+
+PROCEDURE EmitName (self: Expr; o: Out; outerPrec: INTEGER) =
+BEGIN
+  o.put(97 + NARROW(self, NameExpr).letter MOD 26);
+END EmitName;
+
+PROCEDURE EmitBin (self: Expr; o: Out; outerPrec: INTEGER) =
+VAR b: BinExpr; need: BOOLEAN;
+BEGIN
+  b := NARROW(self, BinExpr);
+  need := b.prec < outerPrec;
+  IF need THEN
+    o.put(40); (* ( *)
+  END;
+  b.left.emit(o, b.prec);
+  o.put(b.op);
+  b.right.emit(o, b.prec + 1);
+  IF need THEN
+    o.put(41); (* ) *)
+  END;
+END EmitBin;
+
+PROCEDURE MkNum (v: INTEGER): Expr =
+VAR n: NumExpr;
+BEGIN
+  n := NEW(NumExpr);
+  n.prec := 10;
+  n.value := v;
+  RETURN n;
+END MkNum;
+
+PROCEDURE MkName (c: INTEGER): Expr =
+VAR n: NameExpr;
+BEGIN
+  n := NEW(NameExpr);
+  n.prec := 10;
+  n.letter := c;
+  RETURN n;
+END MkName;
+
+PROCEDURE MkBin (op: INTEGER; l, r: Expr): Expr =
+VAR b: BinExpr;
+BEGIN
+  b := NEW(BinExpr);
+  IF op = 42 THEN
+    b.prec := 2;
+  ELSE
+    b.prec := 1;
+  END;
+  b.op := op;
+  b.left := l;
+  b.right := r;
+  RETURN b;
+END MkBin;
+
+PROCEDURE GenExpr (depth: INTEGER): Expr =
+VAR c: INTEGER;
+BEGIN
+  IF depth <= 0 OR NextRand(4) = 0 THEN
+    IF NextRand(2) = 0 THEN
+      RETURN MkNum(NextRand(500));
+    END;
+    RETURN MkName(NextRand(26));
+  END;
+  c := NextRand(3);
+  IF c = 0 THEN
+    RETURN MkBin(43, GenExpr(depth - 1), GenExpr(depth - 1));
+  ELSIF c = 1 THEN
+    RETURN MkBin(45, GenExpr(depth - 1), GenExpr(depth - 1));
+  END;
+  RETURN MkBin(42, GenExpr(depth - 1), GenExpr(depth - 1));
+END GenExpr;
+
+(* Structural statistics pass: counts nodes per kind with ISTYPE, the way
+   a real pretty printer sizes its layout work. *)
+PROCEDURE CountKind (e: Expr; kind: INTEGER): INTEGER =
+VAR b: BinExpr; n: INTEGER;
+BEGIN
+  IF ISTYPE(e, BinExpr) THEN
+    b := NARROW(e, BinExpr);
+    n := CountKind(b.left, kind) + CountKind(b.right, kind);
+    IF kind = 3 THEN
+      INC(n);
+    END;
+    RETURN n;
+  END;
+  IF kind = 1 AND ISTYPE(e, NumExpr) THEN
+    RETURN 1;
+  END;
+  IF kind = 2 AND ISTYPE(e, NameExpr) THEN
+    RETURN 1;
+  END;
+  RETURN 0;
+END CountKind;
+
+PROCEDURE Render (e: Expr; width: INTEGER): INTEGER =
+VAR o: Out; s: INTEGER;
+BEGIN
+  o := NEW(Out);
+  o.text := NEW(CharBuf, 40000);
+  o.pos := 0;
+  o.lineStart := 0;
+  o.width := width;
+  o.breaks := 0;
+  e.emit(o, 0);
+  s := 0;
+  FOR k := 0 TO o.pos - 1 DO
+    s := (s * 31 + o.text[k]) MOD 1000000007;
+  END;
+  RETURN (s + o.breaks * 777) MOD 1000000007;
+END Render;
+
+PROCEDURE Main (): INTEGER =
+VAR e: Expr; sum: INTEGER;
+BEGIN
+  sum := 0;
+  FOR round := 1 TO 14 DO
+    e := GenExpr(7);
+    sum := (sum + Render(e, 24 + (round MOD 5) * 12)) MOD 1000000007;
+    sum := (sum + CountKind(e, 1) * 3 + CountKind(e, 2) * 5 +
+            CountKind(e, 3) * 7) MOD 1000000007;
+  END;
+  RETURN sum;
+END Main;
+
+END PP.
+)M3L";

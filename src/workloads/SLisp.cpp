@@ -1,0 +1,236 @@
+//===- SLisp.cpp - "slisp": a small Lisp interpreter -----------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "slisp" ("Small lisp interpreter"): a proper
+// value hierarchy (numbers, symbols, cons cells), an association-list
+// environment, and a TYPECASE-dispatching recursive evaluator over
+// randomly generated (+ - * let if) expressions, plus iterative list
+// utilities. Assoc-list walks and TYPECASE descriptor reads are almost
+// pure heap traffic, which is why the original slisp had the suite's
+// highest heap-load share (27%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::SLisp = R"M3L(
+MODULE SLisp;
+
+TYPE
+  Val = OBJECT END;
+  Num = Val OBJECT
+    n: INTEGER;
+  END;
+  Sym = Val OBJECT
+    id: INTEGER;
+  END;
+  Cons = Val OBJECT
+    car, cdr: Val;
+  END;
+
+CONST
+  OpAdd = 100;
+  OpSub = 101;
+  OpMul = 102;
+  OpLet = 103;
+  OpIf = 104;
+  Modulus = 1000000007;
+
+VAR
+  seed: INTEGER := 31337;
+  nilVal: Val;
+  conses: INTEGER := 0;
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+PROCEDURE MkNum (n: INTEGER): Val =
+VAR v: Num;
+BEGIN
+  v := NEW(Num);
+  v.n := n;
+  RETURN v;
+END MkNum;
+
+PROCEDURE MkSym (s: INTEGER): Val =
+VAR v: Sym;
+BEGIN
+  v := NEW(Sym);
+  v.id := s;
+  RETURN v;
+END MkSym;
+
+PROCEDURE MkCons (a, d: Val): Val =
+VAR v: Cons;
+BEGIN
+  v := NEW(Cons);
+  v.car := a;
+  v.cdr := d;
+  INC(conses);
+  RETURN v;
+END MkCons;
+
+PROCEDURE List3 (a, b, c: Val): Val =
+BEGIN
+  RETURN MkCons(a, MkCons(b, MkCons(c, nilVal)));
+END List3;
+
+PROCEDURE List4 (a, b, c, d: Val): Val =
+BEGIN
+  RETURN MkCons(a, MkCons(b, MkCons(c, MkCons(d, nilVal))));
+END List4;
+
+(* env is a list of (sym . num) pairs; linear lookup. *)
+PROCEDURE Lookup (env: Val; sym: INTEGER): INTEGER =
+VAR p, pair: Val;
+BEGIN
+  p := env;
+  WHILE ISTYPE(p, Cons) DO
+    pair := NARROW(p, Cons).car;
+    IF NARROW(NARROW(pair, Cons).car, Sym).id = sym THEN
+      RETURN NARROW(NARROW(pair, Cons).cdr, Num).n;
+    END;
+    p := NARROW(p, Cons).cdr;
+  END;
+  RETURN 0;
+END Lookup;
+
+PROCEDURE Bind (env: Val; sym, value: INTEGER): Val =
+BEGIN
+  RETURN MkCons(MkCons(MkSym(sym), MkNum(value)), env);
+END Bind;
+
+PROCEDURE Arg1 (form: Cons): Val =
+BEGIN
+  RETURN NARROW(form.cdr, Cons).car;
+END Arg1;
+
+PROCEDURE Arg2 (form: Cons): Val =
+BEGIN
+  RETURN NARROW(NARROW(form.cdr, Cons).cdr, Cons).car;
+END Arg2;
+
+PROCEDURE Arg3 (form: Cons): Val =
+BEGIN
+  RETURN NARROW(NARROW(NARROW(form.cdr, Cons).cdr, Cons).cdr, Cons).car;
+END Arg3;
+
+PROCEDURE Eval (e: Val; env: Val): INTEGER =
+VAR op, bound: INTEGER; form: Cons;
+BEGIN
+  TYPECASE e OF
+    Num (num) =>
+      RETURN num.n;
+  | Sym (sym) =>
+      RETURN Lookup(env, sym.id);
+  | Cons (c) =>
+      form := c;
+      op := NARROW(form.car, Sym).id;
+      IF op = OpAdd THEN
+        RETURN (Eval(Arg1(form), env) + Eval(Arg2(form), env)) MOD Modulus;
+      ELSIF op = OpSub THEN
+        RETURN (Eval(Arg1(form), env) - Eval(Arg2(form), env)) MOD Modulus;
+      ELSIF op = OpMul THEN
+        RETURN (Eval(Arg1(form), env) * Eval(Arg2(form), env)) MOD Modulus;
+      ELSIF op = OpLet THEN
+        (* (let sym bindExpr body) *)
+        bound := Eval(Arg2(form), env);
+        RETURN Eval(Arg3(form),
+                    Bind(env, NARROW(Arg1(form), Sym).id, bound));
+      ELSIF op = OpIf THEN
+        (* (if c t): an even/odd test *)
+        IF Eval(Arg1(form), env) MOD 2 = 0 THEN
+          RETURN Eval(Arg2(form), env);
+        END;
+        RETURN 0;
+      END;
+      RETURN 0;
+  ELSE
+    RETURN 0;
+  END;
+END Eval;
+
+PROCEDURE GenExpr (depth: INTEGER): Val =
+VAR choice: INTEGER;
+BEGIN
+  IF depth <= 0 OR NextRand(5) = 0 THEN
+    IF NextRand(2) = 0 THEN
+      RETURN MkNum(NextRand(1000));
+    END;
+    RETURN MkSym(NextRand(10));
+  END;
+  choice := NextRand(5);
+  IF choice = 0 THEN
+    RETURN List3(MkSym(OpAdd), GenExpr(depth - 1), GenExpr(depth - 1));
+  ELSIF choice = 1 THEN
+    RETURN List3(MkSym(OpSub), GenExpr(depth - 1), GenExpr(depth - 1));
+  ELSIF choice = 2 THEN
+    RETURN List3(MkSym(OpMul), GenExpr(depth - 1), GenExpr(depth - 1));
+  ELSIF choice = 3 THEN
+    RETURN List4(MkSym(OpLet), MkSym(NextRand(10)),
+                 GenExpr(depth - 1), GenExpr(depth - 1));
+  END;
+  RETURN List3(MkSym(OpIf), GenExpr(depth - 1), GenExpr(depth - 1));
+END GenExpr;
+
+(* Iterative list utilities: build, reverse, sum. *)
+PROCEDURE BuildList (n: INTEGER): Val =
+VAR l: Val;
+BEGIN
+  l := nilVal;
+  FOR i := 1 TO n DO
+    l := MkCons(MkNum(NextRand(500)), l);
+  END;
+  RETURN l;
+END BuildList;
+
+PROCEDURE Reverse (l: Val): Val =
+VAR acc, p: Val;
+BEGIN
+  acc := nilVal;
+  p := l;
+  WHILE ISTYPE(p, Cons) DO
+    acc := MkCons(NARROW(p, Cons).car, acc);
+    p := NARROW(p, Cons).cdr;
+  END;
+  RETURN acc;
+END Reverse;
+
+PROCEDURE SumList (l: Val): INTEGER =
+VAR p: Val; s: INTEGER;
+BEGIN
+  s := 0;
+  p := l;
+  WHILE ISTYPE(p, Cons) DO
+    s := (s + NARROW(NARROW(p, Cons).car, Num).n) MOD Modulus;
+    p := NARROW(p, Cons).cdr;
+  END;
+  RETURN s;
+END SumList;
+
+PROCEDURE Main (): INTEGER =
+VAR env, expr, lst: Val; sum: INTEGER;
+BEGIN
+  nilVal := NEW(Val);
+  env := nilVal;
+  FOR s := 0 TO 9 DO
+    env := Bind(env, s, s * 111 + 7);
+  END;
+  sum := 0;
+  FOR round := 1 TO 220 DO
+    expr := GenExpr(6);
+    sum := (sum + Eval(expr, env)) MOD Modulus;
+  END;
+  lst := BuildList(3000);
+  sum := (sum + SumList(lst)) MOD Modulus;
+  lst := Reverse(lst);
+  sum := (sum + SumList(lst) + conses) MOD Modulus;
+  RETURN sum;
+END Main;
+
+END SLisp.
+)M3L";

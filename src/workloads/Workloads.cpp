@@ -1,0 +1,34 @@
+//===- Workloads.cpp ------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace tbaa;
+
+const std::vector<WorkloadInfo> &tbaa::allWorkloads() {
+  static const std::vector<WorkloadInfo> Workloads = {
+      {"format", "Text formatter", workload_sources::Format},
+      {"dformat", "Text formatter", workload_sources::DFormat},
+      {"write-pickle", "Reads and writes an AST",
+       workload_sources::WritePickle},
+      {"k-tree", "Manages sequences using trees", workload_sources::KTree},
+      {"slisp", "Small lisp interpreter", workload_sources::SLisp},
+      {"pp", "Pretty printer for expression programs",
+       workload_sources::PrettyPrint},
+      {"dom", "System for building distributed applications",
+       workload_sources::Dom, /*Interactive=*/true},
+      {"postcard", "Mail reader data model", workload_sources::Postcard,
+       /*Interactive=*/true},
+      {"m2tom3", "Converts Modula-2 tokens to Modula-3",
+       workload_sources::M2ToM3},
+      {"m3cg", "Code generator with peephole passes",
+       workload_sources::M3CG},
+  };
+  return Workloads;
+}
+
+const WorkloadInfo *tbaa::findWorkload(const std::string &Name) {
+  for (const WorkloadInfo &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,60 @@
+//===- Workloads.h - The benchmark suite (Table 4) --------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eight M3L benchmark programs mirroring the genres of the paper's
+/// Modula-3 suite (Table 4): two text formatters, an AST pickler, a
+/// k-ary-tree sequence package, a small Lisp interpreter, a pretty
+/// printer, a language converter and a code generator. The original
+/// Modula-3 sources are not distributed, so these are same-genre
+/// reimplementations; inputs are generated in-program from a fixed LCG
+/// seed, making every dynamic number in the reproduction deterministic.
+///
+/// Each program defines PROCEDURE Main (): INTEGER returning a checksum
+/// over its outputs; the golden values are pinned in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_WORKLOADS_WORKLOADS_H
+#define TBAA_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+struct WorkloadInfo {
+  const char *Name;
+  const char *Description;  ///< The Table 4 "Description" column.
+  const char *Source;       ///< M3L program text.
+  /// The paper reports only static data for its interactive programs
+  /// (dom, postcard); the dynamic benches skip these the same way.
+  bool Interactive = false;
+};
+
+/// All eight benchmarks, in the paper's Table 4 order (by size).
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/// Lookup by name; nullptr if unknown.
+const WorkloadInfo *findWorkload(const std::string &Name);
+
+namespace workload_sources {
+extern const char *Format;
+extern const char *DFormat;
+extern const char *WritePickle;
+extern const char *KTree;
+extern const char *SLisp;
+extern const char *PrettyPrint;
+extern const char *M2ToM3;
+extern const char *M3CG;
+extern const char *Dom;
+extern const char *Postcard;
+} // namespace workload_sources
+
+} // namespace tbaa
+
+#endif // TBAA_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,248 @@
+//===- WritePickle.cpp - "write-pickle": AST (de)serialization ------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Same genre as the paper's "write-pickle" ("Reads and writes an AST"):
+// a random expression AST is built over an object hierarchy, pickled into
+// a flat integer buffer through dynamically-dispatched write methods with
+// a VAR cursor, read back, and semantically verified by evaluating both
+// trees. Payload lives in the subclasses and is reached with NARROW --
+// exactly what a Modula-3 pickler looks like.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *tbaa::workload_sources::WritePickle = R"M3L(
+MODULE WritePickle;
+
+TYPE
+  IntBuf = ARRAY OF INTEGER;
+  Node = OBJECT
+    METHODS
+      write (b: IntBuf; VAR pos: INTEGER) := WriteAbstract;
+      eval (): INTEGER := EvalZero;
+  END;
+  NumNode = Node OBJECT
+    value: INTEGER;
+  OVERRIDES
+    write := WriteNum;
+    eval := EvalNum;
+  END;
+  VarNode = Node OBJECT
+    id: INTEGER;
+  OVERRIDES
+    write := WriteVar;
+    eval := EvalVar;
+  END;
+  BinNode = Node OBJECT
+    op: INTEGER;
+    left, right: Node;
+  OVERRIDES
+    write := WriteBin;
+    eval := EvalBin;
+  END;
+
+CONST
+  TagNum = 1;
+  TagVar = 2;
+  TagBin = 3;
+  Modulus = 1000000007;
+
+VAR
+  seed: INTEGER := 424242;
+  buf: IntBuf;
+  env: IntBuf; (* variable id -> value *)
+
+PROCEDURE NextRand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed MOD range;
+END NextRand;
+
+(* ---- Dispatching pickler ---- *)
+
+PROCEDURE WriteAbstract (self: Node; b: IntBuf; VAR pos: INTEGER) =
+BEGIN
+  b[pos] := 0;
+  INC(pos);
+END WriteAbstract;
+
+PROCEDURE EvalZero (self: Node): INTEGER =
+BEGIN
+  RETURN 0;
+END EvalZero;
+
+PROCEDURE WriteNum (self: Node; b: IntBuf; VAR pos: INTEGER) =
+BEGIN
+  b[pos] := TagNum;
+  b[pos + 1] := NARROW(self, NumNode).value;
+  INC(pos, 2);
+END WriteNum;
+
+PROCEDURE EvalNum (self: Node): INTEGER =
+BEGIN
+  RETURN NARROW(self, NumNode).value;
+END EvalNum;
+
+PROCEDURE WriteVar (self: Node; b: IntBuf; VAR pos: INTEGER) =
+BEGIN
+  b[pos] := TagVar;
+  b[pos + 1] := NARROW(self, VarNode).id;
+  INC(pos, 2);
+END WriteVar;
+
+PROCEDURE EvalVar (self: Node): INTEGER =
+BEGIN
+  RETURN env[NARROW(self, VarNode).id];
+END EvalVar;
+
+PROCEDURE WriteBin (self: Node; b: IntBuf; VAR pos: INTEGER) =
+VAR me: BinNode;
+BEGIN
+  me := NARROW(self, BinNode);
+  b[pos] := TagBin;
+  b[pos + 1] := me.op;
+  INC(pos, 2);
+  me.left.write(b, pos);
+  me.right.write(b, pos);
+END WriteBin;
+
+PROCEDURE EvalBin (self: Node): INTEGER =
+VAR me: BinNode; l, r: INTEGER;
+BEGIN
+  me := NARROW(self, BinNode);
+  l := me.left.eval();
+  r := me.right.eval();
+  IF me.op = 10 THEN
+    RETURN (l + r) MOD Modulus;
+  ELSIF me.op = 11 THEN
+    RETURN (l - r) MOD Modulus;
+  ELSIF me.op = 12 THEN
+    RETURN (l * r) MOD Modulus;
+  END;
+  IF r = 0 THEN
+    RETURN l;
+  END;
+  RETURN l MOD r;
+END EvalBin;
+
+(* ---- Construction ---- *)
+
+PROCEDURE BuildTree (depth: INTEGER): Node =
+VAR b: BinNode; n: NumNode; v: VarNode;
+BEGIN
+  IF depth <= 0 OR NextRand(6) = 0 THEN
+    IF NextRand(2) = 0 THEN
+      n := NEW(NumNode);
+      n.value := NextRand(1000);
+      RETURN n;
+    END;
+    v := NEW(VarNode);
+    v.id := NextRand(26);
+    RETURN v;
+  END;
+  b := NEW(BinNode);
+  b.op := 10 + NextRand(4);
+  b.left := BuildTree(depth - 1);
+  b.right := BuildTree(depth - 1);
+  RETURN b;
+END BuildTree;
+
+(* ---- Reader: checksum pass and reconstruction pass ---- *)
+
+PROCEDURE ReadChecksum (b: IntBuf; VAR pos: INTEGER): INTEGER =
+VAR tag, a, c: INTEGER;
+BEGIN
+  tag := b[pos];
+  INC(pos);
+  IF tag = TagBin THEN
+    a := b[pos];
+    INC(pos);
+    c := ReadChecksum(b, pos) * 31 + ReadChecksum(b, pos);
+    RETURN (c * 7 + a) MOD Modulus;
+  END;
+  a := b[pos];
+  INC(pos);
+  RETURN (tag * 1009 + a) MOD Modulus;
+END ReadChecksum;
+
+PROCEDURE ReadTree (b: IntBuf; VAR pos: INTEGER): Node =
+VAR tag: INTEGER; bn: BinNode; n: NumNode; v: VarNode;
+BEGIN
+  tag := b[pos];
+  INC(pos);
+  IF tag = TagBin THEN
+    bn := NEW(BinNode);
+    bn.op := b[pos];
+    INC(pos);
+    bn.left := ReadTree(b, pos);
+    bn.right := ReadTree(b, pos);
+    RETURN bn;
+  END;
+  IF tag = TagNum THEN
+    n := NEW(NumNode);
+    n.value := b[pos];
+    INC(pos);
+    RETURN n;
+  END;
+  v := NEW(VarNode);
+  v.id := b[pos];
+  INC(pos);
+  RETURN v;
+END ReadTree;
+
+(* Structural equality of two pickled trees, via NARROW. *)
+PROCEDURE SameTree (a, b: Node): BOOLEAN =
+VAR ba, bb: BinNode;
+BEGIN
+  IF ISTYPE(a, BinNode) AND ISTYPE(b, BinNode) THEN
+    ba := NARROW(a, BinNode);
+    bb := NARROW(b, BinNode);
+    RETURN ba.op = bb.op AND SameTree(ba.left, bb.left)
+           AND SameTree(ba.right, bb.right);
+  END;
+  IF ISTYPE(a, NumNode) AND ISTYPE(b, NumNode) THEN
+    RETURN NARROW(a, NumNode).value = NARROW(b, NumNode).value;
+  END;
+  IF ISTYPE(a, VarNode) AND ISTYPE(b, VarNode) THEN
+    RETURN NARROW(a, VarNode).id = NARROW(b, VarNode).id;
+  END;
+  RETURN FALSE;
+END SameTree;
+
+PROCEDURE Main (): INTEGER =
+VAR
+  root, copy: Node;
+  pos, sum, rounds: INTEGER;
+BEGIN
+  buf := NEW(IntBuf, 120000);
+  env := NEW(IntBuf, 26);
+  FOR i := 0 TO 25 DO
+    env[i] := i * 37 + 5;
+  END;
+  sum := 0;
+  rounds := 0;
+  WHILE rounds < 10 DO
+    root := BuildTree(9);
+    pos := 0;
+    root.write(buf, pos);
+    sum := (sum + pos) MOD Modulus;
+    pos := 0;
+    sum := (sum + ReadChecksum(buf, pos)) MOD Modulus;
+    pos := 0;
+    copy := ReadTree(buf, pos);
+    IF NOT SameTree(root, copy) THEN
+      RETURN -1;
+    END;
+    IF root.eval() # copy.eval() THEN
+      RETURN -2;
+    END;
+    sum := (sum + root.eval() + copy.eval()) MOD Modulus;
+    INC(rounds);
+  END;
+  RETURN sum;
+END Main;
+
+END WritePickle.
+)M3L";

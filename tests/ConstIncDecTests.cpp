@@ -1,0 +1,220 @@
+//===- ConstIncDecTests.cpp - CONST, INC/DEC and EVAL ---------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+TEST(Const, FoldsAtCompileTime) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+CONST
+  Width = 60;
+  Half = Width DIV 2;
+  Big = Width * Half + 1;
+  Flag = Width > 50;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  IF Flag THEN
+    RETURN Big;
+  END;
+  RETURN 0;
+END Main;
+END T.
+)"),
+            60 * 30 + 1);
+}
+
+TEST(Const, UsableAsArrayIndexAndBound) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+CONST N = 8;
+TYPE Buf = ARRAY OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf; s: INTEGER;
+BEGIN
+  b := NEW(Buf, N);
+  FOR i := 0 TO N - 1 DO
+    b[i] := i * 2;
+  END;
+  s := b[3];
+  RETURN s + NUMBER(b);
+END Main;
+END T.
+)"),
+            6 + 8);
+}
+
+TEST(Const, VariablesShadowConstants) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+CONST X = 100;
+PROCEDURE Use (): INTEGER =
+VAR X: INTEGER;
+BEGIN
+  X := 5;
+  RETURN X;
+END Use;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN Use() + X;
+END Main;
+END T.
+)"),
+            105);
+}
+
+TEST(Const, AssignmentRejected) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+CONST X = 1;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  X := 2;
+  RETURN 0;
+END Main;
+END T.
+)");
+  EXPECT_NE(E.find("read-only"), std::string::npos) << E;
+}
+
+TEST(Const, NonConstantInitializerRejected) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+VAR v: INTEGER;
+CONST X = v + 1;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  EXPECT_NE(E.find("not a constant"), std::string::npos) << E;
+}
+
+TEST(Const, DivisionByZeroRejected) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+CONST X = 1 DIV 0;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  EXPECT_NE(E.find("division by zero"), std::string::npos) << E;
+}
+
+TEST(IncDec, BasicAndWithAmount) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+VAR x: INTEGER;
+BEGIN
+  x := 10;
+  INC(x);
+  INC(x, 5);
+  DEC(x, 2);
+  DEC(x);
+  RETURN x;
+END Main;
+END T.
+)"),
+            13);
+}
+
+TEST(IncDec, EvaluatesDesignatorOnce) {
+  // The subscript expression's side effect must run exactly once.
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE Buf = ARRAY OF INTEGER;
+VAR calls: INTEGER;
+PROCEDURE Pick (): INTEGER =
+BEGIN
+  INC(calls);
+  RETURN 2;
+END Pick;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf;
+BEGIN
+  b := NEW(Buf, 4);
+  b[2] := 7;
+  INC(b[Pick()], 10);
+  RETURN b[2] * 10 + calls;
+END Main;
+END T.
+)"),
+            171);
+}
+
+TEST(IncDec, WorksThroughVarParamsAndFields) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE Node = OBJECT f: INTEGER; END;
+PROCEDURE BumpTwice (VAR x: INTEGER) =
+BEGIN
+  INC(x);
+  INC(x);
+END BumpTwice;
+PROCEDURE Main (): INTEGER =
+VAR n: Node;
+BEGIN
+  n := NEW(Node);
+  n.f := 1;
+  INC(n.f, 10);
+  BumpTwice(n.f);
+  RETURN n.f;
+END Main;
+END T.
+)"),
+            13);
+}
+
+TEST(IncDec, RejectsNonDesignator) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  INC(1 + 2);
+  RETURN 0;
+END Main;
+END T.
+)");
+  EXPECT_FALSE(E.empty());
+}
+
+TEST(IncDec, RejectsForIndex) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  FOR i := 1 TO 3 DO
+    INC(i);
+  END;
+  RETURN 0;
+END Main;
+END T.
+)");
+  EXPECT_NE(E.find("read-only"), std::string::npos) << E;
+}
+
+TEST(Eval, DiscardsValueKeepsEffects) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+VAR hits: INTEGER;
+PROCEDURE Bump (): INTEGER =
+BEGIN
+  INC(hits);
+  RETURN 999;
+END Bump;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  hits := 0;
+  EVAL Bump();
+  EVAL Bump() + Bump();
+  RETURN hits;
+END Main;
+END T.
+)"),
+            3);
+}

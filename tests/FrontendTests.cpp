@@ -1,0 +1,336 @@
+//===- FrontendTests.cpp - Lexer, parser and type-table units -------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+static std::vector<Token> lex(const std::string &Src, bool ExpectOk = true) {
+  DiagnosticEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_EQ(Diags.hasErrors(), !ExpectOk) << Diags.str();
+  return Tokens;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto T = lex("MODULE end If WHILE foo_bar2");
+  ASSERT_EQ(T.size(), 6u);
+  EXPECT_EQ(T[0].Kind, TokenKind::KwModule);
+  EXPECT_EQ(T[1].Kind, TokenKind::Identifier); // keywords are case-sensitive
+  EXPECT_EQ(T[2].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[3].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(T[4].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[4].Text, "foo_bar2");
+  EXPECT_EQ(T[5].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, CompoundOperators) {
+  auto T = lex(":= <= >= .. # ^ :");
+  EXPECT_EQ(T[0].Kind, TokenKind::Assign);
+  EXPECT_EQ(T[1].Kind, TokenKind::LessEq);
+  EXPECT_EQ(T[2].Kind, TokenKind::GreaterEq);
+  EXPECT_EQ(T[3].Kind, TokenKind::DotDot);
+  EXPECT_EQ(T[4].Kind, TokenKind::NotEqual);
+  EXPECT_EQ(T[5].Kind, TokenKind::Caret);
+  EXPECT_EQ(T[6].Kind, TokenKind::Colon);
+}
+
+TEST(Lexer, CharLiteralsDenoteCodePoints) {
+  auto T = lex("'a' '\\n' '\\\\' '\\0'");
+  EXPECT_EQ(T[0].IntValue, 'a');
+  EXPECT_EQ(T[1].IntValue, '\n');
+  EXPECT_EQ(T[2].IntValue, '\\');
+  EXPECT_EQ(T[3].IntValue, 0);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(T[I].Kind, TokenKind::IntLiteral);
+}
+
+TEST(Lexer, NestedComments) {
+  auto T = lex("a (* outer (* inner *) still out *) b");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+}
+
+TEST(Lexer, UnterminatedCommentReported) {
+  DiagnosticEngine Diags;
+  Lexer L("a (* never closed", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, SourceLocations) {
+  auto T = lex("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Col, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, CodeLineCountSkipsBlanksAndComments) {
+  DiagnosticEngine Diags;
+  Lexer L("a\n\n(* comment only *)\nb c\n", Diags);
+  L.lexAll();
+  EXPECT_EQ(L.codeLineCount(), 2u); // lines 1 and 4
+}
+
+//===----------------------------------------------------------------------===//
+// Parser errors
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, ReportsMissingSemicolon) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN 1
+END Main;
+END T.
+)");
+  EXPECT_NE(E.find("expected ';'"), std::string::npos) << E;
+}
+
+TEST(Parser, ReportsTrailerMismatch) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN 1;
+END Wrong;
+END T.
+)");
+  EXPECT_NE(E.find("does not match"), std::string::npos) << E;
+}
+
+TEST(Parser, ExpressionStatementMustBeCall) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+VAR x: INTEGER;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  x;
+  RETURN 0;
+END Main;
+END T.
+)");
+  EXPECT_NE(E.find("must be a call"), std::string::npos) << E;
+}
+
+TEST(Parser, ForbidsUndefinedForwardType) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+TYPE Node = OBJECT next: Missing; END;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  EXPECT_NE(E.find("never defined"), std::string::npos) << E;
+}
+
+TEST(Parser, ForwardReferencesResolve) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  A = OBJECT next: B; END;   (* B used before declared *)
+  B = OBJECT prev: A; END;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  EXPECT_TRUE(C.ok());
+}
+
+TEST(Parser, PrecedenceMatchesModula3) {
+  // NOT > relations is false in M3L (NOT binds looser than relations,
+  // tighter than AND); arithmetic * over +; relations below arithmetic.
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+VAR r: INTEGER; ok: BOOLEAN;
+BEGIN
+  r := 2 + 3 * 4;            (* 14, not 20 *)
+  ok := NOT 1 > 2;           (* NOT (1 > 2) = TRUE *)
+  IF ok AND 1 + 1 = 2 THEN
+    r := r + 100;
+  END;
+  RETURN r;
+END Main;
+END T.
+)"),
+            114);
+}
+
+//===----------------------------------------------------------------------===//
+// Type table semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Types, StructuralEquivalenceCanonicalizes) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  BufA = ARRAY OF INTEGER;
+  BufB = ARRAY OF INTEGER;
+  RecA = RECORD x, y: INTEGER; END;
+  RecB = RECORD x, y: INTEGER; END;
+  RecC = RECORD x, z: INTEGER; END;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  const TypeTable &TT = C.types();
+  EXPECT_EQ(TT.canonical(TT.lookupNamed("BufA")),
+            TT.canonical(TT.lookupNamed("BufB")));
+  EXPECT_EQ(TT.canonical(TT.lookupNamed("RecA")),
+            TT.canonical(TT.lookupNamed("RecB")));
+  EXPECT_NE(TT.canonical(TT.lookupNamed("RecA")),
+            TT.canonical(TT.lookupNamed("RecC"))); // field names differ
+}
+
+TEST(Types, StructurallyEqualArraysAreAssignable) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE
+  BufA = ARRAY OF INTEGER;
+  BufB = ARRAY OF INTEGER;
+PROCEDURE Sum (b: BufB): INTEGER =
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 0 TO NUMBER(b) - 1 DO s := s + b[i]; END;
+  RETURN s;
+END Sum;
+PROCEDURE Main (): INTEGER =
+VAR a: BufA;
+BEGIN
+  a := NEW(BufA, 3);
+  a[0] := 1; a[1] := 2; a[2] := 3;
+  RETURN Sum(a);   (* BufA value into BufB formal *)
+END Main;
+END T.
+)"),
+            6);
+}
+
+TEST(Types, BrandedTypesAreNameEquivalent) {
+  // Two BRANDED records with identical structure but different brands
+  // must not unify; assignment across them is an error.
+  std::string E = compileExpectError(R"(
+MODULE T;
+TYPE
+  RA = BRANDED "ra" RECORD x: INTEGER; END;
+  RB = BRANDED "rb" RECORD x: INTEGER; END;
+VAR a: RA; b: RB;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  a := NEW(RA);
+  b := a;
+  RETURN 0;
+END Main;
+END T.
+)");
+  EXPECT_NE(E.find("cannot assign"), std::string::npos) << E;
+}
+
+TEST(Types, SameBrandStillDistinctDeclarations) {
+  // Each BRANDED declaration is its own type even with identical text.
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  RA = BRANDED "same" RECORD x: INTEGER; END;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  const TypeTable &TT = C.types();
+  TypeId RA = TT.lookupNamed("RA");
+  EXPECT_EQ(TT.canonical(RA), TT.canonical(RA));
+  EXPECT_TRUE(TT.get(RA).isBranded());
+}
+
+TEST(Types, SupertypeCycleRejected) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+TYPE
+  A = B OBJECT x: INTEGER; END;
+  B = A OBJECT y: INTEGER; END;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  EXPECT_NE(E.find("cyclic"), std::string::npos) << E;
+}
+
+TEST(Types, AccessibilityRespectsDeepBrands) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  Inner = BRANDED "inner" OBJECT v: INTEGER; END;
+  Open = OBJECT v: INTEGER; END;
+  HasBrand = OBJECT i: Inner; END;
+  NoBrand = OBJECT o: Open; END;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  const TypeTable &TT = C.types();
+  EXPECT_FALSE(
+      TT.isAccessibleToUnavailableCode(TT.lookupNamed("HasBrand")));
+  EXPECT_TRUE(TT.isAccessibleToUnavailableCode(TT.lookupNamed("NoBrand")));
+  EXPECT_FALSE(TT.isAccessibleToUnavailableCode(TT.lookupNamed("Inner")));
+}
+
+TEST(Types, RecursiveStructuralEquality) {
+  // Coinductive: two separately declared self-referential lists unify.
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  ListA = OBJECT head: INTEGER; tail: ListA; END;
+  ListB = OBJECT head: INTEGER; tail: ListB; END;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  const TypeTable &TT = C.types();
+  EXPECT_EQ(TT.canonical(TT.lookupNamed("ListA")),
+            TT.canonical(TT.lookupNamed("ListB")));
+}
+
+//===----------------------------------------------------------------------===//
+// AST printer
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTPrinter.h"
+
+TEST(ASTPrinter, RendersResolvedStructure) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+CONST K = 3;
+TYPE Node = OBJECT f: INTEGER; END;
+VAR g: Node;
+PROCEDURE Main (): INTEGER =
+VAR x: INTEGER;
+BEGIN
+  g := NEW(Node);
+  WITH w = g.f DO
+    w := K;
+  END;
+  INC(x, g.f);
+  RETURN x;
+END Main;
+END T.
+)");
+  std::string Out = printModule(C.ast(), C.types());
+  EXPECT_NE(Out.find("MODULE T"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("CONST K = 3 : INTEGER"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("VAR g : Node"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("g := NEW(Node)"), std::string::npos) << Out;
+  // Field accesses carry resolved field ids; WITH shows alias-ness.
+  EXPECT_NE(Out.find("g.f{f"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("(alias)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("INC(x, g.f"), std::string::npos) << Out;
+}

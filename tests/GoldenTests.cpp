@@ -1,0 +1,66 @@
+//===- GoldenTests.cpp - Pinned workload checksums -------------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Every benchmark's checksum is pinned. These values back every number in
+// EXPERIMENTS.md; a change here means the workload inputs or the language
+// semantics changed, and all reported results must be regenerated.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+struct Golden {
+  const char *Name;
+  int64_t Checksum;
+};
+
+constexpr Golden Goldens[] = {
+    {"format", 900263027},    {"dformat", 342847893},
+    {"write-pickle", 257618873}, {"k-tree", 441827238},
+    {"slisp", 134438198},     {"pp", 867252856},
+    {"dom", 228090704},       {"postcard", 962346572},
+    {"m2tom3", 74679219},     {"m3cg", 881268001},
+};
+
+} // namespace
+
+class GoldenChecksums : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenChecksums, Match) {
+  const Golden &G = GetParam();
+  const WorkloadInfo *W = findWorkload(G.Name);
+  ASSERT_NE(W, nullptr) << G.Name;
+  Compilation C = compileOrDie(W->Source);
+  ASSERT_TRUE(C.ok());
+  VM Machine(C.IR);
+  Machine.setOpLimit(500'000'000);
+  ASSERT_TRUE(Machine.runInit()) << Machine.trapMessage();
+  auto R = Machine.callFunction("Main");
+  ASSERT_TRUE(R.has_value()) << Machine.trapMessage();
+  EXPECT_EQ(*R, G.Checksum)
+      << G.Name << ": the workload or language semantics changed; "
+      << "regenerate EXPERIMENTS.md if intentional";
+}
+
+TEST(GoldenChecksums, CoversEveryWorkload) {
+  EXPECT_EQ(std::size(Goldens), allWorkloads().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, GoldenChecksums,
+                         ::testing::ValuesIn(Goldens),
+                         [](const ::testing::TestParamInfo<Golden> &Info) {
+                           std::string Name = Info.param.Name;
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });

@@ -1,0 +1,350 @@
+//===- IRTests.cpp - IR structure, dominators, loops, call graph ----------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "ir/Dominators.h"
+#include "ir/Loops.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+const IRFunction &functionNamed(const Compilation &C, const char *Name) {
+  const IRFunction *F = C.IR.findFunction(Name);
+  EXPECT_NE(F, nullptr) << Name;
+  return *F;
+}
+
+unsigned countOps(const IRFunction &F, Opcode Op) {
+  unsigned N = 0;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.Op == Op)
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Lowering, DecomposesChainedPathsThroughShadows) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  Inner = OBJECT c: INTEGER; END;
+  Outer = OBJECT b: Inner; END;
+PROCEDURE Main (): INTEGER =
+VAR a: Outer;
+BEGIN
+  a := NEW(Outer);
+  a.b := NEW(Inner);
+  RETURN a.b.c;
+END Main;
+END T.
+)");
+  const IRFunction &F = functionNamed(C, "Main");
+  // a.b.c is two LoadMems: a.b into a shadow, then shadow.c.
+  EXPECT_EQ(countOps(F, Opcode::LoadMem), 2u);
+  bool SawSynthetic = false;
+  for (const IRVar &V : F.Frame)
+    SawSynthetic |= V.Synthetic;
+  EXPECT_TRUE(SawSynthetic);
+}
+
+TEST(Lowering, IndexOperandsAreVarsOrConstants) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE Buf = ARRAY OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf; i: INTEGER;
+BEGIN
+  b := NEW(Buf, 10);
+  i := 2;
+  RETURN b[i] + b[3] + b[i * 2 + 1];
+END Main;
+END T.
+)");
+  const IRFunction &F = functionNamed(C, "Main");
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.isMemAccess() && I.Path.Sel == SelKind::Index) {
+        EXPECT_TRUE(I.Path.Index.K == Operand::Kind::Var ||
+                    I.Path.Index.K == Operand::Kind::ImmInt);
+      }
+}
+
+TEST(Lowering, VarParamsBecomeDerefPaths) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+PROCEDURE Bump (VAR x: INTEGER) =
+BEGIN
+  x := x + 1;
+END Bump;
+PROCEDURE Main (): INTEGER =
+VAR a: INTEGER;
+BEGIN
+  Bump(a);
+  RETURN a;
+END Main;
+END T.
+)");
+  const IRFunction &Bump = functionNamed(C, "Bump");
+  unsigned Derefs = 0;
+  for (const BasicBlock &B : Bump.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.isMemAccess() && I.Path.Sel == SelKind::Deref)
+        ++Derefs;
+  EXPECT_EQ(Derefs, 2u); // one load, one store through the formal
+  // The caller materializes the address and marks the local escaped.
+  const IRFunction &Main = functionNamed(C, "Main");
+  EXPECT_EQ(countOps(Main, Opcode::MkRef), 1u);
+  bool Escaped = false;
+  for (const IRVar &V : Main.Frame)
+    Escaped |= V.AddressTaken;
+  EXPECT_TRUE(Escaped);
+}
+
+TEST(Lowering, VerifierAcceptsAllWorkloadIR) {
+  // (Workload compilation already verifies in compileOrDie; this pins the
+  // static-id invariant too.)
+  Compilation C = compileOrDie(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END T.
+)");
+  uint32_t Total = C.IR.assignStaticIds();
+  uint32_t Seen = 0;
+  for (const IRFunction &F : C.IR.Functions)
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs) {
+        EXPECT_EQ(I.StaticId, Seen);
+        ++Seen;
+      }
+  EXPECT_EQ(Seen, Total);
+}
+
+TEST(Dominators, DiamondAndLoop) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+VAR s, i: INTEGER;
+BEGIN
+  s := 0;
+  i := 0;
+  WHILE i < 10 DO
+    IF i MOD 2 = 0 THEN
+      s := s + i;
+    ELSE
+      s := s - 1;
+    END;
+    i := i + 1;
+  END;
+  RETURN s;
+END Main;
+END T.
+)");
+  const IRFunction &F = functionNamed(C, "Main");
+  DominatorTree DT(F);
+  // Entry dominates everything reachable.
+  for (const BasicBlock &B : F.Blocks)
+    if (DT.isReachable(B.Id)) {
+      EXPECT_TRUE(DT.dominates(0, B.Id));
+    }
+  // Reflexive; and the entry has no idom.
+  EXPECT_TRUE(DT.dominates(3, 3));
+  EXPECT_EQ(DT.idom(0), InvalidBlock);
+}
+
+TEST(Loops, RotatedWhileProducesNaturalLoop) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+VAR s, i: INTEGER;
+BEGIN
+  s := 0;
+  i := 0;
+  WHILE i < 10 DO
+    s := s + i;
+    i := i + 1;
+  END;
+  RETURN s;
+END Main;
+END T.
+)");
+  IRFunction &F = *C.IR.findFunction("Main");
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_FALSE(L.Latches.empty());
+  EXPECT_FALSE(L.ExitingBlocks.empty());
+  EXPECT_TRUE(L.contains(L.Header));
+}
+
+TEST(Loops, PreheadersInsertedOncePerLoop) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 0 TO 4 DO
+    FOR j := 0 TO 4 DO
+      s := s + i * j;
+    END;
+  END;
+  RETURN s;
+END Main;
+END T.
+)");
+  IRFunction &F = *C.IR.findFunction("Main");
+  size_t BlocksBefore = F.Blocks.size();
+  LoopInfo LI = ensurePreheaders(F);
+  EXPECT_EQ(F.Blocks.size(), BlocksBefore + LI.loops().size());
+  for (const Loop &L : LI.loops()) {
+    ASSERT_NE(L.Preheader, InvalidBlock);
+    // The preheader jumps straight to the header and is outside the loop.
+    EXPECT_FALSE(L.contains(L.Preheader));
+    EXPECT_EQ(F.Blocks[L.Preheader].Instrs.back().T1, L.Header);
+  }
+  // Nested: inner loop body is a subset of the outer loop body.
+  ASSERT_EQ(LI.loops().size(), 2u);
+  const Loop &Inner = LI.loops()[0], &Outer = LI.loops()[1];
+  EXPECT_LT(Inner.Blocks.size(), Outer.Blocks.size());
+  for (BlockId B : Inner.Blocks)
+    EXPECT_TRUE(Outer.contains(B));
+  EXPECT_EQ(Inner.Depth, 2u);
+  EXPECT_EQ(Outer.Depth, 1u);
+}
+
+TEST(CallGraph, MethodCallsEdgeToAllImplementations) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  A = OBJECT v: INTEGER; METHODS m (): INTEGER := MA; END;
+  B = A OBJECT OVERRIDES m := MB; END;
+PROCEDURE MA (self: A): INTEGER = BEGIN RETURN 1; END MA;
+PROCEDURE MB (self: A): INTEGER = BEGIN RETURN 2; END MB;
+PROCEDURE Use (a: A): INTEGER = BEGIN RETURN a.m(); END Use;
+PROCEDURE Main (): INTEGER =
+VAR b: B;
+BEGIN
+  b := NEW(B);
+  RETURN Use(b);
+END Main;
+END T.
+)");
+  CallGraph CG(C.IR, C.types());
+  const IRFunction &Use = functionNamed(C, "Use");
+  std::vector<FuncId> Callees = CG.callees(Use.Id);
+  EXPECT_EQ(Callees.size(), 2u); // both MA and MB are possible
+  EXPECT_FALSE(CG.isRecursive(Use.Id));
+}
+
+TEST(CallGraph, RecursionDetected) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+PROCEDURE Even (n: INTEGER): BOOLEAN =
+BEGIN
+  IF n = 0 THEN RETURN TRUE; END;
+  RETURN Odd(n - 1);
+END Even;
+PROCEDURE Odd (n: INTEGER): BOOLEAN =
+BEGIN
+  IF n = 0 THEN RETURN FALSE; END;
+  RETURN Even(n - 1);
+END Odd;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  IF Even(10) THEN RETURN 1; END;
+  RETURN 0;
+END Main;
+END T.
+)");
+  CallGraph CG(C.IR, C.types());
+  EXPECT_TRUE(CG.isRecursive(functionNamed(C, "Even").Id));
+  EXPECT_TRUE(CG.isRecursive(functionNamed(C, "Odd").Id));
+  EXPECT_FALSE(CG.isRecursive(functionNamed(C, "Main").Id));
+}
+
+TEST(ModRef, SummariesAreTransitive) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE Node = OBJECT f: INTEGER; END;
+VAR g: Node; counter: INTEGER;
+PROCEDURE Leaf () =
+BEGIN
+  g.f := g.f + 1;
+END Leaf;
+PROCEDURE Mid () =
+BEGIN
+  Leaf();
+END Mid;
+PROCEDURE Pure (x: INTEGER): INTEGER =
+BEGIN
+  RETURN x * 2;
+END Pure;
+PROCEDURE Glob () =
+BEGIN
+  counter := counter + 1;
+END Glob;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  g := NEW(Node);
+  Mid();
+  Glob();
+  RETURN g.f + Pure(2);
+END Main;
+END T.
+)");
+  CallGraph CG(C.IR, C.types());
+  ModRefAnalysis MR(C.IR, CG);
+  const IRFunction &Leaf = functionNamed(C, "Leaf");
+  const IRFunction &Mid = functionNamed(C, "Mid");
+  const IRFunction &Pure = functionNamed(C, "Pure");
+  const IRFunction &Glob = functionNamed(C, "Glob");
+
+  EXPECT_FALSE(MR.summary(Leaf.Id).Mods.empty());
+  // Mid inherits Leaf's heap mod transitively.
+  EXPECT_FALSE(MR.summary(Mid.Id).Mods.empty());
+  EXPECT_TRUE(MR.summary(Pure.Id).Mods.empty());
+  EXPECT_FALSE(MR.summary(Pure.Id).GlobalsMod.any());
+  EXPECT_TRUE(MR.summary(Glob.Id).GlobalsMod.any());
+  EXPECT_TRUE(MR.summary(Glob.Id).Mods.empty());
+}
+
+TEST(ModRef, RecursiveSummariesReachFixpoint) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE Node = OBJECT f: INTEGER; next: Node; END;
+PROCEDURE Walk (n: Node) =
+BEGIN
+  IF n # NIL THEN
+    n.f := n.f + 1;
+    Walk(n.next);
+  END;
+END Walk;
+PROCEDURE Main (): INTEGER =
+VAR n: Node;
+BEGIN
+  n := NEW(Node);
+  Walk(n);
+  RETURN n.f;
+END Main;
+END T.
+)");
+  CallGraph CG(C.IR, C.types());
+  ModRefAnalysis MR(C.IR, CG);
+  const IRFunction &Walk = functionNamed(C, "Walk");
+  EXPECT_FALSE(MR.summary(Walk.Id).Mods.empty());
+  EXPECT_FALSE(MR.summary(Walk.Id).Refs.empty());
+}

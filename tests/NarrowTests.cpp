@@ -1,0 +1,284 @@
+//===- NarrowTests.cpp - NARROW/ISTYPE and their TBAA interaction ---------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Modula-3's checked downcast is type-safe, so TBAA stays applicable --
+// but NARROW is an implicit assignment for selective type merging: a
+// T-typed access path can now reach objects that flowed in as supertype
+// values. The soundness-critical test here is exactly that.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "limit/AliasSoundness.h"
+#include "opt/RLE.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+TEST(Narrow, DowncastRecoversSubtypeFields) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE
+  Base = OBJECT tag: INTEGER; END;
+  Num = Base OBJECT value: INTEGER; END;
+PROCEDURE Unwrap (b: Base): INTEGER =
+BEGIN
+  IF ISTYPE(b, Num) THEN
+    RETURN NARROW(b, Num).value;
+  END;
+  RETURN -1;
+END Unwrap;
+PROCEDURE Main (): INTEGER =
+VAR n: Num; plain: Base;
+BEGIN
+  n := NEW(Num);
+  n.value := 42;
+  plain := NEW(Base);
+  RETURN Unwrap(n) * 10 + Unwrap(plain) + 1;
+END Main;
+END T.
+)"),
+            420);
+}
+
+TEST(Narrow, MismatchTraps) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  Base = OBJECT tag: INTEGER; END;
+  Num = Base OBJECT value: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR b: Base;
+BEGIN
+  b := NEW(Base);
+  RETURN NARROW(b, Num).value;
+END Main;
+END T.
+)");
+  ASSERT_TRUE(C.ok());
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_FALSE(Machine.callFunction("Main").has_value());
+  EXPECT_NE(Machine.trapMessage().find("NARROW"), std::string::npos);
+}
+
+TEST(Narrow, NilNarrowsToNilAndIsTypeFalse) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE
+  Base = OBJECT tag: INTEGER; END;
+  Num = Base OBJECT value: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR b: Base; n: Num;
+BEGIN
+  n := NARROW(b, Num);   (* NIL narrows to NIL *)
+  IF n = NIL AND NOT ISTYPE(b, Num) THEN
+    RETURN 1;
+  END;
+  RETURN 0;
+END Main;
+END T.
+)"),
+            1);
+}
+
+TEST(Narrow, UpcastTargetRejected) {
+  std::string E = compileExpectError(R"(
+MODULE T;
+TYPE
+  Base = OBJECT tag: INTEGER; END;
+  Num = Base OBJECT value: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Num; b: Base;
+BEGIN
+  n := NEW(Num);
+  b := NARROW(n, Base);   (* Base is not a subtype of Num *)
+  RETURN 0;
+END Main;
+END T.
+)");
+  EXPECT_NE(E.find("not a subtype"), std::string::npos) << E;
+}
+
+TEST(Narrow, IsAMergePointForSMTypeRefs) {
+  // The only route from Sub values into Sub-typed access paths is the
+  // NARROW; without recording it as a merge, SMTypeRefs would wrongly
+  // separate base.f-through-Sub from base.f-through-Base.
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  Base = OBJECT f: INTEGER; END;
+  Sub = Base OBJECT g: INTEGER; END;
+VAR cell: Base;
+PROCEDURE Stash () =
+VAR s: Sub;
+BEGIN
+  s := NEW(Sub);
+  s.f := 1;
+  cell := s;           (* merge Base~Sub here *)
+END Stash;
+PROCEDURE Main (): INTEGER =
+VAR viaNarrow: Sub; x: INTEGER;
+BEGIN
+  Stash();
+  viaNarrow := NARROW(cell, Sub);
+  x := viaNarrow.f;    (* same location as cell.f *)
+  cell.f := 77;
+  RETURN x + viaNarrow.f;
+END Main;
+END T.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  // Dynamic witness check: viaNarrow.f and cell.f touch the same word.
+  AliasWitnessMonitor Witness(C.IR);
+  VM Machine(C.IR);
+  Machine.addMonitor(&Witness);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 1 + 77);
+  for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
+                       AliasLevel::SMTypeRefs, AliasLevel::SMFieldTypeRefs}) {
+    auto Oracle = makeAliasOracle(Ctx, L);
+    std::string V = Witness.verify(*Oracle);
+    EXPECT_TRUE(V.empty()) << aliasLevelName(L) << ":\n" << V;
+  }
+}
+
+TEST(Narrow, NarrowOnlyFlowStillMerges) {
+  // Even when NO ordinary assignment relates the types (values reach the
+  // supertype variable via a method-return of the base type), NARROW's
+  // merge keeps the TypeRefs tables sound.
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  Base = OBJECT f: INTEGER; END;
+  Sub = Base OBJECT g: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR b: Base; s: Sub; x: INTEGER;
+BEGIN
+  b := NEW(Sub);        (* assignment merge b~Sub *)
+  s := NARROW(b, Sub);  (* narrow merge *)
+  s.f := 5;
+  x := b.f;             (* must see 5 *)
+  RETURN x;
+END Main;
+END T.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  TypeId Base = C.types().canonical(C.types().lookupNamed("Base"));
+  TypeId Sub = C.types().canonical(C.types().lookupNamed("Sub"));
+  EXPECT_TRUE(Ctx.typeRefsCompat(Base, Sub));
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE
+  Base = OBJECT f: INTEGER; END;
+  Sub = Base OBJECT g: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR b: Base; s: Sub; x: INTEGER;
+BEGIN
+  b := NEW(Sub);
+  s := NARROW(b, Sub);
+  s.f := 5;
+  x := b.f;
+  RETURN x;
+END Main;
+END T.
+)"),
+            5);
+}
+
+TEST(Narrow, RLEStillSoundAroundDowncasts) {
+  // A store through the narrowed handle must kill availability of the
+  // supertype-typed load at every analysis level.
+  const char *Src = R"(
+MODULE T;
+TYPE
+  Base = OBJECT f: INTEGER; END;
+  Sub = Base OBJECT g: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR b: Base; s: Sub; x: INTEGER;
+BEGIN
+  b := NEW(Sub);
+  x := b.f;
+  s := NARROW(b, Sub);
+  s.f := 9;
+  x := x * 100 + b.f;   (* must observe 9 *)
+  RETURN x;
+END Main;
+END T.
+)";
+  EXPECT_EQ(runMain(Src), 9);
+  for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
+                       AliasLevel::SMFieldTypeRefs}) {
+    Compilation C = compileOrDie(Src);
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    auto Oracle = makeAliasOracle(Ctx, L);
+    runRLE(C.IR, *Oracle);
+    VM Machine(C.IR);
+    ASSERT_TRUE(Machine.runInit());
+    EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 9)
+        << aliasLevelName(L);
+  }
+}
+
+TEST(Narrow, RepeatedTypeTestsElided) {
+  // Three NARROWs of the same unmodified variable: RLE's type-test
+  // elision keeps one and turns the rest into register moves.
+  const char *Src = R"(
+MODULE T;
+TYPE
+  Base = OBJECT f: INTEGER; END;
+  Sub = Base OBJECT g: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR b: Base; s: INTEGER;
+BEGIN
+  b := NEW(Sub);
+  NARROW(b, Sub).f := 1;
+  NARROW(b, Sub).g := 2;
+  s := NARROW(b, Sub).f + NARROW(b, Sub).g;
+  RETURN s;
+END Main;
+END T.
+)";
+  EXPECT_EQ(runMain(Src), 3);
+  Compilation C = compileOrDie(Src);
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  RLEStats S = runRLE(C.IR, *Oracle);
+  EXPECT_GE(S.TypeTestsElided, 3u);
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 3);
+}
+
+TEST(Narrow, ElisionRespectsVariableRedefinition) {
+  // b changes between the tests: the second ISTYPE must re-test.
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE
+  Base = OBJECT f: INTEGER; END;
+  Sub = Base OBJECT g: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR b: Base; hits: INTEGER;
+BEGIN
+  b := NEW(Sub);
+  hits := 0;
+  IF ISTYPE(b, Sub) THEN
+    INC(hits);
+  END;
+  b := NEW(Base);      (* redefinition *)
+  IF ISTYPE(b, Sub) THEN
+    INC(hits, 100);    (* must NOT run *)
+  END;
+  RETURN hits;
+END Main;
+END T.
+)"),
+            1);
+}

@@ -1,0 +1,241 @@
+//===- OptUnitTests.cpp - Optimizer units: copyprop, inline, devirt -------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/AliasCensus.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "opt/CopyProp.h"
+#include "opt/Devirt.h"
+#include "opt/Inline.h"
+#include "opt/RLE.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+TEST(CopyProp, CountsRewrites) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  Inner = OBJECT c: INTEGER; END;
+  Outer = OBJECT b: Inner; END;
+PROCEDURE Main (): INTEGER =
+VAR a: Outer;
+BEGIN
+  a := NEW(Outer);
+  a.b := NEW(Inner);
+  a.b.c := 9;
+  RETURN a.b.c + a.b.c;
+END Main;
+END T.
+)");
+  // The two a.b.c reads root their .c loads at different shadows; memory
+  // value tracking unifies them.
+  unsigned Rewrites = propagateCopies(C.IR);
+  EXPECT_GE(Rewrites, 1u);
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 18);
+}
+
+TEST(CopyProp, InvalidatedByStores) {
+  // After n.f changes, the old shadow must NOT be reused for the new read.
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  Inner = OBJECT c: INTEGER; END;
+  Outer = OBJECT b: Inner; END;
+PROCEDURE Main (): INTEGER =
+VAR a: Outer; first: INTEGER;
+BEGIN
+  a := NEW(Outer);
+  a.b := NEW(Inner);
+  a.b.c := 1;
+  first := a.b.c;
+  a.b := NEW(Inner);   (* rebind: the old shadow is stale *)
+  a.b.c := 2;
+  RETURN first * 10 + a.b.c;
+END Main;
+END T.
+)");
+  propagateCopies(C.IR);
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 12);
+}
+
+TEST(Inline, VarParamCalleesInlineCorrectly) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+PROCEDURE AddTo (VAR acc: INTEGER; n: INTEGER) =
+BEGIN
+  acc := acc + n;
+END AddTo;
+PROCEDURE Main (): INTEGER =
+VAR total: INTEGER;
+BEGIN
+  total := 0;
+  FOR i := 1 TO 10 DO
+    AddTo(total, i);
+  END;
+  RETURN total;
+END Main;
+END T.
+)");
+  unsigned Expanded = inlineCalls(C.IR);
+  EXPECT_GE(Expanded, 1u);
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 55);
+}
+
+TEST(Inline, HonorsSizeBudget) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+PROCEDURE Tiny (x: INTEGER): INTEGER =
+BEGIN
+  RETURN x + 1;
+END Tiny;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN Tiny(1);
+END Main;
+END T.
+)");
+  InlineOptions Opts;
+  Opts.MaxCalleeInstrs = 1; // nothing fits
+  EXPECT_EQ(inlineCalls(C.IR, Opts), 0u);
+}
+
+TEST(Devirt, OpenWorldStillResolvesBrandedHierarchies) {
+  // Open world merges unbranded subtype pairs, which can block
+  // resolution; BRANDED hierarchies stay protected.
+  const char *Src = R"(
+MODULE T;
+TYPE
+  B = BRANDED "b" OBJECT v: INTEGER; METHODS m (): INTEGER := MB; END;
+  U = OBJECT v: INTEGER; METHODS m (): INTEGER := MU; END;
+  US = U OBJECT OVERRIDES m := MUS; END;
+PROCEDURE MB (self: B): INTEGER = BEGIN RETURN 1; END MB;
+PROCEDURE MU (self: U): INTEGER = BEGIN RETURN 2; END MU;
+PROCEDURE MUS (self: U): INTEGER = BEGIN RETURN 3; END MUS;
+PROCEDURE UseB (b: B): INTEGER = BEGIN RETURN b.m(); END UseB;
+PROCEDURE UseU (u: U): INTEGER = BEGIN RETURN u.m(); END UseU;
+PROCEDURE Main (): INTEGER =
+VAR b: B; u: U;
+BEGIN
+  b := NEW(B);
+  u := NEW(U);
+  RETURN UseB(b) * 10 + UseU(u);
+END Main;
+END T.
+)";
+  Compilation C = compileOrDie(Src);
+  TBAAContext Open(C.ast(), C.types(), {.OpenWorld = true});
+  unsigned Resolved = resolveMethodCalls(C.IR, Open);
+  // b.m() resolves (branded, no reconstructible subtypes); u.m() cannot
+  // (open world: US may flow into U behind our back).
+  EXPECT_EQ(Resolved, 1u);
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 12);
+}
+
+TEST(Census, IdenticalPathsInOneProcedureCount) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE Node = OBJECT f: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node;
+BEGIN
+  n := NEW(Node);
+  n.f := 1;
+  RETURN n.f + n.f;
+END Main;
+END T.
+)");
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  CensusResult R = countAliasPairs(C.IR, *Oracle);
+  // Three references to n.f (one store, two loads): 3 pairwise aliases.
+  EXPECT_EQ(R.References, 3u);
+  EXPECT_EQ(R.LocalPairs, 3u);
+  EXPECT_EQ(R.GlobalPairs, 3u);
+}
+
+TEST(Census, PerfectOracleCountsOnlyLexicalPairs) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE Node = OBJECT f: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR a, b: Node;
+BEGIN
+  a := NEW(Node);
+  b := a;
+  a.f := 1;
+  b.f := 2;
+  RETURN a.f;
+END Main;
+END T.
+)");
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Perfect = makeAliasOracle(Ctx, AliasLevel::Perfect);
+  auto Real = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  CensusResult RP = countAliasPairs(C.IR, *Perfect);
+  CensusResult RR = countAliasPairs(C.IR, *Real);
+  // a.f store + a.f load are lexically identical: 1 pair; the sound
+  // analysis also admits the b.f cross pairs.
+  EXPECT_EQ(RP.LocalPairs, 1u);
+  EXPECT_GT(RR.LocalPairs, RP.LocalPairs);
+}
+
+TEST(Census, SMTypeRefsLevelSitsBetween) {
+  // The merge-only analysis (no field cases) is weaker than
+  // SMFieldTypeRefs but benefits from never-merged types.
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE
+  A = OBJECT x: INTEGER; y: INTEGER; END;
+  B = OBJECT z: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR a: A; b: B;
+BEGIN
+  a := NEW(A);
+  b := NEW(B);
+  a.x := 1;
+  a.y := 2;
+  b.z := 3;
+  RETURN a.x + a.y + b.z;
+END Main;
+END T.
+)");
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto SMT = makeAliasOracle(Ctx, AliasLevel::SMTypeRefs);
+  auto SMF = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  CensusResult RT = countAliasPairs(C.IR, *SMT);
+  CensusResult RF = countAliasPairs(C.IR, *SMF);
+  // Without field cases every INTEGER-valued AP aliases every other.
+  EXPECT_GT(RT.LocalPairs, RF.LocalPairs);
+}
+
+TEST(RLEOrder, SecondRunIsIdempotent) {
+  const WorkloadInfo *W = findWorkload("dformat");
+  ASSERT_NE(W, nullptr);
+  Compilation C = compileOrDie(W->Source);
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  RLEStats First = runRLE(C.IR, *Oracle);
+  RLEStats Second = runRLE(C.IR, *Oracle);
+  EXPECT_GT(First.total(), 0u);
+  EXPECT_EQ(Second.Replaced, 0u); // everything already eliminated
+  VM Machine(C.IR);
+  Machine.setOpLimit(500'000'000);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_TRUE(Machine.callFunction("Main").has_value());
+}

@@ -1,0 +1,140 @@
+//===- PropertyTests.cpp - Property-based soundness and preservation ------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Two program-wide properties, checked over randomly generated well-typed
+// programs and over the benchmark suite:
+//
+//  (1) Soundness: any two references dynamically observed on the same
+//      heap word must be may-aliases under every TBAA variant.
+//  (2) Preservation: RLE at every level keeps program results unchanged
+//      and never increases heap loads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "limit/AliasSoundness.h"
+#include "opt/CopyProp.h"
+#include "opt/Devirt.h"
+#include "opt/Inline.h"
+#include "opt/RLE.h"
+#include "workloads/Generator.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+/// Runs the program recording alias witnesses, then verifies every
+/// oracle level against them.
+void checkSoundness(const std::string &Source, const char *Label) {
+  Compilation C = compileOrDie(Source);
+  ASSERT_TRUE(C.ok()) << Label;
+  AliasWitnessMonitor Witness(C.IR);
+  VM Machine(C.IR);
+  Machine.setOpLimit(500'000'000);
+  Machine.addMonitor(&Witness);
+  ASSERT_TRUE(Machine.runInit()) << Label << ": " << Machine.trapMessage();
+  ASSERT_TRUE(Machine.callFunction("Main").has_value())
+      << Label << ": " << Machine.trapMessage();
+
+  TBAAContext Closed(C.ast(), C.types(), {});
+  TBAAContext Open(C.ast(), C.types(), {.OpenWorld = true});
+  for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
+                       AliasLevel::SMTypeRefs, AliasLevel::SMFieldTypeRefs}) {
+    for (const TBAAContext *Ctx : {&Closed, &Open}) {
+      auto Oracle = makeAliasOracle(*Ctx, L);
+      std::string Violations = Witness.verify(*Oracle);
+      EXPECT_TRUE(Violations.empty())
+          << Label << " ("
+          << (Ctx->options().OpenWorld ? "open" : "closed")
+          << " world):\n" << Violations;
+    }
+  }
+}
+
+/// Base-vs-optimized checksum equality at every level.
+void checkPreservation(const std::string &Source, const char *Label) {
+  Compilation Base = compileOrDie(Source);
+  ASSERT_TRUE(Base.ok()) << Label;
+  VM BaseVM(Base.IR);
+  BaseVM.setOpLimit(500'000'000);
+  ASSERT_TRUE(BaseVM.runInit()) << Label;
+  auto BaseResult = BaseVM.callFunction("Main");
+  ASSERT_TRUE(BaseResult.has_value()) << Label << ": "
+                                      << BaseVM.trapMessage();
+
+  for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
+                       AliasLevel::SMFieldTypeRefs}) {
+    for (bool Pipeline : {false, true}) {
+      Compilation C = compileOrDie(Source);
+      ASSERT_TRUE(C.ok());
+      TBAAContext Ctx(C.ast(), C.types(), {});
+      auto Oracle = makeAliasOracle(Ctx, L);
+      if (Pipeline) {
+        resolveMethodCalls(C.IR, Ctx);
+        inlineCalls(C.IR);
+        propagateCopies(C.IR);
+      }
+      runRLE(C.IR, *Oracle);
+      VM Machine(C.IR);
+      Machine.setOpLimit(500'000'000);
+      ASSERT_TRUE(Machine.runInit())
+          << Label << " " << aliasLevelName(L) << ": "
+          << Machine.trapMessage();
+      auto R = Machine.callFunction("Main");
+      ASSERT_TRUE(R.has_value()) << Label << " " << aliasLevelName(L) << ": "
+                                 << Machine.trapMessage();
+      EXPECT_EQ(*R, *BaseResult)
+          << Label << " under " << aliasLevelName(L)
+          << (Pipeline ? " (full pipeline)" : "");
+      EXPECT_LE(Machine.stats().HeapLoads, BaseVM.stats().HeapLoads)
+          << Label << " under " << aliasLevelName(L);
+    }
+  }
+}
+
+} // namespace
+
+class GeneratedPrograms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratedPrograms, OraclesAdmitDynamicAliases) {
+  GeneratorOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.StatementBudget = 140;
+  std::string Source = generateProgram(Opts);
+  checkSoundness(Source, ("seed " + std::to_string(Opts.Seed)).c_str());
+}
+
+TEST_P(GeneratedPrograms, RLEPreservesSemantics) {
+  GeneratorOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.StatementBudget = 140;
+  std::string Source = generateProgram(Opts);
+  checkPreservation(Source, ("seed " + std::to_string(Opts.Seed)).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratedPrograms,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+class WorkloadSoundness : public ::testing::TestWithParam<WorkloadInfo> {};
+
+TEST_P(WorkloadSoundness, OraclesAdmitDynamicAliases) {
+  checkSoundness(GetParam().Source, GetParam().Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSoundness, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,652 @@
+//===- RLETests.cpp - Redundant load elimination correctness --------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// For every program and every analysis level: optimizing must preserve
+// results, and may only reduce heap loads. Precision differences between
+// TypeDecl / FieldTypeDecl / SMFieldTypeRefs show up as different
+// elimination counts on crafted programs (the Table 6 mechanism).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "opt/CopyProp.h"
+#include "opt/Devirt.h"
+#include "opt/Inline.h"
+#include "opt/RLE.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+struct RunResult {
+  int64_t Value = INT64_MIN;
+  ExecStats Stats;
+  RLEStats RLE;
+};
+
+/// Runs Main() on the unoptimized program.
+RunResult runBase(const std::string &Source) {
+  Compilation C = compileOrDie(Source);
+  RunResult R;
+  if (!C.ok())
+    return R;
+  VM Machine(C.IR);
+  Machine.setOpLimit(200'000'000);
+  EXPECT_TRUE(Machine.runInit()) << Machine.trapMessage();
+  auto V = Machine.callFunction("Main");
+  EXPECT_TRUE(V.has_value()) << Machine.trapMessage();
+  R.Value = V.value_or(INT64_MIN);
+  R.Stats = Machine.stats();
+  return R;
+}
+
+/// Runs Main() after RLE at \p Level (optionally followed by copy
+/// propagation and a second CSE pass -- the Breakup ablation).
+RunResult runOptimized(const std::string &Source, AliasLevel Level,
+                       bool CopyProp = false, bool OpenWorld = false) {
+  Compilation C = compileOrDie(Source);
+  RunResult R;
+  if (!C.ok())
+    return R;
+  TBAAContext Ctx(C.ast(), C.types(), {.OpenWorld = OpenWorld});
+  auto Oracle = makeAliasOracle(Ctx, Level);
+  R.RLE = runRLE(C.IR, *Oracle);
+  if (CopyProp) {
+    propagateCopies(C.IR);
+    RLEStats Second = runRLE(C.IR, *Oracle);
+    R.RLE.Hoisted += Second.Hoisted;
+    R.RLE.Replaced += Second.Replaced;
+  }
+  std::string Err = C.IR.verify();
+  EXPECT_TRUE(Err.empty()) << Err;
+  VM Machine(C.IR);
+  Machine.setOpLimit(200'000'000);
+  EXPECT_TRUE(Machine.runInit()) << Machine.trapMessage();
+  auto V = Machine.callFunction("Main");
+  EXPECT_TRUE(V.has_value()) << Machine.trapMessage();
+  R.Value = V.value_or(INT64_MIN);
+  R.Stats = Machine.stats();
+  return R;
+}
+
+/// Asserts semantic preservation at every level and returns per-level
+/// results (Base, TypeDecl, FieldTypeDecl, SMFieldTypeRefs).
+std::vector<RunResult> checkAllLevels(const std::string &Source) {
+  std::vector<RunResult> Results;
+  Results.push_back(runBase(Source));
+  for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
+                       AliasLevel::SMFieldTypeRefs}) {
+    Results.push_back(runOptimized(Source, L));
+    EXPECT_EQ(Results.back().Value, Results.front().Value)
+        << "RLE under " << aliasLevelName(L) << " changed the result";
+    EXPECT_LE(Results.back().Stats.HeapLoads, Results.front().Stats.HeapLoads)
+        << aliasLevelName(L);
+  }
+  return Results;
+}
+
+} // namespace
+
+TEST(RLE, EliminatesRepeatedFieldLoad) {
+  const char *Src = R"(
+MODULE R1;
+TYPE Node = OBJECT f: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; s: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.f := 21;
+  s := n.f + n.f;
+  RETURN s;
+END Main;
+END R1.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 42);
+  // Even TypeDecl eliminates the immediate re-load (no kill between).
+  for (size_t L = 1; L != R.size(); ++L) {
+    EXPECT_GE(R[L].RLE.Replaced, 1u);
+    EXPECT_LT(R[L].Stats.HeapLoads, R[0].Stats.HeapLoads);
+  }
+}
+
+TEST(RLE, DistinctFieldsNeedFieldTypeDecl) {
+  // n.g := ... between two n.f loads: TypeDecl sees two INTEGER APs and
+  // kills; FieldTypeDecl knows f # g.
+  const char *Src = R"(
+MODULE R2;
+TYPE Node = OBJECT f, g: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; s: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.f := 10;
+  s := n.f;
+  n.g := 5;
+  s := s + n.f;
+  RETURN s;
+END Main;
+END R2.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 20);
+  // Store-forwarding catches the first load everywhere; only field-aware
+  // analyses keep n.f available across the n.g store.
+  EXPECT_EQ(R[1].RLE.Replaced, 1u); // TypeDecl: store to n.g kills n.f
+  EXPECT_GE(R[2].RLE.Replaced, 2u); // FieldTypeDecl disambiguates
+  EXPECT_GE(R[3].RLE.Replaced, R[2].RLE.Replaced);
+}
+
+TEST(RLE, SelectiveMergingBeatsFieldTypeDecl) {
+  // t: T and s: S (S <: T) but no assignment between them anywhere:
+  // FieldTypeDecl must assume t.f and s.f may alias; SMFieldTypeRefs
+  // proves independence (the Section 2.4 example driving Table 5).
+  const char *Src = R"(
+MODULE R3;
+TYPE
+  T = OBJECT f: INTEGER; END;
+  S = T OBJECT g: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR t: T; s: S; x: INTEGER;
+BEGIN
+  t := NEW(T);
+  s := NEW(S);
+  s.f := 7;
+  x := s.f;
+  t.f := 100;
+  x := x + s.f;
+  RETURN x;
+END Main;
+END R3.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 14);
+  EXPECT_EQ(R[2].RLE.Replaced, 1u); // FieldTypeDecl: t.f kills (bases
+                                    // compatible); only the forward stays
+  EXPECT_GE(R[3].RLE.Replaced, 2u); // SMFieldTypeRefs: never merged
+}
+
+TEST(RLE, AliasingStoreMustKill) {
+  // The two variables DO alias at run time; every level must keep the
+  // second load.
+  const char *Src = R"(
+MODULE R4;
+TYPE Node = OBJECT f: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR a, b: Node; x: INTEGER;
+BEGIN
+  a := NEW(Node);
+  b := a;          (* real alias *)
+  a.f := 1;
+  x := a.f;
+  b.f := 50;
+  x := x + a.f;    (* must observe 50 *)
+  RETURN x;
+END Main;
+END R4.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 51);
+}
+
+TEST(RLE, HoistsInvariantLoadFromRepeatLoop) {
+  const char *Src = R"(
+MODULE R5;
+TYPE Node = OBJECT step: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; s, i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.step := 3;
+  s := 0;
+  i := 0;
+  REPEAT
+    s := s + n.step;  (* invariant: hoistable from a bottom-test loop *)
+    i := i + 1;
+  UNTIL i >= 100;
+  RETURN s;
+END Main;
+END R5.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 300);
+  for (size_t L = 1; L != R.size(); ++L) {
+    EXPECT_GE(R[L].RLE.total(), 1u) << L;
+    // The loop re-executed the load 100 times before; now once.
+    EXPECT_LT(R[L].Stats.HeapLoads + 90, R[0].Stats.HeapLoads);
+  }
+}
+
+TEST(RLE, LoopStoreBlocksHoisting) {
+  const char *Src = R"(
+MODULE R6;
+TYPE Node = OBJECT step: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; s, i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.step := 1;
+  s := 0;
+  i := 0;
+  REPEAT
+    s := s + n.step;
+    n.step := n.step + 1; (* the load is variant *)
+    i := i + 1;
+  UNTIL i >= 10;
+  RETURN s;
+END Main;
+END R6.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 55);
+  EXPECT_EQ(R[1].RLE.Hoisted, 0u);
+  EXPECT_EQ(R[3].RLE.Hoisted, 0u);
+}
+
+TEST(RLE, CallsKillThroughModRef) {
+  // Bump writes g.f through a global; the reload after the call must
+  // survive. Pure() touches nothing; the reload after it is redundant.
+  const char *Src = R"(
+MODULE R7;
+TYPE Node = OBJECT f: INTEGER; END;
+VAR g: Node;
+PROCEDURE Bump () =
+BEGIN
+  g.f := g.f + 1;
+END Bump;
+PROCEDURE Pure (x: INTEGER): INTEGER =
+BEGIN
+  RETURN x * 2;
+END Pure;
+PROCEDURE Main (): INTEGER =
+VAR a, b, c: INTEGER;
+BEGIN
+  g := NEW(Node);
+  g.f := 5;
+  a := g.f;
+  Bump();
+  b := g.f;          (* killed by the call *)
+  c := Pure(1) + g.f; (* Pure mods nothing: g.f still available *)
+  RETURN a * 10000 + b * 100 + c;
+END Main;
+END R7.
+)";
+  auto Base = runBase(Src);
+  EXPECT_EQ(Base.Value, 5 * 10000 + 6 * 100 + (2 + 6));
+  for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
+                       AliasLevel::SMFieldTypeRefs}) {
+    auto R = runOptimized(Src, L);
+    EXPECT_EQ(R.Value, Base.Value) << aliasLevelName(L);
+    EXPECT_GE(R.RLE.Replaced, 1u) << aliasLevelName(L);
+  }
+}
+
+TEST(RLE, VarParamWriteThroughKills) {
+  // TakeRef receives n.f by reference and writes it: the reload of n.f
+  // after the call must see the update under every level.
+  const char *Src = R"(
+MODULE R8;
+TYPE Node = OBJECT f: INTEGER; END;
+PROCEDURE Clobber (VAR x: INTEGER) =
+BEGIN
+  x := 99;
+END Clobber;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; a, b: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.f := 1;
+  a := n.f;
+  Clobber(n.f);
+  b := n.f;
+  RETURN a * 100 + b;
+END Main;
+END R8.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 199);
+}
+
+TEST(RLE, IndexedLoadsCSEWithSameIndexVar) {
+  const char *Src = R"(
+MODULE R9;
+TYPE Buf = ARRAY OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf; i, s: INTEGER;
+BEGIN
+  b := NEW(Buf, 8);
+  i := 3;
+  b[i] := 11;
+  s := b[i] + b[i];   (* same index variable: one load suffices *)
+  RETURN s;
+END Main;
+END R9.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 22);
+  for (size_t L = 1; L != R.size(); ++L)
+    EXPECT_GE(R[L].RLE.Replaced, 1u);
+}
+
+TEST(RLE, IndexRedefinitionKills) {
+  const char *Src = R"(
+MODULE R10;
+TYPE Buf = ARRAY OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf; i, s: INTEGER;
+BEGIN
+  b := NEW(Buf, 8);
+  b[2] := 5;
+  b[4] := 7;
+  i := 2;
+  s := b[i];
+  i := 4;          (* the path b[i] now names a different slot *)
+  s := s + b[i];
+  RETURN s;
+END Main;
+END R10.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 12);
+}
+
+TEST(RLE, StoreForwardsToLoad) {
+  const char *Src = R"(
+MODULE R11;
+TYPE Node = OBJECT f: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; x: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.f := 123;
+  x := n.f;      (* forwarded from the store *)
+  RETURN x;
+END Main;
+END R11.
+)";
+  auto R = checkAllLevels(Src);
+  EXPECT_EQ(R[0].Value, 123);
+  for (size_t L = 1; L != R.size(); ++L)
+    EXPECT_GE(R[L].RLE.Replaced, 1u);
+}
+
+TEST(RLE, CopyPropagationUnifiesBrokenUpPaths) {
+  // a.b.c read twice: lowering decomposes through two different shadow
+  // roots, so plain RLE misses the second .c load (the paper's
+  // "Breakup"); copy propagation re-unifies the roots.
+  const char *Src = R"(
+MODULE R12;
+TYPE
+  Inner = OBJECT c: INTEGER; END;
+  Outer = OBJECT b: Inner; END;
+PROCEDURE Main (): INTEGER =
+VAR a: Outer; s: INTEGER;
+BEGIN
+  a := NEW(Outer);
+  a.b := NEW(Inner);
+  a.b.c := 9;
+  s := a.b.c + a.b.c;
+  RETURN s;
+END Main;
+END R12.
+)";
+  auto Plain = runOptimized(Src, AliasLevel::SMFieldTypeRefs, false);
+  auto WithCP = runOptimized(Src, AliasLevel::SMFieldTypeRefs, true);
+  EXPECT_EQ(Plain.Value, 18);
+  EXPECT_EQ(WithCP.Value, 18);
+  // Copy propagation exposes strictly more redundant loads here.
+  EXPECT_GT(WithCP.RLE.Replaced, Plain.RLE.Replaced);
+  EXPECT_LT(WithCP.Stats.HeapLoads, Plain.Stats.HeapLoads);
+}
+
+TEST(RLE, OpenWorldStaysConservativeButCorrect) {
+  const char *Src = R"(
+MODULE R13;
+TYPE
+  T = OBJECT f: INTEGER; END;
+  S = T OBJECT g: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR t: T; s: S; x: INTEGER;
+BEGIN
+  t := NEW(T);
+  s := NEW(S);
+  s.f := 7;
+  x := s.f;
+  t.f := 100;
+  x := x + s.f;
+  RETURN x;
+END Main;
+END R13.
+)";
+  auto Closed = runOptimized(Src, AliasLevel::SMFieldTypeRefs, false, false);
+  auto Open = runOptimized(Src, AliasLevel::SMFieldTypeRefs, false, true);
+  EXPECT_EQ(Closed.Value, 14);
+  EXPECT_EQ(Open.Value, 14);
+  // Open world merges the unbranded subtype pair: s.f/t.f may alias
+  // again, losing the elimination the closed world had.
+  EXPECT_GT(Closed.RLE.Replaced, Open.RLE.Replaced);
+}
+
+TEST(Devirt, UniqueImplementationResolves) {
+  const char *Src = R"(
+MODULE D1;
+TYPE T = OBJECT v: INTEGER; METHODS get (): INTEGER := Get; END;
+PROCEDURE Get (self: T): INTEGER =
+BEGIN
+  RETURN self.v;
+END Get;
+PROCEDURE Main (): INTEGER =
+VAR t: T;
+BEGIN
+  t := NEW(T);
+  t.v := 77;
+  RETURN t.get();
+END Main;
+END D1.
+)";
+  Compilation C = compileOrDie(Src);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  unsigned Resolved = resolveMethodCalls(C.IR, Ctx);
+  EXPECT_EQ(Resolved, 1u);
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 77);
+}
+
+TEST(Devirt, AmbiguousDispatchStaysDynamic) {
+  const char *Src = R"(
+MODULE D2;
+TYPE
+  T = OBJECT v: INTEGER; METHODS get (): INTEGER := GetT; END;
+  S = T OBJECT OVERRIDES get := GetS; END;
+PROCEDURE GetT (self: T): INTEGER = BEGIN RETURN 1; END GetT;
+PROCEDURE GetS (self: T): INTEGER = BEGIN RETURN 2; END GetS;
+PROCEDURE Pick (t: T): INTEGER =
+BEGIN
+  RETURN t.get();
+END Pick;
+PROCEDURE Main (): INTEGER =
+VAR t: T; s: S;
+BEGIN
+  t := NEW(T);
+  s := NEW(S);
+  RETURN Pick(t) * 10 + Pick(s);
+END Main;
+END D2.
+)";
+  Compilation C = compileOrDie(Src);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  unsigned Resolved = resolveMethodCalls(C.IR, Ctx);
+  EXPECT_EQ(Resolved, 0u); // S flows into T: two implementations possible
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 12);
+}
+
+TEST(Inline, SmallCalleeExpandsAndPreservesSemantics) {
+  const char *Src = R"(
+MODULE I1;
+PROCEDURE AddOne (x: INTEGER): INTEGER =
+BEGIN
+  RETURN x + 1;
+END AddOne;
+PROCEDURE Main (): INTEGER =
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 5 DO
+    s := AddOne(s);
+  END;
+  RETURN s;
+END Main;
+END I1.
+)";
+  Compilation C = compileOrDie(Src);
+  ASSERT_TRUE(C.ok());
+  unsigned Expanded = inlineCalls(C.IR);
+  EXPECT_GE(Expanded, 1u);
+  const IRFunction *Main = C.IR.findFunction("Main");
+  ASSERT_NE(Main, nullptr);
+  for (const BasicBlock &B : Main->Blocks)
+    for (const Instr &I : B.Instrs)
+      EXPECT_NE(I.Op, Opcode::Call) << "call survived inlining";
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 5);
+}
+
+TEST(Inline, LocalsReinitializedPerIteration) {
+  // The callee relies on its local being default-initialized; inlining
+  // into a loop must re-zero it each iteration.
+  const char *Src = R"(
+MODULE I2;
+PROCEDURE CountUp (n: INTEGER): INTEGER =
+VAR acc: INTEGER;
+BEGIN
+  acc := acc + n;   (* acc starts at 0 every call *)
+  RETURN acc;
+END CountUp;
+PROCEDURE Main (): INTEGER =
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 4 DO
+    s := s + CountUp(i);
+  END;
+  RETURN s;
+END Main;
+END I2.
+)";
+  Compilation C = compileOrDie(Src);
+  ASSERT_TRUE(C.ok());
+  VM Before(C.IR);
+  ASSERT_TRUE(Before.runInit());
+  int64_t Base = Before.callFunction("Main").value_or(-1);
+  EXPECT_EQ(Base, 10);
+
+  Compilation C2 = compileOrDie(Src);
+  inlineCalls(C2.IR);
+  VM After(C2.IR);
+  ASSERT_TRUE(After.runInit());
+  EXPECT_EQ(After.callFunction("Main").value_or(-1), Base);
+}
+
+TEST(Inline, RecursiveCalleesRefused) {
+  const char *Src = R"(
+MODULE I3;
+PROCEDURE Fib (n: INTEGER): INTEGER =
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN Fib(n - 1) + Fib(n - 2);
+END Fib;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN Fib(10);
+END Main;
+END I3.
+)";
+  Compilation C = compileOrDie(Src);
+  ASSERT_TRUE(C.ok());
+  unsigned Expanded = inlineCalls(C.IR);
+  EXPECT_EQ(Expanded, 0u);
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 55);
+}
+
+TEST(RLE, FullPipelinePreservesSemantics) {
+  // Devirt + inline + copyprop + RLE together, on a program mixing all
+  // the features.
+  const char *Src = R"(
+MODULE P1;
+TYPE
+  Item = OBJECT val: INTEGER; next: Item;
+         METHODS weight (): INTEGER := Weight; END;
+  Buf = ARRAY OF INTEGER;
+VAR total: INTEGER;
+PROCEDURE Weight (self: Item): INTEGER =
+BEGIN
+  RETURN self.val * 2;
+END Weight;
+PROCEDURE Fill (b: Buf) =
+BEGIN
+  FOR i := 0 TO NUMBER(b) - 1 DO
+    b[i] := i;
+  END;
+END Fill;
+PROCEDURE Main (): INTEGER =
+VAR head, it: Item; b: Buf; i: INTEGER;
+BEGIN
+  head := NIL;
+  FOR k := 1 TO 10 DO
+    it := NEW(Item);
+    it.val := k;
+    it.next := head;
+    head := it;
+  END;
+  total := 0;
+  it := head;
+  WHILE it # NIL DO
+    total := total + it.weight() + it.val;
+    it := it.next;
+  END;
+  b := NEW(Buf, 16);
+  Fill(b);
+  i := 0;
+  REPEAT
+    total := total + b[i];
+    i := i + 1;
+  UNTIL i >= NUMBER(b);
+  RETURN total;
+END Main;
+END P1.
+)";
+  auto Base = runBase(Src);
+  int64_t Expected = 3 * 55 + 120;
+  EXPECT_EQ(Base.Value, Expected);
+
+  Compilation C = compileOrDie(Src);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  resolveMethodCalls(C.IR, Ctx);
+  inlineCalls(C.IR);
+  propagateCopies(C.IR);
+  RLEStats S = runRLE(C.IR, *Oracle);
+  EXPECT_GT(S.total(), 0u);
+  std::string Err = C.IR.verify();
+  ASSERT_TRUE(Err.empty()) << Err;
+  VM Machine(C.IR);
+  Machine.setOpLimit(200'000'000);
+  ASSERT_TRUE(Machine.runInit()) << Machine.trapMessage();
+  EXPECT_EQ(Machine.callFunction("Main").value_or(-1), Expected);
+  EXPECT_LE(Machine.stats().HeapLoads, Base.Stats.HeapLoads);
+}

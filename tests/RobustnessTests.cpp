@@ -1,0 +1,78 @@
+//===- RobustnessTests.cpp - The front end never crashes on bad input -----===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Deterministic mutation fuzzing: corrupt real programs (truncate, delete
+// spans, splice characters) and require the pipeline to either compile or
+// reject them with diagnostics -- never crash, hang or accept a program
+// that then breaks IR verification.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+uint64_t nextRand(uint64_t &State) {
+  State = State * 6364136223846793005ull + 1442695040888963407ull;
+  return State >> 17;
+}
+
+std::string mutate(const std::string &Base, uint64_t Seed) {
+  uint64_t State = Seed;
+  std::string S = Base;
+  switch (nextRand(State) % 4) {
+  case 0: // truncate
+    S.resize(nextRand(State) % S.size());
+    break;
+  case 1: { // delete a span
+    size_t Pos = nextRand(State) % S.size();
+    size_t Len = 1 + nextRand(State) % 40;
+    S.erase(Pos, Len);
+    break;
+  }
+  case 2: { // overwrite with noise
+    size_t Pos = nextRand(State) % S.size();
+    static const char Noise[] = "();=.^[]#:+-*<>\"'";
+    for (size_t I = 0; I != 12 && Pos + I < S.size(); ++I)
+      S[Pos + I] = Noise[nextRand(State) % (sizeof(Noise) - 1)];
+    break;
+  }
+  default: { // duplicate a span elsewhere
+    size_t From = nextRand(State) % S.size();
+    size_t Len = 1 + nextRand(State) % 60;
+    size_t To = nextRand(State) % S.size();
+    S.insert(To, S.substr(From, Len));
+    break;
+  }
+  }
+  return S;
+}
+
+} // namespace
+
+class FrontendRobustness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FrontendRobustness, MutatedSourcesNeverCrash) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    std::string Source = mutate(W.Source, GetParam() * 977 + 13);
+    DiagnosticEngine Diags;
+    Compilation C = compileSource(Source, Diags);
+    if (C.ok()) {
+      // If a mutant still compiles, it must still verify.
+      EXPECT_TRUE(C.IR.verify().empty()) << W.Name;
+    } else {
+      EXPECT_TRUE(Diags.hasErrors()) << W.Name
+                                     << ": rejected without a diagnostic";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FrontendRobustness,
+                         ::testing::Range<uint64_t>(1, 41));

@@ -1,0 +1,230 @@
+//===- SemaTests.cpp - Semantic checking: the type-safety TBAA needs ------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// TBAA's soundness rests on the language rejecting exactly these
+// programs (Section 2: "TBAA assumes a type-safe programming language
+// ... that does not support arbitrary pointer type casting").
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+std::string wrapProc(const std::string &Body,
+                     const std::string &Decls = "") {
+  return "MODULE T;\n" + Decls +
+         "PROCEDURE Main (): INTEGER =\n" + Body + "END Main;\nEND T.\n";
+}
+} // namespace
+
+TEST(Sema, RejectsIncompatibleAssignment) {
+  std::string E = compileExpectError(wrapProc(
+      "VAR x: INTEGER; b: BOOLEAN;\nBEGIN\n  x := b;\n  RETURN 0;\n",
+      ""));
+  EXPECT_NE(E.find("cannot assign"), std::string::npos) << E;
+}
+
+TEST(Sema, RejectsDowncast) {
+  // Supertype value into subtype variable: the "cast" TBAA forbids.
+  std::string E = compileExpectError(wrapProc(
+      "VAR t: T; s: S;\nBEGIN\n  t := NEW(T);\n  s := t;\n  RETURN 0;\n",
+      "TYPE\n  T = OBJECT f: INTEGER; END;\n"
+      "  S = T OBJECT g: INTEGER; END;\n"));
+  EXPECT_NE(E.find("cannot assign"), std::string::npos) << E;
+}
+
+TEST(Sema, AcceptsUpcast) {
+  Compilation C = compileOrDie(wrapProc(
+      "VAR t: T; s: S;\nBEGIN\n  s := NEW(S);\n  t := s;\n  RETURN 0;\n",
+      "TYPE\n  T = OBJECT f: INTEGER; END;\n"
+      "  S = T OBJECT g: INTEGER; END;\n"));
+  EXPECT_TRUE(C.ok());
+}
+
+TEST(Sema, RejectsUnknownField) {
+  std::string E = compileExpectError(wrapProc(
+      "VAR t: T;\nBEGIN\n  t := NEW(T);\n  RETURN t.nope;\n",
+      "TYPE T = OBJECT f: INTEGER; END;\n"));
+  EXPECT_NE(E.find("has no field"), std::string::npos) << E;
+}
+
+TEST(Sema, InheritedFieldsVisible) {
+  EXPECT_EQ(runMain(wrapProc(
+                "VAR s: S;\nBEGIN\n  s := NEW(S);\n  s.f := 5;\n"
+                "  s.g := 6;\n  RETURN s.f + s.g;\n",
+                "TYPE\n  T = OBJECT f: INTEGER; END;\n"
+                "  S = T OBJECT g: INTEGER; END;\n")),
+            11);
+}
+
+TEST(Sema, RejectsFieldShadowing) {
+  std::string E = compileExpectError(wrapProc(
+      "BEGIN\n  RETURN 0;\n",
+      "TYPE\n  T = OBJECT f: INTEGER; END;\n"
+      "  S = T OBJECT f: INTEGER; END;\n"));
+  EXPECT_NE(E.find("shadows"), std::string::npos) << E;
+}
+
+TEST(Sema, RejectsVarActualOfDifferentType) {
+  // Modula-3 requires IDENTICAL types for VAR actuals -- the property the
+  // open-world AddressTaken clause depends on (Section 4).
+  std::string E = compileExpectError(wrapProc(
+      "VAR s: S;\nBEGIN\n  s := NEW(S);\n  Take(s);\n  RETURN 0;\n",
+      "TYPE\n  T = OBJECT f: INTEGER; END;\n"
+      "  S = T OBJECT g: INTEGER; END;\n"
+      "PROCEDURE Take (VAR x: T) =\nBEGIN\n  x := NIL;\nEND Take;\n"));
+  EXPECT_NE(E.find("identical"), std::string::npos) << E;
+}
+
+TEST(Sema, RejectsVarActualNonDesignator) {
+  std::string E = compileExpectError(wrapProc(
+      "BEGIN\n  Take(1 + 2);\n  RETURN 0;\n",
+      "PROCEDURE Take (VAR x: INTEGER) =\nBEGIN\n  x := 0;\nEND Take;\n"));
+  EXPECT_NE(E.find("designator"), std::string::npos) << E;
+}
+
+TEST(Sema, ForIndexIsReadOnly) {
+  std::string E = compileExpectError(wrapProc(
+      "BEGIN\n  FOR i := 1 TO 3 DO\n    i := 5;\n  END;\n  RETURN 0;\n"));
+  EXPECT_NE(E.find("read-only"), std::string::npos) << E;
+}
+
+TEST(Sema, ForIndexCannotBePassedByVar) {
+  std::string E = compileExpectError(wrapProc(
+      "BEGIN\n  FOR i := 1 TO 3 DO\n    Take(i);\n  END;\n  RETURN 0;\n",
+      "PROCEDURE Take (VAR x: INTEGER) =\nBEGIN\n  x := 0;\nEND Take;\n"));
+  EXPECT_NE(E.find("read-only"), std::string::npos) << E;
+}
+
+TEST(Sema, ValueWithBindingIsReadOnly) {
+  std::string E = compileExpectError(wrapProc(
+      "BEGIN\n  WITH w = 1 + 2 DO\n    w := 5;\n  END;\n  RETURN 0;\n"));
+  EXPECT_NE(E.find("read-only"), std::string::npos) << E;
+}
+
+TEST(Sema, AliasWithBindingIsWritable) {
+  EXPECT_EQ(runMain(wrapProc(
+                "VAR x: INTEGER;\nBEGIN\n  x := 1;\n"
+                "  WITH w = x DO\n    w := 41;\n  END;\n"
+                "  RETURN x + 1;\n")),
+            42);
+}
+
+TEST(Sema, ExitOutsideLoopRejected) {
+  std::string E = compileExpectError(wrapProc("BEGIN\n  EXIT;\n"));
+  EXPECT_NE(E.find("EXIT outside"), std::string::npos) << E;
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  std::string E = compileExpectError(wrapProc("BEGIN\n  RETURN TRUE;\n"));
+  EXPECT_NE(E.find("RETURN type"), std::string::npos) << E;
+}
+
+TEST(Sema, ProperProcedureCannotReturnValue) {
+  std::string E = compileExpectError(
+      "MODULE T;\nPROCEDURE P () =\nBEGIN\n  RETURN 1;\nEND P;\n"
+      "PROCEDURE Main (): INTEGER =\nBEGIN\n  RETURN 0;\nEND Main;\n"
+      "END T.\n");
+  EXPECT_NE(E.find("proper procedure"), std::string::npos) << E;
+}
+
+TEST(Sema, MethodImplSignatureChecked) {
+  std::string E = compileExpectError(
+      "MODULE T;\n"
+      "TYPE O = OBJECT v: INTEGER; METHODS m (x: INTEGER): INTEGER := "
+      "Bad; END;\n"
+      "PROCEDURE Bad (self: O): INTEGER =\nBEGIN\n  RETURN 0;\nEND Bad;\n"
+      "PROCEDURE Main (): INTEGER =\nBEGIN\n  RETURN 0;\nEND Main;\n"
+      "END T.\n");
+  EXPECT_NE(E.find("arity"), std::string::npos) << E;
+}
+
+TEST(Sema, OverrideOfUnknownMethodRejected) {
+  std::string E = compileExpectError(
+      "MODULE T;\n"
+      "TYPE\n  O = OBJECT v: INTEGER; END;\n"
+      "  P = O OBJECT OVERRIDES nope := Impl; END;\n"
+      "PROCEDURE Impl (self: O): INTEGER =\nBEGIN\n  RETURN 0;\nEND "
+      "Impl;\n"
+      "PROCEDURE Main (): INTEGER =\nBEGIN\n  RETURN 0;\nEND Main;\n"
+      "END T.\n");
+  EXPECT_NE(E.find("unknown method"), std::string::npos) << E;
+}
+
+TEST(Sema, ReceiverMustBeSupertype) {
+  std::string E = compileExpectError(
+      "MODULE T;\n"
+      "TYPE\n  A = OBJECT v: INTEGER; METHODS m () := Impl; END;\n"
+      "  B = OBJECT w: INTEGER; END;\n"
+      "PROCEDURE Impl (self: B) =\nBEGIN\nEND Impl;\n"
+      "PROCEDURE Main (): INTEGER =\nBEGIN\n  RETURN 0;\nEND Main;\n"
+      "END T.\n");
+  EXPECT_NE(E.find("supertype"), std::string::npos) << E;
+}
+
+TEST(Sema, SubscriptRequiresArray) {
+  std::string E = compileExpectError(wrapProc(
+      "VAR x: INTEGER;\nBEGIN\n  RETURN x[0];\n"));
+  EXPECT_NE(E.find("non-array"), std::string::npos) << E;
+}
+
+TEST(Sema, DerefRequiresRef) {
+  std::string E = compileExpectError(wrapProc(
+      "VAR x: INTEGER;\nBEGIN\n  RETURN x^;\n"));
+  EXPECT_NE(E.find("non-REF"), std::string::npos) << E;
+}
+
+TEST(Sema, NewOpenArrayNeedsLength) {
+  std::string E = compileExpectError(wrapProc(
+      "VAR b: Buf;\nBEGIN\n  b := NEW(Buf);\n  RETURN 0;\n",
+      "TYPE Buf = ARRAY OF INTEGER;\n"));
+  EXPECT_NE(E.find("requires a length"), std::string::npos) << E;
+}
+
+TEST(Sema, NewFixedArrayRejectsLength) {
+  std::string E = compileExpectError(wrapProc(
+      "VAR b: Fix;\nBEGIN\n  b := NEW(Fix, 4);\n  RETURN 0;\n",
+      "TYPE Fix = ARRAY [0..3] OF INTEGER;\n"));
+  EXPECT_NE(E.find("takes no size"), std::string::npos) << E;
+}
+
+TEST(Sema, ConditionsMustBeBoolean) {
+  std::string E = compileExpectError(wrapProc(
+      "BEGIN\n  IF 1 THEN\n    RETURN 1;\n  END;\n  RETURN 0;\n"));
+  EXPECT_NE(E.find("must be BOOLEAN"), std::string::npos) << E;
+}
+
+TEST(Sema, ScopesNestAndShadow) {
+  EXPECT_EQ(runMain(wrapProc(
+                "VAR x: INTEGER;\nBEGIN\n  x := 1;\n"
+                "  WITH x = 10 DO\n"
+                "    WITH x = 100 DO\n"
+                "      IF x # 100 THEN RETURN -1; END;\n"
+                "    END;\n"
+                "    IF x # 10 THEN RETURN -2; END;\n"
+                "  END;\n"
+                "  RETURN x;\n")),
+            1);
+}
+
+TEST(Sema, NilComparableWithReferences) {
+  EXPECT_EQ(runMain(wrapProc(
+                "VAR t: T;\nBEGIN\n  IF t = NIL THEN\n    t := NEW(T);\n"
+                "  END;\n  IF t # NIL THEN\n    RETURN 7;\n  END;\n"
+                "  RETURN 0;\n",
+                "TYPE T = OBJECT f: INTEGER; END;\n")),
+            7);
+}
+
+TEST(Sema, IntegersNotComparableWithReferences) {
+  std::string E = compileExpectError(wrapProc(
+      "VAR t: T; ok: BOOLEAN;\nBEGIN\n  ok := t = 0;\n  RETURN 0;\n",
+      "TYPE T = OBJECT f: INTEGER; END;\n"));
+  EXPECT_NE(E.find("cannot compare"), std::string::npos) << E;
+}

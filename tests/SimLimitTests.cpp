@@ -1,0 +1,218 @@
+//===- SimLimitTests.cpp - Cache/timing simulator and limit analysis ------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "limit/LimitAnalysis.h"
+#include "opt/RLE.h"
+#include "sim/CacheSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+//===----------------------------------------------------------------------===//
+// Direct-mapped cache
+//===----------------------------------------------------------------------===//
+
+TEST(CacheSim, ColdMissThenHit) {
+  DirectMappedCache Cache;
+  EXPECT_FALSE(Cache.access(0x1000));
+  EXPECT_TRUE(Cache.access(0x1000));
+  EXPECT_TRUE(Cache.access(0x1008)); // same 32B line
+  EXPECT_FALSE(Cache.access(0x1020)); // next line
+  EXPECT_EQ(Cache.misses(), 2u);
+  EXPECT_EQ(Cache.hits(), 2u);
+}
+
+TEST(CacheSim, ConflictEviction) {
+  CacheConfig Config;
+  Config.SizeBytes = 1024;
+  Config.LineBytes = 32;
+  DirectMappedCache Cache(Config);
+  // Two addresses exactly one cache size apart map to the same line.
+  EXPECT_FALSE(Cache.access(0x0));
+  EXPECT_FALSE(Cache.access(0x400));
+  EXPECT_FALSE(Cache.access(0x0)); // evicted
+  EXPECT_EQ(Cache.hits(), 0u);
+}
+
+TEST(CacheSim, SequentialScanMostlyHits) {
+  DirectMappedCache Cache;
+  unsigned Misses = 0;
+  for (uint64_t A = 0; A != 8 * 1024; A += 8)
+    if (!Cache.access(A))
+      ++Misses;
+  // One miss per 32-byte line.
+  EXPECT_EQ(Misses, 8 * 1024 / 32);
+}
+
+TEST(TimingSim, LocalityChangesSimulatedTime) {
+  TimingSimulator Sequential, Scattered;
+  for (uint64_t I = 0; I != 4096; ++I) {
+    LoadEvent E{};
+    E.IsHeap = true;
+    E.Addr = 0x1000 + I * 8;
+    Sequential.onLoad(E);
+    E.Addr = 0x1000 + (I * 7919) % (1 << 22); // pseudo-random, wide
+    Scattered.onLoad(E);
+  }
+  EXPECT_LT(Sequential.memoryStallCycles(), Scattered.memoryStallCycles());
+}
+
+//===----------------------------------------------------------------------===//
+// Redundant-load monitor (the Section 3.5 definition, on synthetic
+// event streams)
+//===----------------------------------------------------------------------===//
+
+namespace {
+LoadEvent heapLoad(uint64_t Addr, uint64_t Value, uint64_t Act,
+                   uint32_t Id, bool Implicit = false) {
+  LoadEvent E{};
+  E.Addr = Addr;
+  E.ValueBits = Value;
+  E.Activation = Act;
+  E.StaticId = Id;
+  E.IsHeap = true;
+  E.Implicit = Implicit;
+  return E;
+}
+} // namespace
+
+TEST(LimitAnalysis, ConsecutiveSameValueSameActivationIsRedundant) {
+  RedundantLoadMonitor M;
+  M.onLoad(heapLoad(0x100, 7, 1, 10));
+  M.onLoad(heapLoad(0x100, 7, 1, 11)); // redundant
+  EXPECT_EQ(M.heapLoads(), 2u);
+  EXPECT_EQ(M.redundantLoads(), 1u);
+}
+
+TEST(LimitAnalysis, DifferentValueBreaksRedundancy) {
+  RedundantLoadMonitor M;
+  M.onLoad(heapLoad(0x100, 7, 1, 10));
+  M.onLoad(heapLoad(0x100, 8, 1, 11));
+  M.onLoad(heapLoad(0x100, 8, 1, 12)); // redundant with the second
+  EXPECT_EQ(M.redundantLoads(), 1u);
+}
+
+TEST(LimitAnalysis, DifferentActivationNotRedundant) {
+  RedundantLoadMonitor M;
+  M.onLoad(heapLoad(0x100, 7, 1, 10));
+  M.onLoad(heapLoad(0x100, 7, 2, 10)); // other activation: not redundant
+  EXPECT_EQ(M.redundantLoads(), 0u);
+}
+
+TEST(LimitAnalysis, StackLoadsIgnored) {
+  RedundantLoadMonitor M;
+  LoadEvent E = heapLoad(0x100, 7, 1, 10);
+  E.IsHeap = false;
+  M.onLoad(E);
+  M.onLoad(E);
+  EXPECT_EQ(M.heapLoads(), 0u);
+  EXPECT_EQ(M.redundantLoads(), 0u);
+}
+
+TEST(LimitAnalysis, ClassifierPriorities) {
+  RedundantLoadMonitor M;
+  M.configureClassifier(/*Conditional=*/{30}, /*PerfectRemovable=*/{20});
+
+  // Implicit -> Encapsulated regardless of sets.
+  M.onLoad(heapLoad(0x10, 1, 1, 20, true));
+  M.onLoad(heapLoad(0x10, 1, 1, 20, true));
+  // Perfect-removable -> AliasFailure.
+  M.onLoad(heapLoad(0x20, 1, 1, 20));
+  M.onLoad(heapLoad(0x20, 1, 1, 20));
+  // Partially redundant -> Conditional.
+  M.onLoad(heapLoad(0x30, 1, 1, 30));
+  M.onLoad(heapLoad(0x30, 1, 1, 30));
+  // Different producing instruction -> Breakup.
+  M.onLoad(heapLoad(0x40, 1, 1, 40));
+  M.onLoad(heapLoad(0x40, 1, 1, 41));
+  // Same instruction, none of the above -> Rest.
+  M.onLoad(heapLoad(0x50, 1, 1, 50));
+  M.onLoad(heapLoad(0x50, 1, 1, 50));
+
+  const RedundancyBreakdown &B = M.breakdown();
+  EXPECT_EQ(B.Encapsulated, 1u);
+  EXPECT_EQ(B.AliasFailure, 1u);
+  EXPECT_EQ(B.Conditional, 1u);
+  EXPECT_EQ(B.Breakup, 1u);
+  EXPECT_EQ(B.Rest, 1u);
+  EXPECT_EQ(B.total(), M.redundantLoads());
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: dope-vector loads really show up as Encapsulated
+//===----------------------------------------------------------------------===//
+
+TEST(LimitAnalysis, DopeVectorLoadsAreEncapsulated) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE Buf = ARRAY OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf; s: INTEGER;
+BEGIN
+  b := NEW(Buf, 64);
+  s := 0;
+  FOR i := 0 TO 63 DO
+    b[i] := i;
+  END;
+  FOR i := 0 TO 63 DO
+    s := s + b[i];  (* each access re-reads the dope word *)
+  END;
+  RETURN s;
+END Main;
+END T.
+)");
+  RedundantLoadMonitor M;
+  M.configureClassifier({}, {});
+  VM Machine(C.IR);
+  Machine.addMonitor(&M);
+  ASSERT_TRUE(Machine.runInit());
+  ASSERT_EQ(Machine.callFunction("Main").value_or(-1), 64 * 63 / 2);
+  EXPECT_GT(M.breakdown().Encapsulated, 60u);
+}
+
+TEST(LimitAnalysis, RLEReducesDynamicRedundancy) {
+  // End-to-end Figure 9 behaviour on one program.
+  const char *Src = R"(
+MODULE T;
+TYPE Node = OBJECT a, b: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; s, i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.a := 3;
+  n.b := 4;
+  s := 0;
+  i := 0;
+  REPEAT
+    s := s + n.a + n.b;
+    i := i + 1;
+  UNTIL i >= 50;
+  RETURN s;
+END Main;
+END T.
+)";
+  auto MeasureRedundant = [&](bool Optimize) {
+    Compilation C = compileOrDie(Src);
+    if (Optimize) {
+      TBAAContext Ctx(C.ast(), C.types(), {});
+      auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+      runRLE(C.IR, *Oracle);
+    }
+    RedundantLoadMonitor M;
+    VM Machine(C.IR);
+    Machine.addMonitor(&M);
+    EXPECT_TRUE(Machine.runInit());
+    EXPECT_EQ(Machine.callFunction("Main").value_or(-1), 350);
+    return M.redundantLoads();
+  };
+  uint64_t Before = MeasureRedundant(false);
+  uint64_t After = MeasureRedundant(true);
+  EXPECT_GT(Before, 90u);   // ~2 redundant loads per iteration
+  EXPECT_LT(After, Before / 10); // hoisting removes nearly all of them
+}

@@ -1,0 +1,90 @@
+//===- SupportTests.cpp - Support utilities --------------------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/DynBitset.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+
+TEST(Diagnostics, ErrorsAreStickyAndRendered) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({1, 2}, "just a warning");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({3, 4}, "something broke");
+  Diags.note({3, 5}, "because of this");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  std::string S = Diags.str();
+  EXPECT_NE(S.find("1:2: warning: just a warning"), std::string::npos);
+  EXPECT_NE(S.find("3:4: error: something broke"), std::string::npos);
+  EXPECT_NE(S.find("3:5: note: because of this"), std::string::npos);
+}
+
+TEST(UnionFind, UniteAndFindWithPathCompression) {
+  UnionFind UF(8);
+  EXPECT_FALSE(UF.connected(0, 1));
+  UF.unite(0, 1);
+  UF.unite(2, 3);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_FALSE(UF.connected(1, 2));
+  UF.unite(1, 3);
+  EXPECT_TRUE(UF.connected(0, 2));
+  EXPECT_TRUE(UF.connected(0, 3));
+  EXPECT_FALSE(UF.connected(0, 7));
+  // Idempotent unites.
+  uint32_t R1 = UF.unite(0, 3);
+  uint32_t R2 = UF.unite(3, 0);
+  EXPECT_EQ(R1, R2);
+}
+
+TEST(UnionFind, GrowPreservesExistingSets) {
+  UnionFind UF(2);
+  UF.unite(0, 1);
+  UF.grow(5);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_FALSE(UF.connected(0, 4));
+  EXPECT_EQ(UF.size(), 5u);
+}
+
+TEST(DynBitset, SetTestResetAndCount) {
+  DynBitset B(130); // spans three words
+  EXPECT_FALSE(B.any());
+  B.set(0);
+  B.set(64);
+  B.set(129);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(64));
+  EXPECT_TRUE(B.test(129));
+  EXPECT_FALSE(B.test(1));
+  EXPECT_EQ(B.count(), 3u);
+  B.reset(64);
+  EXPECT_FALSE(B.test(64));
+  EXPECT_EQ(B.count(), 2u);
+  EXPECT_EQ(B.elements(), (std::vector<uint32_t>{0, 129}));
+}
+
+TEST(DynBitset, IntersectionAndUnion) {
+  DynBitset A(100), B(100);
+  A.set(3);
+  A.set(70);
+  B.set(4);
+  B.set(71);
+  EXPECT_FALSE(A.intersects(B));
+  B.set(70);
+  EXPECT_TRUE(A.intersects(B));
+
+  DynBitset U = A;
+  U |= B;
+  EXPECT_EQ(U.count(), 4u); // {3, 4, 70, 71}
+  DynBitset I = A;
+  I &= B;
+  EXPECT_EQ(I.count(), 1u); // {70}
+  EXPECT_TRUE(I.test(70));
+}

@@ -1,0 +1,522 @@
+//===- TBAATests.cpp - The paper's worked examples as unit tests ----------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Validates TypeDecl (Figure 1), SMTypeRefs (Figure 3 / Table 3), the
+// seven FieldTypeDecl cases (Table 2) and AddressTaken against the
+// examples in Section 2 of the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/AliasCensus.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+/// The paper's Figure 1 hierarchy with distinguishing fields (so the
+/// subtypes stay structurally distinct types).
+const char *Fig1 = R"(
+MODULE Fig1;
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+  S2 = T OBJECT b: INTEGER; END;
+  S3 = T OBJECT c: INTEGER; END;
+VAR
+  t: T;
+  s: S1;
+  u: S2;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN 0;
+END Main;
+END Fig1.
+)";
+
+TypeId namedType(const Compilation &C, const char *Name) {
+  TypeId Id = C.types().lookupNamed(Name);
+  EXPECT_NE(Id, InvalidTypeId) << Name;
+  return C.types().canonical(Id);
+}
+
+AbsLoc fieldLoc(const Compilation &C, const char *TypeName,
+                const char *FieldName) {
+  TypeId T = namedType(C, TypeName);
+  const FieldInfo *FI = C.types().findField(T, FieldName);
+  EXPECT_NE(FI, nullptr) << TypeName << "." << FieldName;
+  AbsLoc L;
+  L.Sel = SelKind::Field;
+  L.Field = FI->Id;
+  L.BaseType = T;
+  L.ValueType = C.types().canonical(FI->Type);
+  return L;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TypeDecl (Section 2.2, Figure 1)
+//===----------------------------------------------------------------------===//
+
+TEST(TypeDecl, Figure1Compatibility) {
+  Compilation C = compileOrDie(Fig1);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  TypeId T = namedType(C, "T"), S1 = namedType(C, "S1"),
+         S2 = namedType(C, "S2"), S3 = namedType(C, "S3");
+
+  // Subtypes(T) ∩ Subtypes(S1) ≠ ∅, etc. -- exactly the paper's example.
+  EXPECT_TRUE(Ctx.typeDeclCompat(T, S1));
+  EXPECT_TRUE(Ctx.typeDeclCompat(T, S2));
+  EXPECT_TRUE(Ctx.typeDeclCompat(S1, T)); // symmetric
+  EXPECT_FALSE(Ctx.typeDeclCompat(S1, S2));
+  EXPECT_FALSE(Ctx.typeDeclCompat(S2, S3));
+  EXPECT_TRUE(Ctx.typeDeclCompat(T, T));
+}
+
+TEST(TypeDecl, NotTransitive) {
+  // s ~ t and t ~ u but s !~ u: the paper notes TypeDecl is not
+  // transitive.
+  Compilation C = compileOrDie(Fig1);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  TypeId T = namedType(C, "T"), S1 = namedType(C, "S1"),
+         S2 = namedType(C, "S2");
+  EXPECT_TRUE(Ctx.typeDeclCompat(S1, T));
+  EXPECT_TRUE(Ctx.typeDeclCompat(T, S2));
+  EXPECT_FALSE(Ctx.typeDeclCompat(S1, S2));
+}
+
+TEST(TypeDecl, UnrelatedObjectsIncompatible) {
+  Compilation C = compileOrDie(R"(
+MODULE M;
+TYPE
+  A = OBJECT x: INTEGER; END;
+  B = OBJECT y: INTEGER; END;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END M.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  EXPECT_FALSE(Ctx.typeDeclCompat(namedType(C, "A"), namedType(C, "B")));
+}
+
+//===----------------------------------------------------------------------===//
+// SMTypeRefs (Section 2.4, Figure 3, Table 3)
+//===----------------------------------------------------------------------===//
+
+TEST(SMTypeRefs, Figure3TypeRefsTable) {
+  Compilation C = compileOrDie(R"(
+MODULE Fig3;
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+  S2 = T OBJECT b: INTEGER; END;
+  S3 = T OBJECT c: INTEGER; END;
+VAR
+  s1: S1 := NEW(S1);
+  s2: S2 := NEW(S2);
+  s3: S3 := NEW(S3);
+  t: T;
+BEGIN
+  t := s1; (* Statement 1 *)
+  t := s2; (* Statement 2 *)
+END Fig3.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  TypeId T = namedType(C, "T"), S1 = namedType(C, "S1"),
+         S2 = namedType(C, "S2"), S3 = namedType(C, "S3");
+
+  // Table 3 of the paper.
+  auto RefsOf = [&](TypeId X) { return Ctx.typeRefs(X); };
+  auto Contains = [](const std::vector<TypeId> &V, TypeId X) {
+    return std::find(V.begin(), V.end(), X) != V.end();
+  };
+  std::vector<TypeId> RT = RefsOf(T);
+  EXPECT_EQ(RT.size(), 3u);
+  EXPECT_TRUE(Contains(RT, T));
+  EXPECT_TRUE(Contains(RT, S1));
+  EXPECT_TRUE(Contains(RT, S2));
+  EXPECT_FALSE(Contains(RT, S3)); // the asymmetry of Step 3
+
+  EXPECT_EQ(RefsOf(S1), std::vector<TypeId>{S1});
+  EXPECT_EQ(RefsOf(S2), std::vector<TypeId>{S2});
+  EXPECT_EQ(RefsOf(S3), std::vector<TypeId>{S3});
+
+  EXPECT_TRUE(Ctx.typeRefsCompat(T, S1));
+  EXPECT_TRUE(Ctx.typeRefsCompat(T, S2));
+  EXPECT_FALSE(Ctx.typeRefsCompat(T, S3)); // TypeDecl must assume aliased;
+                                           // SMTypeRefs proves otherwise.
+  EXPECT_FALSE(Ctx.typeRefsCompat(S1, S2));
+}
+
+TEST(SMTypeRefs, NewOnlyProgramsStayIndependent) {
+  // The Section 2.4 motivating example: t and s never alias because the
+  // program never assigns an S1 into a T.
+  Compilation C = compileOrDie(R"(
+MODULE M;
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+VAR
+  t: T := NEW(T);
+  s: S1 := NEW(S1);
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END M.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  TypeId T = namedType(C, "T"), S1 = namedType(C, "S1");
+  EXPECT_TRUE(Ctx.typeDeclCompat(T, S1));   // TypeDecl: may alias
+  EXPECT_FALSE(Ctx.typeRefsCompat(T, S1));  // SMTypeRefs: proven apart
+  EXPECT_EQ(Ctx.mergeCount(), 0u);
+}
+
+TEST(SMTypeRefs, ImplicitAssignmentsMerge) {
+  // Parameter passing and RETURN are implicit assignments (Step 2).
+  Compilation C = compileOrDie(R"(
+MODULE M;
+TYPE
+  T = OBJECT f: T; END;
+  S = T OBJECT a: INTEGER; END;
+PROCEDURE Id (x: T): T =
+BEGIN
+  RETURN x;
+END Id;
+PROCEDURE Main (): INTEGER =
+VAR t: T; s: S;
+BEGIN
+  s := NEW(S);
+  t := Id(s);   (* S flows into formal x: T *)
+  RETURN 0;
+END Main;
+END M.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  EXPECT_TRUE(Ctx.typeRefsCompat(namedType(C, "T"), namedType(C, "S")));
+  EXPECT_GT(Ctx.mergeCount(), 0u);
+}
+
+TEST(SMTypeRefs, MethodReceiverBindingMerges) {
+  // Binding an impl to a subtype's dispatch table is an implicit
+  // assignment of the subtype into the receiver formal's type.
+  Compilation C = compileOrDie(R"(
+MODULE M;
+TYPE
+  T = OBJECT v: INTEGER; METHODS get (): INTEGER := Get; END;
+  S = T OBJECT w: INTEGER; END;
+PROCEDURE Get (self: T): INTEGER =
+BEGIN
+  RETURN self.v;
+END Get;
+PROCEDURE Main (): INTEGER =
+VAR s: S;
+BEGIN
+  s := NEW(S);
+  RETURN s.get();
+END Main;
+END M.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  EXPECT_TRUE(Ctx.typeRefsCompat(namedType(C, "T"), namedType(C, "S")));
+}
+
+//===----------------------------------------------------------------------===//
+// FieldTypeDecl (Section 2.3, Table 2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *FieldProgram = R"(
+MODULE FP;
+TYPE
+  T = OBJECT f: INTEGER; g: INTEGER; END;
+  U = T OBJECT h: INTEGER; END;
+  V = OBJECT f2: INTEGER; END;
+  Buf = ARRAY OF INTEGER;
+  IntRef = REF INTEGER;
+VAR
+  t: T; u: U; v: V; b: Buf; r: IntRef;
+PROCEDURE TakeRef (VAR x: INTEGER) = BEGIN x := x + 1; END TakeRef;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN 0;
+END Main;
+END FP.
+)";
+
+AbsLoc derefLoc(const Compilation &C, const char *TargetName) {
+  AbsLoc L;
+  L.Sel = SelKind::Deref;
+  TypeId Target = TargetName ? namedType(C, TargetName)
+                             : C.types().integerType();
+  L.BaseType = Target;
+  L.ValueType = Target;
+  return L;
+}
+
+AbsLoc indexLoc(const Compilation &C, const char *ArrayName) {
+  AbsLoc L;
+  L.Sel = SelKind::Index;
+  L.BaseType = namedType(C, ArrayName);
+  L.ValueType = C.types().canonical(C.types().get(L.BaseType).Elem);
+  return L;
+}
+
+} // namespace
+
+TEST(FieldTypeDecl, Case2SameFieldCompatibleBases) {
+  Compilation C = compileOrDie(FieldProgram);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+
+  AbsLoc TF = fieldLoc(C, "T", "f");
+  AbsLoc TG = fieldLoc(C, "T", "g");
+  AbsLoc UF = fieldLoc(C, "U", "f"); // inherited: same FieldId as T.f
+  AbsLoc VF2 = fieldLoc(C, "V", "f2");
+
+  EXPECT_TRUE(Oracle->mayAliasAbs(TF, TF));
+  EXPECT_FALSE(Oracle->mayAliasAbs(TF, TG));  // distinct fields
+  EXPECT_TRUE(Oracle->mayAliasAbs(TF, UF));   // same field, T ~ U bases
+  EXPECT_FALSE(Oracle->mayAliasAbs(TF, VF2)); // unrelated base types
+
+  // TypeDecl, by contrast, sees two INTEGER-typed APs everywhere.
+  auto TD = makeAliasOracle(Ctx, AliasLevel::TypeDecl);
+  EXPECT_TRUE(TD->mayAliasAbs(TF, TG));
+  EXPECT_TRUE(TD->mayAliasAbs(TF, VF2));
+}
+
+TEST(FieldTypeDecl, Case3DerefVsFieldNeedsAddressTaken) {
+  // No address-taking of t.f in this program: p^ cannot alias t.f.
+  Compilation C = compileOrDie(FieldProgram);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+  EXPECT_FALSE(Oracle->mayAliasAbs(fieldLoc(C, "T", "f"), derefLoc(C, nullptr)));
+
+  // Now the same program but passing t.f by reference.
+  Compilation C2 = compileOrDie(R"(
+MODULE FP2;
+TYPE
+  T = OBJECT f: INTEGER; g: INTEGER; END;
+  IntRef = REF INTEGER;
+VAR t: T; r: IntRef;
+PROCEDURE TakeRef (VAR x: INTEGER) = BEGIN x := x + 1; END TakeRef;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  t := NEW(T);
+  TakeRef(t.f);
+  RETURN t.f;
+END Main;
+END FP2.
+)");
+  ASSERT_TRUE(C2.ok());
+  TBAAContext Ctx2(C2.ast(), C2.types(), {});
+  auto Oracle2 = makeAliasOracle(Ctx2, AliasLevel::FieldTypeDecl);
+  EXPECT_TRUE(
+      Oracle2->mayAliasAbs(fieldLoc(C2, "T", "f"), derefLoc(C2, nullptr)));
+  // g's address is never taken, so g stays invisible to dereferences.
+  EXPECT_FALSE(
+      Oracle2->mayAliasAbs(fieldLoc(C2, "T", "g"), derefLoc(C2, nullptr)));
+}
+
+TEST(FieldTypeDecl, Case5QualifyNeverAliasesSubscript) {
+  Compilation C = compileOrDie(FieldProgram);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+  EXPECT_FALSE(
+      Oracle->mayAliasAbs(fieldLoc(C, "T", "f"), indexLoc(C, "Buf")));
+}
+
+TEST(FieldTypeDecl, Case6SubscriptsIgnoreIndices) {
+  Compilation C = compileOrDie(FieldProgram);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+  EXPECT_TRUE(Oracle->mayAliasAbs(indexLoc(C, "Buf"), indexLoc(C, "Buf")));
+}
+
+TEST(FieldTypeDecl, Case4DerefVsSubscriptNeedsAddressTaken) {
+  Compilation C = compileOrDie(R"(
+MODULE FP3;
+TYPE Buf = ARRAY OF INTEGER;
+VAR b: Buf;
+PROCEDURE TakeRef (VAR x: INTEGER) = BEGIN x := 0; END TakeRef;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  b := NEW(Buf, 3);
+  TakeRef(b[1]);
+  RETURN b[1];
+END Main;
+END FP3.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+  EXPECT_TRUE(Oracle->mayAliasAbs(derefLoc(C, nullptr), indexLoc(C, "Buf")));
+
+  // Without the TakeRef(b[1]) the same query answers no-alias.
+  Compilation C2 = compileOrDie(FieldProgram);
+  TBAAContext Ctx2(C2.ast(), C2.types(), {});
+  auto Oracle2 = makeAliasOracle(Ctx2, AliasLevel::FieldTypeDecl);
+  EXPECT_FALSE(
+      Oracle2->mayAliasAbs(derefLoc(C2, nullptr), indexLoc(C2, "Buf")));
+}
+
+TEST(FieldTypeDecl, WithAliasCountsAsAddressTaken) {
+  Compilation C = compileOrDie(R"(
+MODULE FP4;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  t := NEW(T);
+  WITH w = t.f DO w := 3; END;
+  RETURN t.f;
+END Main;
+END FP4.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  TypeId T = namedType(C, "T");
+  const FieldInfo *FI = C.types().findField(T, "f");
+  ASSERT_NE(FI, nullptr);
+  EXPECT_TRUE(Ctx.addressTakenField(FI->Id, T, C.types().integerType(),
+                                    /*UseTypeRefs=*/false));
+}
+
+TEST(FieldTypeDecl, DopeWordIsolation) {
+  Compilation C = compileOrDie(FieldProgram);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+  AbsLoc Len;
+  Len.Sel = SelKind::Len;
+  Len.BaseType = namedType(C, "Buf");
+  Len.ValueType = C.types().integerType();
+  EXPECT_TRUE(Oracle->mayAliasAbs(Len, Len));
+  EXPECT_FALSE(Oracle->mayAliasAbs(Len, indexLoc(C, "Buf")));
+  EXPECT_FALSE(Oracle->mayAliasAbs(Len, fieldLoc(C, "T", "f")));
+  EXPECT_FALSE(Oracle->mayAliasAbs(Len, derefLoc(C, nullptr)));
+}
+
+//===----------------------------------------------------------------------===//
+// Open world (Section 4)
+//===----------------------------------------------------------------------===//
+
+TEST(OpenWorld, ByRefFormalTypeMakesAddressesVisible) {
+  // No call ever takes t.f's address, but a VAR INTEGER formal exists, so
+  // unavailable callers may have passed some INTEGER field by reference.
+  Compilation C = compileOrDie(R"(
+MODULE OW;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T;
+PROCEDURE TakeRef (VAR x: INTEGER) = BEGIN x := 0; END TakeRef;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END OW.
+)");
+  ASSERT_TRUE(C.ok());
+  TypeId T = namedType(C, "T");
+  const FieldInfo *FI = C.types().findField(T, "f");
+  ASSERT_NE(FI, nullptr);
+
+  TBAAContext Closed(C.ast(), C.types(), {});
+  EXPECT_FALSE(Closed.addressTakenField(FI->Id, T, C.types().integerType(),
+                                        false));
+  TBAAContext Open(C.ast(), C.types(), {.OpenWorld = true});
+  EXPECT_TRUE(
+      Open.addressTakenField(FI->Id, T, C.types().integerType(), false));
+}
+
+TEST(OpenWorld, UnbrandedSubtypesMergeBrandedDoNot) {
+  Compilation C = compileOrDie(R"(
+MODULE OW2;
+TYPE
+  T = OBJECT f: INTEGER; END;
+  S = T OBJECT g: INTEGER; END;
+  BT = BRANDED "bt" OBJECT f: INTEGER; END;
+  BS = BT OBJECT g: INTEGER; END;
+PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;
+END OW2.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Closed(C.ast(), C.types(), {});
+  TBAAContext Open(C.ast(), C.types(), {.OpenWorld = true});
+  TypeId T = namedType(C, "T"), S = namedType(C, "S");
+  TypeId BT = namedType(C, "BT"), BS = namedType(C, "BS");
+
+  // Closed world: no assignments anywhere, nothing merges.
+  EXPECT_FALSE(Closed.typeRefsCompat(T, S));
+  EXPECT_FALSE(Closed.typeRefsCompat(BT, BS));
+  // Open world: unavailable code can reconstruct T and S and assign them;
+  // BRANDED types observe name equivalence and stay protected.
+  EXPECT_TRUE(Open.typeRefsCompat(T, S));
+  EXPECT_FALSE(Open.typeRefsCompat(BT, BS));
+}
+
+//===----------------------------------------------------------------------===//
+// Census ordering (Section 3.3's monotonicity)
+//===----------------------------------------------------------------------===//
+
+TEST(Census, PrecisionOrdering) {
+  Compilation C = compileOrDie(R"(
+MODULE CE;
+TYPE
+  T = OBJECT f, g: INTEGER; next: T; END;
+  S = T OBJECT extra: INTEGER; END;
+VAR head: T;
+PROCEDURE Sum (n: T): INTEGER =
+VAR acc: INTEGER;
+BEGIN
+  acc := 0;
+  WHILE n # NIL DO
+    acc := acc + n.f + n.g;
+    n := n.next;
+  END;
+  RETURN acc;
+END Sum;
+PROCEDURE Main (): INTEGER =
+VAR s: S;
+BEGIN
+  head := NEW(T);
+  head.f := 1;
+  head.g := 2;
+  s := NEW(S);
+  s.extra := 3;
+  head.next := NIL;
+  RETURN Sum(head);
+END Main;
+END CE.
+)");
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto TD = makeAliasOracle(Ctx, AliasLevel::TypeDecl);
+  auto FTD = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+  auto SMF = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+
+  CensusResult RTD = countAliasPairs(C.IR, *TD);
+  CensusResult RFTD = countAliasPairs(C.IR, *FTD);
+  CensusResult RSMF = countAliasPairs(C.IR, *SMF);
+
+  EXPECT_EQ(RTD.References, RFTD.References);
+  // SMFieldTypeRefs is strictly more powerful than FieldTypeDecl, which is
+  // strictly more powerful than TypeDecl (Section 3.3).
+  EXPECT_GE(RTD.LocalPairs, RFTD.LocalPairs);
+  EXPECT_GE(RFTD.LocalPairs, RSMF.LocalPairs);
+  EXPECT_GE(RTD.GlobalPairs, RFTD.GlobalPairs);
+  EXPECT_GE(RFTD.GlobalPairs, RSMF.GlobalPairs);
+  // And on this program the gap is real.
+  EXPECT_GT(RTD.LocalPairs, RFTD.LocalPairs);
+}

@@ -1,0 +1,59 @@
+//===- TestUtil.h - Shared helpers for the test suite -----------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_TESTS_TESTUTIL_H
+#define TBAA_TESTS_TESTUTIL_H
+
+#include "exec/VM.h"
+#include "ir/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tbaa::test {
+
+/// Compiles \p Source, failing the test with diagnostics on any error.
+inline Compilation compileOrDie(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(Source, Diags);
+  EXPECT_TRUE(C.ok()) << Diags.str();
+  if (C.ok()) {
+    std::string VerifyErr = C.IR.verify();
+    EXPECT_TRUE(VerifyErr.empty()) << VerifyErr << "\n" << C.IR.dump();
+  }
+  return C;
+}
+
+/// Compiles and expects failure; returns rendered diagnostics.
+inline std::string compileExpectError(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(Source, Diags);
+  EXPECT_FALSE(C.ok()) << "expected a compile error";
+  return Diags.str();
+}
+
+/// Compiles, runs module init, then calls Main() and returns its value.
+/// Fails the test on trap.
+inline int64_t runMain(const std::string &Source,
+                       uint64_t OpLimit = 100'000'000) {
+  Compilation C = compileOrDie(Source);
+  if (!C.ok())
+    return INT64_MIN;
+  VM Machine(C.IR);
+  Machine.setOpLimit(OpLimit);
+  bool InitOk = Machine.runInit();
+  EXPECT_TRUE(InitOk) << Machine.trapMessage();
+  if (!InitOk)
+    return INT64_MIN;
+  std::optional<int64_t> R = Machine.callFunction("Main");
+  EXPECT_TRUE(R.has_value()) << Machine.trapMessage();
+  return R.value_or(INT64_MIN);
+}
+
+} // namespace tbaa::test
+
+#endif // TBAA_TESTS_TESTUTIL_H

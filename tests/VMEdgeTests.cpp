@@ -1,0 +1,289 @@
+//===- VMEdgeTests.cpp - VM edge cases and trap behaviour -----------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+/// Compiles, runs init, calls Main; expects a trap whose message contains
+/// \p Needle.
+void expectTrap(const char *Source, const char *Needle) {
+  Compilation C = compileOrDie(Source);
+  ASSERT_TRUE(C.ok());
+  VM Machine(C.IR);
+  Machine.setOpLimit(10'000'000);
+  bool InitOk = Machine.runInit();
+  if (InitOk) {
+    EXPECT_FALSE(Machine.callFunction("Main").has_value());
+  }
+  EXPECT_TRUE(Machine.trapped());
+  EXPECT_NE(Machine.trapMessage().find(Needle), std::string::npos)
+      << Machine.trapMessage();
+}
+} // namespace
+
+TEST(VMEdge, DivByZeroTraps) {
+  expectTrap(R"(
+MODULE T;
+VAR z: INTEGER;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN 1 DIV z;
+END Main;
+END T.
+)",
+             "DIV by zero");
+}
+
+TEST(VMEdge, ModByZeroTraps) {
+  expectTrap(R"(
+MODULE T;
+VAR z: INTEGER;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN 1 MOD z;
+END Main;
+END T.
+)",
+             "MOD by zero");
+}
+
+TEST(VMEdge, MissingReturnTraps) {
+  expectTrap(R"(
+MODULE T;
+VAR c: BOOLEAN;
+PROCEDURE Broken (): INTEGER =
+BEGIN
+  IF c THEN
+    RETURN 1;
+  END;
+END Broken;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN Broken();
+END Main;
+END T.
+)",
+             "fell off the end");
+}
+
+TEST(VMEdge, MethodCallOnNilTraps) {
+  expectTrap(R"(
+MODULE T;
+TYPE O = OBJECT v: INTEGER; METHODS m (): INTEGER := Impl; END;
+PROCEDURE Impl (self: O): INTEGER = BEGIN RETURN 1; END Impl;
+PROCEDURE Main (): INTEGER =
+VAR o: O;
+BEGIN
+  RETURN o.m();
+END Main;
+END T.
+)",
+             "method call on NIL");
+}
+
+TEST(VMEdge, UnimplementedMethodTraps) {
+  expectTrap(R"(
+MODULE T;
+TYPE O = OBJECT v: INTEGER; METHODS m (): INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR o: O;
+BEGIN
+  o := NEW(O);
+  RETURN o.m();
+END Main;
+END T.
+)",
+             "unimplemented method");
+}
+
+TEST(VMEdge, RunawayLoopHitsOpLimit) {
+  expectTrap(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  LOOP
+  END;
+END Main;
+END T.
+)",
+             "budget");
+}
+
+TEST(VMEdge, DeepRecursionTraps) {
+  expectTrap(R"(
+MODULE T;
+PROCEDURE Down (n: INTEGER): INTEGER =
+BEGIN
+  RETURN Down(n + 1);
+END Down;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN Down(0);
+END Main;
+END T.
+)",
+             "stack overflow");
+}
+
+TEST(VMEdge, NegativeOpenArrayLengthTraps) {
+  expectTrap(R"(
+MODULE T;
+TYPE Buf = ARRAY OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf;
+BEGIN
+  b := NEW(Buf, -1);
+  RETURN 0;
+END Main;
+END T.
+)",
+             "allocation");
+}
+
+TEST(VMEdge, FixedArrayNegativeBoundsIndexing) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE F = ARRAY [-3..3] OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR f: F; s: INTEGER;
+BEGIN
+  f := NEW(F);
+  FOR i := -3 TO 3 DO
+    f[i] := i * 10;
+  END;
+  s := f[-3] + f[0] + f[3];
+  RETURN s;
+END Main;
+END T.
+)"),
+            -30 + 0 + 30);
+}
+
+TEST(VMEdge, ForLoopsDownwardAndZeroTrip) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 10 TO 1 BY -2 DO
+    s := s * 10 + i;
+  END;
+  FOR i := 5 TO 1 DO      (* zero-trip: 5 > 1 with BY 1 *)
+    s := -999;
+  END;
+  RETURN s;
+END Main;
+END T.
+)"),
+            108642);
+}
+
+TEST(VMEdge, ExitLeavesInnermostLoopOnly) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+VAR s, i: INTEGER;
+BEGIN
+  s := 0;
+  FOR i2 := 1 TO 3 DO
+    i := 0;
+    LOOP
+      i := i + 1;
+      IF i >= i2 THEN
+        EXIT;
+      END;
+    END;
+    s := s * 10 + i;
+  END;
+  RETURN s;
+END Main;
+END T.
+)"),
+            123);
+}
+
+TEST(VMEdge, RefCellAliasingThroughAssignment) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE IntRef = REF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR a, b: IntRef; distinct: IntRef;
+BEGIN
+  a := NEW(IntRef);
+  b := a;                  (* same cell *)
+  distinct := NEW(IntRef); (* different cell *)
+  a^ := 5;
+  b^ := b^ + 1;
+  distinct^ := 100;
+  IF a = b AND a # distinct THEN
+    RETURN a^;
+  END;
+  RETURN -1;
+END Main;
+END T.
+)"),
+            6);
+}
+
+TEST(VMEdge, ActivationCountersAdvance) {
+  // Two calls of the same procedure are distinct activations: stack slots
+  // reused at the same address must not leak values.
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+PROCEDURE Fresh (): INTEGER =
+VAR local: INTEGER;
+BEGIN
+  local := local + 41;  (* locals default to 0 each activation *)
+  RETURN local;
+END Fresh;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  IF Fresh() # 41 THEN RETURN -1; END;
+  IF Fresh() # 41 THEN RETURN -2; END;
+  RETURN 42;
+END Main;
+END T.
+)"),
+            42);
+}
+
+TEST(VMEdge, StatsAreDeterministicAcrossRuns) {
+  const char *Src = R"(
+MODULE T;
+TYPE Buf = ARRAY OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf; s: INTEGER;
+BEGIN
+  b := NEW(Buf, 100);
+  FOR i := 0 TO 99 DO
+    b[i] := i;
+  END;
+  s := 0;
+  FOR i := 0 TO 99 DO
+    s := s + b[i];
+  END;
+  RETURN s;
+END Main;
+END T.
+)";
+  uint64_t Ops[2], Heap[2];
+  for (int Run = 0; Run != 2; ++Run) {
+    Compilation C = compileOrDie(Src);
+    VM Machine(C.IR);
+    ASSERT_TRUE(Machine.runInit());
+    ASSERT_EQ(Machine.callFunction("Main").value_or(-1), 4950);
+    Ops[Run] = Machine.stats().Ops;
+    Heap[Run] = Machine.stats().HeapLoads;
+  }
+  EXPECT_EQ(Ops[0], Ops[1]);
+  EXPECT_EQ(Heap[0], Heap[1]);
+}

@@ -1,0 +1,343 @@
+//===- VMTests.cpp - End-to-end execution semantics -----------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Exercises the whole substrate pipeline: lex -> parse -> check -> lower ->
+// execute, asserting on computed values and on trap behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+TEST(VM, ArithmeticAndControlFlow) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 10 DO s := s + i; END;
+  RETURN s;
+END Main;
+END T.
+)"),
+            55);
+}
+
+TEST(VM, FloorDivAndMod) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN (-7 DIV 2) * 100 + (-7 MOD 2);
+END Main;
+END T.
+)"),
+            -399); // floor(-3.5) = -4; -7 mod 2 = 1
+}
+
+TEST(VM, WhileRepeatLoopExit) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+PROCEDURE Main (): INTEGER =
+VAR a, b, c, n: INTEGER;
+BEGIN
+  a := 0; n := 0;
+  WHILE n < 5 DO a := a + 2; n := n + 1; END;
+  b := 0;
+  REPEAT b := b + 3; UNTIL b >= 10;
+  c := 0;
+  LOOP
+    c := c + 1;
+    IF c = 7 THEN EXIT; END;
+  END;
+  RETURN a * 10000 + b * 100 + c;
+END Main;
+END T.
+)"),
+            10 * 10000 + 12 * 100 + 7);
+}
+
+TEST(VM, ShortCircuitEvaluation) {
+  // P() traps if executed; AND/OR must skip it.
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+VAR hits: INTEGER;
+PROCEDURE Bump (): BOOLEAN =
+BEGIN
+  hits := hits + 1;
+  RETURN TRUE;
+END Bump;
+PROCEDURE Main (): INTEGER =
+VAR ok: BOOLEAN;
+BEGIN
+  hits := 0;
+  ok := FALSE AND Bump();
+  ok := TRUE OR Bump();
+  ok := TRUE AND Bump();
+  RETURN hits;
+END Main;
+END T.
+)"),
+            1);
+}
+
+TEST(VM, ObjectsFieldsAndSubtyping) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE
+  Node = OBJECT val: INTEGER; next: Node; END;
+  Wide = Node OBJECT extra: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR head: Node; w: Wide; sum: INTEGER;
+BEGIN
+  w := NEW(Wide);
+  w.val := 5;
+  w.extra := 7;
+  head := NEW(Node);
+  head.val := 1;
+  head.next := w;           (* subtype assignment *)
+  sum := head.val + head.next.val + w.extra;
+  RETURN sum;
+END Main;
+END T.
+)"),
+            13);
+}
+
+TEST(VM, MethodDispatchAndOverrides) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE
+  Shape = OBJECT side: INTEGER; METHODS area (): INTEGER := SquareArea; END;
+  Tri = Shape OBJECT OVERRIDES area := TriArea; END;
+PROCEDURE SquareArea (self: Shape): INTEGER =
+BEGIN
+  RETURN self.side * self.side;
+END SquareArea;
+PROCEDURE TriArea (self: Shape): INTEGER =
+BEGIN
+  RETURN self.side * self.side DIV 2;
+END TriArea;
+PROCEDURE AreaOf (s: Shape): INTEGER =
+BEGIN
+  RETURN s.area();
+END AreaOf;
+PROCEDURE Main (): INTEGER =
+VAR a: Shape; b: Tri;
+BEGIN
+  a := NEW(Shape);
+  a.side := 4;
+  b := NEW(Tri);
+  b.side := 4;
+  RETURN AreaOf(a) * 100 + AreaOf(b);
+END Main;
+END T.
+)"),
+            1608);
+}
+
+TEST(VM, OpenAndFixedArrays) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE
+  Buf = ARRAY OF INTEGER;
+  Fix = ARRAY [2..5] OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf; f: Fix; s: INTEGER;
+BEGIN
+  b := NEW(Buf, 4);
+  FOR i := 0 TO NUMBER(b) - 1 DO b[i] := i * i; END;
+  f := NEW(Fix);
+  FOR i := 2 TO 5 DO f[i] := i * 10; END;
+  s := 0;
+  FOR i := 0 TO 3 DO s := s + b[i]; END;
+  FOR i := 2 TO 5 DO s := s + f[i]; END;
+  RETURN s;
+END Main;
+END T.
+)"),
+            (0 + 1 + 4 + 9) + (20 + 30 + 40 + 50));
+}
+
+TEST(VM, RefCellsAndDeref) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE IntRef = REF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR p, q: IntRef;
+BEGIN
+  p := NEW(IntRef);
+  p^ := 41;
+  q := p;
+  q^ := q^ + 1;
+  RETURN p^;
+END Main;
+END T.
+)"),
+            42);
+}
+
+TEST(VM, VarParamsWriteThrough) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE Node = OBJECT val: INTEGER; END;
+PROCEDURE Bump (VAR x: INTEGER) =
+BEGIN
+  x := x + 1;
+END Bump;
+PROCEDURE Main (): INTEGER =
+VAR a: INTEGER; n: Node;
+BEGIN
+  a := 10;
+  Bump(a);
+  Bump(a);
+  n := NEW(Node);
+  n.val := 100;
+  Bump(n.val);
+  RETURN a * 1000 + n.val;
+END Main;
+END T.
+)"),
+            12 * 1000 + 101);
+}
+
+TEST(VM, WithAliasesLocation) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE Node = OBJECT val: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; r: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.val := 1;
+  WITH w = n.val DO
+    w := w + 10;          (* writes through to n.val *)
+    n.val := n.val + 100; (* visible through w *)
+    r := w;
+  END;
+  RETURN r;
+END Main;
+END T.
+)"),
+            111);
+}
+
+TEST(VM, WithAliasFreezesIndex) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+TYPE Buf = ARRAY OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR a: Buf; i: INTEGER;
+BEGIN
+  a := NEW(Buf, 4);
+  i := 1;
+  WITH w = a[i] DO
+    i := 3;      (* must not move the alias *)
+    w := 55;
+  END;
+  RETURN a[1] * 10 + a[3];
+END Main;
+END T.
+)"),
+            550);
+}
+
+TEST(VM, RecursionFibonacci) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+PROCEDURE Fib (n: INTEGER): INTEGER =
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN Fib(n - 1) + Fib(n - 2);
+END Fib;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN Fib(15);
+END Main;
+END T.
+)"),
+            610);
+}
+
+TEST(VM, GlobalInitializersAndModuleBody) {
+  EXPECT_EQ(runMain(R"(
+MODULE T;
+VAR base: INTEGER := 40;
+VAR adjusted: INTEGER;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  RETURN adjusted;
+END Main;
+BEGIN
+  adjusted := base + 2;
+END T.
+)"),
+            42);
+}
+
+TEST(VM, NilDerefTraps) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE Node = OBJECT val: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node;
+BEGIN
+  RETURN n.val;
+END Main;
+END T.
+)");
+  ASSERT_TRUE(C.ok());
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_FALSE(Machine.callFunction("Main").has_value());
+  EXPECT_TRUE(Machine.trapped());
+}
+
+TEST(VM, BoundsCheckTraps) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE Buf = ARRAY OF INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR b: Buf;
+BEGIN
+  b := NEW(Buf, 3);
+  RETURN b[3];
+END Main;
+END T.
+)");
+  ASSERT_TRUE(C.ok());
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  EXPECT_FALSE(Machine.callFunction("Main").has_value());
+  EXPECT_TRUE(Machine.trapped());
+}
+
+TEST(VM, LoadAccountingSeparatesHeapFromStack) {
+  Compilation C = compileOrDie(R"(
+MODULE T;
+TYPE Node = OBJECT val: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; s: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.val := 3;
+  s := n.val + n.val;
+  RETURN s;
+END Main;
+END T.
+)");
+  ASSERT_TRUE(C.ok());
+  VM Machine(C.IR);
+  ASSERT_TRUE(Machine.runInit());
+  ASSERT_TRUE(Machine.callFunction("Main").has_value());
+  const ExecStats &S = Machine.stats();
+  EXPECT_GT(S.HeapLoads, 0u);
+  EXPECT_GT(S.OtherLoads, S.HeapLoads); // roots and scalars dominate
+  EXPECT_GT(S.Ops, S.HeapLoads + S.OtherLoads);
+}

@@ -1,0 +1,112 @@
+//===- WorkloadTests.cpp - The benchmark suite runs and is stable ---------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Every workload must compile, verify, run trap-free, produce a stable
+// checksum, and keep producing that checksum under the full optimization
+// pipeline at every alias level -- the end-to-end guarantee behind all
+// reported numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "opt/CopyProp.h"
+#include "opt/Devirt.h"
+#include "opt/Inline.h"
+#include "opt/RLE.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+int64_t runWorkload(const char *Source, ExecStats *StatsOut = nullptr) {
+  Compilation C = compileOrDie(Source);
+  if (!C.ok())
+    return INT64_MIN;
+  VM Machine(C.IR);
+  Machine.setOpLimit(500'000'000);
+  EXPECT_TRUE(Machine.runInit()) << Machine.trapMessage();
+  auto R = Machine.callFunction("Main");
+  EXPECT_TRUE(R.has_value()) << Machine.trapMessage();
+  if (StatsOut)
+    *StatsOut = Machine.stats();
+  return R.value_or(INT64_MIN);
+}
+
+} // namespace
+
+class WorkloadSuite : public ::testing::TestWithParam<WorkloadInfo> {};
+
+TEST_P(WorkloadSuite, CompilesRunsDeterministically) {
+  const WorkloadInfo &W = GetParam();
+  ExecStats S1, S2;
+  int64_t First = runWorkload(W.Source, &S1);
+  ASSERT_NE(First, INT64_MIN) << W.Name;
+  EXPECT_GE(First, 0) << W.Name << ": negative checksum marks a self-check "
+                                   "failure inside the workload";
+  int64_t Second = runWorkload(W.Source, &S2);
+  EXPECT_EQ(First, Second) << W.Name << " is nondeterministic";
+  EXPECT_EQ(S1.Ops, S2.Ops);
+  // Every workload must actually touch the heap (Table 4's subject).
+  EXPECT_GT(S1.HeapLoads, 1000u) << W.Name;
+}
+
+TEST_P(WorkloadSuite, OptimizationPreservesChecksum) {
+  const WorkloadInfo &W = GetParam();
+  int64_t Base = runWorkload(W.Source);
+  ASSERT_NE(Base, INT64_MIN);
+  for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
+                       AliasLevel::SMFieldTypeRefs}) {
+    Compilation C = compileOrDie(W.Source);
+    ASSERT_TRUE(C.ok());
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    auto Oracle = makeAliasOracle(Ctx, L);
+    RLEStats RS = runRLE(C.IR, *Oracle);
+    (void)RS;
+    VM Machine(C.IR);
+    Machine.setOpLimit(500'000'000);
+    ASSERT_TRUE(Machine.runInit()) << W.Name << " " << Machine.trapMessage();
+    auto R = Machine.callFunction("Main");
+    ASSERT_TRUE(R.has_value()) << W.Name << " under " << aliasLevelName(L)
+                               << ": " << Machine.trapMessage();
+    EXPECT_EQ(*R, Base) << W.Name << " under " << aliasLevelName(L);
+  }
+}
+
+TEST_P(WorkloadSuite, FullPipelinePreservesChecksum) {
+  const WorkloadInfo &W = GetParam();
+  int64_t Base = runWorkload(W.Source);
+  ASSERT_NE(Base, INT64_MIN);
+  Compilation C = compileOrDie(W.Source);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  resolveMethodCalls(C.IR, Ctx);
+  inlineCalls(C.IR);
+  propagateCopies(C.IR);
+  runRLE(C.IR, *Oracle);
+  std::string Err = C.IR.verify();
+  ASSERT_TRUE(Err.empty()) << Err;
+  VM Machine(C.IR);
+  Machine.setOpLimit(500'000'000);
+  ASSERT_TRUE(Machine.runInit()) << Machine.trapMessage();
+  auto R = Machine.callFunction("Main");
+  ASSERT_TRUE(R.has_value()) << W.Name << ": " << Machine.trapMessage();
+  EXPECT_EQ(*R, Base) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadInfo> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,255 @@
+//===- m3lc.cpp - M3L compiler driver -------------------------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Command-line driver over the whole pipeline:
+//
+//   m3lc run [opts] <file|workload>      compile, optimize, execute Main
+//   m3lc check <file|workload>           parse and typecheck only
+//   m3lc dump-ir [opts] <file|workload>  print the (optimized) IR
+//   m3lc census <file|workload>          Table 5 alias census
+//   m3lc emit-workload <name>            print a bundled benchmark source
+//   m3lc list                            list bundled benchmarks
+//
+// Options: --level=typedecl|fieldtypedecl|smfieldtyperefs (default last)
+//          --open        open-world TBAA (Section 4)
+//          --no-rle      skip redundant load elimination
+//          --pipeline    devirtualize + inline + copy-propagate first
+//          --pre         partial redundancy elimination after RLE
+//          --stats       print execution counters and simulated cycles
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AliasCensus.h"
+#include "core/AliasOracle.h"
+#include "core/TBAAContext.h"
+#include "exec/VM.h"
+#include "ir/Pipeline.h"
+#include "lang/ASTPrinter.h"
+#include "opt/CopyProp.h"
+#include "opt/Devirt.h"
+#include "opt/Inline.h"
+#include "opt/RLE.h"
+#include "sim/CacheSim.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace tbaa;
+
+namespace {
+
+struct Options {
+  std::string Command = "run";
+  std::string Target;
+  AliasLevel Level = AliasLevel::SMFieldTypeRefs;
+  bool OpenWorld = false;
+  bool ApplyRLE = true;
+  bool Pipeline = false;
+  bool PRE = false;
+  bool Stats = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: m3lc <run|check|dump-ir|dump-ast|census|emit-workload|list>\n"
+      "            [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
+      "            [--open] [--no-rle] [--pipeline] [--pre] [--stats]\n"
+      "            <file.m3l | workload-name>\n");
+  return 2;
+}
+
+std::string loadSource(const std::string &Target) {
+  if (const WorkloadInfo *W = findWorkload(Target))
+    return W->Source;
+  std::ifstream In(Target);
+  if (In) {
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    return SS.str();
+  }
+  return {};
+}
+
+int run(const Options &Opts) {
+  std::string Source = loadSource(Opts.Target);
+  if (Source.empty()) {
+    std::fprintf(stderr, "m3lc: cannot read '%s' (not a file or bundled "
+                         "workload; try 'm3lc list')\n",
+                 Opts.Target.c_str());
+    return 1;
+  }
+
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(Source, Diags);
+  if (!C.ok()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (Opts.Command == "dump-ast") {
+    std::fputs(printModule(C.ast(), C.types()).c_str(), stdout);
+    return 0;
+  }
+  if (Opts.Command == "check") {
+    std::printf("%s: OK (%u source lines, %zu types, %zu functions)\n",
+                Opts.Target.c_str(), C.ast().SourceLines,
+                C.types().size(), C.IR.Functions.size());
+    return 0;
+  }
+
+  TBAAContext Ctx(C.ast(), C.types(), {.OpenWorld = Opts.OpenWorld});
+  auto Oracle = makeAliasOracle(Ctx, Opts.Level);
+
+  if (Opts.Command == "census") {
+    std::printf("%-18s %10s %10s %12s\n", "analysis", "local", "global",
+                "references");
+    for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
+                         AliasLevel::SMFieldTypeRefs}) {
+      auto O = makeAliasOracle(Ctx, L);
+      CensusResult R = countAliasPairs(C.IR, *O);
+      std::printf("%-18s %10llu %10llu %12llu\n", O->name(),
+                  static_cast<unsigned long long>(R.LocalPairs),
+                  static_cast<unsigned long long>(R.GlobalPairs),
+                  static_cast<unsigned long long>(R.References));
+    }
+    return 0;
+  }
+
+  unsigned Resolved = 0, Inlined = 0;
+  RLEStats RS;
+  PREStats PS;
+  if (Opts.Pipeline) {
+    Resolved = resolveMethodCalls(C.IR, Ctx);
+    Inlined = inlineCalls(C.IR);
+  }
+  if (Opts.ApplyRLE)
+    RS = runRLE(C.IR, *Oracle);
+  if (Opts.Pipeline) {
+    propagateCopies(C.IR);
+    if (Opts.ApplyRLE) {
+      RLEStats Second = runRLE(C.IR, *Oracle);
+      RS.Hoisted += Second.Hoisted;
+      RS.Replaced += Second.Replaced;
+    }
+  }
+  if (Opts.PRE)
+    PS = runLoadPRE(C.IR, *Oracle);
+
+  if (Opts.Command == "dump-ir") {
+    std::fputs(C.IR.dump().c_str(), stdout);
+    return 0;
+  }
+
+  // run
+  TimingSimulator Timing;
+  VM Machine(C.IR);
+  Machine.addMonitor(&Timing);
+  if (!Machine.runInit()) {
+    std::fprintf(stderr, "m3lc: %s\n", Machine.trapMessage().c_str());
+    return 1;
+  }
+  std::optional<int64_t> R = Machine.callFunction("Main");
+  if (!R) {
+    std::fprintf(stderr, "m3lc: %s\n",
+                 Machine.trapped() ? Machine.trapMessage().c_str()
+                                   : "program has no Main(): INTEGER");
+    return 1;
+  }
+  std::printf("Main() = %lld\n", static_cast<long long>(*R));
+  if (Opts.Stats) {
+    const ExecStats &S = Machine.stats();
+    std::printf("analysis:         %s%s\n", Oracle->name(),
+                Opts.OpenWorld ? " (open world)" : "");
+    if (Opts.Pipeline)
+      std::printf("pipeline:         %u methods resolved, %u calls "
+                  "inlined\n",
+                  Resolved, Inlined);
+    if (Opts.ApplyRLE)
+      std::printf("RLE:              %u hoisted, %u replaced\n", RS.Hoisted,
+                  RS.Replaced);
+    if (Opts.PRE)
+      std::printf("PRE:              %u inserted, %u replaced\n",
+                  PS.Inserted, PS.Replaced);
+    std::printf("micro-ops:        %llu\n",
+                static_cast<unsigned long long>(S.Ops));
+    std::printf("heap loads:       %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(S.HeapLoads),
+                S.heapLoadPercent());
+    std::printf("other loads:      %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(S.OtherLoads),
+                S.otherLoadPercent());
+    std::printf("simulated cycles: %llu (cache hits %llu, misses %llu)\n",
+                static_cast<unsigned long long>(Timing.cycles(S)),
+                static_cast<unsigned long long>(Timing.cache().hits()),
+                static_cast<unsigned long long>(Timing.cache().misses()));
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  std::vector<std::string> Positional;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--open")
+      Opts.OpenWorld = true;
+    else if (A == "--no-rle")
+      Opts.ApplyRLE = false;
+    else if (A == "--pipeline")
+      Opts.Pipeline = true;
+    else if (A == "--pre")
+      Opts.PRE = true;
+    else if (A == "--stats")
+      Opts.Stats = true;
+    else if (A.rfind("--level=", 0) == 0) {
+      std::string L = A.substr(8);
+      if (L == "typedecl")
+        Opts.Level = AliasLevel::TypeDecl;
+      else if (L == "fieldtypedecl")
+        Opts.Level = AliasLevel::FieldTypeDecl;
+      else if (L == "smfieldtyperefs")
+        Opts.Level = AliasLevel::SMFieldTypeRefs;
+      else
+        return usage();
+    } else if (A.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      Positional.push_back(A);
+    }
+  }
+  if (Positional.empty())
+    return usage();
+  Opts.Command = Positional[0];
+  if (Opts.Command == "list") {
+    for (const WorkloadInfo &W : allWorkloads())
+      std::printf("%-14s %s%s\n", W.Name, W.Description,
+                  W.Interactive ? " (static-only in the paper)" : "");
+    return 0;
+  }
+  if (Positional.size() != 2)
+    return usage();
+  Opts.Target = Positional[1];
+  if (Opts.Command == "emit-workload") {
+    const WorkloadInfo *W = findWorkload(Opts.Target);
+    if (!W) {
+      std::fprintf(stderr, "m3lc: unknown workload '%s'\n",
+                   Opts.Target.c_str());
+      return 1;
+    }
+    std::fputs(W->Source, stdout);
+    return 0;
+  }
+  if (Opts.Command != "run" && Opts.Command != "check" &&
+      Opts.Command != "dump-ir" && Opts.Command != "dump-ast" &&
+      Opts.Command != "census")
+    return usage();
+  return run(Opts);
+}
