@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rle.dir/ablation_rle.cpp.o"
+  "CMakeFiles/ablation_rle.dir/ablation_rle.cpp.o.d"
+  "ablation_rle"
+  "ablation_rle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

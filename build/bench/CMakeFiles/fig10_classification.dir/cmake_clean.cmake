@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_classification.dir/fig10_classification.cpp.o"
+  "CMakeFiles/fig10_classification.dir/fig10_classification.cpp.o.d"
+  "fig10_classification"
+  "fig10_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

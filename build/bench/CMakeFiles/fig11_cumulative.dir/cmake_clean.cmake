@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cumulative.dir/fig11_cumulative.cpp.o"
+  "CMakeFiles/fig11_cumulative.dir/fig11_cumulative.cpp.o.d"
+  "fig11_cumulative"
+  "fig11_cumulative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cumulative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_openworld.dir/fig12_openworld.cpp.o"
+  "CMakeFiles/fig12_openworld.dir/fig12_openworld.cpp.o.d"
+  "fig12_openworld"
+  "fig12_openworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_openworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_limit.dir/fig9_limit.cpp.o"
+  "CMakeFiles/fig9_limit.dir/fig9_limit.cpp.o.d"
+  "fig9_limit"
+  "fig9_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_alias_pairs.dir/table5_alias_pairs.cpp.o"
+  "CMakeFiles/table5_alias_pairs.dir/table5_alias_pairs.cpp.o.d"
+  "table5_alias_pairs"
+  "table5_alias_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_alias_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table6_rle_static.cpp" "bench/CMakeFiles/table6_rle_static.dir/table6_rle_static.cpp.o" "gcc" "bench/CMakeFiles/table6_rle_static.dir/table6_rle_static.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tbaa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/tbaa_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tbaa_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tbaa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/limit/CMakeFiles/tbaa_limit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tbaa_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tbaa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tbaa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tbaa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tbaa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_rle_static.dir/table6_rle_static.cpp.o"
+  "CMakeFiles/table6_rle_static.dir/table6_rle_static.cpp.o.d"
+  "table6_rle_static"
+  "table6_rle_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_rle_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rle_pipeline.dir/rle_pipeline.cpp.o"
+  "CMakeFiles/rle_pipeline.dir/rle_pipeline.cpp.o.d"
+  "rle_pipeline"
+  "rle_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rle_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/tbaa_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/tbaa_analysis.dir/ModRef.cpp.o"
+  "CMakeFiles/tbaa_analysis.dir/ModRef.cpp.o.d"
+  "libtbaa_analysis.a"
+  "libtbaa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

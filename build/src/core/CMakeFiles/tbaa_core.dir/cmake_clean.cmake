@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_core.dir/AliasCensus.cpp.o"
+  "CMakeFiles/tbaa_core.dir/AliasCensus.cpp.o.d"
+  "CMakeFiles/tbaa_core.dir/AliasOracle.cpp.o"
+  "CMakeFiles/tbaa_core.dir/AliasOracle.cpp.o.d"
+  "CMakeFiles/tbaa_core.dir/TBAAContext.cpp.o"
+  "CMakeFiles/tbaa_core.dir/TBAAContext.cpp.o.d"
+  "libtbaa_core.a"
+  "libtbaa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_exec.dir/VM.cpp.o"
+  "CMakeFiles/tbaa_exec.dir/VM.cpp.o.d"
+  "libtbaa_exec.a"
+  "libtbaa_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/tbaa_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/tbaa_ir.dir/IR.cpp.o"
+  "CMakeFiles/tbaa_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/tbaa_ir.dir/Loops.cpp.o"
+  "CMakeFiles/tbaa_ir.dir/Loops.cpp.o.d"
+  "CMakeFiles/tbaa_ir.dir/Lower.cpp.o"
+  "CMakeFiles/tbaa_ir.dir/Lower.cpp.o.d"
+  "CMakeFiles/tbaa_ir.dir/Pipeline.cpp.o"
+  "CMakeFiles/tbaa_ir.dir/Pipeline.cpp.o.d"
+  "libtbaa_ir.a"
+  "libtbaa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_lang.dir/AST.cpp.o"
+  "CMakeFiles/tbaa_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/tbaa_lang.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/tbaa_lang.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/tbaa_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/tbaa_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/tbaa_lang.dir/Parser.cpp.o"
+  "CMakeFiles/tbaa_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/tbaa_lang.dir/Sema.cpp.o"
+  "CMakeFiles/tbaa_lang.dir/Sema.cpp.o.d"
+  "CMakeFiles/tbaa_lang.dir/Types.cpp.o"
+  "CMakeFiles/tbaa_lang.dir/Types.cpp.o.d"
+  "libtbaa_lang.a"
+  "libtbaa_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

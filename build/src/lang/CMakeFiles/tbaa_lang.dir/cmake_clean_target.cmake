@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtbaa_lang.a"
+)

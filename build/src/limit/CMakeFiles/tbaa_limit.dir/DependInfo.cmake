@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/limit/AliasSoundness.cpp" "src/limit/CMakeFiles/tbaa_limit.dir/AliasSoundness.cpp.o" "gcc" "src/limit/CMakeFiles/tbaa_limit.dir/AliasSoundness.cpp.o.d"
+  "/root/repo/src/limit/LimitAnalysis.cpp" "src/limit/CMakeFiles/tbaa_limit.dir/LimitAnalysis.cpp.o" "gcc" "src/limit/CMakeFiles/tbaa_limit.dir/LimitAnalysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/tbaa_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tbaa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tbaa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tbaa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tbaa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

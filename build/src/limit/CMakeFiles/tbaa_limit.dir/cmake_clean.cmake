@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_limit.dir/AliasSoundness.cpp.o"
+  "CMakeFiles/tbaa_limit.dir/AliasSoundness.cpp.o.d"
+  "CMakeFiles/tbaa_limit.dir/LimitAnalysis.cpp.o"
+  "CMakeFiles/tbaa_limit.dir/LimitAnalysis.cpp.o.d"
+  "libtbaa_limit.a"
+  "libtbaa_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

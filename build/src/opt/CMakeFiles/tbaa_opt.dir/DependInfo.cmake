@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/CopyProp.cpp" "src/opt/CMakeFiles/tbaa_opt.dir/CopyProp.cpp.o" "gcc" "src/opt/CMakeFiles/tbaa_opt.dir/CopyProp.cpp.o.d"
+  "/root/repo/src/opt/Devirt.cpp" "src/opt/CMakeFiles/tbaa_opt.dir/Devirt.cpp.o" "gcc" "src/opt/CMakeFiles/tbaa_opt.dir/Devirt.cpp.o.d"
+  "/root/repo/src/opt/Inline.cpp" "src/opt/CMakeFiles/tbaa_opt.dir/Inline.cpp.o" "gcc" "src/opt/CMakeFiles/tbaa_opt.dir/Inline.cpp.o.d"
+  "/root/repo/src/opt/RLE.cpp" "src/opt/CMakeFiles/tbaa_opt.dir/RLE.cpp.o" "gcc" "src/opt/CMakeFiles/tbaa_opt.dir/RLE.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tbaa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tbaa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tbaa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tbaa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tbaa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

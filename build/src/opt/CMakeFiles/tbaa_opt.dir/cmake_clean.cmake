@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_opt.dir/CopyProp.cpp.o"
+  "CMakeFiles/tbaa_opt.dir/CopyProp.cpp.o.d"
+  "CMakeFiles/tbaa_opt.dir/Devirt.cpp.o"
+  "CMakeFiles/tbaa_opt.dir/Devirt.cpp.o.d"
+  "CMakeFiles/tbaa_opt.dir/Inline.cpp.o"
+  "CMakeFiles/tbaa_opt.dir/Inline.cpp.o.d"
+  "CMakeFiles/tbaa_opt.dir/RLE.cpp.o"
+  "CMakeFiles/tbaa_opt.dir/RLE.cpp.o.d"
+  "libtbaa_opt.a"
+  "libtbaa_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_sim.dir/CacheSim.cpp.o"
+  "CMakeFiles/tbaa_sim.dir/CacheSim.cpp.o.d"
+  "libtbaa_sim.a"
+  "libtbaa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

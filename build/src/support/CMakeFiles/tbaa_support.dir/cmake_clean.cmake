@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/tbaa_support.dir/Diagnostics.cpp.o.d"
+  "libtbaa_support.a"
+  "libtbaa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/DFormat.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/DFormat.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/DFormat.cpp.o.d"
+  "/root/repo/src/workloads/Dom.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/Dom.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/Dom.cpp.o.d"
+  "/root/repo/src/workloads/Format.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/Format.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/Format.cpp.o.d"
+  "/root/repo/src/workloads/Generator.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/Generator.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/Generator.cpp.o.d"
+  "/root/repo/src/workloads/KTree.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/KTree.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/KTree.cpp.o.d"
+  "/root/repo/src/workloads/M2ToM3.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/M2ToM3.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/M2ToM3.cpp.o.d"
+  "/root/repo/src/workloads/M3CG.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/M3CG.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/M3CG.cpp.o.d"
+  "/root/repo/src/workloads/Postcard.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/Postcard.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/Postcard.cpp.o.d"
+  "/root/repo/src/workloads/PrettyPrint.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/PrettyPrint.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/PrettyPrint.cpp.o.d"
+  "/root/repo/src/workloads/SLisp.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/SLisp.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/SLisp.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/Workloads.cpp.o.d"
+  "/root/repo/src/workloads/WritePickle.cpp" "src/workloads/CMakeFiles/tbaa_workloads.dir/WritePickle.cpp.o" "gcc" "src/workloads/CMakeFiles/tbaa_workloads.dir/WritePickle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tbaa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

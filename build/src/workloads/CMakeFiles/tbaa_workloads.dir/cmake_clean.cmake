@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbaa_workloads.dir/DFormat.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/DFormat.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/Dom.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/Dom.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/Format.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/Format.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/Generator.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/Generator.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/KTree.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/KTree.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/M2ToM3.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/M2ToM3.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/M3CG.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/M3CG.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/Postcard.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/Postcard.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/PrettyPrint.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/PrettyPrint.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/SLisp.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/SLisp.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/Workloads.cpp.o.d"
+  "CMakeFiles/tbaa_workloads.dir/WritePickle.cpp.o"
+  "CMakeFiles/tbaa_workloads.dir/WritePickle.cpp.o.d"
+  "libtbaa_workloads.a"
+  "libtbaa_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbaa_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ConstIncDecTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/ConstIncDecTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/ConstIncDecTests.cpp.o.d"
+  "/root/repo/tests/FrontendTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/FrontendTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/FrontendTests.cpp.o.d"
+  "/root/repo/tests/GoldenTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/GoldenTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/GoldenTests.cpp.o.d"
+  "/root/repo/tests/IRTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/IRTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/IRTests.cpp.o.d"
+  "/root/repo/tests/NarrowTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/NarrowTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/NarrowTests.cpp.o.d"
+  "/root/repo/tests/OptUnitTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/OptUnitTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/OptUnitTests.cpp.o.d"
+  "/root/repo/tests/PRETests.cpp" "tests/CMakeFiles/tbaa_tests.dir/PRETests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/PRETests.cpp.o.d"
+  "/root/repo/tests/PropertyTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/PropertyTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/PropertyTests.cpp.o.d"
+  "/root/repo/tests/RLETests.cpp" "tests/CMakeFiles/tbaa_tests.dir/RLETests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/RLETests.cpp.o.d"
+  "/root/repo/tests/RobustnessTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/RobustnessTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/RobustnessTests.cpp.o.d"
+  "/root/repo/tests/SemaTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/SemaTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/SemaTests.cpp.o.d"
+  "/root/repo/tests/SimLimitTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/SimLimitTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/SimLimitTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/TBAATests.cpp" "tests/CMakeFiles/tbaa_tests.dir/TBAATests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/TBAATests.cpp.o.d"
+  "/root/repo/tests/TypeCaseTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/TypeCaseTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/TypeCaseTests.cpp.o.d"
+  "/root/repo/tests/VMEdgeTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/VMEdgeTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/VMEdgeTests.cpp.o.d"
+  "/root/repo/tests/VMTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/VMTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/VMTests.cpp.o.d"
+  "/root/repo/tests/WorkloadTests.cpp" "tests/CMakeFiles/tbaa_tests.dir/WorkloadTests.cpp.o" "gcc" "tests/CMakeFiles/tbaa_tests.dir/WorkloadTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tbaa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/tbaa_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tbaa_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/limit/CMakeFiles/tbaa_limit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tbaa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tbaa_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tbaa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tbaa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tbaa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tbaa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

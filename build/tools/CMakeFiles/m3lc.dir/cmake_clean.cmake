@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3lc.dir/m3lc.cpp.o"
+  "CMakeFiles/m3lc.dir/m3lc.cpp.o.d"
+  "m3lc"
+  "m3lc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3lc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(m3lc_run_workload "/root/repo/build/tools/m3lc" "run" "--stats" "dformat")
+set_tests_properties(m3lc_run_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3lc_check_file "/root/repo/build/tools/m3lc" "check" "/root/repo/examples/programs/intro.m3l")
+set_tests_properties(m3lc_check_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3lc_shapes "/root/repo/build/tools/m3lc" "run" "--pipeline" "--pre" "/root/repo/examples/programs/shapes.m3l")
+set_tests_properties(m3lc_shapes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3lc_census "/root/repo/build/tools/m3lc" "census" "m3cg")
+set_tests_properties(m3lc_census PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3lc_dump_ast "/root/repo/build/tools/m3lc" "dump-ast" "pp")
+set_tests_properties(m3lc_dump_ast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
