@@ -10,6 +10,12 @@
 /// copy propagation and RLE under a chosen alias analysis, execute on the
 /// VM with the cache/timing simulator attached, and report counters.
 ///
+/// Every binary also accepts `--json <file>`: a JsonReport collects one
+/// record per workload and writes a machine-readable mirror of the
+/// printed table, plus the statistics registry and the timing tree
+/// (schema checked by tools/check_stats_json.py). Errors route through
+/// fatal(), which flushes a partial report (complete=false) first.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TBAA_BENCH_BENCHCOMMON_H
@@ -17,6 +23,7 @@
 
 #include "core/AliasCensus.h"
 #include "core/AliasOracle.h"
+#include "core/InstrumentedOracle.h"
 #include "core/TBAAContext.h"
 #include "exec/VM.h"
 #include "ir/Pipeline.h"
@@ -25,10 +32,17 @@
 #include "opt/Inline.h"
 #include "opt/RLE.h"
 #include "sim/CacheSim.h"
+#include "support/JSONUtil.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
 #include "workloads/Workloads.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
 #include <string>
 
 namespace tbaa::bench {
@@ -49,20 +63,143 @@ struct RunOutcome {
   RLEStats RLE;
   unsigned Resolved = 0;
   unsigned Inlined = 0;
+  OracleStats Oracle; ///< Alias-query tallies when RLE ran.
 };
 
-/// Compiles (exits on error -- workloads are pinned by tests) and applies
+class JsonReport;
+
+/// The report fatal() flushes before exiting, if one is live.
+inline JsonReport *&activeReport() {
+  static JsonReport *Active = nullptr;
+  return Active;
+}
+
+/// Machine-readable sink behind `--json <file>`. One record per workload
+/// row mirrors the printed table; the file also carries the statistics
+/// registry and the timing tree. Written on destruction or by fatal().
+class JsonReport {
+public:
+  JsonReport(const char *Bench, int argc, char **argv) : Bench(Bench) {
+    for (int I = 1; I < argc; ++I)
+      if (!std::strcmp(argv[I], "--json")) {
+        if (I + 1 >= argc) {
+          std::fprintf(stderr, "%s: --json requires a file argument\n",
+                       Bench);
+          std::exit(2);
+        }
+        Path = argv[I + 1];
+      }
+    if (enabled())
+      TimerRegistry::instance().setEnabled(true);
+    activeReport() = this;
+  }
+  JsonReport(const JsonReport &) = delete;
+  JsonReport &operator=(const JsonReport &) = delete;
+  ~JsonReport() {
+    flush(/*Complete=*/true);
+    if (activeReport() == this)
+      activeReport() = nullptr;
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// One table row. Values are rendered immediately, so the setters can
+  /// take whatever the caller printed (NaN becomes null -- the schema
+  /// checker rejects it rather than the writer producing invalid JSON).
+  class Record {
+  public:
+    Record &set(const std::string &Key, uint64_t V) { return render(Key, V); }
+    Record &set(const std::string &Key, int64_t V) { return render(Key, V); }
+    Record &set(const std::string &Key, unsigned V) { return render(Key, V); }
+    Record &set(const std::string &Key, int V) { return render(Key, V); }
+    Record &set(const std::string &Key, double V) { return render(Key, V); }
+    Record &set(const std::string &Key, const std::string &V) {
+      return render(Key, V);
+    }
+
+  private:
+    friend class JsonReport;
+    template <typename T> Record &render(const std::string &Key, T V) {
+      json::Writer W;
+      W.value(V);
+      Fields.emplace_back(Key, W.str());
+      return *this;
+    }
+    std::string Workload;
+    std::vector<std::pair<std::string, std::string>> Fields;
+  };
+
+  /// Starts the record for \p Workload. The reference stays valid across
+  /// later record() calls (deque storage).
+  Record &record(const std::string &Workload) {
+    Records.emplace_back();
+    Records.back().Workload = Workload;
+    return Records.back();
+  }
+
+  /// Writes the report. Idempotent: fatal() may flush (with
+  /// Complete=false) before the destructor runs.
+  void flush(bool Complete) {
+    if (!enabled() || Flushed)
+      return;
+    Flushed = true;
+    json::Writer W;
+    W.beginObject();
+    W.key("bench").value(Bench);
+    W.key("schema_version").value(static_cast<uint64_t>(1));
+    W.key("complete").value(Complete);
+    W.key("records").beginArray();
+    for (const Record &R : Records) {
+      W.beginObject();
+      W.key("workload").value(R.Workload);
+      for (const auto &[Key, Rendered] : R.Fields)
+        W.key(Key).raw(Rendered);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("stats").raw(StatsRegistry::instance().toJSON());
+    W.key("timings").raw(TimerRegistry::instance().toJSON());
+    W.endObject();
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", Bench.c_str(),
+                   Path.c_str());
+      return;
+    }
+    Out << W.str() << '\n';
+  }
+
+private:
+  std::string Bench;
+  std::string Path;
+  std::deque<Record> Records;
+  bool Flushed = false;
+};
+
+/// Reports an error and exits, flushing the active JsonReport first so a
+/// crashing run leaves a (partial, complete=false) machine-readable
+/// trace instead of an empty file.
+[[noreturn]] inline void fatal(const char *Fmt, ...) {
+  std::va_list Ap;
+  va_start(Ap, Fmt);
+  std::vfprintf(stderr, Fmt, Ap);
+  va_end(Ap);
+  std::fputc('\n', stderr);
+  if (JsonReport *R = activeReport())
+    R->flush(/*Complete=*/false);
+  std::exit(1);
+}
+
+/// Compiles (fatal on error -- workloads are pinned by tests) and applies
 /// the configured pipeline. Leaves the compilation for callers that need
 /// the transformed IR (limit studies).
 inline Compilation prepare(const WorkloadInfo &W, const RunConfig &Config,
                            RunOutcome &Out) {
   DiagnosticEngine Diags;
   Compilation C = compileSource(W.Source, Diags);
-  if (!C.ok()) {
-    std::fprintf(stderr, "workload %s failed to compile:\n%s\n", W.Name,
-                 Diags.str().c_str());
-    std::exit(1);
-  }
+  if (!C.ok())
+    fatal("workload %s failed to compile:\n%s", W.Name,
+          Diags.str(W.Name).c_str());
   Out.SourceLines = C.ast().SourceLines;
   TBAAContext Ctx(C.ast(), C.types(), {.OpenWorld = Config.OpenWorld});
   if (Config.DevirtAndInline) {
@@ -72,8 +209,9 @@ inline Compilation prepare(const WorkloadInfo &W, const RunConfig &Config,
   if (Config.CopyProp)
     propagateCopies(C.IR);
   if (Config.ApplyRLE) {
-    auto Oracle = makeAliasOracle(Ctx, Config.Level);
+    auto Oracle = makeInstrumentedOracle(Ctx, Config.Level);
     Out.RLE = runRLE(C.IR, *Oracle);
+    Out.Oracle = Oracle->stats();
   }
   return C;
 }
@@ -87,17 +225,11 @@ inline void execute(Compilation &C, RunOutcome &Out,
   Machine.addMonitor(&Timing);
   if (Extra)
     Machine.addMonitor(Extra);
-  if (!Machine.runInit()) {
-    std::fprintf(stderr, "init trapped: %s\n",
-                 Machine.trapMessage().c_str());
-    std::exit(1);
-  }
+  if (!Machine.runInit())
+    fatal("init trapped: %s", Machine.trapMessage().c_str());
   auto R = Machine.callFunction("Main");
-  if (!R) {
-    std::fprintf(stderr, "Main trapped: %s\n",
-                 Machine.trapMessage().c_str());
-    std::exit(1);
-  }
+  if (!R)
+    fatal("Main trapped: %s", Machine.trapMessage().c_str());
   Out.Checksum = *R;
   Out.Stats = Machine.stats();
   Out.Cycles = Timing.cycles(Machine.stats());
@@ -111,10 +243,17 @@ inline RunOutcome run(const WorkloadInfo &W, const RunConfig &Config,
   return Out;
 }
 
+/// Part/Whole as a plain ratio; 0 when the denominator is 0.
+inline double ratioOf(double Part, double Whole) {
+  return Whole != 0.0 ? Part / Whole : 0.0;
+}
+
+/// Part/Whole as a percentage; 0 when the denominator is 0.
+inline double percentOf(double Part, double Whole) {
+  return 100.0 * ratioOf(Part, Whole);
+}
 inline double percentOf(uint64_t Part, uint64_t Whole) {
-  return Whole ? 100.0 * static_cast<double>(Part) /
-                     static_cast<double>(Whole)
-               : 0.0;
+  return percentOf(static_cast<double>(Part), static_cast<double>(Whole));
 }
 
 } // namespace tbaa::bench

@@ -29,10 +29,9 @@ struct AblationOutcome {
 AblationOutcome measure(const WorkloadInfo &W, bool CopyProp, bool PRE) {
   DiagnosticEngine Diags;
   Compilation C = compileSource(W.Source, Diags);
-  if (!C.ok()) {
-    std::fprintf(stderr, "%s failed to compile\n", W.Name);
-    std::exit(1);
-  }
+  if (!C.ok())
+    fatal("workload %s failed to compile:\n%s", W.Name,
+          Diags.str(W.Name).c_str());
   TBAAContext Ctx(C.ast(), C.types(), {});
   auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
   runRLE(C.IR, *Oracle);
@@ -51,16 +50,11 @@ AblationOutcome measure(const WorkloadInfo &W, bool CopyProp, bool PRE) {
   Machine.setOpLimit(2'000'000'000);
   Machine.addMonitor(&Monitor);
   Machine.addMonitor(&Timing);
-  if (!Machine.runInit()) {
-    std::fprintf(stderr, "%s trapped\n", W.Name);
-    std::exit(1);
-  }
+  if (!Machine.runInit())
+    fatal("%s trapped: %s", W.Name, Machine.trapMessage().c_str());
   auto R = Machine.callFunction("Main");
-  if (!R) {
-    std::fprintf(stderr, "%s trapped: %s\n", W.Name,
-                 Machine.trapMessage().c_str());
-    std::exit(1);
-  }
+  if (!R)
+    fatal("%s trapped: %s", W.Name, Machine.trapMessage().c_str());
   AblationOutcome Out;
   Out.Cycles = Timing.cycles(Machine.stats());
   Out.HeapLoads = Machine.stats().HeapLoads;
@@ -71,7 +65,8 @@ AblationOutcome measure(const WorkloadInfo &W, bool CopyProp, bool PRE) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport Report("ablation_rle", argc, argv);
   std::printf("Ablation: copy propagation (Breakup) and load PRE "
               "(Conditional) on top of RLE\n");
   std::printf("(remaining dynamic redundant loads; lower is better)\n\n");
@@ -85,16 +80,18 @@ int main() {
     AblationOutcome PRE = measure(W, false, true);
     AblationOutcome Both = measure(W, true, true);
     if (CP.Checksum != Plain.Checksum || PRE.Checksum != Plain.Checksum ||
-        Both.Checksum != Plain.Checksum) {
-      std::fprintf(stderr, "%s: an ablation changed the checksum!\n",
-                   W.Name);
-      return 1;
-    }
+        Both.Checksum != Plain.Checksum)
+      fatal("%s: an ablation changed the checksum!", W.Name);
     std::printf("%-14s %12llu %12llu %12llu %12llu\n", W.Name,
                 static_cast<unsigned long long>(Plain.Redundant),
                 static_cast<unsigned long long>(CP.Redundant),
                 static_cast<unsigned long long>(PRE.Redundant),
                 static_cast<unsigned long long>(Both.Redundant));
+    Report.record(W.Name)
+        .set("redundant_rle", Plain.Redundant)
+        .set("redundant_copyprop", CP.Redundant)
+        .set("redundant_pre", PRE.Redundant)
+        .set("redundant_both", Both.Redundant);
   }
   std::printf("\nReading: the paper predicted PRE would \"catch\" the "
               "Conditional category\nand copy propagation the Breakup "

@@ -13,7 +13,8 @@
 using namespace tbaa;
 using namespace tbaa::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport Report("fig11_cumulative", argc, argv);
   std::printf("Figure 11: Cumulative Impact of Optimizations\n");
   std::printf("(percent of original running time; lower is better)\n\n");
   std::printf("%-14s %6s | %8s %10s %14s | %9s %8s\n", "Program", "Base",
@@ -39,11 +40,8 @@ int main() {
     RunOutcome R3 = run(W, Both);
 
     if (R1.Checksum != Base.Checksum || R2.Checksum != Base.Checksum ||
-        R3.Checksum != Base.Checksum) {
-      std::fprintf(stderr, "%s: optimization changed the checksum!\n",
-                   W.Name);
-      return 1;
-    }
+        R3.Checksum != Base.Checksum)
+      fatal("%s: optimization changed the checksum!", W.Name);
     double P1 = percentOf(R1.Cycles, Base.Cycles);
     double P2 = percentOf(R2.Cycles, Base.Cycles);
     double P3 = percentOf(R3.Cycles, Base.Cycles);
@@ -53,6 +51,12 @@ int main() {
     ++N;
     std::printf("%-14s %6d | %7.1f%% %9.1f%% %13.1f%% | %9u %8u\n",
                 W.Name, 100, P1, P2, P3, R3.Resolved, R3.Inlined);
+    Report.record(W.Name)
+        .set("percent_rle", P1)
+        .set("percent_minv_inline", P2)
+        .set("percent_combined", P3)
+        .set("resolved", R3.Resolved)
+        .set("inlined", R3.Inlined);
   }
   std::printf("\nAverage: RLE %.1f%%, Minv+Inlining %.1f%%, "
               "RLE+Minv+Inlining %.1f%%\n",

@@ -15,7 +15,8 @@
 using namespace tbaa;
 using namespace tbaa::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport Report("fig12_openworld", argc, argv);
   std::printf("Figure 12: Open and Closed World Assumptions\n");
   std::printf("(percent of original running time under RLE)\n\n");
   std::printf("%-14s %6s | %10s %10s | %12s %12s\n", "Program", "Base",
@@ -36,10 +37,8 @@ int main() {
     Open.OpenWorld = true;
     RunOutcome RO = run(W, Open);
 
-    if (RC.Checksum != Base.Checksum || RO.Checksum != Base.Checksum) {
-      std::fprintf(stderr, "%s: RLE changed the checksum!\n", W.Name);
-      return 1;
-    }
+    if (RC.Checksum != Base.Checksum || RO.Checksum != Base.Checksum)
+      fatal("%s: RLE changed the checksum!", W.Name);
     double PC = percentOf(RC.Cycles, Base.Cycles);
     double PO = percentOf(RO.Cycles, Base.Cycles);
     SumClosed += PC;
@@ -47,6 +46,11 @@ int main() {
     ++N;
     std::printf("%-14s %6d | %9.1f%% %9.1f%% | %12u %12u\n", W.Name, 100,
                 PC, PO, RC.RLE.total(), RO.RLE.total());
+    Report.record(W.Name)
+        .set("percent_closed", PC)
+        .set("percent_open", PO)
+        .set("loads_closed", RC.RLE.total())
+        .set("loads_open", RO.RLE.total());
   }
   std::printf("\nAverage: closed %.1f%%, open %.1f%%\n", SumClosed / N,
               SumOpen / N);

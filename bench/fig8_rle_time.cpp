@@ -15,7 +15,8 @@
 using namespace tbaa;
 using namespace tbaa::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport Report("fig8_rle_time", argc, argv);
   std::printf("Figure 8: Impact of RLE on simulated execution time\n");
   std::printf("(percent of original running time; lower is better)\n\n");
   std::printf("%-14s %6s | %10s %14s %16s\n", "Program", "Base",
@@ -35,17 +36,19 @@ int main() {
       Config.ApplyRLE = true;
       Config.Level = Levels[L];
       RunOutcome Out = run(W, Config);
-      if (Out.Checksum != Base.Checksum) {
-        std::fprintf(stderr, "%s: RLE changed the checksum!\n", W.Name);
-        return 1;
-      }
-      Pct[L] = 100.0 * static_cast<double>(Out.Cycles) /
-               static_cast<double>(Base.Cycles);
+      if (Out.Checksum != Base.Checksum)
+        fatal("%s: RLE changed the checksum!", W.Name);
+      Pct[L] = percentOf(Out.Cycles, Base.Cycles);
       Sum[L] += Pct[L];
     }
     ++N;
     std::printf("%-14s %6d | %9.1f%% %13.1f%% %15.1f%%\n", W.Name, 100,
                 Pct[0], Pct[1], Pct[2]);
+    Report.record(W.Name)
+        .set("base_cycles", Base.Cycles)
+        .set("percent_typedecl", Pct[0])
+        .set("percent_fieldtypedecl", Pct[1])
+        .set("percent_smfieldtyperefs", Pct[2]);
   }
   std::printf("\nAverage: TypeDecl %.1f%%, Types+Fields %.1f%%, "
               "Types+Fields+Merges %.1f%%\n",

@@ -17,7 +17,8 @@
 using namespace tbaa;
 using namespace tbaa::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport Report("fig9_limit", argc, argv);
   std::printf("Figure 9: Comparing TBAA to an Upper Bound\n");
   std::printf("(fraction of original heap references that are redundant "
               "loads)\n\n");
@@ -43,17 +44,20 @@ int main() {
     }
     double OrigHeap = static_cast<double>(Before.heapLoads());
     double FracBefore =
-        static_cast<double>(Before.redundantLoads()) / OrigHeap;
+        ratioOf(static_cast<double>(Before.redundantLoads()), OrigHeap);
     double FracAfter =
-        static_cast<double>(After.redundantLoads()) / OrigHeap;
+        ratioOf(static_cast<double>(After.redundantLoads()), OrigHeap);
     double Removed =
         Before.redundantLoads()
-            ? 100.0 *
-                  (1.0 - static_cast<double>(After.redundantLoads()) /
-                             static_cast<double>(Before.redundantLoads()))
+            ? 100.0 -
+                  percentOf(After.redundantLoads(), Before.redundantLoads())
             : 0.0;
     std::printf("%-14s %22.3f %22.3f %9.0f%%\n", W.Name, FracBefore,
                 FracAfter, Removed);
+    Report.record(W.Name)
+        .set("redundant_fraction_before", FracBefore)
+        .set("redundant_fraction_after", FracAfter)
+        .set("removed_percent", Removed);
   }
   std::printf("\nPaper's shape: 0.05-0.56 originally; optimization removes"
               " 37-87%% of redundant loads; most programs end below "

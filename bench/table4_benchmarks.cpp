@@ -14,7 +14,8 @@
 using namespace tbaa;
 using namespace tbaa::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport Report("table4_benchmarks", argc, argv);
   std::printf("Table 4: Description of Benchmark Programs\n");
   std::printf("(unoptimized; instructions are VM micro-operations)\n\n");
   std::printf("%-14s %7s %14s %12s %13s  %s\n", "Name", "Lines",
@@ -28,6 +29,7 @@ int main() {
       (void)C;
       std::printf("%-14s %7u %14s %12s %13s  %s\n", W.Name,
                   Out.SourceLines, "-", "-", "-", W.Description);
+      Report.record(W.Name).set("lines", Out.SourceLines);
       continue;
     }
     RunOutcome Out = run(W, RunConfig{});
@@ -36,6 +38,11 @@ int main() {
                 static_cast<unsigned long long>(Out.Stats.Ops),
                 Out.Stats.heapLoadPercent(), Out.Stats.otherLoadPercent(),
                 W.Description);
+    Report.record(W.Name)
+        .set("lines", Out.SourceLines)
+        .set("instructions", Out.Stats.Ops)
+        .set("heap_load_percent", Out.Stats.heapLoadPercent())
+        .set("other_load_percent", Out.Stats.otherLoadPercent());
   }
   std::printf("\nPaper's shape: thousands of lines, millions of "
               "instructions, heap loads ~8-27%%, other loads ~9-28%%.\n");

@@ -16,7 +16,8 @@
 using namespace tbaa;
 using namespace tbaa::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport Report("table5_alias_pairs", argc, argv);
   std::printf("Table 5: Alias Pairs\n\n");
   std::printf("%-14s %6s | %9s %9s | %9s %9s | %9s %9s\n", "", "",
               "TypeDecl", "", "FieldTD", "", "SMFieldTR", "");
@@ -29,10 +30,9 @@ int main() {
   for (const WorkloadInfo &W : allWorkloads()) {
     DiagnosticEngine Diags;
     Compilation C = compileSource(W.Source, Diags);
-    if (!C.ok()) {
-      std::fprintf(stderr, "%s failed to compile\n", W.Name);
-      return 1;
-    }
+    if (!C.ok())
+      fatal("workload %s failed to compile:\n%s", W.Name,
+            Diags.str(W.Name).c_str());
     TBAAContext Ctx(C.ast(), C.types(), {});
     const AliasLevel Levels[3] = {AliasLevel::TypeDecl,
                                   AliasLevel::FieldTypeDecl,
@@ -53,6 +53,14 @@ int main() {
                 static_cast<unsigned long long>(R[1].GlobalPairs),
                 static_cast<unsigned long long>(R[2].LocalPairs),
                 static_cast<unsigned long long>(R[2].GlobalPairs));
+    Report.record(W.Name)
+        .set("references", R[0].References)
+        .set("local_typedecl", R[0].LocalPairs)
+        .set("global_typedecl", R[0].GlobalPairs)
+        .set("local_fieldtypedecl", R[1].LocalPairs)
+        .set("global_fieldtypedecl", R[1].GlobalPairs)
+        .set("local_smfieldtyperefs", R[2].LocalPairs)
+        .set("global_smfieldtyperefs", R[2].GlobalPairs);
   }
   std::printf("\nAverage other references each heap reference may alias "
               "(2*pairs/refs):\n");

@@ -14,7 +14,8 @@
 using namespace tbaa;
 using namespace tbaa::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport Report("table6_rle_static", argc, argv);
   std::printf("Table 6: Number of Redundant Loads Removed Statically\n");
   std::printf("(hoisted to preheaders + replaced by register references)\n\n");
   std::printf("%-14s | %9s | %13s | %15s\n", "Program", "TypeDecl",
@@ -37,6 +38,10 @@ int main() {
     }
     std::printf("%-14s | %9u | %13u | %15u\n", W.Name, Totals[0],
                 Totals[1], Totals[2]);
+    Report.record(W.Name)
+        .set("rle_removed_typedecl", Totals[0])
+        .set("rle_removed_fieldtypedecl", Totals[1])
+        .set("rle_removed_smfieldtyperefs", Totals[2]);
   }
   std::printf("\nPaper's shape: FieldTypeDecl > TypeDecl on most programs;"
               " SMFieldTypeRefs == FieldTypeDecl everywhere.\n");

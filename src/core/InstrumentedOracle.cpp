@@ -1,0 +1,112 @@
+//===- InstrumentedOracle.cpp ---------------------------------------------===//
+
+#include "core/InstrumentedOracle.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace tbaa;
+
+TBAA_STATISTIC(NumQueries, "oracle", "queries",
+               "Alias queries answered (path + abstract)");
+TBAA_STATISTIC(NumMayAlias, "oracle", "may-alias",
+               "Queries answered may-alias");
+TBAA_STATISTIC(NumNoAlias, "oracle", "no-alias",
+               "Queries answered no-alias");
+TBAA_STATISTIC(NumCacheHits, "oracle", "cache-hits",
+               "Queries served from the memo table");
+
+namespace {
+
+// Key packing. Equal keys imply equal inputs for both MemPath::operator==
+// (root/selector/field/index) and AbsLoc (selector/field/base/value
+// types), i.e. everything any oracle implementation inspects, so a memo
+// hit can never change an answer.
+
+std::array<uint64_t, 5> packPath(const MemPath &P) {
+  std::array<uint64_t, 5> K;
+  K[0] = (static_cast<uint64_t>(P.Root.K) << 32) | P.Root.Index;
+  K[1] = (static_cast<uint64_t>(P.Sel) << 32) | P.Field;
+  K[2] = static_cast<uint64_t>(P.Index.K) << 56;
+  switch (P.Index.K) {
+  case Operand::Kind::Var:
+    K[2] |= (static_cast<uint64_t>(P.Index.Var.K) << 32) | P.Index.Var.Index;
+    K[3] = 0;
+    break;
+  case Operand::Kind::Temp:
+    K[2] |= P.Index.Temp;
+    K[3] = 0;
+    break;
+  default:
+    K[3] = static_cast<uint64_t>(P.Index.Imm);
+    break;
+  }
+  K[4] = (static_cast<uint64_t>(P.BaseType) << 32) | P.ValueType;
+  return K;
+}
+
+std::array<uint64_t, 2> packAbs(const AbsLoc &L) {
+  std::array<uint64_t, 2> K;
+  K[0] = (static_cast<uint64_t>(L.Sel) << 32) | L.Field;
+  K[1] = (static_cast<uint64_t>(L.BaseType) << 32) | L.ValueType;
+  return K;
+}
+
+} // namespace
+
+InstrumentedOracle::InstrumentedOracle(std::unique_ptr<AliasOracle> Inner)
+    : Inner(std::move(Inner)) {}
+
+InstrumentedOracle::~InstrumentedOracle() = default;
+
+bool InstrumentedOracle::recordVerdict(bool May) const {
+  ++NumQueries;
+  if (May) {
+    ++Counters.MayAlias;
+    ++NumMayAlias;
+  } else {
+    ++Counters.NoAlias;
+    ++NumNoAlias;
+  }
+  return May;
+}
+
+bool InstrumentedOracle::mayAlias(const MemPath &A, const MemPath &B) const {
+  ++Counters.PathQueries;
+  std::array<uint64_t, 5> KA = packPath(A), KB = packPath(B);
+  PathKey Key;
+  std::copy(KA.begin(), KA.end(), Key.begin());
+  std::copy(KB.begin(), KB.end(), Key.begin() + 5);
+  auto [It, Inserted] = PathCache.try_emplace(Key, false);
+  if (!Inserted) {
+    ++Counters.CacheHits;
+    ++NumCacheHits;
+    return recordVerdict(It->second);
+  }
+  It->second = Inner->mayAlias(A, B);
+  return recordVerdict(It->second);
+}
+
+bool InstrumentedOracle::mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const {
+  ++Counters.AbsQueries;
+  std::array<uint64_t, 2> KA = packAbs(A), KB = packAbs(B);
+  AbsKey Key;
+  std::copy(KA.begin(), KA.end(), Key.begin());
+  std::copy(KB.begin(), KB.end(), Key.begin() + 2);
+  auto [It, Inserted] = AbsCache.try_emplace(Key, false);
+  if (!Inserted) {
+    ++Counters.CacheHits;
+    ++NumCacheHits;
+    return recordVerdict(It->second);
+  }
+  It->second = Inner->mayAliasAbs(A, B);
+  return recordVerdict(It->second);
+}
+
+void InstrumentedOracle::resetStats() { Counters = OracleStats(); }
+
+std::unique_ptr<InstrumentedOracle>
+tbaa::makeInstrumentedOracle(const TBAAContext &Ctx, AliasLevel Level) {
+  return std::make_unique<InstrumentedOracle>(makeAliasOracle(Ctx, Level));
+}

@@ -1,0 +1,93 @@
+//===- InstrumentedOracle.h - Counting/caching oracle decorator -*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decorator over any AliasOracle that (a) tallies queries and their
+/// verdicts -- the paper's own evaluation currency -- and (b) memoizes
+/// answers. TBAA verdicts depend only on the lexical content of the two
+/// access paths, and RLE's kill checks re-ask the same (store path, load
+/// path) pairs across every block of the dataflow iteration, so the
+/// cache converts an O(paths^2)-per-iteration query pattern into hash
+/// lookups. The decorator is answer-preserving by construction: keys
+/// cover every field the wrapped oracles read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_CORE_INSTRUMENTEDORACLE_H
+#define TBAA_CORE_INSTRUMENTEDORACLE_H
+
+#include "core/AliasOracle.h"
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+namespace tbaa {
+
+/// Counters maintained by InstrumentedOracle.
+struct OracleStats {
+  uint64_t PathQueries = 0; ///< mayAlias(MemPath, MemPath) calls.
+  uint64_t AbsQueries = 0;  ///< mayAliasAbs(AbsLoc, AbsLoc) calls.
+  uint64_t MayAlias = 0;    ///< Queries answered "may alias".
+  uint64_t NoAlias = 0;     ///< Queries answered "no alias".
+  uint64_t CacheHits = 0;   ///< Queries served from the memo table.
+
+  uint64_t totalQueries() const { return PathQueries + AbsQueries; }
+  double cacheHitPercent() const {
+    return totalQueries()
+               ? 100.0 * static_cast<double>(CacheHits) /
+                     static_cast<double>(totalQueries())
+               : 0.0;
+  }
+};
+
+/// Owning decorator; see file comment. Query methods are const (the
+/// AliasOracle contract), so the counters and memo tables are mutable.
+class InstrumentedOracle : public AliasOracle {
+public:
+  explicit InstrumentedOracle(std::unique_ptr<AliasOracle> Inner);
+  ~InstrumentedOracle() override;
+
+  bool mayAlias(const MemPath &A, const MemPath &B) const override;
+  bool mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const override;
+  AliasLevel level() const override { return Inner->level(); }
+
+  const AliasOracle &inner() const { return *Inner; }
+  const OracleStats &stats() const { return Counters; }
+  void resetStats();
+
+private:
+  // A MemPath packs to 5 words (root, selector+field, index operand in
+  // two words, base/value types); an AbsLoc to 2. Pair keys concatenate.
+  using PathKey = std::array<uint64_t, 10>;
+  using AbsKey = std::array<uint64_t, 4>;
+
+  struct KeyHash {
+    template <size_t N> size_t operator()(const std::array<uint64_t, N> &K) const {
+      uint64_t H = 1469598103934665603ull; // FNV-1a over the words
+      for (uint64_t W : K) {
+        H ^= W;
+        H *= 1099511628211ull;
+      }
+      return static_cast<size_t>(H);
+    }
+  };
+
+  bool recordVerdict(bool May) const;
+
+  std::unique_ptr<AliasOracle> Inner;
+  mutable OracleStats Counters;
+  mutable std::unordered_map<PathKey, bool, KeyHash> PathCache;
+  mutable std::unordered_map<AbsKey, bool, KeyHash> AbsCache;
+};
+
+/// Builds an oracle of \p Level over \p Ctx and wraps it.
+std::unique_ptr<InstrumentedOracle>
+makeInstrumentedOracle(const TBAAContext &Ctx, AliasLevel Level);
+
+} // namespace tbaa
+
+#endif // TBAA_CORE_INSTRUMENTEDORACLE_H

@@ -3,16 +3,54 @@
 #include "ir/Pipeline.h"
 
 #include "ir/Lower.h"
+#include "lang/Lexer.h"
+#include "lang/Sema.h"
+#include "support/Timing.h"
 
 using namespace tbaa;
 
+// Stage-by-stage copy of parseAndCheck() so each front-end phase gets its
+// own timer node; keep the two in sync.
 Compilation tbaa::compileSource(const std::string &Source,
                                 DiagnosticEngine &Diags) {
+  TBAA_TIME_SCOPE("compile");
   Compilation C;
   C.Prog = std::make_unique<Program>();
-  *C.Prog = parseAndCheck(Source, Diags);
-  if (!C.Prog->Module)
+  Program &P = *C.Prog;
+
+  std::vector<Token> Tokens;
+  unsigned CodeLines = 0;
+  {
+    TBAA_TIME_SCOPE("lex");
+    Lexer Lex(Source, Diags);
+    Tokens = Lex.lexAll();
+    CodeLines = Lex.codeLineCount();
+  }
+  if (Diags.hasErrors())
     return C;
-  C.IR = lowerModule(*C.Prog->Module, C.Prog->Types);
+
+  std::unique_ptr<ModuleAST> M;
+  {
+    TBAA_TIME_SCOPE("parse");
+    Parser Parse(std::move(Tokens), P.Types, Diags);
+    M = Parse.parseModule();
+  }
+  if (!M || Diags.hasErrors())
+    return C;
+  M->SourceLines = CodeLines;
+
+  {
+    TBAA_TIME_SCOPE("sema");
+    if (!P.Types.finalize(Diags))
+      return C;
+    if (!checkModule(*M, P.Types, Diags))
+      return C;
+  }
+  P.Module = std::move(M);
+
+  {
+    TBAA_TIME_SCOPE("lower");
+    C.IR = lowerModule(*P.Module, P.Types);
+  }
   return C;
 }

@@ -2,9 +2,15 @@
 
 #include "opt/CopyProp.h"
 
+#include "support/Stats.h"
+#include "support/Timing.h"
+
 #include <unordered_map>
 
 using namespace tbaa;
+
+TBAA_STATISTIC(NumRewritten, "copyprop", "operands-rewritten",
+               "Path roots and indices rewritten through variable copies");
 
 namespace {
 
@@ -186,11 +192,13 @@ private:
 } // namespace
 
 unsigned tbaa::propagateCopies(IRModule &M) {
+  TBAA_TIME_SCOPE("copyprop");
   unsigned Rewritten = 0;
   for (IRFunction &F : M.Functions) {
     BlockCopyProp Pass(M, F);
     Rewritten += Pass.run();
   }
+  NumRewritten += Rewritten;
   M.assignStaticIds();
   return Rewritten;
 }

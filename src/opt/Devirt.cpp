@@ -2,10 +2,21 @@
 
 #include "opt/Devirt.h"
 
+#include "support/Remarks.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
+
 using namespace tbaa;
 
+TBAA_STATISTIC(NumResolved, "devirt", "calls-resolved",
+               "Method invocations rewritten to direct calls");
+TBAA_STATISTIC(NumPolymorphic, "devirt", "calls-polymorphic",
+               "Method invocations left dynamic (multiple targets)");
+
 unsigned tbaa::resolveMethodCalls(IRModule &M, const TBAAContext &Ctx) {
+  TBAA_TIME_SCOPE("devirt");
   const TypeTable &Types = *M.Types;
+  RemarkEngine &Remarks = RemarkEngine::instance();
   unsigned Resolved = 0;
   for (IRFunction &F : M.Functions) {
     for (BasicBlock &B : F.Blocks) {
@@ -38,14 +49,33 @@ unsigned tbaa::resolveMethodCalls(IRModule &M, const TBAAContext &Ctx) {
           if (!Unique)
             break;
         }
-        if (!Unique || !AnyCandidate || Target == InvalidProcId)
+        if (!Unique || !AnyCandidate || Target == InvalidProcId) {
+          ++NumPolymorphic;
+          if (Remarks.enabled()) {
+            Remark R(RemarkKind::Missed, "devirt", "CallNotResolved", I.Loc,
+                     "method invocation stays dynamic");
+            R.arg("receiver", Types.get(I.ReceiverType).Name);
+            R.arg("reason", AnyCandidate ? "multiple implementations"
+                                         : "no candidate receiver type");
+            Remarks.emit(std::move(R));
+          }
           continue;
+        }
+        if (Remarks.enabled()) {
+          Remark R(RemarkKind::Passed, "devirt", "CallResolved", I.Loc,
+                   "resolved method invocation to " +
+                       M.Functions[Target].Name);
+          R.arg("receiver", Types.get(I.ReceiverType).Name);
+          R.arg("slot", static_cast<uint64_t>(I.MethodSlot));
+          Remarks.emit(std::move(R));
+        }
         I.Op = Opcode::Call;
         I.Callee = Target;
         ++Resolved;
       }
     }
   }
+  NumResolved += Resolved;
   M.assignStaticIds();
   return Resolved;
 }

@@ -2,9 +2,19 @@
 
 #include "opt/Inline.h"
 
+#include "support/Remarks.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
+
 #include <cassert>
+#include <set>
 
 using namespace tbaa;
+
+TBAA_STATISTIC(NumInlined, "inline", "calls-inlined",
+               "Direct call sites expanded in place");
+TBAA_STATISTIC(NumNotInlined, "inline", "calls-rejected",
+               "Direct call sites left alone (recursive or too large)");
 
 namespace {
 
@@ -139,8 +149,13 @@ void expandCall(IRFunction &Caller, const IRFunction &Callee,
 } // namespace
 
 unsigned tbaa::inlineCalls(IRModule &M, InlineOptions Opts) {
+  TBAA_TIME_SCOPE("inline");
   CallGraph CG(M, *M.Types);
+  RemarkEngine &Remarks = RemarkEngine::instance();
   unsigned Expanded = 0;
+  // The fixpoint loop revisits surviving call sites after every
+  // expansion; report each rejected site once.
+  std::set<uint32_t> Rejected;
   for (IRFunction &F : M.Functions) {
     bool Changed = true;
     while (Changed && F.instrCount() < Opts.MaxCallerInstrs) {
@@ -152,10 +167,35 @@ unsigned tbaa::inlineCalls(IRModule &M, InlineOptions Opts) {
           if (I.Op != Opcode::Call)
             continue;
           const IRFunction &Callee = M.Functions[I.Callee];
-          if (Callee.Id == F.Id || CG.isRecursive(Callee.Id))
+          if (Callee.Id == F.Id || CG.isRecursive(Callee.Id)) {
+            if (Rejected.insert(I.StaticId).second) {
+              ++NumNotInlined;
+              if (Remarks.enabled())
+                Remarks.emit(Remark(RemarkKind::Missed, "inline",
+                                    "CallNotInlined", I.Loc,
+                                    "did not inline " + Callee.Name)
+                                 .arg("reason", "recursive"));
+            }
             continue;
-          if (Callee.instrCount() > Opts.MaxCalleeInstrs)
+          }
+          if (Callee.instrCount() > Opts.MaxCalleeInstrs) {
+            if (Rejected.insert(I.StaticId).second) {
+              ++NumNotInlined;
+              if (Remarks.enabled())
+                Remarks.emit(
+                    Remark(RemarkKind::Missed, "inline", "CallNotInlined",
+                           I.Loc, "did not inline " + Callee.Name)
+                        .arg("reason", "callee too large")
+                        .arg("callee-instrs",
+                             static_cast<uint64_t>(Callee.instrCount())));
+            }
             continue;
+          }
+          if (Remarks.enabled())
+            Remarks.emit(Remark(RemarkKind::Passed, "inline", "CallInlined",
+                                I.Loc, "inlined call to " + Callee.Name)
+                             .arg("callee-instrs",
+                                  static_cast<uint64_t>(Callee.instrCount())));
           expandCall(F, Callee, *M.Types, B, K);
           ++Expanded;
           Changed = true;
@@ -164,6 +204,7 @@ unsigned tbaa::inlineCalls(IRModule &M, InlineOptions Opts) {
       }
     }
   }
+  NumInlined += Expanded;
   M.assignStaticIds();
   std::string Err = M.verify();
   assert(Err.empty() && "inlining broke the IR");

@@ -4,16 +4,64 @@
 
 #include "ir/Dominators.h"
 #include "ir/Loops.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
 
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <set>
 #include <tuple>
 
 using namespace tbaa;
 
+TBAA_STATISTIC(NumHoisted, "rle", "loads-hoisted",
+               "Loads hoisted to loop preheaders");
+TBAA_STATISTIC(NumReplaced, "rle", "loads-replaced",
+               "Loads replaced by register references");
+TBAA_STATISTIC(NumTypeTestsElided, "rle", "type-tests-elided",
+               "Repeated NARROW/ISTYPE tests elided");
+TBAA_STATISTIC(NumHoistBlocked, "rle", "hoist-blocked",
+               "Loop-invariant load candidates blocked by a potential kill");
+TBAA_STATISTIC(NumPREInserted, "pre", "loads-inserted",
+               "Loads placed on deficient edges by PRE");
+TBAA_STATISTIC(NumPREReplaced, "pre", "loads-replaced",
+               "Loads removed by the post-PRE availability CSE");
+
 namespace {
+
+/// Missed-optimization remark naming the instruction that may kill the
+/// candidate path, and why the oracle could not rule the kill out.
+void remarkBlockedLoad(const IRModule &M, const IRFunction &F,
+                       const Instr &Load, const Instr &Killer) {
+  Remark R(RemarkKind::Missed, "rle", "LoadBlocked", Load.Loc,
+           "load of " + pathToString(F, M, Load.Path) +
+               " not hoisted: may be killed inside the loop");
+  switch (Killer.Op) {
+  case Opcode::StoreVar:
+    R.arg("killer", "store to " + M.varInfo(F, Killer.Var).Name);
+    R.arg("verdict", "overwrites-root");
+    break;
+  case Opcode::StoreMem:
+    R.arg("killer", "store to " + pathToString(F, M, Killer.Path));
+    R.arg("verdict", "may-alias");
+    break;
+  case Opcode::Call:
+    R.arg("killer", "call to " + M.Functions[Killer.Callee].Name);
+    R.arg("verdict", "may-mod");
+    break;
+  case Opcode::CallMethod:
+    R.arg("killer",
+          "virtual call (slot " + std::to_string(Killer.MethodSlot) + ")");
+    R.arg("verdict", "may-mod");
+    break;
+  default:
+    break;
+  }
+  RemarkEngine::instance().emit(std::move(R));
+}
 
 /// Shared kill rules: when does an instruction invalidate the value named
 /// by an access path? Both LICM and CSE ask exactly this.
@@ -126,9 +174,16 @@ public:
           for (size_t K = 0; K != B.Instrs.size(); ++K) {
             const Instr &I = B.Instrs[K];
             bool Move = false;
+            bool IsLoad = false;
             if (I.Op == Opcode::LoadMem && !I.Implicit) {
-              Move = pathInvariant(L, I.Path) &&
-                     indexTempFree(I.Path, LoopTemps);
+              IsLoad = true;
+              const Instr *Killer = findLoopKiller(L, I.Path);
+              Move = !Killer && indexTempFree(I.Path, LoopTemps);
+              if (Killer && BlockedReported.insert(I.StaticId).second) {
+                ++NumHoistBlocked;
+                if (RemarkEngine::instance().enabled())
+                  remarkBlockedLoad(M, F, I, *Killer);
+              }
             } else if (I.Op == Opcode::StoreVar &&
                        I.Var.K == VarRef::Kind::Frame &&
                        F.Frame[I.Var.Index].Synthetic &&
@@ -140,6 +195,13 @@ public:
             }
             if (!Move)
               continue;
+            if (IsLoad && RemarkEngine::instance().enabled()) {
+              Remark R(RemarkKind::Passed, "rle", "LoadHoisted", I.Loc,
+                       "hoisted loop-invariant load of " +
+                           pathToString(F, M, I.Path) +
+                           " to the loop preheader");
+              RemarkEngine::instance().emit(std::move(R));
+            }
             hoistInstr(B, K, L.Preheader);
             ++Hoisted;
             Changed = true;
@@ -168,13 +230,14 @@ private:
     return true; // path operands are vars/consts by construction
   }
 
-  /// Nothing inside the loop may disturb the path.
-  bool pathInvariant(const Loop &L, const MemPath &P) const {
+  /// Nothing inside the loop may disturb the path; returns the first
+  /// instruction that may (null when the path is invariant).
+  const Instr *findLoopKiller(const Loop &L, const MemPath &P) const {
     for (BlockId BId : L.Blocks)
       for (const Instr &I : F.Blocks[BId].Instrs)
         if (Kills.kills(I, P))
-          return false;
-    return true;
+          return &I;
+    return nullptr;
   }
 
   void hoistInstr(BasicBlock &From, size_t Index, BlockId PreheaderId) {
@@ -189,6 +252,8 @@ private:
   IRModule &M;
   IRFunction &F;
   const KillModel &Kills;
+  /// Static ids already reported blocked (the fixpoint loop re-visits).
+  std::set<uint32_t> BlockedReported;
 };
 
 //===----------------------------------------------------------------------===//
@@ -362,6 +427,13 @@ private:
         bool IsStore = I.Op == Opcode::StoreMem;
         size_t P = (IsLoad || IsStore) ? pathIdConst(I.Path) : 0;
         if (IsLoad && Replaceable[B.Id][K]) {
+          if (RemarkEngine::instance().enabled()) {
+            Remark Rem(RemarkKind::Passed, "rle", "LoadEliminated", I.Loc,
+                       "replaced redundant load of " +
+                           pathToString(F, M, I.Path) +
+                           " with a register reference");
+            RemarkEngine::instance().emit(std::move(Rem));
+          }
           // The value is in the path's cell on every incoming path.
           Instr R;
           R.Op = Opcode::LoadVar;
@@ -762,11 +834,17 @@ private:
 } // namespace
 
 PREStats tbaa::runLoadPRE(IRModule &M, const AliasOracle &Oracle) {
-  CallGraph CG(M, *M.Types);
-  ModRefAnalysis MR(M, CG);
+  TBAA_TIME_SCOPE("pre");
+  std::optional<CallGraph> CG;
+  std::optional<ModRefAnalysis> MR;
+  {
+    TBAA_TIME_SCOPE("modref");
+    CG.emplace(M, *M.Types);
+    MR.emplace(M, *CG);
+  }
   PREStats Stats;
   for (IRFunction &F : M.Functions) {
-    KillModel Kills(M, F, Oracle, MR, CG);
+    KillModel Kills(M, F, Oracle, *MR, *CG);
     LoadPRE PRE(M, F, Kills);
     Stats.Inserted += PRE.run();
     // The insertions turn partial redundancy into full redundancy; the
@@ -774,6 +852,8 @@ PREStats tbaa::runLoadPRE(IRModule &M, const AliasOracle &Oracle) {
     LoadCSE CSE(M, F, Kills);
     Stats.Replaced += CSE.run();
   }
+  NumPREInserted += Stats.Inserted;
+  NumPREReplaced += Stats.Replaced;
   M.assignStaticIds();
   std::string Err = M.verify();
   assert(Err.empty() && "PRE broke the IR");
@@ -782,17 +862,32 @@ PREStats tbaa::runLoadPRE(IRModule &M, const AliasOracle &Oracle) {
 }
 
 RLEStats tbaa::runRLE(IRModule &M, const AliasOracle &Oracle) {
-  CallGraph CG(M, *M.Types);
-  ModRefAnalysis MR(M, CG);
+  TBAA_TIME_SCOPE("rle");
+  std::optional<CallGraph> CG;
+  std::optional<ModRefAnalysis> MR;
+  {
+    TBAA_TIME_SCOPE("modref");
+    CG.emplace(M, *M.Types);
+    MR.emplace(M, *CG);
+  }
   RLEStats Stats;
   for (IRFunction &F : M.Functions) {
     Stats.TypeTestsElided += elideRepeatedTypeTests(F);
-    KillModel Kills(M, F, Oracle, MR, CG);
-    LoadHoister Hoister(M, F, Kills);
-    Stats.Hoisted += Hoister.run();
-    LoadCSE CSE(M, F, Kills);
-    Stats.Replaced += CSE.run();
+    KillModel Kills(M, F, Oracle, *MR, *CG);
+    {
+      TBAA_TIME_SCOPE("hoist");
+      LoadHoister Hoister(M, F, Kills);
+      Stats.Hoisted += Hoister.run();
+    }
+    {
+      TBAA_TIME_SCOPE("cse");
+      LoadCSE CSE(M, F, Kills);
+      Stats.Replaced += CSE.run();
+    }
   }
+  NumHoisted += Stats.Hoisted;
+  NumReplaced += Stats.Replaced;
+  NumTypeTestsElided += Stats.TypeTestsElided;
   M.assignStaticIds();
   std::string Err = M.verify();
   assert(Err.empty() && "RLE broke the IR");

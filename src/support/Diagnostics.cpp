@@ -19,9 +19,11 @@ void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
   Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
 }
 
-std::string DiagnosticEngine::str() const {
+std::string DiagnosticEngine::str(const std::string &BufferName) const {
   std::ostringstream OS;
   for (const Diagnostic &D : Diags) {
+    if (!BufferName.empty())
+      OS << BufferName << ':';
     OS << D.Loc.Line << ':' << D.Loc.Col << ": ";
     switch (D.Kind) {
     case DiagKind::Error:

@@ -53,8 +53,10 @@ public:
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
-  /// Renders every diagnostic as "line:col: kind: message\n".
-  std::string str() const;
+  /// Renders every diagnostic as "line:col: kind: message\n". With a
+  /// non-empty \p BufferName, each line is prefixed "name:line:col: ..."
+  /// so interleaved multi-workload output stays attributable.
+  std::string str(const std::string &BufferName = "") const;
 
 private:
   std::vector<Diagnostic> Diags;

@@ -1,0 +1,175 @@
+//===- JSONUtil.h - Minimal JSON emission -----------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON writer shared by the statistics registry, the
+/// timing report, the remark engine and the benchmark harness. Emission
+/// only (the schema checker in tools/check_stats_json.py parses); no
+/// dependency beyond the standard library. Non-finite doubles are
+/// rendered as null so a NaN in a metric becomes a visible schema
+/// violation instead of invalid JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_JSONUTIL_H
+#define TBAA_SUPPORT_JSONUTIL_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tbaa::json {
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes excluded).
+inline std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Structured writer: tracks nesting and comma placement so callers only
+/// state shape. Usage:
+///
+///   Writer W;
+///   W.beginObject();
+///   W.key("name").value("rle");
+///   W.key("counts").beginArray().value(1).value(2).endArray();
+///   W.endObject();
+///   std::string S = W.str();
+class Writer {
+public:
+  Writer &beginObject() {
+    preValue();
+    Out += '{';
+    Stack.push_back(Frame::Object);
+    return *this;
+  }
+  Writer &endObject() {
+    Out += '}';
+    Stack.pop_back();
+    return *this;
+  }
+  Writer &beginArray() {
+    preValue();
+    Out += '[';
+    Stack.push_back(Frame::Array);
+    return *this;
+  }
+  Writer &endArray() {
+    Out += ']';
+    Stack.pop_back();
+    return *this;
+  }
+  Writer &key(const std::string &K) {
+    comma();
+    Out += '"';
+    Out += escape(K);
+    Out += "\":";
+    PendingKey = true;
+    return *this;
+  }
+  Writer &value(const std::string &V) {
+    preValue();
+    Out += '"';
+    Out += escape(V);
+    Out += '"';
+    return *this;
+  }
+  Writer &value(const char *V) { return value(std::string(V)); }
+  Writer &value(uint64_t V) {
+    preValue();
+    Out += std::to_string(V);
+    return *this;
+  }
+  Writer &value(int64_t V) {
+    preValue();
+    Out += std::to_string(V);
+    return *this;
+  }
+  Writer &value(unsigned V) { return value(static_cast<uint64_t>(V)); }
+  Writer &value(int V) { return value(static_cast<int64_t>(V)); }
+  Writer &value(bool V) {
+    preValue();
+    Out += V ? "true" : "false";
+    return *this;
+  }
+  Writer &value(double V) {
+    preValue();
+    if (!std::isfinite(V)) {
+      Out += "null"; // surfaced by the schema checker
+      return *this;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    Out += Buf;
+    return *this;
+  }
+
+  /// Splices \p JSON (an already-rendered value, e.g. another writer's
+  /// str() or a registry's toJSON()) in value position.
+  Writer &raw(const std::string &JSON) {
+    preValue();
+    Out += JSON;
+    return *this;
+  }
+
+  const std::string &str() const { return Out; }
+
+private:
+  enum class Frame { Object, Array };
+
+  void comma() {
+    if (!Out.empty()) {
+      char Last = Out.back();
+      if (Last != '{' && Last != '[' && Last != ':')
+        Out += ',';
+    }
+  }
+  void preValue() {
+    if (PendingKey) {
+      PendingKey = false;
+      return; // key() already placed the comma and colon
+    }
+    comma();
+  }
+
+  std::string Out;
+  std::vector<Frame> Stack;
+  bool PendingKey = false;
+};
+
+} // namespace tbaa::json
+
+#endif // TBAA_SUPPORT_JSONUTIL_H

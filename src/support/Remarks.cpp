@@ -1,0 +1,90 @@
+//===- Remarks.cpp --------------------------------------------------------===//
+
+#include "support/Remarks.h"
+
+#include "support/JSONUtil.h"
+
+using namespace tbaa;
+
+const char *tbaa::remarkKindName(RemarkKind K) {
+  switch (K) {
+  case RemarkKind::Passed:
+    return "passed";
+  case RemarkKind::Missed:
+    return "missed";
+  case RemarkKind::Analysis:
+    return "analysis";
+  }
+  return "?";
+}
+
+std::string Remark::str() const {
+  std::string Out = Pass;
+  Out += ": ";
+  if (Loc.isValid()) {
+    Out += std::to_string(Loc.Line);
+    Out += ':';
+    Out += std::to_string(Loc.Col);
+    Out += ": ";
+  }
+  Out += remarkKindName(Kind);
+  Out += ": ";
+  Out += Name;
+  Out += ": ";
+  Out += Message;
+  if (!Args.empty()) {
+    Out += " {";
+    bool First = true;
+    for (const auto &[K, V] : Args) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += K;
+      Out += '=';
+      Out += V;
+    }
+    Out += '}';
+  }
+  return Out;
+}
+
+RemarkEngine &RemarkEngine::instance() {
+  static RemarkEngine E;
+  return E;
+}
+
+void RemarkEngine::emit(Remark R) {
+  if (!Enabled)
+    return;
+  Remarks.push_back(std::move(R));
+}
+
+std::string RemarkEngine::render() const {
+  std::string Out;
+  for (const Remark &R : Remarks) {
+    Out += R.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string RemarkEngine::toJSON() const {
+  json::Writer W;
+  W.beginArray();
+  for (const Remark &R : Remarks) {
+    W.beginObject();
+    W.key("pass").value(R.Pass);
+    W.key("kind").value(remarkKindName(R.Kind));
+    W.key("name").value(R.Name);
+    W.key("line").value(static_cast<uint64_t>(R.Loc.Line));
+    W.key("col").value(static_cast<uint64_t>(R.Loc.Col));
+    W.key("message").value(R.Message);
+    W.key("args").beginObject();
+    for (const auto &[K, V] : R.Args)
+      W.key(K).value(V);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  return W.str();
+}

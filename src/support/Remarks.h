@@ -1,0 +1,91 @@
+//===- Remarks.h - Structured optimization remarks --------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optimization remarks in the spirit of LLVM's opt-remark layer: a pass
+/// records *why* it transformed (Passed), declined to transform (Missed)
+/// or merely observed (Analysis) at a source location, with typed
+/// key/value arguments. Collection is off by default; m3lc --remarks and
+/// tests enable it, so the passes pay one branch per candidate.
+///
+/// Remark schema (docs/OBSERVABILITY.md): pass is the subsystem ("rle",
+/// "devirt", "inline"), name a CamelCase event ("LoadHoisted",
+/// "LoadBlocked"), the message human-readable prose, and Args carry the
+/// machine-readable detail (path, killer, oracle verdict, callee, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_REMARKS_H
+#define TBAA_SUPPORT_REMARKS_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+enum class RemarkKind : uint8_t { Passed, Missed, Analysis };
+
+const char *remarkKindName(RemarkKind K);
+
+/// One structured remark.
+struct Remark {
+  RemarkKind Kind = RemarkKind::Analysis;
+  std::string Pass;
+  std::string Name;
+  SourceLoc Loc;
+  std::string Message;
+  std::vector<std::pair<std::string, std::string>> Args;
+
+  Remark() = default;
+  Remark(RemarkKind Kind, std::string Pass, std::string Name, SourceLoc Loc,
+         std::string Message)
+      : Kind(Kind), Pass(std::move(Pass)), Name(std::move(Name)), Loc(Loc),
+        Message(std::move(Message)) {}
+
+  Remark &arg(std::string Key, std::string Value) {
+    Args.emplace_back(std::move(Key), std::move(Value));
+    return *this;
+  }
+  Remark &arg(std::string Key, uint64_t Value) {
+    return arg(std::move(Key), std::to_string(Value));
+  }
+
+  /// "rle: 12:3: passed: LoadHoisted: message {path=t.x, ...}".
+  std::string str() const;
+};
+
+/// Process-wide remark sink.
+class RemarkEngine {
+public:
+  static RemarkEngine &instance();
+
+  void setEnabled(bool E) { Enabled = E; }
+  bool enabled() const { return Enabled; }
+
+  /// Records \p R; dropped while disabled so stray emissions from code
+  /// that skipped the enabled() guard cannot leak between tests.
+  void emit(Remark R);
+
+  const std::vector<Remark> &remarks() const { return Remarks; }
+  void clear() { Remarks.clear(); }
+
+  /// Every remark rendered one per line (the --remarks console form).
+  std::string render() const;
+
+  /// JSON array of remark objects.
+  std::string toJSON() const;
+
+private:
+  bool Enabled = false;
+  std::vector<Remark> Remarks;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SUPPORT_REMARKS_H

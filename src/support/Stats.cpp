@@ -1,0 +1,77 @@
+//===- Stats.cpp ----------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/JSONUtil.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace tbaa;
+
+Statistic::Statistic(const char *Group, const char *Name, const char *Desc)
+    : Group(Group), Name(Name), Desc(Desc) {
+  StatsRegistry::instance().add(this);
+}
+
+StatsRegistry &StatsRegistry::instance() {
+  static StatsRegistry R;
+  return R;
+}
+
+void StatsRegistry::add(Statistic *S) { Stats.push_back(S); }
+
+std::vector<StatSnapshot> StatsRegistry::snapshot() const {
+  std::vector<StatSnapshot> Out;
+  Out.reserve(Stats.size());
+  for (const Statistic *S : Stats)
+    Out.push_back({S->group(), S->name(), S->desc(), S->value()});
+  std::sort(Out.begin(), Out.end(),
+            [](const StatSnapshot &A, const StatSnapshot &B) {
+              if (A.Group != B.Group)
+                return A.Group < B.Group;
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+void StatsRegistry::reset() {
+  for (Statistic *S : Stats)
+    S->Value.store(0, std::memory_order_relaxed);
+}
+
+bool StatsRegistry::anyNonZero() const {
+  for (const Statistic *S : Stats)
+    if (S->value() != 0)
+      return true;
+  return false;
+}
+
+std::string StatsRegistry::table() const {
+  std::vector<StatSnapshot> Snap = snapshot();
+  size_t NameWidth = 0;
+  for (const StatSnapshot &S : Snap)
+    if (S.Value != 0)
+      NameWidth = std::max(NameWidth, S.qualifiedName().size());
+  std::string Out;
+  for (const StatSnapshot &S : Snap) {
+    if (S.Value == 0)
+      continue;
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf), "%10llu %-*s - %s\n",
+                  static_cast<unsigned long long>(S.Value),
+                  static_cast<int>(NameWidth), S.qualifiedName().c_str(),
+                  S.Desc.c_str());
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string StatsRegistry::toJSON() const {
+  json::Writer W;
+  W.beginObject();
+  for (const StatSnapshot &S : snapshot())
+    W.key(S.qualifiedName()).value(S.Value);
+  W.endObject();
+  return W.str();
+}

@@ -1,0 +1,107 @@
+//===- Stats.h - Registered named counters ----------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-Statistic-style named counters. A pass declares a counter once
+/// (file scope in its .cpp) with TBAA_STATISTIC and bumps it on the hot
+/// path with a relaxed atomic increment; the process-wide registry can
+/// render every non-zero counter as a table or JSON, and snapshot/reset
+/// them so tests and repeated bench runs observe deltas, not totals.
+///
+/// Naming convention (see docs/OBSERVABILITY.md): the group is the
+/// subsystem ("rle", "oracle", "devirt", ...), the name a kebab-case
+/// noun phrase ("loads-replaced"); the rendered identifier is
+/// "group.name".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_STATS_H
+#define TBAA_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+/// One registered counter. Construct only via TBAA_STATISTIC (static
+/// storage duration is required: the registry keeps a raw pointer).
+class Statistic {
+public:
+  Statistic(const char *Group, const char *Name, const char *Desc);
+  Statistic(const Statistic &) = delete;
+  Statistic &operator=(const Statistic &) = delete;
+
+  Statistic &operator++() {
+    Value.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  Statistic &operator+=(uint64_t N) {
+    Value.fetch_add(N, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *desc() const { return Desc; }
+
+private:
+  friend class StatsRegistry;
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A point-in-time copy of one counter.
+struct StatSnapshot {
+  std::string Group;
+  std::string Name;
+  std::string Desc;
+  uint64_t Value = 0;
+
+  std::string qualifiedName() const { return Group + "." + Name; }
+};
+
+/// Process-wide counter registry.
+class StatsRegistry {
+public:
+  static StatsRegistry &instance();
+
+  /// All counters (including zero-valued), sorted by group then name.
+  std::vector<StatSnapshot> snapshot() const;
+
+  /// Zeroes every counter (tests; per-run deltas in long-lived tools).
+  void reset();
+
+  bool anyNonZero() const;
+
+  /// Human-readable table of the non-zero counters:
+  ///       42 rle.loads-replaced      - Loads replaced by register refs
+  std::string table() const;
+
+  /// JSON object mapping "group.name" to value, all counters included.
+  std::string toJSON() const;
+
+private:
+  friend class Statistic;
+  void add(Statistic *S);
+
+  // Registration happens during static initialization and is append-only;
+  // reads copy values out of the atomics, so no lock is needed after
+  // main() starts. The vector is intentionally never shrunk.
+  std::vector<Statistic *> Stats;
+};
+
+} // namespace tbaa
+
+/// Declares a file-local registered counter.
+#define TBAA_STATISTIC(Var, Group, Name, Desc)                                 \
+  static ::tbaa::Statistic Var(Group, Name, Desc)
+
+#endif // TBAA_SUPPORT_STATS_H

@@ -1,0 +1,117 @@
+//===- Timing.cpp ---------------------------------------------------------===//
+
+#include "support/Timing.h"
+
+#include "support/JSONUtil.h"
+
+#include <cstdio>
+
+using namespace tbaa;
+
+TimerRegistry &TimerRegistry::instance() {
+  static TimerRegistry R;
+  return R;
+}
+
+TimerRegistry::Node *TimerRegistry::push(const char *Name) {
+  for (std::unique_ptr<Node> &C : Current->Children)
+    if (C->Name == Name) {
+      Current = C.get();
+      return Current;
+    }
+  auto N = std::make_unique<Node>();
+  N->Name = Name;
+  Node *Raw = N.get();
+  Current->Children.push_back(std::move(N));
+  Current = Raw;
+  return Raw;
+}
+
+void TimerRegistry::pop(Node *N, double Seconds) {
+  N->Seconds += Seconds;
+  ++N->Invocations;
+  // Scopes are strictly nested (RAII), so N is the current node. A
+  // reset() inside an open scope reparents Current to the root; guard
+  // against walking off it.
+  if (Current == N) {
+    // Find N's parent by searching from the root.
+    struct Finder {
+      static Node *parentOf(Node *Root, Node *Target) {
+        for (std::unique_ptr<Node> &C : Root->Children) {
+          if (C.get() == Target)
+            return Root;
+          if (Node *P = parentOf(C.get(), Target))
+            return P;
+        }
+        return nullptr;
+      }
+    };
+    Node *Parent = Finder::parentOf(&Root, N);
+    Current = Parent ? Parent : &Root;
+  }
+}
+
+void TimerRegistry::reset() {
+  Root.Children.clear();
+  Root.Seconds = 0;
+  Root.Invocations = 0;
+  Current = &Root;
+}
+
+namespace {
+
+double totalSeconds(const TimerRegistry::Node &N) {
+  double S = 0;
+  for (const std::unique_ptr<TimerRegistry::Node> &C : N.Children)
+    S += C->Seconds;
+  return S;
+}
+
+void reportNode(const TimerRegistry::Node &N, unsigned Depth, double Total,
+                std::string &Out) {
+  char Buf[256];
+  double Pct = Total > 0 ? 100.0 * N.Seconds / Total : 0.0;
+  std::snprintf(Buf, sizeof(Buf), "%9.4fs %5.1f%%  %*s%s (%llux)\n",
+                N.Seconds, Pct, static_cast<int>(Depth * 2), "",
+                N.Name.c_str(),
+                static_cast<unsigned long long>(N.Invocations));
+  Out += Buf;
+  for (const std::unique_ptr<TimerRegistry::Node> &C : N.Children)
+    reportNode(*C, Depth + 1, Total, Out);
+}
+
+void jsonNode(const TimerRegistry::Node &N, json::Writer &W) {
+  W.beginObject();
+  W.key("name").value(N.Name);
+  W.key("seconds").value(N.Seconds);
+  W.key("invocations").value(N.Invocations);
+  W.key("children").beginArray();
+  for (const std::unique_ptr<TimerRegistry::Node> &C : N.Children)
+    jsonNode(*C, W);
+  W.endArray();
+  W.endObject();
+}
+
+} // namespace
+
+std::string TimerRegistry::report() const {
+  if (Root.Children.empty())
+    return "";
+  double Total = totalSeconds(Root);
+  std::string Out = "===--- Pass timing report ---===\n";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "Total tracked: %.4fs\n", Total);
+  Out += Buf;
+  for (const std::unique_ptr<Node> &C : Root.Children)
+    reportNode(*C, 0, Total, Out);
+  return Out;
+}
+
+std::string TimerRegistry::toJSON() const {
+  json::Writer W;
+  W.beginArray();
+  for (const std::unique_ptr<Node> &C : Root.Children)
+    jsonNode(*C, W);
+  W.endArray();
+  return W.str();
+}

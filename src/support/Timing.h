@@ -1,0 +1,103 @@
+//===- Timing.h - Scoped hierarchical phase timers --------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII phase timers in the spirit of LLVM's -time-passes: a pass opens a
+/// TBAA_TIME_SCOPE("name") and the registry accumulates wall-clock time
+/// into a tree that mirrors dynamic nesting (compile > lex/parse/sema/
+/// lower, rle > modref/hoist/cse, ...). Disabled by default so the hot
+/// path pays one branch; m3lc --time-passes and the bench --json sink
+/// enable it. The nesting tree is single-threaded by design (the
+/// pipeline is); counters in Stats.h are the thread-safe layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_TIMING_H
+#define TBAA_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+class ScopedTimer;
+
+/// Accumulated timing tree. Scopes with the same name under the same
+/// parent merge (seconds add, invocations count).
+class TimerRegistry {
+public:
+  struct Node {
+    std::string Name;
+    double Seconds = 0;
+    uint64_t Invocations = 0;
+    std::vector<std::unique_ptr<Node>> Children;
+  };
+
+  static TimerRegistry &instance();
+
+  void setEnabled(bool E) { Enabled = E; }
+  bool enabled() const { return Enabled; }
+
+  /// Drops all recorded timings (tests; repeated runs).
+  void reset();
+
+  /// Indented per-phase report with seconds, percent of total and
+  /// invocation counts. Empty string when nothing was recorded.
+  std::string report() const;
+
+  /// The tree as JSON: {"name", "seconds", "invocations", "children"}.
+  std::string toJSON() const;
+
+  const Node &root() const { return Root; }
+
+private:
+  friend class ScopedTimer;
+  Node *push(const char *Name);
+  void pop(Node *N, double Seconds);
+
+  bool Enabled = false;
+  Node Root;
+  Node *Current = &Root;
+};
+
+/// Opens a named phase for the lifetime of the object. No-op while the
+/// registry is disabled (the enabled check happens at construction, so
+/// toggling mid-scope is benign but that scope is not recorded).
+class ScopedTimer {
+public:
+  explicit ScopedTimer(const char *Name) {
+    if (TimerRegistry::instance().enabled()) {
+      N = TimerRegistry::instance().push(Name);
+      Start = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (N) {
+      std::chrono::duration<double> D =
+          std::chrono::steady_clock::now() - Start;
+      TimerRegistry::instance().pop(N, D.count());
+    }
+  }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  TimerRegistry::Node *N = nullptr;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace tbaa
+
+#define TBAA_TIMER_CONCAT2(A, B) A##B
+#define TBAA_TIMER_CONCAT(A, B) TBAA_TIMER_CONCAT2(A, B)
+/// Times the enclosing scope under \p NAME in the phase tree.
+#define TBAA_TIME_SCOPE(NAME)                                                  \
+  ::tbaa::ScopedTimer TBAA_TIMER_CONCAT(TbaaTimer_, __LINE__)(NAME)
+
+#endif // TBAA_SUPPORT_TIMING_H

@@ -1,0 +1,429 @@
+//===- ObservabilityTests.cpp - Stats, timing, remarks, oracle counters ---===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Covers the observability layer: the statistics registry (register /
+// increment / snapshot / reset / JSON), the hierarchical phase timers,
+// the remark engine, and the InstrumentedOracle decorator -- which must
+// never change an answer, only count and cache them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/AliasOracle.h"
+#include "core/InstrumentedOracle.h"
+#include "core/TBAAContext.h"
+#include "opt/RLE.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+TBAA_STATISTIC(TestCounter, "test", "observability-counter",
+               "Counter registered by ObservabilityTests");
+
+namespace {
+
+/// Restores the global remark/timer state a test toggles.
+struct EngineGuard {
+  ~EngineGuard() {
+    RemarkEngine::instance().setEnabled(false);
+    RemarkEngine::instance().clear();
+    TimerRegistry::instance().setEnabled(false);
+    TimerRegistry::instance().reset();
+  }
+};
+
+/// Every distinct memory access path in the compiled module.
+std::vector<MemPath> collectPaths(const IRModule &M) {
+  std::vector<MemPath> Paths;
+  for (const IRFunction &F : M.Functions)
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.isMemAccess()) {
+          bool Seen = false;
+          for (const MemPath &P : Paths)
+            if (P == I.Path) {
+              Seen = true;
+              break;
+            }
+          if (!Seen)
+            Paths.push_back(I.Path);
+        }
+  return Paths;
+}
+
+const char *ObsFig = R"(
+MODULE Obs;
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+  S2 = T OBJECT b: INTEGER; END;
+VAR t: T; s: S1; u: S2;
+PROCEDURE Main (): INTEGER =
+BEGIN
+  t.f := s;
+  u.b := 1;
+  s.a := u.b;
+  RETURN s.a;
+END Main;
+END Obs.
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// StatsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, RegisterIncrementSnapshot) {
+  StatsRegistry &R = StatsRegistry::instance();
+  R.reset();
+  ++TestCounter;
+  TestCounter += 4;
+  EXPECT_EQ(TestCounter.value(), 5u);
+
+  bool Found = false;
+  for (const StatSnapshot &S : R.snapshot())
+    if (S.qualifiedName() == "test.observability-counter") {
+      Found = true;
+      EXPECT_EQ(S.Value, 5u);
+      EXPECT_EQ(S.Desc, "Counter registered by ObservabilityTests");
+    }
+  EXPECT_TRUE(Found);
+  EXPECT_TRUE(R.anyNonZero());
+  R.reset();
+  EXPECT_EQ(TestCounter.value(), 0u);
+}
+
+TEST(Stats, SnapshotSortedByGroupThenName) {
+  const std::vector<StatSnapshot> Snap = StatsRegistry::instance().snapshot();
+  ASSERT_GE(Snap.size(), 2u); // this file + the pass counters
+  for (size_t I = 1; I != Snap.size(); ++I) {
+    const StatSnapshot &A = Snap[I - 1], &B = Snap[I];
+    EXPECT_LE(std::tie(A.Group, A.Name), std::tie(B.Group, B.Name));
+  }
+}
+
+TEST(Stats, TableListsOnlyNonZero) {
+  StatsRegistry &R = StatsRegistry::instance();
+  R.reset();
+  EXPECT_EQ(R.table(), "");
+  TestCounter += 7;
+  std::string Table = R.table();
+  EXPECT_NE(Table.find("test.observability-counter"), std::string::npos);
+  EXPECT_NE(Table.find("7"), std::string::npos);
+  R.reset();
+}
+
+TEST(Stats, JSONHoldsEveryCounter) {
+  StatsRegistry &R = StatsRegistry::instance();
+  R.reset();
+  TestCounter += 42;
+  std::string J = R.toJSON();
+  // Zero-valued counters are present too (machine consumers want a
+  // stable key set), and the bumped one carries its value.
+  EXPECT_NE(J.find("\"test.observability-counter\":42"), std::string::npos);
+  EXPECT_NE(J.find("\"rle.loads-replaced\":0"), std::string::npos);
+  EXPECT_EQ(J.front(), '{');
+  EXPECT_EQ(J.back(), '}');
+  R.reset();
+}
+
+//===----------------------------------------------------------------------===//
+// TimerRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(Timing, NestedScopesBuildATree) {
+  EngineGuard Guard;
+  TimerRegistry &R = TimerRegistry::instance();
+  R.reset();
+  R.setEnabled(true);
+  {
+    TBAA_TIME_SCOPE("outer");
+    {
+      TBAA_TIME_SCOPE("inner");
+    }
+    {
+      TBAA_TIME_SCOPE("inner"); // same name: merges, invocations = 2
+    }
+  }
+  ASSERT_EQ(R.root().Children.size(), 1u);
+  const TimerRegistry::Node &Outer = *R.root().Children[0];
+  EXPECT_EQ(Outer.Name, "outer");
+  EXPECT_EQ(Outer.Invocations, 1u);
+  ASSERT_EQ(Outer.Children.size(), 1u);
+  EXPECT_EQ(Outer.Children[0]->Name, "inner");
+  EXPECT_EQ(Outer.Children[0]->Invocations, 2u);
+  EXPECT_GE(Outer.Seconds, Outer.Children[0]->Seconds);
+}
+
+TEST(Timing, ReportShapeAndJSON) {
+  EngineGuard Guard;
+  TimerRegistry &R = TimerRegistry::instance();
+  R.reset();
+  EXPECT_EQ(R.report(), ""); // nothing recorded
+  R.setEnabled(true);
+  {
+    TBAA_TIME_SCOPE("phase-a");
+    TBAA_TIME_SCOPE("phase-b"); // nested under phase-a (same scope)
+  }
+  std::string Rep = R.report();
+  EXPECT_NE(Rep.find("Pass timing report"), std::string::npos);
+  EXPECT_NE(Rep.find("phase-a"), std::string::npos);
+  EXPECT_NE(Rep.find("phase-b"), std::string::npos);
+  // Child is indented deeper than the parent.
+  EXPECT_LT(Rep.find("phase-a"), Rep.find("phase-b"));
+
+  std::string J = R.toJSON();
+  EXPECT_NE(J.find("\"name\":\"phase-a\""), std::string::npos);
+  EXPECT_NE(J.find("\"invocations\":1"), std::string::npos);
+  EXPECT_NE(J.find("\"children\":[{\"name\":\"phase-b\""),
+            std::string::npos);
+}
+
+TEST(Timing, DisabledScopesRecordNothing) {
+  EngineGuard Guard;
+  TimerRegistry &R = TimerRegistry::instance();
+  R.reset();
+  R.setEnabled(false);
+  {
+    TBAA_TIME_SCOPE("ghost");
+  }
+  EXPECT_TRUE(R.root().Children.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// RemarkEngine
+//===----------------------------------------------------------------------===//
+
+TEST(Remarks, DisabledEngineDropsEmissions) {
+  EngineGuard Guard;
+  RemarkEngine &E = RemarkEngine::instance();
+  E.clear();
+  E.setEnabled(false);
+  E.emit(Remark(RemarkKind::Passed, "rle", "LoadHoisted", {1, 1}, "m"));
+  EXPECT_TRUE(E.remarks().empty());
+}
+
+TEST(Remarks, RenderAndJSON) {
+  EngineGuard Guard;
+  RemarkEngine &E = RemarkEngine::instance();
+  E.clear();
+  E.setEnabled(true);
+  E.emit(Remark(RemarkKind::Missed, "rle", "LoadBlocked", {12, 3},
+                "kept load of n.f")
+             .arg("killer", "store to n.g")
+             .arg("verdict", "may-alias"));
+  ASSERT_EQ(E.remarks().size(), 1u);
+  std::string S = E.remarks()[0].str();
+  EXPECT_NE(S.find("rle"), std::string::npos);
+  EXPECT_NE(S.find("12:3"), std::string::npos);
+  EXPECT_NE(S.find("missed"), std::string::npos);
+  EXPECT_NE(S.find("LoadBlocked"), std::string::npos);
+  EXPECT_NE(S.find("killer=store to n.g"), std::string::npos);
+  EXPECT_EQ(E.render(), S + "\n");
+
+  std::string J = E.toJSON();
+  EXPECT_NE(J.find("\"pass\":\"rle\""), std::string::npos);
+  EXPECT_NE(J.find("\"kind\":\"missed\""), std::string::npos);
+  EXPECT_NE(J.find("\"verdict\":\"may-alias\""), std::string::npos);
+  E.clear();
+  EXPECT_TRUE(E.remarks().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// InstrumentedOracle
+//===----------------------------------------------------------------------===//
+
+TEST(InstrumentedOracle, MatchesDirectOracleEverywhere) {
+  Compilation C = compileOrDie(ObsFig);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  std::vector<MemPath> Paths = collectPaths(C.IR);
+  ASSERT_GE(Paths.size(), 3u);
+
+  for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
+                       AliasLevel::SMFieldTypeRefs}) {
+    auto Direct = makeAliasOracle(Ctx, L);
+    auto Inst = makeInstrumentedOracle(Ctx, L);
+    EXPECT_EQ(Inst->level(), Direct->level());
+    uint64_t Expected = 0;
+    for (const MemPath &A : Paths)
+      for (const MemPath &B : Paths) {
+        EXPECT_EQ(Inst->mayAlias(A, B), Direct->mayAlias(A, B));
+        AbsLoc LA = AbsLoc::fromPath(A), LB = AbsLoc::fromPath(B);
+        EXPECT_EQ(Inst->mayAliasAbs(LA, LB), Direct->mayAliasAbs(LA, LB));
+        Expected += 2;
+      }
+    EXPECT_EQ(Inst->stats().totalQueries(), Expected);
+    EXPECT_EQ(Inst->stats().MayAlias + Inst->stats().NoAlias, Expected);
+  }
+}
+
+TEST(InstrumentedOracle, CacheHitsNeverChangeAnswers) {
+  Compilation C = compileOrDie(ObsFig);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  std::vector<MemPath> Paths = collectPaths(C.IR);
+  auto Inst = makeInstrumentedOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+
+  std::vector<bool> First;
+  for (const MemPath &A : Paths)
+    for (const MemPath &B : Paths)
+      First.push_back(Inst->mayAlias(A, B));
+  uint64_t ColdQueries = Inst->stats().PathQueries;
+  EXPECT_EQ(Inst->stats().CacheHits, 0u) << "distinct pairs must miss";
+
+  size_t K = 0;
+  for (const MemPath &A : Paths)
+    for (const MemPath &B : Paths)
+      EXPECT_EQ(Inst->mayAlias(A, B), First[K++]) << "cache changed answer";
+  EXPECT_EQ(Inst->stats().CacheHits, ColdQueries)
+      << "second sweep must be served entirely from the cache";
+  EXPECT_GT(Inst->stats().cacheHitPercent(), 0.0);
+
+  Inst->resetStats();
+  EXPECT_EQ(Inst->stats().totalQueries(), 0u);
+}
+
+TEST(InstrumentedOracle, RLEWorkloadGetsCacheHits) {
+  const WorkloadInfo *W = findWorkload("dformat");
+  ASSERT_NE(W, nullptr);
+  Compilation C = compileOrDie(W->Source);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeInstrumentedOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  RLEStats RS = runRLE(C.IR, *Oracle);
+  EXPECT_GT(RS.total(), 0u);
+  const OracleStats &OS = Oracle->stats();
+  EXPECT_GT(OS.totalQueries(), 0u);
+  // The dataflow fixpoint re-asks the same pairs across blocks; the memo
+  // table must be earning its keep on a real workload.
+  EXPECT_GT(OS.CacheHits, 0u);
+  EXPECT_GT(OS.cacheHitPercent(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// RLE remarks (golden)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs RLE at SMFieldTypeRefs with remarks on; returns the remarks.
+std::vector<Remark> rleRemarks(const std::string &Source) {
+  RemarkEngine &E = RemarkEngine::instance();
+  E.clear();
+  E.setEnabled(true);
+  Compilation C = compileOrDie(Source);
+  if (C.ok()) {
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    auto Oracle = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+    runRLE(C.IR, *Oracle);
+  }
+  std::vector<Remark> Out = E.remarks();
+  E.setEnabled(false);
+  E.clear();
+  return Out;
+}
+
+bool hasRemark(const std::vector<Remark> &Rs, RemarkKind K,
+               const std::string &Name) {
+  for (const Remark &R : Rs)
+    if (R.Kind == K && R.Name == Name)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(RLERemarks, RedundantLoadEmitsLoadEliminated) {
+  auto Rs = rleRemarks(R"(
+MODULE G1;
+TYPE Node = OBJECT f: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; s: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.f := 21;
+  s := n.f + n.f;
+  RETURN s;
+END Main;
+END G1.
+)");
+  EXPECT_TRUE(hasRemark(Rs, RemarkKind::Passed, "LoadEliminated"));
+}
+
+TEST(RLERemarks, InvariantLoopLoadEmitsLoadHoisted) {
+  auto Rs = rleRemarks(R"(
+MODULE G2;
+TYPE Node = OBJECT step: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; s, i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.step := 3;
+  s := 0;
+  i := 0;
+  REPEAT
+    s := s + n.step;
+    i := i + 1;
+  UNTIL i >= 100;
+  RETURN s;
+END Main;
+END G2.
+)");
+  bool Found = false;
+  for (const Remark &R : Rs)
+    if (R.Kind == RemarkKind::Passed && R.Name == "LoadHoisted") {
+      Found = true;
+      EXPECT_EQ(R.Pass, "rle");
+      EXPECT_NE(R.Message.find("step"), std::string::npos) << R.str();
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(RLERemarks, KilledLoopLoadEmitsLoadBlockedWithKiller) {
+  auto Rs = rleRemarks(R"(
+MODULE G3;
+TYPE Node = OBJECT step: INTEGER; END;
+PROCEDURE Main (): INTEGER =
+VAR n: Node; s, i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n.step := 1;
+  s := 0;
+  i := 0;
+  REPEAT
+    s := s + n.step;
+    n.step := n.step + 1;
+    i := i + 1;
+  UNTIL i >= 10;
+  RETURN s;
+END Main;
+END G3.
+)");
+  ASSERT_TRUE(hasRemark(Rs, RemarkKind::Missed, "LoadBlocked"));
+  for (const Remark &R : Rs)
+    if (R.Kind == RemarkKind::Missed && R.Name == "LoadBlocked") {
+      // The remark names the killing store and the oracle's verdict.
+      bool Killer = false, Verdict = false;
+      for (const auto &[Key, Value] : R.Args) {
+        if (Key == "killer") {
+          Killer = true;
+          EXPECT_NE(Value.find("store"), std::string::npos) << R.str();
+        }
+        if (Key == "verdict")
+          Verdict = true;
+      }
+      EXPECT_TRUE(Killer) << R.str();
+      EXPECT_TRUE(Verdict) << R.str();
+    }
+}

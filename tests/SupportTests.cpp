@@ -27,6 +27,19 @@ TEST(Diagnostics, ErrorsAreStickyAndRendered) {
   EXPECT_NE(S.find("3:5: note: because of this"), std::string::npos);
 }
 
+TEST(Diagnostics, BufferNamePrefixesEveryLine) {
+  DiagnosticEngine Diags;
+  Diags.error({3, 4}, "something broke");
+  Diags.note({3, 5}, "because of this");
+  std::string S = Diags.str("richards");
+  EXPECT_NE(S.find("richards:3:4: error: something broke"),
+            std::string::npos);
+  EXPECT_NE(S.find("richards:3:5: note: because of this"),
+            std::string::npos);
+  // No name: the bare form is unchanged.
+  EXPECT_EQ(Diags.str().find("richards"), std::string::npos);
+}
+
 TEST(UnionFind, UniteAndFindWithPathCompression) {
   UnionFind UF(8);
   EXPECT_FALSE(UF.connected(0, 1));

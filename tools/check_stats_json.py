@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Schema check for the bench harness --json output.
+
+Runs a bench binary (default: table6_rle_static) with --json, then
+validates the report:
+
+  * top-level keys bench / schema_version / complete / records / stats /
+    timings are present and well-typed;
+  * no null anywhere in records, stats or timings (the JSON writer turns
+    NaN/inf into null, so a null here means a metric went non-finite);
+  * every record carries a workload name plus at least one metric;
+  * stats keys look like "group.name" with integer values;
+  * timing nodes carry name / seconds / invocations / children.
+
+For table6_rle_static it additionally cross-checks the JSON records
+against the stdout table: the three per-level RLE counts must match the
+printed rows exactly.
+
+Usage: check_stats_json.py <path-to-bench-binary>
+Exit status 0 on success, 1 on any violation.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def check_no_null(value, where):
+    if value is None:
+        fail(f"null value at {where} (NaN or inf in a metric?)")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            check_no_null(item, f"{where}.{key}")
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            check_no_null(item, f"{where}[{index}]")
+    elif isinstance(value, float) and value != value:
+        fail(f"NaN at {where}")
+
+
+def check_timing_node(node, where):
+    for key, kind in (("name", str), ("seconds", (int, float)),
+                      ("invocations", int), ("children", list)):
+        if key not in node:
+            fail(f"timing node {where} missing '{key}'")
+        elif not isinstance(node[key], kind):
+            fail(f"timing node {where}.{key} has type "
+                 f"{type(node[key]).__name__}")
+    for index, child in enumerate(node.get("children", [])):
+        check_timing_node(child, f"{where}.children[{index}]")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = Path(sys.argv[1])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = Path(tmp) / "report.json"
+        proc = subprocess.run([str(binary), "--json", str(out_path)],
+                              capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            print(f"{binary.name} exited {proc.returncode}:\n{proc.stderr}",
+                  file=sys.stderr)
+            return 1
+        if not out_path.exists():
+            print(f"{binary.name} wrote no JSON to {out_path}",
+                  file=sys.stderr)
+            return 1
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"invalid JSON: {exc}", file=sys.stderr)
+            return 1
+        stdout = proc.stdout
+
+    for key, kind in (("bench", str), ("schema_version", int),
+                      ("complete", bool), ("records", list),
+                      ("stats", dict), ("timings", list)):
+        if key not in report:
+            fail(f"missing top-level key '{key}'")
+        elif not isinstance(report[key], kind):
+            fail(f"top-level '{key}' has type {type(report[key]).__name__},"
+                 f" expected {kind.__name__}")
+
+    if report.get("schema_version") != 1:
+        fail(f"unknown schema_version {report.get('schema_version')!r}")
+    if report.get("complete") is not True:
+        fail("report is marked incomplete (a run aborted via fatal())")
+
+    records = report.get("records", [])
+    if not records:
+        fail("records array is empty")
+    for index, record in enumerate(records):
+        where = f"records[{index}]"
+        if not isinstance(record, dict):
+            fail(f"{where} is not an object")
+            continue
+        if not isinstance(record.get("workload"), str):
+            fail(f"{where} has no workload name")
+        if len(record) < 2:
+            fail(f"{where} carries no metrics")
+        check_no_null(record, where)
+
+    for key, value in report.get("stats", {}).items():
+        if not re.fullmatch(r"[a-z0-9-]+\.[a-z0-9-]+", key):
+            fail(f"stats key '{key}' does not match group.name")
+        if not isinstance(value, int) or value < 0:
+            fail(f"stats['{key}'] = {value!r} is not a non-negative int")
+
+    for index, node in enumerate(report.get("timings", [])):
+        check_timing_node(node, f"timings[{index}]")
+    check_no_null(report.get("timings", []), "timings")
+
+    # table6: the JSON must mirror the printed table row for row.
+    if report.get("bench") == "table6_rle_static":
+        table = {}
+        for line in stdout.splitlines():
+            match = re.match(
+                r"^(\S+)\s+\|\s+(\d+)\s+\|\s+(\d+)\s+\|\s+(\d+)\s*$", line)
+            if match:
+                table[match.group(1)] = tuple(
+                    int(match.group(i)) for i in (2, 3, 4))
+        if not table:
+            fail("could not parse any table rows from stdout")
+        json_rows = {
+            record["workload"]: (record.get("rle_removed_typedecl"),
+                                 record.get("rle_removed_fieldtypedecl"),
+                                 record.get("rle_removed_smfieldtyperefs"))
+            for record in records if isinstance(record, dict)
+        }
+        if table != json_rows:
+            fail(f"stdout table {table} != JSON records {json_rows}")
+
+    if errors:
+        for message in errors:
+            print(f"check_stats_json: {message}", file=sys.stderr)
+        return 1
+    print(f"check_stats_json: {binary.name}: "
+          f"{len(records)} records, {len(report['stats'])} counters, OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,12 +16,16 @@
 //          --no-rle      skip redundant load elimination
 //          --pipeline    devirtualize + inline + copy-propagate first
 //          --pre         partial redundancy elimination after RLE
-//          --stats       print execution counters and simulated cycles
+//          --stats       print execution counters, simulated cycles and
+//                        the registered statistics table
+//          --time-passes print the hierarchical pass timing report
+//          --remarks[=f] print optimization remarks (to file f if given)
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/AliasCensus.h"
 #include "core/AliasOracle.h"
+#include "core/InstrumentedOracle.h"
 #include "core/TBAAContext.h"
 #include "exec/VM.h"
 #include "ir/Pipeline.h"
@@ -31,6 +35,9 @@
 #include "opt/Inline.h"
 #include "opt/RLE.h"
 #include "sim/CacheSim.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -53,6 +60,9 @@ struct Options {
   bool Pipeline = false;
   bool PRE = false;
   bool Stats = false;
+  bool TimePasses = false;
+  bool Remarks = false;
+  std::string RemarksFile; ///< Empty: remarks go to stdout.
 };
 
 int usage() {
@@ -61,6 +71,7 @@ int usage() {
       "usage: m3lc <run|check|dump-ir|dump-ast|census|emit-workload|list>\n"
       "            [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
       "            [--open] [--no-rle] [--pipeline] [--pre] [--stats]\n"
+      "            [--time-passes] [--remarks[=file]]\n"
       "            <file.m3l | workload-name>\n");
   return 2;
 }
@@ -104,7 +115,10 @@ int run(const Options &Opts) {
   }
 
   TBAAContext Ctx(C.ast(), C.types(), {.OpenWorld = Opts.OpenWorld});
-  auto Oracle = makeAliasOracle(Ctx, Opts.Level);
+  // Always decorate: the memo cache makes RLE cheaper, and --stats can
+  // then report the paper's evaluation currency (alias queries).
+  std::unique_ptr<InstrumentedOracle> Oracle =
+      makeInstrumentedOracle(Ctx, Opts.Level);
 
   if (Opts.Command == "census") {
     std::printf("%-18s %10s %10s %12s\n", "analysis", "local", "global",
@@ -188,6 +202,16 @@ int run(const Options &Opts) {
                 static_cast<unsigned long long>(Timing.cycles(S)),
                 static_cast<unsigned long long>(Timing.cache().hits()),
                 static_cast<unsigned long long>(Timing.cache().misses()));
+    const OracleStats &OS = Oracle->stats();
+    std::printf("alias queries:    %llu path, %llu absloc "
+                "(%llu may-alias, %llu no-alias)\n",
+                static_cast<unsigned long long>(OS.PathQueries),
+                static_cast<unsigned long long>(OS.AbsQueries),
+                static_cast<unsigned long long>(OS.MayAlias),
+                static_cast<unsigned long long>(OS.NoAlias));
+    std::printf("oracle cache:     %llu hits (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(OS.CacheHits),
+                OS.cacheHitPercent());
   }
   return 0;
 }
@@ -209,7 +233,16 @@ int main(int argc, char **argv) {
       Opts.PRE = true;
     else if (A == "--stats")
       Opts.Stats = true;
-    else if (A.rfind("--level=", 0) == 0) {
+    else if (A == "--time-passes")
+      Opts.TimePasses = true;
+    else if (A == "--remarks")
+      Opts.Remarks = true;
+    else if (A.rfind("--remarks=", 0) == 0) {
+      Opts.Remarks = true;
+      Opts.RemarksFile = A.substr(10);
+      if (Opts.RemarksFile.empty())
+        return usage();
+    } else if (A.rfind("--level=", 0) == 0) {
       std::string L = A.substr(8);
       if (L == "typedecl")
         Opts.Level = AliasLevel::TypeDecl;
@@ -251,5 +284,34 @@ int main(int argc, char **argv) {
       Opts.Command != "dump-ir" && Opts.Command != "dump-ast" &&
       Opts.Command != "census")
     return usage();
-  return run(Opts);
+
+  TimerRegistry::instance().setEnabled(Opts.TimePasses);
+  RemarkEngine::instance().setEnabled(Opts.Remarks);
+  int RC = run(Opts);
+
+  // Reports print after the single run() exit so every command and error
+  // path that got far enough still shows what it measured.
+  if (Opts.Remarks) {
+    RemarkEngine &RE = RemarkEngine::instance();
+    if (Opts.RemarksFile.empty()) {
+      std::fputs(RE.render().c_str(), stdout);
+    } else {
+      std::ofstream Out(Opts.RemarksFile);
+      if (!Out) {
+        std::fprintf(stderr, "m3lc: cannot write remarks to '%s'\n",
+                     Opts.RemarksFile.c_str());
+        if (RC == 0)
+          RC = 1;
+      } else {
+        Out << RE.render();
+      }
+    }
+  }
+  if (Opts.TimePasses)
+    std::fputs(TimerRegistry::instance().report().c_str(), stdout);
+  if (Opts.Stats && StatsRegistry::instance().anyNonZero()) {
+    std::fputs("\n===--- Statistics ---===\n", stdout);
+    std::fputs(StatsRegistry::instance().table().c_str(), stdout);
+  }
+  return RC;
 }
