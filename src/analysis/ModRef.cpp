@@ -2,10 +2,18 @@
 
 #include "analysis/ModRef.h"
 
+#include "support/Budget.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace tbaa;
+
+TBAA_STATISTIC(NumModRefSaturated, "degrade", "modref-saturated",
+               "ModRef closures abandoned under budget (every call treated "
+               "as may-kill)");
 
 void ModRefAnalysis::addMod(ModSummary &S, const AbsLoc &L) {
   if (std::find(S.Mods.begin(), S.Mods.end(), L) == S.Mods.end())
@@ -47,13 +55,22 @@ ModRefAnalysis::ModRefAnalysis(const IRModule &M, const CallGraph &CG)
   }
 
   // Transitive closure over the call graph (fixpoint; handles recursion).
+  // The fixpoint is the superlinear part, so every merged summary element
+  // pays into the ModRef step budget; on exhaustion the half-closed
+  // summaries are abandoned and saturated() makes every kill query answer
+  // "may kill".
+  PhaseBudget &Budget = BudgetRegistry::instance().ModRef;
   bool Changed = true;
-  while (Changed) {
+  while (Changed && !Saturated) {
     Changed = false;
-    for (FuncId F = 0; F != N; ++F) {
+    for (FuncId F = 0; F != N && !Saturated; ++F) {
       ModSummary &S = Summaries[F];
       for (FuncId C : CG.callees(F)) {
         const ModSummary &CS = Summaries[C];
+        if (!Budget.charge(CS.Mods.size() + CS.Refs.size() + 1)) {
+          Saturated = true;
+          break;
+        }
         size_t ModsBefore = S.Mods.size(), RefsBefore = S.Refs.size();
         for (const AbsLoc &L : CS.Mods)
           addMod(S, L);
@@ -66,6 +83,15 @@ ModRefAnalysis::ModRefAnalysis(const IRModule &M, const CallGraph &CG)
           Changed = true;
       }
     }
+  }
+  if (Saturated) {
+    ++NumModRefSaturated;
+    RemarkEngine::instance().emit(
+        Remark(RemarkKind::Analysis, "degrade", "ModRefSaturated", SourceLoc{},
+               "mod-ref transitive closure exhausted its step budget; every "
+               "call site is now assumed to kill every path")
+            .arg("budget", std::to_string(Budget.Limit))
+            .arg("functions", std::to_string(N)));
   }
 }
 
@@ -84,6 +110,8 @@ bool ModRefAnalysis::callMayWriteVar(const IRFunction &Caller,
                                      const Instr &CallSite, VarRef V,
                                      const AliasOracle &Oracle,
                                      const CallGraph &CG) const {
+  if (Saturated)
+    return true;
   const IRVar &Info = M.varInfo(Caller, V);
   for (FuncId Target : CG.calleesOf(CallSite)) {
     const ModSummary &S = Summaries[Target];
@@ -103,6 +131,8 @@ bool ModRefAnalysis::callMayKillPath(const IRFunction &Caller,
                                      const Instr &CallSite, const MemPath &P,
                                      const AliasOracle &Oracle,
                                      const CallGraph &CG) const {
+  if (Saturated)
+    return true;
   AbsLoc PathLoc = AbsLoc::fromPath(P);
   for (FuncId Target : CG.calleesOf(CallSite)) {
     const ModSummary &S = Summaries[Target];

@@ -46,6 +46,13 @@ public:
 
   const ModSummary &summary(FuncId F) const { return Summaries[F]; }
 
+  /// True when the BudgetRegistry ModRef budget ran out during the
+  /// transitive-closure fixpoint. The summaries are then incomplete, so
+  /// the kill queries answer "may kill" unconditionally -- maximally
+  /// conservative, which keeps RLE sound and merely blocks optimization
+  /// across calls (see docs/ROBUSTNESS.md).
+  bool saturated() const { return Saturated; }
+
   /// May executing \p CallSite invalidate the value named by \p P (a path
   /// in the caller)? Checks heap overlap via \p Oracle, global-root
   /// writes, and root/index variable mutation through escaped addresses.
@@ -65,6 +72,7 @@ private:
 
   const IRModule &M;
   std::vector<ModSummary> Summaries;
+  bool Saturated = false;
 };
 
 } // namespace tbaa

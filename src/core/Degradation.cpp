@@ -1,0 +1,77 @@
+//===- Degradation.cpp ----------------------------------------------------===//
+
+#include "core/Degradation.h"
+
+#include "support/Budget.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+
+using namespace tbaa;
+
+TBAA_STATISTIC(NumOracleDowngrades, "degrade", "oracle-downgrades",
+               "Alias-oracle rungs dropped under query budget");
+
+namespace {
+
+/// One rung down the precision ladder. Coarser rungs answer may-alias
+/// for a superset of pairs, so stepping down is always sound. TypeDecl
+/// is the floor (it is the paper's cheapest analysis; there is nothing
+/// cheaper to fall to), and Perfect is a measurement tool that never
+/// degrades.
+AliasLevel coarserLevel(AliasLevel L) {
+  switch (L) {
+  case AliasLevel::SMFieldTypeRefs:
+    return AliasLevel::FieldTypeDecl;
+  case AliasLevel::SMTypeRefs:
+  case AliasLevel::FieldTypeDecl:
+  case AliasLevel::TypeDecl:
+    return AliasLevel::TypeDecl;
+  case AliasLevel::Perfect:
+    return AliasLevel::Perfect;
+  }
+  return AliasLevel::TypeDecl;
+}
+
+} // namespace
+
+DegradingOracle::DegradingOracle(const TBAAContext &Ctx, AliasLevel Level)
+    : Ctx(Ctx), Cur(Level), Inner(makeAliasOracle(Ctx, Level)) {}
+
+void DegradingOracle::chargeQuery() const {
+  PhaseBudget &Budget = BudgetRegistry::instance().Oracle;
+  if (Budget.charge())
+    return;
+  AliasLevel Next = coarserLevel(Cur);
+  // The budget is per rung: each downgrade refills it, so the floor
+  // answers indefinitely (its queries are constant-time bitset tests).
+  Budget.refill();
+  if (Next == Cur)
+    return;
+  ++NumOracleDowngrades;
+  ++Downgrades;
+  RemarkEngine::instance().emit(
+      Remark(RemarkKind::Analysis, "degrade", "OracleDowngraded", SourceLoc{},
+             std::string("alias query budget exhausted; downgrading ") +
+                 aliasLevelName(Cur) + " to " + aliasLevelName(Next))
+          .arg("from", aliasLevelName(Cur))
+          .arg("to", aliasLevelName(Next))
+          .arg("budget", std::to_string(Budget.Limit)));
+  Cur = Next;
+  Inner = makeAliasOracle(Ctx, Next);
+}
+
+bool DegradingOracle::mayAlias(const MemPath &A, const MemPath &B) const {
+  chargeQuery();
+  return Inner->mayAlias(A, B);
+}
+
+bool DegradingOracle::mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const {
+  chargeQuery();
+  return Inner->mayAliasAbs(A, B);
+}
+
+std::unique_ptr<InstrumentedOracle>
+tbaa::makeDegradingOracle(const TBAAContext &Ctx, AliasLevel Level) {
+  return std::make_unique<InstrumentedOracle>(
+      std::make_unique<DegradingOracle>(Ctx, Level));
+}

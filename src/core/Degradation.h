@@ -1,0 +1,70 @@
+//===- Degradation.h - Budgeted precision-ladder oracle ---------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TBAA variants form a precision ladder (AutoAlias makes the same
+/// observation for its analyses): every coarser rung answers may-alias
+/// for a superset of the pairs the finer rung does. DegradingOracle
+/// exploits that for graceful degradation under resource pressure: it
+/// answers at the requested level while charging one step per query to
+/// the BudgetRegistry Oracle budget, and when the budget runs out it
+/// drops one rung --
+///
+///     SMFieldTypeRefs -> FieldTypeDecl -> TypeDecl (floor)
+///     SMTypeRefs      -> TypeDecl
+///
+/// -- refills the budget, and keeps answering. Dropping a rung only ever
+/// *adds* may-alias answers, so clients stay sound and merely miss
+/// optimizations; each downgrade emits a remark and a statistic.
+///
+/// IMPORTANT: clients that iterate to a fixpoint and then re-walk (RLE's
+/// availability dataflow) need each (pair -> verdict) answer to stay
+/// stable within one run. Always use makeDegradingOracle(), which wraps
+/// the ladder in InstrumentedOracle: its memo cache pins every answer
+/// the first time it is given, making mid-run downgrades invisible to
+/// the client's already-computed state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_CORE_DEGRADATION_H
+#define TBAA_CORE_DEGRADATION_H
+
+#include "core/AliasOracle.h"
+#include "core/InstrumentedOracle.h"
+
+#include <memory>
+
+namespace tbaa {
+
+/// The ladder-walking oracle. level() reports the *current* rung.
+class DegradingOracle : public AliasOracle {
+public:
+  DegradingOracle(const TBAAContext &Ctx, AliasLevel Level);
+
+  bool mayAlias(const MemPath &A, const MemPath &B) const override;
+  bool mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const override;
+  AliasLevel level() const override { return Cur; }
+
+  /// Rungs dropped so far (0 while the budget holds).
+  unsigned downgrades() const { return Downgrades; }
+
+private:
+  void chargeQuery() const;
+
+  const TBAAContext &Ctx;
+  mutable AliasLevel Cur;
+  mutable std::unique_ptr<AliasOracle> Inner;
+  mutable unsigned Downgrades = 0;
+};
+
+/// A DegradingOracle at \p Level wrapped in the memoizing counter
+/// decorator (answer stability; see file comment).
+std::unique_ptr<InstrumentedOracle>
+makeDegradingOracle(const TBAAContext &Ctx, AliasLevel Level);
+
+} // namespace tbaa
+
+#endif // TBAA_CORE_DEGRADATION_H

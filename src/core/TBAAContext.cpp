@@ -2,12 +2,19 @@
 
 #include "core/TBAAContext.h"
 
+#include "support/Budget.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace tbaa;
+
+TBAA_STATISTIC(NumTypeRefsDropped, "degrade", "typerefs-dropped",
+               "SMTypeRefs tables abandoned under budget (fell back to "
+               "declared-type compatibility)");
 
 TBAAContext::TBAAContext(const ModuleAST &M, const TypeTable &Types,
                          TBAAOptions Opts)
@@ -91,13 +98,22 @@ TBAAContext::TBAAContext(const ModuleAST &M, const TypeTable &Types,
   }
 
   // --- Step 3: TypeRefsTable(t) = Group(t) ∩ Subtypes(t) ---
+  // This is the superlinear part (a row over all types per pointer
+  // type), so it pays into the TypeRefs step budget; on exhaustion the
+  // half-built tables are abandoned and the accessors fall back to
+  // TypeDecl compatibility, which needs only SubtypeBits.
+  PhaseBudget &Budget = BudgetRegistry::instance().TypeRefs;
   GroupOf.assign(NumTypes, 0);
   for (TypeId Id = 0; Id != NumTypes; ++Id)
     GroupOf[Id] = Groups.find(Types.canonical(Id));
   TypeRefsBits.assign(NumTypes, DynBitset(NumTypes));
-  for (TypeId Id = 0; Id != NumTypes; ++Id) {
+  for (TypeId Id = 0; Id != NumTypes && !Degraded; ++Id) {
     if (Types.canonical(Id) != Id)
       continue;
+    if (!Budget.charge(NumTypes)) {
+      Degraded = true;
+      break;
+    }
     DynBitset &Bits = TypeRefsBits[Id];
     if (Types.isReferenceLike(Id)) {
       for (TypeId Other = 0; Other != NumTypes; ++Other)
@@ -108,6 +124,15 @@ TBAAContext::TBAAContext(const ModuleAST &M, const TypeTable &Types,
       // Non-pointer types refer only to themselves.
       Bits.set(Id);
     }
+  }
+  if (Degraded) {
+    ++NumTypeRefsDropped;
+    RemarkEngine::instance().emit(
+        Remark(RemarkKind::Analysis, "degrade", "TypeRefsDropped", SourceLoc{},
+               "SMTypeRefs construction exhausted its step budget; answering "
+               "with declared-type compatibility instead")
+            .arg("budget", std::to_string(Budget.Limit))
+            .arg("types", std::to_string(NumTypes)));
   }
   UF = nullptr;
 }
@@ -338,10 +363,17 @@ bool TBAAContext::typeDeclCompat(TypeId A, TypeId B) const {
 }
 
 bool TBAAContext::typeRefsCompat(TypeId A, TypeId B) const {
+  // Degraded: the TypeRefs tables were never finished. TypeDecl
+  // compatibility is a superset (TypeRefs(t) ⊆ Subtypes(t)), so this
+  // only ever *adds* may-alias answers -- sound for every consumer.
+  if (Degraded)
+    return typeDeclCompat(A, B);
   return typeRefsSet(A).intersects(typeRefsSet(B));
 }
 
 std::vector<TypeId> TBAAContext::typeRefs(TypeId T) const {
+  if (Degraded)
+    return subtypeSet(T).elements();
   return typeRefsSet(T).elements();
 }
 

@@ -73,6 +73,13 @@ public:
   /// Number of pointer-assignment merges performed (tests, reporting).
   unsigned mergeCount() const { return Merges; }
 
+  /// True when the BudgetRegistry TypeRefs budget ran out during
+  /// construction. The precise SMTypeRefs tables are then abandoned and
+  /// typeRefsCompat()/typeRefs() answer with declared-type (TypeDecl)
+  /// compatibility -- a strict superset, so every consumer stays sound
+  /// and merely loses precision (see docs/ROBUSTNESS.md).
+  bool typeRefsDegraded() const { return Degraded; }
+
 private:
   void collectFromStmtList(const StmtList &Stmts);
   void collectFromStmt(const Stmt &S);
@@ -97,6 +104,7 @@ private:
   std::vector<uint32_t> GroupOf; ///< canonical type -> group root
   std::vector<DynBitset> TypeRefsBits;
   unsigned Merges = 0;
+  bool Degraded = false;
 
   // AddressTaken facts.
   struct FieldFact {

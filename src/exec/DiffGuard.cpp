@@ -1,0 +1,102 @@
+//===- DiffGuard.cpp ------------------------------------------------------===//
+
+#include "exec/DiffGuard.h"
+
+#include "exec/VM.h"
+#include "support/Stats.h"
+
+#include <sstream>
+
+using namespace tbaa;
+
+TBAA_STATISTIC(NumDiffRuns, "diff", "runs", "Differential executions");
+TBAA_STATISTIC(NumDiffMismatches, "diff", "mismatches",
+               "Differential divergences (miscompiles)");
+
+RunTrace tbaa::traceProgram(const IRModule &M, uint64_t Fuel) {
+  RunTrace T;
+  StoreTraceMonitor Stores;
+  VM Machine(M);
+  Machine.addMonitor(&Stores);
+  Machine.setOpLimit(Fuel);
+  T.InitOk = Machine.runInit();
+  if (T.InitOk)
+    T.Result = Machine.callFunction("Main");
+  T.Trapped = Machine.trapped();
+  T.OutOfFuel = Machine.outOfFuel();
+  T.TrapMessage = Machine.trapMessage();
+  T.StoreHash = Stores.hash();
+  T.StoreCount = Stores.count();
+  T.Ops = Machine.stats().Ops;
+  return T;
+}
+
+DiffResult tbaa::runDifferential(const IRModule &Base, const IRModule &Opt,
+                                 uint64_t Fuel) {
+  ++NumDiffRuns;
+  DiffResult R;
+  R.Base = traceProgram(Base, Fuel);
+  if (R.Base.OutOfFuel) {
+    R.Status = DiffStatus::Inconclusive;
+    R.Detail = "base run exhausted its fuel budget";
+    return R;
+  }
+
+  // The base finished (or trapped on its own) within Fuel: any correct
+  // optimized version finishes within a small multiple of the ops the
+  // base actually needed. The slack absorbs legitimate op-count shifts
+  // (CSE cells cost ops, hoisted loads move work); only a runaway
+  // divergence -- a miscompiled loop -- exceeds it.
+  uint64_t OptFuel = R.Base.Ops * 4 + 100000;
+  R.Opt = traceProgram(Opt, OptFuel);
+
+  auto Mismatch = [&](std::string Detail) {
+    ++NumDiffMismatches;
+    R.Status = DiffStatus::Mismatch;
+    R.Detail = std::move(Detail);
+  };
+
+  if (R.Opt.OutOfFuel) {
+    std::ostringstream SS;
+    SS << "optimized run exceeded " << OptFuel
+       << " micro-ops while the base finished in " << R.Base.Ops
+       << " (likely hang)";
+    Mismatch(SS.str());
+    return R;
+  }
+  if (R.Base.Trapped != R.Opt.Trapped) {
+    Mismatch(R.Base.Trapped
+                 ? "base trapped (" + R.Base.TrapMessage +
+                       ") but optimized run did not"
+                 : "optimized run trapped (" + R.Opt.TrapMessage +
+                       ") but base did not");
+    return R;
+  }
+  if (R.Base.Trapped) {
+    // Both trapped: the trap point itself is the observable outcome; the
+    // partial store traces legitimately differ (a trap-faithful hoisted
+    // load traps before stores the base already executed).
+    R.Status = DiffStatus::Match;
+    return R;
+  }
+  if (R.Base.Result != R.Opt.Result) {
+    auto Render = [](const std::optional<int64_t> &V) {
+      return V ? std::to_string(*V) : std::string("<none>");
+    };
+    Mismatch("Main() returned " + Render(R.Base.Result) + " in the base but " +
+             Render(R.Opt.Result) + " optimized");
+    return R;
+  }
+  if (R.Base.StoreHash != R.Opt.StoreHash ||
+      R.Base.StoreCount != R.Opt.StoreCount) {
+    std::ostringstream SS;
+    SS << "observable store traces diverge (base " << R.Base.StoreCount
+       << " stores, hash " << std::hex << R.Base.StoreHash << "; optimized "
+       << std::dec << R.Opt.StoreCount << " stores, hash " << std::hex
+       << R.Opt.StoreHash << ")";
+    Mismatch(SS.str());
+    return R;
+  }
+  R.Status = DiffStatus::Match;
+  return R;
+}

@@ -1,0 +1,103 @@
+//===- DiffGuard.h - Differential execution guard ---------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a program twice -- unoptimized and optimized IR -- under a fuel
+/// budget and compares the observable behavior: trap status, the Main()
+/// result, and a rolling hash of the store trace. A divergence is a
+/// miscompile by definition (the optimizer must preserve behavior), not
+/// a test flake; m3fuzz bisects it to the guilty pass.
+///
+/// "Observable" stores are heap and global stores only. Heap addresses
+/// are deterministic (bump allocation, and no pass reorders NEWs), and
+/// global slots are fixed, so both runs see identical addresses. Stack
+/// slot addresses legitimately shift when inlining changes frame sizes,
+/// and RLE's register CSE cells fire no events at all, so frame stores
+/// are excluded by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_EXEC_DIFFGUARD_H
+#define TBAA_EXEC_DIFFGUARD_H
+
+#include "exec/Monitor.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tbaa {
+
+/// Accumulates an order-sensitive FNV-1a hash over the (address, value)
+/// pairs of every observable (heap or global) store.
+class StoreTraceMonitor : public ExecMonitor {
+public:
+  void onLoad(const LoadEvent &) override {}
+  void onStore(const StoreEvent &E) override {
+    if (!E.IsHeap && !E.IsGlobal)
+      return; // Frame stores are not observable; see file comment.
+    ++Count;
+    mix(E.Addr);
+    mix(E.ValueBits);
+  }
+
+  uint64_t hash() const { return Hash; }
+  uint64_t count() const { return Count; }
+
+private:
+  void mix(uint64_t V) {
+    for (int I = 0; I != 8; ++I) {
+      Hash ^= (V >> (I * 8)) & 0xff;
+      Hash *= 0x100000001b3ull;
+    }
+  }
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  uint64_t Count = 0;
+};
+
+/// One program execution, reduced to what the guard compares.
+struct RunTrace {
+  bool InitOk = false;   ///< $globals + module body ran without trapping.
+  bool Trapped = false;  ///< Any trap, including fuel exhaustion.
+  bool OutOfFuel = false;
+  std::optional<int64_t> Result; ///< Main()'s value, if it returned one.
+  uint64_t StoreHash = 0;
+  uint64_t StoreCount = 0;
+  uint64_t Ops = 0; ///< Micro-ops executed (hang detection).
+  std::string TrapMessage;
+};
+
+/// Executes \p M under \p Fuel micro-ops (0 = unlimited) and records the
+/// observable trace.
+RunTrace traceProgram(const IRModule &M, uint64_t Fuel);
+
+enum class DiffStatus : uint8_t {
+  Match,        ///< Same observable behavior.
+  Mismatch,     ///< Divergence: a miscompile.
+  Inconclusive, ///< The *base* run exhausted fuel; nothing to compare.
+};
+
+struct DiffResult {
+  DiffStatus Status = DiffStatus::Match;
+  std::string Detail; ///< Human-readable divergence description.
+  RunTrace Base, Opt;
+
+  bool mismatch() const { return Status == DiffStatus::Mismatch; }
+};
+
+/// Differentially executes unoptimized \p Base against optimized \p Opt.
+/// The base run gets \p Fuel micro-ops; the optimized run is then allowed
+/// a generous multiple of what the base actually used, so an optimized
+/// program that runs *far longer* than its base is reported as a
+/// mismatch (a miscompiled loop condition shows up as a hang), while
+/// modest op-count differences never false-positive.
+DiffResult runDifferential(const IRModule &Base, const IRModule &Opt,
+                           uint64_t Fuel);
+
+} // namespace tbaa
+
+#endif // TBAA_EXEC_DIFFGUARD_H

@@ -34,9 +34,11 @@ struct LoadEvent {
 /// One executed store.
 struct StoreEvent {
   uint64_t Addr;
+  uint64_t ValueBits;  ///< Hash-encoded stored value (equality-faithful).
   uint64_t Activation;
   uint32_t StaticId;
   bool IsHeap;
+  bool IsGlobal; ///< Global slot (neither heap nor stack frame).
 };
 
 /// Callbacks fired by the VM for every memory access. Keep them cheap;

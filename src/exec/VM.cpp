@@ -8,11 +8,26 @@ using namespace tbaa;
 
 ExecMonitor::~ExecMonitor() = default;
 
+#if !defined(TBAA_BUILT_WITH_ASAN) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TBAA_BUILT_WITH_ASAN 1
+#endif
+#endif
+#if !defined(TBAA_BUILT_WITH_ASAN) && defined(__SANITIZE_ADDRESS__)
+#define TBAA_BUILT_WITH_ASAN 1
+#endif
+
 namespace {
 constexpr uint64_t GlobalBase = 0x10000000;
 // The interpreter recurses one C++ frame per M3L activation; keep the
-// guard comfortably inside an 8MB host stack.
+// guard comfortably inside an 8MB host stack. ASan redzones inflate each
+// frame severalfold, so the instrumented build must trap much earlier to
+// stay inside the same stack.
+#ifdef TBAA_BUILT_WITH_ASAN
+constexpr unsigned MaxCallDepth = 1000;
+#else
 constexpr unsigned MaxCallDepth = 8000;
+#endif
 constexpr uint32_t LenSlot = ~0u; ///< Location::Slot value naming the dope.
 } // namespace
 
@@ -136,7 +151,7 @@ void VM::fireLoad(const Value::Location &L, const Value &V, uint32_t StaticId,
     Mon->onLoad(E);
 }
 
-void VM::fireStore(const Value::Location &L, uint32_t StaticId,
+void VM::fireStore(const Value::Location &L, const Value &V, uint32_t StaticId,
                    uint64_t Activation) {
   bool IsHeap = isHeapLoc(L);
   ++Stats.Ops;
@@ -148,9 +163,11 @@ void VM::fireStore(const Value::Location &L, uint32_t StaticId,
     return;
   StoreEvent E;
   E.Addr = addrOf(L);
+  E.ValueBits = encodeValue(V);
   E.Activation = Activation;
   E.StaticId = StaticId;
   E.IsHeap = IsHeap;
+  E.IsGlobal = L.R == Value::Location::Region::Global;
   for (ExecMonitor *Mon : Monitors)
     Mon->onStore(E);
 }
@@ -191,7 +208,7 @@ void VM::writeVar(Frame &F, VarRef V, const Value &Val, uint32_t StaticId) {
     L.Slot = V.Index;
   }
   *slotPtr(L) = Val;
-  fireStore(L, StaticId, F.Activation);
+  fireStore(L, Val, StaticId, F.Activation);
 }
 
 Value VM::evalOperand(Frame &F, const Operand &O) {
@@ -399,7 +416,7 @@ bool VM::execInstr(Frame &F, const Instr &I, bool &Returned, Value *RetVal,
     assert(!(Loc.R == Value::Location::Region::Heap && Loc.Slot == LenSlot) &&
            "stores to the dope word are impossible");
     *slotPtr(Loc) = V;
-    fireStore(Loc, I.StaticId, F.Activation);
+    fireStore(Loc, V, I.StaticId, F.Activation);
     return true;
   }
   case Opcode::MkRef: {
@@ -639,6 +656,7 @@ bool VM::execFunction(FuncId Id, const std::vector<Value> &Args,
     BlockId Next = InvalidBlock;
     for (const Instr &I : B.Instrs) {
       if (OpLimit && Stats.Ops > OpLimit) {
+        OutOfFuel = true;
         trap("operation budget exceeded", I.Loc);
         Ok = false;
         break;

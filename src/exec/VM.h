@@ -109,8 +109,13 @@ public:
   void addMonitor(ExecMonitor *Mon) { Monitors.push_back(Mon); }
 
   /// Aborts execution once this many micro-ops have run (guards tests
-  /// against runaway programs). 0 disables the limit.
+  /// and the differential fuzzer against runaway programs). 0 disables
+  /// the limit.
   void setOpLimit(uint64_t Limit) { OpLimit = Limit; }
+
+  /// True when the last trap was the op limit (fuel), not a program
+  /// error. Lets callers tell "ran out of budget" from "miscompiled".
+  bool outOfFuel() const { return OutOfFuel; }
 
   /// Runs $globals and the module body. False on trap.
   bool runInit();
@@ -150,7 +155,7 @@ private:
 
   void fireLoad(const Value::Location &L, const Value &V, uint32_t StaticId,
                 bool Implicit, uint64_t Activation);
-  void fireStore(const Value::Location &L, uint32_t StaticId,
+  void fireStore(const Value::Location &L, const Value &V, uint32_t StaticId,
                  uint64_t Activation);
 
   const IRModule &M;
@@ -165,6 +170,7 @@ private:
   uint64_t HeapBump = 0x20000000;
   uint64_t StackTop = 0x30000000;
   bool Trapped = false;
+  bool OutOfFuel = false;
   std::string TrapMsg;
   unsigned CallDepth = 0;
 };

@@ -258,92 +258,4 @@ std::string IRModule::dump() const {
   return OS.str();
 }
 
-//===----------------------------------------------------------------------===//
-// Verification
-//===----------------------------------------------------------------------===//
-
-std::string IRModule::verify() const {
-  std::ostringstream Err;
-  auto CheckOperand = [&](const IRFunction &F, const Operand &O,
-                          bool AllowVar, const char *Where) {
-    switch (O.K) {
-    case Operand::Kind::Temp:
-      if (O.Temp >= F.NumTemps)
-        Err << F.Name << ": temp out of range in " << Where << "\n";
-      break;
-    case Operand::Kind::Var:
-      if (!AllowVar)
-        Err << F.Name << ": Var operand outside path index in " << Where
-            << "\n";
-      [[fallthrough]];
-    case Operand::Kind::None:
-    case Operand::Kind::ImmInt:
-    case Operand::Kind::ImmBool:
-    case Operand::Kind::Nil:
-      break;
-    }
-    if (O.K == Operand::Kind::Var) {
-      if (O.Var.K == VarRef::Kind::Global) {
-        if (O.Var.Index >= Globals.size())
-          Err << F.Name << ": global out of range in " << Where << "\n";
-      } else if (O.Var.Index >= F.Frame.size()) {
-        Err << F.Name << ": frame var out of range in " << Where << "\n";
-      }
-    }
-  };
-  auto CheckVarRef = [&](const IRFunction &F, VarRef V, const char *Where) {
-    if (V.K == VarRef::Kind::Global) {
-      if (V.Index >= Globals.size())
-        Err << F.Name << ": global out of range in " << Where << "\n";
-    } else if (V.Index >= F.Frame.size()) {
-      Err << F.Name << ": frame var out of range in " << Where << "\n";
-    }
-  };
-
-  for (const IRFunction &F : Functions) {
-    if (F.Blocks.empty()) {
-      Err << F.Name << ": no blocks\n";
-      continue;
-    }
-    for (const BasicBlock &B : F.Blocks) {
-      if (B.Instrs.empty()) {
-        Err << F.Name << ": empty block B" << B.Id << "\n";
-        continue;
-      }
-      for (size_t K = 0; K != B.Instrs.size(); ++K) {
-        const Instr &I = B.Instrs[K];
-        bool Last = K + 1 == B.Instrs.size();
-        if (I.isTerminator() != Last)
-          Err << F.Name << ": terminator misplaced in B" << B.Id << "\n";
-        CheckOperand(F, I.A, false, "A");
-        CheckOperand(F, I.B, false, "B");
-        for (const Operand &O : I.Args)
-          CheckOperand(F, O, false, "arg");
-        if (I.Op == Opcode::LoadVar || I.Op == Opcode::StoreVar ||
-            (I.Op == Opcode::MkRef && !I.HasPath))
-          CheckVarRef(F, I.Var, "var");
-        if (I.HasPath || I.isMemAccess()) {
-          CheckVarRef(F, I.Path.Root, "path root");
-          if (I.Path.Sel == SelKind::Index &&
-              I.Path.Index.K != Operand::Kind::Var &&
-              I.Path.Index.K != Operand::Kind::ImmInt)
-            Err << F.Name << ": path index must be Var or ImmInt\n";
-          if (I.Path.Index.K == Operand::Kind::Var)
-            CheckVarRef(F, I.Path.Index.Var, "path index");
-        }
-        if (I.Op == Opcode::Jmp || I.Op == Opcode::Br) {
-          if (I.T1 >= F.Blocks.size() ||
-              (I.Op == Opcode::Br && I.T2 >= F.Blocks.size()))
-            Err << F.Name << ": branch target out of range in B" << B.Id
-                << "\n";
-        }
-        if (I.Op == Opcode::Call && I.Callee >= Functions.size())
-          Err << F.Name << ": callee out of range\n";
-      }
-    }
-    for (size_t BI = 0; BI != F.Blocks.size(); ++BI)
-      if (F.Blocks[BI].Id != BI)
-        Err << F.Name << ": block id mismatch at " << BI << "\n";
-  }
-  return Err.str();
-}
+// IRModule::verify() lives in Verifier.cpp.

@@ -285,8 +285,11 @@ struct IRModule {
   std::string dump() const;
   std::string dump(const IRFunction &F) const;
 
-  /// Structural sanity checks (operand kinds, terminator placement,
-  /// branch targets, slot ranges). Returns error string or empty.
+  /// Well-formedness checks: structure (operand kinds, terminator
+  /// placement, branch targets, slot ranges), def-before-use of temps on
+  /// every path from the entry, access-path/type agreement and call
+  /// arity (see ir/Verifier.cpp). Returns error string or empty. Run
+  /// after every pass under --verify-each.
   std::string verify() const;
 };
 

@@ -1,0 +1,408 @@
+//===- Verifier.cpp - Strict IR well-formedness checks --------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// IRModule::verify() proves the invariants every pass relies on and the
+// VM asserts at runtime. Beyond the structural basics (operand kinds,
+// slot ranges, terminator placement, branch targets) it checks:
+//
+//  * def-before-use of temps: a must-defined forward dataflow over the
+//    CFG (meet = intersection over predecessors, entry starts empty), so
+//    a use is flagged unless *every* path from the entry defines the
+//    temp first. Unreachable blocks are skipped — nothing executes them.
+//  * access-path well-formedness: base/value types are valid canonical
+//    ids and agree with the selector (Field into an object/record with
+//    an in-range slot of the right type, Index/Len on arrays, Deref with
+//    base == value) — the invariants Lower establishes and every pass
+//    must preserve.
+//  * call-arity agreement for direct calls (against the callee's frame)
+//    and method calls (against the receiver's method signature).
+//
+// Used directly by tests and asserted after every pass under
+// --verify-each (see opt/PassPipeline.h and docs/ROBUSTNESS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+#include "ir/IR.h"
+#include "support/Stats.h"
+
+#include <functional>
+#include <sstream>
+#include <vector>
+
+using namespace tbaa;
+
+TBAA_STATISTIC(NumVerifyRuns, "verify", "runs", "IR verifier invocations");
+TBAA_STATISTIC(NumVerifyErrors, "verify", "errors",
+               "IR well-formedness violations reported");
+
+namespace {
+
+/// Dense bitset over one function's temps.
+class TempSet {
+public:
+  explicit TempSet(uint32_t NumTemps, bool Full = false)
+      : Words((NumTemps + 63) / 64, Full ? ~0ull : 0ull) {}
+
+  bool test(TempId T) const { return Words[T / 64] >> (T % 64) & 1; }
+  void set(TempId T) { Words[T / 64] |= 1ull << (T % 64); }
+
+  /// Intersects in place; returns true if anything changed.
+  bool intersect(const TempSet &O) {
+    bool Changed = false;
+    for (size_t I = 0; I != Words.size(); ++I) {
+      uint64_t New = Words[I] & O.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+  bool operator==(const TempSet &O) const { return Words == O.Words; }
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+/// Whether \p I always defines I.Result (Call/CallMethod define only when
+/// a result temp was requested).
+bool definesResult(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::LoadVar:
+  case Opcode::LoadMem:
+  case Opcode::MkRef:
+  case Opcode::ConstOp:
+  case Opcode::Mov:
+  case Opcode::UnOp:
+  case Opcode::BinOp:
+  case Opcode::NewOp:
+  case Opcode::NarrowOp:
+  case Opcode::IsTypeOp:
+    return true;
+  case Opcode::Call:
+  case Opcode::CallMethod:
+    return I.Result != NoTemp;
+  case Opcode::StoreVar:
+  case Opcode::StoreMem:
+  case Opcode::Ret:
+  case Opcode::Jmp:
+  case Opcode::Br:
+  case Opcode::TrapInst:
+    return false;
+  }
+  return false;
+}
+
+class Verifier {
+public:
+  explicit Verifier(const IRModule &M) : M(M) {
+    HaveTypes = M.Types && M.Types->isFinalized();
+  }
+
+  std::string run() {
+    for (const IRFunction &F : M.Functions)
+      verifyFunction(F);
+    NumVerifyErrors += Errors;
+    return Err.str();
+  }
+
+private:
+  const IRModule &M;
+  bool HaveTypes = false;
+  std::ostringstream Err;
+  uint64_t Errors = 0;
+
+  std::ostream &error(const IRFunction &F) {
+    ++Errors;
+    return Err << F.Name << ": ";
+  }
+
+  bool validType(TypeId T) const { return T != InvalidTypeId && M.Types && T < M.Types->size(); }
+
+  void verifyFunction(const IRFunction &F) {
+    uint64_t Before = Errors;
+    if (F.Blocks.empty()) {
+      error(F) << "no blocks\n";
+      return;
+    }
+    for (const BasicBlock &B : F.Blocks) {
+      if (B.Instrs.empty()) {
+        error(F) << "empty block B" << B.Id << "\n";
+        continue;
+      }
+      for (size_t K = 0; K != B.Instrs.size(); ++K) {
+        const Instr &I = B.Instrs[K];
+        bool Last = K + 1 == B.Instrs.size();
+        if (I.isTerminator() != Last)
+          error(F) << "terminator misplaced in B" << B.Id << "\n";
+        verifyInstr(F, B, I);
+      }
+    }
+    for (size_t BI = 0; BI != F.Blocks.size(); ++BI)
+      if (F.Blocks[BI].Id != BI)
+        error(F) << "block id mismatch at " << BI << "\n";
+    // The dataflow needs a structurally sound CFG (in-range temps and
+    // branch targets, non-empty blocks); skip it when that already broke.
+    if (Errors == Before)
+      verifyDefBeforeUse(F);
+  }
+
+  void checkOperand(const IRFunction &F, const Operand &O, const char *Where) {
+    switch (O.K) {
+    case Operand::Kind::Temp:
+      if (O.Temp >= F.NumTemps)
+        error(F) << "temp out of range in " << Where << "\n";
+      break;
+    case Operand::Kind::Var:
+      error(F) << "Var operand outside path index in " << Where << "\n";
+      checkVarRef(F, O.Var, Where);
+      break;
+    case Operand::Kind::None:
+    case Operand::Kind::ImmInt:
+    case Operand::Kind::ImmBool:
+    case Operand::Kind::Nil:
+      break;
+    }
+  }
+
+  void checkVarRef(const IRFunction &F, VarRef V, const char *Where) {
+    if (V.K == VarRef::Kind::Global) {
+      if (V.Index >= M.Globals.size())
+        error(F) << "global out of range in " << Where << "\n";
+    } else if (V.Index >= F.Frame.size()) {
+      error(F) << "frame var out of range in " << Where << "\n";
+    }
+  }
+
+  void verifyInstr(const IRFunction &F, const BasicBlock &B, const Instr &I) {
+    checkOperand(F, I.A, "A");
+    checkOperand(F, I.B, "B");
+    for (const Operand &O : I.Args)
+      checkOperand(F, O, "arg");
+
+    if (definesResult(I)) {
+      if (I.Result == NoTemp)
+        error(F) << "missing result temp in B" << B.Id << "\n";
+      else if (I.Result >= F.NumTemps)
+        error(F) << "result temp out of range in B" << B.Id << "\n";
+    }
+
+    if (I.Op == Opcode::LoadVar || I.Op == Opcode::StoreVar ||
+        (I.Op == Opcode::MkRef && !I.HasPath))
+      checkVarRef(F, I.Var, "var");
+    if (I.HasPath || I.isMemAccess())
+      verifyPath(F, B, I);
+
+    switch (I.Op) {
+    case Opcode::StoreVar:
+    case Opcode::StoreMem:
+      if (I.A.isNone())
+        error(F) << "store without a value in B" << B.Id << "\n";
+      break;
+    case Opcode::Jmp:
+      if (I.T1 >= F.Blocks.size())
+        error(F) << "branch target out of range in B" << B.Id << "\n";
+      break;
+    case Opcode::Br:
+      if (I.T1 >= F.Blocks.size() || I.T2 >= F.Blocks.size())
+        error(F) << "branch target out of range in B" << B.Id << "\n";
+      if (I.A.K != Operand::Kind::Temp && I.A.K != Operand::Kind::ImmBool)
+        error(F) << "Br condition must be a temp or boolean immediate in B"
+                 << B.Id << "\n";
+      break;
+    case Opcode::Call: {
+      if (I.Callee >= M.Functions.size()) {
+        error(F) << "callee out of range\n";
+        break;
+      }
+      const IRFunction &Callee = M.Functions[I.Callee];
+      if (I.Args.size() != Callee.NumParams)
+        error(F) << "call to " << Callee.Name << " expects "
+                 << Callee.NumParams << " args, got " << I.Args.size()
+                 << " in B" << B.Id << "\n";
+      break;
+    }
+    case Opcode::CallMethod:
+      verifyMethodCall(F, B, I);
+      break;
+    case Opcode::NewOp:
+    case Opcode::NarrowOp:
+    case Opcode::IsTypeOp:
+      if (HaveTypes && !validType(I.AllocType))
+        error(F) << "invalid alloc type in B" << B.Id << "\n";
+      break;
+    default:
+      break;
+    }
+  }
+
+  void verifyMethodCall(const IRFunction &F, const BasicBlock &B,
+                        const Instr &I) {
+    if (I.Args.empty()) {
+      error(F) << "method call with no receiver in B" << B.Id << "\n";
+      return;
+    }
+    if (!HaveTypes)
+      return;
+    if (!validType(I.ReceiverType)) {
+      error(F) << "invalid method receiver type in B" << B.Id << "\n";
+      return;
+    }
+    const Type &Recv = M.Types->get(M.Types->canonical(I.ReceiverType));
+    if (Recv.Kind != TypeKind::Object) {
+      error(F) << "method receiver type is not an object in B" << B.Id << "\n";
+      return;
+    }
+    if (I.MethodSlot >= Recv.AllMethods.size()) {
+      error(F) << "method slot out of range in B" << B.Id << "\n";
+      return;
+    }
+    size_t Expected = Recv.AllMethods[I.MethodSlot].Params.size() + 1;
+    if (I.Args.size() != Expected)
+      error(F) << "method call expects " << Expected << " args, got "
+               << I.Args.size() << " in B" << B.Id << "\n";
+  }
+
+  void verifyPath(const IRFunction &F, const BasicBlock &B, const Instr &I) {
+    const MemPath &P = I.Path;
+    checkVarRef(F, P.Root, "path root");
+    if (P.Sel == SelKind::Index) {
+      if (P.Index.K != Operand::Kind::Var && P.Index.K != Operand::Kind::ImmInt)
+        error(F) << "path index must be Var or ImmInt\n";
+      if (P.Index.K == Operand::Kind::Var)
+        checkVarRef(F, P.Index.Var, "path index");
+    }
+    if (I.Op == Opcode::StoreMem && P.Sel == SelKind::Len)
+      error(F) << "store to array length in B" << B.Id << "\n";
+    if (!HaveTypes)
+      return;
+    if (!validType(P.BaseType) || !validType(P.ValueType)) {
+      error(F) << "invalid path type in B" << B.Id << "\n";
+      return;
+    }
+    const TypeTable &TT = *M.Types;
+    if (TT.canonical(P.BaseType) != P.BaseType ||
+        TT.canonical(P.ValueType) != P.ValueType) {
+      error(F) << "non-canonical path type in B" << B.Id << "\n";
+      return;
+    }
+    const Type &Base = TT.get(P.BaseType);
+    switch (P.Sel) {
+    case SelKind::Field: {
+      if (Base.Kind != TypeKind::Object && Base.Kind != TypeKind::Record) {
+        error(F) << "field path into non-record base in B" << B.Id << "\n";
+        return;
+      }
+      if (P.Field == InvalidFieldId)
+        error(F) << "field path without field id in B" << B.Id << "\n";
+      if (P.FieldSlot >= Base.AllFields.size()) {
+        error(F) << "field slot out of range in B" << B.Id << "\n";
+        return;
+      }
+      if (TT.canonical(Base.AllFields[P.FieldSlot].Type) != P.ValueType)
+        error(F) << "field path value type mismatch in B" << B.Id << "\n";
+      break;
+    }
+    case SelKind::Index:
+      if (Base.Kind != TypeKind::Array) {
+        error(F) << "index path into non-array base in B" << B.Id << "\n";
+        return;
+      }
+      if (TT.canonical(Base.Elem) != P.ValueType)
+        error(F) << "index path element type mismatch in B" << B.Id << "\n";
+      break;
+    case SelKind::Len:
+      if (Base.Kind != TypeKind::Array) {
+        error(F) << "len path into non-array base in B" << B.Id << "\n";
+        return;
+      }
+      if (P.ValueType != TT.canonical(TT.integerType()))
+        error(F) << "len path value type must be INTEGER in B" << B.Id << "\n";
+      break;
+    case SelKind::Deref:
+      if (P.BaseType != P.ValueType)
+        error(F) << "deref path base/value types differ in B" << B.Id << "\n";
+      break;
+    }
+  }
+
+  void forEachUse(const Instr &I, const std::function<void(TempId)> &Fn) {
+    auto Use = [&](const Operand &O) {
+      if (O.K == Operand::Kind::Temp)
+        Fn(O.Temp);
+    };
+    Use(I.A);
+    Use(I.B);
+    for (const Operand &O : I.Args)
+      Use(O);
+  }
+
+  void verifyDefBeforeUse(const IRFunction &F) {
+    DominatorTree DT(F);
+    size_t N = F.Blocks.size();
+    // Must-defined-on-every-path-from-entry, per block boundary. Out sets
+    // start "everything" (optimistic) so loop back edges don't poison the
+    // intersection before the first iteration settles.
+    std::vector<TempSet> Out(N, TempSet(F.NumTemps, /*Full=*/true));
+    Out[0] = TempSet(F.NumTemps);
+    transfer(F.Blocks[0], Out[0]);
+    std::vector<std::vector<BlockId>> Preds = F.predecessors();
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B : DT.reversePostOrder()) {
+        if (B == 0)
+          continue;
+        TempSet In(F.NumTemps, /*Full=*/true);
+        bool AnyPred = false;
+        for (BlockId P : Preds[B]) {
+          if (!DT.isReachable(P))
+            continue;
+          In.intersect(Out[P]);
+          AnyPred = true;
+        }
+        if (!AnyPred)
+          In = TempSet(F.NumTemps); // Defensive; RPO blocks have preds.
+        transfer(F.Blocks[B], In);
+        if (!(In == Out[B])) {
+          Out[B] = In;
+          Changed = true;
+        }
+      }
+    }
+    // Report uses not covered by the settled In sets.
+    for (BlockId B = 0; B != N; ++B) {
+      if (!DT.isReachable(B))
+        continue;
+      TempSet Defined(F.NumTemps);
+      if (B != 0) {
+        Defined = TempSet(F.NumTemps, /*Full=*/true);
+        for (BlockId P : Preds[B])
+          if (DT.isReachable(P))
+            Defined.intersect(Out[P]);
+      }
+      for (const Instr &I : F.Blocks[B].Instrs) {
+        forEachUse(I, [&](TempId T) {
+          if (!Defined.test(T))
+            error(F) << "use of t" << T << " before definition in B" << B
+                     << "\n";
+        });
+        if (definesResult(I) && I.Result != NoTemp)
+          Defined.set(I.Result);
+      }
+    }
+  }
+
+  static void transfer(const BasicBlock &B, TempSet &S) {
+    for (const Instr &I : B.Instrs)
+      if (definesResult(I) && I.Result != NoTemp)
+        S.set(I.Result);
+  }
+};
+
+} // namespace
+
+std::string IRModule::verify() const {
+  ++NumVerifyRuns;
+  return Verifier(*this).run();
+}

@@ -1,0 +1,100 @@
+//===- PassPipeline.cpp ---------------------------------------------------===//
+
+#include "opt/PassPipeline.h"
+
+#include "opt/CopyProp.h"
+#include "opt/Devirt.h"
+#include "opt/Inline.h"
+
+using namespace tbaa;
+
+OptPipeline::OptPipeline(const TBAAContext &Ctx, const AliasOracle &Oracle,
+                         PipelineOptions Opts)
+    : Opts(Opts) {
+  if (Opts.Devirt)
+    append("devirt", [this, &Ctx](IRModule &M) {
+      Stats.MethodsResolved += resolveMethodCalls(M, Ctx);
+    });
+  if (Opts.Inline)
+    append("inline",
+           [this](IRModule &M) { Stats.CallsInlined += inlineCalls(M); });
+  if (Opts.RLE)
+    append("rle", [this, &Oracle](IRModule &M) {
+      RLEStats S = runRLE(M, Oracle);
+      Stats.RLE.Hoisted += S.Hoisted;
+      Stats.RLE.Replaced += S.Replaced;
+      Stats.RLE.TypeTestsElided += S.TypeTestsElided;
+    });
+  if (Opts.CopyProp) {
+    append("copyprop", [this](IRModule &M) {
+      Stats.OperandsPropagated += propagateCopies(M);
+    });
+    // Copy propagation unifies lexical paths RLE's first run saw as
+    // distinct (the paper's "Breakup" limitation); a second RLE run
+    // collects what became visible.
+    if (Opts.RLE)
+      append("rle#2", [this, &Oracle](IRModule &M) {
+        RLEStats S = runRLE(M, Oracle);
+        Stats.RLE.Hoisted += S.Hoisted;
+        Stats.RLE.Replaced += S.Replaced;
+        Stats.RLE.TypeTestsElided += S.TypeTestsElided;
+      });
+  }
+  if (Opts.PRE)
+    append("pre", [this, &Oracle](IRModule &M) {
+      PREStats S = runLoadPRE(M, Oracle);
+      Stats.PRE.Inserted += S.Inserted;
+      Stats.PRE.Replaced += S.Replaced;
+    });
+}
+
+size_t OptPipeline::indexOf(const std::string &Name) const {
+  for (size_t I = 0; I != Passes.size(); ++I)
+    if (Passes[I].Name == Name)
+      return I;
+  return Passes.size();
+}
+
+void OptPipeline::append(std::string Name, std::function<void(IRModule &)> Fn) {
+  Passes.push_back({std::move(Name), std::move(Fn)});
+}
+
+void OptPipeline::insertAfter(const std::string &After, std::string Name,
+                              std::function<void(IRModule &)> Fn) {
+  size_t I = indexOf(After);
+  if (I == Passes.size()) {
+    append(std::move(Name), std::move(Fn));
+    return;
+  }
+  Passes.insert(Passes.begin() + static_cast<ptrdiff_t>(I) + 1,
+                {std::move(Name), std::move(Fn)});
+}
+
+PipelineFailure OptPipeline::verifyAfter(const IRModule &M,
+                                         const std::string &PassName) {
+  std::string Err = M.verify();
+  if (Err.empty())
+    return {};
+  PipelineFailure F;
+  F.Pass = PassName;
+  F.Error = Err;
+  // Verifier lines read "function: message"; the first one names the
+  // offending function.
+  size_t Colon = Err.find(':');
+  if (Colon != std::string::npos)
+    F.Function = Err.substr(0, Colon);
+  return F;
+}
+
+PipelineFailure OptPipeline::runPrefix(IRModule &M, size_t NumPasses) {
+  if (Opts.VerifyEach)
+    if (PipelineFailure F = verifyAfter(M, "<input>"); F.failed())
+      return F;
+  for (size_t I = 0; I != Passes.size() && I != NumPasses; ++I) {
+    Passes[I].Run(M);
+    if (Opts.VerifyEach)
+      if (PipelineFailure F = verifyAfter(M, Passes[I].Name); F.failed())
+        return F;
+  }
+  return {};
+}

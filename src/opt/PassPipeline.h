@@ -1,0 +1,111 @@
+//===- PassPipeline.h - The optimization pipeline as data -------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization pass sequence reified as a list of named passes, so
+/// every driver (m3lc, m3fuzz, tests) runs the identical pipeline and so
+/// the pipeline can be *stepped*: --verify-each re-verifies the IR after
+/// every pass and names the offending pass + function, and m3fuzz
+/// bisects a differential mismatch by replaying pass prefixes.
+///
+/// The sequence mirrors what m3lc always did:
+///   devirt, inline, rle, copyprop, rle#2 (cleanup), pre
+/// with each stage gated by a PipelineOptions flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_OPT_PASSPIPELINE_H
+#define TBAA_OPT_PASSPIPELINE_H
+
+#include "ir/IR.h"
+#include "opt/RLE.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+class AliasOracle;
+class TBAAContext;
+
+/// Which stages to run (defaults reproduce `m3lc --pipeline --pre`).
+struct PipelineOptions {
+  bool Devirt = true;
+  bool Inline = true;
+  bool RLE = true;
+  bool CopyProp = true;
+  bool PRE = true;
+  /// Re-verify the IR after every pass; stop at the first failure.
+  bool VerifyEach = false;
+};
+
+/// Transformation counts accumulated across the pipeline run.
+struct PipelineStats {
+  unsigned MethodsResolved = 0;
+  unsigned CallsInlined = 0;
+  unsigned OperandsPropagated = 0;
+  RLEStats RLE;
+  PREStats PRE;
+};
+
+/// A verify-each failure: which pass broke which function, and how.
+struct PipelineFailure {
+  std::string Pass;     ///< Empty: the run was clean.
+  std::string Function; ///< First offending function (from the verifier).
+  std::string Error;    ///< Full verifier report.
+
+  bool failed() const { return !Pass.empty(); }
+};
+
+/// The pass list. Construction captures the oracle/context by reference;
+/// both must outlive the pipeline.
+class OptPipeline {
+public:
+  OptPipeline(const TBAAContext &Ctx, const AliasOracle &Oracle,
+              PipelineOptions Opts);
+  OptPipeline(const OptPipeline &) = delete;
+  OptPipeline &operator=(const OptPipeline &) = delete;
+
+  size_t size() const { return Passes.size(); }
+  const std::string &name(size_t I) const { return Passes[I].Name; }
+  /// Index of the pass named \p Name, or size() when absent.
+  size_t indexOf(const std::string &Name) const;
+
+  /// Appends a pass at the end (test hooks).
+  void append(std::string Name, std::function<void(IRModule &)> Fn);
+  /// Inserts a pass right after the pass named \p After (or appends when
+  /// absent). Used by m3fuzz to plant its known-bad pass mid-pipeline.
+  void insertAfter(const std::string &After, std::string Name,
+                   std::function<void(IRModule &)> Fn);
+
+  /// Runs passes [0, NumPasses) over \p M. With VerifyEach, verifies the
+  /// incoming IR first (reported as pass "<input>") and after every pass,
+  /// stopping at the first failure. Without it, never fails.
+  PipelineFailure runPrefix(IRModule &M, size_t NumPasses);
+  /// Runs the whole pipeline.
+  PipelineFailure run(IRModule &M) { return runPrefix(M, Passes.size()); }
+
+  const PipelineStats &stats() const { return Stats; }
+
+  /// Verifies \p M attributing any failure to \p PassName.
+  static PipelineFailure verifyAfter(const IRModule &M,
+                                     const std::string &PassName);
+
+private:
+  struct Pass {
+    std::string Name;
+    std::function<void(IRModule &)> Run;
+  };
+
+  std::vector<Pass> Passes;
+  PipelineOptions Opts;
+  PipelineStats Stats;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_OPT_PASSPIPELINE_H

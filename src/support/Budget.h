@@ -1,0 +1,82 @@
+//===- Budget.h - Per-phase analysis step budgets ---------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Step budgets for the analysis phases that are superlinear in program
+/// size: TBAA type-group merging / SMFieldTypeRefs construction, the
+/// ModRef transitive-closure fixpoint, and alias-oracle queries. A phase
+/// charges one step per unit of work; when the budget runs out the phase
+/// does not abort — it degrades to a coarser-but-sound answer (see
+/// docs/ROBUSTNESS.md, "Graceful degradation") and reports the downgrade
+/// through a statistic and a remark.
+///
+/// The registry is a process-wide singleton like StatsRegistry: budgets
+/// are an operator knob (m3lc --analysis-budget=N, m3fuzz --budget=N),
+/// not per-compilation state. Limits are unlimited (0) by default so
+/// ordinary builds never degrade. Tests call reset() between cases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_BUDGET_H
+#define TBAA_SUPPORT_BUDGET_H
+
+#include <cstdint>
+
+namespace tbaa {
+
+/// One phase's step budget. Limit 0 means unlimited. charge() returns
+/// false once the budget is exhausted; the caller is expected to stop
+/// the precise computation and fall back, not to abort.
+struct PhaseBudget {
+  uint64_t Limit = 0;
+  uint64_t Used = 0;
+  bool Exhausted = false;
+
+  bool charge(uint64_t Steps = 1) {
+    Used += Steps;
+    if (Limit && Used > Limit)
+      Exhausted = true;
+    return !Exhausted;
+  }
+  void refill() {
+    Used = 0;
+    Exhausted = false;
+  }
+};
+
+/// Process-wide budgets, one per superlinear analysis phase.
+class BudgetRegistry {
+public:
+  static BudgetRegistry &instance() {
+    static BudgetRegistry R;
+    return R;
+  }
+
+  /// TBAAContext: assignment-walk merges + TypeRefs bitset rows.
+  PhaseBudget TypeRefs;
+  /// ModRefAnalysis: transitive-closure fixpoint merge elements.
+  PhaseBudget ModRef;
+  /// Alias oracle: queries per precision rung before downgrading.
+  PhaseBudget Oracle;
+
+  /// Applies the same step limit to every phase (0 = unlimited) and
+  /// clears prior usage.
+  void setAllLimits(uint64_t Steps) {
+    TypeRefs = {Steps, 0, false};
+    ModRef = {Steps, 0, false};
+    Oracle = {Steps, 0, false};
+  }
+
+  /// Back to the default no-budget state (tests).
+  void reset() { setAllLimits(0); }
+
+private:
+  BudgetRegistry() = default;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SUPPORT_BUDGET_H

@@ -6,17 +6,31 @@
 
 using namespace tbaa;
 
+bool DiagnosticEngine::record(DiagKind Kind, SourceLoc Loc,
+                              std::string Message) {
+  if (Truncated)
+    return false;
+  if (MaxDiagnostics && Diags.size() >= MaxDiagnostics) {
+    Truncated = true;
+    Diags.push_back(
+        {DiagKind::Note, SourceLoc{}, "too many errors emitted, stopping now"});
+    return false;
+  }
+  Diags.push_back({Kind, Loc, std::move(Message)});
+  return true;
+}
+
 void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
-  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
-  ++NumErrors;
+  record(DiagKind::Error, Loc, std::move(Message));
+  ++NumErrors; // Counts even past the recording cap.
 }
 
 void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
-  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  record(DiagKind::Warning, Loc, std::move(Message));
 }
 
 void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
-  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  record(DiagKind::Note, Loc, std::move(Message));
 }
 
 std::string DiagnosticEngine::str(const std::string &BufferName) const {

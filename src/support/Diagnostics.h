@@ -43,6 +43,11 @@ struct Diagnostic {
 /// All front-end stages share one engine so errors appear in source order
 /// per stage. Errors are sticky: once an error is reported, hasErrors()
 /// stays true.
+///
+/// Recording is capped (default 64 diagnostics) so a fuzzed or mangled
+/// buffer cannot flood memory/output: once the cap is reached a single
+/// "too many errors emitted, stopping now" note is appended and further
+/// diagnostics are counted but not stored.
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, std::string Message);
@@ -53,14 +58,24 @@ public:
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
+  /// Caps the number of *recorded* diagnostics (0 = unlimited). The
+  /// error count keeps counting past the cap; only storage stops.
+  void setMaxDiagnostics(unsigned N) { MaxDiagnostics = N; }
+  /// True once the cap was hit and diagnostics were dropped.
+  bool truncated() const { return Truncated; }
+
   /// Renders every diagnostic as "line:col: kind: message\n". With a
   /// non-empty \p BufferName, each line is prefixed "name:line:col: ..."
   /// so interleaved multi-workload output stays attributable.
   std::string str(const std::string &BufferName = "") const;
 
 private:
+  bool record(DiagKind Kind, SourceLoc Loc, std::string Message);
+
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  unsigned MaxDiagnostics = 64;
+  bool Truncated = false;
 };
 
 } // namespace tbaa

@@ -51,11 +51,23 @@ void TimerRegistry::pop(Node *N, double Seconds) {
   }
 }
 
+std::string TimerRegistry::currentPhase() const {
+  std::string Out;
+  for (const char *Name : NameStack) {
+    if (!Out.empty())
+      Out += " > ";
+    Out += Name;
+  }
+  return Out;
+}
+
 void TimerRegistry::reset() {
   Root.Children.clear();
   Root.Seconds = 0;
   Root.Invocations = 0;
   Current = &Root;
+  NameStack.clear();
+  NamesFrozen = false;
 }
 
 namespace {

@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,14 +57,36 @@ public:
 
   const Node &root() const { return Root; }
 
+  /// The dynamically active phase path, e.g. "compile > rle > cse".
+  /// Maintained even while timing is disabled (it is just a name stack,
+  /// no clocks), so crash/internal-error reporters can always name the
+  /// phase that was running. Empty when no TBAA_TIME_SCOPE is open.
+  ///
+  /// When a scope closes during exception unwinding the stack freezes
+  /// instead of popping, so the handler that finally catches still sees
+  /// the full path that was active at the throw point.
+  std::string currentPhase() const;
+
 private:
   friend class ScopedTimer;
   Node *push(const char *Name);
   void pop(Node *N, double Seconds);
+  void pushName(const char *Name) {
+    if (!NamesFrozen)
+      NameStack.push_back(Name);
+  }
+  void popName(bool Unwinding) {
+    if (Unwinding)
+      NamesFrozen = true;
+    else if (!NamesFrozen && !NameStack.empty())
+      NameStack.pop_back();
+  }
 
   bool Enabled = false;
   Node Root;
   Node *Current = &Root;
+  std::vector<const char *> NameStack;
+  bool NamesFrozen = false;
 };
 
 /// Opens a named phase for the lifetime of the object. No-op while the
@@ -71,9 +94,12 @@ private:
 /// toggling mid-scope is benign but that scope is not recorded).
 class ScopedTimer {
 public:
-  explicit ScopedTimer(const char *Name) {
-    if (TimerRegistry::instance().enabled()) {
-      N = TimerRegistry::instance().push(Name);
+  explicit ScopedTimer(const char *Name)
+      : UncaughtAtEntry(std::uncaught_exceptions()) {
+    TimerRegistry &R = TimerRegistry::instance();
+    R.pushName(Name);
+    if (R.enabled()) {
+      N = R.push(Name);
       Start = std::chrono::steady_clock::now();
     }
   }
@@ -83,6 +109,8 @@ public:
           std::chrono::steady_clock::now() - Start;
       TimerRegistry::instance().pop(N, D.count());
     }
+    TimerRegistry::instance().popName(
+        /*Unwinding=*/std::uncaught_exceptions() > UncaughtAtEntry);
   }
   ScopedTimer(const ScopedTimer &) = delete;
   ScopedTimer &operator=(const ScopedTimer &) = delete;
@@ -90,6 +118,7 @@ public:
 private:
   TimerRegistry::Node *N = nullptr;
   std::chrono::steady_clock::time_point Start;
+  int UncaughtAtEntry;
 };
 
 } // namespace tbaa

@@ -1,0 +1,72 @@
+//===- Mutate.cpp ---------------------------------------------------------===//
+
+#include "workloads/Mutate.h"
+
+using namespace tbaa;
+
+std::string tbaa::mutateSource(const std::string &Base, uint64_t Seed) {
+  uint64_t State = Seed;
+  std::string S = Base;
+  if (S.empty())
+    return S;
+  switch (mutateRand(State) % 4) {
+  case 0: // truncate
+    S.resize(mutateRand(State) % S.size());
+    break;
+  case 1: { // delete a span
+    size_t Pos = mutateRand(State) % S.size();
+    size_t Len = 1 + mutateRand(State) % 40;
+    S.erase(Pos, Len);
+    break;
+  }
+  case 2: { // overwrite with noise
+    size_t Pos = mutateRand(State) % S.size();
+    static const char Noise[] = "();=.^[]#:+-*<>\"'";
+    for (size_t I = 0; I != 12 && Pos + I < S.size(); ++I)
+      S[Pos + I] = Noise[mutateRand(State) % (sizeof(Noise) - 1)];
+    break;
+  }
+  default: { // duplicate a span elsewhere
+    size_t From = mutateRand(State) % S.size();
+    size_t Len = 1 + mutateRand(State) % 60;
+    size_t To = mutateRand(State) % S.size();
+    S.insert(To, S.substr(From, Len));
+    break;
+  }
+  }
+  return S;
+}
+
+std::string tbaa::mutateBytes(const std::string &Base, uint64_t Seed) {
+  uint64_t State = Seed;
+  std::string S = Base;
+  switch (mutateRand(State) % 4) {
+  case 0: { // sprinkle NUL bytes
+    for (unsigned I = 0, N = 1 + mutateRand(State) % 8; I != N; ++I) {
+      if (S.empty())
+        break;
+      S[mutateRand(State) % S.size()] = '\0';
+    }
+    break;
+  }
+  case 1: { // sprinkle non-ASCII bytes
+    for (unsigned I = 0, N = 1 + mutateRand(State) % 16; I != N; ++I) {
+      if (S.empty())
+        break;
+      S[mutateRand(State) % S.size()] =
+          static_cast<char>(0x80 + mutateRand(State) % 0x80);
+    }
+    break;
+  }
+  case 2: { // splice in a very long line
+    size_t Pos = S.empty() ? 0 : mutateRand(State) % S.size();
+    size_t Len = (1u << 16) + mutateRand(State) % (1u << 16);
+    S.insert(Pos, std::string(Len, 'x'));
+    break;
+  }
+  default: // blank the input
+    S.clear();
+    break;
+  }
+  return S;
+}

@@ -1,0 +1,52 @@
+//===- Mutate.h - Deterministic source mutation engine ----------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic source mutators shared by the robustness tests and the
+/// m3fuzz triage driver. Two layers:
+///
+///  * structured mutations (truncate, delete a span, splice syntax noise,
+///    duplicate a span) that keep the input mostly text-shaped -- these
+///    probe parser recovery and semantic checking;
+///  * byte-level noise (NUL bytes, non-ASCII bytes, pathologically long
+///    lines) that probe the lexer's handling of raw bytes and line
+///    bookkeeping.
+///
+/// All randomness comes from the same LCG as the program generator, so a
+/// (base, seed) pair names a mutant forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_WORKLOADS_MUTATE_H
+#define TBAA_WORKLOADS_MUTATE_H
+
+#include <cstdint>
+#include <string>
+
+namespace tbaa {
+
+/// The shared linear congruential generator (Knuth's MMIX constants, top
+/// bits). Advances \p State and returns a fresh 47-bit value.
+inline uint64_t mutateRand(uint64_t &State) {
+  State = State * 6364136223846793005ull + 1442695040888963407ull;
+  return State >> 17;
+}
+
+/// Applies one structured mutation (truncate / delete span / overwrite
+/// with syntax noise / duplicate span) chosen by \p Seed. Returns \p Base
+/// unchanged when it is empty.
+std::string mutateSource(const std::string &Base, uint64_t Seed);
+
+/// Applies one byte-level mutation chosen by \p Seed: sprinkle NUL
+/// bytes, sprinkle non-ASCII bytes (0x80-0xFF), splice in a very long
+/// line (tens of KB without a newline), or blank the input entirely.
+/// Returns the empty string for the blank strategy even when \p Base is
+/// empty.
+std::string mutateBytes(const std::string &Base, uint64_t Seed);
+
+} // namespace tbaa
+
+#endif // TBAA_WORKLOADS_MUTATE_H

@@ -3,13 +3,14 @@
 // Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
 //
 // Deterministic mutation fuzzing: corrupt real programs (truncate, delete
-// spans, splice characters) and require the pipeline to either compile or
-// reject them with diagnostics -- never crash, hang or accept a program
-// that then breaks IR verification.
+// spans, splice characters, raw byte noise) and require the pipeline to
+// either compile or reject them with diagnostics -- never crash, hang or
+// accept a program that then breaks IR verification.
 //
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+#include "workloads/Mutate.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -19,40 +20,17 @@ using namespace tbaa::test;
 
 namespace {
 
-uint64_t nextRand(uint64_t &State) {
-  State = State * 6364136223846793005ull + 1442695040888963407ull;
-  return State >> 17;
-}
-
-std::string mutate(const std::string &Base, uint64_t Seed) {
-  uint64_t State = Seed;
-  std::string S = Base;
-  switch (nextRand(State) % 4) {
-  case 0: // truncate
-    S.resize(nextRand(State) % S.size());
-    break;
-  case 1: { // delete a span
-    size_t Pos = nextRand(State) % S.size();
-    size_t Len = 1 + nextRand(State) % 40;
-    S.erase(Pos, Len);
-    break;
+/// Compile-or-reject: a mutant must either verify or carry diagnostics.
+void expectGracefulOutcome(const std::string &Source, const char *Label) {
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(Source, Diags);
+  if (C.ok()) {
+    // If a mutant still compiles, it must still verify.
+    EXPECT_TRUE(C.IR.verify().empty()) << Label;
+  } else {
+    EXPECT_TRUE(Diags.hasErrors()) << Label << ": rejected without a "
+                                               "diagnostic";
   }
-  case 2: { // overwrite with noise
-    size_t Pos = nextRand(State) % S.size();
-    static const char Noise[] = "();=.^[]#:+-*<>\"'";
-    for (size_t I = 0; I != 12 && Pos + I < S.size(); ++I)
-      S[Pos + I] = Noise[nextRand(State) % (sizeof(Noise) - 1)];
-    break;
-  }
-  default: { // duplicate a span elsewhere
-    size_t From = nextRand(State) % S.size();
-    size_t Len = 1 + nextRand(State) % 60;
-    size_t To = nextRand(State) % S.size();
-    S.insert(To, S.substr(From, Len));
-    break;
-  }
-  }
-  return S;
 }
 
 } // namespace
@@ -60,19 +38,70 @@ std::string mutate(const std::string &Base, uint64_t Seed) {
 class FrontendRobustness : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FrontendRobustness, MutatedSourcesNeverCrash) {
-  for (const WorkloadInfo &W : allWorkloads()) {
-    std::string Source = mutate(W.Source, GetParam() * 977 + 13);
-    DiagnosticEngine Diags;
-    Compilation C = compileSource(Source, Diags);
-    if (C.ok()) {
-      // If a mutant still compiles, it must still verify.
-      EXPECT_TRUE(C.IR.verify().empty()) << W.Name;
-    } else {
-      EXPECT_TRUE(Diags.hasErrors()) << W.Name
-                                     << ": rejected without a diagnostic";
-    }
-  }
+  for (const WorkloadInfo &W : allWorkloads())
+    expectGracefulOutcome(mutateSource(W.Source, GetParam() * 977 + 13),
+                          W.Name);
+}
+
+TEST_P(FrontendRobustness, ByteNoiseNeverCrashes) {
+  for (const WorkloadInfo &W : allWorkloads())
+    expectGracefulOutcome(mutateBytes(W.Source, GetParam() * 7919 + 5),
+                          W.Name);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FrontendRobustness,
                          ::testing::Range<uint64_t>(1, 41));
+
+TEST(FrontendRobustnessEdge, EmptyInput) {
+  DiagnosticEngine Diags;
+  Compilation C = compileSource("", Diags);
+  EXPECT_FALSE(C.ok());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(FrontendRobustnessEdge, AllNulBytes) {
+  expectGracefulOutcome(std::string(4096, '\0'), "nul-blob");
+}
+
+TEST(FrontendRobustnessEdge, MegabyteSingleLine) {
+  // A one-megabyte identifier on a single line: the lexer's column and
+  // buffer bookkeeping must survive, and the diagnostic must not try to
+  // echo the whole line.
+  std::string S = "MODULE M; PROCEDURE Main (): INTEGER = BEGIN RETURN ";
+  S += std::string(1u << 20, 'z');
+  S += "; END; END M.";
+  expectGracefulOutcome(S, "megabyte-line");
+}
+
+TEST(FrontendRobustnessEdge, NonAsciiEverywhere) {
+  std::string S;
+  for (unsigned I = 0; I != 2048; ++I)
+    S += static_cast<char>(0x80 + (I * 37) % 0x80);
+  expectGracefulOutcome(S, "non-ascii-blob");
+}
+
+TEST(FrontendRobustnessEdge, DiagnosticCapStopsRecording) {
+  // A torrent of errors must stop being *recorded* at the cap -- with
+  // the "too many errors" note appended exactly once -- while the error
+  // *count* keeps going (exit codes and hasErrors() stay truthful).
+  DiagnosticEngine Diags;
+  Diags.setMaxDiagnostics(10);
+  for (unsigned I = 0; I != 200; ++I)
+    Diags.error(SourceLoc{I + 1, 1}, "boom " + std::to_string(I));
+  EXPECT_TRUE(Diags.truncated());
+  EXPECT_EQ(Diags.errorCount(), 200u);
+  EXPECT_EQ(Diags.diagnostics().size(), 11u); // 10 recorded + the note
+  std::string Text = Diags.str();
+  size_t First = Text.find("too many errors");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Text.find("too many errors", First + 1), std::string::npos);
+}
+
+TEST(FrontendRobustnessEdge, DiagnosticCapZeroIsUnlimited) {
+  DiagnosticEngine Diags;
+  Diags.setMaxDiagnostics(0);
+  for (unsigned I = 0; I != 500; ++I)
+    Diags.error(SourceLoc{I + 1, 1}, "boom");
+  EXPECT_FALSE(Diags.truncated());
+  EXPECT_EQ(Diags.diagnostics().size(), 500u);
+}

@@ -1,0 +1,255 @@
+//===- SelfCheckTests.cpp - Differential guard, verify-each, budgets ------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// The self-checking layer (docs/ROBUSTNESS.md): the differential
+// execution guard must flag behavior changes and never flag clean
+// optimization; --verify-each must attribute a corrupting pass by name
+// and function; analysis budgets must degrade precision, not results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/Degradation.h"
+#include "core/TBAAContext.h"
+#include "exec/DiffGuard.h"
+#include "opt/PassPipeline.h"
+#include "support/Budget.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+const char *StoreLoop = R"(
+MODULE T;
+VAR acc: INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  acc := 0;
+  WHILE i < 10 DO
+    acc := acc + i * i;
+    i := i + 1;
+  END;
+  RETURN acc;
+END Main;
+END T.
+)";
+
+/// Zeroes the budgets after each test so later suites never inherit one.
+struct BudgetGuard {
+  ~BudgetGuard() { BudgetRegistry::instance().reset(); }
+};
+
+/// Changes the first integer immediate used in Main (e.g. the `i := 0`
+/// initializer) -- the shape of a miscompiled constant.
+void corruptFirstConst(IRModule &M, int64_t NewImm) {
+  IRFunction *Main = M.findFunction("Main");
+  ASSERT_NE(Main, nullptr);
+  for (BasicBlock &B : Main->Blocks)
+    for (Instr &I : B.Instrs)
+      if (I.A.K == Operand::Kind::ImmInt && I.A.Imm != NewImm) {
+        I.A.Imm = NewImm;
+        return;
+      }
+  FAIL() << "no integer immediate to corrupt";
+}
+
+} // namespace
+
+TEST(DiffGuard, IdenticalModulesMatch) {
+  Compilation C = compileOrDie(StoreLoop);
+  DiffResult R = runDifferential(C.IR, C.IR, /*Fuel=*/0);
+  EXPECT_EQ(R.Status, DiffStatus::Match) << R.Detail;
+  EXPECT_GT(R.Base.StoreCount, 0u) << "global stores must be observable";
+}
+
+TEST(DiffGuard, OptimizedPipelineStillMatches) {
+  // The real pipeline at full strength must be behavior-preserving on
+  // every bundled workload -- the guard's false-positive contract.
+  for (const WorkloadInfo &W : allWorkloads()) {
+    DiagnosticEngine Diags;
+    Compilation C = compileSource(W.Source, Diags);
+    ASSERT_TRUE(C.ok()) << W.Name;
+    IRModule Pristine = C.IR;
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    auto Oracle = makeDegradingOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+    PipelineOptions PO;
+    PO.VerifyEach = true;
+    OptPipeline P(Ctx, *Oracle, PO);
+    PipelineFailure F = P.run(C.IR);
+    ASSERT_FALSE(F.failed()) << W.Name << ": " << F.Pass << "\n" << F.Error;
+    DiffResult R = runDifferential(Pristine, C.IR, /*Fuel=*/0);
+    EXPECT_EQ(R.Status, DiffStatus::Match) << W.Name << ": " << R.Detail;
+  }
+}
+
+TEST(DiffGuard, ResultMismatchDetected) {
+  Compilation C = compileOrDie(StoreLoop);
+  IRModule Bad = C.IR;
+  corruptFirstConst(Bad, 123456789);
+  DiffResult R = runDifferential(C.IR, Bad, /*Fuel=*/0);
+  EXPECT_EQ(R.Status, DiffStatus::Mismatch);
+  EXPECT_FALSE(R.Detail.empty());
+}
+
+TEST(DiffGuard, BaseOutOfFuelIsInconclusive) {
+  Compilation C = compileOrDie(StoreLoop);
+  DiffResult R = runDifferential(C.IR, C.IR, /*Fuel=*/5);
+  EXPECT_EQ(R.Status, DiffStatus::Inconclusive);
+}
+
+TEST(DiffGuard, MiscompiledHangIsAMismatch) {
+  Compilation C = compileOrDie(StoreLoop);
+  IRModule Bad = C.IR;
+  // Retarget some forward Jmp back at its own block: an infinite loop,
+  // as a miscompiled loop condition would produce.
+  IRFunction *Main = Bad.findFunction("Main");
+  ASSERT_NE(Main, nullptr);
+  bool Corrupted = false;
+  for (BasicBlock &B : Main->Blocks) {
+    Instr &Term = B.Instrs.back();
+    if ((Term.Op == Opcode::Jmp || Term.Op == Opcode::Br) && !Corrupted) {
+      Term.T1 = B.Id;
+      if (Term.Op == Opcode::Br)
+        Term.T2 = B.Id;
+      Corrupted = true;
+    }
+  }
+  ASSERT_TRUE(Corrupted);
+  DiffResult R = runDifferential(C.IR, Bad, /*Fuel=*/0);
+  EXPECT_EQ(R.Status, DiffStatus::Mismatch);
+  EXPECT_NE(R.Detail.find("hang"), std::string::npos) << R.Detail;
+}
+
+TEST(PassPipeline, VerifyEachNamesSabotagedPassAndFunction) {
+  Compilation C = compileOrDie(StoreLoop);
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeDegradingOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  PipelineOptions PO;
+  PO.VerifyEach = true;
+  OptPipeline P(Ctx, *Oracle, PO);
+  P.insertAfter("rle", "sabotage", [](IRModule &M) {
+    IRFunction *Main = M.findFunction("Main");
+    ASSERT_NE(Main, nullptr);
+    for (BasicBlock &B : Main->Blocks)
+      for (Instr &I : B.Instrs)
+        if (I.A.K == Operand::Kind::Temp) {
+          I.A.Temp = Main->newTemp(); // Never defined.
+          return;
+        }
+  });
+  PipelineFailure F = P.run(C.IR);
+  ASSERT_TRUE(F.failed());
+  EXPECT_EQ(F.Pass, "sabotage");
+  EXPECT_EQ(F.Function, "Main");
+  EXPECT_NE(F.Error.find("before definition"), std::string::npos) << F.Error;
+}
+
+TEST(PassPipeline, VerifyEachChecksTheInputIR) {
+  Compilation C = compileOrDie(StoreLoop);
+  IRFunction *Main = C.IR.findFunction("Main");
+  ASSERT_NE(Main, nullptr);
+  bool Corrupted = false;
+  for (BasicBlock &B : Main->Blocks)
+    for (Instr &I : B.Instrs)
+      if (I.Op == Opcode::LoadVar && !Corrupted) {
+        I.Result = Main->NumTemps + 5;
+        Corrupted = true;
+      }
+  ASSERT_TRUE(Corrupted);
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeDegradingOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  PipelineOptions PO;
+  PO.VerifyEach = true;
+  OptPipeline P(Ctx, *Oracle, PO);
+  PipelineFailure F = P.run(C.IR);
+  ASSERT_TRUE(F.failed());
+  EXPECT_EQ(F.Pass, "<input>");
+}
+
+TEST(PassPipeline, PrefixReplayIsDeterministic) {
+  // Running prefixes [0, k) from the same pristine module must agree
+  // with the full run at k == size() -- the property m3fuzz's bisection
+  // stands on.
+  Compilation C = compileOrDie(StoreLoop);
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeDegradingOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  OptPipeline P(Ctx, *Oracle, {});
+  IRModule Full = C.IR;
+  ASSERT_FALSE(P.run(Full).failed());
+  IRModule Prefixed = C.IR;
+  ASSERT_FALSE(P.runPrefix(Prefixed, P.size()).failed());
+  EXPECT_EQ(Full.dump(), Prefixed.dump());
+}
+
+TEST(Degradation, OracleWalksDownTheLadder) {
+  BudgetGuard G;
+  Compilation C = compileOrDie(workload_sources::Format);
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  BudgetRegistry::instance().Oracle = {/*Limit=*/8, 0, false};
+  DegradingOracle O(Ctx, AliasLevel::SMFieldTypeRefs);
+  EXPECT_EQ(O.level(), AliasLevel::SMFieldTypeRefs);
+  // Burn queries until the ladder bottoms out.
+  const TypeTable &TT = C.types();
+  AbsLoc A, B;
+  A.Sel = B.Sel = SelKind::Deref;
+  A.BaseType = A.ValueType = TT.canonical(TT.integerType());
+  B.BaseType = B.ValueType = TT.canonical(TT.integerType());
+  for (int I = 0; I != 64; ++I)
+    (void)O.mayAliasAbs(A, B);
+  EXPECT_EQ(O.level(), AliasLevel::TypeDecl);
+  EXPECT_EQ(O.downgrades(), 2u); // SMFieldTypeRefs -> FieldTypeDecl -> TypeDecl
+  // The floor keeps answering: no aborts, no further downgrades.
+  for (int I = 0; I != 64; ++I)
+    (void)O.mayAliasAbs(A, B);
+  EXPECT_EQ(O.downgrades(), 2u);
+}
+
+TEST(Degradation, BudgetedCompileKeepsTheAnswer) {
+  BudgetGuard G;
+  // The same program, optimized with and without a starvation budget,
+  // must compute the same Main() -- degradation loses optimizations,
+  // never correctness.
+  auto compileAndRun = [](uint64_t Budget) {
+    BudgetRegistry::instance().setAllLimits(Budget);
+    DiagnosticEngine Diags;
+    Compilation C = compileSource(workload_sources::KTree, Diags);
+    EXPECT_TRUE(C.ok());
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    auto Oracle = makeDegradingOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+    PipelineOptions PO;
+    PO.VerifyEach = true;
+    OptPipeline P(Ctx, *Oracle, PO);
+    EXPECT_FALSE(P.run(C.IR).failed());
+    VM Machine(C.IR);
+    EXPECT_TRUE(Machine.runInit());
+    return Machine.callFunction("Main").value_or(INT64_MIN);
+  };
+  int64_t Unbudgeted = compileAndRun(0);
+  int64_t Starved = compileAndRun(25);
+  EXPECT_EQ(Unbudgeted, Starved);
+  EXPECT_NE(Unbudgeted, INT64_MIN);
+}
+
+TEST(Degradation, ContextFallsBackToDeclaredTypes) {
+  BudgetGuard G;
+  BudgetRegistry::instance().TypeRefs = {/*Limit=*/3, 0, false};
+  Compilation C = compileOrDie(workload_sources::Format);
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  EXPECT_TRUE(Ctx.typeRefsDegraded());
+  // Degraded typeRefsCompat must agree with declared-type compatibility
+  // (the sound superset), for every canonical type pair.
+  const TypeTable &TT = C.types();
+  for (TypeId A = 0; A != TT.size(); ++A)
+    for (TypeId B = 0; B != TT.size(); ++B) {
+      if (TT.canonical(A) != A || TT.canonical(B) != B)
+        continue;
+      EXPECT_EQ(Ctx.typeRefsCompat(A, B), Ctx.typeDeclCompat(A, B));
+    }
+}

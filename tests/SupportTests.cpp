@@ -6,9 +6,12 @@
 
 #include "support/Diagnostics.h"
 #include "support/DynBitset.h"
+#include "support/Timing.h"
 #include "support/UnionFind.h"
 
 #include <gtest/gtest.h>
+
+#include <stdexcept>
 
 using namespace tbaa;
 
@@ -100,4 +103,39 @@ TEST(DynBitset, IntersectionAndUnion) {
   I &= B;
   EXPECT_EQ(I.count(), 1u); // {70}
   EXPECT_TRUE(I.test(70));
+}
+
+TEST(Timing, CurrentPhaseTracksScopeNesting) {
+  TimerRegistry &R = TimerRegistry::instance();
+  R.reset();
+  EXPECT_EQ(R.currentPhase(), "");
+  {
+    TBAA_TIME_SCOPE("compile");
+    EXPECT_EQ(R.currentPhase(), "compile");
+    {
+      TBAA_TIME_SCOPE("rle");
+      EXPECT_EQ(R.currentPhase(), "compile > rle");
+    }
+    EXPECT_EQ(R.currentPhase(), "compile");
+  }
+  EXPECT_EQ(R.currentPhase(), "");
+  // The name stack works even while timing itself is disabled -- crash
+  // reporters must always be able to name the active phase.
+  EXPECT_FALSE(R.enabled());
+}
+
+TEST(Timing, PhaseStackFreezesDuringUnwinding) {
+  TimerRegistry &R = TimerRegistry::instance();
+  R.reset();
+  try {
+    TBAA_TIME_SCOPE("compile");
+    TBAA_TIME_SCOPE("sema");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error &) {
+    // Both scopes were destroyed by unwinding, but the stack froze so
+    // the handler (m3lc's internalError) still sees the throw point.
+    EXPECT_EQ(R.currentPhase(), "compile > sema");
+  }
+  R.reset();
+  EXPECT_EQ(R.currentPhase(), "");
 }

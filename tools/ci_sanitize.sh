@@ -1,0 +1,22 @@
+#!/bin/sh
+# Sanitizer CI sweep: configure a separate build tree with
+# -fsanitize=address,undefined (TBAA_SANITIZERS=ON), build everything,
+# and run the full test suite plus a fuzz sweep under instrumentation.
+#
+#   tools/ci_sanitize.sh [build-dir]
+#
+# Opt-in (not part of the default ctest run): the instrumented suite is
+# several times slower than the plain one. See docs/ROBUSTNESS.md.
+set -eu
+
+SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$SRC_DIR/build-sanitize"}
+
+export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DTBAA_SANITIZERS=ON
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+"$BUILD_DIR/tools/m3fuzz" --seeds=100 --out="$BUILD_DIR/m3fuzz-sanitize"
+echo "ci_sanitize: clean"

@@ -1,0 +1,398 @@
+//===- m3fuzz.cpp - Fuzz / differential-test / triage driver --------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Self-checking compilation in a loop (docs/ROBUSTNESS.md): generate
+// well-typed programs (and byte-mangled mutants of them), push each
+// through compile -> strict verify -> the optimization pipeline under
+// --verify-each -> differential execution of unoptimized vs optimized
+// IR. Any failure is triaged automatically:
+//
+//   * the pipeline is re-run prefix by prefix from pristine IR to name
+//     the guilty pass (verify-each failures already carry it);
+//   * the source is delta-reduced (ddmin over lines) to a minimal
+//     program that still reproduces;
+//   * a reproducer bundle (input.m3l, reduced.m3l, report.txt) is
+//     written under --out.
+//
+//   m3fuzz [--seeds N] [--mutants M] [--stmts N] [--procs N] [--fuel N]
+//          [--budget N] [--out DIR] [--plant-bug] [--expect-bug]
+//
+// --plant-bug inserts a deliberately wrong pass (an RLE-shaped bug: one
+// heap integer load replaced with a constant) after rle; --expect-bug
+// additionally *requires* the sweep to catch it, bisect it to that pass
+// and reduce the reproducer below 30 lines -- the self-test that the
+// whole triage loop works.
+//
+// Exit codes: 0 clean sweep (or, with --expect-bug, the planted bug was
+// fully triaged); 1 failures found (or the planted bug escaped); 2 usage
+// error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Degradation.h"
+#include "core/TBAAContext.h"
+#include "exec/DiffGuard.h"
+#include "ir/Pipeline.h"
+#include "opt/PassPipeline.h"
+#include "support/Budget.h"
+#include "workloads/Generator.h"
+#include "workloads/Mutate.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace tbaa;
+
+namespace {
+
+struct Options {
+  uint64_t Seeds = 50;
+  uint64_t Mutants = 3;
+  unsigned Stmts = 60;
+  unsigned Procs = 4;
+  uint64_t Fuel = 20'000'000;
+  uint64_t Budget = 0;
+  std::string Out = "m3fuzz-out";
+  bool PlantBug = false;
+  bool ExpectBug = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: m3fuzz [--seeds N] [--mutants M] [--stmts N] "
+               "[--procs N]\n"
+               "              [--fuel N] [--budget N] [--out DIR] "
+               "[--plant-bug] [--expect-bug]\n"
+               "exit codes: 0 clean sweep, 1 failures found, 2 usage "
+               "error\n");
+  return 2;
+}
+
+/// What went wrong with one test case.
+enum class FailKind {
+  None,
+  RejectedSilently, ///< compile failed without a diagnostic
+  InputVerify,      ///< the lowered (pre-pipeline) IR is malformed
+  PassVerify,       ///< --verify-each flagged a pass
+  DiffMismatch,     ///< differential execution diverged
+};
+
+const char *failKindName(FailKind K) {
+  switch (K) {
+  case FailKind::None:
+    return "none";
+  case FailKind::RejectedSilently:
+    return "rejected-without-diagnostic";
+  case FailKind::InputVerify:
+    return "input-verify";
+  case FailKind::PassVerify:
+    return "pass-verify";
+  case FailKind::DiffMismatch:
+    return "differential-mismatch";
+  }
+  return "?";
+}
+
+struct CaseResult {
+  FailKind Kind = FailKind::None;
+  bool Compiled = false;  ///< False: rejected (with diagnostics, if None).
+  std::string Detail;     ///< Verifier report / divergence description.
+  std::string GuiltyPass; ///< From verify-each or prefix bisection.
+};
+
+/// The deliberately wrong pass: replaces the first heap integer load in
+/// Main with a constant -- exactly the shape of an unsound RLE
+/// replacement. Verifier-clean by construction (the IR stays well
+/// formed), so only the differential guard can catch it.
+void sabotagePass(IRModule &M) {
+  IRFunction *Main = M.findFunction("Main");
+  if (!Main || !M.Types)
+    return;
+  TypeId IntTy = M.Types->canonical(M.Types->integerType());
+  for (BasicBlock &B : Main->Blocks)
+    for (Instr &I : B.Instrs)
+      if (I.Op == Opcode::LoadMem && I.Path.ValueType == IntTy) {
+        I.Op = Opcode::ConstOp;
+        I.A = Operand::immInt(123456789);
+        I.B = Operand::none();
+        I.HasPath = false;
+        return;
+      }
+}
+
+/// Runs the full self-checking pipeline over \p Source. \p BisectPass
+/// controls whether a differential mismatch is traced to its pass (the
+/// reduction predicate skips that for speed).
+CaseResult checkOne(const std::string &Source, const Options &Opts,
+                    bool BisectPass) {
+  CaseResult R;
+  DiagnosticEngine Diags;
+  Diags.setMaxDiagnostics(64);
+  Compilation C = compileSource(Source, Diags);
+  if (!C.ok()) {
+    if (!Diags.hasErrors()) {
+      R.Kind = FailKind::RejectedSilently;
+      R.Detail = "compileSource failed with zero diagnostics";
+    }
+    return R; // A diagnosed rejection is a pass, not a failure.
+  }
+  R.Compiled = true;
+  if (std::string E = C.IR.verify(); !E.empty()) {
+    R.Kind = FailKind::InputVerify;
+    R.Detail = E;
+    R.GuiltyPass = "<lower>";
+    return R;
+  }
+
+  IRModule Pristine = C.IR;
+  BudgetRegistry::instance().setAllLimits(Opts.Budget);
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeDegradingOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  PipelineOptions PO;
+  PO.VerifyEach = true;
+  auto makePipeline = [&]() {
+    auto P = std::make_unique<OptPipeline>(Ctx, *Oracle, PO);
+    if (Opts.PlantBug)
+      P->insertAfter("rle", "sabotage", sabotagePass);
+    return P;
+  };
+
+  auto Pipeline = makePipeline();
+  if (PipelineFailure F = Pipeline->run(C.IR); F.failed()) {
+    R.Kind = FailKind::PassVerify;
+    R.Detail = F.Error;
+    R.GuiltyPass = F.Pass;
+    return R;
+  }
+
+  DiffResult D = runDifferential(Pristine, C.IR, Opts.Fuel);
+  if (!D.mismatch())
+    return R; // Match or Inconclusive (base ran out of fuel).
+  R.Kind = FailKind::DiffMismatch;
+  R.Detail = D.Detail;
+
+  if (!BisectPass)
+    return R;
+  // Replay pass prefixes from pristine IR; the first prefix that
+  // diverges ends in the guilty pass.
+  size_t N = Pipeline->size();
+  for (size_t K = 1; K <= N; ++K) {
+    IRModule Work = Pristine;
+    auto P = makePipeline();
+    if (PipelineFailure F = P->runPrefix(Work, K); F.failed()) {
+      R.GuiltyPass = F.Pass; // A prefix replay can also break verify.
+      return R;
+    }
+    if (runDifferential(Pristine, Work, Opts.Fuel).mismatch()) {
+      R.GuiltyPass = P->name(K - 1);
+      return R;
+    }
+  }
+  R.GuiltyPass = "<unreproducible>"; // Full run diverged, prefixes did not.
+  return R;
+}
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  std::istringstream In(S);
+  std::string L;
+  while (std::getline(In, L))
+    Lines.push_back(L);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines,
+                      const std::vector<bool> &Keep) {
+  std::string S;
+  for (size_t I = 0; I != Lines.size(); ++I)
+    if (Keep[I]) {
+      S += Lines[I];
+      S += '\n';
+    }
+  return S;
+}
+
+/// Delta-reduction over source lines: greedily drop spans of live lines
+/// (every offset, span sizes from coarse to single lines), repeated to a
+/// fixpoint, while the same FailKind still reproduces. Spans at every
+/// offset -- rather than ddmin's aligned chunks -- matter here because
+/// the irreducible unit is usually a whole PROCEDURE, which sits at an
+/// arbitrary offset.
+std::string reduceSource(const std::string &Source, FailKind Kind,
+                         const Options &Opts) {
+  std::vector<std::string> Lines = splitLines(Source);
+  std::vector<bool> Keep(Lines.size(), true);
+  auto stillFails = [&](const std::vector<bool> &K) {
+    return checkOne(joinLines(Lines, K), Opts, /*BisectPass=*/false).Kind ==
+           Kind;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t Span : {32, 16, 8, 4, 3, 2, 1}) {
+      // Live line positions under the current Keep mask.
+      std::vector<size_t> Live;
+      for (size_t I = 0; I != Lines.size(); ++I)
+        if (Keep[I])
+          Live.push_back(I);
+      if (Live.size() <= 1)
+        return joinLines(Lines, Keep);
+      for (size_t Start = 0; Start + Span <= Live.size();) {
+        std::vector<bool> Trial = Keep;
+        for (size_t I = 0; I != Span; ++I)
+          Trial[Live[Start + I]] = false;
+        if (stillFails(Trial)) {
+          Keep = Trial;
+          Live.erase(Live.begin() + Start, Live.begin() + Start + Span);
+          Changed = true;
+        } else {
+          ++Start;
+        }
+      }
+    }
+  }
+  return joinLines(Lines, Keep);
+}
+
+void writeFile(const std::filesystem::path &P, const std::string &Text) {
+  std::ofstream Out(P);
+  Out << Text;
+}
+
+/// Everything known about one triaged failure, bundled on disk.
+void writeBundle(const std::string &CaseName, const std::string &Source,
+                 const std::string &Reduced, const CaseResult &R,
+                 const Options &Opts) {
+  std::filesystem::path Dir = std::filesystem::path(Opts.Out) / CaseName;
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    std::fprintf(stderr, "m3fuzz: cannot create '%s': %s\n",
+                 Dir.string().c_str(), EC.message().c_str());
+    return;
+  }
+  writeFile(Dir / "input.m3l", Source);
+  writeFile(Dir / "reduced.m3l", Reduced);
+  std::ostringstream Report;
+  Report << "case:        " << CaseName << "\n"
+         << "failure:     " << failKindName(R.Kind) << "\n"
+         << "guilty pass: " << (R.GuiltyPass.empty() ? "<none>" : R.GuiltyPass)
+         << "\n"
+         << "reduced:     " << splitLines(Reduced).size() << " lines (from "
+         << splitLines(Source).size() << ")\n\n"
+         << "detail:\n"
+         << R.Detail << "\n";
+  writeFile(Dir / "report.txt", Report.str());
+}
+
+struct SweepStats {
+  uint64_t Cases = 0;
+  uint64_t Compiled = 0;
+  uint64_t Rejected = 0;
+  uint64_t Failures = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto numArg = [&](const char *Prefix, uint64_t &Slot) {
+      size_t N = std::strlen(Prefix);
+      if (A.rfind(Prefix, 0) != 0)
+        return false;
+      char *End = nullptr;
+      Slot = std::strtoull(A.c_str() + N, &End, 10);
+      return End && !*End;
+    };
+    uint64_t Tmp = 0;
+    if (A == "--plant-bug")
+      Opts.PlantBug = true;
+    else if (A == "--expect-bug")
+      Opts.PlantBug = Opts.ExpectBug = true;
+    else if (numArg("--seeds=", Opts.Seeds) || numArg("--fuel=", Opts.Fuel) ||
+             numArg("--mutants=", Opts.Mutants) ||
+             numArg("--budget=", Opts.Budget))
+      ;
+    else if (numArg("--stmts=", Tmp))
+      Opts.Stmts = static_cast<unsigned>(Tmp);
+    else if (numArg("--procs=", Tmp))
+      Opts.Procs = static_cast<unsigned>(Tmp);
+    else if (A.rfind("--out=", 0) == 0 && A.size() > 6)
+      Opts.Out = A.substr(6);
+    else
+      return usage();
+  }
+
+  SweepStats S;
+  bool ExpectationMet = false;
+  for (uint64_t Seed = 1; Seed <= Opts.Seeds; ++Seed) {
+    GeneratorOptions GO;
+    GO.Seed = Seed;
+    GO.StatementBudget = Opts.Stmts;
+    GO.NumProcs = Opts.Procs;
+    std::string Base = generateProgram(GO);
+
+    // The pristine program plus byte/structure mutants of it. Mutants
+    // mostly probe the front end; the pristine case probes the pipeline.
+    std::vector<std::pair<std::string, std::string>> Cases;
+    Cases.emplace_back("seed" + std::to_string(Seed), Base);
+    for (uint64_t M = 1; M <= Opts.Mutants; ++M) {
+      uint64_t MSeed = Seed * 1000003 + M;
+      std::string Name = "seed" + std::to_string(Seed) + "-mut" +
+                         std::to_string(M);
+      Cases.emplace_back(Name, M % 2 ? mutateSource(Base, MSeed)
+                                     : mutateBytes(Base, MSeed));
+    }
+
+    for (auto &[Name, Source] : Cases) {
+      ++S.Cases;
+      CaseResult R = checkOne(Source, Opts, /*BisectPass=*/true);
+      if (R.Kind == FailKind::None) {
+        ++(R.Compiled ? S.Compiled : S.Rejected);
+        continue;
+      }
+      ++S.Failures;
+      std::string Reduced = reduceSource(Source, R.Kind, Opts);
+      writeBundle(Name, Source, Reduced, R, Opts);
+      size_t ReducedLines = splitLines(Reduced).size();
+      std::fprintf(stderr,
+                   "m3fuzz: %s: %s (pass: %s), reduced to %zu lines -> "
+                   "%s/%s\n",
+                   Name.c_str(), failKindName(R.Kind),
+                   R.GuiltyPass.empty() ? "<none>" : R.GuiltyPass.c_str(),
+                   ReducedLines, Opts.Out.c_str(), Name.c_str());
+      if (Opts.ExpectBug && R.Kind == FailKind::DiffMismatch &&
+          R.GuiltyPass == "sabotage" && ReducedLines < 30) {
+        ExpectationMet = true;
+        break; // One fully triaged catch is the proof.
+      }
+    }
+    if (ExpectationMet)
+      break;
+  }
+
+  std::printf("m3fuzz: %llu cases (%llu optimized clean, %llu rejected "
+              "with diagnostics, %llu failures)\n",
+              static_cast<unsigned long long>(S.Cases),
+              static_cast<unsigned long long>(S.Compiled),
+              static_cast<unsigned long long>(S.Rejected),
+              static_cast<unsigned long long>(S.Failures));
+  if (Opts.ExpectBug) {
+    if (ExpectationMet) {
+      std::printf("m3fuzz: planted bug caught, bisected and reduced\n");
+      return 0;
+    }
+    std::fprintf(stderr, "m3fuzz: planted bug was NOT fully triaged\n");
+    return 1;
+  }
+  return S.Failures ? 1 : 0;
+}

@@ -16,32 +16,43 @@
 //          --no-rle      skip redundant load elimination
 //          --pipeline    devirtualize + inline + copy-propagate first
 //          --pre         partial redundancy elimination after RLE
+//          --verify-each re-verify the IR after every pass; a failure
+//                        names the pass + function and exits 3
+//          --max-errors=N      stop recording diagnostics after N (default
+//                              64; 0 = unlimited)
+//          --analysis-budget=N per-phase analysis step budget; exhaustion
+//                              degrades the oracle instead of aborting
 //          --stats       print execution counters, simulated cycles and
 //                        the registered statistics table
 //          --time-passes print the hierarchical pass timing report
 //          --remarks[=f] print optimization remarks (to file f if given)
 //
+// Exit codes: 0 success; 1 the program was rejected (diagnostics) or
+// trapped; 2 usage error; 3 internal error (verifier failure or
+// unexpected exception -- the active phase is printed).
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/AliasCensus.h"
 #include "core/AliasOracle.h"
+#include "core/Degradation.h"
 #include "core/InstrumentedOracle.h"
 #include "core/TBAAContext.h"
 #include "exec/VM.h"
 #include "ir/Pipeline.h"
 #include "lang/ASTPrinter.h"
-#include "opt/CopyProp.h"
-#include "opt/Devirt.h"
-#include "opt/Inline.h"
-#include "opt/RLE.h"
+#include "opt/PassPipeline.h"
 #include "sim/CacheSim.h"
+#include "support/Budget.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -59,10 +70,21 @@ struct Options {
   bool ApplyRLE = true;
   bool Pipeline = false;
   bool PRE = false;
+  bool VerifyEach = false;
+  unsigned MaxErrors = 64;
+  uint64_t AnalysisBudget = 0; ///< 0: unlimited.
   bool Stats = false;
   bool TimePasses = false;
   bool Remarks = false;
   std::string RemarksFile; ///< Empty: remarks go to stdout.
+};
+
+/// Exit codes (documented in the file header).
+enum ExitCode : int {
+  ExitSuccess = 0,
+  ExitDiagnostics = 1,
+  ExitUsage = 2,
+  ExitInternalError = 3,
 };
 
 int usage() {
@@ -70,10 +92,23 @@ int usage() {
       stderr,
       "usage: m3lc <run|check|dump-ir|dump-ast|census|emit-workload|list>\n"
       "            [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
-      "            [--open] [--no-rle] [--pipeline] [--pre] [--stats]\n"
+      "            [--open] [--no-rle] [--pipeline] [--pre] [--verify-each]\n"
+      "            [--max-errors=N] [--analysis-budget=N] [--stats]\n"
       "            [--time-passes] [--remarks[=file]]\n"
-      "            <file.m3l | workload-name>\n");
-  return 2;
+      "            <file.m3l | workload-name>\n"
+      "exit codes: 0 success, 1 diagnostics/trap, 2 usage, 3 internal "
+      "error\n");
+  return ExitUsage;
+}
+
+/// Internal-error report: what broke and which phase was active, so a
+/// crash in a 40-pass fuzz pipeline is attributable without a debugger.
+int internalError(const std::string &What) {
+  std::string Phase = TimerRegistry::instance().currentPhase();
+  std::fprintf(stderr, "m3lc: internal error: %s\n", What.c_str());
+  std::fprintf(stderr, "m3lc: active phase: %s\n",
+               Phase.empty() ? "<none>" : Phase.c_str());
+  return ExitInternalError;
 }
 
 std::string loadSource(const std::string &Target) {
@@ -94,31 +129,35 @@ int run(const Options &Opts) {
     std::fprintf(stderr, "m3lc: cannot read '%s' (not a file or bundled "
                          "workload; try 'm3lc list')\n",
                  Opts.Target.c_str());
-    return 1;
+    return ExitDiagnostics;
   }
 
+  BudgetRegistry::instance().setAllLimits(Opts.AnalysisBudget);
   DiagnosticEngine Diags;
+  Diags.setMaxDiagnostics(Opts.MaxErrors);
   Compilation C = compileSource(Source, Diags);
   if (!C.ok()) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
+    return ExitDiagnostics;
   }
   if (Opts.Command == "dump-ast") {
     std::fputs(printModule(C.ast(), C.types()).c_str(), stdout);
-    return 0;
+    return ExitSuccess;
   }
   if (Opts.Command == "check") {
     std::printf("%s: OK (%u source lines, %zu types, %zu functions)\n",
                 Opts.Target.c_str(), C.ast().SourceLines,
                 C.types().size(), C.IR.Functions.size());
-    return 0;
+    return ExitSuccess;
   }
 
   TBAAContext Ctx(C.ast(), C.types(), {.OpenWorld = Opts.OpenWorld});
-  // Always decorate: the memo cache makes RLE cheaper, and --stats can
-  // then report the paper's evaluation currency (alias queries).
+  // Always decorate: the memo cache makes RLE cheaper, --stats can then
+  // report the paper's evaluation currency (alias queries), and the
+  // degradation ladder underneath trades precision for time when
+  // --analysis-budget is set (a no-op while unlimited).
   std::unique_ptr<InstrumentedOracle> Oracle =
-      makeInstrumentedOracle(Ctx, Opts.Level);
+      makeDegradingOracle(Ctx, Opts.Level);
 
   if (Opts.Command == "census") {
     std::printf("%-18s %10s %10s %12s\n", "analysis", "local", "global",
@@ -132,32 +171,23 @@ int run(const Options &Opts) {
                   static_cast<unsigned long long>(R.GlobalPairs),
                   static_cast<unsigned long long>(R.References));
     }
-    return 0;
+    return ExitSuccess;
   }
 
-  unsigned Resolved = 0, Inlined = 0;
-  RLEStats RS;
-  PREStats PS;
-  if (Opts.Pipeline) {
-    Resolved = resolveMethodCalls(C.IR, Ctx);
-    Inlined = inlineCalls(C.IR);
-  }
-  if (Opts.ApplyRLE)
-    RS = runRLE(C.IR, *Oracle);
-  if (Opts.Pipeline) {
-    propagateCopies(C.IR);
-    if (Opts.ApplyRLE) {
-      RLEStats Second = runRLE(C.IR, *Oracle);
-      RS.Hoisted += Second.Hoisted;
-      RS.Replaced += Second.Replaced;
-    }
-  }
-  if (Opts.PRE)
-    PS = runLoadPRE(C.IR, *Oracle);
+  PipelineOptions PO;
+  PO.Devirt = PO.Inline = PO.CopyProp = Opts.Pipeline;
+  PO.RLE = Opts.ApplyRLE;
+  PO.PRE = Opts.PRE;
+  PO.VerifyEach = Opts.VerifyEach;
+  OptPipeline Pipeline(Ctx, *Oracle, PO);
+  if (PipelineFailure F = Pipeline.run(C.IR); F.failed())
+    return internalError("IR verification failed after pass '" + F.Pass +
+                         "' in function '" + F.Function + "':\n" + F.Error);
+  const PipelineStats &PS = Pipeline.stats();
 
   if (Opts.Command == "dump-ir") {
     std::fputs(C.IR.dump().c_str(), stdout);
-    return 0;
+    return ExitSuccess;
   }
 
   // run
@@ -166,14 +196,14 @@ int run(const Options &Opts) {
   Machine.addMonitor(&Timing);
   if (!Machine.runInit()) {
     std::fprintf(stderr, "m3lc: %s\n", Machine.trapMessage().c_str());
-    return 1;
+    return ExitDiagnostics;
   }
   std::optional<int64_t> R = Machine.callFunction("Main");
   if (!R) {
     std::fprintf(stderr, "m3lc: %s\n",
                  Machine.trapped() ? Machine.trapMessage().c_str()
                                    : "program has no Main(): INTEGER");
-    return 1;
+    return ExitDiagnostics;
   }
   std::printf("Main() = %lld\n", static_cast<long long>(*R));
   if (Opts.Stats) {
@@ -183,13 +213,13 @@ int run(const Options &Opts) {
     if (Opts.Pipeline)
       std::printf("pipeline:         %u methods resolved, %u calls "
                   "inlined\n",
-                  Resolved, Inlined);
+                  PS.MethodsResolved, PS.CallsInlined);
     if (Opts.ApplyRLE)
-      std::printf("RLE:              %u hoisted, %u replaced\n", RS.Hoisted,
-                  RS.Replaced);
+      std::printf("RLE:              %u hoisted, %u replaced\n",
+                  PS.RLE.Hoisted, PS.RLE.Replaced);
     if (Opts.PRE)
       std::printf("PRE:              %u inserted, %u replaced\n",
-                  PS.Inserted, PS.Replaced);
+                  PS.PRE.Inserted, PS.PRE.Replaced);
     std::printf("micro-ops:        %llu\n",
                 static_cast<unsigned long long>(S.Ops));
     std::printf("heap loads:       %llu (%.1f%%)\n",
@@ -231,7 +261,21 @@ int main(int argc, char **argv) {
       Opts.Pipeline = true;
     else if (A == "--pre")
       Opts.PRE = true;
-    else if (A == "--stats")
+    else if (A == "--verify-each")
+      Opts.VerifyEach = true;
+    else if (A.rfind("--max-errors=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(A.c_str() + 13, &End, 10);
+      if (!End || *End)
+        return usage();
+      Opts.MaxErrors = static_cast<unsigned>(N);
+    } else if (A.rfind("--analysis-budget=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(A.c_str() + 18, &End, 10);
+      if (!End || *End)
+        return usage();
+      Opts.AnalysisBudget = N;
+    } else if (A == "--stats")
       Opts.Stats = true;
     else if (A == "--time-passes")
       Opts.TimePasses = true;
@@ -287,7 +331,14 @@ int main(int argc, char **argv) {
 
   TimerRegistry::instance().setEnabled(Opts.TimePasses);
   RemarkEngine::instance().setEnabled(Opts.Remarks);
-  int RC = run(Opts);
+  int RC;
+  try {
+    RC = run(Opts);
+  } catch (const std::exception &E) {
+    RC = internalError(E.what());
+  } catch (...) {
+    RC = internalError("unknown exception");
+  }
 
   // Reports print after the single run() exit so every command and error
   // path that got far enough still shows what it measured.
