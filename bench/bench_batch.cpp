@@ -1,0 +1,133 @@
+//===- bench_batch.cpp - Batch service overhead measurements --------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Measures what fault isolation costs: the fork/reap round trip of one
+// sandboxed worker, pool throughput as parallelism grows (trivial jobs,
+// so the numbers are pure orchestration overhead), the watchdog's
+// bookkeeping at fleet sizes, and journal append+load. These bound how
+// small a compilation job can be before m3batch's per-job isolation
+// stops paying for itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Journal.h"
+#include "service/Worker.h"
+#include "service/WorkerPool.h"
+#include "support/Clock.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+using namespace tbaa;
+
+namespace {
+
+void BM_WorkerRoundTrip(benchmark::State &State) {
+  for (auto _ : State) {
+    WorkerResult R = runInWorker([](int) { return 0; }, {});
+    if (R.Status != WorkerStatus::Exited || R.ExitCode != 0)
+      State.SkipWithError("worker failed");
+  }
+}
+BENCHMARK(BM_WorkerRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_WorkerRoundTripWithPayload(benchmark::State &State) {
+  for (auto _ : State) {
+    WorkerResult R = runInWorker(
+        [](int Fd) {
+          ::dprintf(Fd, "{\"main\":123456789}\n");
+          return 0;
+        },
+        {});
+    benchmark::DoNotOptimize(R.Payload.data());
+  }
+}
+BENCHMARK(BM_WorkerRoundTripWithPayload)->Unit(benchmark::kMicrosecond);
+
+/// 32 trivial jobs through pools of growing width: wall time is pure
+/// pool overhead (spawn, poll, drain, reap), and the curve shows where
+/// extra slots stop helping on this host.
+void BM_PoolThroughput(benchmark::State &State) {
+  const unsigned Parallelism = static_cast<unsigned>(State.range(0));
+  const uint64_t Jobs = 32;
+  for (auto _ : State) {
+    WorkerPool Pool(Parallelism);
+    for (uint64_t K = 0; K != Jobs; ++K)
+      Pool.enqueue({K, [](int) { return 0; }, {}, 0});
+    uint64_t Done = 0;
+    Pool.run([&](uint64_t, const WorkerResult &) { ++Done; });
+    if (Done != Jobs)
+      State.SkipWithError("pool lost jobs");
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations() * Jobs));
+}
+BENCHMARK(BM_PoolThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WatchdogSweep(benchmark::State &State) {
+  const int Fleet = static_cast<int>(State.range(0));
+  Watchdog Dog;
+  for (int Pid = 1; Pid <= Fleet; ++Pid)
+    Dog.arm(Pid, Deadline{static_cast<uint64_t>(1000 + Pid)});
+  uint64_t Now = 1000 + static_cast<uint64_t>(Fleet) / 2;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Dog.expired(Now));
+}
+BENCHMARK(BM_WatchdogSweep)->Arg(16)->Arg(256);
+
+void BM_JournalAppend(benchmark::State &State) {
+  std::string Path = "/tmp/tbaa-bench-journal.jsonl";
+  Journal J;
+  if (!J.open(Path, /*Truncate=*/true)) {
+    State.SkipWithError("cannot open journal");
+    return;
+  }
+  JournalRecord R;
+  R.Job = "bench";
+  R.Outcome = JobOutcome::Ok;
+  R.Final = true;
+  R.HasResult = true;
+  R.Result = 123456789;
+  for (auto _ : State) {
+    J.append(R);
+    ++R.Attempt;
+  }
+  ::unlink(Path.c_str());
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_JournalLoad(benchmark::State &State) {
+  std::string Path = "/tmp/tbaa-bench-journal-load.jsonl";
+  {
+    Journal J;
+    if (!J.open(Path, /*Truncate=*/true)) {
+      State.SkipWithError("cannot open journal");
+      return;
+    }
+    JournalRecord R;
+    R.Job = "bench";
+    R.HasResult = true;
+    for (unsigned I = 0; I != 1000; ++I) {
+      R.Attempt = I + 1;
+      J.append(R);
+    }
+  }
+  for (auto _ : State) {
+    std::vector<JournalRecord> Records;
+    std::string Error;
+    if (!Journal::load(Path, Records, Error) || Records.size() != 1000)
+      State.SkipWithError("journal load failed");
+    benchmark::DoNotOptimize(Records.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+  ::unlink(Path.c_str());
+}
+BENCHMARK(BM_JournalLoad)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+//===- Batch.cpp ----------------------------------------------------------===//
+
+#include "service/Batch.h"
+
+#include "service/CrashCapture.h"
+#include "service/WorkerPool.h"
+#include "support/Clock.h"
+#include "support/Stats.h"
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace tbaa;
+
+namespace {
+
+Statistic NumAttempts("batch", "attempts", "worker attempts launched");
+Statistic NumRetries("batch", "retries", "attempts that were retries");
+Statistic NumCrashes("batch", "crashes", "attempts ending in a signal");
+Statistic NumTimeouts("batch", "timeouts", "attempts killed by a deadline");
+Statistic NumDegraded("batch", "degraded",
+                      "jobs settled below full precision");
+
+/// Mutable per-job ladder state while the batch runs.
+struct JobState {
+  const BatchJob *Job = nullptr;
+  unsigned Attempt = 0;
+  DegradeLevel Level = DegradeLevel::Full;
+};
+
+} // namespace
+
+BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
+                           const BatchOptions &Opts) {
+  BatchResult Out;
+
+  // Resume: replay the journal, settle what it settled.
+  std::set<std::string> Finished;
+  if (Opts.Resume && !Opts.JournalPath.empty()) {
+    std::vector<JournalRecord> Prior;
+    if (!Journal::load(Opts.JournalPath, Prior, Out.Error))
+      return Out;
+    Finished = Journal::finishedJobs(Prior);
+  }
+
+  Journal Log;
+  if (!Opts.JournalPath.empty() &&
+      !Log.open(Opts.JournalPath, /*Truncate=*/!Opts.Resume)) {
+    Out.Error = "cannot open journal '" + Opts.JournalPath + "'";
+    return Out;
+  }
+
+  std::vector<JobState> States(Jobs.size());
+  WorkerPool Pool(Opts.Parallelism);
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    States[I].Job = &Jobs[I];
+    if (Finished.count(Jobs[I].Id)) {
+      ++Out.Skipped;
+      continue;
+    }
+    States[I].Attempt = 1;
+    NumAttempts += 1;
+    Pool.enqueue({I, Jobs[I].Make(DegradeLevel::Full), Opts.Limits, 0});
+  }
+
+  Pool.run([&](uint64_t Key, const WorkerResult &W) {
+    JobState &S = States[Key];
+    JobOutcome Outcome = classifyWorker(W);
+    if (Outcome == JobOutcome::Crash)
+      NumCrashes += 1;
+    if (Outcome == JobOutcome::Timeout)
+      NumTimeouts += 1;
+
+    RetryDecision D = decideRetry(Opts.Retry, Outcome, S.Attempt, S.Level);
+
+    JournalRecord R;
+    R.Job = S.Job->Id;
+    R.Attempt = S.Attempt;
+    R.Level = S.Level;
+    R.Outcome = Outcome;
+    R.ExitCode = W.ExitCode;
+    R.Signal = W.Signal;
+    R.WallMs = W.WallMs;
+    R.CpuMs = W.CpuMs;
+    R.PeakRSSKB = W.PeakRSSKB;
+    R.BackoffMs = D.Retry ? D.DelayMs : 0;
+    R.Final = !D.Retry;
+    // Workers report results as a flat JSON payload line ({"main":N}).
+    std::map<std::string, std::string> Payload;
+    if (!W.Payload.empty() && parseFlatJSONObject(W.Payload, Payload)) {
+      auto It = Payload.find("main");
+      if (It != Payload.end()) {
+        char *End = nullptr;
+        int64_t V = std::strtoll(It->second.c_str(), &End, 10);
+        if (End && !*End) {
+          R.Result = V;
+          R.HasResult = true;
+        }
+      }
+    }
+    Log.append(R);
+
+    if (Opts.Verbose)
+      std::fprintf(stderr, "batch: %s: attempt %u (%s) -> %s%s\n",
+                   R.Job.c_str(), R.Attempt, degradeLevelName(R.Level),
+                   jobOutcomeName(Outcome),
+                   D.Retry ? ", retrying degraded" : "");
+
+    if (!Opts.CrashDir.empty() && outcomeRetryable(Outcome)) {
+      std::string InputPath =
+          (std::filesystem::path(Opts.CrashDir) /
+           (R.Job + "-a" + std::to_string(R.Attempt)) / "input.m3l")
+              .string();
+      std::string Cmd = Opts.RerunCommand
+                            ? Opts.RerunCommand(*S.Job, S.Level, InputPath)
+                            : std::string();
+      writeCrashBundle(Opts.CrashDir, R, S.Job->Source, W, Cmd);
+    }
+
+    if (D.Retry) {
+      S.Level = D.NextLevel;
+      ++S.Attempt;
+      NumAttempts += 1;
+      NumRetries += 1;
+      Pool.enqueue({Key, S.Job->Make(S.Level), Opts.Limits,
+                    D.DelayMs ? monoNowMs() + D.DelayMs : 0});
+      return;
+    }
+
+    JobFinal F;
+    F.Id = S.Job->Id;
+    F.Outcome = Outcome;
+    F.Level = S.Level;
+    F.Attempts = S.Attempt;
+    F.Result = R.Result;
+    F.HasResult = R.HasResult;
+    if (Outcome == JobOutcome::Ok && S.Level != DegradeLevel::Full)
+      NumDegraded += 1;
+    Out.Finals.push_back(std::move(F));
+  });
+
+  return Out;
+}

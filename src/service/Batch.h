@@ -1,0 +1,96 @@
+//===- Batch.h - The fault-isolated batch engine ----------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the service pieces together: jobs run in the WorkerPool under
+/// watchdog/rlimit sandboxes, every attempt is journaled, failures walk
+/// the retry/degradation ladder, crashes and hangs produce triage
+/// bundles, and --resume replays the journal to skip settled jobs. The
+/// engine is driver-agnostic -- a job is just an id plus a factory from
+/// DegradeLevel to a WorkerFn -- so ServiceTests drive it with planted
+/// crashers and hangs, and tools/m3batch.cpp with real compilations.
+///
+/// The batch itself never fails because a job did: a SIGSEGV worker, a
+/// hung worker and a clean worker all end as per-job outcomes in the
+/// journal and the batch exits normally. Only driver-level errors
+/// (unwritable journal, bad resume data) fail the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_BATCH_H
+#define TBAA_SERVICE_BATCH_H
+
+#include "service/Journal.h"
+#include "service/Retry.h"
+#include "service/Worker.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+struct BatchJob {
+  std::string Id;
+  /// The job's input text, for crash bundles. May be empty.
+  std::string Source;
+  /// Builds the worker body for one ladder rung.
+  std::function<WorkerFn(DegradeLevel)> Make;
+};
+
+struct BatchOptions {
+  unsigned Parallelism = 4;
+  WorkerLimits Limits;
+  RetryPolicy Retry;
+  /// Journal path; empty disables journaling (and resume).
+  std::string JournalPath;
+  /// Skip jobs the journal already settled; otherwise the journal is
+  /// truncated and the batch starts fresh.
+  bool Resume = false;
+  /// Where triage bundles go; empty disables crash capture.
+  std::string CrashDir;
+  /// Copy-pasteable reproduction command for a bundle, given the job,
+  /// the rung it failed at, and the bundle's input path.
+  std::function<std::string(const BatchJob &, DegradeLevel,
+                            const std::string &InputPath)>
+      RerunCommand;
+  /// Per-attempt progress lines on stderr.
+  bool Verbose = false;
+};
+
+/// One settled job.
+struct JobFinal {
+  std::string Id;
+  JobOutcome Outcome = JobOutcome::Ok;
+  DegradeLevel Level = DegradeLevel::Full;
+  unsigned Attempts = 0;
+  int64_t Result = 0;
+  bool HasResult = false;
+};
+
+struct BatchResult {
+  std::vector<JobFinal> Finals;
+  unsigned Skipped = 0; ///< Jobs the resume path did not re-run.
+  /// Driver-level failure (journal unopenable/corrupt). Job failures
+  /// are outcomes, not errors.
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+  unsigned count(JobOutcome O) const {
+    unsigned N = 0;
+    for (const JobFinal &F : Finals)
+      N += F.Outcome == O;
+    return N;
+  }
+  bool allOk() const { return count(JobOutcome::Ok) == Finals.size(); }
+};
+
+BatchResult runBatch(const std::vector<BatchJob> &Jobs,
+                     const BatchOptions &Opts);
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_BATCH_H

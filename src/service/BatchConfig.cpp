@@ -1,0 +1,105 @@
+//===- BatchConfig.cpp ----------------------------------------------------===//
+
+#include "service/BatchConfig.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace tbaa;
+
+namespace {
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+bool parseU64(const std::string &V, uint64_t &Out) {
+  if (V.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(V.c_str(), &End, 10);
+  return End && !*End;
+}
+
+} // namespace
+
+bool BatchConfig::parse(const std::string &Text, BatchConfig &Out,
+                        std::string &Error) {
+  std::istringstream In(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  auto Fail = [&](const std::string &Why) {
+    std::ostringstream SS;
+    SS << "line " << LineNo << ": " << Why;
+    Error = SS.str();
+    return false;
+  };
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string S = trim(Line);
+    if (S.empty() || S[0] == '#')
+      continue;
+    size_t Eq = S.find('=');
+    if (Eq == std::string::npos)
+      return Fail("expected 'key = value'");
+    std::string Key = trim(S.substr(0, Eq));
+    std::string Value = trim(S.substr(Eq + 1));
+    uint64_t U = 0;
+    if (Key == "level") {
+      if (Value != "typedecl" && Value != "fieldtypedecl" &&
+          Value != "smfieldtyperefs")
+        return Fail("unknown level '" + Value + "'");
+      Out.Level = Value;
+      continue;
+    }
+    if (!parseU64(Value, U))
+      return Fail("'" + Key + "' needs an unsigned integer, got '" + Value +
+                  "'");
+    if (Key == "analysis_budget")
+      Out.AnalysisBudget = U;
+    else if (Key == "max_errors")
+      Out.MaxErrors = static_cast<unsigned>(U);
+    else if (Key == "timeout_ms")
+      Out.TimeoutMs = U;
+    else if (Key == "cpu_seconds")
+      Out.CpuSeconds = U;
+    else if (Key == "memory_mb")
+      Out.MemoryMB = U;
+    else if (Key == "retries") {
+      if (!U)
+        return Fail("'retries' must be at least 1");
+      Out.Retries = static_cast<unsigned>(U);
+    } else if (Key == "backoff_ms")
+      Out.BackoffMs = U;
+    else if (Key == "backoff_cap_ms")
+      Out.BackoffCapMs = U;
+    else if (Key == "parallel") {
+      if (!U)
+        return Fail("'parallel' must be at least 1");
+      Out.Parallel = static_cast<unsigned>(U);
+    } else
+      return Fail("unknown key '" + Key + "'");
+  }
+  return true;
+}
+
+bool BatchConfig::loadFile(const std::string &Path, BatchConfig &Out,
+                           std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  if (!BatchConfig::parse(SS.str(), Out, Error)) {
+    Error = Path + ": " + Error;
+    return false;
+  }
+  return true;
+}

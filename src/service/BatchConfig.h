@@ -1,0 +1,62 @@
+//===- BatchConfig.h - Fleet-wide batch configuration -----------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One config file governs the whole fleet: per-job analysis budgets
+/// (support/Budget) and diagnostic caps (DiagnosticEngine) plus the
+/// sandbox, retry and pool knobs, so an operator tunes a batch in one
+/// place instead of threading a dozen flags. Format is deliberately
+/// boring -- `key = value`, `#` comments, blank lines -- and strict:
+/// an unknown key or a malformed value fails the load with a line
+/// number, because a silently ignored typo in a fleet config is a
+/// robustness bug of its own.
+///
+/// CLI flags override config values (m3batch applies the file first,
+/// then the flags).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_BATCHCONFIG_H
+#define TBAA_SERVICE_BATCHCONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace tbaa {
+
+struct BatchConfig {
+  // Per-job compilation knobs, applied inside every worker.
+  uint64_t AnalysisBudget = 0; ///< support/Budget step limit (0 = off).
+  unsigned MaxErrors = 64;     ///< DiagnosticEngine recording cap.
+  /// Oracle precision at DegradeLevel::Full, as an m3lc --level name.
+  std::string Level = "smfieldtyperefs";
+
+  // Sandbox caps.
+  uint64_t TimeoutMs = 10'000;
+  uint64_t CpuSeconds = 60;
+  uint64_t MemoryMB = 0;
+
+  // Retry ladder.
+  unsigned Retries = 3; ///< Max attempts per job, first included.
+  uint64_t BackoffMs = 100;
+  uint64_t BackoffCapMs = 5'000;
+
+  // Pool.
+  unsigned Parallel = 4;
+
+  /// Parses config text. On failure returns false and \p Error names
+  /// the offending line.
+  static bool parse(const std::string &Text, BatchConfig &Out,
+                    std::string &Error);
+
+  /// Loads and parses \p Path.
+  static bool loadFile(const std::string &Path, BatchConfig &Out,
+                       std::string &Error);
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_BATCHCONFIG_H

@@ -1,0 +1,65 @@
+//===- CrashCapture.cpp ---------------------------------------------------===//
+
+#include "service/CrashCapture.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace tbaa;
+
+std::string tbaa::writeCrashBundle(const std::string &OutDir,
+                                   const JournalRecord &R,
+                                   const std::string &Source,
+                                   const WorkerResult &W,
+                                   const std::string &RerunCmd) {
+  std::filesystem::path Dir =
+      std::filesystem::path(OutDir) /
+      (R.Job + "-a" + std::to_string(R.Attempt));
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return "";
+
+  {
+    std::ofstream In(Dir / "input.m3l");
+    if (!In)
+      return "";
+    In << Source;
+  }
+
+  // The frozen phase, if the crash handler got to record one.
+  std::string Phase = "<none>";
+  std::map<std::string, std::string> Crash;
+  if (!W.CrashRecord.empty() && parseFlatJSONObject(W.CrashRecord, Crash)) {
+    auto It = Crash.find("phase");
+    if (It != Crash.end() && !It->second.empty())
+      Phase = It->second;
+  }
+
+  std::ostringstream Report;
+  Report << "job:       " << R.Job << "\n"
+         << "attempt:   " << R.Attempt << " (degrade level "
+         << degradeLevelName(R.Level) << ")\n"
+         << "outcome:   " << jobOutcomeName(R.Outcome) << "\n"
+         << "status:    " << workerStatusName(W.Status) << "\n"
+         << "exit:      " << W.ExitCode << "\n"
+         << "signal:    " << W.Signal
+         << (W.Signal ? std::string(" (") + strsignal(W.Signal) + ")" : "")
+         << "\n"
+         << "phase:     " << Phase << "\n"
+         << "wall:      " << W.WallMs << " ms\n"
+         << "cpu:       " << W.CpuMs << " ms\n"
+         << "peak rss:  " << W.PeakRSSKB << " KB\n"
+         << "rerun:     " << (RerunCmd.empty() ? "<none>" : RerunCmd) << "\n";
+  if (!W.CrashRecord.empty())
+    Report << "\ncrash record:\n" << W.CrashRecord;
+  if (!W.Output.empty())
+    Report << "\ncaptured output:\n" << W.Output;
+  std::ofstream Out(Dir / "report.txt");
+  if (!Out)
+    return "";
+  Out << Report.str();
+  return Dir.string();
+}

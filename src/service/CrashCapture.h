@@ -1,0 +1,44 @@
+//===- CrashCapture.h - Triage bundles for failed workers -------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// When a worker crashes, hangs or dies with an internal error, the
+/// batch writes a triage bundle -- the same shape m3fuzz produces, so
+/// the existing reduce/triage flow picks it straight up:
+///
+///   <dir>/<job>-a<attempt>/input.m3l    the job's source
+///   <dir>/<job>-a<attempt>/report.txt   outcome, signal, frozen phase,
+///                                       resource use, rerun command,
+///                                       raw crash record, captured
+///                                       worker output
+///
+/// The frozen phase comes from the worker's crash record (the signal
+/// handler snapshots TimerRegistry::phaseCStr()), so even a SIGSEGV
+/// names the pass that was running.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_CRASHCAPTURE_H
+#define TBAA_SERVICE_CRASHCAPTURE_H
+
+#include "service/Journal.h"
+#include "service/Worker.h"
+
+#include <string>
+
+namespace tbaa {
+
+/// Writes the bundle for \p R under \p OutDir. \p Source is the job's
+/// input text and \p RerunCmd a copy-pasteable reproduction command
+/// (may be empty). Returns the bundle directory, or "" on I/O failure.
+std::string writeCrashBundle(const std::string &OutDir,
+                             const JournalRecord &R, const std::string &Source,
+                             const WorkerResult &W,
+                             const std::string &RerunCmd);
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_CRASHCAPTURE_H

@@ -1,0 +1,294 @@
+//===- Journal.cpp --------------------------------------------------------===//
+
+#include "service/Journal.h"
+
+#include "support/JSONUtil.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+using namespace tbaa;
+
+std::string JournalRecord::toJSONLine() const {
+  json::Writer W;
+  W.beginObject();
+  W.key("job").value(Job);
+  W.key("attempt").value(static_cast<uint64_t>(Attempt));
+  W.key("degrade").value(degradeLevelName(Level));
+  W.key("outcome").value(jobOutcomeName(Outcome));
+  W.key("exit").value(static_cast<int64_t>(ExitCode));
+  W.key("signal").value(static_cast<int64_t>(Signal));
+  W.key("wall_ms").value(WallMs);
+  W.key("cpu_ms").value(CpuMs);
+  W.key("peak_rss_kb").value(PeakRSSKB);
+  W.key("backoff_ms").value(BackoffMs);
+  W.key("final").value(Final);
+  if (HasResult)
+    W.key("result").value(Result);
+  W.endObject();
+  return W.str();
+}
+
+Journal::~Journal() {
+  if (File)
+    std::fclose(File);
+}
+
+bool Journal::open(const std::string &Path, bool Truncate) {
+  if (File)
+    std::fclose(File);
+  File = std::fopen(Path.c_str(), Truncate ? "w" : "a");
+  return File != nullptr;
+}
+
+void Journal::append(const JournalRecord &R) {
+  if (!File)
+    return;
+  std::string Line = R.toJSONLine();
+  Line += '\n';
+  std::fwrite(Line.data(), 1, Line.size(), File);
+  // Flushed per record: the journal must survive the *driver* dying,
+  // not just a worker.
+  std::fflush(File);
+}
+
+namespace {
+
+bool skipWS(const std::string &S, size_t &I) {
+  while (I < S.size() &&
+         (S[I] == ' ' || S[I] == '\t' || S[I] == '\r' || S[I] == '\n'))
+    ++I;
+  return I < S.size();
+}
+
+bool parseJSONString(const std::string &S, size_t &I, std::string &Out) {
+  if (I >= S.size() || S[I] != '"')
+    return false;
+  ++I;
+  Out.clear();
+  while (I < S.size()) {
+    char C = S[I++];
+    if (C == '"')
+      return true;
+    if (C == '\\') {
+      if (I >= S.size())
+        return false;
+      char E = S[I++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (I + 4 > S.size())
+          return false;
+        // Only the \u00XX range the writer emits; anything else keeps
+        // its low byte, which is fine for journal text.
+        unsigned V = 0;
+        for (int K = 0; K != 4; ++K) {
+          char H = S[I++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return false;
+        }
+        Out += static_cast<char>(V & 0xff);
+        break;
+      }
+      default:
+        return false;
+      }
+    } else {
+      Out += C;
+    }
+  }
+  return false; // unterminated
+}
+
+} // namespace
+
+bool tbaa::parseFlatJSONObject(const std::string &Line,
+                               std::map<std::string, std::string> &Out) {
+  Out.clear();
+  size_t I = 0;
+  if (!skipWS(Line, I) || Line[I] != '{')
+    return false;
+  ++I;
+  if (!skipWS(Line, I))
+    return false;
+  if (Line[I] == '}') {
+    ++I;
+  } else {
+    while (true) {
+      std::string Key;
+      if (!skipWS(Line, I) || !parseJSONString(Line, I, Key))
+        return false;
+      if (!skipWS(Line, I) || Line[I] != ':')
+        return false;
+      ++I;
+      if (!skipWS(Line, I))
+        return false;
+      std::string Value;
+      if (Line[I] == '"') {
+        if (!parseJSONString(Line, I, Value))
+          return false;
+      } else if (Line[I] == '{' || Line[I] == '[') {
+        return false; // flat objects only, by design
+      } else {
+        size_t Start = I;
+        while (I < Line.size() && Line[I] != ',' && Line[I] != '}' &&
+               Line[I] != ' ' && Line[I] != '\t')
+          ++I;
+        Value = Line.substr(Start, I - Start);
+        if (Value.empty())
+          return false;
+      }
+      Out[Key] = Value;
+      if (!skipWS(Line, I))
+        return false;
+      if (Line[I] == ',') {
+        ++I;
+        continue;
+      }
+      if (Line[I] == '}') {
+        ++I;
+        break;
+      }
+      return false;
+    }
+  }
+  skipWS(Line, I);
+  return I == Line.size();
+}
+
+namespace {
+
+bool getUInt(const std::map<std::string, std::string> &M, const char *Key,
+             uint64_t &Out) {
+  auto It = M.find(Key);
+  if (It == M.end())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(It->second.c_str(), &End, 10);
+  return End && !*End && !It->second.empty();
+}
+
+bool getInt(const std::map<std::string, std::string> &M, const char *Key,
+            int64_t &Out) {
+  auto It = M.find(Key);
+  if (It == M.end())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoll(It->second.c_str(), &End, 10);
+  return End && !*End && !It->second.empty();
+}
+
+bool recordFromMap(const std::map<std::string, std::string> &M,
+                   JournalRecord &R, std::string &Why) {
+  auto Fail = [&](const char *W) {
+    Why = W;
+    return false;
+  };
+  auto Job = M.find("job");
+  if (Job == M.end())
+    return Fail("missing 'job'");
+  R.Job = Job->second;
+  uint64_t U = 0;
+  int64_t V = 0;
+  if (!getUInt(M, "attempt", U) || !U)
+    return Fail("bad 'attempt'");
+  R.Attempt = static_cast<unsigned>(U);
+  auto Deg = M.find("degrade");
+  if (Deg == M.end() || !parseDegradeLevel(Deg->second, R.Level))
+    return Fail("bad 'degrade'");
+  auto Out = M.find("outcome");
+  if (Out == M.end() || !parseJobOutcome(Out->second, R.Outcome))
+    return Fail("bad 'outcome'");
+  if (!getInt(M, "exit", V))
+    return Fail("bad 'exit'");
+  R.ExitCode = static_cast<int>(V);
+  if (!getInt(M, "signal", V))
+    return Fail("bad 'signal'");
+  R.Signal = static_cast<int>(V);
+  if (!getUInt(M, "wall_ms", R.WallMs))
+    return Fail("bad 'wall_ms'");
+  if (!getUInt(M, "cpu_ms", R.CpuMs))
+    return Fail("bad 'cpu_ms'");
+  if (!getUInt(M, "peak_rss_kb", R.PeakRSSKB))
+    return Fail("bad 'peak_rss_kb'");
+  if (!getUInt(M, "backoff_ms", R.BackoffMs))
+    return Fail("bad 'backoff_ms'");
+  auto Fin = M.find("final");
+  if (Fin == M.end() || (Fin->second != "true" && Fin->second != "false"))
+    return Fail("bad 'final'");
+  R.Final = Fin->second == "true";
+  R.HasResult = getInt(M, "result", V);
+  R.Result = R.HasResult ? V : 0;
+  return true;
+}
+
+} // namespace
+
+bool Journal::load(const std::string &Path, std::vector<JournalRecord> &Out,
+                   std::string &Error) {
+  Out.clear();
+  Error.clear();
+  struct stat St{};
+  if (::stat(Path.c_str(), &St) != 0)
+    return true; // no journal yet: empty, not an error
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::map<std::string, std::string> M;
+    JournalRecord R;
+    std::string Why;
+    if (!parseFlatJSONObject(Line, M)) {
+      std::ostringstream SS;
+      SS << Path << ":" << LineNo << ": malformed JSON line";
+      Error = SS.str();
+      return false;
+    }
+    if (!recordFromMap(M, R, Why)) {
+      std::ostringstream SS;
+      SS << Path << ":" << LineNo << ": " << Why;
+      Error = SS.str();
+      return false;
+    }
+    Out.push_back(std::move(R));
+  }
+  return true;
+}
+
+std::set<std::string>
+Journal::finishedJobs(const std::vector<JournalRecord> &Records) {
+  std::set<std::string> Done;
+  for (const JournalRecord &R : Records)
+    if (R.Final)
+      Done.insert(R.Job);
+  return Done;
+}

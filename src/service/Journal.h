@@ -1,0 +1,99 @@
+//===- Journal.h - Append-only JSONL batch journal --------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch service's durable memory: one JSON object per line, one
+/// line per worker attempt, appended and flushed as each attempt
+/// completes so an interrupted batch (crash, ctrl-C, power) resumes
+/// exactly where it stopped. A job is *finished* once any of its lines
+/// carries "final": true; `m3batch --resume` re-runs only the jobs
+/// without one. Schema (validated by tools/check_journal_json.py and
+/// documented in docs/ROBUSTNESS.md):
+///
+///   {"job":"format","attempt":1,"degrade":"full","outcome":"ok",
+///    "exit":0,"signal":0,"wall_ms":12,"cpu_ms":9,"peak_rss_kb":4096,
+///    "backoff_ms":0,"final":true,"result":271828}
+///
+/// The loader's flat-object parser is deliberately minimal (strings,
+/// integers, bools; no nesting) -- exactly the shape the appender emits,
+/// and a malformed line is a hard load error, never a guess.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_JOURNAL_H
+#define TBAA_SERVICE_JOURNAL_H
+
+#include "service/Retry.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+struct JournalRecord {
+  std::string Job;
+  unsigned Attempt = 1;
+  DegradeLevel Level = DegradeLevel::Full;
+  JobOutcome Outcome = JobOutcome::Ok;
+  int ExitCode = 0;
+  int Signal = 0;
+  uint64_t WallMs = 0;
+  uint64_t CpuMs = 0;
+  uint64_t PeakRSSKB = 0;
+  /// Delay scheduled before the next attempt; 0 on final records.
+  uint64_t BackoffMs = 0;
+  /// True when this attempt settles the job (success, deterministic
+  /// rejection, or ladder exhausted).
+  bool Final = false;
+  /// Main()'s checksum when the worker reported one.
+  int64_t Result = 0;
+  bool HasResult = false;
+
+  std::string toJSONLine() const; ///< One line, no trailing newline.
+};
+
+/// Append side. Writes are line-buffered and flushed per record so the
+/// journal is valid JSONL after a kill at any point.
+class Journal {
+public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal &) = delete;
+  Journal &operator=(const Journal &) = delete;
+
+  /// Opens for append (\p Truncate starts a fresh batch instead).
+  bool open(const std::string &Path, bool Truncate);
+  bool isOpen() const { return File != nullptr; }
+  void append(const JournalRecord &R);
+
+  /// Loads every record of a JSONL journal. On any malformed line the
+  /// load fails with a message naming the line. A missing file is an
+  /// empty journal, not an error (first run with --resume).
+  static bool load(const std::string &Path, std::vector<JournalRecord> &Out,
+                   std::string &Error);
+
+  /// The jobs settled by a final record -- what --resume skips.
+  static std::set<std::string>
+  finishedJobs(const std::vector<JournalRecord> &Records);
+
+private:
+  std::FILE *File = nullptr;
+};
+
+/// Parses one flat JSON object ({"k":"v","n":12,"b":true}) into raw
+/// key/value text: string values are unescaped, numbers and booleans
+/// returned verbatim. Nested objects/arrays are rejected. Exposed for
+/// tests and for picking results out of worker payloads.
+bool parseFlatJSONObject(const std::string &Line,
+                         std::map<std::string, std::string> &Out);
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_JOURNAL_H

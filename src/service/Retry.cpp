@@ -1,0 +1,109 @@
+//===- Retry.cpp ----------------------------------------------------------===//
+
+#include "service/Retry.h"
+
+#include "support/Clock.h"
+
+#include <csignal>
+
+using namespace tbaa;
+
+const char *tbaa::degradeLevelName(DegradeLevel L) {
+  switch (L) {
+  case DegradeLevel::Full:
+    return "full";
+  case DegradeLevel::TypeDecl:
+    return "typedecl";
+  case DegradeLevel::NoOpt:
+    return "noopt";
+  }
+  return "?";
+}
+
+bool tbaa::parseDegradeLevel(const std::string &Name, DegradeLevel &Out) {
+  for (DegradeLevel L :
+       {DegradeLevel::Full, DegradeLevel::TypeDecl, DegradeLevel::NoOpt})
+    if (Name == degradeLevelName(L)) {
+      Out = L;
+      return true;
+    }
+  return false;
+}
+
+bool tbaa::stepDown(DegradeLevel &L) {
+  if (L == DegradeLevel::NoOpt)
+    return false;
+  L = static_cast<DegradeLevel>(static_cast<uint8_t>(L) + 1);
+  return true;
+}
+
+const char *tbaa::jobOutcomeName(JobOutcome O) {
+  switch (O) {
+  case JobOutcome::Ok:
+    return "ok";
+  case JobOutcome::Diagnostics:
+    return "diagnostics";
+  case JobOutcome::Usage:
+    return "usage";
+  case JobOutcome::Internal:
+    return "internal";
+  case JobOutcome::Crash:
+    return "crash";
+  case JobOutcome::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+bool tbaa::parseJobOutcome(const std::string &Name, JobOutcome &Out) {
+  for (JobOutcome O :
+       {JobOutcome::Ok, JobOutcome::Diagnostics, JobOutcome::Usage,
+        JobOutcome::Internal, JobOutcome::Crash, JobOutcome::Timeout})
+    if (Name == jobOutcomeName(O)) {
+      Out = O;
+      return true;
+    }
+  return false;
+}
+
+JobOutcome tbaa::classifyWorker(const WorkerResult &R) {
+  switch (R.Status) {
+  case WorkerStatus::TimedOut:
+    return JobOutcome::Timeout;
+  case WorkerStatus::Signaled:
+    // SIGXCPU is the rlimit's wall on CPU time: a timeout, not a bug in
+    // the usual sense, and the ladder treats it like the watchdog's.
+    return R.Signal == SIGXCPU ? JobOutcome::Timeout : JobOutcome::Crash;
+  case WorkerStatus::Exited:
+    switch (R.ExitCode) {
+    case 0:
+      return JobOutcome::Ok;
+    case 1:
+      return JobOutcome::Diagnostics;
+    case 2:
+      return JobOutcome::Usage;
+    default:
+      return JobOutcome::Internal;
+    }
+  }
+  return JobOutcome::Internal;
+}
+
+bool tbaa::outcomeRetryable(JobOutcome O) {
+  return O == JobOutcome::Internal || O == JobOutcome::Crash ||
+         O == JobOutcome::Timeout;
+}
+
+RetryDecision tbaa::decideRetry(const RetryPolicy &Policy, JobOutcome Outcome,
+                                unsigned Attempt, DegradeLevel Level) {
+  RetryDecision D;
+  D.NextLevel = Level;
+  if (!outcomeRetryable(Outcome) || Attempt >= Policy.MaxAttempts)
+    return D;
+  if (Policy.DegradeOnRetry && !stepDown(D.NextLevel))
+    return D; // already at the floor: nothing left to try
+  D.Retry = true;
+  D.DelayMs = backoffDelayMs(Attempt, Policy.BackoffBaseMs,
+                             Policy.BackoffCapMs);
+  return D;
+}

@@ -1,0 +1,91 @@
+//===- Retry.h - Outcome classification and the retry ladder ----*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What happens after a worker comes back: its WorkerResult is
+/// classified into a JobOutcome, and failures walk a retry ladder that
+/// pairs exponential backoff with *precision degradation* -- the same
+/// move PR 2's DegradingOracle makes inside one compile, lifted to the
+/// batch level. A job that crashed or hung under full TBAA is retried
+/// with the TypeDecl oracle, then with optimization off entirely
+/// (-O0), so a pathological input degrades gracefully instead of
+/// failing the batch:
+///
+///     full  ->  typedecl  ->  noopt (floor)
+///
+/// Deterministic rejections (diagnostics, usage) never retry: the input
+/// is wrong, not the fleet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_RETRY_H
+#define TBAA_SERVICE_RETRY_H
+
+#include "service/Worker.h"
+
+#include <cstdint>
+
+namespace tbaa {
+
+/// The batch-level precision ladder. Full runs the job as configured
+/// (SMFieldTypeRefs TBAA + the whole pass pipeline), TypeDecl drops the
+/// oracle to the declared-type floor, NoOpt compiles and runs with the
+/// optimizer off.
+enum class DegradeLevel : uint8_t { Full = 0, TypeDecl = 1, NoOpt = 2 };
+
+const char *degradeLevelName(DegradeLevel L);
+
+/// Parses a degradeLevelName() string; returns false on unknown names.
+bool parseDegradeLevel(const std::string &Name, DegradeLevel &Out);
+
+/// One rung down. Returns false (and leaves \p L alone) at the floor.
+bool stepDown(DegradeLevel &L);
+
+/// The classified fate of one attempt.
+enum class JobOutcome : uint8_t {
+  Ok,          ///< Exit 0.
+  Diagnostics, ///< Exit 1: rejected or trapped -- deterministic, final.
+  Usage,       ///< Exit 2: driver misuse -- deterministic, final.
+  Internal,    ///< Exit 3 or a lost child: retryable.
+  Crash,       ///< Killed by a signal: retryable.
+  Timeout,     ///< Watchdog wall kill or SIGXCPU: retryable.
+};
+
+const char *jobOutcomeName(JobOutcome O);
+
+/// Parses a jobOutcomeName() string; returns false on unknown names.
+bool parseJobOutcome(const std::string &Name, JobOutcome &Out);
+
+JobOutcome classifyWorker(const WorkerResult &R);
+
+/// True for the outcomes the ladder retries (Internal/Crash/Timeout).
+bool outcomeRetryable(JobOutcome O);
+
+struct RetryPolicy {
+  /// Total attempts per job, counting the first. 3 covers the whole
+  /// ladder: full, typedecl, noopt.
+  unsigned MaxAttempts = 3;
+  uint64_t BackoffBaseMs = 100;
+  uint64_t BackoffCapMs = 5000;
+  /// Step the precision ladder down on each retry. Off, retries rerun
+  /// at the same level (for flaky-environment failures).
+  bool DegradeOnRetry = true;
+};
+
+struct RetryDecision {
+  bool Retry = false;
+  DegradeLevel NextLevel = DegradeLevel::Full;
+  uint64_t DelayMs = 0;
+};
+
+/// Decides what to do after attempt \p Attempt (1-based) at \p Level
+/// ended in \p Outcome.
+RetryDecision decideRetry(const RetryPolicy &Policy, JobOutcome Outcome,
+                          unsigned Attempt, DegradeLevel Level);
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_RETRY_H

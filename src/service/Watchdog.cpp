@@ -1,0 +1,38 @@
+//===- Watchdog.cpp -------------------------------------------------------===//
+
+#include "service/Watchdog.h"
+
+using namespace tbaa;
+
+void Watchdog::arm(int Pid, Deadline D) {
+  for (Entry &E : Entries)
+    if (E.Pid == Pid) {
+      E.D = D;
+      return;
+    }
+  Entries.push_back({Pid, D});
+}
+
+void Watchdog::disarm(int Pid) {
+  for (size_t I = 0; I != Entries.size(); ++I)
+    if (Entries[I].Pid == Pid) {
+      Entries.erase(Entries.begin() + static_cast<long>(I));
+      return;
+    }
+}
+
+std::vector<int> Watchdog::expired(uint64_t NowMs) const {
+  std::vector<int> Out;
+  for (const Entry &E : Entries)
+    if (E.D.expired(NowMs))
+      Out.push_back(E.Pid);
+  return Out;
+}
+
+uint64_t Watchdog::nextDeadlineMs() const {
+  uint64_t Min = 0;
+  for (const Entry &E : Entries)
+    if (E.D.armed() && (!Min || E.D.AtMs < Min))
+      Min = E.D.AtMs;
+  return Min;
+}

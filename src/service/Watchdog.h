@@ -1,0 +1,58 @@
+//===- Watchdog.h - Monotonic deadline registry for workers -----*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks one monotonic deadline per live worker pid. The pool's poll
+/// loop asks expired() each iteration and SIGKILLs what comes back --
+/// SIGKILL, not SIGTERM, because a worker hung in a tight loop masks
+/// nothing but also handles nothing, and a worker hung in a signal
+/// handler must not be trusted to unwind. Monotonic time (support/
+/// Clock.h) so a wall-clock step can neither fire a fresh worker nor
+/// keep a hung one alive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_WATCHDOG_H
+#define TBAA_SERVICE_WATCHDOG_H
+
+#include "support/Clock.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tbaa {
+
+class Watchdog {
+public:
+  /// Starts watching \p Pid against \p D. A disarmed deadline (never())
+  /// is legal: the pid is tracked but can only leave via disarm().
+  void arm(int Pid, Deadline D);
+
+  /// Stops watching \p Pid (worker reaped). Unknown pids are ignored.
+  void disarm(int Pid);
+
+  /// Pids whose deadline has passed at \p NowMs. They stay armed until
+  /// disarm() -- the caller kills, reaps, then disarms, and a pid must
+  /// not vanish from the registry between those steps.
+  std::vector<int> expired(uint64_t NowMs) const;
+
+  /// The earliest armed deadline, or 0 when none is armed -- the poll
+  /// loop's sleep bound.
+  uint64_t nextDeadlineMs() const;
+
+  size_t watched() const { return Entries.size(); }
+
+private:
+  struct Entry {
+    int Pid;
+    Deadline D;
+  };
+  std::vector<Entry> Entries;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_WATCHDOG_H

@@ -1,0 +1,27 @@
+//===- Worker.cpp ---------------------------------------------------------===//
+
+#include "service/Worker.h"
+
+#include "service/WorkerPool.h"
+
+using namespace tbaa;
+
+const char *tbaa::workerStatusName(WorkerStatus S) {
+  switch (S) {
+  case WorkerStatus::Exited:
+    return "exited";
+  case WorkerStatus::Signaled:
+    return "signaled";
+  case WorkerStatus::TimedOut:
+    return "timed-out";
+  }
+  return "?";
+}
+
+WorkerResult tbaa::runInWorker(const WorkerFn &Fn, const WorkerLimits &Limits) {
+  WorkerPool Pool(1);
+  WorkerResult Out;
+  Pool.enqueue({/*Key=*/0, Fn, Limits, /*NotBeforeMs=*/0});
+  Pool.run([&](uint64_t, const WorkerResult &R) { Out = R; });
+  return Out;
+}

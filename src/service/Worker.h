@@ -1,0 +1,81 @@
+//===- Worker.h - Fork-isolated job execution -------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-isolation primitive of the batch service: run a job in a
+/// forked child so that a SIGSEGV, a runaway allocation, a hot infinite
+/// loop or an escaped exception takes down *one worker*, never the
+/// batch. The child gets rlimit CPU/memory caps, signal handlers that
+/// translate SIGSEGV/SIGABRT/SIGXCPU & co. into a structured crash
+/// record on a dedicated pipe (then re-raise, so the parent still sees
+/// the true termination signal), and its stdout/stderr captured.
+///
+/// Worker protocol (docs/ROBUSTNESS.md): the job function returns the
+/// m3lc exit-code contract -- 0 success, 1 rejected/trapped, 2 usage,
+/// 3 internal error -- and may write machine-readable results to the
+/// payload pipe. Anything else the parent learns from waitpid: a signal
+/// (crash), or a watchdog kill (hung past its wall deadline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_WORKER_H
+#define TBAA_SERVICE_WORKER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tbaa {
+
+/// Sandbox caps for one worker. 0 always means "no limit".
+struct WorkerLimits {
+  /// Wall-clock deadline enforced by the parent's watchdog (SIGKILL).
+  uint64_t WallMs = 0;
+  /// RLIMIT_CPU soft cap; the worker gets SIGXCPU (recorded, fatal),
+  /// with a hard cap 2s later as the kernel's backstop.
+  uint64_t CpuSeconds = 0;
+  /// RLIMIT_AS in MiB. Ignored in sanitizer builds, where the shadow
+  /// mapping makes any realistic address-space cap a lie.
+  uint64_t MemoryMB = 0;
+};
+
+/// How a worker ended.
+enum class WorkerStatus : uint8_t {
+  Exited,   ///< Normal _exit; ExitCode is the job's return.
+  Signaled, ///< Killed by a signal (Signal set; CrashRecord if our
+            ///< handler got to run).
+  TimedOut, ///< SIGKILLed by the watchdog past WallMs.
+};
+
+const char *workerStatusName(WorkerStatus S);
+
+/// Everything the parent learns about one worker run.
+struct WorkerResult {
+  WorkerStatus Status = WorkerStatus::Exited;
+  int ExitCode = -1;
+  int Signal = 0;
+  uint64_t WallMs = 0;     ///< Spawn-to-reap wall time.
+  uint64_t CpuMs = 0;      ///< rusage user+system.
+  uint64_t PeakRSSKB = 0;  ///< rusage ru_maxrss.
+  std::string Payload;     ///< Bytes the job wrote to the payload fd.
+  std::string CrashRecord; ///< Crash handler's JSON line, if any.
+  std::string Output;      ///< Captured stdout+stderr (capped).
+};
+
+/// A job body, run inside the forked child. \p PayloadFd is an open
+/// pipe back to the parent for structured results. The return value is
+/// the worker's exit code (m3lc contract). Escaped exceptions become
+/// exit code 3.
+using WorkerFn = std::function<int(int PayloadFd)>;
+
+/// Runs one job to completion in a sandboxed worker (blocking). The
+/// single-job face of WorkerPool; m3fuzz uses it to put every fuzz
+/// candidate under a wall-clock deadline.
+WorkerResult runInWorker(const WorkerFn &Fn, const WorkerLimits &Limits);
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_WORKER_H

@@ -1,0 +1,322 @@
+//===- WorkerPool.cpp -----------------------------------------------------===//
+
+#include "service/WorkerPool.h"
+
+#include "support/SafeIO.h"
+#include "support/Timing.h"
+
+#include <cstdio>
+#include <exception>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace tbaa;
+
+// Address-space caps and AddressSanitizer's shadow reservation do not
+// coexist; the sandbox skips RLIMIT_AS in instrumented builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define TBAA_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TBAA_ASAN_BUILD 1
+#endif
+#endif
+#ifndef TBAA_ASAN_BUILD
+#define TBAA_ASAN_BUILD 0
+#endif
+
+namespace {
+
+/// Output capture cap per worker: a flooding job is a robustness case,
+/// not a reason for the parent to balloon.
+constexpr size_t MaxCapturedOutput = 1 << 20;
+
+/// Crash-record pipe, valid only inside a worker child.
+int CrashFdG = -1;
+
+const char *signalShortName(int Sig) {
+  switch (Sig) {
+  case SIGSEGV:
+    return "SIGSEGV";
+  case SIGBUS:
+    return "SIGBUS";
+  case SIGILL:
+    return "SIGILL";
+  case SIGFPE:
+    return "SIGFPE";
+  case SIGABRT:
+    return "SIGABRT";
+  case SIGXCPU:
+    return "SIGXCPU";
+  case SIGKILL:
+    return "SIGKILL";
+  default:
+    return "SIG?";
+  }
+}
+
+/// Translates a fatal signal into one structured JSON line on the crash
+/// pipe, then re-raises with default disposition so the parent's wait4
+/// still sees the true termination signal. Async-signal-safe throughout
+/// (SafeIO; phaseCStr is a pre-rendered buffer).
+void crashHandler(int Sig) {
+  if (CrashFdG >= 0) {
+    safeio::LineBuf B;
+    B.append("{\"signal\":").appendInt(Sig);
+    B.append(",\"name\":\"").append(signalShortName(Sig));
+    B.append("\",\"phase\":\"");
+    B.appendJSONEscaped(TimerRegistry::instance().phaseCStr());
+    B.append("\"}\n");
+    B.writeTo(CrashFdG);
+  }
+  ::signal(Sig, SIG_DFL);
+  ::raise(Sig);
+}
+
+void installCrashHandlers() {
+  // An alternate stack so even a stack-overflow SIGSEGV gets recorded.
+  static char AltStack[64 * 1024];
+  stack_t SS{};
+  SS.ss_sp = AltStack;
+  SS.ss_size = sizeof(AltStack);
+  ::sigaltstack(&SS, nullptr);
+
+  struct sigaction SA;
+  SA.sa_handler = crashHandler;
+  ::sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_ONSTACK;
+  for (int Sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT, SIGXCPU})
+    ::sigaction(Sig, &SA, nullptr);
+}
+
+void applyLimits(const WorkerLimits &L) {
+  if (L.CpuSeconds) {
+    // Soft cap delivers SIGXCPU (recorded by the handler); the hard cap
+    // two seconds later is the kernel's backstop if that wedges.
+    rlimit R{L.CpuSeconds, L.CpuSeconds + 2};
+    ::setrlimit(RLIMIT_CPU, &R);
+  }
+  if (L.MemoryMB && !TBAA_ASAN_BUILD) {
+    rlimit R{L.MemoryMB << 20, L.MemoryMB << 20};
+    ::setrlimit(RLIMIT_AS, &R);
+  }
+  // Workers crash on purpose in tests and by accident in batches; no
+  // core dumps either way.
+  rlimit Core{0, 0};
+  ::setrlimit(RLIMIT_CORE, &Core);
+}
+
+void setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+void appendCapped(std::string &Out, const char *Buf, size_t N) {
+  if (Out.size() >= MaxCapturedOutput)
+    return;
+  Out.append(Buf, std::min(N, MaxCapturedOutput - Out.size()));
+}
+
+/// Reads whatever \p Fd has without blocking; closes it (and marks -1)
+/// at EOF. Returns false once the fd is closed.
+bool drainFd(int &Fd, std::string &Into) {
+  if (Fd < 0)
+    return false;
+  char Buf[4096];
+  while (true) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      appendCapped(Into, Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+    if (errno == EINTR)
+      continue;
+    return true; // EAGAIN: writer still alive
+  }
+}
+
+uint64_t timevalMs(const timeval &TV) {
+  return static_cast<uint64_t>(TV.tv_sec) * 1000u +
+         static_cast<uint64_t>(TV.tv_usec) / 1000u;
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(unsigned Parallelism) : P(Parallelism ? Parallelism : 1) {}
+
+WorkerPool::~WorkerPool() {
+  for (Live &W : Workers) {
+    ::kill(W.Pid, SIGKILL);
+    int St = 0;
+    ::waitpid(W.Pid, &St, 0);
+    for (int *Fd : {&W.PayloadFd, &W.CrashFd, &W.OutFd})
+      if (*Fd >= 0)
+        ::close(*Fd);
+  }
+}
+
+void WorkerPool::enqueue(Item I) { Queue.push_back(std::move(I)); }
+
+bool WorkerPool::spawn(const Item &I) {
+  int PayloadP[2] = {-1, -1}, CrashP[2] = {-1, -1}, OutP[2] = {-1, -1};
+  auto CloseAll = [&] {
+    for (int Fd : {PayloadP[0], PayloadP[1], CrashP[0], CrashP[1], OutP[0],
+                   OutP[1]})
+      if (Fd >= 0)
+        ::close(Fd);
+  };
+  if (::pipe(PayloadP) || ::pipe(CrashP) || ::pipe(OutP)) {
+    CloseAll();
+    return false;
+  }
+
+  // Pending stdio would otherwise be flushed twice, once per process.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    CloseAll();
+    return false;
+  }
+
+  if (Pid == 0) {
+    // --- Worker child. Only _exit() leaves this block. ---
+    ::close(PayloadP[0]);
+    ::close(CrashP[0]);
+    ::close(OutP[0]);
+    // Sibling workers' pipe ends die here so their EOFs stay crisp.
+    for (const Live &W : Workers)
+      for (int Fd : {W.PayloadFd, W.CrashFd, W.OutFd})
+        if (Fd >= 0)
+          ::close(Fd);
+    ::dup2(OutP[1], STDOUT_FILENO);
+    ::dup2(OutP[1], STDERR_FILENO);
+    ::close(OutP[1]);
+    applyLimits(I.Limits);
+    CrashFdG = CrashP[1];
+    // First-touch outside handler context: instance() lazily constructs.
+    (void)TimerRegistry::instance().phaseCStr();
+    installCrashHandlers();
+    int RC = 3;
+    try {
+      RC = I.Fn(PayloadP[1]);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "worker: unhandled exception: %s\n", E.what());
+    } catch (...) {
+      std::fprintf(stderr, "worker: unhandled exception\n");
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    ::_exit(RC & 0xff);
+  }
+
+  // --- Parent. ---
+  ::close(PayloadP[1]);
+  ::close(CrashP[1]);
+  ::close(OutP[1]);
+  for (int Fd : {PayloadP[0], CrashP[0], OutP[0]})
+    setNonBlocking(Fd);
+  Live W;
+  W.Key = I.Key;
+  W.Pid = Pid;
+  W.PayloadFd = PayloadP[0];
+  W.CrashFd = CrashP[0];
+  W.OutFd = OutP[0];
+  W.StartMs = monoNowMs();
+  Dog.arm(Pid, I.Limits.WallMs ? Deadline::in(I.Limits.WallMs)
+                               : Deadline::never());
+  Workers.push_back(std::move(W));
+  return true;
+}
+
+void WorkerPool::drainPipes(Live &W) {
+  drainFd(W.PayloadFd, W.R.Payload);
+  drainFd(W.CrashFd, W.R.CrashRecord);
+  drainFd(W.OutFd, W.R.Output);
+}
+
+void WorkerPool::killExpired(uint64_t NowMs) {
+  for (int Pid : Dog.expired(NowMs))
+    for (Live &W : Workers)
+      if (W.Pid == Pid && !W.TimedOut) {
+        W.TimedOut = true;
+        ::kill(Pid, SIGKILL);
+      }
+}
+
+std::vector<WorkerPool::Live> WorkerPool::reap(bool Block) {
+  std::vector<Live> Done;
+  for (size_t I = 0; I < Workers.size();) {
+    Live &W = Workers[I];
+    int St = 0;
+    rusage RU{};
+    pid_t R = ::wait4(W.Pid, &St, Block && Done.empty() ? 0 : WNOHANG, &RU);
+    if (R == 0) {
+      ++I;
+      continue;
+    }
+    // The child is gone, so every write end is closed: drain to EOF.
+    while (drainPipes(W), W.PayloadFd >= 0 || W.CrashFd >= 0 || W.OutFd >= 0)
+      ::usleep(100);
+    W.R.WallMs = monoNowMs() - W.StartMs;
+    if (R < 0) {
+      W.R.Status = WorkerStatus::Exited; // lost child: internal error
+      W.R.ExitCode = -1;
+    } else if (WIFEXITED(St)) {
+      W.R.Status = WorkerStatus::Exited;
+      W.R.ExitCode = WEXITSTATUS(St);
+    } else {
+      W.R.Signal = WIFSIGNALED(St) ? WTERMSIG(St) : 0;
+      W.R.Status = W.TimedOut ? WorkerStatus::TimedOut : WorkerStatus::Signaled;
+    }
+    W.R.CpuMs = timevalMs(RU.ru_utime) + timevalMs(RU.ru_stime);
+    W.R.PeakRSSKB = static_cast<uint64_t>(RU.ru_maxrss);
+    Dog.disarm(W.Pid);
+    Done.push_back(std::move(W));
+    Workers.erase(Workers.begin() + static_cast<long>(I));
+  }
+  return Done;
+}
+
+void WorkerPool::run(const DoneFn &OnDone) {
+  while (!Queue.empty() || !Workers.empty()) {
+    uint64_t Now = monoNowMs();
+    bool Progress = false;
+    for (size_t QI = 0; Workers.size() < P && QI < Queue.size();) {
+      if (Queue[QI].NotBeforeMs <= Now) {
+        Item I = std::move(Queue[QI]);
+        Queue.erase(Queue.begin() + static_cast<long>(QI));
+        if (spawn(I)) {
+          Progress = true;
+        } else {
+          WorkerResult R;
+          R.Status = WorkerStatus::Exited;
+          R.ExitCode = 3;
+          R.Output = "workerpool: fork/pipe failed\n";
+          OnDone(I.Key, R);
+          Progress = true;
+        }
+      } else {
+        ++QI;
+      }
+    }
+    for (Live &W : Workers)
+      drainPipes(W);
+    killExpired(monoNowMs());
+    for (Live &W : reap(/*Block=*/false)) {
+      OnDone(W.Key, W.R);
+      Progress = true;
+    }
+    if (!Progress)
+      ::usleep(1000);
+  }
+}

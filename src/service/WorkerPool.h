@@ -1,0 +1,89 @@
+//===- WorkerPool.h - Process-pool executor with watchdog -------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs queued jobs in up to P concurrent forked workers (Worker.h) from
+/// a single-threaded poll loop: spawn while slots are free, drain the
+/// workers' payload/crash/output pipes, SIGKILL whatever the Watchdog
+/// says is past its wall deadline, reap with wait4 (rusage: cpu time and
+/// peak RSS per job), and hand each completion to a callback. The
+/// callback may enqueue more work -- that is how the retry ladder
+/// re-submits degraded attempts -- and items carry a NotBefore deadline
+/// so backoff never blocks the loop.
+///
+/// No threads anywhere: one process, fork, poll. That keeps the pool
+/// safe to embed in the gtest binary and trivially deterministic to
+/// reason about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_WORKERPOOL_H
+#define TBAA_SERVICE_WORKERPOOL_H
+
+#include "service/Watchdog.h"
+#include "service/Worker.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace tbaa {
+
+class WorkerPool {
+public:
+  /// \p Parallelism is clamped to at least 1.
+  explicit WorkerPool(unsigned Parallelism);
+  ~WorkerPool(); // SIGKILLs and reaps anything still live.
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  struct Item {
+    uint64_t Key = 0; ///< Echoed to the completion callback.
+    WorkerFn Fn;
+    WorkerLimits Limits;
+    /// Monotonic ms before which this item must not spawn (0 = now);
+    /// the retry ladder's backoff.
+    uint64_t NotBeforeMs = 0;
+  };
+
+  void enqueue(Item I);
+
+  using DoneFn = std::function<void(uint64_t Key, const WorkerResult &R)>;
+
+  /// Runs until the queue and all live workers drain. \p OnDone fires in
+  /// completion order and may call enqueue().
+  void run(const DoneFn &OnDone);
+
+  unsigned parallelism() const { return P; }
+
+private:
+  struct Live {
+    uint64_t Key = 0;
+    int Pid = -1;
+    int PayloadFd = -1, CrashFd = -1, OutFd = -1;
+    uint64_t StartMs = 0;
+    bool TimedOut = false;
+    WorkerResult R;
+  };
+
+  bool spawn(const Item &I);
+  void drainPipes(Live &W);
+  /// Reaps every exited worker, finishing its WorkerResult; returns the
+  /// completions. \p Block waits for at least one if any are live.
+  std::vector<Live> reap(bool Block);
+  void killExpired(uint64_t NowMs);
+
+  unsigned P;
+  std::deque<Item> Queue;
+  std::vector<Live> Workers;
+  Watchdog Dog;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_WORKERPOOL_H

@@ -1,0 +1,71 @@
+//===- Clock.h - Monotonic deadlines and backoff ----------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic-clock helpers for the batch service (docs/ROBUSTNESS.md):
+/// a millisecond now() that never goes backwards (CLOCK_MONOTONIC, so a
+/// wall-clock step under NTP cannot fire or starve a watchdog), absolute
+/// deadlines built on it, and the exponential backoff schedule the retry
+/// ladder uses. The backoff is deliberately jitter-free: every dynamic
+/// number in this reproduction is deterministic, and a single-host batch
+/// has no thundering-herd peer to decorrelate from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_CLOCK_H
+#define TBAA_SUPPORT_CLOCK_H
+
+#include <cstdint>
+#include <ctime>
+
+namespace tbaa {
+
+/// Milliseconds on the monotonic clock. Only differences are meaningful.
+inline uint64_t monoNowMs() {
+  timespec TS{};
+  clock_gettime(CLOCK_MONOTONIC, &TS);
+  return static_cast<uint64_t>(TS.tv_sec) * 1000u +
+         static_cast<uint64_t>(TS.tv_nsec) / 1'000'000u;
+}
+
+/// An absolute monotonic deadline. AtMs == 0 means "never" (disarmed),
+/// which is why in() clamps a computed deadline of 0 up to 1.
+struct Deadline {
+  uint64_t AtMs = 0;
+
+  static Deadline never() { return {}; }
+  static Deadline in(uint64_t Ms) {
+    uint64_t At = monoNowMs() + Ms;
+    return {At ? At : 1};
+  }
+
+  bool armed() const { return AtMs != 0; }
+  bool expired(uint64_t NowMs) const { return AtMs && NowMs >= AtMs; }
+  bool expired() const { return expired(monoNowMs()); }
+  /// Milliseconds left at \p NowMs; 0 when expired or disarmed.
+  uint64_t remainingMs(uint64_t NowMs) const {
+    return (AtMs && AtMs > NowMs) ? AtMs - NowMs : 0;
+  }
+};
+
+/// The delay before retry attempt \p Attempt + 1 (1-based: the first
+/// *failed* attempt is 1): Base, 2*Base, 4*Base, ... capped at \p CapMs.
+/// Base 0 disables backoff entirely.
+inline uint64_t backoffDelayMs(unsigned Attempt, uint64_t BaseMs,
+                               uint64_t CapMs) {
+  if (!BaseMs)
+    return 0;
+  unsigned Shift = Attempt ? Attempt - 1 : 0;
+  // 2^63 ms is ~292 My; past 63 doublings the cap has long won.
+  uint64_t D = Shift >= 63 ? CapMs : BaseMs << Shift;
+  if (D < BaseMs) // shift overflowed
+    D = CapMs;
+  return CapMs && D > CapMs ? CapMs : D;
+}
+
+} // namespace tbaa
+
+#endif // TBAA_SUPPORT_CLOCK_H

@@ -1,0 +1,107 @@
+//===- SafeIO.h - Async-signal-safe writers ---------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Child-safe output for the batch service's crash handlers: a worker
+/// that just took SIGSEGV must report *something* structured before it
+/// dies, and inside a signal handler that something may only use
+/// async-signal-safe primitives -- no malloc, no stdio, no std::string.
+/// LineBuf builds one record in a fixed stack/static buffer (truncating,
+/// never overflowing) and writeAll() pushes it through ::write with EINTR
+/// retry. Also used between fork and _exit, where stdio buffers shared
+/// with the parent must not be touched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_SAFEIO_H
+#define TBAA_SUPPORT_SAFEIO_H
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <unistd.h>
+
+namespace tbaa::safeio {
+
+/// Writes all \p Len bytes to \p Fd, retrying short writes and EINTR.
+/// Returns false on a real write error (the handler cannot do more than
+/// give up anyway).
+inline bool writeAll(int Fd, const char *Buf, size_t Len) {
+  while (Len) {
+    ssize_t N = ::write(Fd, Buf, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Buf += static_cast<size_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Fixed-capacity line builder; every operation is async-signal-safe.
+/// Overlong content is silently truncated -- a clipped crash record
+/// beats a corrupted heap.
+class LineBuf {
+public:
+  LineBuf &append(const char *S) {
+    while (*S && Len + 1 < sizeof(Buf))
+      Buf[Len++] = *S++;
+    return *this;
+  }
+
+  /// Appends \p S with JSON string escaping (quotes, backslashes;
+  /// control bytes become spaces -- \uXXXX needs formatting we skip in
+  /// handler context).
+  LineBuf &appendJSONEscaped(const char *S) {
+    for (; *S && Len + 2 < sizeof(Buf); ++S) {
+      char C = *S;
+      if (C == '"' || C == '\\') {
+        Buf[Len++] = '\\';
+        Buf[Len++] = C;
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        Buf[Len++] = ' ';
+      } else {
+        Buf[Len++] = C;
+      }
+    }
+    return *this;
+  }
+
+  LineBuf &appendUInt(uint64_t V) {
+    char Digits[20];
+    size_t N = 0;
+    do {
+      Digits[N++] = static_cast<char>('0' + V % 10);
+      V /= 10;
+    } while (V);
+    while (N && Len + 1 < sizeof(Buf))
+      Buf[Len++] = Digits[--N];
+    return *this;
+  }
+
+  LineBuf &appendInt(int64_t V) {
+    if (V < 0) {
+      append("-");
+      return appendUInt(static_cast<uint64_t>(-(V + 1)) + 1);
+    }
+    return appendUInt(static_cast<uint64_t>(V));
+  }
+
+  bool writeTo(int Fd) const { return writeAll(Fd, Buf, Len); }
+
+  const char *data() const { return Buf; }
+  size_t size() const { return Len; }
+
+private:
+  char Buf[512];
+  size_t Len = 0;
+};
+
+} // namespace tbaa::safeio
+
+#endif // TBAA_SUPPORT_SAFEIO_H

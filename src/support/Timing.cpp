@@ -61,6 +61,20 @@ std::string TimerRegistry::currentPhase() const {
   return Out;
 }
 
+void TimerRegistry::renderPhaseBuf() {
+  size_t Pos = 0;
+  auto Put = [&](const char *S) {
+    while (*S && Pos + 1 < sizeof(PhaseBuf))
+      PhaseBuf[Pos++] = *S++;
+  };
+  for (size_t I = 0; I != NameStack.size(); ++I) {
+    if (I)
+      Put(" > ");
+    Put(NameStack[I]);
+  }
+  PhaseBuf[Pos] = 0;
+}
+
 void TimerRegistry::reset() {
   Root.Children.clear();
   Root.Seconds = 0;
@@ -68,6 +82,7 @@ void TimerRegistry::reset() {
   Current = &Root;
   NameStack.clear();
   NamesFrozen = false;
+  renderPhaseBuf();
 }
 
 namespace {

@@ -67,19 +67,31 @@ public:
   /// the full path that was active at the throw point.
   std::string currentPhase() const;
 
+  /// Async-signal-safe view of currentPhase(): a fixed buffer kept
+  /// rendered at every scope push/pop, so a crash handler (the batch
+  /// service translates SIGSEGV et al. into structured records) can name
+  /// the active phase without allocating. Always NUL-terminated; a
+  /// signal landing mid-update may read a torn-but-bounded string.
+  const char *phaseCStr() const { return PhaseBuf; }
+
 private:
   friend class ScopedTimer;
   Node *push(const char *Name);
   void pop(Node *N, double Seconds);
+  void renderPhaseBuf();
   void pushName(const char *Name) {
-    if (!NamesFrozen)
+    if (!NamesFrozen) {
       NameStack.push_back(Name);
+      renderPhaseBuf();
+    }
   }
   void popName(bool Unwinding) {
-    if (Unwinding)
+    if (Unwinding) {
       NamesFrozen = true;
-    else if (!NamesFrozen && !NameStack.empty())
+    } else if (!NamesFrozen && !NameStack.empty()) {
       NameStack.pop_back();
+      renderPhaseBuf();
+    }
   }
 
   bool Enabled = false;
@@ -87,6 +99,7 @@ private:
   Node *Current = &Root;
   std::vector<const char *> NameStack;
   bool NamesFrozen = false;
+  char PhaseBuf[256] = {};
 };
 
 /// Opens a named phase for the lifetime of the object. No-op while the

@@ -1,0 +1,768 @@
+//===- ServiceTests.cpp - Batch service fault-isolation tests -------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// The batch service's contract is that a job can do its worst -- SIGSEGV,
+// spin forever, blow its budget, throw -- and the batch still completes
+// with a truthful per-job record. So these tests plant exactly those
+// faults: a null-store crasher, an infinite loop the watchdog must kill,
+// a budget-exceeder, and check the journal, the backoff schedule and the
+// degradation ladder that result.
+//
+// Every planted child must end in _exit (the WorkerPool guarantees it),
+// so forked gtest children never run atexit handlers or double-report.
+// Under ASan the null store would be intercepted by the sanitizer's own
+// SEGV machinery (report + plain exit) before our handler ever saw a
+// signal, so instrumented builds plant the crash with __builtin_trap()
+// (SIGILL, which ASan leaves alone) instead; signal assertions accept
+// SIGSEGV, SIGILL and SIGABRT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Batch.h"
+#include "service/BatchConfig.h"
+#include "service/CrashCapture.h"
+#include "service/Journal.h"
+#include "service/Retry.h"
+#include "service/Watchdog.h"
+#include "service/Worker.h"
+#include "service/WorkerPool.h"
+#include "support/Clock.h"
+#include "support/SafeIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <signal.h>
+#include <sstream>
+#include <stdexcept>
+#include <unistd.h>
+#include <vector>
+
+using namespace tbaa;
+
+namespace {
+
+/// A per-test scratch directory (gtest runs tests in one process; keep
+/// paths unique so journals never collide).
+std::string scratchDir() {
+  std::string Template = ::testing::TempDir() + "tbaa-service-XXXXXX";
+  std::vector<char> Buf(Template.begin(), Template.end());
+  Buf.push_back('\0');
+  const char *D = mkdtemp(Buf.data());
+  EXPECT_NE(D, nullptr);
+  return D ? std::string(D) : std::string();
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TBAA_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TBAA_ASAN_BUILD 1
+#endif
+#endif
+#ifndef TBAA_ASAN_BUILD
+#define TBAA_ASAN_BUILD 0
+#endif
+
+bool isCrashSignal(int Sig) {
+  return Sig == SIGSEGV || Sig == SIGILL || Sig == SIGABRT;
+}
+
+WorkerFn crashFn() {
+  return [](int) -> int {
+#if TBAA_ASAN_BUILD
+    __builtin_trap(); // SIGILL: reaches our handler even under ASan
+#else
+    volatile int *P = nullptr;
+    *P = 1; // the real thing: a genuine SIGSEGV
+    return 0;
+#endif
+  };
+}
+
+WorkerFn hangFn() {
+  return [](int) -> int {
+    for (;;)
+      ::pause();
+  };
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Clock: deadlines and the backoff schedule
+//===----------------------------------------------------------------------===//
+
+TEST(Clock, BackoffDoublesFromBaseAndCaps) {
+  EXPECT_EQ(backoffDelayMs(1, 100, 5000), 100u);
+  EXPECT_EQ(backoffDelayMs(2, 100, 5000), 200u);
+  EXPECT_EQ(backoffDelayMs(3, 100, 5000), 400u);
+  EXPECT_EQ(backoffDelayMs(4, 100, 5000), 800u);
+  EXPECT_EQ(backoffDelayMs(7, 100, 5000), 5000u) << "past the cap";
+}
+
+TEST(Clock, BackoffEdgeCases) {
+  EXPECT_EQ(backoffDelayMs(1, 0, 5000), 0u) << "base 0 disables backoff";
+  EXPECT_EQ(backoffDelayMs(0, 100, 5000), 100u) << "attempt 0 acts like 1";
+  EXPECT_EQ(backoffDelayMs(200, 100, 5000), 5000u)
+      << "absurd attempt counts must not overflow past the cap";
+  EXPECT_EQ(backoffDelayMs(3, 100, 0), 400u) << "cap 0 means uncapped";
+}
+
+TEST(Clock, DeadlineArmExpireRemaining) {
+  EXPECT_FALSE(Deadline::never().armed());
+  EXPECT_FALSE(Deadline::never().expired(~0ull)) << "never never expires";
+
+  Deadline D = Deadline::in(1000);
+  ASSERT_TRUE(D.armed());
+  EXPECT_FALSE(D.expired(D.AtMs - 1));
+  EXPECT_TRUE(D.expired(D.AtMs));
+  EXPECT_EQ(D.remainingMs(D.AtMs - 250), 250u);
+  EXPECT_EQ(D.remainingMs(D.AtMs + 250), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Retry: the ladder and the classifier
+//===----------------------------------------------------------------------===//
+
+TEST(Retry, LadderStepsDownToTheFloor) {
+  DegradeLevel L = DegradeLevel::Full;
+  EXPECT_TRUE(stepDown(L));
+  EXPECT_EQ(L, DegradeLevel::TypeDecl);
+  EXPECT_TRUE(stepDown(L));
+  EXPECT_EQ(L, DegradeLevel::NoOpt);
+  EXPECT_FALSE(stepDown(L)) << "noopt is the floor";
+  EXPECT_EQ(L, DegradeLevel::NoOpt);
+}
+
+TEST(Retry, NamesRoundTrip) {
+  for (DegradeLevel L :
+       {DegradeLevel::Full, DegradeLevel::TypeDecl, DegradeLevel::NoOpt}) {
+    DegradeLevel Back;
+    ASSERT_TRUE(parseDegradeLevel(degradeLevelName(L), Back));
+    EXPECT_EQ(Back, L);
+  }
+  for (JobOutcome O : {JobOutcome::Ok, JobOutcome::Diagnostics,
+                       JobOutcome::Usage, JobOutcome::Internal,
+                       JobOutcome::Crash, JobOutcome::Timeout}) {
+    JobOutcome Back;
+    ASSERT_TRUE(parseJobOutcome(jobOutcomeName(O), Back));
+    EXPECT_EQ(Back, O);
+  }
+  DegradeLevel L;
+  JobOutcome O;
+  EXPECT_FALSE(parseDegradeLevel("bogus", L));
+  EXPECT_FALSE(parseJobOutcome("bogus", O));
+}
+
+TEST(Retry, ClassifierFollowsTheExitCodeContract) {
+  WorkerResult R;
+  R.Status = WorkerStatus::Exited;
+  R.ExitCode = 0;
+  EXPECT_EQ(classifyWorker(R), JobOutcome::Ok);
+  R.ExitCode = 1;
+  EXPECT_EQ(classifyWorker(R), JobOutcome::Diagnostics);
+  R.ExitCode = 2;
+  EXPECT_EQ(classifyWorker(R), JobOutcome::Usage);
+  R.ExitCode = 3;
+  EXPECT_EQ(classifyWorker(R), JobOutcome::Internal);
+  R.ExitCode = -1; // lost child
+  EXPECT_EQ(classifyWorker(R), JobOutcome::Internal);
+
+  R.Status = WorkerStatus::Signaled;
+  R.Signal = SIGSEGV;
+  EXPECT_EQ(classifyWorker(R), JobOutcome::Crash);
+  R.Signal = SIGXCPU;
+  EXPECT_EQ(classifyWorker(R), JobOutcome::Timeout)
+      << "an rlimit CPU kill is a timeout, not a crash";
+
+  R.Status = WorkerStatus::TimedOut;
+  R.Signal = SIGKILL;
+  EXPECT_EQ(classifyWorker(R), JobOutcome::Timeout);
+}
+
+TEST(Retry, OnlyInfrastructureFailuresRetry) {
+  EXPECT_FALSE(outcomeRetryable(JobOutcome::Ok));
+  EXPECT_FALSE(outcomeRetryable(JobOutcome::Diagnostics))
+      << "a rejected input is wrong every time; retrying it is waste";
+  EXPECT_FALSE(outcomeRetryable(JobOutcome::Usage));
+  EXPECT_TRUE(outcomeRetryable(JobOutcome::Internal));
+  EXPECT_TRUE(outcomeRetryable(JobOutcome::Crash));
+  EXPECT_TRUE(outcomeRetryable(JobOutcome::Timeout));
+}
+
+TEST(Retry, DecisionWalksLadderWithExponentialBackoff) {
+  RetryPolicy P; // 3 attempts, 100ms base, degrade on retry
+  RetryDecision D =
+      decideRetry(P, JobOutcome::Crash, 1, DegradeLevel::Full);
+  ASSERT_TRUE(D.Retry);
+  EXPECT_EQ(D.NextLevel, DegradeLevel::TypeDecl);
+  EXPECT_EQ(D.DelayMs, 100u);
+
+  D = decideRetry(P, JobOutcome::Timeout, 2, DegradeLevel::TypeDecl);
+  ASSERT_TRUE(D.Retry);
+  EXPECT_EQ(D.NextLevel, DegradeLevel::NoOpt);
+  EXPECT_EQ(D.DelayMs, 200u) << "second failure doubles the delay";
+
+  EXPECT_FALSE(decideRetry(P, JobOutcome::Crash, 3, DegradeLevel::NoOpt).Retry)
+      << "attempt budget spent";
+  EXPECT_FALSE(decideRetry(P, JobOutcome::Crash, 1, DegradeLevel::NoOpt).Retry)
+      << "already at the ladder floor with nothing to step down to";
+  EXPECT_FALSE(decideRetry(P, JobOutcome::Ok, 1, DegradeLevel::Full).Retry);
+  EXPECT_FALSE(
+      decideRetry(P, JobOutcome::Diagnostics, 1, DegradeLevel::Full).Retry);
+}
+
+TEST(Retry, NoDegradeRetriesAtTheSameLevel) {
+  RetryPolicy P;
+  P.DegradeOnRetry = false;
+  RetryDecision D = decideRetry(P, JobOutcome::Crash, 1, DegradeLevel::NoOpt);
+  ASSERT_TRUE(D.Retry) << "without degradation the floor is not a stop";
+  EXPECT_EQ(D.NextLevel, DegradeLevel::NoOpt);
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog
+//===----------------------------------------------------------------------===//
+
+TEST(Watchdog, ExpiresOnlyPastDeadlinesAndKeepsThemArmed) {
+  Watchdog Dog;
+  Dog.arm(100, Deadline{1000});
+  Dog.arm(200, Deadline{2000});
+  Dog.arm(300, Deadline::never());
+  EXPECT_EQ(Dog.watched(), 3u);
+  EXPECT_EQ(Dog.nextDeadlineMs(), 1000u);
+
+  EXPECT_TRUE(Dog.expired(500).empty());
+  std::vector<int> E = Dog.expired(1500);
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_EQ(E[0], 100);
+  EXPECT_EQ(Dog.expired(1500).size(), 1u)
+      << "expired pids stay armed until explicitly disarmed";
+
+  EXPECT_EQ(Dog.expired(5000).size(), 2u) << "never() cannot expire";
+  Dog.disarm(100);
+  Dog.disarm(200);
+  Dog.disarm(300);
+  Dog.disarm(999); // unknown pid: ignored
+  EXPECT_EQ(Dog.watched(), 0u);
+  EXPECT_EQ(Dog.nextDeadlineMs(), 0u);
+}
+
+TEST(Watchdog, RearmingUpdatesTheDeadline) {
+  Watchdog Dog;
+  Dog.arm(100, Deadline{1000});
+  Dog.arm(100, Deadline{9000});
+  EXPECT_EQ(Dog.watched(), 1u);
+  EXPECT_TRUE(Dog.expired(5000).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Worker: the fault-isolation primitive
+//===----------------------------------------------------------------------===//
+
+TEST(Worker, CleanExitCarriesPayloadAndOutput) {
+  WorkerResult R = runInWorker(
+      [](int Fd) {
+        ::dprintf(Fd, "{\"main\":42}\n");
+        std::printf("stdout line\n");
+        std::fprintf(stderr, "stderr line\n");
+        return 0;
+      },
+      {});
+  EXPECT_EQ(R.Status, WorkerStatus::Exited);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Payload, "{\"main\":42}\n");
+  EXPECT_NE(R.Output.find("stdout line"), std::string::npos);
+  EXPECT_NE(R.Output.find("stderr line"), std::string::npos);
+}
+
+TEST(Worker, ExitCodesSurviveTheRoundTrip) {
+  for (int RC : {0, 1, 2, 3}) {
+    WorkerResult R = runInWorker([RC](int) { return RC; }, {});
+    EXPECT_EQ(R.Status, WorkerStatus::Exited);
+    EXPECT_EQ(R.ExitCode, RC);
+  }
+}
+
+TEST(Worker, PlantedCrashYieldsSignalAndCrashRecord) {
+  WorkerResult R = runInWorker(crashFn(), {});
+  ASSERT_EQ(R.Status, WorkerStatus::Signaled);
+  EXPECT_TRUE(isCrashSignal(R.Signal)) << "signal " << R.Signal;
+  // The in-child handler shipped a structured record before re-raising.
+  std::map<std::string, std::string> Rec;
+  ASSERT_TRUE(parseFlatJSONObject(R.CrashRecord, Rec))
+      << "unparseable crash record: " << R.CrashRecord;
+  EXPECT_FALSE(Rec["name"].empty());
+  EXPECT_NE(Rec.find("phase"), Rec.end());
+}
+
+TEST(Worker, EscapedExceptionBecomesInternalError) {
+  WorkerResult R = runInWorker(
+      [](int) -> int { throw std::runtime_error("escaped"); }, {});
+  EXPECT_EQ(R.Status, WorkerStatus::Exited);
+  EXPECT_EQ(R.ExitCode, 3) << "the m3lc internal-error code";
+  EXPECT_NE(R.Output.find("escaped"), std::string::npos)
+      << "the exception text must not vanish";
+}
+
+TEST(Worker, WatchdogKillsTheHungWorker) {
+  WorkerLimits Limits;
+  Limits.WallMs = 300;
+  uint64_t T0 = monoNowMs();
+  WorkerResult R = runInWorker(hangFn(), Limits);
+  uint64_t Elapsed = monoNowMs() - T0;
+  EXPECT_EQ(R.Status, WorkerStatus::TimedOut);
+  EXPECT_EQ(R.Signal, SIGKILL);
+  EXPECT_GE(R.WallMs, 300u);
+  EXPECT_LT(Elapsed, 10'000u) << "the kill must be prompt, not eventual";
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPool, DrainsMoreJobsThanSlots) {
+  WorkerPool Pool(2);
+  for (uint64_t K = 1; K <= 5; ++K)
+    Pool.enqueue({K, [K](int Fd) -> int {
+                    ::dprintf(Fd, "%llu",
+                              static_cast<unsigned long long>(K * K));
+                    return 0;
+                  },
+                  {}, 0});
+  std::map<uint64_t, std::string> Got;
+  Pool.run([&](uint64_t Key, const WorkerResult &R) {
+    EXPECT_EQ(R.ExitCode, 0);
+    Got[Key] = R.Payload;
+  });
+  ASSERT_EQ(Got.size(), 5u);
+  EXPECT_EQ(Got[3], "9");
+  EXPECT_EQ(Got[5], "25");
+}
+
+TEST(WorkerPool, CompletionCallbackMayEnqueue) {
+  WorkerPool Pool(1);
+  Pool.enqueue({1, [](int) { return 0; }, {}, 0});
+  unsigned Completions = 0;
+  Pool.run([&](uint64_t Key, const WorkerResult &) {
+    ++Completions;
+    if (Key < 3) // the retry ladder's resubmission shape
+      Pool.enqueue({Key + 1, [](int) { return 0; }, {}, 0});
+  });
+  EXPECT_EQ(Completions, 3u);
+}
+
+TEST(WorkerPool, NotBeforeDelaysTheSpawn) {
+  WorkerPool Pool(2);
+  uint64_t T0 = monoNowMs();
+  Pool.enqueue({1, [](int) { return 0; }, {}, T0 + 250});
+  uint64_t DoneAt = 0;
+  Pool.run([&](uint64_t, const WorkerResult &) { DoneAt = monoNowMs(); });
+  EXPECT_GE(DoneAt - T0, 250u) << "backoff deadline ignored";
+}
+
+//===----------------------------------------------------------------------===//
+// Journal
+//===----------------------------------------------------------------------===//
+
+TEST(Journal, RecordRendersTheDocumentedSchema) {
+  JournalRecord R;
+  R.Job = "fmt \"x\"";
+  R.Attempt = 2;
+  R.Level = DegradeLevel::TypeDecl;
+  R.Outcome = JobOutcome::Crash;
+  R.ExitCode = -1;
+  R.Signal = 11;
+  R.WallMs = 12;
+  R.CpuMs = 9;
+  R.PeakRSSKB = 4096;
+  R.BackoffMs = 200;
+  EXPECT_EQ(R.toJSONLine(),
+            "{\"job\":\"fmt \\\"x\\\"\",\"attempt\":2,"
+            "\"degrade\":\"typedecl\",\"outcome\":\"crash\",\"exit\":-1,"
+            "\"signal\":11,\"wall_ms\":12,\"cpu_ms\":9,"
+            "\"peak_rss_kb\":4096,\"backoff_ms\":200,\"final\":false}");
+  R.Final = true;
+  R.HasResult = true;
+  R.Result = -7;
+  EXPECT_NE(R.toJSONLine().find("\"final\":true,\"result\":-7"),
+            std::string::npos);
+}
+
+TEST(Journal, AppendLoadRoundTripAndFinishedJobs) {
+  std::string Dir = scratchDir();
+  std::string Path = Dir + "/journal.jsonl";
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path, /*Truncate=*/true));
+    JournalRecord A;
+    A.Job = "a";
+    A.Outcome = JobOutcome::Crash;
+    A.BackoffMs = 100;
+    J.append(A);
+    A.Attempt = 2;
+    A.Level = DegradeLevel::TypeDecl;
+    A.Outcome = JobOutcome::Ok;
+    A.BackoffMs = 0;
+    A.Final = true;
+    A.HasResult = true;
+    A.Result = 123;
+    J.append(A);
+    JournalRecord B;
+    B.Job = "b";
+    B.Outcome = JobOutcome::Timeout;
+    J.append(B); // never finished -- the interrupted job
+  }
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  ASSERT_TRUE(Journal::load(Path, Records, Error)) << Error;
+  ASSERT_EQ(Records.size(), 3u);
+  EXPECT_EQ(Records[0].Job, "a");
+  EXPECT_EQ(Records[0].Outcome, JobOutcome::Crash);
+  EXPECT_EQ(Records[0].BackoffMs, 100u);
+  EXPECT_FALSE(Records[0].Final);
+  EXPECT_EQ(Records[1].Level, DegradeLevel::TypeDecl);
+  ASSERT_TRUE(Records[1].HasResult);
+  EXPECT_EQ(Records[1].Result, 123);
+  EXPECT_FALSE(Records[2].Final);
+
+  std::set<std::string> Done = Journal::finishedJobs(Records);
+  EXPECT_EQ(Done, std::set<std::string>{"a"})
+      << "only the job with a final record is settled";
+}
+
+TEST(Journal, MissingFileIsEmptyNotAnError) {
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  EXPECT_TRUE(Journal::load(scratchDir() + "/nope.jsonl", Records, Error));
+  EXPECT_TRUE(Records.empty());
+}
+
+TEST(Journal, MalformedLineFailsTheLoadByName) {
+  std::string Path = scratchDir() + "/bad.jsonl";
+  {
+    std::ofstream Out(Path);
+    Out << JournalRecord{.Job = "a"}.toJSONLine() << "\n";
+    Out << "{\"job\":\"half\n";
+  }
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  EXPECT_FALSE(Journal::load(Path, Records, Error))
+      << "a corrupt journal must never silently skip records";
+  EXPECT_NE(Error.find(":2"), std::string::npos)
+      << "error should name line 2: " << Error;
+}
+
+TEST(Journal, FlatParserHandlesEscapesAndRejectsNesting) {
+  std::map<std::string, std::string> Out;
+  ASSERT_TRUE(parseFlatJSONObject(
+      R"({"s":"a\"b\\c","n":-12,"b":true,"u":"xAy"})", Out));
+  EXPECT_EQ(Out["s"], "a\"b\\c");
+  EXPECT_EQ(Out["n"], "-12");
+  EXPECT_EQ(Out["b"], "true");
+  EXPECT_EQ(Out["u"], "xAy");
+
+  EXPECT_FALSE(parseFlatJSONObject(R"({"k":{"nested":1}})", Out));
+  EXPECT_FALSE(parseFlatJSONObject(R"({"k":[1,2]})", Out));
+  EXPECT_FALSE(parseFlatJSONObject(R"({"k":1} trailing)", Out));
+  EXPECT_FALSE(parseFlatJSONObject("not json", Out));
+  EXPECT_FALSE(parseFlatJSONObject(R"({"k")", Out));
+}
+
+//===----------------------------------------------------------------------===//
+// BatchConfig
+//===----------------------------------------------------------------------===//
+
+TEST(BatchConfig, ParsesTheFleetFile) {
+  BatchConfig C;
+  std::string Error;
+  ASSERT_TRUE(BatchConfig::parse("# fleet defaults\n"
+                                 "analysis_budget = 5000\n"
+                                 "max_errors = 8\n"
+                                 "level = typedecl\n"
+                                 "\n"
+                                 "timeout_ms = 1234\n"
+                                 "retries = 2\n"
+                                 "parallel = 7\n",
+                                 C, Error))
+      << Error;
+  EXPECT_EQ(C.AnalysisBudget, 5000u);
+  EXPECT_EQ(C.MaxErrors, 8u);
+  EXPECT_EQ(C.Level, "typedecl");
+  EXPECT_EQ(C.TimeoutMs, 1234u);
+  EXPECT_EQ(C.Retries, 2u);
+  EXPECT_EQ(C.Parallel, 7u);
+  EXPECT_EQ(C.CpuSeconds, 60u) << "unset keys keep their defaults";
+}
+
+TEST(BatchConfig, RejectsTyposWithALineNumber) {
+  BatchConfig C;
+  std::string Error;
+  EXPECT_FALSE(BatchConfig::parse("retrys = 3\n", C, Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("retrys"), std::string::npos) << Error;
+
+  EXPECT_FALSE(BatchConfig::parse("\n\nretries = soon\n", C, Error));
+  EXPECT_NE(Error.find("line 3"), std::string::npos) << Error;
+  EXPECT_FALSE(BatchConfig::parse("retries = 0\n", C, Error));
+  EXPECT_FALSE(BatchConfig::parse("level = max\n", C, Error));
+  EXPECT_FALSE(BatchConfig::parse("just words\n", C, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// The batch engine: planted faults end as outcomes, never batch failures
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A job that crashes at Full precision and succeeds once the ladder
+/// steps it down -- the recovery story the service exists for.
+BatchJob recoveringJob() {
+  BatchJob J;
+  J.Id = "recovers";
+  J.Source = "MODULE planted; END planted.\n";
+  J.Make = [](DegradeLevel D) -> WorkerFn {
+    if (D == DegradeLevel::Full)
+      return crashFn();
+    return [](int Fd) {
+      ::dprintf(Fd, "{\"main\":77}\n");
+      return 0;
+    };
+  };
+  return J;
+}
+
+BatchJob hangingJob() {
+  BatchJob J;
+  J.Id = "hangs";
+  J.Make = [](DegradeLevel) { return hangFn(); };
+  return J;
+}
+
+BatchJob cleanJob(const char *Id, int Value) {
+  BatchJob J;
+  J.Id = Id;
+  J.Make = [Value](DegradeLevel) -> WorkerFn {
+    return [Value](int Fd) {
+      ::dprintf(Fd, "{\"main\":%d}\n", Value);
+      return 0;
+    };
+  };
+  return J;
+}
+
+const JobFinal *findFinal(const BatchResult &R, const std::string &Id) {
+  for (const JobFinal &F : R.Finals)
+    if (F.Id == Id)
+      return &F;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Batch, PlantedFaultsSettleAsOutcomesWithLadderRecovery) {
+  std::string Dir = scratchDir();
+  BatchOptions Opts;
+  Opts.Parallelism = 2;
+  Opts.Limits.WallMs = 500;
+  Opts.Retry.MaxAttempts = 3;
+  Opts.Retry.BackoffBaseMs = 1; // keep the test fast, schedule still real
+  Opts.JournalPath = Dir + "/journal.jsonl";
+  Opts.CrashDir = Dir + "/crashes";
+
+  BatchResult R = runBatch(
+      {recoveringJob(), hangingJob(), cleanJob("clean", 9)}, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Finals.size(), 3u);
+
+  const JobFinal *Rec = findFinal(R, "recovers");
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_EQ(Rec->Outcome, JobOutcome::Ok);
+  EXPECT_EQ(Rec->Level, DegradeLevel::TypeDecl)
+      << "recovery happens one rung down, and the final says so";
+  EXPECT_EQ(Rec->Attempts, 2u);
+  ASSERT_TRUE(Rec->HasResult);
+  EXPECT_EQ(Rec->Result, 77);
+
+  const JobFinal *Hang = findFinal(R, "hangs");
+  ASSERT_NE(Hang, nullptr);
+  EXPECT_EQ(Hang->Outcome, JobOutcome::Timeout);
+  EXPECT_EQ(Hang->Attempts, 3u) << "a persistent hang spends the ladder";
+  EXPECT_EQ(Hang->Level, DegradeLevel::NoOpt);
+
+  const JobFinal *Clean = findFinal(R, "clean");
+  ASSERT_NE(Clean, nullptr);
+  EXPECT_EQ(Clean->Outcome, JobOutcome::Ok);
+  EXPECT_EQ(Clean->Attempts, 1u);
+  EXPECT_FALSE(R.allOk());
+  EXPECT_EQ(R.count(JobOutcome::Ok), 2u);
+
+  // The journal must tell the same story, attempt by attempt.
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  ASSERT_TRUE(Journal::load(Opts.JournalPath, Records, Error)) << Error;
+  ASSERT_EQ(Records.size(), 6u) << "2 + 3 + 1 attempts";
+  unsigned Finals = 0;
+  for (const JournalRecord &JR : Records) {
+    if (JR.Final) {
+      ++Finals;
+      EXPECT_EQ(JR.BackoffMs, 0u);
+    } else {
+      EXPECT_GT(JR.BackoffMs, 0u)
+          << JR.Job << ": a retried attempt must record its backoff";
+      EXPECT_TRUE(outcomeRetryable(JR.Outcome));
+    }
+    if (JR.Job == "hangs") {
+      EXPECT_EQ(JR.Outcome, JobOutcome::Timeout);
+    }
+  }
+  EXPECT_EQ(Finals, 3u);
+  EXPECT_EQ(Journal::finishedJobs(Records),
+            (std::set<std::string>{"recovers", "hangs", "clean"}));
+
+  // And the crash left a triage bundle shaped like m3fuzz's.
+  EXPECT_FALSE(slurp(Dir + "/crashes/recovers-a1/input.m3l").empty());
+  std::string Report = slurp(Dir + "/crashes/recovers-a1/report.txt");
+  EXPECT_NE(Report.find("outcome:"), std::string::npos);
+  EXPECT_NE(Report.find("crash"), std::string::npos);
+}
+
+TEST(Batch, ResumeRerunsOnlyUnfinishedJobs) {
+  std::string Dir = scratchDir();
+  BatchOptions Opts;
+  Opts.JournalPath = Dir + "/journal.jsonl";
+
+  BatchResult First = runBatch({cleanJob("a", 1)}, Opts);
+  ASSERT_TRUE(First.ok()) << First.Error;
+  ASSERT_EQ(First.Finals.size(), 1u);
+
+  // The "interrupted" batch comes back with one finished job and one
+  // new one: only the new one may run.
+  Opts.Resume = true;
+  BatchResult Second = runBatch({cleanJob("a", 1), cleanJob("b", 2)}, Opts);
+  ASSERT_TRUE(Second.ok()) << Second.Error;
+  EXPECT_EQ(Second.Skipped, 1u);
+  ASSERT_EQ(Second.Finals.size(), 1u);
+  EXPECT_EQ(Second.Finals[0].Id, "b");
+
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  ASSERT_TRUE(Journal::load(Opts.JournalPath, Records, Error)) << Error;
+  ASSERT_EQ(Records.size(), 2u) << "resume appends, never rewrites";
+  EXPECT_EQ(Records[0].Job, "a");
+  EXPECT_EQ(Records[1].Job, "b");
+
+  // Without --resume the same journal path starts a fresh batch.
+  Opts.Resume = false;
+  BatchResult Third = runBatch({cleanJob("c", 3)}, Opts);
+  ASSERT_TRUE(Third.ok());
+  Records.clear();
+  ASSERT_TRUE(Journal::load(Opts.JournalPath, Records, Error)) << Error;
+  ASSERT_EQ(Records.size(), 1u) << "no --resume truncates";
+  EXPECT_EQ(Records[0].Job, "c");
+}
+
+TEST(Batch, CorruptJournalFailsResumeLoudly) {
+  std::string Dir = scratchDir();
+  std::string Path = Dir + "/journal.jsonl";
+  {
+    std::ofstream Out(Path);
+    Out << "{{{\n";
+  }
+  BatchOptions Opts;
+  Opts.JournalPath = Path;
+  Opts.Resume = true;
+  BatchResult R = runBatch({cleanJob("a", 1)}, Opts);
+  EXPECT_FALSE(R.ok())
+      << "guessing at a corrupt journal would re-run or skip arbitrarily";
+  EXPECT_NE(R.Error.find(Path), std::string::npos) << R.Error;
+}
+
+TEST(Batch, BudgetExceederDegradesInsideTheWorkerAndStillSucceeds) {
+  // The @budget shape: the job itself handles exhaustion gracefully
+  // (PR 2's in-compile ladder), so the *batch* ladder never engages.
+  BatchJob J;
+  J.Id = "budget";
+  J.Make = [](DegradeLevel) -> WorkerFn {
+    return [](int Fd) {
+      ::dprintf(Fd, "{\"main\":1}\n");
+      return 0; // graceful degradation, not an error exit
+    };
+  };
+  BatchOptions Opts;
+  Opts.Limits.CpuSeconds = 30;
+  BatchResult R = runBatch({J}, Opts);
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Finals.size(), 1u);
+  EXPECT_EQ(R.Finals[0].Outcome, JobOutcome::Ok);
+  EXPECT_EQ(R.Finals[0].Attempts, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// CrashCapture
+//===----------------------------------------------------------------------===//
+
+TEST(CrashCapture, BundleCarriesInputReportAndRerun) {
+  std::string Dir = scratchDir();
+  WorkerResult W;
+  W.Status = WorkerStatus::Signaled;
+  W.Signal = SIGSEGV;
+  W.CrashRecord = "{\"signal\":11,\"name\":\"SIGSEGV\",\"phase\":\"rle\"}";
+  W.Output = "some stderr noise";
+  JournalRecord R;
+  R.Job = "fmt";
+  R.Attempt = 2;
+  R.Outcome = JobOutcome::Crash;
+  R.Signal = SIGSEGV;
+
+  std::string Bundle = writeCrashBundle(Dir, R, "MODULE x; END x.\n", W,
+                                        "m3lc run --level=typedecl x.m3l");
+  ASSERT_FALSE(Bundle.empty());
+  EXPECT_NE(Bundle.find("fmt-a2"), std::string::npos);
+  EXPECT_EQ(slurp(Bundle + "/input.m3l"), "MODULE x; END x.\n");
+  std::string Report = slurp(Bundle + "/report.txt");
+  EXPECT_NE(Report.find("rle"), std::string::npos)
+      << "the frozen phase from the crash record must surface";
+  EXPECT_NE(Report.find("m3lc run --level=typedecl"), std::string::npos);
+  EXPECT_NE(Report.find("some stderr noise"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// SafeIO: the async-signal-safe building blocks under the crash handler
+//===----------------------------------------------------------------------===//
+
+TEST(SafeIO, LineBufBuildsEscapedJSONWithoutAllocating) {
+  safeio::LineBuf B;
+  B.append("{\"name\":\"");
+  B.appendJSONEscaped("say \"hi\"\\\n");
+  B.append("\",\"n\":");
+  B.appendUInt(42);
+  B.append(",\"i\":");
+  B.appendInt(-7);
+  B.append("}");
+  std::string S(B.data(), B.size());
+  EXPECT_EQ(S, "{\"name\":\"say \\\"hi\\\"\\\\ \",\"n\":42,\"i\":-7}")
+      << "control bytes become spaces, quotes and backslashes escape";
+  std::map<std::string, std::string> Out;
+  EXPECT_TRUE(parseFlatJSONObject(S, Out))
+      << "what the handler writes, the journal parser must read";
+}
+
+TEST(SafeIO, LineBufTruncatesInsteadOfOverflowing) {
+  safeio::LineBuf B;
+  for (int I = 0; I < 100; ++I)
+    B.append("0123456789");
+  EXPECT_LT(B.size(), 512u);
+}

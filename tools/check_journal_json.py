@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Schema and resume check for the m3batch JSONL journal.
+
+Drives the m3batch binary through the two flagship robustness scenarios
+(docs/ROBUSTNESS.md) and validates the journal it leaves behind:
+
+  * Planted batch: a SIGSEGV worker (@crash), an infinite loop (@hang),
+    a budget-starved compile (@budget) and a clean workload must all
+    settle -- the batch exits 0, every journal line parses as a flat
+    JSON object matching the documented schema, attempts per job are
+    sequential and walk the degradation ladder downward, exactly one
+    record per job is final, crash/timeout records carry a signal, and
+    retried attempts carry the scheduled backoff.
+
+  * Interrupted batch: run job A to completion, then rerun with jobs
+    A+B under --resume. Only B may execute (the resume banner reports
+    one skipped job) and A's journal record must survive untouched.
+
+Usage: check_journal_json.py <path-to-m3batch-binary>
+Exit status 0 on success, 1 on any violation.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+OUTCOMES = {"ok", "diagnostics", "usage", "internal", "crash", "timeout"}
+LADDER = {"full": 0, "typedecl": 1, "noopt": 2}
+SCHEMA = (("job", str), ("attempt", int), ("degrade", str), ("outcome", str),
+          ("exit", int), ("signal", int), ("wall_ms", int), ("cpu_ms", int),
+          ("peak_rss_kb", int), ("backoff_ms", int), ("final", bool))
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def parse_journal(path):
+    records = []
+    for number, line in enumerate(path.read_text().splitlines(), 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path.name}:{number}: invalid JSON: {exc}")
+            continue
+        if not isinstance(record, dict):
+            fail(f"{path.name}:{number}: not an object")
+            continue
+        for key, kind in SCHEMA:
+            if key not in record:
+                fail(f"{path.name}:{number}: missing '{key}'")
+            elif not isinstance(record[key], kind) or (
+                    kind is int and isinstance(record[key], bool)):
+                fail(f"{path.name}:{number}: '{key}' has type "
+                     f"{type(record[key]).__name__}")
+        extra = set(record) - {key for key, _ in SCHEMA} - {"result"}
+        if extra:
+            fail(f"{path.name}:{number}: undocumented keys {sorted(extra)}")
+        if record.get("degrade") not in LADDER:
+            fail(f"{path.name}:{number}: unknown degrade level "
+                 f"{record.get('degrade')!r}")
+        if record.get("outcome") not in OUTCOMES:
+            fail(f"{path.name}:{number}: unknown outcome "
+                 f"{record.get('outcome')!r}")
+        records.append(record)
+    return records
+
+
+def check_planted(binary, tmp):
+    journal = tmp / "planted.jsonl"
+    proc = subprocess.run(
+        [str(binary), "--jobs=@crash,@hang,@budget,format", "--parallel=2",
+         "--timeout-ms=2000", "--retries=2", "--backoff-ms=1",
+         f"--journal={journal}", f"--crash-dir={tmp / 'crashes'}"],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"planted batch exited {proc.returncode} (want 0: job "
+             f"failures are outcomes, not batch failures):\n{proc.stderr}")
+        return
+    records = parse_journal(journal)
+
+    by_job = {}
+    for record in records:
+        by_job.setdefault(record["job"], []).append(record)
+    if set(by_job) != {"@crash", "@hang", "@budget", "format"}:
+        fail(f"journal covers jobs {sorted(by_job)}, expected the 4 planted")
+
+    for job, attempts in by_job.items():
+        for index, record in enumerate(attempts):
+            if record["attempt"] != index + 1:
+                fail(f"{job}: attempt numbers not sequential: "
+                     f"{[r['attempt'] for r in attempts]}")
+                break
+        levels = [LADDER[r["degrade"]] for r in attempts]
+        if levels != sorted(levels):
+            fail(f"{job}: degrade levels climb back up: "
+                 f"{[r['degrade'] for r in attempts]}")
+        finals = [r for r in attempts if r["final"]]
+        if len(finals) != 1 or not attempts[-1]["final"]:
+            fail(f"{job}: expected exactly the last record final, got "
+                 f"{[r['final'] for r in attempts]}")
+        for record in attempts:
+            # backoff_ms is the delay scheduled *because of* this attempt,
+            # so it is positive exactly on retried (non-final) attempts.
+            if record["final"] != (record["backoff_ms"] == 0):
+                fail(f"{job}: attempt {record['attempt']}: backoff_ms="
+                     f"{record['backoff_ms']} with final={record['final']}")
+
+    def final(job):
+        return [r for r in by_job.get(job, []) if r["final"]][0]
+
+    # @crash dies on SIGSEGV (SIGABRT under ASan's abort_on_error), both
+    # attempts; @hang is killed by the watchdog; @budget degrades
+    # *inside* the worker and still succeeds; format is simply clean.
+    for job, want_outcome, want_attempts in (("@crash", "crash", 2),
+                                             ("@hang", "timeout", 2),
+                                             ("@budget", "ok", 1),
+                                             ("format", "ok", 1)):
+        if job not in by_job:
+            continue
+        record = final(job)
+        if record["outcome"] != want_outcome:
+            fail(f"{job}: final outcome {record['outcome']!r}, "
+                 f"want {want_outcome!r}")
+        if len(by_job[job]) != want_attempts:
+            fail(f"{job}: {len(by_job[job])} attempts, want {want_attempts}")
+        if want_outcome in ("crash", "timeout") and record["signal"] == 0:
+            fail(f"{job}: {want_outcome} record carries no signal")
+        if want_outcome == "ok" and "result" not in record:
+            fail(f"{job}: ok record carries no result")
+
+    bundle = tmp / "crashes" / "@crash-a1" / "report.txt"
+    if not bundle.exists():
+        fail(f"no triage bundle at {bundle}")
+
+
+def check_resume(binary, tmp):
+    journal = tmp / "resume.jsonl"
+
+    def run(jobs, resume):
+        cmd = [str(binary), f"--jobs={jobs}", f"--journal={journal}"]
+        if resume:
+            cmd.append("--resume")
+        return subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=600)
+
+    first = run("format", resume=False)
+    if first.returncode != 0:
+        fail(f"resume scenario: first run exited {first.returncode}")
+        return
+    before = journal.read_text()
+
+    second = run("format,dformat", resume=True)
+    if second.returncode != 0:
+        fail(f"resume scenario: second run exited {second.returncode}")
+        return
+    if "skipped 1 finished job" not in second.stdout:
+        fail("resume scenario: no skip banner -- the finished job re-ran?")
+    if not journal.read_text().startswith(before):
+        fail("resume scenario: --resume rewrote the settled record")
+    jobs = [r["job"] for r in parse_journal(journal)]
+    if jobs != ["format", "dformat"]:
+        fail(f"resume scenario: journal holds {jobs}, expected exactly "
+             f"['format', 'dformat']")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = Path(sys.argv[1])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        check_planted(binary, Path(tmp))
+        check_resume(binary, Path(tmp))
+
+    if errors:
+        for message in errors:
+            print(f"check_journal_json: {message}", file=sys.stderr)
+        return 1
+    print("check_journal_json: planted + resume journals OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

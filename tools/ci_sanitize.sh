@@ -19,4 +19,17 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DTBAA_SANITIZERS=ON
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 "$BUILD_DIR/tools/m3fuzz" --seeds=100 --out="$BUILD_DIR/m3fuzz-sanitize"
+
+# The batch service forks sandboxed workers, installs signal handlers on
+# an alternate stack and plants real crashes -- exactly the code most
+# worth a dedicated pass under ASan/UBSan. (RLIMIT_AS is skipped in
+# sanitizer builds, and the planted crasher uses __builtin_trap()/SIGILL
+# there, since ASan's own SEGV machinery would swallow a null store
+# before the worker's crash handler ever saw a signal.)
+"$BUILD_DIR/tests/tbaa_tests" \
+    --gtest_filter='Worker*:Watchdog*:Journal*:Batch*:Retry*:Clock*:CrashCapture*:SafeIO*'
+"$BUILD_DIR/tools/m3batch" "--jobs=@crash,@hang,@budget,format" \
+    --parallel=2 --timeout-ms=4000 --retries=2 --backoff-ms=1 \
+    --journal="$BUILD_DIR/m3batch-sanitize.jsonl" \
+    --crash-dir="$BUILD_DIR/m3batch-sanitize-crashes"
 echo "ci_sanitize: clean"

@@ -1,0 +1,413 @@
+//===- m3batch.cpp - Fault-isolated batch compilation driver --------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Compiles a batch of M3L workloads with one sandboxed worker per job
+// (src/service/): rlimit CPU/memory caps, crash-translating signal
+// handlers, a monotonic watchdog for hangs, and a retry ladder that
+// steps failed jobs down the precision ladder (full TBAA -> TypeDecl
+// oracle -> -O0) with exponential backoff. Every attempt is appended to
+// a JSONL journal so an interrupted batch resumes where it stopped, and
+// crashes produce m3fuzz-compatible triage bundles.
+//
+//   m3batch [--jobs=a,b,c] [--gen=N] [--config=FILE] [--parallel=N]
+//           [--timeout-ms=N] [--cpu-seconds=N] [--memory-mb=N]
+//           [--retries=N] [--backoff-ms=N] [--journal=FILE] [--resume]
+//           [--crash-dir=DIR] [--level=L] [--pipeline] [--pre]
+//           [--strict] [--verbose] [--stats]
+//
+// Jobs: bundled workload names, .m3l file paths, `gen:SEED` generated
+// programs, or the planted fault injectors `@crash` (SIGSEGV), `@hang`
+// (infinite loop) and `@budget` (compiles under a starved analysis
+// budget) used by the robustness tests. Default: every non-interactive
+// bundled workload. Workers follow the m3lc exit-code contract
+// (0 ok, 1 diagnostics/trap, 2 usage, 3 internal).
+//
+// Exit codes: 0 the batch completed (per-job outcomes are in the
+// journal/summary, failures included); 1 --strict and some job did not
+// end ok; 2 usage error; 3 driver error (journal unusable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AliasOracle.h"
+#include "core/Degradation.h"
+#include "core/TBAAContext.h"
+#include "exec/VM.h"
+#include "ir/Pipeline.h"
+#include "opt/PassPipeline.h"
+#include "service/Batch.h"
+#include "service/BatchConfig.h"
+#include "support/Budget.h"
+#include "support/Stats.h"
+#include "workloads/Generator.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TBAA_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TBAA_ASAN_BUILD 1
+#endif
+#endif
+#ifndef TBAA_ASAN_BUILD
+#define TBAA_ASAN_BUILD 0
+#endif
+
+using namespace tbaa;
+
+namespace {
+
+struct Options {
+  BatchConfig Cfg;
+  std::vector<std::string> JobNames;
+  uint64_t Gen = 0;
+  std::string JournalPath;
+  bool Resume = false;
+  std::string CrashDir;
+  bool Pipeline = false;
+  bool PRE = false;
+  bool Strict = false;
+  bool Verbose = false;
+  bool Stats = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: m3batch [--jobs=a,b,c] [--gen=N] [--config=FILE]\n"
+      "               [--parallel=N] [--timeout-ms=N] [--cpu-seconds=N]\n"
+      "               [--memory-mb=N] [--retries=N] [--backoff-ms=N]\n"
+      "               [--journal=FILE] [--resume] [--crash-dir=DIR]\n"
+      "               [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
+      "               [--pipeline] [--pre] [--strict] [--verbose] "
+      "[--stats]\n"
+      "jobs: workload names, .m3l files, gen:SEED, @crash, @hang, "
+      "@budget\n"
+      "exit codes: 0 batch completed, 1 --strict failure, 2 usage, "
+      "3 driver error\n");
+  return 2;
+}
+
+AliasLevel levelFromName(const std::string &Name) {
+  if (Name == "typedecl")
+    return AliasLevel::TypeDecl;
+  if (Name == "fieldtypedecl")
+    return AliasLevel::FieldTypeDecl;
+  return AliasLevel::SMFieldTypeRefs;
+}
+
+/// The compile-and-run worker body at one ladder rung. Runs inside the
+/// forked child; follows the m3lc exit-code contract.
+int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
+                  bool Pipeline, bool PRE, DegradeLevel D, int PayloadFd) {
+  // Fleet-wide per-job defaults (--config): analysis budget and the
+  // diagnostic cap govern every worker identically.
+  BudgetRegistry::instance().setAllLimits(Cfg.AnalysisBudget);
+  DiagnosticEngine Diags;
+  Diags.setMaxDiagnostics(Cfg.MaxErrors);
+  Compilation C = compileSource(Source, Diags);
+  if (!C.ok()) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return 1;
+  }
+
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  if (D != DegradeLevel::NoOpt) {
+    AliasLevel L = D == DegradeLevel::Full ? levelFromName(Cfg.Level)
+                                           : AliasLevel::TypeDecl;
+    std::unique_ptr<InstrumentedOracle> Oracle = makeDegradingOracle(Ctx, L);
+    PipelineOptions PO;
+    PO.Devirt = PO.Inline = PO.CopyProp = Pipeline && D == DegradeLevel::Full;
+    PO.RLE = true;
+    PO.PRE = PRE && D == DegradeLevel::Full;
+    PO.VerifyEach = true;
+    OptPipeline P(Ctx, *Oracle, PO);
+    if (PipelineFailure F = P.run(C.IR); F.failed()) {
+      std::fprintf(stderr,
+                   "m3batch worker: IR verification failed after pass '%s' "
+                   "in function '%s':\n%s\n",
+                   F.Pass.c_str(), F.Function.c_str(), F.Error.c_str());
+      return 3;
+    }
+  }
+
+  VM Machine(C.IR);
+  if (!Machine.runInit()) {
+    std::fprintf(stderr, "m3batch worker: %s\n",
+                 Machine.trapMessage().c_str());
+    return 1;
+  }
+  std::optional<int64_t> R = Machine.callFunction("Main");
+  if (!R) {
+    std::fprintf(stderr, "m3batch worker: %s\n",
+                 Machine.trapped() ? Machine.trapMessage().c_str()
+                                   : "program has no Main(): INTEGER");
+    return 1;
+  }
+  ::dprintf(PayloadFd, "{\"main\":%lld,\"degrade\":\"%s\"}\n",
+            static_cast<long long>(*R), degradeLevelName(D));
+  return 0;
+}
+
+std::string loadFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return {};
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Resolves one --jobs token into a BatchJob. Returns false on an
+/// unresolvable name.
+bool makeJob(const std::string &Name, const Options &Opts, BatchJob &Out) {
+  Out.Id = Name;
+  const BatchConfig &Cfg = Opts.Cfg;
+  bool Pipeline = Opts.Pipeline, PRE = Opts.PRE;
+
+  if (Name == "@crash") {
+    Out.Make = [](DegradeLevel) {
+      return [](int) -> int {
+#if TBAA_ASAN_BUILD
+        // ASan's own SEGV machinery would intercept a null store and
+        // exit before our crash handler saw any signal; a trap (SIGILL)
+        // still reaches the handler in instrumented builds.
+        __builtin_trap();
+#else
+        volatile int *P = nullptr;
+        *P = 1; // the planted SIGSEGV worker
+        return 0;
+#endif
+      };
+    };
+    return true;
+  }
+  if (Name == "@hang") {
+    Out.Make = [](DegradeLevel) {
+      return [](int) -> int {
+        for (;;) // the planted hung worker; only the watchdog ends it
+          ::pause();
+      };
+    };
+    return true;
+  }
+  if (Name == "@budget") {
+    // A worker compiling under a starved analysis budget: exercises the
+    // *in-worker* degradation ladder (PR 2) inside the batch sandbox --
+    // it must still exit 0.
+    const WorkloadInfo *W = findWorkload("format");
+    Out.Source = W ? W->Source : "";
+    BatchConfig Starved = Cfg;
+    Starved.AnalysisBudget = 16;
+    Out.Make = [Source = Out.Source, Starved, Pipeline, PRE](DegradeLevel D) {
+      return [=](int Fd) {
+        return runCompileJob(Source, Starved, Pipeline, PRE, D, Fd);
+      };
+    };
+    return true;
+  }
+
+  if (Name.rfind("gen:", 0) == 0) {
+    char *End = nullptr;
+    uint64_t Seed = std::strtoull(Name.c_str() + 4, &End, 10);
+    if (!End || *End)
+      return false;
+    GeneratorOptions GO;
+    GO.Seed = Seed;
+    Out.Source = generateProgram(GO);
+  } else if (const WorkloadInfo *W = findWorkload(Name)) {
+    Out.Source = W->Source;
+  } else {
+    Out.Source = loadFileOrEmpty(Name);
+    if (Out.Source.empty())
+      return false;
+  }
+
+  Out.Make = [Source = Out.Source, Cfg, Pipeline, PRE](DegradeLevel D) {
+    return [=](int Fd) {
+      return runCompileJob(Source, Cfg, Pipeline, PRE, D, Fd);
+    };
+  };
+  return true;
+}
+
+std::vector<std::string> splitCommas(const std::string &S) {
+  std::vector<std::string> Out;
+  std::istringstream In(S);
+  std::string Tok;
+  while (std::getline(In, Tok, ','))
+    if (!Tok.empty())
+      Out.push_back(Tok);
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  // The config file applies first so every flag can override it.
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--config=", 9) == 0) {
+      std::string Error;
+      if (!BatchConfig::loadFile(argv[I] + 9, Opts.Cfg, Error)) {
+        std::fprintf(stderr, "m3batch: %s\n", Error.c_str());
+        return 2;
+      }
+    }
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto numArg = [&](const char *Prefix, uint64_t &Slot) {
+      size_t N = std::strlen(Prefix);
+      if (A.rfind(Prefix, 0) != 0)
+        return false;
+      char *End = nullptr;
+      Slot = std::strtoull(A.c_str() + N, &End, 10);
+      return End && !*End;
+    };
+    uint64_t Tmp = 0;
+    if (A.rfind("--config=", 0) == 0)
+      ; // applied above
+    else if (A.rfind("--jobs=", 0) == 0)
+      Opts.JobNames = splitCommas(A.substr(7));
+    else if (numArg("--gen=", Opts.Gen) ||
+             numArg("--timeout-ms=", Opts.Cfg.TimeoutMs) ||
+             numArg("--cpu-seconds=", Opts.Cfg.CpuSeconds) ||
+             numArg("--memory-mb=", Opts.Cfg.MemoryMB) ||
+             numArg("--backoff-ms=", Opts.Cfg.BackoffMs) ||
+             numArg("--analysis-budget=", Opts.Cfg.AnalysisBudget))
+      ;
+    else if (numArg("--parallel=", Tmp) && Tmp)
+      Opts.Cfg.Parallel = static_cast<unsigned>(Tmp);
+    else if (numArg("--retries=", Tmp) && Tmp)
+      Opts.Cfg.Retries = static_cast<unsigned>(Tmp);
+    else if (numArg("--max-errors=", Tmp))
+      Opts.Cfg.MaxErrors = static_cast<unsigned>(Tmp);
+    else if (A.rfind("--journal=", 0) == 0 && A.size() > 10)
+      Opts.JournalPath = A.substr(10);
+    else if (A.rfind("--crash-dir=", 0) == 0 && A.size() > 12)
+      Opts.CrashDir = A.substr(12);
+    else if (A.rfind("--level=", 0) == 0) {
+      std::string L = A.substr(8);
+      if (L != "typedecl" && L != "fieldtypedecl" && L != "smfieldtyperefs")
+        return usage();
+      Opts.Cfg.Level = L;
+    } else if (A == "--resume")
+      Opts.Resume = true;
+    else if (A == "--pipeline")
+      Opts.Pipeline = true;
+    else if (A == "--pre")
+      Opts.PRE = true;
+    else if (A == "--strict")
+      Opts.Strict = true;
+    else if (A == "--verbose")
+      Opts.Verbose = true;
+    else if (A == "--stats")
+      Opts.Stats = true;
+    else
+      return usage();
+  }
+  if (Opts.Resume && Opts.JournalPath.empty()) {
+    std::fprintf(stderr, "m3batch: --resume requires --journal\n");
+    return 2;
+  }
+
+  // Assemble the job list.
+  std::vector<std::string> Names = Opts.JobNames;
+  if (Names.empty() && !Opts.Gen)
+    for (const WorkloadInfo &W : allWorkloads())
+      if (!W.Interactive)
+        Names.push_back(W.Name);
+  for (uint64_t S = 1; S <= Opts.Gen; ++S)
+    Names.push_back("gen:" + std::to_string(S));
+
+  std::vector<BatchJob> Jobs;
+  for (const std::string &N : Names) {
+    BatchJob J;
+    if (!makeJob(N, Opts, J)) {
+      std::fprintf(stderr,
+                   "m3batch: unknown job '%s' (not a workload, file, "
+                   "gen:SEED or planted fault)\n",
+                   N.c_str());
+      return 2;
+    }
+    Jobs.push_back(std::move(J));
+  }
+
+  BatchOptions BO;
+  BO.Parallelism = Opts.Cfg.Parallel;
+  BO.Limits.WallMs = Opts.Cfg.TimeoutMs;
+  BO.Limits.CpuSeconds = Opts.Cfg.CpuSeconds;
+  BO.Limits.MemoryMB = Opts.Cfg.MemoryMB;
+  BO.Retry.MaxAttempts = Opts.Cfg.Retries;
+  BO.Retry.BackoffBaseMs = Opts.Cfg.BackoffMs;
+  BO.Retry.BackoffCapMs = Opts.Cfg.BackoffCapMs;
+  BO.JournalPath = Opts.JournalPath;
+  BO.Resume = Opts.Resume;
+  BO.CrashDir = Opts.CrashDir;
+  BO.Verbose = Opts.Verbose;
+  BO.RerunCommand = [&Opts](const BatchJob &J, DegradeLevel D,
+                            const std::string &InputPath) -> std::string {
+    if (!J.Id.empty() && J.Id[0] == '@')
+      return "";
+    std::string Cmd = "m3lc run --verify-each";
+    if (D == DegradeLevel::NoOpt)
+      Cmd += " --no-rle";
+    else if (D == DegradeLevel::TypeDecl)
+      Cmd += " --level=typedecl";
+    else {
+      Cmd += " --level=" + Opts.Cfg.Level;
+      if (Opts.Pipeline)
+        Cmd += " --pipeline";
+      if (Opts.PRE)
+        Cmd += " --pre";
+    }
+    if (Opts.Cfg.AnalysisBudget)
+      Cmd += " --analysis-budget=" + std::to_string(Opts.Cfg.AnalysisBudget);
+    Cmd += " " + InputPath;
+    return Cmd;
+  };
+
+  BatchResult R = runBatch(Jobs, BO);
+  if (!R.ok()) {
+    std::fprintf(stderr, "m3batch: %s\n", R.Error.c_str());
+    return 3;
+  }
+
+  if (R.Skipped)
+    std::printf("m3batch: resume: skipped %u finished job%s\n", R.Skipped,
+                R.Skipped == 1 ? "" : "s");
+  for (const JobFinal &F : R.Finals) {
+    std::printf("m3batch: %-14s %-11s attempts=%u level=%s", F.Id.c_str(),
+                jobOutcomeName(F.Outcome), F.Attempts,
+                degradeLevelName(F.Level));
+    if (F.HasResult)
+      std::printf(" Main()=%lld", static_cast<long long>(F.Result));
+    std::printf("\n");
+  }
+  unsigned Degraded = 0;
+  for (const JobFinal &F : R.Finals)
+    Degraded += F.Outcome == JobOutcome::Ok && F.Level != DegradeLevel::Full;
+  std::printf("m3batch: %zu job%s: %u ok (%u degraded), %u diagnostics, "
+              "%u crash, %u timeout, %u internal; %u skipped\n",
+              R.Finals.size() + R.Skipped,
+              R.Finals.size() + R.Skipped == 1 ? "" : "s",
+              R.count(JobOutcome::Ok), Degraded,
+              R.count(JobOutcome::Diagnostics), R.count(JobOutcome::Crash),
+              R.count(JobOutcome::Timeout), R.count(JobOutcome::Internal),
+              R.Skipped);
+  if (Opts.Stats && StatsRegistry::instance().anyNonZero()) {
+    std::fputs("\n===--- Statistics ---===\n", stdout);
+    std::fputs(StatsRegistry::instance().table().c_str(), stdout);
+  }
+  return Opts.Strict && !R.allOk() ? 1 : 0;
+}

@@ -16,7 +16,16 @@
 //     written under --out.
 //
 //   m3fuzz [--seeds N] [--mutants M] [--stmts N] [--procs N] [--fuel N]
-//          [--budget N] [--out DIR] [--plant-bug] [--expect-bug]
+//          [--budget N] [--timeout-ms N] [--out DIR] [--plant-bug]
+//          [--expect-bug]
+//
+// --timeout-ms runs every candidate in a sandboxed worker process under
+// a wall-clock deadline (src/service/): a candidate that hangs outside
+// the interpreter's fuel accounting -- a front-end or pipeline infinite
+// loop -- is killed by the watchdog and triaged as `hang` instead of
+// wedging the whole fuzz session, and a candidate that crashes the
+// compiler is triaged as `crash` with the dying phase, instead of
+// taking the driver down with it.
 //
 // --plant-bug inserts a deliberately wrong pass (an RLE-shaped bug: one
 // heap integer load replaced with a constant) after rle; --expect-bug
@@ -35,9 +44,14 @@
 #include "exec/DiffGuard.h"
 #include "ir/Pipeline.h"
 #include "opt/PassPipeline.h"
+#include "service/Journal.h"
+#include "service/Worker.h"
 #include "support/Budget.h"
+#include "support/SafeIO.h"
 #include "workloads/Generator.h"
 #include "workloads/Mutate.h"
+
+#include <algorithm>
 
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +74,7 @@ struct Options {
   uint64_t Fuel = 20'000'000;
   uint64_t Budget = 0;
   std::string Out = "m3fuzz-out";
+  uint64_t TimeoutMs = 0; ///< 0 = check in-process, no isolation.
   bool PlantBug = false;
   bool ExpectBug = false;
 };
@@ -68,8 +83,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: m3fuzz [--seeds N] [--mutants M] [--stmts N] "
                "[--procs N]\n"
-               "              [--fuel N] [--budget N] [--out DIR] "
-               "[--plant-bug] [--expect-bug]\n"
+               "              [--fuel N] [--budget N] [--timeout-ms N] "
+               "[--out DIR]\n"
+               "              [--plant-bug] [--expect-bug]\n"
                "exit codes: 0 clean sweep, 1 failures found, 2 usage "
                "error\n");
   return 2;
@@ -82,6 +98,8 @@ enum class FailKind {
   InputVerify,      ///< the lowered (pre-pipeline) IR is malformed
   PassVerify,       ///< --verify-each flagged a pass
   DiffMismatch,     ///< differential execution diverged
+  Hang,             ///< the isolated worker blew its wall-clock deadline
+  Crash,            ///< the isolated worker died on a signal
 };
 
 const char *failKindName(FailKind K) {
@@ -96,6 +114,10 @@ const char *failKindName(FailKind K) {
     return "pass-verify";
   case FailKind::DiffMismatch:
     return "differential-mismatch";
+  case FailKind::Hang:
+    return "hang";
+  case FailKind::Crash:
+    return "crash";
   }
   return "?";
 }
@@ -199,6 +221,69 @@ CaseResult checkOne(const std::string &Source, const Options &Opts,
   return R;
 }
 
+/// checkOne in a sandboxed worker (src/service/) when \p TimeoutMs is
+/// set: the watchdog kills a candidate that hangs outside the fuel
+/// accounting, and a compiler crash becomes a triaged CaseResult instead
+/// of killing the driver. The child ships its CaseResult back over the
+/// payload pipe as one header line (kind, compiled, field lengths)
+/// followed by the raw GuiltyPass and Detail bytes.
+CaseResult checkOneIsolated(const std::string &Source, const Options &Opts,
+                            bool BisectPass, uint64_t TimeoutMs) {
+  if (!TimeoutMs)
+    return checkOne(Source, Opts, BisectPass);
+
+  WorkerLimits Limits;
+  Limits.WallMs = TimeoutMs;
+  WorkerResult WR = runInWorker(
+      [&](int Fd) {
+        CaseResult R = checkOne(Source, Opts, BisectPass);
+        ::dprintf(Fd, "%d %d %zu %zu\n", static_cast<int>(R.Kind),
+                  R.Compiled ? 1 : 0, R.GuiltyPass.size(), R.Detail.size());
+        safeio::writeAll(Fd, R.GuiltyPass.data(), R.GuiltyPass.size());
+        safeio::writeAll(Fd, R.Detail.data(), R.Detail.size());
+        return 0;
+      },
+      Limits);
+
+  CaseResult R;
+  if (WR.Status == WorkerStatus::TimedOut) {
+    R.Kind = FailKind::Hang;
+    R.Detail = "no verdict within " + std::to_string(TimeoutMs) +
+               " ms (wall-clock watchdog)";
+    return R;
+  }
+  if (WR.Status == WorkerStatus::Signaled) {
+    R.Kind = FailKind::Crash;
+    R.Detail = "worker died on signal " + std::to_string(WR.Signal);
+    if (!WR.CrashRecord.empty()) {
+      R.Detail += "\ncrash record: " + WR.CrashRecord;
+      std::map<std::string, std::string> Rec;
+      if (parseFlatJSONObject(WR.CrashRecord, Rec) && !Rec["phase"].empty())
+        R.GuiltyPass = Rec["phase"]; // The dying phase names the suspect.
+    }
+    return R;
+  }
+
+  // Exited: parse the shipped CaseResult.
+  int Kind = 0, Compiled = 0;
+  size_t PassLen = 0, DetailLen = 0;
+  size_t NL = WR.Payload.find('\n');
+  if (WR.ExitCode != 0 || NL == std::string::npos ||
+      std::sscanf(WR.Payload.c_str(), "%d %d %zu %zu", &Kind, &Compiled,
+                  &PassLen, &DetailLen) != 4 ||
+      WR.Payload.size() - NL - 1 < PassLen + DetailLen) {
+    R.Kind = FailKind::Crash;
+    R.Detail = "worker exited " + std::to_string(WR.ExitCode) +
+               " without a verdict";
+    return R;
+  }
+  R.Kind = static_cast<FailKind>(Kind);
+  R.Compiled = Compiled != 0;
+  R.GuiltyPass = WR.Payload.substr(NL + 1, PassLen);
+  R.Detail = WR.Payload.substr(NL + 1 + PassLen, DetailLen);
+  return R;
+}
+
 std::vector<std::string> splitLines(const std::string &S) {
   std::vector<std::string> Lines;
   std::istringstream In(S);
@@ -229,9 +314,16 @@ std::string reduceSource(const std::string &Source, FailKind Kind,
                          const Options &Opts) {
   std::vector<std::string> Lines = splitLines(Source);
   std::vector<bool> Keep(Lines.size(), true);
+  // Probes for a hang/crash reproduction must stay isolated, but each
+  // probe that *doesn't* reproduce a hang costs the full deadline --
+  // hundreds of probes at 10 s each is not a reduction, it's a hang of
+  // its own. Cap the per-probe deadline well below the sweep's.
+  uint64_t ProbeMs =
+      Opts.TimeoutMs ? std::min<uint64_t>(Opts.TimeoutMs, 2000) : 0;
   auto stillFails = [&](const std::vector<bool> &K) {
-    return checkOne(joinLines(Lines, K), Opts, /*BisectPass=*/false).Kind ==
-           Kind;
+    return checkOneIsolated(joinLines(Lines, K), Opts, /*BisectPass=*/false,
+                            ProbeMs)
+               .Kind == Kind;
   };
   bool Changed = true;
   while (Changed) {
@@ -320,7 +412,8 @@ int main(int argc, char **argv) {
       Opts.PlantBug = Opts.ExpectBug = true;
     else if (numArg("--seeds=", Opts.Seeds) || numArg("--fuel=", Opts.Fuel) ||
              numArg("--mutants=", Opts.Mutants) ||
-             numArg("--budget=", Opts.Budget))
+             numArg("--budget=", Opts.Budget) ||
+             numArg("--timeout-ms=", Opts.TimeoutMs))
       ;
     else if (numArg("--stmts=", Tmp))
       Opts.Stmts = static_cast<unsigned>(Tmp);
@@ -355,7 +448,8 @@ int main(int argc, char **argv) {
 
     for (auto &[Name, Source] : Cases) {
       ++S.Cases;
-      CaseResult R = checkOne(Source, Opts, /*BisectPass=*/true);
+      CaseResult R =
+          checkOneIsolated(Source, Opts, /*BisectPass=*/true, Opts.TimeoutMs);
       if (R.Kind == FailKind::None) {
         ++(R.Compiled ? S.Compiled : S.Rejected);
         continue;

@@ -123,7 +123,7 @@ std::string loadSource(const std::string &Target) {
   return {};
 }
 
-int run(const Options &Opts) {
+int run(const Options &Opts, DiagnosticEngine &Diags) {
   std::string Source = loadSource(Opts.Target);
   if (Source.empty()) {
     std::fprintf(stderr, "m3lc: cannot read '%s' (not a file or bundled "
@@ -133,7 +133,6 @@ int run(const Options &Opts) {
   }
 
   BudgetRegistry::instance().setAllLimits(Opts.AnalysisBudget);
-  DiagnosticEngine Diags;
   Diags.setMaxDiagnostics(Opts.MaxErrors);
   Compilation C = compileSource(Source, Diags);
   if (!C.ok()) {
@@ -331,13 +330,23 @@ int main(int argc, char **argv) {
 
   TimerRegistry::instance().setEnabled(Opts.TimePasses);
   RemarkEngine::instance().setEnabled(Opts.Remarks);
+  // The engine lives out here so diagnostics that were pending when an
+  // exception unwound run() still reach the user below -- "internal
+  // error" with the recorded errors swallowed is untriageable.
+  DiagnosticEngine Diags;
   int RC;
   try {
-    RC = run(Opts);
+    RC = run(Opts, Diags);
   } catch (const std::exception &E) {
     RC = internalError(E.what());
   } catch (...) {
     RC = internalError("unknown exception");
+  }
+  if (RC == ExitInternalError && Diags.errorCount()) {
+    std::fprintf(stderr, "m3lc: %u diagnostic%s pending at the point of "
+                         "failure:\n",
+                 Diags.errorCount(), Diags.errorCount() == 1 ? "" : "s");
+    std::fputs(Diags.str().c_str(), stderr);
   }
 
   // Reports print after the single run() exit so every command and error
@@ -364,5 +373,9 @@ int main(int argc, char **argv) {
     std::fputs("\n===--- Statistics ---===\n", stdout);
     std::fputs(StatsRegistry::instance().table().c_str(), stdout);
   }
+  // Everything above must actually reach the terminal/pipe even when a
+  // batch parent reads us over a pipe and we exit on the error path.
+  std::fflush(stdout);
+  std::fflush(stderr);
   return RC;
 }
