@@ -21,6 +21,7 @@
 #ifndef TBAA_BENCH_BENCHCOMMON_H
 #define TBAA_BENCH_BENCHCOMMON_H
 
+#include "analysis/AnalysisManager.h"
 #include "core/AliasCensus.h"
 #include "core/AliasOracle.h"
 #include "core/InstrumentedOracle.h"
@@ -201,17 +202,23 @@ inline Compilation prepare(const WorkloadInfo &W, const RunConfig &Config,
     fatal("workload %s failed to compile:\n%s", W.Name,
           Diags.str(W.Name).c_str());
   Out.SourceLines = C.ast().SourceLines;
-  TBAAContext Ctx(C.ast(), C.types(), {.OpenWorld = Config.OpenWorld});
+  // One manager for the whole preparation: devirt, inlining and RLE share
+  // the context, oracle, call graph and mod-ref summaries it caches.
+  AnalysisManager AM(C.ast(), C.types(),
+                     {.Level = Config.Level, .OpenWorld = Config.OpenWorld,
+                      .Degrading = false});
+  AM.bind(C.IR);
   if (Config.DevirtAndInline) {
-    Out.Resolved = resolveMethodCalls(C.IR, Ctx);
-    Out.Inlined = inlineCalls(C.IR);
+    Out.Resolved = resolveMethodCalls(C.IR, AM.context());
+    if (Out.Resolved)
+      AM.invalidateModuleAnalyses();
+    Out.Inlined = inlineCalls(C.IR, AM);
   }
   if (Config.CopyProp)
     propagateCopies(C.IR);
   if (Config.ApplyRLE) {
-    auto Oracle = makeInstrumentedOracle(Ctx, Config.Level);
-    Out.RLE = runRLE(C.IR, *Oracle);
-    Out.Oracle = Oracle->stats();
+    Out.RLE = runRLE(C.IR, AM);
+    Out.Oracle = AM.instrumented()->stats();
   }
   return C;
 }

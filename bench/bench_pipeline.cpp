@@ -1,0 +1,204 @@
+//===- bench_pipeline.cpp - What analysis caching buys the pipeline -------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Measures the AnalysisManager's effect on full-pipeline compile time:
+// every workload is optimized twice with the identical pass sequence
+// (devirt, inline, rle, copyprop, rle#2, pre), once in the pre-manager
+// arrangement -- each pass entry point building its own supporting
+// analyses, reproduced here through the legacy single-use wrappers --
+// and once with every pass drawing from one shared manager. Both
+// arrangements must produce the same Main() checksum; the report carries
+// the best-of-N wall-clock and the time spent constructing analyses
+// (dominators + loops + call graph + mod-ref, from the timing tree) per
+// arrangement, plus the analysis.* cache counters of the cached run
+// (schema checked by tools/check_stats_json.py via the standard `--json`
+// path).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "opt/PassPipeline.h"
+
+#include <chrono>
+#include <map>
+
+using namespace tbaa;
+using namespace tbaa::bench;
+
+namespace {
+
+constexpr int Reps = 5;
+
+std::map<std::string, uint64_t> analysisCounters() {
+  std::map<std::string, uint64_t> Out;
+  for (const StatSnapshot &S : StatsRegistry::instance().snapshot())
+    if (S.Group == "analysis")
+      Out[S.Name] = S.Value;
+  return Out;
+}
+
+uint64_t delta(const std::map<std::string, uint64_t> &Before,
+               const std::map<std::string, uint64_t> &After,
+               const char *K1, const char *K2, const char *K3, const char *K4) {
+  uint64_t D = 0;
+  for (const char *K : {K1, K2, K3, K4})
+    D += After.at(K) - Before.at(K);
+  return D;
+}
+
+/// Seconds spent under the analysis-construction timer scopes, summed
+/// over the whole tree (the scopes never nest within each other).
+double analysisSecondsOf(const TimerRegistry::Node &N) {
+  double S = 0;
+  if (N.Name == "dominators" || N.Name == "loops" || N.Name == "callgraph" ||
+      N.Name == "modref")
+    S += N.Seconds;
+  for (const auto &C : N.Children)
+    S += analysisSecondsOf(*C);
+  return S;
+}
+
+Compilation compileWorkload(const WorkloadInfo &W) {
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(W.Source, Diags);
+  if (!C.ok())
+    fatal("workload %s failed to compile:\n%s", W.Name,
+          Diags.str(W.Name).c_str());
+  return C;
+}
+
+/// The pre-manager arrangement: the same pass sequence, but every entry
+/// point builds its own dominators, loops, call graph and mod-ref
+/// summaries (the legacy wrappers run with a private single-use manager).
+void optimizeUncached(Compilation &C) {
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Oracle = makeInstrumentedOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  resolveMethodCalls(C.IR, Ctx);
+  inlineCalls(C.IR);
+  runRLE(C.IR, *Oracle);
+  propagateCopies(C.IR);
+  runRLE(C.IR, *Oracle);
+  runLoadPRE(C.IR, *Oracle);
+}
+
+/// The shared-manager arrangement: the real pipeline.
+void optimizeCached(Compilation &C) {
+  AnalysisManager AM(C.ast(), C.types(), {.Degrading = false});
+  OptPipeline P(AM, PipelineOptions{});
+  if (PipelineFailure F = P.run(C.IR); F.failed())
+    fatal("pipeline failed after pass '%s':\n%s", F.Pass.c_str(),
+          F.Error.c_str());
+}
+
+/// Times Reps runs of \p Optimize, each over a fresh compile (the
+/// pipeline mutates the IR). Returns the best wall-clock in microseconds;
+/// \p AnalysisUs gets the per-run average time spent constructing
+/// analyses, read from the timing tree accumulated across the reps.
+template <typename Fn>
+uint64_t timeOptimize(const WorkloadInfo &W, Fn Optimize,
+                      uint64_t &AnalysisUs) {
+  TimerRegistry::instance().reset();
+  uint64_t Best = ~0ull;
+  for (int R = 0; R != Reps; ++R) {
+    Compilation C = compileWorkload(W);
+    auto T0 = std::chrono::steady_clock::now();
+    Optimize(C);
+    auto T1 = std::chrono::steady_clock::now();
+    uint64_t Us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+            .count());
+    Best = std::min(Best, Us);
+  }
+  AnalysisUs = static_cast<uint64_t>(
+      analysisSecondsOf(TimerRegistry::instance().root()) / Reps * 1e6);
+  return Best;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  JsonReport Report("bench_pipeline", argc, argv);
+  TimerRegistry::instance().setEnabled(true);
+  std::printf("Analysis caching: full pipeline, per-pass analyses vs one "
+              "shared manager\n");
+  std::printf("(wall: best of %d runs; analy: avg time constructing "
+              "dominators/loops/callgraph/modref;\n computed/hits are the "
+              "cached run's analysis-cache counters)\n\n",
+              Reps);
+  std::printf("%-14s %9s %9s | %9s %9s %7s | %8s %6s\n", "Program",
+              "wall-unc", "wall-cac", "analy-unc", "analy-cac", "saved",
+              "computed", "hits");
+
+  double SumSpeedup = 0;
+  unsigned N = 0;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    if (W.Interactive)
+      continue;
+
+    // Correctness first: both arrangements must agree with the
+    // unoptimized program.
+    RunOutcome Base, Unc, Cac;
+    {
+      Compilation C = compileWorkload(W);
+      execute(C, Base);
+    }
+    {
+      Compilation C = compileWorkload(W);
+      optimizeUncached(C);
+      execute(C, Unc);
+    }
+    auto Before = analysisCounters();
+    {
+      Compilation C = compileWorkload(W);
+      optimizeCached(C);
+      execute(C, Cac);
+    }
+    auto After = analysisCounters();
+    if (Unc.Checksum != Base.Checksum || Cac.Checksum != Base.Checksum)
+      fatal("%s: optimization changed the checksum", W.Name);
+
+    uint64_t UncachedAnalysisUs = 0, CachedAnalysisUs = 0;
+    uint64_t UncachedUs = timeOptimize(W, optimizeUncached,
+                                       UncachedAnalysisUs);
+    uint64_t CachedUs = timeOptimize(W, optimizeCached, CachedAnalysisUs);
+    uint64_t Computed =
+        delta(Before, After, "dominators-computed", "loops-computed",
+              "callgraph-computed", "modref-computed");
+    uint64_t Hits =
+        delta(Before, After, "dominators-cache-hits", "loops-cache-hits",
+              "callgraph-cache-hits", "modref-cache-hits");
+    uint64_t Invalidated =
+        delta(Before, After, "dominators-invalidated", "loops-invalidated",
+              "callgraph-invalidated", "modref-invalidated");
+    double Speedup = CachedAnalysisUs
+                         ? static_cast<double>(UncachedAnalysisUs) /
+                               static_cast<double>(CachedAnalysisUs)
+                         : 1.0;
+    SumSpeedup += Speedup;
+    ++N;
+
+    std::printf("%-14s %7lluus %7lluus | %7lluus %7lluus %6.2fx | %8llu "
+                "%6llu\n",
+                W.Name, static_cast<unsigned long long>(UncachedUs),
+                static_cast<unsigned long long>(CachedUs),
+                static_cast<unsigned long long>(UncachedAnalysisUs),
+                static_cast<unsigned long long>(CachedAnalysisUs), Speedup,
+                static_cast<unsigned long long>(Computed),
+                static_cast<unsigned long long>(Hits));
+    Report.record(W.Name)
+        .set("uncached_us", UncachedUs)
+        .set("cached_us", CachedUs)
+        .set("uncached_analysis_us", UncachedAnalysisUs)
+        .set("cached_analysis_us", CachedAnalysisUs)
+        .set("analysis_speedup", Speedup)
+        .set("analysis_computed", Computed)
+        .set("analysis_cache_hits", Hits)
+        .set("analysis_invalidated", Invalidated);
+  }
+  std::printf("\nAverage analysis-construction speedup: %.2fx over %u "
+              "workloads\n",
+              N ? SumSpeedup / N : 0.0, N);
+  return 0;
+}

@@ -1,0 +1,423 @@
+//===- AnalysisManager.cpp ------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+
+#include "core/Degradation.h"
+#include "core/TBAAContext.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace tbaa;
+
+TBAA_STATISTIC(NumDomComputed, "analysis", "dominators-computed",
+               "Dominator trees computed");
+TBAA_STATISTIC(NumDomHits, "analysis", "dominators-cache-hits",
+               "Dominator-tree queries served from the cache");
+TBAA_STATISTIC(NumDomInvalidated, "analysis", "dominators-invalidated",
+               "Cached dominator trees invalidated");
+TBAA_STATISTIC(NumLoopsComputed, "analysis", "loops-computed",
+               "Loop forests computed");
+TBAA_STATISTIC(NumLoopsHits, "analysis", "loops-cache-hits",
+               "Loop-forest queries served from the cache");
+TBAA_STATISTIC(NumLoopsInvalidated, "analysis", "loops-invalidated",
+               "Cached loop forests invalidated");
+TBAA_STATISTIC(NumCGComputed, "analysis", "callgraph-computed",
+               "Call graphs computed");
+TBAA_STATISTIC(NumCGHits, "analysis", "callgraph-cache-hits",
+               "Call-graph queries served from the cache");
+TBAA_STATISTIC(NumCGInvalidated, "analysis", "callgraph-invalidated",
+               "Cached call graphs invalidated");
+TBAA_STATISTIC(NumMRComputed, "analysis", "modref-computed",
+               "Mod-ref summary sets computed");
+TBAA_STATISTIC(NumMRHits, "analysis", "modref-cache-hits",
+               "Mod-ref queries served from the cache");
+TBAA_STATISTIC(NumMRInvalidated, "analysis", "modref-invalidated",
+               "Cached mod-ref summary sets invalidated");
+
+//===----------------------------------------------------------------------===//
+// Structural diffs (--verify-analyses)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fresh-vs-cached dominator comparison; empty string when identical.
+std::string diffDominators(const IRFunction &F, const DominatorTree &Cached,
+                           const DominatorTree &Fresh) {
+  if (Cached.numBlocks() != F.Blocks.size())
+    return "dominator tree of '" + F.Name + "' covers " +
+           std::to_string(Cached.numBlocks()) + " blocks but the function has " +
+           std::to_string(F.Blocks.size());
+  for (const BasicBlock &B : F.Blocks) {
+    if (Cached.isReachable(B.Id) != Fresh.isReachable(B.Id))
+      return "reachability of block " + std::to_string(B.Id) + " in '" +
+             F.Name + "' changed";
+    if (Cached.isReachable(B.Id) && Cached.idom(B.Id) != Fresh.idom(B.Id))
+      return "idom of block " + std::to_string(B.Id) + " in '" + F.Name +
+             "' is " + std::to_string(Cached.idom(B.Id)) + ", fresh says " +
+             std::to_string(Fresh.idom(B.Id));
+  }
+  return {};
+}
+
+std::vector<const Loop *> sortedByHeader(const LoopInfo &LI) {
+  std::vector<const Loop *> Sorted;
+  for (const Loop &L : LI.loops())
+    Sorted.push_back(&L);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Loop *A, const Loop *B) { return A->Header < B->Header; });
+  return Sorted;
+}
+
+bool sameBlockSet(std::vector<BlockId> A, std::vector<BlockId> B) {
+  std::sort(A.begin(), A.end());
+  std::sort(B.begin(), B.end());
+  return A == B;
+}
+
+/// Fresh-vs-cached loop-forest comparison. \p Fresh must have existing
+/// preheaders detected, matching what loops() caches.
+std::string diffLoops(const IRFunction &F, const LoopInfo &Cached,
+                      const LoopInfo &Fresh) {
+  if (Cached.loops().size() != Fresh.loops().size())
+    return "loop count of '" + F.Name + "' is " +
+           std::to_string(Cached.loops().size()) + ", fresh says " +
+           std::to_string(Fresh.loops().size());
+  std::vector<const Loop *> C = sortedByHeader(Cached);
+  std::vector<const Loop *> R = sortedByHeader(Fresh);
+  for (size_t I = 0; I != C.size(); ++I) {
+    std::string Where = "loop at block " + std::to_string(R[I]->Header) +
+                        " in '" + F.Name + "'";
+    if (C[I]->Header != R[I]->Header)
+      return Where + ": cached header is block " +
+             std::to_string(C[I]->Header);
+    if (!sameBlockSet(C[I]->Blocks, R[I]->Blocks))
+      return Where + ": body block set changed";
+    if (!sameBlockSet(C[I]->Latches, R[I]->Latches))
+      return Where + ": latch set changed";
+    if (!sameBlockSet(C[I]->ExitingBlocks, R[I]->ExitingBlocks))
+      return Where + ": exiting-block set changed";
+    if (C[I]->Preheader != R[I]->Preheader)
+      return Where + ": preheader changed";
+    if (C[I]->Depth != R[I]->Depth)
+      return Where + ": nesting depth changed";
+  }
+  return {};
+}
+
+std::string diffCallGraph(const IRModule &M, const CallGraph &Cached,
+                          const CallGraph &Fresh) {
+  for (const IRFunction &F : M.Functions) {
+    std::vector<FuncId> C = Cached.callees(F.Id);
+    std::vector<FuncId> R = Fresh.callees(F.Id);
+    std::sort(C.begin(), C.end());
+    std::sort(R.begin(), R.end());
+    if (C != R)
+      return "callee set of '" + F.Name + "' changed (" +
+             std::to_string(C.size()) + " cached vs " +
+             std::to_string(R.size()) + " fresh)";
+    if (Cached.isRecursive(F.Id) != Fresh.isRecursive(F.Id))
+      return "recursiveness of '" + F.Name + "' changed";
+  }
+  return {};
+}
+
+bool containsLoc(const std::vector<AbsLoc> &Set, const AbsLoc &L) {
+  return std::any_of(Set.begin(), Set.end(),
+                     [&](const AbsLoc &E) { return E == L; });
+}
+
+/// Mod-ref summaries are checked for soundness, not bit-exactness: a
+/// cached summary that over-approximates the fresh one (transformations
+/// only ever *remove* loads between mod-ref recomputations) is still a
+/// correct answer to every query; one that misses a fresh location would
+/// license an unsound hoist.
+std::string diffModRef(const IRModule &M, const ModRefAnalysis &Cached,
+                       const ModRefAnalysis &Fresh) {
+  // Saturated summaries are budget-dependent, not IR-derived facts; the
+  // recomputation also charges the (already exhausted) budget, so any
+  // diff would report the budget, not a stale cache.
+  if (Cached.saturated() || Fresh.saturated())
+    return {};
+  for (const IRFunction &F : M.Functions) {
+    const ModSummary &C = Cached.summary(F.Id);
+    const ModSummary &R = Fresh.summary(F.Id);
+    for (const AbsLoc &L : R.Mods)
+      if (!containsLoc(C.Mods, L))
+        return "mod set of '" + F.Name + "' misses a fresh location";
+    for (const AbsLoc &L : R.Refs)
+      if (!containsLoc(C.Refs, L))
+        return "ref set of '" + F.Name + "' misses a fresh location";
+    for (size_t I = 0; I != R.GlobalsMod.size(); ++I)
+      if (R.GlobalsMod.test(I) &&
+          (I >= C.GlobalsMod.size() || !C.GlobalsMod.test(I)))
+        return "written-globals set of '" + F.Name +
+               "' misses a fresh global";
+  }
+  return {};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AnalysisManager
+//===----------------------------------------------------------------------===//
+
+AnalysisManager::AnalysisManager(const ModuleAST &Ast, const TypeTable &Types,
+                                 Options Opts)
+    : Ast(&Ast), Types(&Types), Opts(Opts) {}
+
+AnalysisManager::AnalysisManager(const AliasOracle &Oracle,
+                                 const TBAAContext *Ctx, Options Opts)
+    : BorrowedCtx(Ctx), BorrowedOracle(&Oracle), Opts(Opts) {}
+
+AnalysisManager::~AnalysisManager() = default;
+
+void AnalysisManager::bind(const IRModule &NewM) {
+  if (M == &NewM) {
+    if (Funcs.size() < NewM.Functions.size())
+      Funcs.resize(NewM.Functions.size());
+    return;
+  }
+  rebind(NewM);
+}
+
+void AnalysisManager::rebind(const IRModule &NewM) {
+  // Fresh-run boundary, not pass invalidation: not counted.
+  Funcs.clear();
+  CG.reset();
+  MR.reset();
+  M = &NewM;
+  Funcs.resize(NewM.Functions.size());
+  VerifyError.clear();
+}
+
+const TBAAContext &AnalysisManager::context() {
+  if (BorrowedCtx)
+    return *BorrowedCtx;
+  if (!OwnedCtx) {
+    assert(Ast && Types && "manager was constructed without AST/type inputs");
+    TBAA_TIME_SCOPE("context");
+    OwnedCtx = std::make_unique<TBAAContext>(*Ast, *Types,
+                                             TBAAOptions{Opts.OpenWorld});
+  }
+  return *OwnedCtx;
+}
+
+const AliasOracle &AnalysisManager::oracle() {
+  if (BorrowedOracle)
+    return *BorrowedOracle;
+  if (!OwnedOracle)
+    OwnedOracle = Opts.Degrading
+                      ? makeDegradingOracle(context(), Opts.Level)
+                      : makeInstrumentedOracle(context(), Opts.Level);
+  return *OwnedOracle;
+}
+
+InstrumentedOracle *AnalysisManager::instrumented() {
+  if (BorrowedOracle)
+    return nullptr;
+  oracle();
+  return OwnedOracle.get();
+}
+
+const IRFunction &AnalysisManager::checkedFunction(const IRFunction &F) const {
+  assert(M && "no module bound");
+  assert(F.Id < M->Functions.size() && &M->Functions[F.Id] == &F &&
+         "function does not belong to the bound module");
+  return F;
+}
+
+const CallGraph &AnalysisManager::callGraph() {
+  assert(M && "no module bound");
+  if (!CG) {
+    TBAA_TIME_SCOPE("callgraph");
+    CG = std::make_unique<CallGraph>(*M, *M->Types);
+    ++Cache.CallGraph.Computes;
+    ++NumCGComputed;
+  } else {
+    ++Cache.CallGraph.Hits;
+    ++NumCGHits;
+    if (Opts.VerifyAnalyses) {
+      auto Fresh = std::make_unique<class CallGraph>(*M, *M->Types);
+      verifyHit("call graph", diffCallGraph(*M, *CG, *Fresh));
+      // Self-heal: the fresh copy replaces the (possibly stale) cache so
+      // the run continues on correct data while the error stays latched.
+      CG = std::move(Fresh);
+    }
+  }
+  return *CG;
+}
+
+const ModRefAnalysis &AnalysisManager::modRef() {
+  assert(M && "no module bound");
+  if (!MR) {
+    const CallGraph &G = callGraph();
+    TBAA_TIME_SCOPE("modref");
+    MR = std::make_unique<ModRefAnalysis>(*M, G);
+    ++Cache.ModRef.Computes;
+    ++NumMRComputed;
+  } else {
+    ++Cache.ModRef.Hits;
+    ++NumMRHits;
+    if (Opts.VerifyAnalyses) {
+      class CallGraph FreshCG(*M, *M->Types);
+      auto Fresh = std::make_unique<ModRefAnalysis>(*M, FreshCG);
+      verifyHit("mod-ref summaries", diffModRef(*M, *MR, *Fresh));
+      MR = std::move(Fresh);
+    }
+  }
+  return *MR;
+}
+
+const DominatorTree &AnalysisManager::dominators(const IRFunction &F) {
+  checkedFunction(F);
+  FuncEntry &E = Funcs[F.Id];
+  if (!E.DT) {
+    TBAA_TIME_SCOPE("dominators");
+    E.DT = std::make_unique<DominatorTree>(F);
+    ++Cache.Dominators.Computes;
+    ++NumDomComputed;
+  } else {
+    ++Cache.Dominators.Hits;
+    ++NumDomHits;
+    if (Opts.VerifyAnalyses) {
+      auto Fresh = std::make_unique<DominatorTree>(F);
+      verifyHit("dominator tree", diffDominators(F, *E.DT, *Fresh));
+      E.DT = std::move(Fresh);
+    }
+  }
+  return *E.DT;
+}
+
+const LoopInfo &AnalysisManager::loops(const IRFunction &F) {
+  checkedFunction(F);
+  const DominatorTree &DT = dominators(F);
+  FuncEntry &E = Funcs[F.Id];
+  if (!E.LI) {
+    TBAA_TIME_SCOPE("loops");
+    E.LI = std::make_unique<LoopInfo>(F, DT);
+    detectPreheaders(F, *E.LI);
+    ++Cache.Loops.Computes;
+    ++NumLoopsComputed;
+  } else {
+    ++Cache.Loops.Hits;
+    ++NumLoopsHits;
+    if (Opts.VerifyAnalyses) {
+      // DT was re-verified (and healed if stale) by the dominators()
+      // query above, so the fresh forest builds on current dominators.
+      auto Fresh = std::make_unique<LoopInfo>(F, *E.DT);
+      detectPreheaders(F, *Fresh);
+      verifyHit("loop forest", diffLoops(F, *E.LI, *Fresh));
+      E.LI = std::move(Fresh);
+    }
+  }
+  return *E.LI;
+}
+
+const LoopInfo &AnalysisManager::loopsWithPreheaders(IRFunction &F) {
+  {
+    const LoopInfo &LI = loops(F);
+    bool AllHave = true;
+    for (const Loop &L : LI.loops())
+      if (L.Preheader == InvalidBlock) {
+        AllHave = false;
+        break;
+      }
+    if (AllHave)
+      return LI;
+  }
+  // Insert the missing preheaders, then recompute this function's CFG
+  // analyses once -- the one rebuild N passes used to pay each.
+  insertPreheaders(F, *Funcs[F.Id].LI);
+  invalidateFunction(F.Id);
+  return loops(F);
+}
+
+void AnalysisManager::invalidateFunction(FuncId Id) {
+  if (Id >= Funcs.size())
+    return;
+  FuncEntry &E = Funcs[Id];
+  if (E.DT) {
+    E.DT.reset();
+    ++Cache.Dominators.Invalidations;
+    ++NumDomInvalidated;
+  }
+  if (E.LI) {
+    E.LI.reset();
+    ++Cache.Loops.Invalidations;
+    ++NumLoopsInvalidated;
+  }
+}
+
+void AnalysisManager::invalidateFunctionAnalyses() {
+  for (FuncId Id = 0; Id != Funcs.size(); ++Id)
+    invalidateFunction(Id);
+}
+
+void AnalysisManager::invalidateModuleAnalyses() {
+  if (CG) {
+    CG.reset();
+    ++Cache.CallGraph.Invalidations;
+    ++NumCGInvalidated;
+  }
+  if (MR) {
+    MR.reset();
+    ++Cache.ModRef.Invalidations;
+    ++NumMRInvalidated;
+  }
+}
+
+void AnalysisManager::invalidateAll() {
+  invalidateFunctionAnalyses();
+  invalidateModuleAnalyses();
+}
+
+void AnalysisManager::verifyHit(const std::string &What, std::string Diff) {
+  if (Diff.empty() || !VerifyError.empty())
+    return;
+  VerifyError = "stale cached " + What + ": " + std::move(Diff);
+}
+
+std::string AnalysisManager::verifyNow() {
+  if (!M)
+    return {};
+  TBAA_TIME_SCOPE("verify-analyses");
+  std::ostringstream Report;
+  auto Add = [&](const std::string &What, std::string Diff) {
+    if (Diff.empty())
+      return;
+    if (Report.tellp() > 0)
+      Report << "; ";
+    Report << "stale cached " << What << ": " << Diff;
+  };
+  for (FuncId Id = 0; Id != Funcs.size(); ++Id) {
+    const IRFunction &F = M->Functions[Id];
+    if (Funcs[Id].DT || Funcs[Id].LI) {
+      DominatorTree FreshDT(F);
+      if (Funcs[Id].DT)
+        Add("dominator tree", diffDominators(F, *Funcs[Id].DT, FreshDT));
+      if (Funcs[Id].LI) {
+        LoopInfo FreshLI(F, FreshDT);
+        detectPreheaders(F, FreshLI);
+        Add("loop forest", diffLoops(F, *Funcs[Id].LI, FreshLI));
+      }
+    }
+  }
+  if (CG || MR) {
+    class CallGraph FreshCG(*M, *M->Types);
+    if (CG)
+      Add("call graph", diffCallGraph(*M, *CG, FreshCG));
+    if (MR) {
+      ModRefAnalysis FreshMR(*M, FreshCG);
+      Add("mod-ref summaries", diffModRef(*M, *MR, FreshMR));
+    }
+  }
+  std::string Result = Report.str();
+  if (!Result.empty() && VerifyError.empty())
+    VerifyError = Result;
+  return Result;
+}

@@ -1,0 +1,224 @@
+//===- AnalysisManager.h - Cached, invalidation-aware analyses --*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One home for every supporting analysis the optimizer consumes, in the
+/// style of LLVM's analysis managers. The paper's whole-program optimizer
+/// computes its type tables, call graph, mod-ref summaries, dominators and
+/// loops once and reuses them across clients; this class gives the
+/// reproduction the same economy:
+///
+///  * Module-level analyses -- TBAAContext (type tables), the alias oracle
+///    ladder, CallGraph, ModRefAnalysis -- and function-level analyses --
+///    DominatorTree, LoopInfo -- are computed lazily on first query and
+///    memoized.
+///  * Passes declare what they preserve; anything else is invalidated by
+///    key (a single function's CFG analyses, or the module-level call
+///    graph + mod-ref) instead of being rebuilt wholesale.
+///  * Every compute / cache hit / invalidation is counted, per analysis
+///    kind, both on the instance (surfaced through PipelineStats and
+///    `m3lc --stats`) and in the global StatsRegistry (surfaced through
+///    bench `--json`).
+///  * A verify mode (`--verify-analyses`) recomputes each cached analysis
+///    fresh on every cache hit and diffs it against the cached result, so
+///    a pass that mutates the IR without invalidating what it broke is
+///    caught at the first stale answer rather than as a miscompile. The
+///    fresh copy then replaces the cached one (the run continues on
+///    correct data; the first error stays latched in verifyError()).
+///
+/// The TBAAContext and oracle never depend on the IR (they are built from
+/// the AST and type table), so they survive every transformation; the
+/// call graph, mod-ref summaries, dominators and loops are IR-derived and
+/// participate in invalidation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_ANALYSIS_ANALYSISMANAGER_H
+#define TBAA_ANALYSIS_ANALYSISMANAGER_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "core/InstrumentedOracle.h"
+#include "ir/Dominators.h"
+#include "ir/IR.h"
+#include "ir/Loops.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+struct ModuleAST;
+class TypeTable;
+
+/// Configuration for the manager's owning construction path.
+struct AnalysisManagerOptions {
+  AliasLevel Level = AliasLevel::SMFieldTypeRefs;
+  bool OpenWorld = false;
+  /// Build the oracle through the budgeted degradation ladder (what the
+  /// drivers use); false builds a plain instrumented oracle (bench).
+  bool Degrading = true;
+  /// Recompute each cached analysis fresh on every cache hit and diff
+  /// it against the cached copy (debug mode; see verifyError()).
+  bool VerifyAnalyses = false;
+};
+
+class AnalysisManager {
+public:
+  using Options = AnalysisManagerOptions;
+
+  /// Compute / cache-hit / invalidation tallies for one analysis kind.
+  struct KindCounters {
+    uint64_t Computes = 0;
+    uint64_t Hits = 0;
+    uint64_t Invalidations = 0;
+  };
+
+  /// Per-kind cache counters, copied into PipelineStats after a run.
+  struct CacheStats {
+    KindCounters Dominators;
+    KindCounters Loops;
+    KindCounters CallGraph;
+    KindCounters ModRef;
+
+    uint64_t totalComputes() const {
+      return Dominators.Computes + Loops.Computes + CallGraph.Computes +
+             ModRef.Computes;
+    }
+    uint64_t totalHits() const {
+      return Dominators.Hits + Loops.Hits + CallGraph.Hits + ModRef.Hits;
+    }
+    uint64_t totalInvalidations() const {
+      return Dominators.Invalidations + Loops.Invalidations +
+             CallGraph.Invalidations + ModRef.Invalidations;
+    }
+  };
+
+  /// The shared driver construction path: the manager owns the
+  /// TBAAContext (built lazily from \p Ast and \p Types) and the oracle
+  /// (degrading or plain instrumented, per \p Opts).
+  AnalysisManager(const ModuleAST &Ast, const TypeTable &Types,
+                  Options Opts = {});
+
+  /// Borrowing path for clients that already own an oracle (tests, the
+  /// legacy runRLE entry points). \p Ctx may be null when no client needs
+  /// context() -- e.g. pure RLE runs.
+  explicit AnalysisManager(const AliasOracle &Oracle,
+                           const TBAAContext *Ctx = nullptr,
+                           Options Opts = {});
+
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+  ~AnalysisManager();
+
+  /// Attaches \p M as the module IR analyses are computed over. Binding a
+  /// different module than the current one drops all IR-derived caches;
+  /// re-binding the same module keeps them (the caller vouches that the
+  /// module was not mutated behind the manager's back in between).
+  void bind(const IRModule &M);
+
+  /// Like bind() but always drops the IR-derived caches, even for the
+  /// same module. Pipeline entry points use this: a fresh run makes no
+  /// assumption about what happened to the module since the last one
+  /// (m3fuzz replays pass prefixes over module copies that can reuse the
+  /// same address).
+  void rebind(const IRModule &M);
+
+  const IRModule *module() const { return M; }
+
+  //===--------------------------------------------------------------------===//
+  // IR-independent analyses (never invalidated)
+  //===--------------------------------------------------------------------===//
+
+  const TBAAContext &context();
+  const AliasOracle &oracle();
+  /// The owned oracle's counting/memoizing decorator; null when the
+  /// oracle is borrowed.
+  InstrumentedOracle *instrumented();
+
+  //===--------------------------------------------------------------------===//
+  // IR-derived analyses (lazy, memoized, invalidated by key)
+  //===--------------------------------------------------------------------===//
+
+  const CallGraph &callGraph();
+  const ModRefAnalysis &modRef();
+  const DominatorTree &dominators(const IRFunction &F);
+  /// Loops of \p F with existing dedicated preheaders detected (Preheader
+  /// set where one is already present in the CFG).
+  const LoopInfo &loops(const IRFunction &F);
+  /// loops(F) with a dedicated preheader guaranteed for every loop:
+  /// missing ones are inserted, after which this function's dominators
+  /// and loops are recomputed once (self-maintaining, no invalidation
+  /// needed by the caller).
+  const LoopInfo &loopsWithPreheaders(IRFunction &F);
+
+  //===--------------------------------------------------------------------===//
+  // Invalidation
+  //===--------------------------------------------------------------------===//
+
+  /// Drops the CFG analyses (dominators, loops) of one function.
+  void invalidateFunction(FuncId Id);
+  /// Drops the CFG analyses of every function.
+  void invalidateFunctionAnalyses();
+  /// Drops the module-level IR analyses (call graph, mod-ref).
+  void invalidateModuleAnalyses();
+  /// Drops every IR-derived analysis (conservative: what a pass with an
+  /// unknown footprint must do).
+  void invalidateAll();
+
+  //===--------------------------------------------------------------------===//
+  // Verification and counters
+  //===--------------------------------------------------------------------===//
+
+  void setVerifyAnalyses(bool Enabled) { Opts.VerifyAnalyses = Enabled; }
+  bool verifyAnalysesEnabled() const { return Opts.VerifyAnalyses; }
+
+  /// First stale-cache diagnosis, sticky until the next rebind(); empty
+  /// while every verified cache hit matched a fresh recomputation.
+  const std::string &verifyError() const { return VerifyError; }
+
+  /// Recomputes every currently cached analysis fresh and diffs it
+  /// against the cache, regardless of the verify mode. Returns the
+  /// combined report (empty when clean) and latches the first mismatch
+  /// into verifyError().
+  std::string verifyNow();
+
+  const CacheStats &cacheStats() const { return Cache; }
+
+private:
+  struct FuncEntry {
+    std::unique_ptr<DominatorTree> DT;
+    std::unique_ptr<LoopInfo> LI;
+  };
+
+  const IRFunction &checkedFunction(const IRFunction &F) const;
+  void clearIRCaches();
+  void verifyHit(const std::string &What, std::string Diff);
+
+  // Owning construction path.
+  const ModuleAST *Ast = nullptr;
+  const TypeTable *Types = nullptr;
+  std::unique_ptr<TBAAContext> OwnedCtx;
+  std::unique_ptr<InstrumentedOracle> OwnedOracle;
+  // Borrowing construction path.
+  const TBAAContext *BorrowedCtx = nullptr;
+  const AliasOracle *BorrowedOracle = nullptr;
+
+  Options Opts;
+  const IRModule *M = nullptr;
+
+  std::vector<FuncEntry> Funcs; ///< Indexed by FuncId.
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<ModRefAnalysis> MR;
+
+  CacheStats Cache;
+  std::string VerifyError;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_ANALYSIS_ANALYSISMANAGER_H

@@ -37,6 +37,10 @@ public:
   /// Blocks in reverse postorder of the CFG (reachable blocks only).
   const std::vector<BlockId> &reversePostOrder() const { return RPO; }
 
+  /// Number of blocks the tree was computed over. A cached tree whose size
+  /// no longer matches the function's block count is stale by definition.
+  size_t numBlocks() const { return IDom.size(); }
+
 private:
   std::vector<BlockId> IDom;
   std::vector<bool> Reachable;

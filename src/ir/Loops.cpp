@@ -70,12 +70,40 @@ LoopInfo::LoopInfo(const IRFunction &F, const DominatorTree &DT) {
   });
 }
 
-LoopInfo tbaa::ensurePreheaders(IRFunction &F) {
-  DominatorTree DT(F);
-  LoopInfo LI(F, DT);
-  std::map<BlockId, BlockId> HeaderToPreheader;
+unsigned tbaa::detectPreheaders(const IRFunction &F, LoopInfo &LI) {
+  auto Preds = F.predecessors();
+  unsigned Missing = 0;
+  for (Loop &L : LI.loops()) {
+    L.Preheader = InvalidBlock;
+    BlockId Candidate = InvalidBlock;
+    bool Unique = true;
+    for (BlockId P : Preds[L.Header]) {
+      if (L.contains(P))
+        continue; // Back edge from a latch.
+      if (Candidate != InvalidBlock)
+        Unique = false;
+      Candidate = P;
+    }
+    if (Unique && Candidate != InvalidBlock) {
+      // The sole entry predecessor dominates the header and runs exactly
+      // when the loop is entered, but only an unconditional jump makes it
+      // safe to park hoisted code there.
+      const Instr &T = F.Blocks[Candidate].Instrs.back();
+      if (T.Op == Opcode::Jmp && T.T1 == L.Header) {
+        L.Preheader = Candidate;
+        continue;
+      }
+    }
+    ++Missing;
+  }
+  return Missing;
+}
 
+unsigned tbaa::insertPreheaders(IRFunction &F, const LoopInfo &LI) {
+  unsigned Inserted = 0;
   for (const Loop &L : LI.loops()) {
+    if (L.Preheader != InvalidBlock)
+      continue;
     assert(L.Header != 0 && "entry block cannot be a loop header");
     BlockId P = static_cast<BlockId>(F.Blocks.size());
     BasicBlock PB;
@@ -85,7 +113,7 @@ LoopInfo tbaa::ensurePreheaders(IRFunction &F) {
     J.T1 = L.Header;
     PB.Instrs.push_back(std::move(J));
     F.Blocks.push_back(std::move(PB));
-    HeaderToPreheader[L.Header] = P;
+    ++Inserted;
 
     // Redirect every entry edge (predecessor outside the loop) to P.
     std::set<BlockId> Latches(L.Latches.begin(), L.Latches.end());
@@ -101,14 +129,20 @@ LoopInfo tbaa::ensurePreheaders(IRFunction &F) {
       }
     }
   }
+  return Inserted;
+}
+
+LoopInfo tbaa::ensurePreheaders(IRFunction &F) {
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  if (detectPreheaders(F, LI) == 0)
+    return LI; // Nothing to insert; the initial results are still valid.
+
+  insertPreheaders(F, LI);
 
   // Recompute with the preheaders in place and attach them.
   DominatorTree DT2(F);
   LoopInfo LI2(F, DT2);
-  for (Loop &L : LI2.loops()) {
-    auto It = HeaderToPreheader.find(L.Header);
-    if (It != HeaderToPreheader.end())
-      L.Preheader = It->second;
-  }
+  detectPreheaders(F, LI2);
   return LI2;
 }

@@ -51,12 +51,26 @@ private:
   std::vector<Loop> Loops;
 };
 
+/// Records each loop's existing dedicated preheader in \p LI: the unique
+/// predecessor of the header outside the loop, provided it ends in an
+/// unconditional jump to the header (so it runs exactly when the loop is
+/// entered, and dominates the header). Returns the number of loops still
+/// lacking one.
+unsigned detectPreheaders(const IRFunction &F, LoopInfo &LI);
+
+/// Inserts a fresh preheader block for every loop of \p LI whose Preheader
+/// is unset, redirecting entry edges to it. Returns the number of blocks
+/// inserted; when non-zero, any DominatorTree/LoopInfo computed earlier
+/// (including \p LI itself) is stale.
+unsigned insertPreheaders(IRFunction &F, const LoopInfo &LI);
+
 /// Gives every loop of \p F a dedicated preheader block, rewriting entry
-/// edges. Invalidates any DominatorTree/LoopInfo computed earlier; returns
-/// the fresh LoopInfo (with Preheader fields set). Loops whose header is
-/// the function entry cannot occur (entry has no predecessors on entry
-/// edges... the entry block is never a loop header because lowering always
-/// starts functions with a dedicated entry block).
+/// edges. When every loop already has one (e.g. a previous run inserted
+/// them), the CFG is left untouched and the initially computed LoopInfo is
+/// returned without a rebuild; otherwise dominators/loops are recomputed
+/// once after insertion. The returned LoopInfo has Preheader fields set.
+/// The entry block is never a loop header because lowering always starts
+/// functions with a dedicated entry block.
 LoopInfo ensurePreheaders(IRFunction &F);
 
 } // namespace tbaa

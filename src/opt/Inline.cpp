@@ -2,6 +2,7 @@
 
 #include "opt/Inline.h"
 
+#include "analysis/AnalysisManager.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
@@ -146,17 +147,17 @@ void expandCall(IRFunction &Caller, const IRFunction &Callee,
   Caller.Blocks.push_back(std::move(Cont));
 }
 
-} // namespace
-
-unsigned tbaa::inlineCalls(IRModule &M, InlineOptions Opts) {
-  TBAA_TIME_SCOPE("inline");
-  CallGraph CG(M, *M.Types);
+/// The inlining fixpoint over a caller-provided call graph. Records the
+/// ids of callers that had a site expanded in \p ChangedOut (when given).
+unsigned runInline(IRModule &M, const CallGraph &CG, InlineOptions Opts,
+                   std::vector<FuncId> *ChangedOut) {
   RemarkEngine &Remarks = RemarkEngine::instance();
   unsigned Expanded = 0;
   // The fixpoint loop revisits surviving call sites after every
   // expansion; report each rejected site once.
   std::set<uint32_t> Rejected;
   for (IRFunction &F : M.Functions) {
+    unsigned ExpandedHere = 0;
     bool Changed = true;
     while (Changed && F.instrCount() < Opts.MaxCallerInstrs) {
       Changed = false;
@@ -198,16 +199,43 @@ unsigned tbaa::inlineCalls(IRModule &M, InlineOptions Opts) {
                                   static_cast<uint64_t>(Callee.instrCount())));
           expandCall(F, Callee, *M.Types, B, K);
           ++Expanded;
+          ++ExpandedHere;
           Changed = true;
           break;
         }
       }
     }
+    if (ExpandedHere && ChangedOut)
+      ChangedOut->push_back(F.Id);
   }
   NumInlined += Expanded;
   M.assignStaticIds();
   std::string Err = M.verify();
   assert(Err.empty() && "inlining broke the IR");
   (void)Err;
+  return Expanded;
+}
+
+} // namespace
+
+unsigned tbaa::inlineCalls(IRModule &M, InlineOptions Opts) {
+  TBAA_TIME_SCOPE("inline");
+  CallGraph CG(M, *M.Types);
+  return runInline(M, CG, Opts, nullptr);
+}
+
+unsigned tbaa::inlineCalls(IRModule &M, AnalysisManager &AM,
+                           InlineOptions Opts) {
+  TBAA_TIME_SCOPE("inline");
+  AM.bind(M);
+  std::vector<FuncId> ChangedFuncs;
+  unsigned Expanded = runInline(M, AM.callGraph(), Opts, &ChangedFuncs);
+  if (Expanded) {
+    // Expansions add blocks to the changed callers and rewrite call
+    // edges; everything else (other functions' CFG analyses) survives.
+    for (FuncId Id : ChangedFuncs)
+      AM.invalidateFunction(Id);
+    AM.invalidateModuleAnalyses();
+  }
   return Expanded;
 }

@@ -21,6 +21,8 @@
 
 namespace tbaa {
 
+class AnalysisManager;
+
 struct InlineOptions {
   /// Callees above this instruction count are not inlined.
   unsigned MaxCalleeInstrs = 40;
@@ -31,6 +33,11 @@ struct InlineOptions {
 /// Inlines eligible direct calls. Returns the number of call sites
 /// expanded. Rebuilds static ids.
 unsigned inlineCalls(IRModule &M, InlineOptions Opts = {});
+
+/// Same, drawing the call graph from \p AM and invalidating what the
+/// expansions broke: the CFG analyses of every changed caller, plus the
+/// module-level call graph and mod-ref summaries.
+unsigned inlineCalls(IRModule &M, AnalysisManager &AM, InlineOptions Opts = {});
 
 } // namespace tbaa
 

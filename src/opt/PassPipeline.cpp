@@ -8,44 +8,70 @@
 
 using namespace tbaa;
 
+OptPipeline::OptPipeline(AnalysisManager &AM, PipelineOptions Opts)
+    : AM(AM), Opts(Opts) {
+  buildPasses();
+}
+
 OptPipeline::OptPipeline(const TBAAContext &Ctx, const AliasOracle &Oracle,
                          PipelineOptions Opts)
-    : Opts(Opts) {
+    : OwnedAM(std::make_unique<AnalysisManager>(Oracle, &Ctx)), AM(*OwnedAM),
+      Opts(Opts) {
+  buildPasses();
+}
+
+void OptPipeline::buildPasses() {
+  // Built-in passes keep the manager honest themselves (PassPreserves::
+  // Self): each one invalidates exactly what it changed, so everything
+  // else stays cached for the passes that follow.
   if (Opts.Devirt)
-    append("devirt", [this, &Ctx](IRModule &M) {
-      Stats.MethodsResolved += resolveMethodCalls(M, Ctx);
-    });
+    append(
+        "devirt",
+        [this](IRModule &M) {
+          unsigned Resolved = resolveMethodCalls(M, AM.context());
+          Stats.MethodsResolved += Resolved;
+          // Rewriting CallMethod to Call refines call edges and callee
+          // mod-ref footprints; the CFG is untouched.
+          if (Resolved)
+            AM.invalidateModuleAnalyses();
+        },
+        PassPreserves::Self);
   if (Opts.Inline)
-    append("inline",
-           [this](IRModule &M) { Stats.CallsInlined += inlineCalls(M); });
+    append(
+        "inline",
+        [this](IRModule &M) { Stats.CallsInlined += inlineCalls(M, AM); },
+        PassPreserves::Self);
+  auto RLEPass = [this](IRModule &M) {
+    RLEStats S = runRLE(M, AM);
+    Stats.RLE.Hoisted += S.Hoisted;
+    Stats.RLE.Replaced += S.Replaced;
+    Stats.RLE.TypeTestsElided += S.TypeTestsElided;
+  };
   if (Opts.RLE)
-    append("rle", [this, &Oracle](IRModule &M) {
-      RLEStats S = runRLE(M, Oracle);
-      Stats.RLE.Hoisted += S.Hoisted;
-      Stats.RLE.Replaced += S.Replaced;
-      Stats.RLE.TypeTestsElided += S.TypeTestsElided;
-    });
+    append("rle", RLEPass, PassPreserves::Self);
   if (Opts.CopyProp) {
-    append("copyprop", [this](IRModule &M) {
-      Stats.OperandsPropagated += propagateCopies(M);
-    });
+    // Copy propagation rewrites path roots block-locally: no CFG edge,
+    // call site or abstract location changes, so every cached analysis
+    // survives.
+    append(
+        "copyprop",
+        [this](IRModule &M) { Stats.OperandsPropagated += propagateCopies(M); },
+        PassPreserves::All);
     // Copy propagation unifies lexical paths RLE's first run saw as
     // distinct (the paper's "Breakup" limitation); a second RLE run
     // collects what became visible.
     if (Opts.RLE)
-      append("rle#2", [this, &Oracle](IRModule &M) {
-        RLEStats S = runRLE(M, Oracle);
-        Stats.RLE.Hoisted += S.Hoisted;
-        Stats.RLE.Replaced += S.Replaced;
-        Stats.RLE.TypeTestsElided += S.TypeTestsElided;
-      });
+      append("rle#2", RLEPass, PassPreserves::Self);
   }
   if (Opts.PRE)
-    append("pre", [this, &Oracle](IRModule &M) {
-      PREStats S = runLoadPRE(M, Oracle);
-      Stats.PRE.Inserted += S.Inserted;
-      Stats.PRE.Replaced += S.Replaced;
-    });
+    append(
+        "pre",
+        [this](IRModule &M) {
+          PREStats S = runLoadPRE(M, AM);
+          Stats.PRE.Inserted += S.Inserted;
+          Stats.PRE.Replaced += S.Replaced;
+        },
+        PassPreserves::Self);
 }
 
 size_t OptPipeline::indexOf(const std::string &Name) const {
@@ -55,19 +81,21 @@ size_t OptPipeline::indexOf(const std::string &Name) const {
   return Passes.size();
 }
 
-void OptPipeline::append(std::string Name, std::function<void(IRModule &)> Fn) {
-  Passes.push_back({std::move(Name), std::move(Fn)});
+void OptPipeline::append(std::string Name, std::function<void(IRModule &)> Fn,
+                         PassPreserves Preserves) {
+  Passes.push_back({std::move(Name), std::move(Fn), Preserves});
 }
 
 void OptPipeline::insertAfter(const std::string &After, std::string Name,
-                              std::function<void(IRModule &)> Fn) {
+                              std::function<void(IRModule &)> Fn,
+                              PassPreserves Preserves) {
   size_t I = indexOf(After);
   if (I == Passes.size()) {
-    append(std::move(Name), std::move(Fn));
+    append(std::move(Name), std::move(Fn), Preserves);
     return;
   }
   Passes.insert(Passes.begin() + static_cast<ptrdiff_t>(I) + 1,
-                {std::move(Name), std::move(Fn)});
+                {std::move(Name), std::move(Fn), Preserves});
 }
 
 PipelineFailure OptPipeline::verifyAfter(const IRModule &M,
@@ -87,14 +115,52 @@ PipelineFailure OptPipeline::verifyAfter(const IRModule &M,
 }
 
 PipelineFailure OptPipeline::runPrefix(IRModule &M, size_t NumPasses) {
+  PipelineFailure F = runPrefixImpl(M, NumPasses);
+  Stats.Analyses = AM.cacheStats();
+  return F;
+}
+
+PipelineFailure OptPipeline::runPrefixImpl(IRModule &M, size_t NumPasses) {
+  // Cold caches on entry: prefix replays (m3fuzz) run the same pipeline
+  // over successive module copies, which can reuse an address.
+  AM.rebind(M);
+  bool VerifyAnalyses = Opts.VerifyAnalyses || AM.verifyAnalysesEnabled();
+  if (VerifyAnalyses)
+    AM.setVerifyAnalyses(true);
+
   if (Opts.VerifyEach)
     if (PipelineFailure F = verifyAfter(M, "<input>"); F.failed())
       return F;
   for (size_t I = 0; I != Passes.size() && I != NumPasses; ++I) {
     Passes[I].Run(M);
+    switch (Passes[I].Preserves) {
+    case PassPreserves::All:
+    case PassPreserves::Self:
+      break;
+    case PassPreserves::None:
+      AM.invalidateAll();
+      break;
+    }
     if (Opts.VerifyEach)
       if (PipelineFailure F = verifyAfter(M, Passes[I].Name); F.failed())
         return F;
+    // A stale cached analysis surfaces on the first hit after the pass
+    // whose preservation claim was wrong.
+    if (VerifyAnalyses && !AM.verifyError().empty()) {
+      PipelineFailure F;
+      F.Pass = Passes[I].Name;
+      F.Error = AM.verifyError();
+      return F;
+    }
   }
+  // Sweep what never got re-queried: recompute every surviving cache
+  // entry fresh and diff.
+  if (VerifyAnalyses)
+    if (std::string Err = AM.verifyNow(); !Err.empty()) {
+      PipelineFailure F;
+      F.Pass = "<analysis-cache>";
+      F.Error = Err;
+      return F;
+    }
   return {};
 }

@@ -6,24 +6,31 @@
 ///
 /// \file
 /// The optimization pass sequence reified as a list of named passes, so
-/// every driver (m3lc, m3fuzz, tests) runs the identical pipeline and so
-/// the pipeline can be *stepped*: --verify-each re-verifies the IR after
-/// every pass and names the offending pass + function, and m3fuzz
+/// every driver (m3lc, m3fuzz, m3batch, tests) runs the identical pipeline
+/// and so the pipeline can be *stepped*: --verify-each re-verifies the IR
+/// after every pass and names the offending pass + function, and m3fuzz
 /// bisects a differential mismatch by replaying pass prefixes.
 ///
 /// The sequence mirrors what m3lc always did:
 ///   devirt, inline, rle, copyprop, rle#2 (cleanup), pre
 /// with each stage gated by a PipelineOptions flag.
 ///
+/// Passes draw their supporting analyses from an AnalysisManager and
+/// declare what they preserve (PassPreserves); the pipeline applies the
+/// matching invalidation after each pass so later passes reuse whatever
+/// survived instead of rebuilding from scratch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TBAA_OPT_PASSPIPELINE_H
 #define TBAA_OPT_PASSPIPELINE_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/IR.h"
 #include "opt/RLE.h"
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +48,26 @@ struct PipelineOptions {
   bool PRE = true;
   /// Re-verify the IR after every pass; stop at the first failure.
   bool VerifyEach = false;
+  /// Recompute each cached analysis fresh on cache hits and after the
+  /// last pass, diffing against the cache; stop at the first stale
+  /// result. Catches passes whose preservation claims are wrong.
+  bool VerifyAnalyses = false;
+};
+
+/// What a pass guarantees about the manager's cached analyses; the
+/// pipeline invalidates accordingly after running it.
+enum class PassPreserves : uint8_t {
+  /// Mutates nothing any cached analysis depends on (e.g. copyprop:
+  /// block-local operand rewriting, no CFG or call/heap-footprint
+  /// change).
+  All,
+  /// The pass keeps the manager honest itself -- it invalidates exactly
+  /// what it changed (or preserves by construction). Built-in passes use
+  /// this.
+  Self,
+  /// Unknown footprint: drop everything. The conservative default for
+  /// externally appended passes (test hooks, m3fuzz sabotage).
+  None,
 };
 
 /// Transformation counts accumulated across the pipeline run.
@@ -50,9 +77,13 @@ struct PipelineStats {
   unsigned OperandsPropagated = 0;
   RLEStats RLE;
   PREStats PRE;
+  /// Analysis-cache counters (computes / hits / invalidations per kind),
+  /// snapshotted from the AnalysisManager after the run.
+  AnalysisManager::CacheStats Analyses;
 };
 
-/// A verify-each failure: which pass broke which function, and how.
+/// A verify-each / verify-analyses failure: which pass broke which
+/// function, and how.
 struct PipelineFailure {
   std::string Pass;     ///< Empty: the run was clean.
   std::string Function; ///< First offending function (from the verifier).
@@ -61,10 +92,14 @@ struct PipelineFailure {
   bool failed() const { return !Pass.empty(); }
 };
 
-/// The pass list. Construction captures the oracle/context by reference;
-/// both must outlive the pipeline.
+/// The pass list. Construction captures the manager by reference; it must
+/// outlive the pipeline.
 class OptPipeline {
 public:
+  OptPipeline(AnalysisManager &AM, PipelineOptions Opts);
+  /// Convenience for clients that own an oracle but no manager: an
+  /// internal manager borrowing \p Ctx and \p Oracle is created. Both
+  /// must outlive the pipeline.
   OptPipeline(const TBAAContext &Ctx, const AliasOracle &Oracle,
               PipelineOptions Opts);
   OptPipeline(const OptPipeline &) = delete;
@@ -75,21 +110,28 @@ public:
   /// Index of the pass named \p Name, or size() when absent.
   size_t indexOf(const std::string &Name) const;
 
-  /// Appends a pass at the end (test hooks).
-  void append(std::string Name, std::function<void(IRModule &)> Fn);
+  /// Appends a pass at the end (test hooks). Unless the caller vouches
+  /// otherwise, the pass is assumed to preserve nothing.
+  void append(std::string Name, std::function<void(IRModule &)> Fn,
+              PassPreserves Preserves = PassPreserves::None);
   /// Inserts a pass right after the pass named \p After (or appends when
   /// absent). Used by m3fuzz to plant its known-bad pass mid-pipeline.
   void insertAfter(const std::string &After, std::string Name,
-                   std::function<void(IRModule &)> Fn);
+                   std::function<void(IRModule &)> Fn,
+                   PassPreserves Preserves = PassPreserves::None);
 
   /// Runs passes [0, NumPasses) over \p M. With VerifyEach, verifies the
   /// incoming IR first (reported as pass "<input>") and after every pass,
-  /// stopping at the first failure. Without it, never fails.
+  /// stopping at the first failure; with VerifyAnalyses, stale cached
+  /// analyses fail the run the same way. Without either, never fails.
+  /// Entry always re-binds the manager to \p M with cold caches: one run
+  /// makes no assumptions about module mutations since the previous one.
   PipelineFailure runPrefix(IRModule &M, size_t NumPasses);
   /// Runs the whole pipeline.
   PipelineFailure run(IRModule &M) { return runPrefix(M, Passes.size()); }
 
   const PipelineStats &stats() const { return Stats; }
+  AnalysisManager &analyses() { return AM; }
 
   /// Verifies \p M attributing any failure to \p PassName.
   static PipelineFailure verifyAfter(const IRModule &M,
@@ -99,8 +141,14 @@ private:
   struct Pass {
     std::string Name;
     std::function<void(IRModule &)> Run;
+    PassPreserves Preserves = PassPreserves::None;
   };
 
+  void buildPasses();
+  PipelineFailure runPrefixImpl(IRModule &M, size_t NumPasses);
+
+  std::unique_ptr<AnalysisManager> OwnedAM; ///< Borrowing ctor only.
+  AnalysisManager &AM;
   std::vector<Pass> Passes;
   PipelineOptions Opts;
   PipelineStats Stats;

@@ -2,6 +2,7 @@
 
 #include "opt/RLE.h"
 
+#include "analysis/AnalysisManager.h"
 #include "ir/Dominators.h"
 #include "ir/Loops.h"
 #include "support/Remarks.h"
@@ -136,14 +137,17 @@ private:
 
 class LoadHoister {
 public:
-  LoadHoister(IRModule &M, IRFunction &F, const KillModel &Kills)
-      : M(M), F(F), Kills(Kills) {}
+  LoadHoister(IRModule &M, IRFunction &F, const KillModel &Kills,
+              AnalysisManager &AM)
+      : M(M), F(F), Kills(Kills), AM(AM) {}
 
   unsigned run() {
-    LoopInfo LI = ensurePreheaders(F);
+    // The manager hands back cached dominators/loops; preheader insertion
+    // (the only CFG change here) recomputes them once inside the manager.
+    const LoopInfo &LI = AM.loopsWithPreheaders(F);
     if (LI.loops().empty())
       return 0;
-    DominatorTree DT(F);
+    const DominatorTree &DT = AM.dominators(F);
 
     // Count StoreVar sites per frame var: a synthetic shadow with exactly
     // one store can migrate with its defining load.
@@ -252,6 +256,7 @@ private:
   IRModule &M;
   IRFunction &F;
   const KillModel &Kills;
+  AnalysisManager &AM;
   /// Static ids already reported blocked (the fixpoint loop re-visits).
   std::set<uint32_t> BlockedReported;
 };
@@ -833,20 +838,23 @@ private:
 
 } // namespace
 
-PREStats tbaa::runLoadPRE(IRModule &M, const AliasOracle &Oracle) {
+PREStats tbaa::runLoadPRE(IRModule &M, AnalysisManager &AM) {
   TBAA_TIME_SCOPE("pre");
-  std::optional<CallGraph> CG;
-  std::optional<ModRefAnalysis> MR;
-  {
-    TBAA_TIME_SCOPE("modref");
-    CG.emplace(M, *M.Types);
-    MR.emplace(M, *CG);
-  }
+  AM.bind(M);
+  const AliasOracle &Oracle = AM.oracle();
+  const ModRefAnalysis &MR = AM.modRef();
+  const CallGraph &CG = AM.callGraph();
   PREStats Stats;
   for (IRFunction &F : M.Functions) {
-    KillModel Kills(M, F, Oracle, *MR, *CG);
+    KillModel Kills(M, F, Oracle, MR, CG);
     LoadPRE PRE(M, F, Kills);
-    Stats.Inserted += PRE.run();
+    unsigned Inserted = PRE.run();
+    Stats.Inserted += Inserted;
+    // Edge splitting adds blocks: this function's CFG analyses are stale.
+    // Paths and call sites are untouched, so mod-ref and the call graph
+    // survive.
+    if (Inserted)
+      AM.invalidateFunction(F.Id);
     // The insertions turn partial redundancy into full redundancy; the
     // availability CSE removes the original loads.
     LoadCSE CSE(M, F, Kills);
@@ -861,22 +869,24 @@ PREStats tbaa::runLoadPRE(IRModule &M, const AliasOracle &Oracle) {
   return Stats;
 }
 
-RLEStats tbaa::runRLE(IRModule &M, const AliasOracle &Oracle) {
+PREStats tbaa::runLoadPRE(IRModule &M, const AliasOracle &Oracle) {
+  AnalysisManager AM(Oracle);
+  return runLoadPRE(M, AM);
+}
+
+RLEStats tbaa::runRLE(IRModule &M, AnalysisManager &AM) {
   TBAA_TIME_SCOPE("rle");
-  std::optional<CallGraph> CG;
-  std::optional<ModRefAnalysis> MR;
-  {
-    TBAA_TIME_SCOPE("modref");
-    CG.emplace(M, *M.Types);
-    MR.emplace(M, *CG);
-  }
+  AM.bind(M);
+  const AliasOracle &Oracle = AM.oracle();
+  const ModRefAnalysis &MR = AM.modRef();
+  const CallGraph &CG = AM.callGraph();
   RLEStats Stats;
   for (IRFunction &F : M.Functions) {
     Stats.TypeTestsElided += elideRepeatedTypeTests(F);
-    KillModel Kills(M, F, Oracle, *MR, *CG);
+    KillModel Kills(M, F, Oracle, MR, CG);
     {
       TBAA_TIME_SCOPE("hoist");
-      LoadHoister Hoister(M, F, Kills);
+      LoadHoister Hoister(M, F, Kills, AM);
       Stats.Hoisted += Hoister.run();
     }
     {
@@ -893,6 +903,11 @@ RLEStats tbaa::runRLE(IRModule &M, const AliasOracle &Oracle) {
   assert(Err.empty() && "RLE broke the IR");
   (void)Err;
   return Stats;
+}
+
+RLEStats tbaa::runRLE(IRModule &M, const AliasOracle &Oracle) {
+  AnalysisManager AM(Oracle);
+  return runRLE(M, AM);
 }
 
 std::vector<uint32_t> tbaa::findRemovableLoads(const IRModule &M,

@@ -37,6 +37,8 @@
 
 namespace tbaa {
 
+class AnalysisManager;
+
 struct RLEStats {
   unsigned Hoisted = 0;  ///< Loads moved to loop preheaders.
   unsigned Replaced = 0; ///< Loads replaced by register references.
@@ -48,8 +50,15 @@ struct RLEStats {
   unsigned total() const { return Hoisted + Replaced; }
 };
 
-/// Runs RLE over every function of \p M under \p Oracle. Rebuilds static
-/// instruction ids before returning.
+/// Runs RLE over every function of \p M, drawing the oracle, call graph,
+/// mod-ref summaries, dominators and loops from \p AM. Cached analyses
+/// are reused; the preheader insertion self-maintains the manager (the
+/// only CFG change RLE makes), so callers owe no invalidation. Rebuilds
+/// static instruction ids before returning.
+RLEStats runRLE(IRModule &M, AnalysisManager &AM);
+
+/// Convenience over a bare oracle: runs with a private single-use
+/// manager (no caching across calls).
 RLEStats runRLE(IRModule &M, const AliasOracle &Oracle);
 
 /// Static ids of loads that are partially (may on some path, not on all)
@@ -79,7 +88,10 @@ struct PREStats {
 /// redundant original loads are then removed by the availability CSE.
 /// Anticipation keeps the insertion trap-faithful and non-speculative:
 /// an inserted load only runs where the original program was about to
-/// load the same path anyway. Run after runRLE.
+/// load the same path anyway. Run after runRLE. The manager variant
+/// reuses cached analyses and invalidates the CFG analyses of every
+/// function it split an edge in.
+PREStats runLoadPRE(IRModule &M, AnalysisManager &AM);
 PREStats runLoadPRE(IRModule &M, const AliasOracle &Oracle);
 
 } // namespace tbaa

@@ -1,0 +1,284 @@
+//===- AnalysisManagerTests.cpp - Cached analyses and invalidation --------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// The AnalysisManager contract: analyses are computed lazily and
+// memoized; invalidation is by key and forces recomputation; passes that
+// preserve everything leave the caches intact across a pipeline run;
+// module-mutating passes (inlining) invalidate what they change; and the
+// --verify-analyses mode catches a pass that mutates the IR while lying
+// about what it preserves -- including a planted stale-cache bug.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/AnalysisManager.h"
+#include "opt/PassPipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+/// A loop over heap stores with no procedure calls: loops and dominators
+/// matter, the call graph never changes.
+const char *LoopNoCalls = R"(
+MODULE T;
+VAR acc: INTEGER;
+PROCEDURE Main (): INTEGER =
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  acc := 0;
+  WHILE i < 10 DO
+    acc := acc + i * i;
+    i := i + 1;
+  END;
+  RETURN acc;
+END Main;
+END T.
+)";
+
+/// Main calls a small leaf procedure inside a loop: inlining expands it
+/// and must invalidate the call graph and the changed caller.
+const char *LoopWithCall = R"(
+MODULE T;
+VAR acc: INTEGER;
+PROCEDURE Add (x: INTEGER): INTEGER =
+BEGIN
+  RETURN x + 1;
+END Add;
+PROCEDURE Main (): INTEGER =
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  acc := 0;
+  WHILE i < 10 DO
+    acc := acc + Add(i);
+    i := i + 1;
+  END;
+  RETURN acc;
+END Main;
+END T.
+)";
+
+/// The planted stale-cache bug: splits the first branch edge of \p F by
+/// routing it through a new forwarding block. Execution-equivalent and
+/// verifier-clean, but every CFG-derived analysis of F is now stale.
+void splitFirstJmpEdge(IRFunction &F) {
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    Instr &T = F.Blocks[B].Instrs.back();
+    if (T.Op != Opcode::Jmp && T.Op != Opcode::Br)
+      continue;
+    BlockId NewId = static_cast<BlockId>(F.Blocks.size());
+    BasicBlock NB;
+    NB.Id = NewId;
+    Instr J;
+    J.Op = Opcode::Jmp;
+    J.T1 = T.T1;
+    NB.Instrs.push_back(std::move(J));
+    T.T1 = NewId; // Redirect before push_back invalidates the reference.
+    F.Blocks.push_back(std::move(NB));
+    return;
+  }
+  FAIL() << "no branch edge to split";
+}
+
+TEST(AnalysisManager, MemoizesEveryKind) {
+  Compilation C = compileOrDie(LoopNoCalls);
+  AnalysisManager AM(C.ast(), C.types(), {});
+  AM.bind(C.IR);
+  IRFunction *Main = C.IR.findFunction("Main");
+  ASSERT_NE(Main, nullptr);
+
+  const DominatorTree &D1 = AM.dominators(*Main);
+  const DominatorTree &D2 = AM.dominators(*Main);
+  EXPECT_EQ(&D1, &D2);
+  const LoopInfo &L1 = AM.loops(*Main);
+  const LoopInfo &L2 = AM.loops(*Main);
+  EXPECT_EQ(&L1, &L2);
+  EXPECT_FALSE(L1.loops().empty());
+  const CallGraph &G1 = AM.callGraph();
+  const CallGraph &G2 = AM.callGraph();
+  EXPECT_EQ(&G1, &G2);
+  const ModRefAnalysis &M1 = AM.modRef();
+  const ModRefAnalysis &M2 = AM.modRef();
+  EXPECT_EQ(&M1, &M2);
+
+  const AnalysisManager::CacheStats &S = AM.cacheStats();
+  EXPECT_EQ(S.Dominators.Computes, 1u);
+  EXPECT_EQ(S.Loops.Computes, 1u);
+  EXPECT_EQ(S.CallGraph.Computes, 1u);
+  EXPECT_EQ(S.ModRef.Computes, 1u);
+  EXPECT_GT(S.Dominators.Hits, 0u);
+  EXPECT_GT(S.Loops.Hits, 0u);
+  EXPECT_GT(S.CallGraph.Hits, 0u); // modRef() pulls the cached call graph.
+  EXPECT_GT(S.ModRef.Hits, 0u);
+  EXPECT_EQ(S.totalInvalidations(), 0u);
+}
+
+TEST(AnalysisManager, InvalidationForcesRecompute) {
+  Compilation C = compileOrDie(LoopNoCalls);
+  AnalysisManager AM(C.ast(), C.types(), {});
+  AM.bind(C.IR);
+  IRFunction *Main = C.IR.findFunction("Main");
+  ASSERT_NE(Main, nullptr);
+
+  AM.dominators(*Main);
+  AM.loops(*Main);
+  AM.invalidateFunction(Main->Id);
+  AM.dominators(*Main);
+  EXPECT_EQ(AM.cacheStats().Dominators.Computes, 2u);
+  EXPECT_EQ(AM.cacheStats().Dominators.Invalidations, 1u);
+  EXPECT_EQ(AM.cacheStats().Loops.Invalidations, 1u);
+
+  AM.callGraph();
+  AM.invalidateModuleAnalyses();
+  AM.callGraph();
+  EXPECT_EQ(AM.cacheStats().CallGraph.Computes, 2u);
+  EXPECT_EQ(AM.cacheStats().CallGraph.Invalidations, 1u);
+  // Invalidating what is not cached counts nothing.
+  AM.invalidateModuleAnalyses();
+  EXPECT_EQ(AM.cacheStats().ModRef.Invalidations, 0u);
+}
+
+TEST(AnalysisManager, PipelinePreservingPassesKeepCaches) {
+  Compilation C = compileOrDie(LoopNoCalls);
+  AnalysisManager AM(C.ast(), C.types(), {});
+  OptPipeline P(AM, PipelineOptions{});
+  EXPECT_FALSE(P.run(C.IR).failed());
+
+  // No call site changes: the call graph built for the first RLE run
+  // serves every later pass from the cache.
+  const AnalysisManager::CacheStats &S = P.stats().Analyses;
+  EXPECT_EQ(S.CallGraph.Computes, 1u);
+  EXPECT_EQ(S.ModRef.Computes, 1u);
+  EXPECT_GT(S.totalHits(), 0u);
+  // Multi-pass run, cached CFG analyses: fewer dominator builds than one
+  // per (pass, function) pair.
+  EXPECT_LT(S.Dominators.Computes, 3 * C.IR.Functions.size());
+}
+
+TEST(AnalysisManager, InliningInvalidatesWhatItChanges) {
+  Compilation C = compileOrDie(LoopWithCall);
+  AnalysisManager AM(C.ast(), C.types(), {});
+  OptPipeline P(AM, PipelineOptions{});
+  EXPECT_FALSE(P.run(C.IR).failed());
+  ASSERT_GT(P.stats().CallsInlined, 0u);
+
+  // Inlining changed call edges: the call graph computed for inlining is
+  // dropped and rebuilt for RLE's mod-ref.
+  const AnalysisManager::CacheStats &S = P.stats().Analyses;
+  EXPECT_GE(S.CallGraph.Computes, 2u);
+  EXPECT_GE(S.CallGraph.Invalidations, 1u);
+}
+
+TEST(AnalysisManager, VerifyCatchesStaleDominators) {
+  Compilation C = compileOrDie(LoopNoCalls);
+  AnalysisManager AM(C.ast(), C.types(), {.VerifyAnalyses = true});
+  AM.bind(C.IR);
+  IRFunction *Main = C.IR.findFunction("Main");
+  ASSERT_NE(Main, nullptr);
+
+  AM.dominators(*Main);
+  EXPECT_TRUE(AM.verifyError().empty());
+  splitFirstJmpEdge(*Main); // Mutate the CFG behind the manager's back.
+  ASSERT_TRUE(C.IR.verify().empty());
+  const DominatorTree &Healed = AM.dominators(*Main); // Hit -> diff -> error.
+  EXPECT_NE(AM.verifyError().find("stale cached dominator tree"),
+            std::string::npos)
+      << AM.verifyError();
+  // Self-healing: the returned tree is the fresh one.
+  EXPECT_EQ(Healed.numBlocks(), Main->Blocks.size());
+}
+
+TEST(AnalysisManager, VerifyNowSweepsNeverRequeriedEntries) {
+  Compilation C = compileOrDie(LoopNoCalls);
+  AnalysisManager AM(C.ast(), C.types(), {});
+  AM.bind(C.IR);
+  IRFunction *Main = C.IR.findFunction("Main");
+  ASSERT_NE(Main, nullptr);
+
+  AM.loops(*Main);
+  splitFirstJmpEdge(*Main);
+  // No further queries: only the explicit sweep can see the staleness.
+  std::string Report = AM.verifyNow();
+  EXPECT_NE(Report.find("stale cached"), std::string::npos) << Report;
+  EXPECT_FALSE(AM.verifyError().empty());
+  // rebind() is a fresh-run boundary: caches and the error are gone.
+  AM.rebind(C.IR);
+  EXPECT_TRUE(AM.verifyError().empty());
+  EXPECT_TRUE(AM.verifyNow().empty());
+}
+
+TEST(AnalysisManager, PipelineCatchesLyingPreserveAll) {
+  Compilation C = compileOrDie(LoopNoCalls);
+  AnalysisManager AM(C.ast(), C.types(), {});
+  PipelineOptions PO;
+  PO.VerifyAnalyses = true;
+  OptPipeline P(AM, PO);
+  // The planted bug: a pass that rewrites the CFG while claiming to
+  // preserve every analysis.
+  P.insertAfter(
+      "rle", "liar",
+      [](IRModule &M) { splitFirstJmpEdge(*M.findFunction("Main")); },
+      PassPreserves::All);
+
+  PipelineFailure F = P.run(C.IR);
+  ASSERT_TRUE(F.failed());
+  EXPECT_NE(F.Error.find("stale cached"), std::string::npos) << F.Error;
+  // Attributed to the pass whose query detected the staleness, not to a
+  // miscompile three passes later.
+  EXPECT_EQ(F.Pass, "rle#2");
+}
+
+TEST(AnalysisManager, FinalSweepCatchesTailLiar) {
+  Compilation C = compileOrDie(LoopNoCalls);
+  AnalysisManager AM(C.ast(), C.types(), {});
+  PipelineOptions PO;
+  PO.VerifyAnalyses = true;
+  OptPipeline P(AM, PO);
+  // Same bug as the last pass: nothing re-queries after it, so only the
+  // end-of-run sweep can catch it.
+  P.append(
+      "tail-liar",
+      [](IRModule &M) { splitFirstJmpEdge(*M.findFunction("Main")); },
+      PassPreserves::All);
+
+  PipelineFailure F = P.run(C.IR);
+  ASSERT_TRUE(F.failed());
+  EXPECT_EQ(F.Pass, "<analysis-cache>");
+  EXPECT_NE(F.Error.find("stale cached"), std::string::npos) << F.Error;
+}
+
+TEST(AnalysisManager, HonestPipelineIsVerifyClean) {
+  Compilation C = compileOrDie(LoopWithCall);
+  AnalysisManager AM(C.ast(), C.types(), {});
+  PipelineOptions PO;
+  PO.VerifyAnalyses = true;
+  PO.VerifyEach = true;
+  OptPipeline P(AM, PO);
+  PipelineFailure F = P.run(C.IR);
+  EXPECT_FALSE(F.failed()) << F.Pass << ": " << F.Error;
+  EXPECT_EQ(runMain(LoopWithCall), 55); // SUM(i+1, i=0..9), unoptimized.
+}
+
+TEST(AnalysisManager, HonestCustomPassDefaultsToInvalidateAll) {
+  Compilation C = compileOrDie(LoopNoCalls);
+  AnalysisManager AM(C.ast(), C.types(), {});
+  PipelineOptions PO;
+  PO.VerifyAnalyses = true;
+  OptPipeline P(AM, PO);
+  // The same CFG rewrite under the conservative default
+  // (PassPreserves::None): everything is invalidated, so verification
+  // stays clean.
+  P.insertAfter("rle", "honest", [](IRModule &M) {
+    splitFirstJmpEdge(*M.findFunction("Main"));
+  });
+  PipelineFailure F = P.run(C.IR);
+  EXPECT_FALSE(F.failed()) << F.Pass << ": " << F.Error;
+}
+
+} // namespace

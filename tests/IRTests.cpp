@@ -209,13 +209,23 @@ END T.
   IRFunction &F = *C.IR.findFunction("Main");
   size_t BlocksBefore = F.Blocks.size();
   LoopInfo LI = ensurePreheaders(F);
-  EXPECT_EQ(F.Blocks.size(), BlocksBefore + LI.loops().size());
+  // At most one block is inserted per loop; a loop whose unique entry
+  // predecessor already jumps unconditionally to the header reuses it.
+  EXPECT_LE(F.Blocks.size(), BlocksBefore + LI.loops().size());
   for (const Loop &L : LI.loops()) {
     ASSERT_NE(L.Preheader, InvalidBlock);
     // The preheader jumps straight to the header and is outside the loop.
     EXPECT_FALSE(L.contains(L.Preheader));
     EXPECT_EQ(F.Blocks[L.Preheader].Instrs.back().T1, L.Header);
   }
+  // Idempotent: a second call finds the existing preheaders and leaves the
+  // CFG untouched instead of stacking a new chain of preheaders.
+  size_t BlocksAfterFirst = F.Blocks.size();
+  LoopInfo LI2 = ensurePreheaders(F);
+  EXPECT_EQ(F.Blocks.size(), BlocksAfterFirst);
+  ASSERT_EQ(LI2.loops().size(), LI.loops().size());
+  for (const Loop &L : LI2.loops())
+    ASSERT_NE(L.Preheader, InvalidBlock);
   // Nested: inner loop body is a subset of the outer loop body.
   ASSERT_EQ(LI.loops().size(), 2u);
   const Loop &Inner = LI.loops()[0], &Outer = LI.loops()[1];

@@ -10,11 +10,15 @@ validates the report:
     NaN/inf into null, so a null here means a metric went non-finite);
   * every record carries a workload name plus at least one metric;
   * stats keys look like "group.name" with integer values;
+  * the twelve analysis-cache counters (computed / cache-hits /
+    invalidated for dominators, loops, callgraph, modref) are present;
   * timing nodes carry name / seconds / invocations / children.
 
 For table6_rle_static it additionally cross-checks the JSON records
 against the stdout table: the three per-level RLE counts must match the
-printed rows exactly.
+printed rows exactly, and RLE must have computed at least one dominator
+tree. For bench_pipeline every record must show analyses both computed
+and served from the cache.
 
 Usage: check_stats_json.py <path-to-bench-binary>
 Exit status 0 on success, 1 on any violation.
@@ -28,6 +32,12 @@ import tempfile
 from pathlib import Path
 
 errors = []
+
+ANALYSIS_COUNTERS = [
+    f"analysis.{kind}-{suffix}"
+    for kind in ("dominators", "loops", "callgraph", "modref")
+    for suffix in ("computed", "cache-hits", "invalidated")
+]
 
 
 def fail(msg):
@@ -112,11 +122,15 @@ def main():
             fail(f"{where} carries no metrics")
         check_no_null(record, where)
 
-    for key, value in report.get("stats", {}).items():
+    stats = report.get("stats", {})
+    for key, value in stats.items():
         if not re.fullmatch(r"[a-z0-9-]+\.[a-z0-9-]+", key):
             fail(f"stats key '{key}' does not match group.name")
         if not isinstance(value, int) or value < 0:
             fail(f"stats['{key}'] = {value!r} is not a non-negative int")
+    for key in ANALYSIS_COUNTERS:
+        if key not in stats:
+            fail(f"stats is missing the analysis-cache counter '{key}'")
 
     for index, node in enumerate(report.get("timings", [])):
         check_timing_node(node, f"timings[{index}]")
@@ -141,6 +155,19 @@ def main():
         }
         if table != json_rows:
             fail(f"stdout table {table} != JSON records {json_rows}")
+        if stats.get("analysis.dominators-computed", 0) < 1:
+            fail("RLE ran but analysis.dominators-computed is 0")
+
+    # bench_pipeline: the cached arrangement must actually cache.
+    if report.get("bench") == "bench_pipeline":
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            name = record.get("workload")
+            if not record.get("analysis_computed", 0) > 0:
+                fail(f"{name}: cached run computed no analyses")
+            if not record.get("analysis_cache_hits", 0) > 0:
+                fail(f"{name}: cached run had no analysis cache hits")
 
     if errors:
         for message in errors:

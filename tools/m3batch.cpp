@@ -14,7 +14,7 @@
 //           [--timeout-ms=N] [--cpu-seconds=N] [--memory-mb=N]
 //           [--retries=N] [--backoff-ms=N] [--journal=FILE] [--resume]
 //           [--crash-dir=DIR] [--level=L] [--pipeline] [--pre]
-//           [--strict] [--verbose] [--stats]
+//           [--verify-analyses] [--strict] [--verbose] [--stats]
 //
 // Jobs: bundled workload names, .m3l file paths, `gen:SEED` generated
 // programs, or the planted fault injectors `@crash` (SIGSEGV), `@hang`
@@ -29,9 +29,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AnalysisManager.h"
 #include "core/AliasOracle.h"
-#include "core/Degradation.h"
-#include "core/TBAAContext.h"
 #include "exec/VM.h"
 #include "ir/Pipeline.h"
 #include "opt/PassPipeline.h"
@@ -75,6 +74,7 @@ struct Options {
   std::string CrashDir;
   bool Pipeline = false;
   bool PRE = false;
+  bool VerifyAnalyses = false;
   bool Strict = false;
   bool Verbose = false;
   bool Stats = false;
@@ -88,8 +88,8 @@ int usage() {
       "               [--memory-mb=N] [--retries=N] [--backoff-ms=N]\n"
       "               [--journal=FILE] [--resume] [--crash-dir=DIR]\n"
       "               [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
-      "               [--pipeline] [--pre] [--strict] [--verbose] "
-      "[--stats]\n"
+      "               [--pipeline] [--pre] [--verify-analyses] [--strict]\n"
+      "               [--verbose] [--stats]\n"
       "jobs: workload names, .m3l files, gen:SEED, @crash, @hang, "
       "@budget\n"
       "exit codes: 0 batch completed, 1 --strict failure, 2 usage, "
@@ -108,7 +108,8 @@ AliasLevel levelFromName(const std::string &Name) {
 /// The compile-and-run worker body at one ladder rung. Runs inside the
 /// forked child; follows the m3lc exit-code contract.
 int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
-                  bool Pipeline, bool PRE, DegradeLevel D, int PayloadFd) {
+                  bool Pipeline, bool PRE, bool VerifyAnalyses, DegradeLevel D,
+                  int PayloadFd) {
   // Fleet-wide per-job defaults (--config): analysis budget and the
   // diagnostic cap govern every worker identically.
   BudgetRegistry::instance().setAllLimits(Cfg.AnalysisBudget);
@@ -120,17 +121,20 @@ int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
     return 1;
   }
 
-  TBAAContext Ctx(C.ast(), C.types(), {});
   if (D != DegradeLevel::NoOpt) {
     AliasLevel L = D == DegradeLevel::Full ? levelFromName(Cfg.Level)
                                            : AliasLevel::TypeDecl;
-    std::unique_ptr<InstrumentedOracle> Oracle = makeDegradingOracle(Ctx, L);
+    // One analysis manager per job: context, oracle, call graph, mod-ref,
+    // dominators and loops are built once here and shared by every pass.
+    AnalysisManager AM(C.ast(), C.types(),
+                       {.Level = L, .VerifyAnalyses = VerifyAnalyses});
     PipelineOptions PO;
     PO.Devirt = PO.Inline = PO.CopyProp = Pipeline && D == DegradeLevel::Full;
     PO.RLE = true;
     PO.PRE = PRE && D == DegradeLevel::Full;
     PO.VerifyEach = true;
-    OptPipeline P(Ctx, *Oracle, PO);
+    PO.VerifyAnalyses = VerifyAnalyses;
+    OptPipeline P(AM, PO);
     if (PipelineFailure F = P.run(C.IR); F.failed()) {
       std::fprintf(stderr,
                    "m3batch worker: IR verification failed after pass '%s' "
@@ -173,6 +177,7 @@ bool makeJob(const std::string &Name, const Options &Opts, BatchJob &Out) {
   Out.Id = Name;
   const BatchConfig &Cfg = Opts.Cfg;
   bool Pipeline = Opts.Pipeline, PRE = Opts.PRE;
+  bool Verify = Opts.VerifyAnalyses;
 
   if (Name == "@crash") {
     Out.Make = [](DegradeLevel) {
@@ -208,9 +213,10 @@ bool makeJob(const std::string &Name, const Options &Opts, BatchJob &Out) {
     Out.Source = W ? W->Source : "";
     BatchConfig Starved = Cfg;
     Starved.AnalysisBudget = 16;
-    Out.Make = [Source = Out.Source, Starved, Pipeline, PRE](DegradeLevel D) {
+    Out.Make = [Source = Out.Source, Starved, Pipeline, PRE,
+                Verify](DegradeLevel D) {
       return [=](int Fd) {
-        return runCompileJob(Source, Starved, Pipeline, PRE, D, Fd);
+        return runCompileJob(Source, Starved, Pipeline, PRE, Verify, D, Fd);
       };
     };
     return true;
@@ -232,9 +238,9 @@ bool makeJob(const std::string &Name, const Options &Opts, BatchJob &Out) {
       return false;
   }
 
-  Out.Make = [Source = Out.Source, Cfg, Pipeline, PRE](DegradeLevel D) {
+  Out.Make = [Source = Out.Source, Cfg, Pipeline, PRE, Verify](DegradeLevel D) {
     return [=](int Fd) {
-      return runCompileJob(Source, Cfg, Pipeline, PRE, D, Fd);
+      return runCompileJob(Source, Cfg, Pipeline, PRE, Verify, D, Fd);
     };
   };
   return true;
@@ -307,6 +313,8 @@ int main(int argc, char **argv) {
       Opts.Pipeline = true;
     else if (A == "--pre")
       Opts.PRE = true;
+    else if (A == "--verify-analyses")
+      Opts.VerifyAnalyses = true;
     else if (A == "--strict")
       Opts.Strict = true;
     else if (A == "--verbose")
@@ -370,6 +378,8 @@ int main(int argc, char **argv) {
         Cmd += " --pipeline";
       if (Opts.PRE)
         Cmd += " --pre";
+      if (Opts.VerifyAnalyses)
+        Cmd += " --verify-analyses";
     }
     if (Opts.Cfg.AnalysisBudget)
       Cmd += " --analysis-budget=" + std::to_string(Opts.Cfg.AnalysisBudget);

@@ -16,8 +16,8 @@
 //     written under --out.
 //
 //   m3fuzz [--seeds N] [--mutants M] [--stmts N] [--procs N] [--fuel N]
-//          [--budget N] [--timeout-ms N] [--out DIR] [--plant-bug]
-//          [--expect-bug]
+//          [--budget N] [--timeout-ms N] [--out DIR] [--verify-analyses]
+//          [--plant-bug] [--expect-bug]
 //
 // --timeout-ms runs every candidate in a sandboxed worker process under
 // a wall-clock deadline (src/service/): a candidate that hangs outside
@@ -75,6 +75,7 @@ struct Options {
   uint64_t Budget = 0;
   std::string Out = "m3fuzz-out";
   uint64_t TimeoutMs = 0; ///< 0 = check in-process, no isolation.
+  bool VerifyAnalyses = false;
   bool PlantBug = false;
   bool ExpectBug = false;
 };
@@ -85,7 +86,8 @@ int usage() {
                "[--procs N]\n"
                "              [--fuel N] [--budget N] [--timeout-ms N] "
                "[--out DIR]\n"
-               "              [--plant-bug] [--expect-bug]\n"
+               "              [--verify-analyses] [--plant-bug] "
+               "[--expect-bug]\n"
                "exit codes: 0 clean sweep, 1 failures found, 2 usage "
                "error\n");
   return 2;
@@ -179,6 +181,7 @@ CaseResult checkOne(const std::string &Source, const Options &Opts,
   auto Oracle = makeDegradingOracle(Ctx, AliasLevel::SMFieldTypeRefs);
   PipelineOptions PO;
   PO.VerifyEach = true;
+  PO.VerifyAnalyses = Opts.VerifyAnalyses;
   auto makePipeline = [&]() {
     auto P = std::make_unique<OptPipeline>(Ctx, *Oracle, PO);
     if (Opts.PlantBug)
@@ -408,6 +411,8 @@ int main(int argc, char **argv) {
     uint64_t Tmp = 0;
     if (A == "--plant-bug")
       Opts.PlantBug = true;
+    else if (A == "--verify-analyses")
+      Opts.VerifyAnalyses = true;
     else if (A == "--expect-bug")
       Opts.PlantBug = Opts.ExpectBug = true;
     else if (numArg("--seeds=", Opts.Seeds) || numArg("--fuel=", Opts.Fuel) ||

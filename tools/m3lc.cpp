@@ -18,6 +18,9 @@
 //          --pre         partial redundancy elimination after RLE
 //          --verify-each re-verify the IR after every pass; a failure
 //                        names the pass + function and exits 3
+//          --verify-analyses recompute each cached analysis fresh on
+//                        cache hits and diff against the cache; a stale
+//                        result names the pass and exits 3
 //          --max-errors=N      stop recording diagnostics after N (default
 //                              64; 0 = unlimited)
 //          --analysis-budget=N per-phase analysis step budget; exhaustion
@@ -33,9 +36,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AnalysisManager.h"
 #include "core/AliasCensus.h"
 #include "core/AliasOracle.h"
-#include "core/Degradation.h"
 #include "core/InstrumentedOracle.h"
 #include "core/TBAAContext.h"
 #include "exec/VM.h"
@@ -71,6 +74,7 @@ struct Options {
   bool Pipeline = false;
   bool PRE = false;
   bool VerifyEach = false;
+  bool VerifyAnalyses = false;
   unsigned MaxErrors = 64;
   uint64_t AnalysisBudget = 0; ///< 0: unlimited.
   bool Stats = false;
@@ -93,6 +97,7 @@ int usage() {
       "usage: m3lc <run|check|dump-ir|dump-ast|census|emit-workload|list>\n"
       "            [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
       "            [--open] [--no-rle] [--pipeline] [--pre] [--verify-each]\n"
+      "            [--verify-analyses]\n"
       "            [--max-errors=N] [--analysis-budget=N] [--stats]\n"
       "            [--time-passes] [--remarks[=file]]\n"
       "            <file.m3l | workload-name>\n"
@@ -150,20 +155,23 @@ int run(const Options &Opts, DiagnosticEngine &Diags) {
     return ExitSuccess;
   }
 
-  TBAAContext Ctx(C.ast(), C.types(), {.OpenWorld = Opts.OpenWorld});
-  // Always decorate: the memo cache makes RLE cheaper, --stats can then
-  // report the paper's evaluation currency (alias queries), and the
-  // degradation ladder underneath trades precision for time when
-  // --analysis-budget is set (a no-op while unlimited).
-  std::unique_ptr<InstrumentedOracle> Oracle =
-      makeDegradingOracle(Ctx, Opts.Level);
+  // The one construction path every driver shares: the manager owns the
+  // context and the oracle (decorated with the memo cache that makes RLE
+  // cheaper and the degradation ladder that trades precision for time
+  // when --analysis-budget is set), and hands out cached call graph /
+  // mod-ref / dominators / loops to the passes.
+  AnalysisManager AM(C.ast(), C.types(),
+                     {.Level = Opts.Level,
+                      .OpenWorld = Opts.OpenWorld,
+                      .Degrading = true,
+                      .VerifyAnalyses = Opts.VerifyAnalyses});
 
   if (Opts.Command == "census") {
     std::printf("%-18s %10s %10s %12s\n", "analysis", "local", "global",
                 "references");
     for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
                          AliasLevel::SMFieldTypeRefs}) {
-      auto O = makeAliasOracle(Ctx, L);
+      auto O = makeAliasOracle(AM.context(), L);
       CensusResult R = countAliasPairs(C.IR, *O);
       std::printf("%-18s %10llu %10llu %12llu\n", O->name(),
                   static_cast<unsigned long long>(R.LocalPairs),
@@ -178,7 +186,8 @@ int run(const Options &Opts, DiagnosticEngine &Diags) {
   PO.RLE = Opts.ApplyRLE;
   PO.PRE = Opts.PRE;
   PO.VerifyEach = Opts.VerifyEach;
-  OptPipeline Pipeline(Ctx, *Oracle, PO);
+  PO.VerifyAnalyses = Opts.VerifyAnalyses;
+  OptPipeline Pipeline(AM, PO);
   if (PipelineFailure F = Pipeline.run(C.IR); F.failed())
     return internalError("IR verification failed after pass '" + F.Pass +
                          "' in function '" + F.Function + "':\n" + F.Error);
@@ -207,6 +216,7 @@ int run(const Options &Opts, DiagnosticEngine &Diags) {
   std::printf("Main() = %lld\n", static_cast<long long>(*R));
   if (Opts.Stats) {
     const ExecStats &S = Machine.stats();
+    InstrumentedOracle *Oracle = AM.instrumented();
     std::printf("analysis:         %s%s\n", Oracle->name(),
                 Opts.OpenWorld ? " (open world)" : "");
     if (Opts.Pipeline)
@@ -219,6 +229,26 @@ int run(const Options &Opts, DiagnosticEngine &Diags) {
     if (Opts.PRE)
       std::printf("PRE:              %u inserted, %u replaced\n",
                   PS.PRE.Inserted, PS.PRE.Replaced);
+    if (Opts.ApplyRLE || Opts.Pipeline || Opts.PRE) {
+      const AnalysisManager::CacheStats &AC = PS.Analyses;
+      auto Line = [](const char *Kind,
+                     const AnalysisManager::KindCounters &K) {
+        std::printf("  %-15s %llu computed, %llu cache hits, %llu "
+                    "invalidated\n",
+                    Kind, static_cast<unsigned long long>(K.Computes),
+                    static_cast<unsigned long long>(K.Hits),
+                    static_cast<unsigned long long>(K.Invalidations));
+      };
+      std::printf("analysis cache:   %llu computed, %llu cache hits, %llu "
+                  "invalidated\n",
+                  static_cast<unsigned long long>(AC.totalComputes()),
+                  static_cast<unsigned long long>(AC.totalHits()),
+                  static_cast<unsigned long long>(AC.totalInvalidations()));
+      Line("dominators", AC.Dominators);
+      Line("loops", AC.Loops);
+      Line("call graph", AC.CallGraph);
+      Line("mod-ref", AC.ModRef);
+    }
     std::printf("micro-ops:        %llu\n",
                 static_cast<unsigned long long>(S.Ops));
     std::printf("heap loads:       %llu (%.1f%%)\n",
@@ -262,6 +292,8 @@ int main(int argc, char **argv) {
       Opts.PRE = true;
     else if (A == "--verify-each")
       Opts.VerifyEach = true;
+    else if (A == "--verify-analyses")
+      Opts.VerifyAnalyses = true;
     else if (A.rfind("--max-errors=", 0) == 0) {
       char *End = nullptr;
       unsigned long N = std::strtoul(A.c_str() + 13, &End, 10);
