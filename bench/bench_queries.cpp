@@ -1,0 +1,155 @@
+//===- bench_queries.cpp - Alias-class engine query reduction -------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// Measures what the alias-class query engine buys: every golden workload
+// runs the full RLE + PRE + census arrangement at SMFieldTypeRefs twice,
+// once with the pairwise instrumented oracle answering every client
+// query directly (baseline), once with the engine's dense interning +
+// equivalence-class bitmaps in front of it. The two arrangements must
+// produce bit-identical optimization decisions, census numbers and VM
+// execution checksums, and the engine arm must issue at most half the
+// oracle queries overall -- both enforced here, so the ctest smoke is
+// deterministic (counters, not wall clock). Wall-clock preparation time
+// (best of 3) is reported for information and in --json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <chrono>
+
+using namespace tbaa;
+using namespace tbaa::bench;
+
+namespace {
+
+struct ArmResult {
+  uint64_t Queries = 0;   ///< Instrumented-oracle queries during prep.
+  int64_t Checksum = 0;   ///< VM result of the optimized program.
+  unsigned Hoisted = 0;
+  unsigned Replaced = 0;
+  unsigned PREInserted = 0;
+  unsigned PREReplaced = 0;
+  uint64_t LocalPairs = 0;
+  uint64_t GlobalPairs = 0;
+  double BestMs = 0; ///< Best-of-N wall clock for the prep phase.
+};
+
+/// Compile + RLE + PRE + census under one analysis manager; \p UseEngine
+/// selects whether alias queries route through the AliasClassEngine or
+/// hit the pairwise oracle directly. The optimized program runs on the
+/// VM once (first rep) for the checksum.
+ArmResult runArm(const WorkloadInfo &W, bool UseEngine, int Reps) {
+  ArmResult R;
+  R.BestMs = 1e300;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    DiagnosticEngine Diags;
+    Compilation C = compileSource(W.Source, Diags);
+    if (!C.ok())
+      fatal("workload %s failed to compile:\n%s", W.Name,
+            Diags.str(W.Name).c_str());
+    auto Start = std::chrono::steady_clock::now();
+    AnalysisManager::Options Opts;
+    Opts.Level = AliasLevel::SMFieldTypeRefs;
+    Opts.Degrading = false;
+    Opts.UseAliasClasses = UseEngine;
+    AnalysisManager AM(C.ast(), C.types(), Opts);
+    AM.bind(C.IR);
+    RLEStats RLE = runRLE(C.IR, AM);
+    PREStats PRE = runLoadPRE(C.IR, AM);
+    const AliasClassEngine *ACE = AM.aliasClasses();
+    CensusResult Census = ACE ? countAliasPairs(C.IR, *ACE, AM.oracle())
+                              : countAliasPairs(C.IR, AM.oracle());
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    if (Ms < R.BestMs)
+      R.BestMs = Ms;
+    if (Rep != 0)
+      continue;
+    R.Queries = AM.instrumented()->stats().totalQueries();
+    R.Hoisted = RLE.Hoisted;
+    R.Replaced = RLE.Replaced;
+    R.PREInserted = PRE.Inserted;
+    R.PREReplaced = PRE.Replaced;
+    R.LocalPairs = Census.LocalPairs;
+    R.GlobalPairs = Census.GlobalPairs;
+    RunOutcome Out;
+    execute(C, Out);
+    R.Checksum = Out.Checksum;
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  JsonReport Report("bench_queries", argc, argv);
+  std::printf("Alias-class query engine: oracle queries per arrangement\n");
+  std::printf("(RLE + PRE + census at SMFieldTypeRefs; identical results "
+              "required)\n\n");
+  std::printf("%-14s %12s %12s %8s | %9s %9s %8s\n", "Program", "Pairwise",
+              "Engine", "Reduct", "Base ms", "Eng ms", "Speedup");
+
+  const int Reps = 3;
+  uint64_t TotalBase = 0, TotalEngine = 0;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    if (W.Interactive)
+      continue; // no Main to execute, so no checksum to compare
+    ArmResult Base = runArm(W, /*UseEngine=*/false, Reps);
+    ArmResult Eng = runArm(W, /*UseEngine=*/true, Reps);
+
+    if (Base.Checksum != Eng.Checksum)
+      fatal("%s: engine arrangement changed the checksum (%lld != %lld)",
+            W.Name, static_cast<long long>(Base.Checksum),
+            static_cast<long long>(Eng.Checksum));
+    if (Base.Hoisted != Eng.Hoisted || Base.Replaced != Eng.Replaced ||
+        Base.PREInserted != Eng.PREInserted ||
+        Base.PREReplaced != Eng.PREReplaced)
+      fatal("%s: engine arrangement changed the optimization decisions "
+            "(RLE %u+%u/PRE %u+%u vs RLE %u+%u/PRE %u+%u)",
+            W.Name, Base.Hoisted, Base.Replaced, Base.PREInserted,
+            Base.PREReplaced, Eng.Hoisted, Eng.Replaced, Eng.PREInserted,
+            Eng.PREReplaced);
+    if (Base.LocalPairs != Eng.LocalPairs ||
+        Base.GlobalPairs != Eng.GlobalPairs)
+      fatal("%s: engine census disagrees with the pairwise census", W.Name);
+
+    TotalBase += Base.Queries;
+    TotalEngine += Eng.Queries;
+    double Reduction = Eng.Queries
+                           ? static_cast<double>(Base.Queries) /
+                                 static_cast<double>(Eng.Queries)
+                           : 0.0;
+    double Speedup = ratioOf(Base.BestMs, Eng.BestMs);
+    std::printf("%-14s %12llu %12llu %7.1fx | %9.2f %9.2f %7.2fx\n", W.Name,
+                static_cast<unsigned long long>(Base.Queries),
+                static_cast<unsigned long long>(Eng.Queries), Reduction,
+                Base.BestMs, Eng.BestMs, Speedup);
+    Report.record(W.Name)
+        .set("queries_baseline", Base.Queries)
+        .set("queries_engine", Eng.Queries)
+        .set("query_reduction", Reduction)
+        .set("checksum", Base.Checksum)
+        .set("rle_removed", Base.Hoisted + Base.Replaced)
+        .set("pre_inserted", Base.PREInserted)
+        .set("prep_ms_baseline", Base.BestMs)
+        .set("prep_ms_engine", Eng.BestMs)
+        .set("prep_speedup", Speedup);
+  }
+
+  double Overall = TotalEngine ? static_cast<double>(TotalBase) /
+                                     static_cast<double>(TotalEngine)
+                               : 0.0;
+  std::printf("\nOverall: %llu pairwise-oracle queries vs %llu through the "
+              "engine (%.1fx reduction)\n",
+              static_cast<unsigned long long>(TotalBase),
+              static_cast<unsigned long long>(TotalEngine), Overall);
+  if (TotalBase < 2 * TotalEngine)
+    fatal("alias-class engine saved less than half the oracle queries "
+          "(%llu vs %llu)",
+          static_cast<unsigned long long>(TotalBase),
+          static_cast<unsigned long long>(TotalEngine));
+  return 0;
+}

@@ -34,13 +34,16 @@ int main(int argc, char **argv) {
       fatal("workload %s failed to compile:\n%s", W.Name,
             Diags.str(W.Name).c_str());
     TBAAContext Ctx(C.ast(), C.types(), {});
+    // One interned-location table serves all three levels; each level
+    // adds its equivalence-class partition to the same engine.
+    AliasClassEngine Engine(C.IR);
     const AliasLevel Levels[3] = {AliasLevel::TypeDecl,
                                   AliasLevel::FieldTypeDecl,
                                   AliasLevel::SMFieldTypeRefs};
     CensusResult R[3];
     for (int L = 0; L != 3; ++L) {
       auto Oracle = makeAliasOracle(Ctx, Levels[L]);
-      R[L] = countAliasPairs(C.IR, *Oracle);
+      R[L] = countAliasPairs(C.IR, Engine, *Oracle);
       AvgLocal[L] += R[L].localPerReference();
       AvgGlobal[L] += R[L].globalPerReference();
     }

@@ -37,6 +37,12 @@ TBAA_STATISTIC(NumMRHits, "analysis", "modref-cache-hits",
                "Mod-ref queries served from the cache");
 TBAA_STATISTIC(NumMRInvalidated, "analysis", "modref-invalidated",
                "Cached mod-ref summary sets invalidated");
+TBAA_STATISTIC(NumACEComputed, "analysis", "aliasclasses-computed",
+               "Alias-class engines built (module interning scans)");
+TBAA_STATISTIC(NumACEHits, "analysis", "aliasclasses-cache-hits",
+               "Alias-class engine queries served from the cache");
+TBAA_STATISTIC(NumACEInvalidated, "analysis", "aliasclasses-invalidated",
+               "Cached alias-class engines invalidated");
 
 //===----------------------------------------------------------------------===//
 // Structural diffs (--verify-analyses)
@@ -125,6 +131,42 @@ std::string diffCallGraph(const IRModule &M, const CallGraph &Cached,
   return {};
 }
 
+/// Alias-class engines are diffed for coverage and soundness rather than
+/// structure: (a) every location a fresh interning scan finds must
+/// already be interned (a miss means a pass added reference sites
+/// without invalidating -- those would silently take the slow fallback
+/// forever); (b) for every partition the cached engine has built, a
+/// no-alias verdict must be confirmed by a fresh reference oracle
+/// (fast=no-alias while reference=may-alias is the unsound direction;
+/// the converse merely costs precision). \p Ctx may be null (borrowed
+/// oracle without a context), which skips (b).
+std::string diffAliasClasses(const AliasClassEngine &Cached,
+                             const AliasClassEngine &Fresh,
+                             const TBAAContext *Ctx) {
+  for (size_t Id = 0; Id != Fresh.numLocs(); ++Id)
+    if (Cached.lookup(Fresh.loc(Id)) == AliasClassEngine::NoLoc)
+      return "alias-class interning misses a location of the current module";
+  if (!Ctx)
+    return {};
+  for (int L = 0; L != 5; ++L) {
+    const AliasClassEngine::Partition *P =
+        Cached.partitionIfBuilt(static_cast<AliasLevel>(L));
+    if (!P)
+      continue;
+    std::unique_ptr<AliasOracle> Ref =
+        makeAliasOracle(*Ctx, static_cast<AliasLevel>(L));
+    for (size_t I = 0; I != Cached.numLocs(); ++I)
+      for (size_t J = I; J != Cached.numLocs(); ++J)
+        if (!P->Rows[I].test(J) && Ref->mayAliasAbs(Cached.loc(I),
+                                                    Cached.loc(J)))
+          return std::string("partition at level ") +
+                 aliasLevelName(static_cast<AliasLevel>(L)) +
+                 " answers no-alias where the reference oracle answers "
+                 "may-alias";
+  }
+  return {};
+}
+
 bool containsLoc(const std::vector<AbsLoc> &Set, const AbsLoc &L) {
   return std::any_of(Set.begin(), Set.end(),
                      [&](const AbsLoc &E) { return E == L; });
@@ -190,6 +232,7 @@ void AnalysisManager::rebind(const IRModule &NewM) {
   Funcs.clear();
   CG.reset();
   MR.reset();
+  ACE.reset();
   M = &NewM;
   Funcs.resize(NewM.Functions.size());
   VerifyError.clear();
@@ -252,12 +295,38 @@ const CallGraph &AnalysisManager::callGraph() {
   return *CG;
 }
 
+const AliasClassEngine *AnalysisManager::aliasClasses() {
+  if (!Opts.UseAliasClasses || !M)
+    return nullptr;
+  if (!ACE) {
+    TBAA_TIME_SCOPE("alias-classes");
+    ACE = std::make_unique<AliasClassEngine>(*M);
+    ++Cache.AliasClasses.Computes;
+    ++NumACEComputed;
+  } else {
+    ++Cache.AliasClasses.Hits;
+    ++NumACEHits;
+    if (Opts.VerifyAnalyses) {
+      AliasClassEngine Fresh(*M);
+      const TBAAContext *Ctx = BorrowedCtx ? BorrowedCtx : OwnedCtx.get();
+      verifyHit("alias classes", diffAliasClasses(*ACE, Fresh, Ctx));
+      // No self-heal, deliberately: mod-ref summaries hold pointers into
+      // the cached engine's partitions, and the fallback path keeps every
+      // answer correct for locations the cache misses -- a stale engine
+      // loses speed, never soundness.
+    }
+  }
+  return ACE.get();
+}
+
 const ModRefAnalysis &AnalysisManager::modRef() {
   assert(M && "no module bound");
   if (!MR) {
     const CallGraph &G = callGraph();
+    const AliasClassEngine *Eng = aliasClasses();
+    const AliasOracle *EngOracle = Eng ? &oracle() : nullptr;
     TBAA_TIME_SCOPE("modref");
-    MR = std::make_unique<ModRefAnalysis>(*M, G);
+    MR = std::make_unique<ModRefAnalysis>(*M, G, Eng, EngOracle);
     ++Cache.ModRef.Computes;
     ++NumMRComputed;
   } else {
@@ -369,6 +438,11 @@ void AnalysisManager::invalidateModuleAnalyses() {
     ++Cache.ModRef.Invalidations;
     ++NumMRInvalidated;
   }
+  if (ACE) {
+    ACE.reset();
+    ++Cache.AliasClasses.Invalidations;
+    ++NumACEInvalidated;
+  }
 }
 
 void AnalysisManager::invalidateAll() {
@@ -415,6 +489,11 @@ std::string AnalysisManager::verifyNow() {
       ModRefAnalysis FreshMR(*M, FreshCG);
       Add("mod-ref summaries", diffModRef(*M, *MR, FreshMR));
     }
+  }
+  if (ACE) {
+    AliasClassEngine Fresh(*M);
+    const TBAAContext *Ctx = BorrowedCtx ? BorrowedCtx : OwnedCtx.get();
+    Add("alias classes", diffAliasClasses(*ACE, Fresh, Ctx));
   }
   std::string Result = Report.str();
   if (!Result.empty() && VerifyError.empty())

@@ -65,6 +65,11 @@ struct AnalysisManagerOptions {
   /// Recompute each cached analysis fresh on every cache hit and diff
   /// it against the cached copy (debug mode; see verifyError()).
   bool VerifyAnalyses = false;
+  /// Serve alias queries through the per-module AliasClassEngine
+  /// (dense interning + equivalence-class bitmaps). Off only for
+  /// clients that measure the raw pairwise oracle (the legacy runRLE
+  /// entry points, the query benchmark's baseline arm).
+  bool UseAliasClasses = true;
 };
 
 class AnalysisManager {
@@ -84,17 +89,20 @@ public:
     KindCounters Loops;
     KindCounters CallGraph;
     KindCounters ModRef;
+    KindCounters AliasClasses;
 
     uint64_t totalComputes() const {
       return Dominators.Computes + Loops.Computes + CallGraph.Computes +
-             ModRef.Computes;
+             ModRef.Computes + AliasClasses.Computes;
     }
     uint64_t totalHits() const {
-      return Dominators.Hits + Loops.Hits + CallGraph.Hits + ModRef.Hits;
+      return Dominators.Hits + Loops.Hits + CallGraph.Hits + ModRef.Hits +
+             AliasClasses.Hits;
     }
     uint64_t totalInvalidations() const {
       return Dominators.Invalidations + Loops.Invalidations +
-             CallGraph.Invalidations + ModRef.Invalidations;
+             CallGraph.Invalidations + ModRef.Invalidations +
+             AliasClasses.Invalidations;
     }
   };
 
@@ -146,6 +154,14 @@ public:
 
   const CallGraph &callGraph();
   const ModRefAnalysis &modRef();
+  /// The module's alias-class query engine (dense LocIds + per-level
+  /// partitions); null when Options::UseAliasClasses is off or no module
+  /// is bound. Interning is level-independent, so the degradation
+  /// ladder's downgrades never re-intern -- partitions for new rungs are
+  /// added to the same engine. Invalidated with the module analyses: the
+  /// verdicts themselves are IR-independent, but the interned universe
+  /// tracks the module's reference sites.
+  const AliasClassEngine *aliasClasses();
   const DominatorTree &dominators(const IRFunction &F);
   /// Loops of \p F with existing dedicated preheaders detected (Preheader
   /// set where one is already present in the CFG).
@@ -214,6 +230,7 @@ private:
   std::vector<FuncEntry> Funcs; ///< Indexed by FuncId.
   std::unique_ptr<CallGraph> CG;
   std::unique_ptr<ModRefAnalysis> MR;
+  std::unique_ptr<AliasClassEngine> ACE;
 
   CacheStats Cache;
   std::string VerifyError;

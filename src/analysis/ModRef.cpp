@@ -25,8 +25,12 @@ void ModRefAnalysis::addRef(ModSummary &S, const AbsLoc &L) {
     S.Refs.push_back(L);
 }
 
-ModRefAnalysis::ModRefAnalysis(const IRModule &M, const CallGraph &CG)
-    : M(M) {
+ModRefAnalysis::ModRefAnalysis(const IRModule &M, const CallGraph &CG,
+                               const AliasClassEngine *Engine,
+                               const AliasOracle *EngineOracle)
+    : M(M), Engine(Engine && EngineOracle ? Engine : nullptr) {
+  if (this->Engine)
+    Part = &this->Engine->partition(*EngineOracle);
   size_t N = M.Functions.size();
   Summaries.resize(N);
   for (ModSummary &S : Summaries)
@@ -93,6 +97,36 @@ ModRefAnalysis::ModRefAnalysis(const IRModule &M, const CallGraph &CG)
             .arg("budget", std::to_string(Budget.Limit))
             .arg("functions", std::to_string(N)));
   }
+  if (this->Engine && !Saturated)
+    buildLocBitmaps();
+  else {
+    this->Engine = nullptr;
+    Part = nullptr;
+  }
+}
+
+/// Projects the closed Mods vectors onto the engine's dense LocId space.
+/// Runs after the closure so the fixpoint logic (and its budget charges)
+/// stays byte-for-byte the legacy code.
+void ModRefAnalysis::buildLocBitmaps() {
+  size_t N = Engine->numLocs();
+  for (ModSummary &S : Summaries) {
+    S.ModLocs = DynBitset(N);
+    S.DerefModLocs = DynBitset(N);
+    for (const AbsLoc &L : S.Mods) {
+      AliasClassEngine::LocId Id = Engine->lookup(L);
+      if (Id == AliasClassEngine::NoLoc) {
+        // Unknown location: the bitmaps can no longer stand in for the
+        // vectors, so every query takes the scalar path.
+        Engine = nullptr;
+        Part = nullptr;
+        return;
+      }
+      S.ModLocs.set(Id);
+      if (L.Sel == SelKind::Deref)
+        S.DerefModLocs.set(Id);
+    }
+  }
 }
 
 /// The abstract location "variable V viewed through an escaped address":
@@ -113,12 +147,20 @@ bool ModRefAnalysis::callMayWriteVar(const IRFunction &Caller,
   if (Saturated)
     return true;
   const IRVar &Info = M.varInfo(Caller, V);
+  AliasClassEngine::LocId VarId = AliasClassEngine::NoLoc;
+  if (Part && Info.AddressTaken)
+    VarId = Engine->lookup(varAsDerefTarget(M, Caller, V));
   for (FuncId Target : CG.calleesOf(CallSite)) {
     const ModSummary &S = Summaries[Target];
     if (V.K == VarRef::Kind::Global && S.GlobalsMod.test(V.Index))
       return true;
     if (!Info.AddressTaken)
       continue;
+    if (VarId != AliasClassEngine::NoLoc) {
+      if (Engine->intersectsAliasSet(*Part, VarId, S.DerefModLocs))
+        return true;
+      continue;
+    }
     AbsLoc VarLoc = varAsDerefTarget(M, Caller, V);
     for (const AbsLoc &L : S.Mods)
       if (L.Sel == SelKind::Deref && Oracle.mayAliasAbs(L, VarLoc))
@@ -134,9 +176,16 @@ bool ModRefAnalysis::callMayKillPath(const IRFunction &Caller,
   if (Saturated)
     return true;
   AbsLoc PathLoc = AbsLoc::fromPath(P);
+  AliasClassEngine::LocId PathId =
+      Part ? Engine->lookup(PathLoc) : AliasClassEngine::NoLoc;
   for (FuncId Target : CG.calleesOf(CallSite)) {
     const ModSummary &S = Summaries[Target];
     // The callee may overwrite the named heap location itself.
+    if (PathId != AliasClassEngine::NoLoc) {
+      if (Engine->intersectsAliasSet(*Part, PathId, S.ModLocs))
+        return true;
+      continue;
+    }
     for (const AbsLoc &L : S.Mods)
       if (Oracle.mayAliasAbs(L, PathLoc))
         return true;

@@ -22,6 +22,7 @@
 #define TBAA_ANALYSIS_MODREF_H
 
 #include "analysis/CallGraph.h"
+#include "core/AliasClasses.h"
 #include "core/AliasOracle.h"
 #include "support/DynBitset.h"
 
@@ -38,11 +39,27 @@ struct ModSummary {
   /// Heap and through-address loads (for completeness/clients that need
   /// ref information).
   std::vector<AbsLoc> Refs;
+  /// Mods as a bitmap over the alias-class engine's dense LocIds (empty
+  /// when the analysis runs without an engine). The vectors above stay
+  /// authoritative; these are the bulk-query acceleration.
+  DynBitset ModLocs;
+  /// The Deref subset of ModLocs -- what an escaped-variable write test
+  /// scans.
+  DynBitset DerefModLocs;
 };
 
 class ModRefAnalysis {
 public:
-  ModRefAnalysis(const IRModule &M, const CallGraph &CG);
+  /// With \p Engine (and the session \p EngineOracle whose level selects
+  /// the partition), the kill queries below become one bitmap
+  /// intersection per callee instead of a mayAliasAbs loop over the
+  /// callee's mod set. Summaries and verdicts are identical either way;
+  /// a mod location the engine does not know (impossible for modules the
+  /// engine was built over, but cheap to tolerate) disables the fast
+  /// path rather than changing an answer.
+  ModRefAnalysis(const IRModule &M, const CallGraph &CG,
+                 const AliasClassEngine *Engine = nullptr,
+                 const AliasOracle *EngineOracle = nullptr);
 
   const ModSummary &summary(FuncId F) const { return Summaries[F]; }
 
@@ -69,10 +86,14 @@ public:
 private:
   void addMod(ModSummary &S, const AbsLoc &L);
   void addRef(ModSummary &S, const AbsLoc &L);
+  void buildLocBitmaps();
 
   const IRModule &M;
   std::vector<ModSummary> Summaries;
   bool Saturated = false;
+  /// Non-null only while the fast path is usable (see constructor).
+  const AliasClassEngine *Engine = nullptr;
+  const AliasClassEngine::Partition *Part = nullptr;
 };
 
 } // namespace tbaa

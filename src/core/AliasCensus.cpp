@@ -2,6 +2,12 @@
 
 #include "core/AliasCensus.h"
 
+#include "core/AliasClasses.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
 using namespace tbaa;
 
 CensusResult tbaa::countAliasPairs(const IRModule &M,
@@ -34,5 +40,91 @@ CensusResult tbaa::countAliasPairs(const IRModule &M,
       }
     }
   }
+  return R;
+}
+
+CensusResult tbaa::countAliasPairs(const IRModule &M,
+                                   const AliasClassEngine &Engine,
+                                   const AliasOracle &Oracle) {
+  using LocId = AliasClassEngine::LocId;
+  const AliasClassEngine::Partition &P = Engine.partition(Oracle);
+  // Perfect is lexical identity for path pairs and AbsLoc identity for
+  // cross-procedure pairs; the partition rows already encode the latter
+  // (the diagonal), but same-procedure distinct-path pairs must not
+  // consult them.
+  bool PerfectLevel = Oracle.level() == AliasLevel::Perfect;
+
+  // Within one procedure, references with equal lexical paths always
+  // alias (Case 1 of Table 2, at every level), so group them.
+  struct PathGroup {
+    MemPath Path;
+    LocId Loc;
+    uint64_t Count = 0;
+  };
+
+  auto choose2 = [](uint64_t N) { return N * (N - 1) / 2; };
+
+  CensusResult R;
+  std::vector<uint64_t> GlobalCount(Engine.numLocs(), 0);
+  // Cross-procedure pairs are "all pairs minus same-procedure pairs";
+  // the per-procedure half of that subtraction accumulates here, each
+  // term already weighted by the abstract verdict.
+  uint64_t SameFuncAbsPairs = 0;
+
+  for (const IRFunction &F : M.Functions) {
+    std::vector<PathGroup> Groups;
+    std::unordered_map<LocId, uint64_t> FuncCount;
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs) {
+        if (!I.isMemAccess())
+          continue;
+        ++R.References;
+        LocId Loc = Engine.lookupPath(I.Path);
+        assert(Loc != AliasClassEngine::NoLoc &&
+               "engine was built over a different module");
+        ++GlobalCount[Loc];
+        ++FuncCount[Loc];
+        auto It = std::find_if(Groups.begin(), Groups.end(),
+                               [&](const PathGroup &G) {
+                                 return G.Path == I.Path;
+                               });
+        if (It == Groups.end())
+          Groups.push_back({I.Path, Loc, 1});
+        else
+          ++It->Count;
+      }
+
+    for (size_t GI = 0; GI != Groups.size(); ++GI) {
+      R.LocalPairs += choose2(Groups[GI].Count); // identical paths
+      if (PerfectLevel)
+        continue;
+      for (size_t GJ = GI + 1; GJ != Groups.size(); ++GJ)
+        if (P.Rows[Groups[GI].Loc].test(Groups[GJ].Loc))
+          R.LocalPairs += Groups[GI].Count * Groups[GJ].Count;
+    }
+
+    for (auto &[LA, NA] : FuncCount) {
+      if (P.Rows[LA].test(LA))
+        SameFuncAbsPairs += choose2(NA);
+      for (auto &[LB, NB] : FuncCount)
+        if (LA < LB && P.Rows[LA].test(LB))
+          SameFuncAbsPairs += NA * NB;
+    }
+  }
+
+  // All abstract-verdict pairs over the whole program, by multiplicity;
+  // subtracting the same-procedure share leaves exactly the pairs the
+  // pairwise walk sends to mayAliasAbs.
+  uint64_t AllAbsPairs = 0;
+  for (LocId LA = 0; LA != GlobalCount.size(); ++LA) {
+    if (!GlobalCount[LA])
+      continue;
+    if (P.Rows[LA].test(LA))
+      AllAbsPairs += choose2(GlobalCount[LA]);
+    for (LocId LB = LA + 1; LB != GlobalCount.size(); ++LB)
+      if (GlobalCount[LB] && P.Rows[LA].test(LB))
+        AllAbsPairs += GlobalCount[LA] * GlobalCount[LB];
+  }
+  R.GlobalPairs = R.LocalPairs + (AllAbsPairs - SameFuncAbsPairs);
   return R;
 }

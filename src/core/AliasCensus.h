@@ -46,6 +46,18 @@ struct CensusResult {
 /// source-level initializer references.
 CensusResult countAliasPairs(const IRModule &M, const AliasOracle &Oracle);
 
+class AliasClassEngine;
+
+/// Class-engine census: identical numbers to the pairwise walk above,
+/// but counted by multiplicity. References collapse onto the engine's
+/// dense abstract locations (and, within a procedure, onto lexical path
+/// groups), so the verdict matrix is consulted once per *distinct*
+/// location pair and each verdict is multiplied by the pair population
+/// -- O(refs + distinct^2) oracle-free work instead of O(refs^2)
+/// queries.
+CensusResult countAliasPairs(const IRModule &M, const AliasClassEngine &Engine,
+                             const AliasOracle &Oracle);
+
 } // namespace tbaa
 
 #endif // TBAA_CORE_ALIASCENSUS_H

@@ -1,0 +1,210 @@
+//===- AliasClasses.cpp ---------------------------------------------------===//
+
+#include "core/AliasClasses.h"
+
+#include "support/Stats.h"
+#include "support/Timing.h"
+#include "support/UnionFind.h"
+
+#include <cassert>
+
+using namespace tbaa;
+
+TBAA_STATISTIC(NumLocsInterned, "engine", "locs-interned",
+               "Abstract locations interned into dense ids");
+TBAA_STATISTIC(NumPartitionsBuilt, "engine", "partitions-built",
+               "Per-level alias-class partitions built");
+TBAA_STATISTIC(NumClassesBuilt, "engine", "classes-built",
+               "May-alias equivalence classes formed across partitions");
+TBAA_STATISTIC(NumBuildQueries, "engine", "build-queries",
+               "Reference-oracle queries spent building partitions");
+TBAA_STATISTIC(NumFastAnswers, "engine", "fast-answers",
+               "Queries answered by class-ID compare or uniform class");
+TBAA_STATISTIC(NumSlowPath, "engine", "slow-path",
+               "Same-class queries answered from the verdict matrix");
+TBAA_STATISTIC(NumFallbacks, "engine", "fallback-queries",
+               "Queries on un-interned locations sent to the reference "
+               "oracle");
+TBAA_STATISTIC(NumBulkOps, "engine", "bulk-ops",
+               "Bulk bitmap operations (kill sets, set intersections)");
+
+namespace {
+
+std::array<uint64_t, 2> packAbs(const AbsLoc &L) {
+  std::array<uint64_t, 2> K;
+  K[0] = (static_cast<uint64_t>(L.Sel) << 32) | L.Field;
+  K[1] = (static_cast<uint64_t>(L.BaseType) << 32) | L.ValueType;
+  return K;
+}
+
+/// The abstract location "variable V viewed through an escaped address" --
+/// what ModRefAnalysis and RLE's kill model synthesize for address-taken
+/// variables (a Deref of the variable's type).
+AbsLoc varDerefLoc(TypeId VarType) {
+  AbsLoc L;
+  L.Sel = SelKind::Deref;
+  L.BaseType = VarType;
+  L.ValueType = VarType;
+  return L;
+}
+
+} // namespace
+
+AliasClassEngine::AliasClassEngine(const IRModule &M) {
+  TBAA_TIME_SCOPE("alias-classes");
+  // Every lexical memory reference, root-abstracted.
+  for (const IRFunction &F : M.Functions)
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.isMemAccess())
+          intern(AbsLoc::fromPath(I.Path));
+  // Every Deref-of-variable location a kill query can synthesize: only
+  // address-taken variables are ever asked about.
+  for (const IRVar &G : M.Globals)
+    if (G.AddressTaken)
+      intern(varDerefLoc(G.Type));
+  for (const IRFunction &F : M.Functions)
+    for (const IRVar &V : F.Frame)
+      if (V.AddressTaken)
+        intern(varDerefLoc(V.Type));
+}
+
+AliasClassEngine::LocId AliasClassEngine::intern(const AbsLoc &L) {
+  auto [It, Inserted] =
+      Index.try_emplace(packAbs(L), static_cast<LocId>(Locs.size()));
+  if (Inserted) {
+    Locs.push_back(L);
+    ++NumLocsInterned;
+  }
+  return It->second;
+}
+
+AliasClassEngine::LocId AliasClassEngine::lookup(const AbsLoc &L) const {
+  auto It = Index.find(packAbs(L));
+  return It == Index.end() ? NoLoc : It->second;
+}
+
+const AliasClassEngine::Partition *
+AliasClassEngine::partitionIfBuilt(AliasLevel Level) const {
+  return Parts[static_cast<size_t>(Level)].get();
+}
+
+const AliasClassEngine::Partition &
+AliasClassEngine::partition(const AliasOracle &Ref) const {
+  AliasLevel Level = Ref.level();
+  if (const Partition *P = partitionIfBuilt(Level))
+    return *P;
+  return build(Level, Ref);
+}
+
+AliasClassEngine::Partition &
+AliasClassEngine::build(AliasLevel Level, const AliasOracle &Ref) const {
+  TBAA_TIME_SCOPE("alias-classes");
+  auto P = std::make_unique<Partition>();
+  P->Level = Level;
+  size_t L = Locs.size();
+  P->Rows.assign(L, DynBitset(L));
+  UnionFind UF(L);
+  // One reference query per unordered pair fills the exact verdict
+  // matrix; the union-closure over may-pairs yields the classes.
+  for (size_t I = 0; I != L; ++I)
+    for (size_t J = I; J != L; ++J) {
+      bool May = Ref.mayAliasAbs(Locs[I], Locs[J]);
+      ++Counters.BuildQueries;
+      ++NumBuildQueries;
+      if (!May)
+        continue;
+      P->Rows[I].set(J);
+      P->Rows[J].set(I);
+      if (I != J)
+        UF.unite(static_cast<uint32_t>(I), static_cast<uint32_t>(J));
+    }
+  // Compress union-find roots into dense class ids.
+  P->ClassOf.assign(L, 0);
+  std::vector<uint32_t> RootToClass(L, ~0u);
+  for (size_t I = 0; I != L; ++I) {
+    uint32_t Root = UF.find(static_cast<uint32_t>(I));
+    if (RootToClass[Root] == ~0u)
+      RootToClass[Root] = P->NumClasses++;
+    P->ClassOf[I] = RootToClass[Root];
+  }
+  // A class is uniform when every member's row covers the whole class
+  // (including the diagonal); such classes answer "may" on a class-ID
+  // compare alone. Non-transitive levels leave some classes non-uniform.
+  std::vector<DynBitset> ClassMask(P->NumClasses, DynBitset(L));
+  std::vector<uint32_t> ClassSize(P->NumClasses, 0);
+  for (size_t I = 0; I != L; ++I) {
+    ClassMask[P->ClassOf[I]].set(I);
+    ++ClassSize[P->ClassOf[I]];
+  }
+  P->Uniform.assign(P->NumClasses, 1);
+  for (size_t I = 0; I != L; ++I) {
+    DynBitset Covered = P->Rows[I];
+    Covered &= ClassMask[P->ClassOf[I]];
+    if (Covered.count() != ClassSize[P->ClassOf[I]])
+      P->Uniform[P->ClassOf[I]] = 0;
+  }
+  ++Counters.PartitionsBuilt;
+  ++NumPartitionsBuilt;
+  NumClassesBuilt += P->NumClasses;
+  Parts[static_cast<size_t>(Level)] = std::move(P);
+  return *Parts[static_cast<size_t>(Level)];
+}
+
+bool AliasClassEngine::mayAliasAbs(const Partition &P, const AbsLoc &A,
+                                   const AbsLoc &B,
+                                   const AliasOracle &Ref) const {
+  LocId IA = lookup(A), IB = lookup(B);
+  if (IA == NoLoc || IB == NoLoc) {
+    ++Counters.Fallbacks;
+    ++NumFallbacks;
+    return Ref.mayAliasAbs(A, B);
+  }
+  if (P.ClassOf[IA] != P.ClassOf[IB]) {
+    ++Counters.FastAnswers;
+    ++NumFastAnswers;
+    return false; // Cross-class: guaranteed no-alias.
+  }
+  if (P.Uniform[P.ClassOf[IA]]) {
+    ++Counters.FastAnswers;
+    ++NumFastAnswers;
+    return true;
+  }
+  ++Counters.SlowPath;
+  ++NumSlowPath;
+  return P.Rows[IA].test(IB);
+}
+
+bool AliasClassEngine::mayAlias(const Partition &P, const MemPath &A,
+                                const MemPath &B,
+                                const AliasOracle &Ref) const {
+  if (P.Level == AliasLevel::Perfect) {
+    // Lexical identity only -- two distinct paths over the same abstract
+    // location do NOT alias under Perfect, so never consult the rows.
+    ++Counters.FastAnswers;
+    ++NumFastAnswers;
+    return A == B;
+  }
+  if (A == B) {
+    ++Counters.FastAnswers;
+    ++NumFastAnswers;
+    return true; // Case 1 of Table 2: identical APs always alias.
+  }
+  return mayAliasAbs(P, AbsLoc::fromPath(A), AbsLoc::fromPath(B), Ref);
+}
+
+const DynBitset &AliasClassEngine::aliasSet(const Partition &P,
+                                            LocId L) const {
+  assert(L < P.Rows.size());
+  ++Counters.BulkOps;
+  ++NumBulkOps;
+  return P.Rows[L];
+}
+
+bool AliasClassEngine::intersectsAliasSet(const Partition &P, LocId L,
+                                          const DynBitset &Set) const {
+  assert(L < P.Rows.size());
+  ++Counters.BulkOps;
+  ++NumBulkOps;
+  return P.Rows[L].intersects(Set);
+}

@@ -35,7 +35,14 @@ AliasLevel coarserLevel(AliasLevel L) {
 } // namespace
 
 DegradingOracle::DegradingOracle(const TBAAContext &Ctx, AliasLevel Level)
-    : Ctx(Ctx), Cur(Level), Inner(makeAliasOracle(Ctx, Level)) {}
+    : Ctx(Ctx), Cur(Level), Inner(&rung(Level)) {}
+
+AliasOracle &DegradingOracle::rung(AliasLevel L) const {
+  auto &Slot = Rungs[static_cast<size_t>(L)];
+  if (!Slot)
+    Slot = makeAliasOracle(Ctx, L);
+  return *Slot;
+}
 
 void DegradingOracle::chargeQuery() const {
   PhaseBudget &Budget = BudgetRegistry::instance().Oracle;
@@ -57,7 +64,7 @@ void DegradingOracle::chargeQuery() const {
           .arg("to", aliasLevelName(Next))
           .arg("budget", std::to_string(Budget.Limit)));
   Cur = Next;
-  Inner = makeAliasOracle(Ctx, Next);
+  Inner = &rung(Next);
 }
 
 bool DegradingOracle::mayAlias(const MemPath &A, const MemPath &B) const {

@@ -35,6 +35,7 @@
 #include "core/AliasOracle.h"
 #include "core/InstrumentedOracle.h"
 
+#include <array>
 #include <memory>
 
 namespace tbaa {
@@ -56,8 +57,15 @@ private:
 
   const TBAAContext &Ctx;
   mutable AliasLevel Cur;
-  mutable std::unique_ptr<AliasOracle> Inner;
+  /// Rung oracles, built on first visit and kept for the session: a
+  /// downgrade switches Inner to a cached rung instead of rebuilding
+  /// from scratch, so budget fallback never reconstructs per-level
+  /// state it already paid for. Indexed by AliasLevel.
+  mutable std::array<std::unique_ptr<AliasOracle>, 5> Rungs;
+  mutable AliasOracle *Inner = nullptr;
   mutable unsigned Downgrades = 0;
+
+  AliasOracle &rung(AliasLevel L) const;
 };
 
 /// A DegradingOracle at \p Level wrapped in the memoizing counter

@@ -4,8 +4,6 @@
 
 #include "support/Stats.h"
 
-#include <algorithm>
-
 using namespace tbaa;
 
 TBAA_STATISTIC(NumQueries, "oracle", "queries",
@@ -16,6 +14,8 @@ TBAA_STATISTIC(NumNoAlias, "oracle", "no-alias",
                "Queries answered no-alias");
 TBAA_STATISTIC(NumCacheHits, "oracle", "cache-hits",
                "Queries served from the memo table");
+TBAA_STATISTIC(NumMemoEvictions, "oracle", "memo-evictions",
+               "Memo-table wipes forced by the capacity bound");
 
 namespace {
 
@@ -53,6 +53,16 @@ std::array<uint64_t, 2> packAbs(const AbsLoc &L) {
   return K;
 }
 
+/// Dense-id assignment: paths take even ids, abstract locations odd, so
+/// the two universes can share one (idA, idB) memo without colliding.
+template <typename Map, typename Key>
+uint32_t internId(Map &M, const Key &K, uint32_t Parity) {
+  auto [It, Inserted] =
+      M.try_emplace(K, static_cast<uint32_t>(M.size()) * 2 + Parity);
+  (void)Inserted;
+  return It->second;
+}
+
 } // namespace
 
 InstrumentedOracle::InstrumentedOracle(std::unique_ptr<AliasOracle> Inner)
@@ -72,36 +82,53 @@ bool InstrumentedOracle::recordVerdict(bool May) const {
   return May;
 }
 
+const bool *InstrumentedOracle::memoFind(uint64_t Key) const {
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return &It->second;
+  if (Memo.size() >= MemoCapacity) {
+    // Wipe rather than LRU: verdicts are one byte and recomputation is
+    // cheap, so the simple policy keeps the hot path a single hash probe.
+    // The interners survive -- ids stay stable across wipes.
+    Memo.clear();
+    ++Counters.Evictions;
+    ++NumMemoEvictions;
+  }
+  return nullptr;
+}
+
+void InstrumentedOracle::memoInsert(uint64_t Key, bool Verdict) const {
+  Memo.emplace(Key, Verdict);
+}
+
 bool InstrumentedOracle::mayAlias(const MemPath &A, const MemPath &B) const {
   ++Counters.PathQueries;
-  std::array<uint64_t, 5> KA = packPath(A), KB = packPath(B);
-  PathKey Key;
-  std::copy(KA.begin(), KA.end(), Key.begin());
-  std::copy(KB.begin(), KB.end(), Key.begin() + 5);
-  auto [It, Inserted] = PathCache.try_emplace(Key, false);
-  if (!Inserted) {
+  uint64_t IdA = internId(PathIds, packPath(A), 0);
+  uint64_t IdB = internId(PathIds, packPath(B), 0);
+  uint64_t Key = (IdA << 32) | IdB;
+  if (const bool *Hit = memoFind(Key)) {
     ++Counters.CacheHits;
     ++NumCacheHits;
-    return recordVerdict(It->second);
+    return recordVerdict(*Hit);
   }
-  It->second = Inner->mayAlias(A, B);
-  return recordVerdict(It->second);
+  bool May = Inner->mayAlias(A, B);
+  memoInsert(Key, May);
+  return recordVerdict(May);
 }
 
 bool InstrumentedOracle::mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const {
   ++Counters.AbsQueries;
-  std::array<uint64_t, 2> KA = packAbs(A), KB = packAbs(B);
-  AbsKey Key;
-  std::copy(KA.begin(), KA.end(), Key.begin());
-  std::copy(KB.begin(), KB.end(), Key.begin() + 2);
-  auto [It, Inserted] = AbsCache.try_emplace(Key, false);
-  if (!Inserted) {
+  uint64_t IdA = internId(AbsIds, packAbs(A), 1);
+  uint64_t IdB = internId(AbsIds, packAbs(B), 1);
+  uint64_t Key = (IdA << 32) | IdB;
+  if (const bool *Hit = memoFind(Key)) {
     ++Counters.CacheHits;
     ++NumCacheHits;
-    return recordVerdict(It->second);
+    return recordVerdict(*Hit);
   }
-  It->second = Inner->mayAliasAbs(A, B);
-  return recordVerdict(It->second);
+  bool May = Inner->mayAliasAbs(A, B);
+  memoInsert(Key, May);
+  return recordVerdict(May);
 }
 
 void InstrumentedOracle::resetStats() { Counters = OracleStats(); }

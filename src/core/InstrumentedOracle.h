@@ -14,6 +14,15 @@
 /// lookups. The decorator is answer-preserving by construction: keys
 /// cover every field the wrapped oracles read.
 ///
+/// Paths and abstract locations are interned into dense 32-bit ids first
+/// (one hash of the full lexical key per distinct operand, ever), and the
+/// memo proper is keyed on the id pair -- one word instead of ten. The
+/// memo is bounded: when it reaches capacity it is wiped (the interners
+/// survive -- distinct operands are finitely many per module; it is the
+/// *pairs* that grow quadratically), so a batch run over many modules
+/// cannot grow the table without limit. Wipes are counted as Evictions
+/// and reported under oracle.memo-evictions.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TBAA_CORE_INSTRUMENTEDORACLE_H
@@ -34,6 +43,7 @@ struct OracleStats {
   uint64_t MayAlias = 0;    ///< Queries answered "may alias".
   uint64_t NoAlias = 0;     ///< Queries answered "no alias".
   uint64_t CacheHits = 0;   ///< Queries served from the memo table.
+  uint64_t Evictions = 0;   ///< Memo wipes forced by the capacity bound.
 
   uint64_t totalQueries() const { return PathQueries + AbsQueries; }
   double cacheHitPercent() const {
@@ -59,11 +69,19 @@ public:
   const OracleStats &stats() const { return Counters; }
   void resetStats();
 
+  /// Bound on the number of memoized verdicts (path + abstract combined).
+  /// Reaching it wipes the memo (not the interners) and counts an
+  /// eviction. Mainly narrowed by tests; the default absorbs any single
+  /// module while bounding batch runs.
+  void setMemoCapacity(size_t Cap) { MemoCapacity = Cap ? Cap : 1; }
+  size_t memoCapacity() const { return MemoCapacity; }
+
 private:
-  // A MemPath packs to 5 words (root, selector+field, index operand in
-  // two words, base/value types); an AbsLoc to 2. Pair keys concatenate.
-  using PathKey = std::array<uint64_t, 10>;
-  using AbsKey = std::array<uint64_t, 4>;
+  // Lexical keys, hashed once per *distinct* operand to assign a dense
+  // id: a MemPath packs to 5 words (root, selector+field, index operand
+  // in two words, base/value types); an AbsLoc to 2.
+  using PathKey = std::array<uint64_t, 5>;
+  using AbsKey = std::array<uint64_t, 2>;
 
   struct KeyHash {
     template <size_t N> size_t operator()(const std::array<uint64_t, N> &K) const {
@@ -77,11 +95,21 @@ private:
   };
 
   bool recordVerdict(bool May) const;
+  /// Memo lookup; nullptr means miss (capacity enforced, eviction
+  /// counted) and the caller must compute + insert via memoInsert.
+  const bool *memoFind(uint64_t Key) const;
+  void memoInsert(uint64_t Key, bool Verdict) const;
 
   std::unique_ptr<AliasOracle> Inner;
   mutable OracleStats Counters;
-  mutable std::unordered_map<PathKey, bool, KeyHash> PathCache;
-  mutable std::unordered_map<AbsKey, bool, KeyHash> AbsCache;
+  // Dense-id interners. Ids are disjoint across the two kinds (paths are
+  // even, abstract locations odd), so one memo serves both.
+  mutable std::unordered_map<PathKey, uint32_t, KeyHash> PathIds;
+  mutable std::unordered_map<AbsKey, uint32_t, KeyHash> AbsIds;
+  // (idA << 32 | idB) -> verdict. Asymmetric on purpose: key order
+  // mirrors argument order, exactly as the unbounded table did.
+  mutable std::unordered_map<uint64_t, bool> Memo;
+  size_t MemoCapacity = 1u << 20;
 };
 
 /// Builds an oracle of \p Level over \p Ctx and wraps it.

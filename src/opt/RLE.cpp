@@ -68,9 +68,19 @@ void remarkBlockedLoad(const IRModule &M, const IRFunction &F,
 /// by an access path? Both LICM and CSE ask exactly this.
 class KillModel {
 public:
+  /// With \p ACE and its partition \p Part for the session oracle's
+  /// level, the alias questions inside become class-bitmap lookups; the
+  /// oracle is then only consulted for locations the engine has never
+  /// interned. Verdicts are identical either way.
   KillModel(const IRModule &M, const IRFunction &F, const AliasOracle &Oracle,
-            const ModRefAnalysis &MR, const CallGraph &CG)
-      : M(M), F(F), Oracle(Oracle), MR(MR), CG(CG) {}
+            const ModRefAnalysis &MR, const CallGraph &CG,
+            const AliasClassEngine *ACE = nullptr,
+            const AliasClassEngine::Partition *Part = nullptr)
+      : M(M), F(F), Oracle(Oracle), MR(MR), CG(CG), ACE(ACE), Part(Part) {}
+
+  /// Whether kill verdicts are served by the alias-class engine -- the
+  /// precondition for the bulk (per-killer bitmap) layer below.
+  bool hasEngine() const { return ACE && Part; }
 
   /// Whether executing \p I may change the value an execution of path
   /// \p P would produce.
@@ -102,7 +112,9 @@ private:
   /// when the locations may overlap, or when a through-address write may
   /// change P's root or index variable.
   bool storeMemKills(const Instr &I, const MemPath &P) const {
-    if (Oracle.mayAlias(I.Path, P))
+    bool Overlap = hasEngine() ? ACE->mayAlias(*Part, I.Path, P, Oracle)
+                               : Oracle.mayAlias(I.Path, P);
+    if (Overlap)
       return true;
     if (I.Path.Sel != SelKind::Deref)
       return false;
@@ -114,7 +126,8 @@ private:
       VarLoc.Sel = SelKind::Deref;
       VarLoc.BaseType = M.varInfo(F, V).Type;
       VarLoc.ValueType = VarLoc.BaseType;
-      return Oracle.mayAliasAbs(StoreLoc, VarLoc);
+      return hasEngine() ? ACE->mayAliasAbs(*Part, StoreLoc, VarLoc, Oracle)
+                         : Oracle.mayAliasAbs(StoreLoc, VarLoc);
     };
     if (MayWriteVar(P.Root))
       return true;
@@ -129,6 +142,92 @@ private:
   const AliasOracle &Oracle;
   const ModRefAnalysis &MR;
   const CallGraph &CG;
+  const AliasClassEngine *ACE;
+  const AliasClassEngine::Partition *Part;
+};
+
+/// Is \p Op one of the four opcodes the kill model reacts to?
+bool isKillerOp(Opcode Op) {
+  return Op == Opcode::StoreVar || Op == Opcode::StoreMem ||
+         Op == Opcode::Call || Op == Opcode::CallMethod;
+}
+
+/// The bulk layer over KillModel: the kill row of one killer over a fixed
+/// path universe, computed once per *distinct* killer and cached, so the
+/// dataflow transfer functions apply a whole row with one andNot instead
+/// of one kill query per (killer, path) per fixpoint revisit. Only used
+/// in engine mode: the kill verdict of a killer is then a pure function
+/// of the key below (store target path / written variable / callee set),
+/// never of iteration state.
+class BulkKills {
+public:
+  BulkKills(const KillModel &KM, const std::vector<MemPath> &Universe)
+      : KM(KM), Universe(Universe) {}
+
+  const DynBitset &killSet(const Instr &I) const {
+    Key K = keyOf(I);
+    auto It = Rows.find(K);
+    if (It != Rows.end())
+      return It->second;
+    DynBitset Row(Universe.size());
+    for (size_t P = 0; P != Universe.size(); ++P)
+      if (KM.kills(I, Universe[P]))
+        Row.set(P);
+    return Rows.emplace(K, std::move(Row)).first->second;
+  }
+
+private:
+  // Word 0 tags the opcode; the rest is what the kill verdict reads:
+  // StoreVar the written variable, StoreMem the full lexical store path,
+  // Call the callee, CallMethod the (receiver type, slot) target set.
+  using Key = std::array<uint64_t, 6>;
+
+  static Key keyOf(const Instr &I) {
+    Key K{};
+    switch (I.Op) {
+    case Opcode::StoreVar:
+      K[0] = 0;
+      K[1] = (static_cast<uint64_t>(I.Var.K) << 32) | I.Var.Index;
+      break;
+    case Opcode::StoreMem: {
+      K[0] = 1;
+      const MemPath &P = I.Path;
+      K[1] = (static_cast<uint64_t>(P.Root.K) << 32) | P.Root.Index;
+      K[2] = (static_cast<uint64_t>(P.Sel) << 32) | P.Field;
+      K[3] = static_cast<uint64_t>(P.Index.K) << 56;
+      switch (P.Index.K) {
+      case Operand::Kind::Var:
+        K[3] |= (static_cast<uint64_t>(P.Index.Var.K) << 32) |
+                P.Index.Var.Index;
+        break;
+      case Operand::Kind::Temp:
+        K[3] |= P.Index.Temp;
+        break;
+      default:
+        K[4] = static_cast<uint64_t>(P.Index.Imm);
+        break;
+      }
+      K[5] = (static_cast<uint64_t>(P.BaseType) << 32) | P.ValueType;
+      break;
+    }
+    case Opcode::Call:
+      K[0] = 2;
+      K[1] = I.Callee;
+      break;
+    case Opcode::CallMethod:
+      K[0] = 3;
+      K[1] = I.MethodSlot;
+      K[2] = I.ReceiverType;
+      break;
+    default:
+      assert(false && "not a killer opcode");
+    }
+    return K;
+  }
+
+  const KillModel &KM;
+  const std::vector<MemPath> &Universe;
+  mutable std::map<Key, DynBitset> Rows;
 };
 
 //===----------------------------------------------------------------------===//
@@ -157,6 +256,18 @@ public:
         if (I.Op == Opcode::StoreVar && I.Var.K == VarRef::Kind::Frame)
           ++StoreCount[I.Var.Index];
 
+    // In engine mode, loop-kill scans become one bitmap union per
+    // fixpoint round: the universe is every hoist candidate path, and a
+    // candidate survives iff no killer row covers its bit. Hoisting only
+    // moves instructions (paths are stable), so the universe holds.
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.Op == Opcode::LoadMem && !I.Implicit &&
+            candidateId(I.Path) == Candidates.size())
+          Candidates.push_back(I.Path);
+    if (Kills.hasEngine() && !Candidates.empty())
+      Bulk.emplace(Kills, Candidates);
+
     unsigned Hoisted = 0;
     for (const Loop &L : LI.loops()) {
       if (L.Preheader == InvalidBlock)
@@ -171,6 +282,17 @@ public:
             if (I.Result != NoTemp)
               LoopTemps.insert(I.Result);
 
+        // The union of every loop killer's row: one test per candidate
+        // replaces the per-candidate loop scan.
+        std::optional<DynBitset> KillUnion;
+        if (Bulk) {
+          KillUnion.emplace(Candidates.size());
+          for (BlockId BId : L.Blocks)
+            for (const Instr &I : F.Blocks[BId].Instrs)
+              if (isKillerOp(I.Op))
+                *KillUnion |= Bulk->killSet(I);
+        }
+
         for (BlockId BId : L.Blocks) {
           if (!dominatesAllExits(DT, L, BId))
             continue;
@@ -181,12 +303,19 @@ public:
             bool IsLoad = false;
             if (I.Op == Opcode::LoadMem && !I.Implicit) {
               IsLoad = true;
-              const Instr *Killer = findLoopKiller(L, I.Path);
-              Move = !Killer && indexTempFree(I.Path, LoopTemps);
-              if (Killer && BlockedReported.insert(I.StaticId).second) {
+              bool Killed = KillUnion
+                                ? KillUnion->test(candidateId(I.Path))
+                                : findLoopKiller(L, I.Path) != nullptr;
+              Move = !Killed && indexTempFree(I.Path, LoopTemps);
+              if (Killed && BlockedReported.insert(I.StaticId).second) {
                 ++NumHoistBlocked;
-                if (RemarkEngine::instance().enabled())
-                  remarkBlockedLoad(M, F, I, *Killer);
+                if (RemarkEngine::instance().enabled()) {
+                  // Attribution only: rescan for the first killer (same
+                  // scan order as the scalar path names).
+                  const Instr *Killer = findLoopKiller(L, I.Path);
+                  if (Killer)
+                    remarkBlockedLoad(M, F, I, *Killer);
+                }
               }
             } else if (I.Op == Opcode::StoreVar &&
                        I.Var.K == VarRef::Kind::Frame &&
@@ -234,6 +363,15 @@ private:
     return true; // path operands are vars/consts by construction
   }
 
+  /// Index of \p P in the candidate universe; Candidates.size() when not
+  /// (yet) collected.
+  size_t candidateId(const MemPath &P) const {
+    for (size_t I = 0; I != Candidates.size(); ++I)
+      if (Candidates[I] == P)
+        return I;
+    return Candidates.size();
+  }
+
   /// Nothing inside the loop may disturb the path; returns the first
   /// instruction that may (null when the path is invariant).
   const Instr *findLoopKiller(const Loop &L, const MemPath &P) const {
@@ -257,6 +395,9 @@ private:
   IRFunction &F;
   const KillModel &Kills;
   AnalysisManager &AM;
+  /// Hoist-candidate paths (the bulk layer's universe; see run()).
+  std::vector<MemPath> Candidates;
+  std::optional<BulkKills> Bulk;
   /// Static ids already reported blocked (the fixpoint loop re-visits).
   std::set<uint32_t> BlockedReported;
 };
@@ -308,6 +449,10 @@ private:
       for (const Instr &I : B.Instrs)
         if (I.isMemAccess())
           pathId(I.Path);
+    // The universe is frozen from here on; in engine mode the kill rows
+    // over it become cached bitmaps.
+    if (Kills.hasEngine() && !Universe.empty())
+      Bulk.emplace(Kills, Universe);
   }
 
   size_t pathId(const MemPath &P) {
@@ -323,11 +468,14 @@ private:
     for (size_t K = 0; K != B.Instrs.size(); ++K) {
       const Instr &I = B.Instrs[K];
       // Kills first.
-      if (I.Op == Opcode::StoreVar || I.Op == Opcode::StoreMem ||
-          I.Op == Opcode::Call || I.Op == Opcode::CallMethod) {
-        for (size_t P = 0; P != Universe.size(); ++P)
-          if (State.test(P) && Kills.kills(I, Universe[P]))
-            State.reset(P);
+      if (isKillerOp(I.Op)) {
+        if (Bulk) {
+          State.andNot(Bulk->killSet(I));
+        } else {
+          for (size_t P = 0; P != Universe.size(); ++P)
+            if (State.test(P) && Kills.kills(I, Universe[P]))
+              State.reset(P);
+        }
       }
       // Gens after.
       if (I.Op == Opcode::LoadMem && !I.Implicit) {
@@ -474,11 +622,14 @@ private:
     for (const BasicBlock &B : F.Blocks) {
       DynBitset State = In[B.Id];
       for (const Instr &I : B.Instrs) {
-        if (I.Op == Opcode::StoreVar || I.Op == Opcode::StoreMem ||
-            I.Op == Opcode::Call || I.Op == Opcode::CallMethod) {
-          for (size_t P = 0; P != Universe.size(); ++P)
-            if (State.test(P) && Kills.kills(I, Universe[P]))
-              State.reset(P);
+        if (isKillerOp(I.Op)) {
+          if (Bulk) {
+            State.andNot(Bulk->killSet(I));
+          } else {
+            for (size_t P = 0; P != Universe.size(); ++P)
+              if (State.test(P) && Kills.kills(I, Universe[P]))
+                State.reset(P);
+          }
         }
         if (I.Op == Opcode::LoadMem && !I.Implicit) {
           size_t P = pathIdConst(I.Path);
@@ -497,6 +648,7 @@ private:
   const KillModel &Kills;
   bool MayMode;
   std::vector<MemPath> Universe;
+  std::optional<BulkKills> Bulk; ///< Engaged after collectUniverse().
   std::vector<DynBitset> In, Out;
   std::vector<std::vector<uint8_t>> Replaceable;
   std::vector<bool> NeedCell;
@@ -640,6 +792,8 @@ private:
       for (const Instr &I : B.Instrs)
         if (I.Op == Opcode::LoadMem && !I.Implicit)
           pathId(I.Path);
+    if (Kills.hasEngine() && !Universe.empty())
+      Bulk.emplace(Kills, Universe);
   }
 
   size_t pathId(const MemPath &P) {
@@ -657,12 +811,15 @@ private:
   }
 
   void applyKills(const Instr &I, DynBitset &State) const {
-    if (I.Op == Opcode::StoreVar || I.Op == Opcode::StoreMem ||
-        I.Op == Opcode::Call || I.Op == Opcode::CallMethod) {
-      for (size_t P = 0; P != Universe.size(); ++P)
-        if (State.test(P) && Kills.kills(I, Universe[P]))
-          State.reset(P);
+    if (!isKillerOp(I.Op))
+      return;
+    if (Bulk) {
+      State.andNot(Bulk->killSet(I));
+      return;
     }
+    for (size_t P = 0; P != Universe.size(); ++P)
+      if (State.test(P) && Kills.kills(I, Universe[P]))
+        State.reset(P);
   }
 
   DynBitset availTransfer(const BasicBlock &B, DynBitset State) const {
@@ -687,12 +844,7 @@ private:
     for (auto It = B.Instrs.rbegin(); It != B.Instrs.rend(); ++It) {
       const Instr &I = *It;
       // A kill ends anticipation (walking backward: remove first).
-      if (I.Op == Opcode::StoreVar || I.Op == Opcode::StoreMem ||
-          I.Op == Opcode::Call || I.Op == Opcode::CallMethod) {
-        for (size_t P = 0; P != Universe.size(); ++P)
-          if (State.test(P) && Kills.kills(I, Universe[P]))
-            State.reset(P);
-      }
+      applyKills(I, State);
       if (I.Op == Opcode::LoadMem && !I.Implicit) {
         size_t P = pathIdConst(I.Path);
         if (P != ~size_t(0))
@@ -833,6 +985,7 @@ private:
   IRFunction &F;
   const KillModel &Kills;
   std::vector<MemPath> Universe;
+  std::optional<BulkKills> Bulk; ///< Engaged after collectUniverse().
   std::vector<DynBitset> AvailIn, AvailOut, AntIn, AntOut;
 };
 
@@ -844,9 +997,15 @@ PREStats tbaa::runLoadPRE(IRModule &M, AnalysisManager &AM) {
   const AliasOracle &Oracle = AM.oracle();
   const ModRefAnalysis &MR = AM.modRef();
   const CallGraph &CG = AM.callGraph();
+  const AliasClassEngine *ACE = AM.aliasClasses();
   PREStats Stats;
   for (IRFunction &F : M.Functions) {
-    KillModel Kills(M, F, Oracle, MR, CG);
+    // Fetched per function: a budget downgrade mid-run moves the session
+    // oracle to a coarser rung, whose partition the engine adds lazily
+    // over the same interned table.
+    const AliasClassEngine::Partition *Part =
+        ACE ? &ACE->partition(Oracle) : nullptr;
+    KillModel Kills(M, F, Oracle, MR, CG, ACE, Part);
     LoadPRE PRE(M, F, Kills);
     unsigned Inserted = PRE.run();
     Stats.Inserted += Inserted;
@@ -870,7 +1029,12 @@ PREStats tbaa::runLoadPRE(IRModule &M, AnalysisManager &AM) {
 }
 
 PREStats tbaa::runLoadPRE(IRModule &M, const AliasOracle &Oracle) {
-  AnalysisManager AM(Oracle);
+  // Legacy entry point: clients handing in their own oracle expect every
+  // alias question to reach it (tests count its queries and cache hits),
+  // so the class engine stays out of the way.
+  AnalysisManager::Options Opts;
+  Opts.UseAliasClasses = false;
+  AnalysisManager AM(Oracle, /*Ctx=*/nullptr, Opts);
   return runLoadPRE(M, AM);
 }
 
@@ -880,10 +1044,13 @@ RLEStats tbaa::runRLE(IRModule &M, AnalysisManager &AM) {
   const AliasOracle &Oracle = AM.oracle();
   const ModRefAnalysis &MR = AM.modRef();
   const CallGraph &CG = AM.callGraph();
+  const AliasClassEngine *ACE = AM.aliasClasses();
   RLEStats Stats;
   for (IRFunction &F : M.Functions) {
     Stats.TypeTestsElided += elideRepeatedTypeTests(F);
-    KillModel Kills(M, F, Oracle, MR, CG);
+    const AliasClassEngine::Partition *Part =
+        ACE ? &ACE->partition(Oracle) : nullptr;
+    KillModel Kills(M, F, Oracle, MR, CG, ACE, Part);
     {
       TBAA_TIME_SCOPE("hoist");
       LoadHoister Hoister(M, F, Kills, AM);
@@ -906,7 +1073,11 @@ RLEStats tbaa::runRLE(IRModule &M, AnalysisManager &AM) {
 }
 
 RLEStats tbaa::runRLE(IRModule &M, const AliasOracle &Oracle) {
-  AnalysisManager AM(Oracle);
+  // Legacy entry point: see runLoadPRE above -- the pairwise oracle is
+  // the measured interface here, so no class engine.
+  AnalysisManager::Options Opts;
+  Opts.UseAliasClasses = false;
+  AnalysisManager AM(Oracle, /*Ctx=*/nullptr, Opts);
   return runRLE(M, AM);
 }
 

@@ -63,6 +63,15 @@ public:
     return *this;
   }
 
+  /// this &= ~Other: the bulk-kill step of the alias-class query engine
+  /// (one store invalidates a whole class bitmap in O(words)).
+  DynBitset &andNot(const DynBitset &Other) {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    for (size_t W = 0; W != Words.size(); ++W)
+      Words[W] &= ~Other.Words[W];
+    return *this;
+  }
+
   size_t count() const {
     size_t N = 0;
     for (uint64_t W : Words)

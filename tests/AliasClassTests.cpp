@@ -1,0 +1,323 @@
+//===- AliasClassTests.cpp - Alias-class query engine differentials -------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// The AliasClassEngine must be an invisible accelerator: every scalar
+// verdict bit-identical to the reference oracle at every AliasLevel,
+// every bulk bitmap a faithful transcription of the scalar verdicts, and
+// every client (census, mod-ref) indistinguishable with or without it.
+// Checked over the benchmark suite and over compilable mutants of it,
+// plus the engine's caching contracts (one interned table across ladder
+// rungs, bounded oracle memo, AnalysisManager lifecycle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/AnalysisManager.h"
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "core/AliasCensus.h"
+#include "core/AliasClasses.h"
+#include "core/AliasOracle.h"
+#include "core/InstrumentedOracle.h"
+#include "core/TBAAContext.h"
+#include "workloads/Mutate.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+const AliasLevel AllLevels[] = {AliasLevel::TypeDecl,
+                                AliasLevel::FieldTypeDecl,
+                                AliasLevel::SMTypeRefs,
+                                AliasLevel::SMFieldTypeRefs,
+                                AliasLevel::Perfect};
+
+/// Every heap access path of the module, in program order (duplicates
+/// kept: lexically equal paths must also agree through the engine).
+std::vector<MemPath> collectPaths(const IRModule &M) {
+  std::vector<MemPath> Paths;
+  for (const IRFunction &F : M.Functions)
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.Op == Opcode::LoadMem || I.Op == Opcode::StoreMem)
+          Paths.push_back(I.Path);
+  return Paths;
+}
+
+/// Engine vs reference over every interned-location pair and a sample of
+/// lexical path pairs, at every level.
+void checkEngineMatchesReference(const Compilation &C, const char *Label) {
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  AliasClassEngine Engine(C.IR);
+  std::vector<MemPath> Paths = collectPaths(C.IR);
+  for (AliasLevel L : AllLevels) {
+    auto Ref = makeAliasOracle(Ctx, L);
+    const AliasClassEngine::Partition &P = Engine.partition(*Ref);
+    for (size_t I = 0; I != Engine.numLocs(); ++I)
+      for (size_t J = 0; J != Engine.numLocs(); ++J)
+        EXPECT_EQ(Engine.mayAliasAbs(P, Engine.loc(I), Engine.loc(J), *Ref),
+                  Ref->mayAliasAbs(Engine.loc(I), Engine.loc(J)))
+            << Label << " at " << aliasLevelName(L) << " locs " << I << ","
+            << J;
+    // Path pairs grow quadratically on the big workloads; stride the
+    // outer loop so each (workload, level) stays around ~10^4 pairs.
+    size_t Step = Paths.size() > 120 ? Paths.size() / 120 + 1 : 1;
+    for (size_t I = 0; I < Paths.size(); I += Step)
+      for (size_t J = 0; J != Paths.size(); ++J)
+        EXPECT_EQ(Engine.mayAlias(P, Paths[I], Paths[J], *Ref),
+                  Ref->mayAlias(Paths[I], Paths[J]))
+            << Label << " at " << aliasLevelName(L) << " paths " << I << ","
+            << J;
+  }
+}
+
+} // namespace
+
+TEST(AliasClassTests, EngineMatchesReferenceOnWorkloads) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Compilation C = compileOrDie(W.Source);
+    ASSERT_TRUE(C.ok()) << W.Name;
+    checkEngineMatchesReference(C, W.Name);
+  }
+}
+
+// Structured mutants that still compile probe access-path shapes the
+// curated suite does not; the engine must stay bit-identical on them.
+TEST(AliasClassTests, EngineMatchesReferenceOnMutatedCorpus) {
+  unsigned Compiled = 0;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    for (uint64_t Seed : {3ull, 11ull, 42ull, 97ull}) {
+      std::string Source = mutateSource(W.Source, Seed);
+      DiagnosticEngine Diags;
+      Compilation C = compileSource(Source, Diags);
+      if (!C.ok() || !C.IR.verify().empty())
+        continue; // most mutants break; the survivors are the corpus
+      ++Compiled;
+      std::string Label =
+          std::string(W.Name) + " mutant seed " + std::to_string(Seed);
+      TBAAContext Ctx(C.ast(), C.types(), {});
+      AliasClassEngine Engine(C.IR);
+      for (AliasLevel L : AllLevels) {
+        auto Ref = makeAliasOracle(Ctx, L);
+        const AliasClassEngine::Partition &P = Engine.partition(*Ref);
+        for (size_t I = 0; I != Engine.numLocs(); ++I)
+          for (size_t J = 0; J != Engine.numLocs(); ++J)
+            EXPECT_EQ(
+                Engine.mayAliasAbs(P, Engine.loc(I), Engine.loc(J), *Ref),
+                Ref->mayAliasAbs(Engine.loc(I), Engine.loc(J)))
+                << Label << " at " << aliasLevelName(L);
+      }
+    }
+  }
+  EXPECT_GT(Compiled, 0u) << "every mutant failed to compile; the "
+                             "differential corpus is empty";
+}
+
+// The refinement chain of Figure 2: adding field distinctions or
+// reference-pattern merges only removes may-alias pairs. The engine's
+// partitions must preserve that containment level to level.
+TEST(AliasClassTests, PartitionsPreserveLevelContainment) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Compilation C = compileOrDie(W.Source);
+    ASSERT_TRUE(C.ok()) << W.Name;
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    AliasClassEngine Engine(C.IR);
+    auto TD = makeAliasOracle(Ctx, AliasLevel::TypeDecl);
+    auto FTD = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+    auto SMT = makeAliasOracle(Ctx, AliasLevel::SMTypeRefs);
+    auto SMF = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+    const AliasClassEngine::Partition &PTD = Engine.partition(*TD);
+    const AliasClassEngine::Partition &PFTD = Engine.partition(*FTD);
+    const AliasClassEngine::Partition &PSMT = Engine.partition(*SMT);
+    const AliasClassEngine::Partition &PSMF = Engine.partition(*SMF);
+    for (size_t I = 0; I != Engine.numLocs(); ++I)
+      for (size_t J = 0; J != Engine.numLocs(); ++J) {
+        const AbsLoc &A = Engine.loc(I), &B = Engine.loc(J);
+        if (Engine.mayAliasAbs(PFTD, A, B, *FTD)) {
+          EXPECT_TRUE(Engine.mayAliasAbs(PTD, A, B, *TD))
+              << W.Name << ": FieldTypeDecl may-alias outside TypeDecl";
+        }
+        if (Engine.mayAliasAbs(PSMT, A, B, *SMT)) {
+          EXPECT_TRUE(Engine.mayAliasAbs(PTD, A, B, *TD))
+              << W.Name << ": SMTypeRefs may-alias outside TypeDecl";
+        }
+        if (Engine.mayAliasAbs(PSMF, A, B, *SMF)) {
+          EXPECT_TRUE(Engine.mayAliasAbs(PFTD, A, B, *FTD))
+              << W.Name << ": SMFieldTypeRefs may-alias outside "
+                           "FieldTypeDecl";
+        }
+      }
+  }
+}
+
+TEST(AliasClassTests, FastCensusMatchesLegacy) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Compilation C = compileOrDie(W.Source);
+    ASSERT_TRUE(C.ok()) << W.Name;
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    AliasClassEngine Engine(C.IR);
+    for (AliasLevel L : AllLevels) {
+      auto Ref = makeAliasOracle(Ctx, L);
+      CensusResult Legacy = countAliasPairs(C.IR, *Ref);
+      CensusResult Fast = countAliasPairs(C.IR, Engine, *Ref);
+      EXPECT_EQ(Fast.References, Legacy.References)
+          << W.Name << " at " << aliasLevelName(L);
+      EXPECT_EQ(Fast.LocalPairs, Legacy.LocalPairs)
+          << W.Name << " at " << aliasLevelName(L);
+      EXPECT_EQ(Fast.GlobalPairs, Legacy.GlobalPairs)
+          << W.Name << " at " << aliasLevelName(L);
+    }
+  }
+}
+
+// One interned table serves every ladder rung: adding a partition for a
+// second level must not re-intern, and partitions are built exactly once
+// per level.
+TEST(AliasClassTests, LadderSharesOneInternedTable) {
+  const WorkloadInfo *W = findWorkload("format");
+  ASSERT_NE(W, nullptr);
+  Compilation C = compileOrDie(W->Source);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  AliasClassEngine Engine(C.IR);
+  size_t Locs = Engine.numLocs();
+  EXPECT_GT(Locs, 0u);
+  EXPECT_EQ(Engine.partitionIfBuilt(AliasLevel::SMFieldTypeRefs), nullptr);
+
+  auto Fine = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  const AliasClassEngine::Partition &P1 = Engine.partition(*Fine);
+  EXPECT_EQ(Engine.numLocs(), Locs);
+  EXPECT_EQ(Engine.stats().PartitionsBuilt, 1u);
+  EXPECT_EQ(&Engine.partition(*Fine), &P1); // cached, not rebuilt
+  EXPECT_EQ(Engine.stats().PartitionsBuilt, 1u);
+
+  // A budget downgrade re-queries at the coarser rung: same table, one
+  // more partition, no re-interning.
+  auto Coarse = makeAliasOracle(Ctx, AliasLevel::FieldTypeDecl);
+  const AliasClassEngine::Partition &P2 = Engine.partition(*Coarse);
+  EXPECT_NE(&P1, &P2);
+  EXPECT_EQ(Engine.numLocs(), Locs);
+  EXPECT_EQ(Engine.stats().PartitionsBuilt, 2u);
+  EXPECT_EQ(Engine.partitionIfBuilt(AliasLevel::FieldTypeDecl), &P2);
+  EXPECT_EQ(Engine.partitionIfBuilt(AliasLevel::TypeDecl), nullptr);
+}
+
+TEST(AliasClassTests, BulkRowsMatchScalarVerdicts) {
+  const WorkloadInfo *W = findWorkload("format");
+  ASSERT_NE(W, nullptr);
+  Compilation C = compileOrDie(W->Source);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  AliasClassEngine Engine(C.IR);
+  auto Ref = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  const AliasClassEngine::Partition &P = Engine.partition(*Ref);
+  for (AliasClassEngine::LocId A = 0; A != Engine.numLocs(); ++A) {
+    const DynBitset &Row = Engine.aliasSet(P, A);
+    for (AliasClassEngine::LocId B = 0; B != Engine.numLocs(); ++B) {
+      EXPECT_EQ(Row.test(B),
+                Engine.mayAliasAbs(P, Engine.loc(A), Engine.loc(B), *Ref))
+          << "row " << A << " bit " << B;
+      DynBitset Single(Engine.numLocs());
+      Single.set(B);
+      EXPECT_EQ(Engine.intersectsAliasSet(P, A, Single), Row.test(B))
+          << "intersection " << A << " x {" << B << "}";
+    }
+  }
+}
+
+// Mod-ref kill verdicts must be identical with and without the bitmap
+// fast path, for every call site against every path of its caller.
+TEST(AliasClassTests, ModRefAgreesWithAndWithoutEngine) {
+  for (const char *Name : {"format", "pp", "k-tree"}) {
+    const WorkloadInfo *W = findWorkload(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    Compilation C = compileOrDie(W->Source);
+    ASSERT_TRUE(C.ok()) << Name;
+    TBAAContext Ctx(C.ast(), C.types(), {});
+    auto Ref = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+    CallGraph CG(C.IR, C.types());
+    AliasClassEngine Engine(C.IR);
+    ModRefAnalysis Plain(C.IR, CG);
+    ModRefAnalysis Fast(C.IR, CG, &Engine, Ref.get());
+    ASSERT_FALSE(Plain.saturated());
+    ASSERT_FALSE(Fast.saturated());
+    for (const IRFunction &F : C.IR.Functions) {
+      std::vector<MemPath> Paths;
+      for (const BasicBlock &B : F.Blocks)
+        for (const Instr &I : B.Instrs)
+          if (I.Op == Opcode::LoadMem || I.Op == Opcode::StoreMem)
+            Paths.push_back(I.Path);
+      for (const BasicBlock &B : F.Blocks)
+        for (const Instr &I : B.Instrs) {
+          if (I.Op != Opcode::Call && I.Op != Opcode::CallMethod)
+            continue;
+          for (const MemPath &P : Paths)
+            EXPECT_EQ(Plain.callMayKillPath(F, I, P, *Ref, CG),
+                      Fast.callMayKillPath(F, I, P, *Ref, CG))
+                << Name << " function " << F.Name;
+        }
+    }
+  }
+}
+
+// A bounded memo must change cost, never answers: with a tiny capacity
+// the oracle wipes repeatedly (Evictions counts it) yet stays
+// bit-identical to an unbounded reference.
+TEST(AliasClassTests, OracleMemoEvictionPreservesAnswers) {
+  const WorkloadInfo *W = findWorkload("dformat");
+  ASSERT_NE(W, nullptr);
+  Compilation C = compileOrDie(W->Source);
+  ASSERT_TRUE(C.ok());
+  TBAAContext Ctx(C.ast(), C.types(), {});
+  auto Bounded = makeInstrumentedOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  auto Ref = makeAliasOracle(Ctx, AliasLevel::SMFieldTypeRefs);
+  Bounded->setMemoCapacity(8);
+  EXPECT_EQ(Bounded->memoCapacity(), 8u);
+  std::vector<MemPath> Paths = collectPaths(C.IR);
+  ASSERT_FALSE(Paths.empty());
+  for (int Pass = 0; Pass != 2; ++Pass) // second pass re-asks wiped pairs
+    for (const MemPath &A : Paths)
+      for (const MemPath &B : Paths)
+        EXPECT_EQ(Bounded->mayAlias(A, B), Ref->mayAlias(A, B));
+  EXPECT_GT(Bounded->stats().Evictions, 0u);
+  EXPECT_LE(Bounded->stats().CacheHits, Bounded->stats().totalQueries());
+
+  // Capacity zero clamps to one entry instead of dividing by zero.
+  Bounded->setMemoCapacity(0);
+  EXPECT_EQ(Bounded->memoCapacity(), 1u);
+}
+
+TEST(AliasClassTests, AnalysisManagerCachesAndInvalidatesEngine) {
+  const WorkloadInfo *W = findWorkload("format");
+  ASSERT_NE(W, nullptr);
+  Compilation C = compileOrDie(W->Source);
+  ASSERT_TRUE(C.ok());
+  AnalysisManager AM(C.ast(), C.types(), {.Degrading = false});
+  AM.bind(C.IR);
+  const AliasClassEngine *E1 = AM.aliasClasses();
+  ASSERT_NE(E1, nullptr);
+  EXPECT_EQ(AM.cacheStats().AliasClasses.Computes, 1u);
+  EXPECT_EQ(AM.aliasClasses(), E1);
+  EXPECT_EQ(AM.cacheStats().AliasClasses.Hits, 1u);
+  AM.invalidateModuleAnalyses();
+  EXPECT_EQ(AM.cacheStats().AliasClasses.Invalidations, 1u);
+  ASSERT_NE(AM.aliasClasses(), nullptr);
+  EXPECT_EQ(AM.cacheStats().AliasClasses.Computes, 2u);
+
+  // The opt-out used by the legacy entry points and the benchmark's
+  // baseline arm: no engine, clients take the pairwise path.
+  AnalysisManager::Options Opts;
+  Opts.Degrading = false;
+  Opts.UseAliasClasses = false;
+  AnalysisManager Off(C.ast(), C.types(), Opts);
+  Off.bind(C.IR);
+  EXPECT_EQ(Off.aliasClasses(), nullptr);
+}

@@ -10,15 +10,21 @@ validates the report:
     NaN/inf into null, so a null here means a metric went non-finite);
   * every record carries a workload name plus at least one metric;
   * stats keys look like "group.name" with integer values;
-  * the twelve analysis-cache counters (computed / cache-hits /
-    invalidated for dominators, loops, callgraph, modref) are present;
+  * the fifteen analysis-cache counters (computed / cache-hits /
+    invalidated for dominators, loops, callgraph, modref, aliasclasses)
+    are present;
+  * the alias-class engine counters (engine.*) and the oracle memo
+    eviction counter are present;
   * timing nodes carry name / seconds / invocations / children.
 
 For table6_rle_static it additionally cross-checks the JSON records
 against the stdout table: the three per-level RLE counts must match the
 printed rows exactly, and RLE must have computed at least one dominator
 tree. For bench_pipeline every record must show analyses both computed
-and served from the cache.
+and served from the cache. For bench_queries every record must show the
+engine arrangement issuing at most half the baseline's oracle queries,
+and the engine must actually have interned locations, built partitions
+and answered queries on its fast path.
 
 Usage: check_stats_json.py <path-to-bench-binary>
 Exit status 0 on success, 1 on any violation.
@@ -35,8 +41,21 @@ errors = []
 
 ANALYSIS_COUNTERS = [
     f"analysis.{kind}-{suffix}"
-    for kind in ("dominators", "loops", "callgraph", "modref")
+    for kind in ("dominators", "loops", "callgraph", "modref",
+                 "aliasclasses")
     for suffix in ("computed", "cache-hits", "invalidated")
+]
+
+ENGINE_COUNTERS = [
+    "engine.locs-interned",
+    "engine.partitions-built",
+    "engine.classes-built",
+    "engine.build-queries",
+    "engine.fast-answers",
+    "engine.slow-path",
+    "engine.fallback-queries",
+    "engine.bulk-ops",
+    "oracle.memo-evictions",
 ]
 
 
@@ -131,6 +150,9 @@ def main():
     for key in ANALYSIS_COUNTERS:
         if key not in stats:
             fail(f"stats is missing the analysis-cache counter '{key}'")
+    for key in ENGINE_COUNTERS:
+        if key not in stats:
+            fail(f"stats is missing the query-engine counter '{key}'")
 
     for index, node in enumerate(report.get("timings", [])):
         check_timing_node(node, f"timings[{index}]")
@@ -168,6 +190,23 @@ def main():
                 fail(f"{name}: cached run computed no analyses")
             if not record.get("analysis_cache_hits", 0) > 0:
                 fail(f"{name}: cached run had no analysis cache hits")
+
+    # bench_queries: the engine must demonstrably carry the query load.
+    if report.get("bench") == "bench_queries":
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            name = record.get("workload")
+            base = record.get("queries_baseline", 0)
+            engine = record.get("queries_engine", 0)
+            if base < 2 * engine:
+                fail(f"{name}: engine saved less than half the oracle "
+                     f"queries ({base} vs {engine})")
+        for key in ("engine.locs-interned", "engine.partitions-built",
+                    "engine.classes-built", "engine.build-queries",
+                    "engine.fast-answers"):
+            if stats.get(key, 0) < 1:
+                fail(f"bench_queries ran but {key} is 0")
 
     if errors:
         for message in errors:

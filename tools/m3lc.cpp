@@ -167,12 +167,18 @@ int run(const Options &Opts, DiagnosticEngine &Diags) {
                       .VerifyAnalyses = Opts.VerifyAnalyses});
 
   if (Opts.Command == "census") {
+    // All three rows share one interned-location table; each level adds
+    // its partition to the same engine, so the census is verdict-matrix
+    // arithmetic instead of O(refs^2) oracle queries per row.
+    AM.bind(C.IR);
+    const AliasClassEngine *ACE = AM.aliasClasses();
     std::printf("%-18s %10s %10s %12s\n", "analysis", "local", "global",
                 "references");
     for (AliasLevel L : {AliasLevel::TypeDecl, AliasLevel::FieldTypeDecl,
                          AliasLevel::SMFieldTypeRefs}) {
       auto O = makeAliasOracle(AM.context(), L);
-      CensusResult R = countAliasPairs(C.IR, *O);
+      CensusResult R = ACE ? countAliasPairs(C.IR, *ACE, *O)
+                           : countAliasPairs(C.IR, *O);
       std::printf("%-18s %10llu %10llu %12llu\n", O->name(),
                   static_cast<unsigned long long>(R.LocalPairs),
                   static_cast<unsigned long long>(R.GlobalPairs),
