@@ -34,6 +34,7 @@
 #include "opt/RLE.h"
 #include "sim/CacheSim.h"
 #include "support/JSONUtil.h"
+#include "support/Metrics.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
 #include "workloads/Workloads.h"
@@ -90,8 +91,10 @@ public:
         }
         Path = argv[I + 1];
       }
-    if (enabled())
+    if (enabled()) {
       TimerRegistry::instance().setEnabled(true);
+      MetricsRegistry::instance().setEnabled(true);
+    }
     activeReport() = this;
   }
   JsonReport(const JsonReport &) = delete;
@@ -159,6 +162,7 @@ public:
     }
     W.endArray();
     W.key("stats").raw(StatsRegistry::instance().toJSON());
+    W.key("metrics").raw(MetricsRegistry::instance().toJSON());
     W.key("timings").raw(TimerRegistry::instance().toJSON());
     W.endObject();
     std::ofstream Out(Path);

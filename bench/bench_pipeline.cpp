@@ -20,8 +20,10 @@
 #include "BenchCommon.h"
 
 #include "opt/PassPipeline.h"
+#include "support/Trace.h"
 
 #include <chrono>
+#include <cstring>
 #include <map>
 
 using namespace tbaa;
@@ -116,9 +118,73 @@ uint64_t timeOptimize(const WorkloadInfo &W, Fn Optimize,
   return Best;
 }
 
+/// `--trace-overhead`: the recorder must be cheap enough to leave on for
+/// whole batches, so gate the cached-pipeline wall clock with tracing on
+/// against tracing off. Best-of-Reps per workload, aggregated, with an
+/// absolute slack floor so sub-millisecond workloads don't turn timer
+/// jitter into failures.
+int runTraceOverheadGate() {
+  constexpr double MaxOverhead = 0.05;
+  constexpr uint64_t SlackUs = 500;
+
+  TraceRecorder &TR = TraceRecorder::instance();
+  uint64_t OffUs = 0, OnUs = 0;
+  std::printf("Trace-recorder overhead: cached pipeline, best of %d runs\n\n",
+              Reps);
+  std::printf("%-14s %9s %9s\n", "Program", "trace-off", "trace-on");
+  for (const WorkloadInfo &W : allWorkloads()) {
+    if (W.Interactive)
+      continue;
+    // Interleave the arms so a transient load spike lands on both, not
+    // just whichever arm happened to run second.
+    uint64_t Best[2] = {~0ull, ~0ull};
+    for (int R = 0; R != Reps; ++R) {
+      for (int Traced = 0; Traced != 2; ++Traced) {
+        TR.setEnabled(Traced != 0);
+        TR.clear();
+        Compilation C = compileWorkload(W);
+        auto T0 = std::chrono::steady_clock::now();
+        optimizeCached(C);
+        auto T1 = std::chrono::steady_clock::now();
+        Best[Traced] = std::min(
+            Best[Traced],
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+                    .count()));
+      }
+    }
+    TR.setEnabled(false);
+    TR.clear();
+    OffUs += Best[0];
+    OnUs += Best[1];
+    std::printf("%-14s %7lluus %7lluus\n", W.Name,
+                static_cast<unsigned long long>(Best[0]),
+                static_cast<unsigned long long>(Best[1]));
+  }
+
+  const uint64_t Limit =
+      OffUs + std::max(static_cast<uint64_t>(OffUs * MaxOverhead), SlackUs);
+  std::printf("\naggregate: %lluus off, %lluus on (limit %lluus)\n",
+              static_cast<unsigned long long>(OffUs),
+              static_cast<unsigned long long>(OnUs),
+              static_cast<unsigned long long>(Limit));
+  if (OnUs > Limit) {
+    std::fprintf(stderr,
+                 "bench_pipeline: tracing overhead %.1f%% exceeds %.0f%%\n",
+                 percentOf(OnUs - OffUs, OffUs), 100 * MaxOverhead);
+    return 1;
+  }
+  std::printf("tracing overhead within budget\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--trace-overhead"))
+      return runTraceOverheadGate();
+
   JsonReport Report("bench_pipeline", argc, argv);
   TimerRegistry::instance().setEnabled(true);
   std::printf("Analysis caching: full pipeline, per-pass analyses vs one "

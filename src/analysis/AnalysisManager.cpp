@@ -6,6 +6,7 @@
 #include "core/TBAAContext.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -446,6 +447,9 @@ void AnalysisManager::invalidateModuleAnalyses() {
 }
 
 void AnalysisManager::invalidateAll() {
+  TraceRecorder &TR = TraceRecorder::instance();
+  if (TR.enabled())
+    TR.instant("analysis", "invalidate-all");
   invalidateFunctionAnalyses();
   invalidateModuleAnalyses();
 }

@@ -2,6 +2,7 @@
 
 #include "core/AliasClasses.h"
 
+#include "support/Metrics.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
 #include "support/UnionFind.h"
@@ -27,6 +28,10 @@ TBAA_STATISTIC(NumFallbacks, "engine", "fallback-queries",
                "oracle");
 TBAA_STATISTIC(NumBulkOps, "engine", "bulk-ops",
                "Bulk bitmap operations (kill sets, set intersections)");
+
+TBAA_HISTOGRAM(PartitionBuildUs, "engine", "partition-build-us",
+               "Wall time to build one per-level alias-class partition",
+               "us");
 
 namespace {
 
@@ -100,6 +105,8 @@ AliasClassEngine::partition(const AliasOracle &Ref) const {
 AliasClassEngine::Partition &
 AliasClassEngine::build(AliasLevel Level, const AliasOracle &Ref) const {
   TBAA_TIME_SCOPE("alias-classes");
+  const bool Timed = MetricsRegistry::instance().enabled();
+  const uint64_t T0 = Timed ? trace::nowUs() : 0;
   auto P = std::make_unique<Partition>();
   P->Level = Level;
   size_t L = Locs.size();
@@ -147,6 +154,8 @@ AliasClassEngine::build(AliasLevel Level, const AliasOracle &Ref) const {
   ++Counters.PartitionsBuilt;
   ++NumPartitionsBuilt;
   NumClassesBuilt += P->NumClasses;
+  if (Timed)
+    PartitionBuildUs.record(trace::nowUs() - T0);
   Parts[static_cast<size_t>(Level)] = std::move(P);
   return *Parts[static_cast<size_t>(Level)];
 }

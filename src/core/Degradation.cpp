@@ -5,6 +5,7 @@
 #include "support/Budget.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 using namespace tbaa;
 
@@ -63,6 +64,14 @@ void DegradingOracle::chargeQuery() const {
           .arg("from", aliasLevelName(Cur))
           .arg("to", aliasLevelName(Next))
           .arg("budget", std::to_string(Budget.Limit)));
+  TraceRecorder &TR = TraceRecorder::instance();
+  if (TR.enabled())
+    TR.instant("degrade", "oracle-downgrade",
+               TraceArgs()
+                   .str("from", aliasLevelName(Cur))
+                   .str("to", aliasLevelName(Next))
+                   .num("budget", static_cast<std::uint64_t>(Budget.Limit))
+                   .render());
   Cur = Next;
   Inner = &rung(Next);
 }

@@ -2,7 +2,10 @@
 
 #include "core/InstrumentedOracle.h"
 
+#include "support/Metrics.h"
 #include "support/Stats.h"
+
+#include <ctime>
 
 using namespace tbaa;
 
@@ -17,7 +20,33 @@ TBAA_STATISTIC(NumCacheHits, "oracle", "cache-hits",
 TBAA_STATISTIC(NumMemoEvictions, "oracle", "memo-evictions",
                "Memo-table wipes forced by the capacity bound");
 
+TBAA_HISTOGRAM(OracleQueryNs, "oracle", "query-ns",
+               "Alias query latency, memo hits included", "ns");
+
 namespace {
+
+uint64_t nowNs() {
+  timespec TS;
+  clock_gettime(CLOCK_MONOTONIC, &TS);
+  return static_cast<uint64_t>(TS.tv_sec) * 1000000000 +
+         static_cast<uint64_t>(TS.tv_nsec);
+}
+
+/// Samples query latency into oracle.query-ns. The clock is read only
+/// when the metrics registry is enabled, so the default query path pays
+/// one predicted branch per end.
+struct QueryTimer {
+  bool On;
+  uint64_t T0 = 0;
+  QueryTimer() : On(MetricsRegistry::instance().enabled()) {
+    if (On)
+      T0 = nowNs();
+  }
+  ~QueryTimer() {
+    if (On)
+      OracleQueryNs.record(nowNs() - T0);
+  }
+};
 
 // Key packing. Equal keys imply equal inputs for both MemPath::operator==
 // (root/selector/field/index) and AbsLoc (selector/field/base/value
@@ -102,6 +131,7 @@ void InstrumentedOracle::memoInsert(uint64_t Key, bool Verdict) const {
 }
 
 bool InstrumentedOracle::mayAlias(const MemPath &A, const MemPath &B) const {
+  QueryTimer QT;
   ++Counters.PathQueries;
   uint64_t IdA = internId(PathIds, packPath(A), 0);
   uint64_t IdB = internId(PathIds, packPath(B), 0);
@@ -117,6 +147,7 @@ bool InstrumentedOracle::mayAlias(const MemPath &A, const MemPath &B) const {
 }
 
 bool InstrumentedOracle::mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const {
+  QueryTimer QT;
   ++Counters.AbsQueries;
   uint64_t IdA = internId(AbsIds, packAbs(A), 1);
   uint64_t IdB = internId(AbsIds, packAbs(B), 1);

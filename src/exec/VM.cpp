@@ -2,6 +2,8 @@
 
 #include "exec/VM.h"
 
+#include "support/Timing.h"
+
 #include <cassert>
 
 using namespace tbaa;
@@ -683,6 +685,7 @@ bool VM::execFunction(FuncId Id, const std::vector<Value> &Args,
 }
 
 bool VM::runInit() {
+  TBAA_TIME_SCOPE("vm-init");
   if (M.GlobalInitFunc != ~0u) {
     if (!execFunction(M.GlobalInitFunc, {}, nullptr))
       return false;
@@ -696,6 +699,7 @@ bool VM::runInit() {
 
 std::optional<int64_t> VM::callFunction(const std::string &Name,
                                         const std::vector<int64_t> &Args) {
+  TBAA_TIME_SCOPE("vm-run");
   const IRFunction *F = M.findFunction(Name);
   if (!F || Trapped)
     return std::nullopt;

@@ -6,6 +6,8 @@
 #include "opt/Devirt.h"
 #include "opt/Inline.h"
 
+#include "support/Trace.h"
+
 using namespace tbaa;
 
 OptPipeline::OptPipeline(AnalysisManager &AM, PipelineOptions Opts)
@@ -132,7 +134,18 @@ PipelineFailure OptPipeline::runPrefixImpl(IRModule &M, size_t NumPasses) {
     if (PipelineFailure F = verifyAfter(M, "<input>"); F.failed())
       return F;
   for (size_t I = 0; I != Passes.size() && I != NumPasses; ++I) {
-    Passes[I].Run(M);
+    {
+      // Per-pass span over and above the pass's own TBAA_TIME_SCOPE:
+      // the pipeline position and name come from the schedule, which
+      // the pass body does not know.
+      TraceRecorder &TR = TraceRecorder::instance();
+      TraceSpan PS("pass", Passes[I].Name,
+                   TR.enabled() ? TraceArgs()
+                                      .num("index", static_cast<uint64_t>(I))
+                                      .render()
+                                : std::string());
+      Passes[I].Run(M);
+    }
     switch (Passes[I].Preserves) {
     case PassPreserves::All:
     case PassPreserves::Self:

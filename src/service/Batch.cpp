@@ -5,9 +5,12 @@
 #include "service/CrashCapture.h"
 #include "service/WorkerPool.h"
 #include "support/Clock.h"
+#include "support/Metrics.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 using namespace tbaa;
@@ -21,12 +24,35 @@ Statistic NumTimeouts("batch", "timeouts", "attempts killed by a deadline");
 Statistic NumDegraded("batch", "degraded",
                       "jobs settled below full precision");
 
+TBAA_HISTOGRAM(JobWallMs, "batch", "job-wall-ms",
+               "Wall time per worker attempt", "ms");
+TBAA_HISTOGRAM(JobCpuMs, "batch", "job-cpu-ms",
+               "CPU time (user+system) per worker attempt", "ms");
+TBAA_HISTOGRAM(JobRssKb, "batch", "job-rss-kb",
+               "Peak RSS per worker attempt", "kb");
+
 /// Mutable per-job ladder state while the batch runs.
 struct JobState {
   const BatchJob *Job = nullptr;
   unsigned Attempt = 0;
   DegradeLevel Level = DegradeLevel::Full;
 };
+
+/// Job ids become shard filenames; keep them to one path component.
+std::string sanitizeId(const std::string &Id) {
+  std::string Out = Id;
+  for (char &C : Out)
+    if (C == '/' || C == '\\')
+      C = '_';
+  return Out;
+}
+
+uint64_t parseU64(const std::string &S, bool &Ok) {
+  char *End = nullptr;
+  uint64_t V = std::strtoull(S.c_str(), &End, 10);
+  Ok = End && !*End && !S.empty();
+  return Ok ? V : 0;
+}
 
 } // namespace
 
@@ -50,7 +76,58 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
     return Out;
   }
 
+  // Tracing: the parent records in memory; every worker attempt streams
+  // a shard next to the final trace, merged after the pool drains.
+  TraceRecorder &TR = TraceRecorder::instance();
+  const bool Tracing = !Opts.TracePath.empty();
+  std::string ShardDir;
+  std::vector<std::string> Shards;
+  if (Tracing) {
+    ShardDir = Opts.TracePath + ".shards";
+    std::error_code EC;
+    std::filesystem::create_directories(ShardDir, EC);
+    if (EC) {
+      Out.Error = "cannot create trace shard dir '" + ShardDir + "'";
+      return Out;
+    }
+    TR.setEnabled(true);
+    TR.processName("m3batch");
+  }
+  TraceSpan BatchSpan("service", "batch",
+                      Tracing ? TraceArgs()
+                                    .num("jobs",
+                                         static_cast<uint64_t>(Jobs.size()))
+                                    .num("parallel", Opts.Parallelism)
+                                    .render()
+                              : std::string());
+
   std::vector<JobState> States(Jobs.size());
+
+  // Wraps the job's worker body so the child switches the inherited
+  // recorder into shard-streaming mode before any span opens.
+  auto makeAttemptFn = [&](JobState &S) -> WorkerFn {
+    WorkerFn Inner = S.Job->Make(S.Level);
+    if (!Tracing)
+      return Inner;
+    std::string Shard =
+        (std::filesystem::path(ShardDir) /
+         (sanitizeId(S.Job->Id) + "-a" + std::to_string(S.Attempt) +
+          ".jsonl"))
+            .string();
+    Shards.push_back(Shard);
+    std::string Label = S.Job->Id + " a" + std::to_string(S.Attempt) + " (" +
+                        degradeLevelName(S.Level) + ")";
+    return [Inner = std::move(Inner), Shard = std::move(Shard),
+            Label = std::move(Label)](int PayloadFd) {
+      TraceRecorder &R = TraceRecorder::instance();
+      if (R.beginShard(Shard))
+        R.processName(Label);
+      int RC = Inner(PayloadFd);
+      R.endShard();
+      return RC;
+    };
+  };
+
   WorkerPool Pool(Opts.Parallelism);
   for (size_t I = 0; I != Jobs.size(); ++I) {
     States[I].Job = &Jobs[I];
@@ -60,8 +137,9 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
     }
     States[I].Attempt = 1;
     NumAttempts += 1;
-    Pool.enqueue({I, Jobs[I].Make(DegradeLevel::Full), Opts.Limits, 0});
+    Pool.enqueue({I, makeAttemptFn(States[I]), Opts.Limits, 0});
   }
+  uint64_t JobsCompleted = 0;
 
   Pool.run([&](uint64_t Key, const WorkerResult &W) {
     JobState &S = States[Key];
@@ -73,6 +151,10 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
 
     RetryDecision D = decideRetry(Opts.Retry, Outcome, S.Attempt, S.Level);
 
+    JobWallMs.record(W.WallMs);
+    JobCpuMs.record(W.CpuMs);
+    JobRssKb.record(W.PeakRSSKB);
+
     JournalRecord R;
     R.Job = S.Job->Id;
     R.Attempt = S.Attempt;
@@ -83,9 +165,12 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
     R.WallMs = W.WallMs;
     R.CpuMs = W.CpuMs;
     R.PeakRSSKB = W.PeakRSSKB;
+    R.MinFlt = W.MinorFaults;
+    R.MajFlt = W.MajorFaults;
     R.BackoffMs = D.Retry ? D.DelayMs : 0;
     R.Final = !D.Retry;
-    // Workers report results as a flat JSON payload line ({"main":N}).
+    // Workers report results as a flat JSON payload line ({"main":N},
+    // plus optional oracle_* histogram summary keys).
     std::map<std::string, std::string> Payload;
     if (!W.Payload.empty() && parseFlatJSONObject(W.Payload, Payload)) {
       auto It = Payload.find("main");
@@ -97,8 +182,29 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
           R.HasResult = true;
         }
       }
+      auto CopyU64 = [&Payload](const char *Key, uint64_t &Dst) {
+        auto F = Payload.find(Key);
+        if (F == Payload.end())
+          return false;
+        bool Ok = false;
+        uint64_t V = parseU64(F->second, Ok);
+        if (Ok)
+          Dst = V;
+        return Ok;
+      };
+      if (CopyU64("oracle_queries", R.OracleQueries) &&
+          CopyU64("oracle_p50_ns", R.OracleP50Ns) &&
+          CopyU64("oracle_p90_ns", R.OracleP90Ns) &&
+          CopyU64("oracle_max_ns", R.OracleMaxNs))
+        R.HasOracleMetrics = true;
     }
-    Log.append(R);
+    {
+      const uint64_t T0 = Tracing ? trace::nowUs() : 0;
+      Log.append(R);
+      if (Tracing)
+        TR.complete("service", "journal-append", T0, trace::nowUs() - T0,
+                    TraceArgs().str("job", R.Job).render());
+    }
 
     if (Opts.Verbose)
       std::fprintf(stderr, "batch: %s: attempt %u (%s) -> %s%s\n",
@@ -122,10 +228,20 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
       ++S.Attempt;
       NumAttempts += 1;
       NumRetries += 1;
-      Pool.enqueue({Key, S.Job->Make(S.Level), Opts.Limits,
+      if (Tracing)
+        TR.instant("service", "retry",
+                   TraceArgs()
+                       .str("job", S.Job->Id)
+                       .num("attempt", S.Attempt)
+                       .str("level", degradeLevelName(S.Level))
+                       .num("delay_ms", D.DelayMs)
+                       .render());
+      Pool.enqueue({Key, makeAttemptFn(S), Opts.Limits,
                     D.DelayMs ? monoNowMs() + D.DelayMs : 0});
       return;
     }
+    if (Tracing)
+      TR.counter("service", "jobs-completed", ++JobsCompleted);
 
     JobFinal F;
     F.Id = S.Job->Id;
@@ -138,6 +254,18 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
       NumDegraded += 1;
     Out.Finals.push_back(std::move(F));
   });
+
+  if (Tracing) {
+    BatchSpan.endNow();
+    std::string Err;
+    if (!TR.writeMerged(Opts.TracePath, Shards, Err)) {
+      if (Out.Error.empty())
+        Out.Error = Err;
+    } else {
+      std::error_code EC;
+      std::filesystem::remove_all(ShardDir, EC);
+    }
+  }
 
   return Out;
 }

@@ -52,6 +52,13 @@ struct BatchOptions {
   bool Resume = false;
   /// Where triage bundles go; empty disables crash capture.
   std::string CrashDir;
+  /// Merged Chrome trace-event output; empty disables tracing. Each
+  /// worker streams a shard to <TracePath>.shards/, the parent records
+  /// fork/watchdog/retry/journal events in memory, and at batch end the
+  /// shards are merged into one Perfetto-loadable timeline at TracePath
+  /// (the shard directory is removed on success). An unwritable trace
+  /// file is a driver error, like an unwritable journal.
+  std::string TracePath;
   /// Copy-pasteable reproduction command for a bundle, given the job,
   /// the rung it failed at, and the bundle's input path.
   std::function<std::string(const BatchJob &, DegradeLevel,

@@ -23,10 +23,18 @@ std::string JournalRecord::toJSONLine() const {
   W.key("wall_ms").value(WallMs);
   W.key("cpu_ms").value(CpuMs);
   W.key("peak_rss_kb").value(PeakRSSKB);
+  W.key("minflt").value(MinFlt);
+  W.key("majflt").value(MajFlt);
   W.key("backoff_ms").value(BackoffMs);
   W.key("final").value(Final);
   if (HasResult)
     W.key("result").value(Result);
+  if (HasOracleMetrics) {
+    W.key("oracle_queries").value(OracleQueries);
+    W.key("oracle_p50_ns").value(OracleP50Ns);
+    W.key("oracle_p90_ns").value(OracleP90Ns);
+    W.key("oracle_max_ns").value(OracleMaxNs);
+  }
   W.endObject();
   return W.str();
 }
@@ -233,6 +241,10 @@ bool recordFromMap(const std::map<std::string, std::string> &M,
     return Fail("bad 'cpu_ms'");
   if (!getUInt(M, "peak_rss_kb", R.PeakRSSKB))
     return Fail("bad 'peak_rss_kb'");
+  if (!getUInt(M, "minflt", R.MinFlt))
+    return Fail("bad 'minflt'");
+  if (!getUInt(M, "majflt", R.MajFlt))
+    return Fail("bad 'majflt'");
   if (!getUInt(M, "backoff_ms", R.BackoffMs))
     return Fail("bad 'backoff_ms'");
   auto Fin = M.find("final");
@@ -241,6 +253,13 @@ bool recordFromMap(const std::map<std::string, std::string> &M,
   R.Final = Fin->second == "true";
   R.HasResult = getInt(M, "result", V);
   R.Result = R.HasResult ? V : 0;
+  R.HasOracleMetrics = getUInt(M, "oracle_queries", R.OracleQueries);
+  if (R.HasOracleMetrics) {
+    if (!getUInt(M, "oracle_p50_ns", R.OracleP50Ns) ||
+        !getUInt(M, "oracle_p90_ns", R.OracleP90Ns) ||
+        !getUInt(M, "oracle_max_ns", R.OracleMaxNs))
+      return Fail("incomplete oracle_* summary");
+  }
   return true;
 }
 

@@ -15,7 +15,14 @@
 ///
 ///   {"job":"format","attempt":1,"degrade":"full","outcome":"ok",
 ///    "exit":0,"signal":0,"wall_ms":12,"cpu_ms":9,"peak_rss_kb":4096,
-///    "backoff_ms":0,"final":true,"result":271828}
+///    "minflt":350,"majflt":0,"backoff_ms":0,"final":true,
+///    "result":271828,"oracle_queries":118,"oracle_p50_ns":255,
+///    "oracle_p90_ns":1023,"oracle_max_ns":9000}
+///
+/// minflt/majflt are the worker's rusage fault counts (recorded for
+/// successes as much as crashes). The oracle_* keys are the per-job
+/// latency-histogram summary a compile worker reports in its payload;
+/// they are optional -- planted fault jobs have no oracle to measure.
 ///
 /// The loader's flat-object parser is deliberately minimal (strings,
 /// integers, bools; no nesting) -- exactly the shape the appender emits,
@@ -47,6 +54,8 @@ struct JournalRecord {
   uint64_t WallMs = 0;
   uint64_t CpuMs = 0;
   uint64_t PeakRSSKB = 0;
+  uint64_t MinFlt = 0; ///< rusage minor faults for the attempt.
+  uint64_t MajFlt = 0; ///< rusage major faults for the attempt.
   /// Delay scheduled before the next attempt; 0 on final records.
   uint64_t BackoffMs = 0;
   /// True when this attempt settles the job (success, deterministic
@@ -55,6 +64,13 @@ struct JournalRecord {
   /// Main()'s checksum when the worker reported one.
   int64_t Result = 0;
   bool HasResult = false;
+  /// Per-job oracle latency summary (oracle.query-ns histogram inside
+  /// the worker), copied from the payload when the worker reported one.
+  bool HasOracleMetrics = false;
+  uint64_t OracleQueries = 0;
+  uint64_t OracleP50Ns = 0;
+  uint64_t OracleP90Ns = 0;
+  uint64_t OracleMaxNs = 0;
 
   std::string toJSONLine() const; ///< One line, no trailing newline.
 };

@@ -57,9 +57,11 @@ struct WorkerResult {
   WorkerStatus Status = WorkerStatus::Exited;
   int ExitCode = -1;
   int Signal = 0;
-  uint64_t WallMs = 0;     ///< Spawn-to-reap wall time.
-  uint64_t CpuMs = 0;      ///< rusage user+system.
-  uint64_t PeakRSSKB = 0;  ///< rusage ru_maxrss.
+  uint64_t WallMs = 0;       ///< Spawn-to-reap wall time.
+  uint64_t CpuMs = 0;        ///< rusage user+system.
+  uint64_t PeakRSSKB = 0;    ///< rusage ru_maxrss.
+  uint64_t MinorFaults = 0;  ///< rusage ru_minflt.
+  uint64_t MajorFaults = 0;  ///< rusage ru_majflt.
   std::string Payload;     ///< Bytes the job wrote to the payload fd.
   std::string CrashRecord; ///< Crash handler's JSON line, if any.
   std::string Output;      ///< Captured stdout+stderr (capped).

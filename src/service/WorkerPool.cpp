@@ -2,8 +2,12 @@
 
 #include "service/WorkerPool.h"
 
+#include "support/Metrics.h"
 #include "support/SafeIO.h"
 #include "support/Timing.h"
+#include "support/Trace.h"
+
+#include <algorithm>
 
 #include <cstdio>
 #include <exception>
@@ -27,6 +31,9 @@ using namespace tbaa;
 #ifndef TBAA_ASAN_BUILD
 #define TBAA_ASAN_BUILD 0
 #endif
+
+TBAA_HISTOGRAM(QueueWaitMs, "batch", "queue-wait-ms",
+               "Time a ready item waited for a free worker slot", "ms");
 
 namespace {
 
@@ -164,9 +171,21 @@ WorkerPool::~WorkerPool() {
   }
 }
 
-void WorkerPool::enqueue(Item I) { Queue.push_back(std::move(I)); }
+void WorkerPool::enqueue(Item I) {
+  if (!I.EnqueuedMs)
+    I.EnqueuedMs = monoNowMs();
+  Queue.push_back(std::move(I));
+}
 
 bool WorkerPool::spawn(const Item &I) {
+  const uint64_t ForkT0Us = trace::nowUs();
+  if (I.EnqueuedMs) {
+    // Wait from ready-to-run (enqueue, or the backoff deadline) to the
+    // moment a slot freed up -- scheduler pressure, not backoff policy.
+    uint64_t Ready = std::max(I.EnqueuedMs, I.NotBeforeMs);
+    uint64_t Now = monoNowMs();
+    QueueWaitMs.record(Now > Ready ? Now - Ready : 0);
+  }
   int PayloadP[2] = {-1, -1}, CrashP[2] = {-1, -1}, OutP[2] = {-1, -1};
   auto CloseAll = [&] {
     for (int Fd : {PayloadP[0], PayloadP[1], CrashP[0], CrashP[1], OutP[0],
@@ -235,6 +254,13 @@ bool WorkerPool::spawn(const Item &I) {
   Dog.arm(Pid, I.Limits.WallMs ? Deadline::in(I.Limits.WallMs)
                                : Deadline::never());
   Workers.push_back(std::move(W));
+  TraceRecorder &TR = TraceRecorder::instance();
+  if (TR.enabled())
+    TR.complete("service", "fork", ForkT0Us, trace::nowUs() - ForkT0Us,
+                TraceArgs()
+                    .num("key", I.Key)
+                    .num("pid", static_cast<int64_t>(Pid))
+                    .render());
   return true;
 }
 
@@ -250,6 +276,14 @@ void WorkerPool::killExpired(uint64_t NowMs) {
       if (W.Pid == Pid && !W.TimedOut) {
         W.TimedOut = true;
         ::kill(Pid, SIGKILL);
+        TraceRecorder &TR = TraceRecorder::instance();
+        if (TR.enabled())
+          TR.instant("service", "watchdog-kill",
+                     TraceArgs()
+                         .num("key", W.Key)
+                         .num("pid", static_cast<int64_t>(Pid))
+                         .num("wall_ms", NowMs - W.StartMs)
+                         .render());
       }
 }
 
@@ -280,6 +314,8 @@ std::vector<WorkerPool::Live> WorkerPool::reap(bool Block) {
     }
     W.R.CpuMs = timevalMs(RU.ru_utime) + timevalMs(RU.ru_stime);
     W.R.PeakRSSKB = static_cast<uint64_t>(RU.ru_maxrss);
+    W.R.MinorFaults = static_cast<uint64_t>(RU.ru_minflt);
+    W.R.MajorFaults = static_cast<uint64_t>(RU.ru_majflt);
     Dog.disarm(W.Pid);
     Done.push_back(std::move(W));
     Workers.erase(Workers.begin() + static_cast<long>(I));
@@ -311,6 +347,23 @@ void WorkerPool::run(const DoneFn &OnDone) {
     }
     for (Live &W : Workers)
       drainPipes(W);
+    {
+      // The poll loop spins at ~1kHz; trace it at <=20Hz so the merged
+      // timeline shows watchdog liveness without drowning in instants.
+      TraceRecorder &TR = TraceRecorder::instance();
+      if (TR.enabled() && !Workers.empty() && Now - LastPollTraceMs >= 50) {
+        LastPollTraceMs = Now;
+        TR.instant("service", "watchdog-poll",
+                   TraceArgs()
+                       .num("live", static_cast<uint64_t>(Workers.size()))
+                       .num("queued", static_cast<uint64_t>(Queue.size()))
+                       .render());
+        TR.counter("service", "live-workers",
+                   static_cast<uint64_t>(Workers.size()));
+        TR.counter("service", "queue-depth",
+                   static_cast<uint64_t>(Queue.size()));
+      }
+    }
     killExpired(monoNowMs());
     for (Live &W : reap(/*Block=*/false)) {
       OnDone(W.Key, W.R);

@@ -49,6 +49,9 @@ public:
     /// Monotonic ms before which this item must not spawn (0 = now);
     /// the retry ladder's backoff.
     uint64_t NotBeforeMs = 0;
+    /// Stamped by enqueue(); feeds the batch.queue-wait-ms histogram
+    /// (time from ready-to-run to spawn, backoff excluded).
+    uint64_t EnqueuedMs = 0;
   };
 
   void enqueue(Item I);
@@ -82,6 +85,8 @@ private:
   std::deque<Item> Queue;
   std::vector<Live> Workers;
   Watchdog Dog;
+  /// Rate limiter for watchdog-poll trace instants (monotonic ms).
+  uint64_t LastPollTraceMs = 0;
 };
 
 } // namespace tbaa

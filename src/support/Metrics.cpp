@@ -1,0 +1,185 @@
+//===- Metrics.cpp --------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/JSONUtil.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+using namespace tbaa;
+
+Histogram::Histogram(const char *Group, const char *Name, const char *Desc,
+                     const char *Unit)
+    : Group(Group), Name(Name), Desc(Desc), Unit(Unit) {
+  MetricsRegistry::instance().add(this);
+}
+
+uint64_t Histogram::Snapshot::quantile(double Q) const {
+  if (!Count)
+    return 0;
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Rank)
+      return std::min(bucketUpperBound(I), Max);
+  }
+  return Max;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot S;
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  uint64_t Mn = Min.load(std::memory_order_relaxed);
+  S.Min = S.Count ? Mn : 0;
+  S.Max = Max.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I != NumBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  return S;
+}
+
+void Histogram::reset() {
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Min.store(~uint64_t{0}, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+  for (std::atomic<uint64_t> &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+}
+
+Gauge::Gauge(const char *Group, const char *Name, const char *Desc)
+    : Group(Group), Name(Name), Desc(Desc) {
+  MetricsRegistry::instance().add(this);
+}
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry R;
+  return R;
+}
+
+void MetricsRegistry::add(Histogram *H) { Hists.push_back(H); }
+void MetricsRegistry::add(Gauge *G) { GaugeList.push_back(G); }
+
+namespace {
+
+template <typename T> std::vector<T *> sorted(const std::vector<T *> &In) {
+  std::vector<T *> Out = In;
+  std::sort(Out.begin(), Out.end(), [](const T *A, const T *B) {
+    int C = std::strcmp(A->group(), B->group());
+    if (C)
+      return C < 0;
+    return std::strcmp(A->name(), B->name()) < 0;
+  });
+  return Out;
+}
+
+} // namespace
+
+std::vector<Histogram *> MetricsRegistry::histograms() const {
+  return sorted(Hists);
+}
+
+std::vector<Gauge *> MetricsRegistry::gauges() const {
+  return sorted(GaugeList);
+}
+
+Histogram *MetricsRegistry::findHistogram(const char *Group,
+                                          const char *Name) const {
+  for (Histogram *H : Hists)
+    if (!std::strcmp(H->group(), Group) && !std::strcmp(H->name(), Name))
+      return H;
+  return nullptr;
+}
+
+void MetricsRegistry::reset() {
+  for (Histogram *H : Hists)
+    H->reset();
+  for (Gauge *G : GaugeList)
+    G->reset();
+}
+
+bool MetricsRegistry::anyNonZero() const {
+  for (Histogram *H : Hists)
+    if (H->snapshot().Count)
+      return true;
+  for (Gauge *G : GaugeList)
+    if (G->value())
+      return true;
+  return false;
+}
+
+std::string MetricsRegistry::table() const {
+  std::string Out;
+  for (Histogram *H : histograms()) {
+    Histogram::Snapshot S = H->snapshot();
+    if (!S.Count)
+      continue;
+    uint64_t Mean = S.Sum / S.Count;
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-28s count=%llu mean=%llu p50=%llu p90=%llu max=%llu "
+                  "(%s) - %s\n",
+                  (std::string(H->group()) + "." + H->name()).c_str(),
+                  static_cast<unsigned long long>(S.Count),
+                  static_cast<unsigned long long>(Mean),
+                  static_cast<unsigned long long>(S.quantile(0.50)),
+                  static_cast<unsigned long long>(S.quantile(0.90)),
+                  static_cast<unsigned long long>(S.Max), H->unit(),
+                  H->desc());
+    Out += Buf;
+  }
+  for (Gauge *G : gauges()) {
+    if (!G->value())
+      continue;
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf), "  %-28s value=%llu - %s\n",
+                  (std::string(G->group()) + "." + G->name()).c_str(),
+                  static_cast<unsigned long long>(G->value()), G->desc());
+    Out += Buf;
+  }
+  if (Out.empty())
+    return Out;
+  return "===--- Metrics ---===\n" + Out;
+}
+
+std::string MetricsRegistry::toJSON() const {
+  json::Writer W;
+  W.beginObject();
+  W.key("histograms").beginObject();
+  for (Histogram *H : histograms()) {
+    Histogram::Snapshot S = H->snapshot();
+    W.key(std::string(H->group()) + "." + H->name()).beginObject();
+    W.key("unit").value(H->unit());
+    W.key("count").value(S.Count);
+    W.key("sum").value(S.Sum);
+    W.key("min").value(S.Min);
+    W.key("max").value(S.Max);
+    W.key("p50").value(S.quantile(0.50));
+    W.key("p90").value(S.quantile(0.90));
+    W.key("p99").value(S.quantile(0.99));
+    // Buckets with trailing zeros trimmed: buckets[i] counts samples
+    // with bit_width i, i.e. values in [2^(i-1), 2^i).
+    unsigned Last = Histogram::NumBuckets;
+    while (Last && !S.Buckets[Last - 1])
+      --Last;
+    W.key("buckets").beginArray();
+    for (unsigned I = 0; I != Last; ++I)
+      W.value(S.Buckets[I]);
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+  W.key("gauges").beginObject();
+  for (Gauge *G : gauges())
+    W.key(std::string(G->group()) + "." + G->name()).value(G->value());
+  W.endObject();
+  W.endObject();
+  return W.str();
+}

@@ -1,0 +1,185 @@
+//===- Metrics.h - Registered histograms and gauges -------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Distribution-shaped observability, complementing the plain counters
+/// in Stats.h: a Histogram buckets samples by log2 magnitude (bucket i
+/// holds values whose bit_width is i, i.e. [2^(i-1), 2^i - 1]; bucket 0
+/// holds zero), so 65 fixed buckets cover the whole uint64 range and a
+/// record() is a handful of relaxed atomic adds -- cheap enough for the
+/// oracle query path. Quantiles are approximate: a reported pXX is the
+/// upper bound of the bucket containing that rank, so it can overstate
+/// by at most 2x (one octave), never understate below the bucket floor.
+///
+/// Registration mirrors StatsRegistry: declare once at file scope with
+/// TBAA_HISTOGRAM / TBAA_GAUGE (static storage required, the registry
+/// keeps raw pointers), render through --stats tables and bench --json.
+///
+/// The registry's enabled() flag does NOT gate record() -- recording is
+/// always safe and cheap. It gates *instrumentation that must read a
+/// clock* to produce a sample (oracle query latency, partition build
+/// cost): call sites check MetricsRegistry::instance().enabled() before
+/// paying for clock_gettime, the same shape as TimerRegistry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_METRICS_H
+#define TBAA_SUPPORT_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+/// One registered log2-bucketed histogram. Construct only via
+/// TBAA_HISTOGRAM.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 65;
+
+  Histogram(const char *Group, const char *Name, const char *Desc,
+            const char *Unit);
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  static unsigned bucketOf(uint64_t V) { return std::bit_width(V); }
+
+  /// Inclusive upper bound of bucket \p I (0 for the zero bucket).
+  static uint64_t bucketUpperBound(unsigned I) {
+    if (I == 0)
+      return 0;
+    if (I >= 64)
+      return ~uint64_t{0};
+    return (uint64_t{1} << I) - 1;
+  }
+
+  void record(uint64_t V) {
+    Buckets[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+    uint64_t Cur = Min.load(std::memory_order_relaxed);
+    while (V < Cur &&
+           !Min.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+    Cur = Max.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !Max.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// A point-in-time copy with derived statistics.
+  struct Snapshot {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Min = 0; // 0 when empty
+    uint64_t Max = 0;
+    std::array<uint64_t, NumBuckets> Buckets{};
+
+    /// Approximate quantile: the upper bound of the bucket holding the
+    /// ceil(Q * Count)-th sample. 0 when empty.
+    uint64_t quantile(double Q) const;
+  };
+
+  Snapshot snapshot() const;
+  void reset();
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *desc() const { return Desc; }
+  const char *unit() const { return Unit; }
+
+private:
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  const char *Unit;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{~uint64_t{0}};
+  std::atomic<uint64_t> Max{0};
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+};
+
+/// One registered last-value gauge. Construct only via TBAA_GAUGE.
+class Gauge {
+public:
+  Gauge(const char *Group, const char *Name, const char *Desc);
+  Gauge(const Gauge &) = delete;
+  Gauge &operator=(const Gauge &) = delete;
+
+  void set(uint64_t V) { Value.store(V, std::memory_order_relaxed); }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *desc() const { return Desc; }
+
+private:
+  std::atomic<uint64_t> Value{0};
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+};
+
+/// Process-wide histogram/gauge registry.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  /// Gates clock-reading instrumentation only; see the file comment.
+  void setEnabled(bool E) { Enabled = E; }
+  bool enabled() const { return Enabled; }
+
+  /// Registered histograms/gauges, sorted by group then name.
+  std::vector<Histogram *> histograms() const;
+  std::vector<Gauge *> gauges() const;
+
+  /// Lookup by group/name; null when not registered.
+  Histogram *findHistogram(const char *Group, const char *Name) const;
+
+  /// Zeroes every histogram and gauge.
+  void reset();
+
+  bool anyNonZero() const;
+
+  /// Human-readable table of the non-empty histograms and non-zero
+  /// gauges, with count/mean/p50/p90/max per histogram.
+  std::string table() const;
+
+  /// JSON object: {"histograms":{"group.name":{...}},"gauges":{...}}.
+  /// All registered entries included, even empty ones, so schema
+  /// checkers can assert presence.
+  std::string toJSON() const;
+
+private:
+  friend class Histogram;
+  friend class Gauge;
+  void add(Histogram *H);
+  void add(Gauge *G);
+
+  bool Enabled = false;
+  // Append-only during static initialization, like StatsRegistry.
+  std::vector<Histogram *> Hists;
+  std::vector<Gauge *> GaugeList;
+};
+
+} // namespace tbaa
+
+/// Declares a file-local registered histogram. \p Unit is documentation
+/// ("ns", "us", "ms", "kb") carried into reports.
+#define TBAA_HISTOGRAM(Var, Group, Name, Desc, Unit)                           \
+  static ::tbaa::Histogram Var(Group, Name, Desc, Unit)
+
+/// Declares a file-local registered gauge.
+#define TBAA_GAUGE(Var, Group, Name, Desc)                                     \
+  static ::tbaa::Gauge Var(Group, Name, Desc)
+
+#endif // TBAA_SUPPORT_METRICS_H

@@ -5,6 +5,7 @@
 #include "support/JSONUtil.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace tbaa;
 
@@ -82,6 +83,11 @@ void TimerRegistry::reset() {
   Current = &Root;
   NameStack.clear();
   NamesFrozen = false;
+  ++Generation; // detach scopes still open across this reset
+  // Fully clear the rendered-phase buffer, not just the terminator: a
+  // crash handler reading it mid-update must never see a previous
+  // job's phase path beyond the NUL.
+  std::memset(PhaseBuf, 0, sizeof(PhaseBuf));
   renderPhaseBuf();
 }
 

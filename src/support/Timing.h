@@ -18,6 +18,8 @@
 #ifndef TBAA_SUPPORT_TIMING_H
 #define TBAA_SUPPORT_TIMING_H
 
+#include "support/Trace.h"
+
 #include <chrono>
 #include <cstdint>
 #include <exception>
@@ -45,8 +47,18 @@ public:
   void setEnabled(bool E) { Enabled = E; }
   bool enabled() const { return Enabled; }
 
-  /// Drops all recorded timings (tests; repeated runs).
+  /// Drops all recorded timings (tests; in-parent retries in multi-job
+  /// tools; repeated runs). Bumps the generation so scopes still open
+  /// across the reset detach cleanly (see generation()).
   void reset();
+
+  /// Incremented by every reset(). A ScopedTimer records the generation
+  /// it opened under and, when it closes under a different one, skips
+  /// both the node update (its Node was freed by reset) and the name
+  /// pop (the frame it would pop belongs to a scope of the *new*
+  /// generation -- popping it would corrupt phase naming in crash
+  /// reports for every later job in the process).
+  uint64_t generation() const { return Generation; }
 
   /// Indented per-phase report with seconds, percent of total and
   /// invocation counts. Empty string when nothing was recorded.
@@ -99,39 +111,65 @@ private:
   Node *Current = &Root;
   std::vector<const char *> NameStack;
   bool NamesFrozen = false;
+  uint64_t Generation = 0;
   char PhaseBuf[256] = {};
 };
 
 /// Opens a named phase for the lifetime of the object. No-op while the
 /// registry is disabled (the enabled check happens at construction, so
 /// toggling mid-scope is benign but that scope is not recorded).
+///
+/// Doubles as a trace span: when the TraceRecorder is enabled the scope
+/// emits "B"/"E" events under the "phase" category, so every
+/// TBAA_TIME_SCOPE in the pipeline shows up in --trace output without a
+/// second macro at each site.
 class ScopedTimer {
 public:
   explicit ScopedTimer(const char *Name)
-      : UncaughtAtEntry(std::uncaught_exceptions()) {
+      : Name(Name), UncaughtAtEntry(std::uncaught_exceptions()) {
     TimerRegistry &R = TimerRegistry::instance();
+    Gen = R.generation();
     R.pushName(Name);
     if (R.enabled()) {
       N = R.push(Name);
       Start = std::chrono::steady_clock::now();
     }
+    TraceRecorder &TR = TraceRecorder::instance();
+    if (TR.enabled()) {
+      TR.begin("phase", Name);
+      TraceOpen = true;
+    }
   }
   ~ScopedTimer() {
-    if (N) {
-      std::chrono::duration<double> D =
-          std::chrono::steady_clock::now() - Start;
-      TimerRegistry::instance().pop(N, D.count());
+    TimerRegistry &R = TimerRegistry::instance();
+    // A scope that outlived a reset() must not touch the registry: its
+    // Node was freed and the name frame it would pop belongs to the new
+    // generation (see TimerRegistry::generation()).
+    if (Gen == R.generation()) {
+      if (N) {
+        std::chrono::duration<double> D =
+            std::chrono::steady_clock::now() - Start;
+        R.pop(N, D.count());
+      }
+      R.popName(
+          /*Unwinding=*/std::uncaught_exceptions() > UncaughtAtEntry);
     }
-    TimerRegistry::instance().popName(
-        /*Unwinding=*/std::uncaught_exceptions() > UncaughtAtEntry);
+    if (TraceOpen) {
+      TraceRecorder &TR = TraceRecorder::instance();
+      if (TR.enabled())
+        TR.end(Name);
+    }
   }
   ScopedTimer(const ScopedTimer &) = delete;
   ScopedTimer &operator=(const ScopedTimer &) = delete;
 
 private:
+  const char *Name;
   TimerRegistry::Node *N = nullptr;
   std::chrono::steady_clock::time_point Start;
   int UncaughtAtEntry;
+  uint64_t Gen = 0;
+  bool TraceOpen = false;
 };
 
 } // namespace tbaa

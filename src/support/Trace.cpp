@@ -1,0 +1,344 @@
+//===- Trace.cpp ----------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/JSONUtil.h"
+#include "support/SafeIO.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+using namespace tbaa;
+
+uint64_t trace::nowUs() {
+  timespec TS;
+  clock_gettime(CLOCK_MONOTONIC, &TS);
+  return static_cast<uint64_t>(TS.tv_sec) * 1000000 +
+         static_cast<uint64_t>(TS.tv_nsec) / 1000;
+}
+
+TraceArgs &TraceArgs::num(const char *Key, uint64_t V) {
+  if (!Body.empty())
+    Body += ',';
+  Body += '"';
+  Body += Key;
+  Body += "\":";
+  Body += std::to_string(V);
+  return *this;
+}
+
+TraceArgs &TraceArgs::num(const char *Key, int64_t V) {
+  if (!Body.empty())
+    Body += ',';
+  Body += '"';
+  Body += Key;
+  Body += "\":";
+  Body += std::to_string(V);
+  return *this;
+}
+
+TraceArgs &TraceArgs::str(const char *Key, const std::string &V) {
+  if (!Body.empty())
+    Body += ',';
+  Body += '"';
+  Body += Key;
+  Body += "\":\"";
+  Body += json::escape(V);
+  Body += '"';
+  return *this;
+}
+
+std::string TraceArgs::render() const {
+  if (Body.empty())
+    return std::string();
+  return "{" + Body + "}";
+}
+
+TraceRecorder &TraceRecorder::instance() {
+  static TraceRecorder R;
+  return R;
+}
+
+void TraceRecorder::setEnabled(bool E) { Enabled = E; }
+
+int TraceRecorder::pid() {
+  if (!CachedPid)
+    CachedPid = static_cast<int>(::getpid());
+  return CachedPid;
+}
+
+bool TraceRecorder::beginShard(const std::string &Path) {
+  endShard();
+  Events.clear();
+  CachedPid = static_cast<int>(::getpid());
+  ShardFd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                   0644);
+  if (ShardFd < 0) {
+    Enabled = false;
+    return false;
+  }
+  Enabled = true;
+  return true;
+}
+
+void TraceRecorder::endShard() {
+  if (ShardFd >= 0) {
+    ::close(ShardFd);
+    ShardFd = -1;
+    Enabled = false;
+  }
+}
+
+namespace {
+
+/// One event as a single-line JSON object. Key order is fixed (name,
+/// cat, ph, ts, pid, tid[, dur][, args]) -- the merge scanner and the
+/// shard writer below rely on emitting the same shape.
+void renderEventLine(const TraceRecorder::Event &E, std::string &Out) {
+  Out += "{\"name\":\"";
+  Out += json::escape(E.Name);
+  Out += "\",\"cat\":\"";
+  Out += E.Cat;
+  Out += "\",\"ph\":\"";
+  Out += E.Ph;
+  Out += "\",\"ts\":";
+  Out += std::to_string(E.TsUs);
+  Out += ",\"pid\":";
+  Out += std::to_string(E.Pid);
+  Out += ",\"tid\":";
+  Out += std::to_string(E.Pid);
+  if (E.Ph == 'X') {
+    Out += ",\"dur\":";
+    Out += std::to_string(E.DurUs);
+  }
+  if (!E.Args.empty()) {
+    Out += ",\"args\":";
+    Out += E.Args;
+  }
+  Out += '}';
+}
+
+} // namespace
+
+void TraceRecorder::record(char Ph, const char *Cat, const std::string &Name,
+                           uint64_t TsUs, uint64_t DurUs,
+                           const std::string &Args) {
+  if (!Enabled)
+    return;
+  if (ShardFd >= 0) {
+    // Streaming: one line per event, appended immediately so the record
+    // survives the worker dying mid-job. LineBuf + writeAll keep the
+    // write path async-signal-safe; an event too large for the buffer
+    // is truncated and the merge pass drops the torn line.
+    char PhStr[2] = {Ph, 0};
+    safeio::LineBuf L;
+    L.append("{\"name\":\"").appendJSONEscaped(Name.c_str());
+    L.append("\",\"cat\":\"").append(Cat);
+    L.append("\",\"ph\":\"").append(PhStr);
+    L.append("\",\"ts\":").appendUInt(TsUs);
+    L.append(",\"pid\":").appendInt(CachedPid);
+    L.append(",\"tid\":").appendInt(CachedPid);
+    if (Ph == 'X')
+      L.append(",\"dur\":").appendUInt(DurUs);
+    if (!Args.empty())
+      L.append(",\"args\":").append(Args.c_str());
+    L.append("}\n");
+    L.writeTo(ShardFd);
+    return;
+  }
+  Event E;
+  E.Ph = Ph;
+  E.Cat = Cat;
+  E.Name = Name;
+  E.TsUs = TsUs;
+  E.DurUs = DurUs;
+  E.Pid = pid();
+  E.Args = Args;
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::begin(const char *Cat, const std::string &Name,
+                          const std::string &Args) {
+  record('B', Cat, Name, trace::nowUs(), 0, Args);
+}
+
+void TraceRecorder::end(const std::string &Name, const std::string &Args) {
+  record('E', "phase", Name, trace::nowUs(), 0, Args);
+}
+
+void TraceRecorder::complete(const char *Cat, const std::string &Name,
+                             uint64_t TsUs, uint64_t DurUs,
+                             const std::string &Args) {
+  record('X', Cat, Name, TsUs, DurUs, Args);
+}
+
+void TraceRecorder::instant(const char *Cat, const std::string &Name,
+                            const std::string &Args) {
+  record('i', Cat, Name, trace::nowUs(), 0, Args);
+}
+
+void TraceRecorder::counter(const char *Cat, const std::string &Name,
+                            uint64_t Value) {
+  record('C', Cat, Name, trace::nowUs(), 0,
+         "{\"value\":" + std::to_string(Value) + "}");
+}
+
+void TraceRecorder::processName(const std::string &Name) {
+  record('M', "__metadata", "process_name", trace::nowUs(), 0,
+         "{\"name\":\"" + json::escape(Name) + "\"}");
+}
+
+void TraceRecorder::clear() { Events.clear(); }
+
+std::string TraceRecorder::renderChromeJSON() const {
+  std::string Out = "{\"traceEvents\":[\n";
+  for (size_t I = 0; I != Events.size(); ++I) {
+    if (I)
+      Out += ",\n";
+    renderEventLine(Events[I], Out);
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool TraceRecorder::writeChromeJSON(const std::string &Path,
+                                    std::string &Error) const {
+  std::ofstream OS(Path, std::ios::trunc);
+  if (!OS) {
+    Error = "cannot open trace file '" + Path + "'";
+    return false;
+  }
+  OS << renderChromeJSON();
+  OS.flush();
+  if (!OS) {
+    Error = "error writing trace file '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Scans \p Line for `"Key":"` and copies the raw (still-escaped) string
+/// value into \p Out. Matching on escaped text is fine: the stack logic
+/// below only compares values this same scanner produced.
+bool extractRawString(const std::string &Line, const char *Key,
+                      std::string &Out) {
+  std::string Needle = std::string("\"") + Key + "\":\"";
+  size_t Pos = Line.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Pos += Needle.size();
+  Out.clear();
+  while (Pos < Line.size()) {
+    char C = Line[Pos];
+    if (C == '\\' && Pos + 1 < Line.size()) {
+      Out += C;
+      Out += Line[Pos + 1];
+      Pos += 2;
+      continue;
+    }
+    if (C == '"')
+      return true;
+    Out += C;
+    ++Pos;
+  }
+  return false;
+}
+
+bool extractUInt(const std::string &Line, const char *Key, uint64_t &Out) {
+  std::string Needle = std::string("\"") + Key + "\":";
+  size_t Pos = Line.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Pos += Needle.size();
+  if (Pos >= Line.size() || Line[Pos] < '0' || Line[Pos] > '9')
+    return false;
+  Out = 0;
+  while (Pos < Line.size() && Line[Pos] >= '0' && Line[Pos] <= '9')
+    Out = Out * 10 + static_cast<uint64_t>(Line[Pos++] - '0');
+  return true;
+}
+
+} // namespace
+
+bool TraceRecorder::writeMerged(const std::string &Path,
+                                const std::vector<std::string> &ShardPaths,
+                                std::string &Error) const {
+  std::vector<std::string> Lines;
+  Lines.reserve(Events.size());
+  for (const Event &E : Events) {
+    std::string L;
+    renderEventLine(E, L);
+    Lines.push_back(std::move(L));
+  }
+
+  std::vector<std::string> Sorted = ShardPaths;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (const std::string &Shard : Sorted) {
+    std::ifstream IS(Shard);
+    if (!IS)
+      continue; // the job already reported through the journal
+    // Open-span stack for this shard; shards are single-pid so one
+    // stack suffices.
+    std::vector<std::string> Open;
+    uint64_t LastTs = 0;
+    uint64_t ShardPid = 0;
+    std::string Line;
+    while (std::getline(IS, Line)) {
+      if (Line.empty())
+        continue;
+      if (Line.front() != '{' || Line.back() != '}')
+        continue; // torn trailing line from a killed worker
+      std::string Ph, Name;
+      uint64_t Ts = 0;
+      if (!extractRawString(Line, "ph", Ph) || Ph.size() != 1)
+        continue;
+      extractUInt(Line, "ts", Ts);
+      LastTs = std::max(LastTs, Ts);
+      extractUInt(Line, "pid", ShardPid);
+      if (Ph[0] == 'B' && extractRawString(Line, "name", Name))
+        Open.push_back(Name);
+      else if (Ph[0] == 'E' && !Open.empty())
+        Open.pop_back();
+      Lines.push_back(Line);
+    }
+    // Close whatever the worker left open (crashed or was killed
+    // mid-span) so the merged timeline stays balanced.
+    std::string PidStr = std::to_string(ShardPid);
+    while (!Open.empty()) {
+      ++LastTs;
+      std::string L = "{\"name\":\"" + Open.back() +
+                      "\",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":" +
+                      std::to_string(LastTs) + ",\"pid\":" + PidStr +
+                      ",\"tid\":" + PidStr +
+                      ",\"args\":{\"synthetic_close\":1}}";
+      Lines.push_back(std::move(L));
+      Open.pop_back();
+    }
+  }
+
+  std::ofstream OS(Path, std::ios::trunc);
+  if (!OS) {
+    Error = "cannot open trace file '" + Path + "'";
+    return false;
+  }
+  OS << "{\"traceEvents\":[\n";
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    if (I)
+      OS << ",\n";
+    OS << Lines[I];
+  }
+  OS << "\n]}\n";
+  OS.flush();
+  if (!OS) {
+    Error = "error writing trace file '" + Path + "'";
+    return false;
+  }
+  return true;
+}

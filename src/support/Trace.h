@@ -1,0 +1,214 @@
+//===- Trace.h - Structured trace-event recorder ----------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead span/event recorder emitting Chrome trace-event JSON
+/// (the chrome://tracing and Perfetto interchange format, and the shape
+/// of LLVM's -ftime-trace output). Phases used:
+///
+///   "B"/"E"  begin/end of a named span (duration between them)
+///   "X"      complete event (begin timestamp + dur in one record)
+///   "i"      instant event (a point in time, e.g. a watchdog kill)
+///   "C"      counter event (args carry {"value": N}, graphed over time)
+///   "M"      metadata (process_name labels for the Perfetto track list)
+///
+/// Two recording modes share one API:
+///
+///   * In-memory (default): events accumulate in a vector and are dumped
+///     with writeChromeJSON() / renderChromeJSON(). Used by m3lc, the
+///     bench harness, and the m3batch parent.
+///   * Streaming shard: a forked m3batch worker calls beginShard(path)
+///     right after fork; every event is rendered into a fixed buffer and
+///     appended to the shard file immediately through safeio::writeAll,
+///     so the record survives SIGSEGV/SIGKILL mid-job and the append
+///     path stays async-signal-safe (no stdio, no allocation after the
+///     line is built). The parent merges shards with writeMerged(),
+///     synthesizing "E" events for spans a dying worker left open.
+///
+/// Timestamps are CLOCK_MONOTONIC microseconds, which are comparable
+/// across fork on Linux -- the merged timeline needs no ts remapping,
+/// only distinct pids (the real worker pids) to land shards on separate
+/// Perfetto tracks. The recorder is single-threaded by design, like
+/// TimerRegistry: tid mirrors pid.
+///
+/// Disabled by default; every emit call is one predicted branch when
+/// off. ScopedTimer (Timing.h) doubles as a span emitter, so every
+/// existing TBAA_TIME_SCOPE becomes a trace span for free; TraceSpan is
+/// the standalone RAII shape for sites that want args or are outside
+/// the phase tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_TRACE_H
+#define TBAA_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbaa {
+
+namespace trace {
+/// CLOCK_MONOTONIC now, in microseconds. Stable across fork.
+uint64_t nowUs();
+} // namespace trace
+
+/// Renders a trace-event args map ({"k":v,...}) incrementally. Cheap to
+/// build, and only built at call sites that first check
+/// TraceRecorder::enabled().
+class TraceArgs {
+public:
+  TraceArgs &num(const char *Key, uint64_t V);
+  TraceArgs &num(const char *Key, int64_t V);
+  TraceArgs &num(const char *Key, int V) {
+    return num(Key, static_cast<int64_t>(V));
+  }
+  TraceArgs &num(const char *Key, unsigned V) {
+    return num(Key, static_cast<uint64_t>(V));
+  }
+  TraceArgs &str(const char *Key, const std::string &V);
+
+  /// The rendered object, "{...}", or "" when no argument was added.
+  std::string render() const;
+
+private:
+  std::string Body; // comma-joined "k":v pairs, no braces
+};
+
+/// Process-wide recorder. Singleton like StatsRegistry/TimerRegistry.
+class TraceRecorder {
+public:
+  struct Event {
+    char Ph;            // B E X i C M
+    const char *Cat;    // static category string ("phase", "service", ...)
+    std::string Name;
+    uint64_t TsUs;
+    uint64_t DurUs;     // X only
+    int Pid;
+    std::string Args;   // rendered "{...}" or empty
+  };
+
+  static TraceRecorder &instance();
+
+  void setEnabled(bool E);
+  bool enabled() const { return Enabled; }
+
+  /// Switches to streaming mode: drops any events inherited from the
+  /// parent across fork, re-caches the (new) pid, opens \p Path for
+  /// append and enables the recorder. Returns false -- and leaves the
+  /// recorder disabled -- if the file cannot be opened; a worker that
+  /// cannot stream must not silently accumulate in memory.
+  bool beginShard(const std::string &Path);
+
+  /// Closes the shard fd and disables the recorder.
+  void endShard();
+
+  bool streaming() const { return ShardFd >= 0; }
+
+  /// Span begin/end ("B"/"E"). Ends may carry args too (attached to the
+  /// "E" record, where Perfetto unions them with the begin's).
+  void begin(const char *Cat, const std::string &Name,
+             const std::string &Args = std::string());
+  void end(const std::string &Name, const std::string &Args = std::string());
+
+  /// Complete event ("X"): a span whose duration was measured by the
+  /// caller. \p TsUs is the span start as trace::nowUs() saw it.
+  void complete(const char *Cat, const std::string &Name, uint64_t TsUs,
+                uint64_t DurUs, const std::string &Args = std::string());
+
+  /// Instant event ("i").
+  void instant(const char *Cat, const std::string &Name,
+               const std::string &Args = std::string());
+
+  /// Counter event ("C"): \p Value graphed over time under \p Name.
+  void counter(const char *Cat, const std::string &Name, uint64_t Value);
+
+  /// Metadata: names this pid's track in the Perfetto process list.
+  void processName(const std::string &Name);
+
+  /// Drops buffered events (tests; the child side of a fork).
+  void clear();
+
+  size_t eventCount() const { return Events.size(); }
+  const std::vector<Event> &events() const { return Events; }
+
+  /// The buffered events as {"traceEvents":[...]}.
+  std::string renderChromeJSON() const;
+
+  /// Writes renderChromeJSON() to \p Path. False + \p Error on failure.
+  bool writeChromeJSON(const std::string &Path, std::string &Error) const;
+
+  /// Writes the buffered events plus every shard file in \p ShardPaths
+  /// (sorted internally, so the merge is deterministic for a given set
+  /// of shard contents) as one {"traceEvents":[...]} timeline. Spans a
+  /// shard left open -- the worker crashed or was killed mid-span -- are
+  /// closed with synthetic "E" events; torn trailing lines (a partial
+  /// write at SIGKILL) are skipped. False + \p Error only if \p Path
+  /// cannot be written; unreadable shards are skipped (the jobs they
+  /// belonged to already reported through the journal).
+  bool writeMerged(const std::string &Path,
+                   const std::vector<std::string> &ShardPaths,
+                   std::string &Error) const;
+
+private:
+  TraceRecorder() = default;
+  void record(char Ph, const char *Cat, const std::string &Name,
+              uint64_t TsUs, uint64_t DurUs, const std::string &Args);
+  int pid();
+
+  bool Enabled = false;
+  int ShardFd = -1;
+  int CachedPid = 0;
+  std::vector<Event> Events;
+};
+
+/// RAII span: "B" at construction, "E" at destruction. No-op when the
+/// recorder is disabled at construction; a recorder disabled mid-span
+/// swallows the "E" (the merge pass balances it).
+class TraceSpan {
+public:
+  TraceSpan(const char *Cat, std::string Name,
+            const std::string &Args = std::string())
+      : Name(std::move(Name)) {
+    TraceRecorder &TR = TraceRecorder::instance();
+    if (TR.enabled()) {
+      TR.begin(Cat, this->Name, Args);
+      Open = true;
+    }
+  }
+  ~TraceSpan() { endNow(); }
+
+  /// Attaches args to the closing "E" (e.g. counts known only at end).
+  void setEndArgs(const std::string &Args) { EndArgs = Args; }
+
+  /// Closes the span early (idempotent).
+  void endNow() {
+    if (Open) {
+      Open = false;
+      TraceRecorder &TR = TraceRecorder::instance();
+      if (TR.enabled())
+        TR.end(Name, EndArgs);
+    }
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  std::string Name;
+  std::string EndArgs;
+  bool Open = false;
+};
+
+} // namespace tbaa
+
+#define TBAA_TRACE_CONCAT2(A, B) A##B
+#define TBAA_TRACE_CONCAT(A, B) TBAA_TRACE_CONCAT2(A, B)
+/// Traces the enclosing scope as a span under category CAT.
+#define TBAA_TRACE_SCOPE(CAT, NAME)                                            \
+  ::tbaa::TraceSpan TBAA_TRACE_CONCAT(TbaaTrace_, __LINE__)(CAT, NAME)
+
+#endif // TBAA_SUPPORT_TRACE_H

@@ -389,11 +389,13 @@ TEST(Journal, RecordRendersTheDocumentedSchema) {
   R.CpuMs = 9;
   R.PeakRSSKB = 4096;
   R.BackoffMs = 200;
+  R.MinFlt = 350;
   EXPECT_EQ(R.toJSONLine(),
             "{\"job\":\"fmt \\\"x\\\"\",\"attempt\":2,"
             "\"degrade\":\"typedecl\",\"outcome\":\"crash\",\"exit\":-1,"
             "\"signal\":11,\"wall_ms\":12,\"cpu_ms\":9,"
-            "\"peak_rss_kb\":4096,\"backoff_ms\":200,\"final\":false}");
+            "\"peak_rss_kb\":4096,\"minflt\":350,\"majflt\":0,"
+            "\"backoff_ms\":200,\"final\":false}");
   R.Final = true;
   R.HasResult = true;
   R.Result = -7;

@@ -1,0 +1,382 @@
+//===- TraceTests.cpp - Trace recorder and metrics registry tests ---------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// The observability layer (docs/OBSERVABILITY.md): the Chrome
+// trace-event recorder in both its in-memory and fork-shard streaming
+// modes, the log2 histogram / gauge registry, the ScopedTimer bridge
+// that turns phase scopes into trace spans, the TimerRegistry reset
+// generation guard, and the journal's per-job metric fields.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Journal.h"
+#include "service/Worker.h"
+#include "support/Metrics.h"
+#include "support/Timing.h"
+#include "support/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace tbaa;
+
+namespace {
+
+// Registered once for the whole binary (the registry keeps raw
+// pointers); tests reset them instead of constructing locals.
+TBAA_HISTOGRAM(TestHist, "tracetest", "hist", "trace-test histogram", "ns");
+TBAA_GAUGE(TestGauge, "tracetest", "gauge", "trace-test gauge");
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+size_t countOf(const std::string &Hay, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t At = Hay.find(Needle); At != std::string::npos;
+       At = Hay.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceRecorder::instance().setEnabled(false);
+    TraceRecorder::instance().clear();
+  }
+  void TearDown() override {
+    TraceRecorder::instance().setEnabled(false);
+    TraceRecorder::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder &TR = TraceRecorder::instance();
+  TR.begin("test", "span");
+  TR.end("span");
+  TR.instant("test", "mark");
+  TR.counter("test", "count", 1);
+  EXPECT_EQ(TR.eventCount(), 0u);
+  { TraceSpan S("test", "raii"); }
+  EXPECT_EQ(TR.eventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpanNestingBalances) {
+  TraceRecorder &TR = TraceRecorder::instance();
+  TR.setEnabled(true);
+  {
+    TraceSpan Outer("test", "outer");
+    TraceSpan Inner("test", "inner");
+  }
+  ASSERT_EQ(TR.eventCount(), 4u);
+  const auto &E = TR.events();
+  EXPECT_EQ(E[0].Ph, 'B');
+  EXPECT_EQ(E[0].Name, "outer");
+  EXPECT_EQ(E[1].Ph, 'B');
+  EXPECT_EQ(E[1].Name, "inner");
+  // LIFO: the inner span closes first.
+  EXPECT_EQ(E[2].Ph, 'E');
+  EXPECT_EQ(E[2].Name, "inner");
+  EXPECT_EQ(E[3].Ph, 'E');
+  EXPECT_EQ(E[3].Name, "outer");
+  EXPECT_LE(E[0].TsUs, E[3].TsUs);
+  for (const auto &Ev : E)
+    EXPECT_GT(Ev.Pid, 0);
+}
+
+TEST_F(TraceTest, SpanEndNowIsIdempotent) {
+  TraceRecorder &TR = TraceRecorder::instance();
+  TR.setEnabled(true);
+  {
+    TraceSpan S("test", "once");
+    S.endNow();
+    S.endNow();
+  }
+  EXPECT_EQ(TR.eventCount(), 2u);
+}
+
+TEST_F(TraceTest, ArgsRender) {
+  EXPECT_EQ(TraceArgs().render(), "");
+  EXPECT_EQ(TraceArgs().num("n", 7).render(), "{\"n\":7}");
+  EXPECT_EQ(TraceArgs().num("a", 1).str("s", "x\"y").render(),
+            "{\"a\":1,\"s\":\"x\\\"y\"}");
+  EXPECT_EQ(TraceArgs().num("neg", int64_t{-3}).render(), "{\"neg\":-3}");
+}
+
+TEST_F(TraceTest, ChromeJSONShape) {
+  TraceRecorder &TR = TraceRecorder::instance();
+  TR.setEnabled(true);
+  TR.processName("tester");
+  uint64_t T0 = trace::nowUs();
+  TR.complete("test", "work", T0, 5, TraceArgs().num("k", 1).render());
+  TR.instant("test", "mark");
+  TR.counter("test", "depth", 7);
+  std::string JSON = TR.renderChromeJSON();
+  EXPECT_NE(JSON.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(JSON.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"dur\":5"), std::string::npos);
+  EXPECT_NE(JSON.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(JSON.find("{\"value\":7}"), std::string::npos);
+}
+
+TEST_F(TraceTest, ScopedTimerEmitsSpans) {
+  // The timing registry stays disabled: the trace bridge must not
+  // depend on --time-passes.
+  TraceRecorder &TR = TraceRecorder::instance();
+  TR.setEnabled(true);
+  { TBAA_TIME_SCOPE("bridge-phase"); }
+  ASSERT_EQ(TR.eventCount(), 2u);
+  EXPECT_EQ(TR.events()[0].Ph, 'B');
+  EXPECT_STREQ(TR.events()[0].Cat, "phase");
+  EXPECT_EQ(TR.events()[0].Name, "bridge-phase");
+  EXPECT_EQ(TR.events()[1].Ph, 'E');
+}
+
+TEST_F(TraceTest, ShardStreamingWritesImmediatelyAndMergeCloses) {
+  TraceRecorder &TR = TraceRecorder::instance();
+  std::string Dir = ::testing::TempDir();
+  std::string Shard = Dir + "/tbaa-trace-shard.jsonl";
+  ASSERT_TRUE(TR.beginShard(Shard));
+  EXPECT_TRUE(TR.streaming());
+  TR.begin("test", "never-closed");
+  TR.instant("test", "mark");
+  // The lines are already on disk -- a SIGKILL here would lose nothing.
+  std::string OnDisk = readFile(Shard);
+  EXPECT_NE(OnDisk.find("never-closed"), std::string::npos);
+  EXPECT_NE(OnDisk.find("mark"), std::string::npos);
+  EXPECT_EQ(TR.eventCount(), 0u) << "streaming mode must not buffer";
+  TR.endShard();
+  EXPECT_FALSE(TR.streaming());
+
+  // Merge: the parent contributes one instant, the shard two events,
+  // and the dangling span gets a synthetic close.
+  TR.setEnabled(true);
+  TR.instant("service", "parent-mark");
+  std::string Out1 = Dir + "/tbaa-trace-merged1.json";
+  std::string Out2 = Dir + "/tbaa-trace-merged2.json";
+  std::string Err;
+  ASSERT_TRUE(TR.writeMerged(Out1, {Shard}, Err)) << Err;
+  std::string Merged = readFile(Out1);
+  EXPECT_NE(Merged.find("parent-mark"), std::string::npos);
+  EXPECT_NE(Merged.find("never-closed"), std::string::npos);
+  EXPECT_NE(Merged.find("synthetic_close"), std::string::npos);
+  EXPECT_EQ(countOf(Merged, "\"ph\":\"B\""), countOf(Merged, "\"ph\":\"E\""));
+
+  // Determinism: merging the same inputs twice is byte-identical.
+  ASSERT_TRUE(TR.writeMerged(Out2, {Shard}, Err)) << Err;
+  EXPECT_EQ(Merged, readFile(Out2));
+}
+
+TEST_F(TraceTest, MergeSkipsTornTrailingLine) {
+  std::string Dir = ::testing::TempDir();
+  std::string Shard = Dir + "/tbaa-trace-torn.jsonl";
+  {
+    std::ofstream Out(Shard);
+    Out << "{\"name\":\"good\",\"cat\":\"t\",\"ph\":\"i\",\"ts\":5,"
+           "\"pid\":9,\"tid\":9}\n";
+    // A partial write at SIGKILL: no closing brace, no newline.
+    Out << "{\"name\":\"torn\",\"cat\":\"t\",\"ph\":\"i\",\"ts\":6,\"pi";
+  }
+  TraceRecorder &TR = TraceRecorder::instance();
+  std::string Out = Dir + "/tbaa-trace-torn-merged.json";
+  std::string Err;
+  ASSERT_TRUE(TR.writeMerged(Out, {Shard}, Err)) << Err;
+  std::string Merged = readFile(Out);
+  EXPECT_NE(Merged.find("\"good\""), std::string::npos);
+  EXPECT_EQ(Merged.find("\"torn\""), std::string::npos);
+}
+
+TEST_F(TraceTest, CounterValuesSurviveRoundTrip) {
+  TraceRecorder &TR = TraceRecorder::instance();
+  TR.setEnabled(true);
+  for (uint64_t V : {1, 2, 3})
+    TR.counter("test", "jobs", V);
+  ASSERT_EQ(TR.eventCount(), 3u);
+  uint64_t Last = 0;
+  for (const auto &E : TR.events()) {
+    EXPECT_EQ(E.Ph, 'C');
+    EXPECT_EQ(E.Args, "{\"value\":" + std::to_string(Last + 1) + "}");
+    ++Last;
+  }
+}
+
+// The in-parent retry path calls TimerRegistry::reset() between jobs
+// while a stale scope may still be alive (an exception unwound past it,
+// a long-lived driver object holds one). Closing that scope must
+// neither touch its freed Node nor pop the *new* generation's phase
+// frame -- the crash reporter would then blame the wrong phase for
+// every later job.
+TEST(TimerResetTest, StaleScopeAcrossResetDetachesCleanly) {
+  TimerRegistry &R = TimerRegistry::instance();
+  R.reset();
+  R.setEnabled(true);
+
+  auto *Stale = new ScopedTimer("job1-phase");
+  EXPECT_EQ(R.currentPhase(), "job1-phase");
+  R.reset(); // between jobs; job1's scope is still alive
+  EXPECT_EQ(R.currentPhase(), "");
+  {
+    ScopedTimer Fresh("job2-phase");
+    EXPECT_EQ(R.currentPhase(), "job2-phase");
+    delete Stale; // must not pop job2's frame or update a freed node
+    EXPECT_EQ(R.currentPhase(), "job2-phase");
+    EXPECT_STREQ(R.phaseCStr(), "job2-phase");
+  }
+  EXPECT_EQ(R.currentPhase(), "");
+  EXPECT_STREQ(R.phaseCStr(), "");
+
+  // Only the new generation's scope was recorded.
+  ASSERT_EQ(R.root().Children.size(), 1u);
+  EXPECT_EQ(R.root().Children[0]->Name, "job2-phase");
+  EXPECT_EQ(R.root().Children[0]->Invocations, 1u);
+
+  R.setEnabled(false);
+  R.reset();
+}
+
+TEST(MetricsTest, HistogramBucketsQuantilesReset) {
+  TestHist.reset();
+  Histogram::Snapshot Empty = TestHist.snapshot();
+  EXPECT_EQ(Empty.Count, 0u);
+  EXPECT_EQ(Empty.Min, 0u);
+  EXPECT_EQ(Empty.quantile(0.5), 0u);
+
+  for (uint64_t V : {1, 2, 4, 100})
+    TestHist.record(V);
+  Histogram::Snapshot S = TestHist.snapshot();
+  EXPECT_EQ(S.Count, 4u);
+  EXPECT_EQ(S.Sum, 107u);
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, 100u);
+  EXPECT_EQ(S.Buckets[Histogram::bucketOf(1)], 1u);
+  EXPECT_EQ(S.Buckets[Histogram::bucketOf(100)], 1u);
+  // Rank 2 of 4 lands in the bucket holding the value 2: upper bound 3.
+  EXPECT_EQ(S.quantile(0.5), 3u);
+  // The top quantile is clamped to the observed max, not the bucket
+  // ceiling (127).
+  EXPECT_EQ(S.quantile(1.0), 100u);
+  EXPECT_LE(S.quantile(0.5), S.quantile(0.9));
+  EXPECT_LE(S.quantile(0.9), S.quantile(1.0));
+
+  TestHist.reset();
+  EXPECT_EQ(TestHist.snapshot().Count, 0u);
+}
+
+TEST(MetricsTest, BucketBoundsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::bucketUpperBound(64), ~uint64_t{0});
+}
+
+TEST(MetricsTest, RegistryLookupTableAndJSON) {
+  MetricsRegistry &M = MetricsRegistry::instance();
+  EXPECT_EQ(M.findHistogram("tracetest", "hist"), &TestHist);
+  EXPECT_EQ(M.findHistogram("tracetest", "no-such"), nullptr);
+
+  TestHist.reset();
+  TestHist.record(10);
+  TestGauge.set(42);
+  EXPECT_TRUE(M.anyNonZero());
+  std::string Table = M.table();
+  EXPECT_NE(Table.find("tracetest.hist"), std::string::npos);
+  EXPECT_NE(Table.find("tracetest.gauge"), std::string::npos);
+  std::string JSON = M.toJSON();
+  EXPECT_NE(JSON.find("\"tracetest.hist\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"unit\":\"ns\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"tracetest.gauge\":42"), std::string::npos);
+
+  TestHist.reset();
+  TestGauge.reset();
+  EXPECT_EQ(TestGauge.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeHoldsLastValue) {
+  TestGauge.set(5);
+  TestGauge.set(9);
+  EXPECT_EQ(TestGauge.value(), 9u);
+  TestGauge.reset();
+  EXPECT_EQ(TestGauge.value(), 0u);
+}
+
+// The pool reaps workers with wait4, so even a trivial child reports
+// the page faults it took while faulting in its address space.
+TEST(WorkerMetricsTest, FaultCountsReported) {
+  WorkerResult R = runInWorker(
+      [](int) {
+        std::vector<char> Touch(1 << 20, 1);
+        return Touch[4096] == 1 ? 0 : 1;
+      },
+      {});
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_GT(R.MinorFaults, 0u);
+}
+
+TEST(JournalMetricsTest, FaultAndOracleFieldsRoundTrip) {
+  JournalRecord R;
+  R.Job = "job-x";
+  R.Attempt = 1;
+  R.WallMs = 12;
+  R.CpuMs = 7;
+  R.PeakRSSKB = 2048;
+  R.MinFlt = 345;
+  R.MajFlt = 6;
+  R.Final = true;
+  R.HasResult = true;
+  R.Result = 99;
+  R.HasOracleMetrics = true;
+  R.OracleQueries = 1000;
+  R.OracleP50Ns = 64;
+  R.OracleP90Ns = 255;
+  R.OracleMaxNs = 4096;
+
+  std::string Path = ::testing::TempDir() + "/tbaa-journal-metrics.jsonl";
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path, /*Truncate=*/true));
+    J.append(R);
+  }
+  std::vector<JournalRecord> Loaded;
+  std::string Error;
+  ASSERT_TRUE(Journal::load(Path, Loaded, Error)) << Error;
+  ASSERT_EQ(Loaded.size(), 1u);
+  EXPECT_EQ(Loaded[0].MinFlt, 345u);
+  EXPECT_EQ(Loaded[0].MajFlt, 6u);
+  ASSERT_TRUE(Loaded[0].HasOracleMetrics);
+  EXPECT_EQ(Loaded[0].OracleQueries, 1000u);
+  EXPECT_EQ(Loaded[0].OracleP50Ns, 64u);
+  EXPECT_EQ(Loaded[0].OracleP90Ns, 255u);
+  EXPECT_EQ(Loaded[0].OracleMaxNs, 4096u);
+}
+
+TEST(JournalMetricsTest, PartialOracleSummaryRejected) {
+  std::string Path = ::testing::TempDir() + "/tbaa-journal-partial.jsonl";
+  {
+    std::ofstream Out(Path);
+    Out << "{\"job\":\"j\",\"attempt\":1,\"degrade\":\"full\","
+           "\"outcome\":\"ok\",\"exit\":0,\"signal\":0,\"wall_ms\":1,"
+           "\"cpu_ms\":1,\"peak_rss_kb\":1,\"minflt\":1,\"majflt\":0,"
+           "\"backoff_ms\":0,\"final\":true,\"oracle_queries\":10}\n";
+  }
+  std::vector<JournalRecord> Loaded;
+  std::string Error;
+  EXPECT_FALSE(Journal::load(Path, Loaded, Error));
+  EXPECT_NE(Error.find("incomplete oracle_*"), std::string::npos);
+}
+
+} // namespace

@@ -30,7 +30,12 @@ OUTCOMES = {"ok", "diagnostics", "usage", "internal", "crash", "timeout"}
 LADDER = {"full": 0, "typedecl": 1, "noopt": 2}
 SCHEMA = (("job", str), ("attempt", int), ("degrade", str), ("outcome", str),
           ("exit", int), ("signal", int), ("wall_ms", int), ("cpu_ms", int),
-          ("peak_rss_kb", int), ("backoff_ms", int), ("final", bool))
+          ("peak_rss_kb", int), ("minflt", int), ("majflt", int),
+          ("backoff_ms", int), ("final", bool))
+# Optional per-job oracle latency summary, present all-or-nothing on
+# records whose worker ran a compile to completion.
+ORACLE_KEYS = ("oracle_queries", "oracle_p50_ns", "oracle_p90_ns",
+               "oracle_max_ns")
 
 errors = []
 
@@ -57,9 +62,22 @@ def parse_journal(path):
                     kind is int and isinstance(record[key], bool)):
                 fail(f"{path.name}:{number}: '{key}' has type "
                      f"{type(record[key]).__name__}")
-        extra = set(record) - {key for key, _ in SCHEMA} - {"result"}
+        extra = (set(record) - {key for key, _ in SCHEMA} - {"result"}
+                 - set(ORACLE_KEYS))
         if extra:
             fail(f"{path.name}:{number}: undocumented keys {sorted(extra)}")
+        present = [key for key in ORACLE_KEYS if key in record]
+        if present and len(present) != len(ORACLE_KEYS):
+            fail(f"{path.name}:{number}: partial oracle summary {present}")
+        for key in present:
+            if not isinstance(record[key], int) or isinstance(
+                    record[key], bool):
+                fail(f"{path.name}:{number}: '{key}' has type "
+                     f"{type(record[key]).__name__}")
+        if len(present) == len(ORACLE_KEYS) and not (
+                record["oracle_p50_ns"] <= record["oracle_p90_ns"]
+                <= record["oracle_max_ns"]):
+            fail(f"{path.name}:{number}: oracle quantiles out of order")
         if record.get("degrade") not in LADDER:
             fail(f"{path.name}:{number}: unknown degrade level "
                  f"{record.get('degrade')!r}")
@@ -132,6 +150,12 @@ def check_planted(binary, tmp):
             fail(f"{job}: {want_outcome} record carries no signal")
         if want_outcome == "ok" and "result" not in record:
             fail(f"{job}: ok record carries no result")
+        # Completed compiles summarize their oracle latency histogram.
+        if want_outcome == "ok" and "oracle_queries" not in record:
+            fail(f"{job}: ok record carries no oracle_* summary")
+    if "format" in by_job and final("format").get("oracle_queries", 0) <= 0:
+        fail("format: clean full-precision compile reports zero oracle "
+             "queries")
 
     bundle = tmp / "crashes" / "@crash-a1" / "report.txt"
     if not bundle.exists():

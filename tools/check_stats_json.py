@@ -10,6 +10,9 @@ validates the report:
     NaN/inf into null, so a null here means a metric went non-finite);
   * every record carries a workload name plus at least one metric;
   * stats keys look like "group.name" with integer values;
+  * metrics carries the histogram registry (group.name keys, ordered
+    quantiles, bucket counts summing to the sample count) and the
+    oracle latency histogram actually sampled queries;
   * the fifteen analysis-cache counters (computed / cache-hits /
     invalidated for dominators, loops, callgraph, modref, aliasclasses)
     are present;
@@ -115,7 +118,8 @@ def main():
 
     for key, kind in (("bench", str), ("schema_version", int),
                       ("complete", bool), ("records", list),
-                      ("stats", dict), ("timings", list)):
+                      ("stats", dict), ("metrics", dict),
+                      ("timings", list)):
         if key not in report:
             fail(f"missing top-level key '{key}'")
         elif not isinstance(report[key], kind):
@@ -153,6 +157,44 @@ def main():
     for key in ENGINE_COUNTERS:
         if key not in stats:
             fail(f"stats is missing the query-engine counter '{key}'")
+
+    metrics = report.get("metrics", {})
+    histograms = metrics.get("histograms", {})
+    if not isinstance(histograms, dict):
+        fail("metrics.histograms is not an object")
+        histograms = {}
+    if not isinstance(metrics.get("gauges"), dict):
+        fail("metrics.gauges is not an object")
+    for key, hist in histograms.items():
+        where = f"metrics.histograms['{key}']"
+        if not re.fullmatch(r"[a-z0-9-]+\.[a-z0-9-]+", key):
+            fail(f"histogram key '{key}' does not match group.name")
+        if not isinstance(hist, dict):
+            fail(f"{where} is not an object")
+            continue
+        for field in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+            value = hist.get(field)
+            if not isinstance(value, int) or value < 0:
+                fail(f"{where}.{field} = {value!r} is not a "
+                     f"non-negative int")
+        if not isinstance(hist.get("unit"), str):
+            fail(f"{where}.unit is not a string")
+        buckets = hist.get("buckets")
+        if not isinstance(buckets, list) or not all(
+                isinstance(b, int) and b >= 0 for b in buckets):
+            fail(f"{where}.buckets is not a list of counts")
+        elif sum(buckets) != hist.get("count"):
+            fail(f"{where}: buckets sum to {sum(buckets)}, "
+                 f"count is {hist.get('count')}")
+        if isinstance(hist.get("count"), int) and hist["count"] > 0:
+            if not (hist.get("min", 0) <= hist.get("p50", 0)
+                    <= hist.get("p90", 0) <= hist.get("p99", 0)
+                    <= hist.get("max", 0)):
+                fail(f"{where}: quantiles out of order")
+    # Every bench in this suite drives RLE through the oracle, so the
+    # query-latency histogram must have sampled something.
+    if histograms.get("oracle.query-ns", {}).get("count", 0) < 1:
+        fail("metrics.histograms['oracle.query-ns'] sampled no queries")
 
     for index, node in enumerate(report.get("timings", [])):
         check_timing_node(node, f"timings[{index}]")

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Schema check for the --trace Chrome trace-event output.
+
+Two modes, one per driver (docs/OBSERVABILITY.md):
+
+  * m3lc: run a full pipeline compile with --trace and validate the
+    single-process timeline: every event matches the Chrome trace-event
+    schema, B/E spans balance per thread, and the compile / rle /
+    vm-run phase spans are all present.
+
+  * m3batch: run the planted robustness scenario (@crash, @hang, clean
+    job) with --trace and validate the *merged* multi-process timeline:
+    at least two distinct pids (parent + workers), balanced spans even
+    for workers that died mid-span (the merge closes them), fork /
+    watchdog / retry / journal-append service events, per-worker
+    process_name metadata, and monotone jobs-completed counters.
+
+Usage: check_trace_json.py <m3lc|m3batch> <path-to-binary>
+Exit status 0 on success, 1 on any violation.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+PHASES = {"B", "E", "X", "i", "C", "M"}
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def load_trace(path):
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        fail(f"{path.name}: invalid JSON: {exc}")
+        return []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path.name}: expected an object with 'traceEvents'")
+        return []
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path.name}: 'traceEvents' empty or not a list")
+        return []
+    for index, event in enumerate(events):
+        where = f"{path.name}: event {index}"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+            return []
+        for key, kind in (("name", str), ("ph", str), ("ts", int),
+                          ("pid", int), ("tid", int)):
+            if not isinstance(event.get(key), kind) or (
+                    kind is int and isinstance(event.get(key), bool)):
+                fail(f"{where}: bad '{key}': {event.get(key)!r}")
+        if event.get("ph") not in PHASES:
+            fail(f"{where}: unknown ph {event.get('ph')!r}")
+        if event.get("ph") == "X" and (not isinstance(event.get("dur"), int)
+                                       or event["dur"] < 0):
+            fail(f"{where}: complete event without a duration")
+        if "args" in event and not isinstance(event["args"], dict):
+            fail(f"{where}: 'args' is not an object")
+    return events
+
+
+def check_balance(path, events):
+    """Every B has a matching E on the same (pid, tid), LIFO order.
+
+    Events appear in emission order per process (the merge keeps shard
+    order), so a per-thread stack is the ground truth.
+    """
+    stacks = {}
+    for event in events:
+        key = (event.get("pid"), event.get("tid"))
+        if event.get("ph") == "B":
+            stacks.setdefault(key, []).append(event.get("name"))
+        elif event.get("ph") == "E":
+            stack = stacks.setdefault(key, [])
+            if not stack:
+                fail(f"{path.name}: pid {key[0]}: 'E' {event.get('name')!r} "
+                     f"without an open span")
+            elif stack[-1] != event.get("name"):
+                fail(f"{path.name}: pid {key[0]}: 'E' {event.get('name')!r} "
+                     f"closes open span {stack[-1]!r}")
+                stack.pop()
+            else:
+                stack.pop()
+    for (pid, _tid), stack in stacks.items():
+        if stack:
+            fail(f"{path.name}: pid {pid}: spans left open: {stack}")
+
+
+def names_by_phase(events, ph):
+    return {e["name"] for e in events if e.get("ph") == ph}
+
+
+def check_m3lc(binary, tmp):
+    trace = tmp / "m3lc-trace.json"
+    proc = subprocess.run(
+        [str(binary), "run", "--pipeline", "--pre", f"--trace={trace}",
+         "format"],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"m3lc --trace exited {proc.returncode}:\n{proc.stderr}")
+        return
+    if not trace.exists():
+        fail(f"m3lc --trace left no file at {trace}")
+        return
+    events = load_trace(trace)
+    if not events:
+        return
+    check_balance(trace, events)
+    spans = names_by_phase(events, "B")
+    for name in ("compile", "rle", "vm-run"):
+        if name not in spans:
+            fail(f"{trace.name}: no '{name}' span (have {sorted(spans)})")
+    if len({e["pid"] for e in events}) != 1:
+        fail(f"{trace.name}: single-process run reports multiple pids")
+    metadata = [e for e in events if e.get("ph") == "M"]
+    if not any(e.get("args", {}).get("name") == "m3lc" for e in metadata):
+        fail(f"{trace.name}: no process_name metadata for m3lc")
+
+
+def check_m3batch(binary, tmp):
+    trace = tmp / "m3batch-trace.json"
+    journal = tmp / "m3batch-trace.jsonl"
+    proc = subprocess.run(
+        [str(binary), "--jobs=@crash,@hang,format", "--parallel=2",
+         "--timeout-ms=2000", "--retries=2", "--backoff-ms=1",
+         f"--trace={trace}", f"--journal={journal}"],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"m3batch --trace exited {proc.returncode}:\n{proc.stderr}")
+        return
+    if not trace.exists():
+        fail(f"m3batch --trace left no file at {trace}")
+        return
+    if (tmp / "m3batch-trace.json.shards").exists():
+        fail("shard directory survived a successful merge")
+    events = load_trace(trace)
+    if not events:
+        return
+    check_balance(trace, events)
+
+    pids = {e["pid"] for e in events}
+    if len(pids) < 2:
+        fail(f"{trace.name}: merged trace has {len(pids)} pid(s); want the "
+             f"parent plus at least one worker")
+
+    spans = names_by_phase(events, "B") | names_by_phase(events, "X")
+    if "batch" not in spans:
+        fail(f"{trace.name}: no 'batch' span")
+    for name in ("fork", "journal-append"):
+        if name not in names_by_phase(events, "X"):
+            fail(f"{trace.name}: no '{name}' complete event")
+    instants = names_by_phase(events, "i")
+    for name in ("watchdog-poll", "watchdog-kill", "retry"):
+        if name not in instants:
+            fail(f"{trace.name}: no '{name}' instant (have "
+                 f"{sorted(instants)})")
+
+    # Worker shards carry their own process_name so Perfetto labels the
+    # per-attempt tracks.
+    labels = [e.get("args", {}).get("name") for e in events
+              if e.get("ph") == "M"]
+    if not any(label == "m3batch" for label in labels):
+        fail(f"{trace.name}: no parent process_name")
+    if not any(label and label.startswith("format a1") for label in labels):
+        fail(f"{trace.name}: no worker process_name for format (have "
+             f"{labels})")
+
+    counters = [e for e in events if e.get("ph") == "C"
+                and e.get("name") == "jobs-completed"]
+    if not counters:
+        fail(f"{trace.name}: no jobs-completed counter samples")
+    values = [c.get("args", {}).get("value") for c in counters]
+    if values != sorted(values):
+        fail(f"{trace.name}: jobs-completed counter not monotone: {values}")
+    if values and values[-1] != 3:
+        fail(f"{trace.name}: jobs-completed ends at {values[-1]}, want 3")
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("m3lc", "m3batch"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = Path(sys.argv[2])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        if sys.argv[1] == "m3lc":
+            check_m3lc(binary, Path(tmp))
+        else:
+            check_m3batch(binary, Path(tmp))
+
+    if errors:
+        for message in errors:
+            print(f"check_trace_json: {message}", file=sys.stderr)
+        return 1
+    print(f"check_trace_json: {sys.argv[1]} trace OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,4 +32,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
     --parallel=2 --timeout-ms=4000 --retries=2 --backoff-ms=1 \
     --journal="$BUILD_DIR/m3batch-sanitize.jsonl" \
     --crash-dir="$BUILD_DIR/m3batch-sanitize-crashes"
+
+# Tracing pass: the recorder streams from signal-handler-adjacent worker
+# code (SafeIO across fork), so run both drivers with --trace under the
+# instrumented build and validate the timelines they emit.
+"$BUILD_DIR/tools/m3lc" run --pipeline --pre \
+    --trace="$BUILD_DIR/m3lc-sanitize-trace.json" format >/dev/null
+"$BUILD_DIR/tools/m3batch" "--jobs=@crash,@hang,format" \
+    --parallel=2 --timeout-ms=4000 --retries=2 --backoff-ms=1 \
+    --trace="$BUILD_DIR/m3batch-sanitize-trace.json" \
+    --journal="$BUILD_DIR/m3batch-sanitize-trace.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+    python3 "$SRC_DIR/tools/check_trace_json.py" m3lc \
+        "$BUILD_DIR/tools/m3lc"
+    python3 "$SRC_DIR/tools/check_trace_json.py" m3batch \
+        "$BUILD_DIR/tools/m3batch"
+fi
 echo "ci_sanitize: clean"

@@ -13,8 +13,8 @@
 //   m3batch [--jobs=a,b,c] [--gen=N] [--config=FILE] [--parallel=N]
 //           [--timeout-ms=N] [--cpu-seconds=N] [--memory-mb=N]
 //           [--retries=N] [--backoff-ms=N] [--journal=FILE] [--resume]
-//           [--crash-dir=DIR] [--level=L] [--pipeline] [--pre]
-//           [--verify-analyses] [--strict] [--verbose] [--stats]
+//           [--crash-dir=DIR] [--trace=FILE] [--level=L] [--pipeline]
+//           [--pre] [--verify-analyses] [--strict] [--verbose] [--stats]
 //
 // Jobs: bundled workload names, .m3l file paths, `gen:SEED` generated
 // programs, or the planted fault injectors `@crash` (SIGSEGV), `@hang`
@@ -37,6 +37,9 @@
 #include "service/Batch.h"
 #include "service/BatchConfig.h"
 #include "support/Budget.h"
+#include "support/JSONUtil.h"
+#include "support/Metrics.h"
+#include "support/SafeIO.h"
 #include "support/Stats.h"
 #include "workloads/Generator.h"
 #include "workloads/Workloads.h"
@@ -72,6 +75,7 @@ struct Options {
   std::string JournalPath;
   bool Resume = false;
   std::string CrashDir;
+  std::string TracePath;
   bool Pipeline = false;
   bool PRE = false;
   bool VerifyAnalyses = false;
@@ -87,6 +91,7 @@ int usage() {
       "               [--parallel=N] [--timeout-ms=N] [--cpu-seconds=N]\n"
       "               [--memory-mb=N] [--retries=N] [--backoff-ms=N]\n"
       "               [--journal=FILE] [--resume] [--crash-dir=DIR]\n"
+      "               [--trace=FILE]\n"
       "               [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
       "               [--pipeline] [--pre] [--verify-analyses] [--strict]\n"
       "               [--verbose] [--stats]\n"
@@ -110,6 +115,9 @@ AliasLevel levelFromName(const std::string &Name) {
 int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
                   bool Pipeline, bool PRE, bool VerifyAnalyses, DegradeLevel D,
                   int PayloadFd) {
+  // Metrics are on in every worker: the oracle latency histogram feeds
+  // the per-job summary in the payload (and thence the journal).
+  MetricsRegistry::instance().setEnabled(true);
   // Fleet-wide per-job defaults (--config): analysis budget and the
   // diagnostic cap govern every worker identically.
   BudgetRegistry::instance().setAllLimits(Cfg.AnalysisBudget);
@@ -157,8 +165,23 @@ int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
                                    : "program has no Main(): INTEGER");
     return 1;
   }
-  ::dprintf(PayloadFd, "{\"main\":%lld,\"degrade\":\"%s\"}\n",
-            static_cast<long long>(*R), degradeLevelName(D));
+  // Flat payload object (the parent's parser rejects nesting): result
+  // plus the oracle latency summary for this job's journal record.
+  json::Writer W;
+  W.beginObject();
+  W.key("main").value(static_cast<int64_t>(*R));
+  W.key("degrade").value(degradeLevelName(D));
+  if (const Histogram *H =
+          MetricsRegistry::instance().findHistogram("oracle", "query-ns")) {
+    Histogram::Snapshot S = H->snapshot();
+    W.key("oracle_queries").value(S.Count);
+    W.key("oracle_p50_ns").value(S.quantile(0.50));
+    W.key("oracle_p90_ns").value(S.quantile(0.90));
+    W.key("oracle_max_ns").value(S.Max);
+  }
+  W.endObject();
+  std::string Line = W.str() + "\n";
+  safeio::writeAll(PayloadFd, Line.data(), Line.size());
   return 0;
 }
 
@@ -302,6 +325,8 @@ int main(int argc, char **argv) {
       Opts.JournalPath = A.substr(10);
     else if (A.rfind("--crash-dir=", 0) == 0 && A.size() > 12)
       Opts.CrashDir = A.substr(12);
+    else if (A.rfind("--trace=", 0) == 0 && A.size() > 8)
+      Opts.TracePath = A.substr(8);
     else if (A.rfind("--level=", 0) == 0) {
       std::string L = A.substr(8);
       if (L != "typedecl" && L != "fieldtypedecl" && L != "smfieldtyperefs")
@@ -362,6 +387,7 @@ int main(int argc, char **argv) {
   BO.JournalPath = Opts.JournalPath;
   BO.Resume = Opts.Resume;
   BO.CrashDir = Opts.CrashDir;
+  BO.TracePath = Opts.TracePath;
   BO.Verbose = Opts.Verbose;
   BO.RerunCommand = [&Opts](const BatchJob &J, DegradeLevel D,
                             const std::string &InputPath) -> std::string {
@@ -418,6 +444,10 @@ int main(int argc, char **argv) {
   if (Opts.Stats && StatsRegistry::instance().anyNonZero()) {
     std::fputs("\n===--- Statistics ---===\n", stdout);
     std::fputs(StatsRegistry::instance().table().c_str(), stdout);
+  }
+  if (Opts.Stats && MetricsRegistry::instance().anyNonZero()) {
+    std::fputs("\n", stdout);
+    std::fputs(MetricsRegistry::instance().table().c_str(), stdout);
   }
   return Opts.Strict && !R.allOk() ? 1 : 0;
 }

@@ -28,6 +28,8 @@
 //          --stats       print execution counters, simulated cycles and
 //                        the registered statistics table
 //          --time-passes print the hierarchical pass timing report
+//          --trace=f     write a Chrome trace-event JSON timeline of the
+//                        compile/optimize/execute phases to f
 //          --remarks[=f] print optimization remarks (to file f if given)
 //
 // Exit codes: 0 success; 1 the program was rejected (diagnostics) or
@@ -47,9 +49,11 @@
 #include "opt/PassPipeline.h"
 #include "sim/CacheSim.h"
 #include "support/Budget.h"
+#include "support/Metrics.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
+#include "support/Trace.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -79,6 +83,7 @@ struct Options {
   uint64_t AnalysisBudget = 0; ///< 0: unlimited.
   bool Stats = false;
   bool TimePasses = false;
+  std::string TracePath; ///< Empty: tracing off.
   bool Remarks = false;
   std::string RemarksFile; ///< Empty: remarks go to stdout.
 };
@@ -99,7 +104,7 @@ int usage() {
       "            [--open] [--no-rle] [--pipeline] [--pre] [--verify-each]\n"
       "            [--verify-analyses]\n"
       "            [--max-errors=N] [--analysis-budget=N] [--stats]\n"
-      "            [--time-passes] [--remarks[=file]]\n"
+      "            [--time-passes] [--trace=file] [--remarks[=file]]\n"
       "            <file.m3l | workload-name>\n"
       "exit codes: 0 success, 1 diagnostics/trap, 2 usage, 3 internal "
       "error\n");
@@ -316,7 +321,11 @@ int main(int argc, char **argv) {
       Opts.Stats = true;
     else if (A == "--time-passes")
       Opts.TimePasses = true;
-    else if (A == "--remarks")
+    else if (A.rfind("--trace=", 0) == 0) {
+      Opts.TracePath = A.substr(8);
+      if (Opts.TracePath.empty())
+        return usage();
+    } else if (A == "--remarks")
       Opts.Remarks = true;
     else if (A.rfind("--remarks=", 0) == 0) {
       Opts.Remarks = true;
@@ -367,6 +376,13 @@ int main(int argc, char **argv) {
     return usage();
 
   TimerRegistry::instance().setEnabled(Opts.TimePasses);
+  if (!Opts.TracePath.empty()) {
+    TraceRecorder::instance().setEnabled(true);
+    TraceRecorder::instance().processName("m3lc");
+  }
+  // Metrics want a wall clock per oracle query; only pay for it when a
+  // report will consume the histograms.
+  MetricsRegistry::instance().setEnabled(Opts.Stats || !Opts.TracePath.empty());
   RemarkEngine::instance().setEnabled(Opts.Remarks);
   // The engine lives out here so diagnostics that were pending when an
   // exception unwound run() still reach the user below -- "internal
@@ -407,9 +423,21 @@ int main(int argc, char **argv) {
   }
   if (Opts.TimePasses)
     std::fputs(TimerRegistry::instance().report().c_str(), stdout);
+  if (!Opts.TracePath.empty()) {
+    std::string Err;
+    if (!TraceRecorder::instance().writeChromeJSON(Opts.TracePath, Err)) {
+      std::fprintf(stderr, "m3lc: %s\n", Err.c_str());
+      if (RC == 0)
+        RC = ExitInternalError;
+    }
+  }
   if (Opts.Stats && StatsRegistry::instance().anyNonZero()) {
     std::fputs("\n===--- Statistics ---===\n", stdout);
     std::fputs(StatsRegistry::instance().table().c_str(), stdout);
+  }
+  if (Opts.Stats && MetricsRegistry::instance().anyNonZero()) {
+    std::fputs("\n", stdout);
+    std::fputs(MetricsRegistry::instance().table().c_str(), stdout);
   }
   // Everything above must actually reach the terminal/pipe even when a
   // batch parent reads us over a pipe and we exit on the error path.
