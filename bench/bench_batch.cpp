@@ -9,17 +9,35 @@
 // small a compilation job can be before m3batch's per-job isolation
 // stops paying for itself.
 //
+// `--warm-vs-cold` runs the comparison those bounds motivate: the same
+// real compile jobs through m3batch's cold fork-per-job discipline and
+// through an m3serve warm-worker daemon, reporting round-trip latency
+// for both arms (and to `--json <file>`). The binary exits non-zero if
+// the two arms disagree on any job's result or the warm median fails to
+// beat the cold one -- warm reuse must pay for its complexity.
+//
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+#include "CompileJobs.h"
 #include "service/Journal.h"
+#include "service/Serve.h"
 #include "service/Worker.h"
 #include "service/WorkerPool.h"
 #include "support/Clock.h"
+#include "support/Socket.h"
+#include "support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace tbaa;
@@ -128,6 +146,298 @@ void BM_JournalLoad(benchmark::State &State) {
 }
 BENCHMARK(BM_JournalLoad)->Unit(benchmark::kMicrosecond);
 
+//===----------------------------------------------------------------------===//
+// --warm-vs-cold: m3batch's fork-per-job vs the m3serve warm pool
+//===----------------------------------------------------------------------===//
+
+/// One arm's measurements: per-job round trips plus the job results the
+/// identity check compares across arms.
+struct ArmOutcome {
+  std::vector<uint64_t> RoundTripUs;
+  std::vector<int64_t> Checksums;
+  bool Ok = true;
+};
+
+uint64_t quantileUs(std::vector<uint64_t> Samples, double Q) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t Idx = static_cast<size_t>(Q * static_cast<double>(Samples.size()));
+  return Samples[std::min(Idx, Samples.size() - 1)];
+}
+
+/// The m3batch discipline for one job: fork + sandbox + lazy static
+/// initialisation + reap. Source resolution happens in the child, like
+/// m3batch's makeJob, so the parent's pages stay cold.
+void runColdJob(const std::string &Name, const BatchConfig &Cfg,
+                const jobs::CompileFlags &Flags, const WorkerLimits &Limits,
+                ArmOutcome &Arm) {
+  uint64_t T0 = trace::nowUs();
+  WorkerResult R = runInWorker(
+      [&](int Fd) {
+        std::string Src;
+        if (!jobs::resolveJobSource(Name, Src))
+          return 2;
+        return jobs::runCompileJob(Src, Cfg, Flags, DegradeLevel::Full, Fd);
+      },
+      Limits);
+  Arm.RoundTripUs.push_back(trace::nowUs() - T0);
+  std::map<std::string, std::string> Payload;
+  if (R.Status != WorkerStatus::Exited || R.ExitCode != 0 ||
+      !parseFlatJSONObject(R.Payload.substr(0, R.Payload.find('\n')),
+                           Payload) ||
+      !Payload.count("main")) {
+    std::fprintf(stderr, "warm-vs-cold: cold job '%s' failed (%s)\n",
+                 Name.c_str(), workerStatusName(R.Status));
+    Arm.Ok = false;
+    Arm.Checksums.push_back(0);
+    return;
+  }
+  Arm.Checksums.push_back(std::strtoll(Payload["main"].c_str(), nullptr, 10));
+}
+
+/// Reads one newline-terminated response from a blocking socket.
+bool readResponseLine(int Fd, std::string &Line) {
+  Line.clear();
+  char C;
+  for (;;) {
+    ssize_t N = ::read(Fd, &C, 1);
+    if (N <= 0)
+      return false;
+    if (C == '\n')
+      return true;
+    Line.push_back(C);
+  }
+}
+
+bool submitOne(int Fd, const std::string &Name,
+               std::map<std::string, std::string> &Response) {
+  std::string Req = "{\"job\":\"" + Name + "\"}\n";
+  if (!net::writeAllPolled(Fd, Req.data(), Req.size()))
+    return false;
+  std::string Line;
+  return readResponseLine(Fd, Line) && parseFlatJSONObject(Line, Response) &&
+         Response["outcome"] == "ok" && Response.count("result");
+}
+
+/// The m3serve side of the comparison: a daemon with one warm worker,
+/// jobs submitted over its socket.
+struct WarmDaemon {
+  pid_t Pid = -1;
+  int Fd = -1;
+  std::string Socket;
+  bool Ok = false;
+
+  WarmDaemon(const BatchConfig &Cfg, const jobs::CompileFlags &Flags,
+             const WorkerLimits &Limits) {
+    Socket = "/tmp/tbaa-bench-serve-" + std::to_string(::getpid()) + ".sock";
+    Pid = ::fork();
+    if (Pid == 0) {
+      ServeOptions SO;
+      SO.SocketPath = Socket;
+      SO.Workers = 1;
+      SO.Limits = Limits;
+      SO.IdleExitMs = 60000;
+      std::string Error;
+      int Rc = runServe(
+          SO,
+          [&](const ServeRequest &Req, DegradeLevel D, int PayloadFd) {
+            MetricsRegistry::instance().reset();
+            StatsRegistry::instance().reset();
+            TimerRegistry::instance().reset();
+            std::string Src;
+            if (!jobs::resolveJobSource(Req.Job, Src))
+              return 2;
+            return jobs::runCompileJob(Src, Cfg, Flags, D, PayloadFd);
+          },
+          Error);
+      if (Rc != 0)
+        std::fprintf(stderr, "warm-vs-cold: daemon: %s\n", Error.c_str());
+      ::_exit(Rc);
+    }
+    if (Pid < 0)
+      return;
+    for (unsigned Spin = 0; Spin != 200 && Fd < 0; ++Spin) {
+      Fd = net::connectUnix(Socket);
+      if (Fd < 0)
+        ::usleep(10'000);
+    }
+    Ok = Fd >= 0;
+  }
+
+  void runJob(const std::string &Name, ArmOutcome &Arm) {
+    std::map<std::string, std::string> Response;
+    uint64_t T0 = trace::nowUs();
+    if (!submitOne(Fd, Name, Response)) {
+      std::fprintf(stderr, "warm-vs-cold: warm job '%s' failed\n",
+                   Name.c_str());
+      Arm.Ok = false;
+      Arm.Checksums.push_back(0);
+      return;
+    }
+    Arm.RoundTripUs.push_back(trace::nowUs() - T0);
+    Arm.Checksums.push_back(
+        std::strtoll(Response["result"].c_str(), nullptr, 10));
+  }
+
+  /// SIGTERM drain; true when the daemon exits 0.
+  bool stop() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+    if (Pid < 0)
+      return false;
+    ::kill(Pid, SIGTERM);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    Pid = -1;
+    ::unlink(Socket.c_str());
+    return WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+  }
+};
+
+int runWarmVsCold(int argc, char **argv) {
+  unsigned Rounds = 6;
+  for (int I = 1; I < argc; ++I)
+    if (!std::strncmp(argv[I], "--rounds=", 9))
+      Rounds = static_cast<unsigned>(std::strtoul(argv[I] + 9, nullptr, 10));
+  const std::vector<std::string> Workloads = {"format", "dformat", "pp"};
+  std::vector<std::string> JobNames;
+  for (unsigned R = 0; R != Rounds; ++R)
+    for (const std::string &W : Workloads)
+      JobNames.push_back(W);
+
+  BatchConfig Cfg;
+  jobs::CompileFlags Flags;
+  Flags.Pipeline = true;
+  WorkerLimits Limits;
+  Limits.WallMs = 10000;
+
+  bench::JsonReport Report("bench_batch", argc, argv);
+
+  // The daemon forks before any compile runs in this process, so its
+  // worker warms itself up the way cold children cannot: cold jobs keep
+  // forking from a parent that never compiled anything and pay
+  // m3batch's true lazy-init bill every time.
+  WarmDaemon Daemon(Cfg, Flags, Limits);
+  ArmOutcome Warm;
+  {
+    ArmOutcome Warmup;
+    if (!Daemon.Ok) {
+      std::fprintf(stderr, "warm-vs-cold: daemon failed to start\n");
+      Warm.Ok = false;
+    } else {
+      Daemon.runJob(JobNames.front(), Warmup);
+      Warm.Ok = Warmup.Ok;
+    }
+  }
+
+  // Interleave the arms round by round: ambient load, cpufreq and
+  // thermal drift then bias both sides equally instead of whichever
+  // arm happens to run later.
+  ArmOutcome Cold;
+  for (unsigned R = 0; R != Rounds && Warm.Ok; ++R)
+    for (const std::string &W : Workloads) {
+      runColdJob(W, Cfg, Flags, Limits, Cold);
+      Daemon.runJob(W, Warm);
+    }
+  if (!Daemon.stop()) {
+    std::fprintf(stderr, "warm-vs-cold: daemon did not drain cleanly\n");
+    Warm.Ok = false;
+  }
+
+  bool Identical = Cold.Checksums.size() == JobNames.size() &&
+                   Warm.Checksums.size() == JobNames.size();
+  for (size_t I = 0; Identical && I != JobNames.size(); ++I)
+    if (Cold.Checksums[I] != Warm.Checksums[I]) {
+      std::fprintf(stderr,
+                   "warm-vs-cold: job '%s' diverged: cold %lld != warm %lld\n",
+                   JobNames[I].c_str(),
+                   static_cast<long long>(Cold.Checksums[I]),
+                   static_cast<long long>(Warm.Checksums[I]));
+      Identical = false;
+    }
+
+  uint64_t ColdP50 = quantileUs(Cold.RoundTripUs, 0.50);
+  uint64_t ColdP90 = quantileUs(Cold.RoundTripUs, 0.90);
+  uint64_t WarmP50 = quantileUs(Warm.RoundTripUs, 0.50);
+  uint64_t WarmP90 = quantileUs(Warm.RoundTripUs, 0.90);
+  // Scheduling noise only ever *inflates* a round trip, so the floor of
+  // each arm is its structural cost -- that is what the gate compares.
+  uint64_t ColdMin = Cold.RoundTripUs.empty()
+                         ? 0
+                         : *std::min_element(Cold.RoundTripUs.begin(),
+                                             Cold.RoundTripUs.end());
+  uint64_t WarmMin = Warm.RoundTripUs.empty()
+                         ? 0
+                         : *std::min_element(Warm.RoundTripUs.begin(),
+                                             Warm.RoundTripUs.end());
+
+  std::printf("warm-vs-cold: %zu jobs per arm (format/dformat/pp x %u)\n",
+              JobNames.size(), Rounds);
+  std::printf("  cold fork-per-job   min %8llu us   p50 %8llu us   "
+              "p90 %8llu us\n",
+              static_cast<unsigned long long>(ColdMin),
+              static_cast<unsigned long long>(ColdP50),
+              static_cast<unsigned long long>(ColdP90));
+  std::printf("  warm m3serve pool   min %8llu us   p50 %8llu us   "
+              "p90 %8llu us\n",
+              static_cast<unsigned long long>(WarmMin),
+              static_cast<unsigned long long>(WarmP50),
+              static_cast<unsigned long long>(WarmP90));
+  if (WarmMin)
+    std::printf("  floor speedup       %.2fx\n",
+                static_cast<double>(ColdMin) / static_cast<double>(WarmMin));
+
+  for (const auto &[Name, Arm] :
+       {std::pair<const char *, const ArmOutcome &>{"cold", Cold},
+        std::pair<const char *, const ArmOutcome &>{"warm", Warm}})
+    Report.record(Name)
+        .set("jobs", static_cast<uint64_t>(Arm.RoundTripUs.size()))
+        .set("round_trip_p50_us", quantileUs(Arm.RoundTripUs, 0.50))
+        .set("round_trip_p90_us", quantileUs(Arm.RoundTripUs, 0.90))
+        .set("round_trip_min_us",
+             Arm.RoundTripUs.empty()
+                 ? uint64_t{0}
+                 : *std::min_element(Arm.RoundTripUs.begin(),
+                                     Arm.RoundTripUs.end()))
+        .set("round_trip_max_us",
+             Arm.RoundTripUs.empty()
+                 ? uint64_t{0}
+                 : *std::max_element(Arm.RoundTripUs.begin(),
+                                     Arm.RoundTripUs.end()))
+        .set("results_identical", Identical ? "yes" : "no");
+
+  if (!Cold.Ok || !Warm.Ok) {
+    std::fprintf(stderr, "warm-vs-cold: FAIL (an arm lost jobs)\n");
+    return 1;
+  }
+  if (!Identical) {
+    std::fprintf(stderr, "warm-vs-cold: FAIL (results differ across arms)\n");
+    return 1;
+  }
+  if (WarmMin >= ColdMin) {
+    std::fprintf(stderr,
+                 "warm-vs-cold: FAIL (warm floor %llu us not below cold "
+                 "floor %llu us)\n",
+                 static_cast<unsigned long long>(WarmMin),
+                 static_cast<unsigned long long>(ColdMin));
+    return 1;
+  }
+  std::printf("warm-vs-cold: OK\n");
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--warm-vs-cold"))
+      return runWarmVsCold(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

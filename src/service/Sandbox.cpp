@@ -1,0 +1,131 @@
+//===- Sandbox.cpp --------------------------------------------------------===//
+
+#include "service/Sandbox.h"
+
+#include "support/SafeIO.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cerrno>
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+using namespace tbaa;
+
+namespace {
+
+/// Crash-record pipe, valid only inside a worker child.
+int CrashFdG = -1;
+
+/// Translates a fatal signal into one structured JSON line on the crash
+/// pipe, then re-raises with default disposition. Async-signal-safe
+/// throughout (SafeIO; phaseCStr is a pre-rendered buffer).
+void crashHandler(int Sig) {
+  if (CrashFdG >= 0) {
+    safeio::LineBuf B;
+    B.append("{\"signal\":").appendInt(Sig);
+    B.append(",\"name\":\"").append(sandbox::signalShortName(Sig));
+    B.append("\",\"phase\":\"");
+    B.appendJSONEscaped(TimerRegistry::instance().phaseCStr());
+    B.append("\"}\n");
+    B.writeTo(CrashFdG);
+  }
+  ::signal(Sig, SIG_DFL);
+  ::raise(Sig);
+}
+
+} // namespace
+
+const char *sandbox::signalShortName(int Sig) {
+  switch (Sig) {
+  case SIGSEGV:
+    return "SIGSEGV";
+  case SIGBUS:
+    return "SIGBUS";
+  case SIGILL:
+    return "SIGILL";
+  case SIGFPE:
+    return "SIGFPE";
+  case SIGABRT:
+    return "SIGABRT";
+  case SIGXCPU:
+    return "SIGXCPU";
+  case SIGKILL:
+    return "SIGKILL";
+  default:
+    return "SIG?";
+  }
+}
+
+void sandbox::installCrashHandlers(int CrashFd) {
+  CrashFdG = CrashFd;
+  // First-touch outside handler context: instance() lazily constructs.
+  (void)TimerRegistry::instance().phaseCStr();
+  // An alternate stack so even a stack-overflow SIGSEGV gets recorded.
+  static char AltStack[64 * 1024];
+  stack_t SS{};
+  SS.ss_sp = AltStack;
+  SS.ss_size = sizeof(AltStack);
+  ::sigaltstack(&SS, nullptr);
+
+  struct sigaction SA;
+  SA.sa_handler = crashHandler;
+  ::sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_ONSTACK;
+  for (int Sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT, SIGXCPU})
+    ::sigaction(Sig, &SA, nullptr);
+}
+
+void sandbox::applyLimits(const WorkerLimits &L) {
+  if (L.CpuSeconds) {
+    // Soft cap delivers SIGXCPU (recorded by the handler); the hard cap
+    // two seconds later is the kernel's backstop if that wedges.
+    rlimit R{L.CpuSeconds, L.CpuSeconds + 2};
+    ::setrlimit(RLIMIT_CPU, &R);
+  }
+  if (L.MemoryMB && !TBAA_ASAN_BUILD) {
+    rlimit R{L.MemoryMB << 20, L.MemoryMB << 20};
+    ::setrlimit(RLIMIT_AS, &R);
+  }
+  // Workers crash on purpose in tests and by accident in batches; no
+  // core dumps either way.
+  rlimit Core{0, 0};
+  ::setrlimit(RLIMIT_CORE, &Core);
+}
+
+void sandbox::reapplyCpuLimit(uint64_t CpuSeconds) {
+  if (!CpuSeconds)
+    return;
+  rusage RU{};
+  ::getrusage(RUSAGE_SELF, &RU);
+  // Round the spent CPU up so the allowance is never short-changed by
+  // a sub-second remainder.
+  uint64_t UsedSec = static_cast<uint64_t>(RU.ru_utime.tv_sec) +
+                     static_cast<uint64_t>(RU.ru_stime.tv_sec) + 1;
+  rlimit R{UsedSec + CpuSeconds, UsedSec + CpuSeconds + 2};
+  ::setrlimit(RLIMIT_CPU, &R);
+}
+
+bool sandbox::drainFd(int &Fd, std::string &Into, size_t Cap) {
+  if (Fd < 0)
+    return false;
+  char Buf[4096];
+  while (true) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      if (Into.size() < Cap)
+        Into.append(Buf, std::min(static_cast<size_t>(N), Cap - Into.size()));
+      continue;
+    }
+    if (N == 0) {
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+    if (errno == EINTR)
+      continue;
+    return true; // EAGAIN: writer still alive
+  }
+}

@@ -1,0 +1,77 @@
+//===- Sandbox.h - Worker-child sandboxing, shared cold and warm -*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pieces a forked worker needs between fork() and its first job,
+/// factored out of WorkerPool so the cold pool (fork per job, m3batch)
+/// and the warm pool (fork once, many jobs, m3serve) sandbox workers
+/// identically: rlimit caps, crash-translating signal handlers on an
+/// alternate stack, and the parent-side nonblocking pipe drain.
+///
+/// Warm reuse adds one wrinkle the cold pool never sees: RLIMIT_CPU is
+/// cumulative over the life of the process, so a warm worker that
+/// merely *applied* the cap at spawn would hand every later job the
+/// leftovers of the jobs before it. reapplyCpuLimit() re-arms the cap
+/// as used-so-far + allowance, giving each job a fresh CPU budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_SANDBOX_H
+#define TBAA_SERVICE_SANDBOX_H
+
+#include "service/Worker.h"
+
+#include <string>
+
+// Address-space caps and AddressSanitizer's shadow reservation do not
+// coexist; the sandbox skips RLIMIT_AS in instrumented builds, and the
+// planted crashers trap (SIGILL) instead of null-storing, since ASan's
+// own SEGV machinery would swallow the signal before our handler ran.
+#if defined(__SANITIZE_ADDRESS__)
+#define TBAA_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TBAA_ASAN_BUILD 1
+#endif
+#endif
+#ifndef TBAA_ASAN_BUILD
+#define TBAA_ASAN_BUILD 0
+#endif
+
+namespace tbaa::sandbox {
+
+/// "SIGSEGV" for SIGSEGV, etc., for the handful of signals the crash
+/// handler translates; "SIG?" otherwise. Async-signal-safe.
+const char *signalShortName(int Sig);
+
+/// Installs the fatal-signal handlers (SIGSEGV/SIGBUS/SIGILL/SIGFPE/
+/// SIGABRT/SIGXCPU) on an alternate stack. Each writes one structured
+/// JSON line to \p CrashFd (safeio), then re-raises with default
+/// disposition so the parent's wait4 sees the true termination signal.
+/// Call only in a worker child; \p CrashFd < 0 disables the record but
+/// keeps the re-raise behavior.
+void installCrashHandlers(int CrashFd);
+
+/// Applies the rlimit sandbox: CPU soft cap (SIGXCPU) + 2s hard
+/// backstop, RLIMIT_AS (skipped under ASan), and no core dumps.
+void applyLimits(const WorkerLimits &L);
+
+/// Re-arms RLIMIT_CPU for the next job of a warm worker: cap becomes
+/// CPU-used-so-far + \p CpuSeconds. No-op when \p CpuSeconds is 0.
+void reapplyCpuLimit(uint64_t CpuSeconds);
+
+/// Parent side: reads whatever nonblocking \p Fd has into \p Into
+/// (capped at \p Cap bytes, excess discarded); closes it and marks -1
+/// at EOF. Returns false once the fd is closed.
+bool drainFd(int &Fd, std::string &Into, size_t Cap);
+
+/// Default parent-side capture cap per worker stream: a flooding job is
+/// a robustness case, not a reason for the parent to balloon.
+constexpr size_t MaxCapturedOutput = 1 << 20;
+
+} // namespace tbaa::sandbox
+
+#endif // TBAA_SERVICE_SANDBOX_H

@@ -1,0 +1,1240 @@
+//===- Serve.cpp - The persistent compile daemon --------------------------===//
+//
+// Single-threaded like everything else in the service layer: one poll
+// loop multiplexes the listener, every client session, every warm
+// worker's control/output/crash fds, and a self-pipe for signals. The
+// only concurrency is process-level (the warm workers), exactly like
+// WorkerPool -- but where the cold pool forks per attempt, the warm pool
+// forks per *worker* and loops jobs over a control socketpair:
+//
+//   parent --- {"job":...,"degrade":"full",...}\n --->  worker
+//   parent <-- {"done":true,"rc":0,"payload":...}\n --  worker
+//
+// A worker that crashes or hangs never writes its "done" line; the
+// parent learns the truth from wait4 (and the crash pipe), settles the
+// attempt through the same classifyWorker/decideRetry ladder as the
+// batch engine, and forks a replacement. Because RLIMIT_CPU is
+// cumulative, each job starts with sandbox::reapplyCpuLimit(); because
+// jobs may chdir or leak fds, each job starts with fchdir() to the
+// worker's birth cwd and a /proc/self/fd sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Serve.h"
+
+#include "service/Journal.h"
+#include "service/Sandbox.h"
+#include "service/Session.h"
+#include "service/Watchdog.h"
+#include "support/Clock.h"
+#include "support/JSONUtil.h"
+#include "support/Metrics.h"
+#include "support/SafeIO.h"
+#include "support/Socket.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace tbaa;
+
+namespace {
+
+Statistic NumAdmitted("serve", "admitted", "jobs accepted into the queue");
+Statistic NumCompleted("serve", "completed", "jobs settled with a final record");
+Statistic NumOverloaded("serve", "overloaded",
+                        "requests rejected by admission control");
+Statistic NumRetriesServe("serve", "retries", "attempts that were retries");
+Statistic NumDowngradesServe("serve", "downgrades",
+                             "jobs settled below full precision");
+Statistic NumRespawns("serve", "respawns",
+                      "workers replaced after a crash, hang or exit");
+Statistic NumRecycles("serve", "recycles",
+                      "workers retired after their job quota");
+Statistic NumDisconnects("serve", "disconnects", "client connections dropped");
+Statistic NumCancelled("serve", "cancelled",
+                       "queued jobs cancelled by a disconnect");
+
+TBAA_HISTOGRAM(ServeQueueWaitMs, "serve", "queue-wait-ms",
+               "Time an admitted, ready job waited for a free warm worker",
+               "ms");
+TBAA_HISTOGRAM(ServeWarmJobMs, "serve", "job-warm-ms",
+               "Round trip of a job on an already-warmed worker", "ms");
+TBAA_HISTOGRAM(ServeColdJobMs, "serve", "job-cold-ms",
+               "Round trip of a worker's first job (warmup included)", "ms");
+
+uint64_t timevalMs(const timeval &TV) {
+  return static_cast<uint64_t>(TV.tv_sec) * 1000u +
+         static_cast<uint64_t>(TV.tv_usec) / 1000u;
+}
+
+uint64_t parseU64Or(const std::map<std::string, std::string> &M,
+                    const char *Key, uint64_t Default) {
+  auto It = M.find(Key);
+  if (It == M.end())
+    return Default;
+  char *End = nullptr;
+  uint64_t V = std::strtoull(It->second.c_str(), &End, 10);
+  return (End && !*End && !It->second.empty()) ? V : Default;
+}
+
+//===----------------------------------------------------------------------===//
+// Signal plumbing: handlers write the signal number to a self-pipe the
+// poll loop watches, so every decision happens in normal context.
+//===----------------------------------------------------------------------===//
+
+int SigPipeW = -1;
+
+void serveSignalHandler(int Sig) {
+  unsigned char C = static_cast<unsigned char>(Sig);
+  [[maybe_unused]] ssize_t N = ::write(SigPipeW, &C, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm worker child
+//===----------------------------------------------------------------------===//
+
+/// Blocking line read on the control socket. False on EOF/error -- the
+/// parent retired us (or died); either way the worker's life is over.
+bool readCtrlLine(int Fd, std::string &Buf, std::string &Line) {
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      Line.assign(Buf, 0, NL);
+      Buf.erase(0, NL + 1);
+      return true;
+    }
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N > 0) {
+      Buf.append(Chunk, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+}
+
+/// Between-job fd hygiene: a job that leaked fds (files, pipes, sockets)
+/// must not bleed them into the next job or exhaust the worker's table.
+/// Everything outside the keep-set dies. /proc/self/fd is Linux-specific
+/// like the rest of the service layer's process plumbing.
+void closeStrayFds(int CtrlFd, int CwdFd) {
+  int ShardFd = TraceRecorder::instance().shardFd();
+  DIR *D = ::opendir("/proc/self/fd");
+  if (!D)
+    return;
+  int DirFd = ::dirfd(D);
+  std::vector<int> Stray;
+  while (dirent *E = ::readdir(D)) {
+    char *End = nullptr;
+    long Fd = std::strtol(E->d_name, &End, 10);
+    if (!End || *End || End == E->d_name)
+      continue;
+    if (Fd <= 2 || Fd == CtrlFd || Fd == CwdFd || Fd == ShardFd ||
+        Fd == DirFd)
+      continue;
+    Stray.push_back(static_cast<int>(Fd));
+  }
+  ::closedir(D);
+  for (int Fd : Stray)
+    ::close(Fd);
+}
+
+/// The worker's whole life after fork: loop (read request, re-sandbox,
+/// run the job body, report) until the parent closes the control socket.
+[[noreturn]] void warmWorkerMain(int CtrlFd, const ServeOptions &Opts,
+                                 const ServeJobFn &Fn) {
+  sandbox::applyLimits(Opts.Limits);
+  // Jobs may chdir; remember where we were born so each starts fresh.
+  int CwdFd = ::open(".", O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  std::string CtrlBuf, Line;
+  while (readCtrlLine(CtrlFd, CtrlBuf, Line)) {
+    std::map<std::string, std::string> M;
+    if (!parseFlatJSONObject(Line, M))
+      continue; // protocol garbage; the parent's watchdog owns recovery
+    ServeRequest Req;
+    Req.Kind = "compile";
+    Req.Fields = M;
+    auto JIt = M.find("job");
+    Req.Job = JIt != M.end() ? JIt->second : std::string();
+    DegradeLevel Level = DegradeLevel::Full;
+    auto LIt = M.find("degrade");
+    if (LIt != M.end())
+      parseDegradeLevel(LIt->second, Level);
+
+    // --- Re-sandbox in place: this is what "warm reuse" costs. ---
+    sandbox::reapplyCpuLimit(Opts.Limits.CpuSeconds);
+    if (CwdFd >= 0)
+      (void)::fchdir(CwdFd);
+    closeStrayFds(CtrlFd, CwdFd);
+
+    // Payload lands in an unlinked tmpfile rather than a pipe: the
+    // parent only reads after "done", and a pipe a job overfilled
+    // would deadlock the worker against its own parent.
+    char Tmpl[] = "/tmp/m3serve-payload-XXXXXX";
+    int PayloadFd = ::mkstemp(Tmpl);
+    if (PayloadFd >= 0)
+      ::unlink(Tmpl);
+
+    int RC = 3;
+    try {
+      RC = Fn(Req, Level, PayloadFd);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "worker: unhandled exception: %s\n", E.what());
+    } catch (...) {
+      std::fprintf(stderr, "worker: unhandled exception\n");
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    std::string Payload;
+    if (PayloadFd >= 0) {
+      ::lseek(PayloadFd, 0, SEEK_SET);
+      char Chunk[4096];
+      ssize_t N;
+      while ((N = ::read(PayloadFd, Chunk, sizeof(Chunk))) > 0 &&
+             Payload.size() < sandbox::MaxCapturedOutput)
+        Payload.append(Chunk, static_cast<size_t>(N));
+      ::close(PayloadFd);
+      // The payload protocol is one flat-JSON line.
+      size_t NL = Payload.find('\n');
+      if (NL != std::string::npos)
+        Payload.resize(NL);
+    }
+
+    // Resource readings are cumulative over the worker's life; the
+    // parent differences consecutive reports to get per-job numbers.
+    rusage RU{};
+    ::getrusage(RUSAGE_SELF, &RU);
+    json::Writer W;
+    W.beginObject();
+    W.key("done").value(true);
+    W.key("rc").value(RC & 0xff);
+    W.key("cpu_total_ms")
+        .value(timevalMs(RU.ru_utime) + timevalMs(RU.ru_stime));
+    W.key("maxrss_kb").value(static_cast<uint64_t>(RU.ru_maxrss));
+    W.key("minflt_total").value(static_cast<uint64_t>(RU.ru_minflt));
+    W.key("majflt_total").value(static_cast<uint64_t>(RU.ru_majflt));
+    W.key("payload").value(Payload);
+    W.endObject();
+    std::string Out = W.str();
+    Out += '\n';
+    if (!safeio::writeAll(CtrlFd, Out.data(), Out.size()))
+      break;
+  }
+  TraceRecorder::instance().endShard();
+  ::_exit(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon state
+//===----------------------------------------------------------------------===//
+
+/// One admitted job riding the retry ladder. SessionId 0 = orphaned
+/// (its client disconnected after the job had already run once).
+struct PendingJob {
+  uint64_t SessionId = 0;
+  ServeRequest Req;
+  unsigned Attempt = 1;
+  DegradeLevel Level = DegradeLevel::Full;
+  uint64_t NotBeforeMs = 0; ///< Backoff gate; 0 = ready now.
+  uint64_t AdmittedMs = 0;
+};
+
+struct WarmWorker {
+  int Pid = -1;
+  int CtrlFd = -1;  ///< Request/result socketpair (parent end).
+  int OutFd = -1;   ///< Captured stdout+stderr.
+  int CrashFd = -1; ///< Crash handler's structured record.
+  net::LineReader Results;
+  std::string Output, CrashRecord;
+  bool Busy = false;
+  bool TimedOut = false; ///< Watchdog already SIGKILLed it.
+  bool Retiring = false; ///< Ctrl closed on purpose (recycle/drain).
+  std::unique_ptr<PendingJob> Job;
+  uint64_t JobsDone = 0;
+  uint64_t JobStartMs = 0;
+  uint64_t JobStartUs = 0;
+  // Last cumulative readings reported by the child, for per-job deltas.
+  uint64_t LastCpuMs = 0, LastMinFlt = 0, LastMajFlt = 0;
+};
+
+class Daemon {
+public:
+  Daemon(const ServeOptions &Opts, const ServeJobFn &Fn)
+      : Opts(Opts), Fn(Fn), WorkerTarget(std::max(1u, Opts.Workers)),
+        MaxQueue(std::max(1u, Opts.MaxQueue)),
+        MaxPerClient(std::max(1u, Opts.MaxQueuePerClient)) {}
+
+  int run(std::string &Error);
+
+private:
+  // --- Lifecycle ---
+  bool spawnWorker();
+  void retireWorker(WarmWorker &W, const char *Why);
+  void reapWorkers();
+  void handleWorkerExit(WarmWorker &W, int WaitStatus, const rusage &RU);
+
+  // --- I/O events ---
+  void acceptClients();
+  void pumpSessions();
+  void handleRequest(Session &S, const std::string &Line);
+  void pumpWorkerFds();
+  void handleWorkerResult(WarmWorker &W,
+                          const std::map<std::string, std::string> &M);
+  void drainSignals();
+
+  // --- Scheduling ---
+  void dispatchReady();
+  bool popReadyJob(uint64_t Now, PendingJob &Out);
+  void requeue(PendingJob &&J, bool Front);
+  void settleAttempt(PendingJob &&J, JobOutcome Outcome, int ExitCode,
+                     int Signal, uint64_t WallMs, uint64_t CpuMs,
+                     uint64_t RssKb, uint64_t MinFlt, uint64_t MajFlt,
+                     const std::string &Payload, uint64_t StartUs);
+  void dropSession(uint64_t Id, const char *Why);
+
+  // --- Introspection ---
+  uint64_t queuedJobs() const;
+  unsigned busyWorkers() const;
+  std::string statusLine(bool Stats) const;
+  void sendError(Session &S, const std::string &Job, const char *Err,
+                 uint64_t RetryAfterMs);
+  void verbose(const char *Fmt, ...);
+
+  const ServeOptions &Opts;
+  const ServeJobFn &Fn;
+  const unsigned WorkerTarget;
+  const unsigned MaxQueue;
+  const unsigned MaxPerClient;
+
+  int ListenFd = -1;
+  int SigPipeR = -1;
+  bool Draining = false;
+  bool Aborting = false;
+  uint64_t StartMs = 0;
+  uint64_t LastBusyMs = 0;
+
+  std::vector<std::unique_ptr<WarmWorker>> Workers;
+  Watchdog Dog;
+  std::map<uint64_t, std::unique_ptr<Session>> Sessions;
+  std::map<uint64_t, std::deque<PendingJob>> Queues; ///< Keyed by session.
+  std::deque<PendingJob> Orphans;
+  /// Round-robin rotation: session ids plus the sentinel 0 for orphans.
+  std::deque<uint64_t> Rotation{0};
+  uint64_t NextSessionId = 1;
+
+  Journal Log;
+  bool Tracing = false;
+  std::string ShardDir;
+  std::vector<std::string> Shards;
+
+  // Local counters (the Statistics above are process-global; health
+  // reports must describe *this* daemon).
+  struct {
+    uint64_t Admitted = 0, Completed = 0, Overloaded = 0, Retries = 0;
+    uint64_t Downgrades = 0, Respawns = 0, Recycles = 0, Disconnects = 0;
+    uint64_t Cancelled = 0, BadRequests = 0, RejectedDraining = 0;
+  } Totals;
+};
+
+void Daemon::verbose(const char *Fmt, ...) {
+  if (!Opts.Verbose)
+    return;
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::fprintf(stderr, "m3serve: ");
+  std::vfprintf(stderr, Fmt, Ap);
+  std::fprintf(stderr, "\n");
+  va_end(Ap);
+}
+
+uint64_t Daemon::queuedJobs() const {
+  uint64_t N = Orphans.size();
+  for (const auto &[Id, Q] : Queues)
+    N += Q.size();
+  return N;
+}
+
+unsigned Daemon::busyWorkers() const {
+  unsigned N = 0;
+  for (const auto &W : Workers)
+    N += W->Busy ? 1 : 0;
+  return N;
+}
+
+bool Daemon::spawnWorker() {
+  int Ctrl[2] = {-1, -1}, Out[2] = {-1, -1}, Crash[2] = {-1, -1};
+  auto CloseAll = [&] {
+    for (int Fd : {Ctrl[0], Ctrl[1], Out[0], Out[1], Crash[0], Crash[1]})
+      if (Fd >= 0)
+        ::close(Fd);
+  };
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Ctrl) || ::pipe(Out) ||
+      ::pipe(Crash)) {
+    CloseAll();
+    return false;
+  }
+  const uint64_t ForkT0Us = trace::nowUs();
+  std::fflush(stdout);
+  std::fflush(stderr);
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    CloseAll();
+    return false;
+  }
+  if (Pid == 0) {
+    // --- Worker child. Only _exit() leaves. ---
+    ::close(Ctrl[0]);
+    ::close(Out[0]);
+    ::close(Crash[0]);
+    if (ListenFd >= 0)
+      ::close(ListenFd);
+    if (SigPipeR >= 0)
+      ::close(SigPipeR);
+    if (SigPipeW >= 0)
+      ::close(SigPipeW);
+    for (const auto &[Id, S] : Sessions)
+      ::close(S->fd());
+    for (const auto &W : Workers)
+      for (int Fd : {W->CtrlFd, W->OutFd, W->CrashFd})
+        if (Fd >= 0)
+          ::close(Fd);
+    // The daemon's signal dispositions are its own; a worker hung in a
+    // job must stay killable by the default actions.
+    for (int Sig : {SIGTERM, SIGINT, SIGQUIT, SIGPIPE})
+      ::signal(Sig, SIG_DFL);
+    ::dup2(Out[1], STDOUT_FILENO);
+    ::dup2(Out[1], STDERR_FILENO);
+    ::close(Out[1]);
+    sandbox::installCrashHandlers(Crash[1]);
+    if (Tracing) {
+      TraceRecorder &TR = TraceRecorder::instance();
+      std::string Shard =
+          (std::filesystem::path(ShardDir) /
+           ("worker-" + std::to_string(::getpid()) + ".jsonl"))
+              .string();
+      if (TR.beginShard(Shard))
+        TR.processName("m3serve worker " + std::to_string(::getpid()));
+    }
+    warmWorkerMain(Ctrl[1], Opts, Fn);
+  }
+  // --- Parent. ---
+  ::close(Ctrl[1]);
+  ::close(Out[1]);
+  ::close(Crash[1]);
+  for (int Fd : {Ctrl[0], Out[0], Crash[0]})
+    net::setNonBlocking(Fd);
+  auto W = std::make_unique<WarmWorker>();
+  W->Pid = Pid;
+  W->CtrlFd = Ctrl[0];
+  W->OutFd = Out[0];
+  W->CrashFd = Crash[0];
+  if (Tracing) {
+    Shards.push_back((std::filesystem::path(ShardDir) /
+                      ("worker-" + std::to_string(Pid) + ".jsonl"))
+                         .string());
+    TraceRecorder::instance().complete(
+        "serve", "fork-worker", ForkT0Us, trace::nowUs() - ForkT0Us,
+        TraceArgs().num("pid", static_cast<int64_t>(Pid)).render());
+  }
+  Workers.push_back(std::move(W));
+  verbose("worker %d forked (%zu live)", Pid, Workers.size());
+  return true;
+}
+
+void Daemon::retireWorker(WarmWorker &W, const char *Why) {
+  if (W.Retiring)
+    return;
+  W.Retiring = true;
+  if (W.CtrlFd >= 0) {
+    ::close(W.CtrlFd); // EOF on the child's read: it exits cleanly
+    W.CtrlFd = -1;
+  }
+  verbose("worker %d retiring (%s)", W.Pid, Why);
+}
+
+void Daemon::reapWorkers() {
+  int St = 0;
+  rusage RU{};
+  pid_t Pid;
+  while ((Pid = ::wait4(-1, &St, WNOHANG, &RU)) > 0) {
+    auto It = std::find_if(Workers.begin(), Workers.end(),
+                           [&](const auto &W) { return W->Pid == Pid; });
+    if (It == Workers.end())
+      continue; // not ours (impossible today; harmless forever)
+    handleWorkerExit(**It, St, RU);
+    Workers.erase(It);
+  }
+}
+
+void Daemon::handleWorkerExit(WarmWorker &W, int WaitStatus,
+                              const rusage &RU) {
+  Dog.disarm(W.Pid);
+  // The child is gone, so the write ends are closed: drain to EOF.
+  while (W.OutFd >= 0 || W.CrashFd >= 0) {
+    sandbox::drainFd(W.OutFd, W.Output, sandbox::MaxCapturedOutput);
+    sandbox::drainFd(W.CrashFd, W.CrashRecord, sandbox::MaxCapturedOutput);
+    if (W.OutFd >= 0 || W.CrashFd >= 0)
+      ::usleep(100);
+  }
+  if (W.CtrlFd >= 0) {
+    ::close(W.CtrlFd);
+    W.CtrlFd = -1;
+  }
+
+  if (W.Busy && W.Job) {
+    // Died mid-job: classify from the wait status, charge resources as
+    // the cumulative rusage minus what earlier jobs already reported.
+    WorkerResult R;
+    if (W.TimedOut) {
+      R.Status = WorkerStatus::TimedOut;
+      R.Signal = WIFSIGNALED(WaitStatus) ? WTERMSIG(WaitStatus) : 0;
+    } else if (WIFSIGNALED(WaitStatus)) {
+      R.Status = WorkerStatus::Signaled;
+      R.Signal = WTERMSIG(WaitStatus);
+    } else {
+      // Exited without a "done" line: the job body called exit(), or
+      // the worker hit a protocol failure. Internal either way.
+      R.Status = WorkerStatus::Exited;
+      R.ExitCode = WIFEXITED(WaitStatus) ? WEXITSTATUS(WaitStatus) : 3;
+      if (R.ExitCode == 0)
+        R.ExitCode = 3;
+    }
+    uint64_t CpuTotal = timevalMs(RU.ru_utime) + timevalMs(RU.ru_stime);
+    uint64_t Now = monoNowMs();
+    PendingJob J = std::move(*W.Job);
+    W.Job.reset();
+    Totals.Respawns += 1;
+    NumRespawns += 1;
+    settleAttempt(std::move(J), classifyWorker(R), R.ExitCode, R.Signal,
+                  Now > W.JobStartMs ? Now - W.JobStartMs : 0,
+                  CpuTotal > W.LastCpuMs ? CpuTotal - W.LastCpuMs : 0,
+                  static_cast<uint64_t>(RU.ru_maxrss),
+                  static_cast<uint64_t>(RU.ru_minflt) > W.LastMinFlt
+                      ? static_cast<uint64_t>(RU.ru_minflt) - W.LastMinFlt
+                      : 0,
+                  static_cast<uint64_t>(RU.ru_majflt) > W.LastMajFlt
+                      ? static_cast<uint64_t>(RU.ru_majflt) - W.LastMajFlt
+                      : 0,
+                  /*Payload=*/std::string(), W.JobStartUs);
+  } else if (W.Retiring) {
+    Totals.Recycles += 1;
+    NumRecycles += 1;
+  } else {
+    // Idle worker died on its own -- still a respawn event.
+    Totals.Respawns += 1;
+    NumRespawns += 1;
+  }
+  if (Tracing)
+    TraceRecorder::instance().instant(
+        "serve", W.Retiring ? "worker-retired" : "worker-died",
+        TraceArgs()
+            .num("pid", static_cast<int64_t>(W.Pid))
+            .num("jobs_done", W.JobsDone)
+            .render());
+  verbose("worker %d reaped (%s)", W.Pid,
+          W.Retiring ? "retired" : "died");
+}
+
+void Daemon::acceptClients() {
+  for (;;) {
+    int Fd = net::acceptUnix(ListenFd);
+    if (Fd < 0)
+      return;
+    if (Draining || Sessions.size() >= Opts.MaxSessions) {
+      // Tell the peer why before closing; best-effort.
+      const char *Msg = Draining ? "{\"error\":\"draining\"}\n"
+                                 : "{\"error\":\"overloaded\",\"detail\":"
+                                   "\"sessions\"}\n";
+      net::writeAllPolled(Fd, Msg, std::strlen(Msg));
+      ::close(Fd);
+      continue;
+    }
+    net::setNonBlocking(Fd);
+    uint64_t Id = NextSessionId++;
+    Sessions.emplace(Id, std::make_unique<Session>(Id, Fd));
+    Queues.emplace(Id, std::deque<PendingJob>());
+    Rotation.push_back(Id);
+    verbose("session %llu connected", (unsigned long long)Id);
+  }
+}
+
+void Daemon::sendError(Session &S, const std::string &Job, const char *Err,
+                       uint64_t RetryAfterMs) {
+  json::Writer W;
+  W.beginObject();
+  if (!Job.empty())
+    W.key("job").value(Job);
+  W.key("error").value(Err);
+  if (RetryAfterMs)
+    W.key("retry_after_ms").value(RetryAfterMs);
+  W.endObject();
+  S.send(W.str());
+}
+
+std::string Daemon::statusLine(bool Stats) const {
+  json::Writer W;
+  W.beginObject();
+  W.key("health").value(Draining ? "draining" : "ok");
+  W.key("workers").value(static_cast<uint64_t>(Workers.size()));
+  W.key("busy").value(static_cast<uint64_t>(busyWorkers()));
+  W.key("queue_depth").value(queuedJobs());
+  W.key("sessions").value(static_cast<uint64_t>(Sessions.size()));
+  W.key("admitted").value(Totals.Admitted);
+  W.key("completed").value(Totals.Completed);
+  W.key("overloaded").value(Totals.Overloaded);
+  W.key("retries").value(Totals.Retries);
+  W.key("downgrades").value(Totals.Downgrades);
+  W.key("respawns").value(Totals.Respawns);
+  W.key("recycles").value(Totals.Recycles);
+  W.key("uptime_ms").value(monoNowMs() - StartMs);
+  if (Stats) {
+    W.key("disconnects").value(Totals.Disconnects);
+    W.key("cancelled").value(Totals.Cancelled);
+    W.key("bad_requests").value(Totals.BadRequests);
+    W.key("rejected_draining").value(Totals.RejectedDraining);
+    W.key("max_queue").value(static_cast<uint64_t>(MaxQueue));
+    W.key("max_queue_per_client").value(static_cast<uint64_t>(MaxPerClient));
+    W.key("queue_wait_p50_ms").value(ServeQueueWaitMs.snapshot().quantile(0.50));
+    W.key("queue_wait_p90_ms").value(ServeQueueWaitMs.snapshot().quantile(0.90));
+    W.key("job_warm_p50_ms").value(ServeWarmJobMs.snapshot().quantile(0.50));
+    W.key("job_cold_p50_ms").value(ServeColdJobMs.snapshot().quantile(0.50));
+  }
+  W.endObject();
+  return W.str();
+}
+
+void Daemon::handleRequest(Session &S, const std::string &Line) {
+  std::map<std::string, std::string> M;
+  if (!parseFlatJSONObject(Line, M)) {
+    Totals.BadRequests += 1;
+    sendError(S, "", "bad-request", 0);
+    return;
+  }
+  std::string Kind = "compile";
+  auto KIt = M.find("req");
+  if (KIt != M.end())
+    Kind = KIt->second;
+
+  if (Kind == "health" || Kind == "stats") {
+    S.send(statusLine(Kind == "stats"));
+    return;
+  }
+  if (Kind != "compile") {
+    Totals.BadRequests += 1;
+    sendError(S, "", "bad-request", 0);
+    return;
+  }
+  auto JIt = M.find("job");
+  if (JIt == M.end() || JIt->second.empty()) {
+    Totals.BadRequests += 1;
+    sendError(S, "", "bad-request", 0);
+    return;
+  }
+  const std::string &JobId = JIt->second;
+  if (Draining) {
+    Totals.RejectedDraining += 1;
+    sendError(S, JobId, "draining", 0);
+    return;
+  }
+  // Admission control: a bounded global queue, and a bounded share per
+  // client. In-flight jobs are not queue depth -- the bound is on what
+  // the daemon has *promised but not started*.
+  if (queuedJobs() >= MaxQueue || S.queued() >= MaxPerClient) {
+    Totals.Overloaded += 1;
+    NumOverloaded += 1;
+    sendError(S, JobId, "overloaded", Opts.RetryAfterMs);
+    if (Tracing)
+      TraceRecorder::instance().instant(
+          "serve", "overloaded",
+          TraceArgs().str("job", JobId).num("depth", queuedJobs()).render());
+    return;
+  }
+  PendingJob J;
+  J.SessionId = S.id();
+  J.Req.Kind = Kind;
+  J.Req.Job = JobId;
+  J.Req.Fields = std::move(M);
+  J.AdmittedMs = monoNowMs();
+  Queues[S.id()].push_back(std::move(J));
+  S.noteQueued();
+  Totals.Admitted += 1;
+  NumAdmitted += 1;
+  if (Tracing)
+    TraceRecorder::instance().instant(
+        "serve", "admit", TraceArgs().str("job", JobId).render());
+  verbose("admitted %s from session %llu", JobId.c_str(),
+          (unsigned long long)S.id());
+}
+
+void Daemon::pumpSessions() {
+  std::vector<uint64_t> Dead;
+  for (auto &[Id, S] : Sessions) {
+    S->pump();
+    std::string Line;
+    while (!S->poisoned() && S->nextRequest(Line))
+      handleRequest(*S, Line);
+    if (S->poisoned() || (S->finished() && !S->wantsWrite()))
+      Dead.push_back(Id);
+  }
+  for (uint64_t Id : Dead)
+    dropSession(Id, "disconnect");
+}
+
+void Daemon::dropSession(uint64_t Id, const char *Why) {
+  auto SIt = Sessions.find(Id);
+  if (SIt == Sessions.end())
+    return;
+  // Queued jobs that never ran are cancelled outright. A job that
+  // already consumed worker time (mid-ladder retry, or in flight right
+  // now) is orphaned instead: it settles to a final journal record,
+  // only the response is dropped.
+  auto QIt = Queues.find(Id);
+  if (QIt != Queues.end()) {
+    for (PendingJob &J : QIt->second) {
+      if (J.Attempt > 1) {
+        J.SessionId = 0;
+        Orphans.push_back(std::move(J));
+      } else {
+        Totals.Cancelled += 1;
+        NumCancelled += 1;
+        verbose("cancelled %s (client gone)", J.Req.Job.c_str());
+      }
+    }
+    Queues.erase(QIt);
+  }
+  for (auto &W : Workers)
+    if (W->Busy && W->Job && W->Job->SessionId == Id)
+      W->Job->SessionId = 0; // orphan: finish, journal, drop response
+  Rotation.erase(std::remove(Rotation.begin(), Rotation.end(), Id),
+                 Rotation.end());
+  Sessions.erase(SIt);
+  Totals.Disconnects += 1;
+  NumDisconnects += 1;
+  if (Tracing)
+    TraceRecorder::instance().instant(
+        "serve", "disconnect",
+        TraceArgs().num("session", Id).str("why", Why).render());
+  verbose("session %llu dropped (%s)", (unsigned long long)Id, Why);
+}
+
+void Daemon::pumpWorkerFds() {
+  for (auto &W : Workers) {
+    sandbox::drainFd(W->OutFd, W->Output, sandbox::MaxCapturedOutput);
+    sandbox::drainFd(W->CrashFd, W->CrashRecord, sandbox::MaxCapturedOutput);
+    if (W->CtrlFd < 0)
+      continue;
+    switch (W->Results.fill(W->CtrlFd)) {
+    case net::LineReader::Status::Ok:
+    case net::LineReader::Status::Eof:
+      break; // EOF resolves through wait4
+    case net::LineReader::Status::TooLong:
+    case net::LineReader::Status::Error:
+      // Protocol breakdown: stop trusting the channel, let the death
+      // path settle whatever was in flight.
+      if (!W->TimedOut)
+        ::kill(W->Pid, SIGKILL);
+      continue;
+    }
+    std::string Line;
+    while (W->Results.next(Line)) {
+      std::map<std::string, std::string> M;
+      if (parseFlatJSONObject(Line, M) && M.count("done"))
+        handleWorkerResult(*W, M);
+    }
+  }
+}
+
+void Daemon::handleWorkerResult(WarmWorker &W,
+                                const std::map<std::string, std::string> &M) {
+  if (!W.Busy || !W.Job)
+    return; // stale/duplicate "done"; nothing is owed
+  Dog.disarm(W.Pid);
+  W.Busy = false;
+  W.JobsDone += 1;
+
+  uint64_t Now = monoNowMs();
+  uint64_t WallMs = Now > W.JobStartMs ? Now - W.JobStartMs : 0;
+  uint64_t CpuTotal = parseU64Or(M, "cpu_total_ms", W.LastCpuMs);
+  uint64_t MinFltTotal = parseU64Or(M, "minflt_total", W.LastMinFlt);
+  uint64_t MajFltTotal = parseU64Or(M, "majflt_total", W.LastMajFlt);
+  uint64_t CpuMs = CpuTotal > W.LastCpuMs ? CpuTotal - W.LastCpuMs : 0;
+  uint64_t MinFlt =
+      MinFltTotal > W.LastMinFlt ? MinFltTotal - W.LastMinFlt : 0;
+  uint64_t MajFlt =
+      MajFltTotal > W.LastMajFlt ? MajFltTotal - W.LastMajFlt : 0;
+  W.LastCpuMs = CpuTotal;
+  W.LastMinFlt = MinFltTotal;
+  W.LastMajFlt = MajFltTotal;
+
+  (W.JobsDone == 1 ? ServeColdJobMs : ServeWarmJobMs).record(WallMs);
+
+  int RC = static_cast<int>(parseU64Or(M, "rc", 3));
+  WorkerResult R;
+  R.Status = WorkerStatus::Exited;
+  R.ExitCode = RC;
+  auto PIt = M.find("payload");
+  std::string Payload = PIt != M.end() ? PIt->second : std::string();
+
+  PendingJob J = std::move(*W.Job);
+  W.Job.reset();
+  settleAttempt(std::move(J), classifyWorker(R), RC, /*Signal=*/0, WallMs,
+                CpuMs, parseU64Or(M, "maxrss_kb", 0), MinFlt, MajFlt, Payload,
+                W.JobStartUs);
+
+  if (Opts.MaxJobsPerWorker && W.JobsDone >= Opts.MaxJobsPerWorker)
+    retireWorker(W, "job quota");
+}
+
+void Daemon::settleAttempt(PendingJob &&J, JobOutcome Outcome, int ExitCode,
+                           int Signal, uint64_t WallMs, uint64_t CpuMs,
+                           uint64_t RssKb, uint64_t MinFlt, uint64_t MajFlt,
+                           const std::string &Payload, uint64_t StartUs) {
+  RetryDecision D = decideRetry(Opts.Retry, Outcome, J.Attempt, J.Level);
+
+  JournalRecord R;
+  R.Job = J.Req.Job;
+  R.Attempt = J.Attempt;
+  R.Level = J.Level;
+  R.Outcome = Outcome;
+  R.ExitCode = ExitCode;
+  R.Signal = Signal;
+  R.WallMs = WallMs;
+  R.CpuMs = CpuMs;
+  R.PeakRSSKB = RssKb;
+  R.MinFlt = MinFlt;
+  R.MajFlt = MajFlt;
+  R.BackoffMs = D.Retry ? D.DelayMs : 0;
+  R.Final = !D.Retry;
+  std::map<std::string, std::string> P;
+  if (!Payload.empty() && parseFlatJSONObject(Payload, P)) {
+    auto It = P.find("main");
+    if (It != P.end()) {
+      char *End = nullptr;
+      int64_t V = std::strtoll(It->second.c_str(), &End, 10);
+      if (End && !*End) {
+        R.Result = V;
+        R.HasResult = true;
+      }
+    }
+    R.OracleQueries = parseU64Or(P, "oracle_queries", 0);
+    R.OracleP50Ns = parseU64Or(P, "oracle_p50_ns", 0);
+    R.OracleP90Ns = parseU64Or(P, "oracle_p90_ns", 0);
+    R.OracleMaxNs = parseU64Or(P, "oracle_max_ns", 0);
+    R.HasOracleMetrics = P.count("oracle_queries") && P.count("oracle_p50_ns") &&
+                         P.count("oracle_p90_ns") && P.count("oracle_max_ns");
+  }
+  if (Log.isOpen())
+    Log.append(R);
+  if (Tracing)
+    TraceRecorder::instance().complete(
+        "serve", "job " + J.Req.Job, StartUs,
+        StartUs ? trace::nowUs() - StartUs : 0,
+        TraceArgs()
+            .num("attempt", J.Attempt)
+            .str("level", degradeLevelName(J.Level))
+            .str("outcome", jobOutcomeName(Outcome))
+            .render());
+  verbose("%s: attempt %u (%s) -> %s%s", R.Job.c_str(), R.Attempt,
+          degradeLevelName(R.Level), jobOutcomeName(Outcome),
+          D.Retry ? ", retrying degraded" : "");
+
+  auto SIt = Sessions.find(J.SessionId);
+  Session *S = SIt != Sessions.end() ? SIt->second.get() : nullptr;
+
+  if (D.Retry) {
+    J.Level = D.NextLevel;
+    J.Attempt += 1;
+    J.NotBeforeMs = D.DelayMs ? monoNowMs() + D.DelayMs : 0;
+    Totals.Retries += 1;
+    NumRetriesServe += 1;
+    if (Tracing)
+      TraceRecorder::instance().instant(
+          "serve", "retry",
+          TraceArgs()
+              .str("job", J.Req.Job)
+              .num("attempt", J.Attempt)
+              .str("level", degradeLevelName(J.Level))
+              .num("delay_ms", D.DelayMs)
+              .render());
+    if (S)
+      S->noteSettled();
+    requeue(std::move(J), /*Front=*/false);
+    return;
+  }
+
+  Totals.Completed += 1;
+  NumCompleted += 1;
+  if (Outcome == JobOutcome::Ok && J.Level != DegradeLevel::Full) {
+    Totals.Downgrades += 1;
+    NumDowngradesServe += 1;
+  }
+  if (S) {
+    S->noteSettled();
+    S->send(R.toJSONLine());
+  }
+}
+
+void Daemon::requeue(PendingJob &&J, bool Front) {
+  auto QIt = Queues.find(J.SessionId);
+  std::deque<PendingJob> &Q =
+      (J.SessionId && QIt != Queues.end()) ? QIt->second : Orphans;
+  if (&Q == &Orphans)
+    J.SessionId = 0;
+  else if (auto SIt = Sessions.find(J.SessionId); SIt != Sessions.end())
+    SIt->second->noteQueued();
+  if (Front)
+    Q.push_front(std::move(J));
+  else
+    Q.push_back(std::move(J));
+}
+
+bool Daemon::popReadyJob(uint64_t Now, PendingJob &Out) {
+  for (size_t Turn = 0; Turn < Rotation.size(); ++Turn) {
+    uint64_t Id = Rotation.front();
+    Rotation.pop_front();
+    Rotation.push_back(Id);
+    std::deque<PendingJob> *Q = nullptr;
+    if (Id == 0)
+      Q = &Orphans;
+    else if (auto It = Queues.find(Id); It != Queues.end())
+      Q = &It->second;
+    if (!Q)
+      continue;
+    for (auto JIt = Q->begin(); JIt != Q->end(); ++JIt) {
+      if (JIt->NotBeforeMs > Now)
+        continue;
+      Out = std::move(*JIt);
+      Q->erase(JIt);
+      if (Out.SessionId)
+        if (auto SIt = Sessions.find(Out.SessionId); SIt != Sessions.end())
+          SIt->second->noteDequeued();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Daemon::dispatchReady() {
+  uint64_t Now = monoNowMs();
+  for (auto &W : Workers) {
+    if (W->Busy || W->Retiring || W->CtrlFd < 0)
+      continue;
+    PendingJob J;
+    if (!popReadyJob(Now, J))
+      return;
+    // Render the worker request: the client's fields plus the rung.
+    json::Writer Req;
+    Req.beginObject();
+    Req.key("degrade").value(degradeLevelName(J.Level));
+    for (const auto &[K, V] : J.Req.Fields)
+      if (K != "degrade" && K != "req")
+        Req.key(K).value(V);
+    Req.endObject();
+    std::string Line = Req.str();
+    Line += '\n';
+    if (!net::writeAllPolled(W->CtrlFd, Line.data(), Line.size())) {
+      // The worker died under us; put the job back untouched (it never
+      // ran) and let wait4 recycle the corpse.
+      requeue(std::move(J), /*Front=*/true);
+      if (!W->TimedOut)
+        ::kill(W->Pid, SIGKILL);
+      continue;
+    }
+    uint64_t Ready = std::max(J.AdmittedMs, J.NotBeforeMs);
+    ServeQueueWaitMs.record(Now > Ready ? Now - Ready : 0);
+    W->Busy = true;
+    W->TimedOut = false;
+    W->JobStartMs = Now;
+    W->JobStartUs = trace::nowUs();
+    Dog.disarm(W->Pid);
+    Dog.arm(W->Pid, Opts.Limits.WallMs ? Deadline::in(Opts.Limits.WallMs)
+                                       : Deadline::never());
+    if (Tracing)
+      TraceRecorder::instance().instant(
+          "serve", "assign",
+          TraceArgs()
+              .str("job", J.Req.Job)
+              .num("pid", static_cast<int64_t>(W->Pid))
+              .num("attempt", J.Attempt)
+              .render());
+    if (J.SessionId)
+      if (auto SIt = Sessions.find(J.SessionId); SIt != Sessions.end())
+        SIt->second->noteStarted();
+    W->Job = std::make_unique<PendingJob>(std::move(J));
+  }
+}
+
+void Daemon::drainSignals() {
+  unsigned char Sigs[64];
+  ssize_t N;
+  while ((N = ::read(SigPipeR, Sigs, sizeof(Sigs))) > 0) {
+    for (ssize_t I = 0; I < N; ++I) {
+      int Sig = Sigs[I];
+      if (Sig == SIGQUIT) {
+        Aborting = true;
+      } else if ((Sig == SIGTERM || Sig == SIGINT) && !Draining) {
+        Draining = true;
+        verbose("drain: finishing %llu queued + %u in-flight jobs",
+                (unsigned long long)queuedJobs(), busyWorkers());
+        if (Tracing)
+          TraceRecorder::instance().instant(
+              "serve", "drain-begin",
+              TraceArgs()
+                  .num("queued", queuedJobs())
+                  .num("busy", busyWorkers())
+                  .render());
+      }
+    }
+  }
+}
+
+int Daemon::run(std::string &Error) {
+  StartMs = LastBusyMs = monoNowMs();
+
+  if (!Opts.JournalPath.empty() &&
+      !Log.open(Opts.JournalPath, /*Truncate=*/true)) {
+    Error = "cannot open journal '" + Opts.JournalPath + "'";
+    return 3;
+  }
+
+  TraceRecorder &TR = TraceRecorder::instance();
+  Tracing = !Opts.TracePath.empty();
+  if (Tracing) {
+    ShardDir = Opts.TracePath + ".shards";
+    std::error_code EC;
+    std::filesystem::create_directories(ShardDir, EC);
+    if (EC) {
+      Error = "cannot create trace shard dir '" + ShardDir + "'";
+      return 3;
+    }
+    TR.setEnabled(true);
+    TR.processName("m3serve");
+  }
+
+  ListenFd = net::listenUnix(Opts.SocketPath);
+  if (ListenFd < 0) {
+    Error = "cannot listen on '" + Opts.SocketPath +
+            "': " + std::strerror(errno);
+    return 3;
+  }
+  net::setNonBlocking(ListenFd);
+
+  // Self-pipe for signals; handlers stay registered until exit.
+  int SP[2] = {-1, -1};
+  if (::pipe(SP)) {
+    Error = "cannot create signal pipe";
+    ::close(ListenFd);
+    return 3;
+  }
+  SigPipeR = SP[0];
+  SigPipeW = SP[1];
+  net::setNonBlocking(SigPipeR);
+  net::setNonBlocking(SigPipeW);
+  struct sigaction SA{}, OldTerm{}, OldInt{}, OldQuit{}, OldPipe{};
+  SA.sa_handler = serveSignalHandler;
+  ::sigemptyset(&SA.sa_mask);
+  ::sigaction(SIGTERM, &SA, &OldTerm);
+  ::sigaction(SIGINT, &SA, &OldInt);
+  ::sigaction(SIGQUIT, &SA, &OldQuit);
+  struct sigaction Ign{};
+  Ign.sa_handler = SIG_IGN;
+  ::sigemptyset(&Ign.sa_mask);
+  ::sigaction(SIGPIPE, &Ign, &OldPipe);
+
+  TraceSpan ServeSpan("serve", "serve",
+                      Tracing ? TraceArgs()
+                                    .num("workers", WorkerTarget)
+                                    .num("max_queue", MaxQueue)
+                                    .render()
+                              : std::string());
+  verbose("listening on %s (%u workers)", Opts.SocketPath.c_str(),
+          WorkerTarget);
+
+  uint64_t LastPollTraceMs = 0;
+  while (!Aborting) {
+    // Keep the pool at strength. During a drain, only as many workers
+    // as there is work left for.
+    uint64_t Outstanding = queuedJobs() + busyWorkers();
+    unsigned Target =
+        Draining ? static_cast<unsigned>(std::min<uint64_t>(
+                       WorkerTarget, Outstanding))
+                 : WorkerTarget;
+    while (Workers.size() < Target)
+      if (!spawnWorker())
+        break;
+
+    if (Draining && Outstanding == 0)
+      break; // drained: every admitted job settled
+
+    // --- Assemble the poll set. ---
+    enum class FdKind { Sig, Listen, Sess, WCtrl, WOut, WCrash };
+    struct Ref {
+      FdKind K;
+      uint64_t Id;
+    };
+    std::vector<pollfd> Fds;
+    std::vector<Ref> Refs;
+    auto Add = [&](int Fd, short Ev, FdKind K, uint64_t Id) {
+      Fds.push_back({Fd, Ev, 0});
+      Refs.push_back({K, Id});
+    };
+    Add(SigPipeR, POLLIN, FdKind::Sig, 0);
+    if (!Draining)
+      Add(ListenFd, POLLIN, FdKind::Listen, 0);
+    for (auto &[Id, S] : Sessions)
+      Add(S->fd(), static_cast<short>(POLLIN | (S->wantsWrite() ? POLLOUT : 0)),
+          FdKind::Sess, Id);
+    for (auto &W : Workers) {
+      if (W->CtrlFd >= 0)
+        Add(W->CtrlFd, POLLIN, FdKind::WCtrl, static_cast<uint64_t>(W->Pid));
+      if (W->OutFd >= 0)
+        Add(W->OutFd, POLLIN, FdKind::WOut, static_cast<uint64_t>(W->Pid));
+      if (W->CrashFd >= 0)
+        Add(W->CrashFd, POLLIN, FdKind::WCrash,
+            static_cast<uint64_t>(W->Pid));
+    }
+
+    // Sleep until the next deadline: watchdog, backoff gate, or idle
+    // timer -- capped so reaping never lags a kill by much.
+    uint64_t Now = monoNowMs();
+    int TimeoutMs = 50;
+    if (uint64_t At = Dog.nextDeadlineMs())
+      TimeoutMs = static_cast<int>(
+          std::min<uint64_t>(TimeoutMs, At > Now ? At - Now : 1));
+    ::poll(Fds.data(), Fds.size(), TimeoutMs);
+
+    drainSignals();
+    if (Aborting)
+      break;
+    if (!Draining)
+      acceptClients();
+    // Flush sessions whose sockets came writable again.
+    for (size_t I = 0; I < Fds.size(); ++I)
+      if (Refs[I].K == FdKind::Sess && (Fds[I].revents & POLLOUT))
+        if (auto It = Sessions.find(Refs[I].Id); It != Sessions.end())
+          It->second->flushOut();
+    pumpSessions();
+    pumpWorkerFds();
+    for (int Pid : Dog.expired(monoNowMs()))
+      for (auto &W : Workers)
+        if (W->Pid == Pid && W->Busy && !W->TimedOut) {
+          W->TimedOut = true;
+          ::kill(Pid, SIGKILL);
+          if (Tracing)
+            TR.instant("serve", "watchdog-kill",
+                       TraceArgs()
+                           .num("pid", static_cast<int64_t>(Pid))
+                           .str("job", W->Job ? W->Job->Req.Job : "")
+                           .render());
+          verbose("watchdog killed worker %d", Pid);
+        }
+    reapWorkers();
+    dispatchReady();
+
+    // Idle-exit backstop: nothing connected, nothing queued, nothing
+    // running for IdleExitMs -> drain (which exits immediately).
+    Now = monoNowMs();
+    if (!Sessions.empty() || queuedJobs() || busyWorkers())
+      LastBusyMs = Now;
+    if (Opts.IdleExitMs && !Draining && Now - LastBusyMs >= Opts.IdleExitMs) {
+      verbose("idle for %llu ms; exiting", (unsigned long long)Opts.IdleExitMs);
+      Draining = true;
+    }
+
+    if (Tracing && Now - LastPollTraceMs >= 250) {
+      LastPollTraceMs = Now;
+      TR.counter("serve", "queue-depth", queuedJobs());
+      TR.counter("serve", "busy-workers", busyWorkers());
+      TR.counter("serve", "sessions",
+                 static_cast<uint64_t>(Sessions.size()));
+    }
+  }
+
+  // --- Shutdown. ---
+  if (Aborting) {
+    verbose("abort: killing %zu workers", Workers.size());
+    if (Tracing)
+      TR.instant("serve", "abort", "");
+    for (auto &W : Workers)
+      ::kill(W->Pid, SIGKILL);
+  } else {
+    // Drained: retire the pool; children see ctrl EOF and exit 0.
+    for (auto &W : Workers)
+      retireWorker(*W, "drain");
+  }
+  uint64_t KillAtMs = monoNowMs() + 2000;
+  while (!Workers.empty()) {
+    reapWorkers();
+    if (Workers.empty())
+      break;
+    if (monoNowMs() >= KillAtMs) {
+      for (auto &W : Workers)
+        ::kill(W->Pid, SIGKILL);
+      KillAtMs = UINT64_MAX; // kill once, keep reaping
+    }
+    ::usleep(1000);
+  }
+  // Best-effort: push out any buffered responses before closing.
+  for (auto &[Id, S] : Sessions)
+    S->flushOut();
+  Sessions.clear();
+  ::close(ListenFd);
+  ::unlink(Opts.SocketPath.c_str());
+  ::close(SigPipeR);
+  ::close(SigPipeW);
+  SigPipeW = -1;
+  ::sigaction(SIGTERM, &OldTerm, nullptr);
+  ::sigaction(SIGINT, &OldInt, nullptr);
+  ::sigaction(SIGQUIT, &OldQuit, nullptr);
+  ::sigaction(SIGPIPE, &OldPipe, nullptr);
+
+  if (Tracing) {
+    ServeSpan.endNow();
+    std::string Err;
+    if (TR.writeMerged(Opts.TracePath, Shards, Err)) {
+      std::error_code EC;
+      std::filesystem::remove_all(ShardDir, EC);
+    } else if (Error.empty()) {
+      Error = Err;
+    }
+  }
+  verbose("exit: %llu admitted, %llu completed, %llu retries, %llu respawns",
+          (unsigned long long)Totals.Admitted,
+          (unsigned long long)Totals.Completed,
+          (unsigned long long)Totals.Retries,
+          (unsigned long long)Totals.Respawns);
+  return 0;
+}
+
+} // namespace
+
+int tbaa::runServe(const ServeOptions &Opts, const ServeJobFn &Fn,
+                   std::string &Error) {
+  Daemon D(Opts, Fn);
+  return D.run(Error);
+}

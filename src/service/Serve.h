@@ -1,0 +1,115 @@
+//===- Serve.h - The persistent compile daemon ------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// m3serve's engine: a long-lived, single-threaded daemon that accepts
+/// compile jobs over a Unix-domain socket as JSONL requests and answers
+/// each with a journal-schema response line, executing jobs on a pool
+/// of pre-forked **warm** workers that survive across jobs. Where the
+/// batch engine (Batch.h) pays a fork per job, the daemon pays it once
+/// per worker: between jobs a worker is re-sandboxed in place (CPU
+/// rlimit re-armed, cwd restored, stray fds closed) and handed the next
+/// request over its control socket. The paper's claim that TBAA is
+/// nearly free per compile only survives service traffic if the
+/// per-job orchestration around it is too.
+///
+/// Robustness is the headline, so the failure ladder is explicit:
+///
+///  * Admission control: a bounded global queue plus a per-client
+///    bound, round-robin dispatch across clients. Past either bound
+///    the daemon answers `{"job":...,"error":"overloaded",
+///    "retry_after_ms":N}` instead of buffering without limit.
+///  * A worker that crashes or hangs mid-job is SIGKILLed/reaped and
+///    transparently respawned; the in-flight job retries down the
+///    precision ladder (full -> typedecl -> noopt) with backoff,
+///    exactly like the batch engine, and every attempt is journaled.
+///  * A client that disconnects has its queued jobs cancelled and its
+///    in-flight jobs orphaned (they finish, reach the journal, and the
+///    response is dropped).
+///  * SIGTERM/SIGINT drain: stop accepting, reject new requests with
+///    `{"error":"draining"}`, finish every admitted job, flush the
+///    journal, exit 0. SIGQUIT aborts fast: workers are killed and the
+///    daemon exits without settling the queue.
+///  * `{"req":"health"}` / `{"req":"stats"}` answer immediately with
+///    live workers, queue depth, ladder downgrades and the admission
+///    counters (stats adds latency quantiles).
+///
+/// The engine is driver-agnostic like runBatch: a job is whatever the
+/// ServeJobFn makes of the request, so ServeTests drives it with
+/// planted crashers and m3serve with real compilations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_SERVE_H
+#define TBAA_SERVICE_SERVE_H
+
+#include "service/Retry.h"
+#include "service/Worker.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace tbaa {
+
+/// One parsed request line. Kind is "compile", "health" or "stats";
+/// Fields holds every key of the request verbatim (notably "job", and
+/// "source" for inline-source jobs).
+struct ServeRequest {
+  std::string Kind;
+  std::string Job;
+  std::map<std::string, std::string> Fields;
+};
+
+/// The per-job body, run inside a warm worker for every attempt: given
+/// the request and the attempt's precision rung, do the work, write an
+/// optional flat-JSON payload line ({"main":N,...}) to \p PayloadFd and
+/// return an m3lc exit code (0 ok, 1 diagnostics, 2 usage, 3 internal).
+using ServeJobFn =
+    std::function<int(const ServeRequest &Req, DegradeLevel Level,
+                      int PayloadFd)>;
+
+struct ServeOptions {
+  std::string SocketPath;
+  /// Warm workers kept alive (clamped to at least 1).
+  unsigned Workers = 2;
+  /// Per-attempt sandbox caps; WallMs is enforced by the daemon's
+  /// watchdog, CpuSeconds is re-armed between jobs of a warm worker.
+  WorkerLimits Limits;
+  RetryPolicy Retry;
+  /// Admitted-but-unassigned jobs across all clients; past this the
+  /// daemon answers `overloaded`. Clamped to at least 1.
+  unsigned MaxQueue = 64;
+  /// Queued jobs any single client may hold (its fair share).
+  unsigned MaxQueuePerClient = 16;
+  /// The retry-after hint carried by overloaded responses.
+  uint64_t RetryAfterMs = 100;
+  /// Retire a worker after this many jobs and fork a fresh one
+  /// (leak/arena hygiene, classic prefork recycling); 0 = never.
+  unsigned MaxJobsPerWorker = 0;
+  /// Simultaneous client connections; further accepts are closed.
+  unsigned MaxSessions = 64;
+  /// Append-only JSONL journal of every attempt; empty disables.
+  std::string JournalPath;
+  /// Merged Chrome trace timeline; empty disables. Workers stream
+  /// shards to <TracePath>.shards/, merged at exit like m3batch.
+  std::string TracePath;
+  /// Exit (as if SIGTERMed) after this long with no clients and no
+  /// work; 0 = run until signalled. A CI backstop against orphans.
+  uint64_t IdleExitMs = 0;
+  /// Per-event progress lines on stderr.
+  bool Verbose = false;
+};
+
+/// Runs the daemon until a signal ends it. Returns the process exit
+/// code: 0 after a drain or abort, 3 on a driver error (socket unbindable,
+/// journal unwritable...) with \p Error set.
+int runServe(const ServeOptions &Opts, const ServeJobFn &Fn,
+             std::string &Error);
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_SERVE_H

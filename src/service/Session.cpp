@@ -1,0 +1,60 @@
+//===- Session.cpp --------------------------------------------------------===//
+
+#include "service/Session.h"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace tbaa;
+
+Session::Session(uint64_t Id, int Fd) : Id(Id), Fd(Fd) {}
+
+Session::~Session() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool Session::pump() {
+  if (Finished || Poisoned)
+    return false;
+  switch (Reader.fill(Fd)) {
+  case net::LineReader::Status::Ok:
+    return true;
+  case net::LineReader::Status::Eof:
+    Finished = true;
+    return false;
+  case net::LineReader::Status::TooLong:
+    Poisoned = true;
+    return false;
+  case net::LineReader::Status::Error:
+    Finished = true;
+    return false;
+  }
+  return false;
+}
+
+void Session::send(const std::string &Line) {
+  OutBuf += Line;
+  OutBuf += '\n';
+  flushOut();
+}
+
+bool Session::flushOut() {
+  while (OutPos < OutBuf.size()) {
+    ssize_t N = ::send(Fd, OutBuf.data() + OutPos, OutBuf.size() - OutPos,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return true; // retry on the next POLLOUT
+      return false;  // peer gone
+    }
+    OutPos += static_cast<size_t>(N);
+  }
+  OutBuf.clear();
+  OutPos = 0;
+  return true;
+}

@@ -1,0 +1,93 @@
+//===- Session.h - One m3serve client connection ----------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-client state of the compile daemon: the connection fd, the JSONL
+/// request reader, a nonblocking outbound buffer, and the fair-queue
+/// accounting the admission controller charges against. A session never
+/// owns jobs -- the daemon does -- it owns the *counts* (queued,
+/// in-flight) that bound one client's share of the service and make
+/// round-robin dispatch fair across clients.
+///
+/// Disconnect semantics (docs/ROBUSTNESS.md): when the peer closes or
+/// errors, pump()/flushOut() report it and the daemon decides -- queued
+/// jobs are cancelled (never started, nothing lost), in-flight jobs are
+/// orphaned (they finish and reach the journal; only the response is
+/// dropped). Writes use MSG_NOSIGNAL so a vanished client can never
+/// SIGPIPE the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SERVICE_SESSION_H
+#define TBAA_SERVICE_SESSION_H
+
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tbaa {
+
+class Session {
+public:
+  /// Takes ownership of \p Fd (nonblocking).
+  Session(uint64_t Id, int Fd);
+  ~Session();
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  uint64_t id() const { return Id; }
+  int fd() const { return Fd; }
+
+  /// Drains the socket into the request reader. Returns false when the
+  /// connection is finished (peer EOF after all buffered requests are
+  /// consumed, a read error, or an over-cap request line) -- the caller
+  /// should process remaining requests via nextRequest() first when
+  /// half-closed, then disconnect.
+  bool pump();
+
+  /// True once the peer has EOFed or errored; buffered complete
+  /// requests may still be pending.
+  bool finished() const { return Finished; }
+  /// True when the client sent an over-long line; the framing is gone
+  /// and the connection must be dropped without parsing further.
+  bool poisoned() const { return Poisoned; }
+
+  /// Pops the next complete request line.
+  bool nextRequest(std::string &Line) { return Reader.next(Line); }
+
+  /// Queues \p Line (newline appended) and attempts an immediate
+  /// nonblocking flush.
+  void send(const std::string &Line);
+
+  /// Pushes buffered output. Returns false on a write error (peer
+  /// gone); EAGAIN simply leaves the rest for the next POLLOUT.
+  bool flushOut();
+  bool wantsWrite() const { return !OutBuf.empty(); }
+
+  // --- Fair-share accounting, charged by the daemon. ---
+  unsigned queued() const { return Queued; }
+  unsigned inFlight() const { return InFlight; }
+  void noteQueued() { ++Queued; }
+  void noteDequeued() { --Queued; }
+  void noteStarted() { ++InFlight; }
+  void noteSettled() { --InFlight; }
+
+private:
+  uint64_t Id;
+  int Fd;
+  net::LineReader Reader;
+  std::string OutBuf;
+  size_t OutPos = 0;
+  bool Finished = false;
+  bool Poisoned = false;
+  unsigned Queued = 0;
+  unsigned InFlight = 0;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SERVICE_SESSION_H

@@ -2,8 +2,9 @@
 
 #include "service/WorkerPool.h"
 
+#include "service/Sandbox.h"
 #include "support/Metrics.h"
-#include "support/SafeIO.h"
+#include "support/Socket.h"
 #include "support/Timing.h"
 #include "support/Trace.h"
 
@@ -19,137 +20,10 @@
 
 using namespace tbaa;
 
-// Address-space caps and AddressSanitizer's shadow reservation do not
-// coexist; the sandbox skips RLIMIT_AS in instrumented builds.
-#if defined(__SANITIZE_ADDRESS__)
-#define TBAA_ASAN_BUILD 1
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define TBAA_ASAN_BUILD 1
-#endif
-#endif
-#ifndef TBAA_ASAN_BUILD
-#define TBAA_ASAN_BUILD 0
-#endif
-
 TBAA_HISTOGRAM(QueueWaitMs, "batch", "queue-wait-ms",
                "Time a ready item waited for a free worker slot", "ms");
 
 namespace {
-
-/// Output capture cap per worker: a flooding job is a robustness case,
-/// not a reason for the parent to balloon.
-constexpr size_t MaxCapturedOutput = 1 << 20;
-
-/// Crash-record pipe, valid only inside a worker child.
-int CrashFdG = -1;
-
-const char *signalShortName(int Sig) {
-  switch (Sig) {
-  case SIGSEGV:
-    return "SIGSEGV";
-  case SIGBUS:
-    return "SIGBUS";
-  case SIGILL:
-    return "SIGILL";
-  case SIGFPE:
-    return "SIGFPE";
-  case SIGABRT:
-    return "SIGABRT";
-  case SIGXCPU:
-    return "SIGXCPU";
-  case SIGKILL:
-    return "SIGKILL";
-  default:
-    return "SIG?";
-  }
-}
-
-/// Translates a fatal signal into one structured JSON line on the crash
-/// pipe, then re-raises with default disposition so the parent's wait4
-/// still sees the true termination signal. Async-signal-safe throughout
-/// (SafeIO; phaseCStr is a pre-rendered buffer).
-void crashHandler(int Sig) {
-  if (CrashFdG >= 0) {
-    safeio::LineBuf B;
-    B.append("{\"signal\":").appendInt(Sig);
-    B.append(",\"name\":\"").append(signalShortName(Sig));
-    B.append("\",\"phase\":\"");
-    B.appendJSONEscaped(TimerRegistry::instance().phaseCStr());
-    B.append("\"}\n");
-    B.writeTo(CrashFdG);
-  }
-  ::signal(Sig, SIG_DFL);
-  ::raise(Sig);
-}
-
-void installCrashHandlers() {
-  // An alternate stack so even a stack-overflow SIGSEGV gets recorded.
-  static char AltStack[64 * 1024];
-  stack_t SS{};
-  SS.ss_sp = AltStack;
-  SS.ss_size = sizeof(AltStack);
-  ::sigaltstack(&SS, nullptr);
-
-  struct sigaction SA;
-  SA.sa_handler = crashHandler;
-  ::sigemptyset(&SA.sa_mask);
-  SA.sa_flags = SA_ONSTACK;
-  for (int Sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT, SIGXCPU})
-    ::sigaction(Sig, &SA, nullptr);
-}
-
-void applyLimits(const WorkerLimits &L) {
-  if (L.CpuSeconds) {
-    // Soft cap delivers SIGXCPU (recorded by the handler); the hard cap
-    // two seconds later is the kernel's backstop if that wedges.
-    rlimit R{L.CpuSeconds, L.CpuSeconds + 2};
-    ::setrlimit(RLIMIT_CPU, &R);
-  }
-  if (L.MemoryMB && !TBAA_ASAN_BUILD) {
-    rlimit R{L.MemoryMB << 20, L.MemoryMB << 20};
-    ::setrlimit(RLIMIT_AS, &R);
-  }
-  // Workers crash on purpose in tests and by accident in batches; no
-  // core dumps either way.
-  rlimit Core{0, 0};
-  ::setrlimit(RLIMIT_CORE, &Core);
-}
-
-void setNonBlocking(int Fd) {
-  int Flags = ::fcntl(Fd, F_GETFL, 0);
-  if (Flags >= 0)
-    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
-}
-
-void appendCapped(std::string &Out, const char *Buf, size_t N) {
-  if (Out.size() >= MaxCapturedOutput)
-    return;
-  Out.append(Buf, std::min(N, MaxCapturedOutput - Out.size()));
-}
-
-/// Reads whatever \p Fd has without blocking; closes it (and marks -1)
-/// at EOF. Returns false once the fd is closed.
-bool drainFd(int &Fd, std::string &Into) {
-  if (Fd < 0)
-    return false;
-  char Buf[4096];
-  while (true) {
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
-    if (N > 0) {
-      appendCapped(Into, Buf, static_cast<size_t>(N));
-      continue;
-    }
-    if (N == 0) {
-      ::close(Fd);
-      Fd = -1;
-      return false;
-    }
-    if (errno == EINTR)
-      continue;
-    return true; // EAGAIN: writer still alive
-  }
-}
 
 uint64_t timevalMs(const timeval &TV) {
   return static_cast<uint64_t>(TV.tv_sec) * 1000u +
@@ -220,11 +94,8 @@ bool WorkerPool::spawn(const Item &I) {
     ::dup2(OutP[1], STDOUT_FILENO);
     ::dup2(OutP[1], STDERR_FILENO);
     ::close(OutP[1]);
-    applyLimits(I.Limits);
-    CrashFdG = CrashP[1];
-    // First-touch outside handler context: instance() lazily constructs.
-    (void)TimerRegistry::instance().phaseCStr();
-    installCrashHandlers();
+    sandbox::applyLimits(I.Limits);
+    sandbox::installCrashHandlers(CrashP[1]);
     int RC = 3;
     try {
       RC = I.Fn(PayloadP[1]);
@@ -243,7 +114,7 @@ bool WorkerPool::spawn(const Item &I) {
   ::close(CrashP[1]);
   ::close(OutP[1]);
   for (int Fd : {PayloadP[0], CrashP[0], OutP[0]})
-    setNonBlocking(Fd);
+    net::setNonBlocking(Fd);
   Live W;
   W.Key = I.Key;
   W.Pid = Pid;
@@ -265,9 +136,9 @@ bool WorkerPool::spawn(const Item &I) {
 }
 
 void WorkerPool::drainPipes(Live &W) {
-  drainFd(W.PayloadFd, W.R.Payload);
-  drainFd(W.CrashFd, W.R.CrashRecord);
-  drainFd(W.OutFd, W.R.Output);
+  sandbox::drainFd(W.PayloadFd, W.R.Payload, sandbox::MaxCapturedOutput);
+  sandbox::drainFd(W.CrashFd, W.R.CrashRecord, sandbox::MaxCapturedOutput);
+  sandbox::drainFd(W.OutFd, W.R.Output, sandbox::MaxCapturedOutput);
 }
 
 void WorkerPool::killExpired(uint64_t NowMs) {

@@ -54,17 +54,25 @@ public:
     return *this;
   }
 
-  /// Appends \p S with JSON string escaping (quotes, backslashes;
-  /// control bytes become spaces -- \uXXXX needs formatting we skip in
-  /// handler context).
+  /// Appends \p S with JSON string escaping: quotes and backslashes get
+  /// a backslash, control bytes become \u00XX (rendered with a lookup
+  /// table -- no snprintf, so still async-signal-safe). A record built
+  /// here round-trips through parseFlatJSONObject byte-for-byte.
   LineBuf &appendJSONEscaped(const char *S) {
-    for (; *S && Len + 2 < sizeof(Buf); ++S) {
+    static const char Hex[] = "0123456789abcdef";
+    for (; *S && Len + 6 < sizeof(Buf); ++S) {
       char C = *S;
       if (C == '"' || C == '\\') {
         Buf[Len++] = '\\';
         Buf[Len++] = C;
       } else if (static_cast<unsigned char>(C) < 0x20) {
-        Buf[Len++] = ' ';
+        unsigned char U = static_cast<unsigned char>(C);
+        Buf[Len++] = '\\';
+        Buf[Len++] = 'u';
+        Buf[Len++] = '0';
+        Buf[Len++] = '0';
+        Buf[Len++] = Hex[U >> 4];
+        Buf[Len++] = Hex[U & 0xf];
       } else {
         Buf[Len++] = C;
       }

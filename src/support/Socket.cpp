@@ -1,0 +1,156 @@
+//===- Socket.cpp ---------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tbaa;
+
+namespace {
+
+/// Fills \p SA from \p Path; false (ENAMETOOLONG) when it does not fit.
+bool fillAddr(const std::string &Path, sockaddr_un &SA) {
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sun_family = AF_UNIX;
+  if (Path.size() + 1 > sizeof(SA.sun_path)) {
+    errno = ENAMETOOLONG;
+    return false;
+  }
+  std::memcpy(SA.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+bool net::setNonBlocking(int Fd, bool NonBlocking) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  Flags = NonBlocking ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  return ::fcntl(Fd, F_SETFL, Flags) == 0;
+}
+
+int net::listenUnix(const std::string &Path, int Backlog) {
+  sockaddr_un SA;
+  if (!fillAddr(Path, SA))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return -1;
+  // A stale socket file from a dead daemon would make bind fail with
+  // EADDRINUSE forever; a *live* daemon keeps running regardless, so
+  // unlink-then-bind is the standard idiom (single-daemon-per-path is
+  // the operator's contract, not the kernel's).
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) != 0 ||
+      ::listen(Fd, Backlog) != 0) {
+    int E = errno;
+    ::close(Fd);
+    errno = E;
+    return -1;
+  }
+  setNonBlocking(Fd);
+  return Fd;
+}
+
+int net::connectUnix(const std::string &Path) {
+  sockaddr_un SA;
+  if (!fillAddr(Path, SA))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) != 0) {
+    int E = errno;
+    ::close(Fd);
+    errno = E;
+    return -1;
+  }
+  return Fd;
+}
+
+int net::acceptUnix(int ListenFd) {
+  int Fd = ::accept(ListenFd, nullptr, nullptr);
+  if (Fd < 0)
+    return -1;
+  setNonBlocking(Fd);
+  return Fd;
+}
+
+bool net::writeAllPolled(int Fd, const char *Data, size_t Len) {
+  while (Len) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd P{Fd, POLLOUT, 0};
+        ::poll(&P, 1, 100);
+        continue;
+      }
+      return false;
+    }
+    Data += static_cast<size_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+net::LineReader::Status net::LineReader::fill(int Fd) {
+  char Chunk[4096];
+  while (true) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N > 0) {
+      Buf.append(Chunk, static_cast<size_t>(N));
+      // Cap check on the first pending line only: Scan never skips an
+      // unconsumed newline, so find-from-Scan is the line's terminator.
+      size_t NL = Buf.find('\n', Scan);
+      if (NL == std::string::npos) {
+        Scan = Buf.size();
+        if (buffered() > MaxLine)
+          return Status::TooLong;
+      } else if (NL - Pos > MaxLine) {
+        return Status::TooLong;
+      }
+      continue;
+    }
+    if (N == 0)
+      return Status::Eof;
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return Status::Ok;
+    return Status::Error;
+  }
+}
+
+bool net::LineReader::next(std::string &Out) {
+  size_t NL = Buf.find('\n', Scan);
+  if (NL == std::string::npos) {
+    Scan = Buf.size();
+    compact();
+    return false;
+  }
+  size_t End = NL;
+  if (End > Pos && Buf[End - 1] == '\r')
+    --End;
+  Out.assign(Buf, Pos, End - Pos);
+  Pos = NL + 1;
+  Scan = Pos;
+  return true;
+}
+
+void net::LineReader::compact() {
+  if (Pos == 0)
+    return;
+  Buf.erase(0, Pos);
+  Scan -= Pos;
+  Pos = 0;
+}

@@ -1,0 +1,87 @@
+//===- Socket.h - Unix-domain sockets and JSONL framing ---------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire layer of the m3serve compile daemon (docs/ROBUSTNESS.md):
+/// Unix-domain stream sockets plus newline-delimited-JSON framing. The
+/// daemon's single-threaded poll loop keeps every fd nonblocking, so
+/// LineReader accumulates whatever read() yields and hands back only
+/// complete lines -- a request split across packets is invisible to the
+/// parser, a request without a newline is not yet a request. Lines are
+/// capped (an unframed flood from one client is a robustness case, not
+/// a reason for the daemon to balloon), and the cap is an explicit
+/// per-connection error, never silent truncation of someone's source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_SOCKET_H
+#define TBAA_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <string>
+
+namespace tbaa::net {
+
+/// Binds and listens on a Unix-domain stream socket at \p Path,
+/// unlinking any stale socket first. Returns the listening fd, or -1
+/// with errno set. AF_UNIX paths are limited to ~107 bytes; longer
+/// paths fail with ENAMETOOLONG rather than being truncated.
+int listenUnix(const std::string &Path, int Backlog = 16);
+
+/// Connects to the daemon at \p Path. Returns the fd or -1 with errno.
+int connectUnix(const std::string &Path);
+
+/// Accepts one connection from \p ListenFd (nonblocking listener).
+/// Returns the connection fd set nonblocking, or -1 (EAGAIN when no
+/// connection is pending).
+int acceptUnix(int ListenFd);
+
+/// Sets O_NONBLOCK on \p Fd. Returns false on fcntl failure.
+bool setNonBlocking(int Fd, bool NonBlocking = true);
+
+/// Writes all of \p Data to a possibly-nonblocking \p Fd, polling the
+/// fd writable on EAGAIN. Returns false on a real error (EPIPE when
+/// the peer vanished); the caller treats that as a disconnect, never a
+/// crash -- SIGPIPE must already be ignored or masked.
+bool writeAllPolled(int Fd, const char *Data, size_t Len);
+
+/// Accumulates bytes from a nonblocking fd and yields complete
+/// '\n'-terminated lines (the newline is stripped; a trailing '\r' too,
+/// for hand-typed telnet-style clients).
+class LineReader {
+public:
+  explicit LineReader(size_t MaxLineBytes = 1 << 20)
+      : MaxLine(MaxLineBytes) {}
+
+  enum class Status {
+    Ok,      ///< Drained what was available; connection still open.
+    Eof,     ///< Peer closed; buffered complete lines remain readable.
+    Error,   ///< read() failed (not EAGAIN/EINTR).
+    TooLong, ///< A line exceeded the cap; the connection is poisoned.
+  };
+
+  /// Reads until EAGAIN/EOF, appending to the internal buffer.
+  Status fill(int Fd);
+
+  /// Pops the next complete line into \p Out. Returns false when no
+  /// complete line is buffered.
+  bool next(std::string &Out);
+
+  /// Bytes buffered but not yet returned (incomplete tail included).
+  size_t buffered() const { return Buf.size() - Pos; }
+
+private:
+  void compact();
+
+  std::string Buf;
+  size_t Pos = 0; ///< Start of unconsumed data within Buf.
+  size_t Scan = 0; ///< How far we have already searched for '\n'.
+  size_t MaxLine;
+};
+
+} // namespace tbaa::net
+
+#endif // TBAA_SUPPORT_SOCKET_H

@@ -108,6 +108,10 @@ public:
 
   bool streaming() const { return ShardFd >= 0; }
 
+  /// The streaming shard's fd, or -1. Warm workers' between-job fd
+  /// hygiene must know which fds are load-bearing.
+  int shardFd() const { return ShardFd; }
+
   /// Span begin/end ("B"/"E"). Ends may carry args too (attached to the
   /// "E" record, where Perfetto unions them with the begin's).
   void begin(const char *Cat, const std::string &Name,

@@ -755,11 +755,31 @@ TEST(SafeIO, LineBufBuildsEscapedJSONWithoutAllocating) {
   B.appendInt(-7);
   B.append("}");
   std::string S(B.data(), B.size());
-  EXPECT_EQ(S, "{\"name\":\"say \\\"hi\\\"\\\\ \",\"n\":42,\"i\":-7}")
-      << "control bytes become spaces, quotes and backslashes escape";
+  EXPECT_EQ(S, "{\"name\":\"say \\\"hi\\\"\\\\\\u000a\",\"n\":42,\"i\":-7}")
+      << "control bytes become \\u00XX, quotes and backslashes escape";
   std::map<std::string, std::string> Out;
   EXPECT_TRUE(parseFlatJSONObject(S, Out))
       << "what the handler writes, the journal parser must read";
+  EXPECT_EQ(Out["name"], "say \"hi\"\\\n")
+      << "a crash record's newline must survive the JSONL round trip";
+}
+
+TEST(SafeIO, ControlBytesRoundTripThroughTheFlatParser) {
+  // Every control byte a worker's output could smuggle into a crash
+  // record must come back out byte-identical, not as whitespace soup.
+  std::string Input;
+  for (int C = 1; C < 0x20; ++C)
+    Input.push_back(static_cast<char>(C));
+  safeio::LineBuf B;
+  B.append("{\"raw\":\"");
+  B.appendJSONEscaped(Input.c_str());
+  B.append("\"}");
+  std::string S(B.data(), B.size());
+  EXPECT_EQ(S.find('\n'), std::string::npos)
+      << "an escaped record must stay a single JSONL line";
+  std::map<std::string, std::string> Out;
+  ASSERT_TRUE(parseFlatJSONObject(S, Out)) << S;
+  EXPECT_EQ(Out["raw"], Input);
 }
 
 TEST(SafeIO, LineBufTruncatesInsteadOfOverflowing) {

@@ -1,0 +1,178 @@
+//===- CompileJobs.h - Shared compile-job bodies for m3batch/m3serve ------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one compile-and-run worker body both service drivers execute
+/// inside their sandboxed children, plus the job-name resolver they
+/// share: bundled workload names, .m3l file paths, `gen:SEED` generated
+/// programs, and the planted fault injectors (`@crash`, `@hang`,
+/// `@budget`) the robustness tests use. m3batch forks a cold worker per
+/// attempt; m3serve loops jobs through warm workers -- the body itself
+/// must not care, so it takes everything through arguments and reports
+/// through the payload fd and the m3lc exit-code contract (0 ok,
+/// 1 diagnostics/trap, 2 usage, 3 internal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_TOOLS_COMPILEJOBS_H
+#define TBAA_TOOLS_COMPILEJOBS_H
+
+#include "analysis/AnalysisManager.h"
+#include "exec/VM.h"
+#include "ir/Pipeline.h"
+#include "opt/PassPipeline.h"
+#include "service/BatchConfig.h"
+#include "service/Retry.h"
+#include "support/Budget.h"
+#include "support/JSONUtil.h"
+#include "support/Metrics.h"
+#include "support/SafeIO.h"
+#include "workloads/Generator.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tbaa::jobs {
+
+inline AliasLevel levelFromName(const std::string &Name) {
+  if (Name == "typedecl")
+    return AliasLevel::TypeDecl;
+  if (Name == "fieldtypedecl")
+    return AliasLevel::FieldTypeDecl;
+  return AliasLevel::SMFieldTypeRefs;
+}
+
+/// Pipeline toggles the drivers pass through to every job.
+struct CompileFlags {
+  bool Pipeline = false;
+  bool PRE = false;
+  bool VerifyAnalyses = false;
+};
+
+/// The compile-and-run worker body at one ladder rung. Runs inside a
+/// sandboxed child (cold or warm); follows the m3lc exit-code contract.
+inline int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
+                         const CompileFlags &Flags, DegradeLevel D,
+                         int PayloadFd) {
+  // Metrics are on in every worker: the oracle latency histogram feeds
+  // the per-job summary in the payload (and thence the journal).
+  MetricsRegistry::instance().setEnabled(true);
+  // Fleet-wide per-job defaults (--config): analysis budget and the
+  // diagnostic cap govern every worker identically.
+  BudgetRegistry::instance().setAllLimits(Cfg.AnalysisBudget);
+  DiagnosticEngine Diags;
+  Diags.setMaxDiagnostics(Cfg.MaxErrors);
+  Compilation C = compileSource(Source, Diags);
+  if (!C.ok()) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return 1;
+  }
+
+  if (D != DegradeLevel::NoOpt) {
+    AliasLevel L = D == DegradeLevel::Full ? levelFromName(Cfg.Level)
+                                           : AliasLevel::TypeDecl;
+    // One analysis manager per job: context, oracle, call graph, mod-ref,
+    // dominators and loops are built once here and shared by every pass.
+    AnalysisManager AM(C.ast(), C.types(),
+                       {.Level = L, .VerifyAnalyses = Flags.VerifyAnalyses});
+    PipelineOptions PO;
+    PO.Devirt = PO.Inline = PO.CopyProp =
+        Flags.Pipeline && D == DegradeLevel::Full;
+    PO.RLE = true;
+    PO.PRE = Flags.PRE && D == DegradeLevel::Full;
+    PO.VerifyEach = true;
+    PO.VerifyAnalyses = Flags.VerifyAnalyses;
+    OptPipeline P(AM, PO);
+    if (PipelineFailure F = P.run(C.IR); F.failed()) {
+      std::fprintf(stderr,
+                   "compile worker: IR verification failed after pass '%s' "
+                   "in function '%s':\n%s\n",
+                   F.Pass.c_str(), F.Function.c_str(), F.Error.c_str());
+      return 3;
+    }
+  }
+
+  VM Machine(C.IR);
+  if (!Machine.runInit()) {
+    std::fprintf(stderr, "compile worker: %s\n",
+                 Machine.trapMessage().c_str());
+    return 1;
+  }
+  std::optional<int64_t> R = Machine.callFunction("Main");
+  if (!R) {
+    std::fprintf(stderr, "compile worker: %s\n",
+                 Machine.trapped() ? Machine.trapMessage().c_str()
+                                   : "program has no Main(): INTEGER");
+    return 1;
+  }
+  // Flat payload object (the parent's parser rejects nesting): result
+  // plus the oracle latency summary for this job's journal record.
+  json::Writer W;
+  W.beginObject();
+  W.key("main").value(static_cast<int64_t>(*R));
+  W.key("degrade").value(degradeLevelName(D));
+  if (const Histogram *H =
+          MetricsRegistry::instance().findHistogram("oracle", "query-ns")) {
+    Histogram::Snapshot S = H->snapshot();
+    W.key("oracle_queries").value(S.Count);
+    W.key("oracle_p50_ns").value(S.quantile(0.50));
+    W.key("oracle_p90_ns").value(S.quantile(0.90));
+    W.key("oracle_max_ns").value(S.Max);
+  }
+  W.endObject();
+  std::string Line = W.str() + "\n";
+  safeio::writeAll(PayloadFd, Line.data(), Line.size());
+  return 0;
+}
+
+inline std::string loadFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return {};
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Resolves a non-fault job name (workload, gen:SEED, .m3l path) to M3L
+/// source. Returns false on an unresolvable name.
+inline bool resolveJobSource(const std::string &Name, std::string &Source) {
+  if (Name.rfind("gen:", 0) == 0) {
+    char *End = nullptr;
+    uint64_t Seed = std::strtoull(Name.c_str() + 4, &End, 10);
+    if (!End || *End)
+      return false;
+    GeneratorOptions GO;
+    GO.Seed = Seed;
+    Source = generateProgram(GO);
+    return true;
+  }
+  if (const WorkloadInfo *W = findWorkload(Name)) {
+    Source = W->Source;
+    return true;
+  }
+  Source = loadFileOrEmpty(Name);
+  return !Source.empty();
+}
+
+inline std::vector<std::string> splitCommas(const std::string &S) {
+  std::vector<std::string> Out;
+  std::istringstream In(S);
+  std::string Tok;
+  while (std::getline(In, Tok, ','))
+    if (!Tok.empty())
+      Out.push_back(Tok);
+  return Out;
+}
+
+} // namespace tbaa::jobs
+
+#endif // TBAA_TOOLS_COMPILEJOBS_H

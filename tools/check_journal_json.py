@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Schema and resume check for the m3batch JSONL journal.
+"""Schema and resume check for the m3batch/m3serve JSONL journals.
 
-Drives the m3batch binary through the two flagship robustness scenarios
-(docs/ROBUSTNESS.md) and validates the journal it leaves behind:
+Batch mode drives the m3batch binary through the two flagship
+robustness scenarios (docs/ROBUSTNESS.md) and validates the journal it
+leaves behind:
 
   * Planted batch: a SIGSEGV worker (@crash), an infinite loop (@hang),
     a budget-starved compile (@budget) and a clean workload must all
@@ -16,14 +17,27 @@ Drives the m3batch binary through the two flagship robustness scenarios
     A+B under --resume. Only B may execute (the resume banner reports
     one skipped job) and A's journal record must survive untouched.
 
+Serve mode starts an m3serve daemon, talks to it over its Unix socket
+and validates the wire schema end to end: health/stats responses carry
+the documented counters, each compile response is a journal-schema
+final record that matches the journal's own final record for that job
+byte for byte (a planted @crash included, which must walk the ladder
+without taking the daemon down), malformed and unknown requests earn
+`{"error":"bad-request"}`, and a SIGTERM drain exits 0 leaving a
+journal that passes the same per-job invariants as the batch one.
+
 Usage: check_journal_json.py <path-to-m3batch-binary>
+       check_journal_json.py serve <path-to-m3serve-binary>
 Exit status 0 on success, 1 on any violation.
 """
 
 import json
+import signal
+import socket
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 OUTCOMES = {"ok", "diagnostics", "usage", "internal", "crash", "timeout"}
@@ -88,25 +102,8 @@ def parse_journal(path):
     return records
 
 
-def check_planted(binary, tmp):
-    journal = tmp / "planted.jsonl"
-    proc = subprocess.run(
-        [str(binary), "--jobs=@crash,@hang,@budget,format", "--parallel=2",
-         "--timeout-ms=2000", "--retries=2", "--backoff-ms=1",
-         f"--journal={journal}", f"--crash-dir={tmp / 'crashes'}"],
-        capture_output=True, text=True, timeout=600)
-    if proc.returncode != 0:
-        fail(f"planted batch exited {proc.returncode} (want 0: job "
-             f"failures are outcomes, not batch failures):\n{proc.stderr}")
-        return
-    records = parse_journal(journal)
-
-    by_job = {}
-    for record in records:
-        by_job.setdefault(record["job"], []).append(record)
-    if set(by_job) != {"@crash", "@hang", "@budget", "format"}:
-        fail(f"journal covers jobs {sorted(by_job)}, expected the 4 planted")
-
+def check_job_invariants(by_job):
+    """Per-job journal invariants shared by the batch and serve modes."""
     for job, attempts in by_job.items():
         for index, record in enumerate(attempts):
             if record["attempt"] != index + 1:
@@ -127,6 +124,28 @@ def check_planted(binary, tmp):
             if record["final"] != (record["backoff_ms"] == 0):
                 fail(f"{job}: attempt {record['attempt']}: backoff_ms="
                      f"{record['backoff_ms']} with final={record['final']}")
+
+
+def check_planted(binary, tmp):
+    journal = tmp / "planted.jsonl"
+    proc = subprocess.run(
+        [str(binary), "--jobs=@crash,@hang,@budget,format", "--parallel=2",
+         "--timeout-ms=2000", "--retries=2", "--backoff-ms=1",
+         f"--journal={journal}", f"--crash-dir={tmp / 'crashes'}"],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"planted batch exited {proc.returncode} (want 0: job "
+             f"failures are outcomes, not batch failures):\n{proc.stderr}")
+        return
+    records = parse_journal(journal)
+
+    by_job = {}
+    for record in records:
+        by_job.setdefault(record["job"], []).append(record)
+    if set(by_job) != {"@crash", "@hang", "@budget", "format"}:
+        fail(f"journal covers jobs {sorted(by_job)}, expected the 4 planted")
+
+    check_job_invariants(by_job)
 
     def final(job):
         return [r for r in by_job.get(job, []) if r["final"]][0]
@@ -192,7 +211,175 @@ def check_resume(binary, tmp):
              f"['format', 'dformat']")
 
 
+# Counters every health response must carry; stats adds the second set.
+HEALTH_KEYS = ("health", "workers", "busy", "queue_depth", "sessions",
+               "admitted", "completed", "overloaded", "retries",
+               "downgrades", "respawns", "recycles", "uptime_ms")
+STATS_KEYS = HEALTH_KEYS + (
+    "disconnects", "cancelled", "bad_requests", "rejected_draining",
+    "max_queue", "max_queue_per_client", "queue_wait_p50_ms",
+    "queue_wait_p90_ms", "job_warm_p50_ms", "job_cold_p50_ms")
+
+
+def check_status(line, keys, where):
+    try:
+        status = json.loads(line)
+    except json.JSONDecodeError as exc:
+        fail(f"{where}: invalid JSON: {exc}")
+        return {}
+    for key in keys:
+        if key not in status:
+            fail(f"{where}: missing '{key}'")
+        elif key != "health" and (not isinstance(status[key], int)
+                                  or isinstance(status[key], bool)):
+            fail(f"{where}: '{key}' = {status[key]!r} is not an int")
+    if set(status) - set(keys):
+        fail(f"{where}: undocumented keys {sorted(set(status) - set(keys))}")
+    if status.get("health") not in ("ok", "draining"):
+        fail(f"{where}: health = {status.get('health')!r}")
+    return status
+
+
+def serve_connect(path, deadline_s=5.0):
+    giveup = time.monotonic() + deadline_s
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(str(path))
+            return sock
+        except OSError:
+            sock.close()
+            if time.monotonic() >= giveup:
+                return None
+            time.sleep(0.02)
+
+
+def check_serve(binary, tmp):
+    sock_path = tmp / "serve.sock"
+    journal = tmp / "serve.jsonl"
+    daemon = subprocess.Popen(
+        [str(binary), "serve", f"--socket={sock_path}", "--workers=2",
+         "--timeout-ms=2000", "--retries=2", "--backoff-ms=1",
+         f"--journal={journal}", "--idle-exit-ms=60000"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        sock = serve_connect(sock_path)
+        if sock is None:
+            fail("serve: daemon never bound its socket")
+            return
+        wire = sock.makefile("rw", newline="\n")
+
+        wire.write('{"req":"health"}\n')
+        wire.flush()
+        health = check_status(wire.readline(), HEALTH_KEYS, "serve: health")
+        if health.get("workers", 0) < 1:
+            fail(f"serve: health reports {health.get('workers')} workers")
+
+        # Three jobs down the wire, a planted crasher among them; each
+        # response must be a journal-schema final record.
+        jobs = ["format", "@budget", "@crash"]
+        for job in jobs:
+            wire.write(json.dumps({"job": job}) + "\n")
+        wire.flush()
+        responses = {}
+        for _ in jobs:
+            line = wire.readline()
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(f"serve: response is not JSON: {exc}")
+                continue
+            if "error" in record:
+                fail(f"serve: unexpected error response {record}")
+                continue
+            responses[record.get("job")] = record
+        if set(responses) != set(jobs):
+            fail(f"serve: responses cover {sorted(responses)}, "
+                 f"expected {sorted(jobs)}")
+        for job, record in responses.items():
+            for key, kind in SCHEMA:
+                if key not in record:
+                    fail(f"serve: {job} response missing '{key}'")
+                elif not isinstance(record[key], kind) or (
+                        kind is int and isinstance(record[key], bool)):
+                    fail(f"serve: {job} response '{key}' has type "
+                         f"{type(record[key]).__name__}")
+            if record.get("final") is not True:
+                fail(f"serve: {job} response is not a final record")
+        for job, outcome in (("format", "ok"), ("@budget", "ok"),
+                             ("@crash", "crash")):
+            if job in responses and responses[job].get("outcome") != outcome:
+                fail(f"serve: {job} outcome "
+                     f"{responses[job].get('outcome')!r}, want {outcome!r}")
+        if "format" in responses and "result" not in responses["format"]:
+            fail("serve: format response carries no result")
+        if "@crash" in responses:
+            crash = responses["@crash"]
+            if crash.get("signal", 0) == 0:
+                fail("serve: @crash final record carries no signal")
+            if crash.get("attempt") != 2:
+                fail(f"serve: @crash settled at attempt "
+                     f"{crash.get('attempt')}, want the ladder spent at 2")
+
+        # Garbage and unknown requests earn bad-request, not silence.
+        for bad in ("this is not json", '{"req":"bogus"}', '{"job":""}'):
+            wire.write(bad + "\n")
+            wire.flush()
+            try:
+                reply = json.loads(wire.readline())
+            except json.JSONDecodeError as exc:
+                fail(f"serve: bad-request reply is not JSON: {exc}")
+                continue
+            if reply.get("error") != "bad-request":
+                fail(f"serve: {bad!r} earned {reply}, want bad-request")
+
+        wire.write('{"req":"stats"}\n')
+        wire.flush()
+        stats = check_status(wire.readline(), STATS_KEYS, "serve: stats")
+        if stats.get("admitted") != 3 or stats.get("completed") != 3:
+            fail(f"serve: stats admitted={stats.get('admitted')} "
+                 f"completed={stats.get('completed')}, want 3/3")
+        if stats.get("respawns", 0) < 1:
+            fail("serve: @crash killed workers but stats shows no respawns")
+        if stats.get("bad_requests") != 3:
+            fail(f"serve: bad_requests={stats.get('bad_requests')}, want 3")
+
+        sock.close()
+        daemon.send_signal(signal.SIGTERM)
+        if daemon.wait(timeout=30) != 0:
+            fail(f"serve: drain exited {daemon.returncode}, want 0")
+
+        # The journal must tell the same story the wire did, under the
+        # same invariants as a batch journal.
+        by_job = {}
+        for record in parse_journal(journal):
+            by_job.setdefault(record["job"], []).append(record)
+        if set(by_job) != set(jobs):
+            fail(f"serve: journal covers {sorted(by_job)}, "
+                 f"expected {sorted(jobs)}")
+        check_job_invariants(by_job)
+        for job, record in responses.items():
+            finals = [r for r in by_job.get(job, []) if r["final"]]
+            if finals and finals[0] != record:
+                fail(f"serve: {job} response differs from its journal "
+                     f"record:\n  wire:    {record}\n  journal: {finals[0]}")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "serve":
+        with tempfile.TemporaryDirectory() as tmp:
+            check_serve(Path(sys.argv[2]), Path(tmp))
+        if errors:
+            for message in errors:
+                print(f"check_journal_json: {message}", file=sys.stderr)
+            return 1
+        print("check_journal_json: serve wire + journal OK")
+        return 0
+
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2

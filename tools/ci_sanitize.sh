@@ -27,11 +27,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 # there, since ASan's own SEGV machinery would swallow a null store
 # before the worker's crash handler ever saw a signal.)
 "$BUILD_DIR/tests/tbaa_tests" \
-    --gtest_filter='Worker*:Watchdog*:Journal*:Batch*:Retry*:Clock*:CrashCapture*:SafeIO*'
+    --gtest_filter='Worker*:Watchdog*:Journal*:Batch*:Retry*:Clock*:CrashCapture*:SafeIO*:LineReader*:Session*:Serve*'
 "$BUILD_DIR/tools/m3batch" "--jobs=@crash,@hang,@budget,format" \
     --parallel=2 --timeout-ms=4000 --retries=2 --backoff-ms=1 \
     --journal="$BUILD_DIR/m3batch-sanitize.jsonl" \
     --crash-dir="$BUILD_DIR/m3batch-sanitize-crashes"
+
+# Daemon pass: warm workers recycle process state across jobs, exactly
+# where a stale pointer or leaked fd would fester -- run the wire
+# checker's golden daemon scenario (planted crasher + SIGTERM drain)
+# against the instrumented m3serve.
+if command -v python3 >/dev/null 2>&1; then
+    python3 "$SRC_DIR/tools/check_journal_json.py" serve \
+        "$BUILD_DIR/tools/m3serve"
+fi
 
 # Tracing pass: the recorder streams from signal-handler-adjacent worker
 # code (SafeIO across fork), so run both drivers with --trace under the

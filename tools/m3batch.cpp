@@ -29,19 +29,12 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/AnalysisManager.h"
-#include "core/AliasOracle.h"
-#include "exec/VM.h"
-#include "ir/Pipeline.h"
-#include "opt/PassPipeline.h"
+#include "CompileJobs.h"
+
 #include "service/Batch.h"
-#include "service/BatchConfig.h"
-#include "support/Budget.h"
-#include "support/JSONUtil.h"
+#include "service/Sandbox.h"
 #include "support/Metrics.h"
-#include "support/SafeIO.h"
 #include "support/Stats.h"
-#include "workloads/Generator.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -52,17 +45,6 @@
 #include <string>
 #include <unistd.h>
 #include <vector>
-
-#if defined(__SANITIZE_ADDRESS__)
-#define TBAA_ASAN_BUILD 1
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define TBAA_ASAN_BUILD 1
-#endif
-#endif
-#ifndef TBAA_ASAN_BUILD
-#define TBAA_ASAN_BUILD 0
-#endif
 
 using namespace tbaa;
 
@@ -102,105 +84,12 @@ int usage() {
   return 2;
 }
 
-AliasLevel levelFromName(const std::string &Name) {
-  if (Name == "typedecl")
-    return AliasLevel::TypeDecl;
-  if (Name == "fieldtypedecl")
-    return AliasLevel::FieldTypeDecl;
-  return AliasLevel::SMFieldTypeRefs;
-}
-
-/// The compile-and-run worker body at one ladder rung. Runs inside the
-/// forked child; follows the m3lc exit-code contract.
-int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
-                  bool Pipeline, bool PRE, bool VerifyAnalyses, DegradeLevel D,
-                  int PayloadFd) {
-  // Metrics are on in every worker: the oracle latency histogram feeds
-  // the per-job summary in the payload (and thence the journal).
-  MetricsRegistry::instance().setEnabled(true);
-  // Fleet-wide per-job defaults (--config): analysis budget and the
-  // diagnostic cap govern every worker identically.
-  BudgetRegistry::instance().setAllLimits(Cfg.AnalysisBudget);
-  DiagnosticEngine Diags;
-  Diags.setMaxDiagnostics(Cfg.MaxErrors);
-  Compilation C = compileSource(Source, Diags);
-  if (!C.ok()) {
-    std::fputs(Diags.str().c_str(), stderr);
-    return 1;
-  }
-
-  if (D != DegradeLevel::NoOpt) {
-    AliasLevel L = D == DegradeLevel::Full ? levelFromName(Cfg.Level)
-                                           : AliasLevel::TypeDecl;
-    // One analysis manager per job: context, oracle, call graph, mod-ref,
-    // dominators and loops are built once here and shared by every pass.
-    AnalysisManager AM(C.ast(), C.types(),
-                       {.Level = L, .VerifyAnalyses = VerifyAnalyses});
-    PipelineOptions PO;
-    PO.Devirt = PO.Inline = PO.CopyProp = Pipeline && D == DegradeLevel::Full;
-    PO.RLE = true;
-    PO.PRE = PRE && D == DegradeLevel::Full;
-    PO.VerifyEach = true;
-    PO.VerifyAnalyses = VerifyAnalyses;
-    OptPipeline P(AM, PO);
-    if (PipelineFailure F = P.run(C.IR); F.failed()) {
-      std::fprintf(stderr,
-                   "m3batch worker: IR verification failed after pass '%s' "
-                   "in function '%s':\n%s\n",
-                   F.Pass.c_str(), F.Function.c_str(), F.Error.c_str());
-      return 3;
-    }
-  }
-
-  VM Machine(C.IR);
-  if (!Machine.runInit()) {
-    std::fprintf(stderr, "m3batch worker: %s\n",
-                 Machine.trapMessage().c_str());
-    return 1;
-  }
-  std::optional<int64_t> R = Machine.callFunction("Main");
-  if (!R) {
-    std::fprintf(stderr, "m3batch worker: %s\n",
-                 Machine.trapped() ? Machine.trapMessage().c_str()
-                                   : "program has no Main(): INTEGER");
-    return 1;
-  }
-  // Flat payload object (the parent's parser rejects nesting): result
-  // plus the oracle latency summary for this job's journal record.
-  json::Writer W;
-  W.beginObject();
-  W.key("main").value(static_cast<int64_t>(*R));
-  W.key("degrade").value(degradeLevelName(D));
-  if (const Histogram *H =
-          MetricsRegistry::instance().findHistogram("oracle", "query-ns")) {
-    Histogram::Snapshot S = H->snapshot();
-    W.key("oracle_queries").value(S.Count);
-    W.key("oracle_p50_ns").value(S.quantile(0.50));
-    W.key("oracle_p90_ns").value(S.quantile(0.90));
-    W.key("oracle_max_ns").value(S.Max);
-  }
-  W.endObject();
-  std::string Line = W.str() + "\n";
-  safeio::writeAll(PayloadFd, Line.data(), Line.size());
-  return 0;
-}
-
-std::string loadFileOrEmpty(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return {};
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  return SS.str();
-}
-
 /// Resolves one --jobs token into a BatchJob. Returns false on an
 /// unresolvable name.
 bool makeJob(const std::string &Name, const Options &Opts, BatchJob &Out) {
   Out.Id = Name;
   const BatchConfig &Cfg = Opts.Cfg;
-  bool Pipeline = Opts.Pipeline, PRE = Opts.PRE;
-  bool Verify = Opts.VerifyAnalyses;
+  jobs::CompileFlags Flags{Opts.Pipeline, Opts.PRE, Opts.VerifyAnalyses};
 
   if (Name == "@crash") {
     Out.Make = [](DegradeLevel) {
@@ -236,47 +125,23 @@ bool makeJob(const std::string &Name, const Options &Opts, BatchJob &Out) {
     Out.Source = W ? W->Source : "";
     BatchConfig Starved = Cfg;
     Starved.AnalysisBudget = 16;
-    Out.Make = [Source = Out.Source, Starved, Pipeline, PRE,
-                Verify](DegradeLevel D) {
+    Out.Make = [Source = Out.Source, Starved, Flags](DegradeLevel D) {
       return [=](int Fd) {
-        return runCompileJob(Source, Starved, Pipeline, PRE, Verify, D, Fd);
+        return jobs::runCompileJob(Source, Starved, Flags, D, Fd);
       };
     };
     return true;
   }
 
-  if (Name.rfind("gen:", 0) == 0) {
-    char *End = nullptr;
-    uint64_t Seed = std::strtoull(Name.c_str() + 4, &End, 10);
-    if (!End || *End)
-      return false;
-    GeneratorOptions GO;
-    GO.Seed = Seed;
-    Out.Source = generateProgram(GO);
-  } else if (const WorkloadInfo *W = findWorkload(Name)) {
-    Out.Source = W->Source;
-  } else {
-    Out.Source = loadFileOrEmpty(Name);
-    if (Out.Source.empty())
-      return false;
-  }
+  if (!jobs::resolveJobSource(Name, Out.Source))
+    return false;
 
-  Out.Make = [Source = Out.Source, Cfg, Pipeline, PRE, Verify](DegradeLevel D) {
+  Out.Make = [Source = Out.Source, Cfg, Flags](DegradeLevel D) {
     return [=](int Fd) {
-      return runCompileJob(Source, Cfg, Pipeline, PRE, Verify, D, Fd);
+      return jobs::runCompileJob(Source, Cfg, Flags, D, Fd);
     };
   };
   return true;
-}
-
-std::vector<std::string> splitCommas(const std::string &S) {
-  std::vector<std::string> Out;
-  std::istringstream In(S);
-  std::string Tok;
-  while (std::getline(In, Tok, ','))
-    if (!Tok.empty())
-      Out.push_back(Tok);
-  return Out;
 }
 
 } // namespace
@@ -307,7 +172,7 @@ int main(int argc, char **argv) {
     if (A.rfind("--config=", 0) == 0)
       ; // applied above
     else if (A.rfind("--jobs=", 0) == 0)
-      Opts.JobNames = splitCommas(A.substr(7));
+      Opts.JobNames = jobs::splitCommas(A.substr(7));
     else if (numArg("--gen=", Opts.Gen) ||
              numArg("--timeout-ms=", Opts.Cfg.TimeoutMs) ||
              numArg("--cpu-seconds=", Opts.Cfg.CpuSeconds) ||

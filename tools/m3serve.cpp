@@ -1,0 +1,404 @@
+//===- m3serve.cpp - Persistent compile daemon driver ---------------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// The warm face of the batch service (src/service/Serve.h): a long-lived
+// daemon on a Unix-domain socket whose pre-forked workers survive across
+// jobs, plus the matching client. Where m3batch pays fork+exec warmup
+// per job, m3serve pays it once per worker; bench_batch measures the
+// difference and tests/ServeTests.cpp drills the failure ladder.
+//
+//   m3serve serve  --socket=PATH [--workers=N] [--config=FILE]
+//                  [--timeout-ms=N] [--cpu-seconds=N] [--memory-mb=N]
+//                  [--retries=N] [--backoff-ms=N] [--max-queue=N]
+//                  [--max-queue-per-client=N] [--retry-after-ms=N]
+//                  [--max-jobs-per-worker=N] [--journal=FILE]
+//                  [--trace=FILE] [--idle-exit-ms=N] [--level=L]
+//                  [--pipeline] [--pre] [--verify-analyses] [--verbose]
+//   m3serve submit --socket=PATH [--jobs=a,b,c] [--gen=N]
+//                  [--max-resubmits=N] [--strict] [--verbose]
+//   m3serve health --socket=PATH
+//   m3serve stats  --socket=PATH
+//
+// Jobs: bundled workload names, .m3l file paths, gen:SEED, and the
+// planted faults @crash / @hang / @budget. Responses are journal-schema
+// records (one JSON line per job); admission rejections are
+// {"job":...,"error":"overloaded","retry_after_ms":N}, which submit
+// honors by waiting and resending.
+//
+// Exit codes: serve 0 after drain/abort, 3 driver error; submit 0 all
+// jobs settled (1 with --strict if any did not end ok), 2 usage,
+// 3 connection/protocol error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CompileJobs.h"
+
+#include "service/Journal.h"
+#include "service/Sandbox.h"
+#include "service/Serve.h"
+#include "support/Socket.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace tbaa;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: m3serve serve  --socket=PATH [--workers=N] [--config=FILE]\n"
+      "                      [--timeout-ms=N] [--cpu-seconds=N]\n"
+      "                      [--memory-mb=N] [--retries=N] [--backoff-ms=N]\n"
+      "                      [--max-queue=N] [--max-queue-per-client=N]\n"
+      "                      [--retry-after-ms=N] [--max-jobs-per-worker=N]\n"
+      "                      [--journal=FILE] [--trace=FILE]\n"
+      "                      [--idle-exit-ms=N]\n"
+      "                      [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
+      "                      [--pipeline] [--pre] [--verify-analyses]\n"
+      "                      [--verbose]\n"
+      "       m3serve submit --socket=PATH [--jobs=a,b,c] [--gen=N]\n"
+      "                      [--max-resubmits=N] [--strict] [--verbose]\n"
+      "       m3serve health --socket=PATH\n"
+      "       m3serve stats  --socket=PATH\n"
+      "jobs: workload names, .m3l files, gen:SEED, @crash, @hang, @budget\n");
+  return 2;
+}
+
+/// Blocking JSONL read for the client side.
+bool readLine(int Fd, std::string &Buf, std::string &Line) {
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      Line.assign(Buf, 0, NL);
+      Buf.erase(0, NL + 1);
+      return true;
+    }
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N > 0) {
+      Buf.append(Chunk, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+}
+
+bool sendLine(int Fd, const std::string &Line) {
+  std::string L = Line;
+  L += '\n';
+  return net::writeAllPolled(Fd, L.data(), L.size());
+}
+
+//===----------------------------------------------------------------------===//
+// serve
+//===----------------------------------------------------------------------===//
+
+/// The daemon's job body, run inside a warm worker for every attempt.
+ServeJobFn makeServeJobFn(BatchConfig Cfg, jobs::CompileFlags Flags) {
+  return [Cfg, Flags](const ServeRequest &Req, DegradeLevel D,
+                      int PayloadFd) -> int {
+    // Warm reuse: a worker's registries accumulate across jobs unless
+    // reset here, and the oracle histogram must describe *this* job.
+    MetricsRegistry::instance().reset();
+    StatsRegistry::instance().reset();
+    TimerRegistry::instance().reset();
+
+    const std::string &Name = Req.Job;
+    if (Name == "@crash") {
+#if TBAA_ASAN_BUILD
+      // ASan's own SEGV machinery would intercept a null store and exit
+      // before our crash handler saw any signal; a trap (SIGILL) still
+      // reaches the handler in instrumented builds.
+      __builtin_trap();
+#else
+      volatile int *P = nullptr;
+      *P = 1; // the planted SIGSEGV worker
+      return 0;
+#endif
+    }
+    if (Name == "@hang")
+      for (;;) // the planted hung worker; only the watchdog ends it
+        ::pause();
+    if (Name == "@budget") {
+      const WorkloadInfo *W = findWorkload("format");
+      BatchConfig Starved = Cfg;
+      Starved.AnalysisBudget = 16;
+      return jobs::runCompileJob(W ? W->Source : "", Starved, Flags, D,
+                                 PayloadFd);
+    }
+
+    std::string Source;
+    auto SIt = Req.Fields.find("source");
+    if (SIt != Req.Fields.end()) {
+      Source = SIt->second;
+    } else if (!jobs::resolveJobSource(Name, Source)) {
+      std::fprintf(stderr,
+                   "m3serve worker: unknown job '%s' (not a workload, "
+                   "file, gen:SEED or planted fault)\n",
+                   Name.c_str());
+      return 2;
+    }
+    return jobs::runCompileJob(Source, Cfg, Flags, D, PayloadFd);
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// submit
+//===----------------------------------------------------------------------===//
+
+struct SubmitOptions {
+  std::string SocketPath;
+  std::vector<std::string> JobNames;
+  uint64_t Gen = 0;
+  unsigned MaxResubmits = 50;
+  bool Strict = false;
+  bool Verbose = false;
+};
+
+int runSubmit(const SubmitOptions &Opts) {
+  std::vector<std::string> Names = Opts.JobNames;
+  for (uint64_t S = 1; S <= Opts.Gen; ++S)
+    Names.push_back("gen:" + std::to_string(S));
+  if (Names.empty()) {
+    std::fprintf(stderr, "m3serve: submit: no jobs (--jobs= or --gen=)\n");
+    return 2;
+  }
+
+  int Fd = net::connectUnix(Opts.SocketPath);
+  if (Fd < 0) {
+    std::fprintf(stderr, "m3serve: cannot connect to '%s': %s\n",
+                 Opts.SocketPath.c_str(), std::strerror(errno));
+    return 3;
+  }
+
+  auto Submit = [&](const std::string &Job) {
+    json::Writer W;
+    W.beginObject();
+    W.key("req").value("compile");
+    W.key("job").value(Job);
+    W.endObject();
+    return sendLine(Fd, W.str());
+  };
+
+  std::multiset<std::string> Pending;
+  std::map<std::string, unsigned> Resubmits;
+  for (const std::string &N : Names) {
+    if (!Submit(N)) {
+      std::fprintf(stderr, "m3serve: daemon went away mid-submit\n");
+      ::close(Fd);
+      return 3;
+    }
+    Pending.insert(N);
+  }
+
+  std::string Buf, Line;
+  unsigned NotOk = 0;
+  while (!Pending.empty()) {
+    if (!readLine(Fd, Buf, Line)) {
+      std::fprintf(stderr, "m3serve: connection lost with %zu job%s pending\n",
+                   Pending.size(), Pending.size() == 1 ? "" : "s");
+      ::close(Fd);
+      return 3;
+    }
+    std::map<std::string, std::string> M;
+    if (!parseFlatJSONObject(Line, M)) {
+      std::fprintf(stderr, "m3serve: malformed response: %s\n", Line.c_str());
+      ::close(Fd);
+      return 3;
+    }
+    std::string Job = M.count("job") ? M["job"] : "";
+    if (M.count("error")) {
+      const std::string &Err = M["error"];
+      if (Err == "overloaded" && !Job.empty()) {
+        // Backpressure: honor the hint, resend, give up eventually.
+        if (++Resubmits[Job] > Opts.MaxResubmits) {
+          std::fprintf(stderr, "m3serve: %s: overloaded %u times; giving up\n",
+                       Job.c_str(), Opts.MaxResubmits);
+          ::close(Fd);
+          return 3;
+        }
+        uint64_t WaitMs = 100;
+        if (auto It = M.find("retry_after_ms"); It != M.end())
+          WaitMs = std::strtoull(It->second.c_str(), nullptr, 10);
+        if (Opts.Verbose)
+          std::fprintf(stderr, "m3serve: %s overloaded; retrying in %llu ms\n",
+                       Job.c_str(), (unsigned long long)WaitMs);
+        ::usleep(static_cast<useconds_t>(WaitMs * 1000));
+        if (!Submit(Job)) {
+          std::fprintf(stderr, "m3serve: daemon went away mid-resubmit\n");
+          ::close(Fd);
+          return 3;
+        }
+        continue;
+      }
+      std::fprintf(stderr, "m3serve: %s%s%s\n", Err.c_str(),
+                   Job.empty() ? "" : " for job ", Job.c_str());
+      ::close(Fd);
+      return 3;
+    }
+    // A final journal record settles one instance of the job.
+    auto It = Pending.find(Job);
+    if (It == Pending.end())
+      continue; // a response for someone else's idea of our jobs
+    Pending.erase(It);
+    std::string Outcome = M.count("outcome") ? M["outcome"] : "?";
+    NotOk += Outcome != "ok";
+    std::printf("m3serve: %-14s %-11s attempts=%s level=%s", Job.c_str(),
+                Outcome.c_str(), M.count("attempt") ? M["attempt"].c_str() : "?",
+                M.count("degrade") ? M["degrade"].c_str() : "?");
+    if (M.count("result"))
+      std::printf(" Main()=%s", M["result"].c_str());
+    std::printf("\n");
+  }
+  ::close(Fd);
+  std::printf("m3serve: %zu job%s settled, %u not ok\n", Names.size(),
+              Names.size() == 1 ? "" : "s", NotOk);
+  return Opts.Strict && NotOk ? 1 : 0;
+}
+
+int runQuery(const std::string &SocketPath, const char *Kind) {
+  int Fd = net::connectUnix(SocketPath);
+  if (Fd < 0) {
+    std::fprintf(stderr, "m3serve: cannot connect to '%s': %s\n",
+                 SocketPath.c_str(), std::strerror(errno));
+    return 3;
+  }
+  if (!sendLine(Fd, std::string("{\"req\":\"") + Kind + "\"}")) {
+    ::close(Fd);
+    return 3;
+  }
+  std::string Buf, Line;
+  if (!readLine(Fd, Buf, Line)) {
+    std::fprintf(stderr, "m3serve: no response from daemon\n");
+    ::close(Fd);
+    return 3;
+  }
+  ::close(Fd);
+  std::printf("%s\n", Line.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Mode = argv[1];
+
+  // The config file applies first so every flag can override it.
+  BatchConfig Cfg;
+  for (int I = 2; I < argc; ++I)
+    if (std::strncmp(argv[I], "--config=", 9) == 0) {
+      std::string Error;
+      if (!BatchConfig::loadFile(argv[I] + 9, Cfg, Error)) {
+        std::fprintf(stderr, "m3serve: %s\n", Error.c_str());
+        return 2;
+      }
+    }
+
+  ServeOptions SO;
+  SubmitOptions Sub;
+  jobs::CompileFlags Flags;
+  uint64_t MaxQueue = 64, MaxPerClient = 16, Workers = 2, MaxJobs = 0;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    auto numArg = [&](const char *Prefix, uint64_t &Slot) {
+      size_t N = std::strlen(Prefix);
+      if (A.rfind(Prefix, 0) != 0)
+        return false;
+      char *End = nullptr;
+      Slot = std::strtoull(A.c_str() + N, &End, 10);
+      return End && !*End;
+    };
+    uint64_t Tmp = 0;
+    if (A.rfind("--config=", 0) == 0)
+      ; // applied above
+    else if (A.rfind("--socket=", 0) == 0 && A.size() > 9)
+      SO.SocketPath = Sub.SocketPath = A.substr(9);
+    else if (A.rfind("--jobs=", 0) == 0)
+      Sub.JobNames = jobs::splitCommas(A.substr(7));
+    else if (numArg("--gen=", Sub.Gen) ||
+             numArg("--timeout-ms=", Cfg.TimeoutMs) ||
+             numArg("--cpu-seconds=", Cfg.CpuSeconds) ||
+             numArg("--memory-mb=", Cfg.MemoryMB) ||
+             numArg("--backoff-ms=", Cfg.BackoffMs) ||
+             numArg("--analysis-budget=", Cfg.AnalysisBudget) ||
+             numArg("--workers=", Workers) ||
+             numArg("--max-queue=", MaxQueue) ||
+             numArg("--max-queue-per-client=", MaxPerClient) ||
+             numArg("--retry-after-ms=", SO.RetryAfterMs) ||
+             numArg("--max-jobs-per-worker=", MaxJobs) ||
+             numArg("--idle-exit-ms=", SO.IdleExitMs))
+      ;
+    else if (numArg("--retries=", Tmp) && Tmp)
+      Cfg.Retries = static_cast<unsigned>(Tmp);
+    else if (numArg("--max-errors=", Tmp))
+      Cfg.MaxErrors = static_cast<unsigned>(Tmp);
+    else if (numArg("--max-resubmits=", Tmp))
+      Sub.MaxResubmits = static_cast<unsigned>(Tmp);
+    else if (A.rfind("--journal=", 0) == 0 && A.size() > 10)
+      SO.JournalPath = A.substr(10);
+    else if (A.rfind("--trace=", 0) == 0 && A.size() > 8)
+      SO.TracePath = A.substr(8);
+    else if (A.rfind("--level=", 0) == 0) {
+      std::string L = A.substr(8);
+      if (L != "typedecl" && L != "fieldtypedecl" && L != "smfieldtyperefs")
+        return usage();
+      Cfg.Level = L;
+    } else if (A == "--pipeline")
+      Flags.Pipeline = true;
+    else if (A == "--pre")
+      Flags.PRE = true;
+    else if (A == "--verify-analyses")
+      Flags.VerifyAnalyses = true;
+    else if (A == "--strict")
+      Sub.Strict = true;
+    else if (A == "--verbose")
+      SO.Verbose = Sub.Verbose = true;
+    else
+      return usage();
+  }
+  if (SO.SocketPath.empty()) {
+    std::fprintf(stderr, "m3serve: --socket=PATH is required\n");
+    return 2;
+  }
+
+  if (Mode == "submit")
+    return runSubmit(Sub);
+  if (Mode == "health" || Mode == "stats")
+    return runQuery(SO.SocketPath, Mode.c_str());
+  if (Mode != "serve")
+    return usage();
+
+  SO.Workers = static_cast<unsigned>(Workers);
+  SO.MaxQueue = static_cast<unsigned>(MaxQueue);
+  SO.MaxQueuePerClient = static_cast<unsigned>(MaxPerClient);
+  SO.MaxJobsPerWorker = static_cast<unsigned>(MaxJobs);
+  SO.Limits.WallMs = Cfg.TimeoutMs;
+  SO.Limits.CpuSeconds = Cfg.CpuSeconds;
+  SO.Limits.MemoryMB = Cfg.MemoryMB;
+  SO.Retry.MaxAttempts = Cfg.Retries;
+  SO.Retry.BackoffBaseMs = Cfg.BackoffMs;
+  SO.Retry.BackoffCapMs = Cfg.BackoffCapMs;
+
+  std::string Error;
+  int RC = runServe(SO, makeServeJobFn(Cfg, Flags), Error);
+  if (RC != 0)
+    std::fprintf(stderr, "m3serve: %s\n", Error.c_str());
+  return RC;
+}
