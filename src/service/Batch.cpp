@@ -60,18 +60,31 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
                            const BatchOptions &Opts) {
   BatchResult Out;
 
-  // Resume: replay the journal, settle what it settled.
+  // Resume: replay the journal (repairing the torn tail a killed append
+  // leaves), settle what it settled, and compact away the stale
+  // non-final attempts of unfinished jobs -- those jobs re-run from
+  // attempt 1, and their old records would otherwise duplicate the
+  // fresh ones. A fully-settled journal is left byte-identical.
   std::set<std::string> Finished;
   if (Opts.Resume && !Opts.JournalPath.empty()) {
     std::vector<JournalRecord> Prior;
-    if (!Journal::load(Opts.JournalPath, Prior, Out.Error))
+    if (!Journal::load(Opts.JournalPath, Prior, Out.Error,
+                       /*RepairTail=*/true))
       return Out;
     Finished = Journal::finishedJobs(Prior);
+    std::vector<JournalRecord> Keep;
+    for (JournalRecord &R : Prior)
+      if (Finished.count(R.Job))
+        Keep.push_back(std::move(R));
+    if (Keep.size() != Prior.size() &&
+        !Journal::compact(Opts.JournalPath, Keep, Out.Error))
+      return Out;
   }
 
   Journal Log;
   if (!Opts.JournalPath.empty() &&
-      !Log.open(Opts.JournalPath, /*Truncate=*/!Opts.Resume)) {
+      !Log.open(Opts.JournalPath, /*Truncate=*/!Opts.Resume,
+                Opts.JournalFsync)) {
     Out.Error = "cannot open journal '" + Opts.JournalPath + "'";
     return Out;
   }
@@ -200,7 +213,11 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
     }
     {
       const uint64_t T0 = Tracing ? trace::nowUs() : 0;
-      Log.append(R);
+      // A failed append latches the journal broken and fails the batch
+      // at the driver level -- in-flight jobs still settle, but the run
+      // must not report success over records it lost.
+      if (!Log.append(R) && Out.Error.empty())
+        Out.Error = Log.lastError() + " ('" + Opts.JournalPath + "')";
       if (Tracing)
         TR.complete("service", "journal-append", T0, trace::nowUs() - T0,
                     TraceArgs().str("job", R.Job).render());

@@ -48,8 +48,13 @@ struct BatchOptions {
   /// Journal path; empty disables journaling (and resume).
   std::string JournalPath;
   /// Skip jobs the journal already settled; otherwise the journal is
-  /// truncated and the batch starts fresh.
+  /// truncated and the batch starts fresh. Resume repairs a torn
+  /// journal tail (the scar of a killed append) and drops stale
+  /// non-final attempts of the jobs it is about to re-run.
   bool Resume = false;
+  /// fsync the journal after every record (--journal-fsync): power-loss
+  /// durability at the price of append latency.
+  bool JournalFsync = false;
   /// Where triage bundles go; empty disables crash capture.
   std::string CrashDir;
   /// Merged Chrome trace-event output; empty disables tracing. Each

@@ -2,14 +2,31 @@
 
 #include "service/Journal.h"
 
+#include "support/CRC32.h"
+#include "support/FaultInjector.h"
 #include "support/JSONUtil.h"
+#include "support/SafeIO.h"
+#include "support/Stats.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 using namespace tbaa;
+
+namespace {
+
+Statistic NumRepairedTails("journal", "repaired-tail",
+                           "torn journal tails truncated on load");
+
+} // namespace
 
 std::string JournalRecord::toJSONLine() const {
   json::Writer W;
@@ -27,6 +44,8 @@ std::string JournalRecord::toJSONLine() const {
   W.key("majflt").value(MajFlt);
   W.key("backoff_ms").value(BackoffMs);
   W.key("final").value(Final);
+  if (Quarantined)
+    W.key("quarantined").value(true);
   if (HasResult)
     W.key("result").value(Result);
   if (HasOracleMetrics) {
@@ -36,30 +55,75 @@ std::string JournalRecord::toJSONLine() const {
     W.key("oracle_max_ns").value(OracleMaxNs);
   }
   W.endObject();
-  return W.str();
+  // The crc is always the last key: CRC-32 of the line as serialized
+  // without it, spliced in before the closing brace. The loader
+  // reconstructs that prefix textually, so same-version records
+  // round-trip byte-for-byte.
+  std::string S = W.str();
+  uint32_t C = crc32(S.data(), S.size());
+  S.pop_back();
+  S += ",\"crc\":";
+  S += std::to_string(C);
+  S += '}';
+  return S;
 }
 
 Journal::~Journal() {
-  if (File)
-    std::fclose(File);
+  if (Fd >= 0)
+    ::close(Fd);
 }
 
-bool Journal::open(const std::string &Path, bool Truncate) {
-  if (File)
-    std::fclose(File);
-  File = std::fopen(Path.c_str(), Truncate ? "w" : "a");
-  return File != nullptr;
+bool Journal::open(const std::string &Path, bool Truncate,
+                   bool FsyncEachRecord) {
+  if (Fd >= 0)
+    ::close(Fd);
+  int Flags = O_WRONLY | O_CREAT | O_APPEND | (Truncate ? O_TRUNC : 0);
+  Fd = ::open(Path.c_str(), Flags, 0644);
+  FsyncEach = FsyncEachRecord;
+  Broken = false;
+  LastError.clear();
+  return Fd >= 0;
 }
 
-void Journal::append(const JournalRecord &R) {
-  if (!File)
-    return;
+bool Journal::append(const JournalRecord &R) {
+  if (Fd < 0)
+    return true; // journaling disabled: appends are no-ops, not errors
+  if (Broken)
+    return false; // appending onto a torn line would corrupt the interior
   std::string Line = R.toJSONLine();
   Line += '\n';
-  std::fwrite(Line.data(), 1, Line.size(), File);
-  // Flushed per record: the journal must survive the *driver* dying,
-  // not just a worker.
-  std::fflush(File);
+  if (!fault::writeAll(Fd, Line.data(), Line.size(), "journal.append")) {
+    Broken = true;
+    LastError = std::string("journal append failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (FsyncEach) {
+    bool SyncOk;
+    switch (fault::at("journal.fsync")) {
+    case fault::Action::Kill:
+      // The record's bytes are written but not yet synced -- the
+      // durability hole --journal-fsync exists to close.
+      fault::killSelf();
+    case fault::Action::ShortWrite:
+    case fault::Action::Enospc:
+      errno = ENOSPC;
+      SyncOk = false;
+      break;
+    case fault::Action::Eagain:
+      errno = EAGAIN;
+      SyncOk = false;
+      break;
+    default: // Eintr: fsync restarts transparently; None: the real sync
+      SyncOk = ::fsync(Fd) == 0;
+      break;
+    }
+    if (!SyncOk) {
+      Broken = true;
+      LastError = std::string("journal fsync failed: ") + std::strerror(errno);
+      return false;
+    }
+  }
+  return true;
 }
 
 namespace {
@@ -251,6 +315,12 @@ bool recordFromMap(const std::map<std::string, std::string> &M,
   if (Fin == M.end() || (Fin->second != "true" && Fin->second != "false"))
     return Fail("bad 'final'");
   R.Final = Fin->second == "true";
+  auto Q = M.find("quarantined");
+  if (Q != M.end()) {
+    if (Q->second != "true" && Q->second != "false")
+      return Fail("bad 'quarantined'");
+    R.Quarantined = Q->second == "true";
+  }
   R.HasResult = getInt(M, "result", V);
   R.Result = R.HasResult ? V : 0;
   R.HasOracleMetrics = getUInt(M, "oracle_queries", R.OracleQueries);
@@ -263,42 +333,148 @@ bool recordFromMap(const std::map<std::string, std::string> &M,
   return true;
 }
 
+/// Verifies a record line's crc against its own bytes. The appender
+/// emits crc as the last key, so the checked prefix is reconstructible
+/// textually: strip the exact `,"crc":<raw>}` suffix, restore the
+/// closing brace, and checksum that. A line whose crc member is not in
+/// that exact tail position/format fails the check -- which is the
+/// right answer, since our writer never produces such a line and a
+/// reshuffled one means the bytes are not what we wrote.
+bool verifyLineCrc(const std::string &Line, const std::string &Raw) {
+  uint64_t Want = 0;
+  if (Raw.empty())
+    return false;
+  char *End = nullptr;
+  Want = std::strtoull(Raw.c_str(), &End, 10);
+  if (!End || *End || Want > 0xFFFFFFFFull)
+    return false;
+  std::string Suffix = ",\"crc\":" + Raw + "}";
+  if (Line.size() <= Suffix.size() ||
+      Line.compare(Line.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+    return false;
+  std::string Prefix = Line.substr(0, Line.size() - Suffix.size());
+  Prefix += '}';
+  return crc32(Prefix.data(), Prefix.size()) == static_cast<uint32_t>(Want);
+}
+
 } // namespace
 
 bool Journal::load(const std::string &Path, std::vector<JournalRecord> &Out,
-                   std::string &Error) {
+                   std::string &Error, bool RepairTail,
+                   std::string *RepairNote) {
   Out.clear();
   Error.clear();
+  if (RepairNote)
+    RepairNote->clear();
   struct stat St{};
   if (::stat(Path.c_str(), &St) != 0)
     return true; // no journal yet: empty, not an error
-  std::ifstream In(Path);
+  std::ifstream In(Path, std::ios::binary);
   if (!In) {
     Error = "cannot open '" + Path + "'";
     return false;
   }
-  std::string Line;
+  std::string Content((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+
+  // Split into (offset, line) so a torn final line can be truncated at
+  // its exact byte position. A file not ending in '\n' yields a final
+  // partial line -- the classic scar of a killed append.
+  struct Entry {
+    size_t Offset;
+    size_t LineNo;
+    std::string Line;
+  };
+  std::vector<Entry> Lines;
   size_t LineNo = 0;
-  while (std::getline(In, Line)) {
+  for (size_t Pos = 0; Pos < Content.size();) {
+    size_t NL = Content.find('\n', Pos);
+    size_t End = NL == std::string::npos ? Content.size() : NL;
     ++LineNo;
-    if (Line.empty())
-      continue;
+    if (End != Pos)
+      Lines.push_back({Pos, LineNo, Content.substr(Pos, End - Pos)});
+    Pos = NL == std::string::npos ? Content.size() : NL + 1;
+  }
+
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    const Entry &E = Lines[I];
+    const bool IsLast = I + 1 == Lines.size();
     std::map<std::string, std::string> M;
     JournalRecord R;
     std::string Why;
-    if (!parseFlatJSONObject(Line, M)) {
-      std::ostringstream SS;
-      SS << Path << ":" << LineNo << ": malformed JSON line";
-      Error = SS.str();
-      return false;
+
+    bool Parsed = parseFlatJSONObject(E.Line, M);
+    bool CrcPresent = false, CrcOk = false;
+    if (Parsed) {
+      auto It = M.find("crc");
+      if (It != M.end()) {
+        CrcPresent = true;
+        CrcOk = verifyLineCrc(E.Line, It->second);
+      }
     }
-    if (!recordFromMap(M, R, Why)) {
-      std::ostringstream SS;
-      SS << Path << ":" << LineNo << ": " << Why;
-      Error = SS.str();
-      return false;
+
+    if (Parsed && (!CrcPresent || CrcOk) && recordFromMap(M, R, Why)) {
+      Out.push_back(std::move(R));
+      continue;
     }
-    Out.push_back(std::move(R));
+
+    // Classify the failure. A verified crc means the bytes are exactly
+    // what the appender wrote, so a record that still fails validation
+    // is a schema bug -- never repairable. Everything else on the final
+    // line is indistinguishable from a torn append.
+    std::string What = !Parsed                 ? "malformed JSON line"
+                       : (CrcPresent && !CrcOk) ? "crc mismatch"
+                                                : Why;
+    bool Repairable = !(Parsed && CrcPresent && CrcOk);
+
+    if (IsLast && RepairTail && Repairable) {
+      if (::truncate(Path.c_str(), static_cast<off_t>(E.Offset)) != 0) {
+        std::ostringstream SS;
+        SS << Path << ":" << E.LineNo << ": " << What
+           << " (tail repair failed: " << std::strerror(errno) << ")";
+        Error = SS.str();
+        return false;
+      }
+      NumRepairedTails += 1;
+      std::ostringstream SS;
+      SS << Path << ":" << E.LineNo << ": repaired torn tail (" << What
+         << "); truncated";
+      if (RepairNote)
+        *RepairNote = SS.str();
+      std::fprintf(stderr, "journal: %s\n", SS.str().c_str());
+      return true;
+    }
+
+    std::ostringstream SS;
+    SS << Path << ":" << E.LineNo << ": " << What;
+    Error = SS.str();
+    return false;
+  }
+  return true;
+}
+
+bool Journal::compact(const std::string &Path,
+                      const std::vector<JournalRecord> &Keep,
+                      std::string &Error) {
+  std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Error = "cannot write '" + Tmp + "'";
+    return false;
+  }
+  std::string Buf;
+  for (const JournalRecord &R : Keep) {
+    Buf += R.toJSONLine();
+    Buf += '\n';
+  }
+  bool Ok = safeio::writeAll(Fd, Buf.data(), Buf.size());
+  // The rename must never make a not-yet-durable file the journal.
+  Ok = ::fsync(Fd) == 0 && Ok;
+  ::close(Fd);
+  if (!Ok || ::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Error = "cannot replace journal '" + Path + "'";
+    ::unlink(Tmp.c_str());
+    return false;
   }
   return true;
 }

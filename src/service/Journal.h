@@ -6,23 +6,43 @@
 ///
 /// \file
 /// The batch service's durable memory: one JSON object per line, one
-/// line per worker attempt, appended and flushed as each attempt
-/// completes so an interrupted batch (crash, ctrl-C, power) resumes
-/// exactly where it stopped. A job is *finished* once any of its lines
-/// carries "final": true; `m3batch --resume` re-runs only the jobs
-/// without one. Schema (validated by tools/check_journal_json.py and
-/// documented in docs/ROBUSTNESS.md):
+/// line per worker attempt, appended as each attempt completes so an
+/// interrupted batch (crash, ctrl-C, power) resumes exactly where it
+/// stopped. A job is *finished* once any of its lines carries
+/// "final": true; `m3batch --resume` re-runs only the jobs without one.
+/// Schema (validated by tools/check_journal_json.py and documented in
+/// docs/ROBUSTNESS.md):
 ///
 ///   {"job":"format","attempt":1,"degrade":"full","outcome":"ok",
 ///    "exit":0,"signal":0,"wall_ms":12,"cpu_ms":9,"peak_rss_kb":4096,
 ///    "minflt":350,"majflt":0,"backoff_ms":0,"final":true,
 ///    "result":271828,"oracle_queries":118,"oracle_p50_ns":255,
-///    "oracle_p90_ns":1023,"oracle_max_ns":9000}
+///    "oracle_p90_ns":1023,"oracle_max_ns":9000,"crc":1234567}
 ///
 /// minflt/majflt are the worker's rusage fault counts (recorded for
 /// successes as much as crashes). The oracle_* keys are the per-job
 /// latency-histogram summary a compile worker reports in its payload;
 /// they are optional -- planted fault jobs have no oracle to measure.
+/// "quarantined":true marks a daemon job that exhausted the whole
+/// precision ladder killing workers (see Serve.h).
+///
+/// Durability is explicit, not assumed:
+///
+///  * Appends go through an O_APPEND fd and safeio/fault::writeAll --
+///    no stdio buffer to lose on _exit, and the `journal.append` /
+///    `journal.fsync` fault points sit directly on the write path.
+///  * "crc" is always the record's last key: CRC-32 (zlib variant, see
+///    support/CRC32.h) of the line as serialized *without* the crc
+///    member. Records without a crc (older journals, hand-written
+///    fixtures) stay loadable.
+///  * append() returns false -- and latches the journal broken, so a
+///    torn line is never appended onto -- when a write or fsync fails;
+///    drivers surface that instead of reporting success over lost
+///    records.
+///  * load() with RepairTail truncates a torn or CRC-failing *final*
+///    line (counted as journal.repaired-tail, warned on stderr): the
+///    expected scar of a mid-append kill. A malformed *interior* line
+///    stays a hard error -- that is corruption, not a crash artifact.
 ///
 /// The loader's flat-object parser is deliberately minimal (strings,
 /// integers, bools; no nesting) -- exactly the shape the appender emits,
@@ -36,7 +56,6 @@
 #include "service/Retry.h"
 
 #include <cstdint>
-#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -61,6 +80,9 @@ struct JournalRecord {
   /// True when this attempt settles the job (success, deterministic
   /// rejection, or ladder exhausted).
   bool Final = false;
+  /// True on a final record of a daemon job that stayed retryable at
+  /// the bottom of the ladder -- a poison job the daemon quarantines.
+  bool Quarantined = false;
   /// Main()'s checksum when the worker reported one.
   int64_t Result = 0;
   bool HasResult = false;
@@ -72,11 +94,13 @@ struct JournalRecord {
   uint64_t OracleP90Ns = 0;
   uint64_t OracleMaxNs = 0;
 
-  std::string toJSONLine() const; ///< One line, no trailing newline.
+  /// One line, no trailing newline; "crc" is always the last key.
+  std::string toJSONLine() const;
 };
 
-/// Append side. Writes are line-buffered and flushed per record so the
-/// journal is valid JSONL after a kill at any point.
+/// Append side. Each record is one write to an O_APPEND fd, so the
+/// journal is valid JSONL after a kill at any point -- except the one
+/// torn line a mid-write kill leaves, which load() repairs.
 class Journal {
 public:
   Journal() = default;
@@ -85,22 +109,49 @@ public:
   Journal &operator=(const Journal &) = delete;
 
   /// Opens for append (\p Truncate starts a fresh batch instead).
-  bool open(const std::string &Path, bool Truncate);
-  bool isOpen() const { return File != nullptr; }
-  void append(const JournalRecord &R);
+  /// \p FsyncEachRecord trades append latency for power-loss
+  /// durability: fsync after every record (--journal-fsync).
+  bool open(const std::string &Path, bool Truncate,
+            bool FsyncEachRecord = false);
+  bool isOpen() const { return Fd >= 0; }
 
-  /// Loads every record of a JSONL journal. On any malformed line the
-  /// load fails with a message naming the line. A missing file is an
-  /// empty journal, not an error (first run with --resume).
+  /// Appends one record. Returns false when the write (or fsync)
+  /// failed; the journal latches broken and drops later appends, so a
+  /// torn tail is never buried under further records. An unopened
+  /// journal (journaling disabled) accepts appends as no-ops.
+  bool append(const JournalRecord &R);
+
+  /// True once an append failed; lastError() says how.
+  bool broken() const { return Broken; }
+  const std::string &lastError() const { return LastError; }
+
+  /// Loads every record of a JSONL journal. A missing file is an empty
+  /// journal, not an error (first run with --resume). On a malformed or
+  /// CRC-failing line the load fails with a message naming the line --
+  /// unless it is the *final* line and \p RepairTail is set, in which
+  /// case the file is truncated at that line (the torn tail of a killed
+  /// append), a warning naming it goes to stderr and \p RepairNote (if
+  /// given), and the load succeeds with the intact prefix.
   static bool load(const std::string &Path, std::vector<JournalRecord> &Out,
-                   std::string &Error);
+                   std::string &Error, bool RepairTail = false,
+                   std::string *RepairNote = nullptr);
+
+  /// Atomically rewrites \p Path to exactly \p Keep (tmp + fsync +
+  /// rename). Resume uses it to drop the stale non-final attempts of
+  /// jobs it is about to re-run from scratch.
+  static bool compact(const std::string &Path,
+                      const std::vector<JournalRecord> &Keep,
+                      std::string &Error);
 
   /// The jobs settled by a final record -- what --resume skips.
   static std::set<std::string>
   finishedJobs(const std::vector<JournalRecord> &Records);
 
 private:
-  std::FILE *File = nullptr;
+  int Fd = -1;
+  bool FsyncEach = false;
+  bool Broken = false;
+  std::string LastError;
 };
 
 /// Parses one flat JSON object ({"k":"v","n":12,"b":true}) into raw

@@ -27,6 +27,7 @@
 #include "service/Session.h"
 #include "service/Watchdog.h"
 #include "support/Clock.h"
+#include "support/FaultInjector.h"
 #include "support/JSONUtil.h"
 #include "support/Metrics.h"
 #include "support/SafeIO.h"
@@ -75,6 +76,8 @@ Statistic NumRecycles("serve", "recycles",
 Statistic NumDisconnects("serve", "disconnects", "client connections dropped");
 Statistic NumCancelled("serve", "cancelled",
                        "queued jobs cancelled by a disconnect");
+Statistic NumQuarantined("serve", "quarantined",
+                         "poison jobs settled with the ladder exhausted");
 
 TBAA_HISTOGRAM(ServeQueueWaitMs, "serve", "queue-wait-ms",
                "Time an admitted, ready job waited for a free warm worker",
@@ -358,7 +361,12 @@ private:
     uint64_t Admitted = 0, Completed = 0, Overloaded = 0, Retries = 0;
     uint64_t Downgrades = 0, Respawns = 0, Recycles = 0, Disconnects = 0;
     uint64_t Cancelled = 0, BadRequests = 0, RejectedDraining = 0;
+    uint64_t Quarantined = 0;
   } Totals;
+  /// First journal append/flush failure, latched. The daemon keeps
+  /// serving (availability over durability once the disk is gone), but
+  /// exits non-zero so the operator learns the journal is incomplete.
+  std::string JournalError;
 };
 
 void Daemon::verbose(const char *Fmt, ...) {
@@ -387,6 +395,19 @@ unsigned Daemon::busyWorkers() const {
 }
 
 bool Daemon::spawnWorker() {
+  {
+    // Injected fork failure (EAGAIN: process table full). The run loop
+    // degrades a false return into backpressure -- the pool stays below
+    // target, the queue fills, clients see "overloaded" -- instead of
+    // the daemon dying.
+    fault::Action A = fault::at("pool.fork");
+    if (A == fault::Action::Kill)
+      fault::killSelf();
+    if (A != fault::Action::None && A != fault::Action::Eintr) {
+      errno = A == fault::Action::Eagain ? EAGAIN : ENOMEM;
+      return false;
+    }
+  }
   int Ctrl[2] = {-1, -1}, Out[2] = {-1, -1}, Crash[2] = {-1, -1};
   auto CloseAll = [&] {
     for (int Fd : {Ctrl[0], Ctrl[1], Out[0], Out[1], Crash[0], Crash[1]})
@@ -565,6 +586,19 @@ void Daemon::acceptClients() {
     int Fd = net::acceptUnix(ListenFd);
     if (Fd < 0)
       return;
+    // Injected accept fault: the blast radius is exactly one would-be
+    // session -- drop the fd, the peer sees a reset, the daemon and
+    // every established session carry on.
+    switch (fault::at("serve.accept")) {
+    case fault::Action::None:
+    case fault::Action::Eintr:
+      break;
+    case fault::Action::Kill:
+      fault::killSelf();
+    default:
+      ::close(Fd);
+      continue;
+    }
     if (Draining || Sessions.size() >= Opts.MaxSessions) {
       // Tell the peer why before closing; best-effort.
       const char *Msg = Draining ? "{\"error\":\"draining\"}\n"
@@ -615,6 +649,7 @@ std::string Daemon::statusLine(bool Stats) const {
   if (Stats) {
     W.key("disconnects").value(Totals.Disconnects);
     W.key("cancelled").value(Totals.Cancelled);
+    W.key("quarantined").value(Totals.Quarantined);
     W.key("bad_requests").value(Totals.BadRequests);
     W.key("rejected_draining").value(Totals.RejectedDraining);
     W.key("max_queue").value(static_cast<uint64_t>(MaxQueue));
@@ -830,6 +865,14 @@ void Daemon::settleAttempt(PendingJob &&J, JobOutcome Outcome, int ExitCode,
   R.MajFlt = MajFlt;
   R.BackoffMs = D.Retry ? D.DelayMs : 0;
   R.Final = !D.Retry;
+  // Poison-job quarantine: the ladder is exhausted but the outcome is
+  // still the retryable kind (crash/timeout/internal). Flag it so the
+  // operator can triage without diffing retry policies, and count it.
+  if (R.Final && outcomeRetryable(Outcome)) {
+    R.Quarantined = true;
+    Totals.Quarantined += 1;
+    NumQuarantined += 1;
+  }
   std::map<std::string, std::string> P;
   if (!Payload.empty() && parseFlatJSONObject(Payload, P)) {
     auto It = P.find("main");
@@ -848,8 +891,8 @@ void Daemon::settleAttempt(PendingJob &&J, JobOutcome Outcome, int ExitCode,
     R.HasOracleMetrics = P.count("oracle_queries") && P.count("oracle_p50_ns") &&
                          P.count("oracle_p90_ns") && P.count("oracle_max_ns");
   }
-  if (Log.isOpen())
-    Log.append(R);
+  if (Log.isOpen() && !Log.append(R) && JournalError.empty())
+    JournalError = Log.lastError() + " ('" + Opts.JournalPath + "')";
   if (Tracing)
     TraceRecorder::instance().complete(
         "serve", "job " + J.Req.Job, StartUs,
@@ -1017,7 +1060,7 @@ int Daemon::run(std::string &Error) {
   StartMs = LastBusyMs = monoNowMs();
 
   if (!Opts.JournalPath.empty() &&
-      !Log.open(Opts.JournalPath, /*Truncate=*/true)) {
+      !Log.open(Opts.JournalPath, /*Truncate=*/true, Opts.JournalFsync)) {
     Error = "cannot open journal '" + Opts.JournalPath + "'";
     return 3;
   }
@@ -1228,7 +1271,9 @@ int Daemon::run(std::string &Error) {
           (unsigned long long)Totals.Completed,
           (unsigned long long)Totals.Retries,
           (unsigned long long)Totals.Respawns);
-  return 0;
+  if (!JournalError.empty() && Error.empty())
+    Error = JournalError;
+  return Error.empty() ? 0 : 3;
 }
 
 } // namespace

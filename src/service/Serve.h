@@ -25,7 +25,10 @@
 ///  * A worker that crashes or hangs mid-job is SIGKILLed/reaped and
 ///    transparently respawned; the in-flight job retries down the
 ///    precision ladder (full -> typedecl -> noopt) with backoff,
-///    exactly like the batch engine, and every attempt is journaled.
+///    exactly like the batch engine, and every attempt is journaled. A
+///    job that exhausts the ladder while still failing retryably (a
+///    poison job) settles with `"quarantined":true` in its final
+///    record -- it never takes the daemon or other clients with it.
 ///  * A client that disconnects has its queued jobs cancelled and its
 ///    in-flight jobs orphaned (they finish, reach the journal, and the
 ///    response is dropped).
@@ -94,6 +97,9 @@ struct ServeOptions {
   unsigned MaxSessions = 64;
   /// Append-only JSONL journal of every attempt; empty disables.
   std::string JournalPath;
+  /// fsync() the journal after every record. Crash-consistency over
+  /// throughput; see Journal::open.
+  bool JournalFsync = false;
   /// Merged Chrome trace timeline; empty disables. Workers stream
   /// shards to <TracePath>.shards/, merged at exit like m3batch.
   std::string TracePath;

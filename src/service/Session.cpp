@@ -2,6 +2,8 @@
 
 #include "service/Session.h"
 
+#include "support/FaultInjector.h"
+
 #include <cerrno>
 
 #include <sys/socket.h>
@@ -19,6 +21,18 @@ Session::~Session() {
 bool Session::pump() {
   if (Finished || Poisoned)
     return false;
+  // Injected read fault: an EINTR storm is harmless (skip this round,
+  // the poll loop comes back); anything else ends only *this* session,
+  // never the daemon.
+  switch (fault::at("socket.read")) {
+  case fault::Action::None:
+    break;
+  case fault::Action::Eintr:
+    return true;
+  default:
+    Finished = true;
+    return false;
+  }
   switch (Reader.fill(Fd)) {
   case net::LineReader::Status::Ok:
     return true;
@@ -42,6 +56,19 @@ void Session::send(const std::string &Line) {
 }
 
 bool Session::flushOut() {
+  if (OutPos < OutBuf.size()) {
+    // Injected write fault: same blast radius as a real send() error --
+    // the caller drops this one session (poisoned peer), nothing else.
+    switch (fault::at("socket.write")) {
+    case fault::Action::None:
+    case fault::Action::Eintr: // the retry loop below absorbs storms
+      break;
+    case fault::Action::Eagain:
+      return true; // spurious EAGAIN: retry on the next POLLOUT
+    default:
+      return false;
+    }
+  }
   while (OutPos < OutBuf.size()) {
     ssize_t N = ::send(Fd, OutBuf.data() + OutPos, OutBuf.size() - OutPos,
                        MSG_NOSIGNAL);

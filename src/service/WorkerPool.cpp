@@ -3,6 +3,7 @@
 #include "service/WorkerPool.h"
 
 #include "service/Sandbox.h"
+#include "support/FaultInjector.h"
 #include "support/Metrics.h"
 #include "support/Socket.h"
 #include "support/Timing.h"
@@ -59,6 +60,18 @@ bool WorkerPool::spawn(const Item &I) {
     uint64_t Ready = std::max(I.EnqueuedMs, I.NotBeforeMs);
     uint64_t Now = monoNowMs();
     QueueWaitMs.record(Now > Ready ? Now - Ready : 0);
+  }
+  {
+    // Injected fork failure (EAGAIN: process table full). The caller
+    // already degrades a false return into a per-job internal error
+    // that walks the retry ladder -- exactly the path this drills.
+    fault::Action A = fault::at("pool.fork");
+    if (A == fault::Action::Kill)
+      fault::killSelf();
+    if (A != fault::Action::None && A != fault::Action::Eintr) {
+      errno = A == fault::Action::Eagain ? EAGAIN : ENOMEM;
+      return false;
+    }
   }
   int PayloadP[2] = {-1, -1}, CrashP[2] = {-1, -1}, OutP[2] = {-1, -1};
   auto CloseAll = [&] {

@@ -1,0 +1,55 @@
+//===- CRC32.h - Standard CRC-32 checksum -----------------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard reflected CRC-32 (polynomial 0xEDB88320, init and xorout
+/// 0xFFFFFFFF) -- the zlib/PNG/Ethernet variant, so the journal checker
+/// in tools/check_journal_json.py can verify records with Python's
+/// zlib.crc32 without any shared code. Used by the journal to checksum
+/// each record line: a single flipped or torn byte in a record fails the
+/// check, which is what lets Journal::load tell "torn tail, repair" from
+/// "intact record" with certainty instead of parser luck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_CRC32_H
+#define TBAA_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tbaa {
+
+namespace detail {
+inline const std::array<uint32_t, 256> &crc32Table() {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  return Table;
+}
+} // namespace detail
+
+/// CRC-32 of \p Len bytes at \p Data. Matches Python's zlib.crc32.
+inline uint32_t crc32(const void *Data, size_t Len) {
+  const auto &T = detail::crc32Table();
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I != Len; ++I)
+    C = T[(C ^ P[I]) & 0xFFu] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+} // namespace tbaa
+
+#endif // TBAA_SUPPORT_CRC32_H

@@ -1,0 +1,326 @@
+//===- FaultInjector.cpp --------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include "support/SafeIO.h"
+#include "support/Stats.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <signal.h>
+#include <unistd.h>
+
+using namespace tbaa;
+using namespace tbaa::fault;
+
+namespace {
+
+/// Index order is load-bearing: it matches FiredStats below.
+const char *const PointNames[] = {
+    "journal.append", "journal.fsync", "socket.write",      "socket.read",
+    "pool.fork",      "serve.accept",  "trace.shard-write",
+};
+constexpr size_t NumPointNames = sizeof(PointNames) / sizeof(PointNames[0]);
+
+// One fault.injected.<point> counter per point (static storage duration,
+// as the stats registry requires), surfaced by --stats and asserted by
+// the chaos drill so "the fault fired" is a checkable fact.
+Statistic FiredJournalAppend("fault", "injected.journal.append",
+                             "faults injected at journal.append");
+Statistic FiredJournalFsync("fault", "injected.journal.fsync",
+                            "faults injected at journal.fsync");
+Statistic FiredSocketWrite("fault", "injected.socket.write",
+                           "faults injected at socket.write");
+Statistic FiredSocketRead("fault", "injected.socket.read",
+                          "faults injected at socket.read");
+Statistic FiredPoolFork("fault", "injected.pool.fork",
+                        "faults injected at pool.fork");
+Statistic FiredServeAccept("fault", "injected.serve.accept",
+                           "faults injected at serve.accept");
+Statistic FiredTraceShardWrite("fault", "injected.trace.shard-write",
+                               "faults injected at trace.shard-write");
+
+Statistic *const FiredStats[] = {
+    &FiredJournalAppend, &FiredJournalFsync, &FiredSocketWrite,
+    &FiredSocketRead,    &FiredPoolFork,     &FiredServeAccept,
+    &FiredTraceShardWrite,
+};
+
+int pointIndex(const char *Point) {
+  for (size_t I = 0; I != NumPointNames; ++I)
+    if (std::strcmp(PointNames[I], Point) == 0)
+      return static_cast<int>(I);
+  return -1;
+}
+
+bool parseUInt(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return End && !*End;
+}
+
+bool parseAction(const std::string &S, Action &Out) {
+  if (S == "short")
+    Out = Action::ShortWrite;
+  else if (S == "eintr")
+    Out = Action::Eintr;
+  else if (S == "enospc")
+    Out = Action::Enospc;
+  else if (S == "eagain")
+    Out = Action::Eagain;
+  else if (S == "kill")
+    Out = Action::Kill;
+  else
+    return false;
+  return true;
+}
+
+/// The exit summary makes a surviving armed run self-reporting: a drill
+/// greps stderr instead of needing --stats plumbing in every driver.
+void printExitSummary() {
+  FaultInjector &F = FaultInjector::instance();
+  std::string S = F.summary();
+  if (!S.empty())
+    std::fprintf(stderr, "fault: injected: %s\n", S.c_str());
+}
+
+} // namespace
+
+const char *fault::actionName(Action A) {
+  switch (A) {
+  case Action::None:
+    return "none";
+  case Action::ShortWrite:
+    return "short";
+  case Action::Eintr:
+    return "eintr";
+  case Action::Enospc:
+    return "enospc";
+  case Action::Eagain:
+    return "eagain";
+  case Action::Kill:
+    return "kill";
+  }
+  return "?";
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector F;
+  return F;
+}
+
+bool FaultInjector::knownPoint(const char *Point) {
+  return pointIndex(Point) >= 0;
+}
+
+bool FaultInjector::arm(const std::string &Spec, std::string &Error) {
+  disarm();
+  std::vector<Rule> NewRules;
+  uint64_t NewSeed = 0;
+
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Clause = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() + 1 : Comma + 1;
+    if (Clause.empty())
+      continue;
+
+    size_t Eq = Clause.find('=');
+    if (Eq == std::string::npos || Eq == 0 || Eq + 1 >= Clause.size()) {
+      Error = "faults: bad clause '" + Clause + "' (want point[#N|#N+|%P]=" +
+              "short|eintr|enospc|eagain|kill, or seed=N)";
+      return false;
+    }
+    std::string Left = Clause.substr(0, Eq);
+    std::string Right = Clause.substr(Eq + 1);
+
+    if (Left == "seed") {
+      if (!parseUInt(Right, NewSeed)) {
+        Error = "faults: bad seed '" + Right + "'";
+        return false;
+      }
+      continue;
+    }
+
+    Rule R;
+    size_t Hash = Left.find('#');
+    size_t Pct = Left.find('%');
+    std::string Point = Left;
+    if (Hash != std::string::npos) {
+      Point = Left.substr(0, Hash);
+      std::string N = Left.substr(Hash + 1);
+      if (!N.empty() && N.back() == '+') {
+        R.T = Trig::FromNth;
+        N.pop_back();
+      } else {
+        R.T = Trig::Nth;
+      }
+      if (!parseUInt(N, R.N) || !R.N) {
+        Error = "faults: bad trigger in '" + Left + "' (want #N or #N+, N>=1)";
+        return false;
+      }
+    } else if (Pct != std::string::npos) {
+      Point = Left.substr(0, Pct);
+      R.T = Trig::Percent;
+      if (!parseUInt(Left.substr(Pct + 1), R.Pct) || R.Pct > 100) {
+        Error = "faults: bad probability in '" + Left + "' (want %P, 0<=P<=100)";
+        return false;
+      }
+    }
+    R.Point = pointIndex(Point.c_str());
+    if (R.Point < 0) {
+      Error = "faults: unknown point '" + Point + "'";
+      return false;
+    }
+    if (!parseAction(Right, R.Act)) {
+      Error = "faults: unknown action '" + Right + "'";
+      return false;
+    }
+    NewRules.push_back(R);
+  }
+
+  if (NewRules.empty())
+    return true; // seed alone, or an empty spec: stay disarmed
+
+  Rules = std::move(NewRules);
+  Seed = NewSeed;
+  RngState = NewSeed ? NewSeed : 0x9E3779B97F4A7C15ull;
+  Armed = true;
+  static bool SummaryRegistered = false;
+  if (!SummaryRegistered) {
+    SummaryRegistered = true;
+    std::atexit(printExitSummary);
+  }
+  return true;
+}
+
+bool FaultInjector::armFromEnv(std::string &Error) {
+  const char *Spec = std::getenv("TBAA_FAULTS");
+  if (!Spec || !*Spec)
+    return true;
+  return arm(Spec, Error);
+}
+
+void FaultInjector::disarm() {
+  Armed = false;
+  Rules.clear();
+  Seed = 0;
+  RngState = 0;
+  for (PointState &S : States)
+    S = PointState();
+}
+
+uint64_t FaultInjector::nextRand() {
+  // splitmix64: tiny, seedable, and identical everywhere -- the whole
+  // point is that two runs with the same seed+spec fire identically.
+  uint64_t Z = (RngState += 0x9E3779B97F4A7C15ull);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+Action FaultInjector::consult(const char *Point) {
+  int PI = pointIndex(Point);
+  if (PI < 0)
+    return Action::None;
+  PointState &S = States[PI];
+  uint64_t Hit = ++S.Hits;
+  for (const Rule &R : Rules) {
+    if (R.Point != PI)
+      continue;
+    bool Fire = false;
+    switch (R.T) {
+    case Trig::Always:
+      Fire = true;
+      break;
+    case Trig::Nth:
+      Fire = Hit == R.N;
+      break;
+    case Trig::FromNth:
+      Fire = Hit >= R.N;
+      break;
+    case Trig::Percent:
+      // The PRNG advances only when a %P rule is consulted, so the fire
+      // schedule is a pure function of (seed, consult sequence).
+      Fire = nextRand() % 100 < R.Pct;
+      break;
+    }
+    if (Fire) {
+      ++S.Fired;
+      *FiredStats[PI] += 1;
+      return R.Act;
+    }
+  }
+  return Action::None;
+}
+
+uint64_t FaultInjector::hits(const char *Point) const {
+  int PI = pointIndex(Point);
+  return PI < 0 ? 0 : States[PI].Hits;
+}
+
+uint64_t FaultInjector::fired(const char *Point) const {
+  int PI = pointIndex(Point);
+  return PI < 0 ? 0 : States[PI].Fired;
+}
+
+std::string FaultInjector::summary() const {
+  std::string Out;
+  for (size_t I = 0; I != NumPoints; ++I) {
+    if (!States[I].Fired)
+      continue;
+    if (!Out.empty())
+      Out += ' ';
+    Out += PointNames[I];
+    Out += " x";
+    Out += std::to_string(States[I].Fired);
+  }
+  return Out;
+}
+
+void fault::killSelf() {
+  ::kill(::getpid(), SIGKILL);
+  for (;;) // SIGKILL delivery cannot be observed from here
+    ::pause();
+}
+
+bool fault::writeAll(int Fd, const char *Buf, size_t Len, const char *Point) {
+  Action A = at(Point);
+  switch (A) {
+  case Action::None:
+    return safeio::writeAll(Fd, Buf, Len);
+  case Action::Eintr: {
+    // An EINTR storm tears the write into fragments the retry loop must
+    // stitch back together; the operation still succeeds, byte-exact.
+    size_t Step = Len / 3 + 1;
+    for (size_t Off = 0; Off < Len; Off += Step)
+      if (!safeio::writeAll(Fd, Buf + Off, Off + Step < Len ? Step : Len - Off))
+        return false;
+    return true;
+  }
+  case Action::ShortWrite:
+    if (Len > 1)
+      safeio::writeAll(Fd, Buf, Len / 2);
+    errno = EIO;
+    return false;
+  case Action::Enospc:
+    errno = ENOSPC;
+    return false;
+  case Action::Eagain:
+    errno = EAGAIN;
+    return false;
+  case Action::Kill:
+    if (Len > 1)
+      safeio::writeAll(Fd, Buf, Len / 2);
+    killSelf();
+  }
+  errno = EIO;
+  return false;
+}

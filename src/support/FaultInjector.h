@@ -1,0 +1,164 @@
+//===- FaultInjector.h - Deterministic fault injection ----------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named, schedulable infrastructure faults for the batch/serve stack.
+/// The service's recovery paths (journal tail repair, retry ladder,
+/// respawn, backpressure) exist for failures that are nearly impossible
+/// to produce on demand -- a mid-write SIGKILL, an ENOSPC append, a fork
+/// storm. This injector makes each of them a deterministic, seedable
+/// event so the chaos drill (tools/chaos_drill.py) and the unit tests
+/// can reach every path on purpose.
+///
+/// A *fault point* is a named site in the code that consults the
+/// injector before doing real work. The known points:
+///
+///   journal.append     the journal's per-record write
+///   journal.fsync      the optional per-record fsync
+///   socket.write       a daemon session's response flush
+///   socket.read        a daemon session's request read
+///   pool.fork          worker process creation (cold pool and daemon)
+///   serve.accept       the daemon's listener accept
+///   trace.shard-write  a worker's streaming trace-shard append
+///
+/// A schedule is armed from `--faults=SPEC` or the TBAA_FAULTS
+/// environment variable (so it crosses fork/exec into drivers a test
+/// spawns). Grammar, comma-separated clauses:
+///
+///   SPEC    := clause (',' clause)*
+///   clause  := 'seed=' N            seed for the %P trigger PRNG
+///            | point trig? '=' action
+///   trig    := '#' N                fire on exactly the Nth hit
+///            | '#' N '+'            fire on the Nth and every later hit
+///            | '%' P                fire on each hit with probability P%
+///                                   (seeded, deterministic)
+///   action  := 'short'              torn write: half the bytes, then fail
+///            | 'eintr'              EINTR storm: interrupted partial
+///                                   writes that must still succeed
+///            | 'enospc'             fail with ENOSPC, nothing written
+///            | 'eagain'             fail with EAGAIN (fork: pretend the
+///                                   process table is full)
+///            | 'kill'               SIGKILL self here (mid-write at
+///                                   write points, leaving a torn tail)
+///
+/// e.g. `--faults=journal.append#3=kill` dies mid-way through the third
+/// journal record; `--faults=seed=7,socket.write%25=enospc` fails a
+/// quarter of response flushes. Unknown point names are a spec error --
+/// a typo must not silently arm nothing.
+///
+/// Every firing bumps a `fault.injected.<point>` Statistic and an armed
+/// process prints a per-point summary at exit, so drills can assert the
+/// fault actually fired instead of passing vacuously. The schedule is
+/// process-wide and inherited across fork (workers consult the same
+/// armed state), and hit counts restart with each process -- which is
+/// exactly what lets a kill-at-Nth-append drill walk the append sequence
+/// one record at a time across resumed runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_FAULTINJECTOR_H
+#define TBAA_SUPPORT_FAULTINJECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbaa::fault {
+
+enum class Action : uint8_t {
+  None,       ///< No fault here: do the real work.
+  ShortWrite, ///< Write part of the buffer, then fail (torn record).
+  Eintr,      ///< Interrupted-write storm; the operation still succeeds.
+  Enospc,     ///< Fail with errno ENOSPC, nothing written.
+  Eagain,     ///< Fail with errno EAGAIN (resource exhaustion).
+  Kill,       ///< raise(SIGKILL) at the point, mid-write if writing.
+};
+
+const char *actionName(Action A);
+
+/// The process-wide schedule. Consults are cheap when disarmed (one
+/// branch); the injector is single-threaded like the pool and daemon
+/// loops that host every fault point.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Replaces the schedule with \p Spec (see the grammar above). On a
+  /// parse error returns false with \p Error set and leaves the
+  /// injector disarmed -- half a schedule is worse than none.
+  bool arm(const std::string &Spec, std::string &Error);
+
+  /// Arms from TBAA_FAULTS if set. Returns false only on a bad spec.
+  bool armFromEnv(std::string &Error);
+
+  void disarm();
+  bool armed() const { return Armed; }
+
+  /// Consults the schedule at \p Point: counts the hit and returns the
+  /// action of the first rule whose trigger matches (None otherwise).
+  Action consult(const char *Point);
+
+  /// Observability for tests and the exit summary.
+  uint64_t hits(const char *Point) const;
+  uint64_t fired(const char *Point) const;
+  uint64_t seed() const { return Seed; }
+
+  /// "point xN" per point that fired, space-joined; "" if none.
+  std::string summary() const;
+
+  static bool knownPoint(const char *Point);
+
+private:
+  FaultInjector() = default;
+
+  enum class Trig : uint8_t { Always, Nth, FromNth, Percent };
+  struct Rule {
+    int Point = -1;
+    Trig T = Trig::Always;
+    uint64_t N = 0;   ///< Nth/FromNth threshold.
+    uint64_t Pct = 0; ///< Percent probability.
+    Action Act = Action::None;
+  };
+  struct PointState {
+    uint64_t Hits = 0;
+    uint64_t Fired = 0;
+  };
+
+  uint64_t nextRand();
+
+  bool Armed = false;
+  uint64_t Seed = 0;
+  uint64_t RngState = 0;
+  std::vector<Rule> Rules;
+  static constexpr size_t NumPoints = 7;
+  PointState States[NumPoints];
+};
+
+/// The one-line consult every fault point uses.
+inline Action at(const char *Point) {
+  FaultInjector &F = FaultInjector::instance();
+  if (!F.armed())
+    return Action::None;
+  return F.consult(Point);
+}
+
+/// SIGKILLs the calling process -- the 'kill' action's exit. Never
+/// returns (SIGKILL cannot be caught).
+[[noreturn]] void killSelf();
+
+/// safeio::writeAll with the fault point \p Point in front of it: the
+/// write path every durable append goes through. Actions map to
+/// observable write behavior -- 'short' writes half the buffer and
+/// fails, 'eintr' writes in interrupted fragments and succeeds, 'kill'
+/// tears the write mid-buffer and dies, errno actions fail cleanly with
+/// nothing written. Returns false with errno set on failure, exactly
+/// like a real write error.
+bool writeAll(int Fd, const char *Buf, size_t Len, const char *Point);
+
+} // namespace tbaa::fault
+
+#endif // TBAA_SUPPORT_FAULTINJECTOR_H

@@ -2,8 +2,10 @@
 
 #include "support/Trace.h"
 
+#include "support/FaultInjector.h"
 #include "support/JSONUtil.h"
 #include "support/SafeIO.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -14,6 +16,11 @@
 #include <unistd.h>
 
 using namespace tbaa;
+
+namespace {
+Statistic NumDroppedEvents("trace", "dropped-events",
+                           "trace shard events dropped on write failure");
+} // namespace
 
 uint64_t trace::nowUs() {
   timespec TS;
@@ -75,6 +82,7 @@ int TraceRecorder::pid() {
 bool TraceRecorder::beginShard(const std::string &Path) {
   endShard();
   Events.clear();
+  DroppedEvents = 0;
   CachedPid = static_cast<int>(::getpid());
   ShardFd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
                    0644);
@@ -148,7 +156,13 @@ void TraceRecorder::record(char Ph, const char *Cat, const std::string &Name,
     if (!Args.empty())
       L.append(",\"args\":").append(Args.c_str());
     L.append("}\n");
-    L.writeTo(ShardFd);
+    // Drop-and-count on failure: the shard narrates the job, it must
+    // never abort it. The merge pass tolerates the resulting gap (and
+    // the torn line a 'kill' action leaves) by design.
+    if (!fault::writeAll(ShardFd, L.data(), L.size(), "trace.shard-write")) {
+      ++DroppedEvents;
+      NumDroppedEvents += 1;
+    }
     return;
   }
   Event E;

@@ -108,6 +108,11 @@ public:
 
   bool streaming() const { return ShardFd >= 0; }
 
+  /// Events a streaming shard failed to append (write error or injected
+  /// trace.shard-write fault). Telemetry is drop-and-count: a shard
+  /// write failure must never abort the job it narrates.
+  uint64_t droppedEvents() const { return DroppedEvents; }
+
   /// The streaming shard's fd, or -1. Warm workers' between-job fd
   /// hygiene must know which fds are load-bearing.
   int shardFd() const { return ShardFd; }
@@ -166,6 +171,7 @@ private:
   bool Enabled = false;
   int ShardFd = -1;
   int CachedPid = 0;
+  uint64_t DroppedEvents = 0;
   std::vector<Event> Events;
 };
 

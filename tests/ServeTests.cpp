@@ -347,6 +347,58 @@ TEST(Serve, HangIsWatchdogKilledAndSpendsTheLadder) {
   EXPECT_EQ(D.terminate(), 0);
 }
 
+TEST(Serve, PoisonJobIsQuarantinedNeighborsUnharmed) {
+  // A job that kills a worker on *every* rung exhausts the ladder still
+  // retryable -- poison. The daemon flags its final record quarantined
+  // so operators can divert it, and keeps serving everyone else.
+  std::string Dir = scratchDir();
+  ServeOptions O = drillOptions(Dir);
+  O.Retry.MaxAttempts = 2; // poison costs 2 workers, not 3
+  Daemon D = startDaemon(O);
+
+  Client C(D.Socket);
+  ASSERT_TRUE(C.submit("@crash"));
+  ASSERT_TRUE(C.submit("ok:5"));
+  std::map<std::string, std::map<std::string, std::string>> Finals;
+  for (int I = 0; I < 2; ++I) {
+    std::map<std::string, std::string> M;
+    ASSERT_TRUE(C.readObject(M));
+    Finals[M["job"]] = M;
+  }
+  EXPECT_EQ(Finals["@crash"]["outcome"], "crash");
+  EXPECT_EQ(Finals["@crash"]["final"], "true");
+  EXPECT_EQ(Finals["@crash"]["quarantined"], "true")
+      << "ladder exhausted retryable must be flagged on the wire";
+  EXPECT_EQ(Finals["ok:5"]["outcome"], "ok");
+  EXPECT_EQ(Finals["ok:5"].count("quarantined"), 0u)
+      << "a clean settle must not carry the flag";
+
+  // The count is an operator-visible statistic...
+  std::map<std::string, std::string> S;
+  ASSERT_TRUE(C.send("{\"req\":\"stats\"}"));
+  ASSERT_TRUE(C.readObject(S));
+  EXPECT_EQ(S["quarantined"], "1");
+  // ...and the daemon is still healthy with a full worker complement.
+  EXPECT_EQ(S["health"], "ok");
+  EXPECT_EQ(S["workers"], std::to_string(O.Workers));
+  C.closeNow();
+  EXPECT_EQ(D.terminate(), 0);
+
+  // The journal agrees with the wire, record for record.
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  ASSERT_TRUE(Journal::load(D.JournalPath, Records, Error)) << Error;
+  unsigned Quarantined = 0;
+  for (const JournalRecord &R : Records) {
+    if (R.Quarantined) {
+      ++Quarantined;
+      EXPECT_EQ(R.Job, "@crash");
+      EXPECT_TRUE(R.Final);
+    }
+  }
+  EXPECT_EQ(Quarantined, 1u);
+}
+
 //===----------------------------------------------------------------------===//
 // Admission control
 //===----------------------------------------------------------------------===//

@@ -27,7 +27,9 @@
 #include "service/Watchdog.h"
 #include "service/Worker.h"
 #include "service/WorkerPool.h"
+#include "support/CRC32.h"
 #include "support/Clock.h"
+#include "support/FaultInjector.h"
 #include "support/SafeIO.h"
 
 #include <gtest/gtest.h>
@@ -390,12 +392,17 @@ TEST(Journal, RecordRendersTheDocumentedSchema) {
   R.PeakRSSKB = 4096;
   R.BackoffMs = 200;
   R.MinFlt = 350;
+  // The crc field is always last and covers the whole object as it would
+  // render without it -- the same body check_journal_json.py recomputes.
+  const std::string Body =
+      "{\"job\":\"fmt \\\"x\\\"\",\"attempt\":2,"
+      "\"degrade\":\"typedecl\",\"outcome\":\"crash\",\"exit\":-1,"
+      "\"signal\":11,\"wall_ms\":12,\"cpu_ms\":9,"
+      "\"peak_rss_kb\":4096,\"minflt\":350,\"majflt\":0,"
+      "\"backoff_ms\":200,\"final\":false}";
   EXPECT_EQ(R.toJSONLine(),
-            "{\"job\":\"fmt \\\"x\\\"\",\"attempt\":2,"
-            "\"degrade\":\"typedecl\",\"outcome\":\"crash\",\"exit\":-1,"
-            "\"signal\":11,\"wall_ms\":12,\"cpu_ms\":9,"
-            "\"peak_rss_kb\":4096,\"minflt\":350,\"majflt\":0,"
-            "\"backoff_ms\":200,\"final\":false}");
+            Body.substr(0, Body.size() - 1) + ",\"crc\":" +
+                std::to_string(crc32(Body.data(), Body.size())) + "}");
   R.Final = true;
   R.HasResult = true;
   R.Result = -7;
@@ -481,6 +488,179 @@ TEST(Journal, FlatParserHandlesEscapesAndRejectsNesting) {
   EXPECT_FALSE(parseFlatJSONObject(R"({"k":1} trailing)", Out));
   EXPECT_FALSE(parseFlatJSONObject("not json", Out));
   EXPECT_FALSE(parseFlatJSONObject(R"({"k")", Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Journal under injected faults: the crash-consistency story. The
+// chaos drill (tools/chaos_drill.py) exercises these end to end across
+// real SIGKILLs; these are the in-process regression tests.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Arms a fault schedule for one scope; the injector is process-wide
+/// and a leaked schedule would fail every later test that forks.
+struct FaultScope {
+  explicit FaultScope(const std::string &Spec) {
+    std::string Error;
+    EXPECT_TRUE(fault::FaultInjector::instance().arm(Spec, Error)) << Error;
+  }
+  ~FaultScope() { fault::FaultInjector::instance().disarm(); }
+};
+
+} // namespace
+
+TEST(Journal, FailedAppendSurfacesAndLatchesBroken) {
+  // Regression: append() once fired the record into a void -- a full
+  // disk reported success and --resume then skipped the lost attempts.
+  std::string Path = scratchDir() + "/enospc.jsonl";
+  Journal J;
+  ASSERT_TRUE(J.open(Path, /*Truncate=*/true));
+  FaultScope F("journal.append#1=enospc");
+  EXPECT_FALSE(J.append(JournalRecord{.Job = "a"}));
+  EXPECT_TRUE(J.broken());
+  EXPECT_NE(J.lastError().find("journal append failed"), std::string::npos)
+      << J.lastError();
+  // Broken latches: the fault clause is spent (#1), but the journal must
+  // not resume appending onto a file whose tail state it no longer knows.
+  EXPECT_FALSE(J.append(JournalRecord{.Job = "b"}));
+  std::ifstream In(Path);
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(Contents, "") << "no torn garbage after a failed append";
+}
+
+TEST(Journal, FailedFsyncIsAnAppendFailureToo) {
+  std::string Path = scratchDir() + "/fsync.jsonl";
+  Journal J;
+  ASSERT_TRUE(J.open(Path, /*Truncate=*/true, /*FsyncEachRecord=*/true));
+  FaultScope F("journal.fsync#1=enospc");
+  EXPECT_FALSE(J.append(JournalRecord{.Job = "a"}));
+  EXPECT_TRUE(J.broken());
+}
+
+TEST(Journal, EintrStormIsAbsorbedByAppend) {
+  std::string Path = scratchDir() + "/eintr.jsonl";
+  JournalRecord R{.Job = "a"};
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path, /*Truncate=*/true));
+    FaultScope F("journal.append#1+=eintr");
+    EXPECT_TRUE(J.append(R));
+    EXPECT_FALSE(J.broken());
+  }
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  ASSERT_TRUE(Journal::load(Path, Records, Error)) << Error;
+  ASSERT_EQ(Records.size(), 1u);
+  EXPECT_EQ(Records[0].Job, "a");
+}
+
+TEST(Journal, TornTailRepairsOnlyWhenAsked) {
+  std::string Path = scratchDir() + "/torn.jsonl";
+  JournalRecord A{.Job = "a"};
+  std::string Full = A.toJSONLine();
+  {
+    std::ofstream Out(Path);
+    Out << Full << "\n"
+        << Full.substr(0, Full.size() / 2); // the mid-write kill scar
+  }
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  EXPECT_FALSE(Journal::load(Path, Records, Error))
+      << "a plain load must not guess about a torn line";
+
+  std::string Note;
+  Records.clear();
+  ASSERT_TRUE(Journal::load(Path, Records, Error, /*RepairTail=*/true, &Note))
+      << Error;
+  ASSERT_EQ(Records.size(), 1u);
+  EXPECT_NE(Note.find("repaired torn tail"), std::string::npos) << Note;
+
+  // The repair is on disk: the scar is gone for every later reader.
+  Records.clear();
+  EXPECT_TRUE(Journal::load(Path, Records, Error));
+  EXPECT_EQ(Records.size(), 1u);
+}
+
+TEST(Journal, CrcMismatchOnTheTailIsRepairable) {
+  // A parseable line whose checksum disagrees is still a torn tail --
+  // flipped bits from a partial sector write, not a crash artifact we
+  // can trust.
+  std::string Path = scratchDir() + "/crc.jsonl";
+  JournalRecord A{.Job = "a"};
+  std::string Bad = A.toJSONLine();
+  size_t Pos = Bad.find("\"job\":\"a\"");
+  ASSERT_NE(Pos, std::string::npos);
+  Bad[Pos + 8] = 'z'; // body changed, crc stale
+  {
+    std::ofstream Out(Path);
+    Out << A.toJSONLine() << "\n" << Bad << "\n";
+  }
+  std::vector<JournalRecord> Records;
+  std::string Error, Note;
+  EXPECT_FALSE(Journal::load(Path, Records, Error));
+  Records.clear();
+  ASSERT_TRUE(Journal::load(Path, Records, Error, /*RepairTail=*/true, &Note))
+      << Error;
+  ASSERT_EQ(Records.size(), 1u);
+  EXPECT_EQ(Records[0].Job, "a");
+}
+
+TEST(Journal, CrclessRecordsStayLoadable) {
+  // Journals written before the crc field (or hand-written fixtures)
+  // must keep loading -- crc is checked when present, never required.
+  std::string Path = scratchDir() + "/legacy.jsonl";
+  {
+    std::ofstream Out(Path);
+    Out << "{\"job\":\"old\",\"attempt\":1,\"degrade\":\"full\","
+           "\"outcome\":\"ok\",\"exit\":0,\"signal\":0,\"wall_ms\":1,"
+           "\"cpu_ms\":1,\"peak_rss_kb\":1,\"minflt\":0,\"majflt\":0,"
+           "\"backoff_ms\":0,\"final\":true}\n";
+  }
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  ASSERT_TRUE(Journal::load(Path, Records, Error)) << Error;
+  ASSERT_EQ(Records.size(), 1u);
+  EXPECT_EQ(Records[0].Job, "old");
+  EXPECT_TRUE(Records[0].Final);
+}
+
+TEST(Journal, InteriorCorruptionIsNeverRepaired) {
+  // Repair exists for the one line a kill can tear: the last. A bad
+  // line with history after it is corruption; eating it would silently
+  // rewrite what happened.
+  std::string Path = scratchDir() + "/interior.jsonl";
+  JournalRecord A{.Job = "a"};
+  {
+    std::ofstream Out(Path);
+    Out << "{\"job\":\"half\n" << A.toJSONLine() << "\n";
+  }
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  EXPECT_FALSE(
+      Journal::load(Path, Records, Error, /*RepairTail=*/true, nullptr));
+  EXPECT_NE(Error.find(":1"), std::string::npos)
+      << "error should name line 1: " << Error;
+}
+
+TEST(Journal, QuarantinedRoundTripsThroughTheLine) {
+  JournalRecord R{.Job = "poison"};
+  R.Final = true;
+  R.Outcome = JobOutcome::Crash;
+  R.Quarantined = true;
+  std::string Path = scratchDir() + "/quarantine.jsonl";
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path, /*Truncate=*/true));
+    ASSERT_TRUE(J.append(R));
+  }
+  EXPECT_NE(R.toJSONLine().find("\"quarantined\":true"), std::string::npos);
+  std::vector<JournalRecord> Records;
+  std::string Error;
+  ASSERT_TRUE(Journal::load(Path, Records, Error)) << Error;
+  ASSERT_EQ(Records.size(), 1u);
+  EXPECT_TRUE(Records[0].Quarantined);
 }
 
 //===----------------------------------------------------------------------===//
@@ -677,11 +857,15 @@ TEST(Batch, ResumeRerunsOnlyUnfinishedJobs) {
 }
 
 TEST(Batch, CorruptJournalFailsResumeLoudly) {
+  // Interior corruption -- a bad line with history after it -- is not
+  // the scar of a kill; resume must refuse, not guess. (A corrupt
+  // *final* line is the torn tail resume repairs; see the Journal
+  // tests and tools/chaos_drill.py.)
   std::string Dir = scratchDir();
   std::string Path = Dir + "/journal.jsonl";
   {
     std::ofstream Out(Path);
-    Out << "{{{\n";
+    Out << "{{{\n" << JournalRecord{.Job = "a"}.toJSONLine() << "\n";
   }
   BatchOptions Opts;
   Opts.JournalPath = Path;

@@ -4,18 +4,25 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/CRC32.h"
 #include "support/Diagnostics.h"
 #include "support/DynBitset.h"
+#include "support/FaultInjector.h"
 #include "support/Socket.h"
 #include "support/Timing.h"
 #include "support/UnionFind.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 using namespace tbaa;
@@ -246,4 +253,182 @@ TEST(LineReader, OverlongLinePoisonsInsteadOfBallooning) {
   EXPECT_EQ(Line, "b");
   ASSERT_TRUE(LR3.next(Line));
   EXPECT_EQ(Line, "c");
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector: the chaos drill's foundation. Determinism is the whole
+// contract -- a schedule must be a pure function of (seed, spec, consult
+// sequence) or kill-at-Nth-append drills cannot be replayed.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Arms on construction, disarms on destruction: the injector is a
+/// process-wide singleton and no test may leak a schedule into the next.
+struct ArmedSchedule {
+  explicit ArmedSchedule(const std::string &Spec) {
+    std::string Error;
+    Ok = fault::FaultInjector::instance().arm(Spec, Error);
+  }
+  ~ArmedSchedule() { fault::FaultInjector::instance().disarm(); }
+  bool Ok;
+};
+
+std::vector<bool> consultSchedule(const char *Point, unsigned N) {
+  std::vector<bool> Fired;
+  for (unsigned I = 0; I != N; ++I)
+    Fired.push_back(fault::at(Point) != fault::Action::None);
+  return Fired;
+}
+
+} // namespace
+
+TEST(FaultInjector, SameSeedAndSpecReplayIdentically) {
+  const std::string Spec = "seed=42,journal.append%30=enospc";
+  std::vector<bool> First, Second;
+  {
+    ArmedSchedule S(Spec);
+    ASSERT_TRUE(S.Ok);
+    First = consultSchedule("journal.append", 200);
+  }
+  {
+    ArmedSchedule S(Spec);
+    ASSERT_TRUE(S.Ok);
+    Second = consultSchedule("journal.append", 200);
+  }
+  EXPECT_EQ(First, Second) << "a seeded schedule must replay bit-exactly";
+  EXPECT_NE(std::count(First.begin(), First.end(), true), 0)
+      << "30% of 200 consults fired nothing -- the trigger is dead";
+  EXPECT_NE(std::count(First.begin(), First.end(), false), 0)
+      << "30% fired every time -- the trigger is stuck";
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  std::vector<bool> A, B;
+  {
+    ArmedSchedule S("seed=1,journal.append%50=enospc");
+    A = consultSchedule("journal.append", 64);
+  }
+  {
+    ArmedSchedule S("seed=2,journal.append%50=enospc");
+    B = consultSchedule("journal.append", 64);
+  }
+  EXPECT_NE(A, B);
+}
+
+TEST(FaultInjector, PrngAdvancesOnlyOnPercentConsults) {
+  // Interleaving consults of *other* points must not shift a seeded
+  // schedule: the drill consults many points, the schedule keys on one.
+  std::vector<bool> Plain, Interleaved;
+  {
+    ArmedSchedule S("seed=9,socket.write%40=short");
+    Plain = consultSchedule("socket.write", 50);
+  }
+  {
+    ArmedSchedule S("seed=9,socket.write%40=short");
+    for (unsigned I = 0; I != 50; ++I) {
+      (void)fault::at("journal.append");
+      Interleaved.push_back(fault::at("socket.write") !=
+                            fault::Action::None);
+      (void)fault::at("pool.fork");
+    }
+  }
+  EXPECT_EQ(Plain, Interleaved);
+}
+
+TEST(FaultInjector, NthFiresExactlyOnceFromNthForever) {
+  ArmedSchedule S("journal.append#3=enospc,journal.fsync#2+=eagain");
+  ASSERT_TRUE(S.Ok);
+  std::vector<bool> Append = consultSchedule("journal.append", 5);
+  EXPECT_EQ(Append, (std::vector<bool>{false, false, true, false, false}));
+  std::vector<bool> Fsync = consultSchedule("journal.fsync", 4);
+  EXPECT_EQ(Fsync, (std::vector<bool>{false, true, true, true}));
+  fault::FaultInjector &F = fault::FaultInjector::instance();
+  EXPECT_EQ(F.hits("journal.append"), 5u);
+  EXPECT_EQ(F.fired("journal.append"), 1u);
+  EXPECT_EQ(F.fired("journal.fsync"), 3u);
+  EXPECT_NE(F.summary().find("journal.fsync x3"), std::string::npos);
+}
+
+TEST(FaultInjector, BadSpecsRefuseToArmHalfway) {
+  fault::FaultInjector &F = fault::FaultInjector::instance();
+  for (const char *Bad :
+       {"journal.apend#1=kill",       // typo'd point
+        "journal.append#1=explode",   // unknown action
+        "journal.append#0=kill",      // Nth starts at 1
+        "journal.append#x=kill",      // non-numeric trigger
+        "journal.append%101=enospc",  // probability past 100
+        "seed=abc,pool.fork=eagain",  // bad seed
+        "=kill", "journal.append="}) {
+    std::string Error;
+    EXPECT_FALSE(F.arm(Bad, Error)) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+    EXPECT_FALSE(F.armed()) << Bad << ": a bad spec must leave it disarmed";
+  }
+  std::string Error;
+  EXPECT_TRUE(F.arm("seed=5", Error));
+  EXPECT_FALSE(F.armed()) << "a seed with no rules schedules nothing";
+  F.disarm();
+}
+
+TEST(FaultInjector, WriteAllActionsMapToWireBehavior) {
+  char Path[] = "/tmp/tbaa-fault-writeall-XXXXXX";
+  int Fd = ::mkstemp(Path);
+  ASSERT_GE(Fd, 0);
+  ::unlink(Path);
+  const std::string Line = "{\"job\":\"x\",\"final\":true}\n";
+
+  auto Contents = [&] {
+    std::string Out(256, '\0');
+    ssize_t N = ::pread(Fd, Out.data(), Out.size(), 0);
+    Out.resize(N > 0 ? static_cast<size_t>(N) : 0);
+    return Out;
+  };
+
+  {
+    // EINTR storm: fragmented, but byte-exact and successful.
+    ArmedSchedule S("journal.append#1+=eintr");
+    EXPECT_TRUE(
+        fault::writeAll(Fd, Line.data(), Line.size(), "journal.append"));
+    EXPECT_EQ(Contents(), Line);
+  }
+  {
+    // Short write: half the record lands, the call reports failure --
+    // exactly the torn tail the journal loader must repair.
+    ASSERT_EQ(::ftruncate(Fd, 0), 0);
+    ASSERT_EQ(::lseek(Fd, 0, SEEK_SET), 0);
+    ArmedSchedule S("journal.append#1=short");
+    errno = 0;
+    EXPECT_FALSE(
+        fault::writeAll(Fd, Line.data(), Line.size(), "journal.append"));
+    EXPECT_EQ(errno, EIO);
+    EXPECT_EQ(Contents(), Line.substr(0, Line.size() / 2));
+  }
+  {
+    // ENOSPC: clean failure, nothing written.
+    ASSERT_EQ(::ftruncate(Fd, 0), 0);
+    ASSERT_EQ(::lseek(Fd, 0, SEEK_SET), 0);
+    ArmedSchedule S("journal.append#1=enospc");
+    errno = 0;
+    EXPECT_FALSE(
+        fault::writeAll(Fd, Line.data(), Line.size(), "journal.append"));
+    EXPECT_EQ(errno, ENOSPC);
+    EXPECT_EQ(Contents(), "");
+  }
+  // Disarmed: plain safeio passthrough.
+  ASSERT_EQ(::ftruncate(Fd, 0), 0);
+  ASSERT_EQ(::lseek(Fd, 0, SEEK_SET), 0);
+  EXPECT_TRUE(
+      fault::writeAll(Fd, Line.data(), Line.size(), "journal.append"));
+  EXPECT_EQ(Contents(), Line);
+  ::close(Fd);
+}
+
+TEST(CRC32, MatchesTheStandardCheckValue) {
+  // The canonical CRC-32 check string; every conforming implementation
+  // (zlib included, which check_journal_json.py uses) agrees on it.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  // Incremental sanity: any single-byte change moves the checksum.
+  EXPECT_NE(crc32("123456788", 9), crc32("123456789", 9));
 }

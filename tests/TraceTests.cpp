@@ -12,6 +12,7 @@
 
 #include "service/Journal.h"
 #include "service/Worker.h"
+#include "support/FaultInjector.h"
 #include "support/Metrics.h"
 #include "support/Timing.h"
 #include "support/Trace.h"
@@ -176,6 +177,37 @@ TEST_F(TraceTest, ShardStreamingWritesImmediatelyAndMergeCloses) {
   // Determinism: merging the same inputs twice is byte-identical.
   ASSERT_TRUE(TR.writeMerged(Out2, {Shard}, Err)) << Err;
   EXPECT_EQ(Merged, readFile(Out2));
+}
+
+TEST_F(TraceTest, FaultedShardWriteDropsTheEventAndCounts) {
+  // Tracing is observability, not ground truth: a failing shard write
+  // must cost exactly that event -- counted, never wedging the worker
+  // or poisoning the batch.
+  TraceRecorder &TR = TraceRecorder::instance();
+  std::string Dir = ::testing::TempDir();
+  std::string Shard = Dir + "/tbaa-trace-faulted.jsonl";
+  ASSERT_TRUE(TR.beginShard(Shard));
+  {
+    std::string Error;
+    ASSERT_TRUE(fault::FaultInjector::instance().arm(
+        "trace.shard-write#2=enospc", Error))
+        << Error;
+  }
+  TR.instant("test", "survives");
+  TR.instant("test", "dropped");
+  TR.instant("test", "alsosurvives");
+  fault::FaultInjector::instance().disarm();
+  EXPECT_EQ(TR.droppedEvents(), 1u);
+  TR.endShard();
+
+  // The surviving lines are intact JSONL; the merge takes them whole.
+  std::string Out = Dir + "/tbaa-trace-faulted-merged.json";
+  std::string Err;
+  ASSERT_TRUE(TR.writeMerged(Out, {Shard}, Err)) << Err;
+  std::string Merged = readFile(Out);
+  EXPECT_NE(Merged.find("\"survives\""), std::string::npos);
+  EXPECT_NE(Merged.find("\"alsosurvives\""), std::string::npos);
+  EXPECT_EQ(Merged.find("\"dropped\""), std::string::npos);
 }
 
 TEST_F(TraceTest, MergeSkipsTornTrailingLine) {

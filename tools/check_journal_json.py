@@ -17,6 +17,19 @@ leaves behind:
     A+B under --resume. Only B may execute (the resume banner reports
     one skipped job) and A's journal record must survive untouched.
 
+  * Torn tail: a journal ending in a half-written record must load
+    under --check-journal with the tail repaired (truncated, warned,
+    counted) and then resume cleanly.
+
+  * Corrupt tail fuzz: corrupt the golden journal's final line one byte
+    at a time (flips and truncations). Every variant must either load
+    with the tail repaired or hard-fail -- never parse corrupted bytes
+    into a record, and never touch interior records.
+
+Every journal line carries a "crc" field (CRC-32 of the record without
+it); this checker recomputes it. Records without the field stay legal
+(old journals), but a present-and-wrong crc is a violation.
+
 Serve mode starts an m3serve daemon, talks to it over its Unix socket
 and validates the wire schema end to end: health/stats responses carry
 the documented counters, each compile response is a journal-schema
@@ -32,12 +45,14 @@ Exit status 0 on success, 1 on any violation.
 """
 
 import json
+import re
 import signal
 import socket
 import subprocess
 import sys
 import tempfile
 import time
+import zlib
 from pathlib import Path
 
 OUTCOMES = {"ok", "diagnostics", "usage", "internal", "crash", "timeout"}
@@ -50,12 +65,29 @@ SCHEMA = (("job", str), ("attempt", int), ("degrade", str), ("outcome", str),
 # records whose worker ran a compile to completion.
 ORACLE_KEYS = ("oracle_queries", "oracle_p50_ns", "oracle_p90_ns",
                "oracle_max_ns")
+# Optional robustness keys: "quarantined" flags a final record whose
+# outcome is still retryable (a poison job that exhausted the ladder);
+# "crc" is the record checksum, always last when present.
+RETRYABLE = {"crash", "timeout", "internal"}
 
 errors = []
 
 
 def fail(msg):
     errors.append(msg)
+
+
+def check_crc(raw, where):
+    """Validates the trailing "crc" field against the rest of the line."""
+    match = re.search(r',"crc":(\d+)\}$', raw)
+    if not match:
+        fail(f'{where}: "crc" is present but not the trailing key')
+        return
+    body = raw[:match.start()] + "}"
+    want = zlib.crc32(body.encode())
+    if int(match.group(1)) != want:
+        fail(f"{where}: crc {match.group(1)} does not match payload "
+             f"(want {want})")
 
 
 def parse_journal(path):
@@ -76,8 +108,19 @@ def parse_journal(path):
                     kind is int and isinstance(record[key], bool)):
                 fail(f"{path.name}:{number}: '{key}' has type "
                      f"{type(record[key]).__name__}")
+        if "crc" in record:
+            check_crc(line, f"{path.name}:{number}")
+        if "quarantined" in record:
+            if record["quarantined"] is not True:
+                fail(f"{path.name}:{number}: quarantined = "
+                     f"{record['quarantined']!r}, only true is ever written")
+            elif not record.get("final"):
+                fail(f"{path.name}:{number}: quarantined non-final record")
+            elif record.get("outcome") not in RETRYABLE:
+                fail(f"{path.name}:{number}: quarantined with outcome "
+                     f"{record.get('outcome')!r}")
         extra = (set(record) - {key for key, _ in SCHEMA} - {"result"}
-                 - set(ORACLE_KEYS))
+                 - set(ORACLE_KEYS) - {"crc", "quarantined"})
         if extra:
             fail(f"{path.name}:{number}: undocumented keys {sorted(extra)}")
         present = [key for key in ORACLE_KEYS if key in record]
@@ -138,6 +181,10 @@ def check_planted(binary, tmp):
              f"failures are outcomes, not batch failures):\n{proc.stderr}")
         return
     records = parse_journal(journal)
+    # Old journals may lack checksums; freshly written ones never do.
+    for number, record in enumerate(records, 1):
+        if "crc" not in record:
+            fail(f"planted: record {number} carries no crc")
 
     by_job = {}
     for record in records:
@@ -211,14 +258,123 @@ def check_resume(binary, tmp):
              f"['format', 'dformat']")
 
 
+def run_check(binary, journal):
+    """m3batch --check-journal: returns (rc, records, repaired, stderr)."""
+    proc = subprocess.run(
+        [str(binary), "--check-journal", f"--journal={journal}"],
+        capture_output=True, text=True, timeout=600)
+    match = re.search(r"records=(\d+) finals=(\d+) repaired=(\d+)",
+                      proc.stdout)
+    if proc.returncode == 0 and not match:
+        fail(f"check-journal: no summary line in {proc.stdout!r}")
+        return proc.returncode, -1, -1, proc.stderr
+    return (proc.returncode, int(match.group(1)) if match else -1,
+            int(match.group(3)) if match else -1, proc.stderr)
+
+
+def check_tail_repair(binary, tmp):
+    journal = tmp / "tail.jsonl"
+    first = subprocess.run(
+        [str(binary), "--jobs=format", f"--journal={journal}"],
+        capture_output=True, text=True, timeout=600)
+    if first.returncode != 0:
+        fail(f"tail repair: seed run exited {first.returncode}")
+        return
+    clean = journal.read_bytes()
+
+    # A worker killed mid-append leaves half a record; the loader must
+    # truncate it (with a warning and the repair counter), not refuse
+    # the journal or invent a record from the torn bytes.
+    torn = clean.splitlines()[0]
+    journal.write_bytes(clean + torn[:len(torn) // 2])
+    rc, records, repaired, err = run_check(binary, journal)
+    if rc != 0:
+        fail(f"tail repair: check-journal exited {rc}: {err}")
+        return
+    if (records, repaired) != (1, 1):
+        fail(f"tail repair: records={records} repaired={repaired}, "
+             f"want 1 and 1")
+    if "repaired torn tail" not in err:
+        fail(f"tail repair: no repair warning on stderr: {err!r}")
+    if journal.read_bytes() != clean:
+        fail("tail repair: repair did not restore the pre-tear journal")
+
+    # The repaired journal resumes like nothing happened.
+    second = subprocess.run(
+        [str(binary), "--jobs=format,dformat", f"--journal={journal}",
+         "--resume"], capture_output=True, text=True, timeout=600)
+    if second.returncode != 0:
+        fail(f"tail repair: resume exited {second.returncode}")
+    elif "skipped 1 finished job" not in second.stdout:
+        fail("tail repair: resume re-ran the settled job")
+
+
+def check_corrupt_tail(binary, tmp):
+    journal = tmp / "fuzz.jsonl"
+    seed = subprocess.run(
+        [str(binary), "--jobs=format,dformat", f"--journal={journal}"],
+        capture_output=True, text=True, timeout=600)
+    if seed.returncode != 0:
+        fail(f"corrupt tail: seed run exited {seed.returncode}")
+        return
+    clean = journal.read_bytes()
+    rc, total, repaired, _ = run_check(binary, journal)
+    if (rc, repaired) != (0, 0):
+        fail(f"corrupt tail: clean journal rc={rc} repaired={repaired}")
+        return
+    last_start = clean.rstrip(b"\n").rfind(b"\n") + 1
+
+    def verdict(data, what, interior=False):
+        journal.write_bytes(data)
+        rc, records, repaired, _ = run_check(binary, journal)
+        if rc not in (0, 3):
+            fail(f"corrupt tail: {what}: exited {rc}, want 0 or 3")
+        elif rc == 0 and interior:
+            # Interior corruption is never repairable: either the line
+            # still checks out bitwise-insensitively (a flip inside the
+            # crc key name demotes the record to unchecksummed) and
+            # everything loads, or the load hard-fails. A shrunken
+            # record count here would mean repair ate settled history.
+            if records != total:
+                fail(f"corrupt tail: {what}: interior corruption loaded "
+                     f"{records}/{total} records")
+        elif rc == 0:
+            # Tail corruption: either detected and repaired away (one
+            # record shorter) or, for flips that only damage the crc
+            # key itself, loaded in full. Anything else is a mis-parse.
+            if records == total - 1 and repaired != 1:
+                fail(f"corrupt tail: {what}: dropped the tail without "
+                     f"reporting a repair")
+            elif records not in (total - 1, total):
+                fail(f"corrupt tail: {what}: loaded {records} records "
+                     f"from a {total}-record journal")
+
+    # Byte-by-byte flips across the final record.
+    for pos in range(last_start, len(clean)):
+        flipped = bytearray(clean)
+        flipped[pos] ^= 0x20  # stays printable-ish, never a no-op
+        verdict(bytes(flipped), f"flip at +{pos - last_start}")
+    # Truncations that tear the final record.
+    step = max(1, (len(clean) - last_start) // 16)
+    for end in range(last_start + 1, len(clean), step):
+        verdict(clean[:end], f"truncate at +{end - last_start}")
+    # One interior flip per byte of the first record.
+    first_end = clean.find(b"\n")
+    for pos in range(0, first_end):
+        flipped = bytearray(clean)
+        flipped[pos] ^= 0x20
+        verdict(bytes(flipped), f"interior flip at +{pos}", interior=True)
+
+
 # Counters every health response must carry; stats adds the second set.
 HEALTH_KEYS = ("health", "workers", "busy", "queue_depth", "sessions",
                "admitted", "completed", "overloaded", "retries",
                "downgrades", "respawns", "recycles", "uptime_ms")
 STATS_KEYS = HEALTH_KEYS + (
-    "disconnects", "cancelled", "bad_requests", "rejected_draining",
-    "max_queue", "max_queue_per_client", "queue_wait_p50_ms",
-    "queue_wait_p90_ms", "job_warm_p50_ms", "job_cold_p50_ms")
+    "disconnects", "cancelled", "quarantined", "bad_requests",
+    "rejected_draining", "max_queue", "max_queue_per_client",
+    "queue_wait_p50_ms", "queue_wait_p90_ms", "job_warm_p50_ms",
+    "job_cold_p50_ms")
 
 
 def check_status(line, keys, where):
@@ -320,6 +476,14 @@ def check_serve(binary, tmp):
             if crash.get("attempt") != 2:
                 fail(f"serve: @crash settled at attempt "
                      f"{crash.get('attempt')}, want the ladder spent at 2")
+            # A poison job that spent the ladder is flagged, on the wire
+            # and (checked below, by equality) in the journal.
+            if crash.get("quarantined") is not True:
+                fail("serve: @crash spent the ladder but is not "
+                     "quarantined")
+        for job in ("format", "@budget"):
+            if job in responses and "quarantined" in responses[job]:
+                fail(f"serve: healthy {job} is quarantined")
 
         # Garbage and unknown requests earn bad-request, not silence.
         for bad in ("this is not json", '{"req":"bogus"}', '{"job":""}'):
@@ -343,6 +507,9 @@ def check_serve(binary, tmp):
             fail("serve: @crash killed workers but stats shows no respawns")
         if stats.get("bad_requests") != 3:
             fail(f"serve: bad_requests={stats.get('bad_requests')}, want 3")
+        if stats.get("quarantined") != 1:
+            fail(f"serve: quarantined={stats.get('quarantined')}, want 1 "
+                 f"(@crash)")
 
         sock.close()
         daemon.send_signal(signal.SIGTERM)
@@ -388,12 +555,15 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         check_planted(binary, Path(tmp))
         check_resume(binary, Path(tmp))
+        check_tail_repair(binary, Path(tmp))
+        check_corrupt_tail(binary, Path(tmp))
 
     if errors:
         for message in errors:
             print(f"check_journal_json: {message}", file=sys.stderr)
         return 1
-    print("check_journal_json: planted + resume journals OK")
+    print("check_journal_json: planted + resume + tail-repair + "
+          "corrupt-tail journals OK")
     return 0
 
 

@@ -147,7 +147,10 @@ def main():
 
     stats = report.get("stats", {})
     for key, value in stats.items():
-        if not re.fullmatch(r"[a-z0-9-]+\.[a-z0-9-]+", key):
+        # group.name, where the name may itself be dotted (the fault
+        # injector's fault.injected.<point> counters name points like
+        # journal.append).
+        if not re.fullmatch(r"[a-z0-9-]+(\.[a-z0-9-]+)+", key):
             fail(f"stats key '{key}' does not match group.name")
         if not isinstance(value, int) or value < 0:
             fail(f"stats['{key}'] = {value!r} is not a non-negative int")

@@ -57,4 +57,13 @@ if command -v python3 >/dev/null 2>&1; then
     python3 "$SRC_DIR/tools/check_trace_json.py" m3batch \
         "$BUILD_DIR/tools/m3batch"
 fi
+
+# Chaos pass: the deterministic fault schedules (mid-append SIGKILLs,
+# ENOSPC, torn writes, fork exhaustion) drive the journal repair and
+# backpressure paths under instrumentation, where a stale pointer in a
+# recovery path would otherwise hide behind the fault being rare.
+if command -v python3 >/dev/null 2>&1; then
+    python3 "$SRC_DIR/tools/chaos_drill.py" \
+        "$BUILD_DIR/tools/m3batch" "$BUILD_DIR/tools/m3serve"
+fi
 echo "ci_sanitize: clean"

@@ -13,6 +13,7 @@
 //   m3batch [--jobs=a,b,c] [--gen=N] [--config=FILE] [--parallel=N]
 //           [--timeout-ms=N] [--cpu-seconds=N] [--memory-mb=N]
 //           [--retries=N] [--backoff-ms=N] [--journal=FILE] [--resume]
+//           [--journal-fsync] [--check-journal] [--faults=SPEC]
 //           [--crash-dir=DIR] [--trace=FILE] [--level=L] [--pipeline]
 //           [--pre] [--verify-analyses] [--strict] [--verbose] [--stats]
 //
@@ -32,7 +33,9 @@
 #include "CompileJobs.h"
 
 #include "service/Batch.h"
+#include "service/Journal.h"
 #include "service/Sandbox.h"
+#include "support/FaultInjector.h"
 #include "support/Metrics.h"
 #include "support/Stats.h"
 #include "workloads/Workloads.h"
@@ -56,6 +59,9 @@ struct Options {
   uint64_t Gen = 0;
   std::string JournalPath;
   bool Resume = false;
+  bool JournalFsync = false;
+  bool CheckJournal = false;
+  std::string Faults;
   std::string CrashDir;
   std::string TracePath;
   bool Pipeline = false;
@@ -72,7 +78,8 @@ int usage() {
       "usage: m3batch [--jobs=a,b,c] [--gen=N] [--config=FILE]\n"
       "               [--parallel=N] [--timeout-ms=N] [--cpu-seconds=N]\n"
       "               [--memory-mb=N] [--retries=N] [--backoff-ms=N]\n"
-      "               [--journal=FILE] [--resume] [--crash-dir=DIR]\n"
+      "               [--journal=FILE] [--resume] [--journal-fsync]\n"
+      "               [--check-journal] [--faults=SPEC] [--crash-dir=DIR]\n"
       "               [--trace=FILE]\n"
       "               [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
       "               [--pipeline] [--pre] [--verify-analyses] [--strict]\n"
@@ -197,7 +204,13 @@ int main(int argc, char **argv) {
       if (L != "typedecl" && L != "fieldtypedecl" && L != "smfieldtyperefs")
         return usage();
       Opts.Cfg.Level = L;
-    } else if (A == "--resume")
+    } else if (A.rfind("--faults=", 0) == 0)
+      Opts.Faults = A.substr(9);
+    else if (A == "--journal-fsync")
+      Opts.JournalFsync = true;
+    else if (A == "--check-journal")
+      Opts.CheckJournal = true;
+    else if (A == "--resume")
       Opts.Resume = true;
     else if (A == "--pipeline")
       Opts.Pipeline = true;
@@ -214,9 +227,42 @@ int main(int argc, char **argv) {
     else
       return usage();
   }
-  if (Opts.Resume && Opts.JournalPath.empty()) {
-    std::fprintf(stderr, "m3batch: --resume requires --journal\n");
+  if ((Opts.Resume || Opts.CheckJournal) && Opts.JournalPath.empty()) {
+    std::fprintf(stderr, "m3batch: --%s requires --journal\n",
+                 Opts.Resume ? "resume" : "check-journal");
     return 2;
+  }
+
+  {
+    // Arm the fault schedule (drills and robustness tests only); the
+    // env form crosses into workers this process forks.
+    std::string FaultError;
+    fault::FaultInjector &FI = fault::FaultInjector::instance();
+    bool ArmOk = Opts.Faults.empty() ? FI.armFromEnv(FaultError)
+                                     : FI.arm(Opts.Faults, FaultError);
+    if (!ArmOk) {
+      std::fprintf(stderr, "m3batch: %s\n", FaultError.c_str());
+      return 2;
+    }
+  }
+
+  if (Opts.CheckJournal) {
+    // Offline journal validation: load (repairing a torn tail like
+    // --resume would), report, touch nothing else. Lets the corruption
+    // fuzz exercise the loader without paying for compiles.
+    std::vector<JournalRecord> Records;
+    std::string Error, RepairNote;
+    if (!Journal::load(Opts.JournalPath, Records, Error, /*RepairTail=*/true,
+                       &RepairNote)) {
+      std::fprintf(stderr, "m3batch: %s\n", Error.c_str());
+      return 3;
+    }
+    size_t Finals = 0;
+    for (const JournalRecord &R : Records)
+      Finals += R.Final;
+    std::printf("m3batch: journal-check: records=%zu finals=%zu repaired=%d\n",
+                Records.size(), Finals, RepairNote.empty() ? 0 : 1);
+    return 0;
   }
 
   // Assemble the job list.
@@ -251,6 +297,7 @@ int main(int argc, char **argv) {
   BO.Retry.BackoffCapMs = Opts.Cfg.BackoffCapMs;
   BO.JournalPath = Opts.JournalPath;
   BO.Resume = Opts.Resume;
+  BO.JournalFsync = Opts.JournalFsync;
   BO.CrashDir = Opts.CrashDir;
   BO.TracePath = Opts.TracePath;
   BO.Verbose = Opts.Verbose;

@@ -13,7 +13,8 @@
 //                  [--retries=N] [--backoff-ms=N] [--max-queue=N]
 //                  [--max-queue-per-client=N] [--retry-after-ms=N]
 //                  [--max-jobs-per-worker=N] [--journal=FILE]
-//                  [--trace=FILE] [--idle-exit-ms=N] [--level=L]
+//                  [--journal-fsync] [--faults=SPEC] [--trace=FILE]
+//                  [--idle-exit-ms=N] [--level=L]
 //                  [--pipeline] [--pre] [--verify-analyses] [--verbose]
 //   m3serve submit --socket=PATH [--jobs=a,b,c] [--gen=N]
 //                  [--max-resubmits=N] [--strict] [--verbose]
@@ -37,6 +38,7 @@
 #include "service/Journal.h"
 #include "service/Sandbox.h"
 #include "service/Serve.h"
+#include "support/FaultInjector.h"
 #include "support/Socket.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
@@ -63,7 +65,8 @@ int usage() {
       "                      [--memory-mb=N] [--retries=N] [--backoff-ms=N]\n"
       "                      [--max-queue=N] [--max-queue-per-client=N]\n"
       "                      [--retry-after-ms=N] [--max-jobs-per-worker=N]\n"
-      "                      [--journal=FILE] [--trace=FILE]\n"
+      "                      [--journal=FILE] [--journal-fsync]\n"
+      "                      [--faults=SPEC] [--trace=FILE]\n"
       "                      [--idle-exit-ms=N]\n"
       "                      [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
       "                      [--pipeline] [--pre] [--verify-analyses]\n"
@@ -313,6 +316,7 @@ int main(int argc, char **argv) {
   ServeOptions SO;
   SubmitOptions Sub;
   jobs::CompileFlags Flags;
+  std::string Faults;
   uint64_t MaxQueue = 64, MaxPerClient = 16, Workers = 2, MaxJobs = 0;
 
   for (int I = 2; I < argc; ++I) {
@@ -353,6 +357,10 @@ int main(int argc, char **argv) {
       Sub.MaxResubmits = static_cast<unsigned>(Tmp);
     else if (A.rfind("--journal=", 0) == 0 && A.size() > 10)
       SO.JournalPath = A.substr(10);
+    else if (A == "--journal-fsync")
+      SO.JournalFsync = true;
+    else if (A.rfind("--faults=", 0) == 0)
+      Faults = A.substr(9);
     else if (A.rfind("--trace=", 0) == 0 && A.size() > 8)
       SO.TracePath = A.substr(8);
     else if (A.rfind("--level=", 0) == 0) {
@@ -376,6 +384,19 @@ int main(int argc, char **argv) {
   if (SO.SocketPath.empty()) {
     std::fprintf(stderr, "m3serve: --socket=PATH is required\n");
     return 2;
+  }
+
+  {
+    // Arm the fault schedule (chaos drills only); the env form crosses
+    // into the warm workers the daemon forks.
+    std::string FaultError;
+    fault::FaultInjector &FI = fault::FaultInjector::instance();
+    bool ArmOk = Faults.empty() ? FI.armFromEnv(FaultError)
+                                : FI.arm(Faults, FaultError);
+    if (!ArmOk) {
+      std::fprintf(stderr, "m3serve: %s\n", FaultError.c_str());
+      return 2;
+    }
   }
 
   if (Mode == "submit")
