@@ -20,11 +20,14 @@
 #include "BenchCommon.h"
 
 #include "opt/PassPipeline.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
+#include "workloads/Generator.h"
 
 #include <chrono>
 #include <cstring>
 #include <map>
+#include <vector>
 
 using namespace tbaa;
 using namespace tbaa::bench;
@@ -92,6 +95,18 @@ void optimizeCached(Compilation &C) {
   if (PipelineFailure F = P.run(C.IR); F.failed())
     fatal("pipeline failed after pass '%s':\n%s", F.Pass.c_str(),
           F.Error.c_str());
+}
+
+/// The cached pipeline with the two-level parallel schedule at \p Threads
+/// workers (0 = the sequential loop).
+void optimizeParallel(Compilation &C, unsigned Threads) {
+  AnalysisManager AM(C.ast(), C.types(), {.Degrading = false});
+  PipelineOptions PO;
+  PO.ParallelThreads = Threads;
+  OptPipeline P(AM, PO);
+  if (PipelineFailure F = P.run(C.IR); F.failed())
+    fatal("parallel pipeline (%u threads) failed after pass '%s':\n%s",
+          Threads, F.Pass.c_str(), F.Error.c_str());
 }
 
 /// Times Reps runs of \p Optimize, each over a fresh compile (the
@@ -178,12 +193,181 @@ int runTraceOverheadGate() {
   return 0;
 }
 
+/// A named source for the parallel curve: the golden workloads plus
+/// generated many-procedure programs that give the worker pool real
+/// breadth (the bundled workloads have 10-40 functions; the generated
+/// ones are where a 4-thread win is actually measurable).
+struct CurveProgram {
+  std::string Name;
+  std::string Source;
+  bool MultiFunction; ///< Counts toward the speedup assertion.
+};
+
+Compilation compileSourceOrDie(const CurveProgram &P) {
+  DiagnosticEngine Diags;
+  Compilation C = compileSource(P.Source, Diags);
+  if (!C.ok())
+    fatal("program %s failed to compile:\n%s", P.Name.c_str(),
+          Diags.str(P.Name.c_str()).c_str());
+  return C;
+}
+
+/// `--parallel-curve`: wall-clock of the cached pipeline at 1/2/4/N
+/// worker threads against the sequential loop, every arm checked for
+/// bit-identical IR and Main() checksum. Gates: the widest arm must not
+/// be slower than one thread beyond a noise margin, and -- only on
+/// machines that actually have >= 4 cores -- the generated
+/// multi-function programs must reach 1.5x at 4 threads.
+int runParallelCurve(int argc, char **argv) {
+  JsonReport Report("bench_pipeline_parallel", argc, argv);
+  constexpr double NoiseMargin = 0.30;
+  constexpr uint64_t SlackUs = 2000;
+
+  std::vector<unsigned> Threads = {1, 2, 4};
+  unsigned HW = ThreadPool::defaultThreads();
+  if (HW > 4)
+    Threads.push_back(HW);
+
+  std::vector<CurveProgram> Programs;
+  for (const WorkloadInfo &W : allWorkloads())
+    if (!W.Interactive)
+      Programs.push_back({W.Name, W.Source, false});
+  Programs.push_back(
+      {"gen-16p", generateProgram({.Seed = 7, .StatementBudget = 400,
+                                   .NumProcs = 16}),
+       true});
+  Programs.push_back(
+      {"gen-32p", generateProgram({.Seed = 11, .StatementBudget = 800,
+                                   .NumProcs = 32}),
+       true});
+
+  std::printf("Parallel pipeline scaling: best of %d runs per arm "
+              "(identical IR + checksum enforced)\n\n",
+              Reps);
+  std::printf("%-14s %9s", "Program", "seq");
+  for (unsigned T : Threads)
+    std::printf("  %7ut", T);
+  std::printf("\n");
+
+  uint64_t SeqTotal = 0, MultiFn1t = 0, MultiFn4t = 0;
+  std::vector<uint64_t> ArmTotal(Threads.size(), 0);
+  for (const CurveProgram &P : Programs) {
+    // Sequential reference: final IR text and checksum every arm must
+    // reproduce exactly.
+    std::string RefIR;
+    int64_t RefChecksum = 0;
+    {
+      Compilation C = compileSourceOrDie(P);
+      optimizeParallel(C, 0);
+      RefIR = C.IR.dump();
+      RunOutcome Out;
+      execute(C, Out);
+      RefChecksum = Out.Checksum;
+    }
+
+    // Interleaved arms: a load spike lands on every arm, not just one.
+    uint64_t BestSeq = ~0ull;
+    std::vector<uint64_t> Best(Threads.size(), ~0ull);
+    for (int R = 0; R != Reps; ++R) {
+      for (size_t A = 0; A != Threads.size() + 1; ++A) {
+        unsigned T = A == 0 ? 0 : Threads[A - 1];
+        Compilation C = compileSourceOrDie(P);
+        auto T0 = std::chrono::steady_clock::now();
+        optimizeParallel(C, T);
+        auto T1 = std::chrono::steady_clock::now();
+        uint64_t Us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+                .count());
+        if (C.IR.dump() != RefIR)
+          fatal("%s: %u-thread pipeline produced different IR",
+                P.Name.c_str(), T);
+        if (R == 0 && T != 0) {
+          RunOutcome Out;
+          execute(C, Out);
+          if (Out.Checksum != RefChecksum)
+            fatal("%s: %u-thread checksum %lld != sequential %lld",
+                  P.Name.c_str(), T,
+                  static_cast<long long>(Out.Checksum),
+                  static_cast<long long>(RefChecksum));
+        }
+        if (A == 0)
+          BestSeq = std::min(BestSeq, Us);
+        else
+          Best[A - 1] = std::min(Best[A - 1], Us);
+      }
+    }
+
+    std::printf("%-14s %7lluus", P.Name.c_str(),
+                static_cast<unsigned long long>(BestSeq));
+    for (uint64_t B : Best)
+      std::printf(" %7lluus", static_cast<unsigned long long>(B));
+    std::printf("\n");
+
+    SeqTotal += BestSeq;
+    for (size_t A = 0; A != Best.size(); ++A)
+      ArmTotal[A] += Best[A];
+    if (P.MultiFunction) {
+      MultiFn1t += Best[0];
+      MultiFn4t += Best[2]; // Threads = {1, 2, 4, ...}
+    }
+
+    JsonReport::Record &Rec = Report.record(P.Name);
+    Rec.set("seq_us", BestSeq);
+    for (size_t A = 0; A != Threads.size(); ++A)
+      Rec.set("t" + std::to_string(Threads[A]) + "_us", Best[A]);
+    Rec.set("checksum", RefChecksum);
+  }
+
+  std::printf("\naggregate: %lluus seq",
+              static_cast<unsigned long long>(SeqTotal));
+  for (size_t A = 0; A != Threads.size(); ++A)
+    std::printf(", %lluus @%ut",
+                static_cast<unsigned long long>(ArmTotal[A]), Threads[A]);
+  std::printf("\n");
+
+  // Gate 1: the widest pool must not lose to one thread beyond noise.
+  // On a 1-core container every arm degenerates to near-sequential, so
+  // this is the only wall-clock claim that is portable.
+  uint64_t Widest = ArmTotal.back();
+  uint64_t Limit =
+      ArmTotal[0] +
+      std::max(static_cast<uint64_t>(ArmTotal[0] * NoiseMargin), SlackUs);
+  if (Widest > Limit) {
+    std::fprintf(stderr,
+                 "bench_pipeline: %u-thread aggregate %lluus exceeds "
+                 "1-thread %lluus beyond noise (limit %lluus)\n",
+                 Threads.back(), static_cast<unsigned long long>(Widest),
+                 static_cast<unsigned long long>(ArmTotal[0]),
+                 static_cast<unsigned long long>(Limit));
+    return 1;
+  }
+  // Gate 2: a real 4-core machine must show the win on the
+  // multi-function programs.
+  if (HW >= 4 && MultiFn4t != 0) {
+    double Speedup = static_cast<double>(MultiFn1t) /
+                     static_cast<double>(MultiFn4t);
+    std::printf("multi-function speedup at 4 threads: %.2fx\n", Speedup);
+    if (Speedup < 1.5) {
+      std::fprintf(stderr,
+                   "bench_pipeline: 4-thread speedup %.2fx below 1.5x on "
+                   "multi-function programs\n",
+                   Speedup);
+      return 1;
+    }
+  }
+  std::printf("parallel curve within bounds\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  for (int I = 1; I < argc; ++I)
+  for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--trace-overhead"))
       return runTraceOverheadGate();
+    if (!std::strcmp(argv[I], "--parallel-curve"))
+      return runParallelCurve(argc, argv);
+  }
 
   JsonReport Report("bench_pipeline", argc, argv);
   TimerRegistry::instance().setEnabled(true);
@@ -224,6 +408,17 @@ int main(int argc, char **argv) {
     auto After = analysisCounters();
     if (Unc.Checksum != Base.Checksum || Cac.Checksum != Base.Checksum)
       fatal("%s: optimization changed the checksum", W.Name);
+    // The parallel schedule must reproduce the sequential pipeline
+    // bit-for-bit (also keeps the pipeline.parallel-* counters live for
+    // the --json schema check).
+    {
+      RunOutcome Par;
+      Compilation C = compileWorkload(W);
+      optimizeParallel(C, 2);
+      execute(C, Par);
+      if (Par.Checksum != Base.Checksum)
+        fatal("%s: parallel pipeline changed the checksum", W.Name);
+    }
 
     uint64_t UncachedAnalysisUs = 0, CachedAnalysisUs = 0;
     uint64_t UncachedUs = timeOptimize(W, optimizeUncached,

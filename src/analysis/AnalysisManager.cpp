@@ -9,6 +9,7 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <sstream>
 
@@ -203,6 +204,13 @@ std::string diffModRef(const IRModule &M, const ModRefAnalysis &Cached,
   return {};
 }
 
+/// Relaxed atomic bump of a plain tally: per-function pass chains hit
+/// the shared CacheStats concurrently during a parallel stage, and a
+/// relaxed add keeps totals exact without widening the struct's ABI.
+inline void bump(uint64_t &Tally) {
+  std::atomic_ref<uint64_t>(Tally).fetch_add(1, std::memory_order_relaxed);
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -280,10 +288,10 @@ const CallGraph &AnalysisManager::callGraph() {
   if (!CG) {
     TBAA_TIME_SCOPE("callgraph");
     CG = std::make_unique<CallGraph>(*M, *M->Types);
-    ++Cache.CallGraph.Computes;
+    bump(Cache.CallGraph.Computes);
     ++NumCGComputed;
   } else {
-    ++Cache.CallGraph.Hits;
+    bump(Cache.CallGraph.Hits);
     ++NumCGHits;
     if (Opts.VerifyAnalyses) {
       auto Fresh = std::make_unique<class CallGraph>(*M, *M->Types);
@@ -302,10 +310,10 @@ const AliasClassEngine *AnalysisManager::aliasClasses() {
   if (!ACE) {
     TBAA_TIME_SCOPE("alias-classes");
     ACE = std::make_unique<AliasClassEngine>(*M);
-    ++Cache.AliasClasses.Computes;
+    bump(Cache.AliasClasses.Computes);
     ++NumACEComputed;
   } else {
-    ++Cache.AliasClasses.Hits;
+    bump(Cache.AliasClasses.Hits);
     ++NumACEHits;
     if (Opts.VerifyAnalyses) {
       AliasClassEngine Fresh(*M);
@@ -328,10 +336,10 @@ const ModRefAnalysis &AnalysisManager::modRef() {
     const AliasOracle *EngOracle = Eng ? &oracle() : nullptr;
     TBAA_TIME_SCOPE("modref");
     MR = std::make_unique<ModRefAnalysis>(*M, G, Eng, EngOracle);
-    ++Cache.ModRef.Computes;
+    bump(Cache.ModRef.Computes);
     ++NumMRComputed;
   } else {
-    ++Cache.ModRef.Hits;
+    bump(Cache.ModRef.Hits);
     ++NumMRHits;
     if (Opts.VerifyAnalyses) {
       class CallGraph FreshCG(*M, *M->Types);
@@ -349,10 +357,10 @@ const DominatorTree &AnalysisManager::dominators(const IRFunction &F) {
   if (!E.DT) {
     TBAA_TIME_SCOPE("dominators");
     E.DT = std::make_unique<DominatorTree>(F);
-    ++Cache.Dominators.Computes;
+    bump(Cache.Dominators.Computes);
     ++NumDomComputed;
   } else {
-    ++Cache.Dominators.Hits;
+    bump(Cache.Dominators.Hits);
     ++NumDomHits;
     if (Opts.VerifyAnalyses) {
       auto Fresh = std::make_unique<DominatorTree>(F);
@@ -371,10 +379,10 @@ const LoopInfo &AnalysisManager::loops(const IRFunction &F) {
     TBAA_TIME_SCOPE("loops");
     E.LI = std::make_unique<LoopInfo>(F, DT);
     detectPreheaders(F, *E.LI);
-    ++Cache.Loops.Computes;
+    bump(Cache.Loops.Computes);
     ++NumLoopsComputed;
   } else {
-    ++Cache.Loops.Hits;
+    bump(Cache.Loops.Hits);
     ++NumLoopsHits;
     if (Opts.VerifyAnalyses) {
       // DT was re-verified (and healed if stale) by the dominators()
@@ -413,12 +421,12 @@ void AnalysisManager::invalidateFunction(FuncId Id) {
   FuncEntry &E = Funcs[Id];
   if (E.DT) {
     E.DT.reset();
-    ++Cache.Dominators.Invalidations;
+    bump(Cache.Dominators.Invalidations);
     ++NumDomInvalidated;
   }
   if (E.LI) {
     E.LI.reset();
-    ++Cache.Loops.Invalidations;
+    bump(Cache.Loops.Invalidations);
     ++NumLoopsInvalidated;
   }
 }
@@ -431,17 +439,17 @@ void AnalysisManager::invalidateFunctionAnalyses() {
 void AnalysisManager::invalidateModuleAnalyses() {
   if (CG) {
     CG.reset();
-    ++Cache.CallGraph.Invalidations;
+    bump(Cache.CallGraph.Invalidations);
     ++NumCGInvalidated;
   }
   if (MR) {
     MR.reset();
-    ++Cache.ModRef.Invalidations;
+    bump(Cache.ModRef.Invalidations);
     ++NumMRInvalidated;
   }
   if (ACE) {
     ACE.reset();
-    ++Cache.AliasClasses.Invalidations;
+    bump(Cache.AliasClasses.Invalidations);
     ++NumACEInvalidated;
   }
 }
@@ -455,7 +463,12 @@ void AnalysisManager::invalidateAll() {
 }
 
 void AnalysisManager::verifyHit(const std::string &What, std::string Diff) {
-  if (Diff.empty() || !VerifyError.empty())
+  if (Diff.empty())
+    return;
+  // Per-function verifies run concurrently during a parallel stage; the
+  // lock keeps "first error wins" well-defined for the shared latch.
+  std::lock_guard<std::mutex> Lock(VerifyMu);
+  if (!VerifyError.empty())
     return;
   VerifyError = "stale cached " + What + ": " + std::move(Diff);
 }

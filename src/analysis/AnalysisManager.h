@@ -47,6 +47,7 @@
 #include "ir/Loops.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -233,6 +234,7 @@ private:
   std::unique_ptr<AliasClassEngine> ACE;
 
   CacheStats Cache;
+  std::mutex VerifyMu; ///< Guards VerifyError under concurrent verifies.
   std::string VerifyError;
 };
 

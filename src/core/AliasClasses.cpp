@@ -7,6 +7,7 @@
 #include "support/Timing.h"
 #include "support/UnionFind.h"
 
+#include <atomic>
 #include <cassert>
 
 using namespace tbaa;
@@ -117,7 +118,8 @@ AliasClassEngine::build(AliasLevel Level, const AliasOracle &Ref) const {
   for (size_t I = 0; I != L; ++I)
     for (size_t J = I; J != L; ++J) {
       bool May = Ref.mayAliasAbs(Locs[I], Locs[J]);
-      ++Counters.BuildQueries;
+      std::atomic_ref<uint64_t>(Counters.BuildQueries)
+      .fetch_add(1, std::memory_order_relaxed);
       ++NumBuildQueries;
       if (!May)
         continue;
@@ -151,7 +153,8 @@ AliasClassEngine::build(AliasLevel Level, const AliasOracle &Ref) const {
     if (Covered.count() != ClassSize[P->ClassOf[I]])
       P->Uniform[P->ClassOf[I]] = 0;
   }
-  ++Counters.PartitionsBuilt;
+  std::atomic_ref<uint64_t>(Counters.PartitionsBuilt)
+      .fetch_add(1, std::memory_order_relaxed);
   ++NumPartitionsBuilt;
   NumClassesBuilt += P->NumClasses;
   if (Timed)
@@ -165,21 +168,25 @@ bool AliasClassEngine::mayAliasAbs(const Partition &P, const AbsLoc &A,
                                    const AliasOracle &Ref) const {
   LocId IA = lookup(A), IB = lookup(B);
   if (IA == NoLoc || IB == NoLoc) {
-    ++Counters.Fallbacks;
+    std::atomic_ref<uint64_t>(Counters.Fallbacks)
+      .fetch_add(1, std::memory_order_relaxed);
     ++NumFallbacks;
     return Ref.mayAliasAbs(A, B);
   }
   if (P.ClassOf[IA] != P.ClassOf[IB]) {
-    ++Counters.FastAnswers;
+    std::atomic_ref<uint64_t>(Counters.FastAnswers)
+      .fetch_add(1, std::memory_order_relaxed);
     ++NumFastAnswers;
     return false; // Cross-class: guaranteed no-alias.
   }
   if (P.Uniform[P.ClassOf[IA]]) {
-    ++Counters.FastAnswers;
+    std::atomic_ref<uint64_t>(Counters.FastAnswers)
+      .fetch_add(1, std::memory_order_relaxed);
     ++NumFastAnswers;
     return true;
   }
-  ++Counters.SlowPath;
+  std::atomic_ref<uint64_t>(Counters.SlowPath)
+      .fetch_add(1, std::memory_order_relaxed);
   ++NumSlowPath;
   return P.Rows[IA].test(IB);
 }
@@ -190,12 +197,14 @@ bool AliasClassEngine::mayAlias(const Partition &P, const MemPath &A,
   if (P.Level == AliasLevel::Perfect) {
     // Lexical identity only -- two distinct paths over the same abstract
     // location do NOT alias under Perfect, so never consult the rows.
-    ++Counters.FastAnswers;
+    std::atomic_ref<uint64_t>(Counters.FastAnswers)
+      .fetch_add(1, std::memory_order_relaxed);
     ++NumFastAnswers;
     return A == B;
   }
   if (A == B) {
-    ++Counters.FastAnswers;
+    std::atomic_ref<uint64_t>(Counters.FastAnswers)
+      .fetch_add(1, std::memory_order_relaxed);
     ++NumFastAnswers;
     return true; // Case 1 of Table 2: identical APs always alias.
   }
@@ -205,7 +214,8 @@ bool AliasClassEngine::mayAlias(const Partition &P, const MemPath &A,
 const DynBitset &AliasClassEngine::aliasSet(const Partition &P,
                                             LocId L) const {
   assert(L < P.Rows.size());
-  ++Counters.BulkOps;
+  std::atomic_ref<uint64_t>(Counters.BulkOps)
+      .fetch_add(1, std::memory_order_relaxed);
   ++NumBulkOps;
   return P.Rows[L];
 }
@@ -213,7 +223,8 @@ const DynBitset &AliasClassEngine::aliasSet(const Partition &P,
 bool AliasClassEngine::intersectsAliasSet(const Partition &P, LocId L,
                                           const DynBitset &Set) const {
   assert(L < P.Rows.size());
-  ++Counters.BulkOps;
+  std::atomic_ref<uint64_t>(Counters.BulkOps)
+      .fetch_add(1, std::memory_order_relaxed);
   ++NumBulkOps;
   return P.Rows[L].intersects(Set);
 }

@@ -62,6 +62,10 @@ namespace tbaa {
 
 /// Per-engine query tallies (global mirrors live in the StatsRegistry
 /// under the "engine" group).
+/// Plain-word tallies bumped through std::atomic_ref (relaxed) in the
+/// engine's const query paths: parallel pipeline stages issue queries
+/// from several workers against one engine, and a relaxed add keeps the
+/// totals exact without changing this struct's layout for readers.
 struct AliasClassStats {
   uint64_t PartitionsBuilt = 0;
   uint64_t BuildQueries = 0; ///< Reference-oracle calls spent building.

@@ -132,6 +132,12 @@ void InstrumentedOracle::memoInsert(uint64_t Key, bool Verdict) const {
 
 bool InstrumentedOracle::mayAlias(const MemPath &A, const MemPath &B) const {
   QueryTimer QT;
+  // One lock spans intern + memo + verdict + the inner oracle, so the
+  // whole query is atomic under the parallel pipeline (the degrading
+  // inner oracle mutates downgrade state and charges the budget).
+  std::unique_lock<std::mutex> Lock(QueryMu, std::defer_lock);
+  if (ThreadSafe)
+    Lock.lock();
   ++Counters.PathQueries;
   uint64_t IdA = internId(PathIds, packPath(A), 0);
   uint64_t IdB = internId(PathIds, packPath(B), 0);
@@ -148,6 +154,9 @@ bool InstrumentedOracle::mayAlias(const MemPath &A, const MemPath &B) const {
 
 bool InstrumentedOracle::mayAliasAbs(const AbsLoc &A, const AbsLoc &B) const {
   QueryTimer QT;
+  std::unique_lock<std::mutex> Lock(QueryMu, std::defer_lock);
+  if (ThreadSafe)
+    Lock.lock();
   ++Counters.AbsQueries;
   uint64_t IdA = internId(AbsIds, packAbs(A), 1);
   uint64_t IdB = internId(AbsIds, packAbs(B), 1);

@@ -32,6 +32,7 @@
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 namespace tbaa {
@@ -76,6 +77,16 @@ public:
   void setMemoCapacity(size_t Cap) { MemoCapacity = Cap ? Cap : 1; }
   size_t memoCapacity() const { return MemoCapacity; }
 
+  /// When on, every query takes a mutex around the interners, the memo,
+  /// the counters and the inner oracle, so pool workers can share this
+  /// decorator during a parallel pipeline stage. Verdicts are
+  /// unaffected (the memo is answer-preserving); only the memo's
+  /// hit/miss split can vary with interleaving. Off (the default) the
+  /// query path is lock-free as before. Toggle only while no queries
+  /// are in flight.
+  void setThreadSafe(bool On) { ThreadSafe = On; }
+  bool threadSafe() const { return ThreadSafe; }
+
 private:
   // Lexical keys, hashed once per *distinct* operand to assign a dense
   // id: a MemPath packs to 5 words (root, selector+field, index operand
@@ -110,6 +121,8 @@ private:
   // mirrors argument order, exactly as the unbounded table did.
   mutable std::unordered_map<uint64_t, bool> Memo;
   size_t MemoCapacity = 1u << 20;
+  bool ThreadSafe = false;
+  mutable std::mutex QueryMu; ///< Held per query when ThreadSafe.
 };
 
 /// Builds an oracle of \p Level over \p Ctx and wraps it.

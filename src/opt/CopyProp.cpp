@@ -202,3 +202,11 @@ unsigned tbaa::propagateCopies(IRModule &M) {
   M.assignStaticIds();
   return Rewritten;
 }
+
+unsigned tbaa::propagateCopiesOnFunction(const IRModule &M, IRFunction &F) {
+  TBAA_TIME_SCOPE("copyprop");
+  BlockCopyProp Pass(M, F);
+  unsigned Rewritten = Pass.run();
+  NumRewritten += Rewritten;
+  return Rewritten;
+}

@@ -28,6 +28,12 @@ namespace tbaa {
 /// Returns the number of operands rewritten. Rebuilds static ids.
 unsigned propagateCopies(IRModule &M);
 
+/// One function's share of propagateCopies, for the parallel pipeline's
+/// per-function chains. Purely block-local (reads only \p F), bumps the
+/// global copyprop statistic, and does NOT rebuild static ids -- the
+/// stage barrier does that once.
+unsigned propagateCopiesOnFunction(const IRModule &M, IRFunction &F);
+
 } // namespace tbaa
 
 #endif // TBAA_OPT_COPYPROP_H

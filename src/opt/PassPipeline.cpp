@@ -6,9 +6,24 @@
 #include "opt/Devirt.h"
 #include "opt/Inline.h"
 
+#include "support/Budget.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "support/Timing.h"
 #include "support/Trace.h"
 
+#include <algorithm>
+#include <cassert>
+
 using namespace tbaa;
+
+TBAA_STATISTIC(NumParallelThreads, "pipeline", "parallel-threads",
+               "Peak worker-pool width used by the parallel scheduler");
+TBAA_STATISTIC(NumParallelFunctions, "pipeline", "parallel-functions",
+               "Function pass-chains scheduled onto the worker pool");
+TBAA_STATISTIC(NumParallelBarriers, "pipeline", "parallel-barriers",
+               "Stage barriers joined by the parallel scheduler");
 
 OptPipeline::OptPipeline(AnalysisManager &AM, PipelineOptions Opts)
     : AM(AM), Opts(Opts) {
@@ -49,31 +64,50 @@ void OptPipeline::buildPasses() {
     Stats.RLE.Replaced += S.Replaced;
     Stats.RLE.TypeTestsElided += S.TypeTestsElided;
   };
+  // Per-function runners for the parallel schedule: one function's share
+  // of the pass against frozen module analyses, deltas summed at the
+  // stage barrier.
+  auto RLEOnFn = [this](IRModule &M, IRFunction &F,
+                        const FrozenAnalyses &Frozen, FnPassDelta &D) {
+    RLEStats S = runRLEOnFunction(M, F, AM, Frozen);
+    D.RLE.Hoisted += S.Hoisted;
+    D.RLE.Replaced += S.Replaced;
+    D.RLE.TypeTestsElided += S.TypeTestsElided;
+  };
   if (Opts.RLE)
-    append("rle", RLEPass, PassPreserves::Self);
+    appendFunctionPass("rle", RLEPass, RLEOnFn);
   if (Opts.CopyProp) {
     // Copy propagation rewrites path roots block-locally: no CFG edge,
     // call site or abstract location changes, so every cached analysis
     // survives.
-    append(
+    appendFunctionPass(
         "copyprop",
         [this](IRModule &M) { Stats.OperandsPropagated += propagateCopies(M); },
+        [](IRModule &M, IRFunction &F, const FrozenAnalyses &,
+           FnPassDelta &D) {
+          D.OperandsPropagated += propagateCopiesOnFunction(M, F);
+        },
         PassPreserves::All);
     // Copy propagation unifies lexical paths RLE's first run saw as
     // distinct (the paper's "Breakup" limitation); a second RLE run
     // collects what became visible.
     if (Opts.RLE)
-      append("rle#2", RLEPass, PassPreserves::Self);
+      appendFunctionPass("rle#2", RLEPass, RLEOnFn);
   }
   if (Opts.PRE)
-    append(
+    appendFunctionPass(
         "pre",
         [this](IRModule &M) {
           PREStats S = runLoadPRE(M, AM);
           Stats.PRE.Inserted += S.Inserted;
           Stats.PRE.Replaced += S.Replaced;
         },
-        PassPreserves::Self);
+        [this](IRModule &M, IRFunction &F, const FrozenAnalyses &Frozen,
+               FnPassDelta &D) {
+          PREStats S = runLoadPREOnFunction(M, F, AM, Frozen);
+          D.PRE.Inserted += S.Inserted;
+          D.PRE.Replaced += S.Replaced;
+        });
 }
 
 size_t OptPipeline::indexOf(const std::string &Name) const {
@@ -85,7 +119,17 @@ size_t OptPipeline::indexOf(const std::string &Name) const {
 
 void OptPipeline::append(std::string Name, std::function<void(IRModule &)> Fn,
                          PassPreserves Preserves) {
-  Passes.push_back({std::move(Name), std::move(Fn), Preserves});
+  Passes.push_back({std::move(Name), std::move(Fn), Preserves, nullptr});
+}
+
+void OptPipeline::appendFunctionPass(
+    std::string Name, std::function<void(IRModule &)> Run,
+    std::function<void(IRModule &, IRFunction &, const FrozenAnalyses &,
+                       FnPassDelta &)>
+        RunOnFunction,
+    PassPreserves Preserves) {
+  Passes.push_back(
+      {std::move(Name), std::move(Run), Preserves, std::move(RunOnFunction)});
 }
 
 void OptPipeline::insertAfter(const std::string &After, std::string Name,
@@ -97,7 +141,7 @@ void OptPipeline::insertAfter(const std::string &After, std::string Name,
     return;
   }
   Passes.insert(Passes.begin() + static_cast<ptrdiff_t>(I) + 1,
-                {std::move(Name), std::move(Fn), Preserves});
+                {std::move(Name), std::move(Fn), Preserves, nullptr});
 }
 
 PipelineFailure OptPipeline::verifyAfter(const IRModule &M,
@@ -122,6 +166,14 @@ PipelineFailure OptPipeline::runPrefix(IRModule &M, size_t NumPasses) {
   return F;
 }
 
+std::string OptPipeline::stageName(size_t Begin, size_t End) const {
+  std::string Name = "parallel(" + Passes[Begin].Name;
+  if (End - Begin > 1)
+    Name += ".." + Passes[End - 1].Name;
+  Name += ")";
+  return Name;
+}
+
 PipelineFailure OptPipeline::runPrefixImpl(IRModule &M, size_t NumPasses) {
   // Cold caches on entry: prefix replays (m3fuzz) run the same pipeline
   // over successive module copies, which can reuse an address.
@@ -130,10 +182,42 @@ PipelineFailure OptPipeline::runPrefixImpl(IRModule &M, size_t NumPasses) {
   if (VerifyAnalyses)
     AM.setVerifyAnalyses(true);
 
+  // The parallel schedule requires the manager's own instrumented
+  // oracle (its thread-safe mode covers the memo, the interners and the
+  // degradation ladder) and an unlimited oracle budget: with a finite
+  // budget, downgrade points depend on global query order, which the
+  // sequential pipeline fixes and function-major chains would reorder.
+  // Either condition failing silently runs the exact sequential loop --
+  // same output either way, that being the whole contract.
+  bool Parallel = Opts.ParallelThreads > 0 && AM.instrumented() != nullptr &&
+                  BudgetRegistry::instance().Oracle.Limit == 0;
+  std::unique_ptr<ThreadPool> Pool;
+  if (Parallel)
+    Pool = std::make_unique<ThreadPool>(Opts.ParallelThreads);
+
   if (Opts.VerifyEach)
     if (PipelineFailure F = verifyAfter(M, "<input>"); F.failed())
       return F;
-  for (size_t I = 0; I != Passes.size() && I != NumPasses; ++I) {
+  size_t Limit = std::min(Passes.size(), NumPasses);
+  for (size_t I = 0; I != Limit;) {
+    if (Parallel && Passes[I].RunOnFunction) {
+      // Maximal run of function-granular passes: one parallel stage,
+      // joined at a barrier. Anything without a per-function runner
+      // (devirt, inline, external/m3fuzz passes) ends the stage.
+      size_t J = I;
+      while (J != Limit && Passes[J].RunOnFunction)
+        ++J;
+      if (PipelineFailure F = runParallelStage(M, I, J, *Pool); F.failed())
+        return F;
+      if (VerifyAnalyses && !AM.verifyError().empty()) {
+        PipelineFailure F;
+        F.Pass = stageName(I, J);
+        F.Error = AM.verifyError();
+        return F;
+      }
+      I = J;
+      continue;
+    }
     {
       // Per-pass span over and above the pass's own TBAA_TIME_SCOPE:
       // the pipeline position and name come from the schedule, which
@@ -165,6 +249,7 @@ PipelineFailure OptPipeline::runPrefixImpl(IRModule &M, size_t NumPasses) {
       F.Error = AM.verifyError();
       return F;
     }
+    ++I;
   }
   // Sweep what never got re-queried: recompute every surviving cache
   // entry fresh and diff.
@@ -175,5 +260,115 @@ PipelineFailure OptPipeline::runPrefixImpl(IRModule &M, size_t NumPasses) {
       F.Error = Err;
       return F;
     }
+  return {};
+}
+
+PipelineFailure OptPipeline::runParallelStage(IRModule &M, size_t Begin,
+                                              size_t End, ThreadPool &Pool) {
+  size_t NumStagePasses = End - Begin;
+  size_t NumFns = M.Functions.size();
+
+  TraceRecorder &TR = TraceRecorder::instance();
+  TraceSpan StageSpan(
+      "pipeline", "parallel-stage",
+      TR.enabled()
+          ? TraceArgs()
+                .num("first", static_cast<uint64_t>(Begin))
+                .num("passes", static_cast<uint64_t>(NumStagePasses))
+                .num("functions", static_cast<uint64_t>(NumFns))
+                .num("threads", Pool.threads())
+                .render()
+          : std::string());
+
+  // Freeze the module analyses on the calling thread: chains take them
+  // from FrozenAnalyses instead of the manager's lazy (and therefore
+  // mutating) getters. The partition prefetch also matters: the engine
+  // builds partitions lazily per level, and with no oracle budget (a
+  // precondition of running parallel at all) the level cannot change
+  // mid-stage.
+  FrozenAnalyses Frozen;
+  Frozen.Oracle = &AM.oracle();
+  Frozen.MR = &AM.modRef();
+  Frozen.CG = &AM.callGraph();
+  Frozen.ACE = AM.aliasClasses();
+  if (Frozen.ACE)
+    Frozen.Part = &Frozen.ACE->partition(*Frozen.Oracle);
+
+  InstrumentedOracle *IO = AM.instrumented();
+  assert(IO && "parallel schedule requires the owned instrumented oracle");
+  IO->setThreadSafe(true);
+
+  // Per-worker timer shards, merged in worker order at the barrier.
+  TimerRegistry &Timers = TimerRegistry::instance();
+  std::vector<std::unique_ptr<TimerRegistry>> Shards(Pool.threads());
+  for (std::unique_ptr<TimerRegistry> &S : Shards) {
+    S = std::make_unique<TimerRegistry>();
+    S->setEnabled(Timers.enabled());
+  }
+
+  // Per-(function, pass) remark buffers and stat deltas: written by
+  // exactly one worker each, merged deterministically at the barrier.
+  bool RemarksOn = RemarkEngine::instance().enabled();
+  std::vector<std::vector<Remark>> RemarkBufs(
+      RemarksOn ? NumFns * NumStagePasses : 0);
+  std::vector<FnPassDelta> Deltas(NumFns * NumStagePasses);
+
+  Pool.parallelFor(NumFns, [&](size_t FIdx, unsigned W) {
+    TimerRegistry::setActiveShard(Shards[W].get());
+    // Workers get their own trace lane; the calling thread (worker 0)
+    // keeps the process tid.
+    if (W)
+      TraceRecorder::setThreadTid(static_cast<int>(W));
+    IRFunction &F = M.Functions[FIdx];
+    for (size_t K = 0; K != NumStagePasses; ++K) {
+      if (RemarksOn)
+        RemarkEngine::setLocalSink(&RemarkBufs[FIdx * NumStagePasses + K]);
+      Passes[Begin + K].RunOnFunction(M, F, Frozen,
+                                      Deltas[FIdx * NumStagePasses + K]);
+    }
+    if (RemarksOn)
+      RemarkEngine::setLocalSink(nullptr);
+    TimerRegistry::setActiveShard(nullptr);
+  });
+
+  // --- Barrier: everything below is single-threaded again. ---
+  IO->setThreadSafe(false);
+
+  if (Timers.enabled())
+    for (const std::unique_ptr<TimerRegistry> &S : Shards)
+      Timers.absorb(S->root());
+
+  // The sequential stream is pass-major, functions in module order
+  // within a pass; replay that exact order from the buffers.
+  if (RemarksOn) {
+    RemarkEngine &RE = RemarkEngine::instance();
+    for (size_t K = 0; K != NumStagePasses; ++K)
+      for (size_t FIdx = 0; FIdx != NumFns; ++FIdx)
+        RE.append(std::move(RemarkBufs[FIdx * NumStagePasses + K]));
+  }
+
+  for (const FnPassDelta &D : Deltas) {
+    Stats.RLE.Hoisted += D.RLE.Hoisted;
+    Stats.RLE.Replaced += D.RLE.Replaced;
+    Stats.RLE.TypeTestsElided += D.RLE.TypeTestsElided;
+    Stats.PRE.Inserted += D.PRE.Inserted;
+    Stats.PRE.Replaced += D.PRE.Replaced;
+    Stats.OperandsPropagated += D.OperandsPropagated;
+  }
+
+  ++NumParallelBarriers;
+  NumParallelFunctions += NumFns;
+  NumParallelThreads.noteMax(Pool.threads());
+
+  // One id rebuild per stage reproduces the sequential pipeline's final
+  // ids: chain passes never depend on id values mid-stage (only on their
+  // uniqueness), and ids are a pure function of the final instruction
+  // sequence.
+  M.assignStaticIds();
+  if (Opts.VerifyEach)
+    return verifyAfter(M, stageName(Begin, End));
+  std::string Err = M.verify();
+  assert(Err.empty() && "parallel stage broke the IR");
+  (void)Err;
   return {};
 }

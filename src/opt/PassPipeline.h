@@ -20,6 +20,14 @@
 /// matching invalidation after each pass so later passes reuse whatever
 /// survived instead of rebuilding from scratch.
 ///
+/// With PipelineOptions::ParallelThreads > 0 the linear list becomes a
+/// two-level schedule (docs/ARCHITECTURE.md "Threading model"): module
+/// passes are sequential barriers, and maximal runs of function-granular
+/// passes in between execute as per-function chains on a work-stealing
+/// pool, against module analyses frozen at stage entry. The schedule is
+/// constructed so the result is bit-identical to the sequential pipeline
+/// -- same IR, same VM checksums, same remark stream -- for any N.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TBAA_OPT_PASSPIPELINE_H
@@ -38,6 +46,7 @@ namespace tbaa {
 
 class AliasOracle;
 class TBAAContext;
+class ThreadPool;
 
 /// Which stages to run (defaults reproduce `m3lc --pipeline --pre`).
 struct PipelineOptions {
@@ -46,7 +55,22 @@ struct PipelineOptions {
   bool RLE = true;
   bool CopyProp = true;
   bool PRE = true;
+  /// Worker-pool width for the two-level schedule (`--parallel-opt[=N]`).
+  /// 0 (the default) runs the exact legacy sequential pass-major loop.
+  /// N >= 1 groups consecutive function-granular passes (rle, copyprop,
+  /// rle#2, pre) into stages: module passes (devirt, inline, anything
+  /// external) are barriers run sequentially, and between barriers each
+  /// function's pass chain runs whole on one of N work-stealing workers
+  /// against frozen module analyses. Output is bit-identical to the
+  /// sequential pipeline for any N. Falls back to the sequential loop
+  /// when the manager borrows its oracle (no thread-safe decorator) or
+  /// a finite --analysis-budget is set (downgrade points depend on
+  /// query order, which parallel chains would reorder).
+  unsigned ParallelThreads = 0;
   /// Re-verify the IR after every pass; stop at the first failure.
+  /// Under ParallelThreads > 0 function passes are verified at stage
+  /// barriers (attributed "parallel(first..last)") instead of per pass;
+  /// module/barrier passes keep exact per-pass attribution.
   bool VerifyEach = false;
   /// Recompute each cached analysis fresh on cache hits and after the
   /// last pass, diffing against the cache; stop at the first stale
@@ -138,14 +162,44 @@ public:
                                      const std::string &PassName);
 
 private:
+  /// One (function, pass) cell's transformation counts, accumulated into
+  /// PipelineStats at the stage barrier (deterministic sums -- every
+  /// Statistic-style tally is associative).
+  struct FnPassDelta {
+    RLEStats RLE;
+    PREStats PRE;
+    unsigned OperandsPropagated = 0;
+  };
+
   struct Pass {
     std::string Name;
     std::function<void(IRModule &)> Run;
     PassPreserves Preserves = PassPreserves::None;
+    /// Set only on built-in function-granular passes: one function's
+    /// share of the pass against frozen module analyses. Null marks a
+    /// barrier (devirt, inline, external passes).
+    std::function<void(IRModule &, IRFunction &, const FrozenAnalyses &,
+                       FnPassDelta &)>
+        RunOnFunction;
   };
 
   void buildPasses();
+  /// append() plus the function-granular runner the parallel schedule
+  /// uses. Built-in passes default to Self preservation.
+  void appendFunctionPass(
+      std::string Name, std::function<void(IRModule &)> Run,
+      std::function<void(IRModule &, IRFunction &, const FrozenAnalyses &,
+                         FnPassDelta &)>
+          RunOnFunction,
+      PassPreserves Preserves = PassPreserves::Self);
   PipelineFailure runPrefixImpl(IRModule &M, size_t NumPasses);
+  /// Runs passes [Begin, End) -- all function-granular -- as one
+  /// parallel stage over \p Pool, then joins: static ids rebuilt, timer
+  /// shards and remark buffers merged, stats summed, IR verified.
+  PipelineFailure runParallelStage(IRModule &M, size_t Begin, size_t End,
+                                   ThreadPool &Pool);
+  /// Human-readable stage name for failure attribution and tracing.
+  std::string stageName(size_t Begin, size_t End) const;
 
   std::unique_ptr<AnalysisManager> OwnedAM; ///< Borrowing ctor only.
   AnalysisManager &AM;

@@ -1028,6 +1028,27 @@ PREStats tbaa::runLoadPRE(IRModule &M, AnalysisManager &AM) {
   return Stats;
 }
 
+PREStats tbaa::runLoadPREOnFunction(IRModule &M, IRFunction &F,
+                                    AnalysisManager &AM,
+                                    const FrozenAnalyses &Frozen) {
+  TBAA_TIME_SCOPE("pre");
+  PREStats Stats;
+  KillModel Kills(M, F, *Frozen.Oracle, *Frozen.MR, *Frozen.CG, Frozen.ACE,
+                  Frozen.Part);
+  LoadPRE PRE(M, F, Kills);
+  unsigned Inserted = PRE.run();
+  Stats.Inserted = Inserted;
+  // Edge splitting adds blocks: only this function's CFG analyses go
+  // stale, and its FuncEntry slot is private to this chain.
+  if (Inserted)
+    AM.invalidateFunction(F.Id);
+  LoadCSE CSE(M, F, Kills);
+  Stats.Replaced = CSE.run();
+  NumPREInserted += Stats.Inserted;
+  NumPREReplaced += Stats.Replaced;
+  return Stats;
+}
+
 PREStats tbaa::runLoadPRE(IRModule &M, const AliasOracle &Oracle) {
   // Legacy entry point: clients handing in their own oracle expect every
   // alias question to reach it (tests count its queries and cache hits),
@@ -1069,6 +1090,34 @@ RLEStats tbaa::runRLE(IRModule &M, AnalysisManager &AM) {
   std::string Err = M.verify();
   assert(Err.empty() && "RLE broke the IR");
   (void)Err;
+  return Stats;
+}
+
+RLEStats tbaa::runRLEOnFunction(IRModule &M, IRFunction &F,
+                                AnalysisManager &AM,
+                                const FrozenAnalyses &Frozen) {
+  // Same TIME_SCOPE names as the module entry point, so --time-passes
+  // totals merge into the same tree nodes regardless of scheduling.
+  TBAA_TIME_SCOPE("rle");
+  RLEStats Stats;
+  Stats.TypeTestsElided = elideRepeatedTypeTests(F);
+  KillModel Kills(M, F, *Frozen.Oracle, *Frozen.MR, *Frozen.CG, Frozen.ACE,
+                  Frozen.Part);
+  {
+    TBAA_TIME_SCOPE("hoist");
+    LoadHoister Hoister(M, F, Kills, AM);
+    Stats.Hoisted = Hoister.run();
+  }
+  {
+    TBAA_TIME_SCOPE("cse");
+    LoadCSE CSE(M, F, Kills);
+    Stats.Replaced = CSE.run();
+  }
+  // Per-function shares sum to exactly the module totals the sequential
+  // entry point bumps (Statistic adds are atomic).
+  NumHoisted += Stats.Hoisted;
+  NumReplaced += Stats.Replaced;
+  NumTypeTestsElided += Stats.TypeTestsElided;
   return Stats;
 }
 

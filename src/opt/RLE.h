@@ -57,6 +57,29 @@ struct RLEStats {
 /// static instruction ids before returning.
 RLEStats runRLE(IRModule &M, AnalysisManager &AM);
 
+/// The module-level analyses a parallel pipeline stage prefetches on the
+/// main thread and hands read-only to every function chain. Between
+/// barriers nothing may rebuild or invalidate these, so chain bodies
+/// take them from here instead of going through the manager's lazy
+/// (mutating) getters.
+struct FrozenAnalyses {
+  const AliasOracle *Oracle = nullptr;
+  const ModRefAnalysis *MR = nullptr;
+  const CallGraph *CG = nullptr;
+  const AliasClassEngine *ACE = nullptr;            ///< May be null.
+  const AliasClassEngine::Partition *Part = nullptr; ///< Null iff ACE is.
+};
+
+/// RLE restricted to one function: the per-function loop body of
+/// runRLE, against frozen module analyses. Per-function CFG analyses
+/// still come from \p AM (distinct FuncId slots, so concurrent chains
+/// never touch the same entry). Bumps the global rle.* statistics for
+/// this function's share but does NOT rebuild static ids or verify --
+/// the caller does both once per stage, which reproduces the sequential
+/// pipeline's final ids exactly.
+RLEStats runRLEOnFunction(IRModule &M, IRFunction &F, AnalysisManager &AM,
+                          const FrozenAnalyses &Frozen);
+
 /// Convenience over a bare oracle: runs with a private single-use
 /// manager (no caching across calls).
 RLEStats runRLE(IRModule &M, const AliasOracle &Oracle);
@@ -93,6 +116,14 @@ struct PREStats {
 /// function it split an edge in.
 PREStats runLoadPRE(IRModule &M, AnalysisManager &AM);
 PREStats runLoadPRE(IRModule &M, const AliasOracle &Oracle);
+
+/// Load PRE restricted to one function (see runRLEOnFunction): splits
+/// deficient edges, invalidates this function's CFG analyses when it
+/// inserted, then runs the availability CSE. No static-id rebuild or
+/// module verify -- the stage barrier does both.
+PREStats runLoadPREOnFunction(IRModule &M, IRFunction &F,
+                              AnalysisManager &AM,
+                              const FrozenAnalyses &Frozen);
 
 } // namespace tbaa
 

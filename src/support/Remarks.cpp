@@ -53,10 +53,27 @@ RemarkEngine &RemarkEngine::instance() {
   return E;
 }
 
+namespace {
+thread_local std::vector<Remark> *LocalSink = nullptr;
+} // namespace
+
+void RemarkEngine::setLocalSink(std::vector<Remark> *Sink) {
+  LocalSink = Sink;
+}
+
 void RemarkEngine::emit(Remark R) {
   if (!Enabled)
     return;
+  if (LocalSink) {
+    LocalSink->push_back(std::move(R));
+    return;
+  }
   Remarks.push_back(std::move(R));
+}
+
+void RemarkEngine::append(std::vector<Remark> Buffered) {
+  for (Remark &R : Buffered)
+    Remarks.push_back(std::move(R));
 }
 
 std::string RemarkEngine::render() const {

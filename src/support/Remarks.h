@@ -69,8 +69,21 @@ public:
   bool enabled() const { return Enabled; }
 
   /// Records \p R; dropped while disabled so stray emissions from code
-  /// that skipped the enabled() guard cannot leak between tests.
+  /// that skipped the enabled() guard cannot leak between tests. When
+  /// the calling thread has a local sink installed (the parallel
+  /// pipeline's per-function buffers), the remark lands there instead
+  /// of the shared stream.
   void emit(Remark R);
+
+  /// Redirects this thread's emissions into \p Sink (nullptr restores
+  /// the shared stream). The parallel pipeline installs one buffer per
+  /// (function, pass) cell and merges them deterministically at the
+  /// stage barrier via append().
+  static void setLocalSink(std::vector<Remark> *Sink);
+
+  /// Appends buffered remarks to the shared stream in order. Call from
+  /// one thread only (the pipeline's barrier).
+  void append(std::vector<Remark> Buffered);
 
   const std::vector<Remark> &remarks() const { return Remarks; }
   void clear() { Remarks.clear(); }

@@ -44,6 +44,14 @@ public:
     Value.fetch_add(N, std::memory_order_relaxed);
     return *this;
   }
+  /// Raises the counter to \p N if it is currently lower (high-water
+  /// marks, e.g. pipeline.parallel-threads).
+  void noteMax(uint64_t N) {
+    uint64_t Cur = Value.load(std::memory_order_relaxed);
+    while (Cur < N &&
+           !Value.compare_exchange_weak(Cur, N, std::memory_order_relaxed))
+      ;
+  }
   uint64_t value() const { return Value.load(std::memory_order_relaxed); }
 
   const char *group() const { return Group; }

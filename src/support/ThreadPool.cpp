@@ -1,0 +1,118 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace tbaa;
+
+unsigned ThreadPool::defaultThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) : NumThreads(Threads ? Threads : 1) {
+  Workers.reserve(NumThreads - 1);
+  for (unsigned W = 1; W < NumThreads; ++W)
+    Workers.emplace_back([this, W] { workerLoop(W); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  StartCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::drain(Region &R, unsigned Worker) {
+  const unsigned T = static_cast<unsigned>(R.Deques.size());
+  for (;;) {
+    size_t Item;
+    bool Have = false;
+    {
+      // Own deque first, LIFO: the most recently dealt items are the
+      // coldest, and popping the back keeps thieves (who take the
+      // front) off this worker's end of the deque.
+      WorkerDeque &D = R.Deques[Worker];
+      std::lock_guard<std::mutex> Lock(D.Mu);
+      if (!D.Items.empty()) {
+        Item = D.Items.back();
+        D.Items.pop_back();
+        Have = true;
+      }
+    }
+    if (!Have) {
+      for (unsigned Off = 1; Off != T && !Have; ++Off) {
+        WorkerDeque &V = R.Deques[(Worker + Off) % T];
+        std::lock_guard<std::mutex> Lock(V.Mu);
+        if (!V.Items.empty()) {
+          Item = V.Items.front();
+          V.Items.pop_front();
+          Have = true;
+        }
+      }
+    }
+    if (!Have)
+      return;
+    (*R.Body)(Item, Worker);
+    if (R.Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> Lock(R.DoneMu);
+      R.DoneCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop(unsigned Worker) {
+  uint64_t SeenEpoch = 0;
+  for (;;) {
+    std::shared_ptr<Region> R;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      StartCV.wait(Lock, [&] { return Stop || Epoch != SeenEpoch; });
+      if (Stop)
+        return;
+      SeenEpoch = Epoch;
+      R = Current;
+    }
+    if (R)
+      drain(*R, Worker);
+  }
+}
+
+void ThreadPool::parallelFor(
+    size_t NumItems, const std::function<void(size_t, unsigned)> &Body) {
+  if (!NumItems)
+    return;
+  if (NumThreads == 1) {
+    for (size_t I = 0; I != NumItems; ++I)
+      Body(I, 0);
+    return;
+  }
+  auto R = std::make_shared<Region>(NumThreads);
+  R->Body = &Body;
+  R->Remaining.store(NumItems, std::memory_order_relaxed);
+  // Deal round-robin; no lock needed, the workers have not seen R yet.
+  for (size_t I = 0; I != NumItems; ++I)
+    R->Deques[I % NumThreads].Items.push_back(I);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Current = R;
+    ++Epoch;
+  }
+  StartCV.notify_all();
+  drain(*R, /*Worker=*/0);
+  {
+    std::unique_lock<std::mutex> Lock(R->DoneMu);
+    R->DoneCV.wait(Lock, [&] {
+      return R->Remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    // Unpublish so the region (and the caller's Body reference) cannot
+    // be retained past this call by a late-waking worker.
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Current == R)
+      Current.reset();
+  }
+}

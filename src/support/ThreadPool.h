@@ -1,0 +1,98 @@
+//===- ThreadPool.h - Work-stealing fork/join pool --------------*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fork/join pool for the parallel pass pipeline: parallelFor(N,
+/// Body) runs Body(Item, Worker) for every item in [0, N) across the
+/// pool's workers and blocks until all complete. The calling thread
+/// participates as worker 0, so a one-thread pool spawns nothing and a
+/// region on an N-thread pool uses exactly N OS threads.
+///
+/// Scheduling is per-worker deques with work stealing: items are dealt
+/// round-robin at region start, each worker pops its own deque LIFO and
+/// steals FIFO from victims when empty. Long-running items (a function
+/// with many blocks) therefore cannot strand the rest of the batch
+/// behind one worker. Workers are persistent across regions -- a region
+/// is an epoch, published under a mutex, and workers that wake late
+/// attach to the current epoch's state via a shared_ptr so a straggler
+/// from a previous region can never execute (or double-count) items of
+/// the next.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_SUPPORT_THREADPOOL_H
+#define TBAA_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tbaa {
+
+class ThreadPool {
+public:
+  /// A pool of \p Threads workers total (the calling thread counts as
+  /// worker 0, so Threads-1 OS threads are spawned). Threads is clamped
+  /// to at least 1.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned threads() const { return NumThreads; }
+
+  /// Hardware concurrency, at least 1. The default width for
+  /// `--parallel-opt` without an explicit N.
+  static unsigned defaultThreads();
+
+  /// Runs Body(Item, Worker) for every item in [0, NumItems), Worker in
+  /// [0, threads()), and returns when all items have completed. The
+  /// calling thread executes items as worker 0. Body must not recurse
+  /// into parallelFor on the same pool.
+  void parallelFor(size_t NumItems,
+                   const std::function<void(size_t, unsigned)> &Body);
+
+private:
+  struct WorkerDeque {
+    std::mutex Mu;
+    std::deque<size_t> Items;
+  };
+
+  /// One parallelFor region. Heap-allocated and shared with the workers
+  /// so a worker waking after the region ended (holding the old epoch's
+  /// state) sees only empty deques, never the next region's items.
+  struct Region {
+    explicit Region(unsigned NumWorkers) : Deques(NumWorkers) {}
+    const std::function<void(size_t, unsigned)> *Body = nullptr;
+    std::vector<WorkerDeque> Deques;
+    std::atomic<size_t> Remaining{0};
+    std::mutex DoneMu;
+    std::condition_variable DoneCV;
+  };
+
+  void workerLoop(unsigned Worker);
+  /// Drains \p R as \p Worker: own deque LIFO, then steal FIFO.
+  static void drain(Region &R, unsigned Worker);
+
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mu; // guards Current/Epoch/Stop
+  std::condition_variable StartCV;
+  std::shared_ptr<Region> Current;
+  uint64_t Epoch = 0;
+  bool Stop = false;
+};
+
+} // namespace tbaa
+
+#endif // TBAA_SUPPORT_THREADPOOL_H

@@ -14,6 +14,45 @@ TimerRegistry &TimerRegistry::instance() {
   return R;
 }
 
+namespace {
+thread_local TimerRegistry *ActiveShard = nullptr;
+} // namespace
+
+TimerRegistry &TimerRegistry::active() {
+  return ActiveShard ? *ActiveShard : instance();
+}
+
+TimerRegistry *TimerRegistry::activeShard() { return ActiveShard; }
+
+void TimerRegistry::setActiveShard(TimerRegistry *Shard) {
+  ActiveShard = Shard;
+}
+
+void TimerRegistry::absorb(const Node &ShardRoot) {
+  struct Merger {
+    static void merge(Node &Dst, const Node &Src) {
+      for (const std::unique_ptr<Node> &C : Src.Children) {
+        Node *D = nullptr;
+        for (std::unique_ptr<Node> &E : Dst.Children)
+          if (E->Name == C->Name) {
+            D = E.get();
+            break;
+          }
+        if (!D) {
+          auto N = std::make_unique<Node>();
+          N->Name = C->Name;
+          D = N.get();
+          Dst.Children.push_back(std::move(N));
+        }
+        D->Seconds += C->Seconds;
+        D->Invocations += C->Invocations;
+        merge(*D, *C);
+      }
+    }
+  };
+  Merger::merge(*Current, ShardRoot);
+}
+
 TimerRegistry::Node *TimerRegistry::push(const char *Name) {
   for (std::unique_ptr<Node> &C : Current->Children)
     if (C->Name == Name) {

@@ -10,8 +10,12 @@
 /// into a tree that mirrors dynamic nesting (compile > lex/parse/sema/
 /// lower, rle > modref/hoist/cse, ...). Disabled by default so the hot
 /// path pays one branch; m3lc --time-passes and the bench --json sink
-/// enable it. The nesting tree is single-threaded by design (the
-/// pipeline is); counters in Stats.h are the thread-safe layer.
+/// enable it. The nesting tree itself is single-threaded; the parallel
+/// pass pipeline gives each worker thread a private shard registry
+/// (setActiveShard redirects every ScopedTimer on that thread) and
+/// merges the shards into the global tree at its barriers (absorb), so
+/// --time-passes totals stay truthful under --parallel-opt. Counters in
+/// Stats.h are the always-thread-safe layer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +47,24 @@ public:
   };
 
   static TimerRegistry &instance();
+
+  TimerRegistry() = default;
+  TimerRegistry(const TimerRegistry &) = delete;
+  TimerRegistry &operator=(const TimerRegistry &) = delete;
+
+  /// The registry ScopedTimer records into on this thread: the active
+  /// shard if one is installed, else the global instance. The parallel
+  /// pipeline installs a per-worker shard for the duration of a stage.
+  static TimerRegistry &active();
+  static TimerRegistry *activeShard();
+  static void setActiveShard(TimerRegistry *Shard);
+
+  /// Merges \p ShardRoot's subtree into the current node: same-named
+  /// children combine (seconds add, invocations add), recursively. The
+  /// parallel pipeline calls this at a stage barrier for each worker
+  /// shard, in worker order, so the merged tree is deterministic given
+  /// per-worker contents.
+  void absorb(const Node &ShardRoot);
 
   void setEnabled(bool E) { Enabled = E; }
   bool enabled() const { return Enabled; }
@@ -126,8 +148,9 @@ private:
 class ScopedTimer {
 public:
   explicit ScopedTimer(const char *Name)
-      : Name(Name), UncaughtAtEntry(std::uncaught_exceptions()) {
-    TimerRegistry &R = TimerRegistry::instance();
+      : Name(Name), Reg(&TimerRegistry::active()),
+        UncaughtAtEntry(std::uncaught_exceptions()) {
+    TimerRegistry &R = *Reg;
     Gen = R.generation();
     R.pushName(Name);
     if (R.enabled()) {
@@ -141,7 +164,9 @@ public:
     }
   }
   ~ScopedTimer() {
-    TimerRegistry &R = TimerRegistry::instance();
+    // The registry resolved at entry: a shard installed or removed
+    // mid-scope must not tear the open frame across two registries.
+    TimerRegistry &R = *Reg;
     // A scope that outlived a reset() must not touch the registry: its
     // Node was freed and the name frame it would pop belongs to the new
     // generation (see TimerRegistry::generation()).
@@ -165,6 +190,7 @@ public:
 
 private:
   const char *Name;
+  TimerRegistry *Reg;
   TimerRegistry::Node *N = nullptr;
   std::chrono::steady_clock::time_point Start;
   int UncaughtAtEntry;

@@ -71,6 +71,14 @@ TraceRecorder &TraceRecorder::instance() {
   return R;
 }
 
+namespace {
+/// 0 = "use the pid" (the historical single-threaded shape); the
+/// parallel pipeline tags each pool worker with its worker index.
+thread_local int ThreadTid = 0;
+} // namespace
+
+void TraceRecorder::setThreadTid(int Tid) { ThreadTid = Tid; }
+
 void TraceRecorder::setEnabled(bool E) { Enabled = E; }
 
 int TraceRecorder::pid() {
@@ -119,7 +127,7 @@ void renderEventLine(const TraceRecorder::Event &E, std::string &Out) {
   Out += ",\"pid\":";
   Out += std::to_string(E.Pid);
   Out += ",\"tid\":";
-  Out += std::to_string(E.Pid);
+  Out += std::to_string(E.Tid);
   if (E.Ph == 'X') {
     Out += ",\"dur\":";
     Out += std::to_string(E.DurUs);
@@ -138,6 +146,10 @@ void TraceRecorder::record(char Ph, const char *Cat, const std::string &Name,
                            const std::string &Args) {
   if (!Enabled)
     return;
+  // Pool workers record concurrently during a parallel stage; the lock
+  // keeps both the shard append and the in-memory push atomic. Enabled
+  // itself only toggles outside parallel regions.
+  std::lock_guard<std::mutex> Lock(RecordMu);
   if (ShardFd >= 0) {
     // Streaming: one line per event, appended immediately so the record
     // survives the worker dying mid-job. LineBuf + writeAll keep the
@@ -150,7 +162,7 @@ void TraceRecorder::record(char Ph, const char *Cat, const std::string &Name,
     L.append("\",\"ph\":\"").append(PhStr);
     L.append("\",\"ts\":").appendUInt(TsUs);
     L.append(",\"pid\":").appendInt(CachedPid);
-    L.append(",\"tid\":").appendInt(CachedPid);
+    L.append(",\"tid\":").appendInt(ThreadTid ? ThreadTid : CachedPid);
     if (Ph == 'X')
       L.append(",\"dur\":").appendUInt(DurUs);
     if (!Args.empty())
@@ -172,6 +184,7 @@ void TraceRecorder::record(char Ph, const char *Cat, const std::string &Name,
   E.TsUs = TsUs;
   E.DurUs = DurUs;
   E.Pid = pid();
+  E.Tid = ThreadTid ? ThreadTid : E.Pid;
   E.Args = Args;
   Events.push_back(std::move(E));
 }

@@ -31,8 +31,11 @@
 /// Timestamps are CLOCK_MONOTONIC microseconds, which are comparable
 /// across fork on Linux -- the merged timeline needs no ts remapping,
 /// only distinct pids (the real worker pids) to land shards on separate
-/// Perfetto tracks. The recorder is single-threaded by design, like
-/// TimerRegistry: tid mirrors pid.
+/// Perfetto tracks. The main thread's tid mirrors pid (the historical
+/// single-threaded shape); the parallel pass pipeline gives each pool
+/// worker a small distinct tid via setThreadTid, so worker spans land
+/// on their own in-process tracks, and record() serializes appends
+/// under a mutex when events can arrive from several threads.
 ///
 /// Disabled by default; every emit call is one predicted branch when
 /// off. ScopedTimer (Timing.h) doubles as a span emitter, so every
@@ -46,6 +49,7 @@
 #define TBAA_SUPPORT_TRACE_H
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -88,6 +92,7 @@ public:
     uint64_t TsUs;
     uint64_t DurUs;     // X only
     int Pid;
+    int Tid;            // pid on the main thread; worker id otherwise
     std::string Args;   // rendered "{...}" or empty
   };
 
@@ -138,6 +143,11 @@ public:
   /// Metadata: names this pid's track in the Perfetto process list.
   void processName(const std::string &Name);
 
+  /// Sets the calling thread's tid for subsequent events (0 restores
+  /// the default, which mirrors the pid). The parallel pipeline tags
+  /// each pool worker once; tids only need to be distinct within a pid.
+  static void setThreadTid(int Tid);
+
   /// Drops buffered events (tests; the child side of a fork).
   void clear();
 
@@ -172,6 +182,7 @@ private:
   int ShardFd = -1;
   int CachedPid = 0;
   uint64_t DroppedEvents = 0;
+  std::mutex RecordMu; ///< Serializes record() across pool workers.
   std::vector<Event> Events;
 };
 

@@ -1,0 +1,240 @@
+//===- ParallelPipelineTests.cpp - Two-level schedule determinism ---------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// The parallel per-function pass schedule's whole contract is that it is
+// invisible: for any worker count the final IR, the VM checksum, the
+// remark stream and the transformation counts must be bit-identical to
+// the sequential pipeline. These tests drill that contract across every
+// golden workload at 1/2/8 workers, pin the remark-merge order, exercise
+// the work-stealing pool directly, and check the documented fallbacks
+// (finite analysis budget) and observability counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+#include "opt/PassPipeline.h"
+#include "support/Budget.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Threads);
+    ASSERT_EQ(Pool.threads(), Threads);
+    constexpr size_t N = 1000;
+    std::vector<std::atomic<unsigned>> Ran(N);
+    Pool.parallelFor(N, [&](size_t I, unsigned W) {
+      ASSERT_LT(W, Threads);
+      Ran[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_EQ(Ran[I].load(), 1u) << "item " << I << " at " << Threads
+                                   << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRegionsAndEmptyRegions) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Total{0};
+  Pool.parallelFor(0, [&](size_t, unsigned) { Total += 1000; });
+  for (int Round = 0; Round != 50; ++Round)
+    Pool.parallelFor(7, [&](size_t, unsigned) {
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(Total.load(), 350u);
+}
+
+TEST(ThreadPoolTest, SkewedCostsStillCoverEverything) {
+  // One pathological item 100x the cost of the rest: stealing (or the
+  // caller draining its own deque) must still complete every item.
+  ThreadPool Pool(4);
+  constexpr size_t N = 64;
+  std::vector<std::atomic<unsigned>> Ran(N);
+  Pool.parallelFor(N, [&](size_t I, unsigned) {
+    if (I == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Ran[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Ran[I].load(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline determinism drill
+//===----------------------------------------------------------------------===//
+
+struct PipelineRun {
+  std::string IR;
+  int64_t Checksum = 0;
+  std::string Remarks;
+  PipelineStats Stats;
+  PipelineFailure Failure;
+};
+
+/// Compiles \p Source fresh and runs the full pipeline (devirt, inline,
+/// rle, copyprop, rle#2, pre) at \p Threads workers, capturing
+/// everything the sequential/parallel contract promises is identical.
+PipelineRun runPipelineAt(const std::string &Source, unsigned Threads,
+                          bool VerifyEach = false,
+                          bool VerifyAnalyses = false) {
+  PipelineRun Out;
+  Compilation C = compileOrDie(Source);
+  if (!C.ok())
+    return Out;
+
+  RemarkEngine &RE = RemarkEngine::instance();
+  RE.clear();
+  RE.setEnabled(true);
+
+  AnalysisManager AM(C.ast(), C.types(), {.VerifyAnalyses = VerifyAnalyses});
+  PipelineOptions PO;
+  PO.ParallelThreads = Threads;
+  PO.VerifyEach = VerifyEach;
+  PO.VerifyAnalyses = VerifyAnalyses;
+  OptPipeline P(AM, PO);
+  Out.Failure = P.run(C.IR);
+
+  Out.Remarks = RE.render();
+  RE.setEnabled(false);
+  RE.clear();
+
+  Out.IR = C.IR.dump();
+  Out.Stats = P.stats();
+
+  VM Machine(C.IR);
+  Machine.setOpLimit(2'000'000'000);
+  EXPECT_TRUE(Machine.runInit()) << Machine.trapMessage();
+  std::optional<int64_t> R = Machine.callFunction("Main");
+  EXPECT_TRUE(R.has_value()) << Machine.trapMessage();
+  Out.Checksum = R.value_or(INT64_MIN);
+  return Out;
+}
+
+/// The transformation counts that must not depend on scheduling. Cache
+/// counters (hits/computes) legitimately differ: the parallel schedule
+/// prefetches module analyses once per stage instead of once per pass.
+void expectSameTransformCounts(const PipelineStats &A,
+                               const PipelineStats &B,
+                               const std::string &What) {
+  EXPECT_EQ(A.MethodsResolved, B.MethodsResolved) << What;
+  EXPECT_EQ(A.CallsInlined, B.CallsInlined) << What;
+  EXPECT_EQ(A.OperandsPropagated, B.OperandsPropagated) << What;
+  EXPECT_EQ(A.RLE.Hoisted, B.RLE.Hoisted) << What;
+  EXPECT_EQ(A.RLE.Replaced, B.RLE.Replaced) << What;
+  EXPECT_EQ(A.RLE.TypeTestsElided, B.RLE.TypeTestsElided) << What;
+  EXPECT_EQ(A.PRE.Inserted, B.PRE.Inserted) << What;
+  EXPECT_EQ(A.PRE.Replaced, B.PRE.Replaced) << What;
+}
+
+TEST(ParallelPipelineTest, GoldenWorkloadsIdenticalAtEveryWidth) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    if (W.Interactive)
+      continue;
+    PipelineRun Seq = runPipelineAt(W.Source, 0);
+    ASSERT_FALSE(Seq.Failure.failed()) << W.Name << ": " << Seq.Failure.Error;
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      PipelineRun Par = runPipelineAt(W.Source, Threads);
+      std::string What = std::string(W.Name) + " at " +
+                         std::to_string(Threads) + " threads";
+      ASSERT_FALSE(Par.Failure.failed()) << What << ": " << Par.Failure.Error;
+      EXPECT_EQ(Par.IR, Seq.IR) << What;
+      EXPECT_EQ(Par.Checksum, Seq.Checksum) << What;
+      EXPECT_EQ(Par.Remarks, Seq.Remarks) << What;
+      expectSameTransformCounts(Par.Stats, Seq.Stats, What);
+    }
+  }
+}
+
+TEST(ParallelPipelineTest, RemarkStreamGoldenDiffAtFourThreads) {
+  // The explicit remark-determinism drill: the buffered per-function
+  // remarks must flush in pass-major, function-order -- byte-identical
+  // to the sequential stream, not merely a permutation of it.
+  for (const WorkloadInfo &W : allWorkloads()) {
+    if (W.Interactive)
+      continue;
+    PipelineRun Seq = runPipelineAt(W.Source, 0);
+    PipelineRun Par = runPipelineAt(W.Source, 4);
+    ASSERT_FALSE(Par.Failure.failed()) << W.Name;
+    EXPECT_EQ(Par.Remarks, Seq.Remarks) << W.Name;
+    EXPECT_FALSE(Seq.Remarks.empty()) << W.Name
+                                      << ": drill needs a non-empty stream";
+  }
+}
+
+TEST(ParallelPipelineTest, VerifyModesCleanUnderParallel) {
+  const WorkloadInfo *W = findWorkload("slisp");
+  ASSERT_NE(W, nullptr);
+  PipelineRun Par = runPipelineAt(W->Source, 2, /*VerifyEach=*/true,
+                                  /*VerifyAnalyses=*/true);
+  EXPECT_FALSE(Par.Failure.failed())
+      << Par.Failure.Pass << ": " << Par.Failure.Error;
+  PipelineRun Seq = runPipelineAt(W->Source, 0, /*VerifyEach=*/true,
+                                  /*VerifyAnalyses=*/true);
+  EXPECT_EQ(Par.IR, Seq.IR);
+  EXPECT_EQ(Par.Checksum, Seq.Checksum);
+}
+
+uint64_t statValue(const char *Group, const char *Name) {
+  for (const StatSnapshot &S : StatsRegistry::instance().snapshot())
+    if (S.Group == Group && S.Name == Name)
+      return S.Value;
+  return 0;
+}
+
+TEST(ParallelPipelineTest, SchedulerCountersBump) {
+  uint64_t Barriers0 = statValue("pipeline", "parallel-barriers");
+  uint64_t Functions0 = statValue("pipeline", "parallel-functions");
+  const WorkloadInfo *W = findWorkload("k-tree");
+  ASSERT_NE(W, nullptr);
+  PipelineRun Par = runPipelineAt(W->Source, 3);
+  ASSERT_FALSE(Par.Failure.failed());
+  EXPECT_GT(statValue("pipeline", "parallel-barriers"), Barriers0);
+  EXPECT_GT(statValue("pipeline", "parallel-functions"), Functions0);
+  // High-water mark of pool width, not a sum: at least this run's 3.
+  EXPECT_GE(statValue("pipeline", "parallel-threads"), 3u);
+}
+
+TEST(ParallelPipelineTest, FiniteBudgetFallsBackToSequential) {
+  // With a finite oracle budget the degradation points depend on global
+  // query order, so the scheduler must run the plain sequential loop --
+  // same output, no barriers joined.
+  const WorkloadInfo *W = findWorkload("format");
+  ASSERT_NE(W, nullptr);
+
+  BudgetRegistry::instance().setAllLimits(200);
+  PipelineRun Seq = runPipelineAt(W->Source, 0);
+  BudgetRegistry::instance().setAllLimits(200);
+  uint64_t Barriers0 = statValue("pipeline", "parallel-barriers");
+  PipelineRun Par = runPipelineAt(W->Source, 4);
+  BudgetRegistry::instance().reset();
+
+  ASSERT_FALSE(Par.Failure.failed());
+  EXPECT_EQ(statValue("pipeline", "parallel-barriers"), Barriers0)
+      << "budgeted run must not use the parallel schedule";
+  EXPECT_EQ(Par.IR, Seq.IR);
+  EXPECT_EQ(Par.Checksum, Seq.Checksum);
+  EXPECT_EQ(Par.Remarks, Seq.Remarks);
+}
+
+} // namespace

@@ -55,6 +55,9 @@ struct CompileFlags {
   bool Pipeline = false;
   bool PRE = false;
   bool VerifyAnalyses = false;
+  /// Worker-pool width for the parallel per-function pass schedule
+  /// (--parallel-opt); 0 runs the sequential pipeline.
+  unsigned ParallelOpt = 0;
 };
 
 /// The compile-and-run worker body at one ladder rung. Runs inside a
@@ -88,6 +91,7 @@ inline int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
         Flags.Pipeline && D == DegradeLevel::Full;
     PO.RLE = true;
     PO.PRE = Flags.PRE && D == DegradeLevel::Full;
+    PO.ParallelThreads = Flags.ParallelOpt;
     PO.VerifyEach = true;
     PO.VerifyAnalyses = Flags.VerifyAnalyses;
     OptPipeline P(AM, PO);

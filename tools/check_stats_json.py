@@ -24,8 +24,11 @@ For table6_rle_static it additionally cross-checks the JSON records
 against the stdout table: the three per-level RLE counts must match the
 printed rows exactly, and RLE must have computed at least one dominator
 tree. For bench_pipeline every record must show analyses both computed
-and served from the cache. For bench_queries every record must show the
-engine arrangement issuing at most half the baseline's oracle queries,
+and served from the cache, and the pipeline.parallel-* counters
+(threads used, functions scheduled, barriers joined) must show that the
+parallel-schedule correctness arm ran. For bench_queries every record
+must show the engine arrangement issuing at most half the baseline's
+oracle queries,
 and the engine must actually have interned locations, built partitions
 and answered queries on its fast path.
 
@@ -225,7 +228,9 @@ def main():
         if stats.get("analysis.dominators-computed", 0) < 1:
             fail("RLE ran but analysis.dominators-computed is 0")
 
-    # bench_pipeline: the cached arrangement must actually cache.
+    # bench_pipeline: the cached arrangement must actually cache, and
+    # the parallel-schedule correctness arm must have exercised the
+    # worker pool (threads used, functions scheduled, barrier waits).
     if report.get("bench") == "bench_pipeline":
         for record in records:
             if not isinstance(record, dict):
@@ -235,6 +240,13 @@ def main():
                 fail(f"{name}: cached run computed no analyses")
             if not record.get("analysis_cache_hits", 0) > 0:
                 fail(f"{name}: cached run had no analysis cache hits")
+        for key in ("pipeline.parallel-threads",
+                    "pipeline.parallel-functions",
+                    "pipeline.parallel-barriers"):
+            if stats.get(key, 0) < 1:
+                fail(f"bench_pipeline ran a parallel arm but {key} is 0")
+        if stats.get("pipeline.parallel-threads", 0) < 2:
+            fail("pipeline.parallel-threads below the 2-worker arm width")
 
     # bench_queries: the engine must demonstrably carry the query load.
     if report.get("bench") == "bench_queries":

@@ -2,6 +2,8 @@
 # Sanitizer CI sweep: configure a separate build tree with
 # -fsanitize=address,undefined (TBAA_SANITIZERS=ON), build everything,
 # and run the full test suite plus a fuzz sweep under instrumentation.
+# A second tree built with TBAA_SANITIZERS=thread runs the parallel
+# pass-pipeline subset under ThreadSanitizer.
 #
 #   tools/ci_sanitize.sh [build-dir]
 #
@@ -57,6 +59,21 @@ if command -v python3 >/dev/null 2>&1; then
     python3 "$SRC_DIR/tools/check_trace_json.py" m3batch \
         "$BUILD_DIR/tools/m3batch"
 fi
+
+# ThreadSanitizer pass: a second build tree with -fsanitize=thread
+# (TSan and ASan cannot share a binary) covering exactly the code that
+# runs multithreaded -- the work-stealing pool and the parallel
+# per-function pass schedule -- first through the dedicated tests, then
+# through a real multi-workload m3lc sweep at 4 workers.
+TSAN_BUILD_DIR="$SRC_DIR/build-sanitize-tsan"
+export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
+cmake -B "$TSAN_BUILD_DIR" -S "$SRC_DIR" -DTBAA_SANITIZERS=thread
+cmake --build "$TSAN_BUILD_DIR" -j --target tbaa_tests --target m3lc
+"$TSAN_BUILD_DIR/tests/tbaa_tests" --gtest_filter='ThreadPool*:Parallel*'
+for W in format slisp k-tree m3cg; do
+    "$TSAN_BUILD_DIR/tools/m3lc" run --pipeline --pre \
+        --parallel-opt=4 --stats "$W" >/dev/null
+done
 
 # Chaos pass: the deterministic fault schedules (mid-append SIGKILLs,
 # ENOSPC, torn writes, fork exhaustion) drive the journal repair and

@@ -15,7 +15,8 @@
 //           [--retries=N] [--backoff-ms=N] [--journal=FILE] [--resume]
 //           [--journal-fsync] [--check-journal] [--faults=SPEC]
 //           [--crash-dir=DIR] [--trace=FILE] [--level=L] [--pipeline]
-//           [--pre] [--verify-analyses] [--strict] [--verbose] [--stats]
+//           [--pre] [--parallel-opt[=N]] [--verify-analyses] [--strict]
+//           [--verbose] [--stats]
 //
 // Jobs: bundled workload names, .m3l file paths, `gen:SEED` generated
 // programs, or the planted fault injectors `@crash` (SIGSEGV), `@hang`
@@ -38,6 +39,7 @@
 #include "support/FaultInjector.h"
 #include "support/Metrics.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -67,6 +69,7 @@ struct Options {
   bool Pipeline = false;
   bool PRE = false;
   bool VerifyAnalyses = false;
+  unsigned ParallelOpt = 0; ///< Worker threads inside each compile job.
   bool Strict = false;
   bool Verbose = false;
   bool Stats = false;
@@ -82,8 +85,8 @@ int usage() {
       "               [--check-journal] [--faults=SPEC] [--crash-dir=DIR]\n"
       "               [--trace=FILE]\n"
       "               [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
-      "               [--pipeline] [--pre] [--verify-analyses] [--strict]\n"
-      "               [--verbose] [--stats]\n"
+      "               [--pipeline] [--pre] [--parallel-opt[=N]]\n"
+      "               [--verify-analyses] [--strict] [--verbose] [--stats]\n"
       "jobs: workload names, .m3l files, gen:SEED, @crash, @hang, "
       "@budget\n"
       "exit codes: 0 batch completed, 1 --strict failure, 2 usage, "
@@ -96,7 +99,8 @@ int usage() {
 bool makeJob(const std::string &Name, const Options &Opts, BatchJob &Out) {
   Out.Id = Name;
   const BatchConfig &Cfg = Opts.Cfg;
-  jobs::CompileFlags Flags{Opts.Pipeline, Opts.PRE, Opts.VerifyAnalyses};
+  jobs::CompileFlags Flags{Opts.Pipeline, Opts.PRE, Opts.VerifyAnalyses,
+                           Opts.ParallelOpt};
 
   if (Name == "@crash") {
     Out.Make = [](DegradeLevel) {
@@ -218,7 +222,15 @@ int main(int argc, char **argv) {
       Opts.PRE = true;
     else if (A == "--verify-analyses")
       Opts.VerifyAnalyses = true;
-    else if (A == "--strict")
+    else if (A == "--parallel-opt")
+      Opts.ParallelOpt = ThreadPool::defaultThreads();
+    else if (A.rfind("--parallel-opt=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(A.c_str() + 15, &End, 10);
+      if (!End || *End || N == 0)
+        return usage();
+      Opts.ParallelOpt = static_cast<unsigned>(N);
+    } else if (A == "--strict")
       Opts.Strict = true;
     else if (A == "--verbose")
       Opts.Verbose = true;
@@ -318,6 +330,8 @@ int main(int argc, char **argv) {
         Cmd += " --pre";
       if (Opts.VerifyAnalyses)
         Cmd += " --verify-analyses";
+      if (Opts.ParallelOpt)
+        Cmd += " --parallel-opt=" + std::to_string(Opts.ParallelOpt);
     }
     if (Opts.Cfg.AnalysisBudget)
       Cmd += " --analysis-budget=" + std::to_string(Opts.Cfg.AnalysisBudget);

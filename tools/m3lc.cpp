@@ -16,6 +16,10 @@
 //          --no-rle      skip redundant load elimination
 //          --pipeline    devirtualize + inline + copy-propagate first
 //          --pre         partial redundancy elimination after RLE
+//          --parallel-opt[=N] run per-function pass chains on N worker
+//                        threads between module-pass barriers (default
+//                        N: hardware concurrency); output is
+//                        bit-identical to the sequential pipeline
 //          --verify-each re-verify the IR after every pass; a failure
 //                        names the pass + function and exits 3
 //          --verify-analyses recompute each cached analysis fresh on
@@ -52,6 +56,7 @@
 #include "support/Metrics.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 #include "support/Timing.h"
 #include "support/Trace.h"
 #include "workloads/Workloads.h"
@@ -79,6 +84,7 @@ struct Options {
   bool PRE = false;
   bool VerifyEach = false;
   bool VerifyAnalyses = false;
+  unsigned ParallelOpt = 0; ///< 0: sequential pipeline.
   unsigned MaxErrors = 64;
   uint64_t AnalysisBudget = 0; ///< 0: unlimited.
   bool Stats = false;
@@ -102,7 +108,7 @@ int usage() {
       "usage: m3lc <run|check|dump-ir|dump-ast|census|emit-workload|list>\n"
       "            [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
       "            [--open] [--no-rle] [--pipeline] [--pre] [--verify-each]\n"
-      "            [--verify-analyses]\n"
+      "            [--verify-analyses] [--parallel-opt[=N]]\n"
       "            [--max-errors=N] [--analysis-budget=N] [--stats]\n"
       "            [--time-passes] [--trace=file] [--remarks[=file]]\n"
       "            <file.m3l | workload-name>\n"
@@ -198,6 +204,7 @@ int run(const Options &Opts, DiagnosticEngine &Diags) {
   PO.PRE = Opts.PRE;
   PO.VerifyEach = Opts.VerifyEach;
   PO.VerifyAnalyses = Opts.VerifyAnalyses;
+  PO.ParallelThreads = Opts.ParallelOpt;
   OptPipeline Pipeline(AM, PO);
   if (PipelineFailure F = Pipeline.run(C.IR); F.failed())
     return internalError("IR verification failed after pass '" + F.Pass +
@@ -305,7 +312,15 @@ int main(int argc, char **argv) {
       Opts.VerifyEach = true;
     else if (A == "--verify-analyses")
       Opts.VerifyAnalyses = true;
-    else if (A.rfind("--max-errors=", 0) == 0) {
+    else if (A == "--parallel-opt")
+      Opts.ParallelOpt = ThreadPool::defaultThreads();
+    else if (A.rfind("--parallel-opt=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(A.c_str() + 15, &End, 10);
+      if (!End || *End || N == 0)
+        return usage();
+      Opts.ParallelOpt = static_cast<unsigned>(N);
+    } else if (A.rfind("--max-errors=", 0) == 0) {
       char *End = nullptr;
       unsigned long N = std::strtoul(A.c_str() + 13, &End, 10);
       if (!End || *End)

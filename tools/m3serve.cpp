@@ -41,6 +41,7 @@
 #include "support/FaultInjector.h"
 #include "support/Socket.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 #include "support/Timing.h"
 
 #include <cstdio>
@@ -69,7 +70,8 @@ int usage() {
       "                      [--faults=SPEC] [--trace=FILE]\n"
       "                      [--idle-exit-ms=N]\n"
       "                      [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
-      "                      [--pipeline] [--pre] [--verify-analyses]\n"
+      "                      [--pipeline] [--pre] [--parallel-opt[=N]]\n"
+      "                      [--verify-analyses]\n"
       "                      [--verbose]\n"
       "       m3serve submit --socket=PATH [--jobs=a,b,c] [--gen=N]\n"
       "                      [--max-resubmits=N] [--strict] [--verbose]\n"
@@ -374,7 +376,15 @@ int main(int argc, char **argv) {
       Flags.PRE = true;
     else if (A == "--verify-analyses")
       Flags.VerifyAnalyses = true;
-    else if (A == "--strict")
+    else if (A == "--parallel-opt")
+      Flags.ParallelOpt = ThreadPool::defaultThreads();
+    else if (A.rfind("--parallel-opt=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(A.c_str() + 15, &End, 10);
+      if (!End || *End || N == 0)
+        return usage();
+      Flags.ParallelOpt = static_cast<unsigned>(N);
+    } else if (A == "--strict")
       Sub.Strict = true;
     else if (A == "--verbose")
       SO.Verbose = Sub.Verbose = true;
