@@ -20,6 +20,8 @@
 
 #include "BenchCommon.h"
 #include "CompileJobs.h"
+#include "core/PartitionCache.h"
+#include "service/Batch.h"
 #include "service/Journal.h"
 #include "service/Serve.h"
 #include "service/Worker.h"
@@ -246,9 +248,7 @@ struct WarmDaemon {
       int Rc = runServe(
           SO,
           [&](const ServeRequest &Req, DegradeLevel D, int PayloadFd) {
-            MetricsRegistry::instance().reset();
-            StatsRegistry::instance().reset();
-            TimerRegistry::instance().reset();
+            // Per-job registry resets happen in warmWorkerMain.
             std::string Src;
             if (!jobs::resolveJobSource(Req.Job, Src))
               return 2;
@@ -432,12 +432,202 @@ int runWarmVsCold(int argc, char **argv) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// --partition-cache: the shared partition cache's warm-batch payoff
+//===----------------------------------------------------------------------===//
+
+/// One m3batch-style run over \p Names inside this process (the segment
+/// owner), journaled so per-job wall times and pcache tallies can be
+/// read back.
+struct PcacheBatch {
+  std::vector<JournalRecord> Records;
+  bool Ok = false;
+};
+
+PcacheBatch runPcacheBatch(const std::vector<std::string> &Names,
+                           const BatchConfig &Cfg,
+                           const jobs::CompileFlags &Flags,
+                           const std::string &JournalPath) {
+  PcacheBatch Out;
+  std::vector<BatchJob> Jobs;
+  for (const std::string &Name : Names) {
+    BatchJob J;
+    J.Id = Name;
+    J.Make = [Name, &Cfg, &Flags](DegradeLevel D) -> WorkerFn {
+      return [Name, &Cfg, &Flags, D](int Fd) {
+        std::string Src;
+        if (!jobs::resolveJobSource(Name, Src))
+          return 2;
+        return jobs::runCompileJob(Src, Cfg, Flags, D, Fd);
+      };
+    };
+    Jobs.push_back(std::move(J));
+  }
+  BatchOptions BO;
+  BO.Parallelism = 4;
+  BO.Limits.WallMs = 20000;
+  BO.JournalPath = JournalPath;
+  BatchResult R = runBatch(Jobs, BO);
+  if (!R.ok() || !R.allOk()) {
+    std::fprintf(stderr, "partition-cache: batch failed (%s)\n",
+                 R.Error.empty() ? "a job did not settle ok" : R.Error.c_str());
+    return Out;
+  }
+  std::string Error;
+  if (!Journal::load(JournalPath, Out.Records, Error)) {
+    std::fprintf(stderr, "partition-cache: %s\n", Error.c_str());
+    return Out;
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+/// A journal line with every timing-, counter- and environment-dependent
+/// key stripped: what must be byte-identical between the cache-off and
+/// cached arms.
+std::string normalizeRecord(const JournalRecord &R) {
+  std::map<std::string, std::string> M;
+  if (!parseFlatJSONObject(R.toJSONLine(), M))
+    return "<unparseable>";
+  std::string Out;
+  for (const auto &[K, V] : M) {
+    if (K == "wall_ms" || K == "cpu_ms" || K == "peak_rss_kb" ||
+        K == "minflt" || K == "majflt" || K == "backoff_ms" || K == "crc" ||
+        K.rfind("oracle_", 0) == 0 || K.rfind("pcache_", 0) == 0)
+      continue;
+    Out += K + "=" + V + ";";
+  }
+  return Out;
+}
+
+std::vector<std::string> normalizeSorted(const std::vector<JournalRecord> &Rs) {
+  std::vector<std::string> Out;
+  for (const JournalRecord &R : Rs)
+    Out.push_back(normalizeRecord(R));
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+int runPartitionCacheBench(int argc, char **argv) {
+  unsigned Modules = 16;
+  for (int I = 1; I < argc; ++I)
+    if (!std::strncmp(argv[I], "--modules=", 10))
+      Modules = static_cast<unsigned>(std::strtoul(argv[I] + 10, nullptr, 10));
+
+  // Every gen:K:s40 module carries the same 40-type shape shelf; the
+  // seed varies the procedure bodies (and so the usage facts), so batch
+  // A populates one cache entry per seed and batch B -- the same jobs
+  // again -- must hit on all of them.
+  std::vector<std::string> Names;
+  for (unsigned K = 1; K <= Modules; ++K)
+    Names.push_back("gen:" + std::to_string(K) + ":s40");
+
+  BatchConfig Cfg;
+  jobs::CompileFlags Flags;
+  bench::JsonReport Report("bench_batch", argc, argv);
+
+  std::string Base = "/tmp/tbaa-bench-pcache-" + std::to_string(::getpid());
+  struct Arm {
+    const char *Name;
+    PartitionCacheMode Mode;
+    PcacheBatch A, B;
+  } Arms[] = {{"off", PartitionCacheMode::Off, {}, {}},
+              {"shared", PartitionCacheMode::Shared, {}, {}}};
+
+  for (Arm &A : Arms) {
+    // Configure before the first fork of the arm: shared workers must
+    // inherit the parent-owned segment.
+    PartitionCacheRuntime::instance().configure(A.Mode);
+    A.A = runPcacheBatch(Names, Cfg, Flags, Base + "-" + A.Name + "-a.jsonl");
+    A.B = runPcacheBatch(Names, Cfg, Flags, Base + "-" + A.Name + "-b.jsonl");
+  }
+  PartitionCacheRuntime::instance().configure(PartitionCacheMode::Off);
+  for (const Arm &A : Arms)
+    for (const char *Round : {"-a.jsonl", "-b.jsonl"})
+      ::unlink((Base + "-" + A.Name + Round).c_str());
+
+  bool Ok = true;
+  for (const Arm &A : Arms)
+    Ok = Ok && A.A.Ok && A.B.Ok;
+  if (!Ok) {
+    std::fprintf(stderr, "partition-cache: FAIL (a batch did not complete)\n");
+    return 1;
+  }
+
+  // Identity: every journal, both rounds, both arms, must agree once
+  // timing and counter keys are stripped. The cache may only buy time.
+  std::vector<std::string> Golden = normalizeSorted(Arms[0].A.Records);
+  for (const Arm &A : Arms)
+    for (const PcacheBatch *B : {&A.A, &A.B})
+      if (normalizeSorted(B->Records) != Golden) {
+        std::fprintf(stderr,
+                     "partition-cache: FAIL (journal results for arm '%s' "
+                     "differ from the cache-off golden run)\n",
+                     A.Name);
+        Ok = false;
+      }
+
+  auto WallsOf = [](const PcacheBatch &B) {
+    std::vector<uint64_t> W;
+    for (const JournalRecord &R : B.Records)
+      W.push_back(R.WallMs);
+    return W;
+  };
+  uint64_t OffMedian = quantileUs(WallsOf(Arms[0].B), 0.50);
+  uint64_t CachedMedian = quantileUs(WallsOf(Arms[1].B), 0.50);
+  uint64_t Hits = 0, Misses = 0;
+  for (const JournalRecord &R : Arms[1].B.Records) {
+    Hits += R.PcacheHits;
+    Misses += R.PcacheMisses;
+  }
+  double Speedup = static_cast<double>(OffMedian) /
+                   static_cast<double>(std::max<uint64_t>(CachedMedian, 1));
+
+  std::printf("partition-cache: %u modules sharing one type shape, warm "
+              "batch medians\n",
+              Modules);
+  std::printf("  cache off     median %4llu ms\n",
+              static_cast<unsigned long long>(OffMedian));
+  std::printf("  cache shared  median %4llu ms   (%llu hits, %llu misses)\n",
+              static_cast<unsigned long long>(CachedMedian),
+              static_cast<unsigned long long>(Hits),
+              static_cast<unsigned long long>(Misses));
+  std::printf("  speedup       %.2fx\n", Speedup);
+
+  Report.record("off").set("warm_median_wall_ms", OffMedian);
+  Report.record("shared")
+      .set("warm_median_wall_ms", CachedMedian)
+      .set("pcache_hits", Hits)
+      .set("pcache_misses", Misses);
+
+  if (Hits < Modules - 1) {
+    std::fprintf(stderr,
+                 "partition-cache: FAIL (only %llu cache hits in the warm "
+                 "batch; expected >= %u)\n",
+                 static_cast<unsigned long long>(Hits), Modules - 1);
+    Ok = false;
+  }
+  if (Speedup < 1.3) {
+    std::fprintf(stderr,
+                 "partition-cache: FAIL (warm median speedup %.2fx < 1.3x)\n",
+                 Speedup);
+    Ok = false;
+  }
+  if (!Ok)
+    return 1;
+  std::printf("partition-cache: OK\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I)
     if (!std::strcmp(argv[I], "--warm-vs-cold"))
       return runWarmVsCold(argc, argv);
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--partition-cache"))
+      return runPartitionCacheBench(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

@@ -3,7 +3,9 @@
 #include "analysis/AnalysisManager.h"
 
 #include "core/Degradation.h"
+#include "core/PartitionCache.h"
 #include "core/TBAAContext.h"
+#include "support/Budget.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
 #include "support/Trace.h"
@@ -312,6 +314,7 @@ const AliasClassEngine *AnalysisManager::aliasClasses() {
     ACE = std::make_unique<AliasClassEngine>(*M);
     bump(Cache.AliasClasses.Computes);
     ++NumACEComputed;
+    bindPartitionCache();
   } else {
     bump(Cache.AliasClasses.Hits);
     ++NumACEHits;
@@ -326,6 +329,65 @@ const AliasClassEngine *AnalysisManager::aliasClasses() {
     }
   }
   return ACE.get();
+}
+
+void AnalysisManager::bindPartitionCache() {
+  PartitionCacheRuntime &RT = PartitionCacheRuntime::instance();
+  if (!RT.enabled())
+    return;
+  // Finite budgets bypass the cache (the parallel-opt fallback rule): a
+  // cache hit skips the build's oracle queries, which would change budget
+  // accounting and thus where the degradation ladder trips.
+  BudgetRegistry &B = BudgetRegistry::instance();
+  if (B.TypeRefs.Limit != 0 || B.ModRef.Limit != 0 || B.Oracle.Limit != 0)
+    return;
+  const TBAAContext *Ctx = BorrowedCtx ? BorrowedCtx : OwnedCtx.get();
+  if (!Ctx && Ast && Types)
+    Ctx = &context();
+  if (!Ctx)
+    return; // borrowed-oracle construction without a context: no key
+  const ContextFingerprint &FP = Ctx->fingerprint();
+  if (!FP.Valid)
+    return;
+  PartitionCacheBinding Bind;
+  Bind.Hash = FP.Hash;
+  Bind.Key = FP.Key;
+  Bind.CanonLocs.reserve(ACE->numLocs());
+  for (size_t I = 0; I != ACE->numLocs(); ++I) {
+    const AbsLoc &L = ACE->loc(static_cast<AliasClassEngine::LocId>(I));
+    CanonLoc C;
+    C.Sel = static_cast<uint32_t>(L.Sel);
+    if (L.Field != InvalidFieldId) {
+      if (L.Field >= FP.FieldRank.size() || FP.FieldRank[L.Field] == ~0u)
+        return; // field the fingerprint never ranked
+      C.Field = FP.FieldRank[L.Field];
+    }
+    auto RankOf = [&](TypeId T, uint32_t &Out) {
+      if (T == InvalidTypeId)
+        return true; // keep the ~0u sentinel
+      if (T >= FP.TypeRank.size() || FP.TypeRank[T] == ~0u)
+        return false;
+      Out = FP.TypeRank[T];
+      return true;
+    };
+    if (!RankOf(L.BaseType, C.Base) || !RankOf(L.ValueType, C.Value))
+      return;
+    Bind.CanonLocs.push_back(C);
+  }
+  // Rebinding is only sound when the mapping is a bijection: ranks
+  // canonicalize structurally equal types, so two raw-distinct AbsLocs
+  // could collapse -- and the Perfect level's verdict is raw identity.
+  Bind.SortedLocs = Bind.CanonLocs;
+  std::sort(Bind.SortedLocs.begin(), Bind.SortedLocs.end());
+  if (std::adjacent_find(Bind.SortedLocs.begin(), Bind.SortedLocs.end()) !=
+      Bind.SortedLocs.end())
+    return;
+  Bind.VerifyHits = Opts.VerifyAnalyses;
+  Bind.ReportStale = [this](const std::string &Diff) {
+    verifyHit("partition cache", Diff);
+  };
+  Bind.Valid = true;
+  ACE->bindPartitionCache(std::move(Bind));
 }
 
 const ModRefAnalysis &AnalysisManager::modRef() {

@@ -215,6 +215,11 @@ private:
   const IRFunction &checkedFunction(const IRFunction &F) const;
   void clearIRCaches();
   void verifyHit(const std::string &What, std::string Diff);
+  /// Arms the freshly computed engine with a partition-cache binding when
+  /// the runtime is enabled, every analysis budget is unlimited, and the
+  /// context fingerprint plus the LocId -> CanonLoc mapping are
+  /// unambiguous. Anything short of that leaves the engine cache-blind.
+  void bindPartitionCache();
 
   // Owning construction path.
   const ModuleAST *Ast = nullptr;

@@ -7,6 +7,7 @@
 #include "support/Timing.h"
 #include "support/UnionFind.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 
@@ -52,6 +53,44 @@ AbsLoc varDerefLoc(TypeId VarType) {
   L.BaseType = VarType;
   L.ValueType = VarType;
   return L;
+}
+
+/// Derives ClassOf/Uniform/NumClasses from an already-filled Rows matrix.
+/// Shared by the fresh build and the cache-rebind path: the unite and
+/// compression order depends only on Rows, so a rebound partition is
+/// bit-identical to the one a fresh build would produce.
+void finishPartition(AliasClassEngine::Partition &P) {
+  size_t L = P.Rows.size();
+  UnionFind UF(L);
+  for (size_t I = 0; I != L; ++I)
+    for (size_t J = I + 1; J != L; ++J)
+      if (P.Rows[I].test(J))
+        UF.unite(static_cast<uint32_t>(I), static_cast<uint32_t>(J));
+  // Compress union-find roots into dense class ids.
+  P.ClassOf.assign(L, 0);
+  std::vector<uint32_t> RootToClass(L, ~0u);
+  for (size_t I = 0; I != L; ++I) {
+    uint32_t Root = UF.find(static_cast<uint32_t>(I));
+    if (RootToClass[Root] == ~0u)
+      RootToClass[Root] = P.NumClasses++;
+    P.ClassOf[I] = RootToClass[Root];
+  }
+  // A class is uniform when every member's row covers the whole class
+  // (including the diagonal); such classes answer "may" on a class-ID
+  // compare alone. Non-transitive levels leave some classes non-uniform.
+  std::vector<DynBitset> ClassMask(P.NumClasses, DynBitset(L));
+  std::vector<uint32_t> ClassSize(P.NumClasses, 0);
+  for (size_t I = 0; I != L; ++I) {
+    ClassMask[P.ClassOf[I]].set(I);
+    ++ClassSize[P.ClassOf[I]];
+  }
+  P.Uniform.assign(P.NumClasses, 1);
+  for (size_t I = 0; I != L; ++I) {
+    DynBitset Covered = P.Rows[I];
+    Covered &= ClassMask[P.ClassOf[I]];
+    if (Covered.count() != ClassSize[P.ClassOf[I]])
+      P.Uniform[P.ClassOf[I]] = 0;
+  }
 }
 
 } // namespace
@@ -112,53 +151,98 @@ AliasClassEngine::build(AliasLevel Level, const AliasOracle &Ref) const {
   P->Level = Level;
   size_t L = Locs.size();
   P->Rows.assign(L, DynBitset(L));
-  UnionFind UF(L);
+
   // One reference query per unordered pair fills the exact verdict
   // matrix; the union-closure over may-pairs yields the classes.
-  for (size_t I = 0; I != L; ++I)
-    for (size_t J = I; J != L; ++J) {
-      bool May = Ref.mayAliasAbs(Locs[I], Locs[J]);
-      std::atomic_ref<uint64_t>(Counters.BuildQueries)
-      .fetch_add(1, std::memory_order_relaxed);
-      ++NumBuildQueries;
-      if (!May)
-        continue;
-      P->Rows[I].set(J);
-      P->Rows[J].set(I);
-      if (I != J)
-        UF.unite(static_cast<uint32_t>(I), static_cast<uint32_t>(J));
+  auto fillFresh = [&](std::vector<DynBitset> &Rows) {
+    for (size_t I = 0; I != L; ++I)
+      for (size_t J = I; J != L; ++J) {
+        bool May = Ref.mayAliasAbs(Locs[I], Locs[J]);
+        std::atomic_ref<uint64_t>(Counters.BuildQueries)
+        .fetch_add(1, std::memory_order_relaxed);
+        ++NumBuildQueries;
+        if (!May)
+          continue;
+        Rows[I].set(J);
+        Rows[J].set(I);
+      }
+  };
+
+  bool FromCache = false;
+  if (CacheBinding.Valid) {
+    PartitionCacheEntry E;
+    if (PartitionCacheRuntime::instance().lookup(
+            CacheBinding.Hash, CacheBinding.Key, static_cast<uint8_t>(Level),
+            CacheBinding.SortedLocs, E)) {
+      // Rebind: the entry's universe covers this module's canonical locs,
+      // so each LocId maps into it by binary search; copying the covered
+      // sub-matrix reproduces exactly what fillFresh would compute.
+      std::vector<size_t> EIdx(L);
+      for (size_t I = 0; I != L; ++I)
+        EIdx[I] = static_cast<size_t>(
+            std::lower_bound(E.Universe.begin(), E.Universe.end(),
+                             CacheBinding.CanonLocs[I]) -
+            E.Universe.begin());
+      for (size_t I = 0; I != L; ++I)
+        for (size_t J = I; J != L; ++J)
+          if (E.rowBit(EIdx[I], EIdx[J])) {
+            P->Rows[I].set(J);
+            P->Rows[J].set(I);
+          }
+      FromCache = true;
+      std::atomic_ref<uint64_t>(Counters.CacheHits)
+          .fetch_add(1, std::memory_order_relaxed);
+      if (CacheBinding.VerifyHits) {
+        std::vector<DynBitset> Fresh(L, DynBitset(L));
+        fillFresh(Fresh);
+        if (Fresh != P->Rows) {
+          if (CacheBinding.ReportStale)
+            CacheBinding.ReportStale(
+                std::string("partition rows for level ") +
+                aliasLevelName(Level) +
+                " differ between the cache hit and a fresh build");
+          P->Rows = std::move(Fresh); // trust the fresh build
+        }
+      }
+    } else {
+      std::atomic_ref<uint64_t>(Counters.CacheMisses)
+          .fetch_add(1, std::memory_order_relaxed);
     }
-  // Compress union-find roots into dense class ids.
-  P->ClassOf.assign(L, 0);
-  std::vector<uint32_t> RootToClass(L, ~0u);
-  for (size_t I = 0; I != L; ++I) {
-    uint32_t Root = UF.find(static_cast<uint32_t>(I));
-    if (RootToClass[Root] == ~0u)
-      RootToClass[Root] = P->NumClasses++;
-    P->ClassOf[I] = RootToClass[Root];
   }
-  // A class is uniform when every member's row covers the whole class
-  // (including the diagonal); such classes answer "may" on a class-ID
-  // compare alone. Non-transitive levels leave some classes non-uniform.
-  std::vector<DynBitset> ClassMask(P->NumClasses, DynBitset(L));
-  std::vector<uint32_t> ClassSize(P->NumClasses, 0);
-  for (size_t I = 0; I != L; ++I) {
-    ClassMask[P->ClassOf[I]].set(I);
-    ++ClassSize[P->ClassOf[I]];
+  if (!FromCache)
+    fillFresh(P->Rows);
+
+  finishPartition(*P);
+
+  if (FromCache) {
+    NumClassesBuilt += P->NumClasses;
+  } else {
+    std::atomic_ref<uint64_t>(Counters.PartitionsBuilt)
+        .fetch_add(1, std::memory_order_relaxed);
+    ++NumPartitionsBuilt;
+    NumClassesBuilt += P->NumClasses;
+    if (Timed)
+      PartitionBuildUs.record(trace::nowUs() - T0);
+    if (CacheBinding.Valid) {
+      // Publish the fresh partition over the sorted canonical universe.
+      PartitionCacheEntry E;
+      E.Hash = CacheBinding.Hash;
+      E.Key = CacheBinding.Key;
+      E.Level = static_cast<uint8_t>(Level);
+      E.Universe = CacheBinding.SortedLocs;
+      E.RowWords.assign(L * E.wordsPerRow(), 0);
+      std::vector<size_t> EIdx(L);
+      for (size_t I = 0; I != L; ++I)
+        EIdx[I] = static_cast<size_t>(
+            std::lower_bound(E.Universe.begin(), E.Universe.end(),
+                             CacheBinding.CanonLocs[I]) -
+            E.Universe.begin());
+      for (size_t I = 0; I != L; ++I)
+        for (uint32_t J : P->Rows[I].elements())
+          E.setRowBit(EIdx[I], EIdx[J]);
+      PartitionCacheRuntime::instance().publish(E);
+    }
   }
-  P->Uniform.assign(P->NumClasses, 1);
-  for (size_t I = 0; I != L; ++I) {
-    DynBitset Covered = P->Rows[I];
-    Covered &= ClassMask[P->ClassOf[I]];
-    if (Covered.count() != ClassSize[P->ClassOf[I]])
-      P->Uniform[P->ClassOf[I]] = 0;
-  }
-  std::atomic_ref<uint64_t>(Counters.PartitionsBuilt)
-      .fetch_add(1, std::memory_order_relaxed);
-  ++NumPartitionsBuilt;
-  NumClassesBuilt += P->NumClasses;
-  if (Timed)
-    PartitionBuildUs.record(trace::nowUs() - T0);
   Parts[static_cast<size_t>(Level)] = std::move(P);
   return *Parts[static_cast<size_t>(Level)];
 }

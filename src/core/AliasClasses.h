@@ -50,11 +50,14 @@
 #define TBAA_CORE_ALIASCLASSES_H
 
 #include "core/AliasOracle.h"
+#include "core/PartitionCache.h"
 #include "ir/IR.h"
 #include "support/DynBitset.h"
 
 #include <array>
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -73,6 +76,29 @@ struct AliasClassStats {
   uint64_t SlowPath = 0;     ///< Same-class row-bitmap lookups.
   uint64_t Fallbacks = 0;    ///< Un-interned locations -> reference oracle.
   uint64_t BulkOps = 0;      ///< Row / intersection bitmap operations.
+  uint64_t CacheHits = 0;    ///< Partitions rebound from the cache.
+  uint64_t CacheMisses = 0;  ///< Cache consults that fell back to a build.
+};
+
+/// Everything the engine needs to consult and feed the partition cache,
+/// prepared by the AnalysisManager once the context fingerprint and the
+/// module's canonical locations are known. Only bound when the mapping
+/// LocId -> CanonLoc is a *bijection* (ranks canonicalize structurally
+/// equal types, so two raw-distinct AbsLocs could collapse onto one
+/// CanonLoc; rebinding would then be unsound for the Perfect level, whose
+/// verdict is raw identity -- such modules simply bypass the cache).
+struct PartitionCacheBinding {
+  bool Valid = false;
+  uint64_t Hash = 0;
+  std::string Key;
+  /// LocId -> canonical location (same order as the engine's interning).
+  std::vector<CanonLoc> CanonLocs;
+  /// CanonLocs sorted ascending: the lookup subset and publish universe.
+  std::vector<CanonLoc> SortedLocs;
+  /// --verify-analyses: cross-check every hit against a fresh build.
+  bool VerifyHits = false;
+  /// Receives a diff description when a verified hit mismatches.
+  std::function<void(const std::string &)> ReportStale;
 };
 
 class AliasClassEngine {
@@ -135,6 +161,16 @@ public:
 
   const AliasClassStats &stats() const { return Counters; }
 
+  /// Arms the partition cache for this engine's lazy builds. Call before
+  /// the first partition() request; a binding with Valid == false is the
+  /// same as never calling.
+  void bindPartitionCache(PartitionCacheBinding B) {
+    CacheBinding = std::move(B);
+  }
+  const PartitionCacheBinding &partitionCacheBinding() const {
+    return CacheBinding;
+  }
+
 private:
   using AbsKey = std::array<uint64_t, 2>;
   struct AbsKeyHash {
@@ -156,6 +192,7 @@ private:
   /// Indexed by AliasLevel; lazy.
   mutable std::array<std::unique_ptr<Partition>, 5> Parts;
   mutable AliasClassStats Counters;
+  PartitionCacheBinding CacheBinding;
 };
 
 } // namespace tbaa

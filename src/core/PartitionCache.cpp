@@ -1,0 +1,435 @@
+//===- PartitionCache.cpp -------------------------------------------------===//
+
+#include "core/PartitionCache.h"
+
+#include "support/CRC32.h"
+#include "support/FaultInjector.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace tbaa;
+
+TBAA_STATISTIC(NumPcacheHit, "engine", "partition-cache-hit",
+               "partition-cache lookups served from a cached entry");
+TBAA_STATISTIC(NumPcacheMiss, "engine", "partition-cache-miss",
+               "partition-cache lookups that fell back to a fresh build "
+               "(includes torn/corrupt/non-covering entries)");
+TBAA_STATISTIC(NumPcacheEvict, "engine", "partition-cache-evict",
+               "cached partition entries evicted (LRU or generational wipe)");
+TBAA_STATISTIC(NumPcacheBytes, "engine", "partition-cache-bytes",
+               "serialized partition bytes published to the cache "
+               "(cumulative)");
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char Magic[4] = {'P', 'C', 'E', '1'};
+
+template <typename T> void appendRaw(std::string &Out, const T &V) {
+  Out.append(reinterpret_cast<const char *>(&V), sizeof(T));
+}
+
+template <typename T>
+bool readRaw(const char *Data, size_t Len, size_t &Off, T &V) {
+  if (Off + sizeof(T) > Len)
+    return false;
+  std::memcpy(&V, Data + Off, sizeof(T));
+  Off += sizeof(T);
+  return true;
+}
+
+} // namespace
+
+std::string tbaa::serializePartitionEntry(const PartitionCacheEntry &E) {
+  std::string Out;
+  Out.append(Magic, sizeof(Magic));
+  appendRaw(Out, E.Hash);
+  appendRaw(Out, E.Level);
+  appendRaw(Out, static_cast<uint32_t>(E.Key.size()));
+  Out.append(E.Key);
+  appendRaw(Out, static_cast<uint32_t>(E.Universe.size()));
+  for (const CanonLoc &L : E.Universe) {
+    appendRaw(Out, L.Sel);
+    appendRaw(Out, L.Field);
+    appendRaw(Out, L.Base);
+    appendRaw(Out, L.Value);
+  }
+  for (uint64_t W : E.RowWords)
+    appendRaw(Out, W);
+  appendRaw(Out, crc32(Out.data(), Out.size()));
+  return Out;
+}
+
+bool tbaa::deserializePartitionEntry(const char *Data, size_t Len,
+                                     PartitionCacheEntry &Out) {
+  if (Len < sizeof(Magic) + sizeof(uint32_t) ||
+      std::memcmp(Data, Magic, sizeof(Magic)) != 0)
+    return false;
+  uint32_t StoredCrc;
+  std::memcpy(&StoredCrc, Data + Len - sizeof(uint32_t), sizeof(uint32_t));
+  if (crc32(Data, Len - sizeof(uint32_t)) != StoredCrc)
+    return false;
+  size_t Off = sizeof(Magic);
+  uint32_t KeyLen = 0, NumLocs = 0;
+  if (!readRaw(Data, Len, Off, Out.Hash) || !readRaw(Data, Len, Off, Out.Level) ||
+      !readRaw(Data, Len, Off, KeyLen))
+    return false;
+  if (Off + KeyLen > Len)
+    return false;
+  Out.Key.assign(Data + Off, KeyLen);
+  Off += KeyLen;
+  if (!readRaw(Data, Len, Off, NumLocs))
+    return false;
+  // Bound before allocating: the rest of the buffer must hold exactly the
+  // universe, the row words, and the CRC.
+  size_t WordsPerRow = (static_cast<size_t>(NumLocs) + 63) / 64;
+  size_t Need = static_cast<size_t>(NumLocs) * 4 * sizeof(uint32_t) +
+                static_cast<size_t>(NumLocs) * WordsPerRow * sizeof(uint64_t) +
+                sizeof(uint32_t);
+  if (Len - Off != Need)
+    return false;
+  Out.Universe.resize(NumLocs);
+  for (CanonLoc &L : Out.Universe) {
+    readRaw(Data, Len, Off, L.Sel);
+    readRaw(Data, Len, Off, L.Field);
+    readRaw(Data, Len, Off, L.Base);
+    readRaw(Data, Len, Off, L.Value);
+  }
+  if (!std::is_sorted(Out.Universe.begin(), Out.Universe.end()) ||
+      std::adjacent_find(Out.Universe.begin(), Out.Universe.end()) !=
+          Out.Universe.end())
+    return false;
+  Out.RowWords.resize(static_cast<size_t>(NumLocs) * WordsPerRow);
+  for (uint64_t &W : Out.RowWords)
+    readRaw(Data, Len, Off, W);
+  return true;
+}
+
+std::string tbaa::hexEncode(const std::string &Bytes) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Bytes.size() * 2);
+  for (unsigned char C : Bytes) {
+    Out += Digits[C >> 4];
+    Out += Digits[C & 15];
+  }
+  return Out;
+}
+
+bool tbaa::hexDecode(const std::string &Hex, std::string &Out) {
+  if (Hex.size() % 2)
+    return false;
+  Out.clear();
+  Out.reserve(Hex.size() / 2);
+  auto Nibble = [](char C) -> int {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    return -1;
+  };
+  for (size_t I = 0; I < Hex.size(); I += 2) {
+    int Hi = Nibble(Hex[I]), Lo = Nibble(Hex[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out += static_cast<char>(Hi << 4 | Lo);
+  }
+  return true;
+}
+
+bool tbaa::universeCovers(const std::vector<CanonLoc> &Universe,
+                          const std::vector<CanonLoc> &Needed) {
+  return std::includes(Universe.begin(), Universe.end(), Needed.begin(),
+                       Needed.end());
+}
+
+//===----------------------------------------------------------------------===//
+// ProcPartitionCache
+//===----------------------------------------------------------------------===//
+
+bool ProcPartitionCache::lookup(uint64_t Hash, const std::string &Key,
+                                uint8_t Level,
+                                const std::vector<CanonLoc> &Needed,
+                                PartitionCacheEntry &Out) const {
+  std::lock_guard<std::mutex> G(Mu);
+  for (auto It = Entries.begin(); It != Entries.end(); ++It) {
+    if (It->Hash != Hash || It->Level != Level || It->Key != Key ||
+        !universeCovers(It->Universe, Needed))
+      continue;
+    Out = *It;
+    Entries.splice(Entries.begin(), Entries, It);
+    return true;
+  }
+  return false;
+}
+
+void ProcPartitionCache::publish(const PartitionCacheEntry &E) {
+  std::lock_guard<std::mutex> G(Mu);
+  for (auto It = Entries.begin(); It != Entries.end(); ++It) {
+    if (It->Hash == E.Hash && It->Level == E.Level && It->Key == E.Key &&
+        It->Universe == E.Universe) {
+      Used -= It->approxBytes();
+      Entries.erase(It);
+      break;
+    }
+  }
+  Entries.push_front(E);
+  Used += E.approxBytes();
+  while (Used > Cap && Entries.size() > 1) {
+    Used -= Entries.back().approxBytes();
+    Entries.pop_back();
+    ++NumPcacheEvict;
+  }
+}
+
+size_t ProcPartitionCache::bytesUsed() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Used;
+}
+
+size_t ProcPartitionCache::entryCount() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Entries.size();
+}
+
+//===----------------------------------------------------------------------===//
+// SharedPartitionSegment
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<SharedPartitionSegment>
+SharedPartitionSegment::create(size_t CapacityBytes) {
+  size_t Len = sizeof(Header) + CapacityBytes;
+  void *P = ::mmap(nullptr, Len, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return nullptr;
+  auto Seg = std::unique_ptr<SharedPartitionSegment>(new SharedPartitionSegment);
+  Seg->Base = static_cast<char *>(P);
+  Seg->MapLen = Len;
+  Seg->Owner = ::getpid();
+  Header *H = new (Seg->Base) Header;
+  H->Generation.store(0, std::memory_order_relaxed);
+  H->Used.store(0, std::memory_order_relaxed);
+  H->Capacity = CapacityBytes;
+  H->EntriesThisGen = 0;
+  return Seg;
+}
+
+SharedPartitionSegment::~SharedPartitionSegment() {
+  if (Base)
+    ::munmap(Base, MapLen);
+}
+
+bool SharedPartitionSegment::publish(const std::string &Bytes) {
+  fault::Action A = fault::at("cache.publish");
+  if (A == fault::Action::Enospc || A == fault::Action::Eagain)
+    return false; // nothing written: consumers simply rebuild
+  Header *H = header();
+  uint64_t Frame = 8 + ((Bytes.size() + 7) & ~uint64_t(7));
+  uint64_t Used = H->Used.load(std::memory_order_relaxed);
+  if (Used + Frame > H->Capacity) {
+    // Generational wipe. Readers re-check Generation after copying a
+    // candidate out, so a racing lookup degrades to a miss.
+    H->Generation.fetch_add(1, std::memory_order_release);
+    H->Used.store(0, std::memory_order_release);
+    NumPcacheEvict += H->EntriesThisGen;
+    H->EntriesThisGen = 0;
+    Used = 0;
+    if (Frame > H->Capacity)
+      return false;
+  }
+  char *Dst = data() + Used;
+  uint64_t Len = Bytes.size();
+  std::memcpy(Dst, &Len, sizeof(Len));
+  // 'short'/'kill' tear the entry mid-copy but still advance Used: the
+  // torn bytes become visible and only the CRC check stands between them
+  // and a consumer -- exactly the hazard the chaos drill probes.
+  size_t Copy =
+      (A == fault::Action::ShortWrite || A == fault::Action::Kill)
+          ? Bytes.size() / 2
+          : Bytes.size();
+  std::memcpy(Dst + 8, Bytes.data(), Copy);
+  H->Used.store(Used + Frame, std::memory_order_release);
+  if (A == fault::Action::Kill)
+    fault::killSelf();
+  if (Copy != Bytes.size())
+    return false;
+  ++H->EntriesThisGen;
+  return true;
+}
+
+bool SharedPartitionSegment::lookup(uint64_t Hash, const std::string &Key,
+                                    uint8_t Level,
+                                    const std::vector<CanonLoc> &Needed,
+                                    PartitionCacheEntry &Out) const {
+  const Header *H = header();
+  uint64_t Gen0 = H->Generation.load(std::memory_order_acquire);
+  uint64_t Used = H->Used.load(std::memory_order_acquire);
+  if (Used > H->Capacity)
+    return false;
+  bool Found = false;
+  uint64_t Off = 0;
+  while (Off + 8 <= Used) {
+    uint64_t Len;
+    std::memcpy(&Len, data() + Off, sizeof(Len));
+    uint64_t Frame = 8 + ((Len + 7) & ~uint64_t(7));
+    if (Len == 0 || Off + Frame > Used)
+      break; // torn tail
+    PartitionCacheEntry Tmp;
+    if (deserializePartitionEntry(data() + Off + 8, Len, Tmp) &&
+        Tmp.Hash == Hash && Tmp.Level == Level && Tmp.Key == Key &&
+        universeCovers(Tmp.Universe, Needed)) {
+      Out = std::move(Tmp); // keep scanning: later entries are newer
+      Found = true;
+    }
+    Off += Frame;
+  }
+  // A wipe that raced the scan may have rewritten bytes mid-copy; the
+  // CRC makes silent corruption astronomically unlikely, the generation
+  // check makes it impossible.
+  if (H->Generation.load(std::memory_order_acquire) != Gen0)
+    return false;
+  return Found;
+}
+
+void SharedPartitionSegment::sealReadOnly() {
+  ::mprotect(Base, MapLen, PROT_READ);
+}
+
+uint64_t SharedPartitionSegment::generation() const {
+  return header()->Generation.load(std::memory_order_acquire);
+}
+
+size_t SharedPartitionSegment::entryCount() const {
+  return header()->EntriesThisGen;
+}
+
+size_t SharedPartitionSegment::bytesUsed() const {
+  return header()->Used.load(std::memory_order_acquire);
+}
+
+//===----------------------------------------------------------------------===//
+// PartitionCacheRuntime
+//===----------------------------------------------------------------------===//
+
+bool tbaa::parsePartitionCacheMode(const std::string &Text,
+                                   PartitionCacheMode &M) {
+  if (Text == "off")
+    M = PartitionCacheMode::Off;
+  else if (Text == "proc")
+    M = PartitionCacheMode::Proc;
+  else if (Text == "shared")
+    M = PartitionCacheMode::Shared;
+  else
+    return false;
+  return true;
+}
+
+const char *tbaa::partitionCacheModeName(PartitionCacheMode M) {
+  switch (M) {
+  case PartitionCacheMode::Off:
+    return "off";
+  case PartitionCacheMode::Proc:
+    return "proc";
+  case PartitionCacheMode::Shared:
+    return "shared";
+  }
+  return "off";
+}
+
+PartitionCacheRuntime &PartitionCacheRuntime::instance() {
+  static PartitionCacheRuntime R;
+  return R;
+}
+
+void PartitionCacheRuntime::configure(PartitionCacheMode M, size_t CapBytes) {
+  ProcCache.reset();
+  Seg.reset();
+  {
+    std::lock_guard<std::mutex> G(PendingMu);
+    Pending.clear();
+  }
+  Sealed = false;
+  Mode = M;
+  Cap = CapBytes ? CapBytes : DefaultCapBytes;
+  OwnerPid = ::getpid();
+  if (Mode == PartitionCacheMode::Proc) {
+    ProcCache = std::make_unique<ProcPartitionCache>(Cap);
+  } else if (Mode == PartitionCacheMode::Shared) {
+    Seg = SharedPartitionSegment::create(Cap);
+    if (!Seg)
+      Mode = PartitionCacheMode::Off; // mmap failed: degrade to no cache
+  }
+}
+
+bool PartitionCacheRuntime::lookup(uint64_t Hash, const std::string &Key,
+                                   uint8_t Level,
+                                   const std::vector<CanonLoc> &Needed,
+                                   PartitionCacheEntry &Out) {
+  bool Hit = false;
+  if (Mode == PartitionCacheMode::Proc && ProcCache)
+    Hit = ProcCache->lookup(Hash, Key, Level, Needed, Out);
+  else if (Mode == PartitionCacheMode::Shared && Seg)
+    Hit = Seg->lookup(Hash, Key, Level, Needed, Out);
+  else
+    return false; // disabled: not a countable miss
+  if (Hit)
+    ++NumPcacheHit;
+  else
+    ++NumPcacheMiss;
+  return Hit;
+}
+
+void PartitionCacheRuntime::publish(const PartitionCacheEntry &E) {
+  if (Mode == PartitionCacheMode::Proc && ProcCache) {
+    ProcCache->publish(E);
+    NumPcacheBytes += E.approxBytes();
+  } else if (Mode == PartitionCacheMode::Shared && Seg) {
+    std::string Bytes = serializePartitionEntry(E);
+    if (::getpid() == OwnerPid) {
+      if (Seg->publish(Bytes))
+        NumPcacheBytes += Bytes.size();
+    } else {
+      // Forked worker: the segment is sealed read-only here. Queue the
+      // entry for the job payload; the parent publishes on settle.
+      std::lock_guard<std::mutex> G(PendingMu);
+      Pending.push_back(std::move(Bytes));
+    }
+  }
+}
+
+bool PartitionCacheRuntime::publishSerialized(const std::string &Bytes) {
+  if (Mode != PartitionCacheMode::Shared || !Seg)
+    return false;
+  PartitionCacheEntry Check;
+  if (!deserializePartitionEntry(Bytes.data(), Bytes.size(), Check))
+    return false; // corrupted in transit: drop, consumers rebuild
+  if (!Seg->publish(Bytes))
+    return false;
+  NumPcacheBytes += Bytes.size();
+  return true;
+}
+
+std::vector<std::string> PartitionCacheRuntime::drainPendingHex() {
+  std::lock_guard<std::mutex> G(PendingMu);
+  std::vector<std::string> Out;
+  Out.reserve(Pending.size());
+  for (const std::string &Bytes : Pending)
+    Out.push_back(hexEncode(Bytes));
+  Pending.clear();
+  return Out;
+}
+
+void PartitionCacheRuntime::sealWorkerView() {
+  if (Seg && !Sealed && ::getpid() != OwnerPid) {
+    Seg->sealReadOnly();
+    Sealed = true;
+  }
+}

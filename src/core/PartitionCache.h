@@ -1,0 +1,266 @@
+//===- PartitionCache.h - Cross-worker alias-partition cache ----*- C++ -*-===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A read-mostly cache of `AliasClassEngine` partitions keyed on the
+/// canonical type-table fingerprint (TBAAContext::fingerprint). TBAA's
+/// verdicts are flow-insensitive pure functions of the context facts, so
+/// a partition built for one module can be *rebound* to any other module
+/// whose context fingerprints identically -- the `--gen` sweep case where
+/// hundreds of modules share one type shape.
+///
+/// Entries store the alias matrix over a *canonical* location space
+/// (`CanonLoc`: the AbsLoc tuple with TypeIds replaced by fingerprint
+/// ranks and FieldIds by field ranks), because dense LocIds are
+/// module-local. A consumer rebinds by mapping each of its interned locs
+/// into the entry's sorted universe; the entry applies when its universe
+/// is a superset of the consumer's locs.
+///
+/// Two backing stores:
+///  * ProcPartitionCache -- an in-process LRU-by-bytes list. Used by
+///    m3lc (`--partition-cache=proc`) and the m3serve warm workers,
+///    which survive across re-sandboxed jobs.
+///  * SharedPartitionSegment -- a parent-owned anonymous MAP_SHARED
+///    mmap for m3batch's fork-per-job workers. Only the parent writes
+///    (workers send serialized entries home in the job payload and the
+///    parent publishes them); workers map the pages read-only
+///    (sealWorkerView), so the fault-isolation boundary holds. Readers
+///    validate a per-entry CRC and a generation counter, so a torn or
+///    concurrently-wiped entry degrades to a rebuild, never a wrong
+///    answer. Publication sits behind the `cache.publish` fault point.
+///
+/// `PartitionCacheRuntime` is the process-wide front door the drivers
+/// configure (`--partition-cache=off|proc|shared`) and the engine
+/// consults. Finite `--analysis-budget` runs bypass the cache entirely
+/// (AnalysisManager checks this): skipping the build's oracle queries
+/// would change budget accounting and thus the degradation ladder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TBAA_CORE_PARTITIONCACHE_H
+#define TBAA_CORE_PARTITIONCACHE_H
+
+#include <atomic>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace tbaa {
+
+/// A module-independent abstract location: AbsLoc with every TypeId
+/// replaced by its fingerprint rank and the FieldId by its field rank
+/// (~0u where AbsLoc uses the invalid sentinel). Ordered so entry
+/// universes can be sorted and binary-searched.
+struct CanonLoc {
+  uint32_t Sel = 0;
+  uint32_t Field = ~0u;
+  uint32_t Base = ~0u;
+  uint32_t Value = ~0u;
+
+  friend bool operator==(const CanonLoc &, const CanonLoc &) = default;
+  friend auto operator<=>(const CanonLoc &, const CanonLoc &) = default;
+};
+
+/// One cached partition: the symmetric may-alias matrix for one
+/// (fingerprint, level) over a sorted canonical-loc universe, rows
+/// bit-packed 64 locs per word.
+struct PartitionCacheEntry {
+  uint64_t Hash = 0;
+  std::string Key; ///< full fingerprint key (collision check)
+  uint8_t Level = 0;
+  std::vector<CanonLoc> Universe; ///< sorted ascending, pairwise distinct
+  std::vector<uint64_t> RowWords; ///< Universe.size() * wordsPerRow()
+
+  size_t wordsPerRow() const { return (Universe.size() + 63) / 64; }
+  bool rowBit(size_t I, size_t J) const {
+    return (RowWords[I * wordsPerRow() + J / 64] >> (J % 64)) & 1;
+  }
+  void setRowBit(size_t I, size_t J) {
+    RowWords[I * wordsPerRow() + J / 64] |= uint64_t(1) << (J % 64);
+  }
+  /// In-memory footprint estimate for LRU accounting.
+  size_t approxBytes() const {
+    return sizeof(*this) + Key.size() + Universe.size() * sizeof(CanonLoc) +
+           RowWords.size() * sizeof(uint64_t);
+  }
+};
+
+/// Serializes \p E into the compact "PCE1" wire form: magic, hash,
+/// level, key, universe, row words, CRC-32 trailer over everything
+/// before it.
+std::string serializePartitionEntry(const PartitionCacheEntry &E);
+
+/// Parses and fully validates (magic, bounds, CRC) a serialized entry.
+/// Returns false on any corruption -- the torn-cache degrade path.
+bool deserializePartitionEntry(const char *Data, size_t Len,
+                               PartitionCacheEntry &Out);
+
+/// Lowercase-hex transport coding for carrying serialized entries inside
+/// the flat JSON job payload.
+std::string hexEncode(const std::string &Bytes);
+bool hexDecode(const std::string &Hex, std::string &Out);
+
+/// True when sorted \p Universe contains every loc of sorted \p Needed.
+bool universeCovers(const std::vector<CanonLoc> &Universe,
+                    const std::vector<CanonLoc> &Needed);
+
+/// In-process LRU-by-bytes entry store (mutex-guarded; warm workers run
+/// jobs one at a time but the parallel-opt pipeline may share it).
+class ProcPartitionCache {
+public:
+  explicit ProcPartitionCache(size_t CapBytes) : Cap(CapBytes) {}
+
+  /// Copies the newest matching, covering entry into \p Out and marks it
+  /// most-recently-used. Counts nothing; the runtime owns the counters.
+  bool lookup(uint64_t Hash, const std::string &Key, uint8_t Level,
+              const std::vector<CanonLoc> &Needed,
+              PartitionCacheEntry &Out) const;
+
+  /// Inserts (or replaces) an entry at the MRU end and evicts LRU
+  /// entries past the byte cap, bumping engine.partition-cache-evict.
+  void publish(const PartitionCacheEntry &E);
+
+  size_t bytesUsed() const;
+  size_t entryCount() const;
+
+private:
+  mutable std::mutex Mu;
+  mutable std::list<PartitionCacheEntry> Entries; ///< MRU at front
+  size_t Used = 0;
+  size_t Cap;
+};
+
+/// Parent-owned anonymous shared mapping for fork-isolated batch
+/// workers. Single writer (the creating process), lock-free readers.
+///
+/// Layout: a Header (generation + used-bytes, both atomics published
+/// with release stores) followed by 8-aligned frames of
+/// [u64 payload-len][serialized entry][pad]. Readers acquire-load Used,
+/// walk frames below it, CRC-validate each candidate, and finally
+/// re-check Generation: if a capacity wipe raced the scan, the result is
+/// discarded (a miss). When an entry does not fit, the writer bumps
+/// Generation and resets Used -- a generational wipe counted as
+/// evictions.
+class SharedPartitionSegment {
+public:
+  static std::unique_ptr<SharedPartitionSegment> create(size_t CapacityBytes);
+  ~SharedPartitionSegment();
+
+  SharedPartitionSegment(const SharedPartitionSegment &) = delete;
+  SharedPartitionSegment &operator=(const SharedPartitionSegment &) = delete;
+
+  /// Parent only. Appends a serialized entry (behind the cache.publish
+  /// fault point). Returns false when the publish was skipped, torn, or
+  /// the entry can never fit.
+  bool publish(const std::string &Bytes);
+
+  /// Any process. See the class comment for the torn/wipe protocol.
+  bool lookup(uint64_t Hash, const std::string &Key, uint8_t Level,
+              const std::vector<CanonLoc> &Needed,
+              PartitionCacheEntry &Out) const;
+
+  /// Remaps this process's view read-only (per-process page permissions:
+  /// the parent's writable view is unaffected). Workers call this once
+  /// after fork so a stray store faults instead of corrupting the cache.
+  void sealReadOnly();
+
+  pid_t ownerPid() const { return Owner; }
+  uint64_t generation() const;
+  size_t entryCount() const; ///< parent bookkeeping, current generation
+  size_t bytesUsed() const;
+
+private:
+  SharedPartitionSegment() = default;
+
+  struct Header {
+    std::atomic<uint64_t> Generation;
+    std::atomic<uint64_t> Used; ///< entry bytes beyond the header
+    uint64_t Capacity;          ///< entry bytes available
+    uint64_t EntriesThisGen;    ///< parent-only bookkeeping
+  };
+  Header *header() const { return reinterpret_cast<Header *>(Base); }
+  char *data() const { return Base + sizeof(Header); }
+
+  char *Base = nullptr;
+  size_t MapLen = 0;
+  pid_t Owner = 0;
+};
+
+enum class PartitionCacheMode : uint8_t { Off, Proc, Shared };
+
+bool parsePartitionCacheMode(const std::string &Text, PartitionCacheMode &M);
+const char *partitionCacheModeName(PartitionCacheMode M);
+
+/// Process-wide cache front door. Drivers configure it once before any
+/// compilation (and, for shared mode, before forking workers); the
+/// engine consults it via lookup/publish. All four
+/// engine.partition-cache-* counters are owned here.
+class PartitionCacheRuntime {
+public:
+  static PartitionCacheRuntime &instance();
+
+  /// (Re)configures the mode and byte cap. Off tears everything down.
+  /// CapBytes == 0 selects the 64 MiB default.
+  void configure(PartitionCacheMode M, size_t CapBytes = 0);
+
+  PartitionCacheMode mode() const { return Mode; }
+  bool enabled() const { return Mode != PartitionCacheMode::Off; }
+  size_t capacityBytes() const { return Cap; }
+
+  /// Consults the configured store. Counts engine.partition-cache-hit /
+  /// -miss (torn, corrupt, non-covering and racing-wipe entries all land
+  /// on the miss side). No-op returning false when disabled.
+  bool lookup(uint64_t Hash, const std::string &Key, uint8_t Level,
+              const std::vector<CanonLoc> &Needed, PartitionCacheEntry &Out);
+
+  /// Publishes a freshly built partition. Proc mode inserts directly.
+  /// Shared mode: the owning process appends to the segment; a forked
+  /// worker queues the serialized entry for the job payload instead
+  /// (drainPendingHex), preserving the workers-never-write invariant.
+  void publish(const PartitionCacheEntry &E);
+
+  /// Parent side of the payload hand-off: validates \p Bytes and
+  /// appends it to the shared segment. Counts published bytes.
+  bool publishSerialized(const std::string &Bytes);
+
+  /// Drains entries queued by publish() in a forked worker, hex-encoded
+  /// for the flat JSON payload.
+  std::vector<std::string> drainPendingHex();
+
+  /// Worker-side hygiene: seals the shared segment read-only the first
+  /// time a non-owner process calls this. Safe to call unconditionally.
+  void sealWorkerView();
+
+  ProcPartitionCache *procCache() { return ProcCache.get(); }
+  SharedPartitionSegment *segment() { return Seg.get(); }
+
+  /// Tears down to Off (tests).
+  void resetForTests() { configure(PartitionCacheMode::Off); }
+
+  static constexpr size_t DefaultCapBytes = 64u << 20;
+
+private:
+  PartitionCacheRuntime() = default;
+
+  PartitionCacheMode Mode = PartitionCacheMode::Off;
+  size_t Cap = DefaultCapBytes;
+  pid_t OwnerPid = 0;
+  bool Sealed = false;
+  std::unique_ptr<ProcPartitionCache> ProcCache;
+  std::unique_ptr<SharedPartitionSegment> Seg;
+  std::mutex PendingMu;
+  std::vector<std::string> Pending; ///< serialized entries, worker-side
+};
+
+} // namespace tbaa
+
+#endif // TBAA_CORE_PARTITIONCACHE_H

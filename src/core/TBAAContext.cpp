@@ -415,3 +415,254 @@ bool TBAAContext::addressTakenElem(TypeId ArrayType, TypeId ElemType,
   }
   return false;
 }
+
+//===----------------------------------------------------------------------===//
+// Canonical content fingerprint (partition cache key)
+//===----------------------------------------------------------------------===//
+
+#include "support/CRC32.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace {
+
+/// Renders a canonical type as an id-free structural descriptor. Names
+/// participate (M3L type names are unique per table), module-local ids do
+/// not, so two tables declaring the same types in any order render
+/// identically. Cycles (objects/refs reaching themselves) turn into
+/// back-references "@<distance>" against the render stack, the same trick
+/// structural equality uses.
+void renderDesc(const TypeTable &Types, TypeId Id, std::vector<TypeId> &Stack,
+                std::string &Out) {
+  if (Id == InvalidTypeId) {
+    Out += "-";
+    return;
+  }
+  Id = Types.canonical(Id);
+  for (size_t I = Stack.size(); I != 0; --I) {
+    if (Stack[I - 1] == Id) {
+      Out += "@";
+      Out += std::to_string(Stack.size() - (I - 1));
+      return;
+    }
+  }
+  const Type &T = Types.get(Id);
+  switch (T.Kind) {
+  case TypeKind::Forward:
+    Out += "?fwd";
+    return;
+  case TypeKind::Integer:
+    Out += "int";
+    return;
+  case TypeKind::Boolean:
+    Out += "bool";
+    return;
+  case TypeKind::Nil:
+    Out += "nil";
+    return;
+  case TypeKind::Void:
+    Out += "void";
+    return;
+  case TypeKind::Object:
+  case TypeKind::Record:
+  case TypeKind::Array:
+  case TypeKind::Ref:
+    break;
+  }
+  Stack.push_back(Id);
+  switch (T.Kind) {
+  case TypeKind::Object: {
+    Out += "obj<";
+    Out += T.Name;
+    Out += "|";
+    if (T.Brand)
+      Out += *T.Brand;
+    Out += "|s:";
+    renderDesc(Types, T.Super, Stack, Out);
+    for (const FieldInfo &F : T.Fields) {
+      Out += "|f:";
+      Out += F.Name;
+      Out += ":";
+      renderDesc(Types, F.Type, Stack, Out);
+    }
+    for (const MethodInfo &M : T.Methods) {
+      Out += "|m:";
+      Out += M.Name;
+      Out += "(";
+      for (const ParamInfo &P : M.Params) {
+        Out += P.ByRef ? "var " : "";
+        renderDesc(Types, P.Type, Stack, Out);
+        Out += ",";
+      }
+      Out += "):";
+      renderDesc(Types, M.ReturnType, Stack, Out);
+    }
+    Out += ">";
+    break;
+  }
+  case TypeKind::Record: {
+    Out += "rec<";
+    Out += T.Name;
+    for (const FieldInfo &F : T.Fields) {
+      Out += "|f:";
+      Out += F.Name;
+      Out += ":";
+      renderDesc(Types, F.Type, Stack, Out);
+    }
+    Out += ">";
+    break;
+  }
+  case TypeKind::Array: {
+    Out += "arr<";
+    Out += T.Name;
+    Out += "|";
+    if (T.IsOpen)
+      Out += "open";
+    else {
+      Out += std::to_string(T.Lo);
+      Out += "..";
+      Out += std::to_string(T.Hi);
+    }
+    Out += "|";
+    renderDesc(Types, T.Elem, Stack, Out);
+    Out += ">";
+    break;
+  }
+  case TypeKind::Ref: {
+    Out += "ref<";
+    Out += T.Name;
+    Out += "|";
+    renderDesc(Types, T.Target, Stack, Out);
+    Out += ">";
+    break;
+  }
+  default:
+    break;
+  }
+  Stack.pop_back();
+}
+
+} // namespace
+
+const ContextFingerprint &TBAAContext::fingerprint() const {
+  if (FP)
+    return *FP;
+  FP = std::make_unique<ContextFingerprint>();
+  ContextFingerprint &F = *FP;
+
+  // --- Structural descriptors for every canonical type ---
+  std::vector<std::pair<std::string, TypeId>> Descs;
+  for (TypeId Id = 0; Id != NumTypes; ++Id) {
+    if (Types.canonical(Id) != Id)
+      continue;
+    std::string D;
+    std::vector<TypeId> Stack;
+    renderDesc(Types, Id, Stack, D);
+    Descs.emplace_back(std::move(D), Id);
+  }
+  std::sort(Descs.begin(), Descs.end());
+  for (size_t I = 1; I < Descs.size(); ++I) {
+    if (Descs[I].first == Descs[I - 1].first)
+      return F; // ambiguous ranking: two distinct canonicals render alike
+  }
+
+  // --- TypeId -> rank (canonical's rank shared by all its aliases) ---
+  F.TypeRank.assign(NumTypes, ~0u);
+  for (size_t R = 0; R != Descs.size(); ++R)
+    F.TypeRank[Descs[R].second] = static_cast<uint32_t>(R);
+  for (TypeId Id = 0; Id != NumTypes; ++Id)
+    F.TypeRank[Id] = F.TypeRank[Types.canonical(Id)];
+
+  // --- FieldId -> rank, keyed (owner rank, field name) ---
+  FieldId MaxField = 0;
+  std::map<std::pair<uint32_t, std::string>, FieldId> FieldKeys;
+  for (TypeId Id = 0; Id != NumTypes; ++Id) {
+    if (Types.canonical(Id) != Id)
+      continue;
+    for (const FieldInfo &Fld : Types.get(Id).Fields) {
+      MaxField = std::max(MaxField, Fld.Id);
+      auto [It, Inserted] = FieldKeys.emplace(
+          std::make_pair(F.TypeRank[Id], Fld.Name), Fld.Id);
+      if (!Inserted && It->second != Fld.Id)
+        return F; // two distinct FieldIds share a canonical key
+    }
+  }
+  F.FieldRank.assign(static_cast<size_t>(MaxField) + 1, ~0u);
+  {
+    uint32_t R = 0;
+    for (const auto &[Key, Id] : FieldKeys)
+      F.FieldRank[Id] = R++;
+  }
+
+  // --- Canonical key text ---
+  std::ostringstream K;
+  K << "tbaa-partition-key-v1\n";
+  K << "openworld=" << (Opts.OpenWorld ? 1 : 0)
+    << " degraded=" << (Degraded ? 1 : 0) << " ntypes=" << Descs.size()
+    << "\n";
+  for (size_t R = 0; R != Descs.size(); ++R)
+    K << "type " << R << ": " << Descs[R].first << "\n";
+
+  // Subtype sets and the selective-merge group partition, both as sorted
+  // rank sets. Group labels are the minimum member rank, so the partition
+  // is captured independently of which member union-find picked as root.
+  std::vector<uint32_t> GroupLabel(NumTypes, ~0u);
+  for (size_t R = 0; R != Descs.size(); ++R) {
+    TypeId Id = Descs[R].second;
+    uint32_t Root = GroupOf[Id];
+    if (GroupLabel[Root] > static_cast<uint32_t>(R))
+      GroupLabel[Root] = static_cast<uint32_t>(R);
+  }
+  for (size_t R = 0; R != Descs.size(); ++R) {
+    TypeId Id = Descs[R].second;
+    K << "sub " << R << ":";
+    std::vector<uint32_t> Ranks;
+    for (uint32_t M : SubtypeBits[Id].elements())
+      Ranks.push_back(F.TypeRank[M]);
+    std::sort(Ranks.begin(), Ranks.end());
+    for (uint32_t X : Ranks)
+      K << " " << X;
+    K << "\n";
+  }
+  for (size_t R = 0; R != Descs.size(); ++R) {
+    TypeId Id = Descs[R].second;
+    K << "grp " << R << ": " << GroupLabel[GroupOf[Id]] << "\n";
+  }
+
+  // Field declarations: rank -> (owner rank, name, value-type rank).
+  for (const auto &[Key, Id] : FieldKeys) {
+    // Recover the declaring type's value type for this field.
+    K << "fld " << F.FieldRank[Id] << ": " << Key.first << " " << Key.second
+      << "\n";
+  }
+
+  // AddressTaken facts, sorted and deduplicated over ranks.
+  std::set<std::pair<uint32_t, uint32_t>> FFacts;
+  for (const FieldFact &Fact : FieldFacts)
+    FFacts.emplace(F.FieldRank[Fact.Field], F.TypeRank[Fact.BaseType]);
+  for (const auto &[FR, TR] : FFacts)
+    K << "ftaken " << FR << " " << TR << "\n";
+  std::set<uint32_t> EFacts;
+  for (TypeId T : ElemFacts)
+    EFacts.insert(F.TypeRank[T]);
+  for (uint32_t R : EFacts)
+    K << "etaken " << R << "\n";
+  std::set<uint32_t> ByRef;
+  for (TypeId T : ByRefFormalTypes)
+    ByRef.insert(F.TypeRank[T]);
+  for (uint32_t R : ByRef)
+    K << "byref " << R << "\n";
+
+  F.Key = K.str();
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : F.Key) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  F.Hash = H ^ (static_cast<uint64_t>(crc32(F.Key.data(), F.Key.size()))
+                << 32);
+  F.Valid = true;
+  return F;
+}

@@ -32,6 +32,8 @@
 #include "support/DynBitset.h"
 #include "support/UnionFind.h"
 
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace tbaa {
@@ -40,6 +42,32 @@ struct TBAAOptions {
   /// Section 4: assume unavailable code may take addresses via VAR
   /// formals and may merge any subtype-related pair of unbranded types.
   bool OpenWorld = false;
+};
+
+/// Canonical, order-independent fingerprint of every fact the alias
+/// oracles consult: the type table rendered as sorted structural
+/// descriptors (names included, ids excluded, so two tables declaring
+/// the same types in any order fingerprint identically), the subtype
+/// sets, the selective-merge group partition, the AddressTaken facts
+/// and the open-world/degraded switches -- all expressed through dense
+/// *ranks* rather than module-local TypeIds/FieldIds. Two contexts with
+/// equal keys answer every mayAlias query identically, which is what
+/// lets the partition cache rebind one module's alias-class bitmaps
+/// onto another module's interning.
+struct ContextFingerprint {
+  /// False when the table cannot be ranked unambiguously (two distinct
+  /// canonical types or field declarations render identically). Cache
+  /// clients must then bypass the cache -- a safe precision-free out.
+  bool Valid = false;
+  /// FNV-1a 64 of Key mixed with its support/CRC32 checksum. Collisions
+  /// are resolved by comparing the full Key text, never trusted.
+  uint64_t Hash = 0;
+  /// The full canonical key text the hash summarizes.
+  std::string Key;
+  /// TypeId -> structural rank (shared with the type's canonical id).
+  std::vector<uint32_t> TypeRank;
+  /// FieldId -> rank; ~0u for ids the table never declared.
+  std::vector<uint32_t> FieldRank;
 };
 
 class TBAAContext {
@@ -80,6 +108,11 @@ public:
   /// and merely loses precision (see docs/ROBUSTNESS.md).
   bool typeRefsDegraded() const { return Degraded; }
 
+  /// Canonical content fingerprint of this context (computed lazily and
+  /// cached; the context is immutable after construction). Not
+  /// thread-safe on first call -- compute it before fanning out.
+  const ContextFingerprint &fingerprint() const;
+
 private:
   void collectFromStmtList(const StmtList &Stmts);
   void collectFromStmt(const Stmt &S);
@@ -115,6 +148,9 @@ private:
   std::vector<TypeId> ElemFacts; ///< canonical array types
   /// Open world: canonical types of every pass-by-reference formal.
   std::vector<TypeId> ByRefFormalTypes;
+
+  /// Lazily computed by fingerprint().
+  mutable std::unique_ptr<ContextFingerprint> FP;
 };
 
 } // namespace tbaa

@@ -2,6 +2,7 @@
 
 #include "service/Batch.h"
 
+#include "core/PartitionCache.h"
 #include "service/CrashCapture.h"
 #include "service/WorkerPool.h"
 #include "support/Clock.h"
@@ -210,6 +211,24 @@ BatchResult tbaa::runBatch(const std::vector<BatchJob> &Jobs,
           CopyU64("oracle_p90_ns", R.OracleP90Ns) &&
           CopyU64("oracle_max_ns", R.OracleMaxNs))
         R.HasOracleMetrics = true;
+      if (CopyU64("pcache_hit", R.PcacheHits) &&
+          CopyU64("pcache_miss", R.PcacheMisses))
+        R.HasPcacheMetrics = true;
+      // Shared-cache hand-off: fork-isolated workers cannot write the
+      // sealed segment, so they ship serialized partition entries home
+      // in the payload and the parent -- the single writer -- publishes
+      // them. A corrupt or torn entry is dropped here (and again at the
+      // CRC check on read); consumers just rebuild.
+      PartitionCacheRuntime &PC = PartitionCacheRuntime::instance();
+      if (PC.mode() == PartitionCacheMode::Shared && PC.segment()) {
+        for (const auto &[K, V] : Payload) {
+          if (K.rfind("pcache_entry_", 0) != 0)
+            continue;
+          std::string Bytes;
+          if (hexDecode(V, Bytes))
+            PC.publishSerialized(Bytes);
+        }
+      }
     }
     {
       const uint64_t T0 = Tracing ? trace::nowUs() : 0;

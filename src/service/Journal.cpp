@@ -54,6 +54,10 @@ std::string JournalRecord::toJSONLine() const {
     W.key("oracle_p90_ns").value(OracleP90Ns);
     W.key("oracle_max_ns").value(OracleMaxNs);
   }
+  if (HasPcacheMetrics) {
+    W.key("pcache_hit").value(PcacheHits);
+    W.key("pcache_miss").value(PcacheMisses);
+  }
   W.endObject();
   // The crc is always the last key: CRC-32 of the line as serialized
   // without it, spliced in before the closing brace. The loader
@@ -329,6 +333,11 @@ bool recordFromMap(const std::map<std::string, std::string> &M,
         !getUInt(M, "oracle_p90_ns", R.OracleP90Ns) ||
         !getUInt(M, "oracle_max_ns", R.OracleMaxNs))
       return Fail("incomplete oracle_* summary");
+  }
+  R.HasPcacheMetrics = getUInt(M, "pcache_hit", R.PcacheHits);
+  if (R.HasPcacheMetrics) {
+    if (!getUInt(M, "pcache_miss", R.PcacheMisses))
+      return Fail("incomplete pcache_* summary");
   }
   return true;
 }

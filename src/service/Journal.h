@@ -93,6 +93,11 @@ struct JournalRecord {
   uint64_t OracleP50Ns = 0;
   uint64_t OracleP90Ns = 0;
   uint64_t OracleMaxNs = 0;
+  /// Per-job partition-cache tallies (engine.partition-cache-{hit,miss}
+  /// deltas), present when the worker ran with --partition-cache on.
+  bool HasPcacheMetrics = false;
+  uint64_t PcacheHits = 0;
+  uint64_t PcacheMisses = 0;
 
   /// One line, no trailing newline; "crc" is always the last key.
   std::string toJSONLine() const;

@@ -33,6 +33,7 @@
 #include "support/SafeIO.h"
 #include "support/Socket.h"
 #include "support/Stats.h"
+#include "support/Timing.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -193,6 +194,16 @@ void closeStrayFds(int CtrlFd, int CwdFd) {
     if (CwdFd >= 0)
       (void)::fchdir(CwdFd);
     closeStrayFds(CtrlFd, CwdFd);
+    // Per-job observability reset belongs to worker reuse itself, not to
+    // whichever job body the daemon happens to run: a warm worker's
+    // registries accumulate across jobs (InstrumentedOracle's
+    // wipe-on-full memo eviction counter was the visible casualty), and
+    // the journal's oracle_* summary must describe *this* job only.
+    // Deliberately not reset: the in-process partition cache, whose whole
+    // point is surviving jobs.
+    MetricsRegistry::instance().reset();
+    StatsRegistry::instance().reset();
+    TimerRegistry::instance().reset();
 
     // Payload lands in an unlinked tmpfile rather than a pipe: the
     // parent only reads after "done", and a pipe a job overfilled
@@ -890,6 +901,9 @@ void Daemon::settleAttempt(PendingJob &&J, JobOutcome Outcome, int ExitCode,
     R.OracleMaxNs = parseU64Or(P, "oracle_max_ns", 0);
     R.HasOracleMetrics = P.count("oracle_queries") && P.count("oracle_p50_ns") &&
                          P.count("oracle_p90_ns") && P.count("oracle_max_ns");
+    R.PcacheHits = parseU64Or(P, "pcache_hit", 0);
+    R.PcacheMisses = parseU64Or(P, "pcache_miss", 0);
+    R.HasPcacheMetrics = P.count("pcache_hit") && P.count("pcache_miss");
   }
   if (Log.isOpen() && !Log.append(R) && JournalError.empty())
     JournalError = Log.lastError() + " ('" + Opts.JournalPath + "')";

@@ -86,6 +86,10 @@ public:
     return false;
   }
 
+  friend bool operator==(const DynBitset &A, const DynBitset &B) {
+    return A.NumBits == B.NumBits && A.Words == B.Words;
+  }
+
   /// Elements as indices, ascending.
   std::vector<uint32_t> elements() const {
     std::vector<uint32_t> R;

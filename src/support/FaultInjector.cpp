@@ -21,7 +21,7 @@ namespace {
 /// Index order is load-bearing: it matches FiredStats below.
 const char *const PointNames[] = {
     "journal.append", "journal.fsync", "socket.write",      "socket.read",
-    "pool.fork",      "serve.accept",  "trace.shard-write",
+    "pool.fork",      "serve.accept",  "trace.shard-write", "cache.publish",
 };
 constexpr size_t NumPointNames = sizeof(PointNames) / sizeof(PointNames[0]);
 
@@ -42,11 +42,13 @@ Statistic FiredServeAccept("fault", "injected.serve.accept",
                            "faults injected at serve.accept");
 Statistic FiredTraceShardWrite("fault", "injected.trace.shard-write",
                                "faults injected at trace.shard-write");
+Statistic FiredCachePublish("fault", "injected.cache.publish",
+                            "faults injected at cache.publish");
 
 Statistic *const FiredStats[] = {
-    &FiredJournalAppend, &FiredJournalFsync, &FiredSocketWrite,
-    &FiredSocketRead,    &FiredPoolFork,     &FiredServeAccept,
-    &FiredTraceShardWrite,
+    &FiredJournalAppend, &FiredJournalFsync,    &FiredSocketWrite,
+    &FiredSocketRead,    &FiredPoolFork,        &FiredServeAccept,
+    &FiredTraceShardWrite, &FiredCachePublish,
 };
 
 int pointIndex(const char *Point) {

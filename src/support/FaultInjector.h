@@ -23,6 +23,9 @@
 ///   pool.fork          worker process creation (cold pool and daemon)
 ///   serve.accept       the daemon's listener accept
 ///   trace.shard-write  a worker's streaming trace-shard append
+///   cache.publish      a partition-cache entry publication (shared
+///                      segment append; 'short'/'kill' leave a torn
+///                      entry the CRC check must reject)
 ///
 /// A schedule is armed from `--faults=SPEC` or the TBAA_FAULTS
 /// environment variable (so it crosses fork/exec into drivers a test
@@ -134,7 +137,7 @@ private:
   uint64_t Seed = 0;
   uint64_t RngState = 0;
   std::vector<Rule> Rules;
-  static constexpr size_t NumPoints = 7;
+  static constexpr size_t NumPoints = 8;
   PointState States[NumPoints];
 };
 

@@ -237,7 +237,22 @@ std::string ProgramGenerator::run() {
   OS << "  T0 = OBJECT f0, f1: INTEGER; nxt: T0; END;\n";
   OS << "  T1 = T0 OBJECT g0: INTEGER; END;\n";
   OS << "  T2 = T0 OBJECT h0: INTEGER; END;\n";
-  OS << "  R0 = RECORD a, b: INTEGER; END;\n\n";
+  OS << "  R0 = RECORD a, b: INTEGER; END;\n";
+  // Shape shelf: purely a function of ShapeTypes, never of the seed, so
+  // two modules generated with the same K share a type-table fingerprint.
+  for (unsigned K = 0; K != Opts.ShapeTypes; ++K) {
+    std::string Fields;
+    for (unsigned J = 0; J != 8; ++J)
+      Fields += (J ? ", p" : "p") + std::to_string(K) + "f" + std::to_string(J);
+    if (K % 2 == 0)
+      OS << "  S" << K << " = RECORD " << Fields << ": INTEGER; END;\n";
+    else if (K >= 3)
+      OS << "  S" << K << " = S" << (K - 2) << " OBJECT " << Fields
+         << ": INTEGER; END;\n";
+    else
+      OS << "  S" << K << " = OBJECT " << Fields << ": INTEGER; END;\n";
+  }
+  OS << "\n";
   OS << "VAR\n";
   OS << "  o0, o3: T0;\n";
   OS << "  o1: T1;\n";
@@ -245,6 +260,8 @@ std::string ProgramGenerator::run() {
   OS << "  r0: R0;\n";
   OS << "  a0, a1: Buf;\n";
   OS << "  fx: Fix;\n";
+  for (unsigned K = 0; K != Opts.ShapeTypes; ++K)
+    OS << "  sp" << K << ": S" << K << ";\n";
   OS << "  i0, i1, i2, i3: INTEGER;\n\n";
 
   OS << "PROCEDURE Init () =\n";
@@ -268,6 +285,27 @@ std::string ProgramGenerator::run() {
   OS << "  i0 := 7;\n";
   OS << "  i1 := 11;\n";
   OS << "END Init;\n\n";
+
+  if (Opts.ShapeTypes) {
+    OS << "PROCEDURE InitShapes () =\n";
+    OS << "BEGIN\n";
+    for (unsigned K = 0; K != Opts.ShapeTypes; ++K)
+      OS << "  sp" << K << " := NEW(S" << K << ");\n";
+    OS << "END InitShapes;\n\n";
+
+    OS << "PROCEDURE ShapeWalk (): INTEGER =\n";
+    OS << "VAR t: INTEGER;\n";
+    OS << "BEGIN\n";
+    OS << "  t := 0;\n";
+    for (unsigned K = 0; K != Opts.ShapeTypes; ++K) {
+      for (unsigned J = 0; J != 8; ++J)
+        OS << "  t := (t + sp" << K << ".p" << K << "f" << J
+           << ") MOD 1000003;\n";
+      OS << "  sp" << K << ".p" << K << "f0 := t MOD 1000003;\n";
+    }
+    OS << "  RETURN t;\n";
+    OS << "END ShapeWalk;\n\n";
+  }
 
   OS << "PROCEDURE Helper (p: T0; base: INTEGER): INTEGER =\n";
   OS << "BEGIN\n";
@@ -300,10 +338,14 @@ std::string ProgramGenerator::run() {
   OS << "VAR sum: INTEGER;\n";
   OS << "BEGIN\n";
   OS << "  Init();\n";
+  if (Opts.ShapeTypes)
+    OS << "  InitShapes();\n";
   OS << "  sum := 0;\n";
   OS << "  FOR round := 1 TO 3 DO\n";
   for (unsigned P = 0; P != Opts.NumProcs; ++P)
     OS << "    sum := (sum + Gen" << P << "()) MOD 1000000007;\n";
+  if (Opts.ShapeTypes)
+    OS << "    sum := (sum + ShapeWalk()) MOD 1000000007;\n";
   OS << "  END;\n";
   OS << "  FOR k := 0 TO 15 DO\n";
   OS << "    sum := (sum * 31 + a0[k] + fx[k]) MOD 1000000007;\n";

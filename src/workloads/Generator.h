@@ -35,6 +35,15 @@ struct GeneratorOptions {
   /// Roughly the number of generated statements across all procedures.
   unsigned StatementBudget = 120;
   unsigned NumProcs = 4;
+  /// Number of extra "shape shelf" types appended to the module: K
+  /// record/object types with 8 INTEGER fields each, one global of each
+  /// type, and InitShapes/ShapeWalk procedures that allocate and walk
+  /// them. The shelf depends only on K, never on Seed, so every module
+  /// generated with the same K has an identical type table -- which is
+  /// what makes the partition cache's type-table fingerprint collide on
+  /// purpose across gen:SEED:sK jobs. 0 (the default) emits nothing and
+  /// keeps the output byte-identical to earlier generator versions.
+  unsigned ShapeTypes = 0;
 };
 
 /// Returns the source text of a generated module with PROCEDURE Main.

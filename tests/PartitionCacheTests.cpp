@@ -1,0 +1,439 @@
+//===- PartitionCacheTests.cpp - Cross-worker partition cache -------------===//
+//
+// Part of the TBAA reproduction of Diwan, McKinley & Moss, PLDI 1998.
+//
+// The partition cache may only ever change *time*, never *answers*: a
+// rebound partition must be bit-identical to a fresh build at every
+// alias level, a fingerprint must name the type table's content and not
+// its declaration order, hash collisions must fall back to the full key,
+// and a torn or corrupt entry must degrade to a rebuild. The shared
+// segment's fork protocol (parent publishes, sealed workers read and
+// send entries home through the payload) is exercised with real forks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/AnalysisManager.h"
+#include "core/AliasClasses.h"
+#include "core/AliasOracle.h"
+#include "core/PartitionCache.h"
+#include "core/TBAAContext.h"
+#include "support/Budget.h"
+#include "support/FaultInjector.h"
+#include "support/Stats.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace tbaa;
+using namespace tbaa::test;
+
+namespace {
+
+const AliasLevel AllLevels[] = {AliasLevel::TypeDecl,
+                                AliasLevel::FieldTypeDecl,
+                                AliasLevel::SMTypeRefs,
+                                AliasLevel::SMFieldTypeRefs,
+                                AliasLevel::Perfect};
+
+uint64_t statValue(const std::string &Qualified) {
+  for (const StatSnapshot &S : StatsRegistry::instance().snapshot())
+    if (S.qualifiedName() == Qualified)
+      return S.Value;
+  ADD_FAILURE() << "no such counter: " << Qualified;
+  return 0;
+}
+
+/// Every test starts and ends with the cache off, no budget and no armed
+/// faults -- all three are process-wide and other suites rely on the
+/// defaults.
+class PartitionCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    PartitionCacheRuntime::instance().resetForTests();
+    BudgetRegistry::instance().setAllLimits(0);
+    fault::FaultInjector::instance().disarm();
+  }
+  void TearDown() override {
+    PartitionCacheRuntime::instance().resetForTests();
+    BudgetRegistry::instance().setAllLimits(0);
+    fault::FaultInjector::instance().disarm();
+  }
+};
+
+/// A small synthetic entry over a two-loc universe; \p AllAlias decides
+/// whether the off-diagonal bit is set.
+PartitionCacheEntry makeEntry(uint64_t Hash, const std::string &Key,
+                              bool AllAlias) {
+  PartitionCacheEntry E;
+  E.Hash = Hash;
+  E.Key = Key;
+  E.Level = 0;
+  E.Universe = {{0, ~0u, 0, 0}, {0, ~0u, 1, 1}};
+  E.RowWords.assign(E.Universe.size() * E.wordsPerRow(), 0);
+  E.setRowBit(0, 0);
+  E.setRowBit(1, 1);
+  if (AllAlias) {
+    E.setRowBit(0, 1);
+    E.setRowBit(1, 0);
+  }
+  return E;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+TEST_F(PartitionCacheTest, FingerprintIgnoresDeclarationOrder) {
+  // Same types, same program -- only the TYPE section order differs, so
+  // every TypeId is different between the two modules.
+  const char *BodyA = "TYPE\n"
+                      "  T0 = OBJECT f0: INTEGER; nxt: T0; END;\n"
+                      "  R0 = RECORD a, b: INTEGER; END;\n"
+                      "  Buf = ARRAY OF INTEGER;\n";
+  const char *BodyB = "TYPE\n"
+                      "  Buf = ARRAY OF INTEGER;\n"
+                      "  R0 = RECORD a, b: INTEGER; END;\n"
+                      "  T0 = OBJECT f0: INTEGER; nxt: T0; END;\n";
+  const char *Rest = "VAR o: T0; r: R0; b: Buf;\n"
+                     "PROCEDURE Main (): INTEGER =\n"
+                     "BEGIN\n"
+                     "  o := NEW(T0);\n"
+                     "  b := NEW(Buf, 4);\n"
+                     "  o.f0 := 1;\n"
+                     "  r.a := 2;\n"
+                     "  b[0] := 3;\n"
+                     "  RETURN o.f0 + r.a + b[0];\n"
+                     "END Main;\n"
+                     "END M.\n";
+  Compilation CA = compileOrDie(std::string("MODULE M;\n") + BodyA + Rest);
+  Compilation CB = compileOrDie(std::string("MODULE M;\n") + BodyB + Rest);
+  ASSERT_TRUE(CA.ok() && CB.ok());
+
+  TBAAContext CtxA(CA.ast(), CA.types(), {});
+  TBAAContext CtxB(CB.ast(), CB.types(), {});
+  const ContextFingerprint &FA = CtxA.fingerprint();
+  const ContextFingerprint &FB = CtxB.fingerprint();
+  ASSERT_TRUE(FA.Valid);
+  ASSERT_TRUE(FB.Valid);
+  EXPECT_EQ(FA.Hash, FB.Hash);
+  EXPECT_EQ(FA.Key, FB.Key);
+}
+
+TEST_F(PartitionCacheTest, FingerprintSeesFieldNames) {
+  // Identical shape except one declared field name; neither field is
+  // ever accessed, so only the declaration differs.
+  const char *SrcX = "MODULE M;\n"
+                     "TYPE T = RECORD x: INTEGER; END;\n"
+                     "VAR t: T;\n"
+                     "PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;\n"
+                     "END M.\n";
+  const char *SrcY = "MODULE M;\n"
+                     "TYPE T = RECORD y: INTEGER; END;\n"
+                     "VAR t: T;\n"
+                     "PROCEDURE Main (): INTEGER = BEGIN RETURN 0; END Main;\n"
+                     "END M.\n";
+  Compilation CX = compileOrDie(SrcX);
+  Compilation CY = compileOrDie(SrcY);
+  ASSERT_TRUE(CX.ok() && CY.ok());
+
+  TBAAContext CtxX(CX.ast(), CX.types(), {});
+  TBAAContext CtxY(CY.ast(), CY.types(), {});
+  ASSERT_TRUE(CtxX.fingerprint().Valid);
+  ASSERT_TRUE(CtxY.fingerprint().Valid);
+  EXPECT_NE(CtxX.fingerprint().Key, CtxY.fingerprint().Key);
+}
+
+TEST_F(PartitionCacheTest, GeneratedModulesShareFingerprintPerShapeCount) {
+  // The bench relies on this: gen:SEED:sK modules fingerprint by their
+  // usage facts, and equal seeds must collide while the shape count
+  // changes the table.
+  GeneratorOptions A{.Seed = 5, .ShapeTypes = 6};
+  GeneratorOptions B{.Seed = 5, .ShapeTypes = 6};
+  GeneratorOptions C{.Seed = 5, .ShapeTypes = 7};
+  Compilation MA = compileOrDie(generateProgram(A));
+  Compilation MB = compileOrDie(generateProgram(B));
+  Compilation MC = compileOrDie(generateProgram(C));
+  ASSERT_TRUE(MA.ok() && MB.ok() && MC.ok());
+  TBAAContext CtxA(MA.ast(), MA.types(), {});
+  TBAAContext CtxB(MB.ast(), MB.types(), {});
+  TBAAContext CtxC(MC.ast(), MC.types(), {});
+  ASSERT_TRUE(CtxA.fingerprint().Valid);
+  EXPECT_EQ(CtxA.fingerprint().Key, CtxB.fingerprint().Key);
+  EXPECT_NE(CtxA.fingerprint().Key, CtxC.fingerprint().Key);
+}
+
+//===----------------------------------------------------------------------===//
+// Stores
+//===----------------------------------------------------------------------===//
+
+TEST_F(PartitionCacheTest, CollisionFallsBackToFullKey) {
+  ProcPartitionCache PC(1 << 20);
+  PC.publish(makeEntry(42, "key-one", /*AllAlias=*/true));
+  PC.publish(makeEntry(42, "key-two", /*AllAlias=*/false));
+
+  std::vector<CanonLoc> Needed = {{0, ~0u, 0, 0}, {0, ~0u, 1, 1}};
+  PartitionCacheEntry Out;
+  ASSERT_TRUE(PC.lookup(42, "key-one", 0, Needed, Out));
+  EXPECT_TRUE(Out.rowBit(0, 1));
+  ASSERT_TRUE(PC.lookup(42, "key-two", 0, Needed, Out));
+  EXPECT_FALSE(Out.rowBit(0, 1));
+  EXPECT_FALSE(PC.lookup(42, "key-three", 0, Needed, Out));
+}
+
+TEST_F(PartitionCacheTest, LookupRequiresCoveringUniverse) {
+  ProcPartitionCache PC(1 << 20);
+  PC.publish(makeEntry(7, "k", true));
+  PartitionCacheEntry Out;
+  std::vector<CanonLoc> Subset = {{0, ~0u, 1, 1}};
+  EXPECT_TRUE(PC.lookup(7, "k", 0, Subset, Out));
+  std::vector<CanonLoc> Superset = {{0, ~0u, 0, 0}, {0, ~0u, 2, 2}};
+  EXPECT_FALSE(PC.lookup(7, "k", 0, Superset, Out));
+}
+
+TEST_F(PartitionCacheTest, EvictionUnderTinyCap) {
+  PartitionCacheEntry E = makeEntry(1, "a", true);
+  size_t One = E.approxBytes();
+  ProcPartitionCache PC(2 * One);
+  uint64_t Evicted0 = statValue("engine.partition-cache-evict");
+  PC.publish(makeEntry(1, "a", true));
+  PC.publish(makeEntry(2, "b", true));
+  PC.publish(makeEntry(3, "c", true));
+  EXPECT_LE(PC.entryCount(), 2u);
+  EXPECT_LE(PC.bytesUsed(), 2 * One);
+  EXPECT_GT(statValue("engine.partition-cache-evict"), Evicted0);
+
+  // LRU order: "a" was evicted first, the newer entries survived.
+  PartitionCacheEntry Out;
+  std::vector<CanonLoc> Needed = {{0, ~0u, 0, 0}};
+  EXPECT_FALSE(PC.lookup(1, "a", 0, Needed, Out));
+  EXPECT_TRUE(PC.lookup(3, "c", 0, Needed, Out));
+}
+
+TEST_F(PartitionCacheTest, SerializationRejectsEveryCorruptByte) {
+  PartitionCacheEntry E = makeEntry(0x1234567890abcdefull, "collision-key",
+                                    /*AllAlias=*/true);
+  std::string Wire = serializePartitionEntry(E);
+
+  PartitionCacheEntry Out;
+  ASSERT_TRUE(deserializePartitionEntry(Wire.data(), Wire.size(), Out));
+  EXPECT_EQ(Out.Hash, E.Hash);
+  EXPECT_EQ(Out.Key, E.Key);
+  EXPECT_EQ(Out.Level, E.Level);
+  EXPECT_EQ(Out.Universe, E.Universe);
+  EXPECT_EQ(Out.RowWords, E.RowWords);
+
+  // A torn entry shows up as a flipped or truncated byte somewhere; the
+  // CRC (or the bounds checks) must catch every single position.
+  for (size_t I = 0; I != Wire.size(); ++I) {
+    std::string Bad = Wire;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0x40);
+    EXPECT_FALSE(deserializePartitionEntry(Bad.data(), Bad.size(), Out))
+        << "corrupt byte " << I << " accepted";
+  }
+  EXPECT_FALSE(deserializePartitionEntry(Wire.data(), Wire.size() - 1, Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Hit vs rebuild -- the correctness contract
+//===----------------------------------------------------------------------===//
+
+TEST_F(PartitionCacheTest, HitIsBitIdenticalToRebuildAtEveryLevel) {
+  std::string Source = generateProgram({.Seed = 9, .ShapeTypes = 10});
+  Compilation C1 = compileOrDie(Source);
+  Compilation C2 = compileOrDie(Source);
+  ASSERT_TRUE(C1.ok() && C2.ok());
+
+  PartitionCacheRuntime::instance().configure(PartitionCacheMode::Proc);
+
+  // First manager: every level misses and publishes.
+  AnalysisManager AM1(C1.ast(), C1.types(), {});
+  AM1.bind(C1.IR);
+  const AliasClassEngine *E1 = AM1.aliasClasses();
+  ASSERT_NE(E1, nullptr);
+  ASSERT_TRUE(E1->partitionCacheBinding().Valid)
+      << "generated module should fingerprint cleanly";
+  for (AliasLevel L : AllLevels)
+    E1->partition(*makeAliasOracle(AM1.context(), L));
+  EXPECT_EQ(E1->stats().CacheMisses, 5u);
+  EXPECT_EQ(E1->stats().CacheHits, 0u);
+
+  // Second manager over a separate compilation of the same source:
+  // every level must hit and rebind.
+  AnalysisManager AM2(C2.ast(), C2.types(), {});
+  AM2.bind(C2.IR);
+  const AliasClassEngine *E2 = AM2.aliasClasses();
+  ASSERT_NE(E2, nullptr);
+  for (AliasLevel L : AllLevels)
+    E2->partition(*makeAliasOracle(AM2.context(), L));
+  EXPECT_EQ(E2->stats().CacheHits, 5u);
+  EXPECT_EQ(E2->stats().CacheMisses, 0u);
+
+  ASSERT_EQ(E1->numLocs(), E2->numLocs());
+  for (AliasLevel L : AllLevels) {
+    const AliasClassEngine::Partition *P1 = E1->partitionIfBuilt(L);
+    const AliasClassEngine::Partition *P2 = E2->partitionIfBuilt(L);
+    ASSERT_NE(P1, nullptr);
+    ASSERT_NE(P2, nullptr);
+    EXPECT_EQ(P1->ClassOf, P2->ClassOf) << aliasLevelName(L);
+    EXPECT_EQ(P1->Uniform, P2->Uniform) << aliasLevelName(L);
+    EXPECT_EQ(P1->NumClasses, P2->NumClasses) << aliasLevelName(L);
+    ASSERT_EQ(P1->Rows.size(), P2->Rows.size()) << aliasLevelName(L);
+    for (size_t I = 0; I != P1->Rows.size(); ++I)
+      EXPECT_EQ(P1->Rows[I], P2->Rows[I])
+          << aliasLevelName(L) << " row " << I;
+  }
+}
+
+TEST_F(PartitionCacheTest, FiniteBudgetBypassesCache) {
+  std::string Source = generateProgram({.Seed = 3, .ShapeTypes = 4});
+  Compilation C = compileOrDie(Source);
+  ASSERT_TRUE(C.ok());
+
+  PartitionCacheRuntime::instance().configure(PartitionCacheMode::Proc);
+  BudgetRegistry::instance().setAllLimits(1'000'000);
+
+  AnalysisManager AM(C.ast(), C.types(), {});
+  AM.bind(C.IR);
+  const AliasClassEngine *E = AM.aliasClasses();
+  ASSERT_NE(E, nullptr);
+  EXPECT_FALSE(E->partitionCacheBinding().Valid);
+  E->partition(*makeAliasOracle(AM.context(), AliasLevel::TypeDecl));
+  EXPECT_EQ(E->stats().CacheHits, 0u);
+  EXPECT_EQ(E->stats().CacheMisses, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared segment across forks
+//===----------------------------------------------------------------------===//
+
+TEST_F(PartitionCacheTest, SharedSegmentIsReadableAcrossFork) {
+  PartitionCacheRuntime &RT = PartitionCacheRuntime::instance();
+  RT.configure(PartitionCacheMode::Shared, 1 << 20);
+  ASSERT_NE(RT.segment(), nullptr);
+
+  PartitionCacheEntry E = makeEntry(99, "fork-key", /*AllAlias=*/false);
+  ASSERT_TRUE(RT.publishSerialized(serializePartitionEntry(E)));
+
+  std::vector<CanonLoc> Needed = E.Universe;
+  for (int Round = 0; Round != 2; ++Round) {
+    pid_t Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      // Worker side: sealed view, entry published before the fork must
+      // be visible and intact.
+      RT.sealWorkerView();
+      PartitionCacheEntry Out;
+      bool Ok = RT.lookup(99, "fork-key", 0, Needed, Out) &&
+                !Out.rowBit(0, 1) && Out.rowBit(0, 0);
+      _exit(Ok ? 0 : 1);
+    }
+    int Status = 0;
+    ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+    EXPECT_TRUE(WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+        << "fork round " << Round;
+  }
+}
+
+TEST_F(PartitionCacheTest, WorkerPublishTravelsHomeThroughPayload) {
+  PartitionCacheRuntime &RT = PartitionCacheRuntime::instance();
+  RT.configure(PartitionCacheMode::Shared, 1 << 20);
+
+  int Pipe[2];
+  ASSERT_EQ(pipe(Pipe), 0);
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    // Worker side: publish() must queue (never write the segment) and
+    // drain as hex for the payload.
+    close(Pipe[0]);
+    RT.sealWorkerView();
+    RT.publish(makeEntry(123, "payload-key", /*AllAlias=*/true));
+    std::vector<std::string> Hex = RT.drainPendingHex();
+    bool Ok = Hex.size() == 1 && RT.segment()->entryCount() == 0;
+    std::string Line = Hex.empty() ? "" : Hex[0];
+    Ok = Ok && write(Pipe[1], Line.data(), Line.size()) ==
+                   static_cast<ssize_t>(Line.size());
+    close(Pipe[1]);
+    _exit(Ok ? 0 : 1);
+  }
+  close(Pipe[1]);
+  std::string Hex;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = read(Pipe[0], Buf, sizeof Buf)) > 0)
+    Hex.append(Buf, static_cast<size_t>(N));
+  close(Pipe[0]);
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  ASSERT_TRUE(WIFEXITED(Status) && WEXITSTATUS(Status) == 0);
+
+  // Parent side of the hand-off: decode, validate, publish, and the
+  // entry becomes visible to lookups.
+  std::string Bytes;
+  ASSERT_TRUE(hexDecode(Hex, Bytes));
+  ASSERT_TRUE(RT.publishSerialized(Bytes));
+  PartitionCacheEntry Out;
+  std::vector<CanonLoc> Needed = {{0, ~0u, 0, 0}};
+  EXPECT_TRUE(RT.lookup(123, "payload-key", 0, Needed, Out));
+}
+
+TEST_F(PartitionCacheTest, TornPublishIsRejectedAndCountedAsMiss) {
+  PartitionCacheRuntime &RT = PartitionCacheRuntime::instance();
+  RT.configure(PartitionCacheMode::Shared, 1 << 20);
+
+  std::string Err;
+  ASSERT_TRUE(fault::FaultInjector::instance().arm("cache.publish#1=short", Err))
+      << Err;
+  PartitionCacheEntry E = makeEntry(55, "torn-key", true);
+  EXPECT_FALSE(RT.publishSerialized(serializePartitionEntry(E)));
+  EXPECT_EQ(fault::FaultInjector::instance().fired("cache.publish"), 1u);
+  fault::FaultInjector::instance().disarm();
+
+  // The torn frame is in the segment (Used advanced past garbage); the
+  // reader's CRC check must reject it and count a miss, and a clean
+  // publish afterwards must still work.
+  uint64_t Miss0 = statValue("engine.partition-cache-miss");
+  PartitionCacheEntry Out;
+  EXPECT_FALSE(RT.lookup(55, "torn-key", 0, E.Universe, Out));
+  EXPECT_EQ(statValue("engine.partition-cache-miss"), Miss0 + 1);
+
+  uint64_t Hit0 = statValue("engine.partition-cache-hit");
+  ASSERT_TRUE(RT.publishSerialized(serializePartitionEntry(E)));
+  EXPECT_TRUE(RT.lookup(55, "torn-key", 0, E.Universe, Out));
+  EXPECT_EQ(statValue("engine.partition-cache-hit"), Hit0 + 1);
+}
+
+TEST_F(PartitionCacheTest, SegmentWipesGenerationWhenFull) {
+  PartitionCacheRuntime &RT = PartitionCacheRuntime::instance();
+  // Tiny capacity: two ~700-byte frames fit, the third forces a wipe.
+  RT.configure(PartitionCacheMode::Shared, 2048);
+  SharedPartitionSegment *Seg = RT.segment();
+  ASSERT_NE(Seg, nullptr);
+
+  uint64_t Gen0 = Seg->generation();
+  std::string Wire =
+      serializePartitionEntry(makeEntry(1, std::string(600, 'k'), true));
+  size_t Published = 0;
+  uint64_t Wipes = 0;
+  for (int I = 0; I != 64; ++I) {
+    uint64_t Before = Seg->generation();
+    if (RT.publishSerialized(Wire))
+      ++Published;
+    Wipes += Seg->generation() - Before;
+  }
+  EXPECT_GT(Published, 0u);
+  EXPECT_GT(Seg->generation(), Gen0);
+  EXPECT_GT(Wipes, 0u);
+  // After all the churn the newest copy must still be readable.
+  PartitionCacheEntry Out;
+  std::vector<CanonLoc> Needed = {{0, ~0u, 0, 0}};
+  EXPECT_TRUE(RT.lookup(1, std::string(600, 'k'), 0, Needed, Out));
+}

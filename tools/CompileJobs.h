@@ -21,6 +21,7 @@
 #define TBAA_TOOLS_COMPILEJOBS_H
 
 #include "analysis/AnalysisManager.h"
+#include "core/PartitionCache.h"
 #include "exec/VM.h"
 #include "ir/Pipeline.h"
 #include "opt/PassPipeline.h"
@@ -68,6 +69,9 @@ inline int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
   // Metrics are on in every worker: the oracle latency histogram feeds
   // the per-job summary in the payload (and thence the journal).
   MetricsRegistry::instance().setEnabled(true);
+  // Fork-isolated workers map the shared partition segment read-only
+  // before touching any cache state (no-op elsewhere).
+  PartitionCacheRuntime::instance().sealWorkerView();
   // Fleet-wide per-job defaults (--config): analysis budget and the
   // diagnostic cap govern every worker identically.
   BudgetRegistry::instance().setAllLimits(Cfg.AnalysisBudget);
@@ -79,6 +83,7 @@ inline int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
     return 1;
   }
 
+  uint64_t PcacheHits = 0, PcacheMisses = 0;
   if (D != DegradeLevel::NoOpt) {
     AliasLevel L = D == DegradeLevel::Full ? levelFromName(Cfg.Level)
                                            : AliasLevel::TypeDecl;
@@ -101,6 +106,10 @@ inline int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
                    "in function '%s':\n%s\n",
                    F.Pass.c_str(), F.Function.c_str(), F.Error.c_str());
       return 3;
+    }
+    if (const AliasClassEngine *Eng = AM.aliasClasses()) {
+      PcacheHits = Eng->stats().CacheHits;
+      PcacheMisses = Eng->stats().CacheMisses;
     }
   }
 
@@ -131,6 +140,18 @@ inline int runCompileJob(const std::string &Source, const BatchConfig &Cfg,
     W.key("oracle_p90_ns").value(S.quantile(0.90));
     W.key("oracle_max_ns").value(S.Max);
   }
+  // Partition-cache tallies plus any entries a fork-isolated worker
+  // built: the parent publishes them into the shared segment on settle
+  // (workers never write it). Absent with --partition-cache=off so the
+  // legacy payload stays byte-identical.
+  if (PartitionCacheRuntime::instance().enabled()) {
+    W.key("pcache_hit").value(PcacheHits);
+    W.key("pcache_miss").value(PcacheMisses);
+    std::vector<std::string> Entries =
+        PartitionCacheRuntime::instance().drainPendingHex();
+    for (size_t I = 0; I != Entries.size(); ++I)
+      W.key("pcache_entry_" + std::to_string(I)).value(Entries[I]);
+  }
   W.endObject();
   std::string Line = W.str() + "\n";
   safeio::writeAll(PayloadFd, Line.data(), Line.size());
@@ -152,10 +173,23 @@ inline bool resolveJobSource(const std::string &Name, std::string &Source) {
   if (Name.rfind("gen:", 0) == 0) {
     char *End = nullptr;
     uint64_t Seed = std::strtoull(Name.c_str() + 4, &End, 10);
-    if (!End || *End)
+    if (!End)
       return false;
     GeneratorOptions GO;
     GO.Seed = Seed;
+    // Optional ":sN" suffix: N extra seed-independent shape types, the
+    // shared-type-shape sweep the partition-cache bench compiles.
+    if (*End == ':') {
+      if (End[1] != 's')
+        return false;
+      char *End2 = nullptr;
+      unsigned long Shapes = std::strtoul(End + 2, &End2, 10);
+      if (!End2 || *End2)
+        return false;
+      GO.ShapeTypes = static_cast<unsigned>(Shapes);
+    } else if (*End) {
+      return false;
+    }
     Source = generateProgram(GO);
     return true;
   }

@@ -24,6 +24,11 @@ recovery invariants the service claims:
   * serve fork exhaustion: a daemon whose every fork fails (EAGAIN)
     stays alive with zero workers, answers health, degrades admission
     to `overloaded` backpressure, and still shuts down cleanly.
+  * torn cache publish: with --partition-cache=shared, every partition
+    publication torn mid-copy (cache.publish=short) must degrade to
+    cache misses and rebuilds -- the settled journal stays equivalent
+    to the unfaulted cached run, results included, and the injector's
+    summary proves the tear actually happened.
 
 Usage: chaos_drill.py <path-to-m3batch> <path-to-m3serve>
 Exit status 0 on success, 1 on any violation.
@@ -45,7 +50,7 @@ JOBS = "@crash,format"
 # deterministic story two equivalent journals must agree on.
 TIMING_KEYS = {"wall_ms", "cpu_ms", "peak_rss_kb", "minflt", "majflt",
                "crc", "oracle_queries", "oracle_p50_ns", "oracle_p90_ns",
-               "oracle_max_ns"}
+               "oracle_max_ns", "pcache_hit", "pcache_miss"}
 
 errors = []
 
@@ -179,6 +184,42 @@ def drill_seeded_determinism(binary, tmp):
              f"rc {outcomes[0][0]} vs {outcomes[1][0]}")
 
 
+def drill_cache_publish(binary, tmp):
+    """Torn shared-cache publishes must cost rebuilds, never answers."""
+    jobs = "gen:1:s8,gen:2:s8,gen:1:s8"
+
+    def run_cached(journal, faults=None):
+        cmd = [str(binary), f"--jobs={jobs}", "--parallel=1", "--retries=2",
+               "--backoff-ms=1", f"--journal={journal}",
+               "--partition-cache=shared"]
+        env = dict(os.environ)
+        env.pop("TBAA_FAULTS", None)
+        if faults:
+            env["TBAA_FAULTS"] = faults
+        return subprocess.run(cmd, capture_output=True, text=True, env=env,
+                              timeout=600)
+
+    golden_journal = tmp / "cache-golden.jsonl"
+    proc = run_cached(golden_journal)
+    if proc.returncode != 0:
+        fail(f"cache-publish: unfaulted cached run exited "
+             f"{proc.returncode}:\n{proc.stderr}")
+        return
+    golden = normalize(golden_journal)
+
+    journal = tmp / "cache-faulted.jsonl"
+    proc = run_cached(journal, faults="cache.publish#1+=short")
+    if proc.returncode != 0:
+        fail(f"cache-publish: torn-publish run exited {proc.returncode} "
+             f"(a torn cache entry must degrade, not fail the batch):\n"
+             f"{proc.stderr}")
+        return
+    if "fault: injected: cache.publish x" not in proc.stderr:
+        fail(f"cache-publish: no exit summary proving the tear fired: "
+             f"{proc.stderr!r}")
+    check_settled(journal, golden, "cache-publish")
+
+
 def serve_request(sock_path, payload, deadline_s=10.0):
     giveup = time.monotonic() + deadline_s
     while True:
@@ -295,6 +336,7 @@ def main():
         drill_fsync_enospc(m3batch, tmp, golden)
         drill_eintr_storm(m3batch, tmp, golden)
         drill_seeded_determinism(m3batch, tmp)
+        drill_cache_publish(m3batch, tmp)
         drill_serve_fork_exhaustion(m3serve, tmp)
 
     if errors:

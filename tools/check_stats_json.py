@@ -61,6 +61,10 @@ ENGINE_COUNTERS = [
     "engine.slow-path",
     "engine.fallback-queries",
     "engine.bulk-ops",
+    "engine.partition-cache-hit",
+    "engine.partition-cache-miss",
+    "engine.partition-cache-evict",
+    "engine.partition-cache-bytes",
     "oracle.memo-evictions",
 ]
 

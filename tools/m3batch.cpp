@@ -37,6 +37,7 @@
 #include "service/Journal.h"
 #include "service/Sandbox.h"
 #include "support/FaultInjector.h"
+#include "core/PartitionCache.h"
 #include "support/Metrics.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -73,6 +74,8 @@ struct Options {
   bool Strict = false;
   bool Verbose = false;
   bool Stats = false;
+  PartitionCacheMode PartitionCache = PartitionCacheMode::Off;
+  uint64_t PartitionCacheMB = 0; ///< 0 = default cap
 };
 
 int usage() {
@@ -86,9 +89,16 @@ int usage() {
       "               [--trace=FILE]\n"
       "               [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
       "               [--pipeline] [--pre] [--parallel-opt[=N]]\n"
+      "               [--partition-cache=off|proc|shared]\n"
+      "               [--partition-cache-mb=N]\n"
       "               [--verify-analyses] [--strict] [--verbose] [--stats]\n"
-      "jobs: workload names, .m3l files, gen:SEED, @crash, @hang, "
+      "jobs: workload names, .m3l files, gen:SEED[:sN], @crash, @hang, "
       "@budget\n"
+      "--partition-cache=shared publishes alias partitions into a "
+      "parent-owned\n"
+      "read-only segment reused across forked workers; 'proc' keeps an "
+      "in-process\n"
+      "LRU. Jobs with a finite --analysis-budget bypass the cache.\n"
       "exit codes: 0 batch completed, 1 --strict failure, 2 usage, "
       "3 driver error\n");
   return 2;
@@ -230,7 +240,12 @@ int main(int argc, char **argv) {
       if (!End || *End || N == 0)
         return usage();
       Opts.ParallelOpt = static_cast<unsigned>(N);
-    } else if (A == "--strict")
+    } else if (A.rfind("--partition-cache=", 0) == 0) {
+      if (!parsePartitionCacheMode(A.substr(18), Opts.PartitionCache))
+        return usage();
+    } else if (numArg("--partition-cache-mb=", Opts.PartitionCacheMB))
+      ;
+    else if (A == "--strict")
       Opts.Strict = true;
     else if (A == "--verbose")
       Opts.Verbose = true;
@@ -338,6 +353,13 @@ int main(int argc, char **argv) {
     Cmd += " " + InputPath;
     return Cmd;
   };
+
+  // Configure the partition cache before any fork: shared mode's mmap
+  // segment must exist in the parent so every worker inherits the
+  // mapping (workers seal it read-only and ship entries home in the
+  // payload for the parent to publish).
+  PartitionCacheRuntime::instance().configure(Opts.PartitionCache,
+                                              Opts.PartitionCacheMB << 20);
 
   BatchResult R = runBatch(Jobs, BO);
   if (!R.ok()) {

@@ -29,6 +29,12 @@
 //                              64; 0 = unlimited)
 //          --analysis-budget=N per-phase analysis step budget; exhaustion
 //                              degrades the oracle instead of aborting
+//          --partition-cache=off|proc
+//                        reuse alias partitions across modules whose type
+//                        tables share a fingerprint (default off; a finite
+//                        --analysis-budget bypasses the cache because a
+//                        degraded oracle's partitions are budget-dependent)
+//          --partition-cache-mb=N cap the partition cache at N MiB
 //          --stats       print execution counters, simulated cycles and
 //                        the registered statistics table
 //          --time-passes print the hierarchical pass timing report
@@ -46,6 +52,7 @@
 #include "core/AliasCensus.h"
 #include "core/AliasOracle.h"
 #include "core/InstrumentedOracle.h"
+#include "core/PartitionCache.h"
 #include "core/TBAAContext.h"
 #include "exec/VM.h"
 #include "ir/Pipeline.h"
@@ -90,6 +97,8 @@ struct Options {
   bool Stats = false;
   bool TimePasses = false;
   std::string TracePath; ///< Empty: tracing off.
+  PartitionCacheMode PartitionCache = PartitionCacheMode::Off;
+  uint64_t PartitionCacheMB = 0; ///< 0: default cap.
   bool Remarks = false;
   std::string RemarksFile; ///< Empty: remarks go to stdout.
 };
@@ -110,6 +119,7 @@ int usage() {
       "            [--open] [--no-rle] [--pipeline] [--pre] [--verify-each]\n"
       "            [--verify-analyses] [--parallel-opt[=N]]\n"
       "            [--max-errors=N] [--analysis-budget=N] [--stats]\n"
+      "            [--partition-cache=off|proc] [--partition-cache-mb=N]\n"
       "            [--time-passes] [--trace=file] [--remarks[=file]]\n"
       "            <file.m3l | workload-name>\n"
       "exit codes: 0 success, 1 diagnostics/trap, 2 usage, 3 internal "
@@ -332,6 +342,24 @@ int main(int argc, char **argv) {
       if (!End || *End)
         return usage();
       Opts.AnalysisBudget = N;
+    } else if (A.rfind("--partition-cache=", 0) == 0) {
+      PartitionCacheMode M;
+      if (!parsePartitionCacheMode(A.substr(18), M))
+        return usage();
+      if (M == PartitionCacheMode::Shared) {
+        // Shared mode is m3batch's fork-per-job publication protocol;
+        // a single-process compile reuses partitions via 'proc'.
+        std::fprintf(stderr, "m3lc: --partition-cache=shared is "
+                             "m3batch-only; use --partition-cache=proc\n");
+        return ExitUsage;
+      }
+      Opts.PartitionCache = M;
+    } else if (A.rfind("--partition-cache-mb=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(A.c_str() + 21, &End, 10);
+      if (!End || *End)
+        return usage();
+      Opts.PartitionCacheMB = N;
     } else if (A == "--stats")
       Opts.Stats = true;
     else if (A == "--time-passes")
@@ -398,6 +426,8 @@ int main(int argc, char **argv) {
   // Metrics want a wall clock per oracle query; only pay for it when a
   // report will consume the histograms.
   MetricsRegistry::instance().setEnabled(Opts.Stats || !Opts.TracePath.empty());
+  PartitionCacheRuntime::instance().configure(Opts.PartitionCache,
+                                              Opts.PartitionCacheMB << 20);
   RemarkEngine::instance().setEnabled(Opts.Remarks);
   // The engine lives out here so diagnostics that were pending when an
   // exception unwound run() still reach the user below -- "internal

@@ -71,6 +71,8 @@ int usage() {
       "                      [--idle-exit-ms=N]\n"
       "                      [--level=typedecl|fieldtypedecl|smfieldtyperefs]\n"
       "                      [--pipeline] [--pre] [--parallel-opt[=N]]\n"
+      "                      [--partition-cache=off|proc]\n"
+      "                      [--partition-cache-mb=N]\n"
       "                      [--verify-analyses]\n"
       "                      [--verbose]\n"
       "       m3serve submit --socket=PATH [--jobs=a,b,c] [--gen=N]\n"
@@ -116,12 +118,9 @@ bool sendLine(int Fd, const std::string &Line) {
 ServeJobFn makeServeJobFn(BatchConfig Cfg, jobs::CompileFlags Flags) {
   return [Cfg, Flags](const ServeRequest &Req, DegradeLevel D,
                       int PayloadFd) -> int {
-    // Warm reuse: a worker's registries accumulate across jobs unless
-    // reset here, and the oracle histogram must describe *this* job.
-    MetricsRegistry::instance().reset();
-    StatsRegistry::instance().reset();
-    TimerRegistry::instance().reset();
-
+    // Per-job registry resets live in the Serve worker-reuse loop itself
+    // (warmWorkerMain), not here: every job body gets them, not just
+    // this one.
     const std::string &Name = Req.Job;
     if (Name == "@crash") {
 #if TBAA_ASAN_BUILD
@@ -320,6 +319,8 @@ int main(int argc, char **argv) {
   jobs::CompileFlags Flags;
   std::string Faults;
   uint64_t MaxQueue = 64, MaxPerClient = 16, Workers = 2, MaxJobs = 0;
+  PartitionCacheMode PCache = PartitionCacheMode::Off;
+  uint64_t PCacheMB = 0;
 
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
@@ -384,7 +385,21 @@ int main(int argc, char **argv) {
       if (!End || *End || N == 0)
         return usage();
       Flags.ParallelOpt = static_cast<unsigned>(N);
-    } else if (A == "--strict")
+    } else if (A.rfind("--partition-cache=", 0) == 0) {
+      if (!parsePartitionCacheMode(A.substr(18), PCache))
+        return usage();
+      if (PCache == PartitionCacheMode::Shared) {
+        // Shared mode is the batch driver's fork-per-job publication
+        // protocol; the daemon's warm workers amortize through their
+        // own in-process LRU instead.
+        std::fprintf(stderr,
+                     "m3serve: --partition-cache=shared is m3batch-only; "
+                     "warm workers use --partition-cache=proc\n");
+        return 2;
+      }
+    } else if (numArg("--partition-cache-mb=", PCacheMB))
+      ;
+    else if (A == "--strict")
       Sub.Strict = true;
     else if (A == "--verbose")
       SO.Verbose = Sub.Verbose = true;
@@ -426,6 +441,12 @@ int main(int argc, char **argv) {
   SO.Retry.MaxAttempts = Cfg.Retries;
   SO.Retry.BackoffBaseMs = Cfg.BackoffMs;
   SO.Retry.BackoffCapMs = Cfg.BackoffCapMs;
+
+  // Configure before the daemon forks its warm workers: each worker
+  // inherits the mode and keeps its own in-process LRU alive across
+  // re-sandboxed jobs (the per-job registry resets leave it alone).
+  // Jobs with a finite --analysis-budget bypass the cache.
+  PartitionCacheRuntime::instance().configure(PCache, PCacheMB << 20);
 
   std::string Error;
   int RC = runServe(SO, makeServeJobFn(Cfg, Flags), Error);
